@@ -1,0 +1,86 @@
+// Ablation A6: System V hsearch's compile-time variants, run head to head
+// — the paper catalogs DIV (division hashing + linear probing), BRENT
+// (insertion-time rearrangement) and CHAINED (+SORTUP/SORTDOWN) as the
+// options AT&T-source users could build.  We measure probe counts and
+// times across load factors on the dictionary keys.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/baselines/hsearch/hsearch.h"
+
+namespace hashkit {
+namespace bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  baseline::HsearchConfig config;
+};
+
+int Main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  const auto records = DictionaryRecords(20000);
+  std::printf("Ablation A6: hsearch variants on %zu keys (probes per successful find)\n\n",
+              records.size());
+  PrintCsvHeader("ablation_hsearch,variant,load,enter_user,find_user,probes_per_find");
+
+  const Variant variants[] = {
+      {"double_hash", {}},
+      {"div_linear",
+       {baseline::HsearchHash::kDivision, baseline::HsearchCollision::kDoubleHash,
+        baseline::HsearchChainOrder::kFront, 2}},
+      {"brent",
+       {baseline::HsearchHash::kMultiplicative, baseline::HsearchCollision::kBrent,
+        baseline::HsearchChainOrder::kFront, 2}},
+      {"chained",
+       {baseline::HsearchHash::kMultiplicative, baseline::HsearchCollision::kChained,
+        baseline::HsearchChainOrder::kFront, 2}},
+      {"chained_sortup",
+       {baseline::HsearchHash::kMultiplicative, baseline::HsearchCollision::kChained,
+        baseline::HsearchChainOrder::kSortUp, 2}},
+  };
+
+  std::printf("%-15s %6s %12s %12s %16s\n", "variant", "load", "enter(u)", "find(u)",
+              "probes/find");
+  for (const double load : {0.5, 0.9, 0.99}) {
+    for (const Variant& variant : variants) {
+      const auto capacity = static_cast<size_t>(static_cast<double>(records.size()) / load);
+      auto table = std::move(baseline::SysvHsearch::Create(capacity, variant.config).value());
+      const auto enter = workload::MeasureOnce([&] {
+        for (const auto& r : records) {
+          (void)table->Enter(r.key, const_cast<std::string*>(&r.value));
+        }
+      });
+      const uint64_t probes_before = table->stats().probes;
+      void* data = nullptr;
+      const auto find = workload::MeasureOnce([&] {
+        for (const auto& r : records) {
+          (void)table->Find(r.key, &data);
+        }
+      });
+      const double probes_per_find =
+          static_cast<double>(table->stats().probes - probes_before) /
+          static_cast<double>(records.size());
+      std::printf("%-15s %6.2f %12.4f %12.4f %16.2f\n", variant.name, load, enter.user_sec,
+                  find.user_sec, probes_per_find);
+      char csv[160];
+      std::snprintf(csv, sizeof(csv), "ablation_hsearch,%s,%.2f,%.4f,%.4f,%.3f", variant.name,
+                    load, enter.user_sec, find.user_sec, probes_per_find);
+      PrintCsv(csv);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected: Brent's rearrangement pays at high load (shorter probe chains\n"
+              "than plain double hashing); chained variants stay flat at the cost of\n"
+              "per-node allocation; DIV's linear probing clusters at high load.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hashkit
+
+int main(int argc, char** argv) { return hashkit::bench::Main(argc, argv); }

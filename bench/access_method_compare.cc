@@ -1,0 +1,183 @@
+// Access-method comparison: hash vs btree vs recno on the same data — the
+// classic trade the paper's closing "generic database access package"
+// sets up.  Hashing wins point lookups; the btree pays log-height page
+// touches per probe but is the only method with ordered range scans;
+// recno turns record-number access into direct addressing.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/btree/btree.h"
+#include "src/core/hash_table.h"
+#include "src/recno/recno.h"
+#include "src/util/random.h"
+
+namespace hashkit {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const int runs = RunsFromArgs(argc, argv, 1);
+  (void)runs;
+  const auto records = DictionaryRecords();
+  std::printf("Access methods on %zu dictionary records (user seconds)\n\n", records.size());
+  PrintCsvHeader("access_methods,method,load_user,point_user,scan_user,range_user");
+
+  struct Row {
+    const char* name;
+    workload::TimingSample load, point, scan, range;
+    bool has_range = false;
+  };
+  std::vector<Row> rows;
+
+  Rng rng(12);
+  std::vector<size_t> probe_order(records.size());
+  for (size_t i = 0; i < probe_order.size(); ++i) {
+    probe_order[i] = rng.Uniform(records.size());
+  }
+
+  // --- hash ---
+  {
+    Row row{"hash", {}, {}, {}, {}};
+    HashOptions opts;
+    opts.bsize = 1024;
+    opts.ffactor = 32;
+    opts.cachesize = 4 * 1024 * 1024;
+    auto table = std::move(HashTable::OpenInMemory(opts).value());
+    row.load = workload::MeasureOnce([&] {
+      for (const auto& r : records) {
+        (void)table->Put(r.key, r.value);
+      }
+    });
+    std::string v;
+    row.point = workload::MeasureOnce([&] {
+      for (const size_t i : probe_order) {
+        (void)table->Get(records[i].key, &v);
+      }
+    });
+    std::string k;
+    row.scan = workload::MeasureOnce([&] {
+      Status st = table->Seq(&k, &v, true);
+      while (st.ok()) {
+        st = table->Seq(&k, &v, false);
+      }
+    });
+    rows.push_back(row);
+  }
+
+  // --- btree ---
+  {
+    Row row{"btree", {}, {}, {}, {}, true};
+    btree::BtOptions opts;
+    opts.page_size = 4096;
+    opts.cachesize = 4 * 1024 * 1024;
+    auto tree = std::move(btree::BTree::OpenInMemory(opts).value());
+    row.load = workload::MeasureOnce([&] {
+      for (const auto& r : records) {
+        (void)tree->Put(r.key, r.value);
+      }
+    });
+    std::string v;
+    row.point = workload::MeasureOnce([&] {
+      for (const size_t i : probe_order) {
+        (void)tree->Get(records[i].key, &v);
+      }
+    });
+    std::string k;
+    row.scan = workload::MeasureOnce([&] {
+      btree::BtCursor cursor = tree->NewCursor();
+      while (cursor.Next(&k, &v).ok()) {
+      }
+    });
+    // 1000 range queries of ~25 keys each: the btree-only operation.
+    row.range = workload::MeasureOnce([&] {
+      for (int q = 0; q < 1000; ++q) {
+        btree::BtCursor cursor = tree->NewCursor();
+        (void)cursor.Seek(records[probe_order[q]].key);
+        for (int j = 0; j < 25 && cursor.Next(&k, &v).ok(); ++j) {
+        }
+      }
+    });
+    rows.push_back(row);
+  }
+
+  // --- recno (variable-length) ---
+  {
+    Row row{"recno", {}, {}, {}, {}};
+    btree::BtOptions opts;
+    opts.page_size = 4096;
+    opts.cachesize = 4 * 1024 * 1024;
+    auto store = std::move(recno::VarRecno::OpenInMemory(opts).value());
+    row.load = workload::MeasureOnce([&] {
+      for (const auto& r : records) {
+        (void)store->Append(r.value);
+      }
+    });
+    std::string v;
+    row.point = workload::MeasureOnce([&] {
+      for (const size_t i : probe_order) {
+        (void)store->Get(i, &v);
+      }
+    });
+    uint64_t recno_out = 0;
+    row.scan = workload::MeasureOnce([&] {
+      Status st = store->Scan(&recno_out, &v, true);
+      while (st.ok()) {
+        st = store->Scan(&recno_out, &v, false);
+      }
+    });
+    rows.push_back(row);
+  }
+
+  // --- recno (fixed-length) ---
+  {
+    Row row{"recno_fixed", {}, {}, {}, {}};
+    recno::FixedRecnoOptions opts;
+    opts.record_size = 16;
+    opts.page_size = 4096;
+    opts.cachesize = 4 * 1024 * 1024;
+    auto store = std::move(recno::FixedRecno::OpenInMemory(opts).value());
+    row.load = workload::MeasureOnce([&] {
+      for (const auto& r : records) {
+        (void)store->Append(r.value);
+      }
+    });
+    std::string v;
+    row.point = workload::MeasureOnce([&] {
+      for (const size_t i : probe_order) {
+        (void)store->Get(i, &v);
+      }
+    });
+    row.scan = workload::MeasureOnce([&] {
+      for (uint64_t i = 0; i < store->Count(); ++i) {
+        (void)store->Get(i, &v);
+      }
+    });
+    rows.push_back(row);
+  }
+
+  std::printf("%-12s %10s %12s %10s %12s\n", "method", "load(u)", "point(u)", "scan(u)",
+              "range(u)");
+  for (const Row& row : rows) {
+    if (row.has_range) {
+      std::printf("%-12s %10.3f %12.3f %10.3f %12.3f\n", row.name, row.load.user_sec,
+                  row.point.user_sec, row.scan.user_sec, row.range.user_sec);
+    } else {
+      std::printf("%-12s %10.3f %12.3f %10.3f %12s\n", row.name, row.load.user_sec,
+                  row.point.user_sec, row.scan.user_sec, "n/a");
+    }
+    char csv[160];
+    std::snprintf(csv, sizeof(csv), "access_methods,%s,%.4f,%.4f,%.4f,%.4f", row.name,
+                  row.load.user_sec, row.point.user_sec, row.scan.user_sec,
+                  row.has_range ? row.range.user_sec : -1.0);
+    PrintCsv(csv);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hashkit
+
+int main(int argc, char** argv) { return hashkit::bench::Main(argc, argv); }

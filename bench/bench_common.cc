@@ -1,0 +1,73 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hashkit {
+namespace bench {
+
+std::vector<Record> DictionaryRecords(size_t count) {
+  const auto workload = workload::MakeDictionaryWorkload(count);
+  std::vector<Record> records(count);
+  for (size_t i = 0; i < count; ++i) {
+    records[i].key = workload.keys[i];
+    records[i].value = workload.values[i];
+  }
+  return records;
+}
+
+std::vector<Record> PasswdRecords(size_t accounts) {
+  const auto workload = workload::MakePasswdWorkload(accounts);
+  std::vector<Record> records(workload.records.size());
+  for (size_t i = 0; i < workload.records.size(); ++i) {
+    records[i].key = workload.records[i].key;
+    records[i].value = workload.records[i].value;
+  }
+  return records;
+}
+
+int RunsFromArgs(int argc, char** argv, int fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--runs=", 7) == 0) {
+      const int runs = std::atoi(argv[i] + 7);
+      if (runs > 0) {
+        return runs;
+      }
+    }
+  }
+  return fallback;
+}
+
+std::string BenchPath(const std::string& tag) {
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/hashkit_bench_" + tag;
+  RemoveBenchFiles(path);
+  return path;
+}
+
+void RemoveBenchFiles(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".pag").c_str());
+  std::remove((path + ".dir").c_str());
+}
+
+void PrintComparisonRow(const std::string& test, const workload::TimingSample& new_time,
+                        const workload::TimingSample& old_time) {
+  std::printf("%s\n", test.c_str());
+  const auto row = [](const char* label, double new_sec, double old_sec) {
+    std::printf("  %-8s %8.3f %8.3f %7.0f%%\n", label, new_sec, old_sec,
+                workload::PercentImprovement(old_sec, new_sec));
+  };
+  row("user", new_time.user_sec, old_time.user_sec);
+  row("sys", new_time.sys_sec, old_time.sys_sec);
+  row("elapsed", new_time.elapsed_sec, old_time.elapsed_sec);
+}
+
+void PrintCsvHeader(const std::string& columns) { std::printf("csv,%s\n", columns.c_str()); }
+
+void PrintCsv(const std::string& row) { std::printf("csv,%s\n", row.c_str()); }
+
+}  // namespace bench
+}  // namespace hashkit

@@ -1,0 +1,59 @@
+// Shared plumbing for the figure-reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (see DESIGN.md §5 for the experiment index).  Conventions:
+//   * runs with no arguments and sensible defaults; `--runs=N` overrides
+//     the averaging count (the paper averaged five runs);
+//   * prints both a human-readable table shaped like the paper's figure
+//     and machine-readable CSV lines prefixed with "csv,".
+
+#ifndef HASHKIT_BENCH_BENCH_COMMON_H_
+#define HASHKIT_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/dictionary.h"
+#include "src/workload/passwd.h"
+#include "src/workload/timing.h"
+
+namespace hashkit {
+namespace bench {
+
+// Key/value records shared by all stores in a comparison.
+struct Record {
+  std::string key;
+  std::string value;
+};
+
+std::vector<Record> DictionaryRecords(size_t count = workload::kPaperDictionarySize);
+std::vector<Record> PasswdRecords(size_t accounts = workload::kPaperAccountCount);
+
+// Parses --runs=N (default `fallback`).
+int RunsFromArgs(int argc, char** argv, int fallback);
+
+// A scratch file path under TMPDIR; removes leftovers (incl. .pag/.dir).
+std::string BenchPath(const std::string& tag);
+void RemoveBenchFiles(const std::string& path);
+
+// The five timings of the paper's disk suite (Figure 8).
+struct SuiteTiming {
+  workload::TimingSample create;
+  workload::TimingSample read;
+  workload::TimingSample verify;
+  workload::TimingSample seq;        // keys only (ndbm semantics)
+  workload::TimingSample seq_data;   // keys + data
+};
+
+// Prints one Figure-8-style block: TEST / user / sys / elapsed rows with
+// the paper's improvement percentage (100 * (old-new) / old).
+void PrintComparisonRow(const std::string& test, const workload::TimingSample& new_time,
+                        const workload::TimingSample& old_time);
+
+void PrintCsvHeader(const std::string& columns);
+void PrintCsv(const std::string& row);
+
+}  // namespace bench
+}  // namespace hashkit
+
+#endif  // HASHKIT_BENCH_BENCH_COMMON_H_

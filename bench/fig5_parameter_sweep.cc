@@ -1,0 +1,83 @@
+// Figures 5a / 5b / 5c: system, elapsed, and user time for the dictionary
+// data set as bucket size and fill factor vary, with a 1 MB buffer pool.
+//
+// Paper setup: 24474 dictionary keys, data = ASCII "1".."24474"; create a
+// new table whose ultimate size is known in advance, enter every pair,
+// retrieve every pair; page sizes 128..8192, fill factors 1..128; HP
+// 9000/370 under 4.3BSD-Reno.  Expected shape: for every bucket size,
+// times fall steeply as the fill factor rises until equation (1)
+// ((avg_pair + 4) * ffactor >= bsize) is satisfied, then flatten; the best
+// combined tradeoff sits near bsize=256 / ffactor=8.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/core/hash_table.h"
+
+namespace hashkit {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const int runs = RunsFromArgs(argc, argv, 1);
+  const auto records = DictionaryRecords();
+  double avg_pair = 0;
+  for (const auto& r : records) {
+    avg_pair += static_cast<double>(r.key.size() + r.value.size());
+  }
+  avg_pair /= static_cast<double>(records.size());
+
+  std::printf("Figure 5 parameter sweep: dictionary (%zu keys, avg pair %.1f bytes), "
+              "1M buffer pool, create+read, size known in advance\n\n",
+              records.size(), avg_pair);
+  PrintCsvHeader("fig5,bsize,ffactor,user_sec,sys_sec,elapsed_sec,eq1_satisfied");
+
+  const uint32_t bsizes[] = {128, 256, 512, 1024, 4096, 8192};
+  const uint32_t ffactors[] = {1, 2, 4, 8, 16, 32, 64, 128};
+
+  std::printf("%6s %8s %10s %10s %10s  %s\n", "bsize", "ffactor", "user", "sys", "elapsed",
+              "eq1");
+  for (const uint32_t bsize : bsizes) {
+    for (const uint32_t ffactor : ffactors) {
+      const std::string path = BenchPath("fig5");
+      HashOptions opts;
+      opts.bsize = bsize;
+      opts.ffactor = ffactor;
+      opts.nelem = static_cast<uint32_t>(records.size());
+      opts.cachesize = 1024 * 1024;
+
+      const auto sample = workload::MeasureAveraged(
+          runs, [&] { RemoveBenchFiles(path); },
+          [&] {
+            auto table = std::move(HashTable::Open(path, opts, /*truncate=*/true).value());
+            for (const auto& r : records) {
+              (void)table->Put(r.key, r.value);
+            }
+            std::string value;
+            for (const auto& r : records) {
+              (void)table->Get(r.key, &value);
+            }
+            (void)table->Sync();
+          });
+
+      const bool eq1 = (avg_pair + 4.0) * ffactor >= bsize;
+      std::printf("%6u %8u %10.3f %10.3f %10.3f  %s\n", bsize, ffactor, sample.user_sec,
+                  sample.sys_sec, sample.elapsed_sec, eq1 ? "yes" : "no");
+      char csv[160];
+      std::snprintf(csv, sizeof(csv), "fig5,%u,%u,%.4f,%.4f,%.4f,%d", bsize, ffactor,
+                    sample.user_sec, sample.sys_sec, sample.elapsed_sec, eq1 ? 1 : 0);
+      PrintCsv(csv);
+      RemoveBenchFiles(path);
+    }
+    std::printf("\n");
+  }
+  std::printf("Read the columns as the paper's figures: 5a=sys, 5b=elapsed, 5c=user.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hashkit
+
+int main(int argc, char** argv) { return hashkit::bench::Main(argc, argv); }

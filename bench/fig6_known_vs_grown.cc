@@ -1,0 +1,68 @@
+// Figure 6: building the dictionary table when the ultimate size is known
+// in advance (nelem hint; the table is created pre-sized) versus grown
+// from a single bucket, across fill factors 4..64 at bsize 256.
+//
+// Expected shape: once the fill factor is sufficiently high for the page
+// size (8), growing the table dynamically does little to degrade
+// performance; below that, the grown table pays for its splits.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/core/hash_table.h"
+
+namespace hashkit {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const int runs = RunsFromArgs(argc, argv, 3);
+  const auto records = DictionaryRecords();
+
+  std::printf("Figure 6: known final size (left) vs grown from one bucket (right),\n"
+              "dictionary data set, bsize 256, %d-run averages\n\n", runs);
+  PrintCsvHeader("fig6,ffactor,mode,user_sec,sys_sec,elapsed_sec,splits");
+
+  std::printf("%8s  %-7s %10s %10s %10s %9s\n", "ffactor", "mode", "user", "sys", "elapsed",
+              "splits");
+  for (const uint32_t ffactor : {4u, 8u, 16u, 32u, 64u}) {
+    for (const bool known : {true, false}) {
+      const std::string path = BenchPath("fig6");
+      HashOptions opts;
+      opts.bsize = 256;
+      opts.ffactor = ffactor;
+      opts.nelem = known ? static_cast<uint32_t>(records.size()) : 0;
+      opts.cachesize = 1024 * 1024;
+
+      uint64_t splits = 0;
+      const auto sample = workload::MeasureAveraged(
+          runs, [&] { RemoveBenchFiles(path); },
+          [&] {
+            auto table = std::move(HashTable::Open(path, opts, /*truncate=*/true).value());
+            for (const auto& r : records) {
+              (void)table->Put(r.key, r.value);
+            }
+            (void)table->Sync();
+            splits = table->stats().splits;
+          });
+
+      std::printf("%8u  %-7s %10.3f %10.3f %10.3f %9llu\n", ffactor, known ? "known" : "grown",
+                  sample.user_sec, sample.sys_sec, sample.elapsed_sec,
+                  static_cast<unsigned long long>(splits));
+      char csv[160];
+      std::snprintf(csv, sizeof(csv), "fig6,%u,%s,%.4f,%.4f,%.4f,%llu", ffactor,
+                    known ? "known" : "grown", sample.user_sec, sample.sys_sec,
+                    sample.elapsed_sec, static_cast<unsigned long long>(splits));
+      PrintCsv(csv);
+      RemoveBenchFiles(path);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hashkit
+
+int main(int argc, char** argv) { return hashkit::bench::Main(argc, argv); }

@@ -1,0 +1,16 @@
+// Figure 8a: timing results for the dictionary database — the new package
+// against ndbm (disk suite) and hsearch (memory-resident suite).
+//
+// Paper's headline results for this table: ~50-80% improvement nearly
+// everywhere; ndbm wins only the keys-only sequential user time (because
+// it does not return data); the READ/VERIFY system-time improvement
+// (~90%) comes from the buffer pool removing per-access file I/O.
+
+#include "bench/fig8_suite.h"
+
+int main(int argc, char** argv) {
+  const int runs = hashkit::bench::RunsFromArgs(argc, argv, 3);
+  const auto records = hashkit::bench::DictionaryRecords();
+  hashkit::bench::RunFig8("Figure 8a: dictionary database", records, runs, "fig8a");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 8b: timing results for the password database (~300 accounts, two
+// records per account: login -> entry remainder, uid -> whole entry).
+//
+// The paper notes this database is small enough that most rows measure
+// near zero; the create test is dominated by flushing the file, where the
+// new package still wins on user and system time.
+
+#include "bench/fig8_suite.h"
+
+int main(int argc, char** argv) {
+  const int runs = hashkit::bench::RunsFromArgs(argc, argv, 5);
+  const auto records = hashkit::bench::PasswdRecords();
+  hashkit::bench::RunFig8("Figure 8b: password database", records, runs, "fig8b");
+  return 0;
+}

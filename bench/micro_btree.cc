@@ -1,0 +1,107 @@
+// Btree microbenchmarks: point ops, ordered iteration, split costs.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/btree/btree.h"
+#include "src/util/random.h"
+
+namespace hashkit {
+namespace {
+
+std::unique_ptr<btree::BTree> MakeTree(size_t nkeys, uint32_t page_size) {
+  btree::BtOptions options;
+  options.page_size = page_size;
+  options.cachesize = 16 * 1024 * 1024;
+  auto tree = std::move(btree::BTree::OpenInMemory(options).value());
+  char key[16];
+  for (size_t i = 0; i < nkeys; ++i) {
+    std::snprintf(key, sizeof(key), "k%010zu", i);
+    (void)tree->Put(key, "value-payload-bytes");
+  }
+  return tree;
+}
+
+void BM_BtreeGet(benchmark::State& state) {
+  const auto nkeys = static_cast<size_t>(state.range(0));
+  auto tree = MakeTree(nkeys, 4096);
+  Rng rng(1);
+  char key[16];
+  std::string value;
+  for (auto _ : state) {
+    std::snprintf(key, sizeof(key), "k%010zu", static_cast<size_t>(rng.Uniform(nkeys)));
+    benchmark::DoNotOptimize(tree->Get(key, &value));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BtreeGet)->Arg(1000)->Arg(100000);
+
+void BM_BtreeInsertAscending(benchmark::State& state) {
+  btree::BtOptions options;
+  options.page_size = 4096;
+  options.cachesize = 64 * 1024 * 1024;
+  auto tree = std::move(btree::BTree::OpenInMemory(options).value());
+  size_t i = 0;
+  char key[16];
+  for (auto _ : state) {
+    std::snprintf(key, sizeof(key), "k%010zu", i++);
+    benchmark::DoNotOptimize(tree->Put(key, "value-payload-bytes"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BtreeInsertAscending);
+
+void BM_BtreeInsertRandom(benchmark::State& state) {
+  btree::BtOptions options;
+  options.page_size = 4096;
+  options.cachesize = 64 * 1024 * 1024;
+  auto tree = std::move(btree::BTree::OpenInMemory(options).value());
+  Rng rng(2);
+  char key[24];
+  for (auto _ : state) {
+    std::snprintf(key, sizeof(key), "k%016llx",
+                  static_cast<unsigned long long>(rng.Next()));
+    benchmark::DoNotOptimize(tree->Put(key, "value-payload-bytes"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BtreeInsertRandom);
+
+void BM_BtreeScan(benchmark::State& state) {
+  auto tree = MakeTree(100000, 4096);
+  std::string key;
+  std::string value;
+  for (auto _ : state) {
+    btree::BtCursor cursor = tree->NewCursor();
+    size_t count = 0;
+    while (cursor.Next(&key, &value).ok()) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_BtreeScan);
+
+void BM_BtreeRangeQuery25(benchmark::State& state) {
+  auto tree = MakeTree(100000, 4096);
+  Rng rng(3);
+  char key[16];
+  std::string k, v;
+  for (auto _ : state) {
+    std::snprintf(key, sizeof(key), "k%010zu", static_cast<size_t>(rng.Uniform(99000)));
+    btree::BtCursor cursor = tree->NewCursor();
+    (void)cursor.Seek(key);
+    for (int i = 0; i < 25 && cursor.Next(&k, &v).ok(); ++i) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 25);
+}
+BENCHMARK(BM_BtreeRangeQuery25);
+
+}  // namespace
+}  // namespace hashkit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Ablation A2 (speed half): cycles/bytes per call for the hash-function
+// suite — the criterion by which the paper's default function was chosen.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/util/hash_funcs.h"
+#include "src/util/random.h"
+
+namespace hashkit {
+namespace {
+
+std::vector<std::string> MakeKeys(size_t count, size_t length) {
+  Rng rng(42);
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    keys.push_back(rng.AsciiString(length));
+  }
+  return keys;
+}
+
+void BM_HashFunction(benchmark::State& state) {
+  const auto id = static_cast<HashFuncId>(state.range(0));
+  const auto length = static_cast<size_t>(state.range(1));
+  const HashFn fn = GetHashFunc(id);
+  const auto keys = MakeKeys(256, length);
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& key = keys[i++ & 255];
+    benchmark::DoNotOptimize(fn(key.data(), key.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(length));
+  state.SetLabel(std::string(HashFuncName(id)));
+}
+
+void RegisterAll() {
+  for (const HashFuncId id : kAllHashFuncIds) {
+    for (const int64_t length : {8, 32, 256}) {
+      benchmark::RegisterBenchmark(
+          ("BM_Hash/" + std::string(HashFuncName(id)) + "/len" + std::to_string(length))
+              .c_str(),
+          &BM_HashFunction)
+          ->Args({static_cast<int64_t>(id), length});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hashkit
+
+int main(int argc, char** argv) {
+  hashkit::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation A4: on-page layout microbenchmarks — pair insertion, lookup
+// scanning, and deletion compaction, across page sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/page.h"
+#include "src/util/random.h"
+
+namespace hashkit {
+namespace {
+
+void BM_PageAddPair(benchmark::State& state) {
+  const auto page_size = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> buf(page_size);
+  const std::string key = "benchmark-key";
+  const std::string value = "benchmark-value-bytes";
+  for (auto _ : state) {
+    PageView::Init(buf.data(), page_size, PageType::kBucket);
+    PageView view(buf.data(), page_size);
+    while (view.FitsPair(key.size(), value.size())) {
+      view.AddPair(key, value);
+    }
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>((page_size - 8) / (4 + key.size() + value.size())));
+}
+BENCHMARK(BM_PageAddPair)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_PageScanEntries(benchmark::State& state) {
+  const auto page_size = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> buf(page_size);
+  PageView::Init(buf.data(), page_size, PageType::kBucket);
+  PageView view(buf.data(), page_size);
+  Rng rng(1);
+  while (view.FitsPair(12, 8)) {
+    view.AddPair(rng.AsciiString(12), rng.AsciiString(8));
+  }
+  const uint16_t n = view.nentries();
+  for (auto _ : state) {
+    size_t total = 0;
+    for (uint16_t i = 0; i < n; ++i) {
+      total += view.Entry(i).key.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PageScanEntries)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_PageRemoveCompaction(benchmark::State& state) {
+  const auto page_size = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> buf(page_size);
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PageView::Init(buf.data(), page_size, PageType::kBucket);
+    PageView view(buf.data(), page_size);
+    while (view.FitsPair(12, 8)) {
+      view.AddPair(rng.AsciiString(12), rng.AsciiString(8));
+    }
+    state.ResumeTiming();
+    while (view.nentries() > 0) {
+      view.RemoveEntry(0);  // worst case: compacts everything behind it
+    }
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_PageRemoveCompaction)->Arg(256)->Arg(1024);
+
+void BM_PageBigStub(benchmark::State& state) {
+  std::vector<uint8_t> buf(256);
+  const std::string prefix(32, 'p');
+  for (auto _ : state) {
+    PageView::Init(buf.data(), buf.size(), PageType::kBucket);
+    PageView view(buf.data(), buf.size());
+    view.AddBigStub(0x0802, 0xabcdef01, 100000, 200000, prefix);
+    benchmark::DoNotOptimize(view.Entry(0).hash);
+  }
+}
+BENCHMARK(BM_PageBigStub);
+
+}  // namespace
+}  // namespace hashkit
+
+BENCHMARK_MAIN();

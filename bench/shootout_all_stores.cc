@@ -1,0 +1,246 @@
+// Baseline cross-check: every store in the repository on one workload.
+//
+// The paper compares its package against ndbm and hsearch and asserts sdbm
+// and gdbm "are expected to perform similarly to ndbm".  This bench puts
+// all six implementations side by side on a dictionary subset: create,
+// read, and sequential scan.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/baselines/dynahash/dynahash.h"
+#include "src/baselines/gdbm/gdbm.h"
+#include "src/baselines/hsearch/hsearch.h"
+#include "src/baselines/ndbm/ndbm.h"
+#include "src/baselines/sdbm/sdbm.h"
+#include "src/core/hash_table.h"
+
+namespace hashkit {
+namespace bench {
+namespace {
+
+struct Row {
+  std::string store;
+  workload::TimingSample create;
+  workload::TimingSample read;
+  workload::TimingSample seq;
+  bool has_seq = true;
+};
+
+int Main(int argc, char** argv) {
+  const int runs = RunsFromArgs(argc, argv, 1);
+  const size_t count = 10000;
+  const auto records = DictionaryRecords(count);
+  std::printf("Store shootout: %zu dictionary records, %d run(s); user seconds\n\n", count,
+              runs);
+
+  std::vector<Row> rows;
+
+  // --- new package, disk ---
+  {
+    Row row{"hash (disk)", {}, {}, {}};
+    const std::string path = BenchPath("shoot_hash");
+    for (int run = 0; run < runs; ++run) {
+      RemoveBenchFiles(path);
+      HashOptions opts;
+      opts.bsize = 1024;
+      opts.ffactor = 32;
+      opts.cachesize = 1024 * 1024;
+      std::unique_ptr<HashTable> table;
+      row.create += workload::MeasureOnce([&] {
+        table = std::move(HashTable::Open(path, opts, true).value());
+        for (const auto& r : records) {
+          (void)table->Put(r.key, r.value);
+        }
+        (void)table->Sync();
+      });
+      std::string v;
+      row.read += workload::MeasureOnce([&] {
+        for (const auto& r : records) {
+          (void)table->Get(r.key, &v);
+        }
+      });
+      std::string k;
+      row.seq += workload::MeasureOnce([&] {
+        Status st = table->Seq(&k, &v, true);
+        while (st.ok()) {
+          st = table->Seq(&k, &v, false);
+        }
+      });
+    }
+    RemoveBenchFiles(path);
+    rows.push_back(row);
+  }
+
+  // --- new package, memory ---
+  {
+    Row row{"hash (mem)", {}, {}, {}};
+    for (int run = 0; run < runs; ++run) {
+      HashOptions opts;
+      opts.bsize = 256;
+      opts.ffactor = 8;
+      opts.cachesize = 4 * 1024 * 1024;
+      std::unique_ptr<HashTable> table;
+      row.create += workload::MeasureOnce([&] {
+        table = std::move(HashTable::OpenInMemory(opts).value());
+        for (const auto& r : records) {
+          (void)table->Put(r.key, r.value);
+        }
+      });
+      std::string v;
+      row.read += workload::MeasureOnce([&] {
+        for (const auto& r : records) {
+          (void)table->Get(r.key, &v);
+        }
+      });
+      std::string k;
+      row.seq += workload::MeasureOnce([&] {
+        Status st = table->Seq(&k, &v, true);
+        while (st.ok()) {
+          st = table->Seq(&k, &v, false);
+        }
+      });
+    }
+    rows.push_back(row);
+  }
+
+  // --- dbm-family clones ---
+  const auto run_dbm = [&](const std::string& name,
+                           const std::function<std::unique_ptr<baseline::DbmBase>(
+                               const std::string&)>& open) {
+    Row row{name, {}, {}, {}};
+    const std::string path = BenchPath("shoot_" + name.substr(0, 4));
+    for (int run = 0; run < runs; ++run) {
+      RemoveBenchFiles(path);
+      std::unique_ptr<baseline::DbmBase> db;
+      row.create += workload::MeasureOnce([&] {
+        db = open(path);
+        for (const auto& r : records) {
+          (void)db->Store(r.key, r.value, true);
+        }
+        (void)db->Sync();
+      });
+      std::string v;
+      row.read += workload::MeasureOnce([&] {
+        for (const auto& r : records) {
+          (void)db->Fetch(r.key, &v);
+        }
+      });
+      std::string k;
+      row.seq += workload::MeasureOnce([&] {
+        Status st = db->Seq(&k, &v, true);
+        while (st.ok()) {
+          st = db->Seq(&k, &v, false);
+        }
+      });
+    }
+    RemoveBenchFiles(path);
+    rows.push_back(row);
+  };
+  run_dbm("ndbm", [](const std::string& path) -> std::unique_ptr<baseline::DbmBase> {
+    return std::move(baseline::NdbmClone::Open(path, 1024, true).value());
+  });
+  run_dbm("sdbm", [](const std::string& path) -> std::unique_ptr<baseline::DbmBase> {
+    return std::move(baseline::SdbmClone::Open(path, 1024, true).value());
+  });
+
+  // --- gdbm clone ---
+  {
+    Row row{"gdbm", {}, {}, {}};
+    const std::string path = BenchPath("shoot_gdbm");
+    for (int run = 0; run < runs; ++run) {
+      RemoveBenchFiles(path);
+      std::unique_ptr<baseline::GdbmClone> db;
+      row.create += workload::MeasureOnce([&] {
+        db = std::move(baseline::GdbmClone::Open(path, 1024, true).value());
+        for (const auto& r : records) {
+          (void)db->Store(r.key, r.value, true);
+        }
+        (void)db->Sync();
+      });
+      std::string v;
+      row.read += workload::MeasureOnce([&] {
+        for (const auto& r : records) {
+          (void)db->Fetch(r.key, &v);
+        }
+      });
+      std::string k;
+      row.seq += workload::MeasureOnce([&] {
+        Status st = db->Seq(&k, &v, true);
+        while (st.ok()) {
+          st = db->Seq(&k, &v, false);
+        }
+      });
+    }
+    RemoveBenchFiles(path);
+    rows.push_back(row);
+  }
+
+  // --- memory-resident baselines (no persistent form, no seq) ---
+  {
+    Row row{"hsearch", {}, {}, {}, /*has_seq=*/false};
+    for (int run = 0; run < runs; ++run) {
+      std::unique_ptr<baseline::SysvHsearch> table;
+      row.create += workload::MeasureOnce([&] {
+        table = std::move(baseline::SysvHsearch::Create(records.size() * 2).value());
+        for (const auto& r : records) {
+          (void)table->Enter(r.key, const_cast<std::string*>(&r.value));
+        }
+      });
+      void* data = nullptr;
+      row.read += workload::MeasureOnce([&] {
+        for (const auto& r : records) {
+          (void)table->Find(r.key, &data);
+        }
+      });
+    }
+    rows.push_back(row);
+  }
+  {
+    Row row{"dynahash", {}, {}, {}, /*has_seq=*/false};
+    for (int run = 0; run < runs; ++run) {
+      std::unique_ptr<baseline::Dynahash> table;
+      row.create += workload::MeasureOnce([&] {
+        table = std::move(baseline::Dynahash::Create(16).value());
+        for (const auto& r : records) {
+          (void)table->Enter(r.key, const_cast<std::string*>(&r.value));
+        }
+      });
+      void* data = nullptr;
+      row.read += workload::MeasureOnce([&] {
+        for (const auto& r : records) {
+          (void)table->Find(r.key, &data);
+        }
+      });
+    }
+    rows.push_back(row);
+  }
+
+  PrintCsvHeader("shootout,store,create_user,read_user,seq_user");
+  std::printf("%-12s %12s %12s %12s\n", "store", "create(u)", "read(u)", "seq(u)");
+  for (Row& row : rows) {
+    row.create = row.create / runs;
+    row.read = row.read / runs;
+    row.seq = row.seq / runs;
+    if (row.has_seq) {
+      std::printf("%-12s %12.3f %12.3f %12.3f\n", row.store.c_str(), row.create.user_sec,
+                  row.read.user_sec, row.seq.user_sec);
+    } else {
+      std::printf("%-12s %12.3f %12.3f %12s\n", row.store.c_str(), row.create.user_sec,
+                  row.read.user_sec, "n/a");
+    }
+    char csv[160];
+    std::snprintf(csv, sizeof(csv), "shootout,%s,%.4f,%.4f,%.4f", row.store.c_str(),
+                  row.create.user_sec, row.read.user_sec, row.has_seq ? row.seq.user_sec : -1.0);
+    PrintCsv(csv);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hashkit
+
+int main(int argc, char** argv) { return hashkit::bench::Main(argc, argv); }

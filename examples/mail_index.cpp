@@ -1,0 +1,115 @@
+// hashkit example: a mail-spool index built from all three access methods
+// working together — the paper's closing pitch ("Applications such as
+// the loader, compiler, and mail ... should be modified to use the
+// generic routines") made concrete.
+//
+//   * message bodies    -> variable-length recno (append-only log)
+//   * message-id -> recno -> hash table (exact-match lookups)
+//   * date-key -> recno  -> btree (ordered scans: "messages from June")
+//
+//   $ ./mail_index
+
+#include <cstdio>
+#include <string>
+
+#include "src/btree/btree.h"
+#include "src/core/hash_table.h"
+#include "src/recno/recno.h"
+#include "src/util/random.h"
+
+using hashkit::HashOptions;
+using hashkit::HashTable;
+using hashkit::Rng;
+
+namespace {
+
+std::string DateKey(int year, int month, int day, uint64_t serial) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d#%06llu", year, month, day,
+                static_cast<unsigned long long>(serial));
+  return buf;
+}
+
+std::string EncodeRecno(uint64_t recno) {
+  std::string s(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    s[i] = static_cast<char>(recno & 0xff);
+    recno >>= 8;
+  }
+  return s;
+}
+
+uint64_t DecodeRecno(const std::string& s) {
+  uint64_t recno = 0;
+  for (const char c : s) {
+    recno = (recno << 8) | static_cast<uint8_t>(c);
+  }
+  return recno;
+}
+
+}  // namespace
+
+int main() {
+  // The three access methods, all memory-resident for the demo.
+  hashkit::btree::BtOptions bt_options;
+  bt_options.page_size = 2048;
+  auto bodies = std::move(hashkit::recno::VarRecno::OpenInMemory(bt_options).value());
+  auto by_id = std::move(HashTable::OpenInMemory(HashOptions{}).value());
+  auto by_date = std::move(hashkit::btree::BTree::OpenInMemory(bt_options).value());
+
+  // Ingest a year of mail.
+  Rng rng(2026);
+  uint64_t serial = 0;
+  for (int month = 1; month <= 12; ++month) {
+    const int messages = 40 + static_cast<int>(rng.Uniform(40));
+    for (int m = 0; m < messages; ++m) {
+      const int day = 1 + static_cast<int>(rng.Uniform(28));
+      const std::string message_id =
+          "<" + rng.AsciiString(12) + "@" + rng.AsciiString(6) + ".example>";
+      const std::string body = "From: " + rng.AsciiString(8) + "@example\nSubject: " +
+                               rng.AsciiString(20) + "\n\n" + rng.AsciiString(rng.Range(50, 800));
+      const uint64_t recno = bodies->Append(body).value();
+      (void)by_id->Put(message_id, EncodeRecno(recno));
+      (void)by_date->Put(DateKey(1991, month, day, serial++), EncodeRecno(recno));
+      if (serial == 100) {
+        // Remember one id for the point-lookup demo below.
+        (void)by_id->Put("<demo-message@example>", EncodeRecno(recno));
+      }
+    }
+  }
+  std::printf("indexed %llu messages across 12 months\n",
+              static_cast<unsigned long long>(bodies->Present()));
+
+  // Exact-match: message-id -> body, via the hash table.
+  std::string encoded;
+  if (by_id->Get("<demo-message@example>", &encoded).ok()) {
+    std::string body;
+    (void)bodies->Get(DecodeRecno(encoded), &body);
+    std::printf("by-id lookup: %zu-byte body, starts \"%.20s...\"\n", body.size(),
+                body.c_str());
+  }
+
+  // Range query: every message from June, via the btree.
+  auto cursor = by_date->NewCursor();
+  (void)cursor.Seek("1991-06-");
+  std::string key;
+  std::string value;
+  size_t june = 0;
+  while (cursor.Next(&key, &value).ok() && key < "1991-07-") {
+    ++june;
+  }
+  std::printf("btree range scan: %zu messages in June 1991\n", june);
+
+  // The hash table cannot answer that query without a full scan -- the
+  // access methods really are complementary, as the paper's package
+  // design implies.
+  std::string k, v;
+  size_t scanned = 0;
+  auto st = by_id->Seq(&k, &v, true);
+  while (st.ok()) {
+    ++scanned;
+    st = by_id->Seq(&k, &v, false);
+  }
+  std::printf("(hash equivalent would scan all %zu index entries)\n", scanned);
+  return june > 0 ? 0 : 1;
+}

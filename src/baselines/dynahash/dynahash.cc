@@ -1,0 +1,153 @@
+#include "src/baselines/dynahash/dynahash.h"
+
+#include <algorithm>
+
+#include "src/util/math.h"
+
+namespace hashkit {
+namespace baseline {
+
+Dynahash::Dynahash(uint32_t nbuckets, uint32_t ffactor, HashFn hash)
+    : hash_(hash),
+      ffactor_(ffactor),
+      max_bucket_(nbuckets - 1),
+      high_mask_(nbuckets * 2 - 1),
+      low_mask_(nbuckets - 1) {
+  for (uint32_t b = 0; b <= max_bucket_; ++b) {
+    EnsureBucketExists(b);
+  }
+}
+
+Result<std::unique_ptr<Dynahash>> Dynahash::Create(size_t nelem, uint32_t ffactor,
+                                                   HashFuncId hash) {
+  if (ffactor == 0) {
+    return Status::InvalidArgument("ffactor must be >= 1");
+  }
+  HashFn fn = GetHashFunc(hash);
+  if (fn == nullptr) {
+    return Status::InvalidArgument("unknown hash function");
+  }
+  uint32_t nbuckets = 1;
+  if (nelem > 1) {
+    const auto needed = static_cast<uint32_t>((nelem - 1) / ffactor + 1);
+    nbuckets = static_cast<uint32_t>(NextPowerOfTwo(needed));
+  }
+  return std::unique_ptr<Dynahash>(new Dynahash(nbuckets, ffactor, fn));
+}
+
+uint32_t Dynahash::BucketOf(uint32_t hash) const {
+  uint32_t bucket = hash & high_mask_;
+  if (bucket > max_bucket_) {
+    bucket = hash & low_mask_;
+  }
+  return bucket;
+}
+
+std::unique_ptr<Dynahash::Node>& Dynahash::Head(uint32_t bucket) {
+  return (*directory_[bucket >> kSegmentShift])[bucket & (kSegmentSize - 1)];
+}
+
+void Dynahash::EnsureBucketExists(uint32_t bucket) {
+  const uint32_t segment = bucket >> kSegmentShift;
+  while (directory_.size() <= segment) {
+    directory_.push_back(std::make_unique<Segment>(kSegmentSize));
+    ++stats_.directory_growths;
+  }
+}
+
+Status Dynahash::Find(const std::string& key, void** data) {
+  const uint32_t h = hash_(key.data(), key.size());
+  for (const Node* node = Head(BucketOf(h)).get(); node != nullptr; node = node->next.get()) {
+    if (node->key == key) {
+      if (data != nullptr) {
+        *data = node->data;
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound();
+}
+
+Status Dynahash::Enter(const std::string& key, void* data) {
+  const uint32_t h = hash_(key.data(), key.size());
+  std::unique_ptr<Node>& head = Head(BucketOf(h));
+  for (const Node* node = head.get(); node != nullptr; node = node->next.get()) {
+    if (node->key == key) {
+      return Status::Ok();  // hsearch ENTER keeps the existing entry
+    }
+  }
+  auto node = std::make_unique<Node>();
+  node->key = key;
+  node->data = data;
+  node->next = std::move(head);
+  head = std::move(node);
+  ++count_;
+
+  // Controlled splitting: grow whenever the fill factor is exceeded.
+  if (count_ > static_cast<size_t>(ffactor_) * (max_bucket_ + 1)) {
+    Split();
+  }
+  return Status::Ok();
+}
+
+Status Dynahash::Remove(const std::string& key) {
+  const uint32_t h = hash_(key.data(), key.size());
+  std::unique_ptr<Node>* link = &Head(BucketOf(h));
+  while (*link != nullptr) {
+    if ((*link)->key == key) {
+      *link = std::move((*link)->next);
+      --count_;
+      return Status::Ok();
+    }
+    link = &(*link)->next;
+  }
+  return Status::NotFound();
+}
+
+void Dynahash::Split() {
+  const uint32_t new_bucket = max_bucket_ + 1;
+  if (new_bucket & 0x80000000u) {
+    return;  // table at maximum size; chains simply grow from here
+  }
+  EnsureBucketExists(new_bucket);
+  max_bucket_ = new_bucket;
+  if (new_bucket > high_mask_) {
+    low_mask_ = high_mask_;
+    high_mask_ = (new_bucket << 1) - 1;
+  }
+  const uint32_t old_bucket = new_bucket & low_mask_;
+
+  // Relink every node of the old bucket in place: no copies, no
+  // allocation — the property that makes Larson's scheme cheap in memory.
+  std::unique_ptr<Node> chain = std::move(Head(old_bucket));
+  std::unique_ptr<Node>* old_tail = &Head(old_bucket);
+  std::unique_ptr<Node>* new_tail = &Head(new_bucket);
+  while (chain != nullptr) {
+    std::unique_ptr<Node> node = std::move(chain);
+    chain = std::move(node->next);
+    const uint32_t h = hash_(node->key.data(), node->key.size());
+    std::unique_ptr<Node>*& tail = BucketOf(h) == old_bucket ? old_tail : new_tail;
+    *tail = std::move(node);
+    tail = &(*tail)->next;
+  }
+  ++stats_.splits;
+}
+
+double Dynahash::AverageChainLength() const {
+  size_t nonempty = 0;
+  size_t total = 0;
+  for (uint32_t b = 0; b <= max_bucket_; ++b) {
+    const Node* node = (*directory_[b >> kSegmentShift])[b & (kSegmentSize - 1)].get();
+    if (node == nullptr) {
+      continue;
+    }
+    ++nonempty;
+    for (; node != nullptr; node = node->next.get()) {
+      ++total;
+    }
+  }
+  return nonempty == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(nonempty);
+}
+
+}  // namespace baseline
+}  // namespace hashkit

@@ -1,0 +1,85 @@
+// hashkit baseline: dynahash — Esmond Pitt's hsearch-compatible library
+// implementing Larson's 1988 in-memory linear hashing, reimplemented from
+// the paper's description.
+//
+// The table grows in generations: during each generation every bucket that
+// existed at its start is split, in order (controlled splitting only — a
+// split happens whenever the fill factor is exceeded).  Buckets are linked
+// lists reached through a directory of fixed-size segments, so growing
+// never relocates existing entries' nodes.
+//
+// This is the design the paper's package descends from; the package adds
+// pages, overflow handling, and buffering on top of exactly this split
+// schedule.
+
+#ifndef HASHKIT_SRC_BASELINES_DYNAHASH_DYNAHASH_H_
+#define HASHKIT_SRC_BASELINES_DYNAHASH_DYNAHASH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/hash_funcs.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace baseline {
+
+struct DynahashStats {
+  uint64_t splits = 0;
+  uint64_t directory_growths = 0;
+};
+
+class Dynahash {
+ public:
+  // nelem is the hcreate-style size estimate; the initial bucket count is
+  // nelem/ffactor rounded up to a power of two (one bucket when nelem==0).
+  static Result<std::unique_ptr<Dynahash>> Create(size_t nelem, uint32_t ffactor = 5,
+                                                  HashFuncId hash = HashFuncId::kLarson);
+
+  // hsearch-style operations storing an opaque pointer.
+  Status Find(const std::string& key, void** data);
+  Status Enter(const std::string& key, void* data);  // keeps existing entry if present
+  Status Remove(const std::string& key);
+
+  size_t size() const { return count_; }
+  uint32_t bucket_count() const { return max_bucket_ + 1; }
+  const DynahashStats& stats() const { return stats_; }
+
+  // Average chain length over non-empty buckets, for load diagnostics.
+  double AverageChainLength() const;
+
+ private:
+  struct Node {
+    std::string key;
+    void* data = nullptr;
+    std::unique_ptr<Node> next;
+  };
+  // Segments of 256 bucket heads; the directory grows by whole segments so
+  // existing buckets never move.
+  static constexpr uint32_t kSegmentShift = 8;
+  static constexpr uint32_t kSegmentSize = 1u << kSegmentShift;
+  using Segment = std::vector<std::unique_ptr<Node>>;
+
+  Dynahash(uint32_t nbuckets, uint32_t ffactor, HashFn hash);
+
+  uint32_t BucketOf(uint32_t hash) const;
+  std::unique_ptr<Node>& Head(uint32_t bucket);
+  void EnsureBucketExists(uint32_t bucket);
+  void Split();
+
+  HashFn hash_;
+  uint32_t ffactor_;
+  uint32_t max_bucket_;
+  uint32_t high_mask_;
+  uint32_t low_mask_;
+  size_t count_ = 0;
+  std::vector<std::unique_ptr<Segment>> directory_;
+  DynahashStats stats_;
+};
+
+}  // namespace baseline
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_BASELINES_DYNAHASH_DYNAHASH_H_

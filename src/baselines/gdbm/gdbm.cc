@@ -1,0 +1,584 @@
+#include "src/baselines/gdbm/gdbm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/endian.h"
+
+namespace hashkit {
+namespace baseline {
+
+namespace {
+
+constexpr uint32_t kGdbmMagic = 0x47444231;  // "GDB1"
+constexpr size_t kHeaderFixed = 36;          // bytes before the free list
+
+// The bucket's local depth rides in the page header's ovfl slot (gdbm
+// buckets have no overflow chains, so the slot is otherwise unused).
+uint16_t BucketDepth(const PageView& view) { return view.ovfl_addr(); }
+void SetBucketDepth(PageView& view, uint16_t depth) { view.set_ovfl_addr(depth); }
+
+uint32_t GdbmHash(std::string_view key) { return HashFnv1a(key.data(), key.size()); }
+
+}  // namespace
+
+GdbmClone::GdbmClone(std::unique_ptr<PageFile> file, uint32_t bsize)
+    : file_(std::move(file)), bsize_(bsize), bucket_buf_(bsize) {}
+
+GdbmClone::~GdbmClone() { (void)Sync(); }
+
+Result<std::unique_ptr<GdbmClone>> GdbmClone::Open(const std::string& path, uint32_t block_size,
+                                                   bool truncate) {
+  if (block_size < 128 || (block_size & (block_size - 1)) != 0 || block_size > 32768) {
+    return Status::InvalidArgument("block size must be a power of two in [128, 32768]");
+  }
+  HASHKIT_ASSIGN_OR_RETURN(auto file, OpenDiskPageFile(path, block_size, truncate));
+  const bool fresh = file->PageCount() == 0;
+  std::unique_ptr<GdbmClone> db(new GdbmClone(std::move(file), block_size));
+  if (fresh) {
+    HASHKIT_RETURN_IF_ERROR(db->InitNew());
+  } else {
+    HASHKIT_RETURN_IF_ERROR(db->LoadExisting());
+  }
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Header / directory persistence
+// ---------------------------------------------------------------------------
+
+Status GdbmClone::WriteHeader() {
+  std::vector<uint8_t> buf(bsize_, 0);
+  EncodeU32(buf.data() + 0, kGdbmMagic);
+  EncodeU32(buf.data() + 4, bsize_);
+  EncodeU32(buf.data() + 8, depth_);
+  EncodeU32(buf.data() + 12, dir_start_);
+  EncodeU32(buf.data() + 16, dir_pages_);
+  EncodeU32(buf.data() + 20, next_new_page_);
+  EncodeU64(buf.data() + 24, nkeys_);
+  const size_t capacity = (bsize_ - kHeaderFixed) / 4;
+  const auto count = static_cast<uint32_t>(std::min(free_list_.size(), capacity));
+  EncodeU32(buf.data() + 32, count);
+  for (uint32_t i = 0; i < count; ++i) {
+    EncodeU32(buf.data() + kHeaderFixed + 4 * i, free_list_[i]);
+  }
+  // Entries past the header's capacity are dropped (leaked pages); GNU
+  // gdbm's multi-block avail list avoids this, ours trades it for clarity.
+  return file_->WritePage(0, std::span<const uint8_t>(buf));
+}
+
+Status GdbmClone::WriteDirectory() {
+  const size_t bytes = directory_.size() * 4;
+  const auto pages_needed = static_cast<uint32_t>((bytes + bsize_ - 1) / bsize_);
+  if (pages_needed != dir_pages_) {
+    // The directory needs a new (contiguous) region; recycle the old one.
+    for (uint32_t p = 0; p < dir_pages_; ++p) {
+      FreePage(dir_start_ + p);
+    }
+    dir_start_ = next_new_page_;
+    next_new_page_ += pages_needed;
+    dir_pages_ = pages_needed;
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(dir_pages_) * bsize_, 0);
+  for (size_t i = 0; i < directory_.size(); ++i) {
+    EncodeU32(buf.data() + 4 * i, directory_[i]);
+  }
+  for (uint32_t p = 0; p < dir_pages_; ++p) {
+    HASHKIT_RETURN_IF_ERROR(file_->WritePage(
+        dir_start_ + p,
+        std::span<const uint8_t>(buf.data() + static_cast<size_t>(p) * bsize_, bsize_)));
+  }
+  return Status::Ok();
+}
+
+Status GdbmClone::InitNew() {
+  next_new_page_ = 1;
+  const uint32_t bucket0 = AllocPage();
+  depth_ = 0;
+  directory_ = {bucket0};
+  std::vector<uint8_t> page(bsize_, 0);
+  PageView::Init(page.data(), bsize_, PageType::kBucket);
+  PageView view(page.data(), bsize_);
+  SetBucketDepth(view, 0);
+  HASHKIT_RETURN_IF_ERROR(file_->WritePage(bucket0, std::span<const uint8_t>(page)));
+  dir_start_ = 0;
+  dir_pages_ = 0;
+  HASHKIT_RETURN_IF_ERROR(WriteDirectory());
+  return WriteHeader();
+}
+
+Status GdbmClone::LoadExisting() {
+  std::vector<uint8_t> buf(bsize_);
+  HASHKIT_RETURN_IF_ERROR(file_->ReadPage(0, std::span<uint8_t>(buf)));
+  if (DecodeU32(buf.data()) != kGdbmMagic) {
+    return Status::Corruption("not a gdbm-clone file");
+  }
+  if (DecodeU32(buf.data() + 4) != bsize_) {
+    return Status::Corruption("block size mismatch");
+  }
+  depth_ = DecodeU32(buf.data() + 8);
+  dir_start_ = DecodeU32(buf.data() + 12);
+  dir_pages_ = DecodeU32(buf.data() + 16);
+  next_new_page_ = DecodeU32(buf.data() + 20);
+  nkeys_ = DecodeU64(buf.data() + 24);
+  const uint32_t free_count = DecodeU32(buf.data() + 32);
+  if (depth_ > kGdbmMaxDepth || free_count > (bsize_ - kHeaderFixed) / 4) {
+    return Status::Corruption("header fields out of range");
+  }
+  free_list_.clear();
+  for (uint32_t i = 0; i < free_count; ++i) {
+    free_list_.push_back(DecodeU32(buf.data() + kHeaderFixed + 4 * i));
+  }
+  directory_.assign(size_t{1} << depth_, 0);
+  std::vector<uint8_t> dir_buf(static_cast<size_t>(dir_pages_) * bsize_);
+  for (uint32_t p = 0; p < dir_pages_; ++p) {
+    HASHKIT_RETURN_IF_ERROR(file_->ReadPage(
+        dir_start_ + p,
+        std::span<uint8_t>(dir_buf.data() + static_cast<size_t>(p) * bsize_, bsize_)));
+  }
+  for (size_t i = 0; i < directory_.size(); ++i) {
+    directory_[i] = DecodeU32(dir_buf.data() + 4 * i);
+  }
+  return Status::Ok();
+}
+
+Status GdbmClone::Sync() {
+  HASHKIT_RETURN_IF_ERROR(WriteDirectory());
+  HASHKIT_RETURN_IF_ERROR(WriteHeader());
+  return file_->Sync();
+}
+
+// ---------------------------------------------------------------------------
+// Page plumbing
+// ---------------------------------------------------------------------------
+
+uint32_t GdbmClone::AllocPage() {
+  if (!free_list_.empty()) {
+    const uint32_t page = free_list_.back();
+    free_list_.pop_back();
+    ++stats_.pages_reused;
+    return page;
+  }
+  return next_new_page_++;
+}
+
+void GdbmClone::FreePage(uint32_t page) {
+  free_list_.push_back(page);
+  if (cache_valid_ && cached_page_ == page) {
+    cache_valid_ = false;
+  }
+}
+
+Status GdbmClone::ReadPageTo(uint32_t page, std::vector<uint8_t>* buf) {
+  buf->resize(bsize_);
+  return file_->ReadPage(page, std::span<uint8_t>(*buf));
+}
+
+Status GdbmClone::WritePageFrom(uint32_t page, const std::vector<uint8_t>& buf) {
+  return file_->WritePage(page, std::span<const uint8_t>(buf));
+}
+
+// ---------------------------------------------------------------------------
+// Big pairs (gdbm's "arbitrary-length data")
+// ---------------------------------------------------------------------------
+
+Status GdbmClone::WriteBigChain(std::string_view key, std::string_view value,
+                                uint16_t* first_page) {
+  const size_t total = key.size() + value.size();
+  const size_t cap = bsize_ - kPageHeaderSize;
+  auto stream_copy = [&](size_t offset, uint8_t* dst, size_t len) {
+    size_t copied = 0;
+    if (offset < key.size()) {
+      const size_t from_key = std::min(len, key.size() - offset);
+      std::memcpy(dst, key.data() + offset, from_key);
+      copied += from_key;
+    }
+    if (copied < len) {
+      std::memcpy(dst + copied, value.data() + (offset + copied - key.size()), len - copied);
+    }
+  };
+
+  // Lay out the chain front to back, then link it.
+  const size_t nseg = (total + cap - 1) / cap;
+  std::vector<uint32_t> pages(nseg);
+  for (auto& p : pages) {
+    p = AllocPage();
+    if (p > 0xffff) {
+      return Status::Full("big-pair chain page number exceeds 16 bits");
+    }
+  }
+  std::vector<uint8_t> buf(bsize_);
+  size_t offset = 0;
+  for (size_t i = 0; i < nseg; ++i) {
+    PageView::Init(buf.data(), bsize_, PageType::kBigSegment);
+    PageView view(buf.data(), bsize_);
+    const size_t chunk = std::min(cap, total - offset);
+    stream_copy(offset, view.SegData(), chunk);
+    view.SetSegUsed(static_cast<uint16_t>(chunk));
+    view.set_ovfl_addr(i + 1 < nseg ? static_cast<uint16_t>(pages[i + 1]) : 0);
+    HASHKIT_RETURN_IF_ERROR(WritePageFrom(pages[i], buf));
+    offset += chunk;
+  }
+  *first_page = static_cast<uint16_t>(pages[0]);
+  return Status::Ok();
+}
+
+Status GdbmClone::ReadBigChain(uint16_t first_page, uint32_t key_len, uint32_t data_len,
+                               std::string* key_out, std::string* value_out) {
+  const size_t total = static_cast<size_t>(key_len) + data_len;
+  if (key_out != nullptr) {
+    key_out->clear();
+  }
+  if (value_out != nullptr) {
+    value_out->clear();
+  }
+  std::vector<uint8_t> buf;
+  size_t offset = 0;
+  uint16_t page = first_page;
+  while (offset < total) {
+    if (page == 0) {
+      return Status::Corruption("big pair chain truncated");
+    }
+    HASHKIT_RETURN_IF_ERROR(ReadPageTo(page, &buf));
+    PageView view(buf.data(), bsize_);
+    if (view.type() != PageType::kBigSegment) {
+      return Status::Corruption("big pair chain page has wrong type");
+    }
+    const size_t used = view.SegUsed();
+    if (used == 0 || offset + used > total) {
+      return Status::Corruption("big pair segment size invalid");
+    }
+    const auto* bytes = reinterpret_cast<const char*>(view.SegData());
+    for (size_t i = 0; i < used; ++i) {
+      const size_t pos = offset + i;
+      if (pos < key_len) {
+        if (key_out != nullptr) {
+          key_out->push_back(bytes[i]);
+        }
+      } else if (value_out != nullptr) {
+        value_out->push_back(bytes[i]);
+      }
+    }
+    offset += used;
+    if (value_out == nullptr && offset >= key_len) {
+      return Status::Ok();
+    }
+    page = view.ovfl_addr();
+  }
+  return Status::Ok();
+}
+
+Status GdbmClone::FreeBigChain(uint16_t first_page) {
+  std::vector<uint8_t> buf;
+  uint16_t page = first_page;
+  size_t guard = 0;
+  while (page != 0) {
+    HASHKIT_RETURN_IF_ERROR(ReadPageTo(page, &buf));
+    PageView view(buf.data(), bsize_);
+    const uint16_t next = view.ovfl_addr();
+    FreePage(page);
+    page = next;
+    if (++guard > (1u << 20)) {
+      return Status::Corruption("big pair chain cycle");
+    }
+  }
+  return Status::Ok();
+}
+
+Status GdbmClone::EntryMatches(const EntryRef& entry, std::string_view key, uint32_t hash,
+                               bool* equals) {
+  *equals = false;
+  if (!entry.big) {
+    *equals = (entry.key == key);
+    return Status::Ok();
+  }
+  if (entry.hash != hash || entry.key_len != key.size()) {
+    return Status::Ok();
+  }
+  if (std::memcmp(entry.prefix.data(), key.data(), entry.prefix.size()) != 0) {
+    return Status::Ok();
+  }
+  if (entry.key_len <= entry.prefix.size()) {
+    *equals = true;
+    return Status::Ok();
+  }
+  std::string full_key;
+  HASHKIT_RETURN_IF_ERROR(
+      ReadBigChain(entry.ovfl_addr, entry.key_len, entry.data_len, &full_key, nullptr));
+  *equals = (full_key == key);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Core operations
+// ---------------------------------------------------------------------------
+
+Status GdbmClone::Fetch(std::string_view key, std::string* value) {
+  const uint32_t h = GdbmHash(key);
+  const uint32_t page = directory_[DirIndex(h)];
+  if (!cache_valid_ || cached_page_ != page) {
+    HASHKIT_RETURN_IF_ERROR(file_->ReadPage(page, std::span<uint8_t>(bucket_buf_)));
+    cached_page_ = page;
+    cache_valid_ = true;
+  }
+  PageView view(bucket_buf_.data(), bsize_);
+  for (uint16_t i = 0; i < view.nentries(); ++i) {
+    const EntryRef e = view.Entry(i);
+    bool eq = false;
+    HASHKIT_RETURN_IF_ERROR(EntryMatches(e, key, h, &eq));
+    if (eq) {
+      if (value != nullptr) {
+        if (e.big) {
+          HASHKIT_RETURN_IF_ERROR(ReadBigChain(e.ovfl_addr, e.key_len, e.data_len, nullptr,
+                                               value));
+        } else {
+          value->assign(e.data);
+        }
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound();
+}
+
+Status GdbmClone::Remove(std::string_view key) {
+  const uint32_t h = GdbmHash(key);
+  const uint32_t page = directory_[DirIndex(h)];
+  HASHKIT_RETURN_IF_ERROR(file_->ReadPage(page, std::span<uint8_t>(bucket_buf_)));
+  cached_page_ = page;
+  cache_valid_ = true;
+  PageView view(bucket_buf_.data(), bsize_);
+  for (uint16_t i = 0; i < view.nentries(); ++i) {
+    const EntryRef e = view.Entry(i);
+    bool eq = false;
+    HASHKIT_RETURN_IF_ERROR(EntryMatches(e, key, h, &eq));
+    if (eq) {
+      const uint16_t chain = e.big ? e.ovfl_addr : 0;
+      view.RemoveEntry(i);
+      HASHKIT_RETURN_IF_ERROR(file_->WritePage(page, std::span<const uint8_t>(bucket_buf_)));
+      if (chain != 0) {
+        HASHKIT_RETURN_IF_ERROR(FreeBigChain(chain));
+      }
+      --nkeys_;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound();
+}
+
+Status GdbmClone::SplitBucket(uint32_t index) {
+  PageView view(bucket_buf_.data(), bsize_);
+  const uint32_t old_page = directory_[index];
+  const uint16_t nb = BucketDepth(view);
+
+  if (nb == depth_) {
+    if (depth_ >= kGdbmMaxDepth) {
+      return Status::Full("directory depth limit reached");
+    }
+    // Double the directory: with low-bit indexing, the new half mirrors
+    // the old (every bucket address is duplicated).
+    directory_.reserve(directory_.size() * 2);
+    directory_.insert(directory_.end(), directory_.begin(), directory_.end());
+    ++depth_;
+    ++stats_.directory_doublings;
+  }
+
+  // Copy the pairs out.
+  struct Moved {
+    bool big = false;
+    std::string key;
+    std::string data;
+    uint16_t ovfl_addr = 0;
+    uint32_t hash = 0;
+    uint32_t key_len = 0;
+    uint32_t data_len = 0;
+    std::string prefix;
+  };
+  std::vector<Moved> pairs;
+  for (uint16_t i = 0; i < view.nentries(); ++i) {
+    const EntryRef e = view.Entry(i);
+    Moved m;
+    if (e.big) {
+      m.big = true;
+      m.ovfl_addr = e.ovfl_addr;
+      m.hash = e.hash;
+      m.key_len = e.key_len;
+      m.data_len = e.data_len;
+      m.prefix.assign(e.prefix);
+    } else {
+      m.key.assign(e.key);
+      m.data.assign(e.data);
+      m.hash = GdbmHash(m.key);
+    }
+    pairs.push_back(std::move(m));
+  }
+
+  const uint32_t new_page = AllocPage();
+  const uint16_t new_depth = nb + 1;
+  std::vector<uint8_t> sibling(bsize_);
+  PageView::Init(bucket_buf_.data(), bsize_, PageType::kBucket);
+  PageView::Init(sibling.data(), bsize_, PageType::kBucket);
+  PageView old_view(bucket_buf_.data(), bsize_);
+  PageView new_view(sibling.data(), bsize_);
+  SetBucketDepth(old_view, new_depth);
+  SetBucketDepth(new_view, new_depth);
+
+  // Bit nb of the hash distinguishes the two halves.
+  for (const Moved& m : pairs) {
+    PageView& dest = ((m.hash >> nb) & 1) == 0 ? old_view : new_view;
+    if (m.big) {
+      dest.AddBigStub(m.ovfl_addr, m.hash, m.key_len, m.data_len, m.prefix);
+    } else {
+      dest.AddPair(m.key, m.data);
+    }
+  }
+
+  // Redirect the directory entries whose index has bit nb set.
+  for (size_t i = 0; i < directory_.size(); ++i) {
+    if (directory_[i] == old_page && ((i >> nb) & 1) != 0) {
+      directory_[i] = new_page;
+    }
+  }
+
+  HASHKIT_RETURN_IF_ERROR(file_->WritePage(old_page, std::span<const uint8_t>(bucket_buf_)));
+  HASHKIT_RETURN_IF_ERROR(file_->WritePage(new_page, std::span<const uint8_t>(sibling)));
+  ++stats_.bucket_splits;
+  return Status::Ok();
+}
+
+Status GdbmClone::Store(std::string_view key, std::string_view value, bool replace) {
+  const uint32_t h = GdbmHash(key);
+
+  {
+    // Duplicate handling up front.
+    std::string existing;
+    const Status found = Fetch(key, nullptr);
+    if (found.ok()) {
+      if (!replace) {
+        return Status::Exists();
+      }
+      HASHKIT_RETURN_IF_ERROR(Remove(key));
+    } else if (!found.IsNotFound()) {
+      return found;
+    }
+  }
+
+  const bool big = !PageView::PairFitsEmptyPage(key.size(), value.size(), bsize_);
+  uint16_t chain = 0;
+  if (big) {
+    HASHKIT_RETURN_IF_ERROR(WriteBigChain(key, value, &chain));
+  }
+  const std::string_view prefix = key.substr(0, std::min(key.size(), kBigKeyPrefixMax));
+
+  for (;;) {
+    const uint32_t index = DirIndex(h);
+    const uint32_t page = directory_[index];
+    HASHKIT_RETURN_IF_ERROR(file_->ReadPage(page, std::span<uint8_t>(bucket_buf_)));
+    cached_page_ = page;
+    cache_valid_ = true;
+    PageView view(bucket_buf_.data(), bsize_);
+    const bool fits = big ? view.FitsBigStub(prefix.size())
+                          : view.FitsPair(key.size(), value.size());
+    if (fits) {
+      if (big) {
+        view.AddBigStub(chain, h, static_cast<uint32_t>(key.size()),
+                        static_cast<uint32_t>(value.size()), prefix);
+      } else {
+        view.AddPair(key, value);
+      }
+      ++nkeys_;
+      return file_->WritePage(page, std::span<const uint8_t>(bucket_buf_));
+    }
+    HASHKIT_RETURN_IF_ERROR(SplitBucket(index));
+  }
+}
+
+Status GdbmClone::Seq(std::string* key, std::string* value, bool first) {
+  if (first) {
+    seq_index_ = 0;
+    seq_entry_ = 0;
+  }
+  std::vector<uint8_t> buf;
+  while (seq_index_ < directory_.size()) {
+    const uint32_t page = directory_[seq_index_];
+    HASHKIT_RETURN_IF_ERROR(ReadPageTo(page, &buf));
+    PageView view(buf.data(), bsize_);
+    const uint16_t nb = BucketDepth(view);
+    // Visit each bucket once: at its canonical (lowest) directory index.
+    if ((seq_index_ & ((1u << nb) - 1)) != seq_index_ ||
+        seq_entry_ >= view.nentries()) {
+      ++seq_index_;
+      seq_entry_ = 0;
+      continue;
+    }
+    const EntryRef e = view.Entry(seq_entry_);
+    ++seq_entry_;
+    if (e.big) {
+      HASHKIT_RETURN_IF_ERROR(ReadBigChain(e.ovfl_addr, e.key_len, e.data_len, key, value));
+    } else {
+      if (key != nullptr) {
+        key->assign(e.key);
+      }
+      if (value != nullptr) {
+        value->assign(e.data);
+      }
+    }
+    return Status::Ok();
+  }
+  return Status::NotFound("end of database");
+}
+
+Status GdbmClone::CheckIntegrity() {
+  if (directory_.size() != (size_t{1} << depth_)) {
+    return Status::Corruption("directory size != 2^depth");
+  }
+  uint64_t count = 0;
+  std::vector<uint8_t> buf;
+  for (size_t i = 0; i < directory_.size(); ++i) {
+    HASHKIT_RETURN_IF_ERROR(ReadPageTo(directory_[i], &buf));
+    PageView view(buf.data(), bsize_);
+    if (!view.Validate()) {
+      return Status::Corruption("bucket page failed validation");
+    }
+    const uint16_t nb = BucketDepth(view);
+    if (nb > depth_) {
+      return Status::Corruption("bucket depth exceeds directory depth");
+    }
+    const size_t canonical = i & ((size_t{1} << nb) - 1);
+    if (directory_[canonical] != directory_[i]) {
+      return Status::Corruption("directory aliases inconsistent");
+    }
+    if (canonical != i) {
+      continue;  // counted at its canonical index
+    }
+    for (uint16_t e = 0; e < view.nentries(); ++e) {
+      const EntryRef entry = view.Entry(e);
+      uint32_t h;
+      if (entry.big) {
+        std::string big_key;
+        HASHKIT_RETURN_IF_ERROR(ReadBigChain(entry.ovfl_addr, entry.key_len, entry.data_len,
+                                             &big_key, nullptr));
+        h = GdbmHash(big_key);
+        if (h != entry.hash) {
+          return Status::Corruption("big stub hash mismatch");
+        }
+      } else {
+        h = GdbmHash(entry.key);
+      }
+      if (directory_[DirIndex(h)] != directory_[i]) {
+        return Status::Corruption("key not reachable from its directory slot");
+      }
+      if ((DirIndex(h) & ((1u << nb) - 1)) != canonical) {
+        return Status::Corruption("key hash inconsistent with bucket depth");
+      }
+      ++count;
+    }
+  }
+  if (count != nkeys_) {
+    return Status::Corruption("key count mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace baseline
+}  // namespace hashkit

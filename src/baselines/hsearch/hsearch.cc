@@ -1,0 +1,243 @@
+#include "src/baselines/hsearch/hsearch.h"
+
+#include "src/util/hash_funcs.h"
+
+namespace hashkit {
+namespace baseline {
+
+namespace {
+
+bool IsPrime(size_t n) {
+  if (n < 2) {
+    return false;
+  }
+  for (size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t NextPrime(size_t n) {
+  while (!IsPrime(n)) {
+    ++n;
+  }
+  return n;
+}
+
+uint32_t FoldKey(const std::string& key) { return HashKnuthMul(key.data(), key.size()); }
+
+// A second, independent fold for the probe interval.
+uint32_t FoldKey2(const std::string& key) { return HashDjb2(key.data(), key.size()); }
+
+}  // namespace
+
+SysvHsearch::SysvHsearch(size_t capacity, const HsearchConfig& config)
+    : config_(config), capacity_(capacity) {
+  if (config_.collision == HsearchCollision::kChained) {
+    chains_.resize(capacity_);
+  } else {
+    slots_.resize(capacity_);
+  }
+}
+
+Result<std::unique_ptr<SysvHsearch>> SysvHsearch::Create(size_t nelem,
+                                                         const HsearchConfig& config) {
+  if (nelem == 0) {
+    return Status::InvalidArgument("nelem must be positive");
+  }
+  const size_t capacity = NextPrime(std::max<size_t>(nelem, 3));
+  return std::unique_ptr<SysvHsearch>(new SysvHsearch(capacity, config));
+}
+
+uint32_t SysvHsearch::PrimaryIndex(uint32_t hash) const {
+  if (config_.hash == HsearchHash::kDivision) {
+    return hash % static_cast<uint32_t>(capacity_);
+  }
+  // Knuth multiplicative: take the high bits of hash * A.
+  const uint64_t product = static_cast<uint64_t>(hash) * 2654435761u;
+  return static_cast<uint32_t>((product >> 16) % capacity_);
+}
+
+uint32_t SysvHsearch::ProbeStep(uint32_t hash) const {
+  if (config_.hash == HsearchHash::kDivision) {
+    return 1;  // "DIV": linear probing
+  }
+  // Secondary multiplicative hash; interval in [1, capacity-1] so that with
+  // a prime table size every slot is eventually probed.
+  return 1 + (hash % static_cast<uint32_t>(capacity_ - 1));
+}
+
+Status SysvHsearch::Find(const std::string& key, void** data) {
+  const uint32_t primary = FoldKey(key);
+  if (config_.collision == HsearchCollision::kChained) {
+    return FindChained(key, primary, data);
+  }
+  return FindOpen(key, primary, data);
+}
+
+Status SysvHsearch::Enter(const std::string& key, void* data) {
+  const uint32_t primary = FoldKey(key);
+  switch (config_.collision) {
+    case HsearchCollision::kChained:
+      return EnterChained(key, primary, data);
+    case HsearchCollision::kBrent:
+      return EnterBrent(key, primary, data);
+    case HsearchCollision::kDoubleHash:
+      return EnterOpen(key, primary, data);
+  }
+  return Status::InvalidArgument("bad collision policy");
+}
+
+Status SysvHsearch::FindOpen(const std::string& key, uint32_t hash, void** data) {
+  uint32_t index = PrimaryIndex(hash);
+  const uint32_t step = ProbeStep(FoldKey2(key));
+  for (size_t attempt = 0; attempt < capacity_; ++attempt) {
+    ++stats_.probes;
+    const Slot& slot = slots_[index];
+    if (!slot.used) {
+      return Status::NotFound();
+    }
+    if (slot.key == key) {
+      if (data != nullptr) {
+        *data = slot.data;
+      }
+      return Status::Ok();
+    }
+    index = static_cast<uint32_t>((index + step) % capacity_);
+  }
+  return Status::NotFound();
+}
+
+Status SysvHsearch::EnterOpen(const std::string& key, uint32_t hash, void* data) {
+  uint32_t index = PrimaryIndex(hash);
+  const uint32_t step = ProbeStep(FoldKey2(key));
+  for (size_t attempt = 0; attempt < capacity_; ++attempt) {
+    ++stats_.probes;
+    Slot& slot = slots_[index];
+    if (!slot.used) {
+      slot.key = key;
+      slot.data = data;
+      slot.used = true;
+      ++count_;
+      return Status::Ok();
+    }
+    if (slot.key == key) {
+      return Status::Ok();  // hsearch ENTER keeps the existing entry
+    }
+    index = static_cast<uint32_t>((index + step) % capacity_);
+  }
+  return Status::Full("table full");
+}
+
+Status SysvHsearch::EnterBrent(const std::string& key, uint32_t hash, void* data) {
+  // Walk the probe sequence recording it; on a long chain, try to shuffle a
+  // colliding key one step along *its own* sequence to make room earlier.
+  uint32_t index = PrimaryIndex(hash);
+  const uint32_t step = ProbeStep(FoldKey2(key));
+  std::vector<uint32_t> sequence;
+  for (size_t attempt = 0; attempt < capacity_; ++attempt) {
+    ++stats_.probes;
+    Slot& slot = slots_[index];
+    if (!slot.used) {
+      break;
+    }
+    if (slot.key == key) {
+      return Status::Ok();
+    }
+    sequence.push_back(index);
+    index = static_cast<uint32_t>((index + step) % capacity_);
+  }
+  if (sequence.size() >= capacity_) {
+    return Status::Full("table full");
+  }
+
+  if (sequence.size() > config_.brent_threshold) {
+    // Try to move a key from early in the new key's probe sequence one step
+    // along its own sequence; a successful move shortens the new key's
+    // chain by (sequence length - position - 1) at a cost of 1.
+    for (size_t pos = 0; pos + 1 < sequence.size(); ++pos) {
+      Slot& victim = slots_[sequence[pos]];
+      const uint32_t vstep = ProbeStep(FoldKey2(victim.key));
+      const auto vnext = static_cast<uint32_t>((sequence[pos] + vstep) % capacity_);
+      ++stats_.probes;
+      if (!slots_[vnext].used) {
+        slots_[vnext] = victim;
+        victim.key = key;
+        victim.data = data;
+        ++count_;
+        ++stats_.rearranges;
+        return Status::Ok();
+      }
+    }
+  }
+  // No rearrangement: take the empty slot at the end of the sequence.
+  Slot& slot = slots_[index];
+  slot.key = key;
+  slot.data = data;
+  slot.used = true;
+  ++count_;
+  return Status::Ok();
+}
+
+Status SysvHsearch::FindChained(const std::string& key, uint32_t hash, void** data) {
+  const uint32_t index = PrimaryIndex(hash);
+  for (const ChainNode* node = chains_[index].get(); node != nullptr; node = node->next.get()) {
+    ++stats_.probes;
+    if (node->key == key) {
+      if (data != nullptr) {
+        *data = node->data;
+      }
+      return Status::Ok();
+    }
+    // Sorted chains allow early termination.
+    if (config_.order == HsearchChainOrder::kSortUp && node->key > key) {
+      break;
+    }
+    if (config_.order == HsearchChainOrder::kSortDown && node->key < key) {
+      break;
+    }
+  }
+  return Status::NotFound();
+}
+
+Status SysvHsearch::EnterChained(const std::string& key, uint32_t hash, void* data) {
+  const uint32_t index = PrimaryIndex(hash);
+  // CHAINED tables are still bounded by nelem in System V.
+  if (count_ >= capacity_) {
+    void* existing = nullptr;
+    if (FindChained(key, hash, &existing).ok()) {
+      return Status::Ok();
+    }
+    return Status::Full("table full");
+  }
+
+  void* existing = nullptr;
+  if (FindChained(key, hash, &existing).ok()) {
+    return Status::Ok();  // keep the existing entry
+  }
+  // Find the insertion point: the head for kFront, the sorted position
+  // otherwise.
+  std::unique_ptr<ChainNode>* link = &chains_[index];
+  if (config_.order != HsearchChainOrder::kFront) {
+    while (*link != nullptr) {
+      const bool stop_up = config_.order == HsearchChainOrder::kSortUp && (*link)->key > key;
+      const bool stop_down = config_.order == HsearchChainOrder::kSortDown && (*link)->key < key;
+      if (stop_up || stop_down) {
+        break;
+      }
+      link = &(*link)->next;
+    }
+  }
+  auto node = std::make_unique<ChainNode>();
+  node->key = key;
+  node->data = data;
+  node->next = std::move(*link);
+  *link = std::move(node);
+  ++count_;
+  return Status::Ok();
+}
+
+}  // namespace baseline
+}  // namespace hashkit

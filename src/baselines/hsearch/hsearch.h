@@ -1,0 +1,115 @@
+// hashkit baseline: System V hsearch(3), reimplemented from the paper's
+// description.
+//
+// A fixed-capacity, memory-resident hash table sized at creation (nelem is
+// rounded up to a prime).  The default configuration computes a primary
+// bucket with a Knuth multiplicative hash and resolves collisions by
+// double hashing (a secondary multiplicative hash gives the probe
+// interval).  The paper's compile-time options are runtime options here:
+//
+//   * kDivision ("DIV")  — modulo hashing with linear probing;
+//   * kBrent   ("BRENT") — Brent's insertion-time rearrangement, which
+//     shortens long probe chains by lengthening short ones once a chain
+//     exceeds a threshold (Brent suggests 2);
+//   * kChained ("CHAINED") — collision chains from the primary bucket,
+//     optionally kept sorted ("SORTUP"/"SORTDOWN").
+//
+// Faithful shortcomings (the ones the paper criticizes): the table cannot
+// grow, inserts fail with "table full", and there is no disk story.
+
+#ifndef HASHKIT_SRC_BASELINES_HSEARCH_HSEARCH_H_
+#define HASHKIT_SRC_BASELINES_HSEARCH_HSEARCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace baseline {
+
+enum class HsearchHash : uint8_t {
+  kMultiplicative = 0,  // default: Knuth 6.4 multiplicative
+  kDivision,            // "DIV": modulo + linear probing
+};
+
+enum class HsearchCollision : uint8_t {
+  kDoubleHash = 0,  // default probe-interval scheme
+  kBrent,           // "BRENT" rearrangement
+  kChained,         // "CHAINED" linked lists
+};
+
+enum class HsearchChainOrder : uint8_t {
+  kFront = 0,  // new entries at the head of the chain (default)
+  kSortUp,     // "SORTUP"
+  kSortDown,   // "SORTDOWN"
+};
+
+struct HsearchConfig {
+  HsearchHash hash = HsearchHash::kMultiplicative;
+  HsearchCollision collision = HsearchCollision::kDoubleHash;
+  HsearchChainOrder order = HsearchChainOrder::kFront;
+  uint32_t brent_threshold = 2;
+};
+
+struct HsearchStats {
+  uint64_t probes = 0;       // slots examined across all operations
+  uint64_t rearranges = 0;   // Brent moves performed
+};
+
+class SysvHsearch {
+ public:
+  // As in hcreate(3): capacity fixed at the next prime >= nelem.
+  static Result<std::unique_ptr<SysvHsearch>> Create(size_t nelem,
+                                                     const HsearchConfig& config = {});
+
+  // kFind semantics: *data receives the stored pointer.
+  Status Find(const std::string& key, void** data);
+
+  // kEnter semantics: inserts if absent; if present, returns Ok and leaves
+  // the existing data untouched (hsearch's contract).  kFull when the
+  // table cannot accept another entry.
+  Status Enter(const std::string& key, void* data);
+
+  size_t size() const { return count_; }
+  size_t capacity() const { return capacity_; }
+  const HsearchStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    std::string key;
+    void* data = nullptr;
+    bool used = false;
+  };
+  struct ChainNode {
+    std::string key;
+    void* data = nullptr;
+    std::unique_ptr<ChainNode> next;
+  };
+
+  SysvHsearch(size_t capacity, const HsearchConfig& config);
+
+  uint32_t PrimaryIndex(uint32_t hash) const;
+  uint32_t ProbeStep(uint32_t hash) const;
+
+  Status FindOpen(const std::string& key, uint32_t hash, void** data);
+  Status EnterOpen(const std::string& key, uint32_t hash, void* data);
+  Status EnterBrent(const std::string& key, uint32_t hash, void* data);
+  Status FindChained(const std::string& key, uint32_t hash, void** data);
+  Status EnterChained(const std::string& key, uint32_t hash, void* data);
+
+  HsearchConfig config_;
+  size_t capacity_;
+  size_t count_ = 0;
+  std::vector<Slot> slots_;                         // open addressing
+  std::vector<std::unique_ptr<ChainNode>> chains_;  // kChained
+  HsearchStats stats_;
+};
+
+}  // namespace baseline
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_BASELINES_HSEARCH_HSEARCH_H_

@@ -1,0 +1,203 @@
+#include "src/baselines/ndbm/dbm_base.h"
+
+#include <bit>
+#include <fstream>
+
+#include "src/core/page.h"
+
+namespace hashkit {
+namespace baseline {
+
+DbmBase::DbmBase(std::unique_ptr<PageFile> pag, std::string dir_path, HashFn hash, uint32_t bsize)
+    : pag_(std::move(pag)),
+      dir_path_(std::move(dir_path)),
+      hash_(hash),
+      bsize_(bsize),
+      pagbuf_(bsize) {}
+
+DbmBase::~DbmBase() { (void)Sync(); }
+
+Status DbmBase::LoadDir() {
+  std::ifstream in(dir_path_, std::ios::binary);
+  if (in.good()) {
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    dir_ = Bitmap::FromBytes(bytes);
+  }
+  // dbm keeps no key count; recompute it from the blocks.
+  nkeys_ = 0;
+  const uint64_t npages = pag_->PageCount();
+  for (uint64_t p = 0; p < npages; ++p) {
+    HASHKIT_RETURN_IF_ERROR(pag_->ReadPage(p, std::span<uint8_t>(pagbuf_)));
+    PageView view(pagbuf_.data(), bsize_);
+    if (view.data_begin() != 0) {
+      nkeys_ += view.nentries();
+    }
+  }
+  cache_valid_ = false;
+  return Status::Ok();
+}
+
+Status DbmBase::Sync() {
+  std::ofstream out(dir_path_, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return Status::IoError("cannot write " + dir_path_);
+  }
+  const std::vector<uint8_t> bytes = dir_.ToBytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return pag_->Sync();
+}
+
+Status DbmBase::ReadBucket(uint32_t bucket) {
+  if (cache_valid_ && cached_bucket_ == bucket) {
+    return Status::Ok();
+  }
+  HASHKIT_RETURN_IF_ERROR(pag_->ReadPage(bucket, std::span<uint8_t>(pagbuf_)));
+  PageView view(pagbuf_.data(), bsize_);
+  if (view.data_begin() == 0) {
+    PageView::Init(pagbuf_.data(), bsize_, PageType::kBucket);
+  }
+  cached_bucket_ = bucket;
+  cache_valid_ = true;
+  return Status::Ok();
+}
+
+Status DbmBase::WriteBucket(uint32_t bucket) {
+  // Write-through, as in dbm: every mutation is a real file write.
+  return pag_->WritePage(bucket, std::span<const uint8_t>(pagbuf_));
+}
+
+Status DbmBase::Fetch(std::string_view key, std::string* value) {
+  const uint32_t h = hash_(key.data(), key.size());
+  const Probe probe = Locate(h);
+  HASHKIT_RETURN_IF_ERROR(ReadBucket(probe.bucket));
+  PageView view(pagbuf_.data(), bsize_);
+  for (uint16_t i = 0; i < view.nentries(); ++i) {
+    const EntryRef e = view.Entry(i);
+    if (e.key == key) {
+      if (value != nullptr) {
+        value->assign(e.data);
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound();
+}
+
+Status DbmBase::Remove(std::string_view key) {
+  const uint32_t h = hash_(key.data(), key.size());
+  const Probe probe = Locate(h);
+  HASHKIT_RETURN_IF_ERROR(ReadBucket(probe.bucket));
+  PageView view(pagbuf_.data(), bsize_);
+  for (uint16_t i = 0; i < view.nentries(); ++i) {
+    if (view.Entry(i).key == key) {
+      view.RemoveEntry(i);
+      --nkeys_;
+      return WriteBucket(probe.bucket);
+    }
+  }
+  return Status::NotFound();
+}
+
+Status DbmBase::SplitBucket(const Probe& probe) {
+  // Copy the pairs out, then rewrite both halves.
+  struct Pair {
+    std::string key;
+    std::string data;
+  };
+  std::vector<Pair> pairs;
+  {
+    PageView view(pagbuf_.data(), bsize_);
+    pairs.reserve(view.nentries());
+    for (uint16_t i = 0; i < view.nentries(); ++i) {
+      const EntryRef e = view.Entry(i);
+      pairs.push_back({std::string(e.key), std::string(e.data)});
+    }
+  }
+  dir_.Set(probe.split_bit);
+  const uint32_t new_mask = (probe.mask << 1) + 1;
+  const uint32_t sibling = probe.bucket + (probe.mask + 1);
+
+  std::vector<uint8_t> new_page(bsize_);
+  PageView::Init(pagbuf_.data(), bsize_, PageType::kBucket);
+  PageView::Init(new_page.data(), bsize_, PageType::kBucket);
+  PageView old_view(pagbuf_.data(), bsize_);
+  PageView new_view(new_page.data(), bsize_);
+  for (const Pair& pair : pairs) {
+    const uint32_t h = hash_(pair.key.data(), pair.key.size());
+    PageView& dest = (h & new_mask) == probe.bucket ? old_view : new_view;
+    dest.AddPair(pair.key, pair.data);
+  }
+  HASHKIT_RETURN_IF_ERROR(WriteBucket(probe.bucket));
+  HASHKIT_RETURN_IF_ERROR(
+      pag_->WritePage(sibling, std::span<const uint8_t>(new_page)));
+  ++stats_.splits;
+  return Status::Ok();
+}
+
+Status DbmBase::Store(std::string_view key, std::string_view value, bool replace) {
+  if (!PageView::PairFitsEmptyPage(key.size(), value.size(), bsize_)) {
+    // dbm "cannot store data items whose total key and data size exceed
+    // the page size" — the shortcoming the new package fixes.
+    return Status::Full("pair larger than a dbm block");
+  }
+  const uint32_t h = hash_(key.data(), key.size());
+  for (;;) {
+    const Probe probe = Locate(h);
+    HASHKIT_RETURN_IF_ERROR(ReadBucket(probe.bucket));
+    PageView view(pagbuf_.data(), bsize_);
+    for (uint16_t i = 0; i < view.nentries(); ++i) {
+      if (view.Entry(i).key == key) {
+        if (!replace) {
+          return Status::Exists();
+        }
+        view.RemoveEntry(i);
+        --nkeys_;
+        break;
+      }
+    }
+    if (view.FitsPair(key.size(), value.size())) {
+      view.AddPair(key, value);
+      ++nkeys_;
+      return WriteBucket(probe.bucket);
+    }
+    // Full block: split and retry with one more hash bit revealed.
+    if (static_cast<uint32_t>(std::popcount(probe.mask)) >= MaxDepth()) {
+      // Colliding keys whose total exceeds a block: dbm "cannot store all
+      // the colliding keys".
+      return Status::Full("hash bits exhausted; colliding keys exceed a block");
+    }
+    HASHKIT_RETURN_IF_ERROR(SplitBucket(probe));
+  }
+}
+
+Status DbmBase::Seq(std::string* key, std::string* value, bool first) {
+  if (first) {
+    seq_page_ = 0;
+    seq_entry_ = 0;
+  }
+  const uint64_t npages = pag_->PageCount();
+  while (seq_page_ < npages) {
+    HASHKIT_RETURN_IF_ERROR(ReadBucket(static_cast<uint32_t>(seq_page_)));
+    PageView view(pagbuf_.data(), bsize_);
+    if (seq_entry_ < view.nentries()) {
+      const EntryRef e = view.Entry(seq_entry_);
+      if (key != nullptr) {
+        key->assign(e.key);
+      }
+      if (value != nullptr) {
+        value->assign(e.data);
+      }
+      ++seq_entry_;
+      return Status::Ok();
+    }
+    ++seq_page_;
+    seq_entry_ = 0;
+  }
+  return Status::NotFound("end of database");
+}
+
+}  // namespace baseline
+}  // namespace hashkit

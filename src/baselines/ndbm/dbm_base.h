@@ -1,0 +1,115 @@
+// hashkit baseline: shared machinery for the dbm-family stores (ndbm and
+// sdbm clones).
+//
+// Both packages share Ken Thompson's storage model: a sparse .pag file of
+// fixed-size blocks addressed directly by revealed hash bits, a .dir file
+// recording the split history, split-on-overflow with no overflow pages,
+// and a single-block buffer (so nearly every operation is a real file
+// access — the paper's central criticism).  They differ only in the access
+// function that maps a hash value to a bucket:
+//
+//   * ndbm walks Thompson's split-history bitmap:
+//         while (isbitset((hash & mask) + mask)) mask = (mask << 1) + 1;
+//   * sdbm walks a linearized radix trie (Larson 1978, simplified):
+//         while (isbitset(tbit)) tbit = 2*tbit + 1 + next hash bit;
+//
+// Subclasses provide Locate()/MarkSplit(); everything else lives here.
+//
+// Faithful shortcomings (deliberately preserved): a pair larger than a
+// block is rejected; colliding keys whose total exceeds a block make the
+// store fail once the hash bits are exhausted; no page caching beyond the
+// single block buffer.
+
+#ifndef HASHKIT_SRC_BASELINES_NDBM_DBM_BASE_H_
+#define HASHKIT_SRC_BASELINES_NDBM_DBM_BASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pagefile/page_file.h"
+#include "src/util/bitmap.h"
+#include "src/util/hash_funcs.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace baseline {
+
+struct DbmStats {
+  uint64_t splits = 0;
+};
+
+class DbmBase {
+ public:
+  virtual ~DbmBase();
+
+  DbmBase(const DbmBase&) = delete;
+  DbmBase& operator=(const DbmBase&) = delete;
+
+  // dbm_store(3): replace=false mirrors DBM_INSERT (kExists on duplicate).
+  Status Store(std::string_view key, std::string_view value, bool replace);
+  Status Fetch(std::string_view key, std::string* value);
+  Status Remove(std::string_view key);
+
+  // firstkey/nextkey-style iteration over every pair (physical block
+  // order).  Mutating the store invalidates the scan.
+  Status Seq(std::string* key, std::string* value, bool first);
+
+  // Writes the .dir split history and flushes the .pag file.
+  Status Sync();
+
+  uint64_t size() const { return nkeys_; }
+  const DbmStats& stats() const { return stats_; }
+  const PageFileStats& file_stats() const { return pag_->stats(); }
+  uint32_t block_size() const { return bsize_; }
+
+ protected:
+  DbmBase(std::unique_ptr<PageFile> pag, std::string dir_path, HashFn hash, uint32_t bsize);
+
+  // Loads the .dir bitmap; call from subclass factory after construction.
+  Status LoadDir();
+
+  // Where a hash value lands given the current split history.
+  struct Probe {
+    uint32_t bucket = 0;
+    uint32_t mask = 0;       // bits of the hash revealed to reach the bucket
+    uint64_t split_bit = 0;  // the .dir bit to set if this bucket splits
+  };
+  virtual Probe Locate(uint32_t hash) const = 0;
+
+  // Split-depth cap (sdbm's linearized trie index grows exponentially with
+  // depth, so it caps lower).
+  virtual uint32_t MaxDepth() const { return 32; }
+
+  Bitmap dir_;
+
+ private:
+  Status ReadBucket(uint32_t bucket);
+  Status WriteBucket(uint32_t bucket);
+  // Splits the (full) bucket described by `probe`; page contents divide
+  // between bucket and bucket + (mask + 1) by the next hash bit.
+  Status SplitBucket(const Probe& probe);
+
+  std::unique_ptr<PageFile> pag_;
+  std::string dir_path_;
+  HashFn hash_;
+  uint32_t bsize_;
+  uint64_t nkeys_ = 0;
+
+  // The classic one-block buffer.
+  std::vector<uint8_t> pagbuf_;
+  uint32_t cached_bucket_ = 0;
+  bool cache_valid_ = false;
+
+  // Sequential-scan state.
+  uint64_t seq_page_ = 0;
+  uint16_t seq_entry_ = 0;
+
+  DbmStats stats_;
+};
+
+}  // namespace baseline
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_BASELINES_NDBM_DBM_BASE_H_

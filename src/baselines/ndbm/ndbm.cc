@@ -1,0 +1,38 @@
+#include "src/baselines/ndbm/ndbm.h"
+
+#include <cstdio>
+
+namespace hashkit {
+namespace baseline {
+
+Result<std::unique_ptr<NdbmClone>> NdbmClone::Open(const std::string& path, uint32_t block_size,
+                                                   bool truncate) {
+  if (block_size < 64 || (block_size & (block_size - 1)) != 0 || block_size > 32768) {
+    return Status::InvalidArgument("block size must be a power of two in [64, 32768]");
+  }
+  HASHKIT_ASSIGN_OR_RETURN(auto pag, OpenDiskPageFile(path + ".pag", block_size, truncate));
+  if (truncate) {
+    std::remove((path + ".dir").c_str());
+  }
+  std::unique_ptr<NdbmClone> db(
+      new NdbmClone(std::move(pag), path + ".dir", &HashThompson, block_size));
+  HASHKIT_RETURN_IF_ERROR(db->LoadDir());
+  return db;
+}
+
+DbmBase::Probe NdbmClone::Locate(uint32_t hash) const {
+  uint32_t mask = 0;
+  // Bit (hash & mask) + mask says whether the bucket reached with `mask`
+  // revealed bits has split; keep revealing bits until it has not.
+  while (dir_.Test((hash & mask) + static_cast<uint64_t>(mask))) {
+    mask = (mask << 1) + 1;
+  }
+  Probe probe;
+  probe.mask = mask;
+  probe.bucket = hash & mask;
+  probe.split_bit = probe.bucket + static_cast<uint64_t>(mask);
+  return probe;
+}
+
+}  // namespace baseline
+}  // namespace hashkit

@@ -1,0 +1,45 @@
+// hashkit baseline: ndbm clone — Ken Thompson's dbm algorithm with the
+// ndbm programmatic interface (multiple concurrently open databases).
+//
+// The access function reveals just enough hash bits to find a block in a
+// single access, consulting an in-memory bitmap of the split history:
+//
+//     hash = calchash(key);
+//     mask = 0;
+//     while (isbitset((hash & mask) + mask))
+//         mask = (mask << 1) + 1;
+//     bucket = hash & mask;
+//
+// (the paper's "simplification of the algorithm due to Ken Thompson").
+
+#ifndef HASHKIT_SRC_BASELINES_NDBM_NDBM_H_
+#define HASHKIT_SRC_BASELINES_NDBM_NDBM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/baselines/ndbm/dbm_base.h"
+
+namespace hashkit {
+namespace baseline {
+
+inline constexpr uint32_t kNdbmBlockSize = 1024;  // the classic PBLKSIZ
+
+class NdbmClone final : public DbmBase {
+ public:
+  // Creates/opens `path`.pag and `path`.dir.
+  static Result<std::unique_ptr<NdbmClone>> Open(const std::string& path,
+                                                 uint32_t block_size = kNdbmBlockSize,
+                                                 bool truncate = false);
+
+ protected:
+  Probe Locate(uint32_t hash) const override;
+
+ private:
+  using DbmBase::DbmBase;
+};
+
+}  // namespace baseline
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_BASELINES_NDBM_NDBM_H_

@@ -1,0 +1,44 @@
+#include "src/baselines/sdbm/sdbm.h"
+
+#include <cstdio>
+
+namespace hashkit {
+namespace baseline {
+
+Result<std::unique_ptr<SdbmClone>> SdbmClone::Open(const std::string& path, uint32_t block_size,
+                                                   bool truncate) {
+  if (block_size < 64 || (block_size & (block_size - 1)) != 0 || block_size > 32768) {
+    return Status::InvalidArgument("block size must be a power of two in [64, 32768]");
+  }
+  HASHKIT_ASSIGN_OR_RETURN(auto pag, OpenDiskPageFile(path + ".pag", block_size, truncate));
+  if (truncate) {
+    std::remove((path + ".dir").c_str());
+  }
+  std::unique_ptr<SdbmClone> db(
+      new SdbmClone(std::move(pag), path + ".dir", &HashSdbm, block_size));
+  HASHKIT_RETURN_IF_ERROR(db->LoadDir());
+  return db;
+}
+
+DbmBase::Probe SdbmClone::Locate(uint32_t hash) const {
+  uint64_t tbit = 0;  // linearized radix-trie node index
+  uint32_t hbit = 0;  // next hash bit to consume
+  uint32_t mask = 0;
+  while (dir_.Test(tbit)) {
+    if (hash & (1u << hbit)) {
+      tbit = 2 * tbit + 2;  // right son
+    } else {
+      tbit = 2 * tbit + 1;  // left son
+    }
+    ++hbit;
+    mask = (mask << 1) + 1;
+  }
+  Probe probe;
+  probe.mask = mask;
+  probe.bucket = hash & mask;
+  probe.split_bit = tbit;
+  return probe;
+}
+
+}  // namespace baseline
+}  // namespace hashkit

@@ -1,0 +1,44 @@
+// hashkit baseline: sdbm clone — Ozan Yigit's public-domain ndbm
+// replacement, built on a simplified implementation of Larson's 1978
+// dynamic hashing.
+//
+// The access function walks a linearized radix trie stored as a bit
+// vector: node i's children live at 2i+1 and 2i+2, an internal (split)
+// node has its bit set, and the hash bits choose left/right at each level
+// (the paper's second code fragment).  Incompatible with ndbm at the
+// database level: different access function, different hash function.
+
+#ifndef HASHKIT_SRC_BASELINES_SDBM_SDBM_H_
+#define HASHKIT_SRC_BASELINES_SDBM_SDBM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/baselines/ndbm/dbm_base.h"
+
+namespace hashkit {
+namespace baseline {
+
+inline constexpr uint32_t kSdbmBlockSize = 1024;
+
+class SdbmClone final : public DbmBase {
+ public:
+  static Result<std::unique_ptr<SdbmClone>> Open(const std::string& path,
+                                                 uint32_t block_size = kSdbmBlockSize,
+                                                 bool truncate = false);
+
+ protected:
+  Probe Locate(uint32_t hash) const override;
+
+  // A linearized trie's node index grows as 2^depth, so the .dir bitmap
+  // would explode past this depth; real sdbm had the same practical bound.
+  uint32_t MaxDepth() const override { return 28; }
+
+ private:
+  using DbmBase::DbmBase;
+};
+
+}  // namespace baseline
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_BASELINES_SDBM_SDBM_H_

@@ -1,0 +1,242 @@
+#include "src/btree/bt_page.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "src/util/endian.h"
+
+namespace hashkit {
+namespace btree {
+
+namespace {
+constexpr size_t kNEntriesOff = 0;
+constexpr size_t kDataBeginOff = 2;
+constexpr size_t kLevelOff = 4;
+constexpr size_t kTypeOff = 6;
+constexpr size_t kLinkOff = 8;
+constexpr size_t kGarbageOff = 12;
+constexpr size_t kSegUsedOff = 14;
+
+// Slot field indices.
+constexpr size_t kKeyOff = 0;
+constexpr size_t kKeyLen = 1;
+constexpr size_t kValOff = 2;
+constexpr size_t kValLen = 3;
+}  // namespace
+
+void BtPageView::Init(uint8_t* buf, size_t page_size, BtPageType type, uint16_t level) {
+  std::memset(buf, 0, page_size);
+  EncodeU16(buf + kDataBeginOff,
+            static_cast<uint16_t>(page_size == 32768 ? 32767 : page_size));
+  EncodeU16(buf + kLevelOff, level);
+  EncodeU16(buf + kTypeOff, static_cast<uint16_t>(type));
+}
+
+uint16_t BtPageView::nentries() const { return DecodeU16(buf_ + kNEntriesOff); }
+void BtPageView::SetNEntries(uint16_t n) { EncodeU16(buf_ + kNEntriesOff, n); }
+uint16_t BtPageView::level() const { return DecodeU16(buf_ + kLevelOff); }
+BtPageType BtPageView::type() const {
+  return static_cast<BtPageType>(DecodeU16(buf_ + kTypeOff));
+}
+void BtPageView::set_type(BtPageType type) {
+  EncodeU16(buf_ + kTypeOff, static_cast<uint16_t>(type));
+}
+uint32_t BtPageView::link() const { return DecodeU32(buf_ + kLinkOff); }
+void BtPageView::set_link(uint32_t link) { EncodeU32(buf_ + kLinkOff, link); }
+uint16_t BtPageView::garbage() const { return DecodeU16(buf_ + kGarbageOff); }
+void BtPageView::SetGarbage(uint16_t v) { EncodeU16(buf_ + kGarbageOff, v); }
+uint16_t BtPageView::seg_used() const { return DecodeU16(buf_ + kSegUsedOff); }
+void BtPageView::set_seg_used(uint16_t used) { EncodeU16(buf_ + kSegUsedOff, used); }
+
+void BtPageView::SetDataBegin(uint16_t v) { EncodeU16(buf_ + kDataBeginOff, v); }
+
+uint16_t BtPageView::SlotField(uint16_t index, size_t field) const {
+  return DecodeU16(buf_ + kBtHeaderSize + index * kBtSlotSize + field * 2);
+}
+void BtPageView::SetSlotField(uint16_t index, size_t field, uint16_t value) {
+  EncodeU16(buf_ + kBtHeaderSize + index * kBtSlotSize + field * 2, value);
+}
+
+size_t BtPageView::FreeSpace() const {
+  const size_t slots_end = kBtHeaderSize + nentries() * kBtSlotSize;
+  const size_t begin = DecodeU16(buf_ + kDataBeginOff);
+  assert(begin >= slots_end);
+  return begin - slots_end;
+}
+
+size_t BtPageView::FreeSpaceAfterCompact() const { return FreeSpace() + garbage(); }
+
+BtEntry BtPageView::Entry(uint16_t index) const {
+  assert(index < nentries());
+  BtEntry entry;
+  const auto* chars = reinterpret_cast<const char*>(buf_);
+  entry.key = std::string_view(chars + SlotField(index, kKeyOff), SlotField(index, kKeyLen));
+  const uint16_t raw_val_len = SlotField(index, kValLen);
+  const uint16_t val_off = SlotField(index, kValOff);
+  const auto val_len = static_cast<uint16_t>(raw_val_len & ~kBigValueFlag);
+  entry.payload = std::string_view(chars + val_off, val_len);
+  if ((raw_val_len & kBigValueFlag) != 0) {
+    entry.big = true;
+    entry.chain_page = DecodeU32(buf_ + val_off);
+    entry.total_len = DecodeU32(buf_ + val_off + 4);
+  }
+  return entry;
+}
+
+uint16_t BtPageView::LowerBound(std::string_view key, bool* found) const {
+  uint16_t lo = 0;
+  uint16_t hi = nentries();
+  *found = false;
+  while (lo < hi) {
+    const uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    const std::string_view mid_key = Entry(mid).key;
+    const int cmp = mid_key.compare(key);
+    if (cmp < 0) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      if (cmp == 0) {
+        *found = true;
+      }
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint16_t BtPageView::ReserveBytes(size_t len) {
+  // Room is needed for the bytes plus the slot about to be added.
+  if (kBtHeaderSize + (nentries() + 1u) * kBtSlotSize + len >
+      static_cast<size_t>(DecodeU16(buf_ + kDataBeginOff))) {
+    Compact();
+  }
+  const uint16_t begin = DecodeU16(buf_ + kDataBeginOff);
+  assert(kBtHeaderSize + (nentries() + 1u) * kBtSlotSize + len <= begin);
+  const auto offset = static_cast<uint16_t>(begin - len);
+  SetDataBegin(offset);
+  return offset;
+}
+
+void BtPageView::InsertAt(uint16_t index, std::string_view key, std::string_view payload) {
+  assert(FitsAfterCompact(key.size(), payload.size()));
+  const uint16_t n = nentries();
+  assert(index <= n);
+  // ReserveBytes may compact, so do it before touching slots; compaction
+  // preserves slot order.
+  const uint16_t key_off = ReserveBytes(key.size() + payload.size());
+  const auto val_off = static_cast<uint16_t>(key_off + key.size());
+  std::memcpy(buf_ + key_off, key.data(), key.size());
+  std::memcpy(buf_ + val_off, payload.data(), payload.size());
+  // Shift later slots right by one.
+  std::memmove(buf_ + kBtHeaderSize + (index + 1) * kBtSlotSize,
+               buf_ + kBtHeaderSize + index * kBtSlotSize,
+               static_cast<size_t>(n - index) * kBtSlotSize);
+  SetSlotField(index, kKeyOff, key_off);
+  SetSlotField(index, kKeyLen, static_cast<uint16_t>(key.size()));
+  SetSlotField(index, kValOff, val_off);
+  SetSlotField(index, kValLen, static_cast<uint16_t>(payload.size()));
+  SetNEntries(static_cast<uint16_t>(n + 1));
+}
+
+void BtPageView::InsertBigStubAt(uint16_t index, std::string_view key, uint32_t chain_page,
+                                 uint32_t total_len) {
+  uint8_t stub[kBigValueStubSize];
+  EncodeU32(stub, chain_page);
+  EncodeU32(stub + 4, total_len);
+  InsertAt(index, key,
+           std::string_view(reinterpret_cast<const char*>(stub), kBigValueStubSize));
+  SetSlotField(index, kValLen, static_cast<uint16_t>(kBigValueStubSize | kBigValueFlag));
+}
+
+void BtPageView::RemoveAt(uint16_t index) {
+  const uint16_t n = nentries();
+  assert(index < n);
+  const auto freed = static_cast<uint16_t>(
+      SlotField(index, kKeyLen) + (SlotField(index, kValLen) & ~kBigValueFlag));
+  std::memmove(buf_ + kBtHeaderSize + index * kBtSlotSize,
+               buf_ + kBtHeaderSize + (index + 1) * kBtSlotSize,
+               static_cast<size_t>(n - index - 1) * kBtSlotSize);
+  SetNEntries(static_cast<uint16_t>(n - 1));
+  SetGarbage(static_cast<uint16_t>(garbage() + freed));
+}
+
+void BtPageView::Compact() {
+  const uint16_t n = nentries();
+  std::vector<uint8_t> scratch(size_);
+  uint16_t cursor = EffectiveEnd();
+  // Copy every entry's bytes to the top of the scratch heap, in slot order.
+  struct NewSlot {
+    uint16_t key_off, key_len, val_off, val_len;
+  };
+  std::vector<NewSlot> slots(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    const uint16_t key_off = SlotField(i, kKeyOff);
+    const uint16_t key_len = SlotField(i, kKeyLen);
+    const uint16_t val_off = SlotField(i, kValOff);
+    const uint16_t raw_val_len = SlotField(i, kValLen);
+    const auto val_len = static_cast<uint16_t>(raw_val_len & ~kBigValueFlag);
+    cursor = static_cast<uint16_t>(cursor - key_len - val_len);
+    std::memcpy(scratch.data() + cursor, buf_ + key_off, key_len);
+    std::memcpy(scratch.data() + cursor + key_len, buf_ + val_off, val_len);
+    slots[i] = {cursor, key_len, static_cast<uint16_t>(cursor + key_len), raw_val_len};
+  }
+  // Install the rewritten heap and slots.
+  std::memcpy(buf_ + cursor, scratch.data() + cursor, EffectiveEnd() - cursor);
+  for (uint16_t i = 0; i < n; ++i) {
+    SetSlotField(i, kKeyOff, slots[i].key_off);
+    SetSlotField(i, kKeyLen, slots[i].key_len);
+    SetSlotField(i, kValOff, slots[i].val_off);
+    SetSlotField(i, kValLen, slots[i].val_len);
+  }
+  SetDataBegin(cursor);
+  SetGarbage(0);
+}
+
+size_t BtPageView::BytesInRange(uint16_t from, uint16_t to) const {
+  size_t total = 0;
+  for (uint16_t i = from; i < to; ++i) {
+    total += kBtSlotSize + SlotField(i, kKeyLen) + (SlotField(i, kValLen) & ~kBigValueFlag);
+  }
+  return total;
+}
+
+bool BtPageView::Validate() const {
+  const uint16_t n = nentries();
+  const size_t slots_end = kBtHeaderSize + n * kBtSlotSize;
+  const uint16_t begin = DecodeU16(buf_ + kDataBeginOff);
+  if (slots_end > begin || begin > EffectiveEnd()) {
+    return false;
+  }
+  std::string_view prev_key;
+  for (uint16_t i = 0; i < n; ++i) {
+    const uint16_t key_off = SlotField(i, kKeyOff);
+    const uint16_t key_len = SlotField(i, kKeyLen);
+    const uint16_t val_off = SlotField(i, kValOff);
+    const auto val_len = static_cast<uint16_t>(SlotField(i, kValLen) & ~kBigValueFlag);
+    if (key_off < begin || key_off + key_len > EffectiveEnd()) {
+      return false;
+    }
+    if (val_off < begin || val_off + val_len > EffectiveEnd()) {
+      return false;
+    }
+    const BtEntry entry = Entry(i);
+    if (i > 0 && !(prev_key < entry.key)) {
+      return false;  // keys must be strictly ascending
+    }
+    prev_key = entry.key;
+    if (type() == BtPageType::kInternal && val_len != 4) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint32_t DecodeChild(std::string_view payload) {
+  assert(payload.size() == 4);
+  return DecodeU32(reinterpret_cast<const uint8_t*>(payload.data()));
+}
+
+void EncodeChildInto(uint32_t child, uint8_t out[4]) { EncodeU32(out, child); }
+
+}  // namespace btree
+}  // namespace hashkit

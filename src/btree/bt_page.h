@@ -1,0 +1,139 @@
+// hashkit btree: slotted-page layout for the B+-tree access method.
+//
+// The paper's conclusion places the hash package inside a generic database
+// access library that "will include a btree access method as well as fixed
+// and variable length record access methods".  src/btree implements that
+// companion access method on the same pagefile/buffer-pool substrate.
+//
+// Unlike the hash package's pages (whose pair extents are implied by
+// physical order), btree pages insert in *sorted* positions, so each slot
+// carries explicit offsets and lengths:
+//
+//   +0   u16 nentries
+//   +2   u16 data_begin   (low end of the pair-byte heap, grows down)
+//   +4   u16 level        (0 = leaf)
+//   +6   u16 type         (BtPageType)
+//   +8   u32 link         (leaf: next sibling; internal: leftmost child;
+//                          overflow: next chain page; free: next free page)
+//   +12  u16 garbage      (bytes freed by removals, reclaimable by Compact)
+//   +14  u16 seg_used     (overflow pages: payload bytes)
+//   +16  slots: {u16 key_off, u16 key_len, u16 val_off, u16 val_len} ...
+//   ...  pair bytes (heap, grows down from the page end)
+//
+// Leaf payloads are value bytes, or — when kBigValueFlag is set on val_len
+// — an 8-byte stub {u32 first_overflow_page, u32 total_len}.  Internal
+// payloads are always a 4-byte child page number; entry i's child holds
+// keys >= key_i, and the header link holds the leftmost child.
+
+#ifndef HASHKIT_SRC_BTREE_BT_PAGE_H_
+#define HASHKIT_SRC_BTREE_BT_PAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace hashkit {
+namespace btree {
+
+enum class BtPageType : uint16_t {
+  kLeaf = 1,
+  kInternal = 2,
+  kOverflow = 3,  // big-value chain segment
+  kFree = 4,      // on the free list
+};
+
+inline constexpr size_t kBtHeaderSize = 16;
+inline constexpr size_t kBtSlotSize = 8;
+inline constexpr uint16_t kBigValueFlag = 0x8000;
+inline constexpr size_t kBigValueStubSize = 8;  // u32 first page + u32 length
+
+struct BtEntry {
+  std::string_view key;
+  std::string_view payload;  // leaf value bytes, internal child bytes, or stub
+  bool big = false;
+  uint32_t chain_page = 0;  // big values: first overflow page
+  uint32_t total_len = 0;   // big values: full value length
+};
+
+class BtPageView {
+ public:
+  BtPageView(uint8_t* buf, size_t page_size) : buf_(buf), size_(page_size) {}
+
+  static void Init(uint8_t* buf, size_t page_size, BtPageType type, uint16_t level);
+
+  uint16_t nentries() const;
+  uint16_t level() const;
+  BtPageType type() const;
+  void set_type(BtPageType type);
+  uint32_t link() const;
+  void set_link(uint32_t link);
+  uint16_t garbage() const;
+  uint16_t seg_used() const;
+  void set_seg_used(uint16_t used);
+
+  // Contiguous free bytes (slot included) available right now.
+  size_t FreeSpace() const;
+  // Free bytes after compaction.
+  size_t FreeSpaceAfterCompact() const;
+  bool Fits(size_t key_len, size_t payload_len) const {
+    return kBtSlotSize + key_len + payload_len <= FreeSpace();
+  }
+  bool FitsAfterCompact(size_t key_len, size_t payload_len) const {
+    return kBtSlotSize + key_len + payload_len <= FreeSpaceAfterCompact();
+  }
+
+  BtEntry Entry(uint16_t index) const;
+
+  // Binary search: smallest index whose key is >= `key`; *found says if it
+  // is an exact match.  Returns nentries() when all keys are smaller.
+  uint16_t LowerBound(std::string_view key, bool* found) const;
+
+  // Inserts at `index`, shifting later slots.  Caller checked Fits (the
+  // page is compacted here if needed).
+  void InsertAt(uint16_t index, std::string_view key, std::string_view payload);
+  void InsertBigStubAt(uint16_t index, std::string_view key, uint32_t chain_page,
+                       uint32_t total_len);
+
+  // Removes entry `index` (slot shift; bytes become garbage).
+  void RemoveAt(uint16_t index);
+
+  // Rewrites the pair heap to reclaim garbage.
+  void Compact();
+
+  // Payload bytes used by entries [from, nentries), for split sizing.
+  size_t BytesInRange(uint16_t from, uint16_t to) const;
+
+  // Overflow-segment payload.
+  uint8_t* SegData() { return buf_ + kBtHeaderSize; }
+  const uint8_t* SegData() const { return buf_ + kBtHeaderSize; }
+  size_t SegCapacity() const { return size_ - kBtHeaderSize; }
+
+  // Structural self-check (offsets in range, keys strictly ascending).
+  bool Validate() const;
+
+  size_t page_size() const { return size_; }
+
+ private:
+  uint16_t SlotField(uint16_t index, size_t field) const;
+  void SetSlotField(uint16_t index, size_t field, uint16_t value);
+  void SetNEntries(uint16_t n);
+  void SetDataBegin(uint16_t v);
+  void SetGarbage(uint16_t v);
+  uint16_t EffectiveEnd() const {
+    return static_cast<uint16_t>(size_ == 32768 ? 32767 : size_);
+  }
+  // Reserves len bytes in the heap (compacting if necessary); returns the
+  // offset.  Caller guaranteed FitsAfterCompact.
+  uint16_t ReserveBytes(size_t len);
+
+  uint8_t* buf_;
+  size_t size_;
+};
+
+// Child page number helpers for internal-node payloads.
+uint32_t DecodeChild(std::string_view payload);
+void EncodeChildInto(uint32_t child, uint8_t out[4]);
+
+}  // namespace btree
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_BTREE_BT_PAGE_H_

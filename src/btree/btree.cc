@@ -1,0 +1,775 @@
+#include "src/btree/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <set>
+
+#include "src/util/endian.h"
+#include "src/util/math.h"
+
+namespace hashkit {
+namespace btree {
+
+namespace {
+
+constexpr uint32_t kBtMagic = 0x48534231;  // "HSB1"
+constexpr uint32_t kBtVersion = 1;
+
+// Descend rule: entry i's child holds keys >= key_i; keys below key_0 go
+// to the leftmost child stored in the page link.
+uint32_t ChildFor(const BtPageView& page, std::string_view key) {
+  bool found = false;
+  const uint16_t lb = page.LowerBound(key, &found);
+  if (found) {
+    return DecodeChild(page.Entry(lb).payload);
+  }
+  if (lb == 0) {
+    return page.link();
+  }
+  return DecodeChild(page.Entry(static_cast<uint16_t>(lb - 1)).payload);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / persistence
+// ---------------------------------------------------------------------------
+
+BTree::BTree(std::unique_ptr<PageFile> file, const BtOptions& options, bool persistent)
+    : file_(std::move(file)),
+      pool_(std::make_unique<BufferPool>(file_.get(), options.cachesize)),
+      page_size_(options.page_size),
+      persistent_(persistent) {}
+
+BTree::~BTree() {
+  if (persistent_) {
+    (void)Sync();
+  }
+}
+
+Result<std::unique_ptr<BTree>> BTree::Open(const std::string& path, const BtOptions& options,
+                                           bool truncate) {
+  if (options.page_size < 512 || options.page_size > 32768 ||
+      !IsPowerOfTwo(options.page_size)) {
+    return Status::InvalidArgument("btree page size must be a power of two in [512, 32768]");
+  }
+  HASHKIT_ASSIGN_OR_RETURN(auto file, OpenDiskPageFile(path, options.page_size, truncate));
+  const bool fresh = file->PageCount() == 0;
+  std::unique_ptr<BTree> tree(new BTree(std::move(file), options, /*persistent=*/true));
+  if (fresh) {
+    HASHKIT_RETURN_IF_ERROR(tree->InitNew());
+  } else {
+    HASHKIT_RETURN_IF_ERROR(tree->LoadExisting());
+  }
+  return tree;
+}
+
+Result<std::unique_ptr<BTree>> BTree::OpenInMemory(const BtOptions& options) {
+  if (options.page_size < 512 || options.page_size > 32768 ||
+      !IsPowerOfTwo(options.page_size)) {
+    return Status::InvalidArgument("btree page size must be a power of two in [512, 32768]");
+  }
+  HASHKIT_ASSIGN_OR_RETURN(auto file, OpenTempPageFile(options.page_size));
+  std::unique_ptr<BTree> tree(new BTree(std::move(file), options, /*persistent=*/false));
+  HASHKIT_RETURN_IF_ERROR(tree->InitNew());
+  return tree;
+}
+
+Status BTree::InitNew() {
+  next_new_page_ = 1;
+  HASHKIT_ASSIGN_OR_RETURN(root_, AllocPage(BtPageType::kLeaf, 0));
+  height_ = 1;
+  nkeys_ = 0;
+  free_head_ = 0;
+  if (persistent_) {
+    HASHKIT_RETURN_IF_ERROR(WriteMeta());
+  }
+  return Status::Ok();
+}
+
+Status BTree::WriteMeta() {
+  std::vector<uint8_t> buf(page_size_, 0);
+  EncodeU32(buf.data() + 0, kBtMagic);
+  EncodeU32(buf.data() + 4, kBtVersion);
+  EncodeU32(buf.data() + 8, page_size_);
+  EncodeU32(buf.data() + 12, root_);
+  EncodeU32(buf.data() + 16, height_);
+  EncodeU64(buf.data() + 20, nkeys_);
+  EncodeU32(buf.data() + 28, next_new_page_);
+  EncodeU32(buf.data() + 32, free_head_);
+  return file_->WritePage(0, std::span<const uint8_t>(buf));
+}
+
+Status BTree::LoadExisting() {
+  std::vector<uint8_t> buf(page_size_);
+  HASHKIT_RETURN_IF_ERROR(file_->ReadPage(0, std::span<uint8_t>(buf)));
+  if (DecodeU32(buf.data()) != kBtMagic) {
+    return Status::Corruption("not a hashkit btree file");
+  }
+  if (DecodeU32(buf.data() + 4) != kBtVersion) {
+    return Status::Corruption("unsupported btree version");
+  }
+  if (DecodeU32(buf.data() + 8) != page_size_) {
+    return Status::Corruption("btree page size mismatch");
+  }
+  root_ = DecodeU32(buf.data() + 12);
+  height_ = DecodeU32(buf.data() + 16);
+  nkeys_ = DecodeU64(buf.data() + 20);
+  next_new_page_ = DecodeU32(buf.data() + 28);
+  free_head_ = DecodeU32(buf.data() + 32);
+  if (root_ == 0 || root_ >= next_new_page_ || height_ == 0 || height_ > 64) {
+    return Status::Corruption("btree meta fields out of range");
+  }
+  return Status::Ok();
+}
+
+Status BTree::Sync() {
+  if (!persistent_) {
+    return Status::Ok();
+  }
+  HASHKIT_RETURN_IF_ERROR(WriteMeta());
+  HASHKIT_RETURN_IF_ERROR(pool_->FlushAll());
+  return file_->Sync();
+}
+
+// ---------------------------------------------------------------------------
+// Page allocation
+// ---------------------------------------------------------------------------
+
+Result<uint32_t> BTree::AllocPage(BtPageType type, uint16_t level) {
+  uint32_t pageno = 0;
+  if (free_head_ != 0) {
+    pageno = free_head_;
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(pageno));
+    BtPageView view(page.data(), page_size_);
+    if (view.type() != BtPageType::kFree) {
+      return Status::Corruption("free-list page has wrong type");
+    }
+    free_head_ = view.link();
+    ++stats_.pages_recycled;
+  } else {
+    pageno = next_new_page_++;
+  }
+  HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(pageno, /*create_new=*/true));
+  BtPageView::Init(page.data(), page_size_, type, level);
+  page.MarkDirty();
+  return pageno;
+}
+
+Status BTree::FreePage(uint32_t pageno) {
+  HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(pageno));
+  BtPageView view(page.data(), page_size_);
+  BtPageView::Init(page.data(), page_size_, BtPageType::kFree, 0);
+  view.set_link(free_head_);
+  page.MarkDirty();
+  free_head_ = pageno;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Big values
+// ---------------------------------------------------------------------------
+
+Status BTree::WriteBigChain(std::string_view value, uint32_t* first_page) {
+  const size_t cap = page_size_ - kBtHeaderSize;
+  *first_page = 0;
+  uint32_t prev = 0;
+  size_t offset = 0;
+  do {
+    auto alloc = AllocPage(BtPageType::kOverflow, 0);
+    if (!alloc.ok()) {
+      if (*first_page != 0) {
+        (void)FreeBigChain(*first_page);
+        *first_page = 0;
+      }
+      return alloc.status();
+    }
+    const uint32_t pageno = alloc.value();
+    if (*first_page == 0) {
+      *first_page = pageno;
+    } else {
+      HASHKIT_ASSIGN_OR_RETURN(PageRef prev_page, pool_->Get(prev));
+      BtPageView prev_view(prev_page.data(), page_size_);
+      prev_view.set_link(pageno);
+      prev_page.MarkDirty();
+    }
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(pageno));
+    BtPageView view(page.data(), page_size_);
+    const size_t chunk = std::min(cap, value.size() - offset);
+    std::memcpy(view.SegData(), value.data() + offset, chunk);
+    view.set_seg_used(static_cast<uint16_t>(chunk));
+    page.MarkDirty();
+    offset += chunk;
+    prev = pageno;
+  } while (offset < value.size());
+  return Status::Ok();
+}
+
+Status BTree::ReadBigChain(uint32_t first_page, uint32_t total_len, std::string* value) {
+  value->clear();
+  value->reserve(total_len);
+  uint32_t pageno = first_page;
+  while (value->size() < total_len) {
+    if (pageno == 0) {
+      return Status::Corruption("big value chain truncated");
+    }
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(pageno));
+    BtPageView view(page.data(), page_size_);
+    if (view.type() != BtPageType::kOverflow) {
+      return Status::Corruption("big value chain page has wrong type");
+    }
+    const size_t used = view.seg_used();
+    if (used == 0 || value->size() + used > total_len) {
+      return Status::Corruption("big value segment size invalid");
+    }
+    value->append(reinterpret_cast<const char*>(view.SegData()), used);
+    pageno = view.link();
+  }
+  return Status::Ok();
+}
+
+Status BTree::FreeBigChain(uint32_t first_page) {
+  std::vector<uint32_t> chain;
+  uint32_t pageno = first_page;
+  while (pageno != 0) {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(pageno));
+    BtPageView view(page.data(), page_size_);
+    if (view.type() != BtPageType::kOverflow) {
+      return Status::Corruption("big value chain page has wrong type");
+    }
+    chain.push_back(pageno);
+    pageno = view.link();
+    if (chain.size() > (1u << 24)) {
+      return Status::Corruption("big value chain cycle");
+    }
+  }
+  for (const uint32_t p : chain) {
+    HASHKIT_RETURN_IF_ERROR(FreePage(p));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+Status BTree::SearchPath(std::string_view key, std::vector<uint32_t>* path) {
+  path->clear();
+  uint32_t pageno = root_;
+  for (uint32_t level = 0; level < height_; ++level) {
+    path->push_back(pageno);
+    if (level + 1 == height_) {
+      break;  // reached the leaf
+    }
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(pageno));
+    BtPageView view(page.data(), page_size_);
+    if (view.type() != BtPageType::kInternal) {
+      return Status::Corruption("expected internal page on search path");
+    }
+    pageno = ChildFor(view, key);
+    if (pageno == 0) {
+      return Status::Corruption("null child pointer");
+    }
+  }
+  return Status::Ok();
+}
+
+Status BTree::Get(std::string_view key, std::string* value) {
+  std::vector<uint32_t> path;
+  HASHKIT_RETURN_IF_ERROR(SearchPath(key, &path));
+  HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(path.back()));
+  BtPageView view(page.data(), page_size_);
+  bool found = false;
+  const uint16_t index = view.LowerBound(key, &found);
+  if (!found) {
+    return Status::NotFound();
+  }
+  if (value != nullptr) {
+    const BtEntry entry = view.Entry(index);
+    if (entry.big) {
+      HASHKIT_RETURN_IF_ERROR(ReadBigChain(entry.chain_page, entry.total_len, value));
+    } else {
+      value->assign(entry.payload);
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Insert
+// ---------------------------------------------------------------------------
+
+Status BTree::SplitPage(uint32_t pageno, std::string* separator, uint32_t* right_page) {
+  HASHKIT_ASSIGN_OR_RETURN(PageRef left_ref, pool_->Get(pageno));
+  BtPageView left(left_ref.data(), page_size_);
+  const uint16_t n = left.nentries();
+  if (n < 2) {
+    return Status::Corruption("cannot split a page with fewer than two entries");
+  }
+  const bool is_leaf = left.type() == BtPageType::kLeaf;
+
+  // Split by bytes: find the first index where the left half reaches half
+  // of the used bytes, clamped so both sides stay nonempty.
+  const size_t total_bytes = left.BytesInRange(0, n);
+  uint16_t split = 1;
+  size_t acc = 0;
+  for (uint16_t i = 0; i < n - 1; ++i) {
+    acc += left.BytesInRange(i, static_cast<uint16_t>(i + 1));
+    if (acc >= total_bytes / 2) {
+      split = static_cast<uint16_t>(i + 1);
+      break;
+    }
+    split = static_cast<uint16_t>(i + 1);
+  }
+
+  HASHKIT_ASSIGN_OR_RETURN(*right_page, AllocPage(left.type(), left.level()));
+  HASHKIT_ASSIGN_OR_RETURN(PageRef right_ref, pool_->Get(*right_page));
+  BtPageView right(right_ref.data(), page_size_);
+
+  if (is_leaf) {
+    // Right leaf gets entries [split, n); separator is its first key.
+    for (uint16_t i = split; i < n; ++i) {
+      const BtEntry entry = left.Entry(i);
+      const uint16_t at = static_cast<uint16_t>(i - split);
+      if (entry.big) {
+        right.InsertBigStubAt(at, entry.key, entry.chain_page, entry.total_len);
+      } else {
+        right.InsertAt(at, entry.key, entry.payload);
+      }
+    }
+    separator->assign(right.Entry(0).key);
+    right.set_link(left.link());
+    left.set_link(*right_page);
+    ++stats_.leaf_splits;
+  } else {
+    // Internal: the split entry's key moves UP; its child becomes the
+    // right page's leftmost child.
+    const uint16_t mid = split;
+    const BtEntry mid_entry = left.Entry(mid);
+    separator->assign(mid_entry.key);
+    right.set_link(DecodeChild(mid_entry.payload));
+    for (uint16_t i = static_cast<uint16_t>(mid + 1); i < n; ++i) {
+      const BtEntry entry = left.Entry(i);
+      right.InsertAt(static_cast<uint16_t>(i - mid - 1), entry.key, entry.payload);
+    }
+    ++stats_.internal_splits;
+  }
+  // Truncate the left page (remove from the end so nothing shifts).
+  for (uint16_t i = n; i-- > split;) {
+    left.RemoveAt(i);
+  }
+  left_ref.MarkDirty();
+  right_ref.MarkDirty();
+  return Status::Ok();
+}
+
+Status BTree::InsertIntoParents(std::vector<uint32_t>& path, size_t child_pos,
+                                std::string separator, uint32_t right_page) {
+  // child_pos is the index in `path` of the page that just split.
+  while (true) {
+    if (child_pos == 0) {
+      // The root split: grow the tree by one level.
+      HASHKIT_ASSIGN_OR_RETURN(const uint32_t new_root,
+                               AllocPage(BtPageType::kInternal,
+                                         static_cast<uint16_t>(height_)));
+      HASHKIT_ASSIGN_OR_RETURN(PageRef root_ref, pool_->Get(new_root));
+      BtPageView view(root_ref.data(), page_size_);
+      view.set_link(path[0]);  // old root becomes the leftmost child
+      uint8_t child_bytes[4];
+      EncodeChildInto(right_page, child_bytes);
+      view.InsertAt(0, separator,
+                    std::string_view(reinterpret_cast<const char*>(child_bytes), 4));
+      root_ref.MarkDirty();
+      root_ = new_root;
+      ++height_;
+      ++stats_.root_splits;
+      return Status::Ok();
+    }
+
+    const uint32_t parent = path[child_pos - 1];
+    HASHKIT_ASSIGN_OR_RETURN(PageRef parent_ref, pool_->Get(parent));
+    BtPageView view(parent_ref.data(), page_size_);
+    bool found = false;
+    const uint16_t pos = view.LowerBound(separator, &found);
+    if (found) {
+      return Status::Corruption("separator already present in parent");
+    }
+    if (view.FitsAfterCompact(separator.size(), 4)) {
+      uint8_t child_bytes[4];
+      EncodeChildInto(right_page, child_bytes);
+      view.InsertAt(pos, separator,
+                    std::string_view(reinterpret_cast<const char*>(child_bytes), 4));
+      parent_ref.MarkDirty();
+      return Status::Ok();
+    }
+    parent_ref.Release();
+
+    // The parent is full: split it, insert into whichever half now covers
+    // the separator, and propagate the parent's own separator upward.
+    std::string parent_sep;
+    uint32_t parent_right = 0;
+    HASHKIT_RETURN_IF_ERROR(SplitPage(parent, &parent_sep, &parent_right));
+    const uint32_t target = separator < parent_sep ? parent : parent_right;
+    {
+      HASHKIT_ASSIGN_OR_RETURN(PageRef target_ref, pool_->Get(target));
+      BtPageView target_view(target_ref.data(), page_size_);
+      bool f2 = false;
+      const uint16_t pos2 = target_view.LowerBound(separator, &f2);
+      if (!target_view.FitsAfterCompact(separator.size(), 4)) {
+        return Status::Corruption("separator does not fit after split");
+      }
+      uint8_t child_bytes[4];
+      EncodeChildInto(right_page, child_bytes);
+      target_view.InsertAt(pos2, separator,
+                           std::string_view(reinterpret_cast<const char*>(child_bytes), 4));
+      target_ref.MarkDirty();
+    }
+    separator = std::move(parent_sep);
+    right_page = parent_right;
+    --child_pos;
+  }
+}
+
+Status BTree::Put(std::string_view key, std::string_view value, bool overwrite) {
+  if (key.size() > MaxKeyLen()) {
+    return Status::InvalidArgument("key exceeds page_size/8");
+  }
+
+  std::vector<uint32_t> path;
+  HASHKIT_RETURN_IF_ERROR(SearchPath(key, &path));
+
+  // Duplicate handling first (so a replace frees the old big chain).
+  {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef leaf_ref, pool_->Get(path.back()));
+    BtPageView leaf(leaf_ref.data(), page_size_);
+    bool found = false;
+    const uint16_t index = leaf.LowerBound(key, &found);
+    if (found) {
+      if (!overwrite) {
+        return Status::Exists();
+      }
+      const BtEntry entry = leaf.Entry(index);
+      const uint32_t chain = entry.big ? entry.chain_page : 0;
+      leaf.RemoveAt(index);
+      leaf_ref.MarkDirty();
+      leaf_ref.Release();
+      if (chain != 0) {
+        HASHKIT_RETURN_IF_ERROR(FreeBigChain(chain));
+      }
+      --nkeys_;
+    }
+  }
+
+  const bool big = value.size() > BigValueThreshold();
+  uint32_t chain = 0;
+  if (big) {
+    HASHKIT_RETURN_IF_ERROR(WriteBigChain(value, &chain));
+    ++stats_.big_values;
+  }
+  const size_t payload_len = big ? kBigValueStubSize : value.size();
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef leaf_ref, pool_->Get(path.back()));
+    BtPageView leaf(leaf_ref.data(), page_size_);
+    bool found = false;
+    const uint16_t index = leaf.LowerBound(key, &found);
+    if (leaf.FitsAfterCompact(key.size(), payload_len)) {
+      if (big) {
+        leaf.InsertBigStubAt(index, key, chain, static_cast<uint32_t>(value.size()));
+      } else {
+        leaf.InsertAt(index, key, value);
+      }
+      leaf_ref.MarkDirty();
+      ++nkeys_;
+      return Status::Ok();
+    }
+    leaf_ref.Release();
+
+    // Full leaf: split and re-descend (the path may deepen on root split).
+    std::string separator;
+    uint32_t right_page = 0;
+    HASHKIT_RETURN_IF_ERROR(SplitPage(path.back(), &separator, &right_page));
+    HASHKIT_RETURN_IF_ERROR(
+        InsertIntoParents(path, path.size() - 1, std::move(separator), right_page));
+    HASHKIT_RETURN_IF_ERROR(SearchPath(key, &path));
+  }
+  return Status::Corruption("insert did not converge after splits");
+}
+
+// ---------------------------------------------------------------------------
+// Delete
+// ---------------------------------------------------------------------------
+
+Status BTree::Delete(std::string_view key) {
+  std::vector<uint32_t> path;
+  HASHKIT_RETURN_IF_ERROR(SearchPath(key, &path));
+  uint32_t chain = 0;
+  {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef leaf_ref, pool_->Get(path.back()));
+    BtPageView leaf(leaf_ref.data(), page_size_);
+    bool found = false;
+    const uint16_t index = leaf.LowerBound(key, &found);
+    if (!found) {
+      return Status::NotFound();
+    }
+    const BtEntry entry = leaf.Entry(index);
+    if (entry.big) {
+      chain = entry.chain_page;
+    }
+    leaf.RemoveAt(index);
+    leaf_ref.MarkDirty();
+  }
+  if (chain != 0) {
+    HASHKIT_RETURN_IF_ERROR(FreeBigChain(chain));
+  }
+  --nkeys_;
+  // Underfull/empty leaves are not merged (1.x-era behaviour); their space
+  // is reused by future inserts into the same key range.
+  return Status::Ok();
+}
+
+Status BTree::LastKey(std::string* key) {
+  // Descend the rightmost spine; skip trailing empty leaves via the chain
+  // being absent (rightmost leaf may be empty after deletions — walk left
+  // is not possible, so scan back using the rightmost nonempty entry on
+  // the way down, falling back to a full cursor scan only when needed).
+  uint32_t pageno = root_;
+  for (uint32_t level = 0; level + 1 < height_; ++level) {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(pageno));
+    BtPageView view(page.data(), page_size_);
+    const uint16_t n = view.nentries();
+    pageno = n == 0 ? view.link()
+                    : DecodeChild(view.Entry(static_cast<uint16_t>(n - 1)).payload);
+  }
+  {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(pageno));
+    BtPageView view(page.data(), page_size_);
+    if (view.nentries() > 0) {
+      key->assign(view.Entry(static_cast<uint16_t>(view.nentries() - 1)).key);
+      return Status::Ok();
+    }
+  }
+  if (nkeys_ == 0) {
+    return Status::NotFound("tree is empty");
+  }
+  // Rightmost leaf empty (deletions): full scan fallback.
+  BtCursor cursor(this);
+  std::string k;
+  Status st = cursor.Next(&k, nullptr);
+  bool any = false;
+  while (st.ok()) {
+    key->assign(k);
+    any = true;
+    st = cursor.Next(&k, nullptr);
+  }
+  return any ? Status::Ok() : Status::NotFound("tree is empty");
+}
+
+// ---------------------------------------------------------------------------
+// Cursor
+// ---------------------------------------------------------------------------
+
+Status BtCursor::SeekFirst() {
+  uint32_t pageno = tree_->root_;
+  for (uint32_t level = 0; level + 1 < tree_->height_; ++level) {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, tree_->pool_->Get(pageno));
+    BtPageView view(page.data(), tree_->page_size_);
+    pageno = view.link();  // leftmost child
+    if (pageno == 0) {
+      return Status::Corruption("null leftmost child");
+    }
+  }
+  page_ = pageno;
+  index_ = 0;
+  return Status::Ok();
+}
+
+Status BtCursor::Seek(std::string_view key) {
+  std::vector<uint32_t> path;
+  HASHKIT_RETURN_IF_ERROR(tree_->SearchPath(key, &path));
+  page_ = path.back();
+  HASHKIT_ASSIGN_OR_RETURN(PageRef page, tree_->pool_->Get(page_));
+  BtPageView view(page.data(), tree_->page_size_);
+  bool found = false;
+  index_ = view.LowerBound(key, &found);
+  return Status::Ok();
+}
+
+Status BtCursor::Next(std::string* key, std::string* value) {
+  if (page_ == 0) {
+    HASHKIT_RETURN_IF_ERROR(SeekFirst());
+  }
+  for (;;) {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, tree_->pool_->Get(page_));
+    BtPageView view(page.data(), tree_->page_size_);
+    if (index_ < view.nentries()) {
+      const BtEntry entry = view.Entry(index_);
+      if (key != nullptr) {
+        key->assign(entry.key);
+      }
+      if (value != nullptr) {
+        if (entry.big) {
+          HASHKIT_RETURN_IF_ERROR(
+              tree_->ReadBigChain(entry.chain_page, entry.total_len, value));
+        } else {
+          value->assign(entry.payload);
+        }
+      }
+      ++index_;
+      return Status::Ok();
+    }
+    const uint32_t next = view.link();
+    if (next == 0) {
+      return Status::NotFound("end of tree");
+    }
+    page_ = next;
+    index_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Integrity
+// ---------------------------------------------------------------------------
+
+Status BTree::CheckIntegrity() {
+  uint64_t leaf_keys = 0;
+  std::vector<uint32_t> leaves_in_order;
+  std::set<uint32_t> seen_pages;
+
+  // Recursive range-checked walk.
+  struct Frame {
+    uint32_t pageno;
+    uint32_t expected_level;
+    std::string lo;  // inclusive bound ("" = unbounded)
+    bool has_lo;
+    std::string hi;  // exclusive bound
+    bool has_hi;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root_, height_ - 1, "", false, "", false});
+
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (!seen_pages.insert(frame.pageno).second) {
+      return Status::Corruption("page referenced twice in the tree");
+    }
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(frame.pageno));
+    BtPageView view(page.data(), page_size_);
+    if (!view.Validate()) {
+      return Status::Corruption("page failed validation");
+    }
+    if (view.level() != frame.expected_level) {
+      return Status::Corruption("page level inconsistent with depth");
+    }
+    const uint16_t n = view.nentries();
+    for (uint16_t i = 0; i < n; ++i) {
+      const BtEntry entry = view.Entry(i);
+      if (frame.has_lo && entry.key < frame.lo) {
+        return Status::Corruption("key below subtree lower bound");
+      }
+      if (frame.has_hi && !(entry.key < frame.hi)) {
+        return Status::Corruption("key at or above subtree upper bound");
+      }
+    }
+    if (frame.expected_level == 0) {
+      if (view.type() != BtPageType::kLeaf) {
+        return Status::Corruption("leaf level page is not a leaf");
+      }
+      leaf_keys += n;
+      leaves_in_order.push_back(frame.pageno);
+      // Verify big chains.
+      for (uint16_t i = 0; i < n; ++i) {
+        const BtEntry entry = view.Entry(i);
+        if (entry.big) {
+          std::string value;
+          HASHKIT_RETURN_IF_ERROR(ReadBigChain(entry.chain_page, entry.total_len, &value));
+          if (value.size() != entry.total_len) {
+            return Status::Corruption("big value length mismatch");
+          }
+        }
+      }
+      continue;
+    }
+    if (view.type() != BtPageType::kInternal) {
+      return Status::Corruption("interior level page is not internal");
+    }
+    if (view.link() == 0) {
+      return Status::Corruption("internal page missing leftmost child");
+    }
+    // Push children with their bounds; pushing rightmost first keeps the
+    // leaves_in_order list left-to-right (stack pops reversed).
+    for (uint16_t i = n; i-- > 0;) {
+      const BtEntry entry = view.Entry(i);
+      Frame child;
+      child.pageno = DecodeChild(entry.payload);
+      child.expected_level = frame.expected_level - 1;
+      child.lo.assign(entry.key);
+      child.has_lo = true;
+      if (i + 1 < n) {
+        child.hi.assign(view.Entry(static_cast<uint16_t>(i + 1)).key);
+        child.has_hi = true;
+      } else {
+        child.hi = frame.hi;
+        child.has_hi = frame.has_hi;
+      }
+      stack.push_back(std::move(child));
+    }
+    Frame leftmost;
+    leftmost.pageno = view.link();
+    leftmost.expected_level = frame.expected_level - 1;
+    leftmost.lo = frame.lo;
+    leftmost.has_lo = frame.has_lo;
+    if (n > 0) {
+      leftmost.hi.assign(view.Entry(0).key);
+      leftmost.has_hi = true;
+    } else {
+      leftmost.hi = frame.hi;
+      leftmost.has_hi = frame.has_hi;
+    }
+    stack.push_back(std::move(leftmost));
+  }
+
+  if (leaf_keys != nkeys_) {
+    return Status::Corruption("leaf key count does not match meta");
+  }
+
+  // The leaf sibling chain must visit exactly the in-order leaves (the
+  // DFS pushes rightmost children first, so pops — and therefore
+  // leaves_in_order — run left to right already).
+  uint32_t chain_page = leaves_in_order.empty() ? 0 : leaves_in_order.front();
+  for (const uint32_t expected : leaves_in_order) {
+    if (chain_page != expected) {
+      return Status::Corruption("leaf chain order mismatch");
+    }
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(chain_page));
+    BtPageView view(page.data(), page_size_);
+    chain_page = view.link();
+  }
+  if (chain_page != 0) {
+    return Status::Corruption("leaf chain extends past the last leaf");
+  }
+
+  // Free list sanity.
+  uint32_t free_page = free_head_;
+  size_t guard = 0;
+  while (free_page != 0) {
+    if (seen_pages.count(free_page)) {
+      return Status::Corruption("free page also referenced by the tree");
+    }
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(free_page));
+    BtPageView view(page.data(), page_size_);
+    if (view.type() != BtPageType::kFree) {
+      return Status::Corruption("free-list page has wrong type");
+    }
+    free_page = view.link();
+    if (++guard > (1u << 24)) {
+      return Status::Corruption("free list cycle");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace btree
+}  // namespace hashkit

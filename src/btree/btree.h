@@ -1,0 +1,146 @@
+// hashkit btree: the B+-tree access method — the companion the paper
+// promises ("It will include a btree access method ... All of the access
+// methods are based on a key/data pair interface and appear identical to
+// the application layer").
+//
+// A standard B+-tree over the same pagefile/buffer-pool substrate as the
+// hash package: sorted slotted pages, leaf sibling links for range scans,
+// big values on overflow-page chains, free-list page recycling, and the
+// same Status-based key/data interface.  Deleted pages are recycled but
+// underfull pages are not merged (as in the 1.x-era BSD btree); keys are
+// compared bytewise.
+//
+// Limits: key length <= page_size/8 (guarantees internal fanout); values
+// of any length (big values chain through overflow pages).
+
+#ifndef HASHKIT_SRC_BTREE_BTREE_H_
+#define HASHKIT_SRC_BTREE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/btree/bt_page.h"
+#include "src/pagefile/buffer_pool.h"
+#include "src/pagefile/page_file.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace btree {
+
+struct BtOptions {
+  uint32_t page_size = 4096;  // power of two in [512, 32768]
+  uint64_t cachesize = 256 * 1024;
+};
+
+struct BtStats {
+  uint64_t leaf_splits = 0;
+  uint64_t internal_splits = 0;
+  uint64_t root_splits = 0;
+  uint64_t pages_recycled = 0;
+  uint64_t big_values = 0;
+};
+
+class BTree;
+
+// Ordered iteration.  The tree must not be mutated while a cursor is live.
+class BtCursor {
+ public:
+  // Positions at the smallest key.
+  Status SeekFirst();
+  // Positions at the first key >= `key`.
+  Status Seek(std::string_view key);
+  // Returns the pair at the current position and advances; kNotFound past
+  // the end.
+  Status Next(std::string* key, std::string* value);
+
+ private:
+  friend class BTree;
+  explicit BtCursor(BTree* tree) : tree_(tree) {}
+
+  BTree* tree_;
+  uint32_t page_ = 0;  // 0 = unpositioned
+  uint16_t index_ = 0;
+};
+
+class BTree {
+ public:
+  static Result<std::unique_ptr<BTree>> Open(const std::string& path, const BtOptions& options,
+                                             bool truncate = false);
+  static Result<std::unique_ptr<BTree>> OpenInMemory(const BtOptions& options);
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  Status Put(std::string_view key, std::string_view value, bool overwrite = true);
+  Status Get(std::string_view key, std::string* value);
+  Status Delete(std::string_view key);
+  Status Sync();
+
+  // Largest key in the tree; kNotFound when empty.  (Used by the recno
+  // access method to recover its append position.)
+  Status LastKey(std::string* key);
+
+  BtCursor NewCursor() { return BtCursor(this); }
+
+  uint64_t size() const { return nkeys_; }
+  uint32_t height() const { return height_; }
+  const BtStats& stats() const { return stats_; }
+  const PageFileStats& file_stats() const { return file_->stats(); }
+
+  // Full structural validation: per-page invariants, key ordering across
+  // the tree, separator/bound consistency, leaf-chain agreement, counts.
+  Status CheckIntegrity();
+
+ private:
+  friend class BtCursor;
+
+  BTree(std::unique_ptr<PageFile> file, const BtOptions& options, bool persistent);
+
+  Status InitNew();
+  Status LoadExisting();
+  Status WriteMeta();
+
+  Result<uint32_t> AllocPage(BtPageType type, uint16_t level);
+  Status FreePage(uint32_t pageno);
+
+  // Root-to-leaf page numbers for `key`.
+  Status SearchPath(std::string_view key, std::vector<uint32_t>* path);
+
+  // Splits `pageno` (any level); returns the separator key and the new
+  // right page so the caller can insert it one level up.
+  Status SplitPage(uint32_t pageno, std::string* separator, uint32_t* right_page);
+
+  // Inserts (separator, child) into the parents along `path` starting at
+  // `level_index`, splitting upward as needed.
+  Status InsertIntoParents(std::vector<uint32_t>& path, size_t child_pos,
+                           std::string separator, uint32_t right_page);
+
+  Status WriteBigChain(std::string_view value, uint32_t* first_page);
+  Status ReadBigChain(uint32_t first_page, uint32_t total_len, std::string* value);
+  Status FreeBigChain(uint32_t first_page);
+
+  size_t MaxKeyLen() const { return page_size_ / 8; }
+  size_t BigValueThreshold() const { return page_size_ / 4; }
+
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  uint32_t page_size_;
+  bool persistent_;
+
+  uint32_t root_ = 1;
+  uint32_t height_ = 1;
+  uint64_t nkeys_ = 0;
+  uint32_t next_new_page_ = 1;
+  uint32_t free_head_ = 0;
+
+  BtStats stats_;
+};
+
+}  // namespace btree
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_BTREE_BTREE_H_

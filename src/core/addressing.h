@@ -1,0 +1,68 @@
+// hashkit: bucket and overflow-page address arithmetic — the paper's
+// BUCKET_TO_PAGE / OADDR_TO_PAGE macros as pure, testable functions.
+//
+// The file layout interleaves primary buckets with overflow-page regions at
+// "split points" (Figure 3 of the paper):
+//
+//   [header][bkt 0][ovfl @ sp 0 ...][bkt 1][ovfl @ sp 1 ...][bkt 2][bkt 3]
+//           [ovfl @ sp 2 ...][bkt 4] ... [bkt 7][ovfl @ sp 3 ...][bkt 8] ...
+//
+// spares[s] counts overflow pages allocated at split points <= s, so a
+// bucket's physical page is its number plus the header pages plus every
+// overflow page lying before it.  Overflow pages are only ever allocated at
+// the *current* split point (just past the last existing bucket), which is
+// why the file never needs reorganizing.
+
+#ifndef HASHKIT_SRC_CORE_ADDRESSING_H_
+#define HASHKIT_SRC_CORE_ADDRESSING_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/core/meta.h"
+#include "src/util/math.h"
+
+namespace hashkit {
+
+// Overflow address <-> (split point, 1-based page number).
+constexpr uint32_t OaddrSplitPoint(uint16_t oaddr) { return oaddr >> kOvflPageBits; }
+constexpr uint32_t OaddrPageNum(uint16_t oaddr) { return oaddr & kMaxOvflPagesPerPoint; }
+constexpr uint16_t MakeOaddr(uint32_t split_point, uint32_t page_num) {
+  return static_cast<uint16_t>((split_point << kOvflPageBits) | page_num);
+}
+
+// Physical page of bucket `bucket` (the paper's BUCKET_TO_PAGE).
+inline uint64_t BucketToPage(const Meta& meta, uint32_t bucket) {
+  const uint32_t spares = bucket != 0 ? meta.spares[FloorLog2(bucket)] : 0;
+  return static_cast<uint64_t>(bucket) + meta.nhdr_pages + spares;
+}
+
+// Physical page of overflow address `oaddr` (the paper's OADDR_TO_PAGE).
+inline uint64_t OaddrToPage(const Meta& meta, uint16_t oaddr) {
+  const uint32_t sp = OaddrSplitPoint(oaddr);
+  return BucketToPage(meta, (1u << sp) - 1) + OaddrPageNum(oaddr);
+}
+
+// The lowest split point at which fresh overflow pages may be allocated:
+// the region just past the last existing bucket.  Allocating anywhere
+// earlier would shift pages of buckets that already exist.
+inline uint32_t CurrentSplitPoint(const Meta& meta) {
+  return meta.max_bucket == 0 ? 0 : FloorLog2(meta.max_bucket) + 1;
+}
+
+// Where fresh overflow pages are actually carved: the stored overflow
+// point, which may have advanced past the growth frontier when earlier
+// split points' 11-bit page spaces filled up.
+inline uint32_t EffectiveOvflPoint(const Meta& meta) {
+  return std::max(meta.ovfl_point, CurrentSplitPoint(meta));
+}
+
+// Overflow pages physically allocated at split point `sp` (including the
+// bitmap page, if any).
+inline uint32_t PagesAtSplitPoint(const Meta& meta, uint32_t sp) {
+  return meta.spares[sp] - (sp != 0 ? meta.spares[sp - 1] : 0);
+}
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_CORE_ADDRESSING_H_

@@ -1,0 +1,1044 @@
+#include "src/core/hash_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/util/endian.h"
+#include "src/util/math.h"
+
+namespace hashkit {
+
+namespace {
+
+constexpr size_t kHashCheckKeyLen = sizeof(kHashCheckKey) - 1;
+
+Status ValidateOptions(const HashOptions& options) {
+  if (options.bsize < kMinBucketSize || options.bsize > kMaxBucketSize ||
+      !IsPowerOfTwo(options.bsize)) {
+    return Status::InvalidArgument("bsize must be a power of two in [64, 32768]");
+  }
+  if (options.ffactor == 0) {
+    return Status::InvalidArgument("ffactor must be >= 1");
+  }
+  if (options.custom_hash == nullptr && GetHashFunc(options.hash_id) == nullptr) {
+    return Status::InvalidArgument("unknown hash function id");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / open / close
+// ---------------------------------------------------------------------------
+
+HashTable::HashTable(std::unique_ptr<PageFile> file, const HashOptions& options)
+    : file_(std::move(file)),
+      pool_(std::make_unique<BufferPool>(file_.get(), options.cachesize)),
+      ovfl_(std::make_unique<OvflAllocator>(&meta_, pool_.get())),
+      split_policy_(options.split_policy),
+      auto_contract_(options.auto_contract) {}
+
+HashTable::~HashTable() {
+  if (persistent_) {
+    (void)Sync();  // best effort; explicit Sync() reports errors
+  }
+}
+
+Result<std::unique_ptr<HashTable>> HashTable::Open(const std::string& path,
+                                                   const HashOptions& options, bool truncate) {
+  // Probe the file with a small page size to learn the real bucket size
+  // before committing to a page geometry.
+  uint32_t existing_bsize = 0;
+  bool exists = false;
+  {
+    HASHKIT_ASSIGN_OR_RETURN(auto probe, OpenDiskPageFile(path, kMinBucketSize, truncate));
+    if (probe->PageCount() > 0) {
+      std::vector<uint8_t> buf(kMinBucketSize);
+      HASHKIT_RETURN_IF_ERROR(probe->ReadPage(0, std::span<uint8_t>(buf)));
+      if (DecodeU32(buf.data()) != kHashMagic) {
+        return Status::Corruption(path + " is not a hashkit file");
+      }
+      existing_bsize = DecodeU32(buf.data() + 8);
+      if (existing_bsize < kMinBucketSize || existing_bsize > kMaxBucketSize ||
+          !IsPowerOfTwo(existing_bsize)) {
+        return Status::Corruption("header has invalid bucket size");
+      }
+      exists = true;
+    }
+  }
+
+  if (exists) {
+    HASHKIT_ASSIGN_OR_RETURN(
+        auto file, OpenDiskPageFile(path, existing_bsize, false, options.exclusive_lock));
+    std::unique_ptr<HashTable> table(new HashTable(std::move(file), options));
+    table->persistent_ = true;
+    HASHKIT_RETURN_IF_ERROR(table->InitExisting(options));
+    return table;
+  }
+
+  HASHKIT_RETURN_IF_ERROR(ValidateOptions(options));
+  HASHKIT_ASSIGN_OR_RETURN(
+      auto file, OpenDiskPageFile(path, options.bsize, true, options.exclusive_lock));
+  std::unique_ptr<HashTable> table(new HashTable(std::move(file), options));
+  table->persistent_ = true;
+  HASHKIT_RETURN_IF_ERROR(table->InitNew(options));
+  return table;
+}
+
+Result<std::unique_ptr<HashTable>> HashTable::OpenInMemory(const HashOptions& options) {
+  HASHKIT_RETURN_IF_ERROR(ValidateOptions(options));
+  // Memory-resident tables spill pages the buffer pool cannot hold to an
+  // unlinked temporary file (the paper's memory-resident behaviour).
+  HASHKIT_ASSIGN_OR_RETURN(auto file, OpenTempPageFile(options.bsize));
+  std::unique_ptr<HashTable> table(new HashTable(std::move(file), options));
+  table->persistent_ = false;
+  HASHKIT_RETURN_IF_ERROR(table->InitNew(options));
+  return table;
+}
+
+Status HashTable::InitNew(const HashOptions& options) {
+  meta_.bsize = options.bsize;
+  meta_.ffactor = options.ffactor;
+  meta_.nhdr_pages = HeaderPagesFor(options.bsize);
+  meta_.nelem_hint = options.nelem;
+
+  // Pre-size the table when the final element count is known (Figure 6's
+  // "known in advance" case): buckets = ceil(nelem / ffactor) rounded up to
+  // a power of two, as in dynahash.
+  uint32_t nbuckets = 1;
+  if (options.nelem > 1) {
+    const uint32_t needed = (options.nelem - 1) / options.ffactor + 1;
+    nbuckets = static_cast<uint32_t>(NextPowerOfTwo(needed));
+  }
+  meta_.max_bucket = nbuckets - 1;
+  meta_.low_mask = nbuckets - 1;
+  meta_.high_mask = nbuckets * 2 - 1;
+
+  if (options.custom_hash != nullptr) {
+    hash_ = options.custom_hash;
+    meta_.hash_id = kCustomHashId;
+  } else {
+    hash_ = GetHashFunc(options.hash_id);
+    meta_.hash_id = static_cast<uint32_t>(options.hash_id);
+  }
+  meta_.hash_check = hash_(kHashCheckKey, kHashCheckKeyLen);
+
+  meta_dirty_ = true;
+  if (persistent_) {
+    HASHKIT_RETURN_IF_ERROR(WriteMeta());
+  }
+  return Status::Ok();
+}
+
+Status HashTable::InitExisting(const HashOptions& options) {
+  const uint32_t bsize = static_cast<uint32_t>(file_->page_size());
+  const uint32_t nhdr = HeaderPagesFor(bsize);
+  std::vector<uint8_t> buf(static_cast<size_t>(nhdr) * bsize);
+  for (uint32_t p = 0; p < nhdr; ++p) {
+    HASHKIT_RETURN_IF_ERROR(
+        file_->ReadPage(p, std::span<uint8_t>(buf.data() + static_cast<size_t>(p) * bsize, bsize)));
+  }
+  HASHKIT_ASSIGN_OR_RETURN(meta_, DecodeMeta(buf));
+  if (meta_.bsize != bsize || meta_.nhdr_pages != nhdr) {
+    return Status::Corruption("header geometry inconsistent");
+  }
+  if (meta_.ffactor == 0 || meta_.high_mask != (meta_.low_mask << 1 | 1) ||
+      meta_.max_bucket < meta_.low_mask || meta_.max_bucket > meta_.high_mask) {
+    return Status::Corruption("header hash state inconsistent");
+  }
+
+  if (options.custom_hash != nullptr) {
+    hash_ = options.custom_hash;
+  } else if (meta_.hash_id == kCustomHashId) {
+    return Status::InvalidArgument(
+        "table was created with a user-defined hash function; supply it at open");
+  } else {
+    hash_ = GetHashFunc(static_cast<HashFuncId>(meta_.hash_id));
+    if (hash_ == nullptr) {
+      return Status::Corruption("header names an unknown hash function");
+    }
+  }
+  // Paper: "the hash package will try to determine that the hash function
+  // supplied is the one with which the table was created".
+  if (hash_(kHashCheckKey, kHashCheckKeyLen) != meta_.hash_check) {
+    return Status::InvalidArgument("hash function does not match the one the table was built with");
+  }
+  return Status::Ok();
+}
+
+Status HashTable::WriteMeta() {
+  std::vector<uint8_t> buf(static_cast<size_t>(meta_.nhdr_pages) * meta_.bsize, 0);
+  EncodeMeta(meta_, buf);
+  for (uint32_t p = 0; p < meta_.nhdr_pages; ++p) {
+    HASHKIT_RETURN_IF_ERROR(file_->WritePage(
+        p, std::span<const uint8_t>(buf.data() + static_cast<size_t>(p) * meta_.bsize,
+                                    meta_.bsize)));
+  }
+  meta_dirty_ = false;
+  return Status::Ok();
+}
+
+Status HashTable::Sync() {
+  if (!persistent_) {
+    return Status::Ok();
+  }
+  HASHKIT_RETURN_IF_ERROR(WriteMeta());
+  HASHKIT_RETURN_IF_ERROR(pool_->FlushAll());
+  return file_->Sync();
+}
+
+// ---------------------------------------------------------------------------
+// Addressing and page access
+// ---------------------------------------------------------------------------
+
+uint32_t HashTable::BucketOf(uint32_t hash) const {
+  uint32_t bucket = hash & meta_.high_mask;
+  if (bucket > meta_.max_bucket) {
+    bucket = hash & meta_.low_mask;
+  }
+  return bucket;
+}
+
+Result<PageRef> HashTable::FetchBucketPage(uint32_t bucket, bool create_new) {
+  HASHKIT_ASSIGN_OR_RETURN(PageRef ref, pool_->Get(BucketToPage(meta_, bucket), create_new));
+  PageView view(ref.data(), meta_.bsize);
+  if (view.data_begin() == 0) {
+    // Virgin page (file hole or brand-new bucket): format it.
+    PageView::Init(ref.data(), meta_.bsize, PageType::kBucket);
+    ref.MarkDirty();
+  }
+  return ref;
+}
+
+Result<PageRef> HashTable::FetchOvflPage(uint16_t oaddr, const PageRef* predecessor) {
+  HASHKIT_ASSIGN_OR_RETURN(PageRef ref, pool_->Get(OaddrToPage(meta_, oaddr)));
+  PageView view(ref.data(), meta_.bsize);
+  if (view.data_begin() == 0) {
+    return Status::Corruption("reference to unformatted overflow page");
+  }
+  if (predecessor != nullptr) {
+    pool_->LinkOverflow(*predecessor, ref);
+  }
+  return ref;
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------------
+
+Status HashTable::BigKeyEquals(const EntryRef& entry, std::string_view key, bool* equals) {
+  *equals = false;
+  if (entry.key_len != key.size()) {
+    return Status::Ok();
+  }
+  if (std::memcmp(entry.prefix.data(), key.data(), entry.prefix.size()) != 0) {
+    return Status::Ok();
+  }
+  if (entry.key_len <= entry.prefix.size()) {
+    *equals = true;  // the prefix covered the whole key
+    return Status::Ok();
+  }
+  std::string full_key;
+  HASHKIT_RETURN_IF_ERROR(
+      ReadBigChain(entry.ovfl_addr, entry.key_len, entry.data_len, &full_key, nullptr));
+  *equals = (full_key == key);
+  return Status::Ok();
+}
+
+Status HashTable::FindPair(uint32_t bucket, std::string_view key, uint32_t hash, PageRef* page,
+                           uint16_t* index) {
+  HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPage(bucket));
+  for (;;) {
+    PageView view(cur.data(), meta_.bsize);
+    const uint16_t n = view.nentries();
+    for (uint16_t i = 0; i < n; ++i) {
+      const EntryRef entry = view.Entry(i);
+      if (entry.big) {
+        if (entry.hash != hash) {
+          continue;
+        }
+        bool eq = false;
+        HASHKIT_RETURN_IF_ERROR(BigKeyEquals(entry, key, &eq));
+        if (eq) {
+          *page = std::move(cur);
+          *index = i;
+          return Status::Ok();
+        }
+      } else if (entry.key == key) {
+        *page = std::move(cur);
+        *index = i;
+        return Status::Ok();
+      }
+    }
+    const uint16_t next = view.ovfl_addr();
+    if (next == 0) {
+      return Status::NotFound();
+    }
+    HASHKIT_ASSIGN_OR_RETURN(PageRef succ, FetchOvflPage(next, &cur));
+    cur = std::move(succ);
+  }
+}
+
+Status HashTable::Get(std::string_view key, std::string* value) {
+  ++stats_.gets;
+  const uint32_t hash = HashKey(key);
+  PageRef page;
+  uint16_t index = 0;
+  HASHKIT_RETURN_IF_ERROR(FindPair(BucketOf(hash), key, hash, &page, &index));
+  if (value != nullptr) {
+    PageView view(page.data(), meta_.bsize);
+    const EntryRef entry = view.Entry(index);
+    if (entry.big) {
+      HASHKIT_RETURN_IF_ERROR(
+          ReadBigChain(entry.ovfl_addr, entry.key_len, entry.data_len, nullptr, value));
+    } else {
+      value->assign(entry.data);
+    }
+  }
+  return Status::Ok();
+}
+
+bool HashTable::Contains(std::string_view key) { return Get(key, nullptr).ok(); }
+
+// ---------------------------------------------------------------------------
+// Insert
+// ---------------------------------------------------------------------------
+
+Status HashTable::AddPairRaw(uint32_t bucket, std::string_view key, std::string_view value,
+                             bool* chain_grew) {
+  HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPage(bucket));
+  for (;;) {
+    PageView view(cur.data(), meta_.bsize);
+    if (view.FitsPair(key.size(), value.size())) {
+      view.AddPair(key, value);
+      cur.MarkDirty();
+      return Status::Ok();
+    }
+    const uint16_t next = view.ovfl_addr();
+    if (next != 0) {
+      HASHKIT_ASSIGN_OR_RETURN(PageRef succ, FetchOvflPage(next, &cur));
+      cur = std::move(succ);
+      continue;
+    }
+    // Chain exhausted: append a buddy-in-waiting overflow page.
+    HASHKIT_ASSIGN_OR_RETURN(const uint16_t oaddr, ovfl_->Alloc(PageType::kOverflow));
+    ++stats_.ovfl_pages_alloced;
+    view.set_ovfl_addr(oaddr);
+    cur.MarkDirty();
+    if (chain_grew != nullptr) {
+      *chain_grew = true;
+    }
+    HASHKIT_ASSIGN_OR_RETURN(PageRef succ, FetchOvflPage(oaddr, &cur));
+    cur = std::move(succ);
+  }
+}
+
+Status HashTable::AddStubToBucket(uint32_t bucket, uint16_t first_oaddr, uint32_t hash,
+                                  uint32_t key_len, uint32_t data_len,
+                                  std::string_view prefix) {
+  HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPage(bucket));
+  for (;;) {
+    PageView view(cur.data(), meta_.bsize);
+    if (view.FitsBigStub(prefix.size())) {
+      view.AddBigStub(first_oaddr, hash, key_len, data_len, prefix);
+      cur.MarkDirty();
+      return Status::Ok();
+    }
+    const uint16_t next = view.ovfl_addr();
+    if (next != 0) {
+      HASHKIT_ASSIGN_OR_RETURN(PageRef succ, FetchOvflPage(next, &cur));
+      cur = std::move(succ);
+      continue;
+    }
+    HASHKIT_ASSIGN_OR_RETURN(const uint16_t oaddr, ovfl_->Alloc(PageType::kOverflow));
+    ++stats_.ovfl_pages_alloced;
+    view.set_ovfl_addr(oaddr);
+    cur.MarkDirty();
+    HASHKIT_ASSIGN_OR_RETURN(PageRef succ, FetchOvflPage(oaddr, &cur));
+    cur = std::move(succ);
+  }
+}
+
+Status HashTable::AddPair(uint32_t bucket, std::string_view key, std::string_view value,
+                          uint32_t hash, bool* chain_grew) {
+  *chain_grew = false;
+  const bool big = !PageView::PairFitsEmptyPage(key.size(), value.size(), meta_.bsize);
+  if (!big) {
+    return AddPairRaw(bucket, key, value, chain_grew);
+  }
+
+  uint16_t big_oaddr = 0;
+  HASHKIT_RETURN_IF_ERROR(WriteBigChain(key, value, &big_oaddr));
+  const std::string_view prefix = key.substr(0, std::min(key.size(), kBigKeyPrefixMax));
+  const Status placed =
+      AddStubToBucket(bucket, big_oaddr, hash, static_cast<uint32_t>(key.size()),
+                      static_cast<uint32_t>(value.size()), prefix);
+  if (!placed.ok()) {
+    (void)FreeBigChain(big_oaddr);  // do not leak the already-written chain
+    return placed;
+  }
+  ++stats_.big_pairs_stored;
+  return Status::Ok();
+}
+
+Status HashTable::Put(std::string_view key, std::string_view value, bool overwrite) {
+  const uint32_t hash = HashKey(key);
+  uint32_t bucket = BucketOf(hash);
+
+  {
+    PageRef page;
+    uint16_t index = 0;
+    const Status found = FindPair(bucket, key, hash, &page, &index);
+    if (found.ok()) {
+      if (!overwrite) {
+        return Status::Exists();
+      }
+      HASHKIT_RETURN_IF_ERROR(RemoveEntryAt(bucket, std::move(page), index));
+    } else if (!found.IsNotFound()) {
+      return found;
+    }
+  }
+
+  bool chain_grew = false;
+  Status added = AddPair(bucket, key, value, hash, &chain_grew);
+  // The 16-bit overflow address space at the current split point (2^11
+  // pages, as in the paper) can run dry under extreme bucket-size /
+  // fill-factor combinations.  Splitting reclaims chains and eventually
+  // advances the split point, so force expansions and retry.
+  for (int forced = 0; added.IsFull() && forced < 64; ++forced) {
+    HASHKIT_RETURN_IF_ERROR(Expand());
+    // The forced split may have rehomed this key's bucket.
+    bucket = BucketOf(hash);
+    added = AddPair(bucket, key, value, hash, &chain_grew);
+  }
+  HASHKIT_RETURN_IF_ERROR(added);
+  ++meta_.nkeys;
+  meta_dirty_ = true;
+  ++stats_.puts;
+
+  bool expand = false;
+  switch (split_policy_) {
+    case SplitPolicy::kHybrid:
+      expand = chain_grew || OverFillFactor();
+      break;
+    case SplitPolicy::kControlledOnly:
+      expand = OverFillFactor();
+      break;
+    case SplitPolicy::kUncontrolledOnly:
+      expand = chain_grew;
+      break;
+  }
+  if (expand) {
+    HASHKIT_RETURN_IF_ERROR(Expand());
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Delete
+// ---------------------------------------------------------------------------
+
+Status HashTable::RemoveEntryAt(uint32_t bucket, PageRef page, uint16_t index) {
+  (void)bucket;
+  PageView view(page.data(), meta_.bsize);
+  const EntryRef entry = view.Entry(index);
+  uint16_t big_chain = 0;
+  if (entry.big) {
+    big_chain = entry.ovfl_addr;
+  }
+  view.RemoveEntry(index);
+  page.MarkDirty();
+  page.Release();
+  if (big_chain != 0) {
+    HASHKIT_RETURN_IF_ERROR(FreeBigChain(big_chain));
+  }
+  --meta_.nkeys;
+  meta_dirty_ = true;
+  // Empty overflow pages are not unlinked here; the paper reclaims them
+  // when the bucket later splits.
+  return Status::Ok();
+}
+
+Status HashTable::Delete(std::string_view key) {
+  const uint32_t hash = HashKey(key);
+  const uint32_t bucket = BucketOf(hash);
+  PageRef page;
+  uint16_t index = 0;
+  HASHKIT_RETURN_IF_ERROR(FindPair(bucket, key, hash, &page, &index));
+  HASHKIT_RETURN_IF_ERROR(RemoveEntryAt(bucket, std::move(page), index));
+  ++stats_.deletes;
+  // Optional extension: reverse one split when load drops far enough
+  // (ffactor/4 gives 4x hysteresis against the split threshold).
+  if (auto_contract_ && meta_.max_bucket > 0 &&
+      meta_.nkeys * 4 < static_cast<uint64_t>(meta_.ffactor) * (meta_.max_bucket + 1)) {
+    HASHKIT_RETURN_IF_ERROR(Contract());
+  }
+  return Status::Ok();
+}
+
+Status HashTable::Contract() {
+  if (meta_.max_bucket == 0) {
+    return Status::NotFound("table is already a single bucket");
+  }
+  const uint32_t victim = meta_.max_bucket;
+  const uint32_t buddy = victim & meta_.low_mask;
+
+  // Copy the victim bucket's pairs out and release its pages.
+  struct Moved {
+    bool big = false;
+    std::string key;
+    std::string data;
+    uint16_t oaddr = 0;
+    uint32_t hash = 0;
+    uint32_t key_len = 0;
+    uint32_t data_len = 0;
+    std::string prefix;
+  };
+  std::vector<Moved> pairs;
+  std::vector<uint16_t> chain_pages;
+  {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPage(victim));
+    for (;;) {
+      PageView view(cur.data(), meta_.bsize);
+      const uint16_t n = view.nentries();
+      for (uint16_t i = 0; i < n; ++i) {
+        const EntryRef entry = view.Entry(i);
+        Moved moved;
+        if (entry.big) {
+          moved.big = true;
+          moved.oaddr = entry.ovfl_addr;
+          moved.hash = entry.hash;
+          moved.key_len = entry.key_len;
+          moved.data_len = entry.data_len;
+          moved.prefix.assign(entry.prefix);
+        } else {
+          moved.key.assign(entry.key);
+          moved.data.assign(entry.data);
+          moved.hash = HashKey(moved.key);
+        }
+        pairs.push_back(std::move(moved));
+      }
+      const uint16_t next = view.ovfl_addr();
+      if (next == 0) {
+        break;
+      }
+      chain_pages.push_back(next);
+      HASHKIT_ASSIGN_OR_RETURN(PageRef succ, FetchOvflPage(next, &cur));
+      cur = std::move(succ);
+    }
+  }
+  for (const uint16_t oaddr : chain_pages) {
+    HASHKIT_RETURN_IF_ERROR(ovfl_->Free(oaddr));
+    ++stats_.ovfl_pages_freed;
+  }
+  {
+    // Leave the abandoned primary page formatted-empty so a future
+    // re-split of this bucket never resurrects stale entries.
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, FetchBucketPage(victim));
+    PageView::Init(page.data(), meta_.bsize, PageType::kBucket);
+    page.MarkDirty();
+  }
+
+  // Reverse the split bookkeeping (mirror of Expand).
+  meta_.max_bucket = victim - 1;
+  if (victim == meta_.low_mask + 1) {
+    // Generation boundary: the masks shrink too.
+    meta_.low_mask >>= 1;
+    meta_.high_mask = (meta_.low_mask << 1) | 1;
+  }
+  meta_dirty_ = true;
+
+  // Re-home the pairs; under the shrunk masks they all land in the buddy.
+  for (const Moved& moved : pairs) {
+    const uint32_t target = BucketOf(moved.hash);
+    assert(target == buddy);
+    (void)buddy;
+    bool chain_grew = false;
+    if (moved.big) {
+      HASHKIT_RETURN_IF_ERROR(
+          AddStubToBucket(target, moved.oaddr, moved.hash, moved.key_len, moved.data_len,
+                          moved.prefix));
+    } else {
+      HASHKIT_RETURN_IF_ERROR(AddPairRaw(target, moved.key, moved.data, &chain_grew));
+    }
+  }
+  ++stats_.contractions;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Big key/data pairs
+// ---------------------------------------------------------------------------
+
+Status HashTable::WriteBigChain(std::string_view key, std::string_view value,
+                                uint16_t* first_oaddr) {
+  const size_t total = key.size() + value.size();
+  const size_t cap = meta_.bsize - kPageHeaderSize;
+  // Reads byte `i` of the conceptual key||value stream.
+  auto stream_copy = [&](size_t offset, uint8_t* dst, size_t len) {
+    size_t copied = 0;
+    if (offset < key.size()) {
+      const size_t from_key = std::min(len, key.size() - offset);
+      std::memcpy(dst, key.data() + offset, from_key);
+      copied += from_key;
+    }
+    if (copied < len) {
+      const size_t voff = offset + copied - key.size();
+      std::memcpy(dst + copied, value.data() + voff, len - copied);
+    }
+  };
+
+  *first_oaddr = 0;
+  PageRef prev;
+  size_t offset = 0;
+  do {
+    auto alloc = ovfl_->Alloc(PageType::kBigSegment);
+    if (!alloc.ok()) {
+      // Unwind the partial chain so no pages leak.
+      prev.Release();
+      if (*first_oaddr != 0) {
+        (void)FreeBigChain(*first_oaddr);
+        *first_oaddr = 0;
+      }
+      return alloc.status();
+    }
+    const uint16_t oaddr = alloc.value();
+    ++stats_.ovfl_pages_alloced;
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(OaddrToPage(meta_, oaddr)));
+    if (*first_oaddr == 0) {
+      *first_oaddr = oaddr;
+    } else {
+      PageView prev_view(prev.data(), meta_.bsize);
+      prev_view.set_ovfl_addr(oaddr);
+      prev.MarkDirty();
+      // Note: big-pair segments are deliberately NOT chain-linked in the
+      // buffer pool.  The paper's evict-with-predecessor rule exists for
+      // bucket overflow chains (short, reused); linking a multi-thousand
+      // page big-value chain would make every resident segment
+      // unevictable while the chain tail is pinned, ballooning the pool
+      // and making eviction scans quadratic.
+    }
+    PageView view(page.data(), meta_.bsize);
+    const size_t chunk = std::min(cap, total - offset);
+    stream_copy(offset, view.SegData(), chunk);
+    view.SetSegUsed(static_cast<uint16_t>(chunk));
+    page.MarkDirty();
+    offset += chunk;
+    prev = std::move(page);
+  } while (offset < total);
+  return Status::Ok();
+}
+
+Status HashTable::ReadBigChain(uint16_t first_oaddr, uint32_t key_len, uint32_t data_len,
+                               std::string* key_out, std::string* value_out) {
+  const size_t total = static_cast<size_t>(key_len) + data_len;
+  if (key_out != nullptr) {
+    key_out->clear();
+    key_out->reserve(key_len);
+  }
+  if (value_out != nullptr) {
+    value_out->clear();
+    value_out->reserve(data_len);
+  }
+  size_t offset = 0;
+  uint16_t oaddr = first_oaddr;
+  while (offset < total) {
+    if (oaddr == 0) {
+      return Status::Corruption("big pair chain truncated");
+    }
+    // Fetched without a pool chain-link (see WriteBigChain).
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, FetchOvflPage(oaddr, nullptr));
+    PageView view(page.data(), meta_.bsize);
+    if (view.type() != PageType::kBigSegment) {
+      return Status::Corruption("big pair chain page has wrong type");
+    }
+    const size_t used = view.SegUsed();
+    if (used == 0 || used > view.SegCapacity() || offset + used > total) {
+      return Status::Corruption("big pair segment size invalid");
+    }
+    const auto* bytes = reinterpret_cast<const char*>(view.SegData());
+    for (size_t i = 0; i < used; ++i) {
+      const size_t pos = offset + i;
+      if (pos < key_len) {
+        if (key_out != nullptr) {
+          key_out->push_back(bytes[i]);
+        }
+      } else if (value_out != nullptr) {
+        value_out->push_back(bytes[i]);
+      }
+    }
+    offset += used;
+    // Reading only the key?  Stop as soon as it is complete.
+    if (value_out == nullptr && offset >= key_len) {
+      return Status::Ok();
+    }
+    oaddr = view.ovfl_addr();
+  }
+  return Status::Ok();
+}
+
+Status HashTable::FreeBigChain(uint16_t first_oaddr) {
+  std::vector<uint16_t> chain;
+  uint16_t oaddr = first_oaddr;
+  while (oaddr != 0) {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(OaddrToPage(meta_, oaddr)));
+    PageView view(page.data(), meta_.bsize);
+    if (view.type() != PageType::kBigSegment) {
+      return Status::Corruption("big pair chain page has wrong type");
+    }
+    chain.push_back(oaddr);
+    oaddr = view.ovfl_addr();
+    if (chain.size() > (1u << 20)) {
+      return Status::Corruption("big pair chain cycle");
+    }
+  }
+  for (const uint16_t addr : chain) {
+    HASHKIT_RETURN_IF_ERROR(ovfl_->Free(addr));
+    ++stats_.ovfl_pages_freed;
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Splitting
+// ---------------------------------------------------------------------------
+
+Status HashTable::Expand() {
+  if ((meta_.max_bucket + 1) & 0x80000000u) {
+    return Status::Full("table reached maximum bucket count");
+  }
+  const uint32_t new_bucket = meta_.max_bucket + 1;
+  meta_.max_bucket = new_bucket;
+  if (new_bucket > meta_.high_mask) {
+    // Generation boundary: the table size doubles.
+    meta_.low_mask = meta_.high_mask;
+    meta_.high_mask = (new_bucket << 1) - 1;
+  }
+  const uint32_t old_bucket = new_bucket & meta_.low_mask;
+  meta_dirty_ = true;
+  HASHKIT_RETURN_IF_ERROR(SplitBucket(old_bucket, new_bucket));
+  ++stats_.splits;
+  return Status::Ok();
+}
+
+Status HashTable::SplitBucket(uint32_t old_bucket, uint32_t new_bucket) {
+  // Everything currently stored in the old bucket, copied out so the pages
+  // can be recycled before redistribution.
+  struct Moved {
+    bool big = false;
+    std::string key;     // regular: full key
+    std::string data;    // regular: full data
+    uint16_t oaddr = 0;  // big: first chain segment (chain is preserved)
+    uint32_t hash = 0;
+    uint32_t key_len = 0;
+    uint32_t data_len = 0;
+    std::string prefix;  // big: stored key prefix
+  };
+  std::vector<Moved> pairs;
+  std::vector<uint16_t> chain_pages;
+
+  {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPage(old_bucket));
+    for (;;) {
+      PageView view(cur.data(), meta_.bsize);
+      const uint16_t n = view.nentries();
+      for (uint16_t i = 0; i < n; ++i) {
+        const EntryRef entry = view.Entry(i);
+        Moved moved;
+        if (entry.big) {
+          moved.big = true;
+          moved.oaddr = entry.ovfl_addr;
+          moved.hash = entry.hash;
+          moved.key_len = entry.key_len;
+          moved.data_len = entry.data_len;
+          moved.prefix.assign(entry.prefix);
+        } else {
+          moved.key.assign(entry.key);
+          moved.data.assign(entry.data);
+          moved.hash = HashKey(moved.key);
+        }
+        pairs.push_back(std::move(moved));
+      }
+      const uint16_t next = view.ovfl_addr();
+      if (next == 0) {
+        break;
+      }
+      chain_pages.push_back(next);
+      HASHKIT_ASSIGN_OR_RETURN(PageRef succ, FetchOvflPage(next, &cur));
+      cur = std::move(succ);
+    }
+  }
+
+  // Reclaim the old chain (the paper: overflow pages "are reclaimed, if
+  // possible, when the bucket later splits") and reset both primary pages.
+  for (const uint16_t oaddr : chain_pages) {
+    HASHKIT_RETURN_IF_ERROR(ovfl_->Free(oaddr));
+    ++stats_.ovfl_pages_freed;
+  }
+  {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef old_page, FetchBucketPage(old_bucket));
+    PageView::Init(old_page.data(), meta_.bsize, PageType::kBucket);
+    old_page.MarkDirty();
+  }
+  {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef new_page, FetchBucketPage(new_bucket, /*create_new=*/true));
+    (void)new_page;  // FetchBucketPage formatted it
+  }
+
+  // Redistribute.  Masks were already advanced by Expand, so BucketOf sends
+  // every pair to either the old or the new bucket.  Big pairs' chains are
+  // untouched; only their stubs move.
+  for (const Moved& moved : pairs) {
+    const uint32_t target = BucketOf(moved.hash);
+    assert(target == old_bucket || target == new_bucket);
+    if (moved.big) {
+      HASHKIT_RETURN_IF_ERROR(AddStubToBucket(target, moved.oaddr, moved.hash, moved.key_len,
+                                              moved.data_len, moved.prefix));
+    } else {
+      HASHKIT_RETURN_IF_ERROR(AddPairRaw(target, moved.key, moved.data, nullptr));
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Sequential scan
+// ---------------------------------------------------------------------------
+
+void Cursor::Reset() {
+  started_ = false;
+  bucket_ = 0;
+  page_oaddr_ = 0;
+  entry_ = 0;
+}
+
+Status Cursor::Next(std::string* key, std::string* value) {
+  if (!started_) {
+    Reset();
+    started_ = true;
+  }
+  HashTable& t = *table_;
+  for (;;) {
+    if (bucket_ > t.meta_.max_bucket) {
+      return Status::NotFound("end of table");
+    }
+    PageRef page;
+    if (page_oaddr_ == 0) {
+      HASHKIT_ASSIGN_OR_RETURN(page, t.FetchBucketPage(bucket_));
+    } else {
+      HASHKIT_ASSIGN_OR_RETURN(page, t.FetchOvflPage(page_oaddr_, nullptr));
+    }
+    PageView view(page.data(), t.meta_.bsize);
+    if (entry_ < view.nentries()) {
+      const EntryRef e = view.Entry(entry_);
+      ++entry_;
+      if (e.big) {
+        HASHKIT_RETURN_IF_ERROR(t.ReadBigChain(e.ovfl_addr, e.key_len, e.data_len, key, value));
+      } else {
+        if (key != nullptr) {
+          key->assign(e.key);
+        }
+        if (value != nullptr) {
+          value->assign(e.data);
+        }
+      }
+      return Status::Ok();
+    }
+    const uint16_t next = view.ovfl_addr();
+    entry_ = 0;
+    if (next != 0) {
+      page_oaddr_ = next;
+    } else {
+      page_oaddr_ = 0;
+      ++bucket_;
+    }
+  }
+}
+
+Status HashTable::Seq(std::string* key, std::string* value, bool first) {
+  if (first) {
+    seq_cursor_.Reset();
+  }
+  return seq_cursor_.Next(key, value);
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+Result<HashTable::Analysis> HashTable::Analyze() {
+  Analysis a;
+  a.buckets = meta_.max_bucket + 1;
+  a.keys = meta_.nkeys;
+  const size_t usable = meta_.bsize - kPageHeaderSize;
+  uint64_t pages_counted = 0;
+  uint64_t pair_bytes = 0;
+  uint64_t total_pair_len = 0;
+
+  for (uint32_t bucket = 0; bucket <= meta_.max_bucket; ++bucket) {
+    uint32_t chain_len = 0;
+    uint64_t bucket_keys = 0;
+    HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPage(bucket));
+    for (;;) {
+      PageView view(cur.data(), meta_.bsize);
+      ++pages_counted;
+      pair_bytes += usable - view.FreeSpace();
+      bucket_keys += view.nentries();
+      for (uint16_t i = 0; i < view.nentries(); ++i) {
+        const EntryRef entry = view.Entry(i);
+        if (entry.big) {
+          total_pair_len += static_cast<uint64_t>(entry.key_len) + entry.data_len;
+          // Count the chain pages without reading them.
+          const size_t cap = meta_.bsize - kPageHeaderSize;
+          a.big_pair_pages +=
+              (static_cast<uint64_t>(entry.key_len) + entry.data_len + cap - 1) / cap;
+        } else {
+          total_pair_len += entry.key.size() + entry.data.size();
+        }
+      }
+      const uint16_t next = view.ovfl_addr();
+      if (next == 0) {
+        break;
+      }
+      ++chain_len;
+      HASHKIT_ASSIGN_OR_RETURN(PageRef succ, FetchOvflPage(next, &cur));
+      cur = std::move(succ);
+    }
+    a.overflow_pages += chain_len;
+    a.max_chain_pages = std::max(a.max_chain_pages, chain_len);
+    if (bucket_keys == 0) {
+      ++a.empty_buckets;
+    }
+  }
+  a.avg_keys_per_bucket = static_cast<double>(a.keys) / a.buckets;
+  a.avg_bytes_per_page =
+      pages_counted == 0
+          ? 0.0
+          : static_cast<double>(pair_bytes) / (static_cast<double>(pages_counted) * usable);
+  if (a.keys > 0) {
+    const double avg_pair = static_cast<double>(total_pair_len) / static_cast<double>(a.keys);
+    a.eq1_ffactor = static_cast<double>(meta_.bsize) / (avg_pair + 4.0);
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Integrity checking
+// ---------------------------------------------------------------------------
+
+Status HashTable::CheckIntegrity() {
+  if (meta_.high_mask != (meta_.low_mask << 1 | 1)) {
+    return Status::Corruption("mask invariant violated");
+  }
+  if (meta_.max_bucket < meta_.low_mask || meta_.max_bucket > meta_.high_mask) {
+    return Status::Corruption("max_bucket outside mask range");
+  }
+  for (uint32_t sp = 1; sp < kMaxSplitPoints; ++sp) {
+    if (meta_.spares[sp] < meta_.spares[sp - 1]) {
+      return Status::Corruption("spares[] not monotone");
+    }
+  }
+
+  uint64_t key_count = 0;
+  std::set<uint16_t> seen;  // every overflow address referenced anywhere
+  for (uint32_t sp = 0; sp < kMaxSplitPoints; ++sp) {
+    if (meta_.bitmaps[sp] != 0) {
+      if (!seen.insert(meta_.bitmaps[sp]).second) {
+        return Status::Corruption("bitmap oaddr duplicated");
+      }
+    }
+  }
+
+  for (uint32_t bucket = 0; bucket <= meta_.max_bucket; ++bucket) {
+    uint16_t cur_oaddr = 0;
+    PageRef page;
+    {
+      HASHKIT_ASSIGN_OR_RETURN(PageRef p, FetchBucketPage(bucket));
+      page = std::move(p);
+    }
+    for (;;) {
+      PageView view(page.data(), meta_.bsize);
+      if (!view.Validate()) {
+        return Status::Corruption("page failed validation");
+      }
+      const PageType expect = cur_oaddr == 0 ? PageType::kBucket : PageType::kOverflow;
+      if (view.type() != expect) {
+        return Status::Corruption("page has unexpected type");
+      }
+      const uint16_t n = view.nentries();
+      for (uint16_t i = 0; i < n; ++i) {
+        const EntryRef e = view.Entry(i);
+        uint32_t h;
+        if (e.big) {
+          std::string big_key;
+          HASHKIT_RETURN_IF_ERROR(ReadBigChain(e.ovfl_addr, e.key_len, e.data_len, &big_key,
+                                               nullptr));
+          h = HashKey(big_key);
+          if (h != e.hash) {
+            return Status::Corruption("big stub hash does not match key");
+          }
+          if (big_key.size() != e.key_len) {
+            return Status::Corruption("big key length mismatch");
+          }
+          // Walk the chain, checking allocation bits and accounting pages.
+          uint16_t seg = e.ovfl_addr;
+          size_t total = 0;
+          while (seg != 0) {
+            if (!seen.insert(seg).second) {
+              return Status::Corruption("overflow page referenced twice");
+            }
+            HASHKIT_ASSIGN_OR_RETURN(const bool allocated, ovfl_->IsAllocated(seg));
+            if (!allocated) {
+              return Status::Corruption("big chain page not marked allocated");
+            }
+            HASHKIT_ASSIGN_OR_RETURN(PageRef seg_page, pool_->Get(OaddrToPage(meta_, seg)));
+            PageView seg_view(seg_page.data(), meta_.bsize);
+            if (seg_view.type() != PageType::kBigSegment) {
+              return Status::Corruption("big chain page has wrong type");
+            }
+            total += seg_view.SegUsed();
+            seg = seg_view.ovfl_addr();
+          }
+          if (total != static_cast<size_t>(e.key_len) + e.data_len) {
+            return Status::Corruption("big chain byte count mismatch");
+          }
+        } else {
+          h = HashKey(std::string(e.key));
+        }
+        if (BucketOf(h) != bucket) {
+          return Status::Corruption("key stored in wrong bucket");
+        }
+        ++key_count;
+      }
+      const uint16_t next = view.ovfl_addr();
+      if (next == 0) {
+        break;
+      }
+      if (!seen.insert(next).second) {
+        return Status::Corruption("overflow page referenced twice");
+      }
+      HASHKIT_ASSIGN_OR_RETURN(const bool allocated, ovfl_->IsAllocated(next));
+      if (!allocated) {
+        return Status::Corruption("chain page not marked allocated");
+      }
+      HASHKIT_ASSIGN_OR_RETURN(PageRef succ, FetchOvflPage(next, &page));
+      page = std::move(succ);
+      cur_oaddr = next;
+    }
+  }
+
+  if (key_count != meta_.nkeys) {
+    return Status::Corruption("key count does not match header");
+  }
+  HASHKIT_ASSIGN_OR_RETURN(const uint64_t in_use, ovfl_->CountInUse());
+  if (in_use != seen.size()) {
+    return Status::Corruption("bitmap population does not match referenced pages");
+  }
+  return Status::Ok();
+}
+
+}  // namespace hashkit

@@ -1,0 +1,223 @@
+// hashkit: the extended linear hash table — the paper's primary
+// contribution.
+//
+// Litwin/Larson linear hashing with the paper's three extensions:
+//   * hybrid split policy: controlled splits when the fill factor is
+//     exceeded, uncontrolled splits when a page overflows;
+//   * buddy-in-waiting overflow pages shared between bucket chains and big
+//     key/data pairs, addressed through spares[] so the file never needs
+//     reorganizing;
+//   * an integrated LRU buffer pool, so the same table works disk-resident
+//     (superseding ndbm) and memory-resident (superseding hsearch).
+//
+// Inserts never fail because too many keys hash to the same value, and
+// never fail because a key/data pair is too large (both are the paper's
+// "Enhanced Functionality" guarantees).
+//
+// Thread-compatibility: a table may be used from one thread at a time
+// (matching the original package; the paper's conclusion notes multi-user
+// access as future work).
+
+#ifndef HASHKIT_SRC_CORE_HASH_TABLE_H_
+#define HASHKIT_SRC_CORE_HASH_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/core/meta.h"
+#include "src/core/options.h"
+#include "src/core/ovfl.h"
+#include "src/core/page.h"
+#include "src/pagefile/buffer_pool.h"
+#include "src/pagefile/page_file.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+
+struct HashTableStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t splits = 0;            // bucket splits performed
+  uint64_t contractions = 0;      // reverse splits (auto_contract extension)
+  uint64_t ovfl_pages_alloced = 0;
+  uint64_t ovfl_pages_freed = 0;
+  uint64_t big_pairs_stored = 0;
+};
+
+class HashTable;
+
+// Sequential-scan cursor.  Iterates every pair in bucket order.  The table
+// must not be mutated while a cursor is live.
+class Cursor {
+ public:
+  // Advances to the next pair; returns kNotFound at end of table.
+  Status Next(std::string* key, std::string* value);
+
+  // Restarts from the beginning.
+  void Reset();
+
+ private:
+  friend class HashTable;
+  explicit Cursor(HashTable* table) : table_(table) {}
+
+  HashTable* table_ = nullptr;
+  bool started_ = false;
+  uint32_t bucket_ = 0;
+  uint16_t page_oaddr_ = 0;  // 0 = primary page of bucket_
+  uint16_t entry_ = 0;       // next entry index on the current page
+};
+
+class HashTable {
+ public:
+  // Opens (or creates) a disk-resident table at `path`.  When the file
+  // already exists and `truncate` is false, geometry comes from the file
+  // header and `options.bsize/ffactor/nelem` are ignored; the hash function
+  // is verified against the stored check value.
+  static Result<std::unique_ptr<HashTable>> Open(const std::string& path,
+                                                 const HashOptions& options,
+                                                 bool truncate = false);
+
+  // Creates a memory-resident table.  Pages that do not fit in the buffer
+  // pool spill to an unlinked temporary file, as in the paper's
+  // memory-resident test.
+  static Result<std::unique_ptr<HashTable>> OpenInMemory(const HashOptions& options);
+
+  ~HashTable();
+
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+
+  // Inserts or replaces.  With overwrite=false an existing key yields
+  // kExists (ndbm's DBM_INSERT semantics).
+  Status Put(std::string_view key, std::string_view value, bool overwrite = true);
+
+  // Looks up `key`; fills `*value` (may be nullptr to test existence only).
+  Status Get(std::string_view key, std::string* value);
+
+  bool Contains(std::string_view key);
+
+  Status Delete(std::string_view key);
+
+  // One reverse linear-hashing step: merges the highest bucket into its
+  // buddy (the bucket it split from) and shrinks the masks.  kNotFound
+  // when the table is already a single bucket.  Runs automatically after
+  // deletes when HashOptions::auto_contract is set.
+  Status Contract();
+
+  // Flushes the header and all dirty pages to the backing store.
+  Status Sync();
+
+  Cursor NewCursor() { return Cursor(this); }
+
+  // ndbm-style one-shot sequential interface built on an internal cursor:
+  // Seq(first=true) restarts.
+  Status Seq(std::string* key, std::string* value, bool first);
+
+  // --- Introspection ---
+  uint64_t size() const { return meta_.nkeys; }
+  uint32_t bucket_count() const { return meta_.max_bucket + 1; }
+  const Meta& meta() const { return meta_; }
+  const HashTableStats& stats() const { return stats_; }
+  const BufferPoolStats& pool_stats() const { return pool_->stats(); }
+  const PageFileStats& file_stats() const { return file_->stats(); }
+  HashFn hash_fn() const { return hash_; }
+
+  // Exhaustive structural validation: every page well-formed, every key in
+  // its correct bucket, key count and overflow bitmaps consistent.
+  // O(table size); meant for tests.
+  Status CheckIntegrity();
+
+  // Occupancy analysis for tuning (the paper: "in time critical
+  // applications, users are encouraged to experiment ... to achieve
+  // optimal performance").  O(table size).
+  struct Analysis {
+    uint32_t buckets = 0;
+    uint64_t keys = 0;
+    uint64_t overflow_pages = 0;     // chain pages currently linked
+    uint64_t big_pair_pages = 0;     // pages held by big-pair chains
+    uint32_t max_chain_pages = 0;    // longest bucket chain (primary excluded)
+    uint32_t empty_buckets = 0;
+    double avg_keys_per_bucket = 0.0;
+    double avg_bytes_per_page = 0.0;  // pair bytes / page capacity, primaries+chains
+    double eq1_ffactor = 0.0;         // fill factor equation (1) suggests for bsize
+  };
+  Result<Analysis> Analyze();
+
+ private:
+  friend class Cursor;
+
+  HashTable(std::unique_ptr<PageFile> file, const HashOptions& options);
+
+  Status InitNew(const HashOptions& options);
+  Status InitExisting(const HashOptions& options);
+  Status WriteMeta();
+
+  uint32_t HashKey(std::string_view key) const {
+    return hash_(key.data(), key.size());
+  }
+  uint32_t BucketOf(uint32_t hash) const;
+
+  // Page access.  Fetching a bucket page formats virgin (all-zero) pages;
+  // fetching an overflow page records the chain link in the buffer pool.
+  Result<PageRef> FetchBucketPage(uint32_t bucket, bool create_new = false);
+  Result<PageRef> FetchOvflPage(uint16_t oaddr, const PageRef* predecessor);
+
+  // Locates `key` within `bucket`'s chain.  On success `*page` is pinned,
+  // `*index` is the entry.  kNotFound leaves outputs untouched.
+  Status FindPair(uint32_t bucket, std::string_view key, uint32_t hash, PageRef* page,
+                  uint16_t* index);
+
+  // Low-level insert into `bucket` (no duplicate check, no split trigger).
+  // Sets *chain_grew when a new overflow page had to be appended.
+  Status AddPair(uint32_t bucket, std::string_view key, std::string_view value, uint32_t hash,
+                 bool* chain_grew);
+
+  // Places a regular pair / an existing big-pair stub into `bucket`'s
+  // chain, extending the chain as needed.  Used by splits and contraction,
+  // which move entries without rewriting big chains.
+  Status AddPairRaw(uint32_t bucket, std::string_view key, std::string_view value,
+                    bool* chain_grew);
+  Status AddStubToBucket(uint32_t bucket, uint16_t first_oaddr, uint32_t hash, uint32_t key_len,
+                         uint32_t data_len, std::string_view prefix);
+
+  // Big-pair plumbing.
+  Status WriteBigChain(std::string_view key, std::string_view value, uint16_t* first_oaddr);
+  Status ReadBigChain(uint16_t first_oaddr, uint32_t key_len, uint32_t data_len,
+                      std::string* key_out, std::string* value_out);
+  Status FreeBigChain(uint16_t first_oaddr);
+  // Compares a probe key against a big entry (prefix first, chain only when
+  // the prefix matches).
+  Status BigKeyEquals(const EntryRef& entry, std::string_view key, bool* equals);
+
+  // Removes the entry at (page, index); releases the big chain if needed,
+  // unlinks the page from its bucket chain when it becomes empty.
+  Status RemoveEntryAt(uint32_t bucket, PageRef page, uint16_t index);
+
+  // One linear-hashing expansion step: splits bucket (max_bucket+1) & low_mask.
+  Status Expand();
+  Status SplitBucket(uint32_t old_bucket, uint32_t new_bucket);
+
+  // Whether the controlled-split condition currently holds.
+  bool OverFillFactor() const {
+    return meta_.nkeys > static_cast<uint64_t>(meta_.ffactor) * (meta_.max_bucket + 1);
+  }
+
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<OvflAllocator> ovfl_;
+  Meta meta_;
+  HashFn hash_ = nullptr;
+  SplitPolicy split_policy_ = SplitPolicy::kHybrid;
+  bool auto_contract_ = false;
+  bool persistent_ = false;  // false for in-memory tables
+  bool meta_dirty_ = false;
+  HashTableStats stats_;
+  Cursor seq_cursor_{this};
+};
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_CORE_HASH_TABLE_H_

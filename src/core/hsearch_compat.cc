@@ -1,0 +1,80 @@
+#include "src/core/hsearch_compat.h"
+
+#include <cstring>
+
+namespace hashkit {
+namespace hsearch {
+
+namespace {
+// The data pointer is stored verbatim as the pair's value bytes.
+std::string EncodePointer(void* p) {
+  std::string s(sizeof(void*), '\0');
+  std::memcpy(s.data(), &p, sizeof(void*));
+  return s;
+}
+
+void* DecodePointer(const std::string& s) {
+  void* p = nullptr;
+  if (s.size() == sizeof(void*)) {
+    std::memcpy(&p, s.data(), sizeof(void*));
+  }
+  return p;
+}
+}  // namespace
+
+Result<std::unique_ptr<Table>> Table::Create(size_t nelem, const HashOptions& options) {
+  HashOptions opts = options;
+  opts.nelem = static_cast<uint32_t>(nelem);
+  HASHKIT_ASSIGN_OR_RETURN(auto table, HashTable::OpenInMemory(opts));
+  return std::unique_ptr<Table>(new Table(std::move(table)));
+}
+
+Status Table::Search(const Entry& entry, Action action, Entry* result) {
+  std::string value;
+  const Status found = table_->Get(entry.key, &value);
+  if (found.ok()) {
+    if (result != nullptr) {
+      result->key = entry.key;
+      result->data = DecodePointer(value);
+    }
+    return Status::Ok();
+  }
+  if (!found.IsNotFound()) {
+    return found;
+  }
+  if (action == Action::kFind) {
+    return Status::NotFound();
+  }
+  HASHKIT_RETURN_IF_ERROR(table_->Put(entry.key, EncodePointer(entry.data)));
+  if (result != nullptr) {
+    *result = entry;
+  }
+  return Status::Ok();
+}
+
+namespace {
+std::unique_ptr<Table> g_table;   // the single hcreate table
+Entry g_scratch;                  // storage for HSearch's returned pointer
+}  // namespace
+
+bool HCreate(size_t nelem) {
+  auto result = Table::Create(nelem);
+  if (!result.ok()) {
+    return false;
+  }
+  g_table = std::move(result).value();
+  return true;
+}
+
+Entry* HSearch(const Entry& item, Action action) {
+  if (g_table == nullptr) {
+    return nullptr;
+  }
+  const Status st = g_table->Search(item, action, &g_scratch);
+  return st.ok() ? &g_scratch : nullptr;
+}
+
+void HDestroy() { g_table.reset(); }
+
+}  // namespace hsearch
+}  // namespace hashkit

@@ -1,0 +1,58 @@
+// hashkit: hsearch-compatible interface over the new package (the paper's
+// "set of compatibility routines to implement the hsearch interface").
+//
+// The native interface removes hsearch's restrictions: tables may grow past
+// nelem, multiple tables can be open concurrently, tables may live on disk,
+// and hash functions are selectable at runtime.  The single-global-table
+// hcreate/hsearch/hdestroy shims are provided for source compatibility.
+
+#ifndef HASHKIT_SRC_CORE_HSEARCH_COMPAT_H_
+#define HASHKIT_SRC_CORE_HSEARCH_COMPAT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/hash_table.h"
+
+namespace hashkit {
+namespace hsearch {
+
+struct Entry {
+  std::string key;
+  void* data = nullptr;
+};
+
+enum class Action { kFind, kEnter };
+
+// A memory-resident key -> pointer table with hsearch semantics, built on
+// the package's in-memory mode.  Unlike System V hsearch it never reports
+// "table full".
+class Table {
+ public:
+  // `nelem` is a sizing hint, exactly as in hcreate(3).
+  static Result<std::unique_ptr<Table>> Create(size_t nelem, const HashOptions& options = {});
+
+  // kFind: returns the entry or kNotFound.  kEnter: inserts if absent
+  // (returning the inserted entry), otherwise returns the existing entry
+  // without replacing it — hsearch(3)'s slightly surprising contract.
+  Status Search(const Entry& entry, Action action, Entry* result);
+
+  size_t size() const { return table_->size(); }
+  HashTable* table() { return table_.get(); }
+
+ private:
+  explicit Table(std::unique_ptr<HashTable> table) : table_(std::move(table)) {}
+
+  std::unique_ptr<HashTable> table_;
+};
+
+// Global single-table shims mirroring <search.h>.  Not thread-safe, by
+// historical design.
+bool HCreate(size_t nelem);
+Entry* HSearch(const Entry& item, Action action);
+void HDestroy();
+
+}  // namespace hsearch
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_CORE_HSEARCH_COMPAT_H_

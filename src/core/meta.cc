@@ -1,0 +1,80 @@
+#include "src/core/meta.h"
+
+#include <cassert>
+
+#include "src/util/endian.h"
+
+namespace hashkit {
+
+void EncodeMeta(const Meta& meta, std::span<uint8_t> out) {
+  assert(out.size() >= kMetaEncodedSize);
+  uint8_t* p = out.data();
+  EncodeU32(p + 0, meta.magic);
+  EncodeU32(p + 4, meta.version);
+  EncodeU32(p + 8, meta.bsize);
+  EncodeU32(p + 12, meta.ffactor);
+  EncodeU64(p + 16, meta.nkeys);
+  EncodeU32(p + 24, meta.max_bucket);
+  EncodeU32(p + 28, meta.high_mask);
+  EncodeU32(p + 32, meta.low_mask);
+  EncodeU32(p + 36, meta.last_freed);
+  EncodeU32(p + 40, meta.hash_check);
+  EncodeU32(p + 44, meta.hash_id);
+  EncodeU32(p + 48, meta.nhdr_pages);
+  EncodeU32(p + 52, meta.nelem_hint);
+  EncodeU32(p + 56, meta.ovfl_point);
+  size_t off = 60;
+  for (uint32_t s : meta.spares) {
+    EncodeU32(p + off, s);
+    off += 4;
+  }
+  for (uint16_t b : meta.bitmaps) {
+    EncodeU16(p + off, b);
+    off += 2;
+  }
+  assert(off == kMetaEncodedSize);
+}
+
+Result<Meta> DecodeMeta(std::span<const uint8_t> in) {
+  if (in.size() < kMetaEncodedSize) {
+    return Status::Corruption("header too short");
+  }
+  const uint8_t* p = in.data();
+  Meta meta;
+  meta.magic = DecodeU32(p + 0);
+  if (meta.magic != kHashMagic) {
+    return Status::Corruption("bad magic: not a hashkit file");
+  }
+  meta.version = DecodeU32(p + 4);
+  if (meta.version != kHashVersion) {
+    return Status::Corruption("unsupported version");
+  }
+  meta.bsize = DecodeU32(p + 8);
+  meta.ffactor = DecodeU32(p + 12);
+  meta.nkeys = DecodeU64(p + 16);
+  meta.max_bucket = DecodeU32(p + 24);
+  meta.high_mask = DecodeU32(p + 28);
+  meta.low_mask = DecodeU32(p + 32);
+  meta.last_freed = DecodeU32(p + 36);
+  meta.hash_check = DecodeU32(p + 40);
+  meta.hash_id = DecodeU32(p + 44);
+  meta.nhdr_pages = DecodeU32(p + 48);
+  meta.nelem_hint = DecodeU32(p + 52);
+  meta.ovfl_point = DecodeU32(p + 56);
+  size_t off = 60;
+  for (uint32_t& s : meta.spares) {
+    s = DecodeU32(p + off);
+    off += 4;
+  }
+  for (uint16_t& b : meta.bitmaps) {
+    b = DecodeU16(p + off);
+    off += 2;
+  }
+  return meta;
+}
+
+uint32_t HeaderPagesFor(uint32_t bsize) {
+  return static_cast<uint32_t>((kMetaEncodedSize + bsize - 1) / bsize);
+}
+
+}  // namespace hashkit

@@ -1,0 +1,79 @@
+// hashkit: the hash table's file header ("meta page").
+//
+// Holds everything needed to reopen a table: geometry, linear-hashing
+// state (max bucket and masks), the spares[] array that makes the paper's
+// buddy-in-waiting overflow addressing work, and the overflow-bitmap page
+// addresses.  Serialized little-endian at the front of the file, spanning
+// nhdr_pages pages for small bucket sizes.
+
+#ifndef HASHKIT_SRC_CORE_META_H_
+#define HASHKIT_SRC_CORE_META_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/core/options.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+
+inline constexpr uint32_t kHashMagic = 0x48534b31;  // "HSK1"
+inline constexpr uint32_t kHashVersion = 1;
+
+// The byte string hashed at create time; its hash is stored so that opening
+// a table with a different hash function fails cleanly (paper: "the hash
+// package will try to determine that the hash function supplied is the one
+// with which the table was created").
+inline constexpr char kHashCheckKey[] = "%$sniglet&*";
+
+struct Meta {
+  uint32_t magic = kHashMagic;
+  uint32_t version = kHashVersion;
+  uint32_t bsize = 256;
+  uint32_t ffactor = kDefaultFfactor;
+  uint64_t nkeys = 0;
+
+  // Linear-hashing state.
+  uint32_t max_bucket = 0;  // highest bucket in existence
+  uint32_t high_mask = 1;   // mask for the growing generation
+  uint32_t low_mask = 0;    // mask for the previous generation
+
+  uint32_t last_freed = 0;  // oaddr hint for overflow-page reuse (0 = none)
+  // The split point at which fresh overflow pages are being carved.  At
+  // least the current growth frontier, but may run AHEAD of it when a
+  // split point's 2^11-page address space is exhausted — allocating at a
+  // future split point is safe because no buckets exist beyond it yet.
+  uint32_t ovfl_point = 0;
+  uint32_t hash_check = 0;  // hash(kHashCheckKey) under the table's function
+  uint32_t hash_id = 0;     // HashFuncId, or kCustomHashId
+  uint32_t nhdr_pages = 1;  // pages consumed by this header
+  uint32_t nelem_hint = 0;  // informational: creation-time size estimate
+
+  // spares[s] = cumulative count of overflow pages allocated at split
+  // points <= s.  Drives BUCKET_TO_PAGE / OADDR_TO_PAGE.
+  std::array<uint32_t, kMaxSplitPoints> spares{};
+
+  // Overflow address of the bitmap page for each split point (0 = none).
+  std::array<uint16_t, kMaxSplitPoints> bitmaps{};
+};
+
+inline constexpr uint32_t kCustomHashId = 0xff;
+
+// Serialized size of a Meta record, independent of page size.
+inline constexpr size_t kMetaEncodedSize =
+    4 * 13 + 8 + 4 * kMaxSplitPoints + 2 * kMaxSplitPoints;
+
+// Encodes `meta` into `out` (must be >= kMetaEncodedSize bytes).
+void EncodeMeta(const Meta& meta, std::span<uint8_t> out);
+
+// Decodes and validates magic/version.  Does not validate hash_check (the
+// caller does that once it knows the hash function).
+Result<Meta> DecodeMeta(std::span<const uint8_t> in);
+
+// Number of header pages needed for a given bucket size.
+uint32_t HeaderPagesFor(uint32_t bsize);
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_CORE_META_H_

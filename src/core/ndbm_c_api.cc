@@ -1,0 +1,123 @@
+#include "src/core/ndbm_c_api.h"
+
+#include <fcntl.h>
+
+#include <memory>
+#include <string>
+
+#include "src/core/hash_table.h"
+
+namespace hashkit {
+namespace ndbm_c {
+
+struct DBM {
+  std::unique_ptr<HashTable> table;
+  std::string fetch_buf;  // storage behind the datum dbm_fetch returns
+  std::string key_buf;    // storage behind firstkey/nextkey datums
+  int error = 0;
+};
+
+DBM* dbm_open(const char* file, int open_flags, int file_mode) {
+  (void)file_mode;  // the page-file layer creates with 0644; historical arg
+  HashOptions options;
+  const bool truncate = (open_flags & O_TRUNC) != 0;
+  auto opened = HashTable::Open(file, options, truncate);
+  if (!opened.ok()) {
+    return nullptr;
+  }
+  auto* db = new DBM;
+  db->table = std::move(opened).value();
+  return db;
+}
+
+void dbm_close(DBM* db) { delete db; }
+
+datum dbm_fetch(DBM* db, datum key) {
+  datum result;
+  if (db == nullptr) {
+    return result;
+  }
+  const Status st = db->table->Get(
+      std::string_view(static_cast<const char*>(key.dptr), key.dsize), &db->fetch_buf);
+  if (!st.ok()) {
+    if (!st.IsNotFound()) {
+      db->error = 1;
+    }
+    return result;
+  }
+  result.dptr = db->fetch_buf.data();
+  result.dsize = db->fetch_buf.size();
+  return result;
+}
+
+int dbm_store(DBM* db, datum key, datum content, int store_mode) {
+  if (db == nullptr) {
+    return -1;
+  }
+  const Status st = db->table->Put(
+      std::string_view(static_cast<const char*>(key.dptr), key.dsize),
+      std::string_view(static_cast<const char*>(content.dptr), content.dsize),
+      /*overwrite=*/store_mode == DBM_REPLACE);
+  if (st.ok()) {
+    return 0;
+  }
+  if (st.IsExists()) {
+    return 1;  // ndbm's DBM_INSERT-hit-existing convention
+  }
+  db->error = 1;
+  return -1;
+}
+
+int dbm_delete(DBM* db, datum key) {
+  if (db == nullptr) {
+    return -1;
+  }
+  const Status st = db->table->Delete(
+      std::string_view(static_cast<const char*>(key.dptr), key.dsize));
+  if (st.ok()) {
+    return 0;
+  }
+  if (!st.IsNotFound()) {
+    db->error = 1;
+  }
+  return -1;
+}
+
+namespace {
+datum KeyDatum(DBM* db, const Status& st) {
+  datum result;
+  if (st.ok()) {
+    result.dptr = db->key_buf.data();
+    result.dsize = db->key_buf.size();
+  } else if (!st.IsNotFound()) {
+    db->error = 1;
+  }
+  return result;
+}
+}  // namespace
+
+datum dbm_firstkey(DBM* db) {
+  if (db == nullptr) {
+    return {};
+  }
+  return KeyDatum(db, db->table->Seq(&db->key_buf, nullptr, /*first=*/true));
+}
+
+datum dbm_nextkey(DBM* db) {
+  if (db == nullptr) {
+    return {};
+  }
+  return KeyDatum(db, db->table->Seq(&db->key_buf, nullptr, /*first=*/false));
+}
+
+int dbm_error(DBM* db) { return db == nullptr ? 1 : db->error; }
+
+int dbm_clearerr(DBM* db) {
+  if (db != nullptr) {
+    db->error = 0;
+  }
+  return 0;
+}
+
+}  // namespace ndbm_c
+}  // namespace hashkit

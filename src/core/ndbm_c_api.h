@@ -1,0 +1,54 @@
+// hashkit: the classic ndbm(3) C interface, signature for signature.
+//
+// "This hashing package provides a set of compatibility routines to
+// implement the ndbm interface" — this header is that claim made literal:
+// an existing C program written against <ndbm.h> recompiles against this
+// file (namespaced to avoid colliding with a system ndbm) and runs on the
+// new package.  See examples/ndbm_port.cpp for the softer C++ mirror.
+//
+// Semantics follow ndbm(3):
+//   * dbm_open(file, flags, mode): O_CREAT creates, O_TRUNC clears; the
+//     mode is applied to the created file.
+//   * dbm_fetch returns a datum pointing into library-owned storage,
+//     valid until the next operation on the same DBM.
+//   * dbm_store with DBM_INSERT returns 1 if the key exists; DBM_REPLACE
+//     overwrites.  Returns negative on error.
+//   * dbm_delete returns negative if the key is absent.
+//   * dbm_firstkey/dbm_nextkey iterate keys in hash order.
+//   * dbm_error/dbm_clearerr expose the sticky error flag.
+
+#ifndef HASHKIT_SRC_CORE_NDBM_C_API_H_
+#define HASHKIT_SRC_CORE_NDBM_C_API_H_
+
+#include <cstddef>
+
+namespace hashkit {
+namespace ndbm_c {
+
+struct datum {
+  void* dptr = nullptr;
+  size_t dsize = 0;
+};
+
+inline constexpr int DBM_INSERT = 0;
+inline constexpr int DBM_REPLACE = 1;
+
+// Opaque handle, as in <ndbm.h>.
+struct DBM;
+
+DBM* dbm_open(const char* file, int open_flags, int file_mode);
+void dbm_close(DBM* db);
+
+datum dbm_fetch(DBM* db, datum key);
+int dbm_store(DBM* db, datum key, datum content, int store_mode);
+int dbm_delete(DBM* db, datum key);
+datum dbm_firstkey(DBM* db);
+datum dbm_nextkey(DBM* db);
+
+int dbm_error(DBM* db);
+int dbm_clearerr(DBM* db);
+
+}  // namespace ndbm_c
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_CORE_NDBM_C_API_H_

@@ -1,0 +1,41 @@
+#include "src/core/ndbm_compat.h"
+
+namespace hashkit {
+namespace ndbm {
+
+Result<std::unique_ptr<Db>> Db::Open(const std::string& path, const HashOptions& options) {
+  HASHKIT_ASSIGN_OR_RETURN(auto table, HashTable::Open(path, options));
+  return std::unique_ptr<Db>(new Db(std::move(table)));
+}
+
+Datum Db::Fetch(Datum key) {
+  const Status st = table_->Get(key.view(), &data_buf_);
+  if (!st.ok()) {
+    return Datum();
+  }
+  return Datum(data_buf_.data(), data_buf_.size());
+}
+
+int Db::Store(Datum key, Datum content, StoreMode mode) {
+  const Status st =
+      table_->Put(key.view(), content.view(), /*overwrite=*/mode == StoreMode::kReplace);
+  if (st.ok()) {
+    return 0;
+  }
+  return st.IsExists() ? 1 : -1;
+}
+
+int Db::Delete(Datum key) { return table_->Delete(key.view()).ok() ? 0 : -1; }
+
+Datum Db::Firstkey() {
+  const Status st = table_->Seq(&key_buf_, nullptr, /*first=*/true);
+  return st.ok() ? Datum(key_buf_.data(), key_buf_.size()) : Datum();
+}
+
+Datum Db::Nextkey() {
+  const Status st = table_->Seq(&key_buf_, nullptr, /*first=*/false);
+  return st.ok() ? Datum(key_buf_.data(), key_buf_.size()) : Datum();
+}
+
+}  // namespace ndbm
+}  // namespace hashkit

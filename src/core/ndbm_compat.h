@@ -1,0 +1,73 @@
+// hashkit: ndbm-compatible interface over the new package (the paper's
+// "set of compatibility routines to implement the ndbm interface").
+//
+// Semantics follow ndbm(3):
+//   * Fetch/Firstkey/Nextkey return datums pointing at storage owned by the
+//     database object, valid until the next call on the same object.
+//   * Store with kInsert fails (returns 1) on an existing key; kReplace
+//     overwrites.
+//   * Unlike real ndbm there is no "entry too big" failure: the underlying
+//     package stores pairs of any size.
+
+#ifndef HASHKIT_SRC_CORE_NDBM_COMPAT_H_
+#define HASHKIT_SRC_CORE_NDBM_COMPAT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/hash_table.h"
+
+namespace hashkit {
+namespace ndbm {
+
+struct Datum {
+  const char* dptr = nullptr;
+  size_t dsize = 0;
+
+  Datum() = default;
+  Datum(const char* p, size_t n) : dptr(p), dsize(n) {}
+  explicit Datum(std::string_view s) : dptr(s.data()), dsize(s.size()) {}
+
+  bool null() const { return dptr == nullptr; }
+  std::string_view view() const { return {dptr, dsize}; }
+};
+
+enum class StoreMode { kInsert, kReplace };
+
+class Db {
+ public:
+  // Opens `path` (creating it if needed) with the package defaults unless
+  // overridden in `options`.
+  static Result<std::unique_ptr<Db>> Open(const std::string& path,
+                                          const HashOptions& options = {});
+
+  // Returns the datum for `key`, or a null datum if absent.
+  Datum Fetch(Datum key);
+
+  // 0 on success, 1 if kInsert hit an existing key, -1 on error.
+  int Store(Datum key, Datum content, StoreMode mode);
+
+  // 0 on success, -1 if the key was absent or on error.
+  int Delete(Datum key);
+
+  // Key iteration in hash order; Firstkey restarts the scan.  As in ndbm,
+  // only the key is returned — fetching the data costs a second call
+  // (Figure 8's "SEQUENTIAL" vs "SEQUENTIAL (with data retrieval)" rows).
+  Datum Firstkey();
+  Datum Nextkey();
+
+  Status Sync() { return table_->Sync(); }
+  HashTable* table() { return table_.get(); }
+
+ private:
+  explicit Db(std::unique_ptr<HashTable> table) : table_(std::move(table)) {}
+
+  std::unique_ptr<HashTable> table_;
+  std::string key_buf_;
+  std::string data_buf_;
+};
+
+}  // namespace ndbm
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_CORE_NDBM_COMPAT_H_

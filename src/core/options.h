@@ -1,0 +1,80 @@
+// hashkit: creation-time parameters for the extended linear hash table.
+//
+// These mirror the paper's table parameterization: bucket size, fill
+// factor, expected element count, cache size, and an optional user-defined
+// hash function.
+
+#ifndef HASHKIT_SRC_CORE_OPTIONS_H_
+#define HASHKIT_SRC_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "src/util/hash_funcs.h"
+
+namespace hashkit {
+
+// How the package decides when to split a bucket (ablation A1 in DESIGN.md).
+// The paper's contribution is the hybrid policy; the pure policies exist so
+// benchmarks can quantify the hybrid's value.
+enum class SplitPolicy : uint8_t {
+  kHybrid = 0,        // fill-factor (controlled) + page-overflow (uncontrolled)
+  kControlledOnly,    // dynahash-style: fill factor only
+  kUncontrolledOnly,  // dbm-style timing: overflow only
+};
+
+struct HashOptions {
+  // Bucket/page size in bytes.  Must be a power of two in
+  // [kMinBucketSize, kMaxBucketSize].  Paper default: 256.
+  uint32_t bsize = 256;
+
+  // Desired average number of keys per bucket; drives controlled splitting.
+  // Paper default: 8.
+  uint32_t ffactor = 8;
+
+  // Estimate of the final number of elements.  When nonzero the table is
+  // created pre-sized (Figure 6's "known in advance" case); zero grows the
+  // table from a single bucket.
+  uint32_t nelem = 0;
+
+  // Buffer-pool budget in bytes.  Paper default: 64 KB.  Zero keeps only
+  // the minimum set of pages resident.
+  uint64_t cachesize = 64 * 1024;
+
+  // Built-in hash function selector; ignored when `custom_hash` is set.
+  HashFuncId hash_id = HashFuncId::kDefault;
+
+  // Optional user-defined hash function (paper: "hash functions may be
+  // user-specified").  When reopening an existing table the package
+  // verifies the function matches the one the table was built with.
+  HashFn custom_hash = nullptr;
+
+  SplitPolicy split_policy = SplitPolicy::kHybrid;
+
+  // Takes an exclusive flock(2) on the file for the table's lifetime, so a
+  // second process (or handle) cannot open it concurrently.  The paper
+  // notes multi-user access as future work; single-writer exclusion is its
+  // minimal safe form.
+  bool exclusive_lock = false;
+
+  // Extension addressing the paper's footnote ("the file does not contract
+  // when keys are deleted"): when enabled, deletes reverse the linear-
+  // hashing split sequence once the load falls below ffactor/4, merging
+  // the last bucket into its buddy.  Off by default — the original
+  // package's behaviour.
+  bool auto_contract = false;
+};
+
+inline constexpr uint32_t kMinBucketSize = 64;
+inline constexpr uint32_t kMaxBucketSize = 32768;  // 16-bit on-page offsets
+inline constexpr uint32_t kDefaultFfactor = 8;
+
+// Overflow addresses: 5-bit split point, 11-bit page number (paper's
+// layout), so at most 32 split points and 2047 overflow pages per point.
+inline constexpr uint32_t kSplitPointBits = 5;
+inline constexpr uint32_t kOvflPageBits = 11;
+inline constexpr uint32_t kMaxSplitPoints = 1u << kSplitPointBits;
+inline constexpr uint32_t kMaxOvflPagesPerPoint = (1u << kOvflPageBits) - 1;
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_CORE_OPTIONS_H_

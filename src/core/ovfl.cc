@@ -1,0 +1,163 @@
+#include "src/core/ovfl.h"
+
+#include <algorithm>
+
+#include "src/util/bitmap.h"
+
+namespace hashkit {
+
+void OvflAllocator::BumpSpares(uint32_t sp) {
+  for (uint32_t j = sp; j < kMaxSplitPoints; ++j) {
+    ++meta_->spares[j];
+  }
+}
+
+Status OvflAllocator::CreateBitmap(uint32_t sp) {
+  // The bitmap is always the first page carved at its split point.
+  if (PagesAtSplitPoint(*meta_, sp) != 0) {
+    return Status::Corruption("bitmap created after pages exist at split point");
+  }
+  const uint16_t oaddr = MakeOaddr(sp, 1);
+  BumpSpares(sp);
+  HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(OaddrToPage(*meta_, oaddr),
+                                                    /*create_new=*/true));
+  PageView view(page.data(), pool_->file()->page_size());
+  PageView::Init(page.data(), pool_->file()->page_size(), PageType::kBitmap);
+  RawBitSet(view.Bits(), 0);  // the bitmap page describes itself
+  page.MarkDirty();
+  meta_->bitmaps[sp] = oaddr;
+  return Status::Ok();
+}
+
+Result<uint16_t> OvflAllocator::TryReuse() {
+  const uint32_t sp_cur = EffectiveOvflPoint(*meta_);
+  // Check the last-freed hint first, then every split point with a bitmap.
+  auto probe = [&](uint32_t sp) -> Result<uint16_t> {
+    if (sp >= kMaxSplitPoints || meta_->bitmaps[sp] == 0) {
+      return uint16_t{0};
+    }
+    const uint32_t npages = PagesAtSplitPoint(*meta_, sp);
+    HASHKIT_ASSIGN_OR_RETURN(PageRef bm, pool_->Get(OaddrToPage(*meta_, meta_->bitmaps[sp])));
+    PageView view(bm.data(), pool_->file()->page_size());
+    if (view.type() != PageType::kBitmap) {
+      return Status::Corruption("expected bitmap page");
+    }
+    for (uint32_t bit = 0; bit < npages; ++bit) {
+      if (!RawBitIsSet(view.Bits(), bit)) {
+        RawBitSet(view.Bits(), bit);
+        bm.MarkDirty();
+        return MakeOaddr(sp, bit + 1);
+      }
+    }
+    return uint16_t{0};
+  };
+
+  if (meta_->last_freed != 0) {
+    HASHKIT_ASSIGN_OR_RETURN(uint16_t oaddr,
+                             probe(OaddrSplitPoint(static_cast<uint16_t>(meta_->last_freed))));
+    if (oaddr != 0) {
+      return oaddr;
+    }
+    meta_->last_freed = 0;  // hint exhausted
+  }
+  for (uint32_t sp = 0; sp <= std::min(sp_cur, kMaxSplitPoints - 1); ++sp) {
+    HASHKIT_ASSIGN_OR_RETURN(uint16_t oaddr, probe(sp));
+    if (oaddr != 0) {
+      return oaddr;
+    }
+  }
+  return uint16_t{0};
+}
+
+Result<uint16_t> OvflAllocator::Alloc(PageType type) {
+  HASHKIT_ASSIGN_OR_RETURN(uint16_t reused, TryReuse());
+  uint16_t oaddr = reused;
+  if (oaddr == 0) {
+    // Carve a fresh page at the overflow point, advancing it past any
+    // split point whose 11-bit page space (or bitmap) is full.  Advancing
+    // is safe: no bucket exists beyond the overflow point, so no existing
+    // page moves.
+    uint32_t sp = EffectiveOvflPoint(*meta_);
+    const size_t bit_capacity = (pool_->file()->page_size() - kPageHeaderSize) * 8;
+    for (;;) {
+      if (sp >= kMaxSplitPoints) {
+        return Status::Full("split points exhausted");
+      }
+      const uint32_t npages = PagesAtSplitPoint(*meta_, sp);
+      if (npages < kMaxOvflPagesPerPoint && npages < bit_capacity) {
+        break;
+      }
+      ++sp;
+    }
+    meta_->ovfl_point = sp;
+    if (meta_->bitmaps[sp] == 0) {
+      HASHKIT_RETURN_IF_ERROR(CreateBitmap(sp));
+    }
+    const uint32_t npages = PagesAtSplitPoint(*meta_, sp);
+    HASHKIT_ASSIGN_OR_RETURN(PageRef bm, pool_->Get(OaddrToPage(*meta_, meta_->bitmaps[sp])));
+    PageView bm_view(bm.data(), pool_->file()->page_size());
+    RawBitSet(bm_view.Bits(), npages);
+    bm.MarkDirty();
+    BumpSpares(sp);
+    oaddr = MakeOaddr(sp, npages + 1);
+  }
+
+  HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(OaddrToPage(*meta_, oaddr),
+                                                    /*create_new=*/true));
+  PageView::Init(page.data(), pool_->file()->page_size(), type);
+  page.MarkDirty();
+  return oaddr;
+}
+
+Status OvflAllocator::Free(uint16_t oaddr) {
+  const uint32_t sp = OaddrSplitPoint(oaddr);
+  const uint32_t page_num = OaddrPageNum(oaddr);
+  if (sp >= kMaxSplitPoints || meta_->bitmaps[sp] == 0 || page_num == 0 ||
+      page_num > PagesAtSplitPoint(*meta_, sp)) {
+    return Status::Corruption("free of invalid overflow address");
+  }
+  if (oaddr == meta_->bitmaps[sp]) {
+    return Status::Corruption("attempt to free a bitmap page");
+  }
+  {
+    HASHKIT_ASSIGN_OR_RETURN(PageRef bm, pool_->Get(OaddrToPage(*meta_, meta_->bitmaps[sp])));
+    PageView view(bm.data(), pool_->file()->page_size());
+    if (!RawBitIsSet(view.Bits(), page_num - 1)) {
+      return Status::Corruption("double free of overflow page");
+    }
+    RawBitClear(view.Bits(), page_num - 1);
+    bm.MarkDirty();
+  }
+  meta_->last_freed = oaddr;
+  // Drop any cached copy; the contents are dead and must not be written
+  // back over a future reuse.
+  pool_->Discard(OaddrToPage(*meta_, oaddr));
+  return Status::Ok();
+}
+
+Result<bool> OvflAllocator::IsAllocated(uint16_t oaddr) {
+  const uint32_t sp = OaddrSplitPoint(oaddr);
+  const uint32_t page_num = OaddrPageNum(oaddr);
+  if (sp >= kMaxSplitPoints || meta_->bitmaps[sp] == 0 || page_num == 0 ||
+      page_num > PagesAtSplitPoint(*meta_, sp)) {
+    return false;
+  }
+  HASHKIT_ASSIGN_OR_RETURN(PageRef bm, pool_->Get(OaddrToPage(*meta_, meta_->bitmaps[sp])));
+  PageView view(bm.data(), pool_->file()->page_size());
+  return RawBitIsSet(view.Bits(), page_num - 1);
+}
+
+Result<uint64_t> OvflAllocator::CountInUse() {
+  uint64_t total = 0;
+  for (uint32_t sp = 0; sp < kMaxSplitPoints; ++sp) {
+    if (meta_->bitmaps[sp] == 0) {
+      continue;
+    }
+    HASHKIT_ASSIGN_OR_RETURN(PageRef bm, pool_->Get(OaddrToPage(*meta_, meta_->bitmaps[sp])));
+    PageView view(bm.data(), pool_->file()->page_size());
+    total += RawPopcount(view.Bits(), PagesAtSplitPoint(*meta_, sp));
+  }
+  return total;
+}
+
+}  // namespace hashkit

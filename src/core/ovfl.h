@@ -1,0 +1,57 @@
+// hashkit: overflow-page allocation — the "buddy-in-waiting" mechanism.
+//
+// Overflow pages serve both bucket overflow chains and big key/data pair
+// segments.  Use information is kept in bitmaps that themselves live on
+// overflow pages (the first page allocated at a split point is its bitmap,
+// with bit 0 describing the bitmap page itself).  Freed pages are reused;
+// fresh pages are carved out only at the current split point so existing
+// pages never move.
+
+#ifndef HASHKIT_SRC_CORE_OVFL_H_
+#define HASHKIT_SRC_CORE_OVFL_H_
+
+#include <cstdint>
+
+#include "src/core/addressing.h"
+#include "src/core/meta.h"
+#include "src/core/page.h"
+#include "src/pagefile/buffer_pool.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+
+class OvflAllocator {
+ public:
+  OvflAllocator(Meta* meta, BufferPool* pool) : meta_(meta), pool_(pool) {}
+
+  // Allocates an overflow page, formatting it with the given type.
+  // Prefers reusing a previously freed page; otherwise extends the current
+  // split point.  Returns the page's overflow address.
+  Result<uint16_t> Alloc(PageType type);
+
+  // Returns `oaddr` to the free pool.  The caller must not hold a pin on
+  // the page.
+  Status Free(uint16_t oaddr);
+
+  // True if the bitmap bit for `oaddr` is set (page in use).  Used by
+  // integrity checking.
+  Result<bool> IsAllocated(uint16_t oaddr);
+
+  // Total in-use overflow pages (bitmap pages included), from the bitmaps.
+  Result<uint64_t> CountInUse();
+
+ private:
+  // Scans bitmaps of all split points for a reusable (freed) page.
+  Result<uint16_t> TryReuse();
+  // Creates the bitmap page for split point `sp` (must have no pages yet).
+  Status CreateBitmap(uint32_t sp);
+  // Bumps spares[sp..] to account for one newly carved page at `sp`.
+  void BumpSpares(uint32_t sp);
+
+  Meta* meta_;
+  BufferPool* pool_;
+};
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_CORE_OVFL_H_

@@ -1,0 +1,195 @@
+#include "src/core/page.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/endian.h"
+
+namespace hashkit {
+
+namespace {
+constexpr size_t kNEntriesOff = 0;
+constexpr size_t kDataBeginOff = 2;
+constexpr size_t kOvflAddrOff = 4;
+constexpr size_t kTypeOff = 6;
+constexpr size_t kIndexSlotSize = 4;  // key_off + data_off
+}  // namespace
+
+void PageView::Init(uint8_t* buf, size_t page_size, PageType type) {
+  std::memset(buf, 0, page_size);
+  EncodeU16(buf + kNEntriesOff, 0);
+  EncodeU16(buf + kDataBeginOff, static_cast<uint16_t>(page_size == 32768 ? 32767 : page_size));
+  EncodeU16(buf + kOvflAddrOff, 0);
+  EncodeU16(buf + kTypeOff, static_cast<uint16_t>(type));
+}
+
+uint16_t PageView::nentries() const { return DecodeU16(buf_ + kNEntriesOff); }
+void PageView::SetNEntries(uint16_t n) { EncodeU16(buf_ + kNEntriesOff, n); }
+
+uint16_t PageView::data_begin() const { return DecodeU16(buf_ + kDataBeginOff); }
+void PageView::SetDataBegin(uint16_t v) { EncodeU16(buf_ + kDataBeginOff, v); }
+
+uint16_t PageView::ovfl_addr() const { return DecodeU16(buf_ + kOvflAddrOff); }
+void PageView::set_ovfl_addr(uint16_t oaddr) { EncodeU16(buf_ + kOvflAddrOff, oaddr); }
+
+PageType PageView::type() const { return static_cast<PageType>(DecodeU16(buf_ + kTypeOff)); }
+void PageView::set_type(PageType type) { EncodeU16(buf_ + kTypeOff, static_cast<uint16_t>(type)); }
+
+void PageView::SetSegUsed(uint16_t n) { SetNEntries(n); }
+
+uint16_t PageView::RawKeyOff(uint16_t index) const {
+  return DecodeU16(buf_ + kPageHeaderSize + index * kIndexSlotSize);
+}
+uint16_t PageView::RawDataOff(uint16_t index) const {
+  return DecodeU16(buf_ + kPageHeaderSize + index * kIndexSlotSize + 2);
+}
+void PageView::SetRawKeyOff(uint16_t index, uint16_t value) {
+  EncodeU16(buf_ + kPageHeaderSize + index * kIndexSlotSize, value);
+}
+void PageView::SetRawDataOff(uint16_t index, uint16_t value) {
+  EncodeU16(buf_ + kPageHeaderSize + index * kIndexSlotSize + 2, value);
+}
+
+uint16_t PageView::EntryEnd(uint16_t index) const {
+  if (index == 0) {
+    // Page sizes of exactly 32768 reserve the final byte so offsets fit in
+    // 15 bits; Init already clamps data_begin accordingly.
+    return static_cast<uint16_t>(size_ == 32768 ? 32767 : size_);
+  }
+  return RawDataOff(index - 1);
+}
+
+size_t PageView::FreeSpace() const {
+  const size_t index_end = kPageHeaderSize + nentries() * kIndexSlotSize;
+  const size_t begin = data_begin();
+  assert(begin >= index_end);
+  return begin - index_end;
+}
+
+bool PageView::FitsPair(size_t klen, size_t dlen) const {
+  return kIndexSlotSize + klen + dlen <= FreeSpace();
+}
+
+bool PageView::PairFitsEmptyPage(size_t klen, size_t dlen, size_t page_size) {
+  const size_t usable = (page_size == 32768 ? 32767 : page_size) - kPageHeaderSize;
+  return kIndexSlotSize + klen + dlen <= usable;
+}
+
+void PageView::AddPair(std::string_view key, std::string_view data) {
+  assert(FitsPair(key.size(), data.size()));
+  const uint16_t n = nentries();
+  const uint16_t end = data_begin();
+  const auto key_off = static_cast<uint16_t>(end - key.size());
+  const auto data_off = static_cast<uint16_t>(key_off - data.size());
+  std::memcpy(buf_ + key_off, key.data(), key.size());
+  std::memcpy(buf_ + data_off, data.data(), data.size());
+  SetRawKeyOff(n, key_off);
+  SetRawDataOff(n, data_off);
+  SetNEntries(static_cast<uint16_t>(n + 1));
+  SetDataBegin(data_off);
+}
+
+bool PageView::FitsBigStub(size_t prefix_len) const {
+  return kIndexSlotSize + kBigStubFixedSize + prefix_len <= FreeSpace();
+}
+
+void PageView::AddBigStub(uint16_t first_oaddr, uint32_t hash, uint32_t key_len,
+                          uint32_t data_len, std::string_view prefix) {
+  assert(prefix.size() <= kBigKeyPrefixMax);
+  assert(FitsBigStub(prefix.size()));
+  const uint16_t n = nentries();
+  const uint16_t end = data_begin();
+  const uint16_t key_off = end;  // big stubs have an empty key region
+  const auto stub_size = static_cast<uint16_t>(kBigStubFixedSize + prefix.size());
+  const auto data_off = static_cast<uint16_t>(key_off - stub_size);
+  uint8_t* p = buf_ + data_off;
+  EncodeU16(p, first_oaddr);
+  EncodeU32(p + 2, hash);
+  EncodeU32(p + 6, key_len);
+  EncodeU32(p + 10, data_len);
+  std::memcpy(p + kBigStubFixedSize, prefix.data(), prefix.size());
+  SetRawKeyOff(n, static_cast<uint16_t>(key_off | kBigEntryFlag));
+  SetRawDataOff(n, data_off);
+  SetNEntries(static_cast<uint16_t>(n + 1));
+  SetDataBegin(data_off);
+}
+
+EntryRef PageView::Entry(uint16_t index) const {
+  assert(index < nentries());
+  EntryRef ref;
+  const uint16_t raw_key = RawKeyOff(index);
+  const auto key_off = static_cast<uint16_t>(raw_key & ~kBigEntryFlag);
+  const uint16_t data_off = RawDataOff(index);
+  const uint16_t end = EntryEnd(index);
+  const auto* chars = reinterpret_cast<const char*>(buf_);
+  if ((raw_key & kBigEntryFlag) != 0) {
+    ref.big = true;
+    const uint8_t* p = buf_ + data_off;
+    ref.ovfl_addr = DecodeU16(p);
+    ref.hash = DecodeU32(p + 2);
+    ref.key_len = DecodeU32(p + 6);
+    ref.data_len = DecodeU32(p + 10);
+    const size_t prefix_len = (key_off - data_off) - kBigStubFixedSize;
+    ref.prefix = std::string_view(chars + data_off + kBigStubFixedSize, prefix_len);
+  } else {
+    ref.key = std::string_view(chars + key_off, end - key_off);
+    ref.data = std::string_view(chars + data_off, key_off - data_off);
+  }
+  return ref;
+}
+
+void PageView::RemoveEntry(uint16_t index) {
+  const uint16_t n = nentries();
+  assert(index < n);
+  const uint16_t end = EntryEnd(index);
+  const uint16_t data_off = RawDataOff(index);
+  const auto removed = static_cast<uint16_t>(end - data_off);
+  const uint16_t begin = data_begin();
+
+  // Slide pair bytes of all later entries up over the removed pair.
+  std::memmove(buf_ + begin + removed, buf_ + begin, data_off - begin);
+
+  // Rewrite offsets of later entries and shift the index array left.
+  for (uint16_t j = index + 1; j < n; ++j) {
+    const uint16_t raw_key = RawKeyOff(j);
+    const uint16_t flag = raw_key & kBigEntryFlag;
+    const auto key_off = static_cast<uint16_t>((raw_key & ~kBigEntryFlag) + removed);
+    const auto new_data_off = static_cast<uint16_t>(RawDataOff(j) + removed);
+    SetRawKeyOff(static_cast<uint16_t>(j - 1), static_cast<uint16_t>(key_off | flag));
+    SetRawDataOff(static_cast<uint16_t>(j - 1), new_data_off);
+  }
+  SetNEntries(static_cast<uint16_t>(n - 1));
+  SetDataBegin(static_cast<uint16_t>(begin + removed));
+}
+
+bool PageView::Validate() const {
+  const uint16_t n = nentries();
+  const size_t index_end = kPageHeaderSize + n * kIndexSlotSize;
+  if (index_end > size_) {
+    return false;
+  }
+  if (data_begin() < index_end || data_begin() > size_) {
+    return false;
+  }
+  uint16_t prev_end = static_cast<uint16_t>(size_ == 32768 ? 32767 : size_);
+  for (uint16_t i = 0; i < n; ++i) {
+    const uint16_t raw_key = RawKeyOff(i);
+    const auto key_off = static_cast<uint16_t>(raw_key & ~kBigEntryFlag);
+    const uint16_t data_off = RawDataOff(i);
+    if (key_off > prev_end || data_off > key_off || data_off < index_end) {
+      return false;
+    }
+    if ((raw_key & kBigEntryFlag) != 0) {
+      if (static_cast<size_t>(key_off - data_off) < kBigStubFixedSize) {
+        return false;
+      }
+      if (key_off != prev_end) {
+        return false;  // big stubs have empty key regions
+      }
+    }
+    prev_end = data_off;
+  }
+  return prev_end == data_begin();
+}
+
+}  // namespace hashkit

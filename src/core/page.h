@@ -1,0 +1,137 @@
+// hashkit: on-page key/data layout.
+//
+// A page is:
+//
+//   +0   u16 nentries
+//   +2   u16 data_begin   (lowest byte used by pair storage; == bsize when empty)
+//   +4   u16 ovfl_addr    (overflow address of the next page in the chain; 0 = none)
+//   +6   u16 type         (PageType)
+//   +8   u16 key_off[0], u16 data_off[0], key_off[1], ...   (index, grows up)
+//   ...
+//        pair bytes                                          (grows down)
+//   +bsize
+//
+// Pair i's key occupies [key_off_i, end_i) and its data [data_off_i,
+// key_off_i), where end_i is the previous pair's data_off (or bsize for
+// pair 0).  Lengths are implied by the offsets, so the per-pair index cost
+// is 4 bytes — exactly the "+4" in the paper's equation (1).
+//
+// A pair too large for a page of its own is stored as a "big stub": the
+// key_off carries kBigEntryFlag, the data region holds {oaddr of the first
+// overflow segment, the key's 32-bit hash, klen, dlen, and a key prefix}
+// and the actual bytes live on a chain of kBigSegment overflow pages (key
+// first, then data).  Storing the hash in the stub lets bucket splits move
+// big pairs without touching their chains.
+//
+// kBitmap pages store allocation bits from offset 8; kBigSegment pages
+// store payload bytes from offset 8 with nentries reused as the byte count.
+
+#ifndef HASHKIT_SRC_CORE_PAGE_H_
+#define HASHKIT_SRC_CORE_PAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace hashkit {
+
+enum class PageType : uint16_t {
+  kBucket = 1,      // primary page of a bucket
+  kOverflow = 2,    // overflow page holding regular pairs
+  kBitmap = 3,      // overflow-page allocation bitmap
+  kBigSegment = 4,  // segment of a big key/data pair
+};
+
+inline constexpr size_t kPageHeaderSize = 8;
+inline constexpr uint16_t kBigEntryFlag = 0x8000;
+inline constexpr size_t kBigStubFixedSize = 14;  // oaddr + hash + klen + dlen
+inline constexpr size_t kBigKeyPrefixMax = 32;
+
+// A decoded view of one entry on a page.
+struct EntryRef {
+  bool big = false;
+  // Regular entries:
+  std::string_view key;
+  std::string_view data;
+  // Big stubs:
+  uint16_t ovfl_addr = 0;    // first segment of the big pair's chain
+  uint32_t hash = 0;         // full hash of the key
+  uint32_t key_len = 0;      // true key length
+  uint32_t data_len = 0;     // true data length
+  std::string_view prefix;   // leading bytes of the key (<= kBigKeyPrefixMax)
+};
+
+// Zero-copy accessor over one page buffer.  The PageView does not own the
+// buffer; it is valid only while the underlying PageRef pin is held.
+class PageView {
+ public:
+  PageView(uint8_t* buf, size_t page_size) : buf_(buf), size_(page_size) {}
+
+  // Formats an all-zero (or recycled) buffer as an empty page.
+  static void Init(uint8_t* buf, size_t page_size, PageType type);
+
+  uint16_t nentries() const;
+  uint16_t data_begin() const;
+  uint16_t ovfl_addr() const;
+  void set_ovfl_addr(uint16_t oaddr);
+  PageType type() const;
+  void set_type(PageType type);
+
+  // Bytes available for one more pair (index slot included).
+  size_t FreeSpace() const;
+
+  // True if a regular pair of the given lengths fits on this page now.
+  bool FitsPair(size_t klen, size_t dlen) const;
+
+  // True if a pair of the given lengths could fit on an *empty* page of
+  // this size; pairs failing this are stored as big pairs.
+  static bool PairFitsEmptyPage(size_t klen, size_t dlen, size_t page_size);
+
+  // Appends a regular pair.  Caller must have checked FitsPair.
+  void AddPair(std::string_view key, std::string_view data);
+
+  // Appends a big stub.  Caller must have checked FitsBigStub().
+  void AddBigStub(uint16_t first_oaddr, uint32_t hash, uint32_t key_len, uint32_t data_len,
+                  std::string_view prefix);
+  bool FitsBigStub(size_t prefix_len) const;
+
+  EntryRef Entry(uint16_t index) const;
+
+  // Removes entry `index`, compacting pair storage and the index array.
+  void RemoveEntry(uint16_t index);
+
+  // --- kBigSegment pages: raw payload accessors ---
+  uint16_t SegUsed() const { return nentries(); }
+  void SetSegUsed(uint16_t n);
+  size_t SegCapacity() const { return size_ - kPageHeaderSize; }
+  uint8_t* SegData() { return buf_ + kPageHeaderSize; }
+  const uint8_t* SegData() const { return buf_ + kPageHeaderSize; }
+
+  // --- kBitmap pages: allocation bits ---
+  size_t BitCapacity() const { return (size_ - kPageHeaderSize) * 8; }
+  uint8_t* Bits() { return buf_ + kPageHeaderSize; }
+  const uint8_t* Bits() const { return buf_ + kPageHeaderSize; }
+
+  size_t page_size() const { return size_; }
+
+  // Internal-consistency check used by tests and debug builds: offsets
+  // monotone, within bounds, index/data regions disjoint.
+  bool Validate() const;
+
+ private:
+  // End (exclusive) of entry i's key region.
+  uint16_t EntryEnd(uint16_t index) const;
+  uint16_t RawKeyOff(uint16_t index) const;
+  uint16_t RawDataOff(uint16_t index) const;
+  void SetRawKeyOff(uint16_t index, uint16_t value);
+  void SetRawDataOff(uint16_t index, uint16_t value);
+  void SetNEntries(uint16_t n);
+  void SetDataBegin(uint16_t v);
+
+  uint8_t* buf_;
+  size_t size_;
+};
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_CORE_PAGE_H_

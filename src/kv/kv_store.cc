@@ -1,0 +1,343 @@
+#include "src/kv/kv_store.h"
+
+#include <deque>
+
+#include "src/baselines/dynahash/dynahash.h"
+#include "src/btree/btree.h"
+#include "src/baselines/gdbm/gdbm.h"
+#include "src/baselines/hsearch/hsearch.h"
+#include "src/baselines/ndbm/ndbm.h"
+#include "src/baselines/sdbm/sdbm.h"
+#include "src/core/hash_table.h"
+
+namespace hashkit {
+namespace kv {
+
+namespace {
+
+class HashStore final : public KvStore {
+ public:
+  HashStore(std::unique_ptr<HashTable> table, bool persistent)
+      : table_(std::move(table)), persistent_(persistent) {}
+
+  Status Put(std::string_view key, std::string_view value, bool overwrite) override {
+    return table_->Put(key, value, overwrite);
+  }
+  Status Get(std::string_view key, std::string* value) override {
+    return table_->Get(key, value);
+  }
+  Status Delete(std::string_view key) override { return table_->Delete(key); }
+  Status Scan(std::string* key, std::string* value, bool first) override {
+    return table_->Seq(key, value, first);
+  }
+  Status Sync() override { return table_->Sync(); }
+  uint64_t Size() const override { return table_->size(); }
+  std::string Name() const override { return persistent_ ? "hash(disk)" : "hash(mem)"; }
+  Capabilities Caps() const override {
+    return {.persistent = persistent_,
+            .deletes = true,
+            .overwrites = true,
+            .scans = true,
+            .unlimited_pair = true,
+            .grows = true};
+  }
+
+ private:
+  std::unique_ptr<HashTable> table_;
+  bool persistent_;
+};
+
+class BtreeStore final : public KvStore {
+ public:
+  explicit BtreeStore(std::unique_ptr<btree::BTree> tree)
+      : tree_(std::move(tree)), cursor_(tree_->NewCursor()) {}
+
+  Status Put(std::string_view key, std::string_view value, bool overwrite) override {
+    return tree_->Put(key, value, overwrite);
+  }
+  Status Get(std::string_view key, std::string* value) override {
+    return tree_->Get(key, value);
+  }
+  Status Delete(std::string_view key) override { return tree_->Delete(key); }
+  Status Scan(std::string* key, std::string* value, bool first) override {
+    if (first) {
+      HASHKIT_RETURN_IF_ERROR(cursor_.SeekFirst());
+    }
+    return cursor_.Next(key, value);
+  }
+  Status Sync() override { return tree_->Sync(); }
+  uint64_t Size() const override { return tree_->size(); }
+  std::string Name() const override { return "btree"; }
+  Capabilities Caps() const override {
+    return {.persistent = true,
+            .deletes = true,
+            .overwrites = true,
+            .scans = true,  // and in key order, unlike the hash stores
+            .unlimited_pair = true,
+            .grows = true};
+  }
+
+ private:
+  std::unique_ptr<btree::BTree> tree_;
+  btree::BtCursor cursor_;
+};
+
+class DbmStore final : public KvStore {
+ public:
+  DbmStore(std::unique_ptr<baseline::DbmBase> db, std::string name)
+      : db_(std::move(db)), name_(std::move(name)) {}
+
+  Status Put(std::string_view key, std::string_view value, bool overwrite) override {
+    return db_->Store(key, value, overwrite);
+  }
+  Status Get(std::string_view key, std::string* value) override {
+    return db_->Fetch(key, value);
+  }
+  Status Delete(std::string_view key) override { return db_->Remove(key); }
+  Status Scan(std::string* key, std::string* value, bool first) override {
+    return db_->Seq(key, value, first);
+  }
+  Status Sync() override { return db_->Sync(); }
+  uint64_t Size() const override { return db_->size(); }
+  std::string Name() const override { return name_; }
+  Capabilities Caps() const override {
+    return {.persistent = true,
+            .deletes = true,
+            .overwrites = true,
+            .scans = true,
+            .unlimited_pair = false,  // pairs bounded by one block
+            .grows = true};
+  }
+
+ private:
+  std::unique_ptr<baseline::DbmBase> db_;
+  std::string name_;
+};
+
+class GdbmStore final : public KvStore {
+ public:
+  explicit GdbmStore(std::unique_ptr<baseline::GdbmClone> db) : db_(std::move(db)) {}
+
+  Status Put(std::string_view key, std::string_view value, bool overwrite) override {
+    return db_->Store(key, value, overwrite);
+  }
+  Status Get(std::string_view key, std::string* value) override {
+    return db_->Fetch(key, value);
+  }
+  Status Delete(std::string_view key) override { return db_->Remove(key); }
+  Status Scan(std::string* key, std::string* value, bool first) override {
+    return db_->Seq(key, value, first);
+  }
+  Status Sync() override { return db_->Sync(); }
+  uint64_t Size() const override { return db_->size(); }
+  std::string Name() const override { return "gdbm"; }
+  Capabilities Caps() const override {
+    return {.persistent = true,
+            .deletes = true,
+            .overwrites = true,
+            .scans = true,
+            .unlimited_pair = true,
+            .grows = true};
+  }
+
+ private:
+  std::unique_ptr<baseline::GdbmClone> db_;
+};
+
+// hsearch/dynahash store (key -> void*); the adapter owns value strings in
+// an arena.  Deleted or replaced values are not reclaimed until the store
+// closes — acceptable for the adapter's uses (benches, contract tests).
+class HsearchStore final : public KvStore {
+ public:
+  explicit HsearchStore(std::unique_ptr<baseline::SysvHsearch> table)
+      : table_(std::move(table)) {}
+
+  Status Put(std::string_view key, std::string_view value, bool overwrite) override {
+    void* existing = nullptr;
+    const Status found = table_->Find(std::string(key), &existing);
+    if (found.ok()) {
+      if (!overwrite) {
+        return Status::Exists();
+      }
+      // hsearch has no replace; update the stored string in place.
+      *static_cast<std::string*>(existing) = std::string(value);
+      return Status::Ok();
+    }
+    arena_.emplace_back(value);
+    return table_->Enter(std::string(key), &arena_.back());
+  }
+  Status Get(std::string_view key, std::string* value) override {
+    void* data = nullptr;
+    HASHKIT_RETURN_IF_ERROR(table_->Find(std::string(key), &data));
+    if (value != nullptr) {
+      *value = *static_cast<std::string*>(data);
+    }
+    return Status::Ok();
+  }
+  Status Delete(std::string_view) override {
+    return Status::Unsupported("hsearch has no delete");
+  }
+  Status Scan(std::string*, std::string*, bool) override {
+    return Status::Unsupported("hsearch has no sequential interface");
+  }
+  Status Sync() override { return Status::Ok(); }
+  uint64_t Size() const override { return table_->size(); }
+  std::string Name() const override { return "hsearch"; }
+  Capabilities Caps() const override {
+    return {.persistent = false,
+            .deletes = false,
+            .overwrites = true,  // via in-place value mutation
+            .scans = false,
+            .unlimited_pair = true,
+            .grows = false};
+  }
+
+ private:
+  std::unique_ptr<baseline::SysvHsearch> table_;
+  std::deque<std::string> arena_;
+};
+
+class DynahashStore final : public KvStore {
+ public:
+  explicit DynahashStore(std::unique_ptr<baseline::Dynahash> table)
+      : table_(std::move(table)) {}
+
+  Status Put(std::string_view key, std::string_view value, bool overwrite) override {
+    void* existing = nullptr;
+    const Status found = table_->Find(std::string(key), &existing);
+    if (found.ok()) {
+      if (!overwrite) {
+        return Status::Exists();
+      }
+      *static_cast<std::string*>(existing) = std::string(value);
+      return Status::Ok();
+    }
+    arena_.emplace_back(value);
+    return table_->Enter(std::string(key), &arena_.back());
+  }
+  Status Get(std::string_view key, std::string* value) override {
+    void* data = nullptr;
+    HASHKIT_RETURN_IF_ERROR(table_->Find(std::string(key), &data));
+    if (value != nullptr) {
+      *value = *static_cast<std::string*>(data);
+    }
+    return Status::Ok();
+  }
+  Status Delete(std::string_view key) override { return table_->Remove(std::string(key)); }
+  Status Scan(std::string*, std::string*, bool) override {
+    return Status::Unsupported("dynahash has no sequential interface");
+  }
+  Status Sync() override { return Status::Ok(); }
+  uint64_t Size() const override { return table_->size(); }
+  std::string Name() const override { return "dynahash"; }
+  Capabilities Caps() const override {
+    return {.persistent = false,
+            .deletes = true,
+            .overwrites = true,
+            .scans = false,
+            .unlimited_pair = true,
+            .grows = true};
+  }
+
+ private:
+  std::unique_ptr<baseline::Dynahash> table_;
+  std::deque<std::string> arena_;
+};
+
+}  // namespace
+
+std::string_view StoreKindName(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kHashDisk:
+      return "hash_disk";
+    case StoreKind::kHashMemory:
+      return "hash_mem";
+    case StoreKind::kBtree:
+      return "btree";
+    case StoreKind::kNdbm:
+      return "ndbm";
+    case StoreKind::kSdbm:
+      return "sdbm";
+    case StoreKind::kGdbm:
+      return "gdbm";
+    case StoreKind::kHsearch:
+      return "hsearch";
+    case StoreKind::kDynahash:
+      return "dynahash";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<KvStore>> OpenStore(StoreKind kind, const StoreOptions& options) {
+  switch (kind) {
+    case StoreKind::kHashDisk: {
+      if (options.path.empty()) {
+        return Status::InvalidArgument("hash_disk needs a path");
+      }
+      HashOptions opts;
+      opts.bsize = options.page_size;
+      opts.ffactor = options.ffactor;
+      opts.nelem = options.nelem;
+      opts.cachesize = options.cachesize;
+      HASHKIT_ASSIGN_OR_RETURN(auto table,
+                               HashTable::Open(options.path, opts, options.truncate));
+      return std::unique_ptr<KvStore>(new HashStore(std::move(table), /*persistent=*/true));
+    }
+    case StoreKind::kHashMemory: {
+      HashOptions opts;
+      opts.bsize = options.page_size;
+      opts.ffactor = options.ffactor;
+      opts.nelem = options.nelem;
+      opts.cachesize = options.cachesize;
+      HASHKIT_ASSIGN_OR_RETURN(auto table, HashTable::OpenInMemory(opts));
+      return std::unique_ptr<KvStore>(new HashStore(std::move(table), /*persistent=*/false));
+    }
+    case StoreKind::kBtree: {
+      if (options.path.empty()) {
+        return Status::InvalidArgument("btree needs a path");
+      }
+      btree::BtOptions opts;
+      opts.page_size = std::max(options.page_size, 512u);
+      opts.cachesize = options.cachesize;
+      HASHKIT_ASSIGN_OR_RETURN(auto tree,
+                               btree::BTree::Open(options.path, opts, options.truncate));
+      return std::unique_ptr<KvStore>(new BtreeStore(std::move(tree)));
+    }
+    case StoreKind::kNdbm: {
+      if (options.path.empty()) {
+        return Status::InvalidArgument("ndbm needs a path");
+      }
+      HASHKIT_ASSIGN_OR_RETURN(
+          auto db, baseline::NdbmClone::Open(options.path, options.page_size, options.truncate));
+      return std::unique_ptr<KvStore>(new DbmStore(std::move(db), "ndbm"));
+    }
+    case StoreKind::kSdbm: {
+      if (options.path.empty()) {
+        return Status::InvalidArgument("sdbm needs a path");
+      }
+      HASHKIT_ASSIGN_OR_RETURN(
+          auto db, baseline::SdbmClone::Open(options.path, options.page_size, options.truncate));
+      return std::unique_ptr<KvStore>(new DbmStore(std::move(db), "sdbm"));
+    }
+    case StoreKind::kGdbm: {
+      if (options.path.empty()) {
+        return Status::InvalidArgument("gdbm needs a path");
+      }
+      HASHKIT_ASSIGN_OR_RETURN(
+          auto db, baseline::GdbmClone::Open(options.path, options.page_size, options.truncate));
+      return std::unique_ptr<KvStore>(new GdbmStore(std::move(db)));
+    }
+    case StoreKind::kHsearch: {
+      HASHKIT_ASSIGN_OR_RETURN(auto table, baseline::SysvHsearch::Create(options.nelem));
+      return std::unique_ptr<KvStore>(new HsearchStore(std::move(table)));
+    }
+    case StoreKind::kDynahash: {
+      HASHKIT_ASSIGN_OR_RETURN(auto table, baseline::Dynahash::Create(options.nelem));
+      return std::unique_ptr<KvStore>(new DynahashStore(std::move(table)));
+    }
+  }
+  return Status::InvalidArgument("unknown store kind");
+}
+
+}  // namespace kv
+}  // namespace hashkit

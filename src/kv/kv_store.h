@@ -1,0 +1,95 @@
+// hashkit: a uniform key/value interface over every store in this
+// repository.
+//
+// The paper closes by noting the package "is one access method which is
+// part of a generic database access package ... All of the access methods
+// are based on a key/data pair interface and appear identical to the
+// application layer."  This module is that layer: the new package, the
+// dbm-family clones, gdbm, hsearch, and dynahash all surface the same
+// KvStore interface, so applications (and the test suite, and the
+// shootout bench) can switch stores without code changes.
+//
+// Stores differ in capability; Capabilities() reports what a given store
+// can do, and unsupported operations return kUnsupported rather than
+// silently misbehaving.
+
+#ifndef HASHKIT_SRC_KV_KV_STORE_H_
+#define HASHKIT_SRC_KV_KV_STORE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/core/options.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace kv {
+
+struct Capabilities {
+  bool persistent = false;      // survives close/reopen
+  bool deletes = false;         // Delete supported
+  bool overwrites = false;      // Put(overwrite=true) replaces
+  bool scans = false;           // Scan supported
+  bool unlimited_pair = false;  // no pair-size limit
+  bool grows = false;           // no fixed capacity
+};
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  // overwrite=false returns kExists on duplicates.  Stores without
+  // overwrite support return kUnsupported for overwrite=true on an
+  // existing key.
+  virtual Status Put(std::string_view key, std::string_view value, bool overwrite) = 0;
+  Status Put(std::string_view key, std::string_view value) { return Put(key, value, true); }
+
+  virtual Status Get(std::string_view key, std::string* value) = 0;
+  virtual Status Delete(std::string_view key) = 0;
+
+  // Sequential iteration; first=true restarts.  kNotFound at the end.
+  virtual Status Scan(std::string* key, std::string* value, bool first) = 0;
+
+  virtual Status Sync() = 0;
+  virtual uint64_t Size() const = 0;
+  virtual std::string Name() const = 0;
+  virtual Capabilities Caps() const = 0;
+};
+
+enum class StoreKind {
+  kHashDisk,    // the paper's package, file-backed
+  kHashMemory,  // the paper's package, memory-resident
+  kBtree,       // the companion B+-tree access method (ordered scans)
+  kNdbm,        // Thompson's dbm algorithm (clone)
+  kSdbm,        // Larson-78 radix-trie dbm (clone)
+  kGdbm,        // extendible hashing (clone)
+  kHsearch,     // System V fixed-size open addressing
+  kDynahash,    // Larson-88 in-memory linear hashing
+};
+
+inline constexpr StoreKind kAllStoreKinds[] = {
+    StoreKind::kHashDisk, StoreKind::kHashMemory, StoreKind::kBtree, StoreKind::kNdbm,
+    StoreKind::kSdbm,     StoreKind::kGdbm,       StoreKind::kHsearch,
+    StoreKind::kDynahash,
+};
+
+std::string_view StoreKindName(StoreKind kind);
+
+struct StoreOptions {
+  // For file-backed stores; ignored by memory-resident ones.
+  std::string path;
+  bool truncate = true;
+  // Geometry (used where meaningful for the kind).
+  uint32_t page_size = 1024;
+  uint32_t ffactor = 16;
+  uint32_t nelem = 65536;  // capacity hint; hard capacity for hsearch
+  uint64_t cachesize = 1024 * 1024;
+};
+
+Result<std::unique_ptr<KvStore>> OpenStore(StoreKind kind, const StoreOptions& options);
+
+}  // namespace kv
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_KV_KV_STORE_H_

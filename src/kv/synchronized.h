@@ -1,0 +1,66 @@
+// hashkit: a thread-safe decorator for any KvStore.
+//
+// The paper: "the current design does not support multi-user access or
+// transactions, [but] they could be incorporated relatively easily."  The
+// stores themselves remain single-threaded (as in 1991); this wrapper
+// incorporates the multi-access half in the simplest correct form — one
+// mutex serializing every operation — so multithreaded applications can
+// share a store without data races.  (Scan state is per-store, so
+// concurrent scans still interleave logically; guard whole scans
+// externally if that matters.)
+
+#ifndef HASHKIT_SRC_KV_SYNCHRONIZED_H_
+#define HASHKIT_SRC_KV_SYNCHRONIZED_H_
+
+#include <memory>
+#include <mutex>
+
+#include "src/kv/kv_store.h"
+
+namespace hashkit {
+namespace kv {
+
+class SynchronizedStore final : public KvStore {
+ public:
+  explicit SynchronizedStore(std::unique_ptr<KvStore> base) : base_(std::move(base)) {}
+
+  Status Put(std::string_view key, std::string_view value, bool overwrite) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return base_->Put(key, value, overwrite);
+  }
+  Status Get(std::string_view key, std::string* value) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return base_->Get(key, value);
+  }
+  Status Delete(std::string_view key) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return base_->Delete(key);
+  }
+  Status Scan(std::string* key, std::string* value, bool first) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return base_->Scan(key, value, first);
+  }
+  Status Sync() override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return base_->Sync();
+  }
+  uint64_t Size() const override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return base_->Size();
+  }
+  std::string Name() const override { return base_->Name() + "+sync"; }
+  Capabilities Caps() const override { return base_->Caps(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::unique_ptr<KvStore> base_;
+};
+
+inline std::unique_ptr<KvStore> MakeSynchronized(std::unique_ptr<KvStore> base) {
+  return std::make_unique<SynchronizedStore>(std::move(base));
+}
+
+}  // namespace kv
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_KV_SYNCHRONIZED_H_

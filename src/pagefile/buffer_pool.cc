@@ -1,0 +1,270 @@
+#include "src/pagefile/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace hashkit {
+
+struct BufFrame {
+  uint64_t pageno = 0;
+  bool dirty = false;
+  uint32_t pins = 0;
+  std::unique_ptr<uint8_t[]> data;
+
+  // LRU chain (head = coldest).
+  BufFrame* lru_prev = nullptr;
+  BufFrame* lru_next = nullptr;
+
+  // Overflow-chain links: evicting a frame evicts ovfl_next transitively.
+  BufFrame* ovfl_next = nullptr;
+  BufFrame* chain_prev = nullptr;
+};
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+uint8_t* PageRef::data() {
+  assert(frame_ != nullptr);
+  return frame_->data.get();
+}
+
+const uint8_t* PageRef::data() const {
+  assert(frame_ != nullptr);
+  return frame_->data.get();
+}
+
+uint64_t PageRef::pageno() const {
+  assert(frame_ != nullptr);
+  return frame_->pageno;
+}
+
+void PageRef::MarkDirty() {
+  assert(frame_ != nullptr);
+  frame_->dirty = true;
+}
+
+void PageRef::Release() {
+  if (frame_ != nullptr) {
+    pool_->Unpin(frame_);
+    frame_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageFile* file, size_t pool_bytes)
+    : file_(file), max_frames_(pool_bytes / file->page_size()) {}
+
+BufferPool::~BufferPool() = default;
+
+void BufferPool::Unpin(BufFrame* frame) {
+  assert(frame->pins > 0);
+  --frame->pins;
+  if (frame->pins == 0) {
+    TouchLru(frame);
+  }
+}
+
+void BufferPool::UnlinkLru(BufFrame* frame) {
+  if (frame->lru_prev != nullptr) {
+    frame->lru_prev->lru_next = frame->lru_next;
+  } else if (lru_head_ == frame) {
+    lru_head_ = frame->lru_next;
+  }
+  if (frame->lru_next != nullptr) {
+    frame->lru_next->lru_prev = frame->lru_prev;
+  } else if (lru_tail_ == frame) {
+    lru_tail_ = frame->lru_prev;
+  }
+  frame->lru_prev = nullptr;
+  frame->lru_next = nullptr;
+}
+
+void BufferPool::TouchLru(BufFrame* frame) {
+  UnlinkLru(frame);
+  frame->lru_prev = lru_tail_;
+  frame->lru_next = nullptr;
+  if (lru_tail_ != nullptr) {
+    lru_tail_->lru_next = frame;
+  }
+  lru_tail_ = frame;
+  if (lru_head_ == nullptr) {
+    lru_head_ = frame;
+  }
+}
+
+bool BufferPool::ChainEvictable(const BufFrame* frame) const {
+  for (const BufFrame* f = frame; f != nullptr; f = f->ovfl_next) {
+    if (f->pins > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status BufferPool::WriteBack(BufFrame* frame) {
+  if (!frame->dirty) {
+    return Status::Ok();
+  }
+  HASHKIT_RETURN_IF_ERROR(
+      file_->WritePage(frame->pageno, std::span<const uint8_t>(frame->data.get(),
+                                                               file_->page_size())));
+  frame->dirty = false;
+  ++stats_.dirty_writebacks;
+  return Status::Ok();
+}
+
+Status BufferPool::EvictChain(BufFrame* frame) {
+  // Detach from the predecessor so it no longer references freed memory.
+  if (frame->chain_prev != nullptr) {
+    frame->chain_prev->ovfl_next = nullptr;
+    frame->chain_prev = nullptr;
+  }
+  BufFrame* f = frame;
+  while (f != nullptr) {
+    BufFrame* next = f->ovfl_next;
+    HASHKIT_RETURN_IF_ERROR(WriteBack(f));
+    UnlinkLru(f);
+    const uint64_t pageno = f->pageno;
+    ++stats_.evictions;
+    frames_.erase(pageno);  // frees f
+    f = next;
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::MakeRoom() {
+  while (frames_.size() >= max_frames_ && max_frames_ > 0) {
+    // Bound the victim search: each candidate's chain walk is O(chain), so
+    // an unbounded scan over a pool full of chained-but-pinned frames
+    // would make every miss quadratic.  Past the cap, grow instead.
+    constexpr int kMaxVictimScan = 64;
+    BufFrame* victim = lru_head_;
+    int scanned = 0;
+    while (victim != nullptr && (victim->pins > 0 || !ChainEvictable(victim))) {
+      victim = victim->lru_next;
+      if (++scanned >= kMaxVictimScan) {
+        victim = nullptr;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      // Everything (scanned) pinned or chained to pins: grow past the
+      // nominal limit.
+      return Status::Ok();
+    }
+    HASHKIT_RETURN_IF_ERROR(EvictChain(victim));
+  }
+  // A zero-byte pool keeps nothing cached beyond pins: evict every unpinned
+  // frame eagerly.
+  if (max_frames_ == 0) {
+    BufFrame* f = lru_head_;
+    while (f != nullptr) {
+      BufFrame* next = f->lru_next;
+      if (f->pins == 0 && ChainEvictable(f)) {
+        HASHKIT_RETURN_IF_ERROR(EvictChain(f));
+        // Chain eviction may have removed `next`; restart from the head.
+        f = lru_head_;
+      } else {
+        f = next;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<PageRef> BufferPool::Get(uint64_t pageno, bool create_new) {
+  auto it = frames_.find(pageno);
+  if (it != frames_.end()) {
+    BufFrame* frame = it->second.get();
+    ++stats_.hits;
+    ++frame->pins;
+    UnlinkLru(frame);  // pinned pages sit outside LRU consideration
+    return PageRef(this, frame);
+  }
+
+  HASHKIT_RETURN_IF_ERROR(MakeRoom());
+
+  auto frame_owner = std::make_unique<BufFrame>();
+  BufFrame* frame = frame_owner.get();
+  frame->pageno = pageno;
+  frame->data = std::make_unique<uint8_t[]>(file_->page_size());
+  if (create_new) {
+    std::memset(frame->data.get(), 0, file_->page_size());
+    frame->dirty = true;
+  } else {
+    HASHKIT_RETURN_IF_ERROR(
+        file_->ReadPage(pageno, std::span<uint8_t>(frame->data.get(), file_->page_size())));
+  }
+  ++stats_.misses;
+  frame->pins = 1;
+  frames_.emplace(pageno, std::move(frame_owner));
+  return PageRef(this, frame);
+}
+
+void BufferPool::LinkOverflow(const PageRef& pred, const PageRef& succ) {
+  BufFrame* p = pred.frame_;
+  BufFrame* s = succ.frame_;
+  assert(p != nullptr && s != nullptr && p != s);
+  if (p->ovfl_next == s) {
+    return;
+  }
+  // A frame has at most one successor and one predecessor (chains are
+  // linear); unlink any stale edges first.
+  if (p->ovfl_next != nullptr) {
+    p->ovfl_next->chain_prev = nullptr;
+  }
+  if (s->chain_prev != nullptr) {
+    s->chain_prev->ovfl_next = nullptr;
+  }
+  p->ovfl_next = s;
+  s->chain_prev = p;
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [pageno, frame] : frames_) {
+    HASHKIT_RETURN_IF_ERROR(WriteBack(frame.get()));
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::FlushAndInvalidate() {
+  HASHKIT_RETURN_IF_ERROR(FlushAll());
+  BufFrame* f = lru_head_;
+  while (f != nullptr) {
+    BufFrame* next = f->lru_next;
+    if (f->pins == 0 && ChainEvictable(f)) {
+      HASHKIT_RETURN_IF_ERROR(EvictChain(f));
+      f = lru_head_;
+    } else {
+      f = next;
+    }
+  }
+  return Status::Ok();
+}
+
+void BufferPool::Discard(uint64_t pageno) {
+  auto it = frames_.find(pageno);
+  if (it == frames_.end()) {
+    return;
+  }
+  BufFrame* frame = it->second.get();
+  assert(frame->pins == 0);
+  if (frame->chain_prev != nullptr) {
+    frame->chain_prev->ovfl_next = nullptr;
+  }
+  if (frame->ovfl_next != nullptr) {
+    frame->ovfl_next->chain_prev = nullptr;
+  }
+  UnlinkLru(frame);
+  frames_.erase(it);
+}
+
+}  // namespace hashkit

@@ -1,0 +1,125 @@
+// hashkit: LRU buffer pool, reproducing the paper's "Buffer Management"
+// design.
+//
+// Frames are kept on an LRU chain; overflow-page frames are additionally
+// linked to their predecessor frame (the primary page, or an earlier
+// overflow page in the same chain).  Per the paper, "an overflow page
+// cannot be present in the buffer pool if its primary page is not present":
+// evicting a frame evicts its linked overflow successors with it.
+//
+// Pages are pinned while a caller holds a PageRef; pinned frames are never
+// evicted.  When every frame is pinned the pool grows past its nominal
+// limit rather than failing — this matches the paper's "buffer pool size 0"
+// configuration, i.e. the minimum number of pages required is always
+// resident.
+
+#ifndef HASHKIT_SRC_PAGEFILE_BUFFER_POOL_H_
+#define HASHKIT_SRC_PAGEFILE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/pagefile/page_file.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+class BufferPool;
+
+// RAII pin on a buffered page.  Movable, not copyable; releasing the last
+// ref makes the frame evictable again.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef() { Release(); }
+
+  explicit operator bool() const { return frame_ != nullptr; }
+
+  uint8_t* data();
+  const uint8_t* data() const;
+  uint64_t pageno() const;
+
+  // Marks the page dirty; it will be written back on eviction or flush.
+  void MarkDirty();
+
+  // Drops the pin early.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, struct BufFrame* frame) : pool_(pool), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  struct BufFrame* frame_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  // `pool_bytes` is the nominal cache budget.  A budget of 0 keeps only the
+  // minimum (currently-pinned) pages resident.
+  BufferPool(PageFile* file, size_t pool_bytes);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins page `pageno`.  With `create_new` the backend read is skipped and
+  // the frame starts zero-filled (used for freshly allocated pages).
+  Result<PageRef> Get(uint64_t pageno, bool create_new = false);
+
+  // Records that `succ` is the overflow page following `pred` in a bucket
+  // chain, so that evicting `pred` also evicts `succ` (and transitively the
+  // rest of the chain).
+  void LinkOverflow(const PageRef& pred, const PageRef& succ);
+
+  // Writes all dirty frames to the backend; frames stay cached.
+  Status FlushAll();
+
+  // Writes all dirty frames and drops every unpinned frame.
+  Status FlushAndInvalidate();
+
+  // Drops a cached page without writeback (used when a page is freed and
+  // its contents no longer matter).  No-op if absent; must not be pinned.
+  void Discard(uint64_t pageno);
+
+  size_t frames_in_use() const { return frames_.size(); }
+  size_t max_frames() const { return max_frames_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  PageFile* file() { return file_; }
+
+ private:
+  friend class PageRef;
+
+  void Unpin(BufFrame* frame);
+  void TouchLru(BufFrame* frame);
+  void UnlinkLru(BufFrame* frame);
+  // True if `frame` and all its overflow successors are unpinned.
+  bool ChainEvictable(const BufFrame* frame) const;
+  // Writes back (if dirty) and frees `frame` plus its successor chain.
+  Status EvictChain(BufFrame* frame);
+  Status WriteBack(BufFrame* frame);
+  Status MakeRoom();
+
+  PageFile* file_;
+  size_t max_frames_;
+  std::unordered_map<uint64_t, std::unique_ptr<BufFrame>> frames_;
+  BufFrame* lru_head_ = nullptr;  // least recently used
+  BufFrame* lru_tail_ = nullptr;  // most recently used
+  BufferPoolStats stats_;
+};
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_PAGEFILE_BUFFER_POOL_H_

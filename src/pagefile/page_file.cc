@@ -1,0 +1,191 @@
+#include "src/pagefile/page_file.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace hashkit {
+
+namespace {
+
+class DiskPageFile final : public PageFile {
+ public:
+  DiskPageFile(int fd, size_t page_size, uint64_t page_count)
+      : PageFile(page_size), fd_(fd), page_count_(page_count) {}
+
+  ~DiskPageFile() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  Status ReadPage(uint64_t pageno, std::span<uint8_t> out) override {
+    if (out.size() != page_size_) {
+      return Status::InvalidArgument("read buffer size != page size");
+    }
+    if (pageno >= page_count_) {
+      // Beyond EOF: sparse semantics, page reads as zero.
+      std::memset(out.data(), 0, out.size());
+      ++stats_.zero_fills;
+      return Status::Ok();
+    }
+    const off_t offset = static_cast<off_t>(pageno * page_size_);
+    size_t done = 0;
+    while (done < page_size_) {
+      const ssize_t n = ::pread(fd_, out.data() + done, page_size_ - done,
+                                offset + static_cast<off_t>(done));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Status::IoError(std::string("pread: ") + std::strerror(errno));
+      }
+      if (n == 0) {
+        // Short file (hole at the tail): remainder reads as zero.
+        std::memset(out.data() + done, 0, page_size_ - done);
+        break;
+      }
+      done += static_cast<size_t>(n);
+    }
+    ++stats_.reads;
+    return Status::Ok();
+  }
+
+  Status WritePage(uint64_t pageno, std::span<const uint8_t> data) override {
+    if (data.size() != page_size_) {
+      return Status::InvalidArgument("write buffer size != page size");
+    }
+    const off_t offset = static_cast<off_t>(pageno * page_size_);
+    size_t done = 0;
+    while (done < page_size_) {
+      const ssize_t n = ::pwrite(fd_, data.data() + done, page_size_ - done,
+                                 offset + static_cast<off_t>(done));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+      }
+      done += static_cast<size_t>(n);
+    }
+    if (pageno >= page_count_) {
+      page_count_ = pageno + 1;
+    }
+    ++stats_.writes;
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+    }
+    ++stats_.syncs;
+    return Status::Ok();
+  }
+
+  uint64_t PageCount() const override { return page_count_; }
+
+ private:
+  int fd_;
+  uint64_t page_count_;
+};
+
+class MemPageFile final : public PageFile {
+ public:
+  explicit MemPageFile(size_t page_size) : PageFile(page_size) {}
+
+  Status ReadPage(uint64_t pageno, std::span<uint8_t> out) override {
+    if (out.size() != page_size_) {
+      return Status::InvalidArgument("read buffer size != page size");
+    }
+    if (pageno >= pages_.size() || pages_[pageno].empty()) {
+      std::memset(out.data(), 0, out.size());
+      ++stats_.zero_fills;
+      return Status::Ok();
+    }
+    std::memcpy(out.data(), pages_[pageno].data(), page_size_);
+    ++stats_.reads;
+    return Status::Ok();
+  }
+
+  Status WritePage(uint64_t pageno, std::span<const uint8_t> data) override {
+    if (data.size() != page_size_) {
+      return Status::InvalidArgument("write buffer size != page size");
+    }
+    if (pageno >= pages_.size()) {
+      pages_.resize(pageno + 1);
+    }
+    pages_[pageno].assign(data.begin(), data.end());
+    ++stats_.writes;
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    ++stats_.syncs;
+    return Status::Ok();
+  }
+
+  uint64_t PageCount() const override { return pages_.size(); }
+
+ private:
+  std::vector<std::vector<uint8_t>> pages_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PageFile>> OpenDiskPageFile(const std::string& path, size_t page_size,
+                                                   bool truncate, bool exclusive_lock) {
+  if (page_size == 0) {
+    return Status::InvalidArgument("page size must be positive");
+  }
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) {
+    flags |= O_TRUNC;
+  }
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  if (exclusive_lock && ::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return Status::IoError(path + ": file is locked by another process");
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError(std::string("lseek: ") + std::strerror(errno));
+  }
+  const uint64_t page_count = (static_cast<uint64_t>(size) + page_size - 1) / page_size;
+  return std::unique_ptr<PageFile>(new DiskPageFile(fd, page_size, page_count));
+}
+
+Result<std::unique_ptr<PageFile>> OpenTempPageFile(size_t page_size, const std::string& dir) {
+  if (page_size == 0) {
+    return Status::InvalidArgument("page size must be positive");
+  }
+  std::string base = dir;
+  if (base.empty()) {
+    const char* tmpdir = std::getenv("TMPDIR");
+    base = tmpdir != nullptr ? tmpdir : "/tmp";
+  }
+  std::string tmpl = base + "/hashkit.XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const int fd = ::mkstemp(buf.data());
+  if (fd < 0) {
+    return Status::IoError(std::string("mkstemp: ") + std::strerror(errno));
+  }
+  ::unlink(buf.data());  // anonymous: vanishes when closed
+  return std::unique_ptr<PageFile>(new DiskPageFile(fd, page_size, 0));
+}
+
+std::unique_ptr<PageFile> MakeMemPageFile(size_t page_size) {
+  return std::make_unique<MemPageFile>(page_size);
+}
+
+}  // namespace hashkit

@@ -1,0 +1,228 @@
+#include "src/recno/recno.h"
+
+#include <cstring>
+
+#include "src/util/endian.h"
+#include "src/util/math.h"
+
+namespace hashkit {
+namespace recno {
+
+namespace {
+
+constexpr uint32_t kFixedMagic = 0x48535231;  // "HSR1"
+constexpr uint32_t kFixedVersion = 1;
+
+// Big-endian record numbers sort correctly under the btree's bytewise
+// comparison.
+std::string RecnoKey(uint64_t recno) {
+  std::string key(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    key[i] = static_cast<char>(recno & 0xff);
+    recno >>= 8;
+  }
+  return key;
+}
+
+uint64_t KeyRecno(std::string_view key) {
+  uint64_t recno = 0;
+  for (const char c : key) {
+    recno = (recno << 8) | static_cast<uint8_t>(c);
+  }
+  return recno;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FixedRecno
+// ---------------------------------------------------------------------------
+
+FixedRecno::FixedRecno(std::unique_ptr<PageFile> file, const FixedRecnoOptions& options,
+                       bool persistent)
+    : file_(std::move(file)),
+      pool_(std::make_unique<BufferPool>(file_.get(), options.cachesize)),
+      page_size_(options.page_size),
+      record_size_(options.record_size),
+      persistent_(persistent) {}
+
+FixedRecno::~FixedRecno() {
+  if (persistent_) {
+    (void)Sync();
+  }
+}
+
+Result<std::unique_ptr<FixedRecno>> FixedRecno::Open(const std::string& path,
+                                                     const FixedRecnoOptions& options,
+                                                     bool truncate) {
+  if (options.page_size < 64 || !IsPowerOfTwo(options.page_size) ||
+      options.record_size == 0 || options.record_size > options.page_size - 16) {
+    return Status::InvalidArgument("invalid recno geometry");
+  }
+  HASHKIT_ASSIGN_OR_RETURN(auto file, OpenDiskPageFile(path, options.page_size, truncate));
+  const bool fresh = file->PageCount() == 0;
+  std::unique_ptr<FixedRecno> store(
+      new FixedRecno(std::move(file), options, /*persistent=*/true));
+  if (fresh) {
+    HASHKIT_RETURN_IF_ERROR(store->InitNew());
+  } else {
+    HASHKIT_RETURN_IF_ERROR(store->LoadExisting());
+  }
+  return store;
+}
+
+Result<std::unique_ptr<FixedRecno>> FixedRecno::OpenInMemory(const FixedRecnoOptions& options) {
+  if (options.page_size < 64 || !IsPowerOfTwo(options.page_size) ||
+      options.record_size == 0 || options.record_size > options.page_size - 16) {
+    return Status::InvalidArgument("invalid recno geometry");
+  }
+  HASHKIT_ASSIGN_OR_RETURN(auto file, OpenTempPageFile(options.page_size));
+  std::unique_ptr<FixedRecno> store(
+      new FixedRecno(std::move(file), options, /*persistent=*/false));
+  HASHKIT_RETURN_IF_ERROR(store->InitNew());
+  return store;
+}
+
+Status FixedRecno::InitNew() {
+  count_ = 0;
+  if (persistent_) {
+    return WriteMeta();
+  }
+  return Status::Ok();
+}
+
+Status FixedRecno::WriteMeta() {
+  std::vector<uint8_t> buf(page_size_, 0);
+  EncodeU32(buf.data() + 0, kFixedMagic);
+  EncodeU32(buf.data() + 4, kFixedVersion);
+  EncodeU32(buf.data() + 8, page_size_);
+  EncodeU32(buf.data() + 12, record_size_);
+  EncodeU64(buf.data() + 16, count_);
+  return file_->WritePage(0, std::span<const uint8_t>(buf));
+}
+
+Status FixedRecno::LoadExisting() {
+  std::vector<uint8_t> buf(page_size_);
+  HASHKIT_RETURN_IF_ERROR(file_->ReadPage(0, std::span<uint8_t>(buf)));
+  if (DecodeU32(buf.data()) != kFixedMagic) {
+    return Status::Corruption("not a hashkit recno file");
+  }
+  if (DecodeU32(buf.data() + 4) != kFixedVersion) {
+    return Status::Corruption("unsupported recno version");
+  }
+  if (DecodeU32(buf.data() + 8) != page_size_) {
+    return Status::Corruption("recno page size mismatch");
+  }
+  if (DecodeU32(buf.data() + 12) != record_size_) {
+    return Status::Corruption("recno record size mismatch");
+  }
+  count_ = DecodeU64(buf.data() + 16);
+  return Status::Ok();
+}
+
+Status FixedRecno::Sync() {
+  if (!persistent_) {
+    return Status::Ok();
+  }
+  HASHKIT_RETURN_IF_ERROR(WriteMeta());
+  HASHKIT_RETURN_IF_ERROR(pool_->FlushAll());
+  return file_->Sync();
+}
+
+Status FixedRecno::Get(uint64_t recno, std::string* value) {
+  if (recno >= count_) {
+    return Status::NotFound();
+  }
+  HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(PageFor(recno)));
+  if (value != nullptr) {
+    value->assign(reinterpret_cast<const char*>(page.data() + OffsetFor(recno)), record_size_);
+  }
+  return Status::Ok();
+}
+
+Status FixedRecno::Set(uint64_t recno, std::string_view value) {
+  if (value.size() > record_size_) {
+    return Status::InvalidArgument("record longer than the fixed record size");
+  }
+  HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(PageFor(recno)));
+  uint8_t* dst = page.data() + OffsetFor(recno);
+  std::memcpy(dst, value.data(), value.size());
+  std::memset(dst + value.size(), 0, record_size_ - value.size());  // zero padding
+  page.MarkDirty();
+  if (recno >= count_) {
+    count_ = recno + 1;
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> FixedRecno::Append(std::string_view value) {
+  const uint64_t recno = count_;
+  HASHKIT_RETURN_IF_ERROR(Set(recno, value));
+  return recno;
+}
+
+// ---------------------------------------------------------------------------
+// VarRecno
+// ---------------------------------------------------------------------------
+
+VarRecno::VarRecno(std::unique_ptr<btree::BTree> tree)
+    : tree_(std::move(tree)), cursor_(tree_->NewCursor()) {}
+
+Result<std::unique_ptr<VarRecno>> VarRecno::Open(const std::string& path,
+                                                 const btree::BtOptions& options,
+                                                 bool truncate) {
+  HASHKIT_ASSIGN_OR_RETURN(auto tree, btree::BTree::Open(path, options, truncate));
+  std::unique_ptr<VarRecno> store(new VarRecno(std::move(tree)));
+  // Recover the append position from the largest stored record number.
+  std::string last;
+  const Status st = store->tree_->LastKey(&last);
+  if (st.ok()) {
+    store->next_ = KeyRecno(last) + 1;
+  } else if (!st.IsNotFound()) {
+    return st;
+  }
+  return store;
+}
+
+Result<std::unique_ptr<VarRecno>> VarRecno::OpenInMemory(const btree::BtOptions& options) {
+  HASHKIT_ASSIGN_OR_RETURN(auto tree, btree::BTree::OpenInMemory(options));
+  return std::unique_ptr<VarRecno>(new VarRecno(std::move(tree)));
+}
+
+Status VarRecno::Get(uint64_t recno, std::string* value) {
+  return tree_->Get(RecnoKey(recno), value);
+}
+
+Status VarRecno::Set(uint64_t recno, std::string_view value) {
+  HASHKIT_RETURN_IF_ERROR(tree_->Put(RecnoKey(recno), value));
+  if (recno >= next_) {
+    next_ = recno + 1;
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> VarRecno::Append(std::string_view value) {
+  const uint64_t recno = next_;
+  HASHKIT_RETURN_IF_ERROR(Set(recno, value));
+  return recno;
+}
+
+Status VarRecno::Delete(uint64_t recno) { return tree_->Delete(RecnoKey(recno)); }
+
+Status VarRecno::Scan(uint64_t* recno, std::string* value, bool first) {
+  if (first) {
+    HASHKIT_RETURN_IF_ERROR(cursor_.SeekFirst());
+  }
+  std::string key;
+  HASHKIT_RETURN_IF_ERROR(cursor_.Next(&key, value));
+  if (key.size() != 8) {
+    return Status::Corruption("recno tree holds a non-recno key");
+  }
+  if (recno != nullptr) {
+    *recno = KeyRecno(key);
+  }
+  return Status::Ok();
+}
+
+}  // namespace recno
+}  // namespace hashkit

@@ -1,0 +1,120 @@
+// hashkit recno: record-number access methods — the paper's "fixed and
+// variable length record access methods" that round out the generic
+// database package alongside hash and btree.
+//
+// * FixedRecno — fixed-length records in a paged array file: record n
+//   lives at a computed page/offset, so access is one page fetch.  Records
+//   shorter than the record size are zero-padded (classic recno
+//   behaviour); longer ones are rejected.
+// * VarRecno — variable-length records, implemented over the btree access
+//   method with big-endian 8-byte record numbers as keys (so btree order
+//   is record order).  This is exactly how 4.4BSD db(3) built recno.
+//
+// Both expose Get/Set/Append/Count plus sequential iteration; neither
+// renumbers on deletion (a Set over an existing record replaces it; sparse
+// record numbers are allowed in VarRecno and read as absent).
+
+#ifndef HASHKIT_SRC_RECNO_RECNO_H_
+#define HASHKIT_SRC_RECNO_RECNO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/btree/btree.h"
+#include "src/pagefile/buffer_pool.h"
+#include "src/pagefile/page_file.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace recno {
+
+struct FixedRecnoOptions {
+  uint32_t record_size = 128;  // bytes per record, <= page_size - 1
+  uint32_t page_size = 4096;
+  uint64_t cachesize = 256 * 1024;
+};
+
+class FixedRecno {
+ public:
+  static Result<std::unique_ptr<FixedRecno>> Open(const std::string& path,
+                                                  const FixedRecnoOptions& options,
+                                                  bool truncate = false);
+  static Result<std::unique_ptr<FixedRecno>> OpenInMemory(const FixedRecnoOptions& options);
+  ~FixedRecno();
+
+  FixedRecno(const FixedRecno&) = delete;
+  FixedRecno& operator=(const FixedRecno&) = delete;
+
+  // Reads record `recno` (zero-based).  kNotFound beyond Count().  The
+  // returned value always has exactly record_size bytes.
+  Status Get(uint64_t recno, std::string* value);
+
+  // Writes record `recno`; extends the file (with zero records) when
+  // recno >= Count().  Values longer than record_size are rejected;
+  // shorter ones are zero-padded.
+  Status Set(uint64_t recno, std::string_view value);
+
+  // Appends a record, returning its number.
+  Result<uint64_t> Append(std::string_view value);
+
+  Status Sync();
+  uint64_t Count() const { return count_; }
+  uint32_t record_size() const { return record_size_; }
+
+ private:
+  FixedRecno(std::unique_ptr<PageFile> file, const FixedRecnoOptions& options, bool persistent);
+
+  Status InitNew();
+  Status LoadExisting();
+  Status WriteMeta();
+
+  uint32_t RecordsPerPage() const { return (page_size_ - 16) / record_size_; }
+  uint64_t PageFor(uint64_t recno) const { return 1 + recno / RecordsPerPage(); }
+  size_t OffsetFor(uint64_t recno) const {
+    return 16 + (recno % RecordsPerPage()) * record_size_;
+  }
+
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  uint32_t page_size_;
+  uint32_t record_size_;
+  bool persistent_;
+  uint64_t count_ = 0;
+};
+
+class VarRecno {
+ public:
+  static Result<std::unique_ptr<VarRecno>> Open(const std::string& path,
+                                                const btree::BtOptions& options,
+                                                bool truncate = false);
+  static Result<std::unique_ptr<VarRecno>> OpenInMemory(const btree::BtOptions& options);
+
+  Status Get(uint64_t recno, std::string* value);
+  Status Set(uint64_t recno, std::string_view value);
+  Result<uint64_t> Append(std::string_view value);
+  Status Delete(uint64_t recno);  // leaves a hole; numbers are stable
+
+  // Iterates existing records in number order; first=true restarts.
+  Status Scan(uint64_t* recno, std::string* value, bool first);
+
+  Status Sync() { return tree_->Sync(); }
+  // One past the highest record number ever written.
+  uint64_t Count() const { return next_; }
+  // Number of records actually present (Count() minus holes).
+  uint64_t Present() const { return tree_->size(); }
+  btree::BTree* tree() { return tree_.get(); }
+
+ private:
+  explicit VarRecno(std::unique_ptr<btree::BTree> tree);
+
+  std::unique_ptr<btree::BTree> tree_;
+  btree::BtCursor cursor_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace recno
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_RECNO_RECNO_H_

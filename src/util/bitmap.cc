@@ -1,0 +1,80 @@
+#include "src/util/bitmap.h"
+
+#include <bit>
+
+namespace hashkit {
+
+std::optional<size_t> RawFirstClearBit(const uint8_t* buf, size_t nbits) {
+  const size_t full_bytes = nbits >> 3;
+  for (size_t i = 0; i < full_bytes; ++i) {
+    if (buf[i] != 0xff) {
+      const size_t bit = (i << 3) + std::countr_one(buf[i]);
+      return bit;
+    }
+  }
+  for (size_t bit = full_bytes << 3; bit < nbits; ++bit) {
+    if (!RawBitIsSet(buf, bit)) {
+      return bit;
+    }
+  }
+  return std::nullopt;
+}
+
+size_t RawPopcount(const uint8_t* buf, size_t nbits) {
+  size_t count = 0;
+  const size_t full_bytes = nbits >> 3;
+  for (size_t i = 0; i < full_bytes; ++i) {
+    count += static_cast<size_t>(std::popcount(buf[i]));
+  }
+  for (size_t bit = full_bytes << 3; bit < nbits; ++bit) {
+    count += RawBitIsSet(buf, bit) ? 1 : 0;
+  }
+  return count;
+}
+
+void Bitmap::Resize(size_t nbits) {
+  bytes_.resize((nbits + 7) >> 3, 0);
+  if (nbits < nbits_) {
+    // Clear any now-out-of-range bits in the final partial byte.
+    for (size_t bit = nbits; bit < bytes_.size() << 3; ++bit) {
+      RawBitClear(bytes_.data(), bit);
+    }
+  }
+  nbits_ = nbits;
+}
+
+bool Bitmap::Test(size_t bit) const {
+  if (bit >= nbits_) {
+    return false;
+  }
+  return RawBitIsSet(bytes_.data(), bit);
+}
+
+void Bitmap::EnsureCapacity(size_t bit) {
+  if (bit >= nbits_) {
+    Resize(bit + 1);
+  }
+}
+
+void Bitmap::Set(size_t bit) {
+  EnsureCapacity(bit);
+  RawBitSet(bytes_.data(), bit);
+}
+
+void Bitmap::Clear(size_t bit) {
+  EnsureCapacity(bit);
+  RawBitClear(bytes_.data(), bit);
+}
+
+size_t Bitmap::CountSet() const { return RawPopcount(bytes_.data(), nbits_); }
+
+std::vector<uint8_t> Bitmap::ToBytes() const { return bytes_; }
+
+Bitmap Bitmap::FromBytes(const std::vector<uint8_t>& bytes) {
+  Bitmap bm;
+  bm.bytes_ = bytes;
+  bm.nbits_ = bytes.size() << 3;
+  return bm;
+}
+
+}  // namespace hashkit

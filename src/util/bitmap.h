@@ -1,0 +1,79 @@
+// hashkit: bit-vector utilities.
+//
+// Two users:
+//   * the core package's overflow-page allocation bitmaps, which live in
+//     raw page buffers on disk (the free functions below operate on caller
+//     memory), and
+//   * the dbm/ndbm and sdbm baselines' split-history bitmaps (the growable
+//     Bitmap class).
+//
+// Bit order within the raw form is LSB-first within each 32-bit word, stored
+// little-endian, matching the package's on-disk bitmap pages.
+
+#ifndef HASHKIT_SRC_UTIL_BITMAP_H_
+#define HASHKIT_SRC_UTIL_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hashkit {
+
+// ---- Raw-buffer bit operations (for on-page bitmaps) ----
+
+inline bool RawBitIsSet(const uint8_t* buf, size_t bit) {
+  return (buf[bit >> 3] >> (bit & 7)) & 1;
+}
+
+inline void RawBitSet(uint8_t* buf, size_t bit) {
+  buf[bit >> 3] = static_cast<uint8_t>(buf[bit >> 3] | (1u << (bit & 7)));
+}
+
+inline void RawBitClear(uint8_t* buf, size_t bit) {
+  buf[bit >> 3] = static_cast<uint8_t>(buf[bit >> 3] & ~(1u << (bit & 7)));
+}
+
+// First clear bit in buf[0..nbits), or nullopt if all set.
+std::optional<size_t> RawFirstClearBit(const uint8_t* buf, size_t nbits);
+
+// Number of set bits in buf[0..nbits).
+size_t RawPopcount(const uint8_t* buf, size_t nbits);
+
+// ---- Growable bitmap (for split-history maps) ----
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t nbits) { Resize(nbits); }
+
+  // Grows to hold at least nbits bits; new bits are clear.
+  void Resize(size_t nbits);
+
+  size_t size() const { return nbits_; }
+
+  // Reads beyond size() return false (mirrors dbm's treatment of unwritten
+  // .dir bytes as zero).
+  bool Test(size_t bit) const;
+
+  // Set/Clear grow the map on demand.
+  void Set(size_t bit);
+  void Clear(size_t bit);
+
+  size_t CountSet() const;
+
+  // Serialize to/from raw bytes (LSB-first), for baselines that persist
+  // their split history in a .dir file.
+  std::vector<uint8_t> ToBytes() const;
+  static Bitmap FromBytes(const std::vector<uint8_t>& bytes);
+
+ private:
+  void EnsureCapacity(size_t bit);
+
+  std::vector<uint8_t> bytes_;
+  size_t nbits_ = 0;
+};
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_UTIL_BITMAP_H_

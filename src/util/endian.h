@@ -1,0 +1,49 @@
+// hashkit: explicit little-endian codecs for on-disk integers.
+//
+// The 1991 package wrote integers in host order and recorded a byte-order
+// tag in the file header.  We instead define the disk format to be
+// little-endian and convert explicitly, which makes files portable and the
+// codec testable in isolation.
+
+#ifndef HASHKIT_SRC_UTIL_ENDIAN_H_
+#define HASHKIT_SRC_UTIL_ENDIAN_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace hashkit {
+
+inline void EncodeU16(uint8_t* dst, uint16_t v) {
+  dst[0] = static_cast<uint8_t>(v & 0xff);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline uint16_t DecodeU16(const uint8_t* src) {
+  return static_cast<uint16_t>(src[0] | (static_cast<uint16_t>(src[1]) << 8));
+}
+
+inline void EncodeU32(uint8_t* dst, uint32_t v) {
+  dst[0] = static_cast<uint8_t>(v & 0xff);
+  dst[1] = static_cast<uint8_t>((v >> 8) & 0xff);
+  dst[2] = static_cast<uint8_t>((v >> 16) & 0xff);
+  dst[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline uint32_t DecodeU32(const uint8_t* src) {
+  return static_cast<uint32_t>(src[0]) | (static_cast<uint32_t>(src[1]) << 8) |
+         (static_cast<uint32_t>(src[2]) << 16) | (static_cast<uint32_t>(src[3]) << 24);
+}
+
+inline void EncodeU64(uint8_t* dst, uint64_t v) {
+  EncodeU32(dst, static_cast<uint32_t>(v & 0xffffffffu));
+  EncodeU32(dst + 4, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint64_t DecodeU64(const uint8_t* src) {
+  return static_cast<uint64_t>(DecodeU32(src)) |
+         (static_cast<uint64_t>(DecodeU32(src + 4)) << 32);
+}
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_UTIL_ENDIAN_H_

@@ -1,0 +1,143 @@
+#include "src/util/hash_funcs.h"
+
+namespace hashkit {
+
+namespace {
+// Primes from the original package's default function.
+constexpr uint32_t kPrime1 = 37;
+constexpr uint32_t kPrime2 = 1048583;
+
+// Strong 32-bit finalizer (murmur3-style) used by HashThompson to stand in
+// for dbm's table-driven randomizer: full avalanche on all input bits.
+inline uint32_t Avalanche(uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+}  // namespace
+
+uint32_t HashDefault(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t h = 0;
+  for (size_t i = 0; i < len; ++i) {
+    h = h * kPrime1 ^ (static_cast<uint32_t>(p[i]) * kPrime2);
+  }
+  return h;
+}
+
+uint32_t HashSdbm(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t h = 0;
+  for (size_t i = 0; i < len; ++i) {
+    h = static_cast<uint32_t>(p[i]) + (h << 6) + (h << 16) - h;
+  }
+  return h;
+}
+
+uint32_t HashLarson(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t h = 0;
+  for (size_t i = 0; i < len; ++i) {
+    h = h * 101 + static_cast<uint32_t>(p[i]);
+  }
+  return h;
+}
+
+uint32_t HashDjb2(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t h = 5381;
+  for (size_t i = 0; i < len; ++i) {
+    h = ((h << 5) + h) + static_cast<uint32_t>(p[i]);
+  }
+  return h;
+}
+
+uint32_t HashFnv1a(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<uint32_t>(p[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+uint32_t HashKnuthMul(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t h = 0;
+  for (size_t i = 0; i < len; ++i) {
+    h = ((h << 5) ^ (h >> 27)) ^ static_cast<uint32_t>(p[i]);
+  }
+  h *= 2654435761u;  // Knuth's golden-ratio multiplier
+  // Multiplicative hashing concentrates entropy in the high bits; fold
+  // them down because linear hashing masks the LOW bits.
+  return h ^ (h >> 16);
+}
+
+uint32_t HashThompson(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t h = static_cast<uint32_t>(len) * 0x9e3779b1u;
+  for (size_t i = 0; i < len; ++i) {
+    h = (h << 7) + (h >> 25) + static_cast<uint32_t>(p[i]);
+    h = Avalanche(h ^ static_cast<uint32_t>(i));
+  }
+  return Avalanche(h);
+}
+
+uint32_t HashIdentity4(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t h = 0;
+  for (size_t i = 0; i < len && i < 4; ++i) {
+    h |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return h;
+}
+
+HashFn GetHashFunc(HashFuncId id) {
+  switch (id) {
+    case HashFuncId::kDefault:
+      return &HashDefault;
+    case HashFuncId::kSdbm:
+      return &HashSdbm;
+    case HashFuncId::kLarson:
+      return &HashLarson;
+    case HashFuncId::kDjb2:
+      return &HashDjb2;
+    case HashFuncId::kFnv1a:
+      return &HashFnv1a;
+    case HashFuncId::kKnuthMul:
+      return &HashKnuthMul;
+    case HashFuncId::kThompson:
+      return &HashThompson;
+    case HashFuncId::kIdentity4:
+      return &HashIdentity4;
+  }
+  return nullptr;
+}
+
+std::string_view HashFuncName(HashFuncId id) {
+  switch (id) {
+    case HashFuncId::kDefault:
+      return "default";
+    case HashFuncId::kSdbm:
+      return "sdbm";
+    case HashFuncId::kLarson:
+      return "larson";
+    case HashFuncId::kDjb2:
+      return "djb2";
+    case HashFuncId::kFnv1a:
+      return "fnv1a";
+    case HashFuncId::kKnuthMul:
+      return "knuth_mul";
+    case HashFuncId::kThompson:
+      return "thompson";
+    case HashFuncId::kIdentity4:
+      return "identity4";
+  }
+  return "unknown";
+}
+
+}  // namespace hashkit

@@ -1,0 +1,30 @@
+// hashkit: small integer-math helpers shared by the hashing packages.
+
+#ifndef HASHKIT_SRC_UTIL_MATH_H_
+#define HASHKIT_SRC_UTIL_MATH_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace hashkit {
+
+// True iff v is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Smallest power of two >= v (v must be >= 1 and representable).
+constexpr uint64_t NextPowerOfTwo(uint64_t v) { return std::bit_ceil(v); }
+
+// floor(log2(v)); v must be >= 1.
+constexpr uint32_t FloorLog2(uint64_t v) {
+  return static_cast<uint32_t>(63 - std::countl_zero(v));
+}
+
+// ceil(log2(v)); v must be >= 1.  This is the paper's `log2()` ("ceil(log
+// base 2)") used by BUCKET_TO_PAGE.
+constexpr uint32_t CeilLog2(uint64_t v) {
+  return v <= 1 ? 0 : FloorLog2(v - 1) + 1;
+}
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_UTIL_MATH_H_

@@ -1,0 +1,92 @@
+#include "src/util/random.h"
+
+#include <cmath>
+
+namespace hashkit {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to expand the seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+uint64_t Rng::Range(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+std::string Rng::AsciiString(size_t length) {
+  std::string s(length, '\0');
+  for (auto& c : s) {
+    c = static_cast<char>('a' + Uniform(26));
+  }
+  return s;
+}
+
+std::string Rng::ByteString(size_t length) {
+  std::string s(length, '\0');
+  for (auto& c : s) {
+    c = static_cast<char>(Uniform(256));
+  }
+  return s;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  // Inverse-CDF on a truncated harmonic approximation; exact enough for
+  // workload skew and much cheaper than building the full CDF.
+  if (n <= 1) {
+    return 0;
+  }
+  const double u = NextDouble();
+  const double one_minus = 1.0 - theta;
+  double rank;
+  if (theta == 1.0) {
+    rank = std::exp(u * std::log(static_cast<double>(n))) - 1.0;
+  } else {
+    const double zn = (std::pow(static_cast<double>(n), one_minus) - 1.0) / one_minus;
+    rank = std::pow(u * zn * one_minus + 1.0, 1.0 / one_minus) - 1.0;
+  }
+  auto r = static_cast<uint64_t>(rank);
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace hashkit

@@ -1,0 +1,49 @@
+// hashkit: deterministic pseudo-random number generation for workloads and
+// property tests.  xoshiro256** — fast, high quality, and fully reproducible
+// across platforms (unlike std::default_random_engine distributions).
+
+#ifndef HASHKIT_SRC_UTIL_RANDOM_H_
+#define HASHKIT_SRC_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hashkit {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound); bound must be > 0.  Uses rejection sampling so the
+  // distribution is exactly uniform.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Random lowercase ASCII string of the given length.
+  std::string AsciiString(size_t length);
+
+  // Random byte string (may contain NULs) of the given length.
+  std::string ByteString(size_t length);
+
+  // Zipf-like skewed pick in [0, n): rank r chosen with probability
+  // proportional to 1/(r+1)^theta.  Used for skewed key popularity.
+  uint64_t Zipf(uint64_t n, double theta);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_UTIL_RANDOM_H_

@@ -1,0 +1,164 @@
+// hashkit: error handling primitives.
+//
+// The package is exception-free across its public API (consistent with an
+// os-systems library whose ancestry is a C database package).  Operations
+// that can fail return a Status, or a Result<T> when they also produce a
+// value.  Allocation failure is considered fatal.
+
+#ifndef HASHKIT_SRC_UTIL_STATUS_H_
+#define HASHKIT_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace hashkit {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        // key absent, or sequential scan exhausted
+  kExists,          // insert with no-overwrite hit an existing key
+  kInvalidArgument, // bad parameter (page size, fill factor, ...)
+  kIoError,         // underlying read/write/sync failed
+  kCorruption,      // on-disk structure failed validation
+  kFull,            // fixed-capacity store (hsearch, dbm page) cannot accept
+  kUnsupported,     // operation not supported by this store
+};
+
+// Human-readable name for a status code, e.g. "NOT_FOUND".
+constexpr std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kExists:
+      return "EXISTS";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kFull:
+      return "FULL";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+// Value-semantic status: a code plus an optional message.  The OK status
+// carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status Exists(std::string msg = "") { return Status(StatusCode::kExists, std::move(msg)); }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg = "") { return Status(StatusCode::kIoError, std::move(msg)); }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Full(std::string msg = "") { return Status(StatusCode::kFull, std::move(msg)); }
+  static Status Unsupported(std::string msg = "") {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsExists() const { return code_ == StatusCode::kExists; }
+  bool IsFull() const { return code_ == StatusCode::kFull; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    std::string s(StatusCodeName(code_));
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(rep_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagate a non-OK status from an expression.
+#define HASHKIT_RETURN_IF_ERROR(expr)       \
+  do {                                      \
+    ::hashkit::Status _st = (expr);         \
+    if (!_st.ok()) {                        \
+      return _st;                           \
+    }                                       \
+  } while (0)
+
+// Evaluate a Result-returning expression; on error return its status,
+// otherwise bind the value to `lhs`.
+#define HASHKIT_ASSIGN_OR_RETURN(lhs, expr) \
+  auto HASHKIT_CONCAT_(_res_, __LINE__) = (expr);                   \
+  if (!HASHKIT_CONCAT_(_res_, __LINE__).ok()) {                     \
+    return HASHKIT_CONCAT_(_res_, __LINE__).status();               \
+  }                                                                 \
+  lhs = std::move(HASHKIT_CONCAT_(_res_, __LINE__)).value()
+
+#define HASHKIT_CONCAT_INNER_(a, b) a##b
+#define HASHKIT_CONCAT_(a, b) HASHKIT_CONCAT_INNER_(a, b)
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_UTIL_STATUS_H_

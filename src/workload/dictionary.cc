@@ -1,0 +1,85 @@
+#include "src/workload/dictionary.h"
+
+#include <unordered_set>
+
+#include "src/util/random.h"
+
+namespace hashkit {
+namespace workload {
+
+namespace {
+
+const char* const kOnsets[] = {"b",  "bl", "br", "c",  "ch", "cl", "cr", "d",  "dr", "f",
+                               "fl", "fr", "g",  "gl", "gr", "h",  "j",  "k",  "l",  "m",
+                               "n",  "p",  "pl", "pr", "qu", "r",  "s",  "sc", "sh", "sk",
+                               "sl", "sm", "sn", "sp", "st", "str", "sw", "t",  "th", "tr",
+                               "tw", "v",  "w",  "wh", "y",  "z"};
+const char* const kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ea", "ee", "ie",
+                               "oa", "oo", "ou", "ay", "oy", "aw", "ew"};
+const char* const kCodas[] = {"",   "b",  "ck", "d",  "ft", "g",  "l",  "ld", "ll", "lt",
+                              "m",  "mp", "n",  "nd", "ng", "nk", "nt", "p",  "r",  "rd",
+                              "rk", "rn", "rt", "s",  "sh", "sk", "sp", "ss", "st", "t",
+                              "th", "x",  "zz"};
+const char* const kSuffixes[] = {"",    "",    "",    "s",   "ed",  "ing", "er",  "est",
+                                 "ly",  "ness", "ful", "less", "ment", "tion", "able", "ish"};
+
+template <size_t N>
+const char* Pick(Rng& rng, const char* const (&table)[N]) {
+  return table[rng.Uniform(N)];
+}
+
+std::string MakeWord(Rng& rng) {
+  // 1-3 syllables plus an occasional suffix gives a mean length near 8.
+  const auto syllables = 1 + rng.Uniform(3);
+  std::string word;
+  for (uint64_t s = 0; s < syllables; ++s) {
+    word += Pick(rng, kOnsets);
+    word += Pick(rng, kNuclei);
+    word += Pick(rng, kCodas);
+  }
+  word += Pick(rng, kSuffixes);
+  return word;
+}
+
+}  // namespace
+
+std::vector<std::string> GenerateDictionaryWords(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> words;
+  words.reserve(count);
+  while (words.size() < count) {
+    std::string word = MakeWord(rng);
+    // Occasionally append a digit-free disambiguator syllable rather than
+    // rejecting, so generation terminates even at high occupancy.
+    while (!seen.insert(word).second) {
+      word += Pick(rng, kOnsets);
+      word += Pick(rng, kNuclei);
+    }
+    words.push_back(std::move(word));
+  }
+  return words;
+}
+
+DictionaryWorkload MakeDictionaryWorkload(size_t count, uint64_t seed) {
+  DictionaryWorkload workload;
+  workload.keys = GenerateDictionaryWords(count, seed);
+  workload.values.reserve(count);
+  for (size_t i = 1; i <= count; ++i) {
+    workload.values.push_back(std::to_string(i));
+  }
+  return workload;
+}
+
+double AveragePairLength(const DictionaryWorkload& workload) {
+  size_t total = 0;
+  for (size_t i = 0; i < workload.keys.size(); ++i) {
+    total += workload.keys[i].size() + workload.values[i].size();
+  }
+  return workload.keys.empty() ? 0.0
+                               : static_cast<double>(total) /
+                                     static_cast<double>(workload.keys.size());
+}
+
+}  // namespace workload
+}  // namespace hashkit

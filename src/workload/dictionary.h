@@ -1,0 +1,42 @@
+// hashkit workload: the paper's dictionary data set, synthesized.
+//
+// The original tests used 24474 keys from an online dictionary
+// (/usr/share/dict/words on the HP 9000), with each key's data value being
+// the ASCII string of an integer 1..24474.  No dictionary file ships in
+// this environment, so we generate a deterministic English-like word list
+// with the same cardinality and a comparable length distribution
+// (syllable-built words, 2-24 characters, mean near 8).  Hashing behaviour
+// depends on key count, uniqueness, and length profile — not on spelling —
+// so the substitution preserves the experiments' shape (see DESIGN.md §3).
+
+#ifndef HASHKIT_SRC_WORKLOAD_DICTIONARY_H_
+#define HASHKIT_SRC_WORKLOAD_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hashkit {
+namespace workload {
+
+inline constexpr size_t kPaperDictionarySize = 24474;
+
+// Deterministic for a given (count, seed).
+std::vector<std::string> GenerateDictionaryWords(size_t count = kPaperDictionarySize,
+                                                 uint64_t seed = 1991);
+
+struct DictionaryWorkload {
+  std::vector<std::string> keys;
+  std::vector<std::string> values;  // "1" .. "N", as in the paper
+};
+
+DictionaryWorkload MakeDictionaryWorkload(size_t count = kPaperDictionarySize,
+                                          uint64_t seed = 1991);
+
+// Average key+value length, used to evaluate the paper's equation (1).
+double AveragePairLength(const DictionaryWorkload& workload);
+
+}  // namespace workload
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_WORKLOAD_DICTIONARY_H_

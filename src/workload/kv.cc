@@ -1,0 +1,27 @@
+#include "src/workload/kv.h"
+
+#include <unordered_set>
+
+#include "src/util/random.h"
+
+namespace hashkit {
+namespace workload {
+
+std::vector<KvPair> GenerateKv(const KvSpec& spec) {
+  Rng rng(spec.seed);
+  std::unordered_set<std::string> seen;
+  std::vector<KvPair> pairs;
+  pairs.reserve(spec.count);
+  while (pairs.size() < spec.count) {
+    std::string key = rng.ByteString(rng.Range(spec.min_key_len, spec.max_key_len));
+    if (!seen.insert(key).second) {
+      continue;
+    }
+    std::string value = rng.ByteString(rng.Range(spec.min_val_len, spec.max_val_len));
+    pairs.push_back({std::move(key), std::move(value)});
+  }
+  return pairs;
+}
+
+}  // namespace workload
+}  // namespace hashkit

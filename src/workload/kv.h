@@ -1,0 +1,34 @@
+// hashkit workload: generic random key/value generators for stress and
+// property tests.
+
+#ifndef HASHKIT_SRC_WORKLOAD_KV_H_
+#define HASHKIT_SRC_WORKLOAD_KV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hashkit {
+namespace workload {
+
+struct KvSpec {
+  size_t count = 1000;
+  size_t min_key_len = 4;
+  size_t max_key_len = 16;
+  size_t min_val_len = 0;
+  size_t max_val_len = 64;
+  uint64_t seed = 7;
+};
+
+struct KvPair {
+  std::string key;
+  std::string value;
+};
+
+// Unique keys; arbitrary (possibly binary) bytes.
+std::vector<KvPair> GenerateKv(const KvSpec& spec);
+
+}  // namespace workload
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_WORKLOAD_KV_H_

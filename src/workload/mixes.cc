@@ -1,0 +1,103 @@
+#include "src/workload/mixes.h"
+
+#include "src/util/random.h"
+
+namespace hashkit {
+namespace workload {
+
+MixSpec MixA() {
+  MixSpec spec;
+  spec.reads = 0.5;
+  spec.updates = 0.5;
+  return spec;
+}
+
+MixSpec MixB() {
+  MixSpec spec;
+  spec.reads = 0.95;
+  spec.updates = 0.05;
+  return spec;
+}
+
+MixSpec MixC() {
+  MixSpec spec;
+  spec.reads = 1.0;
+  spec.updates = 0.0;
+  return spec;
+}
+
+MixSpec MixD() {
+  MixSpec spec;
+  spec.reads = 0.9;
+  spec.updates = 0.0;
+  spec.inserts = 0.1;
+  return spec;
+}
+
+namespace {
+std::string KeyForIndex(uint64_t index) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "user%012llu", static_cast<unsigned long long>(index));
+  return buf;
+}
+}  // namespace
+
+Trace GenerateTrace(const MixSpec& spec) {
+  Rng rng(spec.seed);
+  Trace trace;
+  trace.preload_keys.reserve(spec.initial_keys);
+  for (uint64_t i = 0; i < spec.initial_keys; ++i) {
+    trace.preload_keys.push_back(KeyForIndex(i));
+  }
+  trace.preload_value = rng.AsciiString(spec.value_len);
+
+  const double total = spec.reads + spec.updates + spec.inserts + spec.deletes;
+  const double p_read = spec.reads / total;
+  const double p_update = p_read + spec.updates / total;
+  const double p_insert = p_update + spec.inserts / total;
+
+  uint64_t next_key = spec.initial_keys;
+  uint64_t live_high = spec.initial_keys;  // keys [0, live_high) exist-ish
+  trace.ops.reserve(spec.operations);
+  for (size_t i = 0; i < spec.operations; ++i) {
+    const double roll = rng.NextDouble();
+    Op op;
+    if (roll < p_read) {
+      op.type = OpType::kRead;
+      op.key = KeyForIndex(spec.zipf_theta > 0 ? rng.Zipf(live_high, spec.zipf_theta)
+                                               : rng.Uniform(live_high));
+    } else if (roll < p_update) {
+      op.type = OpType::kUpdate;
+      op.key = KeyForIndex(spec.zipf_theta > 0 ? rng.Zipf(live_high, spec.zipf_theta)
+                                               : rng.Uniform(live_high));
+      op.value = rng.AsciiString(spec.value_len);
+    } else if (roll < p_insert) {
+      op.type = OpType::kInsert;
+      op.key = KeyForIndex(next_key++);
+      op.value = rng.AsciiString(spec.value_len);
+      live_high = next_key;
+    } else {
+      op.type = OpType::kDelete;
+      op.key = KeyForIndex(rng.Uniform(live_high));
+    }
+    trace.ops.push_back(std::move(op));
+  }
+  return trace;
+}
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kRead:
+      return "read";
+    case OpType::kUpdate:
+      return "update";
+    case OpType::kInsert:
+      return "insert";
+    case OpType::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+}  // namespace workload
+}  // namespace hashkit

@@ -1,0 +1,57 @@
+// hashkit workload: operation-mix generator (YCSB-style), a modern
+// complement to the paper's create/read/verify/seq suites.  Generates a
+// deterministic trace of operations over a keyspace with configurable
+// read/update/insert/delete proportions and Zipf-skewed key popularity.
+
+#ifndef HASHKIT_SRC_WORKLOAD_MIXES_H_
+#define HASHKIT_SRC_WORKLOAD_MIXES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hashkit {
+namespace workload {
+
+enum class OpType : uint8_t { kRead, kUpdate, kInsert, kDelete };
+
+struct Op {
+  OpType type;
+  std::string key;
+  std::string value;  // for updates/inserts
+};
+
+struct MixSpec {
+  // Proportions; normalized internally.
+  double reads = 0.5;
+  double updates = 0.5;
+  double inserts = 0.0;
+  double deletes = 0.0;
+
+  size_t initial_keys = 10000;  // preloaded population
+  size_t operations = 100000;
+  size_t value_len = 100;
+  double zipf_theta = 0.99;  // key popularity skew (0 = uniform)
+  uint64_t seed = 1;
+};
+
+// The classic mixes.
+MixSpec MixA();  // 50/50 read/update
+MixSpec MixB();  // 95/5 read/update
+MixSpec MixC();  // read only
+MixSpec MixD();  // 90 read / 10 insert (working set drifts toward new keys)
+
+struct Trace {
+  std::vector<std::string> preload_keys;
+  std::string preload_value;
+  std::vector<Op> ops;
+};
+
+Trace GenerateTrace(const MixSpec& spec);
+
+const char* OpTypeName(OpType type);
+
+}  // namespace workload
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_WORKLOAD_MIXES_H_

@@ -1,0 +1,48 @@
+#include "src/workload/passwd.h"
+
+#include <unordered_set>
+
+#include "src/util/random.h"
+
+namespace hashkit {
+namespace workload {
+
+namespace {
+const char* const kFirstNames[] = {"alice", "bob",   "carol", "dave",  "erin",  "frank",
+                                   "grace", "heidi", "ivan",  "judy",  "karl",  "laura",
+                                   "mike",  "nina",  "oscar", "peggy", "quinn", "rob",
+                                   "sybil", "trent", "ursula", "vic",  "wendy", "xavier"};
+const char* const kShells[] = {"/bin/sh", "/bin/csh", "/bin/ksh", "/usr/local/bin/tcsh"};
+}  // namespace
+
+PasswdWorkload MakePasswdWorkload(size_t accounts, uint64_t seed) {
+  Rng rng(seed);
+  PasswdWorkload workload;
+  workload.records.reserve(accounts * 2);
+  std::unordered_set<std::string> used_logins;
+
+  for (size_t i = 0; i < accounts; ++i) {
+    std::string login =
+        std::string(kFirstNames[rng.Uniform(std::size(kFirstNames))]) + rng.AsciiString(2);
+    while (!used_logins.insert(login).second) {
+      login += static_cast<char>('a' + rng.Uniform(26));
+    }
+    const uint64_t uid = 100 + i;
+    const uint64_t gid = 10 + rng.Uniform(20);
+    const std::string gecos =
+        login + " " + rng.AsciiString(6) + ",Room " + std::to_string(rng.Range(100, 999));
+    const std::string rest = "*:" + std::to_string(uid) + ":" + std::to_string(gid) + ":" +
+                             gecos + ":/home/" + login + ":" +
+                             kShells[rng.Uniform(std::size(kShells))];
+    const std::string entry = login + ":" + rest;
+
+    // Record 1: login name -> remainder of the passwd entry.
+    workload.records.push_back({login, rest});
+    // Record 2: uid -> entire passwd entry.
+    workload.records.push_back({std::to_string(uid), entry});
+  }
+  return workload;
+}
+
+}  // namespace workload
+}  // namespace hashkit

@@ -1,0 +1,35 @@
+// hashkit workload: the paper's password-file data set, synthesized.
+//
+// The original used a passwd file with ~300 accounts and built two records
+// per account: one keyed by login name whose data is the remainder of the
+// passwd entry, and one keyed by uid whose data is the entire entry.  We
+// generate a deterministic passwd(5)-format file with the same structure.
+
+#ifndef HASHKIT_SRC_WORKLOAD_PASSWD_H_
+#define HASHKIT_SRC_WORKLOAD_PASSWD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hashkit {
+namespace workload {
+
+inline constexpr size_t kPaperAccountCount = 300;
+
+struct PasswdRecord {
+  std::string key;
+  std::string value;
+};
+
+struct PasswdWorkload {
+  // 2 * account_count records: login-keyed then uid-keyed per account.
+  std::vector<PasswdRecord> records;
+};
+
+PasswdWorkload MakePasswdWorkload(size_t accounts = kPaperAccountCount, uint64_t seed = 42);
+
+}  // namespace workload
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_WORKLOAD_PASSWD_H_

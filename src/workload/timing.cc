@@ -1,0 +1,72 @@
+#include "src/workload/timing.h"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace hashkit {
+namespace workload {
+
+namespace {
+double TimevalToSec(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+}
+}  // namespace
+
+TimingSample& TimingSample::operator+=(const TimingSample& other) {
+  user_sec += other.user_sec;
+  sys_sec += other.sys_sec;
+  elapsed_sec += other.elapsed_sec;
+  return *this;
+}
+
+TimingSample TimingSample::operator/(double divisor) const {
+  return {user_sec / divisor, sys_sec / divisor, elapsed_sec / divisor};
+}
+
+TimingSample MeasureOnce(const std::function<void()>& body) {
+  rusage before{};
+  rusage after{};
+  getrusage(RUSAGE_SELF, &before);
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto end = std::chrono::steady_clock::now();
+  getrusage(RUSAGE_SELF, &after);
+
+  TimingSample sample;
+  sample.user_sec = TimevalToSec(after.ru_utime) - TimevalToSec(before.ru_utime);
+  sample.sys_sec = TimevalToSec(after.ru_stime) - TimevalToSec(before.ru_stime);
+  sample.elapsed_sec = std::chrono::duration<double>(end - start).count();
+  return sample;
+}
+
+TimingSample MeasureAveraged(int runs, const std::function<void()>& setup,
+                             const std::function<void()>& body) {
+  TimingSample total;
+  for (int i = 0; i < runs; ++i) {
+    if (setup) {
+      setup();
+    }
+    total += MeasureOnce(body);
+  }
+  return total / static_cast<double>(runs);
+}
+
+double PercentImprovement(double old_time, double new_time) {
+  if (old_time == 0.0) {
+    return 0.0;
+  }
+  return 100.0 * (old_time - new_time) / old_time;
+}
+
+std::string FormatSample(const TimingSample& sample) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "user %7.3f  sys %7.3f  elapsed %7.3f", sample.user_sec,
+                sample.sys_sec, sample.elapsed_sec);
+  return buf;
+}
+
+}  // namespace workload
+}  // namespace hashkit

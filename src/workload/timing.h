@@ -1,0 +1,46 @@
+// hashkit workload: user/system/elapsed timing, matching the paper's
+// reporting.
+//
+// The paper reports user time, system time, and elapsed time for each test
+// (averaged over five runs, ~1% variance).  We measure user/system via
+// getrusage(RUSAGE_SELF) deltas and elapsed via a steady clock, and provide
+// the same averaging protocol plus the paper's improvement formula
+// (% = 100 * (old - new) / old).
+
+#ifndef HASHKIT_SRC_WORKLOAD_TIMING_H_
+#define HASHKIT_SRC_WORKLOAD_TIMING_H_
+
+#include <functional>
+#include <string>
+
+namespace hashkit {
+namespace workload {
+
+struct TimingSample {
+  double user_sec = 0.0;
+  double sys_sec = 0.0;
+  double elapsed_sec = 0.0;
+
+  TimingSample& operator+=(const TimingSample& other);
+  TimingSample operator/(double divisor) const;
+};
+
+// Runs `body` once and returns its resource usage.
+TimingSample MeasureOnce(const std::function<void()>& body);
+
+// The paper's protocol: run `runs` times (default five) and average.
+// `setup` runs before each timed body (e.g. deleting the previous file) and
+// is excluded from the measurement.
+TimingSample MeasureAveraged(int runs, const std::function<void()>& setup,
+                             const std::function<void()>& body);
+
+// 100 * (old - new) / old, the paper's improvement metric.
+double PercentImprovement(double old_time, double new_time);
+
+// "user 6.4  sys 32.5  elapsed 90.4" style formatting.
+std::string FormatSample(const TimingSample& sample);
+
+}  // namespace workload
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_WORKLOAD_TIMING_H_

@@ -1,0 +1,240 @@
+// Tests for the dbm-family baselines (ndbm and sdbm clones), including the
+// historical failure modes the paper criticizes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/baselines/ndbm/ndbm.h"
+#include "src/baselines/sdbm/sdbm.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace baseline {
+namespace {
+
+enum class Flavor { kNdbm, kSdbm };
+
+class DbmFamilyTest : public ::testing::TestWithParam<Flavor> {
+ protected:
+  std::unique_ptr<DbmBase> Open(const std::string& tag, uint32_t block_size = 1024,
+                                bool truncate = true) {
+    const std::string path = TempPath(tag);
+    if (GetParam() == Flavor::kNdbm) {
+      auto result = NdbmClone::Open(path, block_size, truncate);
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      return std::move(result).value();
+    }
+    auto result = SdbmClone::Open(path, block_size, truncate);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  // Reopen needs the same path; keep it around.
+  std::string last_path_;
+};
+
+TEST_P(DbmFamilyTest, StoreFetchRemove) {
+  auto db = Open("basic");
+  ASSERT_OK(db->Store("alpha", "one", /*replace=*/true));
+  ASSERT_OK(db->Store("beta", "two", true));
+  std::string value;
+  ASSERT_OK(db->Fetch("alpha", &value));
+  EXPECT_EQ(value, "one");
+  ASSERT_OK(db->Remove("alpha"));
+  EXPECT_TRUE(db->Fetch("alpha", &value).IsNotFound());
+  EXPECT_TRUE(db->Remove("alpha").IsNotFound());
+  EXPECT_EQ(db->size(), 1u);
+}
+
+TEST_P(DbmFamilyTest, InsertModeRefusesDuplicates) {
+  auto db = Open("dup");
+  ASSERT_OK(db->Store("k", "v1", /*replace=*/false));
+  EXPECT_TRUE(db->Store("k", "v2", false).IsExists());
+  ASSERT_OK(db->Store("k", "v2", true));
+  std::string value;
+  ASSERT_OK(db->Fetch("k", &value));
+  EXPECT_EQ(value, "v2");
+  EXPECT_EQ(db->size(), 1u);
+}
+
+TEST_P(DbmFamilyTest, ThousandsOfKeysSplitCorrectly) {
+  auto db = Open("many");
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const std::string value = "value-" + std::to_string(i * 13);
+    ASSERT_OK(db->Store(key, value, true));
+    model[key] = value;
+  }
+  EXPECT_GT(db->stats().splits, 10u);
+  std::string value;
+  for (const auto& [k, v] : model) {
+    ASSERT_OK(db->Fetch(k, &value)) << k;
+    ASSERT_EQ(value, v);
+  }
+}
+
+TEST_P(DbmFamilyTest, SeqEnumeratesEveryPairOnce) {
+  auto db = Open("seq");
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "s" + std::to_string(i);
+    ASSERT_OK(db->Store(key, std::to_string(i), true));
+    model[key] = std::to_string(i);
+  }
+  std::map<std::string, std::string> seen;
+  std::string k, v;
+  Status st = db->Seq(&k, &v, true);
+  while (st.ok()) {
+    EXPECT_TRUE(seen.emplace(k, v).second) << "duplicate " << k;
+    st = db->Seq(&k, &v, false);
+  }
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(seen, model);
+}
+
+TEST_P(DbmFamilyTest, OversizedPairRejected) {
+  // The shortcoming the paper fixes: "dbm cannot store data items whose
+  // total key and data size exceed the page size".
+  auto db = Open("oversize", /*block_size=*/256);
+  const std::string big(300, 'x');
+  EXPECT_TRUE(db->Store("big", big, true).IsFull());
+  // An exactly-fitting pair still works.
+  const std::string fits(256 - 8 - 4 - 3, 'y');
+  EXPECT_OK(db->Store("big", fits, true));
+}
+
+TEST_P(DbmFamilyTest, CollidingKeysExceedingBlockFail) {
+  // Second historical shortcoming: keys with identical hash values whose
+  // total size exceeds one block cannot all be stored (splitting can never
+  // separate them).
+  auto db = Open("collide", /*block_size=*/256);
+  // Build keys with identical hash values by brute force.
+  const HashFn fn = GetParam() == Flavor::kNdbm ? &HashThompson : &HashSdbm;
+  std::map<uint32_t, std::vector<std::string>> by_hash;
+  std::vector<std::string> colliders;
+  Rng rng(5);
+  for (int i = 0; i < 4000000 && colliders.empty(); ++i) {
+    std::string key = rng.AsciiString(6);
+    auto& bucket = by_hash[fn(key.data(), key.size())];
+    if (std::find(bucket.begin(), bucket.end(), key) == bucket.end()) {
+      bucket.push_back(key);
+    }
+    if (bucket.size() >= 4) {
+      colliders = bucket;
+    }
+  }
+  if (colliders.empty()) {
+    GTEST_SKIP() << "no 4-way hash collision found in budget";
+  }
+  const std::string value(80, 'z');  // 4 pairs x ~90 bytes > 248 usable
+  Status last = Status::Ok();
+  for (const std::string& key : colliders) {
+    last = db->Store(key, value, true);
+    if (!last.ok()) {
+      break;
+    }
+  }
+  EXPECT_TRUE(last.IsFull()) << "expected the colliding set to overflow the block";
+}
+
+TEST_P(DbmFamilyTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("dbm_persist");
+  std::map<std::string, std::string> model;
+  {
+    std::unique_ptr<DbmBase> db;
+    if (GetParam() == Flavor::kNdbm) {
+      db = std::move(NdbmClone::Open(path, 1024, true).value());
+    } else {
+      db = std::move(SdbmClone::Open(path, 1024, true).value());
+    }
+    for (int i = 0; i < 1000; ++i) {
+      const std::string key = "p" + std::to_string(i);
+      ASSERT_OK(db->Store(key, std::to_string(i), true));
+      model[key] = std::to_string(i);
+    }
+    ASSERT_OK(db->Sync());
+  }
+  std::unique_ptr<DbmBase> db;
+  if (GetParam() == Flavor::kNdbm) {
+    db = std::move(NdbmClone::Open(path, 1024, false).value());
+  } else {
+    db = std::move(SdbmClone::Open(path, 1024, false).value());
+  }
+  EXPECT_EQ(db->size(), model.size());
+  std::string value;
+  for (const auto& [k, v] : model) {
+    ASSERT_OK(db->Fetch(k, &value)) << k;
+    ASSERT_EQ(value, v);
+  }
+}
+
+TEST_P(DbmFamilyTest, RandomOpsMatchReference) {
+  auto db = Open("prop");
+  Rng rng(GetParam() == Flavor::kNdbm ? 21 : 22);
+  std::map<std::string, std::string> model;
+  for (int step = 0; step < 3000; ++step) {
+    const std::string key = "r" + std::to_string(rng.Uniform(300));
+    const uint64_t op = rng.Uniform(10);
+    if (op < 6) {
+      const std::string value = rng.AsciiString(rng.Range(0, 60));
+      ASSERT_OK(db->Store(key, value, true));
+      model[key] = value;
+    } else if (op < 8) {
+      const Status st = db->Remove(key);
+      if (model.erase(key)) {
+        ASSERT_OK(st);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    } else {
+      std::string value;
+      const Status st = db->Fetch(key, &value);
+      const auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_OK(st);
+        ASSERT_EQ(value, it->second);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    }
+  }
+  EXPECT_EQ(db->size(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, DbmFamilyTest,
+                         ::testing::Values(Flavor::kNdbm, Flavor::kSdbm),
+                         [](const ::testing::TestParamInfo<Flavor>& param_info) {
+                           return param_info.param == Flavor::kNdbm ? "ndbm" : "sdbm";
+                         });
+
+// The two databases are incompatible at the file level (different access
+// and hash functions), as the paper notes.
+TEST(DbmIncompatibilityTest, NdbmFileIsNotReadableAsSdbm) {
+  const std::string path = TempPath("cross");
+  {
+    auto db = std::move(NdbmClone::Open(path, 1024, true).value());
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_OK(db->Store("x" + std::to_string(i), "v", true));
+    }
+    ASSERT_OK(db->Sync());
+  }
+  auto db = std::move(SdbmClone::Open(path, 1024, false).value());
+  // Some keys will happen to land right, but a large fraction must miss.
+  int misses = 0;
+  std::string value;
+  for (int i = 0; i < 500; ++i) {
+    if (!db->Fetch("x" + std::to_string(i), &value).ok()) {
+      ++misses;
+    }
+  }
+  EXPECT_GT(misses, 100);
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace hashkit

@@ -1,0 +1,175 @@
+// Tests for the gdbm clone (extendible hashing).
+
+#include "src/baselines/gdbm/gdbm.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace baseline {
+namespace {
+
+std::unique_ptr<GdbmClone> OpenFresh(const std::string& tag, uint32_t block = 1024) {
+  auto result = GdbmClone::Open(TempPath(tag), block, /*truncate=*/true);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(GdbmTest, StoreFetchRemove) {
+  auto db = OpenFresh("g_basic");
+  ASSERT_OK(db->Store("alpha", "one", true));
+  std::string value;
+  ASSERT_OK(db->Fetch("alpha", &value));
+  EXPECT_EQ(value, "one");
+  ASSERT_OK(db->Remove("alpha"));
+  EXPECT_TRUE(db->Fetch("alpha", &value).IsNotFound());
+  ASSERT_OK(db->CheckIntegrity());
+}
+
+TEST(GdbmTest, InsertModeRefusesDuplicates) {
+  auto db = OpenFresh("g_dup");
+  ASSERT_OK(db->Store("k", "v1", false));
+  EXPECT_TRUE(db->Store("k", "v2", false).IsExists());
+  ASSERT_OK(db->Store("k", "v2", true));
+  std::string value;
+  ASSERT_OK(db->Fetch("k", &value));
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(GdbmTest, DirectoryDoublesUnderLoad) {
+  auto db = OpenFresh("g_grow");
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_OK(db->Store("key-" + std::to_string(i), "value-" + std::to_string(i), true));
+  }
+  EXPECT_GT(db->directory_depth(), 3u);
+  EXPECT_EQ(db->directory_entries(), size_t{1} << db->directory_depth());
+  EXPECT_GT(db->stats().directory_doublings, 3u);
+  ASSERT_OK(db->CheckIntegrity());
+  std::string value;
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_OK(db->Fetch("key-" + std::to_string(i), &value)) << i;
+    ASSERT_EQ(value, "value-" + std::to_string(i));
+  }
+}
+
+TEST(GdbmTest, ArbitraryLengthDataSupported) {
+  // The gdbm feature the paper highlights: no pair-size limit.
+  auto db = OpenFresh("g_big", 512);
+  const std::string big(50000, 'G');
+  ASSERT_OK(db->Store("big", big, true));
+  std::string value;
+  ASSERT_OK(db->Fetch("big", &value));
+  EXPECT_EQ(value, big);
+  ASSERT_OK(db->CheckIntegrity());
+  // Deleting recycles the chain pages through the free list.
+  ASSERT_OK(db->Remove("big"));
+  const uint64_t reused_before = db->stats().pages_reused;
+  ASSERT_OK(db->Store("big2", big, true));
+  EXPECT_GT(db->stats().pages_reused, reused_before);
+}
+
+TEST(GdbmTest, SeqEnumeratesEveryPairOnceDespiteAliases) {
+  // Directory entries alias buckets 2^(depth-nb) times; the scan must
+  // still visit each pair exactly once.
+  auto db = OpenFresh("g_seq");
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 800; ++i) {
+    const std::string key = "s" + std::to_string(i);
+    ASSERT_OK(db->Store(key, std::to_string(i), true));
+    model[key] = std::to_string(i);
+  }
+  std::map<std::string, std::string> seen;
+  std::string k, v;
+  Status st = db->Seq(&k, &v, true);
+  while (st.ok()) {
+    EXPECT_TRUE(seen.emplace(k, v).second) << "duplicate " << k;
+    st = db->Seq(&k, &v, false);
+  }
+  EXPECT_EQ(seen, model);
+}
+
+TEST(GdbmTest, FileIsNonSparse) {
+  // "its database is a singular, non-sparse file": every page up to the
+  // allocation frontier is written.
+  auto db = OpenFresh("g_dense");
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(db->Store("d" + std::to_string(i), "v", true));
+  }
+  ASSERT_OK(db->Sync());
+  EXPECT_EQ(db->file_stats().zero_fills, 0u);  // nothing ever read from a hole
+}
+
+TEST(GdbmTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("g_persist");
+  std::map<std::string, std::string> model;
+  {
+    auto db = std::move(GdbmClone::Open(path, 1024, true).value());
+    Rng rng(6);
+    for (int i = 0; i < 1500; ++i) {
+      const std::string key = "p" + std::to_string(i);
+      const std::string value = rng.AsciiString(rng.Range(1, 200));
+      ASSERT_OK(db->Store(key, value, true));
+      model[key] = value;
+    }
+    const std::string big(20000, 'B');
+    ASSERT_OK(db->Store("bigp", big, true));
+    model["bigp"] = big;
+    ASSERT_OK(db->Sync());
+  }
+  auto db = std::move(GdbmClone::Open(path, 1024, false).value());
+  ASSERT_OK(db->CheckIntegrity());
+  EXPECT_EQ(db->size(), model.size());
+  std::string value;
+  for (const auto& [k, v] : model) {
+    ASSERT_OK(db->Fetch(k, &value)) << k;
+    ASSERT_EQ(value, v);
+  }
+}
+
+TEST(GdbmTest, RandomOpsMatchReference) {
+  auto db = OpenFresh("g_prop", 512);
+  Rng rng(23);
+  std::map<std::string, std::string> model;
+  for (int step = 0; step < 3000; ++step) {
+    const std::string key = "r" + std::to_string(rng.Uniform(250));
+    const uint64_t op = rng.Uniform(10);
+    if (op < 6) {
+      // Mix in occasional big values to exercise chains.
+      const size_t len = rng.Bernoulli(0.05) ? rng.Range(600, 3000) : rng.Range(0, 60);
+      const std::string value = rng.AsciiString(len);
+      ASSERT_OK(db->Store(key, value, true));
+      model[key] = value;
+    } else if (op < 8) {
+      const Status st = db->Remove(key);
+      if (model.erase(key)) {
+        ASSERT_OK(st);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    } else {
+      std::string value;
+      const Status st = db->Fetch(key, &value);
+      const auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_OK(st);
+        ASSERT_EQ(value, it->second);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    }
+    if (step % 1000 == 999) {
+      ASSERT_OK(db->CheckIntegrity()) << "step " << step;
+    }
+  }
+  ASSERT_OK(db->CheckIntegrity());
+  EXPECT_EQ(db->size(), model.size());
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace hashkit

@@ -1,0 +1,259 @@
+// Tests for the memory-resident baselines: System V hsearch (all variants)
+// and dynahash.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/baselines/dynahash/dynahash.h"
+#include "src/baselines/hsearch/hsearch.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace baseline {
+namespace {
+
+// ---- hsearch ----
+
+struct HsearchVariant {
+  const char* name;
+  HsearchConfig config;
+};
+
+class HsearchVariantTest : public ::testing::TestWithParam<HsearchVariant> {};
+
+TEST_P(HsearchVariantTest, EnterThenFind) {
+  auto table = std::move(SysvHsearch::Create(500, GetParam().config).value());
+  int payloads[100];
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(table->Enter("key" + std::to_string(i), &payloads[i]));
+  }
+  EXPECT_EQ(table->size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    void* data = nullptr;
+    ASSERT_OK(table->Find("key" + std::to_string(i), &data));
+    EXPECT_EQ(data, &payloads[i]);
+  }
+  void* data = nullptr;
+  EXPECT_TRUE(table->Find("missing", &data).IsNotFound());
+}
+
+TEST_P(HsearchVariantTest, EnterKeepsExistingEntry) {
+  auto table = std::move(SysvHsearch::Create(10, GetParam().config).value());
+  int a = 1;
+  int b = 2;
+  ASSERT_OK(table->Enter("dup", &a));
+  ASSERT_OK(table->Enter("dup", &b));
+  void* data = nullptr;
+  ASSERT_OK(table->Find("dup", &data));
+  EXPECT_EQ(data, &a);
+  EXPECT_EQ(table->size(), 1u);
+}
+
+TEST_P(HsearchVariantTest, TableFullIsReported) {
+  // The shortcoming the paper calls out: a fixed-size table fills up.
+  auto table = std::move(SysvHsearch::Create(8, GetParam().config).value());
+  const size_t capacity = table->capacity();
+  Status last = Status::Ok();
+  for (size_t i = 0; i <= capacity && last.ok(); ++i) {
+    last = table->Enter("full" + std::to_string(i), nullptr);
+  }
+  EXPECT_TRUE(last.IsFull());
+  EXPECT_EQ(table->size(), capacity);
+  // Existing keys are still retrievable after the failure.
+  void* data = nullptr;
+  EXPECT_OK(table->Find("full0", &data));
+}
+
+TEST_P(HsearchVariantTest, HandlesHeavyCollisionLoad) {
+  auto table = std::move(SysvHsearch::Create(2000, GetParam().config).value());
+  Rng rng(33);
+  std::map<std::string, int*> model;
+  static int sink[1500];
+  for (int i = 0; i < 1500; ++i) {
+    const std::string key = rng.AsciiString(rng.Range(1, 10));
+    if (model.count(key)) {
+      continue;
+    }
+    ASSERT_OK(table->Enter(key, &sink[i]));
+    model[key] = &sink[i];
+  }
+  for (const auto& [key, ptr] : model) {
+    void* data = nullptr;
+    ASSERT_OK(table->Find(key, &data)) << key;
+    EXPECT_EQ(data, ptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, HsearchVariantTest,
+    ::testing::Values(
+        HsearchVariant{"default_double_hash", {}},
+        HsearchVariant{"div_linear_probe",
+                       {HsearchHash::kDivision, HsearchCollision::kDoubleHash,
+                        HsearchChainOrder::kFront, 2}},
+        HsearchVariant{"brent",
+                       {HsearchHash::kMultiplicative, HsearchCollision::kBrent,
+                        HsearchChainOrder::kFront, 2}},
+        HsearchVariant{"chained_front",
+                       {HsearchHash::kMultiplicative, HsearchCollision::kChained,
+                        HsearchChainOrder::kFront, 2}},
+        HsearchVariant{"chained_sortup",
+                       {HsearchHash::kMultiplicative, HsearchCollision::kChained,
+                        HsearchChainOrder::kSortUp, 2}},
+        HsearchVariant{"chained_sortdown",
+                       {HsearchHash::kMultiplicative, HsearchCollision::kChained,
+                        HsearchChainOrder::kSortDown, 2}}),
+    [](const ::testing::TestParamInfo<HsearchVariant>& param_info) { return param_info.param.name; });
+
+TEST(HsearchTest, CapacityIsPrime) {
+  auto table = std::move(SysvHsearch::Create(100).value());
+  const size_t cap = table->capacity();
+  EXPECT_GE(cap, 100u);
+  for (size_t d = 2; d * d <= cap; ++d) {
+    EXPECT_NE(cap % d, 0u) << "capacity " << cap << " divisible by " << d;
+  }
+}
+
+TEST(HsearchTest, BrentRearrangementShortensProbes) {
+  // With rearrangement, mean retrieval probes should not exceed the plain
+  // double-hash scheme on the same (highly loaded) table.
+  HsearchConfig plain;
+  HsearchConfig brent;
+  brent.collision = HsearchCollision::kBrent;
+  auto t_plain = std::move(SysvHsearch::Create(1000, plain).value());
+  auto t_brent = std::move(SysvHsearch::Create(1000, brent).value());
+  Rng rng(44);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 900; ++i) {  // ~90% load
+    keys.push_back(rng.AsciiString(8) + std::to_string(i));
+  }
+  for (const auto& key : keys) {
+    ASSERT_OK(t_plain->Enter(key, nullptr));
+    ASSERT_OK(t_brent->Enter(key, nullptr));
+  }
+  const auto measure = [&](SysvHsearch& t) {
+    const uint64_t before = t.stats().probes;
+    void* data = nullptr;
+    for (const auto& key : keys) {
+      EXPECT_OK(t.Find(key, &data));
+    }
+    return t.stats().probes - before;
+  };
+  const uint64_t probes_plain = measure(*t_plain);
+  const uint64_t probes_brent = measure(*t_brent);
+  EXPECT_GT(t_brent->stats().rearranges, 0u);
+  EXPECT_LE(probes_brent, probes_plain);
+}
+
+// ---- dynahash ----
+
+TEST(DynahashTest, EnterFindRemove) {
+  auto table = std::move(Dynahash::Create(16).value());
+  int x = 5;
+  ASSERT_OK(table->Enter("k", &x));
+  void* data = nullptr;
+  ASSERT_OK(table->Find("k", &data));
+  EXPECT_EQ(data, &x);
+  ASSERT_OK(table->Remove("k"));
+  EXPECT_TRUE(table->Find("k", &data).IsNotFound());
+  EXPECT_TRUE(table->Remove("k").IsNotFound());
+}
+
+TEST(DynahashTest, GrowsWithoutBound) {
+  // dynahash fixes hsearch's fixed capacity: no "table full".
+  auto table = std::move(Dynahash::Create(4, /*ffactor=*/5).value());
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_OK(table->Enter("g" + std::to_string(i), nullptr));
+  }
+  EXPECT_EQ(table->size(), 20000u);
+  EXPECT_GT(table->bucket_count(), 1000u);
+  void* data = nullptr;
+  for (int i = 0; i < 20000; i += 97) {
+    ASSERT_OK(table->Find("g" + std::to_string(i), &data)) << i;
+  }
+}
+
+TEST(DynahashTest, ControlledSplittingBoundsLoad) {
+  auto table = std::move(Dynahash::Create(1, /*ffactor=*/5).value());
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_OK(table->Enter("l" + std::to_string(i), nullptr));
+  }
+  const double load = static_cast<double>(table->size()) / table->bucket_count();
+  EXPECT_LE(load, 5.0 + 1e-9);
+  EXPECT_GE(load, 2.4);
+  EXPECT_GT(table->stats().splits, 1000u);
+}
+
+TEST(DynahashTest, PresizingReducesSplits) {
+  auto grown = std::move(Dynahash::Create(0).value());
+  auto presized = std::move(Dynahash::Create(10000).value());
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_OK(grown->Enter("p" + std::to_string(i), nullptr));
+    ASSERT_OK(presized->Enter("p" + std::to_string(i), nullptr));
+  }
+  EXPECT_EQ(presized->stats().splits, 0u);
+  EXPECT_GT(grown->stats().splits, 100u);
+}
+
+TEST(DynahashTest, EnterKeepsExisting) {
+  auto table = std::move(Dynahash::Create(8).value());
+  int a = 1;
+  int b = 2;
+  ASSERT_OK(table->Enter("dup", &a));
+  ASSERT_OK(table->Enter("dup", &b));
+  void* data = nullptr;
+  ASSERT_OK(table->Find("dup", &data));
+  EXPECT_EQ(data, &a);
+}
+
+TEST(DynahashTest, RandomOpsMatchReference) {
+  auto table = std::move(Dynahash::Create(4).value());
+  Rng rng(55);
+  std::map<std::string, void*> model;
+  static int cells[256];
+  for (int step = 0; step < 5000; ++step) {
+    const std::string key = "r" + std::to_string(rng.Uniform(256));
+    const uint64_t op = rng.Uniform(10);
+    if (op < 5) {
+      void* ptr = &cells[rng.Uniform(256)];
+      if (!model.count(key)) {
+        model[key] = ptr;
+      }
+      ASSERT_OK(table->Enter(key, ptr));
+    } else if (op < 7) {
+      const Status st = table->Remove(key);
+      if (model.erase(key)) {
+        ASSERT_OK(st);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    } else {
+      void* data = nullptr;
+      const Status st = table->Find(key, &data);
+      const auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_OK(st);
+        ASSERT_EQ(data, it->second);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    }
+    ASSERT_EQ(table->size(), model.size());
+  }
+}
+
+TEST(DynahashTest, AverageChainLengthTracksFfactor) {
+  auto table = std::move(Dynahash::Create(1, 5).value());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_OK(table->Enter("c" + std::to_string(i), nullptr));
+  }
+  EXPECT_LT(table->AverageChainLength(), 10.0);
+  EXPECT_GT(table->AverageChainLength(), 1.0);
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace hashkit

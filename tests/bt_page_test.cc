@@ -1,0 +1,208 @@
+// Unit tests for the btree slotted-page layout (src/btree/bt_page.h).
+
+#include "src/btree/bt_page.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace hashkit {
+namespace btree {
+namespace {
+
+class BtPageTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    buf_.assign(GetParam(), 0xCD);  // recycled memory: Init must clear it
+    BtPageView::Init(buf_.data(), buf_.size(), BtPageType::kLeaf, 0);
+  }
+  BtPageView View() { return BtPageView(buf_.data(), buf_.size()); }
+
+  std::vector<uint8_t> buf_;
+};
+
+TEST_P(BtPageTest, InitProducesEmptyValidPage) {
+  BtPageView view = View();
+  EXPECT_EQ(view.nentries(), 0);
+  EXPECT_EQ(view.level(), 0);
+  EXPECT_EQ(view.type(), BtPageType::kLeaf);
+  EXPECT_EQ(view.link(), 0u);
+  EXPECT_EQ(view.garbage(), 0);
+  EXPECT_TRUE(view.Validate());
+}
+
+TEST_P(BtPageTest, SortedInsertAndLowerBound) {
+  BtPageView view = View();
+  // Insert out of order at computed positions.
+  const char* keys[] = {"delta", "alpha", "echo", "charlie", "bravo"};
+  for (const char* key : keys) {
+    bool found = false;
+    const uint16_t pos = view.LowerBound(key, &found);
+    EXPECT_FALSE(found);
+    view.InsertAt(pos, key, "v");
+  }
+  ASSERT_EQ(view.nentries(), 5);
+  EXPECT_EQ(view.Entry(0).key, "alpha");
+  EXPECT_EQ(view.Entry(1).key, "bravo");
+  EXPECT_EQ(view.Entry(2).key, "charlie");
+  EXPECT_EQ(view.Entry(3).key, "delta");
+  EXPECT_EQ(view.Entry(4).key, "echo");
+  EXPECT_TRUE(view.Validate());
+
+  bool found = false;
+  EXPECT_EQ(view.LowerBound("charlie", &found), 2);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(view.LowerBound("cz", &found), 3);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(view.LowerBound("zz", &found), 5);
+  EXPECT_EQ(view.LowerBound("", &found), 0);
+}
+
+TEST_P(BtPageTest, RemoveCreatesGarbageCompactReclaims) {
+  BtPageView view = View();
+  view.InsertAt(0, "aaa", "111");
+  view.InsertAt(1, "bbb", "222");
+  view.InsertAt(2, "ccc", "333");
+  const size_t free_before = view.FreeSpace();
+  view.RemoveAt(1);
+  EXPECT_EQ(view.garbage(), 6);                       // "bbb" + "222"
+  EXPECT_EQ(view.FreeSpace(), free_before + kBtSlotSize);  // slot back, bytes not yet
+  view.Compact();
+  EXPECT_EQ(view.garbage(), 0);
+  EXPECT_EQ(view.FreeSpace(), free_before + kBtSlotSize + 6);
+  EXPECT_EQ(view.Entry(0).key, "aaa");
+  EXPECT_EQ(view.Entry(1).key, "ccc");
+  EXPECT_EQ(view.Entry(1).payload, "333");
+  EXPECT_TRUE(view.Validate());
+}
+
+TEST_P(BtPageTest, InsertTriggersCompactionWhenFragmented) {
+  BtPageView view = View();
+  // Fill the page, delete every other entry (fragmentation), then insert
+  // something that only fits after compaction.
+  Rng rng(GetParam());
+  uint16_t i = 0;
+  while (view.Fits(8, 8)) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06u", i++);
+    bool found;
+    view.InsertAt(view.LowerBound(key, &found), key, "12345678");
+  }
+  const uint16_t n = view.nentries();
+  for (uint16_t j = n; j-- > 0;) {
+    if (j % 2 == 0) {
+      view.RemoveAt(j);
+    }
+  }
+  EXPECT_GT(view.garbage(), 0);
+  ASSERT_TRUE(view.FitsAfterCompact(10, 30));
+  bool found;
+  view.InsertAt(view.LowerBound("zzzzzzzzzz", &found), "zzzzzzzzzz",
+                std::string(30, 'Z'));
+  EXPECT_TRUE(view.Validate());
+  EXPECT_EQ(view.Entry(view.nentries() - 1).key, "zzzzzzzzzz");
+}
+
+TEST_P(BtPageTest, BigValueStubRoundTrip) {
+  BtPageView view = View();
+  view.InsertBigStubAt(0, "bigkey", 0xabcd, 123456);
+  const BtEntry entry = view.Entry(0);
+  EXPECT_TRUE(entry.big);
+  EXPECT_EQ(entry.key, "bigkey");
+  EXPECT_EQ(entry.chain_page, 0xabcdu);
+  EXPECT_EQ(entry.total_len, 123456u);
+  EXPECT_TRUE(view.Validate());
+  // Stubs survive compaction with the flag intact.
+  view.InsertAt(1, "zmall", "v");
+  view.RemoveAt(1);
+  view.Compact();
+  EXPECT_TRUE(view.Entry(0).big);
+  EXPECT_EQ(view.Entry(0).chain_page, 0xabcdu);
+}
+
+TEST_P(BtPageTest, InternalChildPayloads) {
+  BtPageView::Init(buf_.data(), buf_.size(), BtPageType::kInternal, 1);
+  BtPageView view = View();
+  view.set_link(77);  // leftmost child
+  uint8_t child[4];
+  EncodeChildInto(1234, child);
+  view.InsertAt(0, "mmm", std::string_view(reinterpret_cast<const char*>(child), 4));
+  EXPECT_EQ(view.link(), 77u);
+  EXPECT_EQ(DecodeChild(view.Entry(0).payload), 1234u);
+  EXPECT_EQ(view.level(), 1);
+  EXPECT_TRUE(view.Validate());
+}
+
+TEST_P(BtPageTest, BytesInRangeSumsSlotAndPayload) {
+  BtPageView view = View();
+  view.InsertAt(0, "aa", "1111");   // 8 + 2 + 4 = 14
+  view.InsertAt(1, "bbb", "22");    // 8 + 3 + 2 = 13
+  EXPECT_EQ(view.BytesInRange(0, 1), 14u);
+  EXPECT_EQ(view.BytesInRange(0, 2), 27u);
+  EXPECT_EQ(view.BytesInRange(1, 1), 0u);
+}
+
+TEST_P(BtPageTest, RandomizedMirrorsReferenceMap) {
+  Rng rng(GetParam() * 31 + 7);
+  BtPageView view = View();
+  std::map<std::string, std::string> model;
+  for (int step = 0; step < 3000; ++step) {
+    const std::string key = "k" + std::to_string(rng.Uniform(200));
+    bool found = false;
+    const uint16_t pos = view.LowerBound(key, &found);
+    if (rng.Bernoulli(0.6)) {
+      const std::string value = rng.AsciiString(rng.Range(0, 12));
+      if (found) {
+        view.RemoveAt(pos);
+      }
+      if (!view.FitsAfterCompact(key.size(), value.size())) {
+        if (found) {
+          model.erase(key);  // mirror the removal that already happened
+        }
+        continue;
+      }
+      bool found2 = false;
+      view.InsertAt(view.LowerBound(key, &found2), key, value);
+      model[key] = value;
+    } else if (found) {
+      view.RemoveAt(pos);
+      model.erase(key);
+    }
+    if (step % 500 == 499) {
+      ASSERT_TRUE(view.Validate()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(view.Validate());
+  ASSERT_EQ(view.nentries(), model.size());
+  uint16_t i = 0;
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ(view.Entry(i).key, k);
+    EXPECT_EQ(view.Entry(i).payload, v);
+    ++i;
+  }
+}
+
+TEST_P(BtPageTest, SegmentAccessors) {
+  BtPageView::Init(buf_.data(), buf_.size(), BtPageType::kOverflow, 0);
+  BtPageView view = View();
+  EXPECT_EQ(view.SegCapacity(), GetParam() - kBtHeaderSize);
+  const std::string payload = "overflow-bytes";
+  std::copy(payload.begin(), payload.end(), view.SegData());
+  view.set_seg_used(static_cast<uint16_t>(payload.size()));
+  view.set_link(99);
+  EXPECT_EQ(view.seg_used(), payload.size());
+  EXPECT_EQ(view.link(), 99u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, BtPageTest, ::testing::Values(512, 1024, 4096, 32768),
+                         [](const ::testing::TestParamInfo<size_t>& param_info) {
+                           return "p" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace btree
+}  // namespace hashkit

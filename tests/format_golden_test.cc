@@ -1,0 +1,157 @@
+// On-disk format stability: the header layout and page layout are a
+// public contract (files written today must open tomorrow).  These tests
+// pin the exact bytes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/meta.h"
+#include "src/btree/bt_page.h"
+#include "src/core/page.h"
+#include "src/util/endian.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace {
+
+TEST(FormatGolden, HeaderFieldOffsetsArePinned) {
+  Meta meta;
+  meta.bsize = 512;
+  meta.ffactor = 16;
+  meta.nkeys = 0x1122334455ull;
+  meta.max_bucket = 0xabcd;
+  meta.high_mask = 0xffff;
+  meta.low_mask = 0x7fff;
+  meta.last_freed = 0x0801;
+  meta.ovfl_point = 7;
+  meta.hash_check = 0xcafef00d;
+  meta.hash_id = 2;
+  meta.nhdr_pages = 1;
+  meta.nelem_hint = 12345;
+  meta.spares[0] = 11;
+  meta.spares[31] = 22;
+  meta.bitmaps[0] = 0x0001;
+  meta.bitmaps[31] = 0xffff;
+
+  std::vector<uint8_t> buf(kMetaEncodedSize);
+  EncodeMeta(meta, buf);
+
+  // Fixed field positions (little-endian).  Changing any of these breaks
+  // every existing database file; the test exists to make that loud.
+  EXPECT_EQ(DecodeU32(&buf[0]), kHashMagic);
+  EXPECT_EQ(DecodeU32(&buf[4]), kHashVersion);
+  EXPECT_EQ(DecodeU32(&buf[8]), 512u);
+  EXPECT_EQ(DecodeU32(&buf[12]), 16u);
+  EXPECT_EQ(DecodeU64(&buf[16]), 0x1122334455ull);
+  EXPECT_EQ(DecodeU32(&buf[24]), 0xabcdu);
+  EXPECT_EQ(DecodeU32(&buf[28]), 0xffffu);
+  EXPECT_EQ(DecodeU32(&buf[32]), 0x7fffu);
+  EXPECT_EQ(DecodeU32(&buf[36]), 0x0801u);
+  EXPECT_EQ(DecodeU32(&buf[40]), 0xcafef00du);
+  EXPECT_EQ(DecodeU32(&buf[44]), 2u);
+  EXPECT_EQ(DecodeU32(&buf[48]), 1u);
+  EXPECT_EQ(DecodeU32(&buf[52]), 12345u);
+  EXPECT_EQ(DecodeU32(&buf[56]), 7u);
+  EXPECT_EQ(DecodeU32(&buf[60]), 11u);                   // spares[0]
+  EXPECT_EQ(DecodeU32(&buf[60 + 31 * 4]), 22u);          // spares[31]
+  EXPECT_EQ(DecodeU16(&buf[60 + 32 * 4]), 0x0001u);      // bitmaps[0]
+  EXPECT_EQ(DecodeU16(&buf[60 + 32 * 4 + 31 * 2]), 0xffffu);
+  EXPECT_EQ(kMetaEncodedSize, 60u + 32 * 4 + 32 * 2);
+}
+
+TEST(FormatGolden, PageLayoutBytesArePinned) {
+  std::vector<uint8_t> buf(64);
+  PageView::Init(buf.data(), 64, PageType::kBucket);
+  PageView view(buf.data(), 64);
+  view.set_ovfl_addr(0x0802);
+  view.AddPair("ab", "XYZ");
+
+  // Page header.
+  EXPECT_EQ(DecodeU16(&buf[0]), 1u);       // nentries
+  EXPECT_EQ(DecodeU16(&buf[2]), 64u - 5);  // data_begin: 2-byte key + 3-byte data
+  EXPECT_EQ(DecodeU16(&buf[4]), 0x0802u);  // ovfl_addr
+  EXPECT_EQ(DecodeU16(&buf[6]), 1u);       // type = kBucket
+  // Index slot 0.
+  EXPECT_EQ(DecodeU16(&buf[8]), 64u - 2);   // key_off
+  EXPECT_EQ(DecodeU16(&buf[10]), 64u - 5);  // data_off
+  // Pair bytes at the end of the page: data then key.
+  EXPECT_EQ(buf[59], 'X');
+  EXPECT_EQ(buf[60], 'Y');
+  EXPECT_EQ(buf[61], 'Z');
+  EXPECT_EQ(buf[62], 'a');
+  EXPECT_EQ(buf[63], 'b');
+}
+
+TEST(FormatGolden, BigStubBytesArePinned) {
+  std::vector<uint8_t> buf(128);
+  PageView::Init(buf.data(), 128, PageType::kBucket);
+  PageView view(buf.data(), 128);
+  view.AddBigStub(/*first_oaddr=*/0x1801, /*hash=*/0x01020304, /*key_len=*/100,
+                  /*data_len=*/200, "pre");
+
+  const uint16_t raw_key_off = DecodeU16(&buf[8]);
+  EXPECT_EQ(raw_key_off & kBigEntryFlag, kBigEntryFlag);
+  EXPECT_EQ(raw_key_off & ~kBigEntryFlag, 128u);  // empty key region at page end
+  const uint16_t data_off = DecodeU16(&buf[10]);
+  EXPECT_EQ(data_off, 128u - (kBigStubFixedSize + 3));
+  const uint8_t* stub = &buf[data_off];
+  EXPECT_EQ(DecodeU16(stub), 0x1801u);
+  EXPECT_EQ(DecodeU32(stub + 2), 0x01020304u);
+  EXPECT_EQ(DecodeU32(stub + 6), 100u);
+  EXPECT_EQ(DecodeU32(stub + 10), 200u);
+  EXPECT_EQ(stub[14], 'p');
+  EXPECT_EQ(stub[15], 'r');
+  EXPECT_EQ(stub[16], 'e');
+}
+
+TEST(FormatGolden, BtreePageLayoutIsPinned) {
+  std::vector<uint8_t> buf(512);
+  btree::BtPageView::Init(buf.data(), 512, btree::BtPageType::kLeaf, 0);
+  btree::BtPageView view(buf.data(), 512);
+  view.set_link(0xaabbccdd);
+  bool found = false;
+  view.InsertAt(view.LowerBound("kk", &found), "kk", "vvv");
+
+  EXPECT_EQ(DecodeU16(&buf[0]), 1u);            // nentries
+  EXPECT_EQ(DecodeU16(&buf[2]), 512u - 5);      // data_begin
+  EXPECT_EQ(DecodeU16(&buf[4]), 0u);            // level
+  EXPECT_EQ(DecodeU16(&buf[6]), 1u);            // type = kLeaf
+  EXPECT_EQ(DecodeU32(&buf[8]), 0xaabbccddu);   // link
+  // Slot 0: key_off, key_len, val_off, val_len.
+  EXPECT_EQ(DecodeU16(&buf[16]), 512u - 5);
+  EXPECT_EQ(DecodeU16(&buf[18]), 2u);
+  EXPECT_EQ(DecodeU16(&buf[20]), 512u - 3);
+  EXPECT_EQ(DecodeU16(&buf[22]), 3u);
+  // Heap bytes: key then value at the page tail.
+  EXPECT_EQ(buf[507], 'k');
+  EXPECT_EQ(buf[508], 'k');
+  EXPECT_EQ(buf[509], 'v');
+  EXPECT_EQ(buf[511], 'v');
+}
+
+TEST(FormatGolden, BtreeBigValueStubIsPinned) {
+  std::vector<uint8_t> buf(512);
+  btree::BtPageView::Init(buf.data(), 512, btree::BtPageType::kLeaf, 0);
+  btree::BtPageView view(buf.data(), 512);
+  view.InsertBigStubAt(0, "bk", 0x01020304, 0x0a0b0c0d);
+  const uint16_t raw_val_len = DecodeU16(&buf[22]);
+  EXPECT_EQ(raw_val_len & btree::kBigValueFlag, btree::kBigValueFlag);
+  EXPECT_EQ(raw_val_len & ~btree::kBigValueFlag, btree::kBigValueStubSize);
+  const uint16_t val_off = DecodeU16(&buf[20]);
+  EXPECT_EQ(DecodeU32(&buf[val_off]), 0x01020304u);      // chain page
+  EXPECT_EQ(DecodeU32(&buf[val_off + 4]), 0x0a0b0c0du);  // total length
+}
+
+TEST(FormatGolden, MagicSpellsHsk1) {
+  // "HSK1" in ASCII, stored little-endian.
+  uint8_t bytes[4];
+  EncodeU32(bytes, kHashMagic);
+  EXPECT_EQ(bytes[3], 'H');
+  EXPECT_EQ(bytes[2], 'S');
+  EXPECT_EQ(bytes[1], 'K');
+  EXPECT_EQ(bytes[0], '1');
+}
+
+}  // namespace
+}  // namespace hashkit

@@ -1,0 +1,214 @@
+// Stress tests for the core package's "Enhanced Functionality" guarantees:
+//   * "Inserts never fail because too many keys hash to the same value."
+//   * "Inserts never fail because key and/or associated data is too large."
+//   * "Hash functions may be user-specified."
+// plus behaviour under every built-in hash function and under severe
+// memory pressure.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/core/hash_table.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace {
+
+// A worst-case "user-supplied" hash: every key collides completely.
+uint32_t ConstantHash(const void*, size_t) { return 0x12345678; }
+
+TEST(HashTableCollisionStress, InsertsNeverFailWhenEveryKeyCollides) {
+  HashOptions opts;
+  opts.bsize = 256;
+  opts.ffactor = 8;
+  opts.cachesize = 256 * 1024;
+  opts.custom_hash = &ConstantHash;  // dbm would die here; the package must not
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+
+  constexpr int kCount = 2000;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_OK(table->Put("collide-" + std::to_string(i), "value-" + std::to_string(i)))
+        << "insert " << i;
+  }
+  EXPECT_EQ(table->size(), static_cast<uint64_t>(kCount));
+  ASSERT_OK(table->CheckIntegrity());
+  std::string value;
+  for (int i = 0; i < kCount; i += 17) {
+    ASSERT_OK(table->Get("collide-" + std::to_string(i), &value));
+    ASSERT_EQ(value, "value-" + std::to_string(i));
+  }
+  // Everything hashed to one bucket: one enormous chain.
+  EXPECT_GT(table->stats().ovfl_pages_alloced - table->stats().ovfl_pages_freed, 50u);
+  // Deletes and a scan still work on the degenerate chain.
+  for (int i = 0; i < kCount; i += 2) {
+    ASSERT_OK(table->Delete("collide-" + std::to_string(i)));
+  }
+  ASSERT_OK(table->CheckIntegrity());
+  size_t scanned = 0;
+  std::string k, v;
+  Status st = table->Seq(&k, &v, true);
+  while (st.ok()) {
+    ++scanned;
+    st = table->Seq(&k, &v, false);
+  }
+  EXPECT_EQ(scanned, table->size());
+}
+
+TEST(HashTableCollisionStress, ClusteringHashStillCorrect) {
+  // identity4 clusters shared prefixes into shared buckets — terrible but
+  // legal; correctness must hold.
+  HashOptions opts;
+  opts.bsize = 128;
+  opts.ffactor = 4;
+  opts.hash_id = HashFuncId::kIdentity4;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  std::map<std::string, std::string> model;
+  Rng rng(41);
+  for (int i = 0; i < 1500; ++i) {
+    // Many keys share 4-byte prefixes.
+    const std::string key = std::string("pfx") + static_cast<char>('a' + i % 7) +
+                            rng.AsciiString(8);
+    const std::string value = std::to_string(i);
+    ASSERT_OK(table->Put(key, value));
+    model[key] = value;
+  }
+  ASSERT_OK(table->CheckIntegrity());
+  std::string value;
+  for (const auto& [k, v] : model) {
+    ASSERT_OK(table->Get(k, &value)) << k;
+    ASSERT_EQ(value, v);
+  }
+}
+
+class HashTableFunctionSweep : public ::testing::TestWithParam<HashFuncId> {};
+
+TEST_P(HashTableFunctionSweep, FullWorkloadUnderEveryBuiltinFunction) {
+  HashOptions opts;
+  opts.bsize = 256;
+  opts.ffactor = 8;
+  opts.hash_id = GetParam();
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  std::map<std::string, std::string> model;
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 1);
+  for (int step = 0; step < 2500; ++step) {
+    const std::string key = "s" + std::to_string(rng.Uniform(400));
+    if (rng.Bernoulli(0.7)) {
+      const std::string value = rng.ByteString(rng.Range(0, 50));
+      ASSERT_OK(table->Put(key, value));
+      model[key] = value;
+    } else {
+      const Status st = table->Delete(key);
+      if (model.erase(key)) {
+        ASSERT_OK(st);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    }
+  }
+  ASSERT_OK(table->CheckIntegrity());
+  ASSERT_EQ(table->size(), model.size());
+  std::string value;
+  for (const auto& [k, v] : model) {
+    ASSERT_OK(table->Get(k, &value));
+    ASSERT_EQ(value, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, HashTableFunctionSweep,
+                         ::testing::ValuesIn(kAllHashFuncIds),
+                         [](const ::testing::TestParamInfo<HashFuncId>& param_info) {
+                           return std::string(HashFuncName(param_info.param));
+                         });
+
+TEST(HashTableLargePairs, HugePairsUnderTinyCache) {
+  // Big pairs whose chains dwarf the buffer pool: the pool must spill and
+  // reload without corruption.
+  HashOptions opts;
+  opts.bsize = 128;
+  opts.ffactor = 4;
+  opts.cachesize = 1024;  // ~8 frames for multi-page chains
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  Rng rng(17);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "huge-" + std::to_string(i);
+    const std::string value = rng.ByteString(rng.Range(5000, 30000));
+    ASSERT_OK(table->Put(key, value));
+    model[key] = value;
+  }
+  ASSERT_OK(table->CheckIntegrity());
+  std::string value;
+  for (const auto& [k, v] : model) {
+    ASSERT_OK(table->Get(k, &value)) << k;
+    ASSERT_EQ(value, v);
+  }
+  EXPECT_GT(table->pool_stats().evictions, 100u);  // the pool really spilled
+}
+
+TEST(HashTableLargePairs, PairLargerThanWholeCacheRoundTrips) {
+  HashOptions opts;
+  opts.bsize = 256;
+  opts.cachesize = 2048;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  const std::string value(1 << 20, 'M');  // 1 MB pair, 2 KB cache
+  ASSERT_OK(table->Put("megabyte", value));
+  std::string out;
+  ASSERT_OK(table->Get("megabyte", &out));
+  EXPECT_EQ(out, value);
+  ASSERT_OK(table->CheckIntegrity());
+}
+
+TEST(HashTableChurn, AlternatingGrowShrinkKeepsIntegrity) {
+  HashOptions opts;
+  opts.bsize = 256;
+  opts.ffactor = 8;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 1500; ++i) {
+      ASSERT_OK(table->Put("cycle-" + std::to_string(i), std::to_string(round)));
+    }
+    ASSERT_OK(table->CheckIntegrity()) << "round " << round << " after grow";
+    for (int i = 0; i < 1500; ++i) {
+      ASSERT_OK(table->Delete("cycle-" + std::to_string(i)));
+    }
+    ASSERT_OK(table->CheckIntegrity()) << "round " << round << " after shrink";
+    EXPECT_EQ(table->size(), 0u);
+  }
+  // The footnote's point: the file does not contract, so the bucket count
+  // reflects the high-water mark, not the (empty) current population.
+  EXPECT_GT(table->bucket_count(), 100u);
+}
+
+TEST(HashTableDiskStress, ThousandsOfPairsOnRealFileWithSmallCache) {
+  const std::string path = TempPath("disk_stress");
+  HashOptions opts;
+  opts.bsize = 512;
+  opts.ffactor = 16;
+  opts.cachesize = 4096;  // force constant I/O
+  std::map<std::string, std::string> model;
+  {
+    auto table = std::move(HashTable::Open(path, opts, true).value());
+    Rng rng(23);
+    for (int i = 0; i < 5000; ++i) {
+      const std::string key = "d" + std::to_string(i);
+      const std::string value = rng.ByteString(rng.Range(10, 100));
+      ASSERT_OK(table->Put(key, value));
+      model[key] = value;
+    }
+    ASSERT_OK(table->Sync());
+    EXPECT_GT(table->file_stats().writes, 1000u);  // really hit the disk
+  }
+  auto table = std::move(HashTable::Open(path, opts).value());
+  ASSERT_OK(table->CheckIntegrity());
+  std::string value;
+  for (const auto& [k, v] : model) {
+    ASSERT_OK(table->Get(k, &value)) << k;
+    ASSERT_EQ(value, v);
+  }
+}
+
+}  // namespace
+}  // namespace hashkit

@@ -1,0 +1,505 @@
+// Unit and integration tests for the core extended linear hash table.
+
+#include "src/core/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "src/util/random.h"
+#include "src/workload/dictionary.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace {
+
+HashOptions SmallOptions() {
+  HashOptions opts;
+  opts.bsize = 256;
+  opts.ffactor = 8;
+  opts.cachesize = 64 * 1024;
+  return opts;
+}
+
+TEST(HashTableBasic, PutGetDelete) {
+  auto result = HashTable::OpenInMemory(SmallOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto& table = *result.value();
+
+  ASSERT_OK(table.Put("alpha", "one"));
+  ASSERT_OK(table.Put("beta", "two"));
+  std::string value;
+  ASSERT_OK(table.Get("alpha", &value));
+  EXPECT_EQ(value, "one");
+  ASSERT_OK(table.Get("beta", &value));
+  EXPECT_EQ(value, "two");
+  EXPECT_EQ(table.size(), 2u);
+
+  ASSERT_OK(table.Delete("alpha"));
+  EXPECT_TRUE(table.Get("alpha", &value).IsNotFound());
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.Delete("alpha").IsNotFound());
+  ASSERT_OK(table.CheckIntegrity());
+}
+
+TEST(HashTableBasic, OverwriteReplacesValue) {
+  auto table = std::move(HashTable::OpenInMemory(SmallOptions()).value());
+  ASSERT_OK(table->Put("key", "v1"));
+  ASSERT_OK(table->Put("key", "v2-longer-than-before"));
+  std::string value;
+  ASSERT_OK(table->Get("key", &value));
+  EXPECT_EQ(value, "v2-longer-than-before");
+  EXPECT_EQ(table->size(), 1u);
+}
+
+TEST(HashTableBasic, NoOverwriteReportsExists) {
+  auto table = std::move(HashTable::OpenInMemory(SmallOptions()).value());
+  ASSERT_OK(table->Put("key", "v1", /*overwrite=*/false));
+  EXPECT_TRUE(table->Put("key", "v2", /*overwrite=*/false).IsExists());
+  std::string value;
+  ASSERT_OK(table->Get("key", &value));
+  EXPECT_EQ(value, "v1");
+}
+
+TEST(HashTableBasic, EmptyKeyAndEmptyValue) {
+  auto table = std::move(HashTable::OpenInMemory(SmallOptions()).value());
+  ASSERT_OK(table->Put("", "empty-key"));
+  ASSERT_OK(table->Put("empty-value", ""));
+  std::string value;
+  ASSERT_OK(table->Get("", &value));
+  EXPECT_EQ(value, "empty-key");
+  ASSERT_OK(table->Get("empty-value", &value));
+  EXPECT_EQ(value, "");
+}
+
+TEST(HashTableBasic, BinaryKeysAndValues) {
+  auto table = std::move(HashTable::OpenInMemory(SmallOptions()).value());
+  const std::string key("\x00\x01\xff\x00", 4);
+  const std::string val("\xde\xad\x00\xbe\xef", 5);
+  ASSERT_OK(table->Put(key, val));
+  std::string out;
+  ASSERT_OK(table->Get(key, &out));
+  EXPECT_EQ(out, val);
+}
+
+TEST(HashTableBasic, ContainsAndMissingKey) {
+  auto table = std::move(HashTable::OpenInMemory(SmallOptions()).value());
+  ASSERT_OK(table->Put("present", "yes"));
+  EXPECT_TRUE(table->Contains("present"));
+  EXPECT_FALSE(table->Contains("absent"));
+  EXPECT_TRUE(table->Get("absent", nullptr).IsNotFound());
+}
+
+TEST(HashTableBasic, RejectsBadOptions) {
+  HashOptions opts = SmallOptions();
+  opts.bsize = 100;  // not a power of two
+  EXPECT_FALSE(HashTable::OpenInMemory(opts).ok());
+  opts = SmallOptions();
+  opts.bsize = 16;  // too small
+  EXPECT_FALSE(HashTable::OpenInMemory(opts).ok());
+  opts = SmallOptions();
+  opts.ffactor = 0;
+  EXPECT_FALSE(HashTable::OpenInMemory(opts).ok());
+}
+
+// Inserting enough keys to force many splits, then verifying every key.
+class HashTableSplitTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, SplitPolicy>> {};
+
+TEST_P(HashTableSplitTest, ThousandsOfInsertsStayConsistent) {
+  const auto [bsize, ffactor, policy] = GetParam();
+  HashOptions opts;
+  opts.bsize = bsize;
+  opts.ffactor = ffactor;
+  opts.cachesize = 256 * 1024;
+  opts.split_policy = policy;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+
+  constexpr int kCount = 3000;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_OK(table->Put("key-" + std::to_string(i), "value-" + std::to_string(i * 7)));
+  }
+  EXPECT_EQ(table->size(), static_cast<uint64_t>(kCount));
+  ASSERT_OK(table->CheckIntegrity());
+  EXPECT_GT(table->bucket_count(), 1u);
+
+  std::string value;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_OK(table->Get("key-" + std::to_string(i), &value)) << "key-" << i;
+    ASSERT_EQ(value, "value-" + std::to_string(i * 7));
+  }
+
+  // Delete every third key and re-verify.
+  for (int i = 0; i < kCount; i += 3) {
+    ASSERT_OK(table->Delete("key-" + std::to_string(i)));
+  }
+  ASSERT_OK(table->CheckIntegrity());
+  for (int i = 0; i < kCount; ++i) {
+    const Status st = table->Get("key-" + std::to_string(i), &value);
+    if (i % 3 == 0) {
+      ASSERT_TRUE(st.IsNotFound()) << "key-" << i;
+    } else {
+      ASSERT_OK(st);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HashTableSplitTest,
+    ::testing::Combine(::testing::Values(64u, 128u, 256u, 1024u),
+                       ::testing::Values(1u, 8u, 32u),
+                       ::testing::Values(SplitPolicy::kHybrid, SplitPolicy::kControlledOnly,
+                                         SplitPolicy::kUncontrolledOnly)),
+    [](const ::testing::TestParamInfo<std::tuple<uint32_t, uint32_t, SplitPolicy>>& param_info) {
+      return "b" + std::to_string(std::get<0>(param_info.param)) + "_f" +
+             std::to_string(std::get<1>(param_info.param)) + "_p" +
+             std::to_string(static_cast<int>(std::get<2>(param_info.param)));
+    });
+
+TEST(HashTableBigPairs, PairLargerThanPage) {
+  HashOptions opts = SmallOptions();
+  opts.bsize = 128;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+
+  const std::string big_value(10000, 'V');
+  ASSERT_OK(table->Put("big", big_value));
+  std::string out;
+  ASSERT_OK(table->Get("big", &out));
+  EXPECT_EQ(out, big_value);
+  ASSERT_OK(table->CheckIntegrity());
+  EXPECT_EQ(table->stats().big_pairs_stored, 1u);
+}
+
+TEST(HashTableBigPairs, BigKeyAndBigValue) {
+  HashOptions opts = SmallOptions();
+  opts.bsize = 64;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+
+  const std::string big_key(500, 'K');
+  const std::string big_value(5000, 'v');
+  ASSERT_OK(table->Put(big_key, big_value));
+  std::string out;
+  ASSERT_OK(table->Get(big_key, &out));
+  EXPECT_EQ(out, big_value);
+
+  // A key sharing the 32-byte prefix but differing later must not match.
+  std::string cousin = big_key;
+  cousin.back() = 'X';
+  EXPECT_TRUE(table->Get(cousin, &out).IsNotFound());
+
+  ASSERT_OK(table->Delete(big_key));
+  EXPECT_TRUE(table->Get(big_key, &out).IsNotFound());
+  ASSERT_OK(table->CheckIntegrity());
+  // The chain pages must have been reclaimed.
+  EXPECT_EQ(table->stats().ovfl_pages_freed, table->stats().ovfl_pages_alloced);
+}
+
+TEST(HashTableBigPairs, ReplaceBigWithSmallAndBack) {
+  HashOptions opts = SmallOptions();
+  opts.bsize = 128;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  const std::string big(4000, 'B');
+  ASSERT_OK(table->Put("k", big));
+  ASSERT_OK(table->Put("k", "small"));
+  std::string out;
+  ASSERT_OK(table->Get("k", &out));
+  EXPECT_EQ(out, "small");
+  ASSERT_OK(table->Put("k", big));
+  ASSERT_OK(table->Get("k", &out));
+  EXPECT_EQ(out, big);
+  ASSERT_OK(table->CheckIntegrity());
+}
+
+TEST(HashTableBigPairs, ManyBigPairsAcrossSplits) {
+  HashOptions opts = SmallOptions();
+  opts.bsize = 128;
+  opts.ffactor = 4;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  Rng rng(3);
+  std::map<std::string, std::string> reference;
+  for (int i = 0; i < 120; ++i) {
+    std::string key = "bigkey-" + std::to_string(i) + "-" + rng.AsciiString(40);
+    std::string value = rng.ByteString(rng.Range(200, 3000));
+    ASSERT_OK(table->Put(key, value));
+    reference[key] = value;
+    // Interleave small pairs so the buckets also split.
+    ASSERT_OK(table->Put("small-" + std::to_string(i), "x"));
+    reference["small-" + std::to_string(i)] = "x";
+  }
+  ASSERT_OK(table->CheckIntegrity());
+  std::string out;
+  for (const auto& [key, value] : reference) {
+    ASSERT_OK(table->Get(key, &out)) << key;
+    ASSERT_EQ(out, value);
+  }
+}
+
+TEST(HashTableSeq, ScanReturnsEveryPairExactlyOnce) {
+  auto table = std::move(HashTable::OpenInMemory(SmallOptions()).value());
+  std::map<std::string, std::string> reference;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "seq-" + std::to_string(i);
+    const std::string value = std::to_string(i);
+    ASSERT_OK(table->Put(key, value));
+    reference[key] = value;
+  }
+  // Include one big pair in the scan.
+  const std::string big(2000, 'Z');
+  ASSERT_OK(table->Put("bigseq", big));
+  reference["bigseq"] = big;
+
+  std::map<std::string, std::string> scanned;
+  std::string key;
+  std::string value;
+  Status st = table->Seq(&key, &value, /*first=*/true);
+  while (st.ok()) {
+    EXPECT_TRUE(scanned.emplace(key, value).second) << "duplicate " << key;
+    st = table->Seq(&key, &value, /*first=*/false);
+  }
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(scanned, reference);
+}
+
+TEST(HashTableSeq, CursorIndependentOfSeq) {
+  auto table = std::move(HashTable::OpenInMemory(SmallOptions()).value());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(table->Put("k" + std::to_string(i), "v"));
+  }
+  Cursor a = table->NewCursor();
+  Cursor b = table->NewCursor();
+  std::string k1, k2, v;
+  ASSERT_OK(a.Next(&k1, &v));
+  ASSERT_OK(a.Next(&k1, &v));
+  ASSERT_OK(b.Next(&k2, &v));
+  // b starts from the beginning regardless of a's position.
+  Cursor c = table->NewCursor();
+  std::string k3;
+  ASSERT_OK(c.Next(&k3, &v));
+  EXPECT_EQ(k2, k3);
+}
+
+TEST(HashTableSeq, EmptyTableScan) {
+  auto table = std::move(HashTable::OpenInMemory(SmallOptions()).value());
+  std::string key;
+  std::string value;
+  EXPECT_TRUE(table->Seq(&key, &value, true).IsNotFound());
+}
+
+TEST(HashTablePersistence, CloseAndReopen) {
+  const std::string path = TempPath("persist");
+  std::map<std::string, std::string> reference;
+  {
+    auto table = std::move(HashTable::Open(path, SmallOptions(), /*truncate=*/true).value());
+    for (int i = 0; i < 2000; ++i) {
+      const std::string key = "persist-" + std::to_string(i);
+      const std::string value = std::to_string(i * 31);
+      ASSERT_OK(table->Put(key, value));
+      reference[key] = value;
+    }
+    const std::string big(9000, 'P');
+    ASSERT_OK(table->Put("bigpersist", big));
+    reference["bigpersist"] = big;
+    ASSERT_OK(table->Sync());
+  }
+  {
+    auto result = HashTable::Open(path, SmallOptions());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto& table = *result.value();
+    EXPECT_EQ(table.size(), reference.size());
+    ASSERT_OK(table.CheckIntegrity());
+    std::string value;
+    for (const auto& [k, v] : reference) {
+      ASSERT_OK(table.Get(k, &value)) << k;
+      ASSERT_EQ(value, v);
+    }
+    // Mutations after reopen work too.
+    ASSERT_OK(table.Put("after-reopen", "new"));
+    ASSERT_OK(table.Delete("persist-0"));
+    ASSERT_OK(table.CheckIntegrity());
+  }
+  {
+    // ... and survive another reopen.
+    auto table = std::move(HashTable::Open(path, SmallOptions()).value());
+    EXPECT_TRUE(table->Contains("after-reopen"));
+    EXPECT_FALSE(table->Contains("persist-0"));
+  }
+}
+
+TEST(HashTablePersistence, GeometryComesFromHeaderOnReopen) {
+  const std::string path = TempPath("geometry");
+  {
+    HashOptions opts = SmallOptions();
+    opts.bsize = 512;
+    opts.ffactor = 16;
+    auto table = std::move(HashTable::Open(path, opts, true).value());
+    ASSERT_OK(table->Put("a", "b"));
+    ASSERT_OK(table->Sync());
+  }
+  HashOptions different = SmallOptions();
+  different.bsize = 4096;  // ignored: header wins
+  auto table = std::move(HashTable::Open(path, different).value());
+  EXPECT_EQ(table->meta().bsize, 512u);
+  EXPECT_EQ(table->meta().ffactor, 16u);
+  EXPECT_TRUE(table->Contains("a"));
+}
+
+TEST(HashTablePersistence, WrongHashFunctionIsRejected) {
+  const std::string path = TempPath("hashcheck");
+  {
+    HashOptions opts = SmallOptions();
+    opts.hash_id = HashFuncId::kDefault;
+    auto table = std::move(HashTable::Open(path, opts, true).value());
+    ASSERT_OK(table->Put("a", "b"));
+    ASSERT_OK(table->Sync());
+  }
+  HashOptions wrong = SmallOptions();
+  wrong.custom_hash = &HashFnv1a;  // not the function the table was built with
+  const auto result = HashTable::Open(path, wrong);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(HashTablePersistence, CustomHashFunctionRoundTrip) {
+  const std::string path = TempPath("customhash");
+  HashOptions opts = SmallOptions();
+  opts.custom_hash = &HashDjb2;
+  {
+    auto table = std::move(HashTable::Open(path, opts, true).value());
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_OK(table->Put("ch-" + std::to_string(i), std::to_string(i)));
+    }
+    ASSERT_OK(table->Sync());
+  }
+  // Reopening without the custom function fails cleanly...
+  EXPECT_FALSE(HashTable::Open(path, SmallOptions()).ok());
+  // ...and succeeds with it.
+  auto table = std::move(HashTable::Open(path, opts).value());
+  ASSERT_OK(table->CheckIntegrity());
+  EXPECT_TRUE(table->Contains("ch-42"));
+}
+
+TEST(HashTablePersistence, NotAHashFileIsRejected) {
+  const std::string path = TempPath("nothash");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a hash file, just bytes........................";
+  }
+  EXPECT_FALSE(HashTable::Open(path, SmallOptions()).ok());
+}
+
+TEST(HashTablePresized, KnownSizeMatchesGrownContents) {
+  const auto dict = workload::MakeDictionaryWorkload(2000);
+  HashOptions grown = SmallOptions();
+  HashOptions presized = SmallOptions();
+  presized.nelem = 2000;
+
+  auto a = std::move(HashTable::OpenInMemory(grown).value());
+  auto b = std::move(HashTable::OpenInMemory(presized).value());
+  EXPECT_GT(b->bucket_count(), a->bucket_count());
+
+  for (size_t i = 0; i < dict.keys.size(); ++i) {
+    ASSERT_OK(a->Put(dict.keys[i], dict.values[i]));
+    ASSERT_OK(b->Put(dict.keys[i], dict.values[i]));
+  }
+  ASSERT_OK(a->CheckIntegrity());
+  ASSERT_OK(b->CheckIntegrity());
+  std::string va, vb;
+  for (size_t i = 0; i < dict.keys.size(); ++i) {
+    ASSERT_OK(a->Get(dict.keys[i], &va));
+    ASSERT_OK(b->Get(dict.keys[i], &vb));
+    ASSERT_EQ(va, vb);
+  }
+  // Pre-sizing should essentially eliminate splits.
+  EXPECT_LT(b->stats().splits, a->stats().splits);
+}
+
+TEST(HashTableCache, TinyCacheStillCorrect) {
+  HashOptions opts = SmallOptions();
+  opts.cachesize = 0;  // minimum resident set only
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_OK(table->Put("tiny-" + std::to_string(i), std::to_string(i)));
+  }
+  ASSERT_OK(table->CheckIntegrity());
+  std::string value;
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_OK(table->Get("tiny-" + std::to_string(i), &value));
+    ASSERT_EQ(value, std::to_string(i));
+  }
+}
+
+TEST(HashTableCache, LargeCachePerformsNoBackingIoForSmallTable) {
+  const std::string path = TempPath("noio");
+  HashOptions opts = SmallOptions();
+  opts.cachesize = 4 * 1024 * 1024;
+  auto table = std::move(HashTable::Open(path, opts, true).value());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(table->Put("c-" + std::to_string(i), std::to_string(i)));
+  }
+  const uint64_t writes_before_sync = table->file_stats().writes;
+  std::string value;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(table->Get("c-" + std::to_string(i), &value));
+  }
+  // Reads are all cache hits; only header writes have touched the file.
+  EXPECT_EQ(table->file_stats().writes, writes_before_sync);
+  EXPECT_EQ(table->file_stats().reads, 0u);
+}
+
+TEST(HashTableLocking, ExclusiveLockRejectsSecondOpen) {
+  const std::string path = TempPath("locking");
+  HashOptions opts = SmallOptions();
+  opts.exclusive_lock = true;
+  auto first = HashTable::Open(path, opts, /*truncate=*/true);
+  ASSERT_TRUE(first.ok());
+  ASSERT_OK(first.value()->Put("held", "yes"));
+  ASSERT_OK(first.value()->Sync());
+  // A second locked open must fail while the first handle lives...
+  EXPECT_FALSE(HashTable::Open(path, opts).ok());
+  // ...and succeed once it is closed.
+  first.value().reset();
+  auto second = HashTable::Open(path, opts);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second.value()->Contains("held"));
+}
+
+TEST(HashTableLocking, UnlockedOpensStillCoexist) {
+  const std::string path = TempPath("nolock");
+  auto first = std::move(HashTable::Open(path, SmallOptions(), true).value());
+  ASSERT_OK(first->Put("a", "1"));
+  ASSERT_OK(first->Sync());
+  // Default behaviour is unchanged: concurrent opens are the caller's
+  // responsibility, as in the original package.
+  auto second = HashTable::Open(path, SmallOptions());
+  EXPECT_TRUE(second.ok());
+}
+
+TEST(HashTableStats, CountersTrackOperations) {
+  auto table = std::move(HashTable::OpenInMemory(SmallOptions()).value());
+  ASSERT_OK(table->Put("a", "1"));
+  ASSERT_OK(table->Put("b", "2"));
+  std::string v;
+  ASSERT_OK(table->Get("a", &v));
+  ASSERT_OK(table->Delete("b"));
+  EXPECT_EQ(table->stats().puts, 2u);
+  EXPECT_EQ(table->stats().gets, 1u);
+  EXPECT_EQ(table->stats().deletes, 1u);
+}
+
+TEST(HashTableFillFactor, ControlledSplitKeepsLoadNearFfactor) {
+  HashOptions opts = SmallOptions();
+  opts.bsize = 1024;
+  opts.ffactor = 8;
+  opts.split_policy = SplitPolicy::kControlledOnly;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_OK(table->Put("load-" + std::to_string(i), "v"));
+  }
+  const double load = static_cast<double>(table->size()) / table->bucket_count();
+  EXPECT_LE(load, 8.0 + 1e-9);
+  EXPECT_GE(load, 3.9);  // a split at most doubles the bucket count
+}
+
+}  // namespace
+}  // namespace hashkit

@@ -1,0 +1,185 @@
+// Cross-module integration tests: every store in the repository run over
+// the paper's workloads, compared against each other and a reference map.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/baselines/dynahash/dynahash.h"
+#include "src/baselines/gdbm/gdbm.h"
+#include "src/baselines/hsearch/hsearch.h"
+#include "src/baselines/ndbm/ndbm.h"
+#include "src/baselines/sdbm/sdbm.h"
+#include "src/core/hash_table.h"
+#include "src/workload/dictionary.h"
+#include "src/workload/passwd.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace {
+
+// All disk stores agree on a dictionary subset.
+TEST(IntegrationTest, AllDiskStoresAgreeOnDictionary) {
+  const auto dict = workload::MakeDictionaryWorkload(4000);
+
+  HashOptions opts;
+  opts.bsize = 1024;
+  opts.ffactor = 32;
+  auto hash = std::move(HashTable::Open(TempPath("int_hash"), opts, true).value());
+  auto ndbm = std::move(baseline::NdbmClone::Open(TempPath("int_ndbm")).value());
+  auto sdbm = std::move(baseline::SdbmClone::Open(TempPath("int_sdbm")).value());
+  auto gdbm = std::move(baseline::GdbmClone::Open(TempPath("int_gdbm"), 1024, true).value());
+
+  for (size_t i = 0; i < dict.keys.size(); ++i) {
+    ASSERT_OK(hash->Put(dict.keys[i], dict.values[i]));
+    ASSERT_OK(ndbm->Store(dict.keys[i], dict.values[i], true));
+    ASSERT_OK(sdbm->Store(dict.keys[i], dict.values[i], true));
+    ASSERT_OK(gdbm->Store(dict.keys[i], dict.values[i], true));
+  }
+  ASSERT_OK(hash->CheckIntegrity());
+  ASSERT_OK(gdbm->CheckIntegrity());
+
+  std::string v1, v2, v3, v4;
+  for (size_t i = 0; i < dict.keys.size(); ++i) {
+    ASSERT_OK(hash->Get(dict.keys[i], &v1));
+    ASSERT_OK(ndbm->Fetch(dict.keys[i], &v2));
+    ASSERT_OK(sdbm->Fetch(dict.keys[i], &v3));
+    ASSERT_OK(gdbm->Fetch(dict.keys[i], &v4));
+    ASSERT_EQ(v1, dict.values[i]);
+    ASSERT_EQ(v2, dict.values[i]);
+    ASSERT_EQ(v3, dict.values[i]);
+    ASSERT_EQ(v4, dict.values[i]);
+  }
+}
+
+// The paper's password-file test: two records per account through the
+// whole stack, memory-resident.
+TEST(IntegrationTest, PasswordDatabaseRoundTrip) {
+  const auto passwd = workload::MakePasswdWorkload(300);
+  HashOptions opts;
+  opts.bsize = 256;
+  opts.ffactor = 8;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  for (const auto& record : passwd.records) {
+    ASSERT_OK(table->Put(record.key, record.value));
+  }
+  EXPECT_EQ(table->size(), 600u);
+  ASSERT_OK(table->CheckIntegrity());
+  std::string value;
+  for (const auto& record : passwd.records) {
+    ASSERT_OK(table->Get(record.key, &value));
+    ASSERT_EQ(value, record.value);
+  }
+}
+
+// The in-memory stores agree on a pointer workload.
+TEST(IntegrationTest, MemoryStoresAgree) {
+  const auto dict = workload::MakeDictionaryWorkload(3000);
+  auto hsearch_table = std::move(baseline::SysvHsearch::Create(6000).value());
+  auto dynahash_table = std::move(baseline::Dynahash::Create(16).value());
+
+  for (size_t i = 0; i < dict.keys.size(); ++i) {
+    void* payload = const_cast<std::string*>(&dict.values[i]);
+    ASSERT_OK(hsearch_table->Enter(dict.keys[i], payload));
+    ASSERT_OK(dynahash_table->Enter(dict.keys[i], payload));
+  }
+  for (size_t i = 0; i < dict.keys.size(); ++i) {
+    void* a = nullptr;
+    void* b = nullptr;
+    ASSERT_OK(hsearch_table->Find(dict.keys[i], &a));
+    ASSERT_OK(dynahash_table->Find(dict.keys[i], &b));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(*static_cast<std::string*>(a), dict.values[i]);
+  }
+}
+
+// The paper's dictionary test end to end: create, read, verify, seq, on
+// disk, with the real 24474-key data set.
+TEST(IntegrationTest, FullDictionaryCreateReadVerifySeq) {
+  const auto dict = workload::MakeDictionaryWorkload();
+  HashOptions opts;
+  opts.bsize = 1024;
+  opts.ffactor = 32;
+  opts.cachesize = 1024 * 1024;
+  const std::string path = TempPath("int_full");
+  {
+    auto table = std::move(HashTable::Open(path, opts, true).value());
+    for (size_t i = 0; i < dict.keys.size(); ++i) {
+      ASSERT_OK(table->Put(dict.keys[i], dict.values[i]));
+    }
+    ASSERT_OK(table->Sync());
+  }
+  auto table = std::move(HashTable::Open(path, opts).value());
+  EXPECT_EQ(table->size(), dict.keys.size());
+
+  // read + verify
+  std::string value;
+  for (size_t i = 0; i < dict.keys.size(); ++i) {
+    ASSERT_OK(table->Get(dict.keys[i], &value));
+    ASSERT_EQ(value, dict.values[i]);
+  }
+  // sequential
+  size_t scanned = 0;
+  std::string k, v;
+  Status st = table->Seq(&k, &v, true);
+  while (st.ok()) {
+    ++scanned;
+    st = table->Seq(&k, &v, false);
+  }
+  EXPECT_EQ(scanned, dict.keys.size());
+  ASSERT_OK(table->CheckIntegrity());
+}
+
+// Equation (1) from the paper — (avg_pair + 4) * ffactor >= bsize — and
+// Figure 5's reading of it: below the satisfying fill factor the table
+// wastes space on underfull buckets; above it, behaviour plateaus (the
+// hybrid split policy keeps chains bounded no matter how large ffactor
+// gets, which is exactly what dynahash-style controlled-only splitting
+// cannot do).
+TEST(IntegrationTest, EquationOnePlateauAndHybridChainBound) {
+  const auto dict = workload::MakeDictionaryWorkload(8000);
+  const double avg_pair = workload::AveragePairLength(dict);
+  const auto eq1_ffactor = static_cast<uint32_t>(256.0 / (avg_pair + 4.0)) + 1;
+
+  auto run = [&](uint32_t ffactor, SplitPolicy policy) {
+    HashOptions opts;
+    opts.bsize = 256;
+    opts.ffactor = ffactor;
+    opts.split_policy = policy;
+    auto table = std::move(HashTable::OpenInMemory(opts).value());
+    for (size_t i = 0; i < dict.keys.size(); ++i) {
+      EXPECT_OK(table->Put(dict.keys[i], dict.values[i]));
+    }
+    struct Shape {
+      uint32_t buckets;
+      uint64_t live_ovfl;
+    };
+    return Shape{table->bucket_count(),
+                 table->stats().ovfl_pages_alloced - table->stats().ovfl_pages_freed};
+  };
+
+  const auto low = run(2, SplitPolicy::kHybrid);              // violates eq. (1)
+  const auto at_eq1 = run(eq1_ffactor, SplitPolicy::kHybrid);  // satisfies it
+  const auto huge = run(eq1_ffactor * 16, SplitPolicy::kHybrid);
+
+  // Below the equation: many underfull buckets (space waste).
+  EXPECT_GT(low.buckets, at_eq1.buckets * 2);
+  // At/above the equation: the hybrid policy plateaus — same table shape.
+  EXPECT_EQ(at_eq1.buckets, huge.buckets);
+  EXPECT_EQ(at_eq1.live_ovfl, huge.live_ovfl);
+
+  // Ablation A1: controlled-only splitting at a huge fill factor piles up
+  // overflow chains (pages per bucket) that the hybrid policy's
+  // uncontrolled splits keep short.
+  const auto controlled = run(eq1_ffactor * 16, SplitPolicy::kControlledOnly);
+  const double hybrid_chain =
+      static_cast<double>(huge.live_ovfl) / static_cast<double>(huge.buckets);
+  const double controlled_chain =
+      static_cast<double>(controlled.live_ovfl) / static_cast<double>(controlled.buckets);
+  EXPECT_GT(controlled_chain, hybrid_chain * 8);
+  EXPECT_LT(controlled.buckets, huge.buckets);
+}
+
+}  // namespace
+}  // namespace hashkit

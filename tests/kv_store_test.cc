@@ -1,0 +1,242 @@
+// Contract tests: one behavioural suite run against every store through
+// the uniform KvStore interface, honouring each store's declared
+// capabilities.  This is the paper's "appear identical to the application
+// layer" property, tested.
+
+#include "src/kv/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace kv {
+namespace {
+
+class KvContractTest : public ::testing::TestWithParam<StoreKind> {
+ protected:
+  std::unique_ptr<KvStore> Open(const std::string& tag, bool truncate = true) {
+    StoreOptions options;
+    options.path = TempPath("kv_" + std::string(StoreKindName(GetParam())) + "_" + tag);
+    last_path_ = options.path;
+    options.truncate = truncate;
+    options.page_size = 512;
+    options.ffactor = 8;
+    options.nelem = 8192;
+    auto result = OpenStore(GetParam(), options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  std::unique_ptr<KvStore> Reopen() {
+    StoreOptions options;
+    options.path = last_path_;
+    options.truncate = false;
+    options.page_size = 512;
+    auto result = OpenStore(GetParam(), options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  std::string last_path_;
+};
+
+TEST_P(KvContractTest, PutGetRoundTrip) {
+  auto store = Open("roundtrip");
+  ASSERT_OK(store->Put("alpha", "one"));
+  ASSERT_OK(store->Put("beta", "two"));
+  std::string value;
+  ASSERT_OK(store->Get("alpha", &value));
+  EXPECT_EQ(value, "one");
+  ASSERT_OK(store->Get("beta", &value));
+  EXPECT_EQ(value, "two");
+  EXPECT_TRUE(store->Get("gamma", &value).IsNotFound());
+  EXPECT_EQ(store->Size(), 2u);
+}
+
+TEST_P(KvContractTest, NoOverwritePutReportsExists) {
+  auto store = Open("noover");
+  ASSERT_OK(store->Put("k", "v1", false));
+  EXPECT_TRUE(store->Put("k", "v2", false).IsExists());
+  std::string value;
+  ASSERT_OK(store->Get("k", &value));
+  EXPECT_EQ(value, "v1");
+}
+
+TEST_P(KvContractTest, OverwriteReplacesWhenSupported) {
+  auto store = Open("over");
+  if (!store->Caps().overwrites) {
+    GTEST_SKIP();
+  }
+  ASSERT_OK(store->Put("k", "v1"));
+  ASSERT_OK(store->Put("k", "v2"));
+  std::string value;
+  ASSERT_OK(store->Get("k", &value));
+  EXPECT_EQ(value, "v2");
+  EXPECT_EQ(store->Size(), 1u);
+}
+
+TEST_P(KvContractTest, DeleteWhenSupported) {
+  auto store = Open("del");
+  ASSERT_OK(store->Put("k", "v"));
+  const Status st = store->Delete("k");
+  if (store->Caps().deletes) {
+    ASSERT_OK(st);
+    std::string value;
+    EXPECT_TRUE(store->Get("k", &value).IsNotFound());
+    EXPECT_TRUE(store->Delete("k").IsNotFound());
+  } else {
+    EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+  }
+}
+
+TEST_P(KvContractTest, ScanWhenSupported) {
+  auto store = Open("scan");
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "s" + std::to_string(i);
+    ASSERT_OK(store->Put(key, std::to_string(i)));
+    model[key] = std::to_string(i);
+  }
+  std::string k, v;
+  Status st = store->Scan(&k, &v, true);
+  if (!store->Caps().scans) {
+    EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+    return;
+  }
+  std::map<std::string, std::string> seen;
+  while (st.ok()) {
+    EXPECT_TRUE(seen.emplace(k, v).second);
+    st = store->Scan(&k, &v, false);
+  }
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(seen, model);
+}
+
+TEST_P(KvContractTest, PersistenceWhenSupported) {
+  std::map<std::string, std::string> model;
+  {
+    auto store = Open("persist");
+    if (!store->Caps().persistent) {
+      GTEST_SKIP();
+    }
+    for (int i = 0; i < 500; ++i) {
+      const std::string key = "p" + std::to_string(i);
+      ASSERT_OK(store->Put(key, std::to_string(i * 3)));
+      model[key] = std::to_string(i * 3);
+    }
+    ASSERT_OK(store->Sync());
+  }
+  auto store = Reopen();
+  EXPECT_EQ(store->Size(), model.size());
+  std::string value;
+  for (const auto& [k, v] : model) {
+    ASSERT_OK(store->Get(k, &value)) << k;
+    ASSERT_EQ(value, v);
+  }
+}
+
+TEST_P(KvContractTest, LargePairsWhenSupported) {
+  auto store = Open("large");
+  const std::string big(5000, 'X');  // > 512-byte page
+  const Status st = store->Put("big", big);
+  if (store->Caps().unlimited_pair) {
+    ASSERT_OK(st);
+    std::string value;
+    ASSERT_OK(store->Get("big", &value));
+    EXPECT_EQ(value, big);
+  } else {
+    EXPECT_TRUE(st.IsFull());
+  }
+}
+
+TEST_P(KvContractTest, GrowthPastHintWhenSupported) {
+  StoreOptions options;
+  options.path = TempPath("kv_grow_" + std::string(StoreKindName(GetParam())));
+  options.page_size = 512;
+  options.nelem = 16;  // tiny hint / capacity
+  auto result = OpenStore(GetParam(), options);
+  ASSERT_TRUE(result.ok());
+  auto store = std::move(result).value();
+
+  Status last = Status::Ok();
+  int stored = 0;
+  for (int i = 0; i < 2000 && last.ok(); ++i) {
+    last = store->Put("g" + std::to_string(i), "v");
+    if (last.ok()) {
+      ++stored;
+    }
+  }
+  if (store->Caps().grows) {
+    ASSERT_OK(last);
+    EXPECT_EQ(stored, 2000);
+  } else {
+    EXPECT_TRUE(last.IsFull());
+    EXPECT_LT(stored, 2000);
+  }
+}
+
+TEST_P(KvContractTest, RandomOpsMatchReference) {
+  auto store = Open("prop");
+  const Capabilities caps = store->Caps();
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  std::map<std::string, std::string> model;
+  for (int step = 0; step < 1500; ++step) {
+    const std::string key = "r" + std::to_string(rng.Uniform(200));
+    const uint64_t op = rng.Uniform(10);
+    if (op < 5) {
+      const std::string value = rng.AsciiString(rng.Range(0, 40));
+      if (model.count(key) && !caps.overwrites) {
+        continue;
+      }
+      ASSERT_OK(store->Put(key, value));
+      model[key] = value;
+    } else if (op < 7 && caps.deletes) {
+      const Status st = store->Delete(key);
+      if (model.erase(key)) {
+        ASSERT_OK(st);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    } else {
+      std::string value;
+      const Status st = store->Get(key, &value);
+      const auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_OK(st);
+        ASSERT_EQ(value, it->second);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    }
+    ASSERT_EQ(store->Size(), model.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, KvContractTest, ::testing::ValuesIn(kAllStoreKinds),
+                         [](const ::testing::TestParamInfo<StoreKind>& param_info) {
+                           return std::string(StoreKindName(param_info.param));
+                         });
+
+TEST(KvStoreTest, NamesAreStable) {
+  EXPECT_EQ(StoreKindName(StoreKind::kHashDisk), "hash_disk");
+  EXPECT_EQ(StoreKindName(StoreKind::kGdbm), "gdbm");
+}
+
+TEST(KvStoreTest, FileStoresRequirePath) {
+  StoreOptions options;  // no path
+  EXPECT_FALSE(OpenStore(StoreKind::kHashDisk, options).ok());
+  EXPECT_FALSE(OpenStore(StoreKind::kNdbm, options).ok());
+  EXPECT_FALSE(OpenStore(StoreKind::kGdbm, options).ok());
+  // Memory stores do not.
+  EXPECT_TRUE(OpenStore(StoreKind::kHashMemory, options).ok());
+  EXPECT_TRUE(OpenStore(StoreKind::kDynahash, options).ok());
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace hashkit

@@ -1,0 +1,209 @@
+// Unit tests for the file-header codec and address arithmetic
+// (src/core/meta.h, src/core/addressing.h).
+
+#include "src/core/meta.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/addressing.h"
+
+namespace hashkit {
+namespace {
+
+TEST(MetaCodecTest, RoundTripAllFields) {
+  Meta meta;
+  meta.bsize = 1024;
+  meta.ffactor = 32;
+  meta.nkeys = 0x123456789abcull;
+  meta.max_bucket = 77;
+  meta.high_mask = 127;
+  meta.low_mask = 63;
+  meta.last_freed = 0x0803;
+  meta.ovfl_point = 9;
+  meta.hash_check = 0xfeedface;
+  meta.hash_id = 3;
+  meta.nhdr_pages = 2;
+  meta.nelem_hint = 5000;
+  for (uint32_t i = 0; i < kMaxSplitPoints; ++i) {
+    meta.spares[i] = i * 3;
+    meta.bitmaps[i] = static_cast<uint16_t>(i * 11);
+  }
+
+  std::vector<uint8_t> buf(kMetaEncodedSize);
+  EncodeMeta(meta, buf);
+  auto decoded = DecodeMeta(buf);
+  ASSERT_TRUE(decoded.ok());
+  const Meta& m = *decoded;
+  EXPECT_EQ(m.bsize, meta.bsize);
+  EXPECT_EQ(m.ffactor, meta.ffactor);
+  EXPECT_EQ(m.nkeys, meta.nkeys);
+  EXPECT_EQ(m.max_bucket, meta.max_bucket);
+  EXPECT_EQ(m.high_mask, meta.high_mask);
+  EXPECT_EQ(m.low_mask, meta.low_mask);
+  EXPECT_EQ(m.last_freed, meta.last_freed);
+  EXPECT_EQ(m.ovfl_point, meta.ovfl_point);
+  EXPECT_EQ(m.hash_check, meta.hash_check);
+  EXPECT_EQ(m.hash_id, meta.hash_id);
+  EXPECT_EQ(m.nhdr_pages, meta.nhdr_pages);
+  EXPECT_EQ(m.nelem_hint, meta.nelem_hint);
+  EXPECT_EQ(m.spares, meta.spares);
+  EXPECT_EQ(m.bitmaps, meta.bitmaps);
+}
+
+TEST(MetaCodecTest, BadMagicRejected) {
+  Meta meta;
+  std::vector<uint8_t> buf(kMetaEncodedSize);
+  EncodeMeta(meta, buf);
+  buf[0] ^= 0xff;
+  EXPECT_TRUE(DecodeMeta(buf).status().IsCorruption());
+}
+
+TEST(MetaCodecTest, BadVersionRejected) {
+  Meta meta;
+  meta.version = 99;
+  std::vector<uint8_t> buf(kMetaEncodedSize);
+  EncodeMeta(meta, buf);
+  EXPECT_TRUE(DecodeMeta(buf).status().IsCorruption());
+}
+
+TEST(MetaCodecTest, ShortBufferRejected) {
+  std::vector<uint8_t> buf(kMetaEncodedSize - 1);
+  EXPECT_FALSE(DecodeMeta(buf).ok());
+}
+
+TEST(MetaCodecTest, HeaderPagesForVariousSizes) {
+  EXPECT_GE(HeaderPagesFor(64) * 64, kMetaEncodedSize);
+  EXPECT_GE(HeaderPagesFor(128) * 128, kMetaEncodedSize);
+  EXPECT_EQ(HeaderPagesFor(1024), 1u);
+  EXPECT_EQ(HeaderPagesFor(32768), 1u);
+  // Tight: no wasted whole page.
+  EXPECT_LT((HeaderPagesFor(64) - 1) * 64, kMetaEncodedSize);
+}
+
+// ---- Addressing (the paper's BUCKET_TO_PAGE / OADDR_TO_PAGE) ----
+
+TEST(AddressingTest, OaddrPacking) {
+  const uint16_t oaddr = MakeOaddr(5, 123);
+  EXPECT_EQ(OaddrSplitPoint(oaddr), 5u);
+  EXPECT_EQ(OaddrPageNum(oaddr), 123u);
+  EXPECT_EQ(MakeOaddr(31, 2047), 0xffff);
+  EXPECT_EQ(MakeOaddr(0, 1), 1);
+}
+
+TEST(AddressingTest, BucketToPageWithoutSpares) {
+  Meta meta;
+  meta.nhdr_pages = 1;
+  // No overflow pages: bucket b is page b + 1.
+  for (uint32_t b = 0; b < 1000; ++b) {
+    EXPECT_EQ(BucketToPage(meta, b), b + 1u) << b;
+  }
+}
+
+TEST(AddressingTest, BucketToPageWithSpares) {
+  // Figure 3's layout: 2 overflow pages at split point 1, 3 at split
+  // point 2 (cumulative spares: sp0=0, sp1=2, sp2=5, ...).
+  Meta meta;
+  meta.nhdr_pages = 1;
+  meta.spares = {};
+  meta.spares[0] = 0;
+  meta.spares[1] = 2;
+  for (uint32_t i = 2; i < kMaxSplitPoints; ++i) {
+    meta.spares[i] = 5;
+  }
+  EXPECT_EQ(BucketToPage(meta, 0), 1u);
+  EXPECT_EQ(BucketToPage(meta, 1), 2u);           // + spares[0] = 0
+  EXPECT_EQ(BucketToPage(meta, 2), 1u + 2 + 2);   // + spares[1] = 2
+  EXPECT_EQ(BucketToPage(meta, 3), 1u + 3 + 2);
+  EXPECT_EQ(BucketToPage(meta, 4), 1u + 4 + 5);   // + spares[2] = 5
+  EXPECT_EQ(BucketToPage(meta, 7), 1u + 7 + 5);
+}
+
+TEST(AddressingTest, OaddrToPageSitsBetweenGenerations) {
+  Meta meta;
+  meta.nhdr_pages = 1;
+  meta.spares = {};
+  meta.spares[0] = 0;
+  meta.spares[1] = 2;
+  for (uint32_t i = 2; i < kMaxSplitPoints; ++i) {
+    meta.spares[i] = 5;
+  }
+  // Overflow pages at split point 1 live after bucket 1.
+  EXPECT_EQ(OaddrToPage(meta, MakeOaddr(1, 1)), BucketToPage(meta, 1) + 1);
+  EXPECT_EQ(OaddrToPage(meta, MakeOaddr(1, 2)), BucketToPage(meta, 1) + 2);
+  // ... and before bucket 2.
+  EXPECT_LT(OaddrToPage(meta, MakeOaddr(1, 2)), BucketToPage(meta, 2));
+  // Overflow pages at split point 2 live after bucket 3 and before 4.
+  EXPECT_EQ(OaddrToPage(meta, MakeOaddr(2, 1)), BucketToPage(meta, 3) + 1);
+  EXPECT_LT(OaddrToPage(meta, MakeOaddr(2, 3)), BucketToPage(meta, 4));
+}
+
+TEST(AddressingTest, NoTwoAddressesCollide) {
+  // With an arbitrary spares profile, all bucket pages and all allocated
+  // overflow pages must map to distinct physical pages.
+  Meta meta;
+  meta.nhdr_pages = 2;
+  uint32_t cumulative = 0;
+  const uint32_t at_point[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+  for (uint32_t i = 0; i < kMaxSplitPoints; ++i) {
+    cumulative += i < 8 ? at_point[i] : 0;
+    meta.spares[i] = cumulative;
+  }
+  meta.max_bucket = 255;
+
+  std::set<uint64_t> pages;
+  for (uint32_t b = 0; b <= meta.max_bucket; ++b) {
+    EXPECT_TRUE(pages.insert(BucketToPage(meta, b)).second) << "bucket " << b;
+  }
+  for (uint32_t sp = 0; sp < 8; ++sp) {
+    for (uint32_t p = 1; p <= at_point[sp]; ++p) {
+      EXPECT_TRUE(pages.insert(OaddrToPage(meta, MakeOaddr(sp, p))).second)
+          << "sp " << sp << " page " << p;
+    }
+  }
+  // The layout must also be dense: pages 2 .. 2+256+31-1 all used.
+  EXPECT_EQ(*pages.begin(), 2u);
+  EXPECT_EQ(*pages.rbegin(), 2u + 256 + 31 - 1);
+  EXPECT_EQ(pages.size(), 256u + 31);
+}
+
+TEST(AddressingTest, SplitPoints) {
+  Meta meta;
+  meta.max_bucket = 0;
+  EXPECT_EQ(CurrentSplitPoint(meta), 0u);
+  meta.max_bucket = 1;
+  EXPECT_EQ(CurrentSplitPoint(meta), 1u);
+  meta.max_bucket = 2;
+  EXPECT_EQ(CurrentSplitPoint(meta), 2u);
+  meta.max_bucket = 3;
+  EXPECT_EQ(CurrentSplitPoint(meta), 2u);
+  meta.max_bucket = 4;
+  EXPECT_EQ(CurrentSplitPoint(meta), 3u);
+  meta.max_bucket = 255;
+  EXPECT_EQ(CurrentSplitPoint(meta), 8u);
+
+  // The effective point can run ahead of the frontier but never behind.
+  meta.ovfl_point = 3;
+  EXPECT_EQ(EffectiveOvflPoint(meta), 8u);
+  meta.ovfl_point = 12;
+  EXPECT_EQ(EffectiveOvflPoint(meta), 12u);
+}
+
+TEST(AddressingTest, PagesAtSplitPointDeltas) {
+  Meta meta;
+  meta.spares = {};
+  meta.spares[0] = 4;
+  meta.spares[1] = 4;
+  meta.spares[2] = 10;
+  for (uint32_t i = 3; i < kMaxSplitPoints; ++i) {
+    meta.spares[i] = 10;
+  }
+  EXPECT_EQ(PagesAtSplitPoint(meta, 0), 4u);
+  EXPECT_EQ(PagesAtSplitPoint(meta, 1), 0u);
+  EXPECT_EQ(PagesAtSplitPoint(meta, 2), 6u);
+  EXPECT_EQ(PagesAtSplitPoint(meta, 3), 0u);
+}
+
+}  // namespace
+}  // namespace hashkit

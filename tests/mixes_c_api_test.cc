@@ -1,0 +1,213 @@
+// Tests for the operation-mix workload generator and the classic ndbm C
+// API surface.
+
+#include <fcntl.h>
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/core/hash_table.h"
+#include "src/core/ndbm_c_api.h"
+#include "src/workload/mixes.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace {
+
+// ---- workload mixes ----
+
+TEST(MixesTest, ProportionsApproximatelyHonoured) {
+  workload::MixSpec spec = workload::MixB();  // 95/5
+  spec.operations = 50000;
+  const auto trace = workload::GenerateTrace(spec);
+  size_t reads = 0;
+  size_t updates = 0;
+  for (const auto& op : trace.ops) {
+    reads += op.type == workload::OpType::kRead;
+    updates += op.type == workload::OpType::kUpdate;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / trace.ops.size(), 0.95, 0.01);
+  EXPECT_NEAR(static_cast<double>(updates) / trace.ops.size(), 0.05, 0.01);
+}
+
+TEST(MixesTest, DeterministicForSeed) {
+  const auto a = workload::GenerateTrace(workload::MixA());
+  const auto b = workload::GenerateTrace(workload::MixA());
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); i += 997) {
+    EXPECT_EQ(a.ops[i].key, b.ops[i].key);
+    EXPECT_EQ(a.ops[i].type, b.ops[i].type);
+  }
+}
+
+TEST(MixesTest, InsertsExtendTheKeyspace) {
+  workload::MixSpec spec = workload::MixD();
+  spec.initial_keys = 100;
+  spec.operations = 5000;
+  const auto trace = workload::GenerateTrace(spec);
+  std::set<std::string> preload(trace.preload_keys.begin(), trace.preload_keys.end());
+  size_t fresh_inserts = 0;
+  for (const auto& op : trace.ops) {
+    if (op.type == workload::OpType::kInsert && !preload.count(op.key)) {
+      ++fresh_inserts;
+    }
+  }
+  EXPECT_GT(fresh_inserts, 300u);  // ~10% of 5000
+}
+
+TEST(MixesTest, ZipfSkewConcentratesOnHotKeys) {
+  workload::MixSpec spec = workload::MixC();
+  spec.operations = 20000;
+  spec.zipf_theta = 0.99;
+  const auto trace = workload::GenerateTrace(spec);
+  std::map<std::string, size_t> counts;
+  for (const auto& op : trace.ops) {
+    ++counts[op.key];
+  }
+  // The hottest key should see far more than uniform share (2 per key).
+  size_t hottest = 0;
+  for (const auto& [key, count] : counts) {
+    hottest = std::max(hottest, count);
+  }
+  EXPECT_GT(hottest, 200u);
+}
+
+TEST(MixesTest, TraceRunsCleanlyAgainstTheTable) {
+  workload::MixSpec spec = workload::MixA();
+  spec.initial_keys = 500;
+  spec.operations = 5000;
+  spec.deletes = 0.1;  // custom: add deletes
+  const auto trace = workload::GenerateTrace(spec);
+
+  auto table = std::move(HashTable::OpenInMemory(HashOptions{}).value());
+  for (const auto& key : trace.preload_keys) {
+    ASSERT_OK(table->Put(key, trace.preload_value));
+  }
+  std::string value;
+  for (const auto& op : trace.ops) {
+    switch (op.type) {
+      case workload::OpType::kRead: {
+        const Status st = table->Get(op.key, &value);
+        ASSERT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+        break;
+      }
+      case workload::OpType::kUpdate:
+      case workload::OpType::kInsert:
+        ASSERT_OK(table->Put(op.key, op.value));
+        break;
+      case workload::OpType::kDelete: {
+        const Status st = table->Delete(op.key);
+        ASSERT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+        break;
+      }
+    }
+  }
+  ASSERT_OK(table->CheckIntegrity());
+}
+
+// ---- classic C ndbm API ----
+
+TEST(NdbmCApiTest, FullLifecycle) {
+  const std::string path = TempPath("c_api");
+  ndbm_c::DBM* db = ndbm_c::dbm_open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  ASSERT_NE(db, nullptr);
+
+  char key_bytes[] = "the-key";
+  char val_bytes[] = "the-value";
+  ndbm_c::datum key{key_bytes, 7};
+  ndbm_c::datum val{val_bytes, 9};
+  EXPECT_EQ(ndbm_c::dbm_store(db, key, val, ndbm_c::DBM_REPLACE), 0);
+
+  const ndbm_c::datum fetched = ndbm_c::dbm_fetch(db, key);
+  ASSERT_NE(fetched.dptr, nullptr);
+  EXPECT_EQ(std::string(static_cast<const char*>(fetched.dptr), fetched.dsize), "the-value");
+
+  // DBM_INSERT refuses duplicates with return value 1.
+  char val2_bytes[] = "other";
+  EXPECT_EQ(ndbm_c::dbm_store(db, key, ndbm_c::datum{val2_bytes, 5}, ndbm_c::DBM_INSERT), 1);
+
+  EXPECT_EQ(ndbm_c::dbm_delete(db, key), 0);
+  EXPECT_EQ(ndbm_c::dbm_fetch(db, key).dptr, nullptr);
+  EXPECT_LT(ndbm_c::dbm_delete(db, key), 0);
+
+  EXPECT_EQ(ndbm_c::dbm_error(db), 0);
+  ndbm_c::dbm_close(db);
+}
+
+TEST(NdbmCApiTest, KeyIterationAndPersistence) {
+  const std::string path = TempPath("c_api_iter");
+  {
+    ndbm_c::DBM* db = ndbm_c::dbm_open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    ASSERT_NE(db, nullptr);
+    for (int i = 0; i < 100; ++i) {
+      std::string key = "iter" + std::to_string(i);
+      std::string value = std::to_string(i);
+      ndbm_c::datum k{key.data(), key.size()};
+      ndbm_c::datum v{value.data(), value.size()};
+      ASSERT_EQ(ndbm_c::dbm_store(db, k, v, ndbm_c::DBM_INSERT), 0);
+    }
+    ndbm_c::dbm_close(db);  // flushes via the table destructor
+  }
+  ndbm_c::DBM* db = ndbm_c::dbm_open(path.c_str(), O_RDWR, 0644);
+  ASSERT_NE(db, nullptr);
+  std::set<std::string> seen;
+  for (ndbm_c::datum k = ndbm_c::dbm_firstkey(db); k.dptr != nullptr;
+       k = ndbm_c::dbm_nextkey(db)) {
+    seen.insert(std::string(static_cast<const char*>(k.dptr), k.dsize));
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_TRUE(seen.count("iter0"));
+  EXPECT_TRUE(seen.count("iter99"));
+  ndbm_c::dbm_close(db);
+}
+
+TEST(NdbmCApiTest, NullHandleSafety) {
+  EXPECT_EQ(ndbm_c::dbm_fetch(nullptr, {}).dptr, nullptr);
+  EXPECT_LT(ndbm_c::dbm_store(nullptr, {}, {}, ndbm_c::DBM_REPLACE), 0);
+  EXPECT_LT(ndbm_c::dbm_delete(nullptr, {}), 0);
+  EXPECT_EQ(ndbm_c::dbm_firstkey(nullptr).dptr, nullptr);
+  EXPECT_EQ(ndbm_c::dbm_error(nullptr), 1);
+}
+
+// ---- Analyze() ----
+
+TEST(AnalyzeTest, ReportsSaneOccupancy) {
+  HashOptions opts;
+  opts.bsize = 256;
+  opts.ffactor = 8;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_OK(table->Put("an" + std::to_string(i), "0123456789"));
+  }
+  const std::string big(4000, 'b');
+  ASSERT_OK(table->Put("bigan", big));
+
+  auto analysis = table->Analyze();
+  ASSERT_TRUE(analysis.ok());
+  const auto& a = *analysis;
+  EXPECT_EQ(a.keys, 3001u);
+  EXPECT_EQ(a.buckets, table->bucket_count());
+  EXPECT_NEAR(a.avg_keys_per_bucket, static_cast<double>(a.keys) / a.buckets, 1e-9);
+  EXPECT_GT(a.avg_bytes_per_page, 0.1);
+  EXPECT_LE(a.avg_bytes_per_page, 1.0);
+  EXPECT_GT(a.big_pair_pages, 10u);  // the 4000-byte pair spans many 248B segments
+  EXPECT_GT(a.eq1_ffactor, 1.0);
+  // eq1 recommends roughly bsize / (avg_pair + 4); our pairs ~14 bytes.
+  EXPECT_NEAR(a.eq1_ffactor, 256.0 / (14.6 + 4.0), 3.0);
+}
+
+TEST(AnalyzeTest, EmptyTable) {
+  auto table = std::move(HashTable::OpenInMemory(HashOptions{}).value());
+  auto analysis = table->Analyze();
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->keys, 0u);
+  EXPECT_EQ(analysis->buckets, 1u);
+  EXPECT_EQ(analysis->empty_buckets, 1u);
+  EXPECT_EQ(analysis->eq1_ffactor, 0.0);
+}
+
+}  // namespace
+}  // namespace hashkit

@@ -1,0 +1,183 @@
+// Unit tests for the buddy-in-waiting overflow allocator (src/core/ovfl.h).
+
+#include "src/core/ovfl.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/pagefile/buffer_pool.h"
+#include "src/pagefile/page_file.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace {
+
+constexpr size_t kPage = 256;
+
+class OvflTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = MakeMemPageFile(kPage);
+    pool_ = std::make_unique<BufferPool>(file_.get(), kPage * 64);
+    meta_.bsize = kPage;
+    meta_.nhdr_pages = 1;
+    alloc_ = std::make_unique<OvflAllocator>(&meta_, pool_.get());
+  }
+
+  uint16_t MustAlloc(PageType type = PageType::kOverflow) {
+    auto result = alloc_->Alloc(type);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.value();
+  }
+
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  Meta meta_;
+  std::unique_ptr<OvflAllocator> alloc_;
+};
+
+TEST_F(OvflTest, FirstAllocationCreatesBitmapFirst) {
+  const uint16_t oaddr = MustAlloc();
+  // The bitmap took page number 1, so the first usable page is number 2.
+  EXPECT_EQ(OaddrPageNum(oaddr), 2u);
+  EXPECT_EQ(OaddrSplitPoint(oaddr), 0u);
+  EXPECT_NE(meta_.bitmaps[0], 0);
+  EXPECT_EQ(meta_.spares[0], 2u);  // bitmap + the allocated page
+  // spares is cumulative: all later entries follow.
+  EXPECT_EQ(meta_.spares[5], 2u);
+}
+
+TEST_F(OvflTest, SequentialAllocationsGetDistinctAddressesAndPages) {
+  std::set<uint16_t> oaddrs;
+  std::set<uint64_t> pages;
+  for (int i = 0; i < 50; ++i) {
+    const uint16_t oaddr = MustAlloc();
+    EXPECT_TRUE(oaddrs.insert(oaddr).second);
+    EXPECT_TRUE(pages.insert(OaddrToPage(meta_, oaddr)).second);
+  }
+}
+
+TEST_F(OvflTest, AllocFormatsThePage) {
+  const uint16_t oaddr = MustAlloc(PageType::kBigSegment);
+  auto ref = std::move(pool_->Get(OaddrToPage(meta_, oaddr)).value());
+  PageView view(ref.data(), kPage);
+  EXPECT_EQ(view.type(), PageType::kBigSegment);
+  EXPECT_EQ(view.nentries(), 0);
+  EXPECT_EQ(view.ovfl_addr(), 0);
+}
+
+TEST_F(OvflTest, FreeThenReuseReturnsSameAddress) {
+  const uint16_t a = MustAlloc();
+  const uint16_t b = MustAlloc();
+  ASSERT_OK(alloc_->Free(a));
+  EXPECT_EQ(meta_.last_freed, a);
+  const uint16_t c = MustAlloc();
+  EXPECT_EQ(c, a);  // freed page reused before carving a fresh one
+  EXPECT_NE(c, b);
+}
+
+TEST_F(OvflTest, IsAllocatedTracksState) {
+  const uint16_t a = MustAlloc();
+  EXPECT_TRUE(alloc_->IsAllocated(a).value());
+  ASSERT_OK(alloc_->Free(a));
+  EXPECT_FALSE(alloc_->IsAllocated(a).value());
+}
+
+TEST_F(OvflTest, DoubleFreeRejected) {
+  const uint16_t a = MustAlloc();
+  ASSERT_OK(alloc_->Free(a));
+  EXPECT_TRUE(alloc_->Free(a).IsCorruption());
+}
+
+TEST_F(OvflTest, FreeingBitmapPageRejected) {
+  MustAlloc();
+  EXPECT_TRUE(alloc_->Free(meta_.bitmaps[0]).IsCorruption());
+}
+
+TEST_F(OvflTest, FreeingInvalidAddressRejected) {
+  MustAlloc();
+  EXPECT_TRUE(alloc_->Free(MakeOaddr(0, 200)).IsCorruption());  // never carved
+  EXPECT_TRUE(alloc_->Free(MakeOaddr(7, 1)).IsCorruption());    // no bitmap there
+  EXPECT_TRUE(alloc_->Free(0).IsCorruption());
+}
+
+TEST_F(OvflTest, CountInUseMatchesLiveAllocations) {
+  std::vector<uint16_t> live;
+  for (int i = 0; i < 10; ++i) {
+    live.push_back(MustAlloc());
+  }
+  ASSERT_OK(alloc_->Free(live[3]));
+  ASSERT_OK(alloc_->Free(live[7]));
+  // 10 allocations - 2 frees + 1 bitmap page.
+  EXPECT_EQ(alloc_->CountInUse().value(), 10u - 2 + 1);
+}
+
+TEST_F(OvflTest, AllocationFollowsGrowthFrontier) {
+  MustAlloc();
+  EXPECT_EQ(OaddrSplitPoint(MustAlloc()), 0u);
+  // Table grows to 2 buckets: new allocations move to split point 1.
+  meta_.max_bucket = 1;
+  const uint16_t at_sp1 = MustAlloc();
+  EXPECT_EQ(OaddrSplitPoint(at_sp1), 1u);
+  EXPECT_NE(meta_.bitmaps[1], 0);
+  // ... but freed pages at split point 0 are still reused.
+  const uint16_t old = MakeOaddr(0, 2);
+  ASSERT_OK(alloc_->Free(old));
+  EXPECT_EQ(MustAlloc(), old);
+}
+
+TEST_F(OvflTest, SparesStayCumulative) {
+  MustAlloc();
+  meta_.max_bucket = 1;
+  MustAlloc();
+  meta_.max_bucket = 7;
+  MustAlloc();
+  for (uint32_t i = 1; i < kMaxSplitPoints; ++i) {
+    EXPECT_GE(meta_.spares[i], meta_.spares[i - 1]) << i;
+  }
+  // Pages at split points: 2 at sp0 (bitmap+1), 2 at sp1, 0 at sp2, 2 at sp3.
+  EXPECT_EQ(PagesAtSplitPoint(meta_, 0), 2u);
+  EXPECT_EQ(PagesAtSplitPoint(meta_, 1), 2u);
+  EXPECT_EQ(PagesAtSplitPoint(meta_, 2), 0u);
+  EXPECT_EQ(PagesAtSplitPoint(meta_, 3), 2u);
+}
+
+TEST_F(OvflTest, ExhaustedSplitPointAdvancesOvflPoint) {
+  // Fill split point 0 to its bitmap capacity ((256-8)*8 = 1984 bits).
+  const size_t capacity = (kPage - kPageHeaderSize) * 8;
+  for (size_t i = 1; i < capacity; ++i) {  // bit 0 is the bitmap itself
+    MustAlloc();
+  }
+  EXPECT_EQ(PagesAtSplitPoint(meta_, 0), capacity);
+  // The next allocation must come from split point 1 even though the
+  // table still has a single bucket.
+  const uint16_t oaddr = MustAlloc();
+  EXPECT_EQ(OaddrSplitPoint(oaddr), 1u);
+  EXPECT_EQ(meta_.ovfl_point, 1u);
+}
+
+TEST_F(OvflTest, ManyAllocFreeCyclesStayConsistent) {
+  std::set<uint16_t> live;
+  uint64_t rng = 0x12345;
+  for (int step = 0; step < 3000; ++step) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    if (live.size() < 20 || (rng >> 33) % 2 == 0) {
+      const uint16_t oaddr = MustAlloc();
+      EXPECT_TRUE(live.insert(oaddr).second) << "allocator handed out a live address";
+    } else {
+      auto it = live.begin();
+      std::advance(it, (rng >> 33) % live.size());
+      ASSERT_OK(alloc_->Free(*it));
+      live.erase(it);
+    }
+  }
+  uint64_t bitmap_pages = 0;
+  for (uint32_t sp = 0; sp < kMaxSplitPoints; ++sp) {
+    bitmap_pages += meta_.bitmaps[sp] != 0 ? 1 : 0;
+  }
+  EXPECT_EQ(alloc_->CountInUse().value(), live.size() + bitmap_pages);
+}
+
+}  // namespace
+}  // namespace hashkit

@@ -1,0 +1,155 @@
+// Unit tests for the page-file backends (src/pagefile/page_file.h).
+
+#include "src/pagefile/page_file.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace {
+
+enum class Backend { kDisk, kMem, kTemp };
+
+class PageFileTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  std::unique_ptr<PageFile> Open(size_t page_size) {
+    switch (GetParam()) {
+      case Backend::kDisk: {
+        auto result = OpenDiskPageFile(TempPath("pagefile"), page_size, /*truncate=*/true);
+        EXPECT_TRUE(result.ok());
+        return std::move(result).value();
+      }
+      case Backend::kMem:
+        return MakeMemPageFile(page_size);
+      case Backend::kTemp: {
+        auto result = OpenTempPageFile(page_size);
+        EXPECT_TRUE(result.ok());
+        return std::move(result).value();
+      }
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(PageFileTest, WriteThenReadBack) {
+  auto file = Open(256);
+  std::vector<uint8_t> page(256, 0x5a);
+  ASSERT_OK(file->WritePage(3, page));
+  std::vector<uint8_t> out(256);
+  ASSERT_OK(file->ReadPage(3, out));
+  EXPECT_EQ(out, page);
+  EXPECT_EQ(file->PageCount(), 4u);
+}
+
+TEST_P(PageFileTest, UnwrittenPagesReadAsZero) {
+  auto file = Open(128);
+  std::vector<uint8_t> page(128, 0xff);
+  ASSERT_OK(file->WritePage(10, page));  // pages 0..9 are holes
+  std::vector<uint8_t> out(128, 1);
+  ASSERT_OK(file->ReadPage(5, out));
+  EXPECT_EQ(out, std::vector<uint8_t>(128, 0));
+  // Beyond EOF too.
+  std::fill(out.begin(), out.end(), 1);
+  ASSERT_OK(file->ReadPage(99, out));
+  EXPECT_EQ(out, std::vector<uint8_t>(128, 0));
+}
+
+TEST_P(PageFileTest, OverwriteReplacesContent) {
+  auto file = Open(64);
+  std::vector<uint8_t> first(64, 1);
+  std::vector<uint8_t> second(64, 2);
+  ASSERT_OK(file->WritePage(0, first));
+  ASSERT_OK(file->WritePage(0, second));
+  std::vector<uint8_t> out(64);
+  ASSERT_OK(file->ReadPage(0, out));
+  EXPECT_EQ(out, second);
+  EXPECT_EQ(file->PageCount(), 1u);
+}
+
+TEST_P(PageFileTest, SizeMismatchRejected) {
+  auto file = Open(256);
+  std::vector<uint8_t> wrong(128);
+  EXPECT_FALSE(file->WritePage(0, wrong).ok());
+  EXPECT_FALSE(file->ReadPage(0, std::span<uint8_t>(wrong)).ok());
+}
+
+TEST_P(PageFileTest, StatsCountOperations) {
+  auto file = Open(64);
+  std::vector<uint8_t> page(64, 7);
+  ASSERT_OK(file->WritePage(0, page));
+  ASSERT_OK(file->WritePage(1, page));
+  ASSERT_OK(file->ReadPage(0, std::span<uint8_t>(page)));
+  ASSERT_OK(file->ReadPage(9, std::span<uint8_t>(page)));  // zero-fill
+  ASSERT_OK(file->Sync());
+  EXPECT_EQ(file->stats().writes, 2u);
+  EXPECT_EQ(file->stats().reads + file->stats().zero_fills, 2u);
+  EXPECT_EQ(file->stats().zero_fills, 1u);
+  EXPECT_EQ(file->stats().syncs, 1u);
+  file->ResetStats();
+  EXPECT_EQ(file->stats().writes, 0u);
+}
+
+TEST_P(PageFileTest, ManyPagesRoundTrip) {
+  auto file = Open(128);
+  for (uint64_t p = 0; p < 200; ++p) {
+    std::vector<uint8_t> page(128, static_cast<uint8_t>(p));
+    ASSERT_OK(file->WritePage(p, page));
+  }
+  for (uint64_t p = 0; p < 200; ++p) {
+    std::vector<uint8_t> out(128);
+    ASSERT_OK(file->ReadPage(p, out));
+    EXPECT_EQ(out[0], static_cast<uint8_t>(p));
+    EXPECT_EQ(out[127], static_cast<uint8_t>(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PageFileTest,
+                         ::testing::Values(Backend::kDisk, Backend::kMem, Backend::kTemp),
+                         [](const ::testing::TestParamInfo<Backend>& param_info) {
+                           switch (param_info.param) {
+                             case Backend::kDisk:
+                               return "Disk";
+                             case Backend::kMem:
+                               return "Mem";
+                             case Backend::kTemp:
+                               return "Temp";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(DiskPageFileTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("persist_pf");
+  {
+    auto file = std::move(OpenDiskPageFile(path, 256, true).value());
+    std::vector<uint8_t> page(256, 0x42);
+    ASSERT_OK(file->WritePage(7, page));
+    ASSERT_OK(file->Sync());
+  }
+  auto file = std::move(OpenDiskPageFile(path, 256, false).value());
+  EXPECT_EQ(file->PageCount(), 8u);
+  std::vector<uint8_t> out(256);
+  ASSERT_OK(file->ReadPage(7, out));
+  EXPECT_EQ(out[0], 0x42);
+}
+
+TEST(DiskPageFileTest, TruncateDiscardsContents) {
+  const std::string path = TempPath("trunc_pf");
+  {
+    auto file = std::move(OpenDiskPageFile(path, 256, true).value());
+    std::vector<uint8_t> page(256, 0x42);
+    ASSERT_OK(file->WritePage(0, page));
+  }
+  auto file = std::move(OpenDiskPageFile(path, 256, true).value());
+  EXPECT_EQ(file->PageCount(), 0u);
+}
+
+TEST(DiskPageFileTest, ZeroPageSizeRejected) {
+  EXPECT_FALSE(OpenDiskPageFile(TempPath("zero_pf"), 0, true).ok());
+  EXPECT_FALSE(OpenTempPageFile(0).ok());
+}
+
+}  // namespace
+}  // namespace hashkit

@@ -1,0 +1,244 @@
+// Unit tests for the on-page key/data layout (src/core/page.h).
+
+#include "src/core/page.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace hashkit {
+namespace {
+
+class PageTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    buf_.assign(GetParam(), 0xAB);  // recycled memory: Init must clear it
+    PageView::Init(buf_.data(), buf_.size(), PageType::kBucket);
+  }
+
+  PageView View() { return PageView(buf_.data(), buf_.size()); }
+
+  std::vector<uint8_t> buf_;
+};
+
+TEST_P(PageTest, InitProducesEmptyValidPage) {
+  PageView view = View();
+  EXPECT_EQ(view.nentries(), 0);
+  EXPECT_EQ(view.ovfl_addr(), 0);
+  EXPECT_EQ(view.type(), PageType::kBucket);
+  EXPECT_TRUE(view.Validate());
+  const size_t usable = (buf_.size() == 32768 ? 32767 : buf_.size()) - kPageHeaderSize;
+  EXPECT_EQ(view.FreeSpace(), usable);
+}
+
+TEST_P(PageTest, AddAndReadSinglePair) {
+  PageView view = View();
+  ASSERT_TRUE(view.FitsPair(5, 7));
+  view.AddPair("apple", "crumble");
+  ASSERT_EQ(view.nentries(), 1);
+  const EntryRef e = view.Entry(0);
+  EXPECT_FALSE(e.big);
+  EXPECT_EQ(e.key, "apple");
+  EXPECT_EQ(e.data, "crumble");
+  EXPECT_TRUE(view.Validate());
+}
+
+TEST_P(PageTest, EmptyKeyAndValueAreRepresentable) {
+  PageView view = View();
+  view.AddPair("", "");
+  view.AddPair("k", "");
+  view.AddPair("", "v");
+  ASSERT_EQ(view.nentries(), 3);
+  EXPECT_EQ(view.Entry(0).key, "");
+  EXPECT_EQ(view.Entry(0).data, "");
+  EXPECT_EQ(view.Entry(1).key, "k");
+  EXPECT_EQ(view.Entry(1).data, "");
+  EXPECT_EQ(view.Entry(2).key, "");
+  EXPECT_EQ(view.Entry(2).data, "v");
+  EXPECT_TRUE(view.Validate());
+}
+
+TEST_P(PageTest, FillUntilFullThenFreeSpaceIsConsistent) {
+  PageView view = View();
+  size_t added = 0;
+  while (view.FitsPair(4, 4)) {
+    const std::string key = "k" + std::to_string(added);
+    view.AddPair(std::string(4 - std::min<size_t>(3, key.size()), 'x') + key.substr(0, 3),
+                 "dddd");
+    ++added;
+  }
+  EXPECT_GT(added, 0u);
+  EXPECT_TRUE(view.Validate());
+  EXPECT_LT(view.FreeSpace(), 4 + 4 + 4);
+}
+
+TEST_P(PageTest, RemoveMiddleEntryCompacts) {
+  PageView view = View();
+  view.AddPair("one", "1111");
+  view.AddPair("two", "22");
+  view.AddPair("three", "333333");
+  const size_t free_before = view.FreeSpace();
+  view.RemoveEntry(1);
+  ASSERT_EQ(view.nentries(), 2);
+  EXPECT_EQ(view.Entry(0).key, "one");
+  EXPECT_EQ(view.Entry(0).data, "1111");
+  EXPECT_EQ(view.Entry(1).key, "three");
+  EXPECT_EQ(view.Entry(1).data, "333333");
+  EXPECT_TRUE(view.Validate());
+  EXPECT_EQ(view.FreeSpace(), free_before + 4 + 3 + 2);  // slot + "two" + "22"
+}
+
+TEST_P(PageTest, RemoveFirstAndLast) {
+  PageView view = View();
+  view.AddPair("a", "1");
+  view.AddPair("b", "2");
+  view.AddPair("c", "3");
+  view.RemoveEntry(0);
+  EXPECT_EQ(view.Entry(0).key, "b");
+  view.RemoveEntry(1);
+  ASSERT_EQ(view.nentries(), 1);
+  EXPECT_EQ(view.Entry(0).key, "b");
+  EXPECT_EQ(view.Entry(0).data, "2");
+  EXPECT_TRUE(view.Validate());
+}
+
+TEST_P(PageTest, RemoveAllThenReuse) {
+  PageView view = View();
+  view.AddPair("a", "1");
+  view.AddPair("b", "2");
+  view.RemoveEntry(1);
+  view.RemoveEntry(0);
+  EXPECT_EQ(view.nentries(), 0);
+  const size_t usable = (buf_.size() == 32768 ? 32767 : buf_.size()) - kPageHeaderSize;
+  EXPECT_EQ(view.FreeSpace(), usable);
+  view.AddPair("fresh", "start");
+  EXPECT_EQ(view.Entry(0).key, "fresh");
+  EXPECT_TRUE(view.Validate());
+}
+
+TEST_P(PageTest, BigStubRoundTrip) {
+  PageView view = View();
+  const std::string prefix = "somebigkeyprefix";
+  ASSERT_TRUE(view.FitsBigStub(prefix.size()));
+  view.AddBigStub(0x1234, 0xdeadbeef, 1000, 2000, prefix);
+  ASSERT_EQ(view.nentries(), 1);
+  const EntryRef e = view.Entry(0);
+  EXPECT_TRUE(e.big);
+  EXPECT_EQ(e.ovfl_addr, 0x1234);
+  EXPECT_EQ(e.hash, 0xdeadbeefu);
+  EXPECT_EQ(e.key_len, 1000u);
+  EXPECT_EQ(e.data_len, 2000u);
+  EXPECT_EQ(e.prefix, prefix);
+  EXPECT_TRUE(view.Validate());
+}
+
+TEST_P(PageTest, MixedRegularAndBigEntriesSurviveRemoval) {
+  PageView view = View();
+  view.AddPair("alpha", "aaa");
+  view.AddBigStub(7, 99, 500, 600, "bigkey");
+  view.AddPair("beta", "bbb");
+  view.RemoveEntry(0);  // drop "alpha"; offsets of the big stub must shift
+  ASSERT_EQ(view.nentries(), 2);
+  const EntryRef big = view.Entry(0);
+  EXPECT_TRUE(big.big);
+  EXPECT_EQ(big.ovfl_addr, 7);
+  EXPECT_EQ(big.hash, 99u);
+  EXPECT_EQ(big.prefix, "bigkey");
+  EXPECT_EQ(view.Entry(1).key, "beta");
+  EXPECT_TRUE(view.Validate());
+}
+
+TEST_P(PageTest, OvflAddrPersistsAcrossEdits) {
+  PageView view = View();
+  view.set_ovfl_addr(0x0801);
+  view.AddPair("k", "v");
+  view.RemoveEntry(0);
+  EXPECT_EQ(view.ovfl_addr(), 0x0801);
+}
+
+TEST_P(PageTest, BinaryDataWithEmbeddedNulsAndHighBytes) {
+  PageView view = View();
+  const std::string key("\x00\xff\x7f\x80", 4);
+  const std::string data("\x01\x00\x02", 3);
+  view.AddPair(key, data);
+  EXPECT_EQ(view.Entry(0).key, key);
+  EXPECT_EQ(view.Entry(0).data, data);
+}
+
+TEST_P(PageTest, RandomizedAddRemoveMirrorsReferenceVector) {
+  Rng rng(GetParam());
+  PageView view = View();
+  std::vector<std::pair<std::string, std::string>> reference;
+  for (int step = 0; step < 2000; ++step) {
+    const bool can_add = view.FitsPair(12, 20);
+    if (reference.empty() || (can_add && rng.Bernoulli(0.6))) {
+      if (!can_add) {
+        continue;
+      }
+      std::string key = rng.AsciiString(rng.Range(1, 12));
+      std::string value = rng.ByteString(rng.Range(0, 20));
+      view.AddPair(key, value);
+      reference.emplace_back(std::move(key), std::move(value));
+    } else {
+      const auto victim = static_cast<uint16_t>(rng.Uniform(reference.size()));
+      view.RemoveEntry(victim);
+      reference.erase(reference.begin() + victim);
+    }
+    ASSERT_TRUE(view.Validate()) << "step " << step;
+    ASSERT_EQ(view.nentries(), reference.size());
+  }
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const EntryRef e = view.Entry(static_cast<uint16_t>(i));
+    EXPECT_EQ(e.key, reference[i].first);
+    EXPECT_EQ(e.data, reference[i].second);
+  }
+}
+
+TEST_P(PageTest, PairFitsEmptyPageBoundary) {
+  const size_t page_size = GetParam();
+  const size_t usable = (page_size == 32768 ? 32767 : page_size) - kPageHeaderSize - 4;
+  EXPECT_TRUE(PageView::PairFitsEmptyPage(usable, 0, page_size));
+  EXPECT_TRUE(PageView::PairFitsEmptyPage(0, usable, page_size));
+  EXPECT_FALSE(PageView::PairFitsEmptyPage(usable + 1, 0, page_size));
+  EXPECT_FALSE(PageView::PairFitsEmptyPage(usable / 2 + 1, usable - usable / 2, page_size));
+}
+
+TEST_P(PageTest, ExactFitPairFillsPageCompletely) {
+  PageView view = View();
+  const size_t usable = view.FreeSpace() - 4;
+  view.AddPair(std::string(usable / 2, 'k'), std::string(usable - usable / 2, 'v'));
+  EXPECT_EQ(view.FreeSpace(), 0u);
+  EXPECT_TRUE(view.Validate());
+  EXPECT_FALSE(view.FitsPair(0, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPageSizes, PageTest,
+                         ::testing::Values(64, 128, 256, 512, 1024, 4096, 8192, 32768),
+                         [](const auto& param_info) { return "bsize" + std::to_string(param_info.param); });
+
+TEST(PageTypeTest, TypesRoundTrip) {
+  std::vector<uint8_t> buf(256);
+  for (const PageType t : {PageType::kBucket, PageType::kOverflow, PageType::kBitmap,
+                           PageType::kBigSegment}) {
+    PageView::Init(buf.data(), buf.size(), t);
+    EXPECT_EQ(PageView(buf.data(), buf.size()).type(), t);
+  }
+}
+
+TEST(PageSegmentTest, SegmentPayloadAccessors) {
+  std::vector<uint8_t> buf(256);
+  PageView::Init(buf.data(), buf.size(), PageType::kBigSegment);
+  PageView view(buf.data(), buf.size());
+  EXPECT_EQ(view.SegCapacity(), 256u - kPageHeaderSize);
+  const std::string payload = "segment-bytes";
+  std::copy(payload.begin(), payload.end(), view.SegData());
+  view.SetSegUsed(static_cast<uint16_t>(payload.size()));
+  EXPECT_EQ(view.SegUsed(), payload.size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(view.SegData()), view.SegUsed()), payload);
+}
+
+}  // namespace
+}  // namespace hashkit

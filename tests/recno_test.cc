@@ -1,0 +1,239 @@
+// Tests for the record-number access methods (src/recno).
+
+#include "src/recno/recno.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace recno {
+namespace {
+
+FixedRecnoOptions SmallFixed() {
+  FixedRecnoOptions options;
+  options.record_size = 32;
+  options.page_size = 256;
+  return options;
+}
+
+TEST(FixedRecnoTest, AppendGetRoundTrip) {
+  auto store = std::move(FixedRecno::OpenInMemory(SmallFixed()).value());
+  EXPECT_EQ(store->Append("first").value(), 0u);
+  EXPECT_EQ(store->Append("second").value(), 1u);
+  EXPECT_EQ(store->Count(), 2u);
+  std::string value;
+  ASSERT_OK(store->Get(0, &value));
+  EXPECT_EQ(value.size(), 32u);  // zero-padded to the record size
+  EXPECT_EQ(value.substr(0, 5), "first");
+  EXPECT_EQ(value[5], '\0');
+  ASSERT_OK(store->Get(1, &value));
+  EXPECT_EQ(value.substr(0, 6), "second");
+  EXPECT_TRUE(store->Get(2, &value).IsNotFound());
+}
+
+TEST(FixedRecnoTest, SetExtendsWithZeroRecords) {
+  auto store = std::move(FixedRecno::OpenInMemory(SmallFixed()).value());
+  ASSERT_OK(store->Set(10, "ten"));
+  EXPECT_EQ(store->Count(), 11u);
+  std::string value;
+  ASSERT_OK(store->Get(5, &value));
+  EXPECT_EQ(value, std::string(32, '\0'));  // implicit zero record
+  ASSERT_OK(store->Get(10, &value));
+  EXPECT_EQ(value.substr(0, 3), "ten");
+}
+
+TEST(FixedRecnoTest, OverwriteInPlace) {
+  auto store = std::move(FixedRecno::OpenInMemory(SmallFixed()).value());
+  ASSERT_OK(store->Set(0, "before"));
+  ASSERT_OK(store->Set(0, "after"));
+  std::string value;
+  ASSERT_OK(store->Get(0, &value));
+  EXPECT_EQ(value.substr(0, 5), "after");
+  EXPECT_EQ(value[5], '\0');  // no residue from the longer old value
+  EXPECT_EQ(store->Count(), 1u);
+}
+
+TEST(FixedRecnoTest, OversizedRecordRejected) {
+  auto store = std::move(FixedRecno::OpenInMemory(SmallFixed()).value());
+  EXPECT_EQ(store->Set(0, std::string(33, 'x')).code(), StatusCode::kInvalidArgument);
+  ASSERT_OK(store->Set(0, std::string(32, 'x')));  // exactly record_size: fine
+}
+
+TEST(FixedRecnoTest, BadGeometryRejected) {
+  FixedRecnoOptions options;
+  options.record_size = 0;
+  EXPECT_FALSE(FixedRecno::OpenInMemory(options).ok());
+  options.record_size = 300;
+  options.page_size = 256;  // record larger than page payload
+  EXPECT_FALSE(FixedRecno::OpenInMemory(options).ok());
+}
+
+TEST(FixedRecnoTest, ManyRecordsAcrossPages) {
+  auto store = std::move(FixedRecno::OpenInMemory(SmallFixed()).value());
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_OK(store->Set(i, "rec" + std::to_string(i)));
+  }
+  std::string value;
+  for (uint64_t i = 0; i < 5000; i += 37) {
+    ASSERT_OK(store->Get(i, &value));
+    ASSERT_EQ(value.substr(0, 3 + std::to_string(i).size()), "rec" + std::to_string(i));
+  }
+}
+
+TEST(FixedRecnoTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("recno_fixed");
+  {
+    auto store = std::move(FixedRecno::Open(path, SmallFixed(), true).value());
+    for (uint64_t i = 0; i < 300; ++i) {
+      ASSERT_OK(store->Set(i, "persist" + std::to_string(i)));
+    }
+    ASSERT_OK(store->Sync());
+  }
+  auto store = std::move(FixedRecno::Open(path, SmallFixed()).value());
+  EXPECT_EQ(store->Count(), 300u);
+  std::string value;
+  ASSERT_OK(store->Get(123, &value));
+  EXPECT_EQ(value.substr(0, 10), "persist123");
+  // Wrong geometry on reopen is rejected.
+  FixedRecnoOptions wrong = SmallFixed();
+  wrong.record_size = 64;
+  EXPECT_FALSE(FixedRecno::Open(path, wrong).ok());
+}
+
+TEST(VarRecnoTest, AppendGetSetDelete) {
+  btree::BtOptions options;
+  options.page_size = 512;
+  auto store = std::move(VarRecno::OpenInMemory(options).value());
+  EXPECT_EQ(store->Append("alpha").value(), 0u);
+  EXPECT_EQ(store->Append(std::string(3000, 'B')).value(), 1u);  // big record
+  EXPECT_EQ(store->Append("gamma").value(), 2u);
+  std::string value;
+  ASSERT_OK(store->Get(1, &value));
+  EXPECT_EQ(value, std::string(3000, 'B'));
+  ASSERT_OK(store->Set(1, "replaced"));
+  ASSERT_OK(store->Get(1, &value));
+  EXPECT_EQ(value, "replaced");
+  ASSERT_OK(store->Delete(1));
+  EXPECT_TRUE(store->Get(1, &value).IsNotFound());
+  // Deletion leaves a hole; numbering is stable.
+  ASSERT_OK(store->Get(2, &value));
+  EXPECT_EQ(value, "gamma");
+  EXPECT_EQ(store->Count(), 3u);
+  EXPECT_EQ(store->Present(), 2u);
+}
+
+TEST(VarRecnoTest, ScanInNumberOrderSkipsHoles) {
+  btree::BtOptions options;
+  options.page_size = 512;
+  auto store = std::move(VarRecno::OpenInMemory(options).value());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(store->Append("r" + std::to_string(i)).status());
+  }
+  for (int i = 0; i < 100; i += 3) {
+    ASSERT_OK(store->Delete(i));
+  }
+  uint64_t recno = 0;
+  std::string value;
+  uint64_t prev = 0;
+  bool first = true;
+  size_t seen = 0;
+  Status st = store->Scan(&recno, &value, /*first=*/true);
+  while (st.ok()) {
+    EXPECT_NE(recno % 3, 0u);  // holes skipped
+    if (!first) {
+      EXPECT_GT(recno, prev);  // strictly ascending record numbers
+    }
+    EXPECT_EQ(value, "r" + std::to_string(recno));
+    prev = recno;
+    first = false;
+    ++seen;
+    st = store->Scan(&recno, &value, false);
+  }
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(seen, store->Present());
+}
+
+TEST(VarRecnoTest, SparseSetAndCount) {
+  btree::BtOptions options;
+  options.page_size = 512;
+  auto store = std::move(VarRecno::OpenInMemory(options).value());
+  ASSERT_OK(store->Set(1000000, "way out there"));
+  EXPECT_EQ(store->Count(), 1000001u);
+  EXPECT_EQ(store->Present(), 1u);
+  EXPECT_EQ(store->Append("next").value(), 1000001u);
+  std::string value;
+  EXPECT_TRUE(store->Get(500, &value).IsNotFound());
+}
+
+TEST(VarRecnoTest, AppendPositionSurvivesReopen) {
+  const std::string path = TempPath("recno_var");
+  btree::BtOptions options;
+  options.page_size = 512;
+  {
+    auto store = std::move(VarRecno::Open(path, options, /*truncate=*/true).value());
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_OK(store->Append("v" + std::to_string(i)).status());
+    }
+    ASSERT_OK(store->Sync());
+  }
+  auto store = std::move(VarRecno::Open(path, options).value());
+  EXPECT_EQ(store->Count(), 500u);
+  EXPECT_EQ(store->Append("after-reopen").value(), 500u);
+  std::string value;
+  ASSERT_OK(store->Get(499, &value));
+  EXPECT_EQ(value, "v499");
+}
+
+TEST(VarRecnoTest, RandomOpsMatchReference) {
+  btree::BtOptions options;
+  options.page_size = 512;
+  auto store = std::move(VarRecno::OpenInMemory(options).value());
+  Rng rng(91);
+  std::map<uint64_t, std::string> model;
+  uint64_t next = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t op = rng.Uniform(10);
+    if (op < 4) {
+      const std::string value = rng.ByteString(rng.Range(0, 200));
+      const uint64_t recno = store->Append(value).value();
+      ASSERT_EQ(recno, next);
+      model[next++] = value;
+    } else if (op < 6 && next > 0) {
+      const uint64_t recno = rng.Uniform(next);
+      const std::string value = rng.ByteString(rng.Range(0, 200));
+      ASSERT_OK(store->Set(recno, value));
+      model[recno] = value;
+    } else if (op < 8 && next > 0) {
+      const uint64_t recno = rng.Uniform(next);
+      const Status st = store->Delete(recno);
+      if (model.erase(recno)) {
+        ASSERT_OK(st);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    } else if (next > 0) {
+      const uint64_t recno = rng.Uniform(next);
+      std::string value;
+      const Status st = store->Get(recno, &value);
+      const auto it = model.find(recno);
+      if (it != model.end()) {
+        ASSERT_OK(st);
+        ASSERT_EQ(value, it->second);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    }
+  }
+  EXPECT_EQ(store->Present(), model.size());
+  EXPECT_EQ(store->Count(), next);
+  ASSERT_OK(store->tree()->CheckIntegrity());
+}
+
+}  // namespace
+}  // namespace recno
+}  // namespace hashkit

@@ -1,0 +1,39 @@
+// Shared test helpers.
+
+#ifndef HASHKIT_TESTS_TEST_UTIL_H_
+#define HASHKIT_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace hashkit {
+
+// gtest-friendly status assertions (support << message chaining).
+inline ::testing::AssertionResult IsOkPredFormat(const char* expr_text,
+                                                 const ::hashkit::Status& st) {
+  if (st.ok()) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure() << expr_text << " returned " << st.ToString();
+}
+
+#define ASSERT_OK(expr) ASSERT_PRED_FORMAT1(::hashkit::IsOkPredFormat, (expr))
+#define EXPECT_OK(expr) EXPECT_PRED_FORMAT1(::hashkit::IsOkPredFormat, (expr))
+
+// A unique path under the test temp dir; any existing file is removed.
+inline std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "hashkit_" + name + "_" +
+                           std::to_string(::getpid());
+  std::remove(path.c_str());
+  std::remove((path + ".pag").c_str());
+  std::remove((path + ".dir").c_str());
+  return path;
+}
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,340 @@
+// Unit tests for src/util: status, endian codec, math, bitmap, rng, hashes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/bitmap.h"
+#include "src/util/endian.h"
+#include "src/util/hash_funcs.h"
+#include "src/util/math.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace {
+
+// ---- Status / Result ----
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesAndPredicates) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::Exists().IsExists());
+  EXPECT_TRUE(Status::Full().IsFull());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_FALSE(Status::NotFound().ok());
+  EXPECT_EQ(Status::IoError("pread failed").ToString(), "IO_ERROR: pread failed");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnsupported), "UNSUPPORTED");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 42);
+  EXPECT_TRUE(ok_result.status().ok());
+
+  Result<int> err_result(Status::NotFound("missing"));
+  ASSERT_FALSE(err_result.ok());
+  EXPECT_TRUE(err_result.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+// ---- Endian ----
+
+TEST(EndianTest, RoundTripAllWidths) {
+  uint8_t buf[8];
+  EncodeU16(buf, 0xbeef);
+  EXPECT_EQ(DecodeU16(buf), 0xbeef);
+  EXPECT_EQ(buf[0], 0xef);  // little-endian on disk
+  EncodeU32(buf, 0xdeadbeef);
+  EXPECT_EQ(DecodeU32(buf), 0xdeadbeefu);
+  EncodeU64(buf, 0x0123456789abcdefull);
+  EXPECT_EQ(DecodeU64(buf), 0x0123456789abcdefull);
+}
+
+TEST(EndianTest, Boundaries) {
+  uint8_t buf[8];
+  for (const uint64_t v : {uint64_t{0}, uint64_t{1}, ~uint64_t{0}}) {
+    EncodeU64(buf, v);
+    EXPECT_EQ(DecodeU64(buf), v);
+  }
+}
+
+// ---- Math ----
+
+TEST(MathTest, PowerOfTwoPredicates) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ull << 40));
+}
+
+TEST(MathTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(MathTest, Logs) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+}
+
+// The paper's BUCKET_TO_PAGE uses spares[ceil(log2(bucket+1)) - 1]; verify
+// it matches floor(log2(bucket)) for all bucket >= 1 (our formulation).
+TEST(MathTest, PaperLogIdentity) {
+  for (uint64_t b = 1; b < 100000; ++b) {
+    EXPECT_EQ(CeilLog2(b + 1) - 1, FloorLog2(b)) << b;
+  }
+}
+
+// ---- Bitmap ----
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap bm;
+  EXPECT_FALSE(bm.Test(0));
+  bm.Set(0);
+  bm.Set(77);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(77));
+  EXPECT_FALSE(bm.Test(76));
+  bm.Clear(77);
+  EXPECT_FALSE(bm.Test(77));
+  EXPECT_EQ(bm.CountSet(), 1u);
+}
+
+TEST(BitmapTest, OutOfRangeReadsAreFalse) {
+  Bitmap bm(8);
+  EXPECT_FALSE(bm.Test(100000));
+}
+
+TEST(BitmapTest, SerializationRoundTrip) {
+  Bitmap bm;
+  for (size_t bit : {0u, 1u, 9u, 63u, 64u, 999u}) {
+    bm.Set(bit);
+  }
+  Bitmap copy = Bitmap::FromBytes(bm.ToBytes());
+  for (size_t bit = 0; bit < 1005; ++bit) {
+    EXPECT_EQ(copy.Test(bit), bm.Test(bit)) << bit;
+  }
+}
+
+TEST(RawBitmapTest, FirstClearBit) {
+  uint8_t buf[4] = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_FALSE(RawFirstClearBit(buf, 32).has_value());
+  RawBitClear(buf, 17);
+  const auto bit = RawFirstClearBit(buf, 32);
+  ASSERT_TRUE(bit.has_value());
+  EXPECT_EQ(*bit, 17u);
+  // A clear bit beyond nbits must not be reported.
+  uint8_t buf2[2] = {0xff, 0x0f};
+  EXPECT_FALSE(RawFirstClearBit(buf2, 12).has_value());
+  EXPECT_TRUE(RawFirstClearBit(buf2, 13).has_value());
+}
+
+TEST(RawBitmapTest, Popcount) {
+  uint8_t buf[3] = {0b1010101, 0, 0b11};
+  EXPECT_EQ(RawPopcount(buf, 24), 6u);
+  EXPECT_EQ(RawPopcount(buf, 8), 4u);
+  EXPECT_EQ(RawPopcount(buf, 3), 2u);
+}
+
+// ---- Rng ----
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.Uniform(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(13);
+  size_t low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Zipf(1000, 0.99) < 100) {
+      ++low;
+    }
+  }
+  EXPECT_GT(low, 5000u);  // heavy head
+}
+
+TEST(RngTest, StringGenerators) {
+  Rng rng(17);
+  const std::string ascii = rng.AsciiString(32);
+  EXPECT_EQ(ascii.size(), 32u);
+  for (char c : ascii) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+  EXPECT_EQ(rng.ByteString(100).size(), 100u);
+}
+
+// ---- Hash functions ----
+
+class HashFuncTest : public ::testing::TestWithParam<HashFuncId> {};
+
+TEST_P(HashFuncTest, DeterministicAndLengthSensitive) {
+  const HashFn fn = GetHashFunc(GetParam());
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn("hello", 5), fn("hello", 5));
+  if (GetParam() != HashFuncId::kIdentity4) {  // identity4 ignores bytes past 4
+    EXPECT_NE(fn("hello", 5), fn("hello", 4));
+  }
+}
+
+TEST_P(HashFuncTest, EmptyInputIsValid) {
+  const HashFn fn = GetHashFunc(GetParam());
+  (void)fn("", 0);  // must not crash; value unconstrained
+}
+
+TEST_P(HashFuncTest, ReasonableCollisionRateOnWords) {
+  if (GetParam() == HashFuncId::kIdentity4) {
+    GTEST_SKIP() << "identity4 is deliberately bad";
+  }
+  const HashFn fn = GetHashFunc(GetParam());
+  std::unordered_set<uint32_t> hashes;
+  constexpr int kCount = 20000;
+  for (int i = 0; i < kCount; ++i) {
+    const std::string key = "word-" + std::to_string(i);
+    hashes.insert(fn(key.data(), key.size()));
+  }
+  // Expected collisions for 20k keys in 2^32 ~ 0.05; allow a generous 20.
+  EXPECT_GT(hashes.size(), static_cast<size_t>(kCount - 20));
+}
+
+TEST_P(HashFuncTest, BucketDistributionIsBalancedOnWordKeys) {
+  if (GetParam() == HashFuncId::kIdentity4) {
+    GTEST_SKIP() << "identity4 is deliberately bad";
+  }
+  const HashFn fn = GetHashFunc(GetParam());
+  constexpr uint32_t kBuckets = 64;
+  std::unordered_map<uint32_t, size_t> counts;
+  constexpr int kCount = 64000;
+  Rng rng(GetParam() == HashFuncId::kDefault ? 1 : 2);
+  for (int i = 0; i < kCount; ++i) {
+    const std::string key = rng.AsciiString(rng.Range(3, 14));
+    counts[fn(key.data(), key.size()) % kBuckets]++;
+  }
+  const double expected = static_cast<double>(kCount) / kBuckets;
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(counts[b], expected * 0.6) << "bucket " << b;
+    EXPECT_LT(counts[b], expected * 1.4) << "bucket " << b;
+  }
+}
+
+// The paper: "no known hash function performs equally well on all possible
+// data."  The historical polynomial hashes show measurable low-bit bias on
+// sequential decimal keys; the package's bit-randomizing functions do not.
+TEST(HashFuncBiasTest, SequentialKeysSkewHistoricalHashes) {
+  constexpr uint32_t kBuckets = 64;
+  constexpr int kCount = 64000;
+  auto max_over_min = [&](HashFn fn) {
+    std::unordered_map<uint32_t, size_t> counts;
+    for (int i = 0; i < kCount; ++i) {
+      const std::string key = "key" + std::to_string(i);
+      counts[fn(key.data(), key.size()) % kBuckets]++;
+    }
+    size_t lo = kCount;
+    size_t hi = 0;
+    for (uint32_t b = 0; b < kBuckets; ++b) {
+      lo = std::min(lo, counts[b]);
+      hi = std::max(hi, counts[b]);
+    }
+    return lo == 0 ? 1e9 : static_cast<double>(hi) / static_cast<double>(lo);
+  };
+  EXPECT_LT(max_over_min(&HashDefault), 1.7);
+  EXPECT_LT(max_over_min(&HashThompson), 1.7);
+  EXPECT_GT(max_over_min(&HashSdbm), 2.0);  // the documented bias
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, HashFuncTest, ::testing::ValuesIn(kAllHashFuncIds),
+                         [](const ::testing::TestParamInfo<HashFuncId>& param_info) {
+                           return std::string(HashFuncName(param_info.param));
+                         });
+
+TEST(HashFuncsTest, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const HashFuncId id : kAllHashFuncIds) {
+    EXPECT_TRUE(names.insert(HashFuncName(id)).second);
+  }
+}
+
+TEST(HashFuncsTest, FunctionsDisagreeWithEachOther) {
+  // Different algorithms should produce different values on some input
+  // (this is what makes dbm/sdbm databases incompatible).
+  const char* const key = "incompatible";
+  std::set<uint32_t> values;
+  for (const HashFuncId id : kAllHashFuncIds) {
+    values.insert(GetHashFunc(id)(key, 12));
+  }
+  EXPECT_GE(values.size(), 7u);
+}
+
+TEST(HashFuncsTest, IdentityIsClustering) {
+  // The deliberately bad function maps shared prefixes to one value.
+  EXPECT_EQ(HashIdentity4("abcdef", 6), HashIdentity4("abcdzz", 6));
+}
+
+}  // namespace
+}  // namespace hashkit

@@ -1,0 +1,151 @@
+// Tests for the synthetic workload generators and the timing harness.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workload/dictionary.h"
+#include "src/workload/kv.h"
+#include "src/workload/passwd.h"
+#include "src/workload/timing.h"
+
+namespace hashkit {
+namespace workload {
+namespace {
+
+TEST(DictionaryTest, GeneratesRequestedUniqueWords) {
+  const auto words = GenerateDictionaryWords(5000, 1);
+  EXPECT_EQ(words.size(), 5000u);
+  const std::set<std::string> unique(words.begin(), words.end());
+  EXPECT_EQ(unique.size(), 5000u);
+}
+
+TEST(DictionaryTest, DeterministicForSeed) {
+  EXPECT_EQ(GenerateDictionaryWords(1000, 7), GenerateDictionaryWords(1000, 7));
+  EXPECT_NE(GenerateDictionaryWords(1000, 7), GenerateDictionaryWords(1000, 8));
+}
+
+TEST(DictionaryTest, WordShapeMatchesEnglishProfile) {
+  const auto words = GenerateDictionaryWords(20000, 2);
+  size_t total_len = 0;
+  for (const auto& word : words) {
+    EXPECT_GE(word.size(), 2u);
+    EXPECT_LE(word.size(), 40u);
+    for (char c : word) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+    total_len += word.size();
+  }
+  const double mean = static_cast<double>(total_len) / words.size();
+  EXPECT_GT(mean, 5.0);
+  EXPECT_LT(mean, 13.0);
+}
+
+TEST(DictionaryTest, WorkloadValuesAreAsciiIntegers) {
+  const auto workload = MakeDictionaryWorkload(100);
+  ASSERT_EQ(workload.values.size(), 100u);
+  EXPECT_EQ(workload.values.front(), "1");
+  EXPECT_EQ(workload.values.back(), "100");
+  EXPECT_GT(AveragePairLength(workload), 0.0);
+}
+
+TEST(DictionaryTest, PaperSizeDefault) {
+  const auto workload = MakeDictionaryWorkload();
+  EXPECT_EQ(workload.keys.size(), kPaperDictionarySize);
+}
+
+TEST(PasswdTest, TwoRecordsPerAccount) {
+  const auto workload = MakePasswdWorkload(300);
+  ASSERT_EQ(workload.records.size(), 600u);
+  // Keys unique across both record kinds.
+  std::set<std::string> keys;
+  for (const auto& record : workload.records) {
+    EXPECT_TRUE(keys.insert(record.key).second) << record.key;
+  }
+}
+
+TEST(PasswdTest, RecordStructureMatchesPaper) {
+  const auto workload = MakePasswdWorkload(10);
+  // Even records: login -> remainder; odd records: uid -> whole entry.
+  for (size_t i = 0; i < workload.records.size(); i += 2) {
+    const auto& by_login = workload.records[i];
+    const auto& by_uid = workload.records[i + 1];
+    // uid key is numeric.
+    for (char c : by_uid.key) {
+      EXPECT_TRUE(c >= '0' && c <= '9');
+    }
+    // The full entry is login + ":" + remainder.
+    EXPECT_EQ(by_uid.value, by_login.key + ":" + by_login.value);
+    // passwd(5) has 7 colon-separated fields.
+    EXPECT_EQ(std::count(by_uid.value.begin(), by_uid.value.end(), ':'), 6);
+  }
+}
+
+TEST(PasswdTest, Deterministic) {
+  const auto a = MakePasswdWorkload(50, 9);
+  const auto b = MakePasswdWorkload(50, 9);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].key, b.records[i].key);
+    EXPECT_EQ(a.records[i].value, b.records[i].value);
+  }
+}
+
+TEST(KvTest, RespectsSpec) {
+  KvSpec spec;
+  spec.count = 500;
+  spec.min_key_len = 3;
+  spec.max_key_len = 9;
+  spec.min_val_len = 0;
+  spec.max_val_len = 4;
+  const auto pairs = GenerateKv(spec);
+  ASSERT_EQ(pairs.size(), 500u);
+  std::set<std::string> keys;
+  for (const auto& pair : pairs) {
+    EXPECT_GE(pair.key.size(), 3u);
+    EXPECT_LE(pair.key.size(), 9u);
+    EXPECT_LE(pair.value.size(), 4u);
+    EXPECT_TRUE(keys.insert(pair.key).second);
+  }
+}
+
+TEST(TimingTest, MeasuresElapsedTime) {
+  const TimingSample sample = MeasureOnce([] {
+    volatile uint64_t x = 0;
+    for (int i = 0; i < 2000000; ++i) {
+      x += i;
+    }
+  });
+  EXPECT_GT(sample.elapsed_sec, 0.0);
+  EXPECT_GE(sample.user_sec + sample.sys_sec, 0.0);
+}
+
+TEST(TimingTest, AveragingRunsSetupEachTime) {
+  int setups = 0;
+  int bodies = 0;
+  (void)MeasureAveraged(5, [&] { ++setups; }, [&] { ++bodies; });
+  EXPECT_EQ(setups, 5);
+  EXPECT_EQ(bodies, 5);
+}
+
+TEST(TimingTest, PercentImprovementMatchesPaperFormula) {
+  // % = 100 * (old - new) / old; e.g. Figure 8a's read row: 21.2 -> 4.0.
+  EXPECT_NEAR(PercentImprovement(21.2, 4.0), 81.1, 0.1);
+  EXPECT_NEAR(PercentImprovement(1.9, 2.7), -42.1, 0.1);  // ndbm's seq user win
+  EXPECT_EQ(PercentImprovement(0.0, 5.0), 0.0);
+}
+
+TEST(TimingTest, SampleArithmetic) {
+  TimingSample a{1.0, 2.0, 3.0};
+  a += TimingSample{1.0, 2.0, 3.0};
+  const TimingSample avg = a / 2.0;
+  EXPECT_DOUBLE_EQ(avg.user_sec, 1.0);
+  EXPECT_DOUBLE_EQ(avg.sys_sec, 2.0);
+  EXPECT_DOUBLE_EQ(avg.elapsed_sec, 3.0);
+  EXPECT_FALSE(FormatSample(avg).empty());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace hashkit
