@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_contraction.dir/ablation_contraction.cc.o"
+  "CMakeFiles/ablation_contraction.dir/ablation_contraction.cc.o.d"
+  "ablation_contraction"
+  "ablation_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hash_quality.dir/ablation_hash_quality.cc.o"
+  "CMakeFiles/ablation_hash_quality.dir/ablation_hash_quality.cc.o.d"
+  "ablation_hash_quality"
+  "ablation_hash_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hash_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hsearch_variants.dir/ablation_hsearch_variants.cc.o"
+  "CMakeFiles/ablation_hsearch_variants.dir/ablation_hsearch_variants.cc.o.d"
+  "ablation_hsearch_variants"
+  "ablation_hsearch_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hsearch_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_policy.dir/ablation_split_policy.cc.o"
+  "CMakeFiles/ablation_split_policy.dir/ablation_split_policy.cc.o.d"
+  "ablation_split_policy"
+  "ablation_split_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

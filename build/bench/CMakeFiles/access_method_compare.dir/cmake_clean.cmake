@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_method_compare.dir/access_method_compare.cc.o"
+  "CMakeFiles/access_method_compare.dir/access_method_compare.cc.o.d"
+  "access_method_compare"
+  "access_method_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_method_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

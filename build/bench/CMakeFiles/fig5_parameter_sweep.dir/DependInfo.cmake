@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_parameter_sweep.cc" "bench/CMakeFiles/fig5_parameter_sweep.dir/fig5_parameter_sweep.cc.o" "gcc" "bench/CMakeFiles/fig5_parameter_sweep.dir/fig5_parameter_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/hashkit_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hashkit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hashkit_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hashkit_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagefile/CMakeFiles/hashkit_pagefile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hashkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

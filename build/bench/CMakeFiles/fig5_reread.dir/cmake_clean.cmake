@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_reread.dir/fig5_reread.cc.o"
+  "CMakeFiles/fig5_reread.dir/fig5_reread.cc.o.d"
+  "fig5_reread"
+  "fig5_reread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_reread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

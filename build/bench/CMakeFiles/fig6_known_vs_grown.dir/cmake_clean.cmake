@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_known_vs_grown.dir/fig6_known_vs_grown.cc.o"
+  "CMakeFiles/fig6_known_vs_grown.dir/fig6_known_vs_grown.cc.o.d"
+  "fig6_known_vs_grown"
+  "fig6_known_vs_grown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_known_vs_grown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_buffer_pool.dir/fig7_buffer_pool.cc.o"
+  "CMakeFiles/fig7_buffer_pool.dir/fig7_buffer_pool.cc.o.d"
+  "fig7_buffer_pool"
+  "fig7_buffer_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_buffer_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

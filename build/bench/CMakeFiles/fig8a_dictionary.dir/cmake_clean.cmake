@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_dictionary.dir/fig8a_dictionary.cc.o"
+  "CMakeFiles/fig8a_dictionary.dir/fig8a_dictionary.cc.o.d"
+  "fig8a_dictionary"
+  "fig8a_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_password.dir/fig8b_password.cc.o"
+  "CMakeFiles/fig8b_password.dir/fig8b_password.cc.o.d"
+  "fig8b_password"
+  "fig8b_password.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_password.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashkit_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/hashkit_bench_common.dir/bench_common.cc.o.d"
+  "lib/libhashkit_bench_common.a"
+  "lib/libhashkit_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashkit_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

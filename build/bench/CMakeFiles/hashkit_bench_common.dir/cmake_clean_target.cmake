@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libhashkit_bench_common.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_btree.cc" "bench/CMakeFiles/micro_btree.dir/micro_btree.cc.o" "gcc" "bench/CMakeFiles/micro_btree.dir/micro_btree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/btree/CMakeFiles/hashkit_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagefile/CMakeFiles/hashkit_pagefile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hashkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_buffer_pool.cc" "bench/CMakeFiles/micro_buffer_pool.dir/micro_buffer_pool.cc.o" "gcc" "bench/CMakeFiles/micro_buffer_pool.dir/micro_buffer_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hashkit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagefile/CMakeFiles/hashkit_pagefile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hashkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_buffer_pool.dir/micro_buffer_pool.cc.o"
+  "CMakeFiles/micro_buffer_pool.dir/micro_buffer_pool.cc.o.d"
+  "micro_buffer_pool"
+  "micro_buffer_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_buffer_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

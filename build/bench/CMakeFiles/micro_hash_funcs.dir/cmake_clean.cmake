@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hash_funcs.dir/micro_hash_funcs.cc.o"
+  "CMakeFiles/micro_hash_funcs.dir/micro_hash_funcs.cc.o.d"
+  "micro_hash_funcs"
+  "micro_hash_funcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hash_funcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_page.dir/micro_page.cc.o"
+  "CMakeFiles/micro_page.dir/micro_page.cc.o.d"
+  "micro_page"
+  "micro_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_workloads.dir/mixed_workloads.cc.o"
+  "CMakeFiles/mixed_workloads.dir/mixed_workloads.cc.o.d"
+  "mixed_workloads"
+  "mixed_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shootout_all_stores.dir/shootout_all_stores.cc.o"
+  "CMakeFiles/shootout_all_stores.dir/shootout_all_stores.cc.o.d"
+  "shootout_all_stores"
+  "shootout_all_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shootout_all_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

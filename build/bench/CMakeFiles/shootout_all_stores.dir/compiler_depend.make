@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shootout_all_stores.
+# This may be replaced when dependencies are built.

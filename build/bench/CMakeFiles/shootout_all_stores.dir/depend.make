@@ -1,0 +1,2 @@
+# Empty dependencies file for shootout_all_stores.
+# This may be replaced when dependencies are built.

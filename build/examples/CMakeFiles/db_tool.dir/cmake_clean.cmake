@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_tool.dir/db_tool.cpp.o"
+  "CMakeFiles/db_tool.dir/db_tool.cpp.o.d"
+  "db_tool"
+  "db_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_index.dir/mail_index.cpp.o"
+  "CMakeFiles/mail_index.dir/mail_index.cpp.o.d"
+  "mail_index"
+  "mail_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndbm_port.dir/ndbm_port.cpp.o"
+  "CMakeFiles/ndbm_port.dir/ndbm_port.cpp.o.d"
+  "ndbm_port"
+  "ndbm_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndbm_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

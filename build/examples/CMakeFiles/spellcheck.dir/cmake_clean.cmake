@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spellcheck.dir/spellcheck.cpp.o"
+  "CMakeFiles/spellcheck.dir/spellcheck.cpp.o.d"
+  "spellcheck"
+  "spellcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spellcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

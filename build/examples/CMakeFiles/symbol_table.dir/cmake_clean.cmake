@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_table.dir/symbol_table.cpp.o"
+  "CMakeFiles/symbol_table.dir/symbol_table.cpp.o.d"
+  "symbol_table"
+  "symbol_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

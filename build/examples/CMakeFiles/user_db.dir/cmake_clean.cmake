@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_db.dir/user_db.cpp.o"
+  "CMakeFiles/user_db.dir/user_db.cpp.o.d"
+  "user_db"
+  "user_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dynahash/dynahash.cc" "src/baselines/CMakeFiles/hashkit_baselines.dir/dynahash/dynahash.cc.o" "gcc" "src/baselines/CMakeFiles/hashkit_baselines.dir/dynahash/dynahash.cc.o.d"
+  "/root/repo/src/baselines/gdbm/gdbm.cc" "src/baselines/CMakeFiles/hashkit_baselines.dir/gdbm/gdbm.cc.o" "gcc" "src/baselines/CMakeFiles/hashkit_baselines.dir/gdbm/gdbm.cc.o.d"
+  "/root/repo/src/baselines/hsearch/hsearch.cc" "src/baselines/CMakeFiles/hashkit_baselines.dir/hsearch/hsearch.cc.o" "gcc" "src/baselines/CMakeFiles/hashkit_baselines.dir/hsearch/hsearch.cc.o.d"
+  "/root/repo/src/baselines/ndbm/dbm_base.cc" "src/baselines/CMakeFiles/hashkit_baselines.dir/ndbm/dbm_base.cc.o" "gcc" "src/baselines/CMakeFiles/hashkit_baselines.dir/ndbm/dbm_base.cc.o.d"
+  "/root/repo/src/baselines/ndbm/ndbm.cc" "src/baselines/CMakeFiles/hashkit_baselines.dir/ndbm/ndbm.cc.o" "gcc" "src/baselines/CMakeFiles/hashkit_baselines.dir/ndbm/ndbm.cc.o.d"
+  "/root/repo/src/baselines/sdbm/sdbm.cc" "src/baselines/CMakeFiles/hashkit_baselines.dir/sdbm/sdbm.cc.o" "gcc" "src/baselines/CMakeFiles/hashkit_baselines.dir/sdbm/sdbm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hashkit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagefile/CMakeFiles/hashkit_pagefile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hashkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashkit_baselines.dir/dynahash/dynahash.cc.o"
+  "CMakeFiles/hashkit_baselines.dir/dynahash/dynahash.cc.o.d"
+  "CMakeFiles/hashkit_baselines.dir/gdbm/gdbm.cc.o"
+  "CMakeFiles/hashkit_baselines.dir/gdbm/gdbm.cc.o.d"
+  "CMakeFiles/hashkit_baselines.dir/hsearch/hsearch.cc.o"
+  "CMakeFiles/hashkit_baselines.dir/hsearch/hsearch.cc.o.d"
+  "CMakeFiles/hashkit_baselines.dir/ndbm/dbm_base.cc.o"
+  "CMakeFiles/hashkit_baselines.dir/ndbm/dbm_base.cc.o.d"
+  "CMakeFiles/hashkit_baselines.dir/ndbm/ndbm.cc.o"
+  "CMakeFiles/hashkit_baselines.dir/ndbm/ndbm.cc.o.d"
+  "CMakeFiles/hashkit_baselines.dir/sdbm/sdbm.cc.o"
+  "CMakeFiles/hashkit_baselines.dir/sdbm/sdbm.cc.o.d"
+  "libhashkit_baselines.a"
+  "libhashkit_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashkit_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashkit_btree.dir/bt_page.cc.o"
+  "CMakeFiles/hashkit_btree.dir/bt_page.cc.o.d"
+  "CMakeFiles/hashkit_btree.dir/btree.cc.o"
+  "CMakeFiles/hashkit_btree.dir/btree.cc.o.d"
+  "libhashkit_btree.a"
+  "libhashkit_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashkit_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hashkit_btree.
+# This may be replaced when dependencies are built.

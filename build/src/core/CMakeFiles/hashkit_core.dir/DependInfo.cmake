@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hash_table.cc" "src/core/CMakeFiles/hashkit_core.dir/hash_table.cc.o" "gcc" "src/core/CMakeFiles/hashkit_core.dir/hash_table.cc.o.d"
+  "/root/repo/src/core/hsearch_compat.cc" "src/core/CMakeFiles/hashkit_core.dir/hsearch_compat.cc.o" "gcc" "src/core/CMakeFiles/hashkit_core.dir/hsearch_compat.cc.o.d"
+  "/root/repo/src/core/meta.cc" "src/core/CMakeFiles/hashkit_core.dir/meta.cc.o" "gcc" "src/core/CMakeFiles/hashkit_core.dir/meta.cc.o.d"
+  "/root/repo/src/core/ndbm_c_api.cc" "src/core/CMakeFiles/hashkit_core.dir/ndbm_c_api.cc.o" "gcc" "src/core/CMakeFiles/hashkit_core.dir/ndbm_c_api.cc.o.d"
+  "/root/repo/src/core/ndbm_compat.cc" "src/core/CMakeFiles/hashkit_core.dir/ndbm_compat.cc.o" "gcc" "src/core/CMakeFiles/hashkit_core.dir/ndbm_compat.cc.o.d"
+  "/root/repo/src/core/ovfl.cc" "src/core/CMakeFiles/hashkit_core.dir/ovfl.cc.o" "gcc" "src/core/CMakeFiles/hashkit_core.dir/ovfl.cc.o.d"
+  "/root/repo/src/core/page.cc" "src/core/CMakeFiles/hashkit_core.dir/page.cc.o" "gcc" "src/core/CMakeFiles/hashkit_core.dir/page.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pagefile/CMakeFiles/hashkit_pagefile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hashkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashkit_core.dir/hash_table.cc.o"
+  "CMakeFiles/hashkit_core.dir/hash_table.cc.o.d"
+  "CMakeFiles/hashkit_core.dir/hsearch_compat.cc.o"
+  "CMakeFiles/hashkit_core.dir/hsearch_compat.cc.o.d"
+  "CMakeFiles/hashkit_core.dir/meta.cc.o"
+  "CMakeFiles/hashkit_core.dir/meta.cc.o.d"
+  "CMakeFiles/hashkit_core.dir/ndbm_c_api.cc.o"
+  "CMakeFiles/hashkit_core.dir/ndbm_c_api.cc.o.d"
+  "CMakeFiles/hashkit_core.dir/ndbm_compat.cc.o"
+  "CMakeFiles/hashkit_core.dir/ndbm_compat.cc.o.d"
+  "CMakeFiles/hashkit_core.dir/ovfl.cc.o"
+  "CMakeFiles/hashkit_core.dir/ovfl.cc.o.d"
+  "CMakeFiles/hashkit_core.dir/page.cc.o"
+  "CMakeFiles/hashkit_core.dir/page.cc.o.d"
+  "libhashkit_core.a"
+  "libhashkit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashkit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashkit_kv.dir/kv_store.cc.o"
+  "CMakeFiles/hashkit_kv.dir/kv_store.cc.o.d"
+  "libhashkit_kv.a"
+  "libhashkit_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashkit_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

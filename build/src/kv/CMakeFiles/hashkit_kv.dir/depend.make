@@ -1,0 +1,2 @@
+# Empty dependencies file for hashkit_kv.
+# This may be replaced when dependencies are built.

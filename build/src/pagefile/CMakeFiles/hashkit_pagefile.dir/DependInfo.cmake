@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pagefile/buffer_pool.cc" "src/pagefile/CMakeFiles/hashkit_pagefile.dir/buffer_pool.cc.o" "gcc" "src/pagefile/CMakeFiles/hashkit_pagefile.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/pagefile/page_file.cc" "src/pagefile/CMakeFiles/hashkit_pagefile.dir/page_file.cc.o" "gcc" "src/pagefile/CMakeFiles/hashkit_pagefile.dir/page_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hashkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

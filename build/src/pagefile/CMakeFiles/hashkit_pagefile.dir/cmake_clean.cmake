@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashkit_pagefile.dir/buffer_pool.cc.o"
+  "CMakeFiles/hashkit_pagefile.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/hashkit_pagefile.dir/page_file.cc.o"
+  "CMakeFiles/hashkit_pagefile.dir/page_file.cc.o.d"
+  "libhashkit_pagefile.a"
+  "libhashkit_pagefile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashkit_pagefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hashkit_pagefile.
+# This may be replaced when dependencies are built.

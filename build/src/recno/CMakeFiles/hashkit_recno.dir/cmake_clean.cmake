@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashkit_recno.dir/recno.cc.o"
+  "CMakeFiles/hashkit_recno.dir/recno.cc.o.d"
+  "libhashkit_recno.a"
+  "libhashkit_recno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashkit_recno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashkit_util.dir/bitmap.cc.o"
+  "CMakeFiles/hashkit_util.dir/bitmap.cc.o.d"
+  "CMakeFiles/hashkit_util.dir/hash_funcs.cc.o"
+  "CMakeFiles/hashkit_util.dir/hash_funcs.cc.o.d"
+  "CMakeFiles/hashkit_util.dir/random.cc.o"
+  "CMakeFiles/hashkit_util.dir/random.cc.o.d"
+  "libhashkit_util.a"
+  "libhashkit_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashkit_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dictionary.cc" "src/workload/CMakeFiles/hashkit_workload.dir/dictionary.cc.o" "gcc" "src/workload/CMakeFiles/hashkit_workload.dir/dictionary.cc.o.d"
+  "/root/repo/src/workload/kv.cc" "src/workload/CMakeFiles/hashkit_workload.dir/kv.cc.o" "gcc" "src/workload/CMakeFiles/hashkit_workload.dir/kv.cc.o.d"
+  "/root/repo/src/workload/mixes.cc" "src/workload/CMakeFiles/hashkit_workload.dir/mixes.cc.o" "gcc" "src/workload/CMakeFiles/hashkit_workload.dir/mixes.cc.o.d"
+  "/root/repo/src/workload/passwd.cc" "src/workload/CMakeFiles/hashkit_workload.dir/passwd.cc.o" "gcc" "src/workload/CMakeFiles/hashkit_workload.dir/passwd.cc.o.d"
+  "/root/repo/src/workload/timing.cc" "src/workload/CMakeFiles/hashkit_workload.dir/timing.cc.o" "gcc" "src/workload/CMakeFiles/hashkit_workload.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hashkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashkit_workload.dir/dictionary.cc.o"
+  "CMakeFiles/hashkit_workload.dir/dictionary.cc.o.d"
+  "CMakeFiles/hashkit_workload.dir/kv.cc.o"
+  "CMakeFiles/hashkit_workload.dir/kv.cc.o.d"
+  "CMakeFiles/hashkit_workload.dir/mixes.cc.o"
+  "CMakeFiles/hashkit_workload.dir/mixes.cc.o.d"
+  "CMakeFiles/hashkit_workload.dir/passwd.cc.o"
+  "CMakeFiles/hashkit_workload.dir/passwd.cc.o.d"
+  "CMakeFiles/hashkit_workload.dir/timing.cc.o"
+  "CMakeFiles/hashkit_workload.dir/timing.cc.o.d"
+  "libhashkit_workload.a"
+  "libhashkit_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashkit_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

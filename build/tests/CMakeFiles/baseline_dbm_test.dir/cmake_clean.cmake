@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_dbm_test.dir/baseline_dbm_test.cc.o"
+  "CMakeFiles/baseline_dbm_test.dir/baseline_dbm_test.cc.o.d"
+  "baseline_dbm_test"
+  "baseline_dbm_test.pdb"
+  "baseline_dbm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_dbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

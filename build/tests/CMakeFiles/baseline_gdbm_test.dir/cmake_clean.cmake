@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_gdbm_test.dir/baseline_gdbm_test.cc.o"
+  "CMakeFiles/baseline_gdbm_test.dir/baseline_gdbm_test.cc.o.d"
+  "baseline_gdbm_test"
+  "baseline_gdbm_test.pdb"
+  "baseline_gdbm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_gdbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_mem_test.dir/baseline_mem_test.cc.o"
+  "CMakeFiles/baseline_mem_test.dir/baseline_mem_test.cc.o.d"
+  "baseline_mem_test"
+  "baseline_mem_test.pdb"
+  "baseline_mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

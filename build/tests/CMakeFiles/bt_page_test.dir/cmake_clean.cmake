@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_page_test.dir/bt_page_test.cc.o"
+  "CMakeFiles/bt_page_test.dir/bt_page_test.cc.o.d"
+  "bt_page_test"
+  "bt_page_test.pdb"
+  "bt_page_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

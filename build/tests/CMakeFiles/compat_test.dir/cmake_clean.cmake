@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compat_test.dir/compat_test.cc.o"
+  "CMakeFiles/compat_test.dir/compat_test.cc.o.d"
+  "compat_test"
+  "compat_test.pdb"
+  "compat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contraction_test.dir/contraction_test.cc.o"
+  "CMakeFiles/contraction_test.dir/contraction_test.cc.o.d"
+  "contraction_test"
+  "contraction_test.pdb"
+  "contraction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_access_function_test.dir/dbm_access_function_test.cc.o"
+  "CMakeFiles/dbm_access_function_test.dir/dbm_access_function_test.cc.o.d"
+  "dbm_access_function_test"
+  "dbm_access_function_test.pdb"
+  "dbm_access_function_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_access_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

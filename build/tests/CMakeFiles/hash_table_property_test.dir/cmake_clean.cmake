@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_table_property_test.dir/hash_table_property_test.cc.o"
+  "CMakeFiles/hash_table_property_test.dir/hash_table_property_test.cc.o.d"
+  "hash_table_property_test"
+  "hash_table_property_test.pdb"
+  "hash_table_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_table_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

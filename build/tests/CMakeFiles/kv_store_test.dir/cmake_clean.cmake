@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store_test.dir/kv_store_test.cc.o"
+  "CMakeFiles/kv_store_test.dir/kv_store_test.cc.o.d"
+  "kv_store_test"
+  "kv_store_test.pdb"
+  "kv_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/meta_test.cc" "tests/CMakeFiles/meta_test.dir/meta_test.cc.o" "gcc" "tests/CMakeFiles/meta_test.dir/meta_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kv/CMakeFiles/hashkit_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/hashkit_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/recno/CMakeFiles/hashkit_recno.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hashkit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hashkit_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hashkit_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagefile/CMakeFiles/hashkit_pagefile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hashkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixes_c_api_test.dir/mixes_c_api_test.cc.o"
+  "CMakeFiles/mixes_c_api_test.dir/mixes_c_api_test.cc.o.d"
+  "mixes_c_api_test"
+  "mixes_c_api_test.pdb"
+  "mixes_c_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixes_c_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovfl_test.dir/ovfl_test.cc.o"
+  "CMakeFiles/ovfl_test.dir/ovfl_test.cc.o.d"
+  "ovfl_test"
+  "ovfl_test.pdb"
+  "ovfl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovfl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_file_test.dir/page_file_test.cc.o"
+  "CMakeFiles/page_file_test.dir/page_file_test.cc.o.d"
+  "page_file_test"
+  "page_file_test.pdb"
+  "page_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_test.dir/page_test.cc.o"
+  "CMakeFiles/page_test.dir/page_test.cc.o.d"
+  "page_test"
+  "page_test.pdb"
+  "page_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recno_test.dir/recno_test.cc.o"
+  "CMakeFiles/recno_test.dir/recno_test.cc.o.d"
+  "recno_test"
+  "recno_test.pdb"
+  "recno_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recno_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchronized_test.dir/synchronized_test.cc.o"
+  "CMakeFiles/synchronized_test.dir/synchronized_test.cc.o.d"
+  "synchronized_test"
+  "synchronized_test.pdb"
+  "synchronized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchronized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

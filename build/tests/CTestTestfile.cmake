@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/page_file_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/meta_test[1]_include.cmake")
+include("/root/repo/build/tests/ovfl_test[1]_include.cmake")
+include("/root/repo/build/tests/page_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_table_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_table_property_test[1]_include.cmake")
+include("/root/repo/build/tests/compat_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_dbm_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_gdbm_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_mem_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_store_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/format_golden_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/recno_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_table_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/contraction_test[1]_include.cmake")
+include("/root/repo/build/tests/bt_page_test[1]_include.cmake")
+include("/root/repo/build/tests/dbm_access_function_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_pool_property_test[1]_include.cmake")
+include("/root/repo/build/tests/mixes_c_api_test[1]_include.cmake")
+include("/root/repo/build/tests/synchronized_test[1]_include.cmake")
