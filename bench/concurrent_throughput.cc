@@ -1,0 +1,212 @@
+// Multithreaded throughput sweep for the concurrent kv front-ends.
+//
+// The paper stops at single-user access; this bench measures what the
+// locking wrappers added on top are worth.  It sweeps reader/writer thread
+// counts against shard counts (1 shard = the SynchronizedStore decorator,
+// N shards = ShardedStore) across three operation mixes (read-only,
+// read-heavy 95/5, write-heavy 50/50; all zipf-0.99 skewed) and reports
+// aggregate ops/sec per cell.  Results are written to
+// BENCH_concurrent.json so later changes can be compared against the
+// recorded scaling curve.
+//
+// Flags: --ops=N total operations per cell (default 120000),
+//        --max_threads=N cap on the thread sweep (default 16).
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/kv/kv_store.h"
+#include "src/kv/sharded.h"
+#include "src/kv/synchronized.h"
+#include "src/workload/mixes.h"
+#include "src/workload/timing.h"
+
+namespace hashkit {
+namespace bench {
+namespace {
+
+struct Cell {
+  int threads;
+  int shards;  // 1 = SynchronizedStore baseline
+  std::string mix;
+  std::string store;
+  size_t ops;
+  double elapsed_sec;
+  double ops_per_sec;
+};
+
+long FlagFromArgs(int argc, char** argv, const char* name, long fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atol(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+Result<std::unique_ptr<kv::KvStore>> BuildStore(int shards, size_t expected_keys) {
+  kv::StoreOptions options;
+  options.page_size = 1024;
+  options.ffactor = 16;
+  options.nelem = static_cast<uint32_t>(expected_keys * 2);
+  options.cachesize = 16 * 1024 * 1024;
+  if (shards <= 1) {
+    HASHKIT_ASSIGN_OR_RETURN(auto base, kv::OpenStore(kv::StoreKind::kHashMemory, options));
+    return kv::MakeSynchronized(std::move(base));
+  }
+  options.shards = static_cast<uint32_t>(shards);
+  return kv::OpenStore(kv::StoreKind::kHashMemory, options);
+}
+
+// Runs the trace's operations partitioned across `nthreads` threads and
+// returns aggregate ops/sec.
+Cell RunCell(int nthreads, int shards, const std::string& mix_name,
+             const workload::Trace& trace) {
+  auto opened = BuildStore(shards, trace.preload_keys.size());
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n", opened.status().ToString().c_str());
+    return {nthreads, shards, mix_name, "error", 0, 0.0, 0.0};
+  }
+  auto store = std::move(opened).value();
+  for (const auto& key : trace.preload_keys) {
+    (void)store->Put(key, trace.preload_value);
+  }
+
+  const size_t total_ops = trace.ops.size();
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  for (int t = 0; t < nthreads; ++t) {
+    const size_t begin = total_ops * t / nthreads;
+    const size_t end = total_ops * (t + 1) / nthreads;
+    threads.emplace_back([&, begin, end] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      std::string value;
+      for (size_t i = begin; i < end; ++i) {
+        const workload::Op& op = trace.ops[i];
+        switch (op.type) {
+          case workload::OpType::kRead:
+            (void)store->Get(op.key, &value);
+            break;
+          case workload::OpType::kUpdate:
+          case workload::OpType::kInsert:
+            (void)store->Put(op.key, op.value);
+            break;
+          case workload::OpType::kDelete:
+            (void)store->Delete(op.key);
+            break;
+        }
+      }
+    });
+  }
+
+  double elapsed = 0.0;
+  {
+    const auto sample = workload::MeasureOnce([&] {
+      go.store(true, std::memory_order_release);
+      for (auto& thread : threads) {
+        thread.join();
+      }
+    });
+    elapsed = sample.elapsed_sec;
+  }
+  const double ops_per_sec = elapsed > 0 ? static_cast<double>(total_ops) / elapsed : 0.0;
+  return {nthreads, shards, mix_name, store->Name(), total_ops, elapsed, ops_per_sec};
+}
+
+void WriteJson(const std::vector<Cell>& cells, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "  {\"threads\": %d, \"shards\": %d, \"mix\": \"%s\", \"store\": \"%s\", "
+                 "\"ops\": %zu, \"elapsed_sec\": %.6f, \"ops_per_sec\": %.0f}%s\n",
+                 c.threads, c.shards, c.mix.c_str(), c.store.c_str(), c.ops, c.elapsed_sec,
+                 c.ops_per_sec, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu cells to %s\n", cells.size(), path);
+}
+
+int Main(int argc, char** argv) {
+  const size_t ops = static_cast<size_t>(FlagFromArgs(argc, argv, "ops", 120000));
+  const int max_threads = static_cast<int>(FlagFromArgs(argc, argv, "max_threads", 16));
+  std::printf("Concurrent throughput sweep: %zu ops/cell, zipf 0.99, "
+              "hash(mem) inner stores; hardware threads: %u\n\n",
+              ops, std::thread::hardware_concurrency());
+
+  struct Mix {
+    const char* name;
+    workload::MixSpec spec;
+  };
+  Mix mixes[] = {
+      {"read_only", workload::MixC()},
+      {"read_heavy_95_5", workload::MixB()},
+      {"write_heavy_50_50", workload::MixA()},
+  };
+  const int thread_counts[] = {1, 2, 4, 8, 16};
+  const int shard_counts[] = {1, 4, 8, 16};
+
+  std::vector<Cell> cells;
+  PrintCsvHeader("concurrent,mix,store,threads,shards,ops_per_sec");
+  for (Mix& mix : mixes) {
+    mix.spec.operations = ops;
+    const workload::Trace trace = workload::GenerateTrace(mix.spec);
+    std::printf("--- mix %s ---\n", mix.name);
+    std::printf("%-26s %8s %8s %14s\n", "store", "threads", "shards", "ops/sec");
+    for (const int shards : shard_counts) {
+      for (const int threads : thread_counts) {
+        if (threads > max_threads) {
+          continue;
+        }
+        const Cell cell = RunCell(threads, shards, mix.name, trace);
+        std::printf("%-26s %8d %8d %14.0f\n", cell.store.c_str(), cell.threads, cell.shards,
+                    cell.ops_per_sec);
+        char csv[200];
+        std::snprintf(csv, sizeof(csv), "concurrent,%s,%s,%d,%d,%.0f", mix.name,
+                      cell.store.c_str(), cell.threads, cell.shards, cell.ops_per_sec);
+        PrintCsv(csv);
+        cells.push_back(cell);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // The headline comparison: sharded-8 vs the single-lock wrapper at 8
+  // reader threads on the read-only mix.
+  double sync8 = 0.0, sharded8 = 0.0;
+  for (const Cell& c : cells) {
+    if (c.mix == "read_only" && c.threads == 8) {
+      if (c.shards == 1) {
+        sync8 = c.ops_per_sec;
+      } else if (c.shards == 8) {
+        sharded8 = c.ops_per_sec;
+      }
+    }
+  }
+  if (sync8 > 0) {
+    std::printf("read_only @8 threads: sharded(8)/sync = %.2fx\n", sharded8 / sync8);
+  }
+
+  WriteJson(cells, "BENCH_concurrent.json");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hashkit
+
+int main(int argc, char** argv) { return hashkit::bench::Main(argc, argv); }

@@ -32,22 +32,33 @@ int Main(int argc, char** argv) {
       {"D_90r_10i", workload::MixD()},
   };
 
-  const kv::StoreKind stores[] = {
-      kv::StoreKind::kHashDisk, kv::StoreKind::kHashMemory, kv::StoreKind::kBtree,
-      kv::StoreKind::kNdbm,     kv::StoreKind::kGdbm,       kv::StoreKind::kDynahash,
+  // Each entry names a registered store variant: a plain kind, or the same
+  // kind partitioned across shards (StoreOptions::shards routes through
+  // the sharded front-end).
+  struct StoreEntry {
+    kv::StoreKind kind;
+    uint32_t shards;  // 0 = unsharded
+  };
+  const StoreEntry stores[] = {
+      {kv::StoreKind::kHashDisk, 0}, {kv::StoreKind::kHashMemory, 0},
+      {kv::StoreKind::kBtree, 0},    {kv::StoreKind::kNdbm, 0},
+      {kv::StoreKind::kGdbm, 0},     {kv::StoreKind::kDynahash, 0},
+      {kv::StoreKind::kHashMemory, 8}, {kv::StoreKind::kHashDisk, 8},
   };
 
   for (const Mix& mix : mixes) {
     std::printf("--- mix %s ---\n", mix.name);
-    std::printf("%-12s %12s %12s %14s\n", "store", "preload(u)", "run(u)", "ops/sec");
+    std::printf("%-20s %12s %12s %14s\n", "store", "preload(u)", "run(u)", "ops/sec");
     const workload::Trace trace = workload::GenerateTrace(mix.spec);
-    for (const kv::StoreKind kind : stores) {
+    for (const StoreEntry& entry : stores) {
+      const kv::StoreKind kind = entry.kind;
       kv::StoreOptions options;
       options.path = BenchPath("mixed");
       options.page_size = 1024;
       options.ffactor = 16;
       options.nelem = 32768;
       options.cachesize = 8 * 1024 * 1024;
+      options.shards = entry.shards;
       auto opened = kv::OpenStore(kind, options);
       if (!opened.ok()) {
         continue;
@@ -85,6 +96,9 @@ int Main(int argc, char** argv) {
                     store->Name().c_str(), preload.user_sec, run.user_sec, ops_per_sec);
       PrintCsv(csv);
       RemoveBenchFiles(options.path);
+      for (uint32_t s = 0; s < entry.shards; ++s) {
+        RemoveBenchFiles(options.path + ".s" + std::to_string(s));
+      }
     }
     std::printf("\n");
   }

@@ -11,6 +11,7 @@
 
 #include "bench/bench_common.h"
 #include "src/baselines/dynahash/dynahash.h"
+#include "src/kv/kv_store.h"
 #include "src/baselines/gdbm/gdbm.h"
 #include "src/baselines/hsearch/hsearch.h"
 #include "src/baselines/ndbm/ndbm.h"
@@ -100,6 +101,41 @@ int Main(int argc, char** argv) {
         Status st = table->Seq(&k, &v, true);
         while (st.ok()) {
           st = table->Seq(&k, &v, false);
+        }
+      });
+    }
+    rows.push_back(row);
+  }
+
+  // --- new package, memory, sharded 8 ways (single-threaded here: shows
+  // the partitioning overhead; concurrent_throughput shows the payoff) ---
+  {
+    Row row{"hash (mem x8)", {}, {}, {}};
+    for (int run = 0; run < runs; ++run) {
+      kv::StoreOptions options;
+      options.page_size = 256;
+      options.ffactor = 8;
+      options.nelem = static_cast<uint32_t>(count);
+      options.cachesize = 4 * 1024 * 1024;
+      options.shards = 8;
+      std::unique_ptr<kv::KvStore> store;
+      row.create += workload::MeasureOnce([&] {
+        store = std::move(kv::OpenStore(kv::StoreKind::kHashMemory, options).value());
+        for (const auto& r : records) {
+          (void)store->Put(r.key, r.value);
+        }
+      });
+      std::string v;
+      row.read += workload::MeasureOnce([&] {
+        for (const auto& r : records) {
+          (void)store->Get(r.key, &v);
+        }
+      });
+      std::string k;
+      row.seq += workload::MeasureOnce([&] {
+        Status st = store->Scan(&k, &v, true);
+        while (st.ok()) {
+          st = store->Scan(&k, &v, false);
         }
       });
     }

@@ -91,8 +91,11 @@ int RunCommand(KvStore& store, const std::string& cmd, int argc, char** argv) {
     std::printf("store: %s\n", store.Name().c_str());
     std::printf("pairs: %llu\n", static_cast<unsigned long long>(store.Size()));
     const auto caps = store.Caps();
-    std::printf("caps: persistent=%d deletes=%d scans=%d unlimited_pair=%d grows=%d\n",
-                caps.persistent, caps.deletes, caps.scans, caps.unlimited_pair, caps.grows);
+    std::printf(
+        "caps: persistent=%d deletes=%d scans=%d unlimited_pair=%d grows=%d "
+        "concurrent_reads=%d\n",
+        caps.persistent, caps.deletes, caps.scans, caps.unlimited_pair, caps.grows,
+        caps.concurrent_reads);
     return 0;
   }
   if (cmd == "load") {

@@ -214,6 +214,10 @@ Result<PageRef> HashTable::FetchBucketPage(uint32_t bucket, bool create_new) {
   return ref;
 }
 
+Result<PageRef> HashTable::FetchBucketPageRead(uint32_t bucket) {
+  return pool_->Get(BucketToPage(meta_, bucket));
+}
+
 Result<PageRef> HashTable::FetchOvflPage(uint16_t oaddr, const PageRef* predecessor) {
   HASHKIT_ASSIGN_OR_RETURN(PageRef ref, pool_->Get(OaddrToPage(meta_, oaddr)));
   PageView view(ref.data(), meta_.bsize);
@@ -251,7 +255,10 @@ Status HashTable::BigKeyEquals(const EntryRef& entry, std::string_view key, bool
 
 Status HashTable::FindPair(uint32_t bucket, std::string_view key, uint32_t hash, PageRef* page,
                            uint16_t* index) {
-  HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPage(bucket));
+  HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPageRead(bucket));
+  if (PageView(cur.data(), meta_.bsize).data_begin() == 0) {
+    return Status::NotFound();  // virgin page: the bucket is empty
+  }
   for (;;) {
     PageView view(cur.data(), meta_.bsize);
     const uint16_t n = view.nentries();
@@ -284,7 +291,9 @@ Status HashTable::FindPair(uint32_t bucket, std::string_view key, uint32_t hash,
 }
 
 Status HashTable::Get(std::string_view key, std::string* value) {
-  ++stats_.gets;
+  // Gets may run concurrently from many reader threads (the kv layer's
+  // shared-lock path); every other counter mutates under exclusive access.
+  std::atomic_ref<uint64_t>(stats_.gets).fetch_add(1, std::memory_order_relaxed);
   const uint32_t hash = HashKey(key);
   PageRef page;
   uint16_t index = 0;
@@ -828,7 +837,8 @@ Status Cursor::Next(std::string* key, std::string* value) {
     }
     PageRef page;
     if (page_oaddr_ == 0) {
-      HASHKIT_ASSIGN_OR_RETURN(page, t.FetchBucketPage(bucket_));
+      // Read-side fetch: a virgin page scans as zero entries, no overflow.
+      HASHKIT_ASSIGN_OR_RETURN(page, t.FetchBucketPageRead(bucket_));
     } else {
       HASHKIT_ASSIGN_OR_RETURN(page, t.FetchOvflPage(page_oaddr_, nullptr));
     }
@@ -864,6 +874,22 @@ Status HashTable::Seq(std::string* key, std::string* value, bool first) {
     seq_cursor_.Reset();
   }
   return seq_cursor_.Next(key, value);
+}
+
+HashTableStats HashTable::StatsSnapshot() const {
+  HashTableStats s;
+  // `gets` is bumped by concurrent readers; everything else only changes
+  // under exclusive access, which the caller's shared lock excludes.
+  s.gets = std::atomic_ref<uint64_t>(const_cast<uint64_t&>(stats_.gets))
+               .load(std::memory_order_relaxed);
+  s.puts = stats_.puts;
+  s.deletes = stats_.deletes;
+  s.splits = stats_.splits;
+  s.contractions = stats_.contractions;
+  s.ovfl_pages_alloced = stats_.ovfl_pages_alloced;
+  s.ovfl_pages_freed = stats_.ovfl_pages_freed;
+  s.big_pairs_stored = stats_.big_pairs_stored;
+  return s;
 }
 
 // ---------------------------------------------------------------------------

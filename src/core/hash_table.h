@@ -14,13 +14,18 @@
 // never fail because a key/data pair is too large (both are the paper's
 // "Enhanced Functionality" guarantees).
 //
-// Thread-compatibility: a table may be used from one thread at a time
-// (matching the original package; the paper's conclusion notes multi-user
-// access as future work).
+// Thread-compatibility: mutations (Put/Delete/Contract/Sync/Seq) require
+// exclusive access, but concurrent Get/Contains calls are safe provided no
+// mutation runs at the same time — the read path never writes a page, the
+// buffer pool is internally locked, and read-side counters are atomic.
+// The kv layer's SynchronizedStore/ShardedStore enforce exactly this
+// discipline with reader-writer locks (the paper's conclusion notes
+// multi-user access as future work; this is its minimal useful form).
 
 #ifndef HASHKIT_SRC_CORE_HASH_TABLE_H_
 #define HASHKIT_SRC_CORE_HASH_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -120,9 +125,13 @@ class HashTable {
   uint64_t size() const { return meta_.nkeys; }
   uint32_t bucket_count() const { return meta_.max_bucket + 1; }
   const Meta& meta() const { return meta_; }
+  // Unlocked views; only valid when no reader threads are active.
   const HashTableStats& stats() const { return stats_; }
   const BufferPoolStats& pool_stats() const { return pool_->stats(); }
   const PageFileStats& file_stats() const { return file_->stats(); }
+  // Copies that are safe to take while concurrent Gets are in flight.
+  HashTableStats StatsSnapshot() const;
+  BufferPoolStats PoolStatsSnapshot() const { return pool_->StatsSnapshot(); }
   HashFn hash_fn() const { return hash_; }
 
   // Exhaustive structural validation: every page well-formed, every key in
@@ -163,6 +172,10 @@ class HashTable {
   // Page access.  Fetching a bucket page formats virgin (all-zero) pages;
   // fetching an overflow page records the chain link in the buffer pool.
   Result<PageRef> FetchBucketPage(uint32_t bucket, bool create_new = false);
+  // Read-side fetch: never formats or dirties a virgin page, so concurrent
+  // readers do not write page memory.  A virgin page reads as an empty
+  // bucket (all header fields zero).
+  Result<PageRef> FetchBucketPageRead(uint32_t bucket);
   Result<PageRef> FetchOvflPage(uint16_t oaddr, const PageRef* predecessor);
 
   // Locates `key` within `bucket`'s chain.  On success `*page` is pinned,

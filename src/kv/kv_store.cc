@@ -39,7 +39,16 @@ class HashStore final : public KvStore {
             .overwrites = true,
             .scans = true,
             .unlimited_pair = true,
-            .grows = true};
+            .grows = true,
+            // The table's read path is race-free under concurrent Gets
+            // (see hash_table.h); wrappers may use a shared reader lock.
+            .concurrent_reads = true};
+  }
+  bool Stats(StoreStats* out) const override {
+    out->table = table_->StatsSnapshot();
+    out->pool = table_->PoolStatsSnapshot();
+    out->shards = 1;
+    return true;
   }
 
  private:
@@ -269,6 +278,9 @@ std::string_view StoreKindName(StoreKind kind) {
 }
 
 Result<std::unique_ptr<KvStore>> OpenStore(StoreKind kind, const StoreOptions& options) {
+  if (options.shards > 1) {
+    return OpenShardedStore(kind, options, options.shards);
+  }
   switch (kind) {
     case StoreKind::kHashDisk: {
       if (options.path.empty()) {

@@ -20,7 +20,9 @@
 #include <string>
 #include <string_view>
 
+#include "src/core/hash_table.h"
 #include "src/core/options.h"
+#include "src/pagefile/buffer_pool.h"
 #include "src/util/status.h"
 
 namespace hashkit {
@@ -33,6 +35,20 @@ struct Capabilities {
   bool scans = false;           // Scan supported
   bool unlimited_pair = false;  // no pair-size limit
   bool grows = false;           // no fixed capacity
+  // Concurrent Get/Size calls are data-race-free as long as no mutation
+  // runs at the same time.  The locking wrappers (synchronized.h,
+  // sharded.h) use a shared reader lock for Get only when this is set;
+  // otherwise readers fall back to the exclusive lock.
+  bool concurrent_reads = false;
+};
+
+// Operation counters aggregated across whatever backs the store.  Stores
+// built on the paper's hash table report real numbers; others return false
+// from Stats().
+struct StoreStats {
+  HashTableStats table;
+  BufferPoolStats pool;
+  size_t shards = 1;  // number of backing partitions (1 = unsharded)
 };
 
 class KvStore {
@@ -55,6 +71,14 @@ class KvStore {
   virtual uint64_t Size() const = 0;
   virtual std::string Name() const = 0;
   virtual Capabilities Caps() const = 0;
+
+  // Fills `*out` with merged operation counters; returns false when the
+  // store has none to report.  Safe to call while reader threads are active
+  // on stores that declare concurrent_reads.
+  virtual bool Stats(StoreStats* out) const {
+    (void)out;
+    return false;
+  }
 };
 
 enum class StoreKind {
@@ -85,9 +109,19 @@ struct StoreOptions {
   uint32_t ffactor = 16;
   uint32_t nelem = 65536;  // capacity hint; hard capacity for hsearch
   uint64_t cachesize = 1024 * 1024;
+  // >1 partitions the keyspace across that many independent stores of the
+  // same kind behind per-shard reader/writer locks (see sharded.h).  File
+  // paths get a ".sN" suffix per shard; nelem and cachesize are divided
+  // among the shards.
+  uint32_t shards = 0;
 };
 
 Result<std::unique_ptr<KvStore>> OpenStore(StoreKind kind, const StoreOptions& options);
+
+// Opens `nshards` stores of `kind` (per-shard path suffix ".sN") and wraps
+// them in a ShardedStore.  OpenStore dispatches here when options.shards > 1.
+Result<std::unique_ptr<KvStore>> OpenShardedStore(StoreKind kind, const StoreOptions& options,
+                                                  size_t nshards);
 
 }  // namespace kv
 }  // namespace hashkit

@@ -1,0 +1,165 @@
+#include "src/kv/sharded.h"
+
+#include <algorithm>
+
+namespace hashkit {
+namespace kv {
+
+ShardedStore::ShardedStore(std::vector<std::unique_ptr<KvStore>> shards, HashFn partition_fn)
+    : partition_fn_(partition_fn != nullptr ? partition_fn
+                                            : GetHashFunc(HashFuncId::kFnv1a)) {
+  shards_.reserve(shards.size());
+  for (auto& store : shards) {
+    auto shard = std::make_unique<Shard>();
+    shard->store = std::move(store);
+    shards_.push_back(std::move(shard));
+  }
+  inner_concurrent_reads_ =
+      !shards_.empty() && shards_.front()->store->Caps().concurrent_reads;
+}
+
+Status ShardedStore::Put(std::string_view key, std::string_view value, bool overwrite) {
+  Shard& shard = *shards_[ShardOf(key)];
+  const std::unique_lock<std::shared_mutex> lock(shard.mu);
+  return shard.store->Put(key, value, overwrite);
+}
+
+Status ShardedStore::Get(std::string_view key, std::string* value) {
+  Shard& shard = *shards_[ShardOf(key)];
+  if (inner_concurrent_reads_) {
+    const std::shared_lock<std::shared_mutex> lock(shard.mu);
+    return shard.store->Get(key, value);
+  }
+  const std::unique_lock<std::shared_mutex> lock(shard.mu);
+  return shard.store->Get(key, value);
+}
+
+Status ShardedStore::Delete(std::string_view key) {
+  Shard& shard = *shards_[ShardOf(key)];
+  const std::unique_lock<std::shared_mutex> lock(shard.mu);
+  return shard.store->Delete(key);
+}
+
+Status ShardedStore::Scan(std::string* key, std::string* value, bool first) {
+  const std::lock_guard<std::mutex> scan_lock(scan_mu_);
+  if (first) {
+    scan_shard_ = 0;
+    scan_first_ = true;
+  }
+  while (scan_shard_ < shards_.size()) {
+    Shard& shard = *shards_[scan_shard_];
+    // Exclusive: the inner store's scan advances its own cursor state.
+    const std::unique_lock<std::shared_mutex> lock(shard.mu);
+    const Status st = shard.store->Scan(key, value, scan_first_);
+    if (st.IsNotFound()) {
+      ++scan_shard_;  // this shard is exhausted; move to the next
+      scan_first_ = true;
+      continue;
+    }
+    scan_first_ = false;
+    return st;
+  }
+  return Status::NotFound();
+}
+
+Status ShardedStore::Sync() {
+  Status first_error = Status::Ok();
+  for (auto& shard : shards_) {
+    const std::unique_lock<std::shared_mutex> lock(shard->mu);
+    const Status st = shard->store->Sync();
+    if (!st.ok() && first_error.ok()) {
+      first_error = st;
+    }
+  }
+  return first_error;
+}
+
+uint64_t ShardedStore::Size() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::shared_lock<std::shared_mutex> lock(shard->mu);
+    total += shard->store->Size();
+  }
+  return total;
+}
+
+std::string ShardedStore::Name() const {
+  return "sharded(" + std::to_string(shards_.size()) + "x" +
+         shards_.front()->store->Name() + ")";
+}
+
+Capabilities ShardedStore::Caps() const {
+  Capabilities caps = shards_.front()->store->Caps();
+  // The wrapper locks internally, so its own Get/Size are always safe to
+  // call concurrently, whatever the inner store supports.
+  caps.concurrent_reads = true;
+  return caps;
+}
+
+bool ShardedStore::Stats(StoreStats* out) const {
+  StoreStats merged;
+  merged.shards = shards_.size();
+  for (const auto& shard : shards_) {
+    const std::shared_lock<std::shared_mutex> lock(shard->mu);
+    StoreStats s;
+    if (!shard->store->Stats(&s)) {
+      return false;
+    }
+    merged.table.puts += s.table.puts;
+    merged.table.gets += s.table.gets;
+    merged.table.deletes += s.table.deletes;
+    merged.table.splits += s.table.splits;
+    merged.table.contractions += s.table.contractions;
+    merged.table.ovfl_pages_alloced += s.table.ovfl_pages_alloced;
+    merged.table.ovfl_pages_freed += s.table.ovfl_pages_freed;
+    merged.table.big_pairs_stored += s.table.big_pairs_stored;
+    merged.pool.hits += s.pool.hits;
+    merged.pool.misses += s.pool.misses;
+    merged.pool.evictions += s.pool.evictions;
+    merged.pool.dirty_writebacks += s.pool.dirty_writebacks;
+  }
+  *out = merged;
+  return true;
+}
+
+Result<std::unique_ptr<KvStore>> MakeSharded(const ShardFactory& factory, size_t nshards,
+                                             HashFn partition_fn) {
+  if (nshards == 0) {
+    return Status::InvalidArgument("sharded store needs at least one shard");
+  }
+  std::vector<std::unique_ptr<KvStore>> shards;
+  shards.reserve(nshards);
+  for (size_t i = 0; i < nshards; ++i) {
+    HASHKIT_ASSIGN_OR_RETURN(auto store, factory(i));
+    shards.push_back(std::move(store));
+  }
+  return std::unique_ptr<KvStore>(
+      new ShardedStore(std::move(shards), partition_fn));
+}
+
+Result<std::unique_ptr<KvStore>> OpenShardedStore(StoreKind kind, const StoreOptions& options,
+                                                  size_t nshards) {
+  if (nshards < 2) {
+    return Status::InvalidArgument("sharded open needs shards >= 2");
+  }
+  StoreOptions shard_options = options;
+  shard_options.shards = 0;  // inner opens are plain, not re-sharded
+  // Split the capacity hint and cache budget across the shards; keep a
+  // floor so tiny configurations still function.
+  shard_options.nelem =
+      std::max<uint32_t>(1u, static_cast<uint32_t>((options.nelem + nshards - 1) / nshards));
+  shard_options.cachesize =
+      std::max<uint64_t>(options.page_size * 4ull, options.cachesize / nshards);
+  return MakeSharded(
+      [&](size_t shard) -> Result<std::unique_ptr<KvStore>> {
+        StoreOptions inner = shard_options;
+        if (!inner.path.empty()) {
+          inner.path += ".s" + std::to_string(shard);
+        }
+        return OpenStore(kind, inner);
+      },
+      nshards);
+}
+
+}  // namespace kv
+}  // namespace hashkit

@@ -1,0 +1,89 @@
+// hashkit: a sharded concurrent front-end over any KvStore.
+//
+// The paper's conclusion defers multi-user access; SynchronizedStore
+// (synchronized.h) answers it with one lock, which caps throughput at a
+// single core.  ShardedStore is the classic next step (LH*: linear hashing
+// partitioned across servers; here, across locks): the keyspace is split
+// into N independent stores by a partition hash, each shard guarded by its
+// own std::shared_mutex.  Get takes the shard's shared lock, Put/Delete
+// take the exclusive lock, so operations on different shards never touch
+// the same lock, and readers on one shard proceed in parallel whenever the
+// inner store declares Capabilities::concurrent_reads (the paper's hash
+// table does).  Each inner store stays single-writer, exactly as in 1991.
+//
+// The partition hash (FNV-1a from src/util/hash_funcs.h) is deliberately a
+// different function from the per-table bucket hash (the package default),
+// so shard routing and intra-shard bucket placement are independent and a
+// pathological key set cannot align both.
+//
+// Scan iterates shards in index order, driving each shard's own cursor;
+// like every store here, scan-cursor state lives in the store, so guard a
+// whole scan externally if it must not interleave with mutations.
+
+#ifndef HASHKIT_SRC_KV_SHARDED_H_
+#define HASHKIT_SRC_KV_SHARDED_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/util/hash_funcs.h"
+
+namespace hashkit {
+namespace kv {
+
+class ShardedStore final : public KvStore {
+ public:
+  // Takes ownership of the inner stores; `shards` must be non-empty and
+  // homogeneous (same kind/capabilities).  `partition_fn` routes keys.
+  ShardedStore(std::vector<std::unique_ptr<KvStore>> shards, HashFn partition_fn);
+
+  Status Put(std::string_view key, std::string_view value, bool overwrite) override;
+  Status Get(std::string_view key, std::string* value) override;
+  Status Delete(std::string_view key) override;
+  Status Scan(std::string* key, std::string* value, bool first) override;
+  Status Sync() override;
+  uint64_t Size() const override;
+  std::string Name() const override;
+  Capabilities Caps() const override;
+  bool Stats(StoreStats* out) const override;
+
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    // Readers share; Put/Delete/Scan/Sync exclude.  One lock per shard so
+    // traffic on different shards never contends.
+    mutable std::shared_mutex mu;
+    std::unique_ptr<KvStore> store;
+  };
+
+  size_t ShardOf(std::string_view key) const {
+    return partition_fn_(key.data(), key.size()) % shards_.size();
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  HashFn partition_fn_;
+  bool inner_concurrent_reads_;
+
+  // Scan-cursor state (which shard the sequential scan is on).  Guarded by
+  // scan_mu_ so interleaved Scan calls from different threads stay
+  // structurally safe, though logically they still share one cursor.
+  mutable std::mutex scan_mu_;
+  size_t scan_shard_ = 0;
+  bool scan_first_ = true;
+};
+
+// Builds one shard via `factory(shard_index)`, `nshards` times.  Fails if
+// any factory call fails.
+using ShardFactory = std::function<Result<std::unique_ptr<KvStore>>(size_t shard)>;
+Result<std::unique_ptr<KvStore>> MakeSharded(const ShardFactory& factory, size_t nshards,
+                                             HashFn partition_fn = nullptr);
+
+}  // namespace kv
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_KV_SHARDED_H_

@@ -2,18 +2,22 @@
 //
 // The paper: "the current design does not support multi-user access or
 // transactions, [but] they could be incorporated relatively easily."  The
-// stores themselves remain single-threaded (as in 1991); this wrapper
-// incorporates the multi-access half in the simplest correct form — one
-// mutex serializing every operation — so multithreaded applications can
-// share a store without data races.  (Scan state is per-store, so
-// concurrent scans still interleave logically; guard whole scans
-// externally if that matters.)
+// stores themselves remain single-writer (as in 1991); this wrapper
+// incorporates the multi-access half with one reader/writer lock: Get and
+// Size take a shared lock when the base store declares
+// Capabilities::concurrent_reads (the paper's hash table does — its read
+// path is race-free under concurrent readers), so lookups no longer
+// serialize each other; every mutation, and reads on bases without that
+// guarantee, take the exclusive lock.  For keyspace-partitioned scaling on
+// top of this, see sharded.h.  (Scan state is per-store, so concurrent
+// scans still interleave logically; guard whole scans externally if that
+// matters.)
 
 #ifndef HASHKIT_SRC_KV_SYNCHRONIZED_H_
 #define HASHKIT_SRC_KV_SYNCHRONIZED_H_
 
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 
 #include "src/kv/kv_store.h"
 
@@ -22,38 +26,60 @@ namespace kv {
 
 class SynchronizedStore final : public KvStore {
  public:
-  explicit SynchronizedStore(std::unique_ptr<KvStore> base) : base_(std::move(base)) {}
+  explicit SynchronizedStore(std::unique_ptr<KvStore> base)
+      : base_(std::move(base)), reads_share_(base_->Caps().concurrent_reads) {}
 
   Status Put(std::string_view key, std::string_view value, bool overwrite) override {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const std::unique_lock<std::shared_mutex> lock(mu_);
     return base_->Put(key, value, overwrite);
   }
   Status Get(std::string_view key, std::string* value) override {
-    const std::lock_guard<std::mutex> lock(mu_);
+    if (reads_share_) {
+      const std::shared_lock<std::shared_mutex> lock(mu_);
+      return base_->Get(key, value);
+    }
+    const std::unique_lock<std::shared_mutex> lock(mu_);
     return base_->Get(key, value);
   }
   Status Delete(std::string_view key) override {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const std::unique_lock<std::shared_mutex> lock(mu_);
     return base_->Delete(key);
   }
   Status Scan(std::string* key, std::string* value, bool first) override {
-    const std::lock_guard<std::mutex> lock(mu_);
+    // Exclusive even though it "reads": the base store's scan cursor
+    // mutates on every call.
+    const std::unique_lock<std::shared_mutex> lock(mu_);
     return base_->Scan(key, value, first);
   }
   Status Sync() override {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const std::unique_lock<std::shared_mutex> lock(mu_);
     return base_->Sync();
   }
   uint64_t Size() const override {
-    const std::lock_guard<std::mutex> lock(mu_);
+    if (reads_share_) {
+      const std::shared_lock<std::shared_mutex> lock(mu_);
+      return base_->Size();
+    }
+    const std::unique_lock<std::shared_mutex> lock(mu_);
     return base_->Size();
   }
   std::string Name() const override { return base_->Name() + "+sync"; }
-  Capabilities Caps() const override { return base_->Caps(); }
+  Capabilities Caps() const override {
+    Capabilities caps = base_->Caps();
+    // The wrapper's own locking makes concurrent calls safe regardless of
+    // the base store.
+    caps.concurrent_reads = true;
+    return caps;
+  }
+  bool Stats(StoreStats* out) const override {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    return base_->Stats(out);
+  }
 
  private:
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::unique_ptr<KvStore> base_;
+  const bool reads_share_;
 };
 
 inline std::unique_ptr<KvStore> MakeSynchronized(std::unique_ptr<KvStore> base) {

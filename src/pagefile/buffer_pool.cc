@@ -65,6 +65,7 @@ BufferPool::BufferPool(PageFile* file, size_t pool_bytes)
 BufferPool::~BufferPool() = default;
 
 void BufferPool::Unpin(BufFrame* frame) {
+  const std::lock_guard<std::mutex> lock(mu_);
   assert(frame->pins > 0);
   --frame->pins;
   if (frame->pins == 0) {
@@ -181,6 +182,7 @@ Status BufferPool::MakeRoom() {
 }
 
 Result<PageRef> BufferPool::Get(uint64_t pageno, bool create_new) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(pageno);
   if (it != frames_.end()) {
     BufFrame* frame = it->second.get();
@@ -210,6 +212,7 @@ Result<PageRef> BufferPool::Get(uint64_t pageno, bool create_new) {
 }
 
 void BufferPool::LinkOverflow(const PageRef& pred, const PageRef& succ) {
+  const std::lock_guard<std::mutex> lock(mu_);
   BufFrame* p = pred.frame_;
   BufFrame* s = succ.frame_;
   assert(p != nullptr && s != nullptr && p != s);
@@ -228,15 +231,21 @@ void BufferPool::LinkOverflow(const PageRef& pred, const PageRef& succ) {
   s->chain_prev = p;
 }
 
-Status BufferPool::FlushAll() {
+Status BufferPool::FlushAllLocked() {
   for (auto& [pageno, frame] : frames_) {
     HASHKIT_RETURN_IF_ERROR(WriteBack(frame.get()));
   }
   return Status::Ok();
 }
 
+Status BufferPool::FlushAll() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return FlushAllLocked();
+}
+
 Status BufferPool::FlushAndInvalidate() {
-  HASHKIT_RETURN_IF_ERROR(FlushAll());
+  const std::lock_guard<std::mutex> lock(mu_);
+  HASHKIT_RETURN_IF_ERROR(FlushAllLocked());
   BufFrame* f = lru_head_;
   while (f != nullptr) {
     BufFrame* next = f->lru_next;
@@ -251,6 +260,7 @@ Status BufferPool::FlushAndInvalidate() {
 }
 
 void BufferPool::Discard(uint64_t pageno) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(pageno);
   if (it == frames_.end()) {
     return;

@@ -12,12 +12,20 @@
 // limit rather than failing — this matches the paper's "buffer pool size 0"
 // configuration, i.e. the minimum number of pages required is always
 // resident.
+//
+// Thread-safety: the pool's bookkeeping (frame map, LRU chain, pin counts,
+// stats) is guarded by an internal mutex, and all backend PageFile I/O
+// happens under that mutex, so concurrent Get/Release from reader threads
+// are safe.  Page *contents* are not guarded: callers must ensure writers
+// are excluded while readers hold PageRefs (the kv layer does this with
+// per-store reader/writer locks).
 
 #ifndef HASHKIT_SRC_PAGEFILE_BUFFER_POOL_H_
 #define HASHKIT_SRC_PAGEFILE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "src/pagefile/page_file.h"
@@ -94,15 +102,25 @@ class BufferPool {
   // its contents no longer matter).  No-op if absent; must not be pinned.
   void Discard(uint64_t pageno);
 
-  size_t frames_in_use() const { return frames_.size(); }
+  size_t frames_in_use() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return frames_.size();
+  }
   size_t max_frames() const { return max_frames_; }
+  // Unlocked view; only valid when no other thread is using the pool.
   const BufferPoolStats& stats() const { return stats_; }
+  // Consistent copy, safe while reader threads are active.
+  BufferPoolStats StatsSnapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   PageFile* file() { return file_; }
 
  private:
   friend class PageRef;
 
   void Unpin(BufFrame* frame);
+  Status FlushAllLocked();
   void TouchLru(BufFrame* frame);
   void UnlinkLru(BufFrame* frame);
   // True if `frame` and all its overflow successors are unpinned.
@@ -114,6 +132,9 @@ class BufferPool {
 
   PageFile* file_;
   size_t max_frames_;
+  // Guards frames_, the LRU chain, per-frame pins/links, stats_, and all
+  // backend I/O issued by the pool.
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::unique_ptr<BufFrame>> frames_;
   BufFrame* lru_head_ = nullptr;  // least recently used
   BufFrame* lru_tail_ = nullptr;  // most recently used
