@@ -1,0 +1,209 @@
+// Loopback throughput sweep for hashkit-net.
+//
+// Serves a sharded in-memory store from an in-process epoll server and
+// sweeps client threads x pipeline depth over 127.0.0.1, mixing 80% GET /
+// 20% PUT per batch.  Pipeline depth 1 shows the raw round-trip cost;
+// deeper pipelines amortize it — the sweep quantifies how much of the
+// in-process throughput (bench/concurrent_throughput) survives the wire.
+// Results land in BENCH_net.json with a schema-stable row per cell:
+//   {threads, pipeline_depth, ops, elapsed_sec, requests_per_sec}
+//
+// Flags: --ops=N per-cell request target (default 40000),
+//        --max_threads=N cap on the thread sweep (default 8),
+//        --workers=N server worker loops (default 2),
+//        --shards=N store shards (default 8).
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/kv/kv_store.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/workload/timing.h"
+
+namespace hashkit {
+namespace bench {
+namespace {
+
+struct Cell {
+  int threads;
+  int depth;
+  size_t ops;
+  double elapsed_sec;
+  double requests_per_sec;
+};
+
+long FlagFromArgs(int argc, char** argv, const char* name, long fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atol(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+// Each client thread drives `ops` requests in batches of `depth`: 80% GET,
+// 20% PUT, keys cycling through a preloaded space.
+void RunClient(uint16_t port, int thread_id, size_t ops, int depth, size_t keyspace,
+               std::atomic<uint64_t>* errors) {
+  auto connected = net::Client::Connect("127.0.0.1", port);
+  if (!connected.ok()) {
+    errors->fetch_add(ops);
+    return;
+  }
+  auto client = std::move(connected).value();
+  std::vector<net::Request> batch;
+  std::vector<net::Response> responses;
+  size_t sent = 0;
+  uint64_t cursor = static_cast<uint64_t>(thread_id) * 7919;
+  while (sent < ops) {
+    batch.clear();
+    while (batch.size() < static_cast<size_t>(depth) && sent + batch.size() < ops) {
+      net::Request req;
+      const uint64_t k = cursor++ % keyspace;
+      if (cursor % 5 == 0) {
+        req.op = net::Opcode::kPut;
+        req.key = "key" + std::to_string(k);
+        req.value = "updated" + std::to_string(cursor);
+      } else {
+        req.op = net::Opcode::kGet;
+        req.key = "key" + std::to_string(k);
+      }
+      batch.push_back(std::move(req));
+    }
+    if (!client->Pipeline(batch, &responses).ok()) {
+      errors->fetch_add(ops - sent);
+      return;
+    }
+    for (const net::Response& resp : responses) {
+      if (resp.status != StatusCode::kOk && resp.status != StatusCode::kNotFound) {
+        errors->fetch_add(1);
+      }
+    }
+    sent += batch.size();
+  }
+}
+
+int Main(int argc, char** argv) {
+  const size_t ops = static_cast<size_t>(FlagFromArgs(argc, argv, "ops", 40000));
+  const int max_threads = static_cast<int>(FlagFromArgs(argc, argv, "max_threads", 8));
+  const int workers = static_cast<int>(FlagFromArgs(argc, argv, "workers", 2));
+  const uint32_t shards = static_cast<uint32_t>(FlagFromArgs(argc, argv, "shards", 8));
+  constexpr size_t kKeyspace = 10000;
+
+  kv::StoreOptions store_options;
+  store_options.shards = shards;
+  store_options.nelem = kKeyspace * 2;
+  store_options.cachesize = 32 * 1024 * 1024;
+  auto opened = kv::OpenStore(kv::StoreKind::kHashMemory, store_options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  auto store = std::move(opened).value();
+  for (size_t k = 0; k < kKeyspace; ++k) {
+    (void)store->Put("key" + std::to_string(k), "initial" + std::to_string(k));
+  }
+
+  net::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = workers;
+  net::Server server(store.get(), server_options);
+  const Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Net throughput sweep: %zu requests/cell over loopback, 80/20 get/put,\n"
+              "store %s, %d server workers; hardware threads: %u\n\n",
+              ops, store->Name().c_str(), workers, std::thread::hardware_concurrency());
+
+  const int thread_counts[] = {1, 2, 4, 8};
+  const int depths[] = {1, 8, 32};
+  std::vector<Cell> cells;
+  PrintCsvHeader("net,threads,pipeline_depth,requests_per_sec");
+  std::printf("%8s %8s %8s %16s\n", "threads", "depth", "ops", "requests/sec");
+  for (const int nthreads : thread_counts) {
+    if (nthreads > max_threads) {
+      continue;
+    }
+    for (const int depth : depths) {
+      const size_t per_thread = ops / static_cast<size_t>(nthreads);
+      const size_t total = per_thread * static_cast<size_t>(nthreads);
+      std::atomic<uint64_t> errors{0};
+      std::vector<std::thread> threads;
+      double elapsed = 0.0;
+      {
+        const auto sample = workload::MeasureOnce([&] {
+          for (int t = 0; t < nthreads; ++t) {
+            threads.emplace_back(RunClient, server.port(), t, per_thread, depth, kKeyspace,
+                                 &errors);
+          }
+          for (auto& thread : threads) {
+            thread.join();
+          }
+        });
+        elapsed = sample.elapsed_sec;
+      }
+      if (errors.load() > 0) {
+        std::fprintf(stderr, "cell t=%d d=%d: %llu errors\n", nthreads, depth,
+                     static_cast<unsigned long long>(errors.load()));
+      }
+      const double rps = elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0;
+      std::printf("%8d %8d %8zu %16.0f\n", nthreads, depth, total, rps);
+      char csv[120];
+      std::snprintf(csv, sizeof(csv), "net,%d,%d,%.0f", nthreads, depth, rps);
+      PrintCsv(csv);
+      cells.push_back({nthreads, depth, total, elapsed, rps});
+    }
+  }
+  server.Stop();
+
+  // Headline: what pipelining is worth at the widest client count.
+  double depth1 = 0.0, depth32 = 0.0;
+  for (const Cell& c : cells) {
+    if (c.threads == std::min(8, max_threads)) {
+      if (c.depth == 1) {
+        depth1 = c.requests_per_sec;
+      } else if (c.depth == 32) {
+        depth32 = c.requests_per_sec;
+      }
+    }
+  }
+  if (depth1 > 0) {
+    std::printf("\npipelining at max threads: depth32/depth1 = %.2fx\n", depth32 / depth1);
+  }
+
+  std::FILE* f = std::fopen("BENCH_net.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_net.json\n");
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "  {\"threads\": %d, \"pipeline_depth\": %d, \"ops\": %zu, "
+                 "\"elapsed_sec\": %.6f, \"requests_per_sec\": %.0f}%s\n",
+                 c.threads, c.depth, c.ops, c.elapsed_sec, c.requests_per_sec,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %zu cells to BENCH_net.json\n", cells.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hashkit
+
+int main(int argc, char** argv) { return hashkit::bench::Main(argc, argv); }

@@ -40,14 +40,34 @@ bool ParseKind(const std::string& name, StoreKind* kind) {
   return false;
 }
 
-int Usage() {
-  std::fprintf(stderr,
+int Usage(std::FILE* out, int code) {
+  std::fprintf(out,
                "usage: db_tool <store> <path> put <key> <value>\n"
                "       db_tool <store> <path> get <key>\n"
                "       db_tool <store> <path> del <key>\n"
                "       db_tool <store> <path> dump|stat|load\n"
-               "store: hash_disk ndbm sdbm gdbm\n");
-  return 2;
+               "       db_tool --help\n"
+               "store: hash_disk ndbm sdbm gdbm (file-backed kinds)\n"
+               "load reads key<TAB>value lines from stdin.\n"
+               "With no arguments, runs a self-demonstration.\n");
+  return code;
+}
+
+int Usage() { return Usage(stderr, 2); }
+
+// Exact operand counts per subcommand; anything else is a usage error with
+// a pointed message rather than silent fallthrough.
+bool OperandCountOk(const std::string& cmd, int argc, int* expected) {
+  if (cmd == "put") {
+    *expected = 2;
+  } else if (cmd == "get" || cmd == "del") {
+    *expected = 1;
+  } else if (cmd == "dump" || cmd == "stat" || cmd == "load") {
+    *expected = 0;
+  } else {
+    return false;  // unknown command; *expected untouched
+  }
+  return argc == *expected;
 }
 
 int RunCommand(KvStore& store, const std::string& cmd, int argc, char** argv) {
@@ -153,14 +173,31 @@ int Demo() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0)) {
+    return Usage(stdout, 0);
+  }
   if (argc < 2) {
     return Demo();
   }
   if (argc < 4) {
+    std::fprintf(stderr, "db_tool: expected <store> <path> <command>\n");
     return Usage();
   }
   StoreKind kind;
   if (!ParseKind(argv[1], &kind)) {
+    std::fprintf(stderr, "db_tool: unknown store kind '%s'\n", argv[1]);
+    return Usage();
+  }
+  const std::string cmd = argv[3];
+  int expected = 0;
+  if (!OperandCountOk(cmd, argc - 4, &expected)) {
+    if (cmd != "put" && cmd != "get" && cmd != "del" && cmd != "dump" && cmd != "stat" &&
+        cmd != "load") {
+      std::fprintf(stderr, "db_tool: unknown command '%s'\n", cmd.c_str());
+    } else {
+      std::fprintf(stderr, "db_tool: '%s' takes exactly %d operand%s (got %d)\n", cmd.c_str(),
+                   expected, expected == 1 ? "" : "s", argc - 4);
+    }
     return Usage();
   }
   StoreOptions options;
@@ -171,5 +208,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "open: %s\n", opened.status().ToString().c_str());
     return 1;
   }
-  return RunCommand(*opened.value(), argv[3], argc - 4, argv + 4);
+  if (!opened.value()->Caps().persistent) {
+    std::fprintf(stderr, "db_tool: store kind '%s' is memory-resident; nothing would survive "
+                         "this process — use a file-backed kind\n",
+                 argv[1]);
+    return 2;
+  }
+  return RunCommand(*opened.value(), cmd, argc - 4, argv + 4);
 }

@@ -1,0 +1,78 @@
+# ctest smoke test for db_tool: exercises every subcommand (put, get, del,
+# dump, stat, load) plus --help and the argument-validation error paths
+# against a real hash_disk file.  Driven as
+#   cmake -DDB_TOOL=<binary> -DWORK_DIR=<dir> -P db_tool_smoke.cmake
+# and registered from examples/CMakeLists.txt.
+
+if(NOT DEFINED DB_TOOL OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DDB_TOOL=<bin> -DWORK_DIR=<dir> -P db_tool_smoke.cmake")
+endif()
+
+set(DB "${WORK_DIR}/db_tool_smoke.db")
+file(REMOVE "${DB}")
+
+function(run_expect_rc expect_rc)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "expected rc=${expect_rc}, got rc=${rc} for: ${ARGN}\n${out}\n${err}")
+  endif()
+  set(LAST_OUT "${out}" PARENT_SCOPE)
+endfunction()
+
+function(expect_output_contains needle)
+  if(NOT LAST_OUT MATCHES "${needle}")
+    message(FATAL_ERROR "expected output to contain '${needle}', got:\n${LAST_OUT}")
+  endif()
+endfunction()
+
+# --help succeeds and prints usage.
+run_expect_rc(0 "${DB_TOOL}" --help)
+expect_output_contains("usage: db_tool")
+
+# put / get round trip.
+run_expect_rc(0 "${DB_TOOL}" hash_disk "${DB}" put greeting "hello, 1991")
+run_expect_rc(0 "${DB_TOOL}" hash_disk "${DB}" put author seltzer-yigit)
+run_expect_rc(0 "${DB_TOOL}" hash_disk "${DB}" get greeting)
+expect_output_contains("hello, 1991")
+
+# dump shows both pairs.
+run_expect_rc(0 "${DB_TOOL}" hash_disk "${DB}" dump)
+expect_output_contains("greeting")
+expect_output_contains("author")
+
+# stat reports the store and pair count.
+run_expect_rc(0 "${DB_TOOL}" hash_disk "${DB}" stat)
+expect_output_contains("pairs: 2")
+
+# load from stdin (tab-separated), then verify via get.
+file(WRITE "${WORK_DIR}/db_tool_smoke.input" "k1\tv1\nk2\tv2\n")
+execute_process(COMMAND "${DB_TOOL}" hash_disk "${DB}" load
+                INPUT_FILE "${WORK_DIR}/db_tool_smoke.input"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "load failed rc=${rc}\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "loaded 2 pairs")
+  message(FATAL_ERROR "expected 'loaded 2 pairs', got:\n${out}")
+endif()
+run_expect_rc(0 "${DB_TOOL}" hash_disk "${DB}" get k2)
+expect_output_contains("v2")
+
+# del removes, get then fails with rc 1.
+run_expect_rc(0 "${DB_TOOL}" hash_disk "${DB}" del greeting)
+run_expect_rc(1 "${DB_TOOL}" hash_disk "${DB}" get greeting)
+
+# Validation: unknown store, unknown command, wrong operand counts, and
+# memory-resident kinds are usage errors (rc 2).
+run_expect_rc(2 "${DB_TOOL}" no_such_store "${DB}" stat)
+run_expect_rc(2 "${DB_TOOL}" hash_disk "${DB}" frobnicate)
+run_expect_rc(2 "${DB_TOOL}" hash_disk "${DB}" put only-a-key)
+run_expect_rc(2 "${DB_TOOL}" hash_disk "${DB}" get)
+run_expect_rc(2 "${DB_TOOL}" hash_disk "${DB}" dump extra-operand)
+run_expect_rc(2 "${DB_TOOL}" hash_mem "${DB}" stat)
+
+file(REMOVE "${DB}" "${WORK_DIR}/db_tool_smoke.input")
+message(STATUS "db_tool smoke: all subcommands OK")

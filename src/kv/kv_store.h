@@ -49,6 +49,24 @@ struct StoreStats {
   HashTableStats table;
   BufferPoolStats pool;
   size_t shards = 1;  // number of backing partitions (1 = unsharded)
+
+  // Accumulates another store's counters into this one (shards is left to
+  // the caller — partition count does not sum across wrappers).  Used by
+  // ShardedStore::Stats and the network server's STATS command.
+  void MergeFrom(const StoreStats& other) {
+    table.puts += other.table.puts;
+    table.gets += other.table.gets;
+    table.deletes += other.table.deletes;
+    table.splits += other.table.splits;
+    table.contractions += other.table.contractions;
+    table.ovfl_pages_alloced += other.table.ovfl_pages_alloced;
+    table.ovfl_pages_freed += other.table.ovfl_pages_freed;
+    table.big_pairs_stored += other.table.big_pairs_stored;
+    pool.hits += other.pool.hits;
+    pool.misses += other.pool.misses;
+    pool.evictions += other.pool.evictions;
+    pool.dirty_writebacks += other.pool.dirty_writebacks;
+  }
 };
 
 class KvStore {

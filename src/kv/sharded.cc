@@ -105,18 +105,7 @@ bool ShardedStore::Stats(StoreStats* out) const {
     if (!shard->store->Stats(&s)) {
       return false;
     }
-    merged.table.puts += s.table.puts;
-    merged.table.gets += s.table.gets;
-    merged.table.deletes += s.table.deletes;
-    merged.table.splits += s.table.splits;
-    merged.table.contractions += s.table.contractions;
-    merged.table.ovfl_pages_alloced += s.table.ovfl_pages_alloced;
-    merged.table.ovfl_pages_freed += s.table.ovfl_pages_freed;
-    merged.table.big_pairs_stored += s.table.big_pairs_stored;
-    merged.pool.hits += s.pool.hits;
-    merged.pool.misses += s.pool.misses;
-    merged.pool.evictions += s.pool.evictions;
-    merged.pool.dirty_writebacks += s.pool.dirty_writebacks;
+    merged.MergeFrom(s);
   }
   *out = merged;
   return true;

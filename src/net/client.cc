@@ -1,0 +1,229 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hashkit {
+namespace net {
+
+namespace {
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Converts a response's wire status + message back into a Status.
+Status FromResponse(const Response& resp) {
+  if (resp.status == StatusCode::kOk) {
+    return Status::Ok();
+  }
+  return Status(resp.status, resp.value);
+}
+}  // namespace
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Status Client::WriteAll(const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a dead server yields an EPIPE Status, not SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("write");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status Client::ReadResponse(Response* out) {
+  for (;;) {
+    size_t consumed = 0;
+    std::string error;
+    switch (DecodeResponse(&buf_, out, &consumed, &error)) {
+      case DecodeResult::kFrame:
+        return Status::Ok();
+      case DecodeResult::kMalformed:
+        return Status::Corruption("malformed response: " + error);
+      case DecodeResult::kNeedMore:
+        break;
+    }
+    char chunk[64 * 1024];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n == 0) {
+      return Status::IoError("server closed the connection");
+    }
+    return Errno("read");
+  }
+}
+
+Status Client::Call(Request req, Response* resp) {
+  req.seq = next_seq_++;
+  std::string wire;
+  EncodeRequest(req, &wire);
+  HASHKIT_RETURN_IF_ERROR(WriteAll(wire));
+  HASHKIT_RETURN_IF_ERROR(ReadResponse(resp));
+  if (resp->seq != req.seq) {
+    return Status::Corruption("response out of sequence");
+  }
+  return Status::Ok();
+}
+
+Status Client::Pipeline(const std::vector<Request>& requests,
+                        std::vector<Response>* responses) {
+  responses->clear();
+  responses->reserve(requests.size());
+  std::string wire;
+  const uint32_t first_seq = next_seq_;
+  for (const Request& req : requests) {
+    Request numbered = req;
+    numbered.seq = next_seq_++;
+    EncodeRequest(numbered, &wire);
+  }
+  HASHKIT_RETURN_IF_ERROR(WriteAll(wire));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Response resp;
+    HASHKIT_RETURN_IF_ERROR(ReadResponse(&resp));
+    if (resp.seq != first_seq + i) {
+      return Status::Corruption("pipelined response out of sequence");
+    }
+    responses->push_back(std::move(resp));
+  }
+  return Status::Ok();
+}
+
+Status Client::Put(std::string_view key, std::string_view value, bool overwrite) {
+  Request req;
+  req.op = Opcode::kPut;
+  req.key = key;
+  req.value = value;
+  if (!overwrite) {
+    req.flags |= kFlagNoOverwrite;
+  }
+  Response resp;
+  HASHKIT_RETURN_IF_ERROR(Call(std::move(req), &resp));
+  return FromResponse(resp);
+}
+
+Status Client::Get(std::string_view key, std::string* value) {
+  Request req;
+  req.op = Opcode::kGet;
+  req.key = key;
+  Response resp;
+  HASHKIT_RETURN_IF_ERROR(Call(std::move(req), &resp));
+  const Status st = FromResponse(resp);
+  if (st.ok() && value != nullptr) {
+    *value = std::move(resp.value);
+  }
+  return st;
+}
+
+Status Client::Delete(std::string_view key) {
+  Request req;
+  req.op = Opcode::kDel;
+  req.key = key;
+  Response resp;
+  HASHKIT_RETURN_IF_ERROR(Call(std::move(req), &resp));
+  return FromResponse(resp);
+}
+
+Status Client::Scan(std::string* key, std::string* value, bool first) {
+  Request req;
+  req.op = Opcode::kScan;
+  if (first) {
+    req.flags |= kFlagScanFirst;
+  }
+  Response resp;
+  HASHKIT_RETURN_IF_ERROR(Call(std::move(req), &resp));
+  const Status st = FromResponse(resp);
+  if (st.ok()) {
+    if (key != nullptr) {
+      *key = std::move(resp.key);
+    }
+    if (value != nullptr) {
+      *value = std::move(resp.value);
+    }
+  }
+  return st;
+}
+
+Status Client::Sync() {
+  Request req;
+  req.op = Opcode::kSync;
+  Response resp;
+  HASHKIT_RETURN_IF_ERROR(Call(std::move(req), &resp));
+  return FromResponse(resp);
+}
+
+Status Client::Ping(std::string_view payload) {
+  Request req;
+  req.op = Opcode::kPing;
+  req.value = payload;
+  Response resp;
+  HASHKIT_RETURN_IF_ERROR(Call(std::move(req), &resp));
+  if (resp.value != payload) {
+    return Status::Corruption("ping payload mismatch");
+  }
+  return FromResponse(resp);
+}
+
+Status Client::Stats(std::string* text) {
+  Request req;
+  req.op = Opcode::kStats;
+  Response resp;
+  HASHKIT_RETURN_IF_ERROR(Call(std::move(req), &resp));
+  const Status st = FromResponse(resp);
+  if (st.ok() && text != nullptr) {
+    *text = std::move(resp.value);
+  }
+  return st;
+}
+
+}  // namespace net
+}  // namespace hashkit

@@ -1,0 +1,68 @@
+// hashkit-net: a synchronous client for the hashkit wire protocol.
+//
+// One Client wraps one blocking TCP connection.  Single-shot calls mirror
+// the KvStore surface (Put/Get/Delete/Scan/Sync plus Ping/Stats); Pipeline
+// batches N requests into one write and reads the N responses back — the
+// round-trip amortization the protocol's sequence numbers exist for.  A
+// Client is not thread-safe; give each thread its own connection (the
+// server treats every connection independently).
+
+#ifndef HASHKIT_SRC_NET_CLIENT_H_
+#define HASHKIT_SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/proto.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace net {
+
+class Client {
+ public:
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host, uint16_t port);
+
+  // KvStore-shaped single-shot calls (one round trip each).
+  Status Put(std::string_view key, std::string_view value, bool overwrite = true);
+  Status Get(std::string_view key, std::string* value);
+  Status Delete(std::string_view key);
+  // first=true restarts the server-side cursor (which is shared by every
+  // connection, exactly like the in-process Scan).
+  Status Scan(std::string* key, std::string* value, bool first);
+  Status Sync();
+  // Round-trips `payload` through the server.
+  Status Ping(std::string_view payload = "");
+  // The server's "key=value"-lines stats dump.
+  Status Stats(std::string* text);
+
+  // Pipelining: send every request back-to-back, then collect all
+  // responses (in request order; sequence numbers are assigned and checked
+  // internally).  Per-request status lives in each Response; the returned
+  // Status covers transport failures only.  On error the connection is in
+  // an undefined state and the client should be discarded.
+  Status Pipeline(const std::vector<Request>& requests, std::vector<Response>* responses);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  Status WriteAll(const std::string& bytes);
+  // Reads until `buf_` yields one complete response frame.
+  Status ReadResponse(Response* out);
+  Status Call(Request req, Response* resp);
+
+  int fd_;
+  uint32_t next_seq_ = 1;
+  std::string buf_;  // unconsumed bytes from the socket
+};
+
+}  // namespace net
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_NET_CLIENT_H_

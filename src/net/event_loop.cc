@@ -1,0 +1,147 @@
+#include "src/net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace hashkit {
+namespace net {
+
+namespace {
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wakeup_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (ok()) {
+    // The wakeup fd is a level of its own: its callback just drains the
+    // counter; posted tasks are picked up after every poll anyway.
+    struct epoll_event ev = {};
+    ev.events = EPOLLIN;
+    ev.data.fd = wakeup_fd_;
+    (void)epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev);
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+  }
+  if (wakeup_fd_ >= 0) {
+    ::close(wakeup_fd_);
+  }
+}
+
+Status EventLoop::Add(int fd, uint32_t events, FdCallback callback) {
+  struct epoll_event ev = {};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(ADD)");
+  }
+  callbacks_[fd] = std::move(callback);
+  return Status::Ok();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  struct epoll_event ev = {};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(MOD)");
+  }
+  return Status::Ok();
+}
+
+Status EventLoop::Remove(int fd) {
+  callbacks_.erase(fd);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    return Errno("epoll_ctl(DEL)");
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Post(Task task) {
+  {
+    const std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(task));
+  }
+  Wakeup();
+}
+
+void EventLoop::Wakeup() {
+  const uint64_t one = 1;
+  ssize_t n;
+  do {
+    n = ::write(wakeup_fd_, &one, sizeof(one));
+  } while (n < 0 && errno == EINTR);
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<Task> tasks;
+  {
+    const std::lock_guard<std::mutex> lock(posted_mu_);
+    tasks.swap(posted_);
+  }
+  for (Task& task : tasks) {
+    task();
+  }
+}
+
+void EventLoop::Run(const Task& tick, int tick_interval_ms) {
+  if (!ok()) {
+    return;
+  }
+  using Clock = std::chrono::steady_clock;
+  auto last_tick = Clock::now();
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    DrainPosted();
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, tick_interval_ms);
+    if (n < 0 && errno != EINTR) {
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakeup_fd_) {
+        uint64_t drained;
+        while (::read(wakeup_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // The callback may Remove() other fds in this batch (e.g. a close
+      // cascades), so re-look-up per event instead of holding iterators.
+      const auto it = callbacks_.find(fd);
+      if (it != callbacks_.end()) {
+        // Copy: the callback may Remove(fd) itself, invalidating `it`.
+        const FdCallback callback = it->second;
+        callback(events[i].events);
+      }
+    }
+    if (tick != nullptr) {
+      const auto now = Clock::now();
+      if (now - last_tick >= std::chrono::milliseconds(tick_interval_ms)) {
+        tick();
+        last_tick = now;
+      }
+    }
+  }
+  DrainPosted();
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  Wakeup();
+}
+
+}  // namespace net
+}  // namespace hashkit

@@ -1,0 +1,73 @@
+// hashkit-net: a minimal epoll event loop.
+//
+// One EventLoop per thread.  File descriptors register a callback that is
+// invoked with the ready epoll event mask; a self-pipe (eventfd) lets other
+// threads wake the loop to stop it or to hand over work, and the epoll_wait
+// timeout doubles as a coarse tick for idle-connection sweeps.  The loop
+// owns nothing but its epoll and wakeup fds — registered fds belong to the
+// caller.
+
+#ifndef HASHKIT_SRC_NET_EVENT_LOOP_H_
+#define HASHKIT_SRC_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace net {
+
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(uint32_t events)>;
+  using Task = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // False when epoll/eventfd creation failed; Run() refuses to start.
+  bool ok() const { return epoll_fd_ >= 0 && wakeup_fd_ >= 0; }
+
+  // Register `fd` for `events` (EPOLLIN/EPOLLOUT/...).  The callback runs
+  // on the loop thread.  Only the loop thread may call Add/Modify/Remove.
+  Status Add(int fd, uint32_t events, FdCallback callback);
+  Status Modify(int fd, uint32_t events);
+  Status Remove(int fd);
+
+  // Queue `task` to run on the loop thread before the next poll, and wake
+  // the loop.  Safe from any thread; the only cross-thread entry point.
+  void Post(Task task);
+
+  // Process events until Stop().  `tick` (may be null) runs roughly every
+  // `tick_interval_ms` on the loop thread — the idle-sweep hook.
+  void Run(const Task& tick = nullptr, int tick_interval_ms = 1000);
+
+  // Signal the loop to exit its Run() cycle.  Safe from any thread.
+  void Stop();
+
+ private:
+  void Wakeup();
+  void DrainPosted();
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  // fd -> callback; touched only on the loop thread.
+  std::unordered_map<int, FdCallback> callbacks_;
+
+  std::mutex posted_mu_;
+  std::vector<Task> posted_;
+};
+
+}  // namespace net
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_NET_EVENT_LOOP_H_

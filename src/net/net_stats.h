@@ -1,0 +1,43 @@
+// hashkit-net: server-side operation counters.
+//
+// One NetStats instance is shared by every connection of a Server; all
+// fields are relaxed atomics, so workers bump them without coordination and
+// a STATS request (or tests) can snapshot them while traffic is running.
+
+#ifndef HASHKIT_SRC_NET_NET_STATS_H_
+#define HASHKIT_SRC_NET_NET_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/net/proto.h"
+
+namespace hashkit {
+namespace net {
+
+struct NetStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_active{0};
+  std::atomic<uint64_t> requests_by_opcode[kOpcodeCount] = {};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> malformed_frames{0};
+  std::atomic<uint64_t> idle_timeouts{0};
+
+  void CountRequest(Opcode op) {
+    requests_by_opcode[static_cast<uint8_t>(op)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t TotalRequests() const {
+    uint64_t total = 0;
+    for (const auto& counter : requests_by_opcode) {
+      total += counter.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+};
+
+}  // namespace net
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_NET_NET_STATS_H_

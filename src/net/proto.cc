@@ -1,0 +1,150 @@
+#include "src/net/proto.h"
+
+#include <cstring>
+#include <type_traits>
+
+#include "src/util/endian.h"
+
+namespace hashkit {
+namespace net {
+
+namespace {
+
+// Shared header layout (request and response differ only in magic and in
+// how byte 4 is interpreted: flags vs status).
+//   0  u16 magic
+//   2  u8  version
+//   3  u8  opcode
+//   4  u8  flags / status
+//   5  u8[3] reserved
+//   8  u32 seq
+//   12 u32 key_len
+//   16 u32 value_len
+
+void EncodeHeader(uint16_t magic, uint8_t opcode, uint8_t byte4, uint32_t seq,
+                  uint32_t key_len, uint32_t value_len, std::string* out) {
+  uint8_t header[kHeaderSize] = {};
+  EncodeU16(header, magic);
+  header[2] = kProtocolVersion;
+  header[3] = opcode;
+  header[4] = byte4;
+  EncodeU32(header + 8, seq);
+  EncodeU32(header + 12, key_len);
+  EncodeU32(header + 16, value_len);
+  out->append(reinterpret_cast<const char*>(header), kHeaderSize);
+}
+
+// Validates the fixed header fields shared by both directions.  Returns
+// true when the header is well-formed; false with a diagnostic otherwise.
+bool ValidateHeader(const uint8_t* h, uint16_t want_magic, std::string* error) {
+  if (DecodeU16(h) != want_magic) {
+    *error = "bad magic";
+    return false;
+  }
+  if (h[2] != kProtocolVersion) {
+    *error = "unsupported protocol version " + std::to_string(h[2]);
+    return false;
+  }
+  if (h[3] > kMaxOpcode) {
+    *error = "unknown opcode " + std::to_string(h[3]);
+    return false;
+  }
+  if (h[5] != 0 || h[6] != 0 || h[7] != 0) {
+    *error = "nonzero reserved bytes";
+    return false;
+  }
+  const uint32_t key_len = DecodeU32(h + 12);
+  const uint32_t value_len = DecodeU32(h + 16);
+  if (key_len > kMaxKeyLen) {
+    *error = "key length " + std::to_string(key_len) + " exceeds limit";
+    return false;
+  }
+  if (value_len > kMaxValueLen) {
+    *error = "value length " + std::to_string(value_len) + " exceeds limit";
+    return false;
+  }
+  return true;
+}
+
+template <typename Frame>
+DecodeResult DecodeFrame(uint16_t want_magic, std::string* buf, Frame* out,
+                         size_t* consumed, std::string* error) {
+  *consumed = 0;
+  if (buf->size() < kHeaderSize) {
+    return DecodeResult::kNeedMore;
+  }
+  const uint8_t* h = reinterpret_cast<const uint8_t*>(buf->data());
+  if (!ValidateHeader(h, want_magic, error)) {
+    return DecodeResult::kMalformed;
+  }
+  const uint32_t key_len = DecodeU32(h + 12);
+  const uint32_t value_len = DecodeU32(h + 16);
+  const size_t total = kHeaderSize + key_len + value_len;
+  if (buf->size() < total) {
+    return DecodeResult::kNeedMore;
+  }
+  out->op = static_cast<Opcode>(h[3]);
+  out->seq = DecodeU32(h + 8);
+  out->key.assign(*buf, kHeaderSize, key_len);
+  out->value.assign(*buf, kHeaderSize + key_len, value_len);
+  if constexpr (std::is_same_v<Frame, Request>) {
+    out->flags = h[4];
+  } else {
+    out->status = static_cast<StatusCode>(h[4]);
+  }
+  buf->erase(0, total);
+  *consumed = total;
+  return DecodeResult::kFrame;
+}
+
+}  // namespace
+
+std::string_view OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kPing:
+      return "PING";
+    case Opcode::kPut:
+      return "PUT";
+    case Opcode::kGet:
+      return "GET";
+    case Opcode::kDel:
+      return "DEL";
+    case Opcode::kScan:
+      return "SCAN";
+    case Opcode::kStats:
+      return "STATS";
+    case Opcode::kSync:
+      return "SYNC";
+  }
+  return "UNKNOWN";
+}
+
+void EncodeRequest(const Request& req, std::string* out) {
+  EncodeHeader(kRequestMagic, static_cast<uint8_t>(req.op), req.flags, req.seq,
+               static_cast<uint32_t>(req.key.size()),
+               static_cast<uint32_t>(req.value.size()), out);
+  out->append(req.key);
+  out->append(req.value);
+}
+
+void EncodeResponse(const Response& resp, std::string* out) {
+  EncodeHeader(kResponseMagic, static_cast<uint8_t>(resp.op),
+               static_cast<uint8_t>(resp.status), resp.seq,
+               static_cast<uint32_t>(resp.key.size()),
+               static_cast<uint32_t>(resp.value.size()), out);
+  out->append(resp.key);
+  out->append(resp.value);
+}
+
+DecodeResult DecodeRequest(std::string* buf, Request* out, size_t* consumed,
+                           std::string* error) {
+  return DecodeFrame(kRequestMagic, buf, out, consumed, error);
+}
+
+DecodeResult DecodeResponse(std::string* buf, Response* out, size_t* consumed,
+                            std::string* error) {
+  return DecodeFrame(kResponseMagic, buf, out, consumed, error);
+}
+
+}  // namespace net
+}  // namespace hashkit

@@ -1,0 +1,107 @@
+// hashkit-net: the length-prefixed binary wire protocol.
+//
+// The paper's package is an in-process library; LH*-style serving (see
+// PAPERS.md) needs the key/data interface on a wire.  The protocol keeps
+// the KvStore shape — an opcode per KvStore operation plus PING — framed as
+// fixed 20-byte little-endian headers followed by the key and value bytes.
+// Frames are self-delimiting, so any number of requests can be in flight on
+// one connection (pipelining); every response echoes its request's sequence
+// number, and responses come back in request order.
+//
+//   request:  u16 magic 'HK' | u8 version | u8 opcode | u8 flags |
+//             u8[3] reserved (zero) | u32 seq | u32 key_len | u32 value_len |
+//             key bytes | value bytes
+//   response: u16 magic 'hk' | u8 version | u8 opcode (echo) | u8 status |
+//             u8[3] reserved (zero) | u32 seq (echo) | u32 key_len |
+//             u32 value_len | key bytes | value bytes
+//
+// All integers little-endian (src/util/endian.h, as on disk).  Length
+// limits (kMaxKeyLen / kMaxValueLen) bound per-frame memory; a frame that
+// violates the magic, version, opcode, reserved bytes, or limits is
+// *malformed* — the server answers with status kInvalidArgument (seq 0 if
+// the header was unreadable) and closes the connection, because framing can
+// no longer be trusted.
+
+#ifndef HASHKIT_SRC_NET_PROTO_H_
+#define HASHKIT_SRC_NET_PROTO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace net {
+
+inline constexpr uint16_t kRequestMagic = 0x4B48;   // "HK" little-endian
+inline constexpr uint16_t kResponseMagic = 0x6B68;  // "hk"
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kHeaderSize = 20;
+
+// Frame payload bounds.  Keys share the hash table's practical sizing;
+// values may be big pairs.  Together they cap a frame's buffered size.
+inline constexpr uint32_t kMaxKeyLen = 1u << 20;    // 1 MB
+inline constexpr uint32_t kMaxValueLen = 1u << 24;  // 16 MB
+
+enum class Opcode : uint8_t {
+  kPing = 0,
+  kPut = 1,
+  kGet = 2,
+  kDel = 3,
+  kScan = 4,
+  kStats = 5,
+  kSync = 6,
+};
+
+inline constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kSync);
+inline constexpr size_t kOpcodeCount = kMaxOpcode + 1;
+
+std::string_view OpcodeName(Opcode op);
+
+// Request flag bits (meaning depends on the opcode).
+inline constexpr uint8_t kFlagNoOverwrite = 1u << 0;  // PUT: fail on existing key
+inline constexpr uint8_t kFlagScanFirst = 1u << 0;    // SCAN: restart the cursor
+
+struct Request {
+  Opcode op = Opcode::kPing;
+  uint8_t flags = 0;
+  uint32_t seq = 0;
+  std::string key;
+  std::string value;
+};
+
+struct Response {
+  Opcode op = Opcode::kPing;
+  StatusCode status = StatusCode::kOk;
+  uint32_t seq = 0;
+  std::string key;    // SCAN: the scanned key
+  std::string value;  // GET/SCAN: the data; STATS: text stats; errors: message
+};
+
+// Serialize a frame onto `out` (appends; never fails — lengths were either
+// produced by us or validated on ingest).
+void EncodeRequest(const Request& req, std::string* out);
+void EncodeResponse(const Response& resp, std::string* out);
+
+// Incremental decode result: a frame, not enough bytes yet, or a protocol
+// violation (the connection should be torn down).
+enum class DecodeResult {
+  kFrame,       // one frame consumed into the out-param
+  kNeedMore,    // buffer holds a prefix of a valid frame
+  kMalformed,   // header failed validation; `error` says why
+};
+
+// Both decoders consume from the front of `buf` on success (kFrame), and
+// touch nothing otherwise.  `consumed` returns the bytes removed so callers
+// can account traffic.  On kMalformed, `error` receives a diagnostic.
+DecodeResult DecodeRequest(std::string* buf, Request* out, size_t* consumed,
+                           std::string* error);
+DecodeResult DecodeResponse(std::string* buf, Response* out, size_t* consumed,
+                            std::string* error);
+
+}  // namespace net
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_NET_PROTO_H_

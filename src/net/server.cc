@@ -1,0 +1,407 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+namespace hashkit {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+struct Server::Connection {
+  int fd = -1;
+  std::string in;        // bytes read, not yet forming complete frames
+  std::string out;       // encoded responses not yet written
+  size_t out_offset = 0; // already-written prefix of `out`
+  uint32_t epoll_mask = 0;
+  bool close_after_flush = false;  // set on malformed input
+  Clock::time_point last_active = Clock::now();
+
+  size_t pending_out() const { return out.size() - out_offset; }
+};
+
+struct Server::Worker {
+  EventLoop loop;
+  std::thread thread;
+  // Owned connections, keyed by fd.  Touched only on the loop thread.
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+};
+
+Server::Server(kv::KvStore* store, ServerOptions options)
+    : store_(store), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("server already started");
+  }
+  if (options_.workers < 1) {
+    return Status::InvalidArgument("server needs at least one worker");
+  }
+  if (!accept_loop_.ok()) {
+    return Status::IoError("epoll setup failed for acceptor");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Errno("socket");
+  }
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return Errno("listen");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &addr_len) != 0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  for (int i = 0; i < options_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    if (!worker->loop.ok()) {
+      return Status::IoError("epoll setup failed for worker");
+    }
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    const bool sweep = options_.idle_timeout_ms > 0;
+    worker->thread = std::thread([this, w, sweep] {
+      w->loop.Run(sweep ? EventLoop::Task([this, w] { SweepIdle(w); }) : EventLoop::Task(),
+                  1000);
+    });
+  }
+
+  HASHKIT_RETURN_IF_ERROR(
+      accept_loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { AcceptReady(); }));
+  accept_thread_ = std::thread([this] { accept_loop_.Run(); });
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) {
+    return;
+  }
+  accept_loop_.Stop();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    // The close-all task runs on the loop thread: either before the next
+    // poll or in the loop's final drain after Stop().
+    w->loop.Post([this, w] {
+      while (!w->conns.empty()) {
+        CloseConnection(w, w->conns.begin()->first, /*from_idle_sweep=*/false);
+      }
+    });
+    w->loop.Stop();
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+  }
+}
+
+void Server::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // EAGAIN (drained) or a transient accept error
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    Worker* w = workers_[next_worker_].get();
+    next_worker_ = (next_worker_ + 1) % workers_.size();
+    w->loop.Post([this, w, fd] { AdoptConnection(w, fd); });
+  }
+}
+
+void Server::AdoptConnection(Worker* worker, int fd) {
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->epoll_mask = EPOLLIN;
+  Connection* raw = conn.get();
+  worker->conns[fd] = std::move(conn);
+  const Status st = worker->loop.Add(
+      fd, raw->epoll_mask, [this, worker, fd](uint32_t events) {
+        ConnectionReady(worker, fd, events);
+      });
+  if (!st.ok()) {
+    worker->conns.erase(fd);
+    ::close(fd);
+    stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::CloseConnection(Worker* worker, int fd, bool from_idle_sweep) {
+  const auto it = worker->conns.find(fd);
+  if (it == worker->conns.end()) {
+    return;
+  }
+  (void)worker->loop.Remove(fd);
+  ::close(fd);
+  worker->conns.erase(it);
+  stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  if (from_idle_sweep) {
+    stats_.idle_timeouts.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::SweepIdle(Worker* worker) {
+  const auto deadline = Clock::now() - std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : worker->conns) {
+    if (conn->last_active < deadline) {
+      idle.push_back(fd);
+    }
+  }
+  for (const int fd : idle) {
+    CloseConnection(worker, fd, /*from_idle_sweep=*/true);
+  }
+}
+
+Response Server::Dispatch(const Request& req) {
+  stats_.CountRequest(req.op);
+  Response resp;
+  resp.op = req.op;
+  resp.seq = req.seq;
+  Status st;
+  switch (req.op) {
+    case Opcode::kPing:
+      resp.value = req.value;  // echo
+      break;
+    case Opcode::kPut:
+      st = store_->Put(req.key, req.value, (req.flags & kFlagNoOverwrite) == 0);
+      break;
+    case Opcode::kGet:
+      st = store_->Get(req.key, &resp.value);
+      break;
+    case Opcode::kDel:
+      st = store_->Delete(req.key);
+      break;
+    case Opcode::kScan:
+      // The scan cursor is store state, shared by every connection — as
+      // with the in-process API, interleaved scanners share one cursor.
+      st = store_->Scan(&resp.key, &resp.value, (req.flags & kFlagScanFirst) != 0);
+      break;
+    case Opcode::kStats:
+      resp.value = RenderStatsText();
+      break;
+    case Opcode::kSync:
+      st = store_->Sync();
+      break;
+  }
+  resp.status = st.code();
+  if (!st.ok() && resp.value.empty()) {
+    resp.value = st.message();
+  }
+  return resp;
+}
+
+bool Server::ServeBufferedFrames(Connection* conn) {
+  for (;;) {
+    Request req;
+    size_t consumed = 0;
+    std::string error;
+    switch (DecodeRequest(&conn->in, &req, &consumed, &error)) {
+      case DecodeResult::kFrame: {
+        const Response resp = Dispatch(req);
+        EncodeResponse(resp, &conn->out);
+        continue;
+      }
+      case DecodeResult::kNeedMore:
+        return true;
+      case DecodeResult::kMalformed: {
+        stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        Response resp;
+        resp.op = Opcode::kPing;
+        resp.status = StatusCode::kInvalidArgument;
+        resp.value = "malformed frame: " + error;
+        EncodeResponse(resp, &conn->out);
+        conn->close_after_flush = true;
+        return true;
+      }
+    }
+  }
+}
+
+bool Server::FlushWrites(Worker* worker, Connection* conn) {
+  while (conn->out_offset < conn->out.size()) {
+    // MSG_NOSIGNAL: a peer that already closed must surface as EPIPE, not
+    // a process-wide SIGPIPE.
+    const ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_offset,
+                             conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      stats_.bytes_out.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    CloseConnection(worker, conn->fd, /*from_idle_sweep=*/false);
+    return false;
+  }
+  if (conn->out_offset == conn->out.size()) {
+    conn->out.clear();
+    conn->out_offset = 0;
+    if (conn->close_after_flush) {
+      CloseConnection(worker, conn->fd, /*from_idle_sweep=*/false);
+      return false;
+    }
+  } else if (conn->out_offset > (1u << 20)) {
+    // Reclaim the written prefix so a long-lived slow reader cannot hold
+    // the whole history of its responses in memory.
+    conn->out.erase(0, conn->out_offset);
+    conn->out_offset = 0;
+  }
+  return true;
+}
+
+void Server::ConnectionReady(Worker* worker, int fd, uint32_t events) {
+  const auto it = worker->conns.find(fd);
+  if (it == worker->conns.end()) {
+    return;
+  }
+  Connection* conn = it->second.get();
+  conn->last_active = Clock::now();
+
+  // Drain readable bytes before honoring a hangup: a peer that wrote and
+  // closed in one breath still gets its frames served (and its malformed
+  // input counted).
+  bool peer_closed = false;
+  if ((events & EPOLLIN) != 0) {
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn->in.append(buf, static_cast<size_t>(n));
+        stats_.bytes_in.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      peer_closed = true;  // 0 = orderly shutdown; <0 = connection error
+      break;
+    }
+    if (!ServeBufferedFrames(conn)) {
+      CloseConnection(worker, fd, /*from_idle_sweep=*/false);
+      return;
+    }
+  } else if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    peer_closed = true;
+  }
+
+  if (!FlushWrites(worker, conn)) {
+    return;  // connection closed
+  }
+  if (peer_closed) {
+    CloseConnection(worker, fd, /*from_idle_sweep=*/false);
+    return;
+  }
+
+  // Keep the epoll interest mask in sync with buffer state: EPOLLOUT only
+  // while a flush is pending; EPOLLIN only while below the write-backlog
+  // cap (backpressure) and not draining toward a close.
+  uint32_t want = 0;
+  if (!conn->close_after_flush && conn->pending_out() <= options_.max_buffered_bytes) {
+    want |= EPOLLIN;
+  }
+  if (conn->pending_out() > 0) {
+    want |= EPOLLOUT;
+  }
+  if (want != conn->epoll_mask) {
+    conn->epoll_mask = want;
+    (void)worker->loop.Modify(fd, want);
+  }
+}
+
+std::string Server::RenderStatsText() const {
+  std::string text;
+  const auto line = [&text](const std::string& key, uint64_t value) {
+    text += key;
+    text += '=';
+    text += std::to_string(value);
+    text += '\n';
+  };
+  line("server.connections_accepted", stats_.connections_accepted.load(std::memory_order_relaxed));
+  line("server.connections_active", stats_.connections_active.load(std::memory_order_relaxed));
+  line("server.bytes_in", stats_.bytes_in.load(std::memory_order_relaxed));
+  line("server.bytes_out", stats_.bytes_out.load(std::memory_order_relaxed));
+  line("server.malformed_frames", stats_.malformed_frames.load(std::memory_order_relaxed));
+  line("server.idle_timeouts", stats_.idle_timeouts.load(std::memory_order_relaxed));
+  for (size_t op = 0; op < kOpcodeCount; ++op) {
+    text += "server.requests.";
+    text += OpcodeName(static_cast<Opcode>(op));
+    text += '=';
+    text += std::to_string(stats_.requests_by_opcode[op].load(std::memory_order_relaxed));
+    text += '\n';
+  }
+  line("server.requests.total", stats_.TotalRequests());
+
+  text += "store.name=" + store_->Name() + "\n";
+  line("store.size", store_->Size());
+  kv::StoreStats store_stats;
+  if (store_->Stats(&store_stats)) {
+    line("store.shards", store_stats.shards);
+    line("store.table.puts", store_stats.table.puts);
+    line("store.table.gets", store_stats.table.gets);
+    line("store.table.deletes", store_stats.table.deletes);
+    line("store.table.splits", store_stats.table.splits);
+    line("store.table.contractions", store_stats.table.contractions);
+    line("store.pool.hits", store_stats.pool.hits);
+    line("store.pool.misses", store_stats.pool.misses);
+    line("store.pool.evictions", store_stats.pool.evictions);
+    line("store.pool.dirty_writebacks", store_stats.pool.dirty_writebacks);
+  }
+  return text;
+}
+
+}  // namespace net
+}  // namespace hashkit

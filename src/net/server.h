@@ -1,0 +1,113 @@
+// hashkit-net: an epoll TCP server exposing a KvStore.
+//
+// Threading model: one acceptor loop plus `workers` worker loops, each on
+// its own thread with its own epoll set.  Accepted sockets are handed to
+// workers round-robin via EventLoop::Post, after which a connection lives
+// entirely on one worker thread — its buffers need no locks.  Request
+// dispatch calls the KvStore directly from worker threads, so with
+// workers > 1 the store must be thread-safe (SynchronizedStore or
+// ShardedStore; OpenStore with StoreOptions::shards > 1 yields the
+// latter).
+//
+// Each connection keeps a read buffer (bytes not yet forming a complete
+// frame) and a write buffer (responses not yet accepted by the kernel).
+// All complete frames in the read buffer are served per readable event —
+// that is what makes client pipelining effective.  Backpressure: when the
+// write buffer exceeds ServerOptions::max_buffered_bytes the connection
+// stops reading (EPOLLIN off) until the kernel drains it below the limit.
+// Malformed frames get one kInvalidArgument response, then the connection
+// is flushed and closed.  Idle connections are closed on a once-a-second
+// sweep.
+
+#ifndef HASHKIT_SRC_NET_SERVER_H_
+#define HASHKIT_SRC_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/net/event_loop.h"
+#include "src/net/net_stats.h"
+#include "src/net/proto.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = kernel-assigned; read back via Server::port()
+  int workers = 2;
+  int backlog = 128;
+  int idle_timeout_ms = 60'000;        // 0 disables the idle sweep
+  size_t max_buffered_bytes = 64u << 20;  // per-connection write backlog cap
+};
+
+class Server {
+ public:
+  // `store` is borrowed and must outlive the server.  With workers > 1 it
+  // must be safe for concurrent calls (see header comment).
+  Server(kv::KvStore* store, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Bind + listen + spawn the acceptor and worker threads.
+  Status Start();
+
+  // Graceful shutdown: stop accepting, flush nothing further, close every
+  // connection, join all threads.  Idempotent.
+  void Stop();
+
+  // The bound port (after Start(); useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  const NetStats& stats() const { return stats_; }
+
+  // The STATS wire command's payload: "key=value" lines covering NetStats,
+  // then the store's name/size/capabilities and, where the store reports
+  // them, merged table/pool counters.  Exposed for tests and tools.
+  std::string RenderStatsText() const;
+
+ private:
+  struct Connection;
+  struct Worker;
+
+  void AcceptReady();
+  // Connection lifecycle — all run on the owning worker's thread.
+  void AdoptConnection(Worker* worker, int fd);
+  void ConnectionReady(Worker* worker, int fd, uint32_t events);
+  void CloseConnection(Worker* worker, int fd, bool from_idle_sweep);
+  void SweepIdle(Worker* worker);
+
+  // Serve every complete frame currently buffered; returns false when the
+  // connection must close (malformed input).
+  bool ServeBufferedFrames(Connection* conn);
+  Response Dispatch(const Request& req);
+  // Flush the write buffer; keeps EPOLLOUT registration in sync.  Returns
+  // false when the connection died on write.
+  bool FlushWrites(Worker* worker, Connection* conn);
+
+  kv::KvStore* store_;
+  const ServerOptions options_;
+  NetStats stats_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  EventLoop accept_loop_;
+  std::thread accept_thread_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  size_t next_worker_ = 0;
+};
+
+}  // namespace net
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_NET_SERVER_H_

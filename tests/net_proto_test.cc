@@ -1,0 +1,220 @@
+// Unit tests for the wire protocol: framing round trips, incremental
+// decoding, and every malformed-header rejection path.
+
+#include "src/net/proto.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/endian.h"
+
+namespace hashkit {
+namespace net {
+namespace {
+
+Request MakeRequest(Opcode op, std::string key, std::string value, uint8_t flags = 0,
+                    uint32_t seq = 7) {
+  Request req;
+  req.op = op;
+  req.flags = flags;
+  req.seq = seq;
+  req.key = std::move(key);
+  req.value = std::move(value);
+  return req;
+}
+
+TEST(ProtoTest, RequestRoundTrip) {
+  const Request req = MakeRequest(Opcode::kPut, "key", "value", kFlagNoOverwrite, 42);
+  std::string wire;
+  EncodeRequest(req, &wire);
+  EXPECT_EQ(wire.size(), kHeaderSize + 3 + 5);
+
+  Request decoded;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(consumed, kHeaderSize + 8);
+  EXPECT_TRUE(wire.empty());
+  EXPECT_EQ(decoded.op, Opcode::kPut);
+  EXPECT_EQ(decoded.flags, kFlagNoOverwrite);
+  EXPECT_EQ(decoded.seq, 42u);
+  EXPECT_EQ(decoded.key, "key");
+  EXPECT_EQ(decoded.value, "value");
+}
+
+TEST(ProtoTest, ResponseRoundTrip) {
+  Response resp;
+  resp.op = Opcode::kScan;
+  resp.status = StatusCode::kNotFound;
+  resp.seq = 9;
+  resp.key = "k";
+  resp.value = "scan exhausted";
+  std::string wire;
+  EncodeResponse(resp, &wire);
+
+  Response decoded;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(DecodeResponse(&wire, &decoded, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(decoded.op, Opcode::kScan);
+  EXPECT_EQ(decoded.status, StatusCode::kNotFound);
+  EXPECT_EQ(decoded.seq, 9u);
+  EXPECT_EQ(decoded.key, "k");
+  EXPECT_EQ(decoded.value, "scan exhausted");
+}
+
+TEST(ProtoTest, BinaryKeysAndValuesSurvive) {
+  const std::string key("\x00\x01\xff\x00", 4);
+  const std::string value(1024, '\0');
+  const Request req = MakeRequest(Opcode::kGet, key, value);
+  std::string wire;
+  EncodeRequest(req, &wire);
+  Request decoded;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(decoded.key, key);
+  EXPECT_EQ(decoded.value, value);
+}
+
+TEST(ProtoTest, IncrementalDecodeNeedsWholeFrame) {
+  const Request req = MakeRequest(Opcode::kPut, "incremental", "payload");
+  std::string full;
+  EncodeRequest(req, &full);
+
+  // Feed one byte at a time; only the final byte yields the frame.
+  std::string buf;
+  Request decoded;
+  size_t consumed = 0;
+  std::string error;
+  for (size_t i = 0; i + 1 < full.size(); ++i) {
+    buf.push_back(full[i]);
+    ASSERT_EQ(DecodeRequest(&buf, &decoded, &consumed, &error), DecodeResult::kNeedMore)
+        << "at byte " << i;
+  }
+  buf.push_back(full.back());
+  ASSERT_EQ(DecodeRequest(&buf, &decoded, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(decoded.key, "incremental");
+  EXPECT_EQ(decoded.value, "payload");
+}
+
+TEST(ProtoTest, PipelinedFramesDecodeInOrder) {
+  std::string wire;
+  for (uint32_t seq = 1; seq <= 5; ++seq) {
+    EncodeRequest(MakeRequest(Opcode::kGet, "k" + std::to_string(seq), "", 0, seq), &wire);
+  }
+  for (uint32_t seq = 1; seq <= 5; ++seq) {
+    Request decoded;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kFrame);
+    EXPECT_EQ(decoded.seq, seq);
+    EXPECT_EQ(decoded.key, "k" + std::to_string(seq));
+  }
+  EXPECT_TRUE(wire.empty());
+}
+
+// Builds a syntactically complete request frame, then lets a test corrupt
+// specific header bytes.
+std::string ValidFrame() {
+  std::string wire;
+  EncodeRequest(MakeRequest(Opcode::kPing, "", ""), &wire);
+  return wire;
+}
+
+TEST(ProtoTest, RejectsBadMagic) {
+  std::string wire = ValidFrame();
+  wire[0] = 'X';
+  Request decoded;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kMalformed);
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(ProtoTest, RejectsResponseMagicOnRequestPath) {
+  Response resp;
+  std::string wire;
+  EncodeResponse(resp, &wire);
+  Request decoded;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kMalformed);
+}
+
+TEST(ProtoTest, RejectsWrongVersion) {
+  std::string wire = ValidFrame();
+  wire[2] = kProtocolVersion + 1;
+  Request decoded;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kMalformed);
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(ProtoTest, RejectsUnknownOpcode) {
+  std::string wire = ValidFrame();
+  wire[3] = static_cast<char>(kMaxOpcode + 1);
+  Request decoded;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kMalformed);
+  EXPECT_NE(error.find("opcode"), std::string::npos);
+}
+
+TEST(ProtoTest, RejectsNonzeroReservedBytes) {
+  std::string wire = ValidFrame();
+  wire[6] = 1;
+  Request decoded;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kMalformed);
+  EXPECT_NE(error.find("reserved"), std::string::npos);
+}
+
+TEST(ProtoTest, RejectsOversizedKeyLength) {
+  std::string wire = ValidFrame();
+  EncodeU32(reinterpret_cast<uint8_t*>(wire.data()) + 12, kMaxKeyLen + 1);
+  Request decoded;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kMalformed);
+  EXPECT_NE(error.find("key length"), std::string::npos);
+}
+
+TEST(ProtoTest, RejectsOversizedValueLength) {
+  std::string wire = ValidFrame();
+  EncodeU32(reinterpret_cast<uint8_t*>(wire.data()) + 16, kMaxValueLen + 1);
+  Request decoded;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kMalformed);
+  EXPECT_NE(error.find("value length"), std::string::npos);
+}
+
+TEST(ProtoTest, MalformedLeavesBufferIntact) {
+  std::string wire = ValidFrame();
+  wire[0] = 'X';
+  const std::string before = wire;
+  Request decoded;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kMalformed);
+  EXPECT_EQ(consumed, 0u);
+  EXPECT_EQ(wire, before);
+}
+
+TEST(ProtoTest, OpcodeNamesCoverAllOps) {
+  EXPECT_EQ(OpcodeName(Opcode::kPing), "PING");
+  EXPECT_EQ(OpcodeName(Opcode::kPut), "PUT");
+  EXPECT_EQ(OpcodeName(Opcode::kGet), "GET");
+  EXPECT_EQ(OpcodeName(Opcode::kDel), "DEL");
+  EXPECT_EQ(OpcodeName(Opcode::kScan), "SCAN");
+  EXPECT_EQ(OpcodeName(Opcode::kStats), "STATS");
+  EXPECT_EQ(OpcodeName(Opcode::kSync), "SYNC");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace hashkit

@@ -1,0 +1,321 @@
+// End-to-end tests for hashkit-net: an in-process epoll server on loopback
+// serving a sharded on-disk store, driven by pipelining clients from
+// multiple threads.  The headline test verifies the data AFTER a server
+// shutdown and store reopen — what reached the wire must have reached the
+// file.  These run under TSan via the `net`/`stress` ctest labels.
+
+#include "src/net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/kv/synchronized.h"
+#include "src/net/client.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace net {
+namespace {
+
+using kv::KvStore;
+using kv::OpenStore;
+using kv::StoreKind;
+using kv::StoreOptions;
+
+std::string ShardedTempPath(const std::string& tag, int shards) {
+  const std::string path = TempPath("net_" + tag);
+  for (int s = 0; s < shards; ++s) {
+    std::remove((path + ".s" + std::to_string(s)).c_str());
+  }
+  return path;
+}
+
+// The per-thread deterministic workload: thread `t` owns keys "t<t>-<i>".
+std::string KeyOf(int t, int i) { return "t" + std::to_string(t) + "-" + std::to_string(i); }
+std::string ValueOf(int t, int i) {
+  // Mix of small and ~8K values so frames span multiple reads/writes.
+  std::string v = "v" + std::to_string(t) + ":" + std::to_string(i) + ":";
+  if (i % 17 == 0) {
+    v += std::string(8192, static_cast<char>('a' + (i % 26)));
+  }
+  return v;
+}
+
+TEST(NetServerTest, EndToEndMixedWorkloadSurvivesRestart) {
+  constexpr int kShards = 4;
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 240;
+  constexpr size_t kPipelineDepth = 16;
+  const std::string path = ShardedTempPath("e2e", kShards);
+
+  StoreOptions store_options;
+  store_options.path = path;
+  store_options.truncate = true;
+  store_options.shards = kShards;
+  auto opened = OpenStore(StoreKind::kHashDisk, store_options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<KvStore> store = std::move(opened).value();
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 2;
+  auto server = std::make_unique<Server>(store.get(), server_options);
+  ASSERT_OK(server->Start());
+  const uint16_t port = server->port();
+  ASSERT_GT(port, 0);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, port, &failures] {
+      auto connected = Client::Connect("127.0.0.1", port);
+      if (!connected.ok()) {
+        ++failures;
+        return;
+      }
+      auto client = std::move(connected).value();
+
+      // Phase 1: pipelined PUTs, kPipelineDepth frames per round trip,
+      // with a SCAN spliced into every batch (mixed workload on the wire).
+      std::vector<Request> batch;
+      std::vector<Response> responses;
+      for (int i = 0; i < kKeys;) {
+        batch.clear();
+        while (batch.size() < kPipelineDepth && i < kKeys) {
+          Request req;
+          req.op = Opcode::kPut;
+          req.key = KeyOf(t, i);
+          req.value = ValueOf(t, i);
+          batch.push_back(std::move(req));
+          ++i;
+        }
+        Request scan;
+        scan.op = Opcode::kScan;
+        scan.flags = kFlagScanFirst;
+        batch.push_back(std::move(scan));
+        if (!client->Pipeline(batch, &responses).ok()) {
+          ++failures;
+          return;
+        }
+        for (size_t r = 0; r + 1 < responses.size(); ++r) {
+          if (responses[r].status != StatusCode::kOk) {
+            ++failures;
+          }
+        }
+        // The scan shares one cursor across all connections; it may land
+        // anywhere (or run dry) but must not error.
+        const StatusCode scan_status = responses.back().status;
+        if (scan_status != StatusCode::kOk && scan_status != StatusCode::kNotFound) {
+          ++failures;
+        }
+      }
+
+      // Phase 2: pipelined GET verification of this thread's keys.
+      for (int i = 0; i < kKeys;) {
+        batch.clear();
+        const int base = i;
+        while (batch.size() < kPipelineDepth && i < kKeys) {
+          Request req;
+          req.op = Opcode::kGet;
+          req.key = KeyOf(t, i);
+          batch.push_back(std::move(req));
+          ++i;
+        }
+        if (!client->Pipeline(batch, &responses).ok()) {
+          ++failures;
+          return;
+        }
+        for (size_t r = 0; r < responses.size(); ++r) {
+          if (responses[r].status != StatusCode::kOk ||
+              responses[r].value != ValueOf(t, base + static_cast<int>(r))) {
+            ++failures;
+          }
+        }
+      }
+
+      // Phase 3: pipelined DELETE of every third key.
+      batch.clear();
+      for (int i = 0; i < kKeys; i += 3) {
+        Request req;
+        req.op = Opcode::kDel;
+        req.key = KeyOf(t, i);
+        batch.push_back(std::move(req));
+      }
+      if (!client->Pipeline(batch, &responses).ok()) {
+        ++failures;
+        return;
+      }
+      for (const Response& resp : responses) {
+        if (resp.status != StatusCode::kOk) {
+          ++failures;
+        }
+      }
+      if (!client->Sync().ok()) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  EXPECT_EQ(server->stats().connections_accepted.load(), static_cast<uint64_t>(kThreads));
+  EXPECT_GT(server->stats().TotalRequests(), 0u);
+  EXPECT_EQ(server->stats().malformed_frames.load(), 0u);
+
+  // Restart: tear the server down, close the store, reopen from disk.
+  server->Stop();
+  server.reset();
+  const uint64_t expected_size = store->Size();
+  store.reset();
+
+  store_options.truncate = false;
+  auto reopened = OpenStore(StoreKind::kHashDisk, store_options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const std::unique_ptr<KvStore> verify = std::move(reopened).value();
+  EXPECT_EQ(verify->Size(), expected_size);
+  std::string value;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kKeys; ++i) {
+      const Status st = verify->Get(KeyOf(t, i), &value);
+      if (i % 3 == 0) {
+        EXPECT_TRUE(st.IsNotFound()) << KeyOf(t, i) << ": " << st.ToString();
+      } else {
+        ASSERT_OK(st) << KeyOf(t, i);
+        EXPECT_EQ(value, ValueOf(t, i));
+      }
+    }
+  }
+}
+
+TEST(NetServerTest, SingleClientOperationsAndStatuses) {
+  StoreOptions store_options;
+  auto opened = OpenStore(StoreKind::kHashMemory, store_options);
+  ASSERT_TRUE(opened.ok());
+  auto store = kv::MakeSynchronized(std::move(opened).value());
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 1;
+  Server server(store.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  auto connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto client = std::move(connected).value();
+
+  ASSERT_OK(client->Ping("hello"));
+  ASSERT_OK(client->Put("k1", "v1"));
+  EXPECT_TRUE(client->Put("k1", "other", /*overwrite=*/false).IsExists());
+  std::string value;
+  ASSERT_OK(client->Get("k1", &value));
+  EXPECT_EQ(value, "v1");
+  EXPECT_TRUE(client->Get("missing", &value).IsNotFound());
+  ASSERT_OK(client->Delete("k1"));
+  EXPECT_TRUE(client->Get("k1", &value).IsNotFound());
+  EXPECT_TRUE(client->Delete("k1").IsNotFound());
+  ASSERT_OK(client->Sync());
+
+  // Scan walks exactly the remaining pairs.
+  ASSERT_OK(client->Put("a", "1"));
+  ASSERT_OK(client->Put("b", "2"));
+  std::string key;
+  int seen = 0;
+  Status st = client->Scan(&key, &value, true);
+  while (st.ok()) {
+    ++seen;
+    st = client->Scan(&key, &value, false);
+  }
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(seen, 2);
+
+  server.Stop();
+}
+
+TEST(NetServerTest, StatsCommandReportsCountersAndStore) {
+  StoreOptions store_options;
+  store_options.shards = 2;
+  auto opened = OpenStore(StoreKind::kHashMemory, store_options);
+  ASSERT_TRUE(opened.ok());
+  auto store = std::move(opened).value();
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  Server server(store.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  auto client = std::move(Client::Connect("127.0.0.1", server.port())).value();
+  ASSERT_OK(client->Put("statkey", "statvalue"));
+  std::string text;
+  ASSERT_OK(client->Stats(&text));
+
+  EXPECT_NE(text.find("server.connections_accepted=1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("server.requests.PUT=1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("server.malformed_frames=0\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("store.size=1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("store.shards=2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("store.name=sharded(2x"), std::string::npos) << text;
+  EXPECT_NE(text.find("store.table.puts=1\n"), std::string::npos) << text;
+
+  server.Stop();
+}
+
+TEST(NetServerTest, IdleConnectionsAreSweptAndCounted) {
+  StoreOptions store_options;
+  auto opened = OpenStore(StoreKind::kHashMemory, store_options);
+  ASSERT_TRUE(opened.ok());
+  auto store = kv::MakeSynchronized(std::move(opened).value());
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 1;
+  server_options.idle_timeout_ms = 100;
+  Server server(store.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  auto client = std::move(Client::Connect("127.0.0.1", server.port())).value();
+  ASSERT_OK(client->Ping());
+
+  // The sweep runs on the worker's ~1s tick; allow a generous window.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().idle_timeouts.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GE(server.stats().idle_timeouts.load(), 1u);
+  EXPECT_EQ(server.stats().connections_active.load(), 0u);
+
+  // The dropped connection surfaces as an I/O error on the next call.
+  EXPECT_FALSE(client->Ping().ok());
+  server.Stop();
+}
+
+TEST(NetServerTest, StopWithLiveConnectionsDoesNotHang) {
+  StoreOptions store_options;
+  auto opened = OpenStore(StoreKind::kHashMemory, store_options);
+  ASSERT_TRUE(opened.ok());
+  auto store = kv::MakeSynchronized(std::move(opened).value());
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  Server server(store.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  auto client = std::move(Client::Connect("127.0.0.1", server.port())).value();
+  ASSERT_OK(client->Put("live", "yes"));
+  server.Stop();  // client still connected
+  EXPECT_FALSE(client->Ping().ok());
+  server.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace hashkit

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -128,6 +129,84 @@ TEST(SynchronizedStoreTest, LostUpdateCheckViaCounters) {
     total += std::stoll(value);
   }
   EXPECT_EQ(total, static_cast<long long>(kThreads) * kIncrements);
+}
+
+// A store that reports how many Get calls ever overlap in time, and lets
+// the test choose what Capabilities::concurrent_reads claims.  Used to
+// prove which lock the wrapper takes: under the exclusive fallback two
+// Gets can never overlap; under shared-lock reads they can.
+class ConcurrencyCountingStore final : public KvStore {
+ public:
+  explicit ConcurrencyCountingStore(bool concurrent_reads)
+      : concurrent_reads_(concurrent_reads) {}
+
+  Status Put(std::string_view, std::string_view, bool) override { return Status::Ok(); }
+  Status Get(std::string_view, std::string* value) override {
+    const int now = active_gets_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    int seen = max_concurrent_gets_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !max_concurrent_gets_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+    // Park long enough that overlapping callers are actually observed
+    // overlapping (sleeping releases the CPU, so this works single-core).
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    active_gets_.fetch_sub(1, std::memory_order_acq_rel);
+    if (value != nullptr) {
+      *value = "v";
+    }
+    return Status::Ok();
+  }
+  Status Delete(std::string_view) override { return Status::Ok(); }
+  Status Scan(std::string*, std::string*, bool) override { return Status::NotFound(); }
+  Status Sync() override { return Status::Ok(); }
+  uint64_t Size() const override { return 0; }
+  std::string Name() const override { return "counting-mock"; }
+  Capabilities Caps() const override {
+    Capabilities caps;
+    caps.concurrent_reads = concurrent_reads_;
+    return caps;
+  }
+
+  int max_concurrent_gets() const { return max_concurrent_gets_.load(); }
+
+ private:
+  const bool concurrent_reads_;
+  std::atomic<int> active_gets_{0};
+  std::atomic<int> max_concurrent_gets_{0};
+};
+
+int MaxObservedGetConcurrency(bool concurrent_reads) {
+  auto base = std::make_unique<ConcurrencyCountingStore>(concurrent_reads);
+  ConcurrencyCountingStore* counter = base.get();
+  const auto store = MakeSynchronized(std::move(base));
+  constexpr int kThreads = 4;
+  constexpr int kGetsPerThread = 5;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store] {
+      std::string value;
+      for (int i = 0; i < kGetsPerThread; ++i) {
+        EXPECT_TRUE(store->Get("k", &value).ok());
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  return counter->max_concurrent_gets();
+}
+
+TEST(SynchronizedStoreTest, ExclusiveFallbackWhenBaseLacksConcurrentReads) {
+  // concurrent_reads=false: the wrapper must take the exclusive lock for
+  // Get, so the base store never sees two readers at once.
+  EXPECT_EQ(MaxObservedGetConcurrency(/*concurrent_reads=*/false), 1);
+}
+
+TEST(SynchronizedStoreTest, SharedReadsWhenBaseAllowsThem) {
+  // concurrent_reads=true: the shared lock must let readers overlap (each
+  // Get parks 20 ms; with 4 threads x 5 gets an overlap is certain unless
+  // reads serialize).
+  EXPECT_GT(MaxObservedGetConcurrency(/*concurrent_reads=*/true), 1);
 }
 
 TEST(SynchronizedStoreTest, NamePreservesBase) {

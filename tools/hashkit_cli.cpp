@@ -1,0 +1,170 @@
+// hashkit-net command-line client: db_tool's verbs against a live server.
+//
+//   hashkit_cli [--host=H] [--port=P] put <key> <value>
+//   hashkit_cli [--host=H] [--port=P] get <key>
+//   hashkit_cli [--host=H] [--port=P] del <key>
+//   hashkit_cli [--host=H] [--port=P] dump        (full SCAN)
+//   hashkit_cli [--host=H] [--port=P] stats
+//   hashkit_cli [--host=H] [--port=P] ping [payload]
+//   hashkit_cli [--host=H] [--port=P] sync
+//   hashkit_cli [--host=H] [--port=P] load        (key<TAB>value from stdin,
+//                                                  pipelined in batches)
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/net/client.h"
+
+using hashkit::Status;
+using hashkit::net::Client;
+using hashkit::net::Opcode;
+using hashkit::net::Request;
+using hashkit::net::Response;
+
+namespace {
+
+int Usage(int code) {
+  std::fprintf(stderr,
+               "usage: hashkit_cli [--host=H] [--port=P] <command>\n"
+               "commands: put <key> <value> | get <key> | del <key> |\n"
+               "          dump | stats | ping [payload] | sync | load\n"
+               "defaults: host 127.0.0.1, port 4691\n");
+  return code;
+}
+
+int Fail(const char* what, const Status& st) {
+  std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 4691;
+  int arg = 1;
+  for (; arg < argc; ++arg) {
+    if (std::strncmp(argv[arg], "--host=", 7) == 0) {
+      host = argv[arg] + 7;
+    } else if (std::strncmp(argv[arg], "--port=", 7) == 0) {
+      port = static_cast<uint16_t>(std::atoi(argv[arg] + 7));
+    } else if (std::strcmp(argv[arg], "--help") == 0) {
+      return Usage(0);
+    } else {
+      break;
+    }
+  }
+  if (arg >= argc) {
+    return Usage(2);
+  }
+  const std::string cmd = argv[arg++];
+  const int rest = argc - arg;
+
+  auto connected = Client::Connect(host, port);
+  if (!connected.ok()) {
+    return Fail("connect", connected.status());
+  }
+  auto client = std::move(connected).value();
+
+  if (cmd == "put" && rest >= 2) {
+    const Status st = client->Put(argv[arg], argv[arg + 1]);
+    return st.ok() ? 0 : Fail("put", st);
+  }
+  if (cmd == "get" && rest >= 1) {
+    std::string value;
+    const Status st = client->Get(argv[arg], &value);
+    if (!st.ok()) {
+      return Fail("get", st);
+    }
+    std::printf("%s\n", value.c_str());
+    return 0;
+  }
+  if (cmd == "del" && rest >= 1) {
+    const Status st = client->Delete(argv[arg]);
+    return st.ok() ? 0 : Fail("del", st);
+  }
+  if (cmd == "dump") {
+    std::string key, value;
+    Status st = client->Scan(&key, &value, true);
+    while (st.ok()) {
+      std::printf("%s\t%s\n", key.c_str(), value.c_str());
+      st = client->Scan(&key, &value, false);
+    }
+    return st.IsNotFound() ? 0 : Fail("dump", st);
+  }
+  if (cmd == "stats") {
+    std::string text;
+    const Status st = client->Stats(&text);
+    if (!st.ok()) {
+      return Fail("stats", st);
+    }
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "ping") {
+    const Status st = client->Ping(rest >= 1 ? argv[arg] : "ping");
+    if (!st.ok()) {
+      return Fail("ping", st);
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (cmd == "sync") {
+    const Status st = client->Sync();
+    return st.ok() ? 0 : Fail("sync", st);
+  }
+  if (cmd == "load") {
+    // Pipelined bulk load: batch stdin pairs to amortize round trips.
+    constexpr size_t kBatch = 256;
+    std::vector<Request> batch;
+    std::vector<Response> responses;
+    std::string line;
+    size_t loaded = 0, failed = 0;
+    const auto flush = [&]() -> Status {
+      if (batch.empty()) {
+        return Status::Ok();
+      }
+      HASHKIT_RETURN_IF_ERROR(client->Pipeline(batch, &responses));
+      for (const Response& resp : responses) {
+        if (resp.status == hashkit::StatusCode::kOk) {
+          ++loaded;
+        } else {
+          ++failed;
+        }
+      }
+      batch.clear();
+      return Status::Ok();
+    };
+    while (std::getline(std::cin, line)) {
+      const size_t tab = line.find('\t');
+      if (tab == std::string::npos) {
+        continue;
+      }
+      Request req;
+      req.op = Opcode::kPut;
+      req.key = line.substr(0, tab);
+      req.value = line.substr(tab + 1);
+      batch.push_back(std::move(req));
+      if (batch.size() >= kBatch) {
+        const Status st = flush();
+        if (!st.ok()) {
+          return Fail("load", st);
+        }
+      }
+    }
+    Status st = flush();
+    if (!st.ok()) {
+      return Fail("load", st);
+    }
+    st = client->Sync();
+    if (!st.ok()) {
+      return Fail("sync", st);
+    }
+    std::printf("loaded %zu pairs (%zu failed)\n", loaded, failed);
+    return 0;
+  }
+  return Usage(2);
+}

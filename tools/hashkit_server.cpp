@@ -1,0 +1,137 @@
+// hashkit-net server daemon: serves any file-backed KvStore over TCP.
+//
+//   hashkit_server [--host=H] [--port=P] [--store=KIND] [--path=FILE]
+//                  [--shards=N] [--workers=N] [--idle_timeout_ms=N]
+//                  [--truncate]
+//
+// With shards > 1 the store opens as a ShardedStore (per-shard ".sN"
+// files); with shards <= 1 it is wrapped in SynchronizedStore so multiple
+// worker loops can dispatch into it safely.  Runs until SIGINT/SIGTERM,
+// then shuts down gracefully (connections closed, store synced).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/kv/kv_store.h"
+#include "src/kv/synchronized.h"
+#include "src/net/server.h"
+
+using hashkit::kv::KvStore;
+using hashkit::kv::OpenStore;
+using hashkit::kv::StoreKind;
+using hashkit::kv::StoreOptions;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+long FlagLong(int argc, char** argv, const char* name, long fallback) {
+  const char* v = FlagValue(argc, argv, name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+int Usage(int code) {
+  std::fprintf(stderr,
+               "usage: hashkit_server [--host=H] [--port=P] [--store=KIND] [--path=FILE]\n"
+               "                      [--shards=N] [--workers=N] [--idle_timeout_ms=N]\n"
+               "                      [--truncate]\n"
+               "defaults: host 127.0.0.1, port 4691, store hash_disk,\n"
+               "          path /tmp/hashkit_server.db, shards 4, workers 2\n"
+               "store: hash_disk ndbm sdbm gdbm (file-backed kinds)\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (HasFlag(argc, argv, "help")) {
+    return Usage(0);
+  }
+  const char* store_name = FlagValue(argc, argv, "store");
+  StoreKind kind = StoreKind::kHashDisk;
+  if (store_name != nullptr) {
+    bool found = false;
+    for (const StoreKind k : hashkit::kv::kAllStoreKinds) {
+      if (hashkit::kv::StoreKindName(k) == store_name) {
+        kind = k;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown store kind: %s\n", store_name);
+      return Usage(2);
+    }
+  }
+
+  StoreOptions store_options;
+  const char* path = FlagValue(argc, argv, "path");
+  store_options.path = path != nullptr ? path : "/tmp/hashkit_server.db";
+  store_options.truncate = HasFlag(argc, argv, "truncate");
+  store_options.shards = static_cast<uint32_t>(FlagLong(argc, argv, "shards", 4));
+  store_options.cachesize = 32 * 1024 * 1024;
+
+  auto opened = OpenStore(kind, store_options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open store: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<KvStore> store = std::move(opened).value();
+  if (store_options.shards <= 1) {
+    // A single store still faces concurrent worker loops.
+    store = hashkit::kv::MakeSynchronized(std::move(store));
+  }
+
+  hashkit::net::ServerOptions server_options;
+  const char* host = FlagValue(argc, argv, "host");
+  server_options.host = host != nullptr ? host : "127.0.0.1";
+  server_options.port = static_cast<uint16_t>(FlagLong(argc, argv, "port", 4691));
+  server_options.workers = static_cast<int>(FlagLong(argc, argv, "workers", 2));
+  server_options.idle_timeout_ms =
+      static_cast<int>(FlagLong(argc, argv, "idle_timeout_ms", 60000));
+
+  hashkit::net::Server server(store.get(), server_options);
+  const hashkit::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("hashkit_server: %s on %s:%u (%d workers)\n", store->Name().c_str(),
+              server_options.host.c_str(), server.port(), server_options.workers);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  std::printf("hashkit_server: shutting down\n");
+  server.Stop();
+  (void)store->Sync();
+  return 0;
+}
