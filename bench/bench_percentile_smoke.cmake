@@ -1,0 +1,46 @@
+# ctest smoke test for the hashkit-obs bench surface: runs tiny cells of
+# net_throughput and concurrent_throughput and asserts the JSON results
+# carry the latency-percentile fields downstream tooling consumes.  Driven
+# as
+#   cmake -DNET_BENCH=<bin> -DCONCURRENT_BENCH=<bin> -DWORK_DIR=<dir> \
+#         -P bench_percentile_smoke.cmake
+# and registered from bench/CMakeLists.txt.
+
+if(NOT DEFINED NET_BENCH OR NOT DEFINED CONCURRENT_BENCH OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DNET_BENCH=<bin> -DCONCURRENT_BENCH=<bin> -DWORK_DIR=<dir> "
+    "-P bench_percentile_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+file(REMOVE "${WORK_DIR}/BENCH_net.json" "${WORK_DIR}/BENCH_concurrent.json")
+
+function(run_bench)
+  execute_process(COMMAND ${ARGN}
+                  WORKING_DIRECTORY "${WORK_DIR}"
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench failed (rc=${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+endfunction()
+
+function(expect_json_field file needle)
+  file(READ "${file}" contents)
+  string(FIND "${contents}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "expected ${file} to contain '${needle}', got:\n${contents}")
+  endif()
+endfunction()
+
+# Tiny cells: the point is the output schema, not the numbers.
+run_bench("${NET_BENCH}" --ops=400 --max_threads=2 --workers=1 --shards=2)
+foreach(field "\"mean_us\"" "\"p50_us\"" "\"p90_us\"" "\"p99_us\"" "\"p999_us\"")
+  expect_json_field("${WORK_DIR}/BENCH_net.json" "${field}")
+endforeach()
+
+run_bench("${CONCURRENT_BENCH}" --ops=2000 --max_threads=2)
+foreach(field "\"mean_us\"" "\"p50_us\"" "\"p90_us\"" "\"p99_us\"" "\"p999_us\"")
+  expect_json_field("${WORK_DIR}/BENCH_concurrent.json" "${field}")
+endforeach()

@@ -5,9 +5,11 @@
 // counts against shard counts (1 shard = the SynchronizedStore decorator,
 // N shards = ShardedStore) across three operation mixes (read-only,
 // read-heavy 95/5, write-heavy 50/50; all zipf-0.99 skewed) and reports
-// aggregate ops/sec per cell.  Results are written to
-// BENCH_concurrent.json so later changes can be compared against the
-// recorded scaling curve.
+// aggregate ops/sec per cell, plus per-operation latency percentiles
+// pulled from the wrappers' own StoreStats::latency histograms (so the
+// bench exercises the same observability path servers use).  Results are
+// written to BENCH_concurrent.json so later changes can be compared
+// against the recorded scaling curve.
 //
 // Flags: --ops=N total operations per cell (default 120000),
 //        --max_threads=N cap on the thread sweep (default 16).
@@ -23,6 +25,7 @@
 #include "src/kv/kv_store.h"
 #include "src/kv/sharded.h"
 #include "src/kv/synchronized.h"
+#include "src/util/histogram.h"
 #include "src/workload/mixes.h"
 #include "src/workload/timing.h"
 
@@ -38,6 +41,7 @@ struct Cell {
   size_t ops;
   double elapsed_sec;
   double ops_per_sec;
+  PercentileSummary latency;  // all ops merged, end-to-end ns
 };
 
 long FlagFromArgs(int argc, char** argv, const char* name, long fallback) {
@@ -118,7 +122,18 @@ Cell RunCell(int nthreads, int shards, const std::string& mix_name,
     elapsed = sample.elapsed_sec;
   }
   const double ops_per_sec = elapsed > 0 ? static_cast<double>(total_ops) / elapsed : 0.0;
-  return {nthreads, shards, mix_name, store->Name(), total_ops, elapsed, ops_per_sec};
+
+  // End-to-end latency distribution from the wrapper's histograms (the
+  // preload Puts above are in there too, a known and negligible skew).
+  PercentileSummary latency;
+  kv::StoreStats stats;
+  if (store->Stats(&stats)) {
+    HistogramSnapshot all = stats.latency.get;
+    all.MergeFrom(stats.latency.put);
+    all.MergeFrom(stats.latency.del);
+    latency = Summarize(all);
+  }
+  return {nthreads, shards, mix_name, store->Name(), total_ops, elapsed, ops_per_sec, latency};
 }
 
 void WriteJson(const std::vector<Cell>& cells, const char* path) {
@@ -132,9 +147,16 @@ void WriteJson(const std::vector<Cell>& cells, const char* path) {
     const Cell& c = cells[i];
     std::fprintf(f,
                  "  {\"threads\": %d, \"shards\": %d, \"mix\": \"%s\", \"store\": \"%s\", "
-                 "\"ops\": %zu, \"elapsed_sec\": %.6f, \"ops_per_sec\": %.0f}%s\n",
+                 "\"ops\": %zu, \"elapsed_sec\": %.6f, \"ops_per_sec\": %.0f, "
+                 "\"mean_us\": %.2f, \"p50_us\": %.2f, \"p90_us\": %.2f, "
+                 "\"p99_us\": %.2f, \"p999_us\": %.2f}%s\n",
                  c.threads, c.shards, c.mix.c_str(), c.store.c_str(), c.ops, c.elapsed_sec,
-                 c.ops_per_sec, i + 1 < cells.size() ? "," : "");
+                 c.ops_per_sec, c.latency.mean / 1000.0,
+                 static_cast<double>(c.latency.p50) / 1000.0,
+                 static_cast<double>(c.latency.p90) / 1000.0,
+                 static_cast<double>(c.latency.p99) / 1000.0,
+                 static_cast<double>(c.latency.p999) / 1000.0,
+                 i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -166,15 +188,18 @@ int Main(int argc, char** argv) {
     mix.spec.operations = ops;
     const workload::Trace trace = workload::GenerateTrace(mix.spec);
     std::printf("--- mix %s ---\n", mix.name);
-    std::printf("%-26s %8s %8s %14s\n", "store", "threads", "shards", "ops/sec");
+    std::printf("%-26s %8s %8s %14s %9s %9s\n", "store", "threads", "shards", "ops/sec",
+                "p50_us", "p99_us");
     for (const int shards : shard_counts) {
       for (const int threads : thread_counts) {
         if (threads > max_threads) {
           continue;
         }
         const Cell cell = RunCell(threads, shards, mix.name, trace);
-        std::printf("%-26s %8d %8d %14.0f\n", cell.store.c_str(), cell.threads, cell.shards,
-                    cell.ops_per_sec);
+        std::printf("%-26s %8d %8d %14.0f %9.2f %9.2f\n", cell.store.c_str(), cell.threads,
+                    cell.shards, cell.ops_per_sec,
+                    static_cast<double>(cell.latency.p50) / 1000.0,
+                    static_cast<double>(cell.latency.p99) / 1000.0);
         char csv[200];
         std::snprintf(csv, sizeof(csv), "concurrent,%s,%s,%d,%d,%.0f", mix.name,
                       cell.store.c_str(), cell.threads, cell.shards, cell.ops_per_sec);

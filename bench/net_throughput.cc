@@ -6,7 +6,10 @@
 // deeper pipelines amortize it — the sweep quantifies how much of the
 // in-process throughput (bench/concurrent_throughput) survives the wire.
 // Results land in BENCH_net.json with a schema-stable row per cell:
-//   {threads, pipeline_depth, ops, elapsed_sec, requests_per_sec}
+//   {threads, pipeline_depth, ops, elapsed_sec, requests_per_sec,
+//    mean_us, p50_us, p90_us, p99_us, p999_us}
+// The *_us fields are client-observed batch round-trip percentiles (one
+// sample per Pipeline call), merged across the cell's client threads.
 //
 // Flags: --ops=N per-cell request target (default 40000),
 //        --max_threads=N cap on the thread sweep (default 8),
@@ -25,6 +28,7 @@
 #include "src/kv/kv_store.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
+#include "src/util/histogram.h"
 #include "src/workload/timing.h"
 
 namespace hashkit {
@@ -37,6 +41,7 @@ struct Cell {
   size_t ops;
   double elapsed_sec;
   double requests_per_sec;
+  PercentileSummary rtt;  // batch round-trip, ns (printed/serialized in us)
 };
 
 long FlagFromArgs(int argc, char** argv, const char* name, long fallback) {
@@ -50,9 +55,11 @@ long FlagFromArgs(int argc, char** argv, const char* name, long fallback) {
 }
 
 // Each client thread drives `ops` requests in batches of `depth`: 80% GET,
-// 20% PUT, keys cycling through a preloaded space.
+// 20% PUT, keys cycling through a preloaded space.  Every Pipeline call's
+// round trip lands in `*rtt` (single-threaded: one snapshot per thread,
+// merged by the caller after join).
 void RunClient(uint16_t port, int thread_id, size_t ops, int depth, size_t keyspace,
-               std::atomic<uint64_t>* errors) {
+               std::atomic<uint64_t>* errors, HistogramSnapshot* rtt) {
   auto connected = net::Client::Connect("127.0.0.1", port);
   if (!connected.ok()) {
     errors->fetch_add(ops);
@@ -78,10 +85,12 @@ void RunClient(uint16_t port, int thread_id, size_t ops, int depth, size_t keysp
       }
       batch.push_back(std::move(req));
     }
+    const uint64_t t0 = MonotonicNanos();
     if (!client->Pipeline(batch, &responses).ok()) {
       errors->fetch_add(ops - sent);
       return;
     }
+    rtt->Record(MonotonicNanos() - t0);
     for (const net::Response& resp : responses) {
       if (resp.status != StatusCode::kOk && resp.status != StatusCode::kNotFound) {
         errors->fetch_add(1);
@@ -130,7 +139,8 @@ int Main(int argc, char** argv) {
   const int depths[] = {1, 8, 32};
   std::vector<Cell> cells;
   PrintCsvHeader("net,threads,pipeline_depth,requests_per_sec");
-  std::printf("%8s %8s %8s %16s\n", "threads", "depth", "ops", "requests/sec");
+  std::printf("%8s %8s %8s %16s %10s %10s\n", "threads", "depth", "ops", "requests/sec",
+              "rtt_p50_us", "rtt_p99_us");
   for (const int nthreads : thread_counts) {
     if (nthreads > max_threads) {
       continue;
@@ -140,12 +150,13 @@ int Main(int argc, char** argv) {
       const size_t total = per_thread * static_cast<size_t>(nthreads);
       std::atomic<uint64_t> errors{0};
       std::vector<std::thread> threads;
+      std::vector<HistogramSnapshot> rtts(static_cast<size_t>(nthreads));
       double elapsed = 0.0;
       {
         const auto sample = workload::MeasureOnce([&] {
           for (int t = 0; t < nthreads; ++t) {
             threads.emplace_back(RunClient, server.port(), t, per_thread, depth, kKeyspace,
-                                 &errors);
+                                 &errors, &rtts[static_cast<size_t>(t)]);
           }
           for (auto& thread : threads) {
             thread.join();
@@ -157,12 +168,19 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "cell t=%d d=%d: %llu errors\n", nthreads, depth,
                      static_cast<unsigned long long>(errors.load()));
       }
+      HistogramSnapshot rtt;
+      for (const HistogramSnapshot& h : rtts) {
+        rtt.MergeFrom(h);
+      }
+      const PercentileSummary rtt_summary = Summarize(rtt);
       const double rps = elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0;
-      std::printf("%8d %8d %8zu %16.0f\n", nthreads, depth, total, rps);
+      std::printf("%8d %8d %8zu %16.0f %10.1f %10.1f\n", nthreads, depth, total, rps,
+                  static_cast<double>(rtt_summary.p50) / 1000.0,
+                  static_cast<double>(rtt_summary.p99) / 1000.0);
       char csv[120];
       std::snprintf(csv, sizeof(csv), "net,%d,%d,%.0f", nthreads, depth, rps);
       PrintCsv(csv);
-      cells.push_back({nthreads, depth, total, elapsed, rps});
+      cells.push_back({nthreads, depth, total, elapsed, rps, rtt_summary});
     }
   }
   server.Stop();
@@ -192,8 +210,14 @@ int Main(int argc, char** argv) {
     const Cell& c = cells[i];
     std::fprintf(f,
                  "  {\"threads\": %d, \"pipeline_depth\": %d, \"ops\": %zu, "
-                 "\"elapsed_sec\": %.6f, \"requests_per_sec\": %.0f}%s\n",
+                 "\"elapsed_sec\": %.6f, \"requests_per_sec\": %.0f, "
+                 "\"mean_us\": %.1f, \"p50_us\": %.1f, \"p90_us\": %.1f, "
+                 "\"p99_us\": %.1f, \"p999_us\": %.1f}%s\n",
                  c.threads, c.depth, c.ops, c.elapsed_sec, c.requests_per_sec,
+                 c.rtt.mean / 1000.0, static_cast<double>(c.rtt.p50) / 1000.0,
+                 static_cast<double>(c.rtt.p90) / 1000.0,
+                 static_cast<double>(c.rtt.p99) / 1000.0,
+                 static_cast<double>(c.rtt.p999) / 1000.0,
                  i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

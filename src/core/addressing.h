@@ -17,6 +17,7 @@
 #define HASHKIT_SRC_CORE_ADDRESSING_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 
 #include "src/core/meta.h"
@@ -27,7 +28,17 @@ namespace hashkit {
 // Overflow address <-> (split point, 1-based page number).
 constexpr uint32_t OaddrSplitPoint(uint16_t oaddr) { return oaddr >> kOvflPageBits; }
 constexpr uint32_t OaddrPageNum(uint16_t oaddr) { return oaddr & kMaxOvflPagesPerPoint; }
+
+// True when (split_point, page_num) fits the paper's 5-bit/11-bit oaddr
+// encoding.  MakeOaddr silently corrupts out-of-range inputs (the split
+// point is masked into 5 bits), so allocation paths must check this and
+// surface kFull *before* encoding — see OvflAllocator::Alloc.
+constexpr bool OaddrInRange(uint32_t split_point, uint32_t page_num) {
+  return split_point < kMaxSplitPoints && page_num >= 1 && page_num <= kMaxOvflPagesPerPoint;
+}
+
 constexpr uint16_t MakeOaddr(uint32_t split_point, uint32_t page_num) {
+  assert(OaddrInRange(split_point, page_num));
   return static_cast<uint16_t>((split_point << kOvflPageBits) | page_num);
 }
 

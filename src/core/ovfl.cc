@@ -81,7 +81,11 @@ Result<uint16_t> OvflAllocator::Alloc(PageType type) {
     const size_t bit_capacity = (pool_->file()->page_size() - kPageHeaderSize) * 8;
     for (;;) {
       if (sp >= kMaxSplitPoints) {
-        return Status::Full("split points exhausted");
+        // The oaddr encoding holds 5 bits of split point; past this there
+        // is no address left to hand out.  Surfacing kFull here (instead
+        // of letting MakeOaddr truncate sp into 5 bits) is what keeps an
+        // overfull table an error rather than silent corruption.
+        return Status::Full("overflow address space exhausted (all 32 split points full)");
       }
       const uint32_t npages = PagesAtSplitPoint(*meta_, sp);
       if (npages < kMaxOvflPagesPerPoint && npages < bit_capacity) {

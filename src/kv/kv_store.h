@@ -23,6 +23,7 @@
 #include "src/core/hash_table.h"
 #include "src/core/options.h"
 #include "src/pagefile/buffer_pool.h"
+#include "src/util/histogram.h"
 #include "src/util/status.h"
 
 namespace hashkit {
@@ -42,12 +43,32 @@ struct Capabilities {
   bool concurrent_reads = false;
 };
 
-// Operation counters aggregated across whatever backs the store.  Stores
-// built on the paper's hash table report real numbers; others return false
-// from Stats().
+// hashkit-obs: per-operation end-to-end latency distributions
+// (nanoseconds), recorded by the locking wrappers (synchronized.h,
+// sharded.h) around each call into the inner store — lock wait included,
+// since that is the latency a caller actually observes.
+struct OpLatencies {
+  HistogramSnapshot put;
+  HistogramSnapshot get;
+  HistogramSnapshot del;
+  HistogramSnapshot sync;
+
+  void MergeFrom(const OpLatencies& other) {
+    put.MergeFrom(other.put);
+    get.MergeFrom(other.get);
+    del.MergeFrom(other.del);
+    sync.MergeFrom(other.sync);
+  }
+};
+
+// Operation counters and latency distributions aggregated across whatever
+// backs the store.  Stores built on the paper's hash table report real
+// table/pool numbers; the locking wrappers always report `latency` and
+// leave table/pool zeroed when the base store has none.
 struct StoreStats {
   HashTableStats table;
   BufferPoolStats pool;
+  OpLatencies latency;
   size_t shards = 1;  // number of backing partitions (1 = unsharded)
 
   // Accumulates another store's counters into this one (shards is left to
@@ -62,10 +83,8 @@ struct StoreStats {
     table.ovfl_pages_alloced += other.table.ovfl_pages_alloced;
     table.ovfl_pages_freed += other.table.ovfl_pages_freed;
     table.big_pairs_stored += other.table.big_pairs_stored;
-    pool.hits += other.pool.hits;
-    pool.misses += other.pool.misses;
-    pool.evictions += other.pool.evictions;
-    pool.dirty_writebacks += other.pool.dirty_writebacks;
+    pool.MergeFrom(other.pool);
+    latency.MergeFrom(other.latency);
   }
 };
 

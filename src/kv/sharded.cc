@@ -8,36 +8,53 @@ namespace kv {
 ShardedStore::ShardedStore(std::vector<std::unique_ptr<KvStore>> shards, HashFn partition_fn)
     : partition_fn_(partition_fn != nullptr ? partition_fn
                                             : GetHashFunc(HashFuncId::kFnv1a)) {
+  // MakeSharded (the only caller) has already rejected an empty set.
   shards_.reserve(shards.size());
   for (auto& store : shards) {
     auto shard = std::make_unique<Shard>();
     shard->store = std::move(store);
     shards_.push_back(std::move(shard));
   }
-  inner_concurrent_reads_ =
-      !shards_.empty() && shards_.front()->store->Caps().concurrent_reads;
+  inner_concurrent_reads_ = shards_.front()->store->Caps().concurrent_reads;
 }
 
 Status ShardedStore::Put(std::string_view key, std::string_view value, bool overwrite) {
+  const uint64_t t0 = MonotonicNanos();
   Shard& shard = *shards_[ShardOf(key)];
-  const std::unique_lock<std::shared_mutex> lock(shard.mu);
-  return shard.store->Put(key, value, overwrite);
+  Status st;
+  {
+    const std::unique_lock<std::shared_mutex> lock(shard.mu);
+    st = shard.store->Put(key, value, overwrite);
+  }
+  shard.put_ns.Record(MonotonicNanos() - t0);
+  return st;
 }
 
 Status ShardedStore::Get(std::string_view key, std::string* value) {
+  const uint64_t t0 = MonotonicNanos();
   Shard& shard = *shards_[ShardOf(key)];
+  Status st;
   if (inner_concurrent_reads_) {
     const std::shared_lock<std::shared_mutex> lock(shard.mu);
-    return shard.store->Get(key, value);
+    st = shard.store->Get(key, value);
+  } else {
+    const std::unique_lock<std::shared_mutex> lock(shard.mu);
+    st = shard.store->Get(key, value);
   }
-  const std::unique_lock<std::shared_mutex> lock(shard.mu);
-  return shard.store->Get(key, value);
+  shard.get_ns.Record(MonotonicNanos() - t0);
+  return st;
 }
 
 Status ShardedStore::Delete(std::string_view key) {
+  const uint64_t t0 = MonotonicNanos();
   Shard& shard = *shards_[ShardOf(key)];
-  const std::unique_lock<std::shared_mutex> lock(shard.mu);
-  return shard.store->Delete(key);
+  Status st;
+  {
+    const std::unique_lock<std::shared_mutex> lock(shard.mu);
+    st = shard.store->Delete(key);
+  }
+  shard.delete_ns.Record(MonotonicNanos() - t0);
+  return st;
 }
 
 Status ShardedStore::Scan(std::string* key, std::string* value, bool first) {
@@ -63,6 +80,7 @@ Status ShardedStore::Scan(std::string* key, std::string* value, bool first) {
 }
 
 Status ShardedStore::Sync() {
+  const uint64_t t0 = MonotonicNanos();
   Status first_error = Status::Ok();
   for (auto& shard : shards_) {
     const std::unique_lock<std::shared_mutex> lock(shard->mu);
@@ -71,6 +89,7 @@ Status ShardedStore::Sync() {
       first_error = st;
     }
   }
+  sync_ns_.Record(MonotonicNanos() - t0);
   return first_error;
 }
 
@@ -97,16 +116,24 @@ Capabilities ShardedStore::Caps() const {
 }
 
 bool ShardedStore::Stats(StoreStats* out) const {
+  // Always true: the wrapper owns the latency histograms.  Inner-store
+  // counters merge in where the inner kind reports them; table/pool stay
+  // zeroed for kinds that do not.
   StoreStats merged;
   merged.shards = shards_.size();
   for (const auto& shard : shards_) {
-    const std::shared_lock<std::shared_mutex> lock(shard->mu);
-    StoreStats s;
-    if (!shard->store->Stats(&s)) {
-      return false;
+    {
+      const std::shared_lock<std::shared_mutex> lock(shard->mu);
+      StoreStats s;
+      if (shard->store->Stats(&s)) {
+        merged.MergeFrom(s);
+      }
     }
-    merged.MergeFrom(s);
+    merged.latency.put.MergeFrom(shard->put_ns.Snapshot());
+    merged.latency.get.MergeFrom(shard->get_ns.Snapshot());
+    merged.latency.del.MergeFrom(shard->delete_ns.Snapshot());
   }
+  merged.latency.sync.MergeFrom(sync_ns_.Snapshot());
   *out = merged;
   return true;
 }
@@ -120,6 +147,9 @@ Result<std::unique_ptr<KvStore>> MakeSharded(const ShardFactory& factory, size_t
   shards.reserve(nshards);
   for (size_t i = 0; i < nshards; ++i) {
     HASHKIT_ASSIGN_OR_RETURN(auto store, factory(i));
+    if (store == nullptr) {
+      return Status::InvalidArgument("shard factory returned a null store");
+    }
     shards.push_back(std::move(store));
   }
   return std::unique_ptr<KvStore>(
@@ -128,8 +158,12 @@ Result<std::unique_ptr<KvStore>> MakeSharded(const ShardFactory& factory, size_t
 
 Result<std::unique_ptr<KvStore>> OpenShardedStore(StoreKind kind, const StoreOptions& options,
                                                   size_t nshards) {
-  if (nshards < 2) {
-    return Status::InvalidArgument("sharded open needs shards >= 2");
+  // Accepts any nshards >= 1, matching MakeSharded: a single-shard
+  // ShardedStore is a valid (if degenerate) locking front-end.  OpenStore
+  // only routes here for options.shards > 1, but direct callers may want
+  // the one-shard form for uniform ".sN" file layouts.
+  if (nshards == 0) {
+    return Status::InvalidArgument("sharded store needs at least one shard");
   }
   StoreOptions shard_options = options;
   shard_options.shards = 0;  // inner opens are plain, not re-sharded

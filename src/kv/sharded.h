@@ -19,6 +19,11 @@
 // Scan iterates shards in index order, driving each shard's own cursor;
 // like every store here, scan-cursor state lives in the store, so guard a
 // whole scan externally if it must not interleave with mutations.
+//
+// hashkit-obs: Put/Get/Delete are timed end-to-end into per-shard
+// lock-free histograms (so recording threads only share counters when
+// they already share a shard); Sync is timed per whole-store pass.
+// Stats() merges everything into StoreStats::latency.
 
 #ifndef HASHKIT_SRC_KV_SHARDED_H_
 #define HASHKIT_SRC_KV_SHARDED_H_
@@ -31,16 +36,22 @@
 
 #include "src/kv/kv_store.h"
 #include "src/util/hash_funcs.h"
+#include "src/util/histogram.h"
 
 namespace hashkit {
 namespace kv {
 
+// Builds one shard via `factory(shard_index)`, `nshards` times.  Fails if
+// `nshards` is zero or any factory call fails.  This is the only way to
+// construct a ShardedStore, which is what guarantees `shards_` below is
+// never empty (Name/Caps/Stats dereference the first shard, and ShardOf
+// takes a modulus by the shard count).
+using ShardFactory = std::function<Result<std::unique_ptr<KvStore>>(size_t shard)>;
+Result<std::unique_ptr<KvStore>> MakeSharded(const ShardFactory& factory, size_t nshards,
+                                             HashFn partition_fn = nullptr);
+
 class ShardedStore final : public KvStore {
  public:
-  // Takes ownership of the inner stores; `shards` must be non-empty and
-  // homogeneous (same kind/capabilities).  `partition_fn` routes keys.
-  ShardedStore(std::vector<std::unique_ptr<KvStore>> shards, HashFn partition_fn);
-
   Status Put(std::string_view key, std::string_view value, bool overwrite) override;
   Status Get(std::string_view key, std::string* value) override;
   Status Delete(std::string_view key) override;
@@ -54,11 +65,25 @@ class ShardedStore final : public KvStore {
   size_t shard_count() const { return shards_.size(); }
 
  private:
+  // Takes ownership of the inner stores; `shards` must be non-empty and
+  // homogeneous (same kind/capabilities).  `partition_fn` routes keys.
+  // Private: MakeSharded is the validated entry point (it rejects zero
+  // shards before this runs).
+  ShardedStore(std::vector<std::unique_ptr<KvStore>> shards, HashFn partition_fn);
+  friend Result<std::unique_ptr<KvStore>> MakeSharded(const ShardFactory& factory,
+                                                      size_t nshards, HashFn partition_fn);
+
   struct Shard {
     // Readers share; Put/Delete/Scan/Sync exclude.  One lock per shard so
     // traffic on different shards never contends.
     mutable std::shared_mutex mu;
     std::unique_ptr<KvStore> store;
+
+    // Per-shard latency recorders: threads record without coordination,
+    // and only share cache lines when they already share the shard.
+    LatencyHistogram put_ns;
+    LatencyHistogram get_ns;
+    LatencyHistogram delete_ns;
   };
 
   size_t ShardOf(std::string_view key) const {
@@ -69,6 +94,8 @@ class ShardedStore final : public KvStore {
   HashFn partition_fn_;
   bool inner_concurrent_reads_;
 
+  LatencyHistogram sync_ns_;  // one whole-store Sync pass
+
   // Scan-cursor state (which shard the sequential scan is on).  Guarded by
   // scan_mu_ so interleaved Scan calls from different threads stay
   // structurally safe, though logically they still share one cursor.
@@ -76,12 +103,6 @@ class ShardedStore final : public KvStore {
   size_t scan_shard_ = 0;
   bool scan_first_ = true;
 };
-
-// Builds one shard via `factory(shard_index)`, `nshards` times.  Fails if
-// any factory call fails.
-using ShardFactory = std::function<Result<std::unique_ptr<KvStore>>(size_t shard)>;
-Result<std::unique_ptr<KvStore>> MakeSharded(const ShardFactory& factory, size_t nshards,
-                                             HashFn partition_fn = nullptr);
 
 }  // namespace kv
 }  // namespace hashkit

@@ -12,6 +12,10 @@
 // top of this, see sharded.h.  (Scan state is per-store, so concurrent
 // scans still interleave logically; guard whole scans externally if that
 // matters.)
+//
+// hashkit-obs: every Put/Get/Delete/Sync is timed end-to-end — lock wait
+// included, since that is what a caller observes — into lock-free
+// histograms surfaced through StoreStats::latency (see Stats()).
 
 #ifndef HASHKIT_SRC_KV_SYNCHRONIZED_H_
 #define HASHKIT_SRC_KV_SYNCHRONIZED_H_
@@ -20,6 +24,7 @@
 #include <shared_mutex>
 
 #include "src/kv/kv_store.h"
+#include "src/util/histogram.h"
 
 namespace hashkit {
 namespace kv {
@@ -30,20 +35,37 @@ class SynchronizedStore final : public KvStore {
       : base_(std::move(base)), reads_share_(base_->Caps().concurrent_reads) {}
 
   Status Put(std::string_view key, std::string_view value, bool overwrite) override {
-    const std::unique_lock<std::shared_mutex> lock(mu_);
-    return base_->Put(key, value, overwrite);
+    const uint64_t t0 = MonotonicNanos();
+    Status st;
+    {
+      const std::unique_lock<std::shared_mutex> lock(mu_);
+      st = base_->Put(key, value, overwrite);
+    }
+    put_ns_.Record(MonotonicNanos() - t0);
+    return st;
   }
   Status Get(std::string_view key, std::string* value) override {
+    const uint64_t t0 = MonotonicNanos();
+    Status st;
     if (reads_share_) {
       const std::shared_lock<std::shared_mutex> lock(mu_);
-      return base_->Get(key, value);
+      st = base_->Get(key, value);
+    } else {
+      const std::unique_lock<std::shared_mutex> lock(mu_);
+      st = base_->Get(key, value);
     }
-    const std::unique_lock<std::shared_mutex> lock(mu_);
-    return base_->Get(key, value);
+    get_ns_.Record(MonotonicNanos() - t0);
+    return st;
   }
   Status Delete(std::string_view key) override {
-    const std::unique_lock<std::shared_mutex> lock(mu_);
-    return base_->Delete(key);
+    const uint64_t t0 = MonotonicNanos();
+    Status st;
+    {
+      const std::unique_lock<std::shared_mutex> lock(mu_);
+      st = base_->Delete(key);
+    }
+    delete_ns_.Record(MonotonicNanos() - t0);
+    return st;
   }
   Status Scan(std::string* key, std::string* value, bool first) override {
     // Exclusive even though it "reads": the base store's scan cursor
@@ -52,8 +74,14 @@ class SynchronizedStore final : public KvStore {
     return base_->Scan(key, value, first);
   }
   Status Sync() override {
-    const std::unique_lock<std::shared_mutex> lock(mu_);
-    return base_->Sync();
+    const uint64_t t0 = MonotonicNanos();
+    Status st;
+    {
+      const std::unique_lock<std::shared_mutex> lock(mu_);
+      st = base_->Sync();
+    }
+    sync_ns_.Record(MonotonicNanos() - t0);
+    return st;
   }
   uint64_t Size() const override {
     if (reads_share_) {
@@ -71,15 +99,31 @@ class SynchronizedStore final : public KvStore {
     caps.concurrent_reads = true;
     return caps;
   }
+  // Always true: the wrapper owns the latency histograms even when the
+  // base store has no counters of its own (table/pool stay zeroed then).
   bool Stats(StoreStats* out) const override {
-    const std::shared_lock<std::shared_mutex> lock(mu_);
-    return base_->Stats(out);
+    StoreStats merged;
+    {
+      const std::shared_lock<std::shared_mutex> lock(mu_);
+      (void)base_->Stats(&merged);
+    }
+    merged.latency.put = put_ns_.Snapshot();
+    merged.latency.get = get_ns_.Snapshot();
+    merged.latency.del = delete_ns_.Snapshot();
+    merged.latency.sync = sync_ns_.Snapshot();
+    *out = merged;
+    return true;
   }
 
  private:
   mutable std::shared_mutex mu_;
   std::unique_ptr<KvStore> base_;
   const bool reads_share_;
+
+  LatencyHistogram put_ns_;
+  LatencyHistogram get_ns_;
+  LatencyHistogram delete_ns_;
+  LatencyHistogram sync_ns_;
 };
 
 inline std::unique_ptr<KvStore> MakeSynchronized(std::unique_ptr<KvStore> base) {

@@ -3,12 +3,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <utility>
+
+#include "src/util/histogram.h"
 
 namespace hashkit {
 namespace net {
@@ -25,6 +28,37 @@ Status FromResponse(const Response& resp) {
   }
   return Status(resp.status, resp.value);
 }
+
+// Waits for `events` on `fd` for up to `timeout_ms` (<= 0 waits forever).
+// EINTR restarts with the remaining time, so signals cannot stretch the
+// deadline.  Returns kTimeout when the deadline expires.
+Status PollWait(int fd, short events, int timeout_ms, const char* what) {
+  struct pollfd pfd = {};
+  pfd.fd = fd;
+  pfd.events = events;
+  const uint64_t deadline_ns =
+      timeout_ms > 0 ? MonotonicNanos() + static_cast<uint64_t>(timeout_ms) * 1'000'000 : 0;
+  for (;;) {
+    int wait_ms = -1;
+    if (timeout_ms > 0) {
+      const uint64_t now = MonotonicNanos();
+      if (now >= deadline_ns) {
+        return Status::Timeout(std::string(what) + " timed out");
+      }
+      wait_ms = static_cast<int>((deadline_ns - now + 999'999) / 1'000'000);
+    }
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc > 0) {
+      return Status::Ok();  // readable/writable — or an error the next I/O call reports
+    }
+    if (rc == 0) {
+      return Status::Timeout(std::string(what) + " timed out");
+    }
+    if (errno != EINTR) {
+      return Errno("poll");
+    }
+  }
+}
 }  // namespace
 
 Client::~Client() {
@@ -33,8 +67,11 @@ Client::~Client() {
   }
 }
 
-Result<std::unique_ptr<Client>> Client::Connect(const std::string& host, uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host, uint16_t port,
+                                                const ClientOptions& options) {
+  // Non-blocking from birth: connect establishment and every later wait
+  // go through poll() so each one can carry a deadline.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Errno("socket");
   }
@@ -45,18 +82,35 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host, uint16_
     ::close(fd);
     return Status::InvalidArgument("bad server address: " + host);
   }
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) {
+  const int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
     const Status st = Errno("connect");
     ::close(fd);
     return st;
   }
+  if (rc != 0) {
+    // In progress (EINTR leaves a non-blocking connect in progress too):
+    // writability signals completion, SO_ERROR carries the verdict.
+    const Status st = PollWait(fd, POLLOUT, options.connect_timeout_ms, "connect");
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      const Status gst = Errno("getsockopt");
+      ::close(fd);
+      return gst;
+    }
+    if (err != 0) {
+      ::close(fd);
+      return Status::IoError(std::string("connect: ") + std::strerror(err));
+    }
+  }
   const int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<Client>(new Client(fd));
+  return std::unique_ptr<Client>(new Client(fd, options));
 }
 
 Status Client::WriteAll(const std::string& bytes) {
@@ -66,6 +120,12 @@ Status Client::WriteAll(const std::string& bytes) {
     const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Kernel buffer full: wait for drain.  Each wait gets the full
+        // budget, so the deadline bounds *stall*, not total transfer time.
+        HASHKIT_RETURN_IF_ERROR(PollWait(fd_, POLLOUT, options_.send_timeout_ms, "send"));
         continue;
       }
       return Errno("write");
@@ -94,6 +154,12 @@ Status Client::ReadResponse(Response* out) {
       continue;
     }
     if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Nothing buffered: wait for the server, bounded per wait (reset on
+      // every arriving chunk, so a live bulk response never trips it).
+      HASHKIT_RETURN_IF_ERROR(PollWait(fd_, POLLIN, options_.recv_timeout_ms, "recv"));
       continue;
     }
     if (n == 0) {

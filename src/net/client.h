@@ -1,11 +1,18 @@
 // hashkit-net: a synchronous client for the hashkit wire protocol.
 //
-// One Client wraps one blocking TCP connection.  Single-shot calls mirror
-// the KvStore surface (Put/Get/Delete/Scan/Sync plus Ping/Stats); Pipeline
-// batches N requests into one write and reads the N responses back — the
-// round-trip amortization the protocol's sequence numbers exist for.  A
-// Client is not thread-safe; give each thread its own connection (the
-// server treats every connection independently).
+// One Client wraps one TCP connection (non-blocking under the hood, but
+// every call blocks until its response or a deadline).  Single-shot calls
+// mirror the KvStore surface (Put/Get/Delete/Scan/Sync plus Ping/Stats);
+// Pipeline batches N requests into one write and reads the N responses
+// back — the round-trip amortization the protocol's sequence numbers
+// exist for.  A Client is not thread-safe; give each thread its own
+// connection (the server treats every connection independently).
+//
+// Deadlines: every wait on the socket is bounded by ClientOptions — a
+// server that accepts but never answers (or a network that blackholes
+// packets) surfaces as Status::Timeout instead of hanging the caller
+// forever.  After a timeout the connection's stream position is unknown;
+// discard the client.
 
 #ifndef HASHKIT_SRC_NET_CLIENT_H_
 #define HASHKIT_SRC_NET_CLIENT_H_
@@ -21,13 +28,26 @@
 namespace hashkit {
 namespace net {
 
+struct ClientOptions {
+  // Milliseconds; <= 0 waits forever (the pre-deadline behavior).
+  // recv/send deadlines are per wait, reset on progress: a slow bulk
+  // transfer that keeps moving does not trip them, a stalled one does.
+  int connect_timeout_ms = 10'000;
+  int recv_timeout_ms = 60'000;
+  int send_timeout_ms = 60'000;
+};
+
 class Client {
  public:
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  static Result<std::unique_ptr<Client>> Connect(const std::string& host, uint16_t port);
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host, uint16_t port,
+                                                 const ClientOptions& options);
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host, uint16_t port) {
+    return Connect(host, port, ClientOptions());
+  }
 
   // KvStore-shaped single-shot calls (one round trip each).
   Status Put(std::string_view key, std::string_view value, bool overwrite = true);
@@ -50,7 +70,7 @@ class Client {
   Status Pipeline(const std::vector<Request>& requests, std::vector<Response>* responses);
 
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, const ClientOptions& options) : fd_(fd), options_(options) {}
 
   Status WriteAll(const std::string& bytes);
   // Reads until `buf_` yields one complete response frame.
@@ -58,6 +78,7 @@ class Client {
   Status Call(Request req, Response* resp);
 
   int fd_;
+  ClientOptions options_;
   uint32_t next_seq_ = 1;
   std::string buf_;  // unconsumed bytes from the socket
 };

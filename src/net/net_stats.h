@@ -1,8 +1,9 @@
 // hashkit-net: server-side operation counters.
 //
 // One NetStats instance is shared by every connection of a Server; all
-// fields are relaxed atomics, so workers bump them without coordination and
-// a STATS request (or tests) can snapshot them while traffic is running.
+// fields are relaxed atomics (the latency recorders are lock-free
+// histograms), so workers bump them without coordination and a STATS
+// request (or tests) can snapshot them while traffic is running.
 
 #ifndef HASHKIT_SRC_NET_NET_STATS_H_
 #define HASHKIT_SRC_NET_NET_STATS_H_
@@ -11,6 +12,7 @@
 #include <cstdint>
 
 #include "src/net/proto.h"
+#include "src/util/histogram.h"
 
 namespace hashkit {
 namespace net {
@@ -24,8 +26,18 @@ struct NetStats {
   std::atomic<uint64_t> malformed_frames{0};
   std::atomic<uint64_t> idle_timeouts{0};
 
+  // hashkit-obs: server-side dispatch latency per opcode — decode-to-encode
+  // time for one request, i.e. the store call plus dispatch overhead but
+  // not socket wait.  Compare against client-observed RTTs to attribute
+  // time to network vs. server.
+  LatencyHistogram op_latency_ns[kOpcodeCount];
+
   void CountRequest(Opcode op) {
     requests_by_opcode[static_cast<uint8_t>(op)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void RecordLatency(Opcode op, uint64_t ns) {
+    op_latency_ns[static_cast<uint8_t>(op)].Record(ns);
   }
 
   uint64_t TotalRequests() const {

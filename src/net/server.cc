@@ -5,10 +5,13 @@
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <unordered_map>
 #include <utility>
@@ -22,6 +25,55 @@ using Clock = std::chrono::steady_clock;
 
 Status Errno(const char* what) {
   return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+std::string LowerOpcodeName(Opcode op) {
+  std::string name{OpcodeName(op)};
+  for (char& c : name) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return name;
+}
+
+// STATS-text latency block: `<prefix>.{count,mean_ns,p50_ns,...,max_ns}`.
+// Zeros when nothing has been recorded, so consumers can rely on the keys
+// being present.
+void AppendLatencyLines(std::string* text, const std::string& prefix,
+                        const HistogramSnapshot& h) {
+  const PercentileSummary s = Summarize(h);
+  const auto line = [text, &prefix](const char* name, uint64_t value) {
+    *text += prefix;
+    *text += '.';
+    *text += name;
+    *text += '=';
+    *text += std::to_string(value);
+    *text += '\n';
+  };
+  line("count", s.count);
+  line("mean_ns", static_cast<uint64_t>(std::llround(s.mean)));
+  line("p50_ns", s.p50);
+  line("p90_ns", s.p90);
+  line("p95_ns", s.p95);
+  line("p99_ns", s.p99);
+  line("p999_ns", s.p999);
+  line("max_ns", s.max);
+}
+
+// Prometheus-style summary block: `<name>{<labels>,quantile="q"} v` plus
+// `<name>_count` and `<name>_sum`.  `labels` must be non-empty.
+void AppendPromSummary(std::string* out, const std::string& name, const std::string& labels,
+                       const HistogramSnapshot& h) {
+  static constexpr struct {
+    const char* label;
+    double percentile;
+  } kQuantiles[] = {{"0.5", 50.0}, {"0.9", 90.0}, {"0.95", 95.0},
+                    {"0.99", 99.0}, {"0.999", 99.9}};
+  for (const auto& q : kQuantiles) {
+    *out += name + "{" + labels + ",quantile=\"" + q.label + "\"} " +
+            std::to_string(h.ValueAt(q.percentile)) + "\n";
+  }
+  *out += name + "_count{" + labels + "} " + std::to_string(h.count) + "\n";
+  *out += name + "_sum{" + labels + "} " + std::to_string(h.sum) + "\n";
 }
 
 }  // namespace
@@ -86,6 +138,32 @@ Status Server::Start() {
   }
   port_ = ntohs(addr.sin_port);
 
+  if (options_.metrics_port >= 0) {
+    if (options_.metrics_port > 65535) {
+      return Status::InvalidArgument("metrics port out of range");
+    }
+    metrics_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (metrics_fd_ < 0) {
+      return Errno("socket (metrics)");
+    }
+    (void)::setsockopt(metrics_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in maddr = {};
+    maddr.sin_family = AF_INET;
+    maddr.sin_port = htons(static_cast<uint16_t>(options_.metrics_port));
+    (void)::inet_pton(AF_INET, options_.host.c_str(), &maddr.sin_addr);
+    if (::bind(metrics_fd_, reinterpret_cast<struct sockaddr*>(&maddr), sizeof(maddr)) != 0) {
+      return Errno("bind (metrics)");
+    }
+    if (::listen(metrics_fd_, 16) != 0) {
+      return Errno("listen (metrics)");
+    }
+    socklen_t maddr_len = sizeof(maddr);
+    if (::getsockname(metrics_fd_, reinterpret_cast<struct sockaddr*>(&maddr), &maddr_len) != 0) {
+      return Errno("getsockname (metrics)");
+    }
+    metrics_port_ = ntohs(maddr.sin_port);
+  }
+
   for (int i = 0; i < options_.workers; ++i) {
     auto worker = std::make_unique<Worker>();
     if (!worker->loop.ok()) {
@@ -104,6 +182,10 @@ Status Server::Start() {
 
   HASHKIT_RETURN_IF_ERROR(
       accept_loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { AcceptReady(); }));
+  if (metrics_fd_ >= 0) {
+    HASHKIT_RETURN_IF_ERROR(
+        accept_loop_.Add(metrics_fd_, EPOLLIN, [this](uint32_t) { MetricsReady(); }));
+  }
   accept_thread_ = std::thread([this] { accept_loop_.Run(); });
   return Status::Ok();
 }
@@ -119,6 +201,10 @@ void Server::Stop() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (metrics_fd_ >= 0) {
+    ::close(metrics_fd_);
+    metrics_fd_ = -1;
   }
   for (auto& worker : workers_) {
     Worker* w = worker.get();
@@ -152,6 +238,47 @@ void Server::AcceptReady() {
     Worker* w = workers_[next_worker_].get();
     next_worker_ = (next_worker_ + 1) % workers_.size();
     w->loop.Post([this, w, fd] { AdoptConnection(w, fd); });
+  }
+}
+
+void Server::MetricsReady() {
+  for (;;) {
+    const int fd = ::accept4(metrics_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // EAGAIN (drained) or a transient accept error
+    }
+    // Blocking socket with short timeouts: a stalled scraper must not
+    // wedge the acceptor thread.
+    struct timeval tv = {};
+    tv.tv_sec = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    // Read whatever request line arrives; contents are ignored — every
+    // path serves the same exposition.
+    char buf[4096];
+    (void)::recv(fd, buf, sizeof(buf), 0);
+    const std::string body = RenderMetricsText();
+    std::string resp =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4\r\n"
+        "Content-Length: " + std::to_string(body.size()) + "\r\n"
+        "Connection: close\r\n\r\n";
+    resp += body;
+    size_t off = 0;
+    while (off < resp.size()) {
+      const ssize_t n = ::send(fd, resp.data() + off, resp.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        break;  // send timeout or dead scraper; drop this scrape
+      }
+      off += static_cast<size_t>(n);
+    }
+    ::close(fd);
   }
 }
 
@@ -201,6 +328,7 @@ void Server::SweepIdle(Worker* worker) {
 
 Response Server::Dispatch(const Request& req) {
   stats_.CountRequest(req.op);
+  const uint64_t t0 = MonotonicNanos();
   Response resp;
   resp.op = req.op;
   resp.seq = req.seq;
@@ -234,6 +362,7 @@ Response Server::Dispatch(const Request& req) {
   if (!st.ok() && resp.value.empty()) {
     resp.value = st.message();
   }
+  stats_.RecordLatency(req.op, MonotonicNanos() - t0);
   return resp;
 }
 
@@ -385,6 +514,12 @@ std::string Server::RenderStatsText() const {
   }
   line("server.requests.total", stats_.TotalRequests());
 
+  for (size_t op = 0; op < kOpcodeCount; ++op) {
+    std::string prefix = "server.latency.";
+    prefix += OpcodeName(static_cast<Opcode>(op));
+    AppendLatencyLines(&text, prefix, stats_.op_latency_ns[op].Snapshot());
+  }
+
   text += "store.name=" + store_->Name() + "\n";
   line("store.size", store_->Size());
   kv::StoreStats store_stats;
@@ -399,8 +534,69 @@ std::string Server::RenderStatsText() const {
     line("store.pool.misses", store_stats.pool.misses);
     line("store.pool.evictions", store_stats.pool.evictions);
     line("store.pool.dirty_writebacks", store_stats.pool.dirty_writebacks);
+    AppendLatencyLines(&text, "store.latency.put", store_stats.latency.put);
+    AppendLatencyLines(&text, "store.latency.get", store_stats.latency.get);
+    AppendLatencyLines(&text, "store.latency.del", store_stats.latency.del);
+    AppendLatencyLines(&text, "store.latency.sync", store_stats.latency.sync);
+    AppendLatencyLines(&text, "store.pool.latency.get_hit", store_stats.pool.get_hit_ns);
+    AppendLatencyLines(&text, "store.pool.latency.get_miss", store_stats.pool.get_miss_ns);
+    AppendLatencyLines(&text, "store.pool.latency.writeback", store_stats.pool.writeback_ns);
+    AppendLatencyLines(&text, "store.pool.latency.evict", store_stats.pool.evict_ns);
   }
   return text;
+}
+
+std::string Server::RenderMetricsText() const {
+  std::string out;
+  const auto gauge = [&out](const char* name, uint64_t value) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  gauge("hashkit_connections_accepted_total",
+        stats_.connections_accepted.load(std::memory_order_relaxed));
+  gauge("hashkit_connections_active", stats_.connections_active.load(std::memory_order_relaxed));
+  gauge("hashkit_bytes_in_total", stats_.bytes_in.load(std::memory_order_relaxed));
+  gauge("hashkit_bytes_out_total", stats_.bytes_out.load(std::memory_order_relaxed));
+  gauge("hashkit_malformed_frames_total",
+        stats_.malformed_frames.load(std::memory_order_relaxed));
+  gauge("hashkit_idle_timeouts_total", stats_.idle_timeouts.load(std::memory_order_relaxed));
+  for (size_t op = 0; op < kOpcodeCount; ++op) {
+    const std::string label = "op=\"" + LowerOpcodeName(static_cast<Opcode>(op)) + "\"";
+    out += "hashkit_requests_total{" + label + "} " +
+           std::to_string(stats_.requests_by_opcode[op].load(std::memory_order_relaxed)) + "\n";
+    AppendPromSummary(&out, "hashkit_request_latency_ns", label,
+                      stats_.op_latency_ns[op].Snapshot());
+  }
+
+  gauge("hashkit_store_size", store_->Size());
+  kv::StoreStats store_stats;
+  if (store_->Stats(&store_stats)) {
+    gauge("hashkit_store_shards", store_stats.shards);
+    gauge("hashkit_table_puts_total", store_stats.table.puts);
+    gauge("hashkit_table_gets_total", store_stats.table.gets);
+    gauge("hashkit_table_deletes_total", store_stats.table.deletes);
+    gauge("hashkit_table_splits_total", store_stats.table.splits);
+    gauge("hashkit_table_contractions_total", store_stats.table.contractions);
+    gauge("hashkit_pool_hits_total", store_stats.pool.hits);
+    gauge("hashkit_pool_misses_total", store_stats.pool.misses);
+    gauge("hashkit_pool_evictions_total", store_stats.pool.evictions);
+    gauge("hashkit_pool_dirty_writebacks_total", store_stats.pool.dirty_writebacks);
+    AppendPromSummary(&out, "hashkit_store_latency_ns", "op=\"put\"", store_stats.latency.put);
+    AppendPromSummary(&out, "hashkit_store_latency_ns", "op=\"get\"", store_stats.latency.get);
+    AppendPromSummary(&out, "hashkit_store_latency_ns", "op=\"del\"", store_stats.latency.del);
+    AppendPromSummary(&out, "hashkit_store_latency_ns", "op=\"sync\"", store_stats.latency.sync);
+    AppendPromSummary(&out, "hashkit_pool_latency_ns", "event=\"get_hit\"",
+                      store_stats.pool.get_hit_ns);
+    AppendPromSummary(&out, "hashkit_pool_latency_ns", "event=\"get_miss\"",
+                      store_stats.pool.get_miss_ns);
+    AppendPromSummary(&out, "hashkit_pool_latency_ns", "event=\"writeback\"",
+                      store_stats.pool.writeback_ns);
+    AppendPromSummary(&out, "hashkit_pool_latency_ns", "event=\"evict\"",
+                      store_stats.pool.evict_ns);
+  }
+  return out;
 }
 
 }  // namespace net

@@ -45,6 +45,11 @@ struct ServerOptions {
   int backlog = 128;
   int idle_timeout_ms = 60'000;        // 0 disables the idle sweep
   size_t max_buffered_bytes = 64u << 20;  // per-connection write backlog cap
+  // hashkit-obs: < 0 disables the metrics endpoint; 0 binds a
+  // kernel-assigned port (read back via Server::metrics_port()).  The
+  // endpoint answers any HTTP request on `host`:`metrics_port` with a
+  // Prometheus-style plaintext exposition of RenderMetricsText().
+  int metrics_port = -1;
 };
 
 class Server {
@@ -66,18 +71,32 @@ class Server {
   // The bound port (after Start(); useful with options.port = 0).
   uint16_t port() const { return port_; }
 
+  // The bound metrics port (after Start(); 0 when the endpoint is
+  // disabled).  Useful with options.metrics_port = 0.
+  uint16_t metrics_port() const { return metrics_port_; }
+
   const NetStats& stats() const { return stats_; }
 
-  // The STATS wire command's payload: "key=value" lines covering NetStats,
-  // then the store's name/size/capabilities and, where the store reports
-  // them, merged table/pool counters.  Exposed for tests and tools.
+  // The STATS wire command's payload: "key=value" lines covering NetStats
+  // (counters plus per-opcode latency percentiles), then the store's
+  // name/size and, where the store reports them, merged table/pool/latency
+  // numbers.  Exposed for tests and tools.
   std::string RenderStatsText() const;
+
+  // The metrics endpoint's body: the same numbers in Prometheus plaintext
+  // exposition format (`hashkit_requests_total{op="get"} 42`).
+  std::string RenderMetricsText() const;
 
  private:
   struct Connection;
   struct Worker;
 
   void AcceptReady();
+  // One metrics scrape: accept, read the request (ignored beyond arrival),
+  // write an HTTP/1.0 response carrying RenderMetricsText(), close.  Runs
+  // on the acceptor thread; scrapes are rare and small, so briefly
+  // borrowing that thread is fine.
+  void MetricsReady();
   // Connection lifecycle — all run on the owning worker's thread.
   void AdoptConnection(Worker* worker, int fd);
   void ConnectionReady(Worker* worker, int fd, uint32_t events);
@@ -98,6 +117,8 @@ class Server {
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  int metrics_fd_ = -1;
+  uint16_t metrics_port_ = 0;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
 

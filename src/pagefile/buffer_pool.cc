@@ -114,15 +114,18 @@ Status BufferPool::WriteBack(BufFrame* frame) {
   if (!frame->dirty) {
     return Status::Ok();
   }
+  const uint64_t t0 = MonotonicNanos();
   HASHKIT_RETURN_IF_ERROR(
       file_->WritePage(frame->pageno, std::span<const uint8_t>(frame->data.get(),
                                                                file_->page_size())));
   frame->dirty = false;
   ++stats_.dirty_writebacks;
+  stats_.writeback_ns.Record(MonotonicNanos() - t0);
   return Status::Ok();
 }
 
 Status BufferPool::EvictChain(BufFrame* frame) {
+  const uint64_t t0 = MonotonicNanos();
   // Detach from the predecessor so it no longer references freed memory.
   if (frame->chain_prev != nullptr) {
     frame->chain_prev->ovfl_next = nullptr;
@@ -138,6 +141,7 @@ Status BufferPool::EvictChain(BufFrame* frame) {
     frames_.erase(pageno);  // frees f
     f = next;
   }
+  stats_.evict_ns.Record(MonotonicNanos() - t0);
   return Status::Ok();
 }
 
@@ -183,12 +187,14 @@ Status BufferPool::MakeRoom() {
 
 Result<PageRef> BufferPool::Get(uint64_t pageno, bool create_new) {
   const std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t t0 = MonotonicNanos();
   auto it = frames_.find(pageno);
   if (it != frames_.end()) {
     BufFrame* frame = it->second.get();
     ++stats_.hits;
     ++frame->pins;
     UnlinkLru(frame);  // pinned pages sit outside LRU consideration
+    stats_.get_hit_ns.Record(MonotonicNanos() - t0);
     return PageRef(this, frame);
   }
 
@@ -208,6 +214,7 @@ Result<PageRef> BufferPool::Get(uint64_t pageno, bool create_new) {
   ++stats_.misses;
   frame->pins = 1;
   frames_.emplace(pageno, std::move(frame_owner));
+  stats_.get_miss_ns.Record(MonotonicNanos() - t0);
   return PageRef(this, frame);
 }
 

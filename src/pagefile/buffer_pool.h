@@ -29,6 +29,7 @@
 #include <unordered_map>
 
 #include "src/pagefile/page_file.h"
+#include "src/util/histogram.h"
 #include "src/util/status.h"
 
 namespace hashkit {
@@ -38,6 +39,27 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+
+  // hashkit-obs latency distributions (nanoseconds), recorded under the
+  // pool mutex.  get_hit_ns/get_miss_ns split BufferPool::Get by outcome
+  // (a miss includes the backend read); writeback_ns times one WritePage;
+  // evict_ns times a whole chain eviction including its writebacks.
+  HistogramSnapshot get_hit_ns;
+  HistogramSnapshot get_miss_ns;
+  HistogramSnapshot writeback_ns;
+  HistogramSnapshot evict_ns;
+
+  // Accumulates another pool's counters and latency histograms.
+  void MergeFrom(const BufferPoolStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    dirty_writebacks += other.dirty_writebacks;
+    get_hit_ns.MergeFrom(other.get_hit_ns);
+    get_miss_ns.MergeFrom(other.get_miss_ns);
+    writeback_ns.MergeFrom(other.writeback_ns);
+    evict_ns.MergeFrom(other.evict_ns);
+  }
 };
 
 class BufferPool;

@@ -1,0 +1,103 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hashkit {
+
+void HistogramSnapshot::Record(uint64_t value) {
+  ++count;
+  sum += value;
+  if (count == 1 || value < min) {
+    min = value;
+  }
+  if (value > max) {
+    max = value;
+  }
+  ++buckets[HistBucketIndex(value)];
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (other.count == 0) {
+    return;
+  }
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  for (uint32_t i = 0; i < kHistBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+uint64_t HistogramSnapshot::ValueAt(double p) const {
+  if (count == 0) {
+    return 0;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  if (clamped == 0.0) {
+    return min;  // the 0th percentile is the smallest recorded value, exactly
+  }
+  uint64_t rank = static_cast<uint64_t>(std::ceil(clamped / 100.0 * static_cast<double>(count)));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < kHistBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // The bucket bound over-reports by at most 1/kHistSubBuckets; clamp
+      // to the recorded extremes so the tails stay exact.  (Clamp in two
+      // steps: a snapshot taken mid-Record may transiently see min > max.)
+      uint64_t v = HistBucketUpperBound(i);
+      v = std::max(v, min);
+      v = std::min(v, max);
+      return v;
+    }
+  }
+  return max;
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen_min = min_.load(std::memory_order_relaxed);
+  while (value < seen_min &&
+         !min_.compare_exchange_weak(seen_min, value, std::memory_order_relaxed)) {
+  }
+  uint64_t seen_max = max_.load(std::memory_order_relaxed);
+  while (value > seen_max &&
+         !max_.compare_exchange_weak(seen_max, value, std::memory_order_relaxed)) {
+  }
+  buckets_[HistBucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  // Read buckets first, then take the headline counters: a racing Record
+  // bumps buckets before count is read at worst once, and the percentile
+  // walk tolerates a bucket total differing from `count` by in-flight
+  // records (ranks are clamped to what the buckets actually hold).
+  for (uint32_t i = 0; i < kHistBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t seen_min = min_.load(std::memory_order_relaxed);
+  snap.min = seen_min == UINT64_MAX ? 0 : seen_min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+PercentileSummary Summarize(const HistogramSnapshot& h) {
+  PercentileSummary s;
+  s.count = h.count;
+  s.mean = h.Mean();
+  s.p50 = h.p50();
+  s.p90 = h.p90();
+  s.p95 = h.p95();
+  s.p99 = h.p99();
+  s.p999 = h.p999();
+  s.max = h.max;
+  return s;
+}
+
+}  // namespace hashkit

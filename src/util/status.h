@@ -25,6 +25,7 @@ enum class StatusCode {
   kCorruption,      // on-disk structure failed validation
   kFull,            // fixed-capacity store (hsearch, dbm page) cannot accept
   kUnsupported,     // operation not supported by this store
+  kTimeout,         // a deadline expired (network connect/send/recv)
 };
 
 // Human-readable name for a status code, e.g. "NOT_FOUND".
@@ -46,6 +47,8 @@ constexpr std::string_view StatusCodeName(StatusCode code) {
       return "FULL";
     case StatusCode::kUnsupported:
       return "UNSUPPORTED";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
   }
   return "UNKNOWN";
 }
@@ -72,12 +75,14 @@ class Status {
   static Status Unsupported(std::string msg = "") {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
+  static Status Timeout(std::string msg = "") { return Status(StatusCode::kTimeout, std::move(msg)); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsExists() const { return code_ == StatusCode::kExists; }
   bool IsFull() const { return code_ == StatusCode::kFull; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

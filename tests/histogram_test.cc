@@ -1,0 +1,243 @@
+// Tests for the hashkit-obs latency histogram: bucket-boundary math
+// (exactness for small values, bounded relative error above), percentile
+// monotonicity, merge algebra (associative + commutative, the property
+// that lets per-shard/per-thread histograms combine in any order), and a
+// multi-threaded recording stress run under the TSan configuration.
+
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace hashkit {
+namespace {
+
+TEST(HistBucketTest, SmallValuesMapExactly) {
+  for (uint64_t v = 0; v < 2 * kHistSubBuckets; ++v) {
+    EXPECT_EQ(HistBucketIndex(v), v);
+    EXPECT_EQ(HistBucketUpperBound(static_cast<uint32_t>(v)), v);
+  }
+}
+
+TEST(HistBucketTest, IndexIsMonotoneAndBounded) {
+  uint32_t prev = 0;
+  for (uint64_t v = 0; v < 1 << 20; v += 7) {
+    const uint32_t idx = HistBucketIndex(v);
+    EXPECT_GE(idx, prev);
+    EXPECT_LT(idx, kHistBuckets);
+    prev = idx;
+  }
+  EXPECT_EQ(HistBucketIndex(UINT64_MAX), kHistBuckets - 1);
+}
+
+TEST(HistBucketTest, UpperBoundContainsValueWithBoundedError) {
+  Rng rng(7);
+  for (int i = 0; i < 200000; ++i) {
+    // Spread samples across the magnitudes the top bucket does not saturate.
+    const uint64_t v = rng.Uniform(uint64_t{1} << (10 + i % 32));
+    const uint32_t idx = HistBucketIndex(v);
+    const uint64_t ub = HistBucketUpperBound(idx);
+    ASSERT_GE(ub, v) << "value " << v << " above its bucket bound";
+    if (idx > 0) {
+      ASSERT_LT(HistBucketUpperBound(idx - 1), v) << "value " << v << " fits a lower bucket";
+    }
+    // Relative quantization error bound: ub <= v * (1 + 1/kHistSubBuckets).
+    ASSERT_LE(static_cast<double>(ub),
+              static_cast<double>(v) * (1.0 + 1.0 / kHistSubBuckets) + 1.0)
+        << "value " << v;
+  }
+}
+
+TEST(HistogramSnapshotTest, EmptyReportsZeros) {
+  const HistogramSnapshot h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+  const PercentileSummary s = Summarize(h);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(HistogramSnapshotTest, PercentilesAreMonotoneAndClamped) {
+  Rng rng(11);
+  HistogramSnapshot h;
+  uint64_t real_min = UINT64_MAX, real_max = 0, real_sum = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t v = rng.Uniform(10'000'000);
+    h.Record(v);
+    real_min = std::min(real_min, v);
+    real_max = std::max(real_max, v);
+    real_sum += v;
+  }
+  EXPECT_EQ(h.count, static_cast<uint64_t>(kSamples));
+  EXPECT_EQ(h.sum, real_sum);
+  EXPECT_EQ(h.min, real_min);
+  EXPECT_EQ(h.max, real_max);
+  EXPECT_EQ(h.ValueAt(0), real_min);
+  EXPECT_EQ(h.ValueAt(100), real_max);
+
+  uint64_t prev = 0;
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    const uint64_t v = h.ValueAt(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    EXPECT_GE(v, real_min);
+    EXPECT_LE(v, real_max);
+    prev = v;
+  }
+}
+
+TEST(HistogramSnapshotTest, PercentileOfUniformIsCloseToExact) {
+  // 1..N uniform: pXX should land within the 12.5% bucket quantization of
+  // the true percentile.
+  HistogramSnapshot h;
+  constexpr uint64_t kN = 100000;
+  for (uint64_t v = 1; v <= kN; ++v) {
+    h.Record(v);
+  }
+  for (const double p : {50.0, 90.0, 99.0}) {
+    const double exact = p / 100.0 * kN;
+    const double got = static_cast<double>(h.ValueAt(p));
+    EXPECT_GE(got, exact * 0.999);
+    EXPECT_LE(got, exact * (1.0 + 1.0 / kHistSubBuckets) + 1.0);
+  }
+}
+
+HistogramSnapshot RandomSnapshot(uint64_t seed, int samples) {
+  Rng rng(seed);
+  HistogramSnapshot h;
+  for (int i = 0; i < samples; ++i) {
+    h.Record(rng.Uniform(uint64_t{1} << (1 + i % 40)));
+  }
+  return h;
+}
+
+void ExpectSameDistribution(const HistogramSnapshot& a, const HistogramSnapshot& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+TEST(HistogramSnapshotTest, MergeIsAssociativeAndCommutative) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const HistogramSnapshot a = RandomSnapshot(seed, 500);
+    const HistogramSnapshot b = RandomSnapshot(seed + 100, 300);
+    const HistogramSnapshot c = RandomSnapshot(seed + 200, 700);
+
+    HistogramSnapshot ab = a;
+    ab.MergeFrom(b);
+    HistogramSnapshot ab_c = ab;
+    ab_c.MergeFrom(c);
+
+    HistogramSnapshot bc = b;
+    bc.MergeFrom(c);
+    HistogramSnapshot a_bc = a;
+    a_bc.MergeFrom(bc);
+
+    ExpectSameDistribution(ab_c, a_bc);
+
+    HistogramSnapshot ba = b;
+    ba.MergeFrom(a);
+    ExpectSameDistribution(ab, ba);
+  }
+}
+
+TEST(HistogramSnapshotTest, MergeWithEmptyIsIdentity) {
+  const HistogramSnapshot a = RandomSnapshot(3, 1000);
+  HistogramSnapshot merged = a;
+  merged.MergeFrom(HistogramSnapshot{});
+  ExpectSameDistribution(merged, a);
+  HistogramSnapshot from_empty;
+  from_empty.MergeFrom(a);
+  ExpectSameDistribution(from_empty, a);
+}
+
+TEST(HistogramSnapshotTest, MergeMatchesCombinedRecording) {
+  Rng rng(99);
+  HistogramSnapshot left, right, combined;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.Uniform(1u << 30);
+    combined.Record(v);
+    if (i % 2 == 0) {
+      left.Record(v);
+    } else {
+      right.Record(v);
+    }
+  }
+  left.MergeFrom(right);
+  ExpectSameDistribution(left, combined);
+}
+
+TEST(LatencyHistogramTest, SnapshotMatchesSingleThreadedRecording) {
+  Rng rng(5);
+  LatencyHistogram concurrent;
+  HistogramSnapshot reference;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t v = rng.Uniform(10'000'000);
+    concurrent.Record(v);
+    reference.Record(v);
+  }
+  ExpectSameDistribution(concurrent.Snapshot(), reference);
+  EXPECT_EQ(concurrent.count(), reference.count);
+}
+
+// The TSan target: many threads record while another thread snapshots.
+// After the join, the final snapshot must account for every sample
+// exactly; mid-flight snapshots must be internally sane (monotone
+// percentiles, count never exceeding what was recorded).
+TEST(LatencyHistogramTest, ConcurrentRecordStress) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::atomic<bool> done{false};
+
+  std::thread snapshotter([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const HistogramSnapshot snap = hist.Snapshot();
+      ASSERT_LE(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+      if (!snap.empty()) {
+        ASSERT_LE(snap.p50(), snap.p999());
+      }
+    }
+  });
+
+  std::vector<std::thread> recorders;
+  std::atomic<uint64_t> expected_sum{0};
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      uint64_t local_sum = 0;
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t v = rng.Uniform(1u << 22);
+        hist.Record(v);
+        local_sum += v;
+      }
+      expected_sum.fetch_add(local_sum, std::memory_order_relaxed);
+    });
+  }
+  for (auto& thread : recorders) {
+    thread.join();
+  }
+  done.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  const HistogramSnapshot final_snap = hist.Snapshot();
+  EXPECT_EQ(final_snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(final_snap.sum, expected_sum.load());
+  uint64_t bucket_total = 0;
+  for (const uint64_t b : final_snap.buckets) {
+    bucket_total += b;
+  }
+  EXPECT_EQ(bucket_total, final_snap.count);
+}
+
+}  // namespace
+}  // namespace hashkit

@@ -92,6 +92,23 @@ TEST(AddressingTest, OaddrPacking) {
   EXPECT_EQ(MakeOaddr(0, 1), 1);
 }
 
+TEST(AddressingTest, OaddrInRangeGuardsTheEncoding) {
+  // The full corners of the 5-bit/11-bit encoding.
+  EXPECT_TRUE(OaddrInRange(0, 1));
+  EXPECT_TRUE(OaddrInRange(kMaxSplitPoints - 1, kMaxOvflPagesPerPoint));
+  EXPECT_TRUE(OaddrInRange(31, 1));
+  EXPECT_TRUE(OaddrInRange(0, 2047));
+  // Out of range on every side.  A split point of 32 would be masked to 0
+  // by MakeOaddr's shift — aliasing a fresh page onto split point 0's
+  // region and corrupting it — which is why allocation paths must check
+  // this predicate and return kFull first.
+  EXPECT_FALSE(OaddrInRange(kMaxSplitPoints, 1));
+  EXPECT_FALSE(OaddrInRange(77, 1));
+  EXPECT_FALSE(OaddrInRange(0, 0));  // page numbers are 1-based
+  EXPECT_FALSE(OaddrInRange(0, kMaxOvflPagesPerPoint + 1));
+  EXPECT_FALSE(OaddrInRange(kMaxSplitPoints, 0));
+}
+
 TEST(AddressingTest, BucketToPageWithoutSpares) {
   Meta meta;
   meta.nhdr_pages = 1;

@@ -1,0 +1,169 @@
+// Tests for hashkit-obs at the network tier: the STATS wire command must
+// carry per-opcode and per-store latency percentiles, and the optional
+// metrics endpoint must answer an HTTP scrape with Prometheus-style
+// plaintext exposition — checked over a raw TCP socket, since the point is
+// that any scraper (no hashkit client) can read it.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/kv/kv_store.h"
+#include "src/kv/synchronized.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace net {
+namespace {
+
+using kv::KvStore;
+using kv::OpenStore;
+using kv::StoreKind;
+using kv::StoreOptions;
+
+std::unique_ptr<KvStore> OpenMemStore() {
+  StoreOptions options;
+  options.nelem = 4096;
+  auto opened = OpenStore(StoreKind::kHashMemory, options);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return kv::MakeSynchronized(std::move(opened).value());
+}
+
+// Pulls "key=value\n" out of the stats text; -1 when absent.
+long long StatValue(const std::string& text, const std::string& key) {
+  const std::string needle = key + "=";
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.compare(0, needle.size(), needle) == 0) {
+      return std::stoll(line.substr(needle.size()));
+    }
+    if (eol == std::string::npos) {
+      break;
+    }
+    pos = eol + 1;
+  }
+  return -1;
+}
+
+TEST(NetMetricsTest, StatsTextCarriesLatencyPercentiles) {
+  auto store = OpenMemStore();
+  ServerOptions options;
+  options.port = 0;
+  options.workers = 2;
+  Server server(store.get(), options);
+  ASSERT_OK(server.Start());
+
+  auto connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto client = std::move(connected).value();
+  std::string value;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(client->Put("k" + std::to_string(i), "v" + std::to_string(i)));
+    ASSERT_OK(client->Get("k" + std::to_string(i), &value));
+  }
+
+  std::string text;
+  ASSERT_OK(client->Stats(&text));
+  server.Stop();
+
+  // Server-side per-opcode dispatch latency.
+  EXPECT_EQ(StatValue(text, "server.latency.GET.count"), 200);
+  EXPECT_EQ(StatValue(text, "server.latency.PUT.count"), 200);
+  const long long get_p50 = StatValue(text, "server.latency.GET.p50_ns");
+  const long long get_p99 = StatValue(text, "server.latency.GET.p99_ns");
+  const long long get_max = StatValue(text, "server.latency.GET.max_ns");
+  EXPECT_GT(get_p50, 0);
+  EXPECT_LE(get_p50, get_p99);
+  EXPECT_LE(get_p99, get_max);
+  // Unused opcodes report zeroed blocks, not missing keys.
+  EXPECT_EQ(StatValue(text, "server.latency.DEL.count"), 0);
+  EXPECT_EQ(StatValue(text, "server.latency.DEL.p999_ns"), 0);
+
+  // Store-tier end-to-end latency from the SynchronizedStore wrapper.
+  EXPECT_EQ(StatValue(text, "store.latency.put.count"), 200);
+  EXPECT_EQ(StatValue(text, "store.latency.get.count"), 200);
+  EXPECT_GT(StatValue(text, "store.latency.get.p50_ns"), 0);
+  EXPECT_EQ(StatValue(text, "store.latency.del.count"), 0);
+  EXPECT_GE(StatValue(text, "store.latency.get.max_ns"),
+            StatValue(text, "store.latency.get.p50_ns"));
+}
+
+TEST(NetMetricsTest, MetricsEndpointServesPrometheusText) {
+  auto store = OpenMemStore();
+  ServerOptions options;
+  options.port = 0;
+  options.workers = 1;
+  options.metrics_port = 0;  // kernel-assigned
+  Server server(store.get(), options);
+  ASSERT_OK(server.Start());
+  ASSERT_GT(server.metrics_port(), 0);
+  ASSERT_NE(server.metrics_port(), server.port());
+
+  {
+    auto connected = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(connected.ok());
+    auto client = std::move(connected).value();
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK(client->Put("m" + std::to_string(i), "x"));
+    }
+    ASSERT_OK(client->Ping());
+  }
+
+  // Scrape with a plain blocking TCP socket speaking minimal HTTP.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.metrics_port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  server.Stop();
+
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("hashkit_requests_total{op=\"put\"} 50"), std::string::npos);
+  EXPECT_NE(response.find("hashkit_requests_total{op=\"ping\"} 1"), std::string::npos);
+  EXPECT_NE(response.find("hashkit_request_latency_ns{op=\"put\",quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(response.find("hashkit_request_latency_ns_count{op=\"put\"} 50"),
+            std::string::npos);
+  EXPECT_NE(response.find("hashkit_store_size 50"), std::string::npos);
+  EXPECT_NE(response.find("hashkit_store_latency_ns{op=\"put\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(response.find("hashkit_connections_accepted_total"), std::string::npos);
+}
+
+TEST(NetMetricsTest, MetricsEndpointDisabledByDefault) {
+  auto store = OpenMemStore();
+  ServerOptions options;
+  options.port = 0;
+  options.workers = 1;
+  Server server(store.get(), options);
+  ASSERT_OK(server.Start());
+  EXPECT_EQ(server.metrics_port(), 0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace hashkit

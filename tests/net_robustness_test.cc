@@ -2,7 +2,9 @@
 // to a live server over raw sockets and assert the server answers with an
 // error frame, closes the connection, counts the abuse, keeps serving
 // other clients, and neither crashes nor leaks (run under ASan via the
-// sanitize config, label `net`).
+// sanitize config, label `net`).  Also the client-deadline tests: a server
+// that accepts but never answers, never reads, or never completes the
+// handshake must surface Status::Timeout in bounded time, not hang.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -13,12 +15,14 @@
 
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/kv/kv_store.h"
 #include "src/kv/synchronized.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/util/endian.h"
+#include "src/util/histogram.h"
 #include "tests/test_util.h"
 
 namespace hashkit {
@@ -216,6 +220,136 @@ TEST_F(NetRobustnessTest, ManyAbusiveConnectionsDoNotStarveTheServer) {
   // to be); a fresh well-formed client still gets served.
   ExpectServerStillHealthy();
   EXPECT_GE(server_->stats().malformed_frames.load(), 1u);
+}
+
+// A listening socket that speaks no hashkit at all: it can complete TCP
+// handshakes (and optionally accept) but never reads or writes — the
+// stand-in for a hung server.
+class MuteListener {
+ public:
+  explicit MuteListener(int backlog = 8) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    (void)::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+    (void)::listen(fd_, backlog);
+    socklen_t len = sizeof(addr);
+    (void)::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~MuteListener() {
+    for (const int fd : accepted_) {
+      ::close(fd);
+    }
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  uint16_t port() const { return port_; }
+  // Accepts one pending connection and holds it open, never reading.
+  bool AcceptAndHold() {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return false;
+    }
+    accepted_.push_back(fd);
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<int> accepted_;
+};
+
+TEST(ClientTimeoutTest, RecvTimesOutAgainstSilentServer) {
+  MuteListener listener;
+  ClientOptions options;
+  options.recv_timeout_ms = 200;
+  auto connected = Client::Connect("127.0.0.1", listener.port(), options);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  ASSERT_TRUE(listener.AcceptAndHold());
+
+  const uint64_t t0 = MonotonicNanos();
+  const Status st = (*connected)->Ping("anyone-home");
+  const uint64_t elapsed_ms = (MonotonicNanos() - t0) / 1'000'000;
+  EXPECT_TRUE(st.IsTimeout()) << st.ToString();
+  EXPECT_GE(elapsed_ms, 150u);   // the deadline was actually honored...
+  EXPECT_LT(elapsed_ms, 5000u);  // ...and nothing hung
+}
+
+TEST(ClientTimeoutTest, SendTimesOutWhenPeerNeverReads) {
+  MuteListener listener;
+  ClientOptions options;
+  options.send_timeout_ms = 200;
+  options.recv_timeout_ms = 200;
+  auto connected = Client::Connect("127.0.0.1", listener.port(), options);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  ASSERT_TRUE(listener.AcceptAndHold());
+
+  // The protocol's largest value: far beyond what the loopback send +
+  // receive buffers can absorb, so the write must stall on a peer that
+  // never reads, and the stall must trip the send deadline.
+  const std::string huge(kMaxValueLen, 'x');
+  const uint64_t t0 = MonotonicNanos();
+  const Status st = (*connected)->Put("big", huge);
+  const uint64_t elapsed_ms = (MonotonicNanos() - t0) / 1'000'000;
+  EXPECT_TRUE(st.IsTimeout()) << st.ToString();
+  EXPECT_LT(elapsed_ms, 10000u);
+}
+
+TEST(ClientTimeoutTest, ConnectTimesOutOnUnresponsiveAcceptQueue) {
+  // A full accept queue makes the kernel drop fresh SYNs: the connect
+  // neither completes nor fails, which is exactly the case the connect
+  // deadline exists for.  Saturate a backlog-1 listener with non-blocking
+  // connects first.
+  MuteListener listener(/*backlog=*/1);
+  std::vector<int> fillers;
+  for (int i = 0; i < 8; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(listener.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    (void)::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+    fillers.push_back(fd);
+  }
+  // Give the first fillers time to occupy the queue.
+  struct timespec ts = {0, 100 * 1000 * 1000};
+  nanosleep(&ts, nullptr);
+
+  ClientOptions options;
+  options.connect_timeout_ms = 300;
+  const uint64_t t0 = MonotonicNanos();
+  auto connected = Client::Connect("127.0.0.1", listener.port(), options);
+  const uint64_t elapsed_ms = (MonotonicNanos() - t0) / 1'000'000;
+  ASSERT_FALSE(connected.ok());
+  EXPECT_TRUE(connected.status().IsTimeout()) << connected.status().ToString();
+  EXPECT_GE(elapsed_ms, 250u);
+  EXPECT_LT(elapsed_ms, 5000u);
+  for (const int fd : fillers) {
+    ::close(fd);
+  }
+}
+
+TEST(ClientTimeoutTest, ConnectToClosedPortFailsFastNotByTimeout) {
+  // A dead port answers RST immediately: that is an IoError, and it must
+  // arrive long before the connect deadline (no spurious timeouts).
+  uint16_t dead_port = 0;
+  {
+    MuteListener probe;  // grab a free port, then release it
+    dead_port = probe.port();
+  }
+
+  ClientOptions options;
+  options.connect_timeout_ms = 10'000;
+  const uint64_t t0 = MonotonicNanos();
+  auto connected = Client::Connect("127.0.0.1", dead_port, options);
+  const uint64_t elapsed_ms = (MonotonicNanos() - t0) / 1'000'000;
+  EXPECT_FALSE(connected.ok());
+  EXPECT_FALSE(connected.status().IsTimeout()) << connected.status().ToString();
+  EXPECT_LT(elapsed_ms, 2000u);
 }
 
 }  // namespace

@@ -157,6 +157,22 @@ TEST_F(OvflTest, ExhaustedSplitPointAdvancesOvflPoint) {
   EXPECT_EQ(meta_.ovfl_point, 1u);
 }
 
+TEST_F(OvflTest, ExhaustedAddressSpaceSurfacesFullStatus) {
+  // Fake the accounting so the allocator believes every split point up to
+  // the last one is carved out.  (Actually allocating 32 * 2047 pages would
+  // need gigabytes of in-memory page file; the guard only looks at the
+  // spares deltas, so this exercises the same code path.)  With no bitmaps
+  // anywhere there is nothing to reuse, and the carve loop must walk off
+  // the end of the 5-bit split-point space and report kFull instead of
+  // silently wrapping the encoding.
+  meta_.ovfl_point = kMaxSplitPoints - 1;
+  meta_.spares = {};
+  meta_.spares[kMaxSplitPoints - 1] = kMaxOvflPagesPerPoint;
+  auto result = alloc_->Alloc(PageType::kOverflow);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFull()) << result.status().ToString();
+}
+
 TEST_F(OvflTest, ManyAllocFreeCyclesStayConsistent) {
   std::set<uint16_t> live;
   uint64_t rng = 0x12345;

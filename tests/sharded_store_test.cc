@@ -198,6 +198,73 @@ TEST(ShardedStoreTest, FactoryRejectsZeroShardsAndPropagatesErrors) {
       },
       4);
   EXPECT_FALSE(result.ok());
+  // A factory that "succeeds" with a null store must also fail the open —
+  // a null shard would crash the first routed operation.
+  EXPECT_FALSE(MakeSharded(
+                   [](size_t) -> Result<std::unique_ptr<KvStore>> {
+                     return std::unique_ptr<KvStore>();
+                   },
+                   2)
+                   .ok());
+}
+
+// Every shard count >= 1 is a working store — a single-shard ShardedStore
+// is just a one-lock front-end.  (OpenShardedStore used to demand >= 2
+// while MakeSharded accepted 1; both now agree on >= 1.)
+TEST(ShardedStoreTest, SingleShardIsAValidConfiguration) {
+  StoreOptions options;
+  options.nelem = 1024;
+  auto opened = OpenShardedStore(StoreKind::kHashMemory, options, 1);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto store = std::move(opened).value();
+  EXPECT_EQ(store->Name(), "sharded(1xhash(mem))");
+
+  ASSERT_OK(store->Put("only", "one"));
+  std::string value;
+  ASSERT_OK(store->Get("only", &value));
+  EXPECT_EQ(value, "one");
+  EXPECT_EQ(store->Size(), 1u);
+  ASSERT_OK(store->Delete("only"));
+
+  EXPECT_FALSE(OpenShardedStore(StoreKind::kHashMemory, options, 0).ok());
+}
+
+// hashkit-obs: the wrapper records an end-to-end latency sample for every
+// operation, merged across shards into StoreStats::latency.
+TEST(ShardedStoreTest, StatsCarryPerOpLatencyDistributions) {
+  auto store = OpenShardedMem(4);
+  std::string value;
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_OK(store->Put("k" + std::to_string(i), "v"));
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(store->Get("k" + std::to_string(i), &value));
+  }
+  ASSERT_OK(store->Delete("k0"));
+  ASSERT_OK(store->Sync());
+
+  StoreStats stats;
+  ASSERT_TRUE(store->Stats(&stats));
+  EXPECT_EQ(stats.latency.put.count, 300u);
+  EXPECT_EQ(stats.latency.get.count, 100u);
+  EXPECT_EQ(stats.latency.del.count, 1u);
+  EXPECT_EQ(stats.latency.sync.count, 1u);
+  EXPECT_GT(stats.latency.put.sum, 0u);
+  EXPECT_LE(stats.latency.get.p50(), stats.latency.get.p999());
+  EXPECT_LE(stats.latency.get.p999(), stats.latency.get.max);
+
+  // SynchronizedStore reports the same shape.
+  StoreOptions options;
+  options.nelem = 1024;
+  auto inner = OpenStore(StoreKind::kHashMemory, options);
+  ASSERT_TRUE(inner.ok());
+  auto synced = MakeSynchronized(std::move(inner).value());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(synced->Put("s" + std::to_string(i), "v"));
+  }
+  ASSERT_TRUE(synced->Stats(&stats));
+  EXPECT_EQ(stats.latency.put.count, 50u);
+  EXPECT_EQ(stats.latency.get.count, 0u);
 }
 
 // The concurrency hammer: writers fill disjoint key ranges while readers

@@ -11,8 +11,11 @@
 //                                                  pipelined in batches)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,6 +41,45 @@ int Usage(int code) {
 int Fail(const char* what, const Status& st) {
   std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
   return 1;
+}
+
+// Renders the server's "key=value" stats text: latency blocks
+// (*.latency.<name>.{count,mean_ns,p50_ns,...}) are gathered into one
+// table in microseconds; every other line prints verbatim.
+void PrintStats(const std::string& text) {
+  struct Lat {
+    std::map<std::string, double> fields;  // metric suffix -> value
+  };
+  std::map<std::string, Lat> latency;  // insertion not needed; sorted is fine
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t eq = line.find('=');
+    const size_t lat = line.find(".latency.");
+    if (eq == std::string::npos || lat == std::string::npos) {
+      std::printf("%s\n", line.c_str());
+      continue;
+    }
+    const std::string key = line.substr(0, eq);
+    const size_t field_dot = key.rfind('.');
+    latency[key.substr(0, field_dot)].fields[key.substr(field_dot + 1)] =
+        std::strtod(line.c_str() + eq + 1, nullptr);
+  }
+  if (latency.empty()) {
+    return;
+  }
+  std::printf("\n%-32s %10s %9s %9s %9s %9s %9s %9s\n", "latency (us)", "count", "mean",
+              "p50", "p90", "p99", "p999", "max");
+  for (const auto& [name, lat] : latency) {
+    const auto us = [&lat](const char* field) {
+      const auto it = lat.fields.find(field);
+      return it != lat.fields.end() ? it->second / 1000.0 : 0.0;
+    };
+    const auto count_it = lat.fields.find("count");
+    std::printf("%-32s %10.0f %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f\n", name.c_str(),
+                count_it != lat.fields.end() ? count_it->second : 0.0, us("mean_ns"),
+                us("p50_ns"), us("p90_ns"), us("p99_ns"), us("p999_ns"), us("max_ns"));
+  }
 }
 
 }  // namespace
@@ -101,7 +143,7 @@ int main(int argc, char** argv) {
     if (!st.ok()) {
       return Fail("stats", st);
     }
-    std::fputs(text.c_str(), stdout);
+    PrintStats(text);
     return 0;
   }
   if (cmd == "ping") {

@@ -2,7 +2,7 @@
 //
 //   hashkit_server [--host=H] [--port=P] [--store=KIND] [--path=FILE]
 //                  [--shards=N] [--workers=N] [--idle_timeout_ms=N]
-//                  [--truncate]
+//                  [--truncate] [--metrics-port=P]
 //
 // With shards > 1 the store opens as a ShardedStore (per-shard ".sN"
 // files); with shards <= 1 it is wrapped in SynchronizedStore so multiple
@@ -58,10 +58,12 @@ int Usage(int code) {
   std::fprintf(stderr,
                "usage: hashkit_server [--host=H] [--port=P] [--store=KIND] [--path=FILE]\n"
                "                      [--shards=N] [--workers=N] [--idle_timeout_ms=N]\n"
-               "                      [--truncate]\n"
+               "                      [--truncate] [--metrics-port=P]\n"
                "defaults: host 127.0.0.1, port 4691, store hash_disk,\n"
                "          path /tmp/hashkit_server.db, shards 4, workers 2\n"
-               "store: hash_disk ndbm sdbm gdbm (file-backed kinds)\n");
+               "store: hash_disk ndbm sdbm gdbm (file-backed kinds)\n"
+               "metrics: --metrics-port=P serves Prometheus-style plaintext metrics\n"
+               "         over HTTP on host:P (P=0 picks a free port; omit to disable)\n");
   return code;
 }
 
@@ -113,6 +115,12 @@ int main(int argc, char** argv) {
   server_options.workers = static_cast<int>(FlagLong(argc, argv, "workers", 2));
   server_options.idle_timeout_ms =
       static_cast<int>(FlagLong(argc, argv, "idle_timeout_ms", 60000));
+  // Both spellings accepted; -1 (absent) leaves the endpoint off.
+  long metrics_port = FlagLong(argc, argv, "metrics-port", -1);
+  if (metrics_port < 0) {
+    metrics_port = FlagLong(argc, argv, "metrics_port", -1);
+  }
+  server_options.metrics_port = static_cast<int>(metrics_port);
 
   hashkit::net::Server server(store.get(), server_options);
   const hashkit::Status st = server.Start();
@@ -122,6 +130,10 @@ int main(int argc, char** argv) {
   }
   std::printf("hashkit_server: %s on %s:%u (%d workers)\n", store->Name().c_str(),
               server_options.host.c_str(), server.port(), server_options.workers);
+  if (server.metrics_port() != 0) {
+    std::printf("hashkit_server: metrics on http://%s:%u/metrics\n",
+                server_options.host.c_str(), server.metrics_port());
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
