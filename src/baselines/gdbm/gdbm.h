@@ -59,7 +59,7 @@ class GdbmClone {
   uint32_t directory_depth() const { return depth_; }
   size_t directory_entries() const { return directory_.size(); }
   const GdbmStats& stats() const { return stats_; }
-  const PageFileStats& file_stats() const { return file_->stats(); }
+  PageFileStats file_stats() const { return file_->stats(); }
 
   // Structural validation for tests: directory entries consistent with
   // local depths, every key reachable at its hashed index, counts correct.

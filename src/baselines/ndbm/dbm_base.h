@@ -61,7 +61,7 @@ class DbmBase {
 
   uint64_t size() const { return nkeys_; }
   const DbmStats& stats() const { return stats_; }
-  const PageFileStats& file_stats() const { return pag_->stats(); }
+  PageFileStats file_stats() const { return pag_->stats(); }
   uint32_t block_size() const { return bsize_; }
 
  protected:

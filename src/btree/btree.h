@@ -89,7 +89,7 @@ class BTree {
   uint64_t size() const { return nkeys_; }
   uint32_t height() const { return height_; }
   const BtStats& stats() const { return stats_; }
-  const PageFileStats& file_stats() const { return file_->stats(); }
+  PageFileStats file_stats() const { return file_->stats(); }
 
   // Full structural validation: per-page invariants, key ordering across
   // the tree, separator/bound consistency, leaf-chain agreement, counts.

@@ -17,7 +17,10 @@
 // Thread-compatibility: mutations (Put/Delete/Contract/Sync/Seq) require
 // exclusive access, but concurrent Get/Contains calls are safe provided no
 // mutation runs at the same time — the read path never writes a page, the
-// buffer pool is internally locked, and read-side counters are atomic.
+// buffer pool is internally synchronized (lock-striped frame table, atomic
+// pins, backend I/O outside its bookkeeping locks, so concurrent readers
+// neither serialize on a pool-wide mutex nor stall behind each other's
+// cache-miss reads), and read-side counters are atomic.
 // The kv layer's SynchronizedStore/ShardedStore enforce exactly this
 // discipline with reader-writer locks (the paper's conclusion notes
 // multi-user access as future work; this is its minimal useful form).
@@ -125,11 +128,12 @@ class HashTable {
   uint64_t size() const { return meta_.nkeys; }
   uint32_t bucket_count() const { return meta_.max_bucket + 1; }
   const Meta& meta() const { return meta_; }
-  // Unlocked views; only valid when no reader threads are active.
+  // Unlocked view; only valid when no reader threads are active.
   const HashTableStats& stats() const { return stats_; }
-  const BufferPoolStats& pool_stats() const { return pool_->stats(); }
-  const PageFileStats& file_stats() const { return file_->stats(); }
-  // Copies that are safe to take while concurrent Gets are in flight.
+  // Snapshots, safe to take while concurrent Gets are in flight (the pool
+  // merges its per-stripe counters; the page file counters are atomic).
+  BufferPoolStats pool_stats() const { return pool_->StatsSnapshot(); }
+  PageFileStats file_stats() const { return file_->stats(); }
   HashTableStats StatsSnapshot() const;
   BufferPoolStats PoolStatsSnapshot() const { return pool_->StatsSnapshot(); }
   HashFn hash_fn() const { return hash_; }

@@ -1,32 +1,61 @@
 #include "src/pagefile/buffer_pool.h"
 
+#include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstring>
+#include <vector>
 
 namespace hashkit {
 
+namespace {
+enum class FrameState : uint8_t {
+  kLoading,  // published in the table, backend read in flight
+  kReady,    // contents valid
+  kFailed,   // backend read failed; frame is being withdrawn
+};
+}  // namespace
+
 struct BufFrame {
   uint64_t pageno = 0;
-  bool dirty = false;
-  uint32_t pins = 0;
+  std::atomic<uint32_t> pins{0};
+  std::atomic<bool> ref_bit{false};   // second-chance bit, set on every hit
+  std::atomic<bool> dirty{false};
+  std::atomic<FrameState> state{FrameState::kLoading};
   std::unique_ptr<uint8_t[]> data;
 
-  // LRU chain (head = coldest).
-  BufFrame* lru_prev = nullptr;
-  BufFrame* lru_next = nullptr;
-
   // Overflow-chain links: evicting a frame evicts ovfl_next transitively.
+  // Guarded by BufferPool::sweep_mu_.
   BufFrame* ovfl_next = nullptr;
   BufFrame* chain_prev = nullptr;
+
+  // Clock ring (circular, all resident frames).  Guarded by sweep_mu_.
+  BufFrame* ring_prev = nullptr;
+  BufFrame* ring_next = nullptr;
+};
+
+// One lock-striped partition of the frame table.  The stripe lock guards
+// the map itself; per-frame fields are atomics so a hit only ever takes
+// the lock shared.  The condvar carries load-completion wakeups for
+// misses that coalesced onto another thread's backend read.
+struct BufferPool::Stripe {
+  mutable std::shared_mutex mu;
+  std::condition_variable_any cv;
+  std::unordered_map<uint64_t, std::shared_ptr<BufFrame>> frames;
+
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  LatencyHistogram get_hit_ns;
+  LatencyHistogram get_miss_ns;
 };
 
 PageRef& PageRef::operator=(PageRef&& other) noexcept {
   if (this != &other) {
     Release();
     pool_ = other.pool_;
-    frame_ = other.frame_;
+    frame_ = std::move(other.frame_);
     other.pool_ = nullptr;
-    other.frame_ = nullptr;
+    other.frame_.reset();
   }
   return *this;
 }
@@ -48,62 +77,194 @@ uint64_t PageRef::pageno() const {
 
 void PageRef::MarkDirty() {
   assert(frame_ != nullptr);
-  frame_->dirty = true;
+  frame_->dirty.store(true, std::memory_order_release);
 }
 
 void PageRef::Release() {
   if (frame_ != nullptr) {
-    pool_->Unpin(frame_);
-    frame_ = nullptr;
+    pool_->Unpin(frame_.get());
+    frame_.reset();
     pool_ = nullptr;
   }
 }
 
 BufferPool::BufferPool(PageFile* file, size_t pool_bytes)
-    : file_(file), max_frames_(pool_bytes / file->page_size()) {}
+    : file_(file),
+      page_size_(file->page_size()),
+      max_frames_(pool_bytes / file->page_size()),
+      stripes_(new Stripe[kPoolStripes]) {}
 
 BufferPool::~BufferPool() = default;
 
 void BufferPool::Unpin(BufFrame* frame) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  assert(frame->pins > 0);
-  --frame->pins;
-  if (frame->pins == 0) {
-    TouchLru(frame);
-  }
+  assert(frame->pins.load(std::memory_order_relaxed) > 0);
+  // The reference bit was already set when the pin was taken; dropping the
+  // last pin is a single atomic decrement — no chain splice, no lock.
+  frame->pins.fetch_sub(1, std::memory_order_acq_rel);
 }
 
-void BufferPool::UnlinkLru(BufFrame* frame) {
-  if (frame->lru_prev != nullptr) {
-    frame->lru_prev->lru_next = frame->lru_next;
-  } else if (lru_head_ == frame) {
-    lru_head_ = frame->lru_next;
+template <typename Lock>
+Result<PageRef> BufferPool::PinResident(Stripe& stripe, std::shared_ptr<BufFrame> frame,
+                                        Lock& lock, uint64_t t0) {
+  frame->pins.fetch_add(1, std::memory_order_acq_rel);
+  frame->ref_bit.store(true, std::memory_order_relaxed);
+  FrameState state = frame->state.load(std::memory_order_acquire);
+  if (state == FrameState::kLoading) {
+    // Coalesce: another thread is reading this page from the backend.
+    // The pin (taken above) keeps the frame from being evicted while we
+    // wait; the condvar releases the stripe lock so the loader can
+    // publish.
+    stripe.cv.wait(lock, [&] {
+      return frame->state.load(std::memory_order_acquire) != FrameState::kLoading;
+    });
+    state = frame->state.load(std::memory_order_acquire);
   }
-  if (frame->lru_next != nullptr) {
-    frame->lru_next->lru_prev = frame->lru_prev;
-  } else if (lru_tail_ == frame) {
-    lru_tail_ = frame->lru_prev;
+  if (state == FrameState::kFailed) {
+    frame->pins.fetch_sub(1, std::memory_order_acq_rel);
+    return Status::IoError("buffer pool: coalesced page read failed");
   }
-  frame->lru_prev = nullptr;
-  frame->lru_next = nullptr;
+  stripe.hits.fetch_add(1, std::memory_order_relaxed);
+  stripe.get_hit_ns.Record(MonotonicNanos() - t0);
+  return PageRef(this, std::move(frame));
 }
 
-void BufferPool::TouchLru(BufFrame* frame) {
-  UnlinkLru(frame);
-  frame->lru_prev = lru_tail_;
-  frame->lru_next = nullptr;
-  if (lru_tail_ != nullptr) {
-    lru_tail_->lru_next = frame;
+Result<PageRef> BufferPool::Get(uint64_t pageno, bool create_new) {
+  // Clock starts before any synchronization so hit/miss latency includes
+  // lock wait — what the caller actually experiences.
+  const uint64_t t0 = MonotonicNanos();
+  Stripe& stripe = stripes_[StripeOf(pageno)];
+
+  // Hit path: stripe-shared lookup + atomic pin.  No global lock, no
+  // replacement-list splice.
+  {
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    auto it = stripe.frames.find(pageno);
+    if (it != stripe.frames.end()) {
+      return PinResident(stripe, it->second, lock, t0);
+    }
   }
-  lru_tail_ = frame;
-  if (lru_head_ == nullptr) {
-    lru_head_ = frame;
+
+  // Miss: publish a loading frame, then read outside every lock.
+  std::shared_ptr<BufFrame> frame;
+  {
+    std::unique_lock<std::shared_mutex> lock(stripe.mu);
+    auto it = stripe.frames.find(pageno);
+    if (it != stripe.frames.end()) {
+      // Lost the race: someone else published this page first.
+      return PinResident(stripe, it->second, lock, t0);
+    }
+    frame = std::make_shared<BufFrame>();
+    frame->pageno = pageno;
+    frame->data = std::make_unique<uint8_t[]>(page_size_);  // value-init: zero
+    frame->pins.store(1, std::memory_order_relaxed);
+    if (create_new) {
+      frame->dirty.store(true, std::memory_order_relaxed);
+      frame->state.store(FrameState::kReady, std::memory_order_relaxed);
+    }
+    stripe.frames.emplace(pageno, frame);
+    total_frames_.fetch_add(1, std::memory_order_acq_rel);
   }
+
+  // Bookkeeping: join the clock ring and make room.  Our frame is pinned,
+  // so the sweep cannot take it.
+  Status room = Status::Ok();
+  {
+    std::lock_guard<std::mutex> sweep(sweep_mu_);
+    RingAppend(frame.get());
+    if (max_frames_ == 0 || total_frames_.load(std::memory_order_acquire) > max_frames_) {
+      room = SweepForRoom();
+    }
+  }
+  if (!room.ok()) {
+    AbortLoad(stripe, frame);
+    return room;
+  }
+
+  if (!create_new) {
+    // The backend read runs with no pool lock held: misses on other pages
+    // proceed in parallel, hits are never stalled behind this I/O.
+    const Status read =
+        file_->ReadPage(pageno, std::span<uint8_t>(frame->data.get(), page_size_));
+    if (!read.ok()) {
+      AbortLoad(stripe, frame);
+      return read;
+    }
+    {
+      std::unique_lock<std::shared_mutex> lock(stripe.mu);
+      frame->state.store(FrameState::kReady, std::memory_order_release);
+    }
+    stripe.cv.notify_all();
+  }
+
+  stripe.misses.fetch_add(1, std::memory_order_relaxed);
+  stripe.get_miss_ns.Record(MonotonicNanos() - t0);
+  return PageRef(this, std::move(frame));
+}
+
+void BufferPool::AbortLoad(Stripe& stripe, const std::shared_ptr<BufFrame>& frame) {
+  {
+    std::lock_guard<std::mutex> sweep(sweep_mu_);
+    // A loading frame should have no chain edges yet; detach defensively.
+    if (frame->chain_prev != nullptr) {
+      frame->chain_prev->ovfl_next = nullptr;
+      frame->chain_prev = nullptr;
+    }
+    if (frame->ovfl_next != nullptr) {
+      frame->ovfl_next->chain_prev = nullptr;
+      frame->ovfl_next = nullptr;
+    }
+    RingRemove(frame.get());
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(stripe.mu);
+    stripe.frames.erase(frame->pageno);
+    total_frames_.fetch_sub(1, std::memory_order_acq_rel);
+    frame->state.store(FrameState::kFailed, std::memory_order_release);
+  }
+  // Coalesced waiters hold their own shared_ptr, so the frame outlives the
+  // table entry until the last of them has seen kFailed.
+  stripe.cv.notify_all();
+  frame->pins.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void BufferPool::RingAppend(BufFrame* frame) {
+  if (clock_hand_ == nullptr) {
+    frame->ring_next = frame;
+    frame->ring_prev = frame;
+    clock_hand_ = frame;
+  } else {
+    // Insert behind the hand: new frames are swept last, giving them one
+    // full revolution of residence (the clock analogue of entering at MRU).
+    BufFrame* tail = clock_hand_->ring_prev;
+    tail->ring_next = frame;
+    frame->ring_prev = tail;
+    frame->ring_next = clock_hand_;
+    clock_hand_->ring_prev = frame;
+  }
+  ++ring_size_;
+}
+
+void BufferPool::RingRemove(BufFrame* frame) {
+  if (frame->ring_next == nullptr) {
+    return;  // not on the ring (load aborted before/after RingAppend)
+  }
+  if (frame->ring_next == frame) {
+    clock_hand_ = nullptr;
+  } else {
+    frame->ring_prev->ring_next = frame->ring_next;
+    frame->ring_next->ring_prev = frame->ring_prev;
+    if (clock_hand_ == frame) {
+      clock_hand_ = frame->ring_next;
+    }
+  }
+  frame->ring_next = nullptr;
+  frame->ring_prev = nullptr;
+  --ring_size_;
 }
 
 bool BufferPool::ChainEvictable(const BufFrame* frame) const {
   for (const BufFrame* f = frame; f != nullptr; f = f->ovfl_next) {
-    if (f->pins > 0) {
+    if (f->pins.load(std::memory_order_acquire) > 0) {
       return false;
     }
   }
@@ -111,118 +272,168 @@ bool BufferPool::ChainEvictable(const BufFrame* frame) const {
 }
 
 Status BufferPool::WriteBack(BufFrame* frame) {
-  if (!frame->dirty) {
+  // exchange() makes writeback single-flight between the sweep and
+  // FlushAll; on failure the bit is restored so the data is not lost.
+  if (!frame->dirty.exchange(false, std::memory_order_acq_rel)) {
     return Status::Ok();
   }
   const uint64_t t0 = MonotonicNanos();
-  HASHKIT_RETURN_IF_ERROR(
-      file_->WritePage(frame->pageno, std::span<const uint8_t>(frame->data.get(),
-                                                               file_->page_size())));
-  frame->dirty = false;
-  ++stats_.dirty_writebacks;
-  stats_.writeback_ns.Record(MonotonicNanos() - t0);
+  const Status st = file_->WritePage(
+      frame->pageno, std::span<const uint8_t>(frame->data.get(), page_size_));
+  if (!st.ok()) {
+    frame->dirty.store(true, std::memory_order_release);
+    return st;
+  }
+  dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
+  writeback_ns_.Record(MonotonicNanos() - t0);
   return Status::Ok();
 }
 
-Status BufferPool::EvictChain(BufFrame* frame) {
+Status BufferPool::EvictChain(BufFrame* frame, bool* evicted) {
+  *evicted = false;
   const uint64_t t0 = MonotonicNanos();
-  // Detach from the predecessor so it no longer references freed memory.
-  if (frame->chain_prev != nullptr) {
-    frame->chain_prev->ovfl_next = nullptr;
-    frame->chain_prev = nullptr;
+
+  // Chain links are stable while sweep_mu_ is held.
+  std::vector<BufFrame*> chain;
+  for (BufFrame* f = frame; f != nullptr; f = f->ovfl_next) {
+    chain.push_back(f);
   }
-  BufFrame* f = frame;
-  while (f != nullptr) {
-    BufFrame* next = f->ovfl_next;
+
+  // Writebacks first, outside every stripe lock: hits anywhere in the pool
+  // proceed while the victim drains to the backend.
+  for (BufFrame* f : chain) {
     HASHKIT_RETURN_IF_ERROR(WriteBack(f));
-    UnlinkLru(f);
-    const uint64_t pageno = f->pageno;
-    ++stats_.evictions;
-    frames_.erase(pageno);  // frees f
-    f = next;
   }
-  stats_.evict_ns.Record(MonotonicNanos() - t0);
+
+  // Lock the involved stripes in canonical (ascending) order, then
+  // re-verify that no reader pinned or re-dirtied a chain member during
+  // the writebacks.  Under the unique stripe locks no new pin can appear.
+  std::array<size_t, kPoolStripes> stripe_ids{};
+  size_t nstripes = 0;
+  for (BufFrame* f : chain) {
+    const size_t id = StripeOf(f->pageno);
+    bool seen = false;
+    for (size_t i = 0; i < nstripes; ++i) {
+      seen = seen || stripe_ids[i] == id;
+    }
+    if (!seen) {
+      stripe_ids[nstripes++] = id;
+    }
+  }
+  std::sort(stripe_ids.begin(), stripe_ids.begin() + static_cast<long>(nstripes));
+  for (size_t i = 0; i < nstripes; ++i) {
+    stripes_[stripe_ids[i]].mu.lock();
+  }
+
+  bool still_evictable = true;
+  for (BufFrame* f : chain) {
+    if (f->pins.load(std::memory_order_acquire) != 0 ||
+        f->dirty.load(std::memory_order_acquire)) {
+      still_evictable = false;
+      break;
+    }
+  }
+  size_t n_evicted = 0;
+  if (still_evictable) {
+    // Detach from the predecessor so it no longer references freed memory.
+    if (frame->chain_prev != nullptr) {
+      frame->chain_prev->ovfl_next = nullptr;
+      frame->chain_prev = nullptr;
+    }
+    for (BufFrame* f : chain) {
+      const uint64_t pageno = f->pageno;
+      RingRemove(f);
+      stripes_[StripeOf(pageno)].frames.erase(pageno);  // may free f
+      ++n_evicted;
+    }
+    total_frames_.fetch_sub(n_evicted, std::memory_order_acq_rel);
+    evictions_.fetch_add(n_evicted, std::memory_order_relaxed);
+  }
+  for (size_t i = nstripes; i > 0; --i) {
+    stripes_[stripe_ids[i - 1]].mu.unlock();
+  }
+  if (still_evictable) {
+    *evicted = true;
+    evict_ns_.Record(MonotonicNanos() - t0);
+  }
   return Status::Ok();
 }
 
-Status BufferPool::MakeRoom() {
-  while (frames_.size() >= max_frames_ && max_frames_ > 0) {
-    // Bound the victim search: each candidate's chain walk is O(chain), so
-    // an unbounded scan over a pool full of chained-but-pinned frames
-    // would make every miss quadratic.  Past the cap, grow instead.
-    constexpr int kMaxVictimScan = 64;
-    BufFrame* victim = lru_head_;
-    int scanned = 0;
-    while (victim != nullptr && (victim->pins > 0 || !ChainEvictable(victim))) {
-      victim = victim->lru_next;
-      if (++scanned >= kMaxVictimScan) {
-        victim = nullptr;
-        break;
+Status BufferPool::SweepForRoom() {
+  if (max_frames_ == 0) {
+    // A zero-byte pool keeps nothing cached beyond pins: evict every
+    // unpinned frame eagerly.
+    return EvictAllUnpinned();
+  }
+  // Bound the sweep: one revolution may only clear reference bits and a
+  // second then finds victims, but each *candidate* costs an O(chain)
+  // walk, so an unbounded scan over a pool full of chained-but-pinned
+  // frames would make every miss quadratic.  Past the caps, grow instead.
+  constexpr int kMaxVictimScan = 64;
+  size_t steps = 2 * ring_size_ + kMaxVictimScan;
+  int barren_candidates = 0;
+  while (total_frames_.load(std::memory_order_acquire) > max_frames_) {
+    BufFrame* victim = nullptr;
+    while (steps > 0 && clock_hand_ != nullptr) {
+      --steps;
+      BufFrame* f = clock_hand_;
+      clock_hand_ = f->ring_next;
+      if (f->pins.load(std::memory_order_acquire) > 0) {
+        continue;  // pinned frames sit outside replacement consideration
       }
+      if (f->ref_bit.exchange(false, std::memory_order_relaxed)) {
+        continue;  // second chance
+      }
+      if (!ChainEvictable(f)) {
+        if (++barren_candidates >= kMaxVictimScan) {
+          steps = 0;
+        }
+        continue;
+      }
+      victim = f;
+      break;
     }
     if (victim == nullptr) {
       // Everything (scanned) pinned or chained to pins: grow past the
       // nominal limit.
       return Status::Ok();
     }
-    HASHKIT_RETURN_IF_ERROR(EvictChain(victim));
-  }
-  // A zero-byte pool keeps nothing cached beyond pins: evict every unpinned
-  // frame eagerly.
-  if (max_frames_ == 0) {
-    BufFrame* f = lru_head_;
-    while (f != nullptr) {
-      BufFrame* next = f->lru_next;
-      if (f->pins == 0 && ChainEvictable(f)) {
-        HASHKIT_RETURN_IF_ERROR(EvictChain(f));
-        // Chain eviction may have removed `next`; restart from the head.
-        f = lru_head_;
-      } else {
-        f = next;
-      }
+    bool evicted = false;
+    HASHKIT_RETURN_IF_ERROR(EvictChain(victim, &evicted));
+    if (!evicted && ++barren_candidates >= kMaxVictimScan) {
+      return Status::Ok();
     }
   }
   return Status::Ok();
 }
 
-Result<PageRef> BufferPool::Get(uint64_t pageno, bool create_new) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  const uint64_t t0 = MonotonicNanos();
-  auto it = frames_.find(pageno);
-  if (it != frames_.end()) {
-    BufFrame* frame = it->second.get();
-    ++stats_.hits;
-    ++frame->pins;
-    UnlinkLru(frame);  // pinned pages sit outside LRU consideration
-    stats_.get_hit_ns.Record(MonotonicNanos() - t0);
-    return PageRef(this, frame);
+Status BufferPool::EvictAllUnpinned() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    BufFrame* f = clock_hand_;
+    for (size_t i = 0; i < ring_size_ && f != nullptr; ++i) {
+      BufFrame* next = f->ring_next;
+      if (f->pins.load(std::memory_order_acquire) == 0 && ChainEvictable(f)) {
+        bool evicted = false;
+        HASHKIT_RETURN_IF_ERROR(EvictChain(f, &evicted));
+        if (evicted) {
+          // Chain eviction may have removed `next`; restart the scan.
+          progress = true;
+          break;
+        }
+      }
+      f = next;
+    }
   }
-
-  HASHKIT_RETURN_IF_ERROR(MakeRoom());
-
-  auto frame_owner = std::make_unique<BufFrame>();
-  BufFrame* frame = frame_owner.get();
-  frame->pageno = pageno;
-  frame->data = std::make_unique<uint8_t[]>(file_->page_size());
-  if (create_new) {
-    std::memset(frame->data.get(), 0, file_->page_size());
-    frame->dirty = true;
-  } else {
-    HASHKIT_RETURN_IF_ERROR(
-        file_->ReadPage(pageno, std::span<uint8_t>(frame->data.get(), file_->page_size())));
-  }
-  ++stats_.misses;
-  frame->pins = 1;
-  frames_.emplace(pageno, std::move(frame_owner));
-  stats_.get_miss_ns.Record(MonotonicNanos() - t0);
-  return PageRef(this, frame);
+  return Status::Ok();
 }
 
 void BufferPool::LinkOverflow(const PageRef& pred, const PageRef& succ) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  BufFrame* p = pred.frame_;
-  BufFrame* s = succ.frame_;
+  BufFrame* p = pred.frame_.get();
+  BufFrame* s = succ.frame_.get();
   assert(p != nullptr && s != nullptr && p != s);
+  const std::lock_guard<std::mutex> sweep(sweep_mu_);
   if (p->ovfl_next == s) {
     return;
   }
@@ -238,50 +449,86 @@ void BufferPool::LinkOverflow(const PageRef& pred, const PageRef& succ) {
   s->chain_prev = p;
 }
 
-Status BufferPool::FlushAllLocked() {
-  for (auto& [pageno, frame] : frames_) {
-    HASHKIT_RETURN_IF_ERROR(WriteBack(frame.get()));
-  }
-  return Status::Ok();
-}
-
 Status BufferPool::FlushAll() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return FlushAllLocked();
+  Status result = Status::Ok();
+  std::vector<std::shared_ptr<BufFrame>> dirty;
+  for (size_t i = 0; i < kPoolStripes; ++i) {
+    Stripe& stripe = stripes_[i];
+    dirty.clear();
+    {
+      // Shared lock: collecting pins frames (atomically) but never
+      // mutates the map, so concurrent hits stay unblocked.
+      std::shared_lock<std::shared_mutex> lock(stripe.mu);
+      for (const auto& [pageno, frame] : stripe.frames) {
+        if (frame->dirty.load(std::memory_order_acquire)) {
+          frame->pins.fetch_add(1, std::memory_order_acq_rel);
+          dirty.push_back(frame);
+        }
+      }
+    }
+    // I/O outside the stripe lock; the flush pin keeps each frame
+    // resident until its write completes.
+    for (const auto& frame : dirty) {
+      if (result.ok()) {
+        result = WriteBack(frame.get());
+      }
+      frame->pins.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    if (!result.ok()) {
+      return result;  // later frames keep their dirty bit for a retry
+    }
+  }
+  return result;
 }
 
 Status BufferPool::FlushAndInvalidate() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  HASHKIT_RETURN_IF_ERROR(FlushAllLocked());
-  BufFrame* f = lru_head_;
-  while (f != nullptr) {
-    BufFrame* next = f->lru_next;
-    if (f->pins == 0 && ChainEvictable(f)) {
-      HASHKIT_RETURN_IF_ERROR(EvictChain(f));
-      f = lru_head_;
-    } else {
-      f = next;
-    }
-  }
-  return Status::Ok();
+  HASHKIT_RETURN_IF_ERROR(FlushAll());
+  const std::lock_guard<std::mutex> sweep(sweep_mu_);
+  return EvictAllUnpinned();
 }
 
 void BufferPool::Discard(uint64_t pageno) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  auto it = frames_.find(pageno);
-  if (it == frames_.end()) {
+  Stripe& stripe = stripes_[StripeOf(pageno)];
+  const std::lock_guard<std::mutex> sweep(sweep_mu_);
+  std::unique_lock<std::shared_mutex> lock(stripe.mu);
+  auto it = stripe.frames.find(pageno);
+  if (it == stripe.frames.end()) {
     return;
   }
   BufFrame* frame = it->second.get();
-  assert(frame->pins == 0);
+  if (frame->pins.load(std::memory_order_acquire) != 0) {
+    // Checked no-op: a live PageRef still points at this frame.  Freeing
+    // it would leave that ref dangling, so the page simply stays cached
+    // (it will age out of the clock ring like any other frame).
+    return;
+  }
   if (frame->chain_prev != nullptr) {
     frame->chain_prev->ovfl_next = nullptr;
+    frame->chain_prev = nullptr;
   }
   if (frame->ovfl_next != nullptr) {
     frame->ovfl_next->chain_prev = nullptr;
+    frame->ovfl_next = nullptr;
   }
-  UnlinkLru(frame);
-  frames_.erase(it);
+  RingRemove(frame);
+  stripe.frames.erase(it);
+  total_frames_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+BufferPoolStats BufferPool::StatsSnapshot() const {
+  BufferPoolStats out;
+  for (size_t i = 0; i < kPoolStripes; ++i) {
+    const Stripe& stripe = stripes_[i];
+    out.hits += stripe.hits.load(std::memory_order_relaxed);
+    out.misses += stripe.misses.load(std::memory_order_relaxed);
+    out.get_hit_ns.MergeFrom(stripe.get_hit_ns.Snapshot());
+    out.get_miss_ns.MergeFrom(stripe.get_miss_ns.Snapshot());
+  }
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.dirty_writebacks = dirty_writebacks_.load(std::memory_order_relaxed);
+  out.writeback_ns = writeback_ns_.Snapshot();
+  out.evict_ns = evict_ns_.Snapshot();
+  return out;
 }
 
 }  // namespace hashkit

@@ -1,11 +1,25 @@
-// hashkit: LRU buffer pool, reproducing the paper's "Buffer Management"
-// design.
+// hashkit: concurrent buffer pool, reproducing the paper's "Buffer
+// Management" design with multi-reader scalability.
 //
-// Frames are kept on an LRU chain; overflow-page frames are additionally
-// linked to their predecessor frame (the primary page, or an earlier
-// overflow page in the same chain).  Per the paper, "an overflow page
-// cannot be present in the buffer pool if its primary page is not present":
-// evicting a frame evicts its linked overflow successors with it.
+// Frames live in a frame table striped into kPoolStripes lock-striped
+// partitions keyed by pageno; overflow-page frames are additionally linked
+// to their predecessor frame (the primary page, or an earlier overflow page
+// in the same chain).  Per the paper, "an overflow page cannot be present
+// in the buffer pool if its primary page is not present": evicting a frame
+// evicts its linked overflow successors with it.
+//
+// Replacement is second-chance (clock) instead of a strict LRU list: a
+// cache hit sets the frame's reference bit and never touches shared chain
+// pointers, so the hit path is a stripe-local shared-lock lookup plus an
+// atomic pin increment.  The clock hand is swept only on misses, under a
+// small eviction mutex that no hit ever takes.
+//
+// Backend I/O is decoupled from bookkeeping: a missing page is published
+// as a frame in `loading` state before the backend read runs, so concurrent
+// misses on the same page coalesce onto one read (latecomers wait on the
+// stripe's condvar) while misses on different pages read in parallel.
+// Eviction writebacks run under the eviction mutex but outside every
+// stripe lock, so hits proceed while a victim drains.
 //
 // Pages are pinned while a caller holds a PageRef; pinned frames are never
 // evicted.  When every frame is pinned the pool grows past its nominal
@@ -13,19 +27,21 @@
 // configuration, i.e. the minimum number of pages required is always
 // resident.
 //
-// Thread-safety: the pool's bookkeeping (frame map, LRU chain, pin counts,
-// stats) is guarded by an internal mutex, and all backend PageFile I/O
-// happens under that mutex, so concurrent Get/Release from reader threads
-// are safe.  Page *contents* are not guarded: callers must ensure writers
-// are excluded while readers hold PageRefs (the kv layer does this with
-// per-store reader/writer locks).
+// Thread-safety: all pool bookkeeping (frame maps, clock ring, pin counts,
+// chain links, stats) is safe under concurrent Get/Release/Flush/Discard
+// from any number of threads.  Page *contents* are not guarded: callers
+// must ensure writers are excluded while readers hold PageRefs (the kv
+// layer does this with per-store reader/writer locks).
 
 #ifndef HASHKIT_SRC_PAGEFILE_BUFFER_POOL_H_
 #define HASHKIT_SRC_PAGEFILE_BUFFER_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "src/pagefile/page_file.h"
@@ -34,15 +50,21 @@
 
 namespace hashkit {
 
+// Number of lock-striped frame-table partitions.  Power of two; pagenos
+// are mixed before striping so sequentially allocated pages spread out.
+inline constexpr size_t kPoolStripes = 16;
+
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
 
-  // hashkit-obs latency distributions (nanoseconds), recorded under the
-  // pool mutex.  get_hit_ns/get_miss_ns split BufferPool::Get by outcome
-  // (a miss includes the backend read); writeback_ns times one WritePage;
+  // hashkit-obs latency distributions (nanoseconds).  get_hit_ns/
+  // get_miss_ns split BufferPool::Get by outcome, clocked from before any
+  // synchronization so lock wait and I/O wait are visible (a miss includes
+  // the backend read; a hit that coalesced onto another thread's read
+  // includes the wait for that read); writeback_ns times one WritePage;
   // evict_ns times a whole chain eviction including its writebacks.
   HistogramSnapshot get_hit_ns;
   HistogramSnapshot get_miss_ns;
@@ -63,6 +85,7 @@ struct BufferPoolStats {
 };
 
 class BufferPool;
+struct BufFrame;
 
 // RAII pin on a buffered page.  Movable, not copyable; releasing the last
 // ref makes the frame evictable again.
@@ -89,10 +112,11 @@ class PageRef {
 
  private:
   friend class BufferPool;
-  PageRef(BufferPool* pool, struct BufFrame* frame) : pool_(pool), frame_(frame) {}
+  PageRef(BufferPool* pool, std::shared_ptr<BufFrame> frame)
+      : pool_(pool), frame_(std::move(frame)) {}
 
   BufferPool* pool_ = nullptr;
-  struct BufFrame* frame_ = nullptr;
+  std::shared_ptr<BufFrame> frame_;
 };
 
 class BufferPool {
@@ -121,46 +145,78 @@ class BufferPool {
   Status FlushAndInvalidate();
 
   // Drops a cached page without writeback (used when a page is freed and
-  // its contents no longer matter).  No-op if absent; must not be pinned.
+  // its contents no longer matter).  No-op if absent.  A pinned page is
+  // never dropped: the call is a checked no-op then, so a stale Discard
+  // can never free memory a live PageRef still points at.
   void Discard(uint64_t pageno);
 
-  size_t frames_in_use() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return frames_.size();
-  }
+  size_t frames_in_use() const { return total_frames_.load(std::memory_order_acquire); }
   size_t max_frames() const { return max_frames_; }
-  // Unlocked view; only valid when no other thread is using the pool.
-  const BufferPoolStats& stats() const { return stats_; }
-  // Consistent copy, safe while reader threads are active.
-  BufferPoolStats StatsSnapshot() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
-  }
+  // Consistent merged copy of the per-stripe stats, safe while reader
+  // threads are active.
+  BufferPoolStats StatsSnapshot() const;
   PageFile* file() { return file_; }
 
  private:
   friend class PageRef;
 
+  struct Stripe;
+
+  static size_t StripeOf(uint64_t pageno) {
+    // Fibonacci mix so consecutive pagenos land on different stripes.
+    return static_cast<size_t>((pageno * 0x9E3779B97F4A7C15ull) >> 60) & (kPoolStripes - 1);
+  }
+
   void Unpin(BufFrame* frame);
-  Status FlushAllLocked();
-  void TouchLru(BufFrame* frame);
-  void UnlinkLru(BufFrame* frame);
+
+  // Pins an already-resident frame found in `stripe`, waiting out a
+  // pending load.  Called with the stripe lock held (shared or unique via
+  // `lock`); returns the pinned ref or the load failure.
+  template <typename Lock>
+  Result<PageRef> PinResident(Stripe& stripe, std::shared_ptr<BufFrame> frame, Lock& lock,
+                              uint64_t t0);
+
+  // Removes a frame whose backend read failed (or whose eviction pass
+  // failed) from the table and wakes coalesced waiters with the bad news.
+  void AbortLoad(Stripe& stripe, const std::shared_ptr<BufFrame>& frame);
+
+  // --- clock ring + eviction, all under sweep_mu_ ---
+  void RingAppend(BufFrame* frame);
+  void RingRemove(BufFrame* frame);
   // True if `frame` and all its overflow successors are unpinned.
   bool ChainEvictable(const BufFrame* frame) const;
+  // Second-chance sweep: evicts chains until the pool fits its budget (or
+  // every unpinned frame, in eager mode / on invalidate).  Gives up and
+  // lets the pool grow when kMaxVictimScan candidates in a row are
+  // unevictable.
+  Status SweepForRoom();
+  Status EvictAllUnpinned();
   // Writes back (if dirty) and frees `frame` plus its successor chain.
-  Status EvictChain(BufFrame* frame);
+  // Sets *evicted=false (without error) when a concurrent pin cancelled
+  // the eviction after its writebacks.
+  Status EvictChain(BufFrame* frame, bool* evicted);
   Status WriteBack(BufFrame* frame);
-  Status MakeRoom();
 
   PageFile* file_;
+  const size_t page_size_;
   size_t max_frames_;
-  // Guards frames_, the LRU chain, per-frame pins/links, stats_, and all
-  // backend I/O issued by the pool.
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<BufFrame>> frames_;
-  BufFrame* lru_head_ = nullptr;  // least recently used
-  BufFrame* lru_tail_ = nullptr;  // most recently used
-  BufferPoolStats stats_;
+
+  std::unique_ptr<Stripe[]> stripes_;
+  std::atomic<size_t> total_frames_{0};
+
+  // Serializes eviction (the clock sweep), the ring links, and the
+  // overflow-chain links.  Never taken by the hit path; ordered strictly
+  // before stripe locks (sweep_mu_ -> stripe.mu, never the reverse).
+  std::mutex sweep_mu_;
+  BufFrame* clock_hand_ = nullptr;  // circular ring of resident frames
+  size_t ring_size_ = 0;
+
+  // Eviction-side stats; serialized by sweep_mu_ / flush callers but kept
+  // atomic so StatsSnapshot needs no lock.
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> dirty_writebacks_{0};
+  LatencyHistogram writeback_ns_;
+  LatencyHistogram evict_ns_;
 };
 
 }  // namespace hashkit

@@ -4,9 +4,12 @@
 #include <sys/file.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 namespace hashkit {
@@ -28,10 +31,10 @@ class DiskPageFile final : public PageFile {
     if (out.size() != page_size_) {
       return Status::InvalidArgument("read buffer size != page size");
     }
-    if (pageno >= page_count_) {
+    if (pageno >= page_count_.load(std::memory_order_acquire)) {
       // Beyond EOF: sparse semantics, page reads as zero.
       std::memset(out.data(), 0, out.size());
-      ++stats_.zero_fills;
+      CountZeroFill();
       return Status::Ok();
     }
     const off_t offset = static_cast<off_t>(pageno * page_size_);
@@ -52,7 +55,7 @@ class DiskPageFile final : public PageFile {
       }
       done += static_cast<size_t>(n);
     }
-    ++stats_.reads;
+    CountRead();
     return Status::Ok();
   }
 
@@ -73,10 +76,12 @@ class DiskPageFile final : public PageFile {
       }
       done += static_cast<size_t>(n);
     }
-    if (pageno >= page_count_) {
-      page_count_ = pageno + 1;
+    // CAS-max: concurrent writers extend the count monotonically.
+    uint64_t count = page_count_.load(std::memory_order_relaxed);
+    while (pageno + 1 > count &&
+           !page_count_.compare_exchange_weak(count, pageno + 1, std::memory_order_acq_rel)) {
     }
-    ++stats_.writes;
+    CountWrite();
     return Status::Ok();
   }
 
@@ -84,15 +89,15 @@ class DiskPageFile final : public PageFile {
     if (::fsync(fd_) != 0) {
       return Status::IoError(std::string("fsync: ") + std::strerror(errno));
     }
-    ++stats_.syncs;
+    CountSync();
     return Status::Ok();
   }
 
-  uint64_t PageCount() const override { return page_count_; }
+  uint64_t PageCount() const override { return page_count_.load(std::memory_order_acquire); }
 
  private:
   int fd_;
-  uint64_t page_count_;
+  std::atomic<uint64_t> page_count_;
 };
 
 class MemPageFile final : public PageFile {
@@ -103,13 +108,14 @@ class MemPageFile final : public PageFile {
     if (out.size() != page_size_) {
       return Status::InvalidArgument("read buffer size != page size");
     }
+    const std::shared_lock<std::shared_mutex> lock(mu_);
     if (pageno >= pages_.size() || pages_[pageno].empty()) {
       std::memset(out.data(), 0, out.size());
-      ++stats_.zero_fills;
+      CountZeroFill();
       return Status::Ok();
     }
     std::memcpy(out.data(), pages_[pageno].data(), page_size_);
-    ++stats_.reads;
+    CountRead();
     return Status::Ok();
   }
 
@@ -117,22 +123,29 @@ class MemPageFile final : public PageFile {
     if (data.size() != page_size_) {
       return Status::InvalidArgument("write buffer size != page size");
     }
+    const std::unique_lock<std::shared_mutex> lock(mu_);
     if (pageno >= pages_.size()) {
       pages_.resize(pageno + 1);
     }
     pages_[pageno].assign(data.begin(), data.end());
-    ++stats_.writes;
+    CountWrite();
     return Status::Ok();
   }
 
   Status Sync() override {
-    ++stats_.syncs;
+    CountSync();
     return Status::Ok();
   }
 
-  uint64_t PageCount() const override { return pages_.size(); }
+  uint64_t PageCount() const override {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    return pages_.size();
+  }
 
  private:
+  // Readers of distinct resident pages proceed in parallel; only a write
+  // (which may grow the vector) excludes them.
+  mutable std::shared_mutex mu_;
   std::vector<std::vector<uint8_t>> pages_;
 };
 

@@ -14,10 +14,19 @@
 //
 // All backends count reads/writes/syncs so experiments can report I/O
 // behaviour independently of wall-clock noise.
+//
+// Thread-safety: ReadPage/WritePage/Sync may be called concurrently from
+// any number of threads (the buffer pool issues backend I/O outside its
+// bookkeeping locks).  Concurrent accesses to *distinct* pages are
+// independent; concurrent accesses to the same page are each atomic at
+// page granularity for the memory backend, and rely on pread/pwrite for
+// the disk backends.  Counters are relaxed atomics; stats() returns a
+// snapshot.
 
 #ifndef HASHKIT_SRC_PAGEFILE_PAGE_FILE_H_
 #define HASHKIT_SRC_PAGEFILE_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -57,14 +66,38 @@ class PageFile {
   // One past the highest page ever written.
   virtual uint64_t PageCount() const = 0;
 
-  const PageFileStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PageFileStats{}; }
+  // Consistent-enough snapshot of the I/O counters (each counter is a
+  // relaxed atomic; a snapshot taken during traffic is a lower bound).
+  PageFileStats stats() const {
+    PageFileStats out;
+    out.reads = reads_.load(std::memory_order_relaxed);
+    out.writes = writes_.load(std::memory_order_relaxed);
+    out.syncs = syncs_.load(std::memory_order_relaxed);
+    out.zero_fills = zero_fills_.load(std::memory_order_relaxed);
+    return out;
+  }
+  void ResetStats() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    syncs_.store(0, std::memory_order_relaxed);
+    zero_fills_.store(0, std::memory_order_relaxed);
+  }
 
  protected:
   explicit PageFile(size_t page_size) : page_size_(page_size) {}
 
+  void CountRead() { reads_.fetch_add(1, std::memory_order_relaxed); }
+  void CountWrite() { writes_.fetch_add(1, std::memory_order_relaxed); }
+  void CountSync() { syncs_.fetch_add(1, std::memory_order_relaxed); }
+  void CountZeroFill() { zero_fills_.fetch_add(1, std::memory_order_relaxed); }
+
   size_t page_size_;
-  PageFileStats stats_;
+
+ private:
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> zero_fills_{0};
 };
 
 // Opens (creating if necessary) `path` as a page file.  `truncate` discards

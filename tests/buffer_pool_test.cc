@@ -39,12 +39,12 @@ TEST_F(BufferPoolTest, MissThenHit) {
     auto ref = std::move(pool_->Get(0).value());
     EXPECT_EQ(ref.data()[0], 0xaa);
   }
-  EXPECT_EQ(pool_->stats().misses, 1u);
+  EXPECT_EQ(pool_->StatsSnapshot().misses, 1u);
   {
     auto ref = std::move(pool_->Get(0).value());
     EXPECT_EQ(ref.data()[0], 0xaa);
   }
-  EXPECT_EQ(pool_->stats().hits, 1u);
+  EXPECT_EQ(pool_->StatsSnapshot().hits, 1u);
 }
 
 TEST_F(BufferPoolTest, CreateNewSkipsBackendRead) {
@@ -70,7 +70,7 @@ TEST_F(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
   std::vector<uint8_t> out(kPage);
   ASSERT_OK(file_->ReadPage(0, out));
   EXPECT_EQ(out[0], 0x77);
-  EXPECT_GT(pool_->stats().evictions, 0u);
+  EXPECT_GT(pool_->StatsSnapshot().evictions, 0u);
 }
 
 TEST_F(BufferPoolTest, CleanPageEvictedWithoutWriteback) {
@@ -81,7 +81,7 @@ TEST_F(BufferPoolTest, CleanPageEvictedWithoutWriteback) {
   for (uint64_t p = 1; p <= 3; ++p) {
     auto ref = std::move(pool_->Get(p, true).value());
   }
-  EXPECT_EQ(pool_->stats().dirty_writebacks, 3u - (3 - (file_->stats().writes - writes_before)));
+  EXPECT_EQ(pool_->StatsSnapshot().dirty_writebacks, 3u - (3 - (file_->stats().writes - writes_before)));
   // Reading page 0 again shows the seeded (unmodified) content.
   auto ref = std::move(pool_->Get(0).value());
   EXPECT_EQ(ref.data()[0], 0x11);
@@ -96,12 +96,12 @@ TEST_F(BufferPoolTest, LruEvictsColdestFirst) {
   { auto ref = std::move(pool_->Get(0).value()); }
   { auto ref = std::move(pool_->Get(3, true).value()); }  // forces one eviction
   // Pages 0 and 2 should still be hits; page 1 was evicted.
-  const uint64_t misses_before = pool_->stats().misses;
+  const uint64_t misses_before = pool_->StatsSnapshot().misses;
   { auto ref = std::move(pool_->Get(0).value()); }
   { auto ref = std::move(pool_->Get(2).value()); }
-  EXPECT_EQ(pool_->stats().misses, misses_before);
+  EXPECT_EQ(pool_->StatsSnapshot().misses, misses_before);
   { auto ref = std::move(pool_->Get(1).value()); }
-  EXPECT_EQ(pool_->stats().misses, misses_before + 1);
+  EXPECT_EQ(pool_->StatsSnapshot().misses, misses_before + 1);
 }
 
 TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
@@ -143,12 +143,12 @@ TEST_F(BufferPoolTest, OverflowChainEvictedWithPrimary) {
     auto ref = std::move(pool_->Get(p, true).value());
   }
   // All three chain members must have left together.
-  EXPECT_GE(pool_->stats().evictions, 3u);
-  const uint64_t misses_before = pool_->stats().misses;
+  EXPECT_GE(pool_->StatsSnapshot().evictions, 3u);
+  const uint64_t misses_before = pool_->StatsSnapshot().misses;
   { auto ref = std::move(pool_->Get(10).value()); }
   { auto ref = std::move(pool_->Get(11).value()); }
   { auto ref = std::move(pool_->Get(12).value()); }
-  EXPECT_EQ(pool_->stats().misses, misses_before + 3);
+  EXPECT_EQ(pool_->StatsSnapshot().misses, misses_before + 3);
 }
 
 TEST_F(BufferPoolTest, PinnedOverflowProtectsPredecessorChain) {
@@ -161,9 +161,9 @@ TEST_F(BufferPoolTest, PinnedOverflowProtectsPredecessorChain) {
     auto ref = std::move(pool_->Get(p, true).value());
   }
   // Primary must still be resident (its chain contains a pinned page).
-  const uint64_t misses_before = pool_->stats().misses;
+  const uint64_t misses_before = pool_->StatsSnapshot().misses;
   { auto ref = std::move(pool_->Get(0).value()); }
-  EXPECT_EQ(pool_->stats().misses, misses_before);
+  EXPECT_EQ(pool_->StatsSnapshot().misses, misses_before);
 }
 
 TEST_F(BufferPoolTest, FlushAllWritesDirtyPagesAndKeepsThem) {
@@ -178,9 +178,9 @@ TEST_F(BufferPoolTest, FlushAllWritesDirtyPagesAndKeepsThem) {
   ASSERT_OK(file_->ReadPage(0, out));
   EXPECT_EQ(out[0], 0x21);
   // Still cached.
-  const uint64_t misses_before = pool_->stats().misses;
+  const uint64_t misses_before = pool_->StatsSnapshot().misses;
   { auto ref = std::move(pool_->Get(0).value()); }
-  EXPECT_EQ(pool_->stats().misses, misses_before);
+  EXPECT_EQ(pool_->StatsSnapshot().misses, misses_before);
   // Flushing twice does not rewrite clean pages.
   const uint64_t writes = file_->stats().writes;
   ASSERT_OK(pool_->FlushAll());
@@ -252,6 +252,82 @@ TEST_F(BufferPoolTest, RelinkOverflowReplacesOldEdge) {
     auto ref = std::move(pool_->Get(q, true).value());
   }
   SUCCEED();  // structural sanity: no crash, no double-free
+}
+
+TEST_F(BufferPoolTest, DiscardPinnedIsCheckedNoOp) {
+  MakePool(kPage * 4);
+  auto ref = std::move(pool_->Get(0, /*create_new=*/true).value());
+  ref.data()[0] = 0x5a;
+  ref.MarkDirty();
+
+  // Discarding a pinned page must not free the frame out from under the
+  // live PageRef (release builds compile the assert out, so this has to be
+  // a checked no-op, not UB).
+  pool_->Discard(0);
+  EXPECT_EQ(pool_->frames_in_use(), 1u);
+  EXPECT_EQ(ref.data()[0], 0x5a);  // still valid
+  ref.Release();
+
+  // The frame stayed cached through the refused discard.
+  {
+    auto again = std::move(pool_->Get(0).value());
+    EXPECT_EQ(again.data()[0], 0x5a);
+  }
+  EXPECT_EQ(pool_->StatsSnapshot().hits, 1u);
+
+  // Unpinned, the discard goes through — without writeback.
+  pool_->Discard(0);
+  EXPECT_EQ(pool_->frames_in_use(), 0u);
+  auto fresh = std::move(pool_->Get(0).value());
+  EXPECT_EQ(fresh.data()[0], 0x00);  // backend never saw the dirty bytes
+}
+
+TEST_F(BufferPoolTest, AllFramesPinnedGrowsPastBudget) {
+  MakePool(kPage * 2);
+  std::vector<PageRef> pinned;
+  for (uint64_t p = 0; p < 6; ++p) {
+    pinned.push_back(std::move(pool_->Get(p, /*create_new=*/true).value()));
+  }
+  // Nothing evictable: the pool grows past its nominal limit rather than
+  // failing or evicting a pinned frame.
+  EXPECT_EQ(pool_->frames_in_use(), 6u);
+  for (uint64_t p = 0; p < 6; ++p) {
+    EXPECT_EQ(pinned[p].pageno(), p);
+  }
+  for (auto& ref : pinned) {
+    ref.Release();
+  }
+  // Once the pins drop, the next miss sweeps the pool back under budget.
+  auto ref = std::move(pool_->Get(100, /*create_new=*/true).value());
+  EXPECT_LE(pool_->frames_in_use(), 2u + 1u);  // budget + the pinned newcomer
+}
+
+TEST_F(BufferPoolTest, VictimScanCapFallsBackToGrowth) {
+  // Fill the pool with frames the sweep must *consider* but can never take:
+  // unpinned primaries whose overflow successor is pinned.  With more such
+  // candidates than kMaxVictimScan, the sweep has to give up in bounded
+  // time and let the pool grow instead of spinning on the ring.
+  MakePool(kPage * 8);
+  constexpr uint64_t kChains = 70;  // > kMaxVictimScan (64)
+  std::vector<PageRef> pinned_ovfl;
+  for (uint64_t i = 0; i < kChains; ++i) {
+    auto primary = std::move(pool_->Get(i, /*create_new=*/true).value());
+    auto ovfl = std::move(pool_->Get(1000 + i, /*create_new=*/true).value());
+    pool_->LinkOverflow(primary, ovfl);
+    primary.Release();
+    pinned_ovfl.push_back(std::move(ovfl));  // keeps the whole chain resident
+  }
+  // Every chain survived: 70 primaries + 70 pinned overflows.
+  EXPECT_EQ(pool_->frames_in_use(), 2 * kChains);
+
+  // Re-touch every primary: all hits, no backend reads.
+  const uint64_t misses_before = pool_->StatsSnapshot().misses;
+  for (uint64_t i = 0; i < kChains; ++i) {
+    auto ref = std::move(pool_->Get(i).value());
+    EXPECT_EQ(ref.pageno(), i);
+  }
+  EXPECT_EQ(pool_->StatsSnapshot().misses, misses_before);
+  EXPECT_EQ(file_->stats().reads, 0u);
 }
 
 }  // namespace
