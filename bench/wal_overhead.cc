@@ -1,0 +1,164 @@
+// WAL overhead sweep: what does each durability mode cost on the insert
+// path, and how much does group commit buy back?
+//
+// Modes: durability=none (no log — the baseline every other row is
+// normalized against), async (log appends, no per-op fsync), and sync with
+// group commit 1 / 8 / 32.  Workload: sequential Puts of ~40-byte pairs
+// into a fresh disk table (bsize 256 / ffactor 8, splits included), the
+// configuration the paper's Figure 5 sweep lands on.
+//
+// Results go to BENCH_wal.json.  Expected shape: async rides close to the
+// baseline (appends are buffered writes absorbed by the page cache), sync
+// g=1 pays one fsync per Put and is order(s) of magnitude slower on real
+// disks, and raising the group-commit window amortizes the fsyncs nearly
+// linearly until the append cost dominates.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/hash_table.h"
+#include "src/workload/timing.h"
+
+namespace hashkit {
+namespace bench {
+namespace {
+
+struct Mode {
+  const char* name;
+  Durability durability;
+  uint32_t group_commit;
+};
+
+struct Cell {
+  const char* name = nullptr;
+  size_t ops = 0;
+  workload::TimingSample time;
+  double puts_per_sec = 0.0;
+  uint64_t wal_syncs = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_checkpoints = 0;
+};
+
+long FlagFromArgs(int argc, char** argv, const char* name, long fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atol(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+Cell RunMode(const Mode& mode, size_t ops) {
+  const std::string path = BenchPath("wal_overhead");
+  RemoveBenchFiles(path);
+  std::remove((path + ".wal").c_str());
+
+  HashOptions options;
+  options.bsize = 256;
+  options.ffactor = 8;
+  options.durability = mode.durability;
+  options.wal_group_commit = mode.group_commit;
+
+  Cell cell;
+  cell.name = mode.name;
+  cell.ops = ops;
+  auto opened = HashTable::Open(path, options, /*truncate=*/true);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", mode.name, opened.status().ToString().c_str());
+    return cell;
+  }
+  auto& table = *opened.value();
+  cell.time = workload::MeasureOnce([&] {
+    char key[24];
+    char value[40];
+    for (size_t i = 0; i < ops; ++i) {
+      std::snprintf(key, sizeof(key), "key%08zu", i);
+      std::snprintf(value, sizeof(value), "value-%08zu-padpadpadpad", i);
+      if (!table.Put(key, value).ok()) {
+        std::fprintf(stderr, "put failed in %s\n", mode.name);
+        return;
+      }
+    }
+  });
+  cell.puts_per_sec =
+      cell.time.elapsed_sec > 0 ? static_cast<double>(ops) / cell.time.elapsed_sec : 0.0;
+  const wal::WalStats stats = table.WalStatsSnapshot();
+  cell.wal_syncs = stats.syncs;
+  cell.wal_bytes = stats.bytes;
+  cell.wal_checkpoints = stats.checkpoints;
+
+  RemoveBenchFiles(path);
+  std::remove((path + ".wal").c_str());
+  return cell;
+}
+
+void WriteJson(const std::vector<Cell>& cells, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "  {\"mode\": \"%s\", \"ops\": %zu, \"elapsed_sec\": %.6f, "
+                 "\"user_sec\": %.6f, \"sys_sec\": %.6f, \"puts_per_sec\": %.0f, "
+                 "\"wal_syncs\": %llu, \"wal_bytes\": %llu, \"wal_checkpoints\": %llu}%s\n",
+                 c.name, c.ops, c.time.elapsed_sec, c.time.user_sec, c.time.sys_sec,
+                 c.puts_per_sec, static_cast<unsigned long long>(c.wal_syncs),
+                 static_cast<unsigned long long>(c.wal_bytes),
+                 static_cast<unsigned long long>(c.wal_checkpoints),
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu cells to %s\n", cells.size(), path);
+}
+
+int Main(int argc, char** argv) {
+  const size_t ops = static_cast<size_t>(FlagFromArgs(argc, argv, "ops", 20000));
+  const Mode modes[] = {
+      {"none", Durability::kNone, 1},      {"async", Durability::kAsync, 1},
+      {"sync_g1", Durability::kSync, 1},   {"sync_g8", Durability::kSync, 8},
+      {"sync_g32", Durability::kSync, 32},
+  };
+
+  std::printf("WAL overhead sweep: %zu Puts, bsize 256 / ffactor 8, disk table\n\n", ops);
+  std::printf("%10s %14s %10s %12s %12s %9s\n", "mode", "puts/sec", "vs none", "elapsed_s",
+              "wal_syncs", "ckpts");
+  PrintCsvHeader("wal,mode,puts_per_sec,elapsed_sec,wal_syncs,wal_checkpoints");
+
+  std::vector<Cell> cells;
+  double baseline = 0.0;
+  for (const Mode& mode : modes) {
+    const Cell cell = RunMode(mode, ops);
+    if (baseline == 0.0) {
+      baseline = cell.puts_per_sec;
+    }
+    std::printf("%10s %14.0f %9.2fx %12.3f %12llu %9llu\n", cell.name, cell.puts_per_sec,
+                baseline > 0 ? cell.puts_per_sec / baseline : 0.0, cell.time.elapsed_sec,
+                static_cast<unsigned long long>(cell.wal_syncs),
+                static_cast<unsigned long long>(cell.wal_checkpoints));
+    char csv[160];
+    std::snprintf(csv, sizeof(csv), "wal,%s,%.0f,%.6f,%llu,%llu", cell.name,
+                  cell.puts_per_sec, cell.time.elapsed_sec,
+                  static_cast<unsigned long long>(cell.wal_syncs),
+                  static_cast<unsigned long long>(cell.wal_checkpoints));
+    PrintCsv(csv);
+    cells.push_back(cell);
+  }
+
+  WriteJson(cells, "BENCH_wal.json");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hashkit
+
+int main(int argc, char** argv) { return hashkit::bench::Main(argc, argv); }

@@ -65,6 +65,20 @@ expect_output_contains("v2")
 run_expect_rc(0 "${DB_TOOL}" hash_disk "${DB}" del greeting)
 run_expect_rc(1 "${DB_TOOL}" hash_disk "${DB}" get greeting)
 
+# verify runs the structural integrity check (no WAL here -> "wal: none").
+run_expect_rc(0 "${DB_TOOL}" hash_disk "${DB}" verify)
+expect_output_contains("wal: none")
+expect_output_contains("integrity: ok")
+
+# recover additionally reports the pair count (3 = author + k1 + k2).
+run_expect_rc(0 "${DB_TOOL}" hash_disk "${DB}" recover)
+expect_output_contains("pairs: 3")
+expect_output_contains("integrity: ok")
+
+# Both are hash_disk-only (rc 2) and take no operands.
+run_expect_rc(2 "${DB_TOOL}" ndbm "${DB}" verify)
+run_expect_rc(2 "${DB_TOOL}" hash_disk "${DB}" recover extra-operand)
+
 # Validation: unknown store, unknown command, wrong operand counts, and
 # memory-resident kinds are usage errors (rc 2).
 run_expect_rc(2 "${DB_TOOL}" no_such_store "${DB}" stat)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail CI when an intra-repo markdown link points at a missing file.
+
+Scans every *.md file in the repository for inline links and validates the
+relative ones against the working tree.  External schemes (http, https,
+mailto) and pure #anchor links are skipped; a `#fragment` suffix on a
+relative link is stripped before the existence check.  Exit status is the
+number of broken links (0 = clean).
+"""
+
+import os
+import re
+import sys
+
+# Inline links only: [text](target).  Reference-style links are not used in
+# this repository.  The target group stops at the first ')' or whitespace,
+# which is enough for the plain paths used here.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", "build", "third_party", "node_modules"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                if rel.startswith("/"):
+                    resolved = os.path.join(root, rel.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), rel)
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.getcwd()
+    root = os.path.abspath(root)
+    total = 0
+    for path in sorted(markdown_files(root)):
+        for lineno, target in check_file(path, root):
+            rel_path = os.path.relpath(path, root)
+            print(f"{rel_path}:{lineno}: broken link -> {target}")
+            total += 1
+    if total:
+        print(f"\n{total} broken intra-repo link(s)")
+    else:
+        print("all intra-repo markdown links resolve")
+    return min(total, 255)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <set>
 #include <vector>
@@ -50,6 +51,16 @@ HashTable::~HashTable() {
 
 Result<std::unique_ptr<HashTable>> HashTable::Open(const std::string& path,
                                                    const HashOptions& options, bool truncate) {
+  const std::string wal_path = path + ".wal";
+  wal::RecoveryResult recovery;
+  if (truncate) {
+    std::remove(wal_path.c_str());  // a truncated table owes nothing to its old log
+  } else {
+    // Replay any log a crashed session left behind *before* probing the
+    // header — a torn header page is itself repaired by replay.
+    HASHKIT_ASSIGN_OR_RETURN(recovery, wal::RecoverFiles(path, wal_path));
+  }
+
   // Probe the file with a small page size to learn the real bucket size
   // before committing to a page geometry.
   uint32_t existing_bsize = 0;
@@ -71,21 +82,54 @@ Result<std::unique_ptr<HashTable>> HashTable::Open(const std::string& path,
     }
   }
 
+  std::unique_ptr<HashTable> table;
   if (exists) {
     HASHKIT_ASSIGN_OR_RETURN(
         auto file, OpenDiskPageFile(path, existing_bsize, false, options.exclusive_lock));
-    std::unique_ptr<HashTable> table(new HashTable(std::move(file), options));
+    table.reset(new HashTable(std::move(file), options));
     table->persistent_ = true;
     HASHKIT_RETURN_IF_ERROR(table->InitExisting(options));
-    return table;
+  } else {
+    HASHKIT_RETURN_IF_ERROR(ValidateOptions(options));
+    HASHKIT_ASSIGN_OR_RETURN(
+        auto file, OpenDiskPageFile(path, options.bsize, true, options.exclusive_lock));
+    table.reset(new HashTable(std::move(file), options));
+    table->persistent_ = true;
+    HASHKIT_RETURN_IF_ERROR(table->InitNew(options));
   }
+  table->wal_recovery_ = recovery;
+  if (options.durability != Durability::kNone) {
+    HASHKIT_ASSIGN_OR_RETURN(auto storage, wal::OpenDiskWalStorage(wal_path));
+    HASHKIT_RETURN_IF_ERROR(table->EnableWal(std::move(storage), options));
+  }
+  return table;
+}
 
-  HASHKIT_RETURN_IF_ERROR(ValidateOptions(options));
-  HASHKIT_ASSIGN_OR_RETURN(
-      auto file, OpenDiskPageFile(path, options.bsize, true, options.exclusive_lock));
+Result<std::unique_ptr<HashTable>> HashTable::OpenWithBackends(
+    std::unique_ptr<PageFile> file, std::unique_ptr<wal::WalStorage> walstore,
+    const HashOptions& options) {
+  wal::RecoveryResult recovery;
+  if (walstore != nullptr) {
+    HASHKIT_ASSIGN_OR_RETURN(recovery, wal::Recover(walstore.get(), file.get()));
+  }
+  const bool exists = file->PageCount() > 0;
+  if (!exists) {
+    HASHKIT_RETURN_IF_ERROR(ValidateOptions(options));
+    if (options.bsize != file->page_size()) {
+      return Status::InvalidArgument("options.bsize must match the backend's page size");
+    }
+  }
   std::unique_ptr<HashTable> table(new HashTable(std::move(file), options));
   table->persistent_ = true;
-  HASHKIT_RETURN_IF_ERROR(table->InitNew(options));
+  if (exists) {
+    HASHKIT_RETURN_IF_ERROR(table->InitExisting(options));
+  } else {
+    HASHKIT_RETURN_IF_ERROR(table->InitNew(options));
+  }
+  table->wal_recovery_ = recovery;
+  if (walstore != nullptr && options.durability != Durability::kNone) {
+    HASHKIT_RETURN_IF_ERROR(table->EnableWal(std::move(walstore), options));
+  }
   return table;
 }
 
@@ -186,9 +230,107 @@ Status HashTable::Sync() {
   if (!persistent_) {
     return Status::Ok();
   }
+  if (wal_ != nullptr) {
+    return Checkpoint();
+  }
   HASHKIT_RETURN_IF_ERROR(WriteMeta());
   HASHKIT_RETURN_IF_ERROR(pool_->FlushAll());
   return file_->Sync();
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead logging
+// ---------------------------------------------------------------------------
+
+Status HashTable::EnableWal(std::unique_ptr<wal::WalStorage> storage,
+                            const HashOptions& options) {
+  const uint32_t sync_every =
+      options.durability == Durability::kSync ? std::max(1u, options.wal_group_commit) : 0;
+  wal_ = std::make_unique<wal::LogWriter>(std::move(storage), meta_.bsize, sync_every);
+  const Status init = wal_->Init();
+  if (!init.ok()) {
+    wal_.reset();
+    return init;
+  }
+  // Floor the checkpoint trigger: between checkpoints, held frames cannot
+  // be written back, so the trigger also bounds buffer-pool growth.
+  wal_checkpoint_bytes_ = std::max<uint64_t>(options.wal_checkpoint_bytes, 64 * 1024);
+  pool_->EnableWalBarrier();
+  return Status::Ok();
+}
+
+Status HashTable::WalCommit() {
+  if (wal_ == nullptr) {
+    return Status::Ok();
+  }
+  std::vector<WalPageHandle> pending = pool_->TakeWalPending();
+  if (pending.empty() && !meta_dirty_) {
+    return Status::Ok();
+  }
+  for (const WalPageHandle& handle : pending) {
+    wal_->AppendPageImage(handle.pageno, std::span<const uint8_t>(handle.data, meta_.bsize));
+  }
+  // Meta pages bypass the buffer pool, so their after-image rides along
+  // with every batch; the main file's copy is only rewritten at
+  // checkpoints.
+  std::vector<uint8_t> meta_buf(static_cast<size_t>(meta_.nhdr_pages) * meta_.bsize, 0);
+  EncodeMeta(meta_, meta_buf);
+  for (uint32_t p = 0; p < meta_.nhdr_pages; ++p) {
+    wal_->AppendPageImage(
+        p, std::span<const uint8_t>(meta_buf.data() + static_cast<size_t>(p) * meta_.bsize,
+                                    meta_.bsize));
+  }
+  bool synced = false;
+  const Status committed = wal_->Commit(&synced);
+  // Whether or not the append succeeded, the frames' holds are now this
+  // list's responsibility: a later barrier releases them.
+  for (WalPageHandle& handle : pending) {
+    wal_held_.push_back(std::move(handle));
+  }
+  HASHKIT_RETURN_IF_ERROR(committed);
+  meta_dirty_ = false;  // the log now carries the authoritative meta image
+  if (synced) {
+    pool_->ReleaseWalHolds(wal_held_);
+    wal_held_.clear();
+  }
+  return Status::Ok();
+}
+
+Status HashTable::WalCommitAndMaybeCheckpoint() {
+  if (wal_ == nullptr) {
+    return Status::Ok();
+  }
+  HASHKIT_RETURN_IF_ERROR(WalCommit());
+  if (wal_->log_bytes() >= wal_checkpoint_bytes_) {
+    return Checkpoint();
+  }
+  return Status::Ok();
+}
+
+Status HashTable::Checkpoint() {
+  assert(wal_ != nullptr);
+  // Close any batch still open, then make the whole log durable.
+  HASHKIT_RETURN_IF_ERROR(WalCommit());
+  HASHKIT_RETURN_IF_ERROR(wal_->SyncBarrier());
+  // Every held image is now covered by a log fsync: writebacks may proceed.
+  pool_->ReleaseWalHolds(wal_held_);
+  wal_held_.clear();
+  // Flush the table itself, then retire the log.  Crash anywhere before
+  // the reset and replay reproduces exactly these contents.
+  HASHKIT_RETURN_IF_ERROR(WriteMeta());
+  HASHKIT_RETURN_IF_ERROR(pool_->FlushAll());
+  HASHKIT_RETURN_IF_ERROR(file_->Sync());
+  return wal_->CheckpointReset();
+}
+
+wal::WalStats HashTable::WalStatsSnapshot() const {
+  wal::WalStats out;
+  if (wal_ != nullptr) {
+    out = wal_->Stats();
+  }
+  out.recovered_batches = wal_recovery_.batches_applied;
+  out.recovered_pages = wal_recovery_.pages_applied;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -444,7 +586,7 @@ Status HashTable::Put(std::string_view key, std::string_view value, bool overwri
   if (expand) {
     HASHKIT_RETURN_IF_ERROR(Expand());
   }
-  return Status::Ok();
+  return WalCommitAndMaybeCheckpoint();
 }
 
 // ---------------------------------------------------------------------------
@@ -486,7 +628,7 @@ Status HashTable::Delete(std::string_view key) {
       meta_.nkeys * 4 < static_cast<uint64_t>(meta_.ffactor) * (meta_.max_bucket + 1)) {
     HASHKIT_RETURN_IF_ERROR(Contract());
   }
-  return Status::Ok();
+  return WalCommitAndMaybeCheckpoint();
 }
 
 Status HashTable::Contract() {
@@ -576,7 +718,7 @@ Status HashTable::Contract() {
     }
   }
   ++stats_.contractions;
-  return Status::Ok();
+  return WalCommitAndMaybeCheckpoint();
 }
 
 // ---------------------------------------------------------------------------

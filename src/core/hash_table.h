@@ -33,6 +33,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/core/meta.h"
 #include "src/core/options.h"
@@ -41,6 +42,10 @@
 #include "src/pagefile/buffer_pool.h"
 #include "src/pagefile/page_file.h"
 #include "src/util/status.h"
+#include "src/wal/log_writer.h"
+#include "src/wal/recovery.h"
+#include "src/wal/wal_format.h"
+#include "src/wal/wal_storage.h"
 
 namespace hashkit {
 
@@ -93,6 +98,16 @@ class HashTable {
   // memory-resident test.
   static Result<std::unique_ptr<HashTable>> OpenInMemory(const HashOptions& options);
 
+  // Opens a table over caller-supplied backends instead of filesystem
+  // paths.  When `wal` is non-null the log is replayed onto `file` first
+  // (committed batches applied, torn tail discarded) and, if
+  // options.durability != kNone, kept open for logging.  Used by the
+  // crash-simulation harness to drive recovery against recording/in-memory
+  // backends; behaves exactly like Open() on disk files.
+  static Result<std::unique_ptr<HashTable>> OpenWithBackends(std::unique_ptr<PageFile> file,
+                                                             std::unique_ptr<wal::WalStorage> wal,
+                                                             const HashOptions& options);
+
   ~HashTable();
 
   HashTable(const HashTable&) = delete;
@@ -115,7 +130,9 @@ class HashTable {
   // deletes when HashOptions::auto_contract is set.
   Status Contract();
 
-  // Flushes the header and all dirty pages to the backing store.
+  // Flushes the header and all dirty pages to the backing store.  With a
+  // write-ahead log this is a full durability barrier: commit + log fsync
+  // + table flush + log checkpoint.
   Status Sync();
 
   Cursor NewCursor() { return Cursor(this); }
@@ -137,6 +154,11 @@ class HashTable {
   HashTableStats StatsSnapshot() const;
   BufferPoolStats PoolStatsSnapshot() const { return pool_->StatsSnapshot(); }
   HashFn hash_fn() const { return hash_; }
+  // Log counters/latencies plus this open's recovery tallies; zeros when
+  // the table runs without a log.
+  wal::WalStats WalStatsSnapshot() const;
+  // What recovery did when this handle was opened.
+  const wal::RecoveryResult& recovery() const { return wal_recovery_; }
 
   // Exhaustive structural validation: every page well-formed, every key in
   // its correct bucket, key count and overflow bitmaps consistent.
@@ -167,6 +189,20 @@ class HashTable {
   Status InitNew(const HashOptions& options);
   Status InitExisting(const HashOptions& options);
   Status WriteMeta();
+
+  // --- Write-ahead logging (hashkit-wal) ---
+  // Attaches a log to this table: turns on the buffer pool's write-ahead
+  // barrier and builds the LogWriter per options.durability.
+  Status EnableWal(std::unique_ptr<wal::WalStorage> storage, const HashOptions& options);
+  // Closes the current operation's batch: drains the pool's pending set,
+  // logs each image plus the meta pages, commits, and releases writeback
+  // holds if the commit was fsynced.  Called at the end of every
+  // successful mutation; no-op without a log.
+  Status WalCommit();
+  // WalCommit + checkpoint when the log has outgrown its threshold.
+  Status WalCommitAndMaybeCheckpoint();
+  // Full barrier: commit, fsync, flush the table, truncate the log.
+  Status Checkpoint();
 
   uint32_t HashKey(std::string_view key) const {
     return hash_(key.data(), key.size());
@@ -233,6 +269,14 @@ class HashTable {
   bool meta_dirty_ = false;
   HashTableStats stats_;
   Cursor seq_cursor_{this};
+
+  // WAL state (all null/empty when durability == kNone).
+  std::unique_ptr<wal::LogWriter> wal_;
+  // Handles whose images are committed but not yet fsynced; their frames
+  // keep writeback holds until a log fsync covers them.
+  std::vector<WalPageHandle> wal_held_;
+  uint64_t wal_checkpoint_bytes_ = 0;
+  wal::RecoveryResult wal_recovery_;
 };
 
 }  // namespace hashkit

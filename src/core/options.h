@@ -22,6 +22,22 @@ enum class SplitPolicy : uint8_t {
   kUncontrolledOnly,  // dbm-style timing: overflow only
 };
 
+// Crash-durability contract for a disk-backed table (hashkit-wal).
+enum class Durability : uint8_t {
+  // No write-ahead log.  A crash can tear pages mid-update; the original
+  // package's behaviour and the default.
+  kNone = 0,
+  // Page images are logged before any main-file writeback, but commits are
+  // not fsynced per-operation.  A crash never tears the table (recovery
+  // restores a consistent prefix), but recent acknowledged operations may
+  // be lost.  Explicit Sync() is a real durability barrier.
+  kAsync,
+  // As kAsync, plus the log is fsynced every `wal_group_commit` operations.
+  // An acknowledged operation survives a crash once its group's fsync has
+  // run; with wal_group_commit=1, every acknowledged operation survives.
+  kSync,
+};
+
 struct HashOptions {
   // Bucket/page size in bytes.  Must be a power of two in
   // [kMinBucketSize, kMaxBucketSize].  Paper default: 256.
@@ -62,6 +78,18 @@ struct HashOptions {
   // the last bucket into its buddy.  Off by default — the original
   // package's behaviour.
   bool auto_contract = false;
+
+  // Crash-durability mode (hashkit-wal).  Anything but kNone opens a
+  // write-ahead log beside the table file (`<path>.wal`) and replays it on
+  // open; see OPERATIONS.md for the exact guarantees.
+  Durability durability = Durability::kNone;
+
+  // kSync only: fsync the log every Nth committed operation (group
+  // commit).  1 = every operation.  Values < 1 are treated as 1.
+  uint32_t wal_group_commit = 1;
+
+  // Log size that triggers a checkpoint (flush table, truncate log).
+  uint64_t wal_checkpoint_bytes = 4 * 1024 * 1024;
 };
 
 inline constexpr uint32_t kMinBucketSize = 64;

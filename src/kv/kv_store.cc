@@ -47,6 +47,7 @@ class HashStore final : public KvStore {
   bool Stats(StoreStats* out) const override {
     out->table = table_->StatsSnapshot();
     out->pool = table_->PoolStatsSnapshot();
+    out->wal = table_->WalStatsSnapshot();
     out->shards = 1;
     return true;
   }
@@ -291,6 +292,8 @@ Result<std::unique_ptr<KvStore>> OpenStore(StoreKind kind, const StoreOptions& o
       opts.ffactor = options.ffactor;
       opts.nelem = options.nelem;
       opts.cachesize = options.cachesize;
+      opts.durability = options.durability;
+      opts.wal_group_commit = options.wal_group_commit;
       HASHKIT_ASSIGN_OR_RETURN(auto table,
                                HashTable::Open(options.path, opts, options.truncate));
       return std::unique_ptr<KvStore>(new HashStore(std::move(table), /*persistent=*/true));

@@ -68,6 +68,10 @@ struct OpLatencies {
 struct StoreStats {
   HashTableStats table;
   BufferPoolStats pool;
+  // Write-ahead log counters/latencies (hashkit-wal); all zero when the
+  // store runs without a log (durability == kNone, or a store kind that
+  // has no log).
+  wal::WalStats wal;
   OpLatencies latency;
   size_t shards = 1;  // number of backing partitions (1 = unsharded)
 
@@ -84,6 +88,7 @@ struct StoreStats {
     table.ovfl_pages_freed += other.table.ovfl_pages_freed;
     table.big_pairs_stored += other.table.big_pairs_stored;
     pool.MergeFrom(other.pool);
+    wal.MergeFrom(other.wal);
     latency.MergeFrom(other.latency);
   }
 };
@@ -151,6 +156,12 @@ struct StoreOptions {
   // paths get a ".sN" suffix per shard; nelem and cachesize are divided
   // among the shards.
   uint32_t shards = 0;
+  // Crash durability for kHashDisk (each shard gets its own `<path>.wal`
+  // log); ignored by store kinds without a write-ahead log.  See
+  // OPERATIONS.md for the exact guarantees per mode.
+  Durability durability = Durability::kNone;
+  // kSync only: fsync the log every Nth operation (group commit).
+  uint32_t wal_group_commit = 1;
 };
 
 Result<std::unique_ptr<KvStore>> OpenStore(StoreKind kind, const StoreOptions& options);

@@ -534,6 +534,13 @@ std::string Server::RenderStatsText() const {
     line("store.pool.misses", store_stats.pool.misses);
     line("store.pool.evictions", store_stats.pool.evictions);
     line("store.pool.dirty_writebacks", store_stats.pool.dirty_writebacks);
+    line("store.wal.records", store_stats.wal.records);
+    line("store.wal.commits", store_stats.wal.commits);
+    line("store.wal.syncs", store_stats.wal.syncs);
+    line("store.wal.checkpoints", store_stats.wal.checkpoints);
+    line("store.wal.bytes", store_stats.wal.bytes);
+    line("store.wal.recovered_batches", store_stats.wal.recovered_batches);
+    line("store.wal.recovered_pages", store_stats.wal.recovered_pages);
     AppendLatencyLines(&text, "store.latency.put", store_stats.latency.put);
     AppendLatencyLines(&text, "store.latency.get", store_stats.latency.get);
     AppendLatencyLines(&text, "store.latency.del", store_stats.latency.del);
@@ -542,6 +549,8 @@ std::string Server::RenderStatsText() const {
     AppendLatencyLines(&text, "store.pool.latency.get_miss", store_stats.pool.get_miss_ns);
     AppendLatencyLines(&text, "store.pool.latency.writeback", store_stats.pool.writeback_ns);
     AppendLatencyLines(&text, "store.pool.latency.evict", store_stats.pool.evict_ns);
+    AppendLatencyLines(&text, "store.wal.latency.commit", store_stats.wal.commit_ns);
+    AppendLatencyLines(&text, "store.wal.latency.sync", store_stats.wal.sync_ns);
   }
   return text;
 }
@@ -583,6 +592,13 @@ std::string Server::RenderMetricsText() const {
     gauge("hashkit_pool_misses_total", store_stats.pool.misses);
     gauge("hashkit_pool_evictions_total", store_stats.pool.evictions);
     gauge("hashkit_pool_dirty_writebacks_total", store_stats.pool.dirty_writebacks);
+    gauge("hashkit_wal_records_total", store_stats.wal.records);
+    gauge("hashkit_wal_commits_total", store_stats.wal.commits);
+    gauge("hashkit_wal_syncs_total", store_stats.wal.syncs);
+    gauge("hashkit_wal_checkpoints_total", store_stats.wal.checkpoints);
+    gauge("hashkit_wal_bytes_total", store_stats.wal.bytes);
+    gauge("hashkit_wal_recovered_batches_total", store_stats.wal.recovered_batches);
+    gauge("hashkit_wal_recovered_pages_total", store_stats.wal.recovered_pages);
     AppendPromSummary(&out, "hashkit_store_latency_ns", "op=\"put\"", store_stats.latency.put);
     AppendPromSummary(&out, "hashkit_store_latency_ns", "op=\"get\"", store_stats.latency.get);
     AppendPromSummary(&out, "hashkit_store_latency_ns", "op=\"del\"", store_stats.latency.del);
@@ -595,6 +611,9 @@ std::string Server::RenderMetricsText() const {
                       store_stats.pool.writeback_ns);
     AppendPromSummary(&out, "hashkit_pool_latency_ns", "event=\"evict\"",
                       store_stats.pool.evict_ns);
+    AppendPromSummary(&out, "hashkit_wal_latency_ns", "op=\"commit\"",
+                      store_stats.wal.commit_ns);
+    AppendPromSummary(&out, "hashkit_wal_latency_ns", "op=\"sync\"", store_stats.wal.sync_ns);
   }
   return out;
 }

@@ -21,6 +21,12 @@ struct BufFrame {
   std::atomic<uint32_t> pins{0};
   std::atomic<bool> ref_bit{false};   // second-chance bit, set on every hit
   std::atomic<bool> dirty{false};
+  // WAL barrier flags (meaningful only when the pool's barrier is on):
+  // wal_pending: the frame is in the pool's pending set awaiting logging;
+  // wal_hold: the frame's image is not yet durable in the log, so
+  // WriteBack must not touch the main file.
+  std::atomic<bool> wal_pending{false};
+  std::atomic<bool> wal_hold{false};
   std::atomic<FrameState> state{FrameState::kLoading};
   std::unique_ptr<uint8_t[]> data;
 
@@ -78,6 +84,7 @@ uint64_t PageRef::pageno() const {
 void PageRef::MarkDirty() {
   assert(frame_ != nullptr);
   frame_->dirty.store(true, std::memory_order_release);
+  pool_->NoteDirty(frame_);
 }
 
 void PageRef::Release() {
@@ -163,6 +170,12 @@ Result<PageRef> BufferPool::Get(uint64_t pageno, bool create_new) {
     }
     stripe.frames.emplace(pageno, frame);
     total_frames_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (create_new) {
+    // Freshly allocated pages start dirty without a MarkDirty call, so
+    // they must enter the WAL pending set here or they would escape
+    // logging entirely.
+    NoteDirty(frame);
   }
 
   // Bookkeeping: join the clock ring and make room.  Our frame is pinned,
@@ -272,6 +285,12 @@ bool BufferPool::ChainEvictable(const BufFrame* frame) const {
 }
 
 Status BufferPool::WriteBack(BufFrame* frame) {
+  // Write-ahead rule: a held frame's image is not yet durable in the log,
+  // so it must not reach the main file.  The frame stays dirty, which
+  // makes EvictChain's re-verify back off and the pool grow instead.
+  if (frame->wal_hold.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
   // exchange() makes writeback single-flight between the sweep and
   // FlushAll; on failure the bit is restored so the data is not lost.
   if (!frame->dirty.exchange(false, std::memory_order_acq_rel)) {
@@ -513,6 +532,37 @@ void BufferPool::Discard(uint64_t pageno) {
   RingRemove(frame);
   stripe.frames.erase(it);
   total_frames_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void BufferPool::NoteDirty(const std::shared_ptr<BufFrame>& frame) {
+  if (!wal_barrier_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  frame->wal_hold.store(true, std::memory_order_release);
+  if (!frame->wal_pending.exchange(true, std::memory_order_acq_rel)) {
+    const std::lock_guard<std::mutex> lock(wal_mu_);
+    wal_pending_.push_back(WalPageHandle{frame->pageno, frame->data.get(), frame});
+  }
+}
+
+std::vector<WalPageHandle> BufferPool::TakeWalPending() {
+  std::vector<WalPageHandle> out;
+  const std::lock_guard<std::mutex> lock(wal_mu_);
+  out.swap(wal_pending_);
+  for (const auto& handle : out) {
+    handle.frame->wal_pending.store(false, std::memory_order_release);
+  }
+  return out;
+}
+
+void BufferPool::ReleaseWalHolds(const std::vector<WalPageHandle>& handles) {
+  for (const auto& handle : handles) {
+    // A frame re-dirtied into a newer, not-yet-synced batch keeps its
+    // hold; that batch's fsync will release it.
+    if (!handle.frame->wal_pending.load(std::memory_order_acquire)) {
+      handle.frame->wal_hold.store(false, std::memory_order_release);
+    }
+  }
 }
 
 BufferPoolStats BufferPool::StatsSnapshot() const {

@@ -43,6 +43,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "src/pagefile/page_file.h"
 #include "src/util/histogram.h"
@@ -86,6 +87,17 @@ struct BufferPoolStats {
 
 class BufferPool;
 struct BufFrame;
+
+// A dirtied page awaiting write-ahead logging.  `data` points at the
+// frame's buffer and stays valid for the handle's lifetime (the
+// shared_ptr keeps the frame alive even if it is discarded); the pool
+// refuses to write the frame back to the main file while its WAL hold is
+// set.
+struct WalPageHandle {
+  uint64_t pageno = 0;
+  const uint8_t* data = nullptr;
+  std::shared_ptr<BufFrame> frame;
+};
 
 // RAII pin on a buffered page.  Movable, not copyable; releasing the last
 // ref makes the frame evictable again.
@@ -150,6 +162,29 @@ class BufferPool {
   // can never free memory a live PageRef still points at.
   void Discard(uint64_t pageno);
 
+  // --- WAL barrier (no-steal policy) ---
+  //
+  // With the barrier enabled, every dirtied frame is tracked as "WAL
+  // pending" and given a "WAL hold": WriteBack() skips held frames, so a
+  // dirty page can never reach the main file before its after-image is
+  // durable in the log.  The logging layer drains the pending set with
+  // TakeWalPending() when building a commit batch and calls
+  // ReleaseWalHolds() once the log bytes covering those images have been
+  // fsynced.  Held frames stay dirty, so eviction backs off and the pool
+  // grows instead (bounded by the table's checkpoint trigger).
+
+  // Turns the barrier on.  Must be called before any writer dirties pages;
+  // there is no way to turn it off.
+  void EnableWalBarrier() { wal_barrier_.store(true, std::memory_order_release); }
+
+  // Drains the pending set.  Each returned handle's image must be logged
+  // and the handles passed to ReleaseWalHolds() after the covering fsync.
+  std::vector<WalPageHandle> TakeWalPending();
+
+  // Clears the holds for `handles` whose frames were not re-dirtied into a
+  // newer (not yet synced) pending batch.
+  void ReleaseWalHolds(const std::vector<WalPageHandle>& handles);
+
   size_t frames_in_use() const { return total_frames_.load(std::memory_order_acquire); }
   size_t max_frames() const { return max_frames_; }
   // Consistent merged copy of the per-stripe stats, safe while reader
@@ -168,6 +203,9 @@ class BufferPool {
   }
 
   void Unpin(BufFrame* frame);
+
+  // Adds `frame` to the WAL pending set (no-op when the barrier is off).
+  void NoteDirty(const std::shared_ptr<BufFrame>& frame);
 
   // Pins an already-resident frame found in `stripe`, waiting out a
   // pending load.  Called with the stripe lock held (shared or unique via
@@ -203,6 +241,12 @@ class BufferPool {
 
   std::unique_ptr<Stripe[]> stripes_;
   std::atomic<size_t> total_frames_{0};
+
+  // WAL barrier state.  wal_mu_ guards only wal_pending_; it nests inside
+  // stripe locks (taken from MarkDirty with no other pool lock held).
+  std::atomic<bool> wal_barrier_{false};
+  std::mutex wal_mu_;
+  std::vector<WalPageHandle> wal_pending_;
 
   // Serializes eviction (the clock sweep), the ring links, and the
   // overflow-chain links.  Never taken by the hit path; ordered strictly

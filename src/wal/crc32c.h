@@ -1,0 +1,27 @@
+// hashkit-wal: CRC32C (Castagnoli) checksums for log record framing.
+//
+// CRC32C rather than CRC32 because its error-detection properties for
+// short records are better studied in storage systems (iSCSI, ext4,
+// leveldb all frame with it), and a software table-driven implementation
+// is fast enough for a log whose bandwidth is bounded by fsync latency.
+
+#ifndef HASHKIT_SRC_WAL_CRC32C_H_
+#define HASHKIT_SRC_WAL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hashkit {
+namespace wal {
+
+// Extends a running CRC32C with `n` more bytes.  Seed with 0 for a fresh
+// checksum; the result of one call feeds the `crc` of the next, so a
+// checksum over a concatenation can be computed piecewise.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) { return Crc32cExtend(0, data, n); }
+
+}  // namespace wal
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_WAL_CRC32C_H_

@@ -1,0 +1,77 @@
+#include "src/wal/log_reader.h"
+
+#include "src/util/endian.h"
+#include "src/wal/crc32c.h"
+
+namespace hashkit {
+namespace wal {
+
+Result<uint32_t> LogReader::ReadHeader() {
+  if (bytes_.size() < kWalHeaderSize || DecodeU32(bytes_.data()) != kWalMagic ||
+      DecodeU32(bytes_.data() + 12) != Crc32c(bytes_.data(), 12)) {
+    // Empty, short, or torn header.  The header is written only when the
+    // log holds nothing committed (at creation, and at checkpoint reset
+    // after the main file is fully synced), so an unreadable one means
+    // there is nothing to replay.
+    return Status::NotFound("no valid wal header");
+  }
+  if (DecodeU32(bytes_.data() + 4) != kWalVersion) {
+    return Status::Corruption("wal version unsupported");
+  }
+  page_size_ = DecodeU32(bytes_.data() + 8);
+  if (page_size_ < 64 || page_size_ > 65536 || (page_size_ & (page_size_ - 1)) != 0) {
+    return Status::Corruption("wal header has invalid page size");
+  }
+  offset_ = kWalHeaderSize;
+  return page_size_;
+}
+
+bool LogReader::Next(WalRecord* rec) {
+  if (offset_ == bytes_.size()) {
+    return false;  // clean end
+  }
+  if (bytes_.size() - offset_ < kWalRecordHeaderSize) {
+    torn_tail_ = true;
+    return false;
+  }
+  const uint32_t len = DecodeU32(bytes_.data() + offset_);
+  const uint32_t crc = DecodeU32(bytes_.data() + offset_ + 4);
+  if (len == 0 || len > bytes_.size() - offset_ - kWalRecordHeaderSize) {
+    torn_tail_ = true;
+    return false;
+  }
+  const uint8_t* body = bytes_.data() + offset_ + kWalRecordHeaderSize;
+  if (Crc32c(body, len) != crc) {
+    torn_tail_ = true;
+    return false;
+  }
+  const std::span<const uint8_t> payload(body + 1, len - 1);
+  switch (static_cast<WalRecordType>(body[0])) {
+    case WalRecordType::kPageImage:
+      if (payload.size() != 8 + page_size_) {
+        torn_tail_ = true;
+        return false;
+      }
+      rec->type = WalRecordType::kPageImage;
+      rec->pageno = DecodeU64(payload.data());
+      rec->image = payload.subspan(8);
+      break;
+    case WalRecordType::kCommit:
+    case WalRecordType::kCheckpoint:
+      if (payload.size() != 8) {
+        torn_tail_ = true;
+        return false;
+      }
+      rec->type = static_cast<WalRecordType>(body[0]);
+      rec->seq = DecodeU64(payload.data());
+      break;
+    default:
+      torn_tail_ = true;
+      return false;
+  }
+  offset_ += kWalRecordHeaderSize + len;
+  return true;
+}
+
+}  // namespace wal
+}  // namespace hashkit

@@ -1,0 +1,58 @@
+// hashkit-wal: the log's read path.
+//
+// Iterates the framed records in a fully-read log buffer, validating
+// length and CRC32C as it goes.  The reader never fails hard on a bad
+// record: a length that runs past the buffer, a CRC mismatch, or a
+// nonsense type simply ends iteration with torn_tail() set — exactly the
+// state a crashed writer leaves behind, and the recovery contract is to
+// discard it (the torn records' commit never made it, so nothing
+// acknowledged is lost).
+
+#ifndef HASHKIT_SRC_WAL_LOG_READER_H_
+#define HASHKIT_SRC_WAL_LOG_READER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/util/status.h"
+#include "src/wal/wal_format.h"
+
+namespace hashkit {
+namespace wal {
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kCommit;
+  uint64_t seq = 0;                  // commit / checkpoint records
+  uint64_t pageno = 0;               // page-image records
+  std::span<const uint8_t> image;    // page-image records (page_size bytes)
+};
+
+class LogReader {
+ public:
+  explicit LogReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  // Validates the file header and positions the reader at the first
+  // record.  kNotFound when the buffer is empty or holds no valid header
+  // (the caller treats the log as absent); kCorruption for a version or
+  // geometry the code cannot read.
+  Result<uint32_t> ReadHeader();
+
+  // Advances to the next record.  False at the clean end of the log or at
+  // a torn/corrupt tail — torn_tail() distinguishes the two.  The spans in
+  // *rec alias the reader's buffer.
+  bool Next(WalRecord* rec);
+
+  bool torn_tail() const { return torn_tail_; }
+  size_t offset() const { return offset_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t offset_ = 0;
+  uint32_t page_size_ = 0;
+  bool torn_tail_ = false;
+};
+
+}  // namespace wal
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_WAL_LOG_READER_H_

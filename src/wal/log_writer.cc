@@ -1,0 +1,149 @@
+#include "src/wal/log_writer.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/endian.h"
+#include "src/wal/crc32c.h"
+
+namespace hashkit {
+namespace wal {
+
+LogWriter::LogWriter(std::unique_ptr<WalStorage> storage, uint32_t page_size,
+                     uint32_t sync_every)
+    : storage_(std::move(storage)), page_size_(page_size), sync_every_(sync_every) {}
+
+Status LogWriter::Init() {
+  if (storage_->Size() == 0) {
+    uint8_t header[kWalHeaderSize];
+    EncodeU32(header, kWalMagic);
+    EncodeU32(header + 4, kWalVersion);
+    EncodeU32(header + 8, page_size_);
+    EncodeU32(header + 12, Crc32c(header, 12));
+    HASHKIT_RETURN_IF_ERROR(storage_->Append(std::span<const uint8_t>(header)));
+    bytes_ += kWalHeaderSize;
+    return Status::Ok();
+  }
+  std::vector<uint8_t> bytes;
+  HASHKIT_RETURN_IF_ERROR(storage_->ReadAll(&bytes));
+  if (bytes.size() < kWalHeaderSize || DecodeU32(bytes.data()) != kWalMagic ||
+      DecodeU32(bytes.data() + 12) != Crc32c(bytes.data(), 12)) {
+    return Status::Corruption("wal header invalid (log not recovered before Init)");
+  }
+  if (DecodeU32(bytes.data() + 4) != kWalVersion) {
+    return Status::Corruption("wal version unsupported");
+  }
+  if (DecodeU32(bytes.data() + 8) != page_size_) {
+    return Status::Corruption("wal page size does not match the table");
+  }
+  return Status::Ok();
+}
+
+void LogWriter::AppendRecord(WalRecordType type, std::span<const uint8_t> payload) {
+  const uint32_t len = static_cast<uint32_t>(1 + payload.size());
+  const uint8_t type_byte = static_cast<uint8_t>(type);
+  uint32_t crc = Crc32c(&type_byte, 1);
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+
+  const size_t at = pending_.size();
+  pending_.resize(at + kWalRecordHeaderSize + len);
+  EncodeU32(pending_.data() + at, len);
+  EncodeU32(pending_.data() + at + 4, crc);
+  pending_[at + 8] = type_byte;
+  std::memcpy(pending_.data() + at + 9, payload.data(), payload.size());
+  ++records_;
+}
+
+void LogWriter::AppendPageImage(uint64_t pageno, std::span<const uint8_t> image) {
+  assert(image.size() == page_size_);
+  std::vector<uint8_t> payload(8 + image.size());
+  EncodeU64(payload.data(), pageno);
+  std::memcpy(payload.data() + 8, image.data(), image.size());
+  AppendRecord(WalRecordType::kPageImage, payload);
+}
+
+Status LogWriter::Commit(bool* out_synced) {
+  const uint64_t t0 = MonotonicNanos();
+  uint8_t seq_buf[8];
+  EncodeU64(seq_buf, ++seq_);
+  AppendRecord(WalRecordType::kCommit, std::span<const uint8_t>(seq_buf));
+
+  const Status appended = storage_->Append(pending_);
+  if (!appended.ok()) {
+    // The storage wrote nothing (or an undetectable partial tail the
+    // reader will discard); drop the batch so a retry does not duplicate
+    // it, and surface the error.
+    pending_.clear();
+    --seq_;
+    return appended;
+  }
+  bytes_ += pending_.size();
+  pending_.clear();
+  ++commits_;
+
+  bool synced = false;
+  if (sync_every_ > 0 && ++commits_since_sync_ >= sync_every_) {
+    HASHKIT_RETURN_IF_ERROR(DoSync());
+    commits_since_sync_ = 0;
+    synced = true;
+  }
+  commit_ns_.Record(MonotonicNanos() - t0);
+  if (out_synced != nullptr) {
+    *out_synced = synced;
+  }
+  return Status::Ok();
+}
+
+Status LogWriter::DoSync() {
+  const uint64_t t0 = MonotonicNanos();
+  HASHKIT_RETURN_IF_ERROR(storage_->Sync());
+  ++syncs_;
+  sync_ns_.Record(MonotonicNanos() - t0);
+  return Status::Ok();
+}
+
+Status LogWriter::SyncBarrier() {
+  assert(pending_.empty() && "SyncBarrier with an open batch");
+  HASHKIT_RETURN_IF_ERROR(DoSync());
+  commits_since_sync_ = 0;
+  return Status::Ok();
+}
+
+Status LogWriter::CheckpointReset() {
+  HASHKIT_RETURN_IF_ERROR(storage_->Truncate());
+
+  uint8_t header[kWalHeaderSize];
+  EncodeU32(header, kWalMagic);
+  EncodeU32(header + 4, kWalVersion);
+  EncodeU32(header + 8, page_size_);
+  EncodeU32(header + 12, Crc32c(header, 12));
+  HASHKIT_RETURN_IF_ERROR(storage_->Append(std::span<const uint8_t>(header)));
+
+  uint8_t seq_buf[8];
+  EncodeU64(seq_buf, seq_);
+  AppendRecord(WalRecordType::kCheckpoint, std::span<const uint8_t>(seq_buf));
+  const Status appended = storage_->Append(pending_);
+  bytes_ += kWalHeaderSize + pending_.size();
+  pending_.clear();
+  HASHKIT_RETURN_IF_ERROR(appended);
+
+  HASHKIT_RETURN_IF_ERROR(DoSync());
+  ++checkpoints_;
+  commits_since_sync_ = 0;
+  return Status::Ok();
+}
+
+WalStats LogWriter::Stats() const {
+  WalStats out;
+  out.records = records_;
+  out.commits = commits_;
+  out.syncs = syncs_;
+  out.checkpoints = checkpoints_;
+  out.bytes = bytes_;
+  out.commit_ns = commit_ns_.Snapshot();
+  out.sync_ns = sync_ns_.Snapshot();
+  return out;
+}
+
+}  // namespace wal
+}  // namespace hashkit

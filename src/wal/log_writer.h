@@ -1,0 +1,95 @@
+// hashkit-wal: the log's write path, with group commit.
+//
+// One operation's page images are buffered in memory; Commit() closes the
+// batch with a commit record and appends the whole batch in a single
+// storage write, so the log sees one sequential write per operation
+// regardless of how many pages the operation touched.
+//
+// Durability policy is a single knob, sync_every:
+//   0  — never fsync on commit (async durability: the OS decides when log
+//        bytes reach disk; an explicit SyncBarrier()/checkpoint still
+//        forces them);
+//   1  — fsync every commit (full per-operation durability);
+//   N  — fsync every Nth commit (group commit: up to N-1 acknowledged
+//        operations can be lost in a crash, in exchange for amortizing
+//        the fsync — the classic group-commit trade).
+//
+// Commit() reports through *out_synced whether this commit is durable, so
+// the caller (HashTable) knows when buffer-pool writeback holds may be
+// released: a page image may reach the main file only once the log bytes
+// covering it are on disk (write-ahead rule).
+
+#ifndef HASHKIT_SRC_WAL_LOG_WRITER_H_
+#define HASHKIT_SRC_WAL_LOG_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/util/histogram.h"
+#include "src/util/status.h"
+#include "src/wal/wal_format.h"
+#include "src/wal/wal_storage.h"
+
+namespace hashkit {
+namespace wal {
+
+class LogWriter {
+ public:
+  LogWriter(std::unique_ptr<WalStorage> storage, uint32_t page_size, uint32_t sync_every);
+
+  // Writes a fresh header on an empty log, or validates the existing one
+  // (the open path truncates the log to header + checkpoint during
+  // recovery, so a non-empty log here is always a recovered one).
+  Status Init();
+
+  // Buffers one page's after-image into the current batch.
+  void AppendPageImage(uint64_t pageno, std::span<const uint8_t> image);
+
+  // Closes the batch: appends buffered images plus a commit record in one
+  // storage write, then fsyncs per the sync_every policy.  *out_synced
+  // reports whether the log is durable through this commit.
+  Status Commit(bool* out_synced);
+
+  // Forces the log durable regardless of policy (explicit Sync / barrier).
+  Status SyncBarrier();
+
+  // Checkpoint reset: truncates the log, writes a fresh header plus a
+  // checkpoint record, and fsyncs.  Caller must have flushed the main
+  // file first — after this call the log no longer repairs anything.
+  Status CheckpointReset();
+
+  uint64_t log_bytes() const { return storage_->Size(); }
+  uint64_t last_seq() const { return seq_; }
+  size_t pending_bytes() const { return pending_.size(); }
+  WalStorage* storage() { return storage_.get(); }
+
+  WalStats Stats() const;
+
+ private:
+  void AppendRecord(WalRecordType type, std::span<const uint8_t> payload);
+  Status DoSync();
+
+  std::unique_ptr<WalStorage> storage_;
+  const uint32_t page_size_;
+  const uint32_t sync_every_;
+
+  std::vector<uint8_t> pending_;  // current batch, framed
+  uint64_t seq_ = 0;              // last committed sequence number
+  uint32_t commits_since_sync_ = 0;
+
+  // Counters; plain (single-writer), histograms concurrent for snapshots.
+  uint64_t records_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t bytes_ = 0;
+  LatencyHistogram commit_ns_;
+  LatencyHistogram sync_ns_;
+};
+
+}  // namespace wal
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_WAL_LOG_WRITER_H_

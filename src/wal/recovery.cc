@@ -1,0 +1,133 @@
+#include "src/wal/recovery.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/util/endian.h"
+#include "src/wal/crc32c.h"
+#include "src/wal/log_reader.h"
+
+namespace hashkit {
+namespace wal {
+
+namespace {
+
+// Truncates the log and writes a fresh header plus a checkpoint record.
+// (Framing mirrors LogWriter; both producers are pinned by the format
+// golden tests.)
+Status ResetLog(WalStorage* wal, uint32_t page_size, uint64_t seq) {
+  HASHKIT_RETURN_IF_ERROR(wal->Truncate());
+
+  uint8_t buf[kWalHeaderSize + kWalRecordHeaderSize + 9];
+  EncodeU32(buf, kWalMagic);
+  EncodeU32(buf + 4, kWalVersion);
+  EncodeU32(buf + 8, page_size);
+  EncodeU32(buf + 12, Crc32c(buf, 12));
+
+  uint8_t* rec = buf + kWalHeaderSize;
+  EncodeU32(rec, 9);  // body length: type byte + seq u64
+  rec[8] = static_cast<uint8_t>(WalRecordType::kCheckpoint);
+  EncodeU64(rec + 9, seq);
+  EncodeU32(rec + 4, Crc32c(rec + 8, 9));
+
+  HASHKIT_RETURN_IF_ERROR(wal->Append(std::span<const uint8_t>(buf, sizeof(buf))));
+  return wal->Sync();
+}
+
+}  // namespace
+
+Result<RecoveryResult> Recover(WalStorage* wal, PageFile* file) {
+  RecoveryResult result;
+  if (wal->Size() == 0) {
+    return result;  // brand-new log: nothing to replay, nothing to reset
+  }
+  std::vector<uint8_t> bytes;
+  HASHKIT_RETURN_IF_ERROR(wal->ReadAll(&bytes));
+
+  LogReader reader(bytes);
+  const Result<uint32_t> header = reader.ReadHeader();
+  if (!header.ok()) {
+    if (header.status().IsCorruption()) {
+      return header.status();
+    }
+    // Torn or absent header: the header is (re)written only when nothing
+    // is committed, so the log carries no obligations — clear it.
+    HASHKIT_RETURN_IF_ERROR(wal->Truncate());
+    return result;
+  }
+  if (header.value() != file->page_size()) {
+    return Status::Corruption("wal page size does not match the table file");
+  }
+  result.wal_found = true;
+
+  // Replay: buffer each batch's images, apply them only at its commit
+  // record.  A batch without a commit (torn tail) is discarded whole.
+  std::vector<std::pair<uint64_t, std::span<const uint8_t>>> batch;
+  WalRecord rec;
+  while (reader.Next(&rec)) {
+    ++result.records_scanned;
+    switch (rec.type) {
+      case WalRecordType::kPageImage:
+        batch.emplace_back(rec.pageno, rec.image);
+        break;
+      case WalRecordType::kCommit:
+        for (const auto& [pageno, image] : batch) {
+          HASHKIT_RETURN_IF_ERROR(file->WritePage(pageno, image));
+          ++result.pages_applied;
+        }
+        batch.clear();
+        ++result.batches_applied;
+        result.last_seq = rec.seq;
+        break;
+      case WalRecordType::kCheckpoint:
+        batch.clear();
+        if (rec.seq > result.last_seq) {
+          result.last_seq = rec.seq;
+        }
+        break;
+    }
+  }
+  result.torn_tail = reader.torn_tail() || !batch.empty();
+
+  if (result.batches_applied == 0 && !result.torn_tail) {
+    return result;  // clean log (header + checkpoint): leave it in place
+  }
+  if (result.pages_applied > 0) {
+    HASHKIT_RETURN_IF_ERROR(file->Sync());
+  }
+  HASHKIT_RETURN_IF_ERROR(ResetLog(wal, header.value(), result.last_seq));
+  return result;
+}
+
+Result<RecoveryResult> RecoverFiles(const std::string& db_path, const std::string& wal_path) {
+  RecoveryResult result;
+  if (::access(wal_path.c_str(), F_OK) != 0) {
+    return result;  // no log, nothing to do
+  }
+  HASHKIT_ASSIGN_OR_RETURN(auto wal, OpenDiskWalStorage(wal_path));
+  if (wal->Size() == 0) {
+    return result;
+  }
+  // The main file's page size comes from the log header — recovery must
+  // run before the table reads its own (possibly torn) header page.
+  std::vector<uint8_t> bytes;
+  HASHKIT_RETURN_IF_ERROR(wal->ReadAll(&bytes));
+  LogReader reader(bytes);
+  const Result<uint32_t> header = reader.ReadHeader();
+  if (!header.ok()) {
+    if (header.status().IsCorruption()) {
+      return header.status();
+    }
+    HASHKIT_RETURN_IF_ERROR(wal->Truncate());
+    return result;
+  }
+  HASHKIT_ASSIGN_OR_RETURN(auto file,
+                           OpenDiskPageFile(db_path, header.value(), /*truncate=*/false));
+  return Recover(wal.get(), file.get());
+}
+
+}  // namespace wal
+}  // namespace hashkit

@@ -1,0 +1,49 @@
+// hashkit-wal: crash recovery — replay committed records, discard torn
+// tails, and restart the log.
+//
+// Recovery is purely physical: committed page after-images are rewritten
+// into the main file at pageno * page_size, so it needs no knowledge of
+// the hash table's structure and runs *before* the table reads its own
+// header (a torn header page is itself repaired by replay).
+//
+// Recovery always finalizes the log — fsync the main file, then truncate
+// the log to a fresh header plus a checkpoint record, then fsync the log.
+// Leaving replayed records behind would be a latent corruption: a later
+// session without a WAL (durability=none) mutates the main file directly,
+// and a subsequent open would replay stale images over newer pages.
+
+#ifndef HASHKIT_SRC_WAL_RECOVERY_H_
+#define HASHKIT_SRC_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/pagefile/page_file.h"
+#include "src/util/status.h"
+#include "src/wal/wal_storage.h"
+
+namespace hashkit {
+namespace wal {
+
+struct RecoveryResult {
+  bool wal_found = false;        // a log with a valid header existed
+  uint64_t batches_applied = 0;  // committed batches replayed
+  uint64_t pages_applied = 0;    // page images written to the main file
+  uint64_t records_scanned = 0;
+  bool torn_tail = false;        // the log ended in an incomplete batch
+  uint64_t last_seq = 0;         // highest committed sequence number seen
+};
+
+// Replays `wal` onto `file` and resets the log.  Generic over the storage
+// abstractions so the crash-simulation harness can drive it against
+// in-memory backends; HashTable::OpenWithBackends calls this directly.
+Result<RecoveryResult> Recover(WalStorage* wal, PageFile* file);
+
+// File-path front end used by HashTable::Open before it probes the
+// table's header.  A missing or empty `wal_path` is a no-op.
+Result<RecoveryResult> RecoverFiles(const std::string& db_path, const std::string& wal_path);
+
+}  // namespace wal
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_WAL_RECOVERY_H_

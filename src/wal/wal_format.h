@@ -1,0 +1,77 @@
+// hashkit-wal: on-disk framing of the write-ahead log.
+//
+// The log is a byte stream: a fixed 16-byte file header followed by
+// length- and CRC32C-framed records.  Records carry *physical page
+// images* (redo-only, as in the paper's era of simple recovery schemes:
+// the table's multi-page operations — splits, big-pair chains, bitmap
+// updates — are made atomic by replaying the full after-images of every
+// page an operation touched).  A commit record closes each operation's
+// batch; replay applies a batch only once its commit record has been read
+// intact, so a torn tail discards whole operations, never parts of one.
+//
+//   header   := magic u32 | version u32 | page_size u32 | crc32c u32
+//               (crc over the first 12 bytes)
+//   record   := length u32 | crc32c u32 | body
+//   body     := type u8 | payload          (length = |body|, crc over body)
+//
+//   type 1 (page image):  payload = pageno u64 | page image (page_size B)
+//   type 2 (commit):      payload = seq u64
+//   type 3 (checkpoint):  payload = seq u64
+//
+// All integers little-endian (src/util/endian.h), like every other
+// on-disk integer in the package.  Byte-exact layout is specified in
+// FORMAT.md and pinned by format_golden_test.cc.
+
+#ifndef HASHKIT_SRC_WAL_WAL_FORMAT_H_
+#define HASHKIT_SRC_WAL_WAL_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/histogram.h"
+
+namespace hashkit {
+namespace wal {
+
+inline constexpr uint32_t kWalMagic = 0x4c574b48;  // "HKWL" little-endian
+inline constexpr uint32_t kWalVersion = 1;
+inline constexpr size_t kWalHeaderSize = 16;
+inline constexpr size_t kWalRecordHeaderSize = 8;  // length u32 + crc u32
+
+enum class WalRecordType : uint8_t {
+  kPageImage = 1,
+  kCommit = 2,
+  kCheckpoint = 3,
+};
+
+// Counters and latency distributions for the log, reported through
+// StoreStats::wal and the STATS wire text.
+struct WalStats {
+  uint64_t records = 0;      // records appended (images + commits + checkpoints)
+  uint64_t commits = 0;      // commit batches appended
+  uint64_t syncs = 0;        // log fsyncs
+  uint64_t checkpoints = 0;  // checkpoint resets (log truncated + restarted)
+  uint64_t bytes = 0;        // bytes appended since open
+  uint64_t recovered_batches = 0;  // commit batches replayed at open
+  uint64_t recovered_pages = 0;    // page images replayed at open
+
+  HistogramSnapshot commit_ns;  // Commit() end to end (append + policy fsync)
+  HistogramSnapshot sync_ns;    // each log fsync alone
+
+  void MergeFrom(const WalStats& other) {
+    records += other.records;
+    commits += other.commits;
+    syncs += other.syncs;
+    checkpoints += other.checkpoints;
+    bytes += other.bytes;
+    recovered_batches += other.recovered_batches;
+    recovered_pages += other.recovered_pages;
+    commit_ns.MergeFrom(other.commit_ns);
+    sync_ns.MergeFrom(other.sync_ns);
+  }
+};
+
+}  // namespace wal
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_WAL_WAL_FORMAT_H_

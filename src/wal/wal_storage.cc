@@ -1,0 +1,124 @@
+#include "src/wal/wal_storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hashkit {
+namespace wal {
+
+namespace {
+
+class DiskWalStorage final : public WalStorage {
+ public:
+  DiskWalStorage(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  ~DiskWalStorage() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  Status Append(std::span<const uint8_t> data) override {
+    size_t done = 0;
+    while (done < data.size()) {
+      const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                                 static_cast<off_t>(size_ + done));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Status::IoError(std::string("wal append: ") + std::strerror(errno));
+      }
+      done += static_cast<size_t>(n);
+    }
+    size_ += data.size();
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IoError(std::string("wal fsync: ") + std::strerror(errno));
+    }
+    return Status::Ok();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+  Status ReadAll(std::vector<uint8_t>* out) override {
+    out->resize(size_);
+    size_t done = 0;
+    while (done < size_) {
+      const ssize_t n =
+          ::pread(fd_, out->data() + done, size_ - done, static_cast<off_t>(done));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Status::IoError(std::string("wal read: ") + std::strerror(errno));
+      }
+      if (n == 0) {
+        return Status::IoError("wal read: unexpected EOF");
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Truncate() override {
+    if (::ftruncate(fd_, 0) != 0) {
+      return Status::IoError(std::string("wal truncate: ") + std::strerror(errno));
+    }
+    size_ = 0;
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  uint64_t size_;
+};
+
+class MemWalStorage final : public WalStorage {
+ public:
+  Status Append(std::span<const uint8_t> data) override {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+    return Status::Ok();
+  }
+  Status Sync() override { return Status::Ok(); }
+  uint64_t Size() const override { return bytes_.size(); }
+  Status ReadAll(std::vector<uint8_t>* out) override {
+    *out = bytes_;
+    return Status::Ok();
+  }
+  Status Truncate() override {
+    bytes_.clear();
+    return Status::Ok();
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<WalStorage>> OpenDiskWalStorage(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Status::IoError("lseek " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<WalStorage>(
+      new DiskWalStorage(fd, static_cast<uint64_t>(end)));
+}
+
+std::unique_ptr<WalStorage> MakeMemWalStorage() {
+  return std::make_unique<MemWalStorage>();
+}
+
+}  // namespace wal
+}  // namespace hashkit

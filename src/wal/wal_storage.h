@@ -1,0 +1,62 @@
+// hashkit-wal: append-only byte storage backing the log.
+//
+// The log's I/O needs are narrower than PageFile's — sequential append,
+// fsync, read-everything, truncate — so it gets its own abstraction with
+// a disk implementation for real tables and a memory implementation for
+// tests and the crash-simulation harness (which wraps either to record
+// every write event).
+//
+// Thread-safety: none required.  The log has exactly one writer (the
+// table's mutation path, which the kv layer already serializes) and is
+// read only at open time.
+
+#ifndef HASHKIT_SRC_WAL_WAL_STORAGE_H_
+#define HASHKIT_SRC_WAL_WAL_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace wal {
+
+class WalStorage {
+ public:
+  virtual ~WalStorage() = default;
+
+  WalStorage(const WalStorage&) = delete;
+  WalStorage& operator=(const WalStorage&) = delete;
+
+  // Appends `data` at the current end of the log.
+  virtual Status Append(std::span<const uint8_t> data) = 0;
+
+  // Flushes appended bytes to stable storage.
+  virtual Status Sync() = 0;
+
+  // Current log size in bytes.
+  virtual uint64_t Size() const = 0;
+
+  // Reads the entire log into `*out`.
+  virtual Status ReadAll(std::vector<uint8_t>* out) = 0;
+
+  // Discards all content (checkpoint reset).
+  virtual Status Truncate() = 0;
+
+ protected:
+  WalStorage() = default;
+};
+
+// Opens (creating if necessary) the log file at `path`.
+Result<std::unique_ptr<WalStorage>> OpenDiskWalStorage(const std::string& path);
+
+// Purely in-memory log, for tests and crash simulation.
+std::unique_ptr<WalStorage> MakeMemWalStorage();
+
+}  // namespace wal
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_WAL_WAL_STORAGE_H_

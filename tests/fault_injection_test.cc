@@ -10,6 +10,7 @@
 #include "src/core/hash_table.h"
 #include "src/pagefile/buffer_pool.h"
 #include "src/pagefile/page_file.h"
+#include "src/wal/wal_storage.h"
 #include "tests/test_util.h"
 
 namespace hashkit {
@@ -223,6 +224,103 @@ TEST(FaultInjectionTable, GarbageHeaderRejected) {
   const auto reopened = HashTable::Open(path, HashOptions{});
   EXPECT_FALSE(reopened.ok());
   EXPECT_TRUE(reopened.status().IsCorruption()) << reopened.status().ToString();
+}
+
+// Wraps a WalStorage and fails fsyncs on demand; appends pass through so
+// the failure lands exactly at the durability barrier.
+class FaultyWalStorage final : public wal::WalStorage {
+ public:
+  explicit FaultyWalStorage(std::unique_ptr<wal::WalStorage> base)
+      : base_(std::move(base)) {}
+
+  void FailSyncs() { fail_syncs_ = true; }
+  void Heal() { fail_syncs_ = false; }
+
+  Status Append(std::span<const uint8_t> data) override { return base_->Append(data); }
+  Status Sync() override {
+    if (fail_syncs_) {
+      return Status::IoError("injected wal fsync failure");
+    }
+    return base_->Sync();
+  }
+  uint64_t Size() const override { return base_->Size(); }
+  Status ReadAll(std::vector<uint8_t>* out) override { return base_->ReadAll(out); }
+  Status Truncate() override { return base_->Truncate(); }
+
+ private:
+  std::unique_ptr<wal::WalStorage> base_;
+  bool fail_syncs_ = false;
+};
+
+// durability=sync: a failed log fsync must surface as the Put's status —
+// the operation was NOT made durable and the caller has to know — and the
+// table (plus its on-disk files) must stay fully usable afterwards.
+TEST(FaultInjectionWal, FailedWalSyncSurfacesAndTableReopens) {
+  const std::string path = TempPath("fault_walsync");
+  const std::string wal_path = path + ".wal";
+  std::remove(wal_path.c_str());
+  HashOptions options;
+  options.bsize = 256;
+  options.durability = Durability::kSync;
+
+  auto file = OpenDiskPageFile(path, options.bsize, /*truncate=*/true);
+  ASSERT_OK(file.status());
+  auto wal_store = wal::OpenDiskWalStorage(wal_path);
+  ASSERT_OK(wal_store.status());
+  auto faulty = std::make_unique<FaultyWalStorage>(std::move(wal_store).value());
+  FaultyWalStorage* handle = faulty.get();
+  uint64_t acked = 0;
+  {
+    auto opened = HashTable::OpenWithBackends(std::move(file).value(), std::move(faulty),
+                                              options);
+    ASSERT_OK(opened.status());
+    auto& table = *opened.value();
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK(table.Put("k" + std::to_string(i), "v" + std::to_string(i)));
+    }
+    handle->FailSyncs();
+    const Status st = table.Put("doomed", "x");
+    EXPECT_EQ(st.code(), StatusCode::kIoError) << st.ToString();
+    handle->Heal();
+    ASSERT_OK(table.Put("after-heal", "v"));
+    ASSERT_OK(table.CheckIntegrity());
+    acked = table.size();
+    ASSERT_OK(table.Sync());
+  }
+  // The real files on disk reopen cleanly through the normal path.
+  auto reopened = HashTable::Open(path, options, /*truncate=*/false);
+  ASSERT_OK(reopened.status());
+  EXPECT_GE(reopened.value()->size(), acked - 1);  // "doomed" may or may not exist
+  EXPECT_OK(reopened.value()->CheckIntegrity());
+  std::string value;
+  EXPECT_OK(reopened.value()->Get("after-heal", &value));
+  std::remove(path.c_str());
+  std::remove(wal_path.c_str());
+}
+
+// durability=async: the log absorbs mutations without fsync, so backend
+// failures surface at the explicit durability barrier (Sync → checkpoint)
+// instead — and clear once the device heals.
+TEST(FaultInjectionWal, FailedCheckpointSurfacesOnSyncAndHeals) {
+  HashOptions options;
+  options.bsize = 256;
+  options.durability = Durability::kAsync;
+  auto faulty_file = std::make_unique<FaultyPageFile>(MakeMemPageFile(256));
+  FaultyPageFile* handle = faulty_file.get();
+  auto opened = HashTable::OpenWithBackends(std::move(faulty_file),
+                                            wal::MakeMemWalStorage(), options);
+  ASSERT_OK(opened.status());
+  auto& table = *opened.value();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(table.Put("key" + std::to_string(i), std::string(40, 'v')));
+  }
+  handle->FailAfter(0);
+  const Status st = table.Sync();
+  EXPECT_EQ(st.code(), StatusCode::kIoError) << st.ToString();
+  handle->Heal();
+  EXPECT_OK(table.Sync());
+  EXPECT_OK(table.CheckIntegrity());
+  EXPECT_OK(table.Put("post", "sync"));
 }
 
 }  // namespace

@@ -10,6 +10,10 @@
 #include "src/btree/bt_page.h"
 #include "src/core/page.h"
 #include "src/util/endian.h"
+#include "src/wal/crc32c.h"
+#include "src/wal/log_writer.h"
+#include "src/wal/wal_format.h"
+#include "src/wal/wal_storage.h"
 #include "tests/test_util.h"
 
 namespace hashkit {
@@ -141,6 +145,67 @@ TEST(FormatGolden, BtreeBigValueStubIsPinned) {
   const uint16_t val_off = DecodeU16(&buf[20]);
   EXPECT_EQ(DecodeU32(&buf[val_off]), 0x01020304u);      // chain page
   EXPECT_EQ(DecodeU32(&buf[val_off + 4]), 0x0a0b0c0du);  // total length
+}
+
+// The write-ahead log's framing is a disk contract too: a log written
+// before a crash must parse after an upgrade.  Pin every byte offset of a
+// minimal log (header, one page image, one commit) for page_size = 64.
+TEST(FormatGolden, WalFramingBytesArePinned) {
+  constexpr uint32_t kPage = 64;
+  auto storage = wal::MakeMemWalStorage();
+  wal::WalStorage* raw = storage.get();
+  std::vector<uint8_t> log;
+  {
+    wal::LogWriter writer(std::move(storage), kPage, /*sync_every=*/1);
+    ASSERT_OK(writer.Init());
+    std::vector<uint8_t> image(kPage);
+    for (uint32_t i = 0; i < kPage; ++i) {
+      image[i] = static_cast<uint8_t>(i);
+    }
+    writer.AppendPageImage(0x0102030405060708ull, image);
+    ASSERT_OK(writer.Commit(nullptr));
+    ASSERT_OK(raw->ReadAll(&log));
+  }
+
+  // 16-byte file header: magic "HKWL", version, page size, CRC32C of the
+  // first 12 bytes.
+  ASSERT_GE(log.size(), wal::kWalHeaderSize);
+  EXPECT_EQ(log[0], 'H');
+  EXPECT_EQ(log[1], 'K');
+  EXPECT_EQ(log[2], 'W');
+  EXPECT_EQ(log[3], 'L');
+  EXPECT_EQ(DecodeU32(&log[0]), wal::kWalMagic);
+  EXPECT_EQ(DecodeU32(&log[4]), wal::kWalVersion);
+  EXPECT_EQ(DecodeU32(&log[8]), kPage);
+  EXPECT_EQ(DecodeU32(&log[12]), wal::Crc32c(log.data(), 12));
+  EXPECT_EQ(wal::kWalHeaderSize, 16u);
+
+  // Record framing: length u32 | crc u32 | body, where body is a type byte
+  // followed by the payload and the CRC covers the body.
+  // Page-image record: type 1, pageno u64, then the raw page bytes.
+  size_t at = wal::kWalHeaderSize;
+  const uint32_t image_len = DecodeU32(&log[at]);
+  EXPECT_EQ(image_len, 1u + 8u + kPage);
+  EXPECT_EQ(DecodeU32(&log[at + 4]), wal::Crc32c(&log[at + 8], image_len));
+  EXPECT_EQ(log[at + 8], 1u);  // kPageImage
+  EXPECT_EQ(DecodeU64(&log[at + 9]), 0x0102030405060708ull);
+  EXPECT_EQ(log[at + 17], 0u);           // image[0]
+  EXPECT_EQ(log[at + 17 + 63], 63u);     // image[63]
+  EXPECT_EQ(wal::kWalRecordHeaderSize, 8u);
+
+  // Commit record: type 2, sequence number u64 (first commit is 1).
+  at += wal::kWalRecordHeaderSize + image_len;
+  const uint32_t commit_len = DecodeU32(&log[at]);
+  EXPECT_EQ(commit_len, 1u + 8u);
+  EXPECT_EQ(DecodeU32(&log[at + 4]), wal::Crc32c(&log[at + 8], commit_len));
+  EXPECT_EQ(log[at + 8], 2u);  // kCommit
+  EXPECT_EQ(DecodeU64(&log[at + 9]), 1u);
+  EXPECT_EQ(at + wal::kWalRecordHeaderSize + commit_len, log.size());
+}
+
+TEST(FormatGolden, Crc32cIsCastagnoli) {
+  // Distinguishes CRC-32C from plain CRC-32: the standard check value.
+  EXPECT_EQ(wal::Crc32c("123456789", 9), 0xE3069283u);
 }
 
 TEST(FormatGolden, MagicSpellsHsk1) {

@@ -1,0 +1,459 @@
+// hashkit-wal unit tests: CRC32C vectors, log framing roundtrip, torn-tail
+// detection, recovery replay semantics, group commit cadence, and the
+// HashTable durability modes end to end on disk files.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/hash_table.h"
+#include "src/pagefile/page_file.h"
+#include "src/util/endian.h"
+#include "src/wal/crc32c.h"
+#include "src/wal/log_reader.h"
+#include "src/wal/log_writer.h"
+#include "src/wal/recovery.h"
+#include "src/wal/wal_format.h"
+#include "src/wal/wal_storage.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace wal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC32C
+// ---------------------------------------------------------------------------
+
+TEST(Crc32c, KnownAnswers) {
+  // The canonical CRC-32C check value (RFC 3720 appendix and every
+  // Castagnoli implementation): crc("123456789") == 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // 32 zero bytes, another standard vector.
+  uint8_t zeros[32] = {0};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+}
+
+TEST(Crc32c, ExtendMatchesOneShot) {
+  const char* data = "write-ahead logging";
+  const size_t n = std::strlen(data);
+  for (size_t split = 0; split <= n; ++split) {
+    uint32_t crc = Crc32cExtend(0, data, split);
+    crc = Crc32cExtend(crc, data + split, n - split);
+    EXPECT_EQ(crc, Crc32c(data, n)) << "split at " << split;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writer / reader roundtrip
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> Image(uint32_t page_size, uint8_t fill) {
+  return std::vector<uint8_t>(page_size, fill);
+}
+
+TEST(LogRoundtrip, RecordsComeBackInOrder) {
+  constexpr uint32_t kPage = 128;
+  auto storage = MakeMemWalStorage();
+  WalStorage* raw = storage.get();
+  LogWriter writer(std::move(storage), kPage, /*sync_every=*/1);
+  ASSERT_OK(writer.Init());
+
+  const auto a = Image(kPage, 0xAA);
+  const auto b = Image(kPage, 0xBB);
+  writer.AppendPageImage(7, a);
+  writer.AppendPageImage(9, b);
+  bool synced = false;
+  ASSERT_OK(writer.Commit(&synced));
+  EXPECT_TRUE(synced);
+
+  const auto c = Image(kPage, 0xCC);
+  writer.AppendPageImage(3, c);
+  ASSERT_OK(writer.Commit(&synced));
+
+  std::vector<uint8_t> bytes;
+  ASSERT_OK(raw->ReadAll(&bytes));
+  LogReader reader(bytes);
+  auto header = reader.ReadHeader();
+  ASSERT_OK(header.status());
+  EXPECT_EQ(header.value(), kPage);
+
+  WalRecord rec;
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec.type, WalRecordType::kPageImage);
+  EXPECT_EQ(rec.pageno, 7u);
+  EXPECT_EQ(std::memcmp(rec.image.data(), a.data(), kPage), 0);
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec.pageno, 9u);
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec.type, WalRecordType::kCommit);
+  EXPECT_EQ(rec.seq, 1u);
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec.pageno, 3u);
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec.type, WalRecordType::kCommit);
+  EXPECT_EQ(rec.seq, 2u);
+  EXPECT_FALSE(reader.Next(&rec));
+  EXPECT_FALSE(reader.torn_tail());
+}
+
+TEST(LogRoundtrip, InitValidatesExistingHeader) {
+  std::vector<uint8_t> bytes;
+  {
+    auto storage = MakeMemWalStorage();
+    WalStorage* raw = storage.get();
+    LogWriter writer(std::move(storage), 256, 1);
+    ASSERT_OK(writer.Init());
+    ASSERT_OK(raw->ReadAll(&bytes));
+  }
+  // Same geometry: accepted (replay the bytes into a fresh mem log).
+  auto copy = MakeMemWalStorage();
+  ASSERT_OK(copy->Append(bytes));
+  LogWriter same(std::move(copy), 256, 1);
+  EXPECT_OK(same.Init());
+
+  auto copy2 = MakeMemWalStorage();
+  ASSERT_OK(copy2->Append(bytes));
+  LogWriter mismatched(std::move(copy2), 512, 1);
+  EXPECT_TRUE(mismatched.Init().IsCorruption());
+}
+
+TEST(LogReaderTest, HeaderValidation) {
+  // Empty: absent.
+  {
+    LogReader reader(std::span<const uint8_t>{});
+    EXPECT_TRUE(reader.ReadHeader().status().IsNotFound());
+  }
+  // Garbage magic: absent (never corruption — a torn first write).
+  {
+    std::vector<uint8_t> bytes(kWalHeaderSize, 0x5A);
+    LogReader reader(bytes);
+    EXPECT_TRUE(reader.ReadHeader().status().IsNotFound());
+  }
+  // Valid magic+crc but future version: corruption (refuse to guess).
+  {
+    std::vector<uint8_t> bytes(kWalHeaderSize);
+    EncodeU32(bytes.data(), kWalMagic);
+    EncodeU32(bytes.data() + 4, kWalVersion + 1);
+    EncodeU32(bytes.data() + 8, 256);
+    EncodeU32(bytes.data() + 12, Crc32c(bytes.data(), 12));
+    LogReader reader(bytes);
+    EXPECT_TRUE(reader.ReadHeader().status().IsCorruption());
+  }
+  // Torn header (crc mismatch): absent.
+  {
+    std::vector<uint8_t> bytes(kWalHeaderSize);
+    EncodeU32(bytes.data(), kWalMagic);
+    EncodeU32(bytes.data() + 4, kWalVersion);
+    EncodeU32(bytes.data() + 8, 256);
+    EncodeU32(bytes.data() + 12, 0xDEADBEEF);
+    LogReader reader(bytes);
+    EXPECT_TRUE(reader.ReadHeader().status().IsNotFound());
+  }
+}
+
+TEST(LogReaderTest, TornTailStopsIteration) {
+  constexpr uint32_t kPage = 64;
+  auto storage = MakeMemWalStorage();
+  WalStorage* raw = storage.get();
+  LogWriter writer(std::move(storage), kPage, 1);
+  ASSERT_OK(writer.Init());
+  bool synced = false;
+  writer.AppendPageImage(1, Image(kPage, 0x11));
+  ASSERT_OK(writer.Commit(&synced));
+  writer.AppendPageImage(2, Image(kPage, 0x22));
+  ASSERT_OK(writer.Commit(&synced));
+
+  std::vector<uint8_t> bytes;
+  ASSERT_OK(raw->ReadAll(&bytes));
+
+  // Truncate mid-way through the second batch: the first batch must still
+  // read cleanly, then torn_tail.
+  for (size_t cut = kWalHeaderSize + 1; cut < bytes.size(); cut += 7) {
+    std::vector<uint8_t> torn(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    LogReader reader(torn);
+    auto header = reader.ReadHeader();
+    ASSERT_OK(header.status());
+    WalRecord rec;
+    uint64_t commits = 0;
+    while (reader.Next(&rec)) {
+      if (rec.type == WalRecordType::kCommit) {
+        ++commits;
+      }
+    }
+    // Whole batches only: never a partial batch's commit.
+    EXPECT_LE(commits, 2u);
+    if (cut < bytes.size()) {
+      EXPECT_TRUE(reader.torn_tail() || commits <= 2);
+    }
+  }
+
+  // Corrupt a byte inside the last record body: CRC catches it.
+  std::vector<uint8_t> flipped = bytes;
+  flipped[flipped.size() - 3] ^= 0xFF;
+  LogReader reader(flipped);
+  ASSERT_OK(reader.ReadHeader().status());
+  WalRecord rec;
+  while (reader.Next(&rec)) {
+  }
+  EXPECT_TRUE(reader.torn_tail());
+}
+
+// ---------------------------------------------------------------------------
+// Group commit cadence
+// ---------------------------------------------------------------------------
+
+TEST(GroupCommit, SyncEveryNthCommit) {
+  constexpr uint32_t kPage = 64;
+  LogWriter writer(MakeMemWalStorage(), kPage, /*sync_every=*/4);
+  ASSERT_OK(writer.Init());
+  int synced_count = 0;
+  for (int i = 1; i <= 12; ++i) {
+    writer.AppendPageImage(1, Image(kPage, static_cast<uint8_t>(i)));
+    bool synced = false;
+    ASSERT_OK(writer.Commit(&synced));
+    if (synced) {
+      ++synced_count;
+      EXPECT_EQ(i % 4, 0) << "sync on commit " << i;
+    }
+  }
+  EXPECT_EQ(synced_count, 3);
+  EXPECT_EQ(writer.Stats().syncs, 3u);
+}
+
+TEST(GroupCommit, AsyncNeverSyncsOnCommitButBarrierDoes) {
+  constexpr uint32_t kPage = 64;
+  LogWriter writer(MakeMemWalStorage(), kPage, /*sync_every=*/0);
+  ASSERT_OK(writer.Init());
+  for (int i = 0; i < 8; ++i) {
+    writer.AppendPageImage(1, Image(kPage, 0x42));
+    bool synced = true;
+    ASSERT_OK(writer.Commit(&synced));
+    EXPECT_FALSE(synced);
+  }
+  EXPECT_EQ(writer.Stats().syncs, 0u);
+  ASSERT_OK(writer.SyncBarrier());
+  EXPECT_EQ(writer.Stats().syncs, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, AppliesCommittedBatchesAndDiscardsTornTail) {
+  constexpr uint32_t kPage = 64;
+  auto storage = MakeMemWalStorage();
+  WalStorage* raw = storage.get();
+  LogWriter writer(std::move(storage), kPage, 0);
+  ASSERT_OK(writer.Init());
+  bool synced = false;
+  writer.AppendPageImage(0, Image(kPage, 0x01));
+  writer.AppendPageImage(5, Image(kPage, 0x05));
+  ASSERT_OK(writer.Commit(&synced));
+  writer.AppendPageImage(5, Image(kPage, 0x55));  // second batch overwrites
+  ASSERT_OK(writer.Commit(&synced));
+
+  // Snapshot, then append a batch whose commit we chop off.
+  std::vector<uint8_t> bytes;
+  ASSERT_OK(raw->ReadAll(&bytes));
+  writer.AppendPageImage(7, Image(kPage, 0x77));
+  ASSERT_OK(writer.Commit(&synced));
+  std::vector<uint8_t> all;
+  ASSERT_OK(raw->ReadAll(&all));
+  std::vector<uint8_t> torn(all.begin(), all.begin() + static_cast<long>(all.size() - 5));
+
+  auto wal = MakeMemWalStorage();
+  ASSERT_OK(wal->Append(torn));
+  auto file = MakeMemPageFile(kPage);
+  auto recovered = Recover(wal.get(), file.get());
+  ASSERT_OK(recovered.status());
+  EXPECT_TRUE(recovered.value().wal_found);
+  EXPECT_EQ(recovered.value().batches_applied, 2u);
+  EXPECT_EQ(recovered.value().pages_applied, 3u);
+  EXPECT_TRUE(recovered.value().torn_tail);
+  EXPECT_EQ(recovered.value().last_seq, 2u);
+
+  std::vector<uint8_t> page(kPage);
+  ASSERT_OK(file->ReadPage(5, std::span<uint8_t>(page)));
+  EXPECT_EQ(page[0], 0x55);  // the later committed image won
+  ASSERT_OK(file->ReadPage(0, std::span<uint8_t>(page)));
+  EXPECT_EQ(page[0], 0x01);
+  // Page 7's torn batch must NOT have been applied.  The file may not even
+  // extend that far; a short file reads back zeros.
+  if (file->PageCount() > 7) {
+    ASSERT_OK(file->ReadPage(7, std::span<uint8_t>(page)));
+    EXPECT_NE(page[0], 0x77);
+  }
+
+  // Recovery finalized the log: running it again replays nothing.
+  auto again = Recover(wal.get(), file.get());
+  ASSERT_OK(again.status());
+  EXPECT_EQ(again.value().batches_applied, 0u);
+  EXPECT_FALSE(again.value().torn_tail);
+  EXPECT_EQ(again.value().last_seq, 2u);  // checkpoint carried the seq over
+}
+
+TEST(Recovery, EmptyAndHeaderlessLogsAreNoOps) {
+  constexpr uint32_t kPage = 64;
+  auto file = MakeMemPageFile(kPage);
+  {
+    auto wal = MakeMemWalStorage();
+    auto r = Recover(wal.get(), file.get());
+    ASSERT_OK(r.status());
+    EXPECT_FALSE(r.value().wal_found);
+  }
+  {
+    // Garbage where the header should be: treated as absent and cleared.
+    auto wal = MakeMemWalStorage();
+    std::vector<uint8_t> junk(10, 0xEE);
+    ASSERT_OK(wal->Append(junk));
+    auto r = Recover(wal.get(), file.get());
+    ASSERT_OK(r.status());
+    EXPECT_FALSE(r.value().wal_found);
+    EXPECT_EQ(wal->Size(), 0u);
+  }
+  EXPECT_EQ(file->PageCount(), 0u);
+}
+
+TEST(Recovery, CheckpointRecordBoundsReplay) {
+  constexpr uint32_t kPage = 64;
+  auto storage = MakeMemWalStorage();
+  WalStorage* raw = storage.get();
+  LogWriter writer(std::move(storage), kPage, 0);
+  ASSERT_OK(writer.Init());
+  bool synced = false;
+  writer.AppendPageImage(1, Image(kPage, 0x10));
+  ASSERT_OK(writer.Commit(&synced));
+  ASSERT_OK(writer.CheckpointReset());  // truncates; batch 1 is retired
+  writer.AppendPageImage(2, Image(kPage, 0x20));
+  ASSERT_OK(writer.Commit(&synced));
+
+  std::vector<uint8_t> bytes;
+  ASSERT_OK(raw->ReadAll(&bytes));
+  auto wal = MakeMemWalStorage();
+  ASSERT_OK(wal->Append(bytes));
+  auto file = MakeMemPageFile(kPage);
+  auto r = Recover(wal.get(), file.get());
+  ASSERT_OK(r.status());
+  EXPECT_EQ(r.value().batches_applied, 1u);  // only the post-checkpoint batch
+  EXPECT_EQ(r.value().pages_applied, 1u);
+  std::vector<uint8_t> page(kPage);
+  ASSERT_OK(file->ReadPage(2, std::span<uint8_t>(page)));
+  EXPECT_EQ(page[0], 0x20);
+}
+
+// ---------------------------------------------------------------------------
+// HashTable durability modes on disk
+// ---------------------------------------------------------------------------
+
+TEST(WalTable, SyncModeSurvivesCleanReopen) {
+  const std::string path = TempPath("wal_sync_reopen");
+  std::remove((path + ".wal").c_str());
+  HashOptions options;
+  options.bsize = 256;
+  options.ffactor = 8;
+  options.durability = Durability::kSync;
+  {
+    auto opened = HashTable::Open(path, options, /*truncate=*/true);
+    ASSERT_OK(opened.status());
+    auto& table = *opened.value();
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_OK(table.Put("key" + std::to_string(i), "value" + std::to_string(i)));
+    }
+    EXPECT_GT(table.WalStatsSnapshot().commits, 0u);
+    EXPECT_GT(table.WalStatsSnapshot().syncs, 0u);
+  }
+  {
+    auto reopened = HashTable::Open(path, options, /*truncate=*/false);
+    ASSERT_OK(reopened.status());
+    auto& table = *reopened.value();
+    EXPECT_EQ(table.size(), 300u);
+    ASSERT_OK(table.CheckIntegrity());
+    std::string value;
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_OK(table.Get("key" + std::to_string(i), &value));
+      EXPECT_EQ(value, "value" + std::to_string(i));
+    }
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST(WalTable, AsyncModeSyncIsDurabilityBarrier) {
+  const std::string path = TempPath("wal_async_barrier");
+  std::remove((path + ".wal").c_str());
+  HashOptions options;
+  options.bsize = 256;
+  options.durability = Durability::kAsync;
+  {
+    auto opened = HashTable::Open(path, options, /*truncate=*/true);
+    ASSERT_OK(opened.status());
+    auto& table = *opened.value();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_OK(table.Put("k" + std::to_string(i), std::string(100, 'v')));
+    }
+    EXPECT_EQ(table.WalStatsSnapshot().syncs, 0u);  // no per-op fsync
+    ASSERT_OK(table.Sync());                        // explicit barrier checkpoints
+    EXPECT_GT(table.WalStatsSnapshot().checkpoints, 0u);
+  }
+  // Reopen without any durability: recovery must still run (and find a
+  // clean, checkpointed log).
+  HashOptions plain;
+  auto reopened = HashTable::Open(path, plain, /*truncate=*/false);
+  ASSERT_OK(reopened.status());
+  EXPECT_EQ(reopened.value()->size(), 100u);
+  ASSERT_OK(reopened.value()->CheckIntegrity());
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST(WalTable, CheckpointTriggerBoundsLogSize) {
+  const std::string path = TempPath("wal_checkpoint_trigger");
+  std::remove((path + ".wal").c_str());
+  HashOptions options;
+  options.bsize = 256;
+  options.ffactor = 8;
+  options.durability = Durability::kSync;
+  options.wal_group_commit = 8;
+  options.wal_checkpoint_bytes = 1;  // floored to 64 KB internally
+  auto opened = HashTable::Open(path, options, /*truncate=*/true);
+  ASSERT_OK(opened.status());
+  auto& table = *opened.value();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(table.Put("key" + std::to_string(i), std::string(64, 'x')));
+  }
+  const WalStats stats = table.WalStatsSnapshot();
+  EXPECT_GT(stats.checkpoints, 0u);
+  ASSERT_OK(table.CheckIntegrity());
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST(WalTable, TruncateDiscardsStaleLog) {
+  const std::string path = TempPath("wal_truncate_discard");
+  HashOptions options;
+  options.bsize = 256;
+  options.durability = Durability::kSync;
+  {
+    auto opened = HashTable::Open(path, options, /*truncate=*/true);
+    ASSERT_OK(opened.status());
+    ASSERT_OK(opened.value()->Put("old", "data"));
+  }
+  // truncate=true must not replay the old table's log into the new file.
+  {
+    auto opened = HashTable::Open(path, options, /*truncate=*/true);
+    ASSERT_OK(opened.status());
+    EXPECT_EQ(opened.value()->size(), 0u);
+    std::string value;
+    EXPECT_TRUE(opened.value()->Get("old", &value).IsNotFound());
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace hashkit

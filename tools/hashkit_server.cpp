@@ -3,6 +3,7 @@
 //   hashkit_server [--host=H] [--port=P] [--store=KIND] [--path=FILE]
 //                  [--shards=N] [--workers=N] [--idle_timeout_ms=N]
 //                  [--truncate] [--metrics-port=P]
+//                  [--durability=none|async|sync] [--wal-group-commit=N]
 //
 // With shards > 1 the store opens as a ShardedStore (per-shard ".sN"
 // files); with shards <= 1 it is wrapped in SynchronizedStore so multiple
@@ -59,11 +60,16 @@ int Usage(int code) {
                "usage: hashkit_server [--host=H] [--port=P] [--store=KIND] [--path=FILE]\n"
                "                      [--shards=N] [--workers=N] [--idle_timeout_ms=N]\n"
                "                      [--truncate] [--metrics-port=P]\n"
+               "                      [--durability=none|async|sync] [--wal-group-commit=N]\n"
                "defaults: host 127.0.0.1, port 4691, store hash_disk,\n"
                "          path /tmp/hashkit_server.db, shards 4, workers 2\n"
                "store: hash_disk ndbm sdbm gdbm (file-backed kinds)\n"
                "metrics: --metrics-port=P serves Prometheus-style plaintext metrics\n"
-               "         over HTTP on host:P (P=0 picks a free port; omit to disable)\n");
+               "         over HTTP on host:P (P=0 picks a free port; omit to disable)\n"
+               "durability (hash_disk): none = no write-ahead log (default); async = log\n"
+               "         without per-op fsync (crash-consistent, recent ops may be lost);\n"
+               "         sync = log fsynced every --wal-group-commit ops (default 1).\n"
+               "         SYNC requests are real durability barriers in async/sync modes.\n");
   return code;
 }
 
@@ -96,6 +102,26 @@ int main(int argc, char** argv) {
   store_options.truncate = HasFlag(argc, argv, "truncate");
   store_options.shards = static_cast<uint32_t>(FlagLong(argc, argv, "shards", 4));
   store_options.cachesize = 32 * 1024 * 1024;
+  const char* durability = FlagValue(argc, argv, "durability");
+  if (durability != nullptr) {
+    if (std::strcmp(durability, "none") == 0) {
+      store_options.durability = hashkit::Durability::kNone;
+    } else if (std::strcmp(durability, "async") == 0) {
+      store_options.durability = hashkit::Durability::kAsync;
+    } else if (std::strcmp(durability, "sync") == 0) {
+      store_options.durability = hashkit::Durability::kSync;
+    } else {
+      std::fprintf(stderr, "unknown durability mode: %s\n", durability);
+      return Usage(2);
+    }
+  }
+  long group_commit = FlagLong(argc, argv, "wal-group-commit", -1);
+  if (group_commit < 0) {
+    group_commit = FlagLong(argc, argv, "wal_group_commit", -1);
+  }
+  if (group_commit > 0) {
+    store_options.wal_group_commit = static_cast<uint32_t>(group_commit);
+  }
 
   auto opened = OpenStore(kind, store_options);
   if (!opened.ok()) {
