@@ -1,0 +1,45 @@
+# ctest smoke test for the page-format bench: runs a tiny micro_page sweep
+# and asserts BENCH_page.json carries the per-cell schema downstream tooling
+# consumes, and that the v2 cells actually exercised the tag filter (nonzero
+# skip counters).  Driven as
+#   cmake -DPAGE_BENCH=<bin> -DWORK_DIR=<dir> -P bench_page_smoke.cmake
+# and registered from bench/CMakeLists.txt.
+
+if(NOT DEFINED PAGE_BENCH OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DPAGE_BENCH=<bin> -DWORK_DIR=<dir> -P bench_page_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+file(REMOVE "${WORK_DIR}/BENCH_page.json")
+
+execute_process(COMMAND "${PAGE_BENCH}" --sweep_only --ops=4000 --keys=2000 --max_threads=1
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "micro_page sweep failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+file(READ "${WORK_DIR}/BENCH_page.json" contents)
+foreach(field "\"format\"" "\"threads\"" "\"ffactor\"" "\"hit_pct\"" "\"ops_per_sec\""
+        "\"tag_filter_skips\"" "\"tag_filter_candidates\"" "\"tag_filter_false_hits\""
+        "\"tag_scan\"")
+  string(FIND "${contents}" "${field}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "expected BENCH_page.json to contain ${field}, got:\n${contents}")
+  endif()
+endforeach()
+
+# Both formats must be present, and the v2 cells must have filtered
+# something: at least one record with format 2 and a nonzero skip count.
+string(FIND "${contents}" "\"format\": 1" v1_at)
+if(v1_at EQUAL -1)
+  message(FATAL_ERROR "expected v1 cells in BENCH_page.json, got:\n${contents}")
+endif()
+string(REGEX MATCH "\"format\": 2[^}]*\"tag_filter_skips\": [1-9]" v2_active "${contents}")
+if(v2_active STREQUAL "")
+  message(FATAL_ERROR
+    "expected a v2 cell with nonzero tag_filter_skips in BENCH_page.json, got:\n${contents}")
+endif()

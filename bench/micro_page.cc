@@ -1,43 +1,78 @@
 // Ablation A4: on-page layout microbenchmarks — pair insertion, lookup
-// scanning, and deletion compaction, across page sizes.
+// scanning, probe filtering, and deletion compaction, across page sizes
+// and on-page formats (v1 plain slotted vs v2 fingerprint-tagged).
+//
+// Besides the google-benchmark timers, `--sweep_only` (or running to
+// completion) executes a table-level GET sweep over format {1,2} ×
+// hit ratio {100,50,0}% × fill factor {8,64} × threads {1,2} on an
+// in-memory table, and writes one JSON record per cell to
+// BENCH_page.json, including the table's tag-filter counters and the
+// compiled tag-scan implementation (sse2/neon/swar8).  The miss-heavy
+// and high-ffactor (long overflow chain) cells are where the v2 tag
+// array should pay off: most keys on a page are rejected by a byte
+// compare instead of a full key memcmp.
+//
+// Flags: --sweep_only       skip the google-benchmark suite
+//        --ops=N            GET operations per sweep cell (default 200000)
+//        --keys=N           resident keys per table (default 20000)
+//        --max_threads=N    cap on the thread sweep (default 2)
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/core/hash_table.h"
 #include "src/core/page.h"
 #include "src/util/random.h"
 
 namespace hashkit {
 namespace {
 
+// ---------------------------------------------------------------------------
+// Page-level microbenchmarks.  range(0) = page size, range(1) = format.
+
 void BM_PageAddPair(benchmark::State& state) {
   const auto page_size = static_cast<size_t>(state.range(0));
+  const auto format = static_cast<uint32_t>(state.range(1));
   std::vector<uint8_t> buf(page_size);
   const std::string key = "benchmark-key";
   const std::string value = "benchmark-value-bytes";
   for (auto _ : state) {
     PageView::Init(buf.data(), page_size, PageType::kBucket);
-    PageView view(buf.data(), page_size);
+    PageView view(buf.data(), page_size, format);
+    uint8_t tag = 0;
     while (view.FitsPair(key.size(), value.size())) {
-      view.AddPair(key, value);
+      view.AddPair(key, value, ++tag);
     }
     benchmark::DoNotOptimize(buf.data());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>((page_size - 8) / (4 + key.size() + value.size())));
 }
-BENCHMARK(BM_PageAddPair)->Arg(256)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_PageAddPair)
+    ->Args({256, 1})
+    ->Args({1024, 1})
+    ->Args({8192, 1})
+    ->Args({256, 2})
+    ->Args({1024, 2})
+    ->Args({8192, 2});
 
 void BM_PageScanEntries(benchmark::State& state) {
   const auto page_size = static_cast<size_t>(state.range(0));
+  const auto format = static_cast<uint32_t>(state.range(1));
   std::vector<uint8_t> buf(page_size);
   PageView::Init(buf.data(), page_size, PageType::kBucket);
-  PageView view(buf.data(), page_size);
+  PageView view(buf.data(), page_size, format);
   Rng rng(1);
   while (view.FitsPair(12, 8)) {
-    view.AddPair(rng.AsciiString(12), rng.AsciiString(8));
+    view.AddPair(rng.AsciiString(12), rng.AsciiString(8),
+                 static_cast<uint8_t>(rng.Uniform(256)));
   }
   const uint16_t n = view.nentries();
   for (auto _ : state) {
@@ -49,18 +84,71 @@ void BM_PageScanEntries(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
 }
-BENCHMARK(BM_PageScanEntries)->Arg(256)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_PageScanEntries)
+    ->Args({256, 1})
+    ->Args({1024, 1})
+    ->Args({8192, 1})
+    ->Args({256, 2})
+    ->Args({1024, 2})
+    ->Args({8192, 2});
+
+// The v2 payoff in isolation: find the (single) entry carrying a probe tag
+// on a full page.  v1 has no tags, so every probe walks all n entries and
+// compares keys; v2 narrows to the tag matches first.
+void BM_PageProbe(benchmark::State& state) {
+  const auto page_size = static_cast<size_t>(state.range(0));
+  const auto format = static_cast<uint32_t>(state.range(1));
+  std::vector<uint8_t> buf(page_size);
+  PageView::Init(buf.data(), page_size, PageType::kBucket);
+  PageView view(buf.data(), page_size, format);
+  Rng rng(7);
+  std::vector<std::string> keys;
+  // Spread tags 1..n over entries; probe for the last-inserted key, whose
+  // entry sits at the end of the index, i.e. a worst-case linear scan.
+  uint8_t tag = 0;
+  while (view.FitsPair(12, 8)) {
+    keys.push_back(rng.AsciiString(12));
+    view.AddPair(keys.back(), rng.AsciiString(8), ++tag);
+  }
+  const std::string needle = keys.back();
+  const uint8_t needle_tag = tag;
+  size_t hits = 0;
+  for (auto _ : state) {
+    TagCandidates scan = format >= kPageFormatV2 ? view.FindCandidates(needle_tag)
+                                                 : TagCandidates(view.nentries());
+    for (uint16_t i = scan.Next(); i != kNoEntry; i = scan.Next()) {
+      const EntryRef entry = view.Entry(i);
+      if (entry.key.size() == needle.size() &&
+          std::memcmp(entry.key.data(), needle.data(), needle.size()) == 0) {
+        ++hits;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(format >= kPageFormatV2 ? TagCandidates::ImplName() : "linear");
+}
+BENCHMARK(BM_PageProbe)
+    ->Args({256, 1})
+    ->Args({1024, 1})
+    ->Args({8192, 1})
+    ->Args({256, 2})
+    ->Args({1024, 2})
+    ->Args({8192, 2});
 
 void BM_PageRemoveCompaction(benchmark::State& state) {
   const auto page_size = static_cast<size_t>(state.range(0));
+  const auto format = static_cast<uint32_t>(state.range(1));
   std::vector<uint8_t> buf(page_size);
   Rng rng(2);
   for (auto _ : state) {
     state.PauseTiming();
     PageView::Init(buf.data(), page_size, PageType::kBucket);
-    PageView view(buf.data(), page_size);
+    PageView view(buf.data(), page_size, format);
     while (view.FitsPair(12, 8)) {
-      view.AddPair(rng.AsciiString(12), rng.AsciiString(8));
+      view.AddPair(rng.AsciiString(12), rng.AsciiString(8),
+                   static_cast<uint8_t>(rng.Uniform(256)));
     }
     state.ResumeTiming();
     while (view.nentries() > 0) {
@@ -69,7 +157,7 @@ void BM_PageRemoveCompaction(benchmark::State& state) {
     benchmark::DoNotOptimize(buf.data());
   }
 }
-BENCHMARK(BM_PageRemoveCompaction)->Arg(256)->Arg(1024);
+BENCHMARK(BM_PageRemoveCompaction)->Args({256, 1})->Args({1024, 1})->Args({256, 2})->Args({1024, 2});
 
 void BM_PageBigStub(benchmark::State& state) {
   std::vector<uint8_t> buf(256);
@@ -83,7 +171,197 @@ void BM_PageBigStub(benchmark::State& state) {
 }
 BENCHMARK(BM_PageBigStub);
 
+// ---------------------------------------------------------------------------
+// Table-level GET sweep: where the tag filter, SWAR probe, and prefetch
+// actually meet the buffer pool.
+
+struct SweepCell {
+  uint32_t format;
+  int threads;
+  uint32_t ffactor;
+  int hit_pct;
+  size_t ops;
+  double elapsed_sec;
+  double ops_per_sec;
+  uint64_t tag_filter_skips;
+  uint64_t tag_filter_candidates;
+  uint64_t tag_filter_false_hits;
+};
+
+long FlagFromArgs(int argc, char** argv, const char* name, long fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atol(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string SweepKey(size_t i) { return "sweep-key-" + std::to_string(i); }
+
+SweepCell RunSweepCell(uint32_t format, int nthreads, uint32_t ffactor, int hit_pct,
+                       size_t nkeys, size_t total_ops) {
+  HashOptions opts;
+  opts.bsize = 256;
+  opts.ffactor = ffactor;
+  // High ffactor only yields long overflow chains under controlled-only
+  // splits; hybrid would split on page overflow and flatten the chains.
+  opts.split_policy =
+      ffactor > 8 ? SplitPolicy::kControlledOnly : SplitPolicy::kHybrid;
+  opts.cachesize = 32 * 1024 * 1024;  // everything resident: isolate CPU cost
+  opts.format_version = format;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+
+  Rng load_rng(11);
+  for (size_t i = 0; i < nkeys; ++i) {
+    const Status st = table->Put(SweepKey(i), load_rng.ByteString(24));
+    if (!st.ok()) {
+      std::fprintf(stderr, "sweep load failed: %s\n", st.ToString().c_str());
+      return {};
+    }
+  }
+  const HashTableStats warm = table->StatsSnapshot();
+
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> checksum{0};
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  for (int t = 0; t < nthreads; ++t) {
+    const size_t begin = total_ops * t / nthreads;
+    const size_t end = total_ops * (t + 1) / nthreads;
+    threads.emplace_back([&, t, begin, end] {
+      Rng rng(0x9e3779b9u + static_cast<uint64_t>(t));
+      uint64_t local = 0;
+      std::string value;
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (size_t i = begin; i < end; ++i) {
+        // Misses probe keys past the resident range: same buckets, no match.
+        const bool hit = static_cast<int>(rng.Uniform(100)) < hit_pct;
+        const size_t k = hit ? rng.Uniform(nkeys) : nkeys + rng.Uniform(nkeys);
+        const Status st = table->Get(SweepKey(k), &value);
+        local += st.ok() ? value.size() : 1;
+      }
+      checksum.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const HashTableStats stats = table->StatsSnapshot();
+  return {format,
+          nthreads,
+          ffactor,
+          hit_pct,
+          total_ops,
+          elapsed,
+          elapsed > 0 ? static_cast<double>(total_ops) / elapsed : 0.0,
+          stats.tag_filter_skips - warm.tag_filter_skips,
+          stats.tag_filter_candidates - warm.tag_filter_candidates,
+          stats.tag_filter_false_hits - warm.tag_filter_false_hits};
+}
+
+void WriteSweepJson(const std::vector<SweepCell>& cells, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& c = cells[i];
+    std::fprintf(f,
+                 "  {\"format\": %u, \"threads\": %d, \"ffactor\": %u, \"hit_pct\": %d, "
+                 "\"ops\": %zu, \"elapsed_sec\": %.6f, \"ops_per_sec\": %.0f, "
+                 "\"tag_filter_skips\": %llu, \"tag_filter_candidates\": %llu, "
+                 "\"tag_filter_false_hits\": %llu, \"tag_scan\": \"%s\"}%s\n",
+                 c.format, c.threads, c.ffactor, c.hit_pct, c.ops, c.elapsed_sec, c.ops_per_sec,
+                 static_cast<unsigned long long>(c.tag_filter_skips),
+                 static_cast<unsigned long long>(c.tag_filter_candidates),
+                 static_cast<unsigned long long>(c.tag_filter_false_hits),
+                 TagCandidates::ImplName(), i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu cells to %s\n", cells.size(), path);
+}
+
+int RunSweep(size_t ops, size_t nkeys, int max_threads) {
+  std::printf("\nTable GET sweep: bsize 256, %zu keys, %zu ops/cell, tag scan impl: %s\n",
+              nkeys, ops, TagCandidates::ImplName());
+  std::printf("%6s %7s %8s %7s %14s %16s %12s\n", "format", "threads", "ffactor", "hit%",
+              "ops/sec", "tag_skips", "false_hits");
+
+  const uint32_t formats[] = {1, 2};
+  const uint32_t ffactors[] = {8, 64};
+  const int hit_targets[] = {100, 50, 0};
+  const int thread_counts[] = {1, 2};
+
+  std::vector<SweepCell> cells;
+  for (const uint32_t format : formats) {
+    for (const uint32_t ffactor : ffactors) {
+      for (const int hit_pct : hit_targets) {
+        for (const int threads : thread_counts) {
+          if (threads > max_threads) {
+            continue;
+          }
+          const SweepCell cell = RunSweepCell(format, threads, ffactor, hit_pct, nkeys, ops);
+          std::printf("%6u %7d %8u %7d %14.0f %16llu %12llu\n", cell.format, cell.threads,
+                      cell.ffactor, cell.hit_pct, cell.ops_per_sec,
+                      static_cast<unsigned long long>(cell.tag_filter_skips),
+                      static_cast<unsigned long long>(cell.tag_filter_false_hits));
+          cells.push_back(cell);
+        }
+      }
+    }
+  }
+
+  // Headline: single-threaded v2-over-v1 on the chain-heavy miss cell, the
+  // workload the tag array exists for.
+  double v1 = 0.0, v2 = 0.0;
+  for (const SweepCell& c : cells) {
+    if (c.threads == 1 && c.ffactor == 64 && c.hit_pct == 0) {
+      (c.format == 1 ? v1 : v2) = c.ops_per_sec;
+    }
+  }
+  if (v1 > 0 && v2 > 0) {
+    std::printf("miss-heavy long-chain cell (ffactor 64, 1 thread): v2 is %.2fx v1\n", v2 / v1);
+  }
+
+  WriteSweepJson(cells, "BENCH_page.json");
+  return 0;
+}
+
 }  // namespace
 }  // namespace hashkit
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto ops = static_cast<size_t>(hashkit::FlagFromArgs(argc, argv, "ops", 200000));
+  const auto nkeys = static_cast<size_t>(hashkit::FlagFromArgs(argc, argv, "keys", 20000));
+  const int max_threads =
+      static_cast<int>(hashkit::FlagFromArgs(argc, argv, "max_threads", 2));
+  const bool sweep_only = hashkit::HasFlag(argc, argv, "sweep_only");
+
+  if (!sweep_only) {
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+  }
+  return hashkit::RunSweep(ops, nkeys, max_threads);
+}

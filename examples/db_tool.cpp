@@ -11,6 +11,7 @@
 //   db_tool <store> <path> load        (key<TAB>value lines from stdin)
 //   db_tool <store> <path> verify      (hash_disk: recover + integrity check)
 //   db_tool <store> <path> recover     (hash_disk: replay the WAL, report)
+//   db_tool <store> <path> upgrade     (hash_disk: migrate format v1 -> v2)
 //
 // <store> is one of: hash_disk ndbm sdbm gdbm
 // (the memory-resident stores have nothing to reopen, so the tool is
@@ -51,13 +52,15 @@ int Usage(std::FILE* out, int code) {
                "       db_tool <store> <path> get <key>\n"
                "       db_tool <store> <path> del <key>\n"
                "       db_tool <store> <path> dump|stat|load\n"
-               "       db_tool <store> <path> verify|recover   (hash_disk only)\n"
+               "       db_tool <store> <path> verify|recover|upgrade   (hash_disk only)\n"
                "       db_tool --help\n"
                "store: hash_disk ndbm sdbm gdbm (file-backed kinds)\n"
                "load reads key<TAB>value lines from stdin.\n"
                "verify replays any write-ahead log, then runs a full structural\n"
-               "integrity check; recover replays the log and reports what it did.\n"
-               "Both exit 0 when the table is sound, 1 otherwise.\n"
+               "integrity check (on format-v2 tables this includes the per-page\n"
+               "fingerprint tag arrays); recover replays the log and reports what\n"
+               "it did.  Both exit 0 when the table is sound, 1 otherwise.\n"
+               "upgrade rebuilds a format-v1 table as v2 via an atomic rename.\n"
                "With no arguments, runs a self-demonstration.\n");
   return code;
 }
@@ -72,7 +75,7 @@ bool OperandCountOk(const std::string& cmd, int argc, int* expected) {
   } else if (cmd == "get" || cmd == "del") {
     *expected = 1;
   } else if (cmd == "dump" || cmd == "stat" || cmd == "load" || cmd == "verify" ||
-             cmd == "recover") {
+             cmd == "recover" || cmd == "upgrade") {
     *expected = 0;
   } else {
     return false;  // unknown command; *expected untouched
@@ -160,6 +163,21 @@ int RunMaintenance(const std::string& store_name, const std::string& path,
     std::fprintf(stderr, "db_tool: no such table: %s\n", path.c_str());
     return 1;
   }
+  if (cmd == "upgrade") {
+    auto upgraded = hashkit::UpgradeTableFormat(path);
+    if (!upgraded.ok()) {
+      std::fprintf(stderr, "upgrade: %s\n", upgraded.status().ToString().c_str());
+      return 1;
+    }
+    if (upgraded.value().already_current) {
+      std::printf("format: already v2, nothing to do\n");
+      return 0;
+    }
+    std::printf("upgraded to format v2 (%llu pairs copied)\n",
+                static_cast<unsigned long long>(upgraded.value().keys_copied));
+    // Fall through to the verify path below so the rebuilt table gets the
+    // same structural + tag-array check a plain `verify` would run.
+  }
   hashkit::HashOptions options;
   auto opened = hashkit::HashTable::Open(path, options, /*truncate=*/false);
   if (!opened.ok()) {
@@ -168,6 +186,7 @@ int RunMaintenance(const std::string& store_name, const std::string& path,
     return 1;
   }
   auto& table = *opened.value();
+  std::printf("format: v%u\n", table.meta().version);
   const auto& recovery = table.recovery();
   std::printf("wal: %s\n", recovery.wal_found ? "replayed" : "none");
   if (recovery.wal_found) {
@@ -246,7 +265,7 @@ int main(int argc, char** argv) {
   int expected = 0;
   if (!OperandCountOk(cmd, argc - 4, &expected)) {
     if (cmd != "put" && cmd != "get" && cmd != "del" && cmd != "dump" && cmd != "stat" &&
-        cmd != "load" && cmd != "verify" && cmd != "recover") {
+        cmd != "load" && cmd != "verify" && cmd != "recover" && cmd != "upgrade") {
       std::fprintf(stderr, "db_tool: unknown command '%s'\n", cmd.c_str());
     } else {
       std::fprintf(stderr, "db_tool: '%s' takes exactly %d operand%s (got %d)\n", cmd.c_str(),
@@ -254,7 +273,7 @@ int main(int argc, char** argv) {
     }
     return Usage();
   }
-  if (cmd == "verify" || cmd == "recover") {
+  if (cmd == "verify" || cmd == "recover" || cmd == "upgrade") {
     return RunMaintenance(argv[1], argv[2], cmd);
   }
   StoreOptions options;

@@ -27,6 +27,9 @@ Status ValidateOptions(const HashOptions& options) {
   if (options.custom_hash == nullptr && GetHashFunc(options.hash_id) == nullptr) {
     return Status::InvalidArgument("unknown hash function id");
   }
+  if (options.format_version != kHashVersionV1 && options.format_version != kHashVersionV2) {
+    return Status::InvalidArgument("format_version must be 1 or 2");
+  }
   return Status::Ok();
 }
 
@@ -145,6 +148,7 @@ Result<std::unique_ptr<HashTable>> HashTable::OpenInMemory(const HashOptions& op
 }
 
 Status HashTable::InitNew(const HashOptions& options) {
+  meta_.version = options.format_version;
   meta_.bsize = options.bsize;
   meta_.ffactor = options.ffactor;
   meta_.nhdr_pages = HeaderPagesFor(options.bsize);
@@ -347,8 +351,7 @@ uint32_t HashTable::BucketOf(uint32_t hash) const {
 
 Result<PageRef> HashTable::FetchBucketPage(uint32_t bucket, bool create_new) {
   HASHKIT_ASSIGN_OR_RETURN(PageRef ref, pool_->Get(BucketToPage(meta_, bucket), create_new));
-  PageView view(ref.data(), meta_.bsize);
-  if (view.data_begin() == 0) {
+  if (View(ref).data_begin() == 0) {
     // Virgin page (file hole or brand-new bucket): format it.
     PageView::Init(ref.data(), meta_.bsize, PageType::kBucket);
     ref.MarkDirty();
@@ -362,8 +365,7 @@ Result<PageRef> HashTable::FetchBucketPageRead(uint32_t bucket) {
 
 Result<PageRef> HashTable::FetchOvflPage(uint16_t oaddr, const PageRef* predecessor) {
   HASHKIT_ASSIGN_OR_RETURN(PageRef ref, pool_->Get(OaddrToPage(meta_, oaddr)));
-  PageView view(ref.data(), meta_.bsize);
-  if (view.data_begin() == 0) {
+  if (View(ref).data_begin() == 0) {
     return Status::Corruption("reference to unformatted overflow page");
   }
   if (predecessor != nullptr) {
@@ -388,42 +390,109 @@ Status HashTable::BigKeyEquals(const EntryRef& entry, std::string_view key, bool
     *equals = true;  // the prefix covered the whole key
     return Status::Ok();
   }
-  std::string full_key;
-  HASHKIT_RETURN_IF_ERROR(
-      ReadBigChain(entry.ovfl_addr, entry.key_len, entry.data_len, &full_key, nullptr));
-  *equals = (full_key == key);
+  // Stream the chain, comparing segment by segment in place: no key
+  // materialization, and the walk stops at the first mismatching segment
+  // and never touches the data bytes that follow the key.
+  size_t offset = 0;
+  uint16_t oaddr = entry.ovfl_addr;
+  while (offset < key.size()) {
+    if (oaddr == 0) {
+      return Status::Corruption("big pair chain truncated");
+    }
+    HASHKIT_ASSIGN_OR_RETURN(PageRef page, FetchOvflPage(oaddr, nullptr));
+    PageView view = View(page);
+    if (view.type() != PageType::kBigSegment) {
+      return Status::Corruption("big pair chain page has wrong type");
+    }
+    const size_t used = view.SegUsed();
+    if (used == 0 || used > view.SegCapacity()) {
+      return Status::Corruption("big pair segment size invalid");
+    }
+    const size_t cmp = std::min(used, key.size() - offset);
+    if (std::memcmp(view.SegData(), key.data() + offset, cmp) != 0) {
+      return Status::Ok();
+    }
+    offset += cmp;
+    oaddr = view.ovfl_addr();
+  }
+  *equals = true;
   return Status::Ok();
 }
+
+namespace {
+
+// Filter tallies for one lookup, flushed to the shared counters once on
+// every exit path.  Gets run concurrently under the kv layer's shared
+// locks, so the shared counters take atomic adds; batching them per
+// lookup keeps that off the per-entry path.
+struct TagFilterTally {
+  uint64_t skipped = 0;
+  uint64_t candidates = 0;
+  uint64_t false_hits = 0;
+  HashTableStats* stats;
+  bool enabled;
+
+  TagFilterTally(HashTableStats* s, bool on) : stats(s), enabled(on) {}
+  ~TagFilterTally() {
+    if (!enabled) {
+      return;
+    }
+    std::atomic_ref<uint64_t>(stats->tag_filter_skips)
+        .fetch_add(skipped, std::memory_order_relaxed);
+    std::atomic_ref<uint64_t>(stats->tag_filter_candidates)
+        .fetch_add(candidates, std::memory_order_relaxed);
+    std::atomic_ref<uint64_t>(stats->tag_filter_false_hits)
+        .fetch_add(false_hits, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
 
 Status HashTable::FindPair(uint32_t bucket, std::string_view key, uint32_t hash, PageRef* page,
                            uint16_t* index) {
   HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPageRead(bucket));
-  if (PageView(cur.data(), meta_.bsize).data_begin() == 0) {
+  if (View(cur).data_begin() == 0) {
     return Status::NotFound();  // virgin page: the bucket is empty
   }
+  const uint8_t tag = TagOfHash(hash);
+  TagFilterTally tally(&stats_, meta_.version >= kHashVersionV2);
   for (;;) {
-    PageView view(cur.data(), meta_.bsize);
+    PageView view = View(cur);
+    // Kick the next chain page's frame toward the cache before scanning
+    // this one, so a chain walk overlaps the probe with the fetch.
+    const uint16_t next = view.ovfl_addr();
+    if (next != 0) {
+      pool_->Prefetch(OaddrToPage(meta_, next));
+    }
     const uint16_t n = view.nentries();
-    for (uint16_t i = 0; i < n; ++i) {
+    uint16_t visited = 0;
+    TagCandidates scan = view.FindCandidates(tag);
+    for (uint16_t i = scan.Next(); i != kNoEntry; i = scan.Next()) {
+      ++visited;
       const EntryRef entry = view.Entry(i);
       if (entry.big) {
-        if (entry.hash != hash) {
-          continue;
+        if (entry.hash == hash) {
+          bool eq = false;
+          HASHKIT_RETURN_IF_ERROR(BigKeyEquals(entry, key, &eq));
+          if (eq) {
+            tally.candidates += visited;
+            *page = std::move(cur);
+            *index = i;
+            return Status::Ok();
+          }
         }
-        bool eq = false;
-        HASHKIT_RETURN_IF_ERROR(BigKeyEquals(entry, key, &eq));
-        if (eq) {
-          *page = std::move(cur);
-          *index = i;
-          return Status::Ok();
-        }
+        ++tally.false_hits;
       } else if (entry.key == key) {
+        tally.candidates += visited;
         *page = std::move(cur);
         *index = i;
         return Status::Ok();
+      } else {
+        ++tally.false_hits;
       }
     }
-    const uint16_t next = view.ovfl_addr();
+    tally.candidates += visited;
+    tally.skipped += n - visited;
     if (next == 0) {
       return Status::NotFound();
     }
@@ -437,11 +506,15 @@ Status HashTable::Get(std::string_view key, std::string* value) {
   // shared-lock path); every other counter mutates under exclusive access.
   std::atomic_ref<uint64_t>(stats_.gets).fetch_add(1, std::memory_order_relaxed);
   const uint32_t hash = HashKey(key);
+  const uint32_t bucket = BucketOf(hash);
+  // Start pulling the bucket page's header/tag lines while FindPair does
+  // its own setup and stripe lookup.
+  pool_->Prefetch(BucketToPage(meta_, bucket));
   PageRef page;
   uint16_t index = 0;
-  HASHKIT_RETURN_IF_ERROR(FindPair(BucketOf(hash), key, hash, &page, &index));
+  HASHKIT_RETURN_IF_ERROR(FindPair(bucket, key, hash, &page, &index));
   if (value != nullptr) {
-    PageView view(page.data(), meta_.bsize);
+    PageView view = View(page);
     const EntryRef entry = view.Entry(index);
     if (entry.big) {
       HASHKIT_RETURN_IF_ERROR(
@@ -460,12 +533,12 @@ bool HashTable::Contains(std::string_view key) { return Get(key, nullptr).ok(); 
 // ---------------------------------------------------------------------------
 
 Status HashTable::AddPairRaw(uint32_t bucket, std::string_view key, std::string_view value,
-                             bool* chain_grew) {
+                             uint32_t hash, bool* chain_grew) {
   HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPage(bucket));
   for (;;) {
-    PageView view(cur.data(), meta_.bsize);
+    PageView view = View(cur);
     if (view.FitsPair(key.size(), value.size())) {
-      view.AddPair(key, value);
+      view.AddPair(key, value, TagOfHash(hash));
       cur.MarkDirty();
       return Status::Ok();
     }
@@ -493,7 +566,7 @@ Status HashTable::AddStubToBucket(uint32_t bucket, uint16_t first_oaddr, uint32_
                                   std::string_view prefix) {
   HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPage(bucket));
   for (;;) {
-    PageView view(cur.data(), meta_.bsize);
+    PageView view = View(cur);
     if (view.FitsBigStub(prefix.size())) {
       view.AddBigStub(first_oaddr, hash, key_len, data_len, prefix);
       cur.MarkDirty();
@@ -517,14 +590,16 @@ Status HashTable::AddStubToBucket(uint32_t bucket, uint16_t first_oaddr, uint32_
 Status HashTable::AddPair(uint32_t bucket, std::string_view key, std::string_view value,
                           uint32_t hash, bool* chain_grew) {
   *chain_grew = false;
-  const bool big = !PageView::PairFitsEmptyPage(key.size(), value.size(), meta_.bsize);
+  const bool big =
+      !PageView::PairFitsEmptyPage(key.size(), value.size(), meta_.bsize, meta_.version);
   if (!big) {
-    return AddPairRaw(bucket, key, value, chain_grew);
+    return AddPairRaw(bucket, key, value, hash, chain_grew);
   }
 
   uint16_t big_oaddr = 0;
   HASHKIT_RETURN_IF_ERROR(WriteBigChain(key, value, &big_oaddr));
-  const std::string_view prefix = key.substr(0, std::min(key.size(), kBigKeyPrefixMax));
+  const std::string_view prefix =
+      key.substr(0, std::min(key.size(), MaxBigStubPrefix(meta_.bsize, meta_.version)));
   const Status placed =
       AddStubToBucket(bucket, big_oaddr, hash, static_cast<uint32_t>(key.size()),
                       static_cast<uint32_t>(value.size()), prefix);
@@ -595,7 +670,7 @@ Status HashTable::Put(std::string_view key, std::string_view value, bool overwri
 
 Status HashTable::RemoveEntryAt(uint32_t bucket, PageRef page, uint16_t index) {
   (void)bucket;
-  PageView view(page.data(), meta_.bsize);
+  PageView view = View(page);
   const EntryRef entry = view.Entry(index);
   uint16_t big_chain = 0;
   if (entry.big) {
@@ -654,7 +729,7 @@ Status HashTable::Contract() {
   {
     HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPage(victim));
     for (;;) {
-      PageView view(cur.data(), meta_.bsize);
+      PageView view = View(cur);
       const uint16_t n = view.nentries();
       for (uint16_t i = 0; i < n; ++i) {
         const EntryRef entry = view.Entry(i);
@@ -714,7 +789,7 @@ Status HashTable::Contract() {
           AddStubToBucket(target, moved.oaddr, moved.hash, moved.key_len, moved.data_len,
                           moved.prefix));
     } else {
-      HASHKIT_RETURN_IF_ERROR(AddPairRaw(target, moved.key, moved.data, &chain_grew));
+      HASHKIT_RETURN_IF_ERROR(AddPairRaw(target, moved.key, moved.data, moved.hash, &chain_grew));
     }
   }
   ++stats_.contractions;
@@ -763,7 +838,7 @@ Status HashTable::WriteBigChain(std::string_view key, std::string_view value,
     if (*first_oaddr == 0) {
       *first_oaddr = oaddr;
     } else {
-      PageView prev_view(prev.data(), meta_.bsize);
+      PageView prev_view = View(prev);
       prev_view.set_ovfl_addr(oaddr);
       prev.MarkDirty();
       // Note: big-pair segments are deliberately NOT chain-linked in the
@@ -773,7 +848,7 @@ Status HashTable::WriteBigChain(std::string_view key, std::string_view value,
       // unevictable while the chain tail is pinned, ballooning the pool
       // and making eviction scans quadratic.
     }
-    PageView view(page.data(), meta_.bsize);
+    PageView view = View(page);
     const size_t chunk = std::min(cap, total - offset);
     stream_copy(offset, view.SegData(), chunk);
     view.SetSegUsed(static_cast<uint16_t>(chunk));
@@ -803,7 +878,7 @@ Status HashTable::ReadBigChain(uint16_t first_oaddr, uint32_t key_len, uint32_t 
     }
     // Fetched without a pool chain-link (see WriteBigChain).
     HASHKIT_ASSIGN_OR_RETURN(PageRef page, FetchOvflPage(oaddr, nullptr));
-    PageView view(page.data(), meta_.bsize);
+    PageView view = View(page);
     if (view.type() != PageType::kBigSegment) {
       return Status::Corruption("big pair chain page has wrong type");
     }
@@ -811,16 +886,19 @@ Status HashTable::ReadBigChain(uint16_t first_oaddr, uint32_t key_len, uint32_t 
     if (used == 0 || used > view.SegCapacity() || offset + used > total) {
       return Status::Corruption("big pair segment size invalid");
     }
+    // Split the segment at the key/value boundary and append each side in
+    // one bulk copy.
     const auto* bytes = reinterpret_cast<const char*>(view.SegData());
-    for (size_t i = 0; i < used; ++i) {
-      const size_t pos = offset + i;
-      if (pos < key_len) {
-        if (key_out != nullptr) {
-          key_out->push_back(bytes[i]);
-        }
-      } else if (value_out != nullptr) {
-        value_out->push_back(bytes[i]);
+    size_t i = 0;
+    if (offset < key_len) {
+      const size_t from_key = std::min(used, static_cast<size_t>(key_len) - offset);
+      if (key_out != nullptr) {
+        key_out->append(bytes, from_key);
       }
+      i = from_key;
+    }
+    if (i < used && value_out != nullptr) {
+      value_out->append(bytes + i, used - i);
     }
     offset += used;
     // Reading only the key?  Stop as soon as it is complete.
@@ -837,7 +915,7 @@ Status HashTable::FreeBigChain(uint16_t first_oaddr) {
   uint16_t oaddr = first_oaddr;
   while (oaddr != 0) {
     HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(OaddrToPage(meta_, oaddr)));
-    PageView view(page.data(), meta_.bsize);
+    PageView view = View(page);
     if (view.type() != PageType::kBigSegment) {
       return Status::Corruption("big pair chain page has wrong type");
     }
@@ -895,7 +973,7 @@ Status HashTable::SplitBucket(uint32_t old_bucket, uint32_t new_bucket) {
   {
     HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPage(old_bucket));
     for (;;) {
-      PageView view(cur.data(), meta_.bsize);
+      PageView view = View(cur);
       const uint16_t n = view.nentries();
       for (uint16_t i = 0; i < n; ++i) {
         const EntryRef entry = view.Entry(i);
@@ -950,7 +1028,7 @@ Status HashTable::SplitBucket(uint32_t old_bucket, uint32_t new_bucket) {
       HASHKIT_RETURN_IF_ERROR(AddStubToBucket(target, moved.oaddr, moved.hash, moved.key_len,
                                               moved.data_len, moved.prefix));
     } else {
-      HASHKIT_RETURN_IF_ERROR(AddPairRaw(target, moved.key, moved.data, nullptr));
+      HASHKIT_RETURN_IF_ERROR(AddPairRaw(target, moved.key, moved.data, moved.hash, nullptr));
     }
   }
   return Status::Ok();
@@ -984,7 +1062,7 @@ Status Cursor::Next(std::string* key, std::string* value) {
     } else {
       HASHKIT_ASSIGN_OR_RETURN(page, t.FetchOvflPage(page_oaddr_, nullptr));
     }
-    PageView view(page.data(), t.meta_.bsize);
+    PageView view = t.View(page);
     if (entry_ < view.nentries()) {
       const EntryRef e = view.Entry(entry_);
       ++entry_;
@@ -1024,6 +1102,14 @@ HashTableStats HashTable::StatsSnapshot() const {
   // under exclusive access, which the caller's shared lock excludes.
   s.gets = std::atomic_ref<uint64_t>(const_cast<uint64_t&>(stats_.gets))
                .load(std::memory_order_relaxed);
+  s.tag_filter_skips = std::atomic_ref<uint64_t>(const_cast<uint64_t&>(stats_.tag_filter_skips))
+                           .load(std::memory_order_relaxed);
+  s.tag_filter_candidates =
+      std::atomic_ref<uint64_t>(const_cast<uint64_t&>(stats_.tag_filter_candidates))
+          .load(std::memory_order_relaxed);
+  s.tag_filter_false_hits =
+      std::atomic_ref<uint64_t>(const_cast<uint64_t&>(stats_.tag_filter_false_hits))
+          .load(std::memory_order_relaxed);
   s.puts = stats_.puts;
   s.deletes = stats_.deletes;
   s.splits = stats_.splits;
@@ -1042,7 +1128,8 @@ Result<HashTable::Analysis> HashTable::Analyze() {
   Analysis a;
   a.buckets = meta_.max_bucket + 1;
   a.keys = meta_.nkeys;
-  const size_t usable = meta_.bsize - kPageHeaderSize;
+  const size_t usable =
+      meta_.bsize - kPageHeaderSize - PageTagCapacity(meta_.bsize, meta_.version);
   uint64_t pages_counted = 0;
   uint64_t pair_bytes = 0;
   uint64_t total_pair_len = 0;
@@ -1052,7 +1139,7 @@ Result<HashTable::Analysis> HashTable::Analyze() {
     uint64_t bucket_keys = 0;
     HASHKIT_ASSIGN_OR_RETURN(PageRef cur, FetchBucketPage(bucket));
     for (;;) {
-      PageView view(cur.data(), meta_.bsize);
+      PageView view = View(cur);
       ++pages_counted;
       pair_bytes += usable - view.FreeSpace();
       bucket_keys += view.nentries();
@@ -1089,7 +1176,9 @@ Result<HashTable::Analysis> HashTable::Analyze() {
           : static_cast<double>(pair_bytes) / (static_cast<double>(pages_counted) * usable);
   if (a.keys > 0) {
     const double avg_pair = static_cast<double>(total_pair_len) / static_cast<double>(a.keys);
-    a.eq1_ffactor = static_cast<double>(meta_.bsize) / (avg_pair + 4.0);
+    // Per-entry overhead: a 4-byte index slot, plus a tag byte on v2 pages.
+    const double slot = meta_.version >= kHashVersionV2 ? 5.0 : 4.0;
+    a.eq1_ffactor = static_cast<double>(meta_.bsize) / (avg_pair + slot);
   }
   return a;
 }
@@ -1129,7 +1218,7 @@ Status HashTable::CheckIntegrity() {
       page = std::move(p);
     }
     for (;;) {
-      PageView view(page.data(), meta_.bsize);
+      PageView view = View(page);
       if (!view.Validate()) {
         return Status::Corruption("page failed validation");
       }
@@ -1164,7 +1253,7 @@ Status HashTable::CheckIntegrity() {
               return Status::Corruption("big chain page not marked allocated");
             }
             HASHKIT_ASSIGN_OR_RETURN(PageRef seg_page, pool_->Get(OaddrToPage(meta_, seg)));
-            PageView seg_view(seg_page.data(), meta_.bsize);
+            PageView seg_view = View(seg_page);
             if (seg_view.type() != PageType::kBigSegment) {
               return Status::Corruption("big chain page has wrong type");
             }
@@ -1179,6 +1268,9 @@ Status HashTable::CheckIntegrity() {
         }
         if (BucketOf(h) != bucket) {
           return Status::Corruption("key stored in wrong bucket");
+        }
+        if (meta_.version >= kHashVersionV2 && view.tag(i) != TagOfHash(h)) {
+          return Status::Corruption("tag array inconsistent with entry");
         }
         ++key_count;
       }

@@ -58,6 +58,16 @@ struct HashTableStats {
   uint64_t ovfl_pages_alloced = 0;
   uint64_t ovfl_pages_freed = 0;
   uint64_t big_pairs_stored = 0;
+
+  // Format-v2 fingerprint filter effectiveness (all zero on v1 tables).
+  // Over every page a lookup scanned: entries the tag filter excluded
+  // without touching their bytes, entries whose tag matched (and were
+  // therefore compared), and the subset of those whose full compare then
+  // failed (filter false positives, expected rate ~candidates/256 per
+  // non-matching entry).
+  uint64_t tag_filter_skips = 0;
+  uint64_t tag_filter_candidates = 0;
+  uint64_t tag_filter_false_hits = 0;
 };
 
 class HashTable;
@@ -209,6 +219,13 @@ class HashTable {
   }
   uint32_t BucketOf(uint32_t hash) const;
 
+  // View over a pinned page in this table's format (meta_.version doubles
+  // as the page format; v1 files opened by this build keep scanning the
+  // old way).  Every PageView over table pages must come from here.
+  PageView View(const PageRef& ref) const {
+    return PageView(const_cast<uint8_t*>(ref.data()), meta_.bsize, meta_.version);
+  }
+
   // Page access.  Fetching a bucket page formats virgin (all-zero) pages;
   // fetching an overflow page records the chain link in the buffer pool.
   Result<PageRef> FetchBucketPage(uint32_t bucket, bool create_new = false);
@@ -230,8 +247,9 @@ class HashTable {
 
   // Places a regular pair / an existing big-pair stub into `bucket`'s
   // chain, extending the chain as needed.  Used by splits and contraction,
-  // which move entries without rewriting big chains.
-  Status AddPairRaw(uint32_t bucket, std::string_view key, std::string_view value,
+  // which move entries without rewriting big chains.  `hash` is the key's
+  // full hash; v2 pages record its tag byte.
+  Status AddPairRaw(uint32_t bucket, std::string_view key, std::string_view value, uint32_t hash,
                     bool* chain_grew);
   Status AddStubToBucket(uint32_t bucket, uint16_t first_oaddr, uint32_t hash, uint32_t key_len,
                          uint32_t data_len, std::string_view prefix);
@@ -278,6 +296,21 @@ class HashTable {
   uint64_t wal_checkpoint_bytes_ = 0;
   wal::RecoveryResult wal_recovery_;
 };
+
+// Result of UpgradeTableFormat.
+struct UpgradeReport {
+  bool already_current = false;  // the file was v2 already; nothing changed
+  uint64_t keys_copied = 0;
+};
+
+// Migrates the v1 table at `path` to format v2 (src/core/upgrade.cc; also
+// exposed as `db_tool <path> upgrade`).  Crash-safe: pairs are copied into
+// `<path>.upgrade`, synced, and atomically renamed over the original — a
+// crash at any point leaves either the untouched v1 file (plus, at worst,
+// a stale temp file a rerun removes) or the complete v2 file.  Tables
+// built with a custom hash function cannot be upgraded this way (the
+// function is not available here); Open's usual error surfaces.
+Result<UpgradeReport> UpgradeTableFormat(const std::string& path);
 
 }  // namespace hashkit
 

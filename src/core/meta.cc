@@ -46,7 +46,7 @@ Result<Meta> DecodeMeta(std::span<const uint8_t> in) {
     return Status::Corruption("bad magic: not a hashkit file");
   }
   meta.version = DecodeU32(p + 4);
-  if (meta.version != kHashVersion) {
+  if (meta.version != kHashVersionV1 && meta.version != kHashVersionV2) {
     return Status::Corruption("unsupported version");
   }
   meta.bsize = DecodeU32(p + 8);

@@ -19,7 +19,13 @@
 namespace hashkit {
 
 inline constexpr uint32_t kHashMagic = 0x48534b31;  // "HSK1"
-inline constexpr uint32_t kHashVersion = 1;
+// On-disk format versions.  V2 adds the per-page fingerprint tag array
+// (FORMAT.md §3.2); values double as the page format passed to PageView.
+// Both versions open read/write; kHashVersion is what new tables get by
+// default.
+inline constexpr uint32_t kHashVersionV1 = 1;
+inline constexpr uint32_t kHashVersionV2 = 2;
+inline constexpr uint32_t kHashVersion = kHashVersionV2;
 
 // The byte string hashed at create time; its hash is stored so that opening
 // a table with a different hash function fails cleanly (paper: "the hash

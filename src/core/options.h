@@ -90,6 +90,13 @@ struct HashOptions {
 
   // Log size that triggers a checkpoint (flush table, truncate log).
   uint64_t wal_checkpoint_bytes = 4 * 1024 * 1024;
+
+  // On-disk format for NEWLY created tables.  2 (the default) lays out a
+  // per-page fingerprint tag array that the lookup path filters on; 1 is
+  // the original layout, kept selectable so compatibility tests and
+  // benchmarks can produce v1 files from the same binary.  Reopening an
+  // existing table always keeps the format it was created with.
+  uint32_t format_version = 2;
 };
 
 inline constexpr uint32_t kMinBucketSize = 64;

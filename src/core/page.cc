@@ -38,16 +38,16 @@ void PageView::set_type(PageType type) { EncodeU16(buf_ + kTypeOff, static_cast<
 void PageView::SetSegUsed(uint16_t n) { SetNEntries(n); }
 
 uint16_t PageView::RawKeyOff(uint16_t index) const {
-  return DecodeU16(buf_ + kPageHeaderSize + index * kIndexSlotSize);
+  return DecodeU16(buf_ + IndexBase() + index * kIndexSlotSize);
 }
 uint16_t PageView::RawDataOff(uint16_t index) const {
-  return DecodeU16(buf_ + kPageHeaderSize + index * kIndexSlotSize + 2);
+  return DecodeU16(buf_ + IndexBase() + index * kIndexSlotSize + 2);
 }
 void PageView::SetRawKeyOff(uint16_t index, uint16_t value) {
-  EncodeU16(buf_ + kPageHeaderSize + index * kIndexSlotSize, value);
+  EncodeU16(buf_ + IndexBase() + index * kIndexSlotSize, value);
 }
 void PageView::SetRawDataOff(uint16_t index, uint16_t value) {
-  EncodeU16(buf_ + kPageHeaderSize + index * kIndexSlotSize + 2, value);
+  EncodeU16(buf_ + IndexBase() + index * kIndexSlotSize + 2, value);
 }
 
 uint16_t PageView::EntryEnd(uint16_t index) const {
@@ -60,22 +60,26 @@ uint16_t PageView::EntryEnd(uint16_t index) const {
 }
 
 size_t PageView::FreeSpace() const {
-  const size_t index_end = kPageHeaderSize + nentries() * kIndexSlotSize;
+  const size_t index_end = IndexBase() + nentries() * kIndexSlotSize;
   const size_t begin = data_begin();
   assert(begin >= index_end);
   return begin - index_end;
 }
 
 bool PageView::FitsPair(size_t klen, size_t dlen) const {
+  if (tag_cap_ != 0 && nentries() >= tag_cap_) {
+    return false;  // tag array full; the pair chains over like any overfull page
+  }
   return kIndexSlotSize + klen + dlen <= FreeSpace();
 }
 
-bool PageView::PairFitsEmptyPage(size_t klen, size_t dlen, size_t page_size) {
-  const size_t usable = (page_size == 32768 ? 32767 : page_size) - kPageHeaderSize;
+bool PageView::PairFitsEmptyPage(size_t klen, size_t dlen, size_t page_size, uint32_t format) {
+  const size_t usable = (page_size == 32768 ? 32767 : page_size) - kPageHeaderSize -
+                        PageTagCapacity(page_size, format);
   return kIndexSlotSize + klen + dlen <= usable;
 }
 
-void PageView::AddPair(std::string_view key, std::string_view data) {
+void PageView::AddPair(std::string_view key, std::string_view data, uint8_t tag) {
   assert(FitsPair(key.size(), data.size()));
   const uint16_t n = nentries();
   const uint16_t end = data_begin();
@@ -85,11 +89,17 @@ void PageView::AddPair(std::string_view key, std::string_view data) {
   std::memcpy(buf_ + data_off, data.data(), data.size());
   SetRawKeyOff(n, key_off);
   SetRawDataOff(n, data_off);
+  if (tag_cap_ != 0) {
+    SetTag(n, tag);
+  }
   SetNEntries(static_cast<uint16_t>(n + 1));
   SetDataBegin(data_off);
 }
 
 bool PageView::FitsBigStub(size_t prefix_len) const {
+  if (tag_cap_ != 0 && nentries() >= tag_cap_) {
+    return false;
+  }
   return kIndexSlotSize + kBigStubFixedSize + prefix_len <= FreeSpace();
 }
 
@@ -110,6 +120,9 @@ void PageView::AddBigStub(uint16_t first_oaddr, uint32_t hash, uint32_t key_len,
   std::memcpy(p + kBigStubFixedSize, prefix.data(), prefix.size());
   SetRawKeyOff(n, static_cast<uint16_t>(key_off | kBigEntryFlag));
   SetRawDataOff(n, data_off);
+  if (tag_cap_ != 0) {
+    SetTag(n, TagOfHash(hash));
+  }
   SetNEntries(static_cast<uint16_t>(n + 1));
   SetDataBegin(data_off);
 }
@@ -158,13 +171,20 @@ void PageView::RemoveEntry(uint16_t index) {
     SetRawKeyOff(static_cast<uint16_t>(j - 1), static_cast<uint16_t>(key_off | flag));
     SetRawDataOff(static_cast<uint16_t>(j - 1), new_data_off);
   }
+  if (tag_cap_ != 0 && index + 1 < n) {
+    std::memmove(buf_ + kPageHeaderSize + index, buf_ + kPageHeaderSize + index + 1,
+                 static_cast<size_t>(n - 1 - index));
+  }
   SetNEntries(static_cast<uint16_t>(n - 1));
   SetDataBegin(static_cast<uint16_t>(begin + removed));
 }
 
 bool PageView::Validate() const {
   const uint16_t n = nentries();
-  const size_t index_end = kPageHeaderSize + n * kIndexSlotSize;
+  if (tag_cap_ != 0 && n > tag_cap_) {
+    return false;
+  }
+  const size_t index_end = IndexBase() + n * kIndexSlotSize;
   if (index_end > size_) {
     return false;
   }

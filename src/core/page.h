@@ -1,6 +1,6 @@
 // hashkit: on-page key/data layout.
 //
-// A page is:
+// A format-v1 page is:
 //
 //   +0   u16 nentries
 //   +2   u16 data_begin   (lowest byte used by pair storage; == bsize when empty)
@@ -16,6 +16,24 @@
 // pair 0).  Lengths are implied by the offsets, so the per-pair index cost
 // is 4 bytes — exactly the "+4" in the paper's equation (1).
 //
+// A format-v2 page inserts a fingerprint tag array between the header and
+// the index:
+//
+//   +8                u8 tag[0..PageTagCapacity)   (1 byte per entry slot)
+//   +8+tag_capacity   u16 key_off[0], u16 data_off[0], ...
+//
+// tag[i] is the top byte of entry i's 32-bit hash (bucket selection uses
+// the low bits, so the tag stays uniformly distributed within a bucket).
+// Lookups scan the tag array with FindCandidates() — a SWAR/SIMD byte
+// comparator — and only memcmp entries whose tag matches, so a negative
+// probe of a page touches just the first cache line(s) and a positive
+// probe touches the tag line plus one entry.  Everything else about the
+// layout (header, slot encoding, pair bytes growing down) is unchanged;
+// an empty v1 page and an empty v2 page are byte-identical.  The capacity
+// of the tag array bounds nentries on v2 pages; pairs small enough to
+// exceed it spill to the overflow chain exactly like pairs that exhaust
+// byte space.
+//
 // A pair too large for a page of its own is stored as a "big stub": the
 // key_off carries kBigEntryFlag, the data region holds {oaddr of the first
 // overflow segment, the key's 32-bit hash, klen, dlen, and a key prefix}
@@ -25,13 +43,25 @@
 //
 // kBitmap pages store allocation bits from offset 8; kBigSegment pages
 // store payload bytes from offset 8 with nentries reused as the byte count.
+// Neither carries a tag array in any format.
 
 #ifndef HASHKIT_SRC_CORE_PAGE_H_
 #define HASHKIT_SRC_CORE_PAGE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string_view>
+
+#include "src/util/endian.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define HASHKIT_TAGSCAN_SSE2 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define HASHKIT_TAGSCAN_NEON 1
+#endif
 
 namespace hashkit {
 
@@ -46,6 +76,146 @@ inline constexpr size_t kPageHeaderSize = 8;
 inline constexpr uint16_t kBigEntryFlag = 0x8000;
 inline constexpr size_t kBigStubFixedSize = 14;  // oaddr + hash + klen + dlen
 inline constexpr size_t kBigKeyPrefixMax = 32;
+
+// On-page formats.  Values match the file header's version field (meta.h),
+// so HashTable passes meta.version through directly.
+inline constexpr uint32_t kPageFormatV1 = 1;
+inline constexpr uint32_t kPageFormatV2 = 2;
+
+// Sentinel returned by TagCandidates::Next when the scan is exhausted.
+inline constexpr uint16_t kNoEntry = 0xffff;
+
+// The fingerprint stored for an entry: the hash's top byte.  Bucket
+// selection masks the low bits, so within one bucket the top byte is
+// still uniform — a non-matching key passes the filter with p = 1/256.
+inline constexpr uint8_t TagOfHash(uint32_t hash) {
+  return static_cast<uint8_t>(hash >> 24);
+}
+
+// Bytes reserved for the v2 tag array: 1/8 of the payload area, rounded up
+// to a multiple of 8 so the index slots that follow stay 2-byte aligned
+// and SWAR chunks load aligned.  Zero for v1.  The smallest page (64B)
+// reserves 8 bytes; the largest (32KB) 4096 — always at least the densest
+// packing of minimum-cost pairs needs, except for degenerate sub-4-byte
+// pairs, which overflow-chain instead (see FitsPair).
+inline constexpr size_t PageTagCapacity(size_t page_size, uint32_t format) {
+  if (format < kPageFormatV2) {
+    return 0;
+  }
+  return (((page_size - kPageHeaderSize) / 8) + 7) & ~size_t{7};
+}
+
+// Longest key prefix a big stub can carry and still fit on an *empty* page
+// of this size: kBigKeyPrefixMax everywhere except the smallest v2 page
+// (64B usable drops to 48 after the tag array; a stub costs a 4-byte slot
+// + 14 fixed bytes + the prefix, so only 30 prefix bytes fit).  Inserters
+// must clamp to this or a stub could fit no page and chain forever.
+inline constexpr size_t MaxBigStubPrefix(size_t page_size, uint32_t format) {
+  const size_t usable = (page_size == 32768 ? 32767 : page_size) - kPageHeaderSize -
+                        PageTagCapacity(page_size, format);
+  const size_t room = usable - 4 - kBigStubFixedSize;  // 4 = index slot
+  return room < kBigKeyPrefixMax ? room : kBigKeyPrefixMax;
+}
+
+namespace page_detail {
+
+#if defined(HASHKIT_TAGSCAN_SSE2)
+inline constexpr uint16_t kTagLanes = 16;     // tags matched per chunk
+inline constexpr unsigned kTagLaneShift = 0;  // mask bit i -> lane i
+inline constexpr const char* kTagScanImpl = "sse2";
+// One bit per matching lane, lane i at bit i.
+inline uint64_t TagMatchMask(const uint8_t* tags, uint8_t tag) {
+  const __m128i probe = _mm_set1_epi8(static_cast<char>(tag));
+  const __m128i chunk = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags));
+  return static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(chunk, probe)));
+}
+inline uint64_t TagLaneMaskBelow(uint16_t lanes) { return (uint64_t{1} << lanes) - 1; }
+#elif defined(HASHKIT_TAGSCAN_NEON)
+inline constexpr uint16_t kTagLanes = 16;
+inline constexpr unsigned kTagLaneShift = 2;  // mask bit 4*i -> lane i
+inline constexpr const char* kTagScanImpl = "neon";
+inline uint64_t TagMatchMask(const uint8_t* tags, uint8_t tag) {
+  const uint8x16_t eq = vceqq_u8(vld1q_u8(tags), vdupq_n_u8(tag));
+  // NEON has no movemask; narrowing each 16-bit pair by 4 packs the lane
+  // results into one nibble each.  Keep a single bit per nibble so the
+  // pop loop's pending &= pending - 1 clears exactly one match.
+  const uint8x8_t nibbles = vshrn_n_u16(vreinterpretq_u16_u8(eq), 4);
+  return vget_lane_u64(vreinterpret_u64_u8(nibbles), 0) & 0x1111111111111111ull;
+}
+inline uint64_t TagLaneMaskBelow(uint16_t lanes) {
+  return (uint64_t{1} << (4 * lanes)) - 1;
+}
+#else
+// Portable 8-byte SWAR fallback.
+inline constexpr uint16_t kTagLanes = 8;
+inline constexpr unsigned kTagLaneShift = 3;  // mask bit 8*i+7 -> lane i
+inline constexpr const char* kTagScanImpl = "swar8";
+inline uint64_t TagMatchMask(const uint8_t* tags, uint8_t tag) {
+  // XOR zeroes the matching bytes, then the classic zero-byte detector
+  // raises bit 0x80 in exactly the zero lanes (~v suppresses the borrow
+  // false-positives).  DecodeU64 fixes lane order as little-endian.
+  const uint64_t v = DecodeU64(tags) ^ (0x0101010101010101ull * tag);
+  return (v - 0x0101010101010101ull) & ~v & 0x8080808080808080ull;
+}
+inline uint64_t TagLaneMaskBelow(uint16_t lanes) {
+  return (uint64_t{1} << (8 * lanes)) - 1;
+}
+#endif
+
+}  // namespace page_detail
+
+// Iterator over the entry indices whose tag byte matches a probe tag,
+// produced by PageView::FindCandidates.  On v1 pages (no tag array) it
+// degrades to "every entry is a candidate".  Pop with Next() until
+// kNoEntry.
+class TagCandidates {
+ public:
+  // Unfiltered (v1) scan: yields 0..nentries-1.
+  explicit TagCandidates(uint16_t nentries) : n_(nentries), filtered_(false) {}
+
+  // Filtered (v2) scan over `n` tag bytes at `tags`.
+  TagCandidates(const uint8_t* tags, uint16_t n, uint8_t tag)
+      : tags_(tags), n_(n), tag_(tag), filtered_(true) {}
+
+  uint16_t Next() {
+    if (!filtered_) {
+      return next_ < n_ ? next_++ : kNoEntry;
+    }
+    for (;;) {
+      if (pending_ != 0) {
+        const auto lane = static_cast<uint16_t>(
+            static_cast<unsigned>(__builtin_ctzll(pending_)) >> page_detail::kTagLaneShift);
+        pending_ &= pending_ - 1;  // each match carries exactly one bit
+        return static_cast<uint16_t>(chunk_ + lane);
+      }
+      if (next_ >= n_) {
+        return kNoEntry;
+      }
+      chunk_ = next_;
+      next_ = static_cast<uint16_t>(chunk_ + page_detail::kTagLanes);
+      // The chunk load may read past the last valid tag but stays inside
+      // the tag region + index area (PageTagCapacity rounds to the chunk
+      // alignment and FindCandidates clamps n_); lanes >= n_ are masked.
+      pending_ = page_detail::TagMatchMask(tags_ + chunk_, tag_);
+      if (next_ > n_) {
+        pending_ &= page_detail::TagLaneMaskBelow(static_cast<uint16_t>(n_ - chunk_));
+      }
+    }
+  }
+
+  // Which comparator this build uses ("sse2", "neon", "swar8"); benches
+  // record it next to their numbers.
+  static const char* ImplName() { return page_detail::kTagScanImpl; }
+
+ private:
+  const uint8_t* tags_ = nullptr;
+  uint64_t pending_ = 0;
+  uint16_t n_ = 0;
+  uint16_t chunk_ = 0;
+  uint16_t next_ = 0;
+  uint8_t tag_ = 0;
+  bool filtered_;
+};
 
 // A decoded view of one entry on a page.
 struct EntryRef {
@@ -62,12 +232,20 @@ struct EntryRef {
 };
 
 // Zero-copy accessor over one page buffer.  The PageView does not own the
-// buffer; it is valid only while the underlying PageRef pin is held.
+// buffer; it is valid only while the underlying PageRef pin is held.  The
+// format is a property of the containing file (meta.version), not of the
+// page bytes, so the caller must construct every view with the file's
+// format; the default keeps v1 callers (baselines, old tests) unchanged.
 class PageView {
  public:
-  PageView(uint8_t* buf, size_t page_size) : buf_(buf), size_(page_size) {}
+  PageView(uint8_t* buf, size_t page_size, uint32_t format = kPageFormatV1)
+      : buf_(buf),
+        size_(page_size),
+        tag_cap_(static_cast<uint16_t>(PageTagCapacity(page_size, format))) {}
 
-  // Formats an all-zero (or recycled) buffer as an empty page.
+  // Formats an all-zero (or recycled) buffer as an empty page.  An empty
+  // page is byte-identical in every format (the v2 tag region is zero),
+  // which is what lets v1 files open under a v2-aware build unchanged.
   static void Init(uint8_t* buf, size_t page_size, PageType type);
 
   uint16_t nentries() const;
@@ -81,24 +259,46 @@ class PageView {
   size_t FreeSpace() const;
 
   // True if a regular pair of the given lengths fits on this page now.
+  // On v2 pages this also requires a free tag slot.
   bool FitsPair(size_t klen, size_t dlen) const;
 
   // True if a pair of the given lengths could fit on an *empty* page of
   // this size; pairs failing this are stored as big pairs.
-  static bool PairFitsEmptyPage(size_t klen, size_t dlen, size_t page_size);
+  static bool PairFitsEmptyPage(size_t klen, size_t dlen, size_t page_size,
+                                uint32_t format = kPageFormatV1);
 
-  // Appends a regular pair.  Caller must have checked FitsPair.
-  void AddPair(std::string_view key, std::string_view data);
+  // Appends a regular pair.  Caller must have checked FitsPair.  On v2
+  // pages `tag` is recorded in the tag array (pass TagOfHash(hash)); on v1
+  // it is ignored.
+  void AddPair(std::string_view key, std::string_view data, uint8_t tag = 0);
 
-  // Appends a big stub.  Caller must have checked FitsBigStub().
+  // Appends a big stub.  Caller must have checked FitsBigStub().  The v2
+  // tag is derived from `hash`.
   void AddBigStub(uint16_t first_oaddr, uint32_t hash, uint32_t key_len, uint32_t data_len,
                   std::string_view prefix);
   bool FitsBigStub(size_t prefix_len) const;
 
   EntryRef Entry(uint16_t index) const;
 
-  // Removes entry `index`, compacting pair storage and the index array.
+  // Removes entry `index`, compacting pair storage, the index array, and
+  // (v2) the tag array.
   void RemoveEntry(uint16_t index);
+
+  // --- v2 fingerprint filter ---
+  // Entry indices whose stored tag matches `tag`; all indices on v1.
+  TagCandidates FindCandidates(uint8_t tag) const {
+    const uint16_t n = nentries();
+    if (tag_cap_ == 0) {
+      return TagCandidates(n);
+    }
+    // Clamp defends the chunk loads against a corrupt nentries; entries
+    // beyond the tag capacity cannot exist on a well-formed v2 page.
+    return TagCandidates(buf_ + kPageHeaderSize, n < tag_cap_ ? n : tag_cap_, tag);
+  }
+  // Entry `index`'s stored tag byte (v2 pages only).
+  uint8_t tag(uint16_t index) const { return buf_[kPageHeaderSize + index]; }
+  // Tag slots on this page (0 = v1 view).
+  uint16_t tag_capacity() const { return tag_cap_; }
 
   // --- kBigSegment pages: raw payload accessors ---
   uint16_t SegUsed() const { return nentries(); }
@@ -115,10 +315,14 @@ class PageView {
   size_t page_size() const { return size_; }
 
   // Internal-consistency check used by tests and debug builds: offsets
-  // monotone, within bounds, index/data regions disjoint.
+  // monotone, within bounds, index/data regions disjoint, entry count
+  // within the tag capacity on v2 pages.
   bool Validate() const;
 
  private:
+  // First byte of the offset index (after the tag array, if any).
+  size_t IndexBase() const { return kPageHeaderSize + tag_cap_; }
+  void SetTag(uint16_t index, uint8_t tag) { buf_[kPageHeaderSize + index] = tag; }
   // End (exclusive) of entry i's key region.
   uint16_t EntryEnd(uint16_t index) const;
   uint16_t RawKeyOff(uint16_t index) const;
@@ -130,6 +334,7 @@ class PageView {
 
   uint8_t* buf_;
   size_t size_;
+  uint16_t tag_cap_;
 };
 
 }  // namespace hashkit

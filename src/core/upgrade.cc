@@ -1,0 +1,76 @@
+// hashkit: offline v1 -> v2 table migration (FORMAT.md "Upgrading").
+//
+// The v2 tag array changes every data page's layout, so the upgrade is a
+// rebuild, not an in-place rewrite: every pair is copied into a fresh v2
+// table beside the original, the copy is synced, and then atomically
+// renamed over the v1 file.  A crash at any point leaves either the intact
+// v1 table (plus at worst a stale temp file the next run clobbers) or the
+// complete v2 table — never a half-converted file.
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/hash_table.h"
+#include "src/core/meta.h"
+#include "src/core/options.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+
+Result<UpgradeReport> UpgradeTableFormat(const std::string& path) {
+  // Open read/write with defaults: geometry and the hash function come
+  // from the v1 header.  Custom-hash tables fail here with Open's usual
+  // "supply it at open" error — the function is not available offline.
+  HashOptions old_opts;
+  HASHKIT_ASSIGN_OR_RETURN(auto old_table, HashTable::Open(path, old_opts));
+
+  UpgradeReport report;
+  if (old_table->meta().version >= kHashVersionV2) {
+    report.already_current = true;
+    return report;
+  }
+
+  const std::string tmp_path = path + ".upgrade";
+  std::remove(tmp_path.c_str());  // stale leftovers from a crashed run
+  std::remove((tmp_path + ".wal").c_str());
+
+  HashOptions new_opts;
+  new_opts.bsize = old_table->meta().bsize;
+  new_opts.ffactor = old_table->meta().ffactor;
+  new_opts.hash_id = static_cast<HashFuncId>(old_table->meta().hash_id);
+  new_opts.nelem = old_table->size() > UINT32_MAX ? UINT32_MAX
+                                                  : static_cast<uint32_t>(old_table->size());
+  new_opts.format_version = kHashVersionV2;
+  new_opts.durability = Durability::kNone;  // the rename is the commit point
+  HASHKIT_ASSIGN_OR_RETURN(auto new_table,
+                           HashTable::Open(tmp_path, new_opts, /*truncate=*/true));
+
+  std::string key;
+  std::string value;
+  bool first = true;
+  for (;;) {
+    const Status next = old_table->Seq(&key, &value, first);
+    first = false;
+    if (next.IsNotFound()) {
+      break;
+    }
+    HASHKIT_RETURN_IF_ERROR(next);
+    HASHKIT_RETURN_IF_ERROR(new_table->Put(key, value));
+    ++report.keys_copied;
+  }
+
+  HASHKIT_RETURN_IF_ERROR(new_table->Sync());
+  new_table.reset();
+  old_table.reset();  // destructor syncs the (unchanged) v1 file
+
+  // The old log was already replayed by Open above, so the v1 file stands
+  // alone; drop the log *before* the rename so it can never replay v1
+  // images onto the v2 file.
+  std::remove((path + ".wal").c_str());
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp_path + " -> " + path + " failed");
+  }
+  return report;
+}
+
+}  // namespace hashkit

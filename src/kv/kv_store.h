@@ -87,6 +87,9 @@ struct StoreStats {
     table.ovfl_pages_alloced += other.table.ovfl_pages_alloced;
     table.ovfl_pages_freed += other.table.ovfl_pages_freed;
     table.big_pairs_stored += other.table.big_pairs_stored;
+    table.tag_filter_skips += other.table.tag_filter_skips;
+    table.tag_filter_candidates += other.table.tag_filter_candidates;
+    table.tag_filter_false_hits += other.table.tag_filter_false_hits;
     pool.MergeFrom(other.pool);
     wal.MergeFrom(other.wal);
     latency.MergeFrom(other.latency);

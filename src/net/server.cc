@@ -530,6 +530,9 @@ std::string Server::RenderStatsText() const {
     line("store.table.deletes", store_stats.table.deletes);
     line("store.table.splits", store_stats.table.splits);
     line("store.table.contractions", store_stats.table.contractions);
+    line("store.table.tag_filter_skips", store_stats.table.tag_filter_skips);
+    line("store.table.tag_filter_candidates", store_stats.table.tag_filter_candidates);
+    line("store.table.tag_filter_false_hits", store_stats.table.tag_filter_false_hits);
     line("store.pool.hits", store_stats.pool.hits);
     line("store.pool.misses", store_stats.pool.misses);
     line("store.pool.evictions", store_stats.pool.evictions);
@@ -588,6 +591,9 @@ std::string Server::RenderMetricsText() const {
     gauge("hashkit_table_deletes_total", store_stats.table.deletes);
     gauge("hashkit_table_splits_total", store_stats.table.splits);
     gauge("hashkit_table_contractions_total", store_stats.table.contractions);
+    gauge("hashkit_table_tag_filter_skips_total", store_stats.table.tag_filter_skips);
+    gauge("hashkit_table_tag_filter_candidates_total", store_stats.table.tag_filter_candidates);
+    gauge("hashkit_table_tag_filter_false_hits_total", store_stats.table.tag_filter_false_hits);
     gauge("hashkit_pool_hits_total", store_stats.pool.hits);
     gauge("hashkit_pool_misses_total", store_stats.pool.misses);
     gauge("hashkit_pool_evictions_total", store_stats.pool.evictions);

@@ -103,6 +103,31 @@ BufferPool::BufferPool(PageFile* file, size_t pool_bytes)
 
 BufferPool::~BufferPool() = default;
 
+void BufferPool::Prefetch(uint64_t pageno) const {
+  Stripe& stripe = stripes_[StripeOf(pageno)];
+  // try_to_lock: a prefetch must never wait — losing the hint is cheaper
+  // than blocking behind a writer on the stripe.
+  std::shared_lock<std::shared_mutex> lock(stripe.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    return;
+  }
+  const auto it = stripe.frames.find(pageno);
+  if (it == stripe.frames.end()) {
+    return;
+  }
+  const BufFrame* frame = it->second.get();
+  if (frame->state.load(std::memory_order_acquire) != FrameState::kReady) {
+    return;
+  }
+  // Two lines cover the header plus a v2 page's tag array and the front of
+  // the offset index at common bucket sizes.
+  const uint8_t* data = frame->data.get();
+  __builtin_prefetch(data, /*rw=*/0, /*locality=*/3);
+  if (page_size_ > 64) {
+    __builtin_prefetch(data + 64, /*rw=*/0, /*locality=*/3);
+  }
+}
+
 void BufferPool::Unpin(BufFrame* frame) {
   assert(frame->pins.load(std::memory_order_relaxed) > 0);
   // The reference bit was already set when the pin was taken; dropping the

@@ -162,6 +162,15 @@ class BufferPool {
   // can never free memory a live PageRef still points at.
   void Discard(uint64_t pageno);
 
+  // Hints the CPU to pull the leading cache lines of `pageno`'s frame —
+  // where the page header, tag filter, and offset index live — without
+  // pinning it.  Purely advisory: if the page is absent, still loading, or
+  // the stripe lock is contended, it does nothing.  Never touches
+  // replacement state (no ref bit, no pin), so a prefetch cannot keep a
+  // frame alive.  The table's lookup path calls this for the resolved
+  // bucket page and for the next overflow page in a chain walk.
+  void Prefetch(uint64_t pageno) const;
+
   // --- WAL barrier (no-steal policy) ---
   //
   // With the barrier enabled, every dirtied frame is tracked as "WAL

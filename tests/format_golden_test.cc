@@ -109,6 +109,85 @@ TEST(FormatGolden, BigStubBytesArePinned) {
   EXPECT_EQ(stub[16], 'e');
 }
 
+// Format v2 adds a tag array between the header and the index; everything
+// else is unchanged.  bsize 64 reserves 8 tag bytes, so the index starts
+// at +16.  Pinned alongside the v1 bytes above — both layouts are disk
+// contracts now.
+TEST(FormatGolden, PageLayoutV2BytesArePinned) {
+  ASSERT_EQ(PageTagCapacity(64, kPageFormatV2), 8u);
+  ASSERT_EQ(PageTagCapacity(256, kPageFormatV2), 32u);
+  ASSERT_EQ(PageTagCapacity(32768, kPageFormatV2), 4096u);
+
+  std::vector<uint8_t> buf(64);
+  PageView::Init(buf.data(), 64, PageType::kBucket);
+  PageView view(buf.data(), 64, kPageFormatV2);
+  view.set_ovfl_addr(0x0802);
+  view.AddPair("ab", "XYZ", /*tag=*/0x5A);
+
+  // Page header: unchanged from v1.
+  EXPECT_EQ(DecodeU16(&buf[0]), 1u);       // nentries
+  EXPECT_EQ(DecodeU16(&buf[2]), 64u - 5);  // data_begin
+  EXPECT_EQ(DecodeU16(&buf[4]), 0x0802u);  // ovfl_addr
+  EXPECT_EQ(DecodeU16(&buf[6]), 1u);       // type = kBucket
+  // Tag array at +8, one byte per entry slot.
+  EXPECT_EQ(buf[8], 0x5Au);  // tag[0]
+  EXPECT_EQ(buf[9], 0u);     // unused tag slots stay zero
+  // Index slot 0, displaced by the 8 tag bytes.
+  EXPECT_EQ(DecodeU16(&buf[16]), 64u - 2);  // key_off
+  EXPECT_EQ(DecodeU16(&buf[18]), 64u - 5);  // data_off
+  // Pair bytes at the end of the page: data then key, as in v1.
+  EXPECT_EQ(buf[59], 'X');
+  EXPECT_EQ(buf[60], 'Y');
+  EXPECT_EQ(buf[61], 'Z');
+  EXPECT_EQ(buf[62], 'a');
+  EXPECT_EQ(buf[63], 'b');
+}
+
+TEST(FormatGolden, BigStubV2BytesArePinned) {
+  std::vector<uint8_t> buf(128);
+  PageView::Init(buf.data(), 128, PageType::kBucket);
+  PageView view(buf.data(), 128, kPageFormatV2);
+  view.AddBigStub(/*first_oaddr=*/0x1801, /*hash=*/0x01020304, /*key_len=*/100,
+                  /*data_len=*/200, "pre");
+
+  ASSERT_EQ(PageTagCapacity(128, kPageFormatV2), 16u);
+  EXPECT_EQ(buf[8], TagOfHash(0x01020304));  // tag[0] = hash >> 24 = 0x01
+  EXPECT_EQ(buf[8], 0x01u);
+  // Index slot 0 at +8+16; stub encoding itself is unchanged from v1.
+  const uint16_t raw_key_off = DecodeU16(&buf[24]);
+  EXPECT_EQ(raw_key_off & kBigEntryFlag, kBigEntryFlag);
+  EXPECT_EQ(raw_key_off & ~kBigEntryFlag, 128u);
+  const uint16_t data_off = DecodeU16(&buf[26]);
+  EXPECT_EQ(data_off, 128u - (kBigStubFixedSize + 3));
+  const uint8_t* stub = &buf[data_off];
+  EXPECT_EQ(DecodeU16(stub), 0x1801u);
+  EXPECT_EQ(DecodeU32(stub + 2), 0x01020304u);
+  EXPECT_EQ(DecodeU32(stub + 6), 100u);
+  EXPECT_EQ(DecodeU32(stub + 10), 200u);
+  EXPECT_EQ(stub[14], 'p');
+  EXPECT_EQ(stub[15], 'r');
+  EXPECT_EQ(stub[16], 'e');
+}
+
+TEST(FormatGolden, BothHeaderVersionsDecode) {
+  Meta meta;
+  std::vector<uint8_t> buf(kMetaEncodedSize);
+
+  meta.version = kHashVersionV1;
+  EncodeMeta(meta, buf);
+  ASSERT_OK(DecodeMeta(buf).status());
+  EXPECT_EQ(DecodeMeta(buf).value().version, kHashVersionV1);
+
+  meta.version = kHashVersionV2;
+  EncodeMeta(meta, buf);
+  ASSERT_OK(DecodeMeta(buf).status());
+  EXPECT_EQ(DecodeMeta(buf).value().version, kHashVersionV2);
+
+  meta.version = 3;  // future formats stay rejected
+  EncodeMeta(meta, buf);
+  EXPECT_FALSE(DecodeMeta(buf).ok());
+}
+
 TEST(FormatGolden, BtreePageLayoutIsPinned) {
   std::vector<uint8_t> buf(512);
   btree::BtPageView::Init(buf.data(), 512, btree::BtPageType::kLeaf, 0);

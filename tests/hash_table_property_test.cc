@@ -24,6 +24,7 @@ struct PropertyParams {
   SplitPolicy policy;
   bool big_pairs;  // include values larger than a page
   uint64_t seed;
+  uint32_t format = kHashVersionV2;  // on-disk/page format under test
 };
 
 class HashTablePropertyTest : public ::testing::TestWithParam<PropertyParams> {};
@@ -35,6 +36,7 @@ TEST_P(HashTablePropertyTest, RandomOpsMatchReferenceModel) {
   opts.ffactor = p.ffactor;
   opts.cachesize = p.cachesize;
   opts.split_policy = p.policy;
+  opts.format_version = p.format;
   auto table = std::move(HashTable::OpenInMemory(opts).value());
 
   Rng rng(p.seed);
@@ -120,13 +122,18 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyParams{512, 16, 0, SplitPolicy::kControlledOnly, false, 107},
         PropertyParams{1024, 32, 32 * 1024, SplitPolicy::kHybrid, true, 108},
         PropertyParams{4096, 8, 64 * 1024, SplitPolicy::kUncontrolledOnly, false, 109},
-        PropertyParams{8192, 128, 128 * 1024, SplitPolicy::kHybrid, true, 110}),
+        PropertyParams{8192, 128, 128 * 1024, SplitPolicy::kHybrid, true, 110},
+        // Format v1 must stay fully functional from the same binary (old
+        // files open read/write), so the model check runs against it too.
+        PropertyParams{64, 8, 0, SplitPolicy::kHybrid, true, 111, kHashVersionV1},
+        PropertyParams{256, 8, 64 * 1024, SplitPolicy::kHybrid, false, 112, kHashVersionV1},
+        PropertyParams{1024, 32, 32 * 1024, SplitPolicy::kHybrid, true, 113, kHashVersionV1}),
     [](const ::testing::TestParamInfo<PropertyParams>& param_info) {
       const PropertyParams& p = param_info.param;
       return "b" + std::to_string(p.bsize) + "_f" + std::to_string(p.ffactor) + "_c" +
              std::to_string(p.cachesize / 1024) + "k_p" +
              std::to_string(static_cast<int>(p.policy)) + (p.big_pairs ? "_big" : "_small") +
-             "_s" + std::to_string(p.seed);
+             "_s" + std::to_string(p.seed) + "_v" + std::to_string(p.format);
     });
 
 // The same property across close/reopen cycles on a real file.

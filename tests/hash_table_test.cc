@@ -487,6 +487,174 @@ TEST(HashTableStats, CountersTrackOperations) {
   EXPECT_EQ(table->stats().deletes, 1u);
 }
 
+// --- format v2 tag filter, v1 compatibility, upgrade ---
+
+TEST(HashTableFormatV2, TagFilterCountersAdvance) {
+  auto table = std::move(HashTable::OpenInMemory(SmallOptions()).value());  // v2 default
+  ASSERT_EQ(table->meta().version, kHashVersionV2);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(table->Put("tagkey-" + std::to_string(i), "value-" + std::to_string(i)));
+  }
+  std::string v;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(table->Get("tagkey-" + std::to_string(i), &v));
+    EXPECT_EQ(v, "value-" + std::to_string(i));
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(table->Get("absent-" + std::to_string(i), nullptr).IsNotFound());
+  }
+  const HashTableStats stats = table->StatsSnapshot();
+  // Positive lookups must have compared at least their own entry; negative
+  // lookups over ~8-entry buckets must have tag-skipped nearly everything.
+  EXPECT_GE(stats.tag_filter_candidates, 200u);
+  EXPECT_GT(stats.tag_filter_skips, 200u);
+  // Expected false-hit rate is candidates/256 per non-matching entry; with
+  // ~8 entries/bucket and 400 lookups, anything near the skip count means
+  // the filter is not filtering.
+  EXPECT_LT(stats.tag_filter_false_hits, stats.tag_filter_skips / 4 + 50);
+  ASSERT_OK(table->CheckIntegrity());
+}
+
+TEST(HashTableFormatV2, V1TablesKeepZeroTagCounters) {
+  HashOptions opts = SmallOptions();
+  opts.format_version = 1;
+  auto table = std::move(HashTable::OpenInMemory(opts).value());
+  ASSERT_EQ(table->meta().version, kHashVersionV1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(table->Put("k" + std::to_string(i), "v"));
+  }
+  std::string v;
+  ASSERT_OK(table->Get("k0", &v));
+  EXPECT_TRUE(table->Get("missing", nullptr).IsNotFound());
+  const HashTableStats stats = table->StatsSnapshot();
+  EXPECT_EQ(stats.tag_filter_skips, 0u);
+  EXPECT_EQ(stats.tag_filter_candidates, 0u);
+  EXPECT_EQ(stats.tag_filter_false_hits, 0u);
+  ASSERT_OK(table->CheckIntegrity());
+}
+
+TEST(HashTableFormatV2, V1FilesRemainReadWritable) {
+  const std::string path = TempPath("v1compat");
+  HashOptions opts = SmallOptions();
+  opts.format_version = 1;
+  {
+    auto table = std::move(HashTable::Open(path, opts, /*truncate=*/true).value());
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_OK(table->Put("v1key-" + std::to_string(i), "v1val-" + std::to_string(i)));
+    }
+    ASSERT_OK(table->Sync());
+  }
+  {
+    // Reopen with default (v2-preferring) options: the file stays v1 and
+    // every operation works against the v1 layout.
+    auto table = std::move(HashTable::Open(path, SmallOptions()).value());
+    ASSERT_EQ(table->meta().version, kHashVersionV1);
+    std::string v;
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_OK(table->Get("v1key-" + std::to_string(i), &v));
+      EXPECT_EQ(v, "v1val-" + std::to_string(i));
+    }
+    ASSERT_OK(table->Put("post-reopen", "new-pair"));
+    ASSERT_OK(table->Delete("v1key-0"));
+    ASSERT_OK(table->CheckIntegrity());
+    ASSERT_OK(table->Sync());
+  }
+  {
+    auto table = std::move(HashTable::Open(path, SmallOptions()).value());
+    ASSERT_EQ(table->meta().version, kHashVersionV1);
+    std::string v;
+    ASSERT_OK(table->Get("post-reopen", &v));
+    EXPECT_EQ(v, "new-pair");
+    EXPECT_TRUE(table->Get("v1key-0", nullptr).IsNotFound());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HashTableFormatV2, UpgradeMigratesV1ToV2) {
+  const std::string path = TempPath("upgrade");
+  std::remove((path + ".upgrade").c_str());
+  HashOptions opts = SmallOptions();
+  opts.format_version = 1;
+  const std::string big_key(100, 'K');
+  const std::string big_value(5000, 'V');
+  {
+    auto table = std::move(HashTable::Open(path, opts, /*truncate=*/true).value());
+    for (int i = 0; i < 250; ++i) {
+      ASSERT_OK(table->Put("mig-" + std::to_string(i), "val-" + std::to_string(i)));
+    }
+    ASSERT_OK(table->Put(big_key, big_value));  // big pairs must survive too
+    ASSERT_OK(table->Sync());
+  }
+  auto report = UpgradeTableFormat(path);
+  ASSERT_OK(report.status());
+  EXPECT_FALSE(report.value().already_current);
+  EXPECT_EQ(report.value().keys_copied, 251u);
+  {
+    auto table = std::move(HashTable::Open(path, SmallOptions()).value());
+    ASSERT_EQ(table->meta().version, kHashVersionV2);
+    std::string v;
+    for (int i = 0; i < 250; ++i) {
+      ASSERT_OK(table->Get("mig-" + std::to_string(i), &v));
+      EXPECT_EQ(v, "val-" + std::to_string(i));
+    }
+    ASSERT_OK(table->Get(big_key, &v));
+    EXPECT_EQ(v, big_value);
+    EXPECT_EQ(table->size(), 251u);
+    // CheckIntegrity on v2 verifies every entry's tag byte.
+    ASSERT_OK(table->CheckIntegrity());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HashTableFormatV2, UpgradeOnV2TableIsNoOp) {
+  const std::string path = TempPath("upgrade_noop");
+  {
+    auto table = std::move(HashTable::Open(path, SmallOptions(), /*truncate=*/true).value());
+    ASSERT_OK(table->Put("key", "value"));
+    ASSERT_OK(table->Sync());
+  }
+  auto report = UpgradeTableFormat(path);
+  ASSERT_OK(report.status());
+  EXPECT_TRUE(report.value().already_current);
+  EXPECT_EQ(report.value().keys_copied, 0u);
+  {
+    auto table = std::move(HashTable::Open(path, SmallOptions()).value());
+    std::string v;
+    ASSERT_OK(table->Get("key", &v));
+    EXPECT_EQ(v, "value");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HashTableFormatV2, ContainsBigPairSkipsDataSegments) {
+  const std::string path = TempPath("contains_big");
+  HashOptions opts = SmallOptions();
+  opts.cachesize = 0;  // every page access is a backend read
+  // Key longer than the stored prefix (32B), so the membership check has
+  // to touch the chain — but only the key's segment, never the value's.
+  const std::string key(100, 'k');
+  const std::string value(12000, 'v');  // ~50 segments at bsize 256
+  {
+    auto table = std::move(HashTable::Open(path, opts, /*truncate=*/true).value());
+    ASSERT_OK(table->Put(key, value));
+    ASSERT_OK(table->Sync());
+  }
+  auto table = std::move(HashTable::Open(path, opts).value());
+  const uint64_t reads0 = table->file_stats().reads;
+  EXPECT_TRUE(table->Contains(key));
+  const uint64_t contains_reads = table->file_stats().reads - reads0;
+  std::string v;
+  ASSERT_OK(table->Get(key, &v));
+  const uint64_t get_reads = table->file_stats().reads - reads0 - contains_reads;
+  EXPECT_EQ(v, value);
+  // Contains: bucket page + first chain segment (the 100-byte key fits in
+  // one).  Get: the whole ~50-segment chain.
+  EXPECT_LE(contains_reads, 10u);
+  EXPECT_GE(get_reads, 40u);
+  EXPECT_LT(contains_reads, get_reads / 4);
+  std::remove(path.c_str());
+}
+
 TEST(HashTableFillFactor, ControlledSplitKeepsLoadNearFfactor) {
   HashOptions opts = SmallOptions();
   opts.bsize = 1024;

@@ -219,6 +219,160 @@ INSTANTIATE_TEST_SUITE_P(AllPageSizes, PageTest,
                          ::testing::Values(64, 128, 256, 512, 1024, 4096, 8192, 32768),
                          [](const auto& param_info) { return "bsize" + std::to_string(param_info.param); });
 
+// --- format v2: fingerprint tag array ---
+
+class PageV2Test : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    buf_.assign(GetParam(), 0xAB);
+    PageView::Init(buf_.data(), buf_.size(), PageType::kBucket);
+  }
+
+  PageView View() { return PageView(buf_.data(), buf_.size(), kPageFormatV2); }
+
+  std::vector<uint8_t> buf_;
+};
+
+TEST_P(PageV2Test, EmptyPageIsByteIdenticalToV1) {
+  std::vector<uint8_t> v1(GetParam(), 0xAB);
+  PageView::Init(v1.data(), v1.size(), PageType::kBucket);
+  EXPECT_EQ(buf_, v1);  // Init is format-independent; tag region is zeros
+  EXPECT_TRUE(View().Validate());
+}
+
+TEST_P(PageV2Test, TagsRoundTripAndFilterFindsExactlyMatchingEntries) {
+  PageView view = View();
+  Rng rng(GetParam() * 7919);
+  std::vector<uint8_t> tags;
+  while (view.FitsPair(4, 6) && tags.size() < view.tag_capacity()) {
+    const auto tag = static_cast<uint8_t>(rng.Uniform(8));  // few values => collisions
+    view.AddPair(rng.AsciiString(4), rng.ByteString(6), tag);
+    tags.push_back(tag);
+  }
+  ASSERT_GT(tags.size(), 0u);
+  ASSERT_TRUE(view.Validate());
+  for (size_t i = 0; i < tags.size(); ++i) {
+    EXPECT_EQ(view.tag(static_cast<uint16_t>(i)), tags[i]);
+  }
+  // Every probe tag: FindCandidates must agree with a brute-force scan.
+  for (int probe = 0; probe < 256; ++probe) {
+    std::vector<uint16_t> expected;
+    for (size_t i = 0; i < tags.size(); ++i) {
+      if (tags[i] == probe) {
+        expected.push_back(static_cast<uint16_t>(i));
+      }
+    }
+    std::vector<uint16_t> got;
+    TagCandidates scan = view.FindCandidates(static_cast<uint8_t>(probe));
+    for (uint16_t i = scan.Next(); i != kNoEntry; i = scan.Next()) {
+      got.push_back(i);
+    }
+    ASSERT_EQ(got, expected) << "probe tag " << probe;
+  }
+}
+
+TEST_P(PageV2Test, RemoveEntryShiftsTagArrayWithIndex) {
+  PageView view = View();
+  Rng rng(GetParam() * 31);
+  std::vector<std::pair<std::string, uint8_t>> reference;  // key -> tag
+  while (view.FitsPair(8, 4) && reference.size() < view.tag_capacity()) {
+    std::string key = rng.AsciiString(8);
+    const auto tag = static_cast<uint8_t>(rng.Uniform(256));
+    view.AddPair(key, "data", tag);
+    reference.emplace_back(std::move(key), tag);
+  }
+  ASSERT_GE(reference.size(), 3u);
+  while (!reference.empty()) {
+    const auto victim = static_cast<uint16_t>(rng.Uniform(reference.size()));
+    view.RemoveEntry(victim);
+    reference.erase(reference.begin() + victim);
+    ASSERT_TRUE(view.Validate());
+    ASSERT_EQ(view.nentries(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(view.Entry(static_cast<uint16_t>(i)).key, reference[i].first);
+      ASSERT_EQ(view.tag(static_cast<uint16_t>(i)), reference[i].second);
+    }
+  }
+}
+
+TEST_P(PageV2Test, EntryCountIsBoundedByTagCapacity) {
+  PageView view = View();
+  const uint16_t cap = view.tag_capacity();
+  ASSERT_EQ(cap, PageTagCapacity(GetParam(), kPageFormatV2));
+  // Zero-length pairs cost only an index slot; v1 would pack usable/4 of
+  // them, v2 stops at the tag capacity (the rest overflow-chain).
+  uint16_t added = 0;
+  while (view.FitsPair(0, 0)) {
+    view.AddPair("", "", 0x42);
+    ++added;
+    ASSERT_LE(added, cap);
+  }
+  EXPECT_EQ(added, cap);
+  EXPECT_TRUE(view.Validate());
+  EXPECT_FALSE(view.FitsBigStub(0));  // the stub path honors the bound too
+}
+
+TEST_P(PageV2Test, BigStubRecordsTagOfStoredHash) {
+  PageView view = View();
+  const uint32_t hash = 0xDEADBEEF;
+  ASSERT_TRUE(view.FitsBigStub(3));
+  view.AddBigStub(/*first_oaddr=*/7, hash, /*key_len=*/100, /*data_len=*/5000, "abc");
+  ASSERT_EQ(view.nentries(), 1);
+  EXPECT_EQ(view.tag(0), TagOfHash(hash));
+  EXPECT_EQ(view.tag(0), 0xDE);
+  TagCandidates scan = view.FindCandidates(TagOfHash(hash));
+  EXPECT_EQ(scan.Next(), 0);
+  EXPECT_EQ(scan.Next(), kNoEntry);
+  TagCandidates miss = view.FindCandidates(0x01);
+  EXPECT_EQ(miss.Next(), kNoEntry);
+}
+
+TEST_P(PageV2Test, V2ReservesTagBytesFromUsableSpace) {
+  const size_t page_size = GetParam();
+  const size_t trimmed = page_size == 32768 ? 32767 : page_size;
+  const size_t v2_usable = trimmed - kPageHeaderSize - PageTagCapacity(page_size, kPageFormatV2);
+  EXPECT_EQ(View().FreeSpace(), v2_usable);
+  // The big-pair threshold shrinks accordingly.
+  EXPECT_TRUE(PageView::PairFitsEmptyPage(v2_usable - 4, 0, page_size, kPageFormatV2));
+  EXPECT_FALSE(PageView::PairFitsEmptyPage(v2_usable - 3, 0, page_size, kPageFormatV2));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPageSizes, PageV2Test,
+                         ::testing::Values(64, 128, 256, 512, 1024, 4096, 8192, 32768),
+                         [](const auto& param_info) { return "bsize" + std::to_string(param_info.param); });
+
+TEST(TagCandidatesTest, UnfilteredScanYieldsEveryIndex) {
+  TagCandidates scan(5);
+  for (uint16_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(scan.Next(), i);
+  }
+  EXPECT_EQ(scan.Next(), kNoEntry);
+  EXPECT_EQ(scan.Next(), kNoEntry);
+}
+
+TEST(TagCandidatesTest, FilteredScanHandlesChunkBoundariesAndTails) {
+  // 40 tags spans multiple SWAR/SIMD chunks with a ragged tail at every
+  // lane width in use (16 and 8).
+  alignas(16) uint8_t tags[64] = {};
+  std::vector<uint16_t> expected;
+  for (uint16_t i = 0; i < 40; ++i) {
+    tags[i] = static_cast<uint8_t>(i % 3 == 0 ? 0x7F : i);
+    if (i % 3 == 0) {
+      expected.push_back(i);
+    }
+  }
+  // Poison past the logical end: matches there must be masked off.
+  for (size_t i = 40; i < sizeof(tags); ++i) {
+    tags[i] = 0x7F;
+  }
+  std::vector<uint16_t> got;
+  TagCandidates scan(tags, 40, 0x7F);
+  for (uint16_t i = scan.Next(); i != kNoEntry; i = scan.Next()) {
+    got.push_back(i);
+  }
+  EXPECT_EQ(got, expected);
+}
+
 TEST(PageTypeTest, TypesRoundTrip) {
   std::vector<uint8_t> buf(256);
   for (const PageType t : {PageType::kBucket, PageType::kOverflow, PageType::kBitmap,
