@@ -14,7 +14,11 @@
 // Flags: --ops=N per-cell request target (default 40000),
 //        --max_threads=N cap on the thread sweep (default 8),
 //        --workers=N server worker loops (default 2),
-//        --shards=N store shards (default 8).
+//        --shards=N store shards (default 8),
+//        --cluster-nodes=N run the sweep against an N-node in-process
+//        LH* cluster instead (clients route via ClusterClient; results go
+//        to BENCH_cluster.json and quantify the distributed addressing
+//        overhead against the single-node numbers).
 
 #include <atomic>
 #include <cstdio>
@@ -25,7 +29,10 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/cluster/cluster_client.h"
+#include "src/cluster/migration.h"
 #include "src/kv/kv_store.h"
+#include "src/kv/synchronized.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/util/histogram.h"
@@ -100,11 +107,205 @@ void RunClient(uint16_t port, int thread_id, size_t ops, int depth, size_t keysp
   }
 }
 
+// Cluster-mode client thread: same 80/20 mix, but each batch goes through
+// ClusterClient::Pipeline, which groups requests by owning node and pays
+// any MOVED corrections inline — the realistic distributed client cost.
+void RunClusterClient(const std::string& seed, int thread_id, size_t ops, int depth,
+                      size_t keyspace, std::atomic<uint64_t>* errors,
+                      std::atomic<uint64_t>* moved, HistogramSnapshot* rtt) {
+  auto connected = cluster::ClusterClient::Connect({seed});
+  if (!connected.ok()) {
+    errors->fetch_add(ops);
+    return;
+  }
+  auto client = std::move(connected).value();
+  std::vector<net::Request> batch;
+  std::vector<net::Response> responses;
+  size_t sent = 0;
+  uint64_t cursor = static_cast<uint64_t>(thread_id) * 7919;
+  while (sent < ops) {
+    batch.clear();
+    while (batch.size() < static_cast<size_t>(depth) && sent + batch.size() < ops) {
+      net::Request req;
+      const uint64_t k = cursor++ % keyspace;
+      if (cursor % 5 == 0) {
+        req.op = net::Opcode::kPut;
+        req.key = "key" + std::to_string(k);
+        req.value = "updated" + std::to_string(cursor);
+      } else {
+        req.op = net::Opcode::kGet;
+        req.key = "key" + std::to_string(k);
+      }
+      batch.push_back(std::move(req));
+    }
+    const uint64_t t0 = MonotonicNanos();
+    if (!client->Pipeline(batch, &responses).ok()) {
+      errors->fetch_add(ops - sent);
+      return;
+    }
+    rtt->Record(MonotonicNanos() - t0);
+    for (const net::Response& resp : responses) {
+      if (resp.status != StatusCode::kOk && resp.status != StatusCode::kNotFound) {
+        errors->fetch_add(1);
+      }
+    }
+    sent += batch.size();
+  }
+  moved->fetch_add(client->stats().moved_corrections);
+}
+
+int ClusterMain(size_t ops, int max_threads, int workers, int nodes_count) {
+  constexpr size_t kKeyspace = 10000;
+  struct Node {
+    std::unique_ptr<kv::KvStore> store;
+    std::unique_ptr<cluster::ClusterNode> cnode;
+    std::unique_ptr<net::Server> server;
+  };
+  std::vector<Node> nodes(static_cast<size_t>(nodes_count));
+  std::vector<cluster::NodeInfo> peers;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    kv::StoreOptions store_options;
+    store_options.nelem = kKeyspace * 2;
+    auto opened = kv::OpenStore(kv::StoreKind::kHashMemory, store_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "store open failed: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    nodes[i].store = kv::MakeSynchronized(std::move(opened).value());
+    cluster::ClusterNodeOptions cluster_options;
+    cluster_options.node_id = static_cast<uint32_t>(i);
+    nodes[i].cnode =
+        std::make_unique<cluster::ClusterNode>(nodes[i].store.get(), cluster_options);
+    net::ServerOptions server_options;
+    server_options.port = 0;
+    server_options.workers = workers;
+    server_options.cluster = nodes[i].cnode.get();
+    nodes[i].server = std::make_unique<net::Server>(nodes[i].store.get(), server_options);
+    if (const Status st = nodes[i].server->Start(); !st.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    cluster::NodeInfo info;
+    info.id = static_cast<uint32_t>(i);
+    info.host = "127.0.0.1";
+    info.port = nodes[i].server->port();
+    peers.push_back(std::move(info));
+  }
+  for (Node& node : nodes) {
+    if (const Status st = node.cnode->Start(peers); !st.ok()) {
+      std::fprintf(stderr, "cluster start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  const std::string seed = peers[0].host + ":" + std::to_string(peers[0].port);
+  {
+    auto connected = cluster::ClusterClient::Connect({seed});
+    if (!connected.ok()) {
+      std::fprintf(stderr, "preload failed: %s\n", connected.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t k = 0; k < kKeyspace; ++k) {
+      (void)(*connected)->Put("key" + std::to_string(k), "initial" + std::to_string(k));
+    }
+  }
+
+  std::printf("Cluster throughput sweep: %d LH* nodes on loopback, %zu requests/cell,\n"
+              "80/20 get/put, %d workers/node; hardware threads: %u\n\n",
+              nodes_count, ops, workers, std::thread::hardware_concurrency());
+
+  const int thread_counts[] = {1, 2, 4, 8};
+  const int depths[] = {1, 8, 32};
+  std::vector<Cell> cells;
+  PrintCsvHeader("cluster,threads,pipeline_depth,requests_per_sec");
+  std::printf("%8s %8s %8s %16s %10s %10s %8s\n", "threads", "depth", "ops", "requests/sec",
+              "rtt_p50_us", "rtt_p99_us", "moved");
+  for (const int nthreads : thread_counts) {
+    if (nthreads > max_threads) {
+      continue;
+    }
+    for (const int depth : depths) {
+      const size_t per_thread = ops / static_cast<size_t>(nthreads);
+      const size_t total = per_thread * static_cast<size_t>(nthreads);
+      std::atomic<uint64_t> errors{0};
+      std::atomic<uint64_t> moved{0};
+      std::vector<std::thread> threads;
+      std::vector<HistogramSnapshot> rtts(static_cast<size_t>(nthreads));
+      double elapsed = 0.0;
+      {
+        const auto sample = workload::MeasureOnce([&] {
+          for (int t = 0; t < nthreads; ++t) {
+            threads.emplace_back(RunClusterClient, seed, t, per_thread, depth, kKeyspace,
+                                 &errors, &moved, &rtts[static_cast<size_t>(t)]);
+          }
+          for (auto& thread : threads) {
+            thread.join();
+          }
+        });
+        elapsed = sample.elapsed_sec;
+      }
+      if (errors.load() > 0) {
+        std::fprintf(stderr, "cell t=%d d=%d: %llu errors\n", nthreads, depth,
+                     static_cast<unsigned long long>(errors.load()));
+      }
+      HistogramSnapshot rtt;
+      for (const HistogramSnapshot& h : rtts) {
+        rtt.MergeFrom(h);
+      }
+      const PercentileSummary rtt_summary = Summarize(rtt);
+      const double rps = elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0;
+      std::printf("%8d %8d %8zu %16.0f %10.1f %10.1f %8llu\n", nthreads, depth, total, rps,
+                  static_cast<double>(rtt_summary.p50) / 1000.0,
+                  static_cast<double>(rtt_summary.p99) / 1000.0,
+                  static_cast<unsigned long long>(moved.load()));
+      char csv[120];
+      std::snprintf(csv, sizeof(csv), "cluster,%d,%d,%.0f", nthreads, depth, rps);
+      PrintCsv(csv);
+      cells.push_back({nthreads, depth, total, elapsed, rps, rtt_summary});
+    }
+  }
+  for (Node& node : nodes) {
+    node.cnode->Stop();
+    node.server->Stop();
+  }
+
+  std::FILE* f = std::fopen("BENCH_cluster.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_cluster.json\n");
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "  {\"nodes\": %d, \"threads\": %d, \"pipeline_depth\": %d, \"ops\": %zu, "
+                 "\"elapsed_sec\": %.6f, \"requests_per_sec\": %.0f, "
+                 "\"mean_us\": %.1f, \"p50_us\": %.1f, \"p90_us\": %.1f, "
+                 "\"p99_us\": %.1f, \"p999_us\": %.1f}%s\n",
+                 nodes_count, c.threads, c.depth, c.ops, c.elapsed_sec, c.requests_per_sec,
+                 c.rtt.mean / 1000.0, static_cast<double>(c.rtt.p50) / 1000.0,
+                 static_cast<double>(c.rtt.p90) / 1000.0,
+                 static_cast<double>(c.rtt.p99) / 1000.0,
+                 static_cast<double>(c.rtt.p999) / 1000.0,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %zu cells to BENCH_cluster.json\n", cells.size());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const size_t ops = static_cast<size_t>(FlagFromArgs(argc, argv, "ops", 40000));
   const int max_threads = static_cast<int>(FlagFromArgs(argc, argv, "max_threads", 8));
   const int workers = static_cast<int>(FlagFromArgs(argc, argv, "workers", 2));
   const uint32_t shards = static_cast<uint32_t>(FlagFromArgs(argc, argv, "shards", 8));
+  long cluster_nodes = FlagFromArgs(argc, argv, "cluster-nodes", 0);
+  if (cluster_nodes == 0) {
+    cluster_nodes = FlagFromArgs(argc, argv, "cluster_nodes", 0);
+  }
+  if (cluster_nodes >= 2) {
+    return ClusterMain(ops, max_threads, workers, static_cast<int>(cluster_nodes));
+  }
   constexpr size_t kKeyspace = 10000;
 
   kv::StoreOptions store_options;

@@ -1,0 +1,260 @@
+#include "src/cluster/cluster_client.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace hashkit {
+namespace cluster {
+
+namespace {
+
+bool IsDataOp(net::Opcode op) {
+  return op == net::Opcode::kPut || op == net::Opcode::kGet || op == net::Opcode::kDel;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ClusterClient>> ClusterClient::Connect(
+    const std::vector<std::string>& seeds, const ClusterClientOptions& options) {
+  if (seeds.empty()) {
+    return Status::InvalidArgument("cluster client needs at least one seed");
+  }
+  std::unique_ptr<ClusterClient> client(new ClusterClient(options));
+  client->seeds_ = seeds;
+  HASHKIT_RETURN_IF_ERROR(client->RefreshMap());
+  return client;
+}
+
+net::Client* ClusterClient::ClientFor(const std::string& address) {
+  const auto it = conns_.find(address);
+  if (it != conns_.end()) {
+    return it->second.get();
+  }
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return nullptr;
+  }
+  const std::string host = address.substr(0, colon);
+  const int port = std::atoi(address.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return nullptr;
+  }
+  auto res = net::Client::Connect(host, static_cast<uint16_t>(port), options_.net);
+  if (!res.ok()) {
+    return nullptr;
+  }
+  net::Client* raw = res->get();
+  conns_[address] = std::move(*res);
+  return raw;
+}
+
+void ClusterClient::DropClient(const std::string& address) {
+  conns_.erase(address);
+  ++stats_.reconnects;
+}
+
+bool ClusterClient::AdoptIfNewer(std::string_view map_bytes) {
+  ClusterMap m;
+  size_t consumed = 0;
+  if (!m.Deserialize(map_bytes, &consumed).ok()) {
+    return false;
+  }
+  if (m.version <= map_.version) {
+    return false;
+  }
+  map_ = std::move(m);
+  return true;
+}
+
+Status ClusterClient::RefreshMap() {
+  // Every node of the current image is a candidate seed, then the original
+  // seed list (which may include nodes the image has forgotten).
+  std::vector<std::string> candidates;
+  for (const NodeInfo& n : map_.nodes) {
+    candidates.push_back(n.Address());
+  }
+  for (const std::string& s : seeds_) {
+    candidates.push_back(s);
+  }
+  Status last = Status::IoError("no map candidates");
+  for (const std::string& addr : candidates) {
+    net::Client* c = ClientFor(addr);
+    if (c == nullptr) {
+      last = Status::IoError("cannot reach " + addr);
+      continue;
+    }
+    net::Request req;
+    req.op = net::Opcode::kMapGet;
+    std::vector<net::Response> resps;
+    last = c->Pipeline({req}, &resps);
+    if (!last.ok()) {
+      DropClient(addr);
+      continue;
+    }
+    ++stats_.map_refreshes;
+    if (resps[0].status != StatusCode::kOk) {
+      last = Status(resps[0].status, resps[0].value);
+      continue;
+    }
+    ClusterMap m;
+    size_t consumed = 0;
+    HASHKIT_RETURN_IF_ERROR(m.Deserialize(resps[0].value, &consumed));
+    if (m.version > map_.version) {
+      map_ = std::move(m);
+    }
+    return Status::Ok();
+  }
+  return Status(last.code(), "cluster map refresh failed: " + last.message());
+}
+
+Status ClusterClient::DoOp(const net::Request& req, net::Response* out) {
+  if (!IsDataOp(req.op)) {
+    return Status::InvalidArgument("cluster client routes data ops only");
+  }
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (map_.version == 0) {
+      HASHKIT_RETURN_IF_ERROR(RefreshMap());
+    }
+    const uint32_t bucket = map_.BucketOfKey(req.key);
+    const NodeInfo* owner = map_.FindNode(map_.OwnerOf(bucket));
+    if (owner == nullptr) {
+      // An image can never name an unknown owner (Deserialize validates),
+      // so this is unreachable — but a refresh is the safe answer.
+      HASHKIT_RETURN_IF_ERROR(RefreshMap());
+      continue;
+    }
+    const std::string addr = owner->Address();
+    net::Client* c = ClientFor(addr);
+    if (c == nullptr) {
+      // Owner unreachable: maybe it restarted on a new address and our
+      // image predates that.
+      const uint32_t before = map_.version;
+      HASHKIT_RETURN_IF_ERROR(RefreshMap());
+      if (map_.version == before) {
+        return Status::IoError("bucket owner " + addr + " unreachable");
+      }
+      continue;
+    }
+    std::vector<net::Response> resps;
+    const Status st = c->Pipeline({req}, &resps);
+    if (!st.ok()) {
+      // Transport error mid-call: the connection is poisoned; retry on a
+      // fresh one (possibly against a fresher image).
+      DropClient(addr);
+      continue;
+    }
+    if (resps[0].status == StatusCode::kMoved) {
+      ++stats_.moved_corrections;
+      if (!AdoptIfNewer(resps[0].value)) {
+        // The server's map is not newer than ours yet both disagree about
+        // ownership — we are mid-propagation.  Ask around once.
+        HASHKIT_RETURN_IF_ERROR(RefreshMap());
+      }
+      continue;
+    }
+    *out = std::move(resps[0]);
+    return Status::Ok();
+  }
+  return Status::IoError("no owner found for key after " +
+                         std::to_string(options_.max_attempts) + " attempts");
+}
+
+Status ClusterClient::Put(std::string_view key, std::string_view value, bool overwrite) {
+  net::Request req;
+  req.op = net::Opcode::kPut;
+  req.key = key;
+  req.value = value;
+  if (!overwrite) {
+    req.flags |= net::kFlagNoOverwrite;
+  }
+  net::Response resp;
+  HASHKIT_RETURN_IF_ERROR(DoOp(req, &resp));
+  return resp.status == StatusCode::kOk ? Status::Ok() : Status(resp.status, resp.value);
+}
+
+Status ClusterClient::Get(std::string_view key, std::string* value) {
+  net::Request req;
+  req.op = net::Opcode::kGet;
+  req.key = key;
+  net::Response resp;
+  HASHKIT_RETURN_IF_ERROR(DoOp(req, &resp));
+  if (resp.status != StatusCode::kOk) {
+    return Status(resp.status, resp.value);
+  }
+  if (value != nullptr) {
+    *value = std::move(resp.value);
+  }
+  return Status::Ok();
+}
+
+Status ClusterClient::Delete(std::string_view key) {
+  net::Request req;
+  req.op = net::Opcode::kDel;
+  req.key = key;
+  net::Response resp;
+  HASHKIT_RETURN_IF_ERROR(DoOp(req, &resp));
+  return resp.status == StatusCode::kOk ? Status::Ok() : Status(resp.status, resp.value);
+}
+
+Status ClusterClient::Pipeline(const std::vector<net::Request>& requests,
+                               std::vector<net::Response>* responses) {
+  responses->clear();
+  responses->resize(requests.size());
+  if (map_.version == 0) {
+    HASHKIT_RETURN_IF_ERROR(RefreshMap());
+  }
+
+  // Group by target node under the current image, one pipelined batch per
+  // node; anything that comes back MOVED (or rides a dead connection) is
+  // retried individually through the self-correcting path.
+  std::map<std::string, std::vector<size_t>> by_node;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!IsDataOp(requests[i].op)) {
+      return Status::InvalidArgument("cluster pipeline routes data ops only");
+    }
+    const uint32_t bucket = map_.BucketOfKey(requests[i].key);
+    const NodeInfo* owner = map_.FindNode(map_.OwnerOf(bucket));
+    if (owner == nullptr) {
+      return Status::Corruption("image names unknown owner");
+    }
+    by_node[owner->Address()].push_back(i);
+  }
+
+  std::vector<size_t> retries;
+  for (const auto& [addr, indices] : by_node) {
+    net::Client* c = ClientFor(addr);
+    bool batch_failed = c == nullptr;
+    std::vector<net::Response> resps;
+    if (!batch_failed) {
+      std::vector<net::Request> batch;
+      batch.reserve(indices.size());
+      for (const size_t i : indices) {
+        batch.push_back(requests[i]);
+      }
+      if (!c->Pipeline(batch, &resps).ok()) {
+        DropClient(addr);
+        batch_failed = true;
+      }
+    }
+    if (batch_failed) {
+      retries.insert(retries.end(), indices.begin(), indices.end());
+      continue;
+    }
+    for (size_t j = 0; j < indices.size(); ++j) {
+      if (resps[j].status == StatusCode::kMoved) {
+        ++stats_.moved_corrections;
+        AdoptIfNewer(resps[j].value);
+        retries.push_back(indices[j]);
+      } else {
+        (*responses)[indices[j]] = std::move(resps[j]);
+      }
+    }
+  }
+  for (const size_t i : retries) {
+    HASHKIT_RETURN_IF_ERROR(DoOp(requests[i], &(*responses)[i]));
+  }
+  return Status::Ok();
+}
+
+}  // namespace cluster
+}  // namespace hashkit

@@ -1,0 +1,99 @@
+// hashkit-cluster: the client side of LH* addressing.
+//
+// A ClusterClient holds a possibly-stale *image* of the cluster map and a
+// cached connection per node.  Every operation hashes its key against the
+// image, goes straight to the node the image names, and trusts the server
+// to say otherwise: a MOVED reply carries the server's current map, the
+// client adopts it if strictly newer and retries.  This is the LH*TH
+// client protocol — no directory service, no broadcast; a client with a
+// cold image pays a bounded number of extra hops and then stays current.
+//
+// Like net::Client, a ClusterClient is not thread-safe; give each thread
+// its own (they each converge on the same map independently).
+
+#ifndef HASHKIT_SRC_CLUSTER_CLUSTER_CLIENT_H_
+#define HASHKIT_SRC_CLUSTER_CLUSTER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_map.h"
+#include "src/net/client.h"
+#include "src/net/proto.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace cluster {
+
+struct ClusterClientOptions {
+  net::ClientOptions net;
+  // A routing attempt = one send to the node the current image names.
+  // Each MOVED or transport error costs one attempt (and refreshes or
+  // adjusts the image); hitting the cap means the cluster never converged
+  // for this key.
+  int max_attempts = 8;
+};
+
+struct ClusterClientStats {
+  uint64_t moved_corrections = 0;  // MOVED replies consumed
+  uint64_t map_refreshes = 0;      // explicit MAP_GET round trips
+  uint64_t reconnects = 0;         // cached connections discarded on error
+};
+
+class ClusterClient {
+ public:
+  // Fetches an initial map from the first reachable seed ("host:port"
+  // strings — any cluster node works as a seed).
+  static Result<std::unique_ptr<ClusterClient>> Connect(
+      const std::vector<std::string>& seeds, const ClusterClientOptions& options);
+  static Result<std::unique_ptr<ClusterClient>> Connect(const std::vector<std::string>& seeds) {
+    return Connect(seeds, ClusterClientOptions());
+  }
+
+  // KvStore-shaped calls, addressed by the image and self-correcting.
+  Status Put(std::string_view key, std::string_view value, bool overwrite = true);
+  Status Get(std::string_view key, std::string* value);
+  Status Delete(std::string_view key);
+
+  // Pipelines `requests` (data ops only: PUT/GET/DEL), grouping them by
+  // target node under the current image.  Responses come back in request
+  // order; requests answered MOVED are retried individually after the
+  // image adjusts.  The returned Status covers total routing failure only.
+  Status Pipeline(const std::vector<net::Request>& requests,
+                  std::vector<net::Response>* responses);
+
+  // Forces a MAP_GET against a node in the image (tests; also the escape
+  // hatch when every node of the image is unreachable).
+  Status RefreshMap();
+
+  // Deliberately installs a stale/foreign image (tests).
+  void OverrideMap(ClusterMap map) { map_ = std::move(map); }
+
+  const ClusterMap& map() const { return map_; }
+  const ClusterClientStats& stats() const { return stats_; }
+
+ private:
+  explicit ClusterClient(ClusterClientOptions options) : options_(std::move(options)) {}
+
+  // One routed round trip; adopts MOVED maps, drops dead connections.
+  Status DoOp(const net::Request& req, net::Response* out);
+  net::Client* ClientFor(const std::string& address);
+  void DropClient(const std::string& address);
+  // Adopts `map_bytes` if it parses and is strictly newer; returns whether
+  // the image changed.
+  bool AdoptIfNewer(std::string_view map_bytes);
+
+  ClusterClientOptions options_;
+  ClusterMap map_;
+  std::map<std::string, std::unique_ptr<net::Client>> conns_;  // by "host:port"
+  std::vector<std::string> seeds_;
+  ClusterClientStats stats_;
+};
+
+}  // namespace cluster
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_CLUSTER_CLUSTER_CLIENT_H_

@@ -1,0 +1,214 @@
+#include "src/cluster/cluster_map.h"
+
+#include <algorithm>
+
+#include "src/util/endian.h"
+#include "src/util/hash_funcs.h"
+
+namespace hashkit {
+namespace cluster {
+
+namespace {
+
+constexpr uint32_t kMapMagic = 0x504D4B48;  // "HKMP" little-endian
+constexpr uint32_t kMaxNodes = 4096;
+constexpr uint32_t kMaxBuckets = 1u << 20;
+constexpr uint32_t kMaxHostLen = 255;
+
+void AppendU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void AppendU16(std::string* out, uint16_t v) {
+  uint8_t b[2];
+  EncodeU16(b, v);
+  out->append(reinterpret_cast<const char*>(b), 2);
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  uint8_t b[4];
+  EncodeU32(b, v);
+  out->append(reinterpret_cast<const char*>(b), 4);
+}
+
+// Cursor over a string_view with bounds-checked reads; any short read
+// poisons the cursor and the caller returns kCorruption.
+struct Reader {
+  std::string_view in;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool Have(size_t n) {
+    if (!ok || in.size() - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint8_t U8() {
+    if (!Have(1)) return 0;
+    return static_cast<uint8_t>(in[pos++]);
+  }
+  uint16_t U16() {
+    if (!Have(2)) return 0;
+    const uint16_t v = DecodeU16(reinterpret_cast<const uint8_t*>(in.data() + pos));
+    pos += 2;
+    return v;
+  }
+  uint32_t U32() {
+    if (!Have(4)) return 0;
+    const uint32_t v = DecodeU32(reinterpret_cast<const uint8_t*>(in.data() + pos));
+    pos += 4;
+    return v;
+  }
+  std::string Bytes(size_t n) {
+    if (!Have(n)) return {};
+    std::string s(in.substr(pos, n));
+    pos += n;
+    return s;
+  }
+};
+
+}  // namespace
+
+uint32_t ClusterKeyHash(std::string_view key) {
+  return HashBytes(HashFnv1a, key);
+}
+
+const NodeInfo* ClusterMap::FindNode(uint32_t node_id) const {
+  for (const NodeInfo& n : nodes) {
+    if (n.id == node_id) {
+      return &n;
+    }
+  }
+  return nullptr;
+}
+
+uint32_t ClusterMap::BucketsOwnedBy(uint32_t node_id) const {
+  uint32_t count = 0;
+  for (const uint32_t owner : bucket_owner) {
+    if (owner == node_id) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint32_t ClusterMap::AdvanceSplit(uint32_t target_node) {
+  const uint32_t new_bucket = next + (1u << level);
+  bucket_owner.push_back(target_node);
+  ++next;
+  if (next == (1u << level)) {  // every level-i bucket split: level rolls over
+    ++level;
+    next = 0;
+  }
+  ++version;
+  return new_bucket;
+}
+
+void ClusterMap::Serialize(std::string* out) const {
+  AppendU32(out, kMapMagic);
+  AppendU32(out, version);
+  AppendU8(out, level);
+  AppendU32(out, next);
+  AppendU32(out, static_cast<uint32_t>(nodes.size()));
+  for (const NodeInfo& n : nodes) {
+    AppendU32(out, n.id);
+    AppendU16(out, n.port);
+    AppendU16(out, static_cast<uint16_t>(n.host.size()));
+    out->append(n.host);
+  }
+  AppendU32(out, bucket_count());
+  for (const uint32_t owner : bucket_owner) {
+    AppendU32(out, owner);
+  }
+}
+
+Status ClusterMap::Deserialize(std::string_view in, size_t* consumed) {
+  Reader r{in};
+  if (r.U32() != kMapMagic) {
+    return Status::Corruption("cluster map: bad magic");
+  }
+  ClusterMap m;
+  m.version = r.U32();
+  m.level = r.U8();
+  m.next = r.U32();
+  const uint32_t node_count = r.U32();
+  if (!r.ok || m.level > 20 || node_count == 0 || node_count > kMaxNodes) {
+    return Status::Corruption("cluster map: bad header");
+  }
+  m.nodes.reserve(node_count);
+  for (uint32_t i = 0; i < node_count; ++i) {
+    NodeInfo n;
+    n.id = r.U32();
+    n.port = r.U16();
+    const uint16_t host_len = r.U16();
+    if (!r.ok || host_len == 0 || host_len > kMaxHostLen) {
+      return Status::Corruption("cluster map: bad node entry");
+    }
+    n.host = r.Bytes(host_len);
+    if (!r.ok) {
+      return Status::Corruption("cluster map: truncated node entry");
+    }
+    m.nodes.push_back(std::move(n));
+  }
+  const uint32_t buckets = r.U32();
+  if (!r.ok || buckets > kMaxBuckets || buckets != m.next + (1u << m.level) ||
+      m.next >= (1u << m.level)) {
+    return Status::Corruption("cluster map: bucket count does not match level/next");
+  }
+  m.bucket_owner.reserve(buckets);
+  for (uint32_t i = 0; i < buckets; ++i) {
+    const uint32_t owner = r.U32();
+    if (!r.ok) {
+      return Status::Corruption("cluster map: truncated bucket table");
+    }
+    m.bucket_owner.push_back(owner);
+  }
+  for (const uint32_t owner : m.bucket_owner) {
+    if (m.FindNode(owner) == nullptr) {
+      return Status::Corruption("cluster map: bucket owned by unknown node");
+    }
+  }
+  if (m.version == 0) {
+    return Status::Corruption("cluster map: version 0");
+  }
+  *this = std::move(m);
+  if (consumed != nullptr) {
+    *consumed = r.pos;
+  }
+  return Status::Ok();
+}
+
+Result<ClusterMap> ClusterMap::Bootstrap(std::vector<NodeInfo> nodes) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("cluster bootstrap: no nodes");
+  }
+  if (nodes.size() > kMaxNodes) {
+    return Status::InvalidArgument("cluster bootstrap: too many nodes");
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      if (nodes[i].id == nodes[j].id) {
+        return Status::InvalidArgument("cluster bootstrap: duplicate node id");
+      }
+    }
+  }
+  // Deterministic bucket deal regardless of the order peers were listed in.
+  std::sort(nodes.begin(), nodes.end(),
+            [](const NodeInfo& a, const NodeInfo& b) { return a.id < b.id; });
+  ClusterMap m;
+  m.version = 1;
+  m.level = 0;
+  while ((1u << m.level) < nodes.size()) {
+    ++m.level;
+  }
+  m.next = 0;
+  m.bucket_owner.resize(1u << m.level);
+  for (uint32_t b = 0; b < m.bucket_count(); ++b) {
+    m.bucket_owner[b] = nodes[b % nodes.size()].id;
+  }
+  m.nodes = std::move(nodes);
+  return m;
+}
+
+}  // namespace cluster
+}  // namespace hashkit

@@ -1,0 +1,106 @@
+// hashkit-cluster: the LH* cluster map — the only piece of shared state in
+// the distributed linear-hash keyspace.
+//
+// The paper's table addresses a key by (level, next): hash the key to
+// `level` bits, and if that lands before the next-split pointer, use
+// `level + 1` bits.  LH* (see PAPERS.md, LH*TH) keeps exactly that math
+// but assigns each *bucket* to a server node.  A map is a versioned
+// snapshot of {level, next, bucket -> node}; servers carry the truth for
+// the buckets they own, clients cache a possibly-stale *image* and are
+// corrected lazily via MOVED replies.  There is no central directory: any
+// node's map answers any client, and a stale image costs extra hops, never
+// a wrong answer (a node always knows the newest map for its own buckets,
+// because only the owner itself ever gives a bucket away).
+//
+// Maps are totally ordered by `version`; every mutation (split, move,
+// join, leave) bumps it by one, performed by exactly one coordinating node
+// which then pushes the new map to its peers (anti-entropy; the MOVED path
+// covers any push that is lost).
+
+#ifndef HASHKIT_SRC_CLUSTER_CLUSTER_MAP_H_
+#define HASHKIT_SRC_CLUSTER_CLUSTER_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace cluster {
+
+// Node ids are dense small integers chosen at bootstrap (or assigned by the
+// join coordinator); they never change for the life of a node and are never
+// reused while the node is in the map.
+struct NodeInfo {
+  uint32_t id = 0;
+  std::string host;
+  uint16_t port = 0;
+
+  std::string Address() const { return host + ":" + std::to_string(port); }
+
+  friend bool operator==(const NodeInfo& a, const NodeInfo& b) {
+    return a.id == b.id && a.host == b.host && a.port == b.port;
+  }
+};
+
+// The hash every cluster participant applies to a key before the (level,
+// next) math.  Fixed protocol-wide (independent of whatever hash each
+// node's local store uses internally): clients and servers must agree on
+// it byte-for-byte or addressing falls apart.
+uint32_t ClusterKeyHash(std::string_view key);
+
+struct ClusterMap {
+  uint32_t version = 0;  // 0 = "no map"; real maps start at 1
+  uint8_t level = 0;     // split level i: at least 2^i buckets exist
+  uint32_t next = 0;     // next bucket to split (< 2^level)
+  std::vector<NodeInfo> nodes;
+  // bucket -> owning node id; size == next + (1u << level).
+  std::vector<uint32_t> bucket_owner;
+
+  uint32_t bucket_count() const { return static_cast<uint32_t>(bucket_owner.size()); }
+
+  // The paper's linear-hash addressing over cluster buckets.
+  uint32_t BucketOfHash(uint32_t hash) const {
+    uint32_t b = hash & ((1u << level) - 1);
+    if (b < next) {
+      b = hash & ((1u << (level + 1)) - 1);
+    }
+    return b;
+  }
+  uint32_t BucketOfKey(std::string_view key) const { return BucketOfHash(ClusterKeyHash(key)); }
+
+  // Owner node id of `bucket` (callers ensure bucket < bucket_count()).
+  uint32_t OwnerOf(uint32_t bucket) const { return bucket_owner[bucket]; }
+
+  const NodeInfo* FindNode(uint32_t node_id) const;
+  bool HasNode(uint32_t node_id) const { return FindNode(node_id) != nullptr; }
+  uint32_t BucketsOwnedBy(uint32_t node_id) const;
+
+  // Advances the split pointer by one step — the new bucket (next + 2^level)
+  // is assigned to `target_node` and `next` moves on, rolling the level
+  // over when it wraps (exactly the table's split cadence, across nodes).
+  // Bumps version.  Returns the id of the bucket that was created.
+  uint32_t AdvanceSplit(uint32_t target_node);
+
+  // Wire/disk serialization (little-endian, self-delimiting):
+  //   u32 'HKMP' | u32 version | u8 level | u32 next |
+  //   u32 node_count | node_count * { u32 id | u16 port | u16 host_len | host } |
+  //   u32 bucket_count | bucket_count * u32 owner
+  void Serialize(std::string* out) const;
+  // Parses one map from the front of `in`; on success `*consumed` is the
+  // byte count (so callers can read trailing payload).  Validates shape:
+  // bucket_count == next + 2^level, every owner present in `nodes`.
+  Status Deserialize(std::string_view in, size_t* consumed);
+
+  // A fresh map over `nodes`: the smallest power-of-two bucket count that
+  // gives every node at least one bucket (level = ceil(log2(n)), next = 0),
+  // buckets dealt round-robin.  version = 1.
+  static Result<ClusterMap> Bootstrap(std::vector<NodeInfo> nodes);
+};
+
+}  // namespace cluster
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_CLUSTER_CLUSTER_MAP_H_

@@ -1,0 +1,1125 @@
+#include "src/cluster/migration.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "src/net/client.h"
+#include "src/util/endian.h"
+#include "src/wal/crc32c.h"
+
+namespace hashkit {
+namespace cluster {
+
+namespace {
+
+// Map+marker file framing: magic | format version | payload length |
+// payload | CRC-32C(payload).  The payload is the serialized map followed
+// by the pending-migration marker.
+constexpr char kMapFileMagic[4] = {'H', 'K', 'C', 'M'};
+constexpr uint32_t kMapFileVersion = 1;
+
+constexpr int kTransferAttempts = 100;
+constexpr int kRetrySleepMs = 100;
+constexpr int kJoinAttempts = 20;
+
+void AppendU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void AppendU32(std::string* out, uint32_t v) {
+  uint8_t b[4];
+  EncodeU32(b, v);
+  out->append(reinterpret_cast<const char*>(b), 4);
+}
+
+uint32_t ReadU32(std::string_view in, size_t pos) {
+  return DecodeU32(reinterpret_cast<const uint8_t*>(in.data() + pos));
+}
+
+net::ClientOptions PeerClientOptions() {
+  net::ClientOptions o;
+  o.connect_timeout_ms = 5'000;
+  o.recv_timeout_ms = 30'000;
+  o.send_timeout_ms = 30'000;
+  return o;
+}
+
+bool ParseHostPort(const std::string& addr, std::string* host, uint16_t* port) {
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= addr.size()) {
+    return false;
+  }
+  const int p = std::atoi(addr.c_str() + colon + 1);
+  if (p <= 0 || p > 65535) {
+    return false;
+  }
+  *host = addr.substr(0, colon);
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+}  // namespace
+
+ClusterNode::ClusterNode(kv::KvStore* store, ClusterNodeOptions options)
+    : store_(store), options_(std::move(options)) {}
+
+ClusterNode::~ClusterNode() { Stop(); }
+
+// ---------------------------------------------------------------------------
+// Persistence
+
+Status ClusterNode::PersistLocked() {
+  if (options_.map_path.empty()) {
+    return Status::Ok();
+  }
+  std::string payload;
+  map_.Serialize(&payload);
+  AppendU8(&payload, static_cast<uint8_t>(marker_.role));
+  AppendU32(&payload, marker_.bucket);
+  AppendU32(&payload, marker_.target);
+
+  std::string file;
+  file.append(kMapFileMagic, 4);
+  AppendU32(&file, kMapFileVersion);
+  AppendU32(&file, static_cast<uint32_t>(payload.size()));
+  file += payload;
+  AppendU32(&file, wal::Crc32c(payload.data(), payload.size()));
+
+  // tmp + fsync + rename: a crash leaves either the old file or the new
+  // one, never a torn mix (same discipline as the table upgrade path).
+  const std::string tmp = options_.map_path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cluster map open: " + std::string(std::strerror(errno)));
+  }
+  size_t off = 0;
+  while (off < file.size()) {
+    const ssize_t n = ::write(fd, file.data() + off, file.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return Status::IoError("cluster map write: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IoError("cluster map fsync: " + std::string(std::strerror(errno)));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), options_.map_path.c_str()) != 0) {
+    return Status::IoError("cluster map rename: " + std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status ClusterNode::LoadPersisted() {
+  if (options_.map_path.empty()) {
+    return Status::NotFound();
+  }
+  const int fd = ::open(options_.map_path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return errno == ENOENT
+               ? Status::NotFound()
+               : Status::IoError("cluster map open: " + std::string(std::strerror(errno)));
+  }
+  std::string file;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return Status::IoError("cluster map read: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      break;
+    }
+    file.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  if (file.size() < 12 || std::memcmp(file.data(), kMapFileMagic, 4) != 0) {
+    return Status::Corruption("cluster map file: bad magic");
+  }
+  if (ReadU32(file, 4) != kMapFileVersion) {
+    return Status::Corruption("cluster map file: unknown format version");
+  }
+  const uint32_t payload_len = ReadU32(file, 8);
+  if (file.size() != 12u + payload_len + 4u) {
+    return Status::Corruption("cluster map file: truncated");
+  }
+  const std::string_view payload(file.data() + 12, payload_len);
+  if (wal::Crc32c(payload.data(), payload.size()) != ReadU32(file, 12 + payload_len)) {
+    return Status::Corruption("cluster map file: checksum mismatch");
+  }
+
+  ClusterMap m;
+  size_t consumed = 0;
+  HASHKIT_RETURN_IF_ERROR(m.Deserialize(payload, &consumed));
+  if (payload.size() - consumed != 9) {
+    return Status::Corruption("cluster map file: bad marker");
+  }
+  PendingMarker marker;
+  const uint8_t role = static_cast<uint8_t>(payload[consumed]);
+  if (role > 2) {
+    return Status::Corruption("cluster map file: bad marker role");
+  }
+  marker.role = static_cast<PendingMarker::Role>(role);
+  marker.bucket = ReadU32(payload, consumed + 1);
+  marker.target = ReadU32(payload, consumed + 5);
+  if (marker.role != PendingMarker::Role::kNone && marker.bucket >= m.bucket_count()) {
+    return Status::Corruption("cluster map file: marker bucket out of range");
+  }
+
+  map_ = std::move(m);
+  marker_ = marker;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+Status ClusterNode::Start(const std::vector<NodeInfo>& peers, const std::string& join_seed) {
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("cluster node already started");
+  }
+
+  Job resume;
+  bool have_resume = false;
+  uint32_t version_after_load = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Status loaded = LoadPersisted();
+    if (!loaded.ok() && !loaded.IsNotFound()) {
+      return loaded;  // a corrupt map file needs an operator, not a guess
+    }
+    if (map_.version == 0 && join_seed.empty()) {
+      // Static bootstrap: every peer derives the identical version-1 map.
+      HASHKIT_ASSIGN_OR_RETURN(map_, ClusterMap::Bootstrap(peers));
+      if (!map_.HasNode(options_.node_id)) {
+        return Status::InvalidArgument("cluster bootstrap: own node id not in peer list");
+      }
+      HASHKIT_RETURN_IF_ERROR(PersistLocked());
+    }
+    if (marker_.role == PendingMarker::Role::kOutbound) {
+      resume = Job{Job::Kind::kTransfer, marker_.bucket, marker_.target, /*installed=*/true};
+      have_resume = true;
+    }
+    // An inbound marker needs no action here: the source re-drives the
+    // stream when it comes back; we just keep refusing to drop the state.
+    version_after_load = map_.version;
+  }
+
+  if (version_after_load == 0) {
+    // Join path: ask the seed to add us (no buckets yet; load arrives via
+    // split/move).  Retried because the seed may still be starting.
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseHostPort(join_seed, &host, &port)) {
+      return Status::InvalidArgument("bad join seed address: " + join_seed);
+    }
+    std::string payload;
+    AppendU32(&payload, options_.node_id);
+    {
+      uint8_t b[2];
+      EncodeU16(b, options_.advertise_port);
+      payload.append(reinterpret_cast<const char*>(b), 2);
+      EncodeU16(b, static_cast<uint16_t>(options_.advertise_host.size()));
+      payload.append(reinterpret_cast<const char*>(b), 2);
+    }
+    payload += options_.advertise_host;
+
+    Status last = Status::IoError("join never attempted");
+    for (int attempt = 0; attempt < kJoinAttempts; ++attempt) {
+      auto cres = net::Client::Connect(host, port, PeerClientOptions());
+      if (cres.ok()) {
+        net::Request req;
+        req.op = net::Opcode::kMigrate;
+        req.flags = net::kMigrateJoin;
+        req.value = payload;
+        std::vector<net::Response> resps;
+        last = (*cres)->Pipeline({req}, &resps);
+        if (last.ok() && resps[0].status == StatusCode::kOk) {
+          ClusterMap m;
+          size_t consumed = 0;
+          HASHKIT_RETURN_IF_ERROR(m.Deserialize(resps[0].value, &consumed));
+          std::lock_guard<std::mutex> lock(mu_);
+          map_ = std::move(m);
+          HASHKIT_RETURN_IF_ERROR(PersistLocked());
+          last = Status::Ok();
+          break;
+        }
+        if (last.ok()) {
+          last = Status(resps[0].status, resps[0].value);
+          if (resps[0].status == StatusCode::kExists) {
+            break;  // id taken by a different address — operator error
+          }
+        }
+      } else {
+        last = cres.status();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(kRetrySleepMs));
+    }
+    if (!last.ok()) {
+      return Status(last.code(), "cluster join via " + join_seed + " failed: " + last.message());
+    }
+  }
+
+  engine_ = std::thread([this] { EngineMain(); });
+  if (have_resume) {
+    Enqueue(resume);
+  }
+  return Status::Ok();
+}
+
+void ClusterNode::Stop() {
+  if (!started_.load()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (engine_stop_) {
+      return;
+    }
+    engine_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (engine_.joinable()) {
+    engine_.join();
+  }
+}
+
+void ClusterNode::Enqueue(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(job);
+  }
+  queue_cv_.notify_all();
+}
+
+void ClusterNode::EngineMain() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return engine_stop_ || !queue_.empty(); });
+      if (engine_stop_) {
+        return;  // pending work stays persisted; the next Start resumes it
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      engine_busy_ = true;
+    }
+    switch (job.kind) {
+      case Job::Kind::kTransfer:
+        RunTransfer(job);
+        break;
+      case Job::Kind::kSplit:
+        RunSplit();
+        break;
+      case Job::Kind::kPushMap:
+        PushMapToPeers();
+        break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      engine_busy_ = false;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request path
+
+bool ClusterNode::HandleRequest(const net::Request& req, net::Response* resp) {
+  switch (req.op) {
+    case net::Opcode::kPut:
+    case net::Opcode::kGet:
+    case net::Opcode::kDel:
+      return HandleData(req, resp);
+    case net::Opcode::kScan: {
+      // Scans stay node-local (the cursor is per-store); they hold the data
+      // latch so migration collection cannot interleave with them.
+      std::shared_lock<std::shared_mutex> data(data_mu_);
+      const Status st =
+          store_->Scan(&resp->key, &resp->value, (req.flags & net::kFlagScanFirst) != 0);
+      resp->status = st.code();
+      if (!st.ok() && resp->value.empty()) {
+        resp->value = st.message();
+      }
+      return true;
+    }
+    case net::Opcode::kMapGet: {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (map_.version == 0) {
+        resp->status = StatusCode::kNotFound;
+        resp->value = "no cluster map yet";
+      } else {
+        resp->status = StatusCode::kOk;
+        map_.Serialize(&resp->value);
+      }
+      return true;
+    }
+    case net::Opcode::kMigrate:
+      return HandleMigrate(req, resp);
+    default:
+      return false;  // PING/STATS/SYNC and anything unknown: server handles
+  }
+}
+
+void ClusterNode::FillMovedLocked(net::Response* resp) {
+  resp->op = net::Opcode::kMoved;
+  resp->status = StatusCode::kMoved;
+  resp->value.clear();
+  map_.Serialize(&resp->value);
+  counters_.moved_replies.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ClusterNode::HandleData(const net::Request& req, net::Response* resp) {
+  // Lock discipline: the shared data latch is taken for the whole
+  // check-then-act — an op that passed the ownership check under map v is
+  // guaranteed to finish its store call before the migration collector
+  // (which installs v+1 first, then takes the latch exclusive) can scan.
+  std::shared_lock<std::shared_mutex> data(data_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (map_.version == 0) {
+    resp->status = StatusCode::kUnsupported;
+    resp->value = "cluster node has no map yet";
+    return true;
+  }
+  const uint32_t bucket = map_.BucketOfKey(req.key);
+  if (map_.OwnerOf(bucket) != options_.node_id) {
+    FillMovedLocked(resp);
+    return true;
+  }
+
+  const bool inbound =
+      marker_.role == PendingMarker::Role::kInbound && marker_.bucket == bucket;
+  if (inbound && req.op != net::Opcode::kGet) {
+    // The copy stream for this bucket is (or may soon be) running; record
+    // that the client now owns this key's latest state so a streamed copy
+    // cannot resurrect an older value or a deleted key.
+    inbound_dirty_.insert(req.key);
+  }
+  if (!inbound) {
+    // Fast path: the store call runs outside mu_ (the data latch alone
+    // orders it against migration).  Inbound-bucket ops stay under mu_ so
+    // the dirty check in the MIGRATE data handler is atomic with them.
+    lock.unlock();
+  }
+
+  Status st;
+  switch (req.op) {
+    case net::Opcode::kPut:
+      st = store_->Put(req.key, req.value, (req.flags & net::kFlagNoOverwrite) == 0);
+      break;
+    case net::Opcode::kGet:
+      st = store_->Get(req.key, &resp->value);
+      break;
+    case net::Opcode::kDel:
+      st = store_->Delete(req.key);
+      break;
+    default:
+      st = Status::InvalidArgument("not a data op");
+      break;
+  }
+  resp->status = st.code();
+  if (!st.ok() && resp->value.empty()) {
+    resp->value = st.message();
+  }
+
+  if (req.op == net::Opcode::kPut && st.ok() && options_.split_threshold > 0 &&
+      puts_since_split_check_.fetch_add(1, std::memory_order_relaxed) % 64 == 63) {
+    if (!lock.owns_lock()) {
+      lock.lock();
+    }
+    // The LH* load trigger: split when this node's average pairs-per-bucket
+    // exceeds the threshold and bucket `next` is ours to split.
+    if (marker_.role == PendingMarker::Role::kNone &&
+        map_.bucket_owner[map_.next] == options_.node_id) {
+      const uint32_t owned = map_.BucketsOwnedBy(options_.node_id);
+      if (owned > 0 && store_->Size() > options_.split_threshold * owned &&
+          !split_pending_.exchange(true)) {
+        Enqueue(Job{Job::Kind::kSplit, 0, 0, false});
+      }
+    }
+  }
+  return true;
+}
+
+bool ClusterNode::HandleMigrate(const net::Request& req, net::Response* resp) {
+  const auto fail = [resp](Status st) {
+    resp->status = st.code();
+    resp->value = st.message();
+    return true;
+  };
+
+  switch (req.flags) {
+    case net::kMigrateStart: {
+      if (req.value.size() < 4) {
+        return fail(Status::InvalidArgument("migrate start: short payload"));
+      }
+      const uint32_t bucket = ReadU32(req.value, 0);
+      ClusterMap proposed;
+      size_t consumed = 0;
+      const Status ps =
+          proposed.Deserialize(std::string_view(req.value).substr(4), &consumed);
+      if (!ps.ok()) {
+        return fail(ps);
+      }
+      if (bucket >= proposed.bucket_count() ||
+          proposed.OwnerOf(bucket) != options_.node_id) {
+        return fail(Status::InvalidArgument("migrate start: bucket not addressed to me"));
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (marker_.role == PendingMarker::Role::kInbound && marker_.bucket == bucket) {
+        // Resume after a source (or our own) restart.  The dirty set is
+        // kept: client writes since cutover are still newer than anything
+        // the restarted stream will send.
+        if (proposed.version > map_.version) {
+          map_ = std::move(proposed);
+        }
+        const Status st = PersistLocked();
+        if (!st.ok()) {
+          return fail(st);
+        }
+        resp->status = StatusCode::kOk;
+        return true;
+      }
+      if (marker_.role != PendingMarker::Role::kNone) {
+        return fail(Status::InvalidArgument("migrate start: node busy with another migration"));
+      }
+      if (map_.version >= proposed.version) {
+        // We already completed this transfer (end frame landed, marker
+        // cleared) and the source crashed before its own cleanup: tell it
+        // to skip straight to deletion.
+        resp->status = StatusCode::kExists;
+        resp->value.clear();
+        map_.Serialize(&resp->value);
+        return true;
+      }
+      map_ = std::move(proposed);
+      marker_ = PendingMarker{PendingMarker::Role::kInbound, bucket, 0};
+      inbound_dirty_.clear();
+      const Status st = PersistLocked();
+      if (!st.ok()) {
+        marker_ = PendingMarker{};
+        return fail(st);
+      }
+      resp->status = StatusCode::kOk;
+      return true;
+    }
+
+    case net::kMigrateData: {
+      std::shared_lock<std::shared_mutex> data(data_mu_);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (marker_.role != PendingMarker::Role::kInbound) {
+        return fail(Status::InvalidArgument("migrate data: no inbound migration"));
+      }
+      if (map_.BucketOfKey(req.key) != marker_.bucket) {
+        return fail(Status::InvalidArgument("migrate data: key not in migrating bucket"));
+      }
+      if (inbound_dirty_.count(req.key) != 0) {
+        // A client wrote (or deleted) this key after cutover; its state is
+        // newer than the copy — drop the copy.
+        counters_.migrate_data_skipped.fetch_add(1, std::memory_order_relaxed);
+        resp->status = StatusCode::kOk;
+        return true;
+      }
+      const Status st = store_->Put(req.key, req.value, /*overwrite=*/true);
+      if (!st.ok()) {
+        return fail(st);
+      }
+      counters_.keys_migrated_in.fetch_add(1, std::memory_order_relaxed);
+      resp->status = StatusCode::kOk;
+      return true;
+    }
+
+    case net::kMigrateEnd: {
+      if (req.value.size() < 4) {
+        return fail(Status::InvalidArgument("migrate end: short payload"));
+      }
+      const uint32_t bucket = ReadU32(req.value, 0);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (marker_.role == PendingMarker::Role::kInbound && marker_.bucket == bucket) {
+        marker_ = PendingMarker{};
+        inbound_dirty_.clear();
+        const Status st = PersistLocked();
+        if (!st.ok()) {
+          return fail(st);
+        }
+        counters_.migrations_in.fetch_add(1, std::memory_order_relaxed);
+      }
+      resp->status = StatusCode::kOk;  // idempotent: a re-sent end is fine
+      return true;
+    }
+
+    case net::kMigrateMap: {
+      ClusterMap pushed;
+      size_t consumed = 0;
+      const Status ps = pushed.Deserialize(req.value, &consumed);
+      if (!ps.ok()) {
+        return fail(ps);
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pushed.version > map_.version) {
+        map_ = std::move(pushed);
+        const Status st = PersistLocked();
+        if (!st.ok()) {
+          return fail(st);
+        }
+        counters_.map_pushes_in.fetch_add(1, std::memory_order_relaxed);
+      }
+      resp->status = StatusCode::kOk;
+      return true;
+    }
+
+    case net::kMigrateJoin: {
+      if (req.value.size() < 8) {
+        return fail(Status::InvalidArgument("migrate join: short payload"));
+      }
+      NodeInfo joiner;
+      joiner.id = ReadU32(req.value, 0);
+      joiner.port = DecodeU16(reinterpret_cast<const uint8_t*>(req.value.data() + 4));
+      const uint16_t host_len =
+          DecodeU16(reinterpret_cast<const uint8_t*>(req.value.data() + 6));
+      if (req.value.size() != 8u + host_len || host_len == 0) {
+        return fail(Status::InvalidArgument("migrate join: bad host"));
+      }
+      joiner.host = req.value.substr(8, host_len);
+      bool push = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (map_.version == 0) {
+          return fail(Status::Unsupported("seed has no cluster map yet"));
+        }
+        const NodeInfo* existing = map_.FindNode(joiner.id);
+        if (existing != nullptr) {
+          if (!(*existing == joiner)) {
+            return fail(Status::Exists("node id " + std::to_string(joiner.id) +
+                                       " already present at " + existing->Address()));
+          }
+          // Idempotent re-join: just hand back the current map.
+        } else {
+          map_.nodes.push_back(joiner);
+          ++map_.version;
+          const Status st = PersistLocked();
+          if (!st.ok()) {
+            map_.nodes.pop_back();
+            --map_.version;
+            return fail(st);
+          }
+          push = true;
+        }
+        resp->status = StatusCode::kOk;
+        resp->value.clear();
+        map_.Serialize(&resp->value);
+      }
+      if (push) {
+        Enqueue(Job{Job::Kind::kPushMap, 0, 0, false});
+      }
+      return true;
+    }
+
+    case net::kMigrateMove: {
+      if (req.value.size() < 8) {
+        return fail(Status::InvalidArgument("migrate move: short payload"));
+      }
+      const Status st = ScheduleMove(ReadU32(req.value, 0), ReadU32(req.value, 4));
+      if (!st.ok()) {
+        return fail(st);
+      }
+      resp->status = StatusCode::kOk;
+      resp->value = "move scheduled";
+      return true;
+    }
+
+    case net::kMigrateSplit: {
+      const Status st = ScheduleSplit();
+      if (!st.ok()) {
+        return fail(st);
+      }
+      resp->status = StatusCode::kOk;
+      resp->value = "split scheduled";
+      return true;
+    }
+
+    case net::kMigrateLeave: {
+      if (req.value.size() < 4) {
+        return fail(Status::InvalidArgument("migrate leave: short payload"));
+      }
+      const uint32_t node_id = ReadU32(req.value, 0);
+      if (node_id != options_.node_id) {
+        return fail(Status::InvalidArgument("leave must be sent to the leaving node"));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (map_.version == 0) {
+          return fail(Status::Unsupported("no cluster map"));
+        }
+        if (map_.BucketsOwnedBy(node_id) != 0) {
+          return fail(Status::InvalidArgument(
+              "node still owns " + std::to_string(map_.BucketsOwnedBy(node_id)) +
+              " bucket(s); drain them first"));
+        }
+        if (marker_.role != PendingMarker::Role::kNone) {
+          return fail(Status::InvalidArgument("migration in progress"));
+        }
+        auto it = std::find_if(map_.nodes.begin(), map_.nodes.end(),
+                               [node_id](const NodeInfo& n) { return n.id == node_id; });
+        if (it == map_.nodes.end()) {
+          return fail(Status::NotFound("node not in map"));
+        }
+        map_.nodes.erase(it);
+        ++map_.version;
+        const Status st = PersistLocked();
+        if (!st.ok()) {
+          return fail(st);
+        }
+      }
+      // The departing node pushes the final map itself — peers must learn
+      // it even though this node is about to shut down.
+      PushMapToPeers();
+      resp->status = StatusCode::kOk;
+      resp->value = "left cluster; safe to shut down";
+      return true;
+    }
+
+    default:
+      return fail(Status::InvalidArgument("migrate: unknown sub-op"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling + engine jobs
+
+Status ClusterNode::ScheduleMove(uint32_t bucket, uint32_t target_node) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.version == 0) {
+      return Status::Unsupported("no cluster map");
+    }
+    if (bucket >= map_.bucket_count()) {
+      return Status::InvalidArgument("bucket out of range");
+    }
+    if (map_.OwnerOf(bucket) != options_.node_id) {
+      return Status::InvalidArgument("bucket " + std::to_string(bucket) + " is owned by node " +
+                                     std::to_string(map_.OwnerOf(bucket)) +
+                                     "; send the move there");
+    }
+    if (map_.FindNode(target_node) == nullptr) {
+      return Status::InvalidArgument("target node not in map");
+    }
+    if (target_node == options_.node_id) {
+      return Status::InvalidArgument("bucket already lives here");
+    }
+    if (marker_.role != PendingMarker::Role::kNone) {
+      return Status::InvalidArgument("migration already in progress");
+    }
+  }
+  Enqueue(Job{Job::Kind::kTransfer, bucket, target_node, /*installed=*/false});
+  return Status::Ok();
+}
+
+Status ClusterNode::ScheduleSplit() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.version == 0) {
+      return Status::Unsupported("no cluster map");
+    }
+    if (map_.bucket_owner[map_.next] != options_.node_id) {
+      return Status::InvalidArgument(
+          "bucket next=" + std::to_string(map_.next) + " is owned by node " +
+          std::to_string(map_.bucket_owner[map_.next]) + "; send the split there");
+    }
+    if (marker_.role != PendingMarker::Role::kNone) {
+      return Status::InvalidArgument("migration already in progress");
+    }
+  }
+  Enqueue(Job{Job::Kind::kSplit, 0, 0, false});
+  return Status::Ok();
+}
+
+void ClusterNode::RunTransfer(Job job) {
+  if (!job.installed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-validate: the map may have changed between schedule and run.
+    if (map_.version == 0 || job.bucket >= map_.bucket_count() ||
+        map_.OwnerOf(job.bucket) != options_.node_id ||
+        map_.FindNode(job.target) == nullptr ||
+        marker_.role != PendingMarker::Role::kNone) {
+      counters_.migration_failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Cutover: from the moment this map is installed the bucket is the
+    // target's, and every straggler here is answered MOVED.
+    map_.bucket_owner[job.bucket] = job.target;
+    ++map_.version;
+    marker_ = PendingMarker{PendingMarker::Role::kOutbound, job.bucket, job.target};
+    if (const Status st = PersistLocked(); !st.ok()) {
+      // Roll back in memory; nothing was made visible.
+      map_.bucket_owner[job.bucket] = options_.node_id;
+      --map_.version;
+      marker_ = PendingMarker{};
+      counters_.migration_failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  migrating_bucket_.store(job.bucket);
+  migrate_keys_streamed_.store(0);
+  migrate_keys_total_.store(0);
+  for (int attempt = 0; attempt < kTransferAttempts; ++attempt) {
+    const Status st = ExecuteTransfer(job.bucket, job.target);
+    if (st.ok()) {
+      counters_.migrations_out.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (aborted_at_failpoint_.load()) {
+      return;  // testonly crash simulation: markers stay put
+    }
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (queue_cv_.wait_for(lock, std::chrono::milliseconds(kRetrySleepMs),
+                           [this] { return engine_stop_; })) {
+      return;  // shutting down; persisted marker resumes next Start
+    }
+  }
+  counters_.migration_failures.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClusterNode::RunSplit() {
+  uint32_t bucket = 0;
+  uint32_t target = 0;
+  bool local = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    split_pending_.store(false);  // re-armed once this attempt is decided
+    if (map_.version == 0 || marker_.role != PendingMarker::Role::kNone ||
+        map_.bucket_owner[map_.next] != options_.node_id) {
+      counters_.migration_failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // The new bucket goes to the least-loaded node (fewest buckets, ties to
+    // the lowest id) — that is what levels the cluster as it grows.
+    target = options_.node_id;
+    uint32_t best = ~0u;
+    for (const NodeInfo& n : map_.nodes) {
+      const uint32_t owned = map_.BucketsOwnedBy(n.id);
+      if (owned < best || (owned == best && n.id < target)) {
+        best = owned;
+        target = n.id;
+      }
+    }
+    bucket = map_.AdvanceSplit(target);  // bumps version
+    local = target == options_.node_id;
+    if (!local) {
+      marker_ = PendingMarker{PendingMarker::Role::kOutbound, bucket, target};
+    }
+    if (const Status st = PersistLocked(); !st.ok()) {
+      map_.bucket_owner.pop_back();
+      --map_.version;
+      if (map_.next == 0) {
+        --map_.level;
+        map_.next = (1u << map_.level);
+      }
+      --map_.next;
+      marker_ = PendingMarker{};
+      counters_.migration_failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  if (local) {
+    // The paper's free split: the new bucket lives on the splitting node,
+    // so re-addressed keys are already in the right store.  Only the map
+    // has to travel.
+    counters_.splits_local.fetch_add(1, std::memory_order_relaxed);
+    PushMapToPeers();
+    return;
+  }
+  counters_.splits_remote.fetch_add(1, std::memory_order_relaxed);
+  RunTransfer(Job{Job::Kind::kTransfer, bucket, target, /*installed=*/true});
+}
+
+Status ClusterNode::ExecuteTransfer(uint32_t bucket, uint32_t target_node) {
+  NodeInfo target;
+  ClusterMap snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const NodeInfo* t = map_.FindNode(target_node);
+    if (t == nullptr) {
+      return Status::InvalidArgument("transfer target left the map");
+    }
+    target = *t;
+    snapshot = map_;
+  }
+
+  HASHKIT_ASSIGN_OR_RETURN(auto client,
+                           net::Client::Connect(target.host, target.port, PeerClientOptions()));
+
+  // Step 2: arm the target (adopt map, persist inbound marker, start the
+  // dirty-key tracking).  kExists = the target already finished this one.
+  bool already_complete = false;
+  {
+    net::Request start;
+    start.op = net::Opcode::kMigrate;
+    start.flags = net::kMigrateStart;
+    AppendU32(&start.value, bucket);
+    snapshot.Serialize(&start.value);
+    std::vector<net::Response> resps;
+    HASHKIT_RETURN_IF_ERROR(client->Pipeline({start}, &resps));
+    if (resps[0].status == StatusCode::kExists) {
+      already_complete = true;
+    } else if (resps[0].status != StatusCode::kOk) {
+      return Status(resps[0].status, "migrate start refused: " + resps[0].value);
+    }
+  }
+
+  // Step 3: collect the bucket's pairs.  Exclusive data latch — the store's
+  // scan cursor is shared mutable state, and a concurrent Put/Delete (or
+  // client Scan) would silently skip or repeat pairs under the cursor.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  {
+    std::unique_lock<std::shared_mutex> data(data_mu_);
+    std::string key;
+    std::string value;
+    bool first = true;
+    for (;;) {
+      const Status st = store_->Scan(&key, &value, first);
+      first = false;
+      if (st.IsNotFound()) {
+        break;
+      }
+      HASHKIT_RETURN_IF_ERROR(st);
+      if (snapshot.BucketOfKey(key) == bucket) {
+        pairs.emplace_back(key, value);
+      }
+    }
+  }
+  migrate_keys_total_.store(pairs.size());
+  migrate_keys_streamed_.store(0);
+
+  // Step 4: stream, pipelined.  Idempotent — a retry after a transport
+  // error re-runs from the start frame and overwrites.
+  if (!already_complete) {
+    size_t i = 0;
+    uint32_t batches = 0;
+    while (i < pairs.size()) {
+      std::vector<net::Request> reqs;
+      reqs.reserve(options_.migrate_batch);
+      for (; i < pairs.size() && reqs.size() < options_.migrate_batch; ++i) {
+        net::Request r;
+        r.op = net::Opcode::kMigrate;
+        r.flags = net::kMigrateData;
+        r.key = pairs[i].first;
+        r.value = pairs[i].second;
+        reqs.push_back(std::move(r));
+      }
+      std::vector<net::Response> resps;
+      HASHKIT_RETURN_IF_ERROR(client->Pipeline(reqs, &resps));
+      for (const net::Response& r : resps) {
+        if (r.status != StatusCode::kOk) {
+          return Status(r.status, "migrate data refused: " + r.value);
+        }
+      }
+      migrate_keys_streamed_.fetch_add(reqs.size());
+      ++batches;
+      if (options_.testonly_abort_after_batches > 0 &&
+          batches >= options_.testonly_abort_after_batches) {
+        aborted_at_failpoint_.store(true);
+        return Status::IoError("testonly failpoint: aborting mid-migration");
+      }
+    }
+
+    // Step 5: seal — the target drops its marker and dirty set.
+    net::Request end;
+    end.op = net::Opcode::kMigrate;
+    end.flags = net::kMigrateEnd;
+    AppendU32(&end.value, bucket);
+    std::vector<net::Response> resps;
+    HASHKIT_RETURN_IF_ERROR(client->Pipeline({end}, &resps));
+    if (resps[0].status != StatusCode::kOk) {
+      return Status(resps[0].status, "migrate end refused: " + resps[0].value);
+    }
+  }
+
+  // Step 6: drop our copies (kNotFound is fine — a resumed transfer
+  // re-deletes), clear the marker, spread the map.
+  {
+    std::shared_lock<std::shared_mutex> data(data_mu_);
+    for (const auto& [key, value] : pairs) {
+      const Status st = store_->Delete(key);
+      if (!st.ok() && !st.IsNotFound()) {
+        return st;
+      }
+    }
+  }
+  counters_.keys_migrated_out.fetch_add(pairs.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    marker_ = PendingMarker{};
+    HASHKIT_RETURN_IF_ERROR(PersistLocked());
+  }
+  PushMapToPeers();
+  return Status::Ok();
+}
+
+void ClusterNode::PushMapToPeers() {
+  std::string map_bytes;
+  std::vector<NodeInfo> peers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.version == 0) {
+      return;
+    }
+    map_.Serialize(&map_bytes);
+    peers = map_.nodes;
+  }
+  for (const NodeInfo& peer : peers) {
+    if (peer.id == options_.node_id) {
+      continue;
+    }
+    auto cres = net::Client::Connect(peer.host, peer.port, PeerClientOptions());
+    if (!cres.ok()) {
+      continue;  // best effort: MOVED replies correct anyone we miss
+    }
+    net::Request req;
+    req.op = net::Opcode::kMigrate;
+    req.flags = net::kMigrateMap;
+    req.value = map_bytes;
+    std::vector<net::Response> resps;
+    if ((*cres)->Pipeline({req}, &resps).ok() && resps[0].status == StatusCode::kOk) {
+      counters_.map_pushes_out.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observers + stats
+
+ClusterMap ClusterNode::MapSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_;
+}
+
+bool ClusterNode::MigrationActive() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (marker_.role != PendingMarker::Role::kNone) {
+      return true;
+    }
+  }
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (engine_busy_) {
+    return true;
+  }
+  for (const Job& job : queue_) {
+    if (job.kind != Job::Kind::kPushMap) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClusterNode::AppendStatsText(std::string* text) const {
+  const auto line = [text](const std::string& key, uint64_t value) {
+    *text += key;
+    *text += '=';
+    *text += std::to_string(value);
+    *text += '\n';
+  };
+  ClusterMap map;
+  uint8_t marker_role = 0;
+  uint32_t marker_bucket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    map = map_;
+    marker_role = static_cast<uint8_t>(marker_.role);
+    marker_bucket = marker_.bucket;
+  }
+  line("cluster.node_id", options_.node_id);
+  line("cluster.map_version", map.version);
+  line("cluster.level", map.level);
+  line("cluster.next", map.next);
+  line("cluster.buckets", map.bucket_count());
+  line("cluster.nodes", map.nodes.size());
+  line("cluster.owned_buckets", map.BucketsOwnedBy(options_.node_id));
+  const auto c = [](const std::atomic<uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  line("cluster.moved_replies", c(counters_.moved_replies));
+  line("cluster.map_pushes_in", c(counters_.map_pushes_in));
+  line("cluster.map_pushes_out", c(counters_.map_pushes_out));
+  line("cluster.migrations_in", c(counters_.migrations_in));
+  line("cluster.migrations_out", c(counters_.migrations_out));
+  line("cluster.keys_migrated_in", c(counters_.keys_migrated_in));
+  line("cluster.keys_migrated_out", c(counters_.keys_migrated_out));
+  line("cluster.migrate_data_skipped", c(counters_.migrate_data_skipped));
+  line("cluster.splits_local", c(counters_.splits_local));
+  line("cluster.splits_remote", c(counters_.splits_remote));
+  line("cluster.migration_failures", c(counters_.migration_failures));
+  line("cluster.migration_active", marker_role != 0 ? 1 : 0);
+  line("cluster.migration_role", marker_role);
+  line("cluster.migration_bucket", marker_role != 0 ? marker_bucket : 0);
+  line("cluster.migration_keys_streamed", migrate_keys_streamed_.load());
+  line("cluster.migration_keys_total", migrate_keys_total_.load());
+  for (const NodeInfo& n : map.nodes) {
+    const std::string prefix = "cluster.node." + std::to_string(n.id);
+    *text += prefix + ".addr=" + n.Address() + "\n";
+    line(prefix + ".buckets", map.BucketsOwnedBy(n.id));
+  }
+}
+
+void ClusterNode::AppendMetricsText(std::string* text) const {
+  const auto gauge = [text](const std::string& name, uint64_t value) {
+    *text += name;
+    *text += ' ';
+    *text += std::to_string(value);
+    *text += '\n';
+  };
+  ClusterMap map;
+  uint8_t marker_role = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    map = map_;
+    marker_role = static_cast<uint8_t>(marker_.role);
+  }
+  const auto c = [](const std::atomic<uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  gauge("hashkit_cluster_node_id", options_.node_id);
+  gauge("hashkit_cluster_map_version", map.version);
+  gauge("hashkit_cluster_level", map.level);
+  gauge("hashkit_cluster_next", map.next);
+  gauge("hashkit_cluster_buckets", map.bucket_count());
+  gauge("hashkit_cluster_nodes", map.nodes.size());
+  gauge("hashkit_cluster_owned_buckets", map.BucketsOwnedBy(options_.node_id));
+  gauge("hashkit_cluster_moved_replies_total", c(counters_.moved_replies));
+  gauge("hashkit_cluster_map_pushes_in_total", c(counters_.map_pushes_in));
+  gauge("hashkit_cluster_map_pushes_out_total", c(counters_.map_pushes_out));
+  gauge("hashkit_cluster_migrations_in_total", c(counters_.migrations_in));
+  gauge("hashkit_cluster_migrations_out_total", c(counters_.migrations_out));
+  gauge("hashkit_cluster_keys_migrated_in_total", c(counters_.keys_migrated_in));
+  gauge("hashkit_cluster_keys_migrated_out_total", c(counters_.keys_migrated_out));
+  gauge("hashkit_cluster_migrate_data_skipped_total", c(counters_.migrate_data_skipped));
+  gauge("hashkit_cluster_splits_local_total", c(counters_.splits_local));
+  gauge("hashkit_cluster_splits_remote_total", c(counters_.splits_remote));
+  gauge("hashkit_cluster_migration_failures_total", c(counters_.migration_failures));
+  gauge("hashkit_cluster_migration_active", marker_role != 0 ? 1 : 0);
+  gauge("hashkit_cluster_migration_keys_streamed", migrate_keys_streamed_.load());
+  gauge("hashkit_cluster_migration_keys_total", migrate_keys_total_.load());
+}
+
+}  // namespace cluster
+}  // namespace hashkit

@@ -1,0 +1,217 @@
+// hashkit-cluster: one node's membership in the LH* keyspace, including
+// the bucket-migration engine.
+//
+// A ClusterNode sits between the network server and the local store (it
+// implements net::ClusterHooks, wired in via ServerOptions::cluster).
+// Every data request is ownership-checked against the node's current map:
+// owned buckets are served locally, everything else is answered MOVED with
+// the node's map as the correction payload (LH*TH image adjustment).
+//
+// Migration moves one bucket at a time with *cutover before copy*:
+//
+//   source: 1. persist {outbound bucket b -> target T} + map v+1 (owner of
+//              b is now T) in the node's .cmap file, install the map — from
+//              this instant the source answers MOVED for b (stragglers are
+//              corrected, not served stale)
+//           2. MIGRATE start to T: T adopts map v+1, persists an inbound
+//              marker, and begins tracking every client write to b in an
+//              in-memory dirty-key set (clients learn v+1 from MOVED, so
+//              writes to b race the copy — the dirty set wins those races)
+//           3. collect b's pairs under an exclusive data latch (the store's
+//              scan cursor is shared state; mutators are held off briefly)
+//           4. stream the pairs as pipelined MIGRATE data frames; T applies
+//              each unless the key is dirty (a newer client write/delete
+//              must not be resurrected by the copy)
+//           5. MIGRATE end: T drops the inbound marker + dirty set
+//           6. delete the moved pairs locally, push map v+1 to all peers,
+//              clear the outbound marker
+//
+// Both markers live in the .cmap file (atomic tmp+fsync+rename, CRC'd), so
+// a crash on either side resumes at step 2 on restart: the transfer is
+// idempotent (data frames overwrite), the map install is already durable,
+// and each node's WAL covers its own store mutations.  A cluster split is
+// the same engine — AdvanceSplit creates the new bucket, whose pairs are
+// re-addressed out of the split bucket; when the new bucket lands on the
+// coordinating node itself no data moves at all (the paper's free split).
+//
+// One migration runs at a time per coordinating node, and only the owner
+// of a bucket may move it (and only the owner of bucket `next` may split).
+// That rule is what makes stale maps harmless: a node's owned set shrinks
+// only through its own coordinated, version-bumping operations.
+
+#ifndef HASHKIT_SRC_CLUSTER_MIGRATION_H_
+#define HASHKIT_SRC_CLUSTER_MIGRATION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cluster/cluster_map.h"
+#include "src/kv/kv_store.h"
+#include "src/net/cluster_hooks.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace cluster {
+
+struct ClusterNodeOptions {
+  uint32_t node_id = 0;
+  // How this node appears in the map other nodes and clients use to reach
+  // it; must resolve back to this server's listen address.
+  std::string advertise_host = "127.0.0.1";
+  uint16_t advertise_port = 0;
+  // Durable map + migration-marker state, e.g. "<data path>.cmap".  Empty
+  // disables persistence (tests only; a restart then loses the map).
+  std::string map_path;
+  // Pairs per pipelined MIGRATE data batch.
+  uint32_t migrate_batch = 64;
+  // When > 0: after a locally-owned PUT, if the store holds more than
+  // `split_threshold * owned_buckets` pairs and this node owns bucket
+  // `next`, a split is scheduled automatically (the LH* load trigger).
+  uint64_t split_threshold = 0;
+  // Test failpoint: abort the migration engine after streaming N data
+  // batches, leaving the persisted markers in place as a crash would.
+  uint32_t testonly_abort_after_batches = 0;
+};
+
+// Monotonic counters for STATS//metrics; all relaxed.
+struct ClusterCounters {
+  std::atomic<uint64_t> moved_replies{0};       // requests answered MOVED
+  std::atomic<uint64_t> map_pushes_in{0};       // MIGRATE map frames accepted
+  std::atomic<uint64_t> map_pushes_out{0};      // map frames pushed to peers
+  std::atomic<uint64_t> migrations_out{0};      // buckets fully sent away
+  std::atomic<uint64_t> migrations_in{0};       // buckets fully received
+  std::atomic<uint64_t> keys_migrated_out{0};
+  std::atomic<uint64_t> keys_migrated_in{0};
+  std::atomic<uint64_t> migrate_data_skipped{0};  // dirty-key copy suppressions
+  std::atomic<uint64_t> splits_local{0};          // free splits (no data moved)
+  std::atomic<uint64_t> splits_remote{0};
+  std::atomic<uint64_t> migration_failures{0};    // engine runs that gave up
+};
+
+class ClusterNode : public net::ClusterHooks {
+ public:
+  // `store` is borrowed, must be thread-safe (the server shares it), and
+  // must outlive the node.
+  ClusterNode(kv::KvStore* store, ClusterNodeOptions options);
+  ~ClusterNode() override;
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  // Brings the node into a cluster, in precedence order:
+  //  1. a persisted map at map_path (restart; resumes any pending
+  //     migration from its marker),
+  //  2. `join_seed` non-empty: MIGRATE join via that "host:port" — the
+  //     seed assigns no buckets, the new node starts empty and is given
+  //     load via split/move,
+  //  3. `peers`: static bootstrap — every node derives the identical
+  //     version-1 map, no coordination needed.
+  // Call after the owning Server has started (advertise_port must be the
+  // real bound port).  Spawns the migration engine thread.
+  Status Start(const std::vector<NodeInfo>& peers, const std::string& join_seed = "");
+
+  // Stops the engine thread; in-flight migration state stays persisted and
+  // resumes on the next Start.  Idempotent.
+  void Stop();
+
+  // net::ClusterHooks:
+  bool HandleRequest(const net::Request& req, net::Response* resp) override;
+  void AppendStatsText(std::string* text) const override;
+  void AppendMetricsText(std::string* text) const override;
+
+  // Admin entry points (also reachable over the wire via MIGRATE frames).
+  // Both only *schedule*; the engine thread performs the transfer.
+  Status ScheduleMove(uint32_t bucket, uint32_t target_node);
+  Status ScheduleSplit();
+
+  // Observers (test + tool surface).
+  ClusterMap MapSnapshot() const;
+  uint32_t node_id() const { return options_.node_id; }
+  const ClusterCounters& counters() const { return counters_; }
+  // True while a scheduled or resumed transfer has not finished.
+  bool MigrationActive() const;
+  // True when the engine stopped on the testonly failpoint (markers left
+  // in place, simulating a crash mid-stream).
+  bool AbortedAtFailpoint() const { return aborted_at_failpoint_.load(); }
+
+ private:
+  struct PendingMarker {
+    enum class Role : uint8_t { kNone = 0, kOutbound = 1, kInbound = 2 };
+    Role role = Role::kNone;
+    uint32_t bucket = 0;
+    uint32_t target = 0;  // outbound only
+  };
+  struct Job {
+    enum class Kind { kTransfer, kSplit, kPushMap } kind = Kind::kPushMap;
+    uint32_t bucket = 0;
+    uint32_t target = 0;
+    bool installed = false;  // kTransfer: cutover already persisted (resume)
+  };
+
+  // Data-path handlers (worker threads).
+  bool HandleData(const net::Request& req, net::Response* resp);
+  bool HandleMigrate(const net::Request& req, net::Response* resp);
+  void FillMovedLocked(net::Response* resp);  // mu_ held
+
+  // Engine (single background thread).
+  void EngineMain();
+  void RunTransfer(Job job);
+  void RunSplit();
+  Status ExecuteTransfer(uint32_t bucket, uint32_t target_node);
+  void PushMapToPeers();
+
+  // Map/marker persistence (mu_ held).
+  Status PersistLocked();
+  Status LoadPersisted();
+
+  void Enqueue(Job job);
+
+  kv::KvStore* store_;
+  const ClusterNodeOptions options_;
+  ClusterCounters counters_;
+
+  // mu_ guards the map, markers, and the inbound dirty set.  Ordering:
+  // data_mu_ (shared) is always taken before mu_ on the request path;
+  // the engine takes them independently, never nested.
+  mutable std::mutex mu_;
+  ClusterMap map_;
+  PendingMarker marker_;
+  // Keys written by clients while their bucket is migrating in; the copy
+  // stream must not overwrite them.  Valid only while marker_ is kInbound.
+  std::unordered_set<std::string> inbound_dirty_;
+
+  // Serializes the store's shared scan cursor against migration collection:
+  // every cluster-served store op holds it shared; the collector takes it
+  // exclusive for the duration of its Scan pass.
+  std::shared_mutex data_mu_;
+
+  // Engine queue.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool engine_stop_ = false;
+  bool engine_busy_ = false;
+  std::thread engine_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> aborted_at_failpoint_{false};
+  std::atomic<bool> split_pending_{false};
+  std::atomic<uint64_t> puts_since_split_check_{0};
+
+  // Live transfer progress for STATS (engine thread writes, STATS reads).
+  std::atomic<uint32_t> migrating_bucket_{0};
+  std::atomic<uint64_t> migrate_keys_streamed_{0};
+  std::atomic<uint64_t> migrate_keys_total_{0};
+};
+
+}  // namespace cluster
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_CLUSTER_MIGRATION_H_

@@ -1,0 +1,40 @@
+// hashkit-cluster: the server's view of an attached cluster node.
+//
+// The net layer cannot depend on src/cluster (which itself uses the net
+// client to talk to peers), so the server holds this abstract interface
+// instead.  When ServerOptions::cluster is set, every decoded request is
+// offered to the hooks first: the cluster node either owns it (ownership
+// checks, MOVED replies, MAP_GET/MIGRATE handling) or declines it and the
+// server dispatches to the local store as before.  Implemented by
+// cluster::ClusterNode (src/cluster/migration.h).
+
+#ifndef HASHKIT_SRC_NET_CLUSTER_HOOKS_H_
+#define HASHKIT_SRC_NET_CLUSTER_HOOKS_H_
+
+#include <string>
+
+#include "src/net/proto.h"
+
+namespace hashkit {
+namespace net {
+
+class ClusterHooks {
+ public:
+  virtual ~ClusterHooks() = default;
+
+  // Offered every decoded request before normal dispatch.  Returns true
+  // when `*resp` was filled (op/status/payload; the server still stamps the
+  // sequence number and records stats), false to fall through to the local
+  // store.  Called concurrently from every worker thread.
+  virtual bool HandleRequest(const Request& req, Response* resp) = 0;
+
+  // Appends the cluster block to the STATS text ("cluster.key=value"
+  // lines) and to the /metrics exposition respectively.
+  virtual void AppendStatsText(std::string* text) const = 0;
+  virtual void AppendMetricsText(std::string* text) const = 0;
+};
+
+}  // namespace net
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_NET_CLUSTER_HOOKS_H_

@@ -25,6 +25,9 @@ struct NetStats {
   std::atomic<uint64_t> bytes_out{0};
   std::atomic<uint64_t> malformed_frames{0};
   std::atomic<uint64_t> idle_timeouts{0};
+  // Well-framed requests whose opcode this server does not know (version
+  // skew); answered kUnsupported, connection kept.
+  std::atomic<uint64_t> unknown_opcodes{0};
 
   // hashkit-obs: server-side dispatch latency per opcode — decode-to-encode
   // time for one request, i.e. the store call plus dispatch overhead but
@@ -32,12 +35,24 @@ struct NetStats {
   // time to network vs. server.
   LatencyHistogram op_latency_ns[kOpcodeCount];
 
+  // The decoder accepts frames with opcodes this build does not know
+  // (version skew), so both per-opcode arrays are guarded: out-of-range
+  // opcodes land in `unknown_opcodes` and record no latency.
   void CountRequest(Opcode op) {
-    requests_by_opcode[static_cast<uint8_t>(op)].fetch_add(1, std::memory_order_relaxed);
+    const auto idx = static_cast<uint8_t>(op);
+    if (idx > kMaxOpcode) {
+      unknown_opcodes.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    requests_by_opcode[idx].fetch_add(1, std::memory_order_relaxed);
   }
 
   void RecordLatency(Opcode op, uint64_t ns) {
-    op_latency_ns[static_cast<uint8_t>(op)].Record(ns);
+    const auto idx = static_cast<uint8_t>(op);
+    if (idx > kMaxOpcode) {
+      return;
+    }
+    op_latency_ns[idx].Record(ns);
   }
 
   uint64_t TotalRequests() const {

@@ -45,10 +45,9 @@ bool ValidateHeader(const uint8_t* h, uint16_t want_magic, std::string* error) {
     *error = "unsupported protocol version " + std::to_string(h[2]);
     return false;
   }
-  if (h[3] > kMaxOpcode) {
-    *error = "unknown opcode " + std::to_string(h[3]);
-    return false;
-  }
+  // Opcodes are deliberately NOT validated here: an unknown opcode leaves
+  // framing intact, so it decodes as a frame and the dispatcher answers
+  // kUnsupported without dropping the connection (version skew tolerance).
   if (h[5] != 0 || h[6] != 0 || h[7] != 0) {
     *error = "nonzero reserved bytes";
     return false;
@@ -115,6 +114,12 @@ std::string_view OpcodeName(Opcode op) {
       return "STATS";
     case Opcode::kSync:
       return "SYNC";
+    case Opcode::kMapGet:
+      return "MAP_GET";
+    case Opcode::kMoved:
+      return "MOVED";
+    case Opcode::kMigrate:
+      return "MIGRATE";
   }
   return "UNKNOWN";
 }

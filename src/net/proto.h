@@ -17,10 +17,13 @@
 //
 // All integers little-endian (src/util/endian.h, as on disk).  Length
 // limits (kMaxKeyLen / kMaxValueLen) bound per-frame memory; a frame that
-// violates the magic, version, opcode, reserved bytes, or limits is
-// *malformed* — the server answers with status kInvalidArgument (seq 0 if
-// the header was unreadable) and closes the connection, because framing can
-// no longer be trusted.
+// violates the magic, version, reserved bytes, or limits is *malformed* —
+// the server answers with status kInvalidArgument (seq 0 if the header was
+// unreadable) and closes the connection, because framing can no longer be
+// trusted.  An *unknown opcode* is NOT malformed: framing is intact, so the
+// decoder yields the frame and the server answers kUnsupported while
+// keeping the connection alive — that is what lets old servers coexist
+// with newer clients (and vice versa) during a rolling upgrade.
 
 #ifndef HASHKIT_SRC_NET_PROTO_H_
 #define HASHKIT_SRC_NET_PROTO_H_
@@ -53,9 +56,13 @@ enum class Opcode : uint8_t {
   kScan = 4,
   kStats = 5,
   kSync = 6,
+  // hashkit-cluster (LH*-style distributed linear hashing):
+  kMapGet = 7,   // fetch the node's current cluster map (value = map bytes)
+  kMoved = 8,    // response-only: request hit a non-owner; value = map bytes
+  kMigrate = 9,  // bucket migration + cluster admin; sub-op in `flags`
 };
 
-inline constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kSync);
+inline constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kMigrate);
 inline constexpr size_t kOpcodeCount = kMaxOpcode + 1;
 
 std::string_view OpcodeName(Opcode op);
@@ -63,6 +70,18 @@ std::string_view OpcodeName(Opcode op);
 // Request flag bits (meaning depends on the opcode).
 inline constexpr uint8_t kFlagNoOverwrite = 1u << 0;  // PUT: fail on existing key
 inline constexpr uint8_t kFlagScanFirst = 1u << 0;    // SCAN: restart the cursor
+
+// MIGRATE sub-operations (the `flags` byte carries exactly one of these).
+// Start/Data/End stream one bucket from its owner to a target node; the
+// rest are cluster administration carried over the same opcode.
+inline constexpr uint8_t kMigrateStart = 1u << 0;  // value = u32 bucket | map bytes
+inline constexpr uint8_t kMigrateData = 1u << 1;   // key/value = one migrating pair
+inline constexpr uint8_t kMigrateEnd = 1u << 2;    // value = u32 bucket
+inline constexpr uint8_t kMigrateMap = 1u << 3;    // push: value = map bytes
+inline constexpr uint8_t kMigrateJoin = 1u << 4;   // value = u32 id|u16 port|u16 len|host
+inline constexpr uint8_t kMigrateMove = 1u << 5;   // admin: value = u32 bucket|u32 node
+inline constexpr uint8_t kMigrateSplit = 1u << 6;  // admin: split bucket `next`
+inline constexpr uint8_t kMigrateLeave = 1u << 7;  // admin: value = u32 node id
 
 struct Request {
   Opcode op = Opcode::kPing;

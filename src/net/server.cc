@@ -332,6 +332,17 @@ Response Server::Dispatch(const Request& req) {
   Response resp;
   resp.op = req.op;
   resp.seq = req.seq;
+
+  // The cluster node gets first refusal: ownership checks and MOVED replies
+  // for data ops, plus the MAP_GET/MIGRATE handling a standalone server
+  // does not have.  It preserves op and fills status/payload; seq stays
+  // whatever we stamped above.
+  if (options_.cluster != nullptr && options_.cluster->HandleRequest(req, &resp)) {
+    resp.seq = req.seq;
+    stats_.RecordLatency(req.op, MonotonicNanos() - t0);
+    return resp;
+  }
+
   Status st;
   switch (req.op) {
     case Opcode::kPing:
@@ -356,6 +367,19 @@ Response Server::Dispatch(const Request& req) {
       break;
     case Opcode::kSync:
       st = store_->Sync();
+      break;
+    case Opcode::kMapGet:
+    case Opcode::kMigrate:
+      st = Status::Unsupported("not a cluster node");
+      break;
+    case Opcode::kMoved:
+      st = Status::Unsupported("MOVED is response-only");
+      break;
+    default:
+      // Well-framed but unknown to this build (newer peer): answer rather
+      // than disconnect, so the sender can fall back per opcode.
+      st = Status::Unsupported("unknown opcode " +
+                               std::to_string(static_cast<unsigned>(req.op)));
       break;
   }
   resp.status = st.code();
@@ -505,6 +529,7 @@ std::string Server::RenderStatsText() const {
   line("server.bytes_out", stats_.bytes_out.load(std::memory_order_relaxed));
   line("server.malformed_frames", stats_.malformed_frames.load(std::memory_order_relaxed));
   line("server.idle_timeouts", stats_.idle_timeouts.load(std::memory_order_relaxed));
+  line("server.unknown_opcodes", stats_.unknown_opcodes.load(std::memory_order_relaxed));
   for (size_t op = 0; op < kOpcodeCount; ++op) {
     text += "server.requests.";
     text += OpcodeName(static_cast<Opcode>(op));
@@ -555,6 +580,9 @@ std::string Server::RenderStatsText() const {
     AppendLatencyLines(&text, "store.wal.latency.commit", store_stats.wal.commit_ns);
     AppendLatencyLines(&text, "store.wal.latency.sync", store_stats.wal.sync_ns);
   }
+  if (options_.cluster != nullptr) {
+    options_.cluster->AppendStatsText(&text);
+  }
   return text;
 }
 
@@ -574,6 +602,8 @@ std::string Server::RenderMetricsText() const {
   gauge("hashkit_malformed_frames_total",
         stats_.malformed_frames.load(std::memory_order_relaxed));
   gauge("hashkit_idle_timeouts_total", stats_.idle_timeouts.load(std::memory_order_relaxed));
+  gauge("hashkit_unknown_opcodes_total",
+        stats_.unknown_opcodes.load(std::memory_order_relaxed));
   for (size_t op = 0; op < kOpcodeCount; ++op) {
     const std::string label = "op=\"" + LowerOpcodeName(static_cast<Opcode>(op)) + "\"";
     out += "hashkit_requests_total{" + label + "} " +
@@ -620,6 +650,9 @@ std::string Server::RenderMetricsText() const {
     AppendPromSummary(&out, "hashkit_wal_latency_ns", "op=\"commit\"",
                       store_stats.wal.commit_ns);
     AppendPromSummary(&out, "hashkit_wal_latency_ns", "op=\"sync\"", store_stats.wal.sync_ns);
+  }
+  if (options_.cluster != nullptr) {
+    options_.cluster->AppendMetricsText(&out);
   }
   return out;
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/kv/kv_store.h"
+#include "src/net/cluster_hooks.h"
 #include "src/net/event_loop.h"
 #include "src/net/net_stats.h"
 #include "src/net/proto.h"
@@ -50,6 +51,11 @@ struct ServerOptions {
   // endpoint answers any HTTP request on `host`:`metrics_port` with a
   // Prometheus-style plaintext exposition of RenderMetricsText().
   int metrics_port = -1;
+  // hashkit-cluster: borrowed, must outlive the server.  When set, every
+  // request is offered to the hooks before local dispatch (ownership
+  // checks, MOVED replies, MAP_GET/MIGRATE), and STATS//metrics grow a
+  // cluster block.  nullptr = standalone server, exactly as before.
+  ClusterHooks* cluster = nullptr;
 };
 
 class Server {

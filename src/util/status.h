@@ -26,6 +26,8 @@ enum class StatusCode {
   kFull,            // fixed-capacity store (hsearch, dbm page) cannot accept
   kUnsupported,     // operation not supported by this store
   kTimeout,         // a deadline expired (network connect/send/recv)
+  kMoved,           // cluster: request reached a non-owner node; the
+                    // payload carries the current cluster map
 };
 
 // Human-readable name for a status code, e.g. "NOT_FOUND".
@@ -49,6 +51,8 @@ constexpr std::string_view StatusCodeName(StatusCode code) {
       return "UNSUPPORTED";
     case StatusCode::kTimeout:
       return "TIMEOUT";
+    case StatusCode::kMoved:
+      return "MOVED";
   }
   return "UNKNOWN";
 }
@@ -76,6 +80,7 @@ class Status {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
   static Status Timeout(std::string msg = "") { return Status(StatusCode::kTimeout, std::move(msg)); }
+  static Status Moved(std::string msg = "") { return Status(StatusCode::kMoved, std::move(msg)); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -83,6 +88,7 @@ class Status {
   bool IsFull() const { return code_ == StatusCode::kFull; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsMoved() const { return code_ == StatusCode::kMoved; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,0 +1,179 @@
+// Unit tests for the LH* cluster map: the (level, next) addressing math,
+// split-pointer advancement (including level rollover), bootstrap shapes,
+// and the serialize/deserialize wire format with its corruption checks.
+
+#include "src/cluster/cluster_map.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace cluster {
+namespace {
+
+std::vector<NodeInfo> MakeNodes(int n) {
+  std::vector<NodeInfo> nodes;
+  for (int i = 0; i < n; ++i) {
+    NodeInfo node;
+    node.id = static_cast<uint32_t>(i);
+    node.host = "127.0.0.1";
+    node.port = static_cast<uint16_t>(5000 + i);
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+TEST(ClusterMapTest, BucketOfHashIsThePaperAddressing) {
+  ClusterMap map;
+  map.version = 1;
+  map.level = 2;
+  map.next = 1;
+  map.nodes = MakeNodes(1);
+  map.bucket_owner.assign(5, 0);  // next + 2^level = 1 + 4
+
+  // h & 3 lands at or past next: low bits decide.
+  EXPECT_EQ(map.BucketOfHash(0b001), 1u);
+  EXPECT_EQ(map.BucketOfHash(0b111), 3u);
+  // h & 3 == 0 < next: the split bucket re-addresses with level+1 bits.
+  EXPECT_EQ(map.BucketOfHash(0b000), 0u);
+  EXPECT_EQ(map.BucketOfHash(0b100), 4u);  // bit 2 set -> the new bucket
+}
+
+TEST(ClusterMapTest, KeyHashIsDeterministic) {
+  EXPECT_EQ(ClusterKeyHash("alpha"), ClusterKeyHash("alpha"));
+  EXPECT_NE(ClusterKeyHash("alpha"), ClusterKeyHash("beta"));
+}
+
+TEST(ClusterMapTest, AdvanceSplitRollsTheLevelOver) {
+  auto boot = ClusterMap::Bootstrap(MakeNodes(1));
+  ASSERT_OK(boot.status());
+  ClusterMap map = std::move(boot).value();
+  EXPECT_EQ(map.level, 0);
+  EXPECT_EQ(map.next, 0u);
+  EXPECT_EQ(map.bucket_count(), 1u);
+
+  // Splitting bucket 0 creates bucket 1 and wraps next back to 0 at the
+  // higher level (the table's doubling cadence, across nodes).
+  EXPECT_EQ(map.AdvanceSplit(0), 1u);
+  EXPECT_EQ(map.level, 1);
+  EXPECT_EQ(map.next, 0u);
+  EXPECT_EQ(map.bucket_count(), 2u);
+  EXPECT_EQ(map.version, 2u);
+
+  // Mid-level split: next advances without a rollover.
+  EXPECT_EQ(map.AdvanceSplit(0), 2u);
+  EXPECT_EQ(map.level, 1);
+  EXPECT_EQ(map.next, 1u);
+  EXPECT_EQ(map.bucket_count(), 3u);
+
+  EXPECT_EQ(map.AdvanceSplit(0), 3u);
+  EXPECT_EQ(map.level, 2);
+  EXPECT_EQ(map.next, 0u);
+  EXPECT_EQ(map.bucket_count(), 4u);
+}
+
+TEST(ClusterMapTest, BootstrapDealsBucketsRoundRobin) {
+  auto boot = ClusterMap::Bootstrap(MakeNodes(3));
+  ASSERT_OK(boot.status());
+  const ClusterMap map = std::move(boot).value();
+  EXPECT_EQ(map.version, 1u);
+  EXPECT_EQ(map.level, 2);  // ceil(log2(3))
+  EXPECT_EQ(map.next, 0u);
+  EXPECT_EQ(map.bucket_count(), 4u);
+  // Every node gets at least one bucket; all four are owned by known nodes.
+  for (uint32_t id = 0; id < 3; ++id) {
+    EXPECT_GE(map.BucketsOwnedBy(id), 1u) << "node " << id;
+  }
+  uint32_t total = 0;
+  for (uint32_t id = 0; id < 3; ++id) {
+    total += map.BucketsOwnedBy(id);
+  }
+  EXPECT_EQ(total, map.bucket_count());
+}
+
+TEST(ClusterMapTest, BootstrapPowerOfTwoIsExact) {
+  auto boot = ClusterMap::Bootstrap(MakeNodes(4));
+  ASSERT_OK(boot.status());
+  const ClusterMap map = std::move(boot).value();
+  EXPECT_EQ(map.bucket_count(), 4u);
+  for (uint32_t id = 0; id < 4; ++id) {
+    EXPECT_EQ(map.BucketsOwnedBy(id), 1u);
+  }
+}
+
+TEST(ClusterMapTest, BootstrapRejectsDuplicateIds) {
+  std::vector<NodeInfo> nodes = MakeNodes(2);
+  nodes[1].id = nodes[0].id;
+  EXPECT_FALSE(ClusterMap::Bootstrap(nodes).ok());
+}
+
+TEST(ClusterMapTest, SerializeRoundTripsWithTrailingPayload) {
+  auto boot = ClusterMap::Bootstrap(MakeNodes(3));
+  ASSERT_OK(boot.status());
+  ClusterMap map = std::move(boot).value();
+  map.AdvanceSplit(2);
+
+  std::string bytes;
+  map.Serialize(&bytes);
+  const size_t map_len = bytes.size();
+  bytes += "trailer";  // callers read markers after the map
+
+  ClusterMap decoded;
+  size_t consumed = 0;
+  ASSERT_OK(decoded.Deserialize(bytes, &consumed));
+  EXPECT_EQ(consumed, map_len);
+  EXPECT_EQ(decoded.version, map.version);
+  EXPECT_EQ(decoded.level, map.level);
+  EXPECT_EQ(decoded.next, map.next);
+  EXPECT_EQ(decoded.bucket_owner, map.bucket_owner);
+  ASSERT_EQ(decoded.nodes.size(), map.nodes.size());
+  for (size_t i = 0; i < map.nodes.size(); ++i) {
+    EXPECT_TRUE(decoded.nodes[i] == map.nodes[i]);
+  }
+}
+
+TEST(ClusterMapTest, DeserializeRejectsCorruption) {
+  auto boot = ClusterMap::Bootstrap(MakeNodes(2));
+  ASSERT_OK(boot.status());
+  const ClusterMap map = std::move(boot).value();
+  std::string good;
+  map.Serialize(&good);
+
+  ClusterMap out;
+  size_t consumed = 0;
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(out.Deserialize(bad_magic, &consumed).ok());
+
+  EXPECT_FALSE(out.Deserialize(good.substr(0, good.size() / 2), &consumed).ok());
+  EXPECT_FALSE(out.Deserialize("", &consumed).ok());
+
+  // An owner id no node in the list carries must be refused: routing to it
+  // would be routing to nowhere.
+  std::string bad_owner = good;
+  bad_owner[bad_owner.size() - 4] = 0x7F;
+  EXPECT_FALSE(out.Deserialize(bad_owner, &consumed).ok());
+}
+
+TEST(ClusterMapTest, DeserializeValidatesBucketCountInvariant) {
+  // bucket_count must equal next + 2^level; a map violating that would
+  // address keys out of range.
+  auto boot = ClusterMap::Bootstrap(MakeNodes(2));
+  ASSERT_OK(boot.status());
+  ClusterMap map = std::move(boot).value();
+  map.next = 5;  // nonsense for level 1 / 2 buckets
+  std::string bytes;
+  map.Serialize(&bytes);
+  ClusterMap out;
+  size_t consumed = 0;
+  EXPECT_FALSE(out.Deserialize(bytes, &consumed).ok());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace hashkit

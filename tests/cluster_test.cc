@@ -1,0 +1,437 @@
+// In-process cluster tests: several ClusterNode+Server pairs on loopback
+// exercising the LH* protocol end to end — key spread, stale-image
+// correction via MOVED, bucket migration under concurrent client load
+// with zero lost or duplicated keys, and crash-resume of a migration from
+// its persisted marker.  Label `cluster` (also run under TSan by CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/cluster_client.h"
+#include "src/cluster/cluster_map.h"
+#include "src/cluster/migration.h"
+#include "src/kv/kv_store.h"
+#include "src/kv/synchronized.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace cluster {
+namespace {
+
+// One in-process cluster member: store + node + server, on a loopback port.
+struct TestNode {
+  std::unique_ptr<kv::KvStore> store;
+  std::unique_ptr<ClusterNode> cnode;
+  std::unique_ptr<net::Server> server;
+  uint16_t port = 0;
+
+  std::string Address() const { return "127.0.0.1:" + std::to_string(port); }
+
+  void Shutdown() {
+    if (cnode != nullptr) {
+      cnode->Stop();
+    }
+    if (server != nullptr) {
+      server->Stop();
+    }
+  }
+};
+
+// Builds (but does not cluster-Start) one node.  `port` 0 asks the kernel;
+// pass the old port to simulate a restart on a stable address.
+TestNode MakeNode(uint32_t id, kv::StoreKind kind, const std::string& store_path,
+                  const std::string& map_path, uint16_t port = 0,
+                  uint32_t migrate_batch = 64, uint32_t abort_after_batches = 0) {
+  TestNode node;
+  kv::StoreOptions store_options;
+  store_options.path = store_path;
+  // Restart tests reopen the same files; TempPath cleared them up front.
+  store_options.truncate = false;
+  if (kind == kv::StoreKind::kHashDisk) {
+    store_options.durability = Durability::kSync;  // survive the simulated crash
+  }
+  auto opened = kv::OpenStore(kind, store_options);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  node.store = kv::MakeSynchronized(std::move(opened).value());
+
+  ClusterNodeOptions cluster_options;
+  cluster_options.node_id = id;
+  cluster_options.map_path = map_path;
+  cluster_options.migrate_batch = migrate_batch;
+  cluster_options.testonly_abort_after_batches = abort_after_batches;
+  node.cnode = std::make_unique<ClusterNode>(node.store.get(), cluster_options);
+
+  net::ServerOptions server_options;
+  server_options.port = port;
+  server_options.workers = 2;
+  server_options.cluster = node.cnode.get();
+  node.server = std::make_unique<net::Server>(node.store.get(), server_options);
+  EXPECT_OK(node.server->Start());
+  node.port = node.server->port();
+  return node;
+}
+
+std::vector<NodeInfo> PeersOf(const std::vector<TestNode*>& nodes) {
+  std::vector<NodeInfo> peers;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    NodeInfo info;
+    info.id = nodes[i]->cnode->node_id();
+    info.host = "127.0.0.1";
+    info.port = nodes[i]->port;
+    peers.push_back(std::move(info));
+  }
+  return peers;
+}
+
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms = 15'000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+// Map version as each node's STATS text reports it (the operator surface,
+// not the in-process snapshot).
+uint32_t StatsMapVersion(uint16_t port) {
+  auto connected = net::Client::Connect("127.0.0.1", port);
+  if (!connected.ok()) {
+    return 0;
+  }
+  std::string text;
+  if (!(*connected)->Stats(&text).ok()) {
+    return 0;
+  }
+  const size_t pos = text.find("cluster.map_version=");
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return static_cast<uint32_t>(std::atol(text.c_str() + pos + 20));
+}
+
+uint64_t TotalPairs(const std::vector<TestNode*>& nodes) {
+  uint64_t total = 0;
+  for (const TestNode* n : nodes) {
+    total += n->store->Size();
+  }
+  return total;
+}
+
+TEST(ClusterTest, ThreeNodesSpreadKeysAndServeThemAll) {
+  TestNode a = MakeNode(0, kv::StoreKind::kHashMemory, "", "");
+  TestNode b = MakeNode(1, kv::StoreKind::kHashMemory, "", "");
+  TestNode c = MakeNode(2, kv::StoreKind::kHashMemory, "", "");
+  const std::vector<TestNode*> nodes = {&a, &b, &c};
+  const std::vector<NodeInfo> peers = PeersOf(nodes);
+  for (TestNode* n : nodes) {
+    ASSERT_OK(n->cnode->Start(peers));
+  }
+
+  auto connected = ClusterClient::Connect({a.Address()});
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto client = std::move(connected).value();
+  EXPECT_EQ(client->map().version, 1u);
+
+  constexpr int kKeys = 300;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_OK(client->Put("key" + std::to_string(i), "value" + std::to_string(i)));
+  }
+  for (int i = 0; i < kKeys; ++i) {
+    std::string value;
+    ASSERT_OK(client->Get("key" + std::to_string(i), &value));
+    EXPECT_EQ(value, "value" + std::to_string(i));
+  }
+  // The linear-hash spread puts real load on every node, and no key lands
+  // twice: the per-node stores sum exactly to the key count.
+  for (const TestNode* n : nodes) {
+    EXPECT_GT(n->store->Size(), 0u) << "node " << n->cnode->node_id();
+  }
+  EXPECT_EQ(TotalPairs(nodes), static_cast<uint64_t>(kKeys));
+
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(client->Delete("key" + std::to_string(i)));
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::string value;
+    EXPECT_TRUE(client->Get("key" + std::to_string(i), &value).IsNotFound());
+  }
+  EXPECT_EQ(TotalPairs(nodes), static_cast<uint64_t>(kKeys - 50));
+
+  for (TestNode* n : nodes) {
+    n->Shutdown();
+  }
+}
+
+TEST(ClusterTest, StaleClientImageConvergesViaMoved) {
+  TestNode a = MakeNode(0, kv::StoreKind::kHashMemory, "", "");
+  TestNode b = MakeNode(1, kv::StoreKind::kHashMemory, "", "");
+  TestNode c = MakeNode(2, kv::StoreKind::kHashMemory, "", "");
+  const std::vector<TestNode*> nodes = {&a, &b, &c};
+  const std::vector<NodeInfo> peers = PeersOf(nodes);
+  for (TestNode* n : nodes) {
+    ASSERT_OK(n->cnode->Start(peers));
+  }
+
+  auto connected = ClusterClient::Connect({a.Address()});
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto client = std::move(connected).value();  // holds the v1 image throughout
+
+  constexpr int kKeys = 300;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_OK(client->Put("key" + std::to_string(i), "value" + std::to_string(i)));
+  }
+
+  // Move the bucket that holds "key0" to a different node; the client's
+  // image still names the old owner.
+  const ClusterMap before = a.cnode->MapSnapshot();
+  const uint32_t bucket = before.BucketOfKey("key0");
+  const uint32_t old_owner = before.OwnerOf(bucket);
+  const uint32_t new_owner = (old_owner + 1) % 3;
+  TestNode* coordinator = nodes[old_owner];
+  ASSERT_OK(coordinator->cnode->ScheduleMove(bucket, new_owner));
+  ASSERT_TRUE(WaitUntil([&] {
+    return !coordinator->cnode->MigrationActive() &&
+           nodes[new_owner]->cnode->MapSnapshot().version == 2;
+  }));
+
+  // Every key still reads back; the ones in the moved bucket cost a MOVED
+  // correction, after which the client's image is current.
+  for (int i = 0; i < kKeys; ++i) {
+    std::string value;
+    ASSERT_OK(client->Get("key" + std::to_string(i), &value)) << "key" << i;
+    EXPECT_EQ(value, "value" + std::to_string(i));
+  }
+  EXPECT_GE(client->stats().moved_corrections, 1u);
+  EXPECT_EQ(client->map().version, 2u);
+  EXPECT_GE(coordinator->cnode->counters().moved_replies.load(), 1u);
+  // Zero lost, zero duplicated.
+  EXPECT_EQ(TotalPairs(nodes), static_cast<uint64_t>(kKeys));
+  EXPECT_GE(nodes[new_owner]->cnode->counters().keys_migrated_in.load(), 1u);
+
+  for (TestNode* n : nodes) {
+    n->Shutdown();
+  }
+}
+
+TEST(ClusterTest, MigrationUnderConcurrentLoadLosesNothing) {
+  TestNode a = MakeNode(0, kv::StoreKind::kHashMemory, "", "");
+  TestNode b = MakeNode(1, kv::StoreKind::kHashMemory, "", "");
+  TestNode c = MakeNode(2, kv::StoreKind::kHashMemory, "", "");
+  const std::vector<TestNode*> nodes = {&a, &b, &c};
+  const std::vector<NodeInfo> peers = PeersOf(nodes);
+  for (TestNode* n : nodes) {
+    ASSERT_OK(n->cnode->Start(peers));
+  }
+  const std::string seed = a.Address();
+
+  // Preload, so the migrating bucket has real payload.
+  constexpr int kKeys = 600;
+  {
+    auto connected = ClusterClient::Connect({seed});
+    ASSERT_TRUE(connected.ok());
+    for (int i = 0; i < kKeys; ++i) {
+      ASSERT_OK((*connected)->Put("k" + std::to_string(i), "v0-" + std::to_string(i)));
+    }
+  }
+
+  // Writers churn their own disjoint stripes (puts and deletes) while the
+  // migration runs; each records the exact final state it left behind.
+  constexpr int kWriters = 3;
+  std::atomic<bool> stop{false};
+  std::vector<std::map<std::string, std::optional<std::string>>> finals(kWriters);
+  std::vector<std::thread> writers;
+  std::atomic<int> writer_errors{0};
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      auto connected = ClusterClient::Connect({seed});
+      if (!connected.ok()) {
+        ++writer_errors;
+        return;
+      }
+      auto client = std::move(connected).value();
+      int round = 0;
+      do {
+        ++round;
+        for (int i = t; i < kKeys; i += kWriters) {
+          const std::string key = "k" + std::to_string(i);
+          if (i % 7 == round % 7) {
+            const Status st = client->Delete(key);
+            if (!st.ok() && !st.IsNotFound()) {
+              ++writer_errors;
+              return;
+            }
+            finals[t][key] = std::nullopt;
+          } else {
+            const std::string value = "v" + std::to_string(round) + "-" + std::to_string(i);
+            if (!client->Put(key, value).ok()) {
+              ++writer_errors;
+              return;
+            }
+            finals[t][key] = value;
+          }
+        }
+      } while (!stop.load());
+    });
+  }
+
+  // Kick off a move of the bucket holding "k0" plus a split, mid-churn.
+  const ClusterMap before = a.cnode->MapSnapshot();
+  const uint32_t bucket = before.BucketOfKey("k0");
+  const uint32_t old_owner = before.OwnerOf(bucket);
+  const uint32_t new_owner = (old_owner + 1) % 3;
+  ASSERT_OK(nodes[old_owner]->cnode->ScheduleMove(bucket, new_owner));
+  ASSERT_TRUE(WaitUntil([&] { return !nodes[old_owner]->cnode->MigrationActive(); }));
+
+  const uint32_t splitter = nodes[old_owner]->cnode->MapSnapshot().OwnerOf(
+      nodes[old_owner]->cnode->MapSnapshot().next);
+  ASSERT_OK(nodes[splitter]->cnode->ScheduleSplit());
+  ASSERT_TRUE(WaitUntil([&] { return !nodes[splitter]->cnode->MigrationActive(); }));
+
+  stop.store(true);
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  ASSERT_EQ(writer_errors.load(), 0);
+
+  // Let the final map reach every node (push is best-effort; MOVED would
+  // cover a miss, but STATS must agree for the acceptance check).
+  const uint32_t want_version = nodes[splitter]->cnode->MapSnapshot().version;
+  ASSERT_TRUE(WaitUntil([&] {
+    for (const TestNode* n : nodes) {
+      if (StatsMapVersion(n->port) != want_version) {
+        return false;
+      }
+    }
+    return true;
+  }));
+
+  // At least one bucket actually moved between nodes under load.
+  uint64_t migrations = 0;
+  for (const TestNode* n : nodes) {
+    migrations += n->cnode->counters().migrations_in.load();
+  }
+  EXPECT_GE(migrations, 1u);
+
+  // Merge the writers' records into the expected final keyspace.
+  std::map<std::string, std::optional<std::string>> expect;
+  for (int i = 0; i < kKeys; ++i) {
+    expect["k" + std::to_string(i)] = "v0-" + std::to_string(i);
+  }
+  for (const auto& m : finals) {
+    for (const auto& [key, value] : m) {
+      expect[key] = value;
+    }
+  }
+  uint64_t live = 0;
+  auto connected = ClusterClient::Connect({seed});
+  ASSERT_TRUE(connected.ok());
+  auto client = std::move(connected).value();
+  for (const auto& [key, value] : expect) {
+    std::string got;
+    const Status st = client->Get(key, &got);
+    if (value.has_value()) {
+      ASSERT_OK(st) << key;
+      EXPECT_EQ(got, *value) << key;
+      ++live;
+    } else {
+      EXPECT_TRUE(st.IsNotFound()) << key << " -> " << st.ToString();
+    }
+  }
+  // No key exists twice anywhere: per-node stores sum to the live count.
+  EXPECT_EQ(TotalPairs(nodes), live);
+
+  for (TestNode* n : nodes) {
+    n->Shutdown();
+  }
+}
+
+TEST(ClusterTest, RestartMidMigrationResumesFromPersistedMarker) {
+  const std::string path_a = TempPath("cluster_node_a");
+  const std::string path_b = TempPath("cluster_node_b");
+  std::remove((path_a + ".cmap").c_str());
+  std::remove((path_b + ".cmap").c_str());
+
+  // Node 0 aborts after streaming 2 batches of 4 — a crash mid-stream with
+  // both sides' markers already durable.
+  TestNode a = MakeNode(0, kv::StoreKind::kHashDisk, path_a, path_a + ".cmap",
+                        /*port=*/0, /*migrate_batch=*/4, /*abort_after_batches=*/2);
+  TestNode b = MakeNode(1, kv::StoreKind::kHashDisk, path_b, path_b + ".cmap");
+  std::vector<TestNode*> nodes = {&a, &b};
+  const std::vector<NodeInfo> peers = PeersOf(nodes);
+  for (TestNode* n : nodes) {
+    ASSERT_OK(n->cnode->Start(peers));
+  }
+  const uint16_t port_a = a.port;
+
+  constexpr int kKeys = 200;
+  {
+    auto connected = ClusterClient::Connect({a.Address()});
+    ASSERT_TRUE(connected.ok());
+    for (int i = 0; i < kKeys; ++i) {
+      ASSERT_OK((*connected)->Put("k" + std::to_string(i), "v" + std::to_string(i)));
+    }
+  }
+
+  // Bucket 0 is node 0's (two-node bootstrap: one bucket each).  Move it,
+  // and let the failpoint kill the stream partway.
+  ASSERT_EQ(a.cnode->MapSnapshot().OwnerOf(0), 0u);
+  ASSERT_OK(a.cnode->ScheduleMove(0, 1));
+  ASSERT_TRUE(WaitUntil([&] { return a.cnode->AbortedAtFailpoint(); }));
+  // The target is armed and waiting: inbound marker held, map already v2.
+  EXPECT_TRUE(b.cnode->MigrationActive());
+  EXPECT_EQ(b.cnode->MapSnapshot().version, 2u);
+
+  // "Crash" node 0 and bring it back on the same port with the same files.
+  a.Shutdown();
+  a.cnode.reset();
+  a.server.reset();
+  a.store.reset();
+  a = MakeNode(0, kv::StoreKind::kHashDisk, path_a, path_a + ".cmap", port_a);
+  nodes = {&a, &b};
+  ASSERT_OK(a.cnode->Start(peers));
+
+  // Start loads the outbound marker and re-drives the transfer to the end.
+  ASSERT_TRUE(WaitUntil([&] {
+    return !a.cnode->MigrationActive() && !b.cnode->MigrationActive();
+  }));
+  EXPECT_EQ(a.cnode->MapSnapshot().version, 2u);
+  EXPECT_EQ(a.cnode->MapSnapshot().OwnerOf(0), 1u);
+  EXPECT_EQ(b.cnode->counters().migrations_in.load(), 1u);
+
+  // Zero lost, zero duplicated: every key reads back exactly once.
+  auto connected = ClusterClient::Connect({b.Address()});
+  ASSERT_TRUE(connected.ok());
+  auto client = std::move(connected).value();
+  for (int i = 0; i < kKeys; ++i) {
+    std::string value;
+    ASSERT_OK(client->Get("k" + std::to_string(i), &value)) << "k" << i;
+    EXPECT_EQ(value, "v" + std::to_string(i));
+  }
+  EXPECT_EQ(TotalPairs(nodes), static_cast<uint64_t>(kKeys));
+  // Node 0 gave bucket 0 away entirely.
+  EXPECT_EQ(a.cnode->MapSnapshot().BucketsOwnedBy(0), 0u);
+
+  for (TestNode* n : nodes) {
+    n->Shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace hashkit

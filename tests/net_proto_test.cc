@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 
 #include "src/util/endian.h"
@@ -153,14 +154,18 @@ TEST(ProtoTest, RejectsWrongVersion) {
   EXPECT_NE(error.find("version"), std::string::npos);
 }
 
-TEST(ProtoTest, RejectsUnknownOpcode) {
+TEST(ProtoTest, UnknownOpcodeStillDecodesAsFrame) {
+  // An unknown opcode is NOT a framing violation: a peer one protocol
+  // revision ahead must get a clean kUnsupported answer, not a dropped
+  // connection.  The decoder hands the frame up and dispatch rejects it.
   std::string wire = ValidFrame();
   wire[3] = static_cast<char>(kMaxOpcode + 1);
   Request decoded;
   size_t consumed = 0;
   std::string error;
-  EXPECT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kMalformed);
-  EXPECT_NE(error.find("opcode"), std::string::npos);
+  EXPECT_EQ(DecodeRequest(&wire, &decoded, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(static_cast<uint8_t>(decoded.op), kMaxOpcode + 1);
+  EXPECT_TRUE(wire.empty());
 }
 
 TEST(ProtoTest, RejectsNonzeroReservedBytes) {
@@ -213,6 +218,100 @@ TEST(ProtoTest, OpcodeNamesCoverAllOps) {
   EXPECT_EQ(OpcodeName(Opcode::kScan), "SCAN");
   EXPECT_EQ(OpcodeName(Opcode::kStats), "STATS");
   EXPECT_EQ(OpcodeName(Opcode::kSync), "SYNC");
+  EXPECT_EQ(OpcodeName(Opcode::kMapGet), "MAP_GET");
+  EXPECT_EQ(OpcodeName(Opcode::kMoved), "MOVED");
+  EXPECT_EQ(OpcodeName(Opcode::kMigrate), "MIGRATE");
+}
+
+// --- Byte goldens for the cluster frames (MAP_GET / MOVED / MIGRATE).
+// These pin the wire layout: if any of them breaks, rolling upgrades of a
+// live cluster break with it.
+
+TEST(ProtoTest, GoldenMapGetRequest) {
+  Request req;
+  req.op = Opcode::kMapGet;
+  req.seq = 3;
+  std::string wire;
+  EncodeRequest(req, &wire);
+  const uint8_t golden[kHeaderSize] = {
+      0x48, 0x4B,              // "HK" request magic
+      0x01,                    // protocol version
+      0x07,                    // opcode MAP_GET
+      0x00,                    // flags
+      0x00, 0x00, 0x00,        // reserved
+      0x03, 0x00, 0x00, 0x00,  // seq = 3
+      0x00, 0x00, 0x00, 0x00,  // key_len = 0
+      0x00, 0x00, 0x00, 0x00,  // value_len = 0
+  };
+  ASSERT_EQ(wire.size(), kHeaderSize);
+  EXPECT_EQ(std::memcmp(wire.data(), golden, kHeaderSize), 0);
+}
+
+TEST(ProtoTest, GoldenMovedResponse) {
+  Response resp;
+  resp.op = Opcode::kMoved;
+  resp.status = StatusCode::kMoved;
+  resp.seq = 5;
+  resp.value = "MAPBYTES";  // a real reply carries the serialized map
+  std::string wire;
+  EncodeResponse(resp, &wire);
+  const uint8_t golden[kHeaderSize] = {
+      0x68, 0x6B,              // "hk" response magic
+      0x01,                    // protocol version
+      0x08,                    // opcode MOVED
+      0x09,                    // status kMoved
+      0x00, 0x00, 0x00,        // reserved
+      0x05, 0x00, 0x00, 0x00,  // seq = 5
+      0x00, 0x00, 0x00, 0x00,  // key_len = 0
+      0x08, 0x00, 0x00, 0x00,  // value_len = 8
+  };
+  ASSERT_EQ(wire.size(), kHeaderSize + 8);
+  EXPECT_EQ(std::memcmp(wire.data(), golden, kHeaderSize), 0);
+  EXPECT_EQ(wire.substr(kHeaderSize), "MAPBYTES");
+
+  Response decoded;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(DecodeResponse(&wire, &decoded, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(decoded.op, Opcode::kMoved);
+  EXPECT_EQ(decoded.status, StatusCode::kMoved);
+  EXPECT_EQ(decoded.value, "MAPBYTES");
+}
+
+TEST(ProtoTest, GoldenMigrateDataRequest) {
+  Request req;
+  req.op = Opcode::kMigrate;
+  req.flags = kMigrateData;
+  req.seq = 11;
+  req.key = "k";
+  req.value = "v";
+  std::string wire;
+  EncodeRequest(req, &wire);
+  const uint8_t golden[kHeaderSize] = {
+      0x48, 0x4B,              // "HK" request magic
+      0x01,                    // protocol version
+      0x09,                    // opcode MIGRATE
+      0x02,                    // flags = kMigrateData
+      0x00, 0x00, 0x00,        // reserved
+      0x0B, 0x00, 0x00, 0x00,  // seq = 11
+      0x01, 0x00, 0x00, 0x00,  // key_len = 1
+      0x01, 0x00, 0x00, 0x00,  // value_len = 1
+  };
+  ASSERT_EQ(wire.size(), kHeaderSize + 2);
+  EXPECT_EQ(std::memcmp(wire.data(), golden, kHeaderSize), 0);
+  EXPECT_EQ(wire.substr(kHeaderSize), "kv");
+}
+
+TEST(ProtoTest, MigrateSubOpsAreDistinctSingleBits) {
+  const uint8_t sub_ops[] = {kMigrateStart, kMigrateData, kMigrateEnd,  kMigrateMap,
+                             kMigrateJoin,  kMigrateMove, kMigrateSplit, kMigrateLeave};
+  uint8_t seen = 0;
+  for (const uint8_t op : sub_ops) {
+    EXPECT_EQ(op & (op - 1), 0) << "sub-op must be a single bit";
+    EXPECT_EQ(seen & op, 0) << "sub-ops must not overlap";
+    seen |= op;
+  }
+  EXPECT_EQ(seen, 0xFF);  // the flags byte is fully allocated
 }
 
 }  // namespace

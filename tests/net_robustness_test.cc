@@ -210,6 +210,43 @@ TEST_F(NetRobustnessTest, ByteAtATimeRequestStillParses) {
   EXPECT_EQ(value, "slowly");
 }
 
+TEST_F(NetRobustnessTest, UnknownOpcodeGetsUnsupportedAndConnectionSurvives) {
+  // An opcode from a future protocol revision must get a clean error frame
+  // on the same connection — NOT a disconnect (a mixed-version cluster
+  // would otherwise drop every inter-node connection during upgrades).
+  uint8_t header[kHeaderSize] = {};
+  EncodeU16(header, kRequestMagic);
+  header[2] = kProtocolVersion;
+  header[3] = kMaxOpcode + 1;
+  EncodeU32(header + 8, 77);
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  ASSERT_TRUE(conn.Send(std::string(reinterpret_cast<char*>(header), kHeaderSize)));
+
+  Response resp;
+  bool eof = false;
+  ASSERT_TRUE(conn.ReadResponse(&resp, &eof));
+  EXPECT_EQ(resp.status, StatusCode::kUnsupported);
+  EXPECT_EQ(resp.seq, 77u);
+
+  // Same connection, well-formed follow-up: must still be served.
+  Request ping;
+  ping.op = Opcode::kPing;
+  ping.seq = 78;
+  ping.value = "after-unknown";
+  std::string wire;
+  EncodeRequest(ping, &wire);
+  ASSERT_TRUE(conn.Send(wire));
+  ASSERT_TRUE(conn.ReadResponse(&resp, &eof));
+  EXPECT_EQ(resp.status, StatusCode::kOk);
+  EXPECT_EQ(resp.seq, 78u);
+  EXPECT_EQ(resp.value, "after-unknown");
+
+  EXPECT_EQ(server_->stats().malformed_frames.load(), 0u);  // not framing abuse
+  EXPECT_GE(server_->stats().unknown_opcodes.load(), 1u);
+  ExpectServerStillHealthy();
+}
+
 TEST_F(NetRobustnessTest, ManyAbusiveConnectionsDoNotStarveTheServer) {
   for (int i = 0; i < 20; ++i) {
     RawConn conn(server_->port());

@@ -9,19 +9,40 @@
 //   hashkit_cli [--host=H] [--port=P] sync
 //   hashkit_cli [--host=H] [--port=P] load        (key<TAB>value from stdin,
 //                                                  pipelined in batches)
+//
+// Against a cluster node, the data commands (put/get/del/load) route
+// through a ClusterClient: keys go to their owning node and MOVED replies
+// are followed, so any live node works as the contact point.  `dump` and
+// `stats` stay node-local by design — they inspect the node you named.
+//
+// Cluster administration (--host/--port name any live cluster node; the
+// CLI fetches the map and routes each command to the right owner itself):
+//
+//   hashkit_cli cluster-map                  print the cluster map
+//   hashkit_cli cluster-split                split bucket `next` at its owner
+//   hashkit_cli cluster-move <bucket> <node> move a bucket to another node
+//   hashkit_cli cluster-drain <node>         move every bucket off a node
+//   hashkit_cli cluster-leave <node>         remove a drained node from the map
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/cluster/cluster_client.h"
+#include "src/cluster/cluster_map.h"
 #include "src/net/client.h"
+#include "src/util/endian.h"
 
 using hashkit::Status;
+using hashkit::cluster::ClusterClient;
+using hashkit::cluster::ClusterMap;
+using hashkit::cluster::NodeInfo;
 using hashkit::net::Client;
 using hashkit::net::Opcode;
 using hashkit::net::Request;
@@ -33,7 +54,9 @@ int Usage(int code) {
   std::fprintf(stderr,
                "usage: hashkit_cli [--host=H] [--port=P] <command>\n"
                "commands: put <key> <value> | get <key> | del <key> |\n"
-               "          dump | stats | ping [payload] | sync | load\n"
+               "          dump | stats | ping [payload] | sync | load |\n"
+               "          cluster-map | cluster-split | cluster-move <bucket> <node> |\n"
+               "          cluster-drain <node> | cluster-leave <node>\n"
                "defaults: host 127.0.0.1, port 4691\n");
   return code;
 }
@@ -45,17 +68,31 @@ int Fail(const char* what, const Status& st) {
 
 // Renders the server's "key=value" stats text: latency blocks
 // (*.latency.<name>.{count,mean_ns,p50_ns,...}) are gathered into one
-// table in microseconds; every other line prints verbatim.
+// table in microseconds, cluster.* lines into a cluster block plus a
+// per-node table; every other line prints verbatim.
 void PrintStats(const std::string& text) {
   struct Lat {
     std::map<std::string, double> fields;  // metric suffix -> value
   };
   std::map<std::string, Lat> latency;  // insertion not needed; sorted is fine
+  std::vector<std::pair<std::string, std::string>> cluster;    // scalar lines, server order
+  std::map<std::string, std::map<std::string, std::string>> cluster_nodes;  // id -> fields
   std::istringstream lines(text);
   std::string line;
   while (std::getline(lines, line)) {
     const size_t eq = line.find('=');
     const size_t lat = line.find(".latency.");
+    if (eq != std::string::npos && line.compare(0, 8, "cluster.") == 0) {
+      const std::string key = line.substr(8, eq - 8);
+      const std::string value = line.substr(eq + 1);
+      if (key.compare(0, 5, "node.") == 0) {
+        const size_t field_dot = key.rfind('.');
+        cluster_nodes[key.substr(5, field_dot - 5)][key.substr(field_dot + 1)] = value;
+      } else {
+        cluster.emplace_back(key, value);
+      }
+      continue;
+    }
     if (eq == std::string::npos || lat == std::string::npos) {
       std::printf("%s\n", line.c_str());
       continue;
@@ -65,21 +102,112 @@ void PrintStats(const std::string& text) {
     latency[key.substr(0, field_dot)].fields[key.substr(field_dot + 1)] =
         std::strtod(line.c_str() + eq + 1, nullptr);
   }
-  if (latency.empty()) {
-    return;
+  if (!latency.empty()) {
+    std::printf("\n%-32s %10s %9s %9s %9s %9s %9s %9s\n", "latency (us)", "count", "mean",
+                "p50", "p90", "p99", "p999", "max");
+    for (const auto& [name, lat] : latency) {
+      const auto us = [&lat](const char* field) {
+        const auto it = lat.fields.find(field);
+        return it != lat.fields.end() ? it->second / 1000.0 : 0.0;
+      };
+      const auto count_it = lat.fields.find("count");
+      std::printf("%-32s %10.0f %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f\n", name.c_str(),
+                  count_it != lat.fields.end() ? count_it->second : 0.0, us("mean_ns"),
+                  us("p50_ns"), us("p90_ns"), us("p99_ns"), us("p999_ns"), us("max_ns"));
+    }
   }
-  std::printf("\n%-32s %10s %9s %9s %9s %9s %9s %9s\n", "latency (us)", "count", "mean",
-              "p50", "p90", "p99", "p999", "max");
-  for (const auto& [name, lat] : latency) {
-    const auto us = [&lat](const char* field) {
-      const auto it = lat.fields.find(field);
-      return it != lat.fields.end() ? it->second / 1000.0 : 0.0;
-    };
-    const auto count_it = lat.fields.find("count");
-    std::printf("%-32s %10.0f %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f\n", name.c_str(),
-                count_it != lat.fields.end() ? count_it->second : 0.0, us("mean_ns"),
-                us("p50_ns"), us("p90_ns"), us("p99_ns"), us("p999_ns"), us("max_ns"));
+  if (!cluster.empty()) {
+    std::printf("\n%-32s %10s\n", "cluster", "value");
+    for (const auto& [key, value] : cluster) {
+      std::printf("%-32s %10s\n", key.c_str(), value.c_str());
+    }
   }
+  if (!cluster_nodes.empty()) {
+    std::printf("\n%-8s %-24s %10s\n", "node", "addr", "buckets");
+    for (const auto& [id, fields] : cluster_nodes) {
+      const auto addr = fields.find("addr");
+      const auto buckets = fields.find("buckets");
+      std::printf("%-8s %-24s %10s\n", id.c_str(),
+                  addr != fields.end() ? addr->second.c_str() : "?",
+                  buckets != fields.end() ? buckets->second.c_str() : "?");
+    }
+  }
+}
+
+// --- cluster admin helpers: every command fetches the map from the node
+// the CLI was pointed at, then routes itself to the right owner. ---
+
+// One MIGRATE (or MAP_GET) round trip against a specific node.
+Status SendOne(Client* client, Request req, Response* out) {
+  std::vector<Request> reqs;
+  reqs.push_back(std::move(req));
+  std::vector<Response> resps;
+  HASHKIT_RETURN_IF_ERROR(client->Pipeline(reqs, &resps));
+  *out = std::move(resps[0]);
+  if (out->status != hashkit::StatusCode::kOk) {
+    return Status(out->status, out->value);
+  }
+  return Status::Ok();
+}
+
+Status FetchMap(Client* client, ClusterMap* map) {
+  Request req;
+  req.op = Opcode::kMapGet;
+  Response resp;
+  HASHKIT_RETURN_IF_ERROR(SendOne(client, std::move(req), &resp));
+  size_t consumed = 0;
+  return map->Deserialize(resp.value, &consumed);
+}
+
+// Connects to `node` and sends one MIGRATE admin frame.
+Status SendMigrateTo(const NodeInfo& node, uint8_t sub_op, std::string value,
+                     Response* out) {
+  auto connected = Client::Connect(node.host, node.port);
+  if (!connected.ok()) {
+    return connected.status();
+  }
+  Request req;
+  req.op = Opcode::kMigrate;
+  req.flags = sub_op;
+  req.value = std::move(value);
+  return SendOne(connected.value().get(), std::move(req), out);
+}
+
+void PrintMap(const ClusterMap& map) {
+  std::printf("map version %u  level %u  next %u  buckets %u  nodes %zu\n", map.version,
+              map.level, map.next, map.bucket_count(), map.nodes.size());
+  std::printf("\n%-8s %-24s %10s  %s\n", "node", "addr", "buckets", "owned");
+  for (const NodeInfo& node : map.nodes) {
+    std::string owned;
+    for (uint32_t b = 0; b < map.bucket_count(); ++b) {
+      if (map.OwnerOf(b) == node.id) {
+        owned += (owned.empty() ? "" : ",") + std::to_string(b);
+      }
+    }
+    std::printf("%-8u %-24s %10u  %s\n", node.id, node.Address().c_str(),
+                map.BucketsOwnedBy(node.id), owned.c_str());
+  }
+}
+
+// Least-loaded node other than `exclude` (ties to the lowest id); the same
+// choice the server's auto-split makes.
+const NodeInfo* PickTarget(const ClusterMap& map, uint32_t exclude) {
+  const NodeInfo* best = nullptr;
+  for (const NodeInfo& node : map.nodes) {
+    if (node.id == exclude) {
+      continue;
+    }
+    if (best == nullptr || map.BucketsOwnedBy(node.id) < map.BucketsOwnedBy(best->id) ||
+        (map.BucketsOwnedBy(node.id) == map.BucketsOwnedBy(best->id) && node.id < best->id)) {
+      best = &node;
+    }
+  }
+  return best;
+}
+
+void SleepMs(long ms) {
+  struct timespec ts = {ms / 1000, (ms % 1000) * 1000000L};
+  nanosleep(&ts, nullptr);
 }
 
 }  // namespace
@@ -111,13 +239,26 @@ int main(int argc, char** argv) {
   }
   auto client = std::move(connected).value();
 
+  // Data ops against a cluster member go through a ClusterClient so keys
+  // route to their owners and MOVED replies are followed.  A non-cluster
+  // server has no map to fetch; fall back to the plain connection.
+  std::unique_ptr<ClusterClient> cluster;
+  if (cmd == "put" || cmd == "get" || cmd == "del" || cmd == "load") {
+    auto cc = ClusterClient::Connect({host + ":" + std::to_string(port)});
+    if (cc.ok()) {
+      cluster = std::move(cc).value();
+    }
+  }
+
   if (cmd == "put" && rest >= 2) {
-    const Status st = client->Put(argv[arg], argv[arg + 1]);
+    const Status st = cluster != nullptr ? cluster->Put(argv[arg], argv[arg + 1])
+                                         : client->Put(argv[arg], argv[arg + 1]);
     return st.ok() ? 0 : Fail("put", st);
   }
   if (cmd == "get" && rest >= 1) {
     std::string value;
-    const Status st = client->Get(argv[arg], &value);
+    const Status st =
+        cluster != nullptr ? cluster->Get(argv[arg], &value) : client->Get(argv[arg], &value);
     if (!st.ok()) {
       return Fail("get", st);
     }
@@ -125,7 +266,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "del" && rest >= 1) {
-    const Status st = client->Delete(argv[arg]);
+    const Status st = cluster != nullptr ? cluster->Delete(argv[arg]) : client->Delete(argv[arg]);
     return st.ok() ? 0 : Fail("del", st);
   }
   if (cmd == "dump") {
@@ -158,6 +299,136 @@ int main(int argc, char** argv) {
     const Status st = client->Sync();
     return st.ok() ? 0 : Fail("sync", st);
   }
+  if (cmd == "cluster-map") {
+    ClusterMap map;
+    const Status st = FetchMap(client.get(), &map);
+    if (!st.ok()) {
+      return Fail("cluster-map", st);
+    }
+    PrintMap(map);
+    return 0;
+  }
+  if (cmd == "cluster-split") {
+    ClusterMap map;
+    Status st = FetchMap(client.get(), &map);
+    if (!st.ok()) {
+      return Fail("cluster-split", st);
+    }
+    // Only the owner of bucket `next` may split; aim the frame there.
+    const NodeInfo* owner = map.FindNode(map.OwnerOf(map.next));
+    if (owner == nullptr) {
+      return Fail("cluster-split", Status::Corruption("map names no owner for next"));
+    }
+    Response resp;
+    st = SendMigrateTo(*owner, hashkit::net::kMigrateSplit, "", &resp);
+    if (!st.ok()) {
+      return Fail("cluster-split", st);
+    }
+    std::printf("%s (bucket %u at node %u)\n", resp.value.c_str(), map.next, owner->id);
+    return 0;
+  }
+  if (cmd == "cluster-move" && rest >= 2) {
+    const uint32_t bucket = static_cast<uint32_t>(std::atol(argv[arg]));
+    const uint32_t target = static_cast<uint32_t>(std::atol(argv[arg + 1]));
+    ClusterMap map;
+    Status st = FetchMap(client.get(), &map);
+    if (!st.ok()) {
+      return Fail("cluster-move", st);
+    }
+    if (bucket >= map.bucket_count()) {
+      return Fail("cluster-move", Status::InvalidArgument("bucket out of range"));
+    }
+    const NodeInfo* owner = map.FindNode(map.OwnerOf(bucket));
+    if (owner == nullptr) {
+      return Fail("cluster-move", Status::Corruption("map names no owner for bucket"));
+    }
+    std::string payload(8, '\0');
+    hashkit::EncodeU32(reinterpret_cast<uint8_t*>(payload.data()), bucket);
+    hashkit::EncodeU32(reinterpret_cast<uint8_t*>(payload.data() + 4), target);
+    Response resp;
+    st = SendMigrateTo(*owner, hashkit::net::kMigrateMove, std::move(payload), &resp);
+    if (!st.ok()) {
+      return Fail("cluster-move", st);
+    }
+    std::printf("%s (bucket %u: node %u -> node %u)\n", resp.value.c_str(), bucket, owner->id,
+                target);
+    return 0;
+  }
+  if (cmd == "cluster-drain" && rest >= 1) {
+    // Moves every bucket off the node, one migration at a time (the engine
+    // runs one transfer per coordinator), polling the map in between.
+    const uint32_t drainee = static_cast<uint32_t>(std::atol(argv[arg]));
+    for (;;) {
+      ClusterMap map;
+      Status st = FetchMap(client.get(), &map);
+      if (!st.ok()) {
+        return Fail("cluster-drain", st);
+      }
+      const NodeInfo* source = map.FindNode(drainee);
+      if (source == nullptr) {
+        return Fail("cluster-drain", Status::NotFound("node not in map"));
+      }
+      uint32_t bucket = map.bucket_count();
+      for (uint32_t b = 0; b < map.bucket_count(); ++b) {
+        if (map.OwnerOf(b) == drainee) {
+          bucket = b;
+          break;
+        }
+      }
+      if (bucket == map.bucket_count()) {
+        std::printf("node %u drained (map v%u); cluster-leave %u when ready\n", drainee,
+                    map.version, drainee);
+        return 0;
+      }
+      const NodeInfo* target = PickTarget(map, drainee);
+      if (target == nullptr) {
+        return Fail("cluster-drain", Status::InvalidArgument("no other node to drain to"));
+      }
+      std::string payload(8, '\0');
+      hashkit::EncodeU32(reinterpret_cast<uint8_t*>(payload.data()), bucket);
+      hashkit::EncodeU32(reinterpret_cast<uint8_t*>(payload.data() + 4), target->id);
+      Response resp;
+      st = SendMigrateTo(*source, hashkit::net::kMigrateMove, std::move(payload), &resp);
+      // "migration already in progress" (kInvalidArgument) just means wait
+      // for the in-flight transfer; anything else is fatal.
+      if (!st.ok() && st.code() != hashkit::StatusCode::kInvalidArgument) {
+        return Fail("cluster-drain", st);
+      }
+      if (st.ok()) {
+        std::printf("moving bucket %u: node %u -> node %u\n", bucket, drainee, target->id);
+      }
+      // Wait for the move (or the one already in flight) to land in the map.
+      for (int i = 0; i < 300; ++i) {
+        SleepMs(100);
+        ClusterMap now;
+        if (FetchMap(client.get(), &now).ok() && now.version > map.version) {
+          break;
+        }
+      }
+    }
+  }
+  if (cmd == "cluster-leave" && rest >= 1) {
+    const uint32_t node_id = static_cast<uint32_t>(std::atol(argv[arg]));
+    ClusterMap map;
+    Status st = FetchMap(client.get(), &map);
+    if (!st.ok()) {
+      return Fail("cluster-leave", st);
+    }
+    // LEAVE must be sent to the leaving node itself.
+    const NodeInfo* node = map.FindNode(node_id);
+    if (node == nullptr) {
+      return Fail("cluster-leave", Status::NotFound("node not in map"));
+    }
+    std::string payload(4, '\0');
+    hashkit::EncodeU32(reinterpret_cast<uint8_t*>(payload.data()), node_id);
+    Response resp;
+    st = SendMigrateTo(*node, hashkit::net::kMigrateLeave, std::move(payload), &resp);
+    if (!st.ok()) {
+      return Fail("cluster-leave", st);
+    }
+    std::printf("%s\n", resp.value.c_str());
+    return 0;
+  }
   if (cmd == "load") {
     // Pipelined bulk load: batch stdin pairs to amortize round trips.
     constexpr size_t kBatch = 256;
@@ -169,7 +440,11 @@ int main(int argc, char** argv) {
       if (batch.empty()) {
         return Status::Ok();
       }
-      HASHKIT_RETURN_IF_ERROR(client->Pipeline(batch, &responses));
+      if (cluster != nullptr) {
+        HASHKIT_RETURN_IF_ERROR(cluster->Pipeline(batch, &responses));
+      } else {
+        HASHKIT_RETURN_IF_ERROR(client->Pipeline(batch, &responses));
+      }
       for (const Response& resp : responses) {
         if (resp.status == hashkit::StatusCode::kOk) {
           ++loaded;

@@ -4,18 +4,29 @@
 //                  [--shards=N] [--workers=N] [--idle_timeout_ms=N]
 //                  [--truncate] [--metrics-port=P]
 //                  [--durability=none|async|sync] [--wal-group-commit=N]
+//                  [--cluster-node=ID] [--peers=ID@HOST:PORT,...]
+//                  [--join=HOST:PORT] [--advertise=HOST:PORT]
+//                  [--split-threshold=N]
 //
 // With shards > 1 the store opens as a ShardedStore (per-shard ".sN"
 // files); with shards <= 1 it is wrapped in SynchronizedStore so multiple
 // worker loops can dispatch into it safely.  Runs until SIGINT/SIGTERM,
 // then shuts down gracefully (connections closed, store synced).
+//
+// Cluster mode (--cluster-node): this server becomes one node of an
+// LH*-style distributed keyspace (see DESIGN.md "hashkit-cluster").
+// Either --peers lists the whole initial membership (every node derives
+// the same map), or --join names any live node to join an existing
+// cluster.  The map and migration markers persist at <path>.cmap.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "src/cluster/migration.h"
 #include "src/kv/kv_store.h"
 #include "src/kv/synchronized.h"
 #include "src/net/server.h"
@@ -55,6 +66,24 @@ long FlagLong(int argc, char** argv, const char* name, long fallback) {
   return v != nullptr ? std::atol(v) : fallback;
 }
 
+// --peers entries look like "0@127.0.0.1:4691" (id @ advertised address).
+bool ParsePeer(const std::string& entry, hashkit::cluster::NodeInfo* out) {
+  const size_t at = entry.find('@');
+  const size_t colon = entry.rfind(':');
+  if (at == std::string::npos || colon == std::string::npos || colon < at + 2) {
+    return false;
+  }
+  const long id = std::atol(entry.substr(0, at).c_str());
+  const long port = std::atol(entry.c_str() + colon + 1);
+  if (id < 0 || port <= 0 || port > 65535) {
+    return false;
+  }
+  out->id = static_cast<uint32_t>(id);
+  out->host = entry.substr(at + 1, colon - at - 1);
+  out->port = static_cast<uint16_t>(port);
+  return !out->host.empty();
+}
+
 int Usage(int code) {
   std::fprintf(stderr,
                "usage: hashkit_server [--host=H] [--port=P] [--store=KIND] [--path=FILE]\n"
@@ -69,7 +98,14 @@ int Usage(int code) {
                "durability (hash_disk): none = no write-ahead log (default); async = log\n"
                "         without per-op fsync (crash-consistent, recent ops may be lost);\n"
                "         sync = log fsynced every --wal-group-commit ops (default 1).\n"
-               "         SYNC requests are real durability barriers in async/sync modes.\n");
+               "         SYNC requests are real durability barriers in async/sync modes.\n"
+               "cluster: --cluster-node=ID makes this server node ID of an LH* cluster.\n"
+               "         --peers=ID@HOST:PORT,... static bootstrap (all nodes list the\n"
+               "         same peers, which must include this node's id), or\n"
+               "         --join=HOST:PORT to join through any live node.\n"
+               "         --advertise=HOST:PORT overrides how peers reach this node\n"
+               "         (default: listen host:port).  --split-threshold=N schedules a\n"
+               "         cluster split when pairs-per-owned-bucket exceeds N.\n");
   return code;
 }
 
@@ -148,6 +184,69 @@ int main(int argc, char** argv) {
   }
   server_options.metrics_port = static_cast<int>(metrics_port);
 
+  // Cluster mode: the node is created before the server (the server holds
+  // the hooks pointer) but started after it, once the bound port is known.
+  std::unique_ptr<hashkit::cluster::ClusterNode> cluster_node;
+  std::vector<hashkit::cluster::NodeInfo> peers;
+  std::string join_seed;
+  const char* cluster_id = FlagValue(argc, argv, "cluster-node");
+  if (cluster_id != nullptr) {
+    hashkit::cluster::ClusterNodeOptions cluster_options;
+    cluster_options.node_id = static_cast<uint32_t>(std::atol(cluster_id));
+    cluster_options.map_path = store_options.path + ".cmap";
+    cluster_options.split_threshold =
+        static_cast<uint64_t>(FlagLong(argc, argv, "split-threshold", 0));
+    const char* peers_flag = FlagValue(argc, argv, "peers");
+    const char* join_flag = FlagValue(argc, argv, "join");
+    if (peers_flag != nullptr) {
+      std::string list = peers_flag;
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = list.size();
+        }
+        hashkit::cluster::NodeInfo peer;
+        if (!ParsePeer(list.substr(pos, comma - pos), &peer)) {
+          std::fprintf(stderr, "bad --peers entry: %s\n", list.substr(pos, comma - pos).c_str());
+          return Usage(2);
+        }
+        peers.push_back(std::move(peer));
+        pos = comma + 1;
+      }
+    }
+    if (join_flag != nullptr) {
+      join_seed = join_flag;
+    }
+    if (peers.empty() && join_seed.empty()) {
+      std::fprintf(stderr, "--cluster-node needs --peers or --join\n");
+      return Usage(2);
+    }
+    // How peers reach this node: the --advertise override, or the listen
+    // address.  Port 0 (kernel-assigned) needs an explicit --advertise
+    // because the map must carry a reachable port before Start.
+    cluster_options.advertise_host = server_options.host;
+    cluster_options.advertise_port = server_options.port;
+    const char* advertise = FlagValue(argc, argv, "advertise");
+    if (advertise != nullptr) {
+      const std::string adv = advertise;
+      const size_t colon = adv.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "bad --advertise (want HOST:PORT): %s\n", advertise);
+        return Usage(2);
+      }
+      cluster_options.advertise_host = adv.substr(0, colon);
+      cluster_options.advertise_port = static_cast<uint16_t>(std::atol(adv.c_str() + colon + 1));
+    }
+    if (cluster_options.advertise_port == 0) {
+      std::fprintf(stderr, "--cluster-node with --port=0 needs --advertise=HOST:PORT\n");
+      return Usage(2);
+    }
+    cluster_node =
+        std::make_unique<hashkit::cluster::ClusterNode>(store.get(), cluster_options);
+    server_options.cluster = cluster_node.get();
+  }
+
   hashkit::net::Server server(store.get(), server_options);
   const hashkit::Status st = server.Start();
   if (!st.ok()) {
@@ -160,6 +259,16 @@ int main(int argc, char** argv) {
     std::printf("hashkit_server: metrics on http://%s:%u/metrics\n",
                 server_options.host.c_str(), server.metrics_port());
   }
+  if (cluster_node != nullptr) {
+    const hashkit::Status cst = cluster_node->Start(peers, join_seed);
+    if (!cst.ok()) {
+      std::fprintf(stderr, "cluster start: %s\n", cst.ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+    std::printf("hashkit_server: cluster node %s, map v%u (%zu nodes)\n", cluster_id,
+                cluster_node->MapSnapshot().version, cluster_node->MapSnapshot().nodes.size());
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -169,6 +278,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("hashkit_server: shutting down\n");
+  if (cluster_node != nullptr) {
+    cluster_node->Stop();  // engine first; a pending migration resumes on restart
+  }
   server.Stop();
   (void)store->Sync();
   return 0;
