@@ -12,6 +12,9 @@
 //   db_tool <store> <path> verify      (hash_disk: recover + integrity check)
 //   db_tool <store> <path> recover     (hash_disk: replay the WAL, report)
 //   db_tool <store> <path> upgrade     (hash_disk: migrate format v1 -> v2)
+//   db_tool <store> <path> backup <host:port>   (hash_disk: online backup)
+//   db_tool <store> <path> restore <to_lsn>     (hash_disk: PITR from archive)
+//   db_tool <store> <path> clean      (remove stale temp artifacts)
 //
 // <store> is one of: hash_disk ndbm sdbm gdbm
 // (the memory-resident stores have nothing to reopen, so the tool is
@@ -21,12 +24,16 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "src/core/hash_table.h"
 #include "src/kv/kv_store.h"
+#include "src/net/replica.h"
+#include "src/util/tempfile.h"
+#include "src/wal/archive.h"
 
 using hashkit::Status;
 using hashkit::kv::KvStore;
@@ -53,6 +60,9 @@ int Usage(std::FILE* out, int code) {
                "       db_tool <store> <path> del <key>\n"
                "       db_tool <store> <path> dump|stat|load\n"
                "       db_tool <store> <path> verify|recover|upgrade   (hash_disk only)\n"
+               "       db_tool <store> <path> backup <host:port>       (hash_disk only)\n"
+               "       db_tool <store> <path> restore <to_lsn|latest>  (hash_disk only)\n"
+               "       db_tool <store> <path> clean\n"
                "       db_tool --help\n"
                "store: hash_disk ndbm sdbm gdbm (file-backed kinds)\n"
                "load reads key<TAB>value lines from stdin.\n"
@@ -61,6 +71,12 @@ int Usage(std::FILE* out, int code) {
                "fingerprint tag arrays); recover replays the log and reports what\n"
                "it did.  Both exit 0 when the table is sound, 1 otherwise.\n"
                "upgrade rebuilds a format-v1 table as v2 via an atomic rename.\n"
+               "backup streams a live server's checkpoint image and WAL tail into\n"
+               "<path> (+<path>.wal) without blocking its writers.  restore replays\n"
+               "archived WAL segments (<path>.wal.<seq>, see --wal-archive) plus the\n"
+               "live log onto <path>, stopping at <to_lsn>.  clean removes stale\n"
+               "temp artifacts (.tmp/.upgrade/.cmap.tmp) a crashed writer left;\n"
+               "verify, recover, backup, and restore refuse to run while any exist.\n"
                "With no arguments, runs a self-demonstration.\n");
   return code;
 }
@@ -74,8 +90,10 @@ bool OperandCountOk(const std::string& cmd, int argc, int* expected) {
     *expected = 2;
   } else if (cmd == "get" || cmd == "del") {
     *expected = 1;
+  } else if (cmd == "backup" || cmd == "restore") {
+    *expected = 1;
   } else if (cmd == "dump" || cmd == "stat" || cmd == "load" || cmd == "verify" ||
-             cmd == "recover" || cmd == "upgrade") {
+             cmd == "recover" || cmd == "upgrade" || cmd == "clean") {
     *expected = 0;
   } else {
     return false;  // unknown command; *expected untouched
@@ -163,6 +181,20 @@ int RunMaintenance(const std::string& store_name, const std::string& path,
     std::fprintf(stderr, "db_tool: no such table: %s\n", path.c_str());
     return 1;
   }
+  if (cmd == "verify" || cmd == "recover") {
+    // A stale temp file means a writer (upgrade, cluster persist, backup
+    // download) died mid-flight; repairing or blessing the table while it
+    // sits there risks mistaking the torn artifact for data.
+    const auto stale = hashkit::StaleArtifactsFor(path);
+    if (!stale.empty()) {
+      std::fprintf(stderr,
+                   "%s: refusing: stale temp artifact %s exists "
+                   "(run `db_tool hash_disk %s clean` after confirming no "
+                   "writer is live)\n",
+                   cmd.c_str(), stale.front().c_str(), path.c_str());
+      return 1;
+    }
+  }
   if (cmd == "upgrade") {
     auto upgraded = hashkit::UpgradeTableFormat(path);
     if (!upgraded.ok()) {
@@ -207,6 +239,90 @@ int RunMaintenance(const std::string& store_name, const std::string& path,
   std::printf("integrity: ok (%llu pairs, %u buckets)\n",
               static_cast<unsigned long long>(table.size()), table.bucket_count());
   return 0;
+}
+
+// backup/restore/clean: online operations on the WAL (hashkit-mvcc).
+// backup needs no local table (it creates one); restore repairs one in
+// place from the archive; clean removes torn temp artifacts.
+int RunOnline(const std::string& store_name, const std::string& path, const std::string& cmd,
+              int argc, char** argv) {
+  (void)argc;  // operand counts were validated in main
+  if (cmd == "clean") {
+    const auto stale = hashkit::StaleArtifactsFor(path);
+    if (stale.empty()) {
+      std::printf("clean: nothing stale next to %s\n", path.c_str());
+      return 0;
+    }
+    const Status st = hashkit::RemoveStaleArtifacts(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "clean: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    for (const std::string& artifact : stale) {
+      std::printf("clean: removed %s\n", artifact.c_str());
+    }
+    return 0;
+  }
+  if (store_name != "hash_disk") {
+    std::fprintf(stderr, "db_tool: '%s' is only supported for hash_disk\n", cmd.c_str());
+    return 2;
+  }
+  if (cmd == "backup") {
+    const std::string addr = argv[0];
+    const size_t colon = addr.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      std::fprintf(stderr, "backup: want <host:port>, got '%s'\n", addr.c_str());
+      return 2;
+    }
+    auto client = hashkit::net::Client::Connect(
+        addr.substr(0, colon), static_cast<uint16_t>(std::atol(addr.c_str() + colon + 1)));
+    if (!client.ok()) {
+      std::fprintf(stderr, "backup: connect: %s\n", client.status().ToString().c_str());
+      return 1;
+    }
+    auto manifest = hashkit::net::DownloadBackup(client.value().get(), path);
+    if (!manifest.ok()) {
+      std::fprintf(stderr, "backup: %s\n", manifest.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("backup: %llu pages of %u bytes, consistent as of lsn %llu\n",
+                static_cast<unsigned long long>(manifest.value().page_count),
+                manifest.value().page_size,
+                static_cast<unsigned long long>(manifest.value().lsn));
+    std::printf("backup: wrote %s and %s.wal\n", path.c_str(), path.c_str());
+    return 0;
+  }
+  // restore
+  if (::access(path.c_str(), F_OK) != 0) {
+    std::fprintf(stderr, "restore: no such table: %s\n", path.c_str());
+    return 1;
+  }
+  const auto stale = hashkit::StaleArtifactsFor(path);
+  if (!stale.empty()) {
+    std::fprintf(stderr,
+                 "restore: refusing: stale temp artifact %s exists "
+                 "(run `db_tool hash_disk %s clean` first)\n",
+                 stale.front().c_str(), path.c_str());
+    return 1;
+  }
+  uint64_t to_lsn = UINT64_MAX;
+  if (std::strcmp(argv[0], "latest") != 0) {
+    char* end = nullptr;
+    to_lsn = std::strtoull(argv[0], &end, 10);
+    if (end == argv[0] || *end != '\0') {
+      std::fprintf(stderr, "restore: want a decimal LSN or 'latest', got '%s'\n", argv[0]);
+      return 2;
+    }
+  }
+  auto applied = hashkit::wal::RestoreToLsn(path, to_lsn);
+  if (!applied.ok()) {
+    std::fprintf(stderr, "restore: %s\n", applied.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("restore: applied through lsn %llu\n",
+              static_cast<unsigned long long>(applied.value()));
+  // The restored table should pass the same checks `verify` runs.
+  return RunMaintenance(store_name, path, "verify");
 }
 
 // Self-demonstration when run with no arguments.
@@ -265,7 +381,8 @@ int main(int argc, char** argv) {
   int expected = 0;
   if (!OperandCountOk(cmd, argc - 4, &expected)) {
     if (cmd != "put" && cmd != "get" && cmd != "del" && cmd != "dump" && cmd != "stat" &&
-        cmd != "load" && cmd != "verify" && cmd != "recover" && cmd != "upgrade") {
+        cmd != "load" && cmd != "verify" && cmd != "recover" && cmd != "upgrade" &&
+        cmd != "backup" && cmd != "restore" && cmd != "clean") {
       std::fprintf(stderr, "db_tool: unknown command '%s'\n", cmd.c_str());
     } else {
       std::fprintf(stderr, "db_tool: '%s' takes exactly %d operand%s (got %d)\n", cmd.c_str(),
@@ -275,6 +392,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "verify" || cmd == "recover" || cmd == "upgrade") {
     return RunMaintenance(argv[1], argv[2], cmd);
+  }
+  if (cmd == "backup" || cmd == "restore" || cmd == "clean") {
+    return RunOnline(argv[1], argv[2], cmd, argc - 4, argv + 4);
   }
   StoreOptions options;
   options.path = argv[2];

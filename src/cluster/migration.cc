@@ -14,6 +14,7 @@
 
 #include "src/net/client.h"
 #include "src/util/endian.h"
+#include "src/util/tempfile.h"
 #include "src/wal/crc32c.h"
 
 namespace hashkit {
@@ -84,6 +85,15 @@ Status ClusterNode::PersistLocked() {
   AppendU8(&payload, static_cast<uint8_t>(marker_.role));
   AppendU32(&payload, marker_.bucket);
   AppendU32(&payload, marker_.target);
+  // The inbound dirty-key set rides with the marker: without it a target
+  // restart forgets which keys clients wrote after cutover, and the
+  // resumed copy stream would roll those writes back to pre-migration
+  // values.  u32 count, then (u32 len | bytes) per key.
+  AppendU32(&payload, static_cast<uint32_t>(inbound_dirty_.size()));
+  for (const std::string& key : inbound_dirty_) {
+    AppendU32(&payload, static_cast<uint32_t>(key.size()));
+    payload += key;
+  }
 
   std::string file;
   file.append(kMapFileMagic, 4);
@@ -92,34 +102,9 @@ Status ClusterNode::PersistLocked() {
   file += payload;
   AppendU32(&file, wal::Crc32c(payload.data(), payload.size()));
 
-  // tmp + fsync + rename: a crash leaves either the old file or the new
-  // one, never a torn mix (same discipline as the table upgrade path).
-  const std::string tmp = options_.map_path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    return Status::IoError("cluster map open: " + std::string(std::strerror(errno)));
-  }
-  size_t off = 0;
-  while (off < file.size()) {
-    const ssize_t n = ::write(fd, file.data() + off, file.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      ::close(fd);
-      return Status::IoError("cluster map write: " + std::string(std::strerror(errno)));
-    }
-    off += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Status::IoError("cluster map fsync: " + std::string(std::strerror(errno)));
-  }
-  ::close(fd);
-  if (::rename(tmp.c_str(), options_.map_path.c_str()) != 0) {
-    return Status::IoError("cluster map rename: " + std::string(std::strerror(errno)));
-  }
-  return Status::Ok();
+  // tmp + fsync + rename through the shared helper, so the temp name is
+  // exactly what db_tool's stale-artifact audit knows to look for.
+  return WriteFileAtomic(options_.map_path, file);
 }
 
 Status ClusterNode::LoadPersisted() {
@@ -168,7 +153,7 @@ Status ClusterNode::LoadPersisted() {
   ClusterMap m;
   size_t consumed = 0;
   HASHKIT_RETURN_IF_ERROR(m.Deserialize(payload, &consumed));
-  if (payload.size() - consumed != 9) {
+  if (payload.size() - consumed < 9) {
     return Status::Corruption("cluster map file: bad marker");
   }
   PendingMarker marker;
@@ -183,8 +168,36 @@ Status ClusterNode::LoadPersisted() {
     return Status::Corruption("cluster map file: marker bucket out of range");
   }
 
+  // The dirty-key set (absent in files written before it existed — a bare
+  // 9-byte marker tail is the legacy layout and means an empty set).
+  std::unordered_set<std::string> dirty;
+  size_t pos = consumed + 9;
+  if (pos < payload.size()) {
+    if (payload.size() - pos < 4) {
+      return Status::Corruption("cluster map file: bad dirty set header");
+    }
+    const uint32_t count = ReadU32(payload, pos);
+    pos += 4;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (payload.size() - pos < 4) {
+        return Status::Corruption("cluster map file: bad dirty set entry");
+      }
+      const uint32_t len = ReadU32(payload, pos);
+      pos += 4;
+      if (payload.size() - pos < len) {
+        return Status::Corruption("cluster map file: dirty set entry truncated");
+      }
+      dirty.insert(std::string(payload.substr(pos, len)));
+      pos += len;
+    }
+    if (pos != payload.size()) {
+      return Status::Corruption("cluster map file: trailing bytes after dirty set");
+    }
+  }
+
   map_ = std::move(m);
   marker_ = marker;
+  inbound_dirty_ = std::move(dirty);
   return Status::Ok();
 }
 
@@ -410,8 +423,19 @@ bool ClusterNode::HandleData(const net::Request& req, net::Response* resp) {
   if (inbound && req.op != net::Opcode::kGet) {
     // The copy stream for this bucket is (or may soon be) running; record
     // that the client now owns this key's latest state so a streamed copy
-    // cannot resurrect an older value or a deleted key.
-    inbound_dirty_.insert(req.key);
+    // cannot resurrect an older value or a deleted key.  The record must
+    // be durable BEFORE the write is acknowledged: if this node crashes
+    // and the stream resumes, an in-memory-only entry is forgotten and
+    // the copy would roll the acknowledged write back.
+    if (inbound_dirty_.insert(req.key).second) {
+      const Status ps = PersistLocked();
+      if (!ps.ok()) {
+        inbound_dirty_.erase(req.key);
+        resp->status = ps.code();
+        resp->value = ps.message();
+        return true;
+      }
+    }
   }
   if (!inbound) {
     // Fast path: the store call runs outside mu_ (the data latch alone

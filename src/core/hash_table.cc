@@ -9,6 +9,7 @@
 
 #include "src/util/endian.h"
 #include "src/util/math.h"
+#include "src/wal/log_reader.h"
 
 namespace hashkit {
 
@@ -44,7 +45,20 @@ HashTable::HashTable(std::unique_ptr<PageFile> file, const HashOptions& options)
       pool_(std::make_unique<BufferPool>(file_.get(), options.cachesize)),
       ovfl_(std::make_unique<OvflAllocator>(&meta_, pool_.get())),
       split_policy_(options.split_policy),
-      auto_contract_(options.auto_contract) {}
+      auto_contract_(options.auto_contract) {
+  // The overflow allocator mutates bitmap pages, reformats recycled pages,
+  // and discards freed frames without going through the fetch helpers
+  // below; route its pre-images into live snapshots too (hashkit-mvcc).
+  ovfl_->SetPreserveHook([this](uint64_t pageno) {
+    if (!in_write_op_ || snapshots_.empty()) {
+      return;
+    }
+    Result<PageRef> ref = pool_->Get(pageno);
+    if (ref.ok()) {
+      PreserveForSnapshots(pageno, ref.value().data());
+    }
+  });
+}
 
 HashTable::~HashTable() {
   if (persistent_) {
@@ -103,7 +117,8 @@ Result<std::unique_ptr<HashTable>> HashTable::Open(const std::string& path,
   table->wal_recovery_ = recovery;
   if (options.durability != Durability::kNone) {
     HASHKIT_ASSIGN_OR_RETURN(auto storage, wal::OpenDiskWalStorage(wal_path));
-    HASHKIT_RETURN_IF_ERROR(table->EnableWal(std::move(storage), options));
+    HASHKIT_RETURN_IF_ERROR(table->EnableWal(std::move(storage), options,
+                                             options.wal_archive ? wal_path : std::string()));
   }
   return table;
 }
@@ -247,7 +262,7 @@ Status HashTable::Sync() {
 // ---------------------------------------------------------------------------
 
 Status HashTable::EnableWal(std::unique_ptr<wal::WalStorage> storage,
-                            const HashOptions& options) {
+                            const HashOptions& options, const std::string& archive_prefix) {
   const uint32_t sync_every =
       options.durability == Durability::kSync ? std::max(1u, options.wal_group_commit) : 0;
   wal_ = std::make_unique<wal::LogWriter>(std::move(storage), meta_.bsize, sync_every);
@@ -255,6 +270,9 @@ Status HashTable::EnableWal(std::unique_ptr<wal::WalStorage> storage,
   if (!init.ok()) {
     wal_.reset();
     return init;
+  }
+  if (!archive_prefix.empty()) {
+    wal_->EnableArchive(archive_prefix);
   }
   // Floor the checkpoint trigger: between checkpoints, held frames cannot
   // be written back, so the trigger also bounds buffer-pool growth.
@@ -305,7 +323,7 @@ Status HashTable::WalCommitAndMaybeCheckpoint() {
     return Status::Ok();
   }
   HASHKIT_RETURN_IF_ERROR(WalCommit());
-  if (wal_->log_bytes() >= wal_checkpoint_bytes_) {
+  if (wal_->log_bytes() >= std::max(wal_checkpoint_bytes_, wal_checkpoint_at_)) {
     return Checkpoint();
   }
   return Status::Ok();
@@ -324,6 +342,17 @@ Status HashTable::Checkpoint() {
   HASHKIT_RETURN_IF_ERROR(WriteMeta());
   HASHKIT_RETURN_IF_ERROR(pool_->FlushAll());
   HASHKIT_RETURN_IF_ERROR(file_->Sync());
+  if (SnapshotsActive()) {
+    // A live snapshot or backup streams the log by offset: deferring the
+    // reset keeps the log append-only (and its LSNs replayable) until the
+    // last handle drops.  Everything above still ran, so durability is
+    // unaffected — the log is merely longer than usual.  Push the trigger
+    // one interval past the current size, or the still-long log would
+    // re-run this flush+fsync on every following commit.
+    wal_checkpoint_at_ = wal_->log_bytes() + wal_checkpoint_bytes_;
+    return Status::Ok();
+  }
+  wal_checkpoint_at_ = 0;
   return wal_->CheckpointReset();
 }
 
@@ -351,6 +380,7 @@ uint32_t HashTable::BucketOf(uint32_t hash) const {
 
 Result<PageRef> HashTable::FetchBucketPage(uint32_t bucket, bool create_new) {
   HASHKIT_ASSIGN_OR_RETURN(PageRef ref, pool_->Get(BucketToPage(meta_, bucket), create_new));
+  PreserveForSnapshots(BucketToPage(meta_, bucket), ref.data());
   if (View(ref).data_begin() == 0) {
     // Virgin page (file hole or brand-new bucket): format it.
     PageView::Init(ref.data(), meta_.bsize, PageType::kBucket);
@@ -360,11 +390,16 @@ Result<PageRef> HashTable::FetchBucketPage(uint32_t bucket, bool create_new) {
 }
 
 Result<PageRef> HashTable::FetchBucketPageRead(uint32_t bucket) {
-  return pool_->Get(BucketToPage(meta_, bucket));
+  HASHKIT_ASSIGN_OR_RETURN(PageRef ref, pool_->Get(BucketToPage(meta_, bucket)));
+  // Mutations reach pages through FindPair's read-side fetch too (e.g.
+  // RemoveEntryAt); the preserve call no-ops outside a write operation.
+  PreserveForSnapshots(BucketToPage(meta_, bucket), ref.data());
+  return ref;
 }
 
 Result<PageRef> HashTable::FetchOvflPage(uint16_t oaddr, const PageRef* predecessor) {
   HASHKIT_ASSIGN_OR_RETURN(PageRef ref, pool_->Get(OaddrToPage(meta_, oaddr)));
+  PreserveForSnapshots(OaddrToPage(meta_, oaddr), ref.data());
   if (View(ref).data_begin() == 0) {
     return Status::Corruption("reference to unformatted overflow page");
   }
@@ -612,6 +647,7 @@ Status HashTable::AddPair(uint32_t bucket, std::string_view key, std::string_vie
 }
 
 Status HashTable::Put(std::string_view key, std::string_view value, bool overwrite) {
+  WriteOpScope write_scope(this);
   const uint32_t hash = HashKey(key);
   uint32_t bucket = BucketOf(hash);
 
@@ -690,6 +726,7 @@ Status HashTable::RemoveEntryAt(uint32_t bucket, PageRef page, uint16_t index) {
 }
 
 Status HashTable::Delete(std::string_view key) {
+  WriteOpScope write_scope(this);
   const uint32_t hash = HashKey(key);
   const uint32_t bucket = BucketOf(hash);
   PageRef page;
@@ -707,6 +744,7 @@ Status HashTable::Delete(std::string_view key) {
 }
 
 Status HashTable::Contract() {
+  WriteOpScope write_scope(this);
   if (meta_.max_bucket == 0) {
     return Status::NotFound("table is already a single bucket");
   }
@@ -1095,6 +1133,320 @@ Status HashTable::Seq(std::string* key, std::string* value, bool first) {
   }
   return seq_cursor_.Next(key, value);
 }
+
+// ---------------------------------------------------------------------------
+// Snapshots, online backup, replication (hashkit-mvcc)
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<TableSnapshot> HashTable::CreateSnapshot() {
+  auto snap = std::make_shared<TableSnapshot>();
+  snap->meta_ = meta_;
+  snap->lsn_ = WalLsn();
+  snap->page_count_ = file_->PageCount();
+  // Exclusive access here: prune handles dropped since the last snapshot.
+  std::erase_if(snapshots_,
+                [](const std::weak_ptr<TableSnapshot>& w) { return w.expired(); });
+  snapshots_.push_back(snap);
+  return snap;
+}
+
+bool HashTable::SnapshotsActive() const {
+  for (const std::weak_ptr<TableSnapshot>& w : snapshots_) {
+    if (!w.expired()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void HashTable::PreserveForSnapshots(uint64_t pageno, const uint8_t* data) {
+  if (!in_write_op_ || snapshots_.empty()) {
+    return;
+  }
+  bool any_alive = false;
+  for (std::weak_ptr<TableSnapshot>& w : snapshots_) {
+    std::shared_ptr<TableSnapshot> snap = w.lock();
+    if (snap == nullptr) {
+      continue;
+    }
+    any_alive = true;
+    // First touch since this snapshot wins; later writes to the same page
+    // must not replace the pre-image.
+    auto [it, inserted] = snap->pages_.try_emplace(pageno);
+    if (inserted) {
+      it->second.assign(data, data + meta_.bsize);
+    }
+  }
+  if (!any_alive) {
+    snapshots_.clear();
+  }
+}
+
+Result<const uint8_t*> HashTable::SnapshotPage(const TableSnapshot& snap, uint64_t pageno,
+                                               PageRef* ref) {
+  const auto it = snap.pages_.find(pageno);
+  if (it != snap.pages_.end()) {
+    return it->second.data();
+  }
+  // Not dirtied since the snapshot: the live page IS the snapshot page.
+  // (A page the writer created after the snapshot never lands here — its
+  // creation preserved the pre-image, zeros included, into the map.)
+  HASHKIT_ASSIGN_OR_RETURN(*ref, pool_->Get(pageno));
+  return ref->data();
+}
+
+void SnapshotCursor::Reset() {
+  started_ = false;
+  bucket_ = 0;
+  page_oaddr_ = 0;
+  entry_ = 0;
+}
+
+Status SnapshotCursor::Next(std::string* key, std::string* value) {
+  if (!started_) {
+    Reset();
+    started_ = true;
+  }
+  HashTable& t = *table_;
+  const Meta& m = snap_->meta_;
+  for (;;) {
+    if (bucket_ > m.max_bucket) {
+      return Status::NotFound("end of snapshot");
+    }
+    const uint64_t pageno =
+        page_oaddr_ == 0 ? BucketToPage(m, bucket_) : OaddrToPage(m, page_oaddr_);
+    PageRef pin;
+    HASHKIT_ASSIGN_OR_RETURN(const uint8_t* data, t.SnapshotPage(*snap_, pageno, &pin));
+    PageView view(const_cast<uint8_t*>(data), m.bsize, m.version);
+    if (page_oaddr_ != 0 && view.data_begin() == 0) {
+      return Status::Corruption("snapshot chain references unformatted overflow page");
+    }
+    // A virgin primary page reads as zero entries / no overflow and simply
+    // advances the bucket below, exactly like the live cursor.
+    if (entry_ < view.nentries()) {
+      const EntryRef e = view.Entry(entry_);
+      ++entry_;
+      if (e.big) {
+        HASHKIT_RETURN_IF_ERROR(ReadBigChain(e.ovfl_addr, e.key_len, e.data_len, key, value));
+      } else {
+        if (key != nullptr) {
+          key->assign(e.key);
+        }
+        if (value != nullptr) {
+          value->assign(e.data);
+        }
+      }
+      return Status::Ok();
+    }
+    const uint16_t next = view.ovfl_addr();
+    entry_ = 0;
+    if (next != 0) {
+      page_oaddr_ = next;
+    } else {
+      page_oaddr_ = 0;
+      ++bucket_;
+    }
+  }
+}
+
+Status SnapshotCursor::ReadBigChain(uint16_t first_oaddr, uint32_t key_len, uint32_t data_len,
+                                    std::string* key_out, std::string* value_out) {
+  HashTable& t = *table_;
+  const Meta& m = snap_->meta_;
+  const size_t total = static_cast<size_t>(key_len) + data_len;
+  if (key_out != nullptr) {
+    key_out->clear();
+    key_out->reserve(key_len);
+  }
+  if (value_out != nullptr) {
+    value_out->clear();
+    value_out->reserve(data_len);
+  }
+  size_t offset = 0;
+  uint16_t oaddr = first_oaddr;
+  while (offset < total) {
+    if (oaddr == 0) {
+      return Status::Corruption("snapshot big pair chain truncated");
+    }
+    PageRef pin;
+    HASHKIT_ASSIGN_OR_RETURN(const uint8_t* data,
+                             t.SnapshotPage(*snap_, OaddrToPage(m, oaddr), &pin));
+    PageView view(const_cast<uint8_t*>(data), m.bsize, m.version);
+    if (view.type() != PageType::kBigSegment) {
+      return Status::Corruption("snapshot big pair chain page has wrong type");
+    }
+    const size_t used = view.SegUsed();
+    if (used == 0 || used > view.SegCapacity() || offset + used > total) {
+      return Status::Corruption("snapshot big pair segment size invalid");
+    }
+    const auto* bytes = reinterpret_cast<const char*>(view.SegData());
+    size_t i = 0;
+    if (offset < key_len) {
+      const size_t from_key = std::min(used, static_cast<size_t>(key_len) - offset);
+      if (key_out != nullptr) {
+        key_out->append(bytes, from_key);
+      }
+      i = from_key;
+    }
+    if (i < used && value_out != nullptr) {
+      value_out->append(bytes + i, used - i);
+    }
+    offset += used;
+    oaddr = view.ovfl_addr();
+  }
+  return Status::Ok();
+}
+
+Result<HashTable::BackupInfo> HashTable::BackupBegin() {
+  if (wal_ == nullptr) {
+    return Status::Unsupported("online backup requires a write-ahead log");
+  }
+  if (backup_snap_ != nullptr) {
+    return Status::Exists("a backup is already in progress");
+  }
+  // Flush everything so the main file is complete on disk, THEN pin the
+  // snapshot (pinning first would defer this very checkpoint).  From here
+  // the log only appends until BackupEnd.
+  HASHKIT_RETURN_IF_ERROR(Checkpoint());
+  backup_snap_ = CreateSnapshot();
+  BackupInfo info;
+  info.page_size = meta_.bsize;
+  info.page_count = backup_snap_->page_count();
+  info.lsn = backup_snap_->lsn();
+  return info;
+}
+
+Status HashTable::BackupReadPages(uint64_t first_page, uint32_t count, std::string* out) {
+  if (backup_snap_ == nullptr) {
+    return Status::InvalidArgument("no backup in progress");
+  }
+  out->clear();
+  const uint64_t end = std::min<uint64_t>(first_page + count, backup_snap_->page_count());
+  if (first_page >= end) {
+    return Status::Ok();
+  }
+  out->reserve(static_cast<size_t>(end - first_page) * meta_.bsize);
+  std::vector<uint8_t> hdr(meta_.bsize);
+  for (uint64_t p = first_page; p < end; ++p) {
+    if (p < meta_.nhdr_pages) {
+      // Header pages bypass the buffer pool everywhere else; reading them
+      // through it here would leave frames that later checkpoints (which
+      // write the file directly) silently invalidate.  The file's copy is
+      // the checkpoint image — exactly the snapshot's state.
+      HASHKIT_RETURN_IF_ERROR(file_->ReadPage(p, std::span<uint8_t>(hdr)));
+      out->append(reinterpret_cast<const char*>(hdr.data()), meta_.bsize);
+      continue;
+    }
+    PageRef pin;
+    HASHKIT_ASSIGN_OR_RETURN(const uint8_t* data, SnapshotPage(*backup_snap_, p, &pin));
+    out->append(reinterpret_cast<const char*>(data), meta_.bsize);
+  }
+  return Status::Ok();
+}
+
+Status HashTable::BackupReadWal(uint64_t offset, uint32_t max_bytes, std::string* out,
+                                uint64_t* total) {
+  if (wal_ == nullptr) {
+    return Status::Unsupported("table has no write-ahead log");
+  }
+  std::vector<uint8_t> bytes;
+  HASHKIT_RETURN_IF_ERROR(wal_->storage()->ReadAll(&bytes));
+  *total = bytes.size();
+  out->clear();
+  if (offset < bytes.size()) {
+    const size_t n = std::min<size_t>(max_bytes, bytes.size() - offset);
+    out->assign(reinterpret_cast<const char*>(bytes.data()) + offset, n);
+  }
+  return Status::Ok();
+}
+
+void HashTable::BackupEnd() { backup_snap_.reset(); }
+
+Status HashTable::ReplicationRead(uint64_t from_lsn, std::string* out, uint64_t* last_lsn) {
+  if (wal_ == nullptr) {
+    return Status::Unsupported("table has no write-ahead log");
+  }
+  *last_lsn = wal_->last_seq();
+  out->clear();
+  if (*last_lsn <= from_lsn) {
+    return Status::Ok();
+  }
+  // Ship the whole current log; ApplyRedo skips the commits the replica
+  // already holds and detects checkpoint gaps.
+  std::vector<uint8_t> bytes;
+  HASHKIT_RETURN_IF_ERROR(wal_->storage()->ReadAll(&bytes));
+  out->assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  return Status::Ok();
+}
+
+Status HashTable::ApplyRedo(std::span<const uint8_t> log_bytes, uint64_t from_lsn,
+                            uint64_t* applied_through) {
+  *applied_through = from_lsn;
+  wal::LogReader reader(log_bytes);
+  HASHKIT_ASSIGN_OR_RETURN(const uint32_t log_psize, reader.ReadHeader());
+  if (log_psize != meta_.bsize) {
+    return Status::Corruption("replication stream page size does not match this table");
+  }
+  std::vector<uint8_t> meta_buf(static_cast<size_t>(meta_.nhdr_pages) * meta_.bsize, 0);
+  EncodeMeta(meta_, meta_buf);
+  bool meta_changed = false;
+  uint64_t applied = from_lsn;
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> batch;
+  wal::WalRecord rec;
+  while (reader.Next(&rec)) {
+    switch (rec.type) {
+      case wal::WalRecordType::kPageImage:
+        batch.emplace_back(rec.pageno,
+                           std::vector<uint8_t>(rec.image.begin(), rec.image.end()));
+        break;
+      case wal::WalRecordType::kCommit: {
+        if (rec.seq <= applied) {
+          batch.clear();  // the replica already holds this commit
+          break;
+        }
+        if (rec.seq != applied + 1) {
+          return Status::Corruption("replication stream skipped a commit sequence");
+        }
+        for (const auto& [pageno, image] : batch) {
+          if (pageno < meta_.nhdr_pages) {
+            std::memcpy(meta_buf.data() + static_cast<size_t>(pageno) * meta_.bsize,
+                        image.data(), meta_.bsize);
+            meta_changed = true;
+          } else {
+            HASHKIT_ASSIGN_OR_RETURN(PageRef ref, pool_->Get(pageno, /*create_new=*/true));
+            std::memcpy(ref.data(), image.data(), meta_.bsize);
+            ref.MarkDirty();
+          }
+        }
+        batch.clear();
+        applied = rec.seq;
+        break;
+      }
+      case wal::WalRecordType::kCheckpoint:
+        if (rec.seq > applied) {
+          // The primary truncated its log past our position: the commits
+          // in between are gone.  The replica must re-bootstrap from a
+          // fresh backup.
+          return Status::NotFound("replication gap: primary checkpointed past replica LSN");
+        }
+        batch.clear();
+        break;
+    }
+  }
+  if (meta_changed) {
+    HASHKIT_ASSIGN_OR_RETURN(meta_, DecodeMeta(meta_buf));
+    meta_dirty_ = true;
+  }
+  if (applied != from_lsn) {
+    HASHKIT_RETURN_IF_ERROR(WriteMeta());
+    HASHKIT_RETURN_IF_ERROR(pool_->FlushAll());
+    HASHKIT_RETURN_IF_ERROR(file_->Sync());
+  }
+  *applied_through = applied;
+  return Status::Ok();
+}
+
+uint64_t HashTable::WalLsn() const { return wal_ != nullptr ? wal_->last_seq() : 0; }
 
 HashTableStats HashTable::StatsSnapshot() const {
   HashTableStats s;

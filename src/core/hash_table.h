@@ -33,6 +33,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/meta.h"
@@ -72,6 +73,41 @@ struct HashTableStats {
 
 class HashTable;
 
+// A checkpoint-consistent point-in-time view of the table (hashkit-mvcc).
+//
+// Created under exclusive access; after that, snapshot reads only need the
+// same discipline as plain Gets (no concurrent mutation during one call),
+// so the kv layer serves them under its *shared* lock while writers keep
+// running under the exclusive lock.  Consistency is copy-on-write: before
+// a post-snapshot writer first touches a page, the table saves the page's
+// pre-image into every live snapshot, so a snapshot reader always sees the
+// page as it was at creation time — either the saved pre-image or the
+// still-unmodified live page.  The snapshot also carries its own Meta copy
+// (spares[] and the bucket range move under later splits) and the WAL
+// sequence number it corresponds to (its LSN).
+//
+// Memory cost: one page copy per page dirtied while the snapshot lives.
+// Dropping the last shared_ptr releases everything; the table holds only
+// weak references.
+class TableSnapshot {
+ public:
+  uint64_t lsn() const { return lsn_; }
+  uint64_t page_count() const { return page_count_; }
+  const Meta& meta() const { return meta_; }
+
+ private:
+  friend class HashTable;
+  friend class SnapshotCursor;
+
+  Meta meta_;
+  uint64_t lsn_ = 0;
+  uint64_t page_count_ = 0;  // pages the file held at snapshot time
+  // Pre-images of pages dirtied since the snapshot, by page number.
+  // Mutated only by the writer (under the kv layer's exclusive lock);
+  // snapshot readers only look up, under the shared lock.
+  std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+};
+
 // Sequential-scan cursor.  Iterates every pair in bucket order.  The table
 // must not be mutated while a cursor is live.
 class Cursor {
@@ -91,6 +127,35 @@ class Cursor {
   uint32_t bucket_ = 0;
   uint16_t page_oaddr_ = 0;  // 0 = primary page of bucket_
   uint16_t entry_ = 0;       // next entry index on the current page
+};
+
+// Scan over a TableSnapshot: same iteration order as Cursor, but every
+// page (and big-pair chain segment) is resolved through the snapshot, so
+// the scan observes the table exactly as of snapshot creation no matter
+// how many writes have landed since.  Each Next call needs the same
+// exclusion as a Get (the kv layer's shared lock): writers are blocked
+// per-step, never for the whole scan.
+class SnapshotCursor {
+ public:
+  Status Next(std::string* key, std::string* value);
+  void Reset();
+  const std::shared_ptr<TableSnapshot>& snapshot() const { return snap_; }
+
+ private:
+  friend class HashTable;
+  SnapshotCursor(HashTable* table, std::shared_ptr<TableSnapshot> snap)
+      : table_(table), snap_(std::move(snap)) {}
+
+  // Reads key/value of a big pair through the snapshot's page mapping.
+  Status ReadBigChain(uint16_t first_oaddr, uint32_t key_len, uint32_t data_len,
+                      std::string* key_out, std::string* value_out);
+
+  HashTable* table_ = nullptr;
+  std::shared_ptr<TableSnapshot> snap_;
+  bool started_ = false;
+  uint32_t bucket_ = 0;
+  uint16_t page_oaddr_ = 0;
+  uint16_t entry_ = 0;
 };
 
 class HashTable {
@@ -151,6 +216,60 @@ class HashTable {
   // Seq(first=true) restarts.
   Status Seq(std::string* key, std::string* value, bool first);
 
+  // --- Snapshots and online operations (hashkit-mvcc) ---
+
+  // Captures a point-in-time view.  Requires exclusive access (like a
+  // mutation); afterwards snapshot reads coexist with writers under the kv
+  // layer's shared lock.  While any snapshot is live, WAL checkpoints are
+  // deferred (commits still sync; the log just is not truncated), so the
+  // log keeps appending monotonically — what online backup streams.
+  std::shared_ptr<TableSnapshot> CreateSnapshot();
+
+  SnapshotCursor NewSnapshotCursor(std::shared_ptr<TableSnapshot> snap) {
+    return SnapshotCursor(this, std::move(snap));
+  }
+
+  // True while any snapshot handle (scan or backup) is alive.
+  bool SnapshotsActive() const;
+
+  // --- Online backup (served over the BACKUP opcode) ---
+  struct BackupInfo {
+    uint32_t page_size = 0;
+    uint64_t page_count = 0;
+    uint64_t lsn = 0;
+  };
+  // Checkpoints the table (so the file is complete on disk), then pins a
+  // snapshot the page reads resolve through.  One backup at a time;
+  // requires exclusive access.
+  Result<BackupInfo> BackupBegin();
+  // Appends `count` consecutive page images starting at `first_page`, as
+  // of the backup snapshot.  Shared access suffices.
+  Status BackupReadPages(uint64_t first_page, uint32_t count, std::string* out);
+  // Reads the log's bytes at [offset, offset+max_bytes); `*total` reports
+  // the current log size.  With checkpoints deferred the log only grows,
+  // so offset-driven streaming never sees it shrink.  Zero-length output
+  // with *total == offset means caught up.  Shared access suffices.
+  Status BackupReadWal(uint64_t offset, uint32_t max_bytes, std::string* out, uint64_t* total);
+  // Drops the backup snapshot.  Requires exclusive access.  Idempotent.
+  void BackupEnd();
+
+  // --- Replication (served over the REPLICATE opcode) ---
+  // Copies the whole current log when it holds commits past `from_lsn`;
+  // `*last_lsn` reports the log's latest commit.  An empty copy with
+  // *last_lsn == from_lsn means the replica is caught up.  Shared access.
+  Status ReplicationRead(uint64_t from_lsn, std::string* out, uint64_t* last_lsn);
+  // Applies a primary's log bytes (a complete log file image) to this
+  // table: committed batches with seq > `from_lsn` are redone through the
+  // buffer pool and the meta refreshed from the batch's header pages.
+  // Detects a sequence gap (the primary checkpointed past us) and returns
+  // kNotFound — the replica must re-bootstrap from a fresh backup.
+  // Requires exclusive access.
+  Status ApplyRedo(std::span<const uint8_t> log_bytes, uint64_t from_lsn,
+                   uint64_t* applied_through);
+
+  // The WAL's latest commit sequence (the table's LSN); 0 without a log.
+  uint64_t WalLsn() const;
+
   // --- Introspection ---
   uint64_t size() const { return meta_.nkeys; }
   uint32_t bucket_count() const { return meta_.max_bucket + 1; }
@@ -193,6 +312,7 @@ class HashTable {
 
  private:
   friend class Cursor;
+  friend class SnapshotCursor;
 
   HashTable(std::unique_ptr<PageFile> file, const HashOptions& options);
 
@@ -203,7 +323,10 @@ class HashTable {
   // --- Write-ahead logging (hashkit-wal) ---
   // Attaches a log to this table: turns on the buffer pool's write-ahead
   // barrier and builds the LogWriter per options.durability.
-  Status EnableWal(std::unique_ptr<wal::WalStorage> storage, const HashOptions& options);
+  // `archive_prefix`, when non-empty, turns on WAL archiving (the log is
+  // copied to `<prefix>.<seq>` before every checkpoint truncation).
+  Status EnableWal(std::unique_ptr<wal::WalStorage> storage, const HashOptions& options,
+                   const std::string& archive_prefix = std::string());
   // Closes the current operation's batch: drains the pool's pending set,
   // logs each image plus the meta pages, commits, and releases writeback
   // holds if the commit was fsynced.  Called at the end of every
@@ -225,6 +348,17 @@ class HashTable {
   PageView View(const PageRef& ref) const {
     return PageView(const_cast<uint8_t*>(ref.data()), meta_.bsize, meta_.version);
   }
+
+  // Copy-on-write hook: inside a mutation, saves `data` as `pageno`'s
+  // pre-image into every live snapshot that has not captured it yet.
+  // Must run after the page is pinned and before this operation modifies
+  // it; the page-fetch helpers below call it on the write path.
+  void PreserveForSnapshots(uint64_t pageno, const uint8_t* data);
+
+  // Resolves `pageno` as of `snap`: the saved pre-image if the page was
+  // dirtied since the snapshot, else the live page (pinned via `*ref`).
+  // The returned pointer is valid while both `snap` and `*ref` live.
+  Result<const uint8_t*> SnapshotPage(const TableSnapshot& snap, uint64_t pageno, PageRef* ref);
 
   // Page access.  Fetching a bucket page formats virgin (all-zero) pages;
   // fetching an overflow page records the chain link in the buffer pool.
@@ -294,7 +428,29 @@ class HashTable {
   // keep writeback holds until a log fsync covers them.
   std::vector<WalPageHandle> wal_held_;
   uint64_t wal_checkpoint_bytes_ = 0;
+  // While snapshots defer CheckpointReset the log stays over the trigger;
+  // this high-water mark spaces deferred checkpoints one trigger-interval
+  // apart instead of re-running the flush+fsync on every commit.
+  uint64_t wal_checkpoint_at_ = 0;
   wal::RecoveryResult wal_recovery_;
+
+  // Snapshot state (hashkit-mvcc).  `snapshots_` holds weak handles so a
+  // dropped snapshot costs nothing; dead entries are pruned on the next
+  // preserve/create.  `in_write_op_` marks that a mutation is on the
+  // stack, gating the copy-on-write hook so plain reads never copy pages.
+  mutable std::vector<std::weak_ptr<TableSnapshot>> snapshots_;
+  bool in_write_op_ = false;
+  std::shared_ptr<TableSnapshot> backup_snap_;  // pinned by BackupBegin
+
+  // Reentrant (Delete may call Contract): restores the previous value.
+  struct WriteOpScope {
+    explicit WriteOpScope(HashTable* t) : t_(t), prev_(t->in_write_op_) {
+      t_->in_write_op_ = true;
+    }
+    ~WriteOpScope() { t_->in_write_op_ = prev_; }
+    HashTable* t_;
+    bool prev_;
+  };
 };
 
 // Result of UpgradeTableFormat.

@@ -91,6 +91,12 @@ struct HashOptions {
   // Log size that triggers a checkpoint (flush table, truncate log).
   uint64_t wal_checkpoint_bytes = 4 * 1024 * 1024;
 
+  // Archive the log for point-in-time recovery: every checkpoint copies
+  // the log it truncates to `<path>.wal.<last_seq>` (FORMAT.md "WAL
+  // archive").  Segments accumulate until the operator prunes them;
+  // `db_tool restore` replays them up to a target LSN.
+  bool wal_archive = false;
+
   // On-disk format for NEWLY created tables.  2 (the default) lays out a
   // per-page fingerprint tag array that the lookup path filters on; 1 is
   // the original layout, kept selectable so compatibility tests and

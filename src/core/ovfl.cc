@@ -19,6 +19,7 @@ Status OvflAllocator::CreateBitmap(uint32_t sp) {
   }
   const uint16_t oaddr = MakeOaddr(sp, 1);
   BumpSpares(sp);
+  Preserve(OaddrToPage(*meta_, oaddr));
   HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(OaddrToPage(*meta_, oaddr),
                                                     /*create_new=*/true));
   PageView view(page.data(), pool_->file()->page_size());
@@ -44,6 +45,7 @@ Result<uint16_t> OvflAllocator::TryReuse() {
     }
     for (uint32_t bit = 0; bit < npages; ++bit) {
       if (!RawBitIsSet(view.Bits(), bit)) {
+        Preserve(OaddrToPage(*meta_, meta_->bitmaps[sp]));
         RawBitSet(view.Bits(), bit);
         bm.MarkDirty();
         return MakeOaddr(sp, bit + 1);
@@ -100,12 +102,16 @@ Result<uint16_t> OvflAllocator::Alloc(PageType type) {
     const uint32_t npages = PagesAtSplitPoint(*meta_, sp);
     HASHKIT_ASSIGN_OR_RETURN(PageRef bm, pool_->Get(OaddrToPage(*meta_, meta_->bitmaps[sp])));
     PageView bm_view(bm.data(), pool_->file()->page_size());
+    Preserve(OaddrToPage(*meta_, meta_->bitmaps[sp]));
     RawBitSet(bm_view.Bits(), npages);
     bm.MarkDirty();
     BumpSpares(sp);
     oaddr = MakeOaddr(sp, npages + 1);
   }
 
+  // A reused page may still be referenced by a live snapshot's chains;
+  // save its pre-image before Init clobbers it.
+  Preserve(OaddrToPage(*meta_, oaddr));
   HASHKIT_ASSIGN_OR_RETURN(PageRef page, pool_->Get(OaddrToPage(*meta_, oaddr),
                                                     /*create_new=*/true));
   PageView::Init(page.data(), pool_->file()->page_size(), type);
@@ -129,12 +135,15 @@ Status OvflAllocator::Free(uint16_t oaddr) {
     if (!RawBitIsSet(view.Bits(), page_num - 1)) {
       return Status::Corruption("double free of overflow page");
     }
+    Preserve(OaddrToPage(*meta_, meta_->bitmaps[sp]));
     RawBitClear(view.Bits(), page_num - 1);
     bm.MarkDirty();
   }
   meta_->last_freed = oaddr;
   // Drop any cached copy; the contents are dead and must not be written
-  // back over a future reuse.
+  // back over a future reuse.  Snapshots may still reference the page, so
+  // its pre-image is saved before the (possibly dirty) frame goes away.
+  Preserve(OaddrToPage(*meta_, oaddr));
   pool_->Discard(OaddrToPage(*meta_, oaddr));
   return Status::Ok();
 }

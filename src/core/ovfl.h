@@ -11,6 +11,7 @@
 #define HASHKIT_SRC_CORE_OVFL_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "src/core/addressing.h"
 #include "src/core/meta.h"
@@ -40,7 +41,18 @@ class OvflAllocator {
   // Total in-use overflow pages (bitmap pages included), from the bitmaps.
   Result<uint64_t> CountInUse();
 
+  // hashkit-mvcc: called with a page number right before this allocator
+  // first modifies (or discards) that page, so the owning table can save
+  // the pre-image into any live snapshot.  Null disables the hook.
+  void SetPreserveHook(std::function<void(uint64_t)> hook) { preserve_ = std::move(hook); }
+
  private:
+  void Preserve(uint64_t pageno) {
+    if (preserve_) {
+      preserve_(pageno);
+    }
+  }
+
   // Scans bitmaps of all split points for a reusable (freed) page.
   Result<uint16_t> TryReuse();
   // Creates the bitmap page for split point `sp` (must have no pages yet).
@@ -50,6 +62,7 @@ class OvflAllocator {
 
   Meta* meta_;
   BufferPool* pool_;
+  std::function<void(uint64_t)> preserve_;
 };
 
 }  // namespace hashkit

@@ -15,6 +15,17 @@ namespace kv {
 
 namespace {
 
+// KvCursor over a HashTable snapshot (hashkit-mvcc).
+class HashSnapshotCursor final : public KvCursor {
+ public:
+  explicit HashSnapshotCursor(SnapshotCursor cursor) : cursor_(std::move(cursor)) {}
+  Status Next(std::string* key, std::string* value) override { return cursor_.Next(key, value); }
+  uint64_t Lsn() const override { return cursor_.snapshot()->lsn(); }
+
+ private:
+  SnapshotCursor cursor_;
+};
+
 class HashStore final : public KvStore {
  public:
   HashStore(std::unique_ptr<HashTable> table, bool persistent)
@@ -42,7 +53,9 @@ class HashStore final : public KvStore {
             .grows = true,
             // The table's read path is race-free under concurrent Gets
             // (see hash_table.h); wrappers may use a shared reader lock.
-            .concurrent_reads = true};
+            .concurrent_reads = true,
+            .snapshots = true,
+            .backup = persistent_};
   }
   bool Stats(StoreStats* out) const override {
     out->table = table_->StatsSnapshot();
@@ -51,6 +64,37 @@ class HashStore final : public KvStore {
     out->shards = 1;
     return true;
   }
+
+  Result<std::unique_ptr<KvCursor>> NewSnapshotCursor() override {
+    return std::unique_ptr<KvCursor>(
+        new HashSnapshotCursor(table_->NewSnapshotCursor(table_->CreateSnapshot())));
+  }
+  Result<BackupInfo> BackupBegin() override {
+    HASHKIT_ASSIGN_OR_RETURN(const HashTable::BackupInfo info, table_->BackupBegin());
+    return BackupInfo{info.page_size, info.page_count, info.lsn};
+  }
+  Status BackupReadPages(uint64_t first_page, uint32_t count, std::string* out) override {
+    return table_->BackupReadPages(first_page, count, out);
+  }
+  Status BackupReadWal(uint64_t offset, uint32_t max_bytes, std::string* out,
+                       uint64_t* total) override {
+    return table_->BackupReadWal(offset, max_bytes, out, total);
+  }
+  Status BackupEnd() override {
+    table_->BackupEnd();
+    return Status::Ok();
+  }
+  Status ReplicationRead(uint64_t from_lsn, std::string* out, uint64_t* last_lsn) override {
+    return table_->ReplicationRead(from_lsn, out, last_lsn);
+  }
+  Status ApplyReplication(std::string_view log_bytes, uint64_t from_lsn,
+                          uint64_t* applied_through) override {
+    return table_->ApplyRedo(
+        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(log_bytes.data()),
+                                 log_bytes.size()),
+        from_lsn, applied_through);
+  }
+  uint64_t Lsn() const override { return table_->WalLsn(); }
 
  private:
   std::unique_ptr<HashTable> table_;
@@ -294,6 +338,7 @@ Result<std::unique_ptr<KvStore>> OpenStore(StoreKind kind, const StoreOptions& o
       opts.cachesize = options.cachesize;
       opts.durability = options.durability;
       opts.wal_group_commit = options.wal_group_commit;
+      opts.wal_archive = options.wal_archive;
       HASHKIT_ASSIGN_OR_RETURN(auto table,
                                HashTable::Open(options.path, opts, options.truncate));
       return std::unique_ptr<KvStore>(new HashStore(std::move(table), /*persistent=*/true));

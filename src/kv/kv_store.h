@@ -41,6 +41,29 @@ struct Capabilities {
   // sharded.h) use a shared reader lock for Get only when this is set;
   // otherwise readers fall back to the exclusive lock.
   bool concurrent_reads = false;
+  // NewSnapshotCursor supported: long scans observe a point-in-time view
+  // and never block writers for their whole duration (hashkit-mvcc).
+  bool snapshots = false;
+  // BackupBegin/ReadPages/ReadWal/End and ReplicationRead supported
+  // (online backup and WAL shipping; hashkit-mvcc).
+  bool backup = false;
+};
+
+// A scan over a point-in-time snapshot of the store.  Each Next observes
+// the store exactly as of cursor creation; writers proceed between calls.
+class KvCursor {
+ public:
+  virtual ~KvCursor() = default;
+  virtual Status Next(std::string* key, std::string* value) = 0;
+  // The WAL sequence number the snapshot corresponds to (0 if none).
+  virtual uint64_t Lsn() const { return 0; }
+};
+
+// Shape of an online backup stream (see HashTable::BackupInfo).
+struct BackupInfo {
+  uint32_t page_size = 0;
+  uint64_t page_count = 0;
+  uint64_t lsn = 0;
 };
 
 // hashkit-obs: per-operation end-to-end latency distributions
@@ -124,6 +147,44 @@ class KvStore {
     (void)out;
     return false;
   }
+
+  // --- Snapshot scans, online backup, replication (hashkit-mvcc) ---
+  // Everything below defaults to kUnsupported; stores built on the paper's
+  // hash table override per Capabilities::snapshots/backup.  Locking
+  // discipline mirrors the comments on HashTable: creating/ending needs
+  // exclusive access, the read calls only shared access.
+
+  virtual Result<std::unique_ptr<KvCursor>> NewSnapshotCursor() {
+    return Status::Unsupported(Name() + " does not support snapshot scans");
+  }
+
+  virtual Result<BackupInfo> BackupBegin() {
+    return Status::Unsupported(Name() + " does not support online backup");
+  }
+  virtual Status BackupReadPages(uint64_t first_page, uint32_t count, std::string* out) {
+    (void)first_page, (void)count, (void)out;
+    return Status::Unsupported(Name() + " does not support online backup");
+  }
+  virtual Status BackupReadWal(uint64_t offset, uint32_t max_bytes, std::string* out,
+                               uint64_t* total) {
+    (void)offset, (void)max_bytes, (void)out, (void)total;
+    return Status::Unsupported(Name() + " does not support online backup");
+  }
+  virtual Status BackupEnd() {
+    return Status::Unsupported(Name() + " does not support online backup");
+  }
+
+  virtual Status ReplicationRead(uint64_t from_lsn, std::string* out, uint64_t* last_lsn) {
+    (void)from_lsn, (void)out, (void)last_lsn;
+    return Status::Unsupported(Name() + " does not support replication");
+  }
+  virtual Status ApplyReplication(std::string_view log_bytes, uint64_t from_lsn,
+                                  uint64_t* applied_through) {
+    (void)log_bytes, (void)from_lsn, (void)applied_through;
+    return Status::Unsupported(Name() + " does not support replication");
+  }
+  // The store's WAL LSN (latest committed sequence); 0 without a log.
+  virtual uint64_t Lsn() const { return 0; }
 };
 
 enum class StoreKind {
@@ -165,6 +226,9 @@ struct StoreOptions {
   Durability durability = Durability::kNone;
   // kSync only: fsync the log every Nth operation (group commit).
   uint32_t wal_group_commit = 1;
+  // Archive checkpointed WAL segments beside the table for point-in-time
+  // recovery (`db_tool restore`); kHashDisk with a log only.
+  bool wal_archive = false;
 };
 
 Result<std::unique_ptr<KvStore>> OpenStore(StoreKind kind, const StoreOptions& options);

@@ -112,7 +112,70 @@ Capabilities ShardedStore::Caps() const {
   // The wrapper locks internally, so its own Get/Size are always safe to
   // call concurrently, whatever the inner store supports.
   caps.concurrent_reads = true;
+  // Backup/replication need one WAL; a shard set has N (see header).
+  caps.backup = false;
   return caps;
+}
+
+namespace {
+
+// Chains per-shard snapshot cursors; see ShardedStore::NewSnapshotCursor.
+class ShardedSnapshotCursor final : public KvCursor {
+ public:
+  ShardedSnapshotCursor(std::vector<std::shared_mutex*> locks,
+                        std::vector<std::unique_ptr<KvCursor>> cursors)
+      : locks_(std::move(locks)), cursors_(std::move(cursors)) {}
+
+  Status Next(std::string* key, std::string* value) override {
+    while (index_ < cursors_.size()) {
+      Status st;
+      {
+        const std::shared_lock<std::shared_mutex> lock(*locks_[index_]);
+        st = cursors_[index_]->Next(key, value);
+      }
+      if (st.IsNotFound()) {
+        ++index_;
+        continue;
+      }
+      return st;
+    }
+    return Status::NotFound("end of sharded snapshot");
+  }
+
+  uint64_t Lsn() const override {
+    // The scan spans independent shard snapshots; report the lowest shard
+    // LSN (everything at or before it is visible in every shard).
+    uint64_t lsn = 0;
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      const uint64_t shard_lsn = cursors_[i]->Lsn();
+      if (i == 0 || shard_lsn < lsn) {
+        lsn = shard_lsn;
+      }
+    }
+    return lsn;
+  }
+
+ private:
+  std::vector<std::shared_mutex*> locks_;
+  std::vector<std::unique_ptr<KvCursor>> cursors_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<KvCursor>> ShardedStore::NewSnapshotCursor() {
+  std::vector<std::shared_mutex*> locks;
+  std::vector<std::unique_ptr<KvCursor>> cursors;
+  locks.reserve(shards_.size());
+  cursors.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    const std::unique_lock<std::shared_mutex> lock(shard->mu);
+    HASHKIT_ASSIGN_OR_RETURN(auto cursor, shard->store->NewSnapshotCursor());
+    locks.push_back(&shard->mu);
+    cursors.push_back(std::move(cursor));
+  }
+  return std::unique_ptr<KvCursor>(
+      new ShardedSnapshotCursor(std::move(locks), std::move(cursors)));
 }
 
 bool ShardedStore::Stats(StoreStats* out) const {

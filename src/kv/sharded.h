@@ -62,6 +62,13 @@ class ShardedStore final : public KvStore {
   Capabilities Caps() const override;
   bool Stats(StoreStats* out) const override;
 
+  // Snapshot scan across the shards: one snapshot cursor per shard (each
+  // pinned at creation time under that shard's exclusive lock), chained in
+  // shard order; each Next takes only the current shard's shared lock.
+  // Backup/replication stay kUnsupported here — a multi-file backup stream
+  // has no single WAL to ship; run the server with --shards=1 for those.
+  Result<std::unique_ptr<KvCursor>> NewSnapshotCursor() override;
+
   size_t shard_count() const { return shards_.size(); }
 
  private:

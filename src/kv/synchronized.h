@@ -99,6 +99,49 @@ class SynchronizedStore final : public KvStore {
     caps.concurrent_reads = true;
     return caps;
   }
+  // --- Snapshot scans / backup / replication (hashkit-mvcc) ---
+  // Creation and teardown exclude writers; the per-step read calls share
+  // the lock, which is the whole point: a long snapshot scan or backup
+  // stream only blocks writers one call at a time.
+  Result<std::unique_ptr<KvCursor>> NewSnapshotCursor() override {
+    std::unique_ptr<KvCursor> base;
+    {
+      const std::unique_lock<std::shared_mutex> lock(mu_);
+      HASHKIT_ASSIGN_OR_RETURN(base, base_->NewSnapshotCursor());
+    }
+    return std::unique_ptr<KvCursor>(new LockedCursor(&mu_, std::move(base)));
+  }
+  Result<BackupInfo> BackupBegin() override {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    return base_->BackupBegin();
+  }
+  Status BackupReadPages(uint64_t first_page, uint32_t count, std::string* out) override {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    return base_->BackupReadPages(first_page, count, out);
+  }
+  Status BackupReadWal(uint64_t offset, uint32_t max_bytes, std::string* out,
+                       uint64_t* total) override {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    return base_->BackupReadWal(offset, max_bytes, out, total);
+  }
+  Status BackupEnd() override {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    return base_->BackupEnd();
+  }
+  Status ReplicationRead(uint64_t from_lsn, std::string* out, uint64_t* last_lsn) override {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    return base_->ReplicationRead(from_lsn, out, last_lsn);
+  }
+  Status ApplyReplication(std::string_view log_bytes, uint64_t from_lsn,
+                          uint64_t* applied_through) override {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    return base_->ApplyReplication(log_bytes, from_lsn, applied_through);
+  }
+  uint64_t Lsn() const override {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    return base_->Lsn();
+  }
+
   // Always true: the wrapper owns the latency histograms even when the
   // base store has no counters of its own (table/pool stay zeroed then).
   bool Stats(StoreStats* out) const override {
@@ -116,6 +159,24 @@ class SynchronizedStore final : public KvStore {
   }
 
  private:
+  // Snapshot cursor that re-acquires the wrapper's shared lock for every
+  // step, so writers interleave between steps instead of waiting out the
+  // whole scan (the old Scan path's exclusive-per-step bug, inverted).
+  class LockedCursor final : public KvCursor {
+   public:
+    LockedCursor(std::shared_mutex* mu, std::unique_ptr<KvCursor> base)
+        : mu_(mu), base_(std::move(base)) {}
+    Status Next(std::string* key, std::string* value) override {
+      const std::shared_lock<std::shared_mutex> lock(*mu_);
+      return base_->Next(key, value);
+    }
+    uint64_t Lsn() const override { return base_->Lsn(); }
+
+   private:
+    std::shared_mutex* mu_;
+    std::unique_ptr<KvCursor> base_;
+  };
+
   mutable std::shared_mutex mu_;
   std::unique_ptr<KvStore> base_;
   const bool reads_share_;

@@ -69,13 +69,19 @@ class Client {
   // an undefined state and the client should be discarded.
   Status Pipeline(const std::vector<Request>& requests, std::vector<Response>* responses);
 
+  // Raw single round trip for opcodes without a dedicated wrapper (BACKUP
+  // and REPLICATE sub-ops build their own payloads; see proto.h).  The
+  // sequence number is assigned internally; `resp` carries the server's
+  // status plus key/value payload.  The returned Status covers transport
+  // failures only.
+  Status Call(Request req, Response* resp);
+
  private:
   Client(int fd, const ClientOptions& options) : fd_(fd), options_(options) {}
 
   Status WriteAll(const std::string& bytes);
   // Reads until `buf_` yields one complete response frame.
   Status ReadResponse(Response* out);
-  Status Call(Request req, Response* resp);
 
   int fd_;
   ClientOptions options_;

@@ -120,6 +120,10 @@ std::string_view OpcodeName(Opcode op) {
       return "MOVED";
     case Opcode::kMigrate:
       return "MIGRATE";
+    case Opcode::kBackup:
+      return "BACKUP";
+    case Opcode::kReplicate:
+      return "REPLICATE";
   }
   return "UNKNOWN";
 }

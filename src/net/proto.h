@@ -60,9 +60,12 @@ enum class Opcode : uint8_t {
   kMapGet = 7,   // fetch the node's current cluster map (value = map bytes)
   kMoved = 8,    // response-only: request hit a non-owner; value = map bytes
   kMigrate = 9,  // bucket migration + cluster admin; sub-op in `flags`
+  // hashkit-mvcc (online operations on the WAL):
+  kBackup = 10,     // online backup stream; sub-op in `flags`
+  kReplicate = 11,  // WAL shipping to a replica; sub-op in `flags`
 };
 
-inline constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kMigrate);
+inline constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kReplicate);
 inline constexpr size_t kOpcodeCount = kMaxOpcode + 1;
 
 std::string_view OpcodeName(Opcode op);
@@ -82,6 +85,28 @@ inline constexpr uint8_t kMigrateJoin = 1u << 4;   // value = u32 id|u16 port|u1
 inline constexpr uint8_t kMigrateMove = 1u << 5;   // admin: value = u32 bucket|u32 node
 inline constexpr uint8_t kMigrateSplit = 1u << 6;  // admin: split bucket `next`
 inline constexpr uint8_t kMigrateLeave = 1u << 7;  // admin: value = u32 node id
+
+// SCAN flag: iterate a point-in-time snapshot pinned at the first frame of
+// the scan (per connection) instead of the store's shared live cursor.
+// Snapshot scans never block writers for the whole scan (hashkit-mvcc).
+inline constexpr uint8_t kFlagScanSnapshot = 1u << 1;
+
+// BACKUP sub-operations (`flags` carries exactly one).  Begin answers with
+// value = manifest "u32 page_size | u64 page_count | u64 lsn" (LE) and pins
+// the stream's snapshot on this connection; Pages takes value =
+// "u64 first_page | u32 count" and answers with the raw page images; Wal
+// takes value = "u64 offset | u32 max_bytes" and answers with value = log
+// bytes, key = "u64 total_log_size"; End drops the snapshot (also implied
+// by connection close).
+inline constexpr uint8_t kBackupBegin = 1u << 0;
+inline constexpr uint8_t kBackupPages = 1u << 1;
+inline constexpr uint8_t kBackupWal = 1u << 2;
+inline constexpr uint8_t kBackupEnd = 1u << 3;
+
+// REPLICATE sub-operations (`flags` carries exactly one).  Read takes
+// value = "u64 from_lsn" and answers with value = whole current log when it
+// holds commits past from_lsn (else empty), key = "u64 last_lsn".
+inline constexpr uint8_t kReplicateRead = 1u << 0;
 
 struct Request {
   Opcode op = Opcode::kPing;

@@ -1,0 +1,261 @@
+#include "src/net/replica.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/util/endian.h"
+#include "src/util/tempfile.h"
+
+namespace hashkit {
+namespace net {
+
+namespace {
+
+Status FromWire(const Response& resp) {
+  if (resp.status == StatusCode::kOk) {
+    return Status::Ok();
+  }
+  return Status(resp.status, resp.value);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// A file being streamed to "<path>.tmp": write in chunks, then fsync and
+// rename into place.  Backups can exceed memory comfort; this keeps the
+// download incremental where WriteFileAtomic would buffer it whole.
+class StreamedFile {
+ public:
+  ~StreamedFile() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      std::remove(tmp_.c_str());  // abandoned: never leave a torn target
+    }
+  }
+
+  Status Open(const std::string& path) {
+    path_ = path;
+    tmp_ = path + ".tmp";
+    fd_ = ::open(tmp_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd_ < 0) {
+      return Status::IoError("open " + tmp_ + ": " + std::strerror(errno));
+    }
+    return Status::Ok();
+  }
+
+  Status Append(std::string_view data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Status::IoError("write " + tmp_ + ": " + std::strerror(errno));
+      }
+      off += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Commit() {
+    if (::fsync(fd_) != 0) {
+      return Status::IoError("fsync " + tmp_ + ": " + std::strerror(errno));
+    }
+    ::close(fd_);
+    fd_ = -1;
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+      return Status::IoError("rename " + tmp_ + ": " + std::strerror(errno));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::string tmp_;
+};
+
+}  // namespace
+
+Result<BackupManifest> DownloadBackup(Client* client, const std::string& dest_path) {
+  if (FileExists(dest_path)) {
+    return Status::Exists("backup destination exists: " + dest_path);
+  }
+  const std::vector<std::string> stale = StaleArtifactsFor(dest_path);
+  if (!stale.empty()) {
+    return Status::Exists("stale artifact in the way (db_tool clean): " + stale.front());
+  }
+
+  // Begin: pins the snapshot on this connection and hands back the manifest.
+  Request req;
+  Response resp;
+  req.op = Opcode::kBackup;
+  req.flags = kBackupBegin;
+  HASHKIT_RETURN_IF_ERROR(client->Call(req, &resp));
+  HASHKIT_RETURN_IF_ERROR(FromWire(resp));
+  if (resp.value.size() != 20) {
+    return Status::Corruption("backup manifest is " + std::to_string(resp.value.size()) +
+                              " bytes, want 20");
+  }
+  const auto* m = reinterpret_cast<const uint8_t*>(resp.value.data());
+  BackupManifest manifest;
+  manifest.page_size = DecodeU32(m);
+  manifest.page_count = DecodeU64(m + 4);
+  manifest.lsn = DecodeU64(m + 12);
+
+  // Page images, in batches sized well under the frame limit.
+  StreamedFile image;
+  HASHKIT_RETURN_IF_ERROR(image.Open(dest_path));
+  const uint32_t batch = std::max<uint32_t>(1, (4u << 20) / manifest.page_size);
+  for (uint64_t page = 0; page < manifest.page_count; page += batch) {
+    const uint32_t count = static_cast<uint32_t>(
+        std::min<uint64_t>(batch, manifest.page_count - page));
+    req = Request();
+    req.op = Opcode::kBackup;
+    req.flags = kBackupPages;
+    uint8_t v[12];
+    EncodeU64(v, page);
+    EncodeU32(v + 8, count);
+    req.value.assign(reinterpret_cast<const char*>(v), sizeof(v));
+    HASHKIT_RETURN_IF_ERROR(client->Call(req, &resp));
+    HASHKIT_RETURN_IF_ERROR(FromWire(resp));
+    if (resp.value.size() != static_cast<size_t>(count) * manifest.page_size) {
+      return Status::Corruption("backup page batch size mismatch");
+    }
+    HASHKIT_RETURN_IF_ERROR(image.Append(resp.value));
+  }
+
+  // The WAL tail.  The log only grows while the snapshot pins checkpoints,
+  // so reading to the total reported on the *first* chunk is a consistent
+  // prefix; later appends belong to the next backup (or to REPLICATE).
+  StreamedFile wal;
+  HASHKIT_RETURN_IF_ERROR(wal.Open(dest_path + ".wal"));
+  uint64_t offset = 0;
+  uint64_t total = UINT64_MAX;
+  while (offset < total) {
+    req = Request();
+    req.op = Opcode::kBackup;
+    req.flags = kBackupWal;
+    uint8_t v[12];
+    EncodeU64(v, offset);
+    EncodeU32(v + 8, 4u << 20);
+    req.value.assign(reinterpret_cast<const char*>(v), sizeof(v));
+    HASHKIT_RETURN_IF_ERROR(client->Call(req, &resp));
+    HASHKIT_RETURN_IF_ERROR(FromWire(resp));
+    if (resp.key.size() != 8) {
+      return Status::Corruption("backup wal reply lacks the total-size key");
+    }
+    const uint64_t reported = DecodeU64(reinterpret_cast<const uint8_t*>(resp.key.data()));
+    if (total == UINT64_MAX) {
+      total = reported;
+    }
+    if (resp.value.empty() && offset < total) {
+      return Status::Corruption("backup wal stream ended short");
+    }
+    const size_t take = static_cast<size_t>(
+        std::min<uint64_t>(resp.value.size(), total - offset));
+    HASHKIT_RETURN_IF_ERROR(wal.Append(std::string_view(resp.value).substr(0, take)));
+    offset += take;
+  }
+
+  // End releases the server-side snapshot; best-effort (connection close
+  // implies it).  Then publish image before wal: a crash between the two
+  // renames leaves an openable, merely older, table.
+  req = Request();
+  req.op = Opcode::kBackup;
+  req.flags = kBackupEnd;
+  if (client->Call(req, &resp).ok()) {
+    (void)FromWire(resp);
+  }
+  HASHKIT_RETURN_IF_ERROR(image.Commit());
+  HASHKIT_RETURN_IF_ERROR(wal.Commit());
+  return manifest;
+}
+
+Replica::Replica(kv::KvStore* store, ReplicaOptions options)
+    : store_(store), options_(std::move(options)) {
+  // The store is already bootstrapped (backup restored + log replayed), so
+  // its LSN is the resume point — also for PollOnce calls without Start().
+  applied_lsn_.store(store_->Lsn(), std::memory_order_relaxed);
+}
+
+Replica::~Replica() { Stop(); }
+
+Status Replica::Start() {
+  HASHKIT_ASSIGN_OR_RETURN(client_, Client::Connect(options_.primary_host,
+                                                    options_.primary_port,
+                                                    options_.client_options));
+  applied_lsn_.store(store_->Lsn(), std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_relaxed);
+  poll_thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const Status st = PollOnce();
+      if (!st.ok()) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mu_);
+          if (error_.ok()) {
+            error_ = st;
+          }
+        }
+        failed_.store(true, std::memory_order_relaxed);
+        std::fprintf(stderr, "replica: replication stopped: %s\n",
+                     st.ToString().c_str());
+        return;  // fatal (gap or transport): operator re-bootstraps
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.poll_interval_ms));
+    }
+  });
+  return Status::Ok();
+}
+
+void Replica::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (poll_thread_.joinable()) {
+    poll_thread_.join();
+  }
+}
+
+Status Replica::PollOnce() {
+  if (client_ == nullptr) {
+    HASHKIT_ASSIGN_OR_RETURN(client_, Client::Connect(options_.primary_host,
+                                                      options_.primary_port,
+                                                      options_.client_options));
+  }
+  const uint64_t from = applied_lsn_.load(std::memory_order_relaxed);
+  Request req;
+  req.op = Opcode::kReplicate;
+  req.flags = kReplicateRead;
+  uint8_t v[8];
+  EncodeU64(v, from);
+  req.value.assign(reinterpret_cast<const char*>(v), sizeof(v));
+  Response resp;
+  HASHKIT_RETURN_IF_ERROR(client_->Call(req, &resp));
+  HASHKIT_RETURN_IF_ERROR(FromWire(resp));
+  if (resp.value.empty()) {
+    return Status::Ok();  // nothing past `from` yet
+  }
+  uint64_t applied_through = from;
+  HASHKIT_RETURN_IF_ERROR(store_->ApplyReplication(resp.value, from, &applied_through));
+  applied_lsn_.store(applied_through, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status Replica::error() const {
+  const std::lock_guard<std::mutex> lock(error_mu_);
+  return error_;
+}
+
+}  // namespace net
+}  // namespace hashkit

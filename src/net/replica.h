@@ -1,0 +1,97 @@
+// hashkit-mvcc: online backup download and warm read replication.
+//
+// Both ride the BACKUP / REPLICATE opcodes (proto.h).  DownloadBackup
+// streams a live server's checkpoint image plus WAL tail into local files
+// — the backup half of `db_tool backup` and the bootstrap half of a
+// replica.  Replica then tails the primary's WAL (REPLICATE read, polled)
+// and applies it to a local store opened from that backup, giving a warm
+// read-only copy that is also the transport for migrating a table between
+// machines: stop writes on the primary, wait for last_applied_lsn() to
+// catch up, promote the replica.
+//
+// Requirements: the primary must run with a WAL (persistent store) and
+// --shards=1 — backup and replication need exactly one log.  The replica's
+// store must support ApplyReplication (same constraint).
+
+#ifndef HASHKIT_SRC_NET_REPLICA_H_
+#define HASHKIT_SRC_NET_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/kv/kv_store.h"
+#include "src/net/client.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace net {
+
+// The BACKUP begin manifest, decoded (see proto.h for the wire layout).
+struct BackupManifest {
+  uint32_t page_size = 0;
+  uint64_t page_count = 0;
+  uint64_t lsn = 0;  // commit LSN the snapshot is consistent as of
+};
+
+// Stream one full online backup over `client` into `dest_path` (the table
+// image) and `dest_path + ".wal"` (the WAL tail pinned with the snapshot).
+// Both are written to ".tmp" siblings and renamed into place — image
+// first, so a crash between the renames still leaves an openable (if
+// slightly older) table.  Fails without touching `dest_path` when the
+// destination already exists or carries stale upgrade/backup artifacts
+// (clean them first; see util/tempfile.h).
+Result<BackupManifest> DownloadBackup(Client* client, const std::string& dest_path);
+
+struct ReplicaOptions {
+  std::string primary_host = "127.0.0.1";
+  uint16_t primary_port = 0;
+  int poll_interval_ms = 200;     // REPLICATE read cadence
+  ClientOptions client_options;   // timeouts for the primary connection
+};
+
+// Tails the primary's WAL into `store`.  The store is borrowed, must
+// outlive the replica, and must be the ONLY writer path (serve it behind a
+// read-only Server).  Poll loop: REPLICATE read from last applied LSN;
+// apply whatever came back; sleep.  A replication gap (the primary
+// checkpointed past us — kNotFound from ApplyReplication) is fatal: the
+// loop records the error and stops, and the operator re-bootstraps from a
+// fresh backup.  error() exposes the first fatal status.
+class Replica {
+ public:
+  Replica(kv::KvStore* store, ReplicaOptions options);
+  ~Replica();
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  // Spawn the poll thread.  Fails fast when the primary is unreachable.
+  Status Start();
+  void Stop();  // join the poll thread; idempotent
+
+  // One poll+apply round trip, usable without Start() (tests, manual
+  // catch-up).  Ok when nothing new; the fatal-gap rule above applies.
+  Status PollOnce();
+
+  uint64_t last_applied_lsn() const { return applied_lsn_.load(std::memory_order_relaxed); }
+  // First fatal error the poll loop hit (OK while healthy/running).
+  Status error() const;
+
+ private:
+  kv::KvStore* store_;
+  const ReplicaOptions options_;
+  std::unique_ptr<Client> client_;
+  std::atomic<uint64_t> applied_lsn_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> failed_{false};
+  mutable std::mutex error_mu_;
+  Status error_;
+  std::thread poll_thread_;
+};
+
+}  // namespace net
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_NET_REPLICA_H_

@@ -8,6 +8,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -15,6 +16,8 @@
 #include <cstring>
 #include <unordered_map>
 #include <utility>
+
+#include "src/util/endian.h"
 
 namespace hashkit {
 namespace net {
@@ -86,6 +89,20 @@ struct Server::Connection {
   uint32_t epoll_mask = 0;
   bool close_after_flush = false;  // set on malformed input
   Clock::time_point last_active = Clock::now();
+
+  // hashkit-mvcc per-connection protocol state (touched only on the owning
+  // worker's thread, like the buffers above).
+  //
+  // SCAN cursor: when the store supports snapshots, each connection scans
+  // its own snapshot cursor, so two pipelined SCAN streams — same or
+  // different connections — no longer corrupt each other through the
+  // store's single shared cursor, and a long scan no longer holds the
+  // store's exclusive lock per step.
+  std::unique_ptr<kv::KvCursor> scan_cursor;
+  // BACKUP stream: the store-side snapshot is pinned between Begin and
+  // End; dropped on close so an aborted backup cannot defer checkpoints
+  // forever.
+  bool backup_active = false;
 
   size_t pending_out() const { return out.size() - out_offset; }
 };
@@ -304,6 +321,9 @@ void Server::CloseConnection(Worker* worker, int fd, bool from_idle_sweep) {
   if (it == worker->conns.end()) {
     return;
   }
+  if (it->second->backup_active) {
+    (void)store_->BackupEnd();  // do not let a dead client pin the snapshot
+  }
   (void)worker->loop.Remove(fd);
   ::close(fd);
   worker->conns.erase(it);
@@ -326,7 +346,7 @@ void Server::SweepIdle(Worker* worker) {
   }
 }
 
-Response Server::Dispatch(const Request& req) {
+Response Server::Dispatch(Connection* conn, const Request& req) {
   stats_.CountRequest(req.op);
   const uint64_t t0 = MonotonicNanos();
   Response resp;
@@ -349,25 +369,57 @@ Response Server::Dispatch(const Request& req) {
       resp.value = req.value;  // echo
       break;
     case Opcode::kPut:
-      st = store_->Put(req.key, req.value, (req.flags & kFlagNoOverwrite) == 0);
+      st = options_.read_only
+               ? Status::Unsupported("read-only replica")
+               : store_->Put(req.key, req.value, (req.flags & kFlagNoOverwrite) == 0);
       break;
     case Opcode::kGet:
       st = store_->Get(req.key, &resp.value);
       break;
     case Opcode::kDel:
-      st = store_->Delete(req.key);
+      st = options_.read_only ? Status::Unsupported("read-only replica")
+                              : store_->Delete(req.key);
       break;
-    case Opcode::kScan:
-      // The scan cursor is store state, shared by every connection — as
-      // with the in-process API, interleaved scanners share one cursor.
-      st = store_->Scan(&resp.key, &resp.value, (req.flags & kFlagScanFirst) != 0);
+    case Opcode::kScan: {
+      const bool first = (req.flags & kFlagScanFirst) != 0;
+      // Per-connection snapshot cursor wherever the store supports one: a
+      // restarted (or fresh) SCAN pins a point-in-time view private to
+      // this connection, so pipelined scans on two connections no longer
+      // interleave through the store's single shared cursor, and writers
+      // only wait out one Next at a time.  Stores without snapshots keep
+      // the legacy shared-cursor behaviour.
+      if (store_->Caps().snapshots) {
+        if (first || conn->scan_cursor == nullptr) {
+          auto cursor = store_->NewSnapshotCursor();
+          if (!cursor.ok()) {
+            st = cursor.status();
+            break;
+          }
+          conn->scan_cursor = std::move(cursor).value();
+        }
+        st = conn->scan_cursor->Next(&resp.key, &resp.value);
+        if (st.IsNotFound()) {
+          conn->scan_cursor.reset();  // release the snapshot promptly
+        }
+      } else {
+        st = store_->Scan(&resp.key, &resp.value, first);
+      }
       break;
+    }
     case Opcode::kStats:
       resp.value = RenderStatsText();
       break;
     case Opcode::kSync:
-      st = store_->Sync();
+      st = options_.read_only ? Status::Unsupported("read-only replica") : store_->Sync();
       break;
+    case Opcode::kBackup:
+      resp = DispatchBackup(conn, req);
+      stats_.RecordLatency(req.op, MonotonicNanos() - t0);
+      return resp;
+    case Opcode::kReplicate:
+      resp = DispatchReplicate(req);
+      stats_.RecordLatency(req.op, MonotonicNanos() - t0);
+      return resp;
     case Opcode::kMapGet:
     case Opcode::kMigrate:
       st = Status::Unsupported("not a cluster node");
@@ -390,6 +442,103 @@ Response Server::Dispatch(const Request& req) {
   return resp;
 }
 
+Response Server::DispatchBackup(Connection* conn, const Request& req) {
+  Response resp;
+  resp.op = req.op;
+  resp.seq = req.seq;
+  Status st;
+  switch (req.flags) {
+    case kBackupBegin: {
+      if (conn->backup_active) {
+        st = Status::Exists("backup already begun on this connection");
+        break;
+      }
+      const Result<kv::BackupInfo> begun = store_->BackupBegin();
+      if (!begun.ok()) {
+        st = begun.status();
+        break;
+      }
+      conn->backup_active = true;
+      uint8_t manifest[20];
+      EncodeU32(manifest, begun.value().page_size);
+      EncodeU64(manifest + 4, begun.value().page_count);
+      EncodeU64(manifest + 12, begun.value().lsn);
+      resp.value.assign(reinterpret_cast<const char*>(manifest), sizeof(manifest));
+      break;
+    }
+    case kBackupPages: {
+      if (req.value.size() != 12) {
+        st = Status::InvalidArgument("BACKUP pages wants value = u64 first_page | u32 count");
+        break;
+      }
+      const auto* v = reinterpret_cast<const uint8_t*>(req.value.data());
+      const uint64_t first_page = DecodeU64(v);
+      // Bound one response below the frame limit whatever the client asks.
+      const uint32_t count = std::min(DecodeU32(v + 8), 4096u);
+      st = store_->BackupReadPages(first_page, count, &resp.value);
+      break;
+    }
+    case kBackupWal: {
+      if (req.value.size() != 12) {
+        st = Status::InvalidArgument("BACKUP wal wants value = u64 offset | u32 max_bytes");
+        break;
+      }
+      const auto* v = reinterpret_cast<const uint8_t*>(req.value.data());
+      const uint64_t offset = DecodeU64(v);
+      const uint32_t max_bytes = std::min(DecodeU32(v + 8), kMaxValueLen - 1);
+      uint64_t total = 0;
+      st = store_->BackupReadWal(offset, max_bytes, &resp.value, &total);
+      if (st.ok()) {
+        uint8_t buf[8];
+        EncodeU64(buf, total);
+        resp.key.assign(reinterpret_cast<const char*>(buf), sizeof(buf));
+      }
+      break;
+    }
+    case kBackupEnd:
+      st = store_->BackupEnd();
+      conn->backup_active = false;
+      break;
+    default:
+      st = Status::InvalidArgument("BACKUP wants exactly one sub-op flag");
+      break;
+  }
+  resp.status = st.code();
+  if (!st.ok() && resp.value.empty()) {
+    resp.value = st.message();
+  }
+  return resp;
+}
+
+Response Server::DispatchReplicate(const Request& req) {
+  Response resp;
+  resp.op = req.op;
+  resp.seq = req.seq;
+  Status st;
+  if (req.flags == kReplicateRead) {
+    if (req.value.size() != 8) {
+      st = Status::InvalidArgument("REPLICATE read wants value = u64 from_lsn");
+    } else {
+      const uint64_t from_lsn =
+          DecodeU64(reinterpret_cast<const uint8_t*>(req.value.data()));
+      uint64_t last_lsn = 0;
+      st = store_->ReplicationRead(from_lsn, &resp.value, &last_lsn);
+      if (st.ok()) {
+        uint8_t buf[8];
+        EncodeU64(buf, last_lsn);
+        resp.key.assign(reinterpret_cast<const char*>(buf), sizeof(buf));
+      }
+    }
+  } else {
+    st = Status::InvalidArgument("REPLICATE wants exactly one sub-op flag");
+  }
+  resp.status = st.code();
+  if (!st.ok() && resp.value.empty()) {
+    resp.value = st.message();
+  }
+  return resp;
+}
+
 bool Server::ServeBufferedFrames(Connection* conn) {
   for (;;) {
     Request req;
@@ -397,7 +546,7 @@ bool Server::ServeBufferedFrames(Connection* conn) {
     std::string error;
     switch (DecodeRequest(&conn->in, &req, &consumed, &error)) {
       case DecodeResult::kFrame: {
-        const Response resp = Dispatch(req);
+        const Response resp = Dispatch(conn, req);
         EncodeResponse(resp, &conn->out);
         continue;
       }

@@ -56,6 +56,10 @@ struct ServerOptions {
   // checks, MOVED replies, MAP_GET/MIGRATE), and STATS//metrics grow a
   // cluster block.  nullptr = standalone server, exactly as before.
   ClusterHooks* cluster = nullptr;
+  // hashkit-mvcc: reject every mutating opcode (PUT/DEL/SYNC) with
+  // kUnsupported.  Set by `hashkit_server --replica-of`, whose store is
+  // written only by the replication apply loop.
+  bool read_only = false;
 };
 
 class Server {
@@ -112,7 +116,11 @@ class Server {
   // Serve every complete frame currently buffered; returns false when the
   // connection must close (malformed input).
   bool ServeBufferedFrames(Connection* conn);
-  Response Dispatch(const Request& req);
+  // `conn` carries per-connection protocol state (the SCAN cursor, the
+  // backup snapshot); it is only touched from the owning worker's thread.
+  Response Dispatch(Connection* conn, const Request& req);
+  Response DispatchBackup(Connection* conn, const Request& req);
+  Response DispatchReplicate(const Request& req);
   // Flush the write buffer; keeps EPOLLOUT registration in sync.  Returns
   // false when the connection died on write.
   bool FlushWrites(Worker* worker, Connection* conn);

@@ -1,0 +1,100 @@
+#include "src/util/tempfile.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace hashkit {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + tmp + ": " + std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return Status::IoError("write " + tmp + ": " + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IoError("fsync " + tmp + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + path + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return errno == ENOENT ? Status::NotFound()
+                           : Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return Status::IoError("read " + path + ": " + std::strerror(errno));
+    }
+    if (n == 0) {
+      break;
+    }
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+std::vector<std::string> StaleArtifactsFor(const std::string& path) {
+  const std::string candidates[] = {
+      path + ".tmp",          path + ".upgrade", path + ".upgrade.wal",
+      path + ".cmap.tmp",     path + ".wal.tmp",
+  };
+  std::vector<std::string> found;
+  for (const std::string& c : candidates) {
+    if (FileExists(c)) {
+      found.push_back(c);
+    }
+  }
+  return found;
+}
+
+Status RemoveStaleArtifacts(const std::string& path) {
+  for (const std::string& artifact : StaleArtifactsFor(path)) {
+    if (std::remove(artifact.c_str()) != 0 && errno != ENOENT) {
+      return Status::IoError("remove " + artifact + ": " + std::strerror(errno));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace hashkit

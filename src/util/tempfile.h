@@ -1,0 +1,46 @@
+// hashkit: the one tmp+fsync+rename implementation, plus the audit of the
+// temp artifacts that discipline can leave behind.
+//
+// Several subsystems persist small control files atomically (the cluster
+// map/marker file, the v1->v2 table upgrade, backup manifests): write the
+// new bytes to a sibling temp file, fsync, rename over the target.  A
+// crash then leaves either the old file or the new one — plus, possibly,
+// a stale temp file.  That stale file is *never* a valid artifact: tools
+// that copy or repair a database (db_tool backup/recover/verify) must not
+// treat it as data, and this header centralizes both the write discipline
+// and the "is something torn lying around?" check so every site agrees on
+// the temp-file names.
+
+#ifndef HASHKIT_SRC_UTIL_TEMPFILE_H_
+#define HASHKIT_SRC_UTIL_TEMPFILE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace hashkit {
+
+// Atomically replaces `path` with `data`: writes `path` + ".tmp", fsyncs
+// it, and renames it over `path`.  A crash at any point leaves either the
+// previous file or the complete new one (plus at worst the temp file,
+// which StaleArtifactsFor reports and RemoveStaleArtifacts clears).
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+// Reads all of `path` into `*out`.  kNotFound when the file is absent.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+// The in-progress artifacts a crashed writer can leave next to the
+// database at `path`: "<path>.tmp", "<path>.upgrade" (+ its ".wal"),
+// "<path>.cmap.tmp".  Returns the subset that currently exists.
+std::vector<std::string> StaleArtifactsFor(const std::string& path);
+
+// Deletes every artifact StaleArtifactsFor reports.  Safe: these names
+// are only ever written as temp files, so removing them can never lose
+// committed data.
+Status RemoveStaleArtifacts(const std::string& path);
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_UTIL_TEMPFILE_H_

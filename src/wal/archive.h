@@ -1,0 +1,59 @@
+// hashkit-wal: archived log segments and point-in-time recovery.
+//
+// With archiving enabled (HashOptions::wal_archive), every checkpoint
+// copies the log it is about to truncate to `<wal path>.<last_seq>` — a
+// 20-digit zero-padded decimal commit sequence, so lexicographic name
+// order is replay order (FORMAT.md "WAL archive").  Each segment is a
+// complete log file (header + records), replayable by the ordinary
+// LogReader.
+//
+// Point-in-time recovery replays a base page image forward: every
+// archived segment in order, then the live log, applying each committed
+// batch whose sequence number is <= the target LSN.  Page images are
+// whole-page redo records, so replaying a segment that partially predates
+// the base image is harmless — later images simply overwrite.
+
+#ifndef HASHKIT_SRC_WAL_ARCHIVE_H_
+#define HASHKIT_SRC_WAL_ARCHIVE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/pagefile/page_file.h"
+#include "src/util/status.h"
+
+namespace hashkit {
+namespace wal {
+
+struct ArchiveSegment {
+  std::string path;
+  uint64_t last_seq = 0;  // highest commit seq the segment can contain
+};
+
+// Lists `<prefix>.<seq>` archive segments, sorted by sequence number.
+// Returns an empty vector when none exist (not an error).
+Result<std::vector<ArchiveSegment>> ListArchiveSegments(const std::string& prefix);
+
+// Replays every committed batch with seq <= `to_lsn` from one log file's
+// bytes onto `file`.  `*applied_through` is raised to the highest sequence
+// applied; batches beyond `to_lsn` (and any torn tail) are ignored.
+Status ReplayLogBytes(std::span<const uint8_t> bytes, PageFile* file, uint64_t to_lsn,
+                      uint64_t* applied_through, uint64_t* pages_applied);
+
+// ReplayLogBytes over a log file on disk.  kNotFound if absent.
+Status ReplayLogFile(const std::string& path, PageFile* file, uint64_t to_lsn,
+                     uint64_t* applied_through, uint64_t* pages_applied);
+
+// Point-in-time restore: replays all of `db_path`'s archived segments
+// (prefix `<db_path>.wal`) and then its live log onto the page file at
+// `db_path`, stopping at `to_lsn` (UINT64_MAX = everything).  The page
+// size is taken from the first log encountered.  Returns the LSN actually
+// applied through.
+Result<uint64_t> RestoreToLsn(const std::string& db_path, uint64_t to_lsn);
+
+}  // namespace wal
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_WAL_ARCHIVE_H_

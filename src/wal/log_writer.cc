@@ -1,10 +1,13 @@
 #include "src/wal/log_writer.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 
 #include "src/util/endian.h"
+#include "src/util/tempfile.h"
 #include "src/wal/crc32c.h"
+#include "src/wal/log_reader.h"
 
 namespace hashkit {
 namespace wal {
@@ -36,6 +39,22 @@ Status LogWriter::Init() {
   if (DecodeU32(bytes.data() + 8) != page_size_) {
     return Status::Corruption("wal page size does not match the table");
   }
+  // Restore the commit sequence from the recovered log so LSNs stay
+  // monotone across reopen: the checkpoint record recovery leaves at the
+  // head carries the last applied seq, and any commits after it raise it
+  // further.
+  LogReader reader(bytes);
+  if (reader.ReadHeader().ok()) {
+    WalRecord rec;
+    while (reader.Next(&rec)) {
+      if (rec.type == WalRecordType::kCommit || rec.type == WalRecordType::kCheckpoint) {
+        if (rec.seq > seq_) {
+          seq_ = rec.seq;
+        }
+      }
+    }
+  }
+  archived_through_ = seq_;
   return Status::Ok();
 }
 
@@ -109,7 +128,25 @@ Status LogWriter::SyncBarrier() {
   return Status::Ok();
 }
 
+Status LogWriter::ArchiveCurrentLog() {
+  if (archive_prefix_.empty() || seq_ <= archived_through_) {
+    return Status::Ok();
+  }
+  std::vector<uint8_t> bytes;
+  HASHKIT_RETURN_IF_ERROR(storage_->ReadAll(&bytes));
+  char name[32];
+  std::snprintf(name, sizeof(name), ".%020llu", static_cast<unsigned long long>(seq_));
+  const std::string segment = archive_prefix_ + name;
+  HASHKIT_RETURN_IF_ERROR(WriteFileAtomic(
+      segment, std::string_view(reinterpret_cast<const char*>(bytes.data()), bytes.size())));
+  archived_through_ = seq_;
+  return Status::Ok();
+}
+
 Status LogWriter::CheckpointReset() {
+  // Point-in-time recovery: the bytes about to be truncated are the only
+  // copy of this checkpoint interval's history — archive them first.
+  HASHKIT_RETURN_IF_ERROR(ArchiveCurrentLog());
   HASHKIT_RETURN_IF_ERROR(storage_->Truncate());
 
   uint8_t header[kWalHeaderSize];

@@ -41,8 +41,18 @@ class LogWriter {
 
   // Writes a fresh header on an empty log, or validates the existing one
   // (the open path truncates the log to header + checkpoint during
-  // recovery, so a non-empty log here is always a recovered one).
+  // recovery, so a non-empty log here is always a recovered one).  An
+  // existing log also restores the commit sequence number, so LSNs are
+  // monotone across close/reopen — the property backup, point-in-time
+  // recovery, and replication all lean on.
   Status Init();
+
+  // Enables WAL archiving for point-in-time recovery: before every
+  // checkpoint truncates the log, its full bytes are copied to
+  // `<prefix>.<last_seq>` (20-digit zero-padded; see FORMAT.md "WAL
+  // archive").  Each segment is a complete, self-describing log file —
+  // header plus records — replayable by the same reader as the live log.
+  void EnableArchive(std::string prefix) { archive_prefix_ = std::move(prefix); }
 
   // Buffers one page's after-image into the current batch.
   void AppendPageImage(uint64_t pageno, std::span<const uint8_t> image);
@@ -71,9 +81,15 @@ class LogWriter {
   void AppendRecord(WalRecordType type, std::span<const uint8_t> payload);
   Status DoSync();
 
+  // Copies the current log bytes to the next archive segment (no-op when
+  // archiving is off or nothing was committed since the last checkpoint).
+  Status ArchiveCurrentLog();
+
   std::unique_ptr<WalStorage> storage_;
   const uint32_t page_size_;
   const uint32_t sync_every_;
+  std::string archive_prefix_;     // empty = archiving off
+  uint64_t archived_through_ = 0;  // last seq already covered by a segment
 
   std::vector<uint8_t> pending_;  // current batch, framed
   uint64_t seq_ = 0;              // last committed sequence number

@@ -1,0 +1,446 @@
+// hashkit-mvcc: online backup, point-in-time recovery, and WAL-shipping
+// replication, end to end over the wire.  The churn test proves the
+// acceptance bar: a backup streamed from a live, writing server restores
+// to a table that passes a full integrity check with zero lost
+// acknowledged writes.  The crash matrix covers torn downloads, stale
+// artifacts, and torn archive tails.  Label `backup` (Release + TSan CI).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/hash_table.h"
+#include "src/kv/kv_store.h"
+#include "src/kv/synchronized.h"
+#include "src/net/client.h"
+#include "src/net/replica.h"
+#include "src/net/server.h"
+#include "src/util/tempfile.h"
+#include "src/wal/archive.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace {
+
+// One live server over a synchronized hash_disk store.
+struct TestServer {
+  std::unique_ptr<kv::KvStore> store;
+  std::unique_ptr<net::Server> server;
+  uint16_t port = 0;
+};
+
+TestServer StartServer(const std::string& path, bool wal_archive = false) {
+  TestServer ts;
+  kv::StoreOptions options;
+  options.path = path;
+  options.truncate = true;
+  options.durability = Durability::kSync;
+  options.wal_archive = wal_archive;
+  auto opened = kv::OpenStore(kv::StoreKind::kHashDisk, options);
+  EXPECT_OK(opened.status());
+  ts.store = kv::MakeSynchronized(std::move(opened).value());
+  net::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 2;
+  ts.server = std::make_unique<net::Server>(ts.store.get(), server_options);
+  EXPECT_OK(ts.server->Start());
+  ts.port = ts.server->port();
+  return ts;
+}
+
+void CopyFile(const std::string& from, const std::string& to) {
+  std::ifstream in(from, std::ios::binary);
+  ASSERT_TRUE(in.good()) << from;
+  std::ofstream out(to, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+  ASSERT_TRUE(out.good()) << to;
+}
+
+void RemoveBackupFiles(const std::string& dest) {
+  std::remove(dest.c_str());
+  std::remove((dest + ".wal").c_str());
+  std::remove((dest + ".tmp").c_str());
+  std::remove((dest + ".wal.tmp").c_str());
+}
+
+TEST(BackupTest, LiveBackupUnderChurnLosesNoAcknowledgedWrite) {
+  const std::string path = TempPath("backup_src");
+  const std::string dest = TempPath("backup_dest");
+  RemoveBackupFiles(dest);
+  TestServer ts = StartServer(path);
+
+  // Acknowledged-before-backup writes: these MUST all survive.
+  auto seeded = net::Client::Connect("127.0.0.1", ts.port);
+  ASSERT_OK(seeded.status());
+  constexpr int kStable = 300;
+  for (int i = 0; i < kStable; ++i) {
+    ASSERT_OK(seeded.value()->Put("stable" + std::to_string(i), "sv" + std::to_string(i)));
+  }
+  ASSERT_OK(seeded.value()->Sync());
+
+  // Churn on a second connection while the backup streams.
+  std::atomic<bool> stop{false};
+  std::atomic<int> churn_errors{0};
+  std::atomic<uint64_t> churn_writes{0};
+  std::thread churner([&] {
+    auto conn = net::Client::Connect("127.0.0.1", ts.port);
+    if (!conn.ok()) {
+      ++churn_errors;
+      return;
+    }
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!conn.value()->Put("churn" + std::to_string(i % 500),
+                             "cv" + std::to_string(i)).ok()) {
+        ++churn_errors;
+        return;
+      }
+      ++i;
+      churn_writes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // Make sure the writer is genuinely running mid-backup.
+  while (churn_writes.load(std::memory_order_relaxed) < 100) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto backup_conn = net::Client::Connect("127.0.0.1", ts.port);
+  ASSERT_OK(backup_conn.status());
+  auto manifest = net::DownloadBackup(backup_conn.value().get(), dest);
+  ASSERT_OK(manifest.status());
+  EXPECT_GT(manifest.value().page_count, 0u);
+  EXPECT_GT(manifest.value().lsn, 0u);
+  const uint64_t writes_during = churn_writes.load(std::memory_order_relaxed);
+
+  stop.store(true);
+  churner.join();
+  ASSERT_EQ(churn_errors.load(), 0);
+  EXPECT_GT(writes_during, 100u) << "churn was not live during the backup";
+  ts.server->Stop();
+
+  // The restored copy opens (replaying its WAL tail), passes the full
+  // structural check, and holds every acknowledged write.
+  HashOptions open_options;
+  auto restored = HashTable::Open(dest, open_options, /*truncate=*/false);
+  ASSERT_OK(restored.status());
+  auto& table = *restored.value();
+  ASSERT_OK(table.CheckIntegrity());
+  for (int i = 0; i < kStable; ++i) {
+    std::string value;
+    ASSERT_OK(table.Get("stable" + std::to_string(i), &value)) << "stable" << i;
+    EXPECT_EQ(value, "sv" + std::to_string(i));
+  }
+  // Churn keys in the backup must carry well-formed values (a torn page
+  // would fail the integrity check above anyway).
+  std::string value;
+  for (int i = 0; i < 500; ++i) {
+    const Status st = table.Get("churn" + std::to_string(i), &value);
+    if (st.ok()) {
+      EXPECT_EQ(value.rfind("cv", 0), 0u);
+    } else {
+      EXPECT_TRUE(st.IsNotFound());
+    }
+  }
+}
+
+TEST(BackupTest, BackupRefusesExistingDestinationAndStaleArtifacts) {
+  const std::string path = TempPath("backup_refuse_src");
+  const std::string dest = TempPath("backup_refuse_dest");
+  RemoveBackupFiles(dest);
+  TestServer ts = StartServer(path);
+  auto client = net::Client::Connect("127.0.0.1", ts.port);
+  ASSERT_OK(client.status());
+  ASSERT_OK(client.value()->Put("k", "v"));
+  ASSERT_OK(client.value()->Sync());
+
+  // A stale temp artifact (torn earlier download / upgrade) blocks the
+  // backup until cleaned.
+  { std::ofstream(dest + ".tmp") << "torn"; }
+  EXPECT_TRUE(net::DownloadBackup(client.value().get(), dest).status().IsExists());
+  ASSERT_OK(RemoveStaleArtifacts(dest));
+  ASSERT_OK(net::DownloadBackup(client.value().get(), dest).status());
+
+  // An existing destination is never clobbered.
+  auto again = net::Client::Connect("127.0.0.1", ts.port);
+  ASSERT_OK(again.status());
+  EXPECT_TRUE(net::DownloadBackup(again.value().get(), dest).status().IsExists());
+  ts.server->Stop();
+}
+
+TEST(BackupTest, SecondBackupAfterMoreWritesIsCurrent) {
+  // Regression: header pages must be read from the file, not a pool frame
+  // cached by an earlier backup — checkpoints write the header behind the
+  // pool's back.
+  const std::string path = TempPath("backup_twice_src");
+  const std::string dest1 = TempPath("backup_twice_d1");
+  const std::string dest2 = TempPath("backup_twice_d2");
+  RemoveBackupFiles(dest1);
+  RemoveBackupFiles(dest2);
+  TestServer ts = StartServer(path);
+  auto client = net::Client::Connect("127.0.0.1", ts.port);
+  ASSERT_OK(client.status());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(client.value()->Put("a" + std::to_string(i), "v" + std::to_string(i)));
+  }
+  ASSERT_OK(client.value()->Sync());
+  ASSERT_OK(net::DownloadBackup(client.value().get(), dest1).status());
+
+  // Enough new keys to split buckets (header geometry changes), then sync.
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_OK(client.value()->Put("b" + std::to_string(i), "w" + std::to_string(i)));
+  }
+  ASSERT_OK(client.value()->Sync());
+  auto conn2 = net::Client::Connect("127.0.0.1", ts.port);
+  ASSERT_OK(conn2.status());
+  ASSERT_OK(net::DownloadBackup(conn2.value().get(), dest2).status());
+  ts.server->Stop();
+
+  auto restored = HashTable::Open(dest2, HashOptions(), /*truncate=*/false);
+  ASSERT_OK(restored.status());
+  ASSERT_OK(restored.value()->CheckIntegrity());
+  std::string value;
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_OK(restored.value()->Get("b" + std::to_string(i), &value)) << "b" << i;
+  }
+}
+
+TEST(BackupTest, TornDownloadLeavesOnlyCleanableArtifacts) {
+  // Crash matrix, download side: a client that dies mid-stream leaves at
+  // worst ".tmp" siblings — which StaleArtifactsFor reports, clean
+  // removes, and a fresh download then succeeds.
+  const std::string path = TempPath("backup_torn_src");
+  const std::string dest = TempPath("backup_torn_dest");
+  RemoveBackupFiles(dest);
+  TestServer ts = StartServer(path);
+  auto client = net::Client::Connect("127.0.0.1", ts.port);
+  ASSERT_OK(client.status());
+  ASSERT_OK(client.value()->Put("k", "v"));
+  ASSERT_OK(client.value()->Sync());
+
+  // Simulate the torn download's leavings directly.
+  { std::ofstream(dest + ".tmp") << "partial image bytes"; }
+  { std::ofstream(dest + ".wal.tmp") << "partial log bytes"; }
+  const auto stale = StaleArtifactsFor(dest);
+  ASSERT_GE(stale.size(), 2u);
+  ASSERT_OK(RemoveStaleArtifacts(dest));
+  EXPECT_TRUE(StaleArtifactsFor(dest).empty());
+
+  ASSERT_OK(net::DownloadBackup(client.value().get(), dest).status());
+  ts.server->Stop();
+  auto restored = HashTable::Open(dest, HashOptions(), /*truncate=*/false);
+  ASSERT_OK(restored.status());
+  std::string value;
+  ASSERT_OK(restored.value()->Get("k", &value));
+  EXPECT_EQ(value, "v");
+}
+
+TEST(BackupTest, PointInTimeRestoreStopsAtRequestedLsn) {
+  const std::string path = TempPath("pitr_src");
+  std::remove((path + ".wal").c_str());
+  HashOptions options;
+  options.bsize = 256;
+  options.ffactor = 8;
+  options.durability = Durability::kSync;
+  options.wal_archive = true;
+  options.wal_checkpoint_bytes = 1;  // clamped to the floor: archive often
+
+  // Base image: checkpointed right after creation, copied aside — the
+  // "full backup" the archive chain replays onto.
+  const std::string base = TempPath("pitr_base");
+  uint64_t lsn_phase1 = 0;
+  {
+    auto opened = HashTable::Open(path, options, /*truncate=*/true);
+    ASSERT_OK(opened.status());
+    auto& table = *opened.value();
+    ASSERT_OK(table.Put("genesis", "g"));
+    ASSERT_OK(table.Sync());
+    CopyFile(path, base);
+
+    const std::string filler(300, 'p');
+    for (int i = 0; i < 120; ++i) {
+      ASSERT_OK(table.Put("p1-" + std::to_string(i), filler + std::to_string(i)));
+    }
+    ASSERT_OK(table.Sync());
+    lsn_phase1 = table.WalLsn();
+    ASSERT_GT(lsn_phase1, 0u);
+
+    // Phase 2: overwrite phase-1 keys and add new ones — everything PITR
+    // to lsn_phase1 must NOT show.
+    for (int i = 0; i < 120; ++i) {
+      ASSERT_OK(table.Put("p1-" + std::to_string(i), "phase2-overwrite"));
+    }
+    for (int i = 0; i < 80; ++i) {
+      ASSERT_OK(table.Put("p2-" + std::to_string(i), "p2v"));
+    }
+    ASSERT_OK(table.Sync());
+  }
+
+  // The archive accumulated segments; stage base + logs for two restores.
+  auto segments = wal::ListArchiveSegments(path + ".wal");
+  ASSERT_OK(segments.status());
+  ASSERT_GE(segments.value().size(), 1u) << "checkpoints never archived";
+
+  const auto stage = [&](const std::string& restore_path) {
+    CopyFile(base, restore_path);
+    CopyFile(path + ".wal", restore_path + ".wal");
+    for (const auto& seg : segments.value()) {
+      const std::string suffix = seg.path.substr((path + ".wal").size());
+      CopyFile(seg.path, restore_path + ".wal" + suffix);
+    }
+  };
+
+  const std::string at_p1 = TempPath("pitr_at_p1");
+  stage(at_p1);
+  auto applied = wal::RestoreToLsn(at_p1, lsn_phase1);
+  ASSERT_OK(applied.status());
+  EXPECT_EQ(applied.value(), lsn_phase1);
+  {
+    auto opened = HashTable::Open(at_p1, HashOptions(), /*truncate=*/false);
+    ASSERT_OK(opened.status());
+    auto& table = *opened.value();
+    ASSERT_OK(table.CheckIntegrity());
+    std::string value;
+    const std::string filler(300, 'p');
+    for (int i = 0; i < 120; ++i) {
+      ASSERT_OK(table.Get("p1-" + std::to_string(i), &value)) << i;
+      EXPECT_EQ(value, filler + std::to_string(i)) << "phase-2 leaked into PITR state";
+    }
+    EXPECT_TRUE(table.Get("p2-0", &value).IsNotFound());
+  }
+
+  // And restoring to "latest" replays everything.
+  const std::string at_end = TempPath("pitr_at_end");
+  stage(at_end);
+  auto applied_all = wal::RestoreToLsn(at_end, UINT64_MAX);
+  ASSERT_OK(applied_all.status());
+  EXPECT_GT(applied_all.value(), lsn_phase1);
+  {
+    auto opened = HashTable::Open(at_end, HashOptions(), /*truncate=*/false);
+    ASSERT_OK(opened.status());
+    std::string value;
+    ASSERT_OK(opened.value()->Get("p1-0", &value));
+    EXPECT_EQ(value, "phase2-overwrite");
+    ASSERT_OK(opened.value()->Get("p2-0", &value));
+    EXPECT_EQ(value, "p2v");
+    ASSERT_OK(opened.value()->CheckIntegrity());
+  }
+}
+
+TEST(BackupTest, TornArchiveTailStillRestoresCommittedPrefix) {
+  // Crash matrix, restore side: the live log's tail is torn (the writer
+  // died mid-record); PITR still applies every committed batch before it.
+  const std::string path = TempPath("pitr_torn_src");
+  std::remove((path + ".wal").c_str());
+  HashOptions options;
+  options.bsize = 256;
+  options.durability = Durability::kSync;
+  options.wal_archive = true;
+  const std::string base = TempPath("pitr_torn_base");
+  const std::string restore = TempPath("pitr_torn_restore");
+  {
+    auto opened = HashTable::Open(path, options, /*truncate=*/true);
+    ASSERT_OK(opened.status());
+    ASSERT_OK(opened.value()->Put("seed", "s"));
+    ASSERT_OK(opened.value()->Sync());
+    CopyFile(path, base);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK(opened.value()->Put("t" + std::to_string(i), "tv" + std::to_string(i)));
+    }
+    // Copy the live log NOW, before close checkpoints and truncates it —
+    // this is exactly the file a crashed archiver would have left behind.
+    CopyFile(path + ".wal", restore + ".wal");
+  }
+  CopyFile(base, restore);
+  // Tear the copied log mid-record.
+  {
+    std::ifstream in(restore + ".wal", std::ios::binary | std::ios::ate);
+    const auto size = static_cast<long>(in.tellg());
+    ASSERT_GT(size, 32);
+    in.close();
+    ASSERT_EQ(::truncate((restore + ".wal").c_str(), size - 7), 0);
+  }
+  auto applied = wal::RestoreToLsn(restore, UINT64_MAX);
+  ASSERT_OK(applied.status());
+  auto opened = HashTable::Open(restore, HashOptions(), /*truncate=*/false);
+  ASSERT_OK(opened.status());
+  ASSERT_OK(opened.value()->CheckIntegrity());
+  std::string value;
+  ASSERT_OK(opened.value()->Get("seed", &value));
+  EXPECT_EQ(value, "s");
+}
+
+TEST(BackupTest, ReplicaBootstrapsTailsAndDetectsGaps) {
+  const std::string primary_path = TempPath("replica_primary");
+  const std::string replica_path = TempPath("replica_copy");
+  RemoveBackupFiles(replica_path);
+  TestServer primary = StartServer(primary_path);
+  auto client = net::Client::Connect("127.0.0.1", primary.port);
+  ASSERT_OK(client.status());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(client.value()->Put("r" + std::to_string(i), "v" + std::to_string(i)));
+  }
+  ASSERT_OK(client.value()->Sync());
+
+  // Bootstrap = the backup protocol.
+  auto boot = net::Client::Connect("127.0.0.1", primary.port);
+  ASSERT_OK(boot.status());
+  ASSERT_OK(net::DownloadBackup(boot.value().get(), replica_path).status());
+  boot.value().reset();  // drop the backup snapshot: checkpoints resume
+
+  kv::StoreOptions replica_options;
+  replica_options.path = replica_path;
+  replica_options.truncate = false;
+  replica_options.durability = Durability::kAsync;
+  auto replica_opened = kv::OpenStore(kv::StoreKind::kHashDisk, replica_options);
+  ASSERT_OK(replica_opened.status());
+  auto replica_store = kv::MakeSynchronized(std::move(replica_opened).value());
+  std::string value;
+  ASSERT_OK(replica_store->Get("r0", &value));
+  EXPECT_EQ(value, "v0");
+
+  net::ReplicaOptions ropts;
+  ropts.primary_host = "127.0.0.1";
+  ropts.primary_port = primary.port;
+  net::Replica replica(replica_store.get(), ropts);
+
+  // New primary writes reach the replica on the next poll.  kSync
+  // durability commits each put to the log synchronously — no explicit
+  // Sync, because Sync is a checkpoint and checkpoints truncate the log
+  // (the gap case, tested below).
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK(client.value()->Put("new" + std::to_string(i), "nv" + std::to_string(i)));
+  }
+  ASSERT_OK(replica.PollOnce());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK(replica_store->Get("new" + std::to_string(i), &value)) << i;
+    EXPECT_EQ(value, "nv" + std::to_string(i));
+  }
+  const uint64_t caught_up = replica.last_applied_lsn();
+  EXPECT_GT(caught_up, 0u);
+  // Idempotent when nothing new arrived.
+  ASSERT_OK(replica.PollOnce());
+  EXPECT_EQ(replica.last_applied_lsn(), caught_up);
+
+  // Gap: a primary checkpoint while the replica was not polling truncates
+  // history the replica never saw.  The poll must fail loudly (NotFound),
+  // never silently diverge — the runbook answer is a fresh bootstrap.
+  ASSERT_OK(client.value()->Put("gapped", "gv"));
+  ASSERT_OK(client.value()->Sync());  // checkpoint: log now starts past caught_up
+  ASSERT_OK(client.value()->Put("after-gap", "av"));
+  const Status gap = replica.PollOnce();
+  EXPECT_TRUE(gap.IsNotFound()) << gap.ToString();
+  EXPECT_EQ(replica.last_applied_lsn(), caught_up);
+
+  primary.server->Stop();
+}
+
+}  // namespace
+}  // namespace hashkit

@@ -432,6 +432,128 @@ TEST(ClusterTest, RestartMidMigrationResumesFromPersistedMarker) {
   }
 }
 
+TEST(ClusterTest, TargetCrashUnderChurnRollsBackNothing) {
+  const std::string path_a = TempPath("cluster_tkill_a");
+  const std::string path_b = TempPath("cluster_tkill_b");
+  std::remove((path_a + ".cmap").c_str());
+  std::remove((path_b + ".cmap").c_str());
+
+  // The source aborts after 2 batches of 4, freezing the stream with the
+  // target's inbound marker durable and most of the bucket still unsent.
+  TestNode a = MakeNode(0, kv::StoreKind::kHashDisk, path_a, path_a + ".cmap",
+                        /*port=*/0, /*migrate_batch=*/4, /*abort_after_batches=*/2);
+  TestNode b = MakeNode(1, kv::StoreKind::kHashDisk, path_b, path_b + ".cmap");
+  std::vector<TestNode*> nodes = {&a, &b};
+  const std::vector<NodeInfo> peers = PeersOf(nodes);
+  for (TestNode* n : nodes) {
+    ASSERT_OK(n->cnode->Start(peers));
+  }
+  const uint16_t port_a = a.port;
+  const uint16_t port_b = b.port;
+
+  constexpr int kKeys = 200;
+  {
+    auto connected = ClusterClient::Connect({a.Address()});
+    ASSERT_TRUE(connected.ok());
+    for (int i = 0; i < kKeys; ++i) {
+      ASSERT_OK((*connected)->Put("k" + std::to_string(i), "v" + std::to_string(i)));
+    }
+  }
+  // The keys that live in the migrating bucket (two-node bootstrap: bucket
+  // 0 is node 0's).
+  const ClusterMap initial = a.cnode->MapSnapshot();
+  std::vector<std::string> bucket0_keys;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (initial.BucketOfKey(key) == 0) {
+      bucket0_keys.push_back(key);
+    }
+  }
+  ASSERT_GE(bucket0_keys.size(), 12u);
+
+  ASSERT_OK(a.cnode->ScheduleMove(0, 1));
+  ASSERT_TRUE(WaitUntil([&] { return a.cnode->AbortedAtFailpoint(); }));
+  ASSERT_TRUE(b.cnode->MigrationActive());
+
+  // Post-cutover churn lands on the target (the v2 owner) while the stream
+  // is frozen: overwrite some keys, delete a couple.  Each write makes the
+  // target's dirty-key record durable before it is acknowledged.
+  {
+    auto connected = net::Client::Connect("127.0.0.1", port_b);
+    ASSERT_TRUE(connected.ok());
+    auto& client = *connected.value();
+    for (size_t i = 0; i < 8; ++i) {
+      ASSERT_OK(client.Put(bucket0_keys[i], "churn-" + bucket0_keys[i]));
+    }
+    // NotFound is fine if the copy stream has not delivered the key yet —
+    // the dirty-key record is written (durably) either way, which is what
+    // keeps the resumed stream from resurrecting these two.
+    for (size_t i = 8; i < 10; ++i) {
+      const Status st = client.Delete(bucket0_keys[i]);
+      ASSERT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    }
+  }
+
+  // Kill the TARGET, then bring both sides back on their old ports.  The
+  // resumed stream re-sends the whole bucket — including stale copies of
+  // every churned key — and the reloaded dirty set must drop them all.
+  b.Shutdown();
+  b.cnode.reset();
+  b.server.reset();
+  b.store.reset();
+  b = MakeNode(1, kv::StoreKind::kHashDisk, path_b, path_b + ".cmap", port_b);
+  ASSERT_OK(b.cnode->Start(peers));
+  ASSERT_TRUE(b.cnode->MigrationActive());  // inbound marker survived
+
+  a.Shutdown();
+  a.cnode.reset();
+  a.server.reset();
+  a.store.reset();
+  a = MakeNode(0, kv::StoreKind::kHashDisk, path_a, path_a + ".cmap", port_a);
+  nodes = {&a, &b};
+  ASSERT_OK(a.cnode->Start(peers));
+
+  ASSERT_TRUE(WaitUntil([&] {
+    return !a.cnode->MigrationActive() && !b.cnode->MigrationActive();
+  }));
+  EXPECT_EQ(b.cnode->counters().migrations_in.load(), 1u);
+  // The re-driven stream really did try to resurrect churned keys.
+  EXPECT_GE(b.cnode->counters().migrate_data_skipped.load(), 1u);
+
+  // Zero rolled-back keys: every churned write survives the resumed copy.
+  auto connected = ClusterClient::Connect({b.Address()});
+  ASSERT_TRUE(connected.ok());
+  auto client = std::move(connected).value();
+  for (size_t i = 0; i < 8; ++i) {
+    std::string value;
+    ASSERT_OK(client->Get(bucket0_keys[i], &value)) << bucket0_keys[i];
+    EXPECT_EQ(value, "churn-" + bucket0_keys[i]) << bucket0_keys[i];
+  }
+  for (size_t i = 8; i < 10; ++i) {
+    std::string value;
+    EXPECT_TRUE(client->Get(bucket0_keys[i], &value).IsNotFound()) << bucket0_keys[i];
+  }
+  // Everything else is intact, exactly once.
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    bool churned = false;
+    for (size_t j = 0; j < 10; ++j) {
+      churned = churned || key == bucket0_keys[j];
+    }
+    if (churned) {
+      continue;
+    }
+    std::string value;
+    ASSERT_OK(client->Get(key, &value)) << key;
+    EXPECT_EQ(value, "v" + std::to_string(i)) << key;
+  }
+  EXPECT_EQ(TotalPairs(nodes), static_cast<uint64_t>(kKeys - 2));
+
+  for (TestNode* n : nodes) {
+    n->Shutdown();
+  }
+}
+
 }  // namespace
 }  // namespace cluster
 }  // namespace hashkit

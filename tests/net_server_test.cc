@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -236,6 +237,91 @@ TEST(NetServerTest, SingleClientOperationsAndStatuses) {
   }
   EXPECT_TRUE(st.IsNotFound());
   EXPECT_EQ(seen, 2);
+
+  server.Stop();
+}
+
+// Regression: SCAN used to share the store's single cursor across every
+// connection, so two interleaved scan streams corrupted each other (each
+// SCAN FIRST rewound the other client mid-iteration).  With per-connection
+// snapshot cursors, each pipelined stream walks its own complete,
+// point-in-time view — even with the two streams interleaved batch by
+// batch and a writer churning between batches.
+TEST(NetServerTest, TwoInterleavedPipelinedScansEachSeeCompleteIterations) {
+  StoreOptions store_options;
+  auto opened = OpenStore(StoreKind::kHashMemory, store_options);
+  ASSERT_TRUE(opened.ok());
+  auto store = kv::MakeSynchronized(std::move(opened).value());
+  ASSERT_TRUE(store->Caps().snapshots);
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 2;
+  Server server(store.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  constexpr int kKeys = 150;
+  auto writer = std::move(Client::Connect("127.0.0.1", server.port())).value();
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_OK(writer->Put("scan" + std::to_string(i), "sv" + std::to_string(i)));
+  }
+
+  auto a = std::move(Client::Connect("127.0.0.1", server.port())).value();
+  auto b = std::move(Client::Connect("127.0.0.1", server.port())).value();
+
+  // One pipelined batch of SCAN frames per call; first=true only on the
+  // opening batch of each stream.
+  constexpr size_t kDepth = 8;
+  const auto scan_batch = [](Client* client, bool first,
+                             std::vector<std::string>* out) -> bool {
+    std::vector<Request> batch(kDepth);
+    for (size_t i = 0; i < kDepth; ++i) {
+      batch[i].op = Opcode::kScan;
+      batch[i].flags = (first && i == 0) ? kFlagScanFirst : 0;
+    }
+    std::vector<Response> responses;
+    EXPECT_OK(client->Pipeline(batch, &responses));
+    for (const Response& resp : responses) {
+      if (resp.status == StatusCode::kNotFound) {
+        return false;  // stream complete (later frames also report NotFound)
+      }
+      EXPECT_EQ(resp.status, StatusCode::kOk);
+      out->push_back(resp.key);
+    }
+    return true;
+  };
+
+  // Interleave: a batch on A, a batch on B, churn, repeat until both dry.
+  std::vector<std::string> seen_a;
+  std::vector<std::string> seen_b;
+  bool more_a = scan_batch(a.get(), true, &seen_a);
+  bool more_b = scan_batch(b.get(), true, &seen_b);
+  int churn = 0;
+  while (more_a || more_b) {
+    if (more_a) {
+      more_a = scan_batch(a.get(), false, &seen_a);
+    }
+    if (more_b) {
+      more_b = scan_batch(b.get(), false, &seen_b);
+    }
+    // Writes between batches must not perturb either stream.
+    ASSERT_OK(writer->Put("churn" + std::to_string(churn), "c"));
+    ASSERT_OK(writer->Delete("scan" + std::to_string(churn % kKeys)));
+    ++churn;
+  }
+
+  // Each stream saw every pre-scan key exactly once, despite interleaving
+  // and churn (the churn keys postdate both snapshots).
+  for (auto* seen : {&seen_a, &seen_b}) {
+    std::vector<std::string> sorted = *seen;
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(sorted.size(), static_cast<size_t>(kKeys));
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end())
+        << "duplicate key in a scan stream";
+    for (const std::string& key : sorted) {
+      EXPECT_EQ(key.rfind("scan", 0), 0u) << "churn key leaked into snapshot: " << key;
+    }
+  }
 
   server.Stop();
 }

@@ -1,0 +1,325 @@
+// hashkit-mvcc: snapshot scan tests — point-in-time consistency while the
+// table churns (splits, overflow allocation, page free/reuse), checkpoint
+// deferral while a snapshot is live, and concurrent snapshot-scan-vs-writer
+// hammers through the kv layer (the `stress` label puts those under TSan).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/hash_table.h"
+#include "src/kv/kv_store.h"
+#include "src/kv/synchronized.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace {
+
+HashOptions SmallOptions() {
+  HashOptions opts;
+  opts.bsize = 256;  // small pages: splits and overflow come fast
+  opts.ffactor = 8;
+  opts.cachesize = 64 * 1024;
+  return opts;
+}
+
+// Drains a snapshot cursor into a map, asserting no key repeats.
+std::map<std::string, std::string> Drain(SnapshotCursor* cursor) {
+  std::map<std::string, std::string> seen;
+  std::string key;
+  std::string value;
+  Status st;
+  while ((st = cursor->Next(&key, &value)).ok()) {
+    EXPECT_EQ(seen.count(key), 0u) << "duplicate key in snapshot scan: " << key;
+    seen[key] = value;
+  }
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+  return seen;
+}
+
+TEST(SnapshotScan, SeesPointInTimeWhileTableChurns) {
+  auto table = std::move(HashTable::OpenInMemory(SmallOptions()).value());
+  constexpr int kKeys = 200;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_OK(table->Put("k" + std::to_string(i), "v" + std::to_string(i)));
+  }
+
+  auto snap = table->CreateSnapshot();
+  ASSERT_NE(snap, nullptr);
+
+  // Churn hard after the snapshot: overwrite everything with longer values
+  // (moves pairs, dirties pages), delete half, and add enough new keys to
+  // force several more splits.
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_OK(table->Put("k" + std::to_string(i),
+                         "overwritten-much-longer-value-" + std::to_string(i)));
+  }
+  for (int i = 0; i < kKeys; i += 2) {
+    ASSERT_OK(table->Delete("k" + std::to_string(i)));
+  }
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_OK(table->Put("new" + std::to_string(i), "nv" + std::to_string(i)));
+  }
+
+  // The snapshot still reads exactly the pre-churn state.
+  auto cursor = table->NewSnapshotCursor(snap);
+  const auto seen = Drain(&cursor);
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i) {
+    const auto it = seen.find("k" + std::to_string(i));
+    ASSERT_NE(it, seen.end()) << "k" << i;
+    EXPECT_EQ(it->second, "v" + std::to_string(i));
+  }
+  // And the live table reads the post-churn state.
+  std::string value;
+  ASSERT_OK(table->Get("k1", &value));
+  EXPECT_EQ(value, "overwritten-much-longer-value-1");
+  EXPECT_TRUE(table->Get("k0", &value).IsNotFound());
+  ASSERT_OK(table->CheckIntegrity());
+}
+
+TEST(SnapshotScan, SurvivesOverflowPageFreeAndReuse) {
+  auto table = std::move(HashTable::OpenInMemory(SmallOptions()).value());
+  // Values far beyond the page size become big pairs on overflow chains.
+  const std::string big(1200, 'x');
+  constexpr int kBig = 24;
+  for (int i = 0; i < kBig; ++i) {
+    ASSERT_OK(table->Put("big" + std::to_string(i), big + std::to_string(i)));
+  }
+
+  auto snap = table->CreateSnapshot();
+
+  // Free every overflow chain, then allocate fresh ones: the allocator
+  // reuses the freed pages, which must not corrupt the snapshot's view of
+  // the old chains (the pre-images are saved before bitmap/format writes).
+  for (int i = 0; i < kBig; ++i) {
+    ASSERT_OK(table->Delete("big" + std::to_string(i)));
+  }
+  const std::string other(1100, 'y');
+  for (int i = 0; i < 2 * kBig; ++i) {
+    ASSERT_OK(table->Put("other" + std::to_string(i), other + std::to_string(i)));
+  }
+
+  auto cursor = table->NewSnapshotCursor(snap);
+  const auto seen = Drain(&cursor);
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kBig));
+  for (int i = 0; i < kBig; ++i) {
+    const auto it = seen.find("big" + std::to_string(i));
+    ASSERT_NE(it, seen.end()) << "big" << i;
+    EXPECT_EQ(it->second, big + std::to_string(i));
+  }
+  ASSERT_OK(table->CheckIntegrity());
+}
+
+TEST(SnapshotScan, ContractionDoesNotLeakIntoSnapshot) {
+  HashOptions options = SmallOptions();
+  options.auto_contract = true;
+  auto table = std::move(HashTable::OpenInMemory(options).value());
+  constexpr int kKeys = 300;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_OK(table->Put("c" + std::to_string(i), "cv" + std::to_string(i)));
+  }
+  auto snap = table->CreateSnapshot();
+  // Deleting most pairs triggers contractions (bucket merges shrink the
+  // masks); the snapshot's own Meta copy must keep iterating the old range.
+  for (int i = 0; i < kKeys - 10; ++i) {
+    ASSERT_OK(table->Delete("c" + std::to_string(i)));
+  }
+  auto cursor = table->NewSnapshotCursor(snap);
+  const auto seen = Drain(&cursor);
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kKeys));
+  ASSERT_OK(table->CheckIntegrity());
+}
+
+TEST(SnapshotScan, CheckpointDeferredWhileSnapshotLive) {
+  const std::string path = TempPath("snap_ckpt");
+  std::remove((path + ".wal").c_str());
+  HashOptions options = SmallOptions();
+  options.durability = Durability::kSync;
+  options.wal_checkpoint_bytes = 1;  // floor-clamped, still tiny: checkpoint often
+  auto table = std::move(HashTable::Open(path, options, /*truncate=*/true).value());
+
+  const std::string filler(200, 'f');
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(table->Put("pre" + std::to_string(i), filler));
+  }
+
+  auto snap = table->CreateSnapshot();
+  uint64_t total_before = 0;
+  std::string unused;
+  ASSERT_OK(table->BackupReadWal(0, 0, &unused, &total_before));
+  // Enough writes to trip the checkpoint threshold many times over; with
+  // the snapshot pinned the log must only ever grow.
+  uint64_t last = total_before;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_OK(table->Put("r" + std::to_string(round) + "-" + std::to_string(i), filler));
+    }
+    uint64_t now = 0;
+    ASSERT_OK(table->BackupReadWal(0, 0, &unused, &now));
+    EXPECT_GE(now, last) << "log shrank while a snapshot was live";
+    last = now;
+  }
+  EXPECT_GT(last, total_before);
+
+  // Dropping the snapshot re-enables truncation: the next durability
+  // barrier resets the log to (roughly) its header.
+  snap.reset();
+  ASSERT_OK(table->Sync());
+  uint64_t after = 0;
+  ASSERT_OK(table->BackupReadWal(0, 0, &unused, &after));
+  EXPECT_LT(after, last);
+  ASSERT_OK(table->CheckIntegrity());
+}
+
+// --- kv-layer hammers (run under TSan via the `stress` label) ---
+
+// Writers churn while scanners repeatedly take snapshots and drain them.
+// Invariants per drained snapshot: no duplicate keys, and every value is
+// self-consistent with its key (value always starts "val-<key>-"), so a
+// torn read or a mixed-generation page is caught immediately.
+TEST(SnapshotScanStress, SnapshotScansVsWritersHammer) {
+  kv::StoreOptions options;
+  auto opened = kv::OpenStore(kv::StoreKind::kHashMemory, options);
+  ASSERT_OK(opened.status());
+  auto store = kv::MakeSynchronized(std::move(opened).value());
+  ASSERT_TRUE(store->Caps().snapshots);
+
+  constexpr int kKeySpace = 400;
+  for (int i = 0; i < kKeySpace; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_OK(store->Put(key, "val-" + key + "-0"));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      int round = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ++round;
+        for (int i = w; i < kKeySpace; i += 2) {
+          const std::string key = "k" + std::to_string(i);
+          if (i % 13 == round % 13) {
+            const Status st = store->Delete(key);
+            if (!st.ok() && !st.IsNotFound()) {
+              ++failures;
+              return;
+            }
+          } else if (!store->Put(key, "val-" + key + "-" + std::to_string(round)).ok()) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (int s = 0; s < 2; ++s) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto cursor = store->NewSnapshotCursor();
+        if (!cursor.ok()) {
+          ++failures;
+          return;
+        }
+        std::string key;
+        std::string value;
+        std::map<std::string, bool> seen;
+        Status st;
+        while ((st = cursor.value()->Next(&key, &value)).ok()) {
+          if (seen.count(key) != 0 || value.rfind("val-" + key + "-", 0) != 0) {
+            ++failures;
+            return;
+          }
+          seen[key] = true;
+        }
+        if (!st.IsNotFound()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop.store(true);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Same shape against a sharded store: per-shard snapshots chained in shard
+// order, each Next under only that shard's lock.
+TEST(SnapshotScanStress, ShardedSnapshotScansVsWritersHammer) {
+  kv::StoreOptions options;
+  options.shards = 4;
+  auto opened = kv::OpenStore(kv::StoreKind::kHashMemory, options);
+  ASSERT_OK(opened.status());
+  auto store = std::move(opened).value();
+  ASSERT_TRUE(store->Caps().snapshots);
+
+  constexpr int kKeySpace = 400;
+  for (int i = 0; i < kKeySpace; ++i) {
+    const std::string key = "s" + std::to_string(i);
+    ASSERT_OK(store->Put(key, "val-" + key + "-0"));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      int round = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ++round;
+        for (int i = w; i < kKeySpace; i += 2) {
+          const std::string key = "s" + std::to_string(i);
+          if (!store->Put(key, "val-" + key + "-" + std::to_string(round)).ok()) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto cursor = store->NewSnapshotCursor();
+      if (!cursor.ok()) {
+        ++failures;
+        return;
+      }
+      std::string key;
+      std::string value;
+      size_t count = 0;
+      Status st;
+      while ((st = cursor.value()->Next(&key, &value)).ok()) {
+        if (value.rfind("val-" + key + "-", 0) != 0) {
+          ++failures;
+          return;
+        }
+        ++count;
+      }
+      if (!st.IsNotFound() || count != static_cast<size_t>(kKeySpace)) {
+        ++failures;
+        return;
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop.store(true);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace hashkit

@@ -6,7 +6,8 @@
 //                  [--durability=none|async|sync] [--wal-group-commit=N]
 //                  [--cluster-node=ID] [--peers=ID@HOST:PORT,...]
 //                  [--join=HOST:PORT] [--advertise=HOST:PORT]
-//                  [--split-threshold=N]
+//                  [--split-threshold=N] [--wal-archive]
+//                  [--replica-of=HOST:PORT] [--replica-poll-ms=N]
 //
 // With shards > 1 the store opens as a ShardedStore (per-shard ".sN"
 // files); with shards <= 1 it is wrapped in SynchronizedStore so multiple
@@ -29,7 +30,9 @@
 #include "src/cluster/migration.h"
 #include "src/kv/kv_store.h"
 #include "src/kv/synchronized.h"
+#include "src/net/replica.h"
 #include "src/net/server.h"
+#include "src/util/tempfile.h"
 
 using hashkit::kv::KvStore;
 using hashkit::kv::OpenStore;
@@ -105,7 +108,13 @@ int Usage(int code) {
                "         --join=HOST:PORT to join through any live node.\n"
                "         --advertise=HOST:PORT overrides how peers reach this node\n"
                "         (default: listen host:port).  --split-threshold=N schedules a\n"
-               "         cluster split when pairs-per-owned-bucket exceeds N.\n");
+               "         cluster split when pairs-per-owned-bucket exceeds N.\n"
+               "backup:  --wal-archive keeps checkpointed WAL segments next to the\n"
+               "         table (<path>.wal.<seq>) for point-in-time recovery.\n"
+               "replica: --replica-of=HOST:PORT bootstraps (when <path> is absent)\n"
+               "         from the primary's online backup, serves read-only, and\n"
+               "         tails the primary's WAL every --replica-poll-ms (default\n"
+               "         200).  Forces shards=1; PUT/DEL/SYNC answer UNSUPPORTED.\n");
   return code;
 }
 
@@ -158,6 +167,57 @@ int main(int argc, char** argv) {
   if (group_commit > 0) {
     store_options.wal_group_commit = static_cast<uint32_t>(group_commit);
   }
+  store_options.wal_archive =
+      HasFlag(argc, argv, "wal-archive") || HasFlag(argc, argv, "wal_archive");
+
+  // Replica mode: bootstrap from the primary's online backup when the
+  // local table is absent, then serve read-only and tail the primary's
+  // WAL.  One WAL means one shard; the store needs its own log so the
+  // applied LSN survives restarts.
+  const char* replica_of = FlagValue(argc, argv, "replica-of");
+  std::string primary_host;
+  uint16_t primary_port = 0;
+  if (replica_of != nullptr) {
+    const std::string addr = replica_of;
+    const size_t colon = addr.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      std::fprintf(stderr, "bad --replica-of (want HOST:PORT): %s\n", replica_of);
+      return Usage(2);
+    }
+    primary_host = addr.substr(0, colon);
+    primary_port = static_cast<uint16_t>(std::atol(addr.c_str() + colon + 1));
+    store_options.shards = 1;
+    if (store_options.durability == hashkit::Durability::kNone) {
+      store_options.durability = hashkit::Durability::kAsync;
+    }
+    FILE* probe = std::fopen(store_options.path.c_str(), "rb");
+    if (probe != nullptr) {
+      std::fclose(probe);
+    } else {
+      auto stale = hashkit::StaleArtifactsFor(store_options.path);
+      if (!stale.empty()) {
+        std::fprintf(stderr, "stale artifact in the way (db_tool clean): %s\n",
+                     stale.front().c_str());
+        return 1;
+      }
+      auto bootstrap = hashkit::net::Client::Connect(primary_host, primary_port);
+      if (!bootstrap.ok()) {
+        std::fprintf(stderr, "replica bootstrap connect: %s\n",
+                     bootstrap.status().ToString().c_str());
+        return 1;
+      }
+      auto manifest =
+          hashkit::net::DownloadBackup(bootstrap.value().get(), store_options.path);
+      if (!manifest.ok()) {
+        std::fprintf(stderr, "replica bootstrap: %s\n",
+                     manifest.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("hashkit_server: bootstrapped replica from %s (lsn %llu)\n",
+                  replica_of,
+                  static_cast<unsigned long long>(manifest.value().lsn));
+    }
+  }
 
   auto opened = OpenStore(kind, store_options);
   if (!opened.ok()) {
@@ -183,6 +243,7 @@ int main(int argc, char** argv) {
     metrics_port = FlagLong(argc, argv, "metrics_port", -1);
   }
   server_options.metrics_port = static_cast<int>(metrics_port);
+  server_options.read_only = replica_of != nullptr;
 
   // Cluster mode: the node is created before the server (the server holds
   // the hooks pointer) but started after it, once the bound port is known.
@@ -190,6 +251,10 @@ int main(int argc, char** argv) {
   std::vector<hashkit::cluster::NodeInfo> peers;
   std::string join_seed;
   const char* cluster_id = FlagValue(argc, argv, "cluster-node");
+  if (cluster_id != nullptr && replica_of != nullptr) {
+    std::fprintf(stderr, "--cluster-node and --replica-of are mutually exclusive\n");
+    return Usage(2);
+  }
   if (cluster_id != nullptr) {
     hashkit::cluster::ClusterNodeOptions cluster_options;
     cluster_options.node_id = static_cast<uint32_t>(std::atol(cluster_id));
@@ -270,6 +335,24 @@ int main(int argc, char** argv) {
                 cluster_node->MapSnapshot().version, cluster_node->MapSnapshot().nodes.size());
   }
 
+  std::unique_ptr<hashkit::net::Replica> replica;
+  if (replica_of != nullptr) {
+    hashkit::net::ReplicaOptions replica_options;
+    replica_options.primary_host = primary_host;
+    replica_options.primary_port = primary_port;
+    replica_options.poll_interval_ms =
+        static_cast<int>(FlagLong(argc, argv, "replica-poll-ms", 200));
+    replica = std::make_unique<hashkit::net::Replica>(store.get(), replica_options);
+    const hashkit::Status rst = replica->Start();
+    if (!rst.ok()) {
+      std::fprintf(stderr, "replica start: %s\n", rst.ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+    std::printf("hashkit_server: read-only replica of %s (lsn %llu)\n", replica_of,
+                static_cast<unsigned long long>(replica->last_applied_lsn()));
+  }
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   while (g_stop == 0) {
@@ -278,6 +361,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("hashkit_server: shutting down\n");
+  if (replica != nullptr) {
+    replica->Stop();
+  }
   if (cluster_node != nullptr) {
     cluster_node->Stop();  // engine first; a pending migration resumes on restart
   }
