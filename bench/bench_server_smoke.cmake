@@ -1,0 +1,52 @@
+# ctest smoke test for the overload sweep (hashkit-tpc): runs a tiny
+# --overload cell and asserts BENCH_server.json carries the schema
+# downstream tooling consumes, with nonzero server-side batch counters —
+# i.e. the cross-connection batching path actually executed.  Driven as
+#   cmake -DNET_BENCH=<bin> -DWORK_DIR=<dir> -P bench_server_smoke.cmake
+# and registered from bench/CMakeLists.txt.
+
+if(NOT DEFINED NET_BENCH OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DNET_BENCH=<bin> -DWORK_DIR=<dir> -P bench_server_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+file(REMOVE "${WORK_DIR}/BENCH_server.json")
+
+execute_process(COMMAND "${NET_BENCH}" --overload=3 --ops=4000 --workers=2
+                        --max_threads=4 --max-inflight=32
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "overload bench failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+if(NOT EXISTS "${WORK_DIR}/BENCH_server.json")
+  message(FATAL_ERROR "overload bench wrote no BENCH_server.json:\n${out}")
+endif()
+file(READ "${WORK_DIR}/BENCH_server.json" contents)
+
+# Schema: every row field the sweep promises.
+foreach(field "\"mult\"" "\"offered_rps\"" "\"achieved_rps\"" "\"ok_rps\""
+        "\"shed_rate\"" "\"p50_us\"" "\"p99_us\"" "\"batches\"" "\"batched_ops\"")
+  string(FIND "${contents}" "${field}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+      "expected BENCH_server.json to contain ${field}, got:\n${contents}")
+  endif()
+endforeach()
+
+# The batching path must have run: some row's batch counters are nonzero.
+if(NOT contents MATCHES "\"batches\": [1-9]")
+  message(FATAL_ERROR "no row with nonzero batches:\n${contents}")
+endif()
+if(NOT contents MATCHES "\"batched_ops\": [1-9]")
+  message(FATAL_ERROR "no row with nonzero batched_ops:\n${contents}")
+endif()
+
+# And the sweep must cover the requested top multiple.
+if(NOT contents MATCHES "\"mult\": 3.0")
+  message(FATAL_ERROR "missing mult=3.0 row:\n${contents}")
+endif()

@@ -18,9 +18,19 @@
 //        --cluster-nodes=N run the sweep against an N-node in-process
 //        LH* cluster instead (clients route via ClusterClient; results go
 //        to BENCH_cluster.json and quantify the distributed addressing
-//        overhead against the single-node numbers).
+//        overhead against the single-node numbers),
+//        --overload=MULT run the admission-control sweep instead: calibrate
+//        the saturated rate closed-loop, then offer {1, 2, 5, MULT}x that
+//        rate from paced clients against a server with a deliberately small
+//        per-core inflight bound (--max-inflight, default 32) and shed
+//        policy.  Rows {mult, offered_rps, achieved_rps, ok_rps, shed_rate,
+//        p50_us, p99_us, batches, batched_ops} land in BENCH_server.json;
+//        the batch counters are the server-side deltas for the cell, so a
+//        mean batch size > 1 is visible directly as batched_ops / batches.
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -294,6 +304,264 @@ int ClusterMain(size_t ops, int max_threads, int workers, int nodes_count) {
   return 0;
 }
 
+// Paced client for the overload sweep: sends `nbatches` pipelines of
+// `depth`, each released no earlier than its slot on a fixed cadence
+// (thread-local open-loop schedule).  Latency samples are batch round
+// trips from the actual send; the offered-vs-achieved gap in the row
+// captures any pacing shortfall separately, so a client that cannot
+// physically offer the rate shows up as achieved < offered rather than
+// as a fake latency explosion.  kOverloaded responses count as `shed`,
+// not errors — they are the admission controller doing its job.
+void RunPacedClient(uint16_t port, int thread_id, size_t nbatches, int depth,
+                    double batch_interval_ns, size_t keyspace,
+                    std::atomic<uint64_t>* ok, std::atomic<uint64_t>* shed,
+                    std::atomic<uint64_t>* errors, HistogramSnapshot* rtt) {
+  auto connected = net::Client::Connect("127.0.0.1", port);
+  if (!connected.ok()) {
+    errors->fetch_add(nbatches * static_cast<size_t>(depth));
+    return;
+  }
+  auto client = std::move(connected).value();
+  std::vector<net::Request> batch;
+  std::vector<net::Response> responses;
+  uint64_t cursor = static_cast<uint64_t>(thread_id) * 7919;
+  const uint64_t t0 = MonotonicNanos();
+  for (size_t b = 0; b < nbatches; ++b) {
+    const uint64_t scheduled =
+        t0 + static_cast<uint64_t>(static_cast<double>(b) * batch_interval_ns);
+    while (MonotonicNanos() < scheduled) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    batch.clear();
+    for (int i = 0; i < depth; ++i) {
+      net::Request req;
+      const uint64_t k = cursor++ % keyspace;
+      if (cursor % 5 == 0) {
+        req.op = net::Opcode::kPut;
+        req.key = "key" + std::to_string(k);
+        req.value = "updated" + std::to_string(cursor);
+      } else {
+        req.op = net::Opcode::kGet;
+        req.key = "key" + std::to_string(k);
+      }
+      batch.push_back(std::move(req));
+    }
+    const uint64_t sent = MonotonicNanos();
+    if (!client->Pipeline(batch, &responses).ok()) {
+      errors->fetch_add((nbatches - b) * static_cast<size_t>(depth));
+      return;
+    }
+    rtt->Record(MonotonicNanos() - sent);
+    for (const net::Response& resp : responses) {
+      if (resp.status == StatusCode::kOk || resp.status == StatusCode::kNotFound) {
+        ok->fetch_add(1);
+      } else if (resp.status == StatusCode::kOverloaded) {
+        shed->fetch_add(1);
+      } else {
+        errors->fetch_add(1);
+      }
+    }
+  }
+}
+
+// Admission-control sweep (--overload=MULT): one server with a small
+// per-core inflight bound and shed policy; calibrate the saturated rate
+// closed-loop at a depth shallow enough not to trip the bound, then offer
+// multiples of it from paced deep-pipeline clients.  The interesting
+// outputs are shed_rate climbing with the multiple while p99 stays flat —
+// bounded latency under 10x offered load is the thread-per-core batching
+// + shedding claim this rig exists to check.
+int OverloadMain(size_t ops, int max_threads, int workers, uint32_t shards,
+                 long max_inflight, double max_mult) {
+  constexpr size_t kKeyspace = 10000;
+
+  kv::StoreOptions store_options;
+  store_options.shards = shards;
+  store_options.nelem = kKeyspace * 2;
+  store_options.cachesize = 32 * 1024 * 1024;
+  auto opened = kv::OpenStore(kv::StoreKind::kHashMemory, store_options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  auto store = std::move(opened).value();
+  for (size_t k = 0; k < kKeyspace; ++k) {
+    (void)store->Put("key" + std::to_string(k), "initial" + std::to_string(k));
+  }
+
+  net::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = workers;
+  server_options.max_inflight = static_cast<size_t>(max_inflight);
+  server_options.overload_policy = net::ServerOptions::OverloadPolicy::kShed;
+  net::Server server(store.get(), server_options);
+  if (const Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Calibration: closed-loop, shallow pipelines (stays under the inflight
+  // bound), as many threads as the sweep will use.
+  const int nthreads = std::min(8, max_threads);
+  const int kCalDepth = 8;
+  double baseline_rps = 0.0;
+  {
+    const size_t per_thread = ops / static_cast<size_t>(nthreads);
+    std::atomic<uint64_t> errors{0};
+    std::vector<std::thread> threads;
+    std::vector<HistogramSnapshot> rtts(static_cast<size_t>(nthreads));
+    const auto sample = workload::MeasureOnce([&] {
+      for (int t = 0; t < nthreads; ++t) {
+        threads.emplace_back(RunClient, server.port(), t, per_thread, kCalDepth,
+                             kKeyspace, &errors, &rtts[static_cast<size_t>(t)]);
+      }
+      for (auto& thread : threads) {
+        thread.join();
+      }
+    });
+    const size_t total = per_thread * static_cast<size_t>(nthreads);
+    baseline_rps = sample.elapsed_sec > 0
+                       ? static_cast<double>(total) / sample.elapsed_sec
+                       : 0.0;
+    if (errors.load() > 0 || baseline_rps <= 0.0) {
+      std::fprintf(stderr, "calibration failed (%llu errors)\n",
+                   static_cast<unsigned long long>(errors.load()));
+      server.Stop();
+      return 1;
+    }
+  }
+  std::printf("Overload sweep: saturated baseline %.0f req/s "
+              "(%d threads, depth %d, %d workers, max_inflight %ld, shed)\n\n",
+              baseline_rps, nthreads, kCalDepth, workers, max_inflight);
+
+  std::vector<double> mults = {1.0, 2.0, 5.0};
+  if (std::find(mults.begin(), mults.end(), max_mult) == mults.end()) {
+    mults.push_back(max_mult);
+  }
+  std::sort(mults.begin(), mults.end());
+  while (!mults.empty() && mults.back() > max_mult) {
+    mults.pop_back();
+  }
+
+  struct OverloadRow {
+    double mult;
+    double offered_rps;
+    double achieved_rps;
+    double ok_rps;
+    double shed_rate;
+    PercentileSummary rtt;
+    uint64_t batches;
+    uint64_t batched_ops;
+  };
+  std::vector<OverloadRow> rows;
+
+  const int kDepth = 32;  // deep pipelines: many ops decode per epoll round
+  PrintCsvHeader("overload,mult,offered_rps,achieved_rps,shed_rate");
+  std::printf("%6s %14s %14s %14s %10s %10s %10s %10s\n", "mult", "offered/s",
+              "achieved/s", "ok/s", "shed_rate", "p50_us", "p99_us", "batchsz");
+  for (const double mult : mults) {
+    const double offered = baseline_rps * mult;
+    const double per_thread_rps = offered / nthreads;
+    const double batch_interval_ns = 1e9 * kDepth / per_thread_rps;
+    const size_t nbatches =
+        std::max<size_t>(1, ops / static_cast<size_t>(nthreads) / kDepth);
+    std::atomic<uint64_t> ok{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> errors{0};
+    std::vector<std::thread> threads;
+    std::vector<HistogramSnapshot> rtts(static_cast<size_t>(nthreads));
+    const uint64_t batches0 = server.stats().batches.load();
+    const uint64_t batched0 = server.stats().batched_ops.load();
+    const auto sample = workload::MeasureOnce([&] {
+      for (int t = 0; t < nthreads; ++t) {
+        threads.emplace_back(RunPacedClient, server.port(), t, nbatches, kDepth,
+                             batch_interval_ns, kKeyspace, &ok, &shed, &errors,
+                             &rtts[static_cast<size_t>(t)]);
+      }
+      for (auto& thread : threads) {
+        thread.join();
+      }
+    });
+    if (errors.load() > 0) {
+      std::fprintf(stderr, "overload mult=%.0f: %llu errors\n", mult,
+                   static_cast<unsigned long long>(errors.load()));
+    }
+    HistogramSnapshot rtt;
+    for (const HistogramSnapshot& h : rtts) {
+      rtt.MergeFrom(h);
+    }
+    OverloadRow row;
+    row.mult = mult;
+    row.offered_rps = offered;
+    const uint64_t answered = ok.load() + shed.load();
+    row.achieved_rps = sample.elapsed_sec > 0
+                           ? static_cast<double>(answered) / sample.elapsed_sec
+                           : 0.0;
+    row.ok_rps = sample.elapsed_sec > 0
+                     ? static_cast<double>(ok.load()) / sample.elapsed_sec
+                     : 0.0;
+    row.shed_rate =
+        answered > 0 ? static_cast<double>(shed.load()) / answered : 0.0;
+    row.rtt = Summarize(rtt);
+    row.batches = server.stats().batches.load() - batches0;
+    row.batched_ops = server.stats().batched_ops.load() - batched0;
+    const double mean_batch =
+        row.batches > 0 ? static_cast<double>(row.batched_ops) / row.batches : 0.0;
+    std::printf("%6.1f %14.0f %14.0f %14.0f %10.3f %10.1f %10.1f %10.1f\n",
+                row.mult, row.offered_rps, row.achieved_rps, row.ok_rps,
+                row.shed_rate, static_cast<double>(row.rtt.p50) / 1000.0,
+                static_cast<double>(row.rtt.p99) / 1000.0, mean_batch);
+    char csv[120];
+    std::snprintf(csv, sizeof(csv), "overload,%.1f,%.0f,%.0f,%.3f", row.mult,
+                  row.offered_rps, row.achieved_rps, row.shed_rate);
+    PrintCsv(csv);
+    rows.push_back(row);
+  }
+
+  // Acceptance evidence: the server-side batching lines straight from
+  // STATS (batch_size mean > 1 under multi-connection load).
+  const std::string stats_text = server.RenderStatsText();
+  std::printf("\nserver STATS batching lines:\n");
+  size_t pos = 0;
+  while (pos < stats_text.size()) {
+    size_t eol = stats_text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = stats_text.size();
+    }
+    const std::string line = stats_text.substr(pos, eol - pos);
+    if (line.rfind("server.batch", 0) == 0 || line.rfind("server.ops_", 0) == 0) {
+      std::printf("  %s\n", line.c_str());
+    }
+    pos = eol + 1;
+  }
+  server.Stop();
+
+  std::FILE* f = std::fopen("BENCH_server.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_server.json\n");
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const OverloadRow& r = rows[i];
+    std::fprintf(f,
+                 "  {\"mult\": %.1f, \"offered_rps\": %.0f, \"achieved_rps\": %.0f, "
+                 "\"ok_rps\": %.0f, \"shed_rate\": %.4f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f, "
+                 "\"batches\": %llu, \"batched_ops\": %llu}%s\n",
+                 r.mult, r.offered_rps, r.achieved_rps, r.ok_rps, r.shed_rate,
+                 static_cast<double>(r.rtt.p50) / 1000.0,
+                 static_cast<double>(r.rtt.p99) / 1000.0,
+                 static_cast<unsigned long long>(r.batches),
+                 static_cast<unsigned long long>(r.batched_ops),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %zu rows to BENCH_server.json\n", rows.size());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const size_t ops = static_cast<size_t>(FlagFromArgs(argc, argv, "ops", 40000));
   const int max_threads = static_cast<int>(FlagFromArgs(argc, argv, "max_threads", 8));
@@ -305,6 +573,15 @@ int Main(int argc, char** argv) {
   }
   if (cluster_nodes >= 2) {
     return ClusterMain(ops, max_threads, workers, static_cast<int>(cluster_nodes));
+  }
+  const long overload = FlagFromArgs(argc, argv, "overload", 0);
+  if (overload > 0) {
+    long max_inflight = FlagFromArgs(argc, argv, "max-inflight", 0);
+    if (max_inflight == 0) {
+      max_inflight = FlagFromArgs(argc, argv, "max_inflight", 32);
+    }
+    return OverloadMain(ops, max_threads, workers, shards, max_inflight,
+                        static_cast<double>(overload));
   }
   constexpr size_t kKeyspace = 10000;
 

@@ -327,7 +327,20 @@ void ClusterNode::EngineMain() {
     Job job;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return engine_stop_ || !queue_.empty(); });
+      if (options_.gossip_interval_ms > 0) {
+        // Gossip tick: an idle interval with no queued work pushes the
+        // current map to every peer, so a node that missed a migration's
+        // push (partition, restart) converges without client traffic.
+        if (!queue_cv_.wait_for(
+                lock, std::chrono::milliseconds(options_.gossip_interval_ms),
+                [this] { return engine_stop_ || !queue_.empty(); })) {
+          lock.unlock();
+          PushMapToPeers();
+          continue;
+        }
+      } else {
+        queue_cv_.wait(lock, [this] { return engine_stop_ || !queue_.empty(); });
+      }
       if (engine_stop_) {
         return;  // pending work stays persisted; the next Start resumes it
       }

@@ -77,6 +77,13 @@ struct ClusterNodeOptions {
   // `split_threshold * owned_buckets` pairs and this node owns bucket
   // `next`, a split is scheduled automatically (the LH* load trigger).
   uint64_t split_threshold = 0;
+  // When > 0: the engine pushes this node's current map to every peer
+  // whenever no other work arrives for this many milliseconds (periodic
+  // anti-entropy gossip).  A node that missed a migration's map push —
+  // partitioned, restarting, overloaded — converges to the newest map
+  // without waiting for client traffic to bounce a MOVED off it.  0
+  // disables gossip (maps still spread via migration pushes and MOVED).
+  uint32_t gossip_interval_ms = 0;
   // Test failpoint: abort the migration engine after streaming N data
   // batches, leaving the persisted markers in place as a crash would.
   uint32_t testonly_abort_after_batches = 0;

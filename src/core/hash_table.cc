@@ -356,6 +356,29 @@ Status HashTable::Checkpoint() {
   return wal_->CheckpointReset();
 }
 
+void HashTable::BeginWalBatch() {
+  if (wal_ == nullptr) {
+    return;
+  }
+  wal_->SetDeferSync(true);
+}
+
+Status HashTable::EndWalBatch() {
+  if (wal_ == nullptr) {
+    return Status::Ok();
+  }
+  wal_->SetDeferSync(false);
+  if (!wal_->SyncDue()) {
+    // No commit in the scope crossed the group-commit threshold; the next
+    // un-deferred commit will sync on schedule.
+    return Status::Ok();
+  }
+  HASHKIT_RETURN_IF_ERROR(wal_->SyncBarrier());
+  pool_->ReleaseWalHolds(wal_held_);
+  wal_held_.clear();
+  return Status::Ok();
+}
+
 wal::WalStats HashTable::WalStatsSnapshot() const {
   wal::WalStats out;
   if (wal_ != nullptr) {

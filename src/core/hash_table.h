@@ -270,6 +270,18 @@ class HashTable {
   // The WAL's latest commit sequence (the table's LSN); 0 without a log.
   uint64_t WalLsn() const;
 
+  // --- Cross-operation WAL batch scope (hashkit-tpc) ---
+  // Brackets a run of mutations whose group-commit fsync should amortize
+  // across all of them (a server executing one per-core batch spanning
+  // many connections).  Between Begin and End each operation still writes
+  // and commits its log batch as usual, but any fsync the sync_every
+  // policy makes due is deferred; EndWalBatch issues at most ONE fsync —
+  // only if one became due during the scope — and then releases writeback
+  // holds.  No-ops without a log.  Requires exclusive access; scopes must
+  // not nest.
+  void BeginWalBatch();
+  Status EndWalBatch();
+
   // --- Introspection ---
   uint64_t size() const { return meta_.nkeys; }
   uint32_t bucket_count() const { return meta_.max_bucket + 1; }

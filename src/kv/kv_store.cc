@@ -42,6 +42,56 @@ class HashStore final : public KvStore {
     return table_->Seq(key, value, first);
   }
   Status Sync() override { return table_->Sync(); }
+
+  // One WAL batch scope around the whole run: each op still commits its
+  // own log batch, but at most one group-commit fsync covers them all
+  // (hashkit-tpc).  If that final fsync fails, every write acknowledged OK
+  // inside the scope is retroactively failed — its durability was the
+  // deferred sync that never happened.
+  Status ApplyBatch(std::span<BatchOp> ops) override {
+    // A read-only batch may run under a SHARED lock (see sharded.h /
+    // synchronized.h), so it must not touch WAL state: only open the
+    // batch scope when a write is present (writes always hold the
+    // exclusive lock).
+    bool writes = false;
+    for (const BatchOp& op : ops) {
+      if (op.kind != BatchOp::Kind::kGet) {
+        writes = true;
+        break;
+      }
+    }
+    if (writes) {
+      table_->BeginWalBatch();
+    }
+    for (BatchOp& op : ops) {
+      switch (op.kind) {
+        case BatchOp::Kind::kPut:
+          op.result = table_->Put(op.key, op.value, op.overwrite);
+          break;
+        case BatchOp::Kind::kGet: {
+          std::string scratch;
+          std::string* out = op.value_out != nullptr ? op.value_out : &scratch;
+          op.result = table_->Get(op.key, out);
+          break;
+        }
+        case BatchOp::Kind::kDelete:
+          op.result = table_->Delete(op.key);
+          break;
+      }
+    }
+    if (writes) {
+      const Status closed = table_->EndWalBatch();
+      if (!closed.ok()) {
+        for (BatchOp& op : ops) {
+          if (op.kind != BatchOp::Kind::kGet && op.result.ok()) {
+            op.result = closed;
+          }
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
   uint64_t Size() const override { return table_->size(); }
   std::string Name() const override { return persistent_ ? "hash(disk)" : "hash(mem)"; }
   Capabilities Caps() const override {

@@ -17,6 +17,7 @@
 #define HASHKIT_SRC_KV_KV_STORE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -119,6 +120,19 @@ struct StoreStats {
   }
 };
 
+// One operation inside an ApplyBatch call (hashkit-tpc).  The key/value
+// views must stay valid for the duration of the call; `value_out` receives
+// the fetched value for kGet and is untouched otherwise.
+struct BatchOp {
+  enum class Kind : uint8_t { kPut, kGet, kDelete };
+  Kind kind = Kind::kGet;
+  std::string_view key;
+  std::string_view value;    // kPut only
+  bool overwrite = true;     // kPut only
+  std::string* value_out = nullptr;  // kGet only; may be null (existence probe)
+  Status result;             // filled by ApplyBatch, one per op
+};
+
 class KvStore {
  public:
   virtual ~KvStore() = default;
@@ -134,6 +148,43 @@ class KvStore {
 
   // Sequential iteration; first=true restarts.  kNotFound at the end.
   virtual Status Scan(std::string* key, std::string* value, bool first) = 0;
+
+  // Executes a batch of operations and fills each op's `result`.  The
+  // default simply loops the single-op entry points; stores with a WAL or
+  // internal locking override this so lock acquisition and group-commit
+  // fsyncs amortize across the whole batch (hashkit-tpc).  Ops execute in
+  // order; a failed op does not stop the rest.  Always returns the status
+  // of the batch mechanism itself (kOk unless the store cannot batch at
+  // all) — per-op outcomes live in BatchOp::result.
+  virtual Status ApplyBatch(std::span<BatchOp> ops) {
+    for (BatchOp& op : ops) {
+      switch (op.kind) {
+        case BatchOp::Kind::kPut:
+          op.result = Put(op.key, op.value, op.overwrite);
+          break;
+        case BatchOp::Kind::kGet: {
+          std::string scratch;
+          std::string* out = op.value_out != nullptr ? op.value_out : &scratch;
+          op.result = Get(op.key, out);
+          break;
+        }
+        case BatchOp::Kind::kDelete:
+          op.result = Delete(op.key);
+          break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Keyspace partition introspection (hashkit-tpc).  A sharded store
+  // reports its shard count and per-key shard index so a thread-per-core
+  // server can route each key to the core that owns its partition.
+  // Unsharded stores report a single partition.
+  virtual size_t PartitionCount() const { return 1; }
+  virtual size_t PartitionOf(std::string_view key) const {
+    (void)key;
+    return 0;
+  }
 
   virtual Status Sync() = 0;
   virtual uint64_t Size() const = 0;

@@ -56,6 +56,15 @@ class ShardedStore final : public KvStore {
   Status Get(std::string_view key, std::string* value) override;
   Status Delete(std::string_view key) override;
   Status Scan(std::string* key, std::string* value, bool first) override;
+  // Groups the ops by shard and takes each shard's lock ONCE for its whole
+  // group (hashkit-tpc): lock traffic and the inner store's WAL
+  // group-commit amortize across every op the batch routes to that shard.
+  Status ApplyBatch(std::span<BatchOp> ops) override;
+  // Keyspace partition introspection for thread-per-core routing: each
+  // server core can own shards_[i] for i % ncores == core and route ops by
+  // PartitionOf so no two cores ever touch the same shard lock.
+  size_t PartitionCount() const override { return shards_.size(); }
+  size_t PartitionOf(std::string_view key) const override { return ShardOf(key); }
   Status Sync() override;
   uint64_t Size() const override;
   std::string Name() const override;

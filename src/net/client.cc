@@ -5,8 +5,10 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -31,8 +33,11 @@ Status FromResponse(const Response& resp) {
 
 // Waits for `events` on `fd` for up to `timeout_ms` (<= 0 waits forever).
 // EINTR restarts with the remaining time, so signals cannot stretch the
-// deadline.  Returns kTimeout when the deadline expires.
-Status PollWait(int fd, short events, int timeout_ms, const char* what) {
+// deadline.  Returns kTimeout when the deadline expires.  When `revents`
+// is non-null it receives which of the requested events fired, so callers
+// waiting on POLLOUT | POLLIN can tell drain-ready from send-ready.
+Status PollWait(int fd, short events, int timeout_ms, const char* what,
+                short* revents = nullptr) {
   struct pollfd pfd = {};
   pfd.fd = fd;
   pfd.events = events;
@@ -49,6 +54,9 @@ Status PollWait(int fd, short events, int timeout_ms, const char* what) {
     }
     const int rc = ::poll(&pfd, 1, wait_ms);
     if (rc > 0) {
+      if (revents != nullptr) {
+        *revents = pfd.revents;
+      }
       return Status::Ok();  // readable/writable — or an error the next I/O call reports
     }
     if (rc == 0) {
@@ -185,18 +193,121 @@ Status Client::Pipeline(const std::vector<Request>& requests,
                         std::vector<Response>* responses) {
   responses->clear();
   responses->reserve(requests.size());
-  std::string wire;
-  const uint32_t first_seq = next_seq_;
-  for (const Request& req : requests) {
-    Request numbered = req;
-    numbered.seq = next_seq_++;
-    EncodeRequest(numbered, &wire);
+  if (requests.empty()) {
+    return Status::Ok();
   }
-  HASHKIT_RETURN_IF_ERROR(WriteAll(wire));
+  const uint32_t first_seq = next_seq_;
+
+  // Framing: small requests (header + key + value) coalesce into one
+  // contiguous wire buffer so a depth-32 pipeline of point ops goes out as
+  // a single iovec in a single sendmsg — per-request iovecs cost more than
+  // the copy for tiny payloads.  Values past the inline limit stay
+  // zero-copy: they are scattered straight out of the caller's request by
+  // writev, so a bulk pipeline never builds a second flat copy of itself.
+  constexpr size_t kInlineValue = 1024;
+  struct Piece {
+    size_t op;        // request index, for stall diagnostics
+    const char* ext;  // external bytes, or nullptr for wire[off, off+len)
+    size_t off;
+    size_t len;
+  };
+  std::string wire;
+  wire.reserve(requests.size() * (kHeaderSize + 64));
+  std::vector<Piece> pieces;
+  pieces.reserve(requests.size() + 1);
   for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& req = requests[i];
+    const size_t begin = wire.size();
+    EncodeRequestHeaderRaw(req.op, req.flags, next_seq_++,
+                           static_cast<uint32_t>(req.key.size()),
+                           static_cast<uint32_t>(req.value.size()), &wire);
+    wire += req.key;
+    const bool inline_value = req.value.size() <= kInlineValue;
+    if (inline_value) {
+      wire += req.value;
+    }
+    if (!pieces.empty() && pieces.back().ext == nullptr &&
+        pieces.back().off + pieces.back().len == begin) {
+      pieces.back().len = wire.size() - pieces.back().off;  // extend the run
+    } else {
+      pieces.push_back({i, nullptr, begin, wire.size() - begin});
+    }
+    if (!inline_value) {
+      pieces.push_back({i, req.value.data(), 0, req.value.size()});
+    }
+  }
+  // Materialize iovecs only after `wire` stops growing — offsets survive
+  // reallocation, pointers would not.
+  std::vector<struct iovec> iov(pieces.size());
+  std::vector<size_t> iov_op(pieces.size());  // iovec -> request, for deadlines
+  for (size_t p = 0; p < pieces.size(); ++p) {
+    iov[p].iov_base = const_cast<char*>(
+        pieces[p].ext != nullptr ? pieces[p].ext : wire.data() + pieces[p].off);
+    iov[p].iov_len = pieces[p].len;
+    iov_op[p] = pieces[p].op;
+  }
+
+  // Incremental flush: send in iovec chunks, and whenever the socket
+  // back-pressures, opportunistically drain responses that are already
+  // arriving.  Without the drain, a large pipeline deadlocks once the
+  // server's responses fill its send window while our requests fill ours —
+  // each side blocked writing, neither reading.
+  constexpr size_t kMaxIov = 64;
+  size_t read_idx = 0;   // responses collected so far
+  size_t iov_pos = 0;    // first iovec not fully written
+  while (iov_pos < iov.size()) {
+    struct msghdr msg = {};
+    msg.msg_iov = &iov[iov_pos];
+    msg.msg_iovlen = std::min(iov.size() - iov_pos, kMaxIov);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n > 0) {
+      size_t left = static_cast<size_t>(n);
+      while (left > 0 && iov_pos < iov.size()) {
+        if (left >= iov[iov_pos].iov_len) {
+          left -= iov[iov_pos].iov_len;
+          ++iov_pos;
+        } else {
+          // Partial write mid-iovec: resume inside this piece next round.
+          iov[iov_pos].iov_base = static_cast<char*>(iov[iov_pos].iov_base) + left;
+          iov[iov_pos].iov_len -= left;
+          left = 0;
+        }
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      short revents = 0;
+      const Status st = PollWait(fd_, POLLOUT | POLLIN, options_.send_timeout_ms,
+                                 "pipeline send", &revents);
+      if (st.IsTimeout()) {
+        // Per-op deadline: name the request whose bytes stalled, so the
+        // caller can tell a wedged op from a generically slow link.
+        return Status::Timeout("pipeline send stalled at op " +
+                               std::to_string(iov_op[iov_pos]) + " of " +
+                               std::to_string(requests.size()));
+      }
+      HASHKIT_RETURN_IF_ERROR(st);
+      if ((revents & POLLIN) != 0 && read_idx < requests.size()) {
+        Response resp;
+        HASHKIT_RETURN_IF_ERROR(ReadResponse(&resp));
+        if (resp.seq != first_seq + read_idx) {
+          return Status::Corruption("pipelined response out of sequence");
+        }
+        responses->push_back(std::move(resp));
+        ++read_idx;
+      }
+      continue;
+    }
+    return Errno("sendmsg");
+  }
+
+  for (; read_idx < requests.size(); ++read_idx) {
     Response resp;
     HASHKIT_RETURN_IF_ERROR(ReadResponse(&resp));
-    if (resp.seq != first_seq + i) {
+    if (resp.seq != first_seq + read_idx) {
       return Status::Corruption("pipelined response out of sequence");
     }
     responses->push_back(std::move(resp));

@@ -74,7 +74,18 @@ void EventLoop::Post(Task task) {
     const std::lock_guard<std::mutex> lock(posted_mu_);
     posted_.push_back(std::move(task));
   }
-  Wakeup();
+  Notify();
+}
+
+void EventLoop::Notify() {
+  // The latch stays set from here until the loop drains the eventfd, so a
+  // burst of notifications costs one write.  A racing clear is harmless:
+  // the loop clears before reading, and it always runs the after-poll hook
+  // (and DrainPosted) after the callback round that cleared it, so work
+  // published before either interleaving is picked up this iteration.
+  if (!wake_pending_.exchange(true, std::memory_order_acq_rel)) {
+    Wakeup();
+  }
 }
 
 void EventLoop::Wakeup() {
@@ -105,7 +116,6 @@ void EventLoop::Run(const Task& tick, int tick_interval_ms) {
   constexpr int kMaxEvents = 64;
   struct epoll_event events[kMaxEvents];
   while (!stop_.load(std::memory_order_acquire)) {
-    DrainPosted();
     const int n = epoll_wait(epoll_fd_, events, kMaxEvents, tick_interval_ms);
     if (n < 0 && errno != EINTR) {
       break;
@@ -113,6 +123,7 @@ void EventLoop::Run(const Task& tick, int tick_interval_ms) {
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wakeup_fd_) {
+        wake_pending_.store(false, std::memory_order_release);
         uint64_t drained;
         while (::read(wakeup_fd_, &drained, sizeof(drained)) > 0) {
         }
@@ -126,6 +137,14 @@ void EventLoop::Run(const Task& tick, int tick_interval_ms) {
         const FdCallback callback = it->second;
         callback(events[i].events);
       }
+    }
+    // Posted work runs after this round's fd callbacks so a batch posted
+    // by another core executes before the loop sleeps, and the after-poll
+    // hook runs last: it sees everything this iteration produced (frames
+    // decoded by callbacks AND cross-core work just drained).
+    DrainPosted();
+    if (after_poll_ != nullptr) {
+      after_poll_();
     }
     if (tick != nullptr) {
       const auto now = Clock::now();

@@ -42,12 +42,26 @@ class EventLoop {
   Status Remove(int fd);
 
   // Queue `task` to run on the loop thread before the next poll, and wake
-  // the loop.  Safe from any thread; the only cross-thread entry point.
+  // the loop.  Safe from any thread.
   void Post(Task task);
+
+  // Wake the loop without queueing a task: the caller has already made its
+  // work visible elsewhere (e.g. a worker mailbox) and only needs the loop
+  // to come around to its after-poll hook.  Coalesced — while a wakeup is
+  // still pending the eventfd write is skipped, so cores hammering a busy
+  // peer don't pay a syscall per batch.  Safe from any thread.
+  void Notify();
 
   // Process events until Stop().  `tick` (may be null) runs roughly every
   // `tick_interval_ms` on the loop thread — the idle-sweep hook.
   void Run(const Task& tick = nullptr, int tick_interval_ms = 1000);
+
+  // Hook that runs once per loop iteration AFTER fd callbacks and posted
+  // tasks, before the loop can sleep again (hashkit-tpc).  A batching
+  // server drains decoded requests here, so one epoll round's worth of
+  // ready connections — and any batches posted from other cores — executes
+  // as one batch before the next poll.  Set before Run(); loop thread only.
+  void SetAfterPoll(Task hook) { after_poll_ = std::move(hook); }
 
   // Signal the loop to exit its Run() cycle.  Safe from any thread.
   void Stop();
@@ -59,12 +73,14 @@ class EventLoop {
   int epoll_fd_ = -1;
   int wakeup_fd_ = -1;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> wake_pending_{false};  // Notify() coalescing latch
 
   // fd -> callback; touched only on the loop thread.
   std::unordered_map<int, FdCallback> callbacks_;
 
   std::mutex posted_mu_;
   std::vector<Task> posted_;
+  Task after_poll_;
 };
 
 }  // namespace net

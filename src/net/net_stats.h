@@ -29,6 +29,20 @@ struct NetStats {
   // skew); answered kUnsupported, connection kept.
   std::atomic<uint64_t> unknown_opcodes{0};
 
+  // hashkit-tpc: cross-connection batching and admission control.
+  // One "batch" is one per-core drain of decoded key ops executed against
+  // the store in a single ApplyBatch call; batched_ops counts the ops
+  // inside them (batched_ops / batches = mean batch size, and batch_size
+  // is the full distribution).  ops_forwarded counts key ops routed to a
+  // different core's partition; ops_shed/ops_deferred are admission
+  // control outcomes (kOverloaded answered vs. reads paused).
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> batched_ops{0};
+  std::atomic<uint64_t> ops_forwarded{0};
+  std::atomic<uint64_t> ops_shed{0};
+  std::atomic<uint64_t> ops_deferred{0};
+  LatencyHistogram batch_size;  // ops per batch (a count, not nanoseconds)
+
   // hashkit-obs: server-side dispatch latency per opcode — decode-to-encode
   // time for one request, i.e. the store call plus dispatch overhead but
   // not socket wait.  Compare against client-observed RTTs to attribute

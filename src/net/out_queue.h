@@ -1,0 +1,144 @@
+// hashkit-tpc: outbound byte queue assembled for scatter-gather writes.
+//
+// The old server buffered each connection's responses in one flat
+// std::string, which meant every large GET value was copied twice: once
+// into the frame and once more each time the string compacted after a
+// partial send.  OutQueue keeps the bytes as a deque of segments instead:
+// small pieces (headers, short keys/values) coalesce into the tail segment,
+// large values move in as their own segment with zero copies, and the
+// writer drains the queue with writev over an iovec chain built by
+// FillIovecs.  Partial writes advance a head offset; nothing is ever
+// memmoved.
+//
+// Freeze semantics: an asynchronous submission backend (io_uring) hands the
+// kernel pointers into these segments and completes later.  Freeze() pins
+// every byte currently queued — Advance may consume them when the
+// completion arrives, but until Unfreeze() no append may touch a frozen
+// segment (appends always start a fresh segment while frozen), and the
+// deque itself guarantees segment addresses are stable under push_back.
+
+#ifndef HASHKIT_SRC_NET_OUT_QUEUE_H_
+#define HASHKIT_SRC_NET_OUT_QUEUE_H_
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace hashkit {
+namespace net {
+
+class OutQueue {
+ public:
+  // Pieces at or below this size are appended into the current tail
+  // segment; larger ones (and any append while frozen) start their own.
+  // 512 keeps header+small-value responses in one iovec while letting big
+  // values ride as dedicated zero-copy segments.
+  static constexpr size_t kCoalesceLimit = 512;
+
+  void Append(std::string_view bytes) {
+    if (bytes.empty()) {
+      return;
+    }
+    if (CanCoalesce(bytes.size())) {
+      segments_.back().append(bytes);
+    } else {
+      segments_.emplace_back(bytes);
+    }
+    pending_ += bytes.size();
+  }
+
+  // Moves a whole buffer in as its own segment — no copy regardless of
+  // size.  Meant for response values (the bytes the store just produced).
+  void AppendOwned(std::string&& bytes) {
+    if (bytes.empty()) {
+      return;
+    }
+    const size_t len = bytes.size();
+    if (CanCoalesce(len)) {
+      // Tiny buffers still coalesce: one small memcpy beats an extra iovec.
+      segments_.back().append(bytes);
+    } else {
+      segments_.emplace_back(std::move(bytes));
+    }
+    pending_ += len;
+  }
+
+  // Builds at most `max` iovecs over the queued bytes starting at the head
+  // offset.  Returns the count filled.
+  size_t FillIovecs(struct iovec* iov, size_t max) const {
+    size_t n = 0;
+    size_t off = head_off_;
+    for (const std::string& seg : segments_) {
+      if (n == max) {
+        break;
+      }
+      if (off >= seg.size()) {
+        off -= seg.size();
+        continue;
+      }
+      iov[n].iov_base = const_cast<char*>(seg.data()) + off;
+      iov[n].iov_len = seg.size() - off;
+      off = 0;
+      ++n;
+    }
+    return n;
+  }
+
+  // Consumes `n` bytes from the head (a successful partial or full write).
+  // Fully-consumed segments are only popped while not frozen — a frozen
+  // queue may still Advance (completions consume bytes), but the segment
+  // storage stays alive until Unfreeze for any iovec the kernel still
+  // holds.
+  void Advance(size_t n) {
+    pending_ -= n;
+    head_off_ += n;
+    if (!frozen_) {
+      PopConsumed();
+    }
+  }
+
+  // Pins current segment storage: appends stop coalescing into existing
+  // segments and consumed segments are not released until Unfreeze.
+  void Freeze() { frozen_ = true; }
+  void Unfreeze() {
+    frozen_ = false;
+    PopConsumed();
+  }
+  bool frozen() const { return frozen_; }
+
+  size_t pending() const { return pending_; }
+  bool empty() const { return pending_ == 0; }
+
+  void Clear() {
+    segments_.clear();
+    head_off_ = 0;
+    pending_ = 0;
+    frozen_ = false;
+  }
+
+ private:
+  bool CanCoalesce(size_t len) const {
+    return !frozen_ && !segments_.empty() && len <= kCoalesceLimit &&
+           segments_.back().size() + len <= 4 * kCoalesceLimit;
+  }
+
+  void PopConsumed() {
+    while (!segments_.empty() && head_off_ >= segments_.front().size()) {
+      head_off_ -= segments_.front().size();
+      segments_.pop_front();
+    }
+  }
+
+  std::deque<std::string> segments_;
+  size_t head_off_ = 0;   // bytes of segments_.front() already written
+  size_t pending_ = 0;    // total unwritten bytes across all segments
+  bool frozen_ = false;
+};
+
+}  // namespace net
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_NET_OUT_QUEUE_H_

@@ -145,6 +145,38 @@ void EncodeResponse(const Response& resp, std::string* out) {
   out->append(resp.value);
 }
 
+void EncodeRequestHeader(const Request& req, std::string* out) {
+  EncodeHeader(kRequestMagic, static_cast<uint8_t>(req.op), req.flags, req.seq,
+               static_cast<uint32_t>(req.key.size()),
+               static_cast<uint32_t>(req.value.size()), out);
+}
+
+void EncodeResponseHeader(const Response& resp, std::string* out) {
+  EncodeHeader(kResponseMagic, static_cast<uint8_t>(resp.op),
+               static_cast<uint8_t>(resp.status), resp.seq,
+               static_cast<uint32_t>(resp.key.size()),
+               static_cast<uint32_t>(resp.value.size()), out);
+}
+
+void EncodeRequestHeaderRaw(Opcode op, uint8_t flags, uint32_t seq,
+                            uint32_t key_len, uint32_t value_len, std::string* out) {
+  EncodeHeader(kRequestMagic, static_cast<uint8_t>(op), flags, seq, key_len,
+               value_len, out);
+}
+
+void EncodeRetryAfter(uint32_t retry_after_ms, std::string* key) {
+  uint8_t buf[4];
+  EncodeU32(buf, retry_after_ms);
+  key->assign(reinterpret_cast<const char*>(buf), sizeof(buf));
+}
+
+uint32_t DecodeRetryAfter(std::string_view key) {
+  if (key.size() < 4) {
+    return 0;
+  }
+  return DecodeU32(reinterpret_cast<const uint8_t*>(key.data()));
+}
+
 DecodeResult DecodeRequest(std::string* buf, Request* out, size_t* consumed,
                            std::string* error) {
   return DecodeFrame(kRequestMagic, buf, out, consumed, error);

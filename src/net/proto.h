@@ -129,6 +129,24 @@ struct Response {
 void EncodeRequest(const Request& req, std::string* out);
 void EncodeResponse(const Response& resp, std::string* out);
 
+// Header-only encoders for zero-copy assembly (hashkit-tpc): append just
+// the 20-byte header describing a key/value of the given lengths; the
+// caller scatters the payload bytes separately (writev iovec chains), so a
+// large value is never copied into a contiguous frame.
+void EncodeRequestHeader(const Request& req, std::string* out);
+void EncodeResponseHeader(const Response& resp, std::string* out);
+// Same, with explicit payload lengths: lets a pipelining client frame
+// requests whose key/value bytes it scatters from caller-owned buffers
+// without ever copying them into a Request.
+void EncodeRequestHeaderRaw(Opcode op, uint8_t flags, uint32_t seq,
+                            uint32_t key_len, uint32_t value_len, std::string* out);
+
+// Overload shedding (hashkit-tpc): a kOverloaded response carries a
+// retry-after hint in milliseconds as a u32 LE in the response key.
+void EncodeRetryAfter(uint32_t retry_after_ms, std::string* key);
+// Returns 0 when the key is absent or too short (older server).
+uint32_t DecodeRetryAfter(std::string_view key);
+
 // Incremental decode result: a frame, not enough bytes yet, or a protocol
 // violation (the connection should be torn down).
 enum class DecodeResult {

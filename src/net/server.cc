@@ -6,6 +6,7 @@
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -14,9 +15,16 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <unordered_map>
 #include <utility>
 
+#include "src/net/out_queue.h"
+#include "src/net/uring.h"
 #include "src/util/endian.h"
 
 namespace hashkit {
@@ -25,6 +33,10 @@ namespace net {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Cap on one scatter-gather flush: enough to drain dozens of coalesced
+// responses per syscall without building unbounded iovec arrays.
+constexpr size_t kMaxIov = 64;
 
 Status Errno(const char* what) {
   return Status::IoError(std::string(what) + ": " + std::strerror(errno));
@@ -62,6 +74,28 @@ void AppendLatencyLines(std::string* text, const std::string& prefix,
   line("max_ns", s.max);
 }
 
+// Same shape for dimensionless distributions (batch sizes): no _ns suffix.
+void AppendDistLines(std::string* text, const std::string& prefix,
+                     const HistogramSnapshot& h) {
+  const PercentileSummary s = Summarize(h);
+  const auto line = [text, &prefix](const char* name, uint64_t value) {
+    *text += prefix;
+    *text += '.';
+    *text += name;
+    *text += '=';
+    *text += std::to_string(value);
+    *text += '\n';
+  };
+  line("count", s.count);
+  line("mean", static_cast<uint64_t>(std::llround(s.mean)));
+  line("p50", s.p50);
+  line("p90", s.p90);
+  line("p95", s.p95);
+  line("p99", s.p99);
+  line("p999", s.p999);
+  line("max", s.max);
+}
+
 // Prometheus-style summary block: `<name>{<labels>,quantile="q"} v` plus
 // `<name>_count` and `<name>_sum`.  `labels` must be non-empty.
 void AppendPromSummary(std::string* out, const std::string& name, const std::string& labels,
@@ -83,12 +117,32 @@ void AppendPromSummary(std::string* out, const std::string& name, const std::str
 
 struct Server::Connection {
   int fd = -1;
-  std::string in;        // bytes read, not yet forming complete frames
-  std::string out;       // encoded responses not yet written
-  size_t out_offset = 0; // already-written prefix of `out`
+  // Guards stale cross-core completions: an fd number can be reused by a
+  // new connection while completions for the old one are still in flight.
+  uint64_t gen = 0;
+  std::string in;  // bytes read, not yet forming complete frames
+  OutQueue out;    // encoded responses not yet written (iovec segments)
   uint32_t epoll_mask = 0;
   bool close_after_flush = false;  // set on malformed input
+  bool peer_closed = false;
+  bool paused = false;      // reads deferred by admission control
+  bool in_backlog = false;  // a continue-ingest task is already posted
+  bool touched_round = false;  // already on this round's finish list
   Clock::time_point last_active = Clock::now();
+
+  // Response slot queue (hashkit-tpc): one slot per request still owed a
+  // response, in request order.  kPending slots are batched key ops whose
+  // completion has not arrived; kBarrier slots hold the original request
+  // and dispatch only at the queue front (after every earlier response);
+  // kDone slots carry a finished response awaiting in-order emission.
+  struct Slot {
+    enum class State : uint8_t { kPending, kBarrier, kDone };
+    State state = State::kPending;
+    Request barrier_req;
+    Response resp;
+  };
+  std::deque<Slot> slots;
+  uint64_t base_slot = 0;  // slot id of slots.front()
 
   // hashkit-mvcc per-connection protocol state (touched only on the owning
   // worker's thread, like the buffers above).
@@ -104,20 +158,193 @@ struct Server::Connection {
   // forever.
   bool backup_active = false;
 
-  size_t pending_out() const { return out.size() - out_offset; }
+  // io_uring flush state: the iovec array handed to the kernel must stay
+  // alive (and the OutQueue frozen) until the completion is reaped.  A
+  // close that races an in-flight writev is deferred (uring_closing) so
+  // the kernel never writes through freed buffers.
+  std::vector<struct iovec> uring_iov;
+  bool uring_inflight = false;
+  bool uring_closing = false;
+};
+
+struct Server::PendingOp {
+  size_t origin = 0;  // worker index that owns the connection
+  int fd = -1;
+  uint64_t gen = 0;
+  uint64_t slot = 0;
+  Opcode op = Opcode::kGet;
+  uint8_t flags = 0;
+  uint32_t seq = 0;
+  uint64_t t0 = 0;  // MonotonicNanos at decode, for op latency
+  std::string key;
+  std::string value;
+};
+
+struct Server::OpCompletion {
+  int fd = -1;
+  uint64_t gen = 0;
+  uint64_t slot = 0;
+  Opcode op = Opcode::kGet;
+  uint64_t t0 = 0;
+  Response resp;
 };
 
 struct Server::Worker {
+  size_t index = 0;
   EventLoop loop;
   std::thread thread;
+  int listen_fd = -1;      // per-worker SO_REUSEPORT fd, or the shared fd
+  bool owns_listen = false;
   // Owned connections, keyed by fd.  Touched only on the loop thread.
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  uint64_t next_gen = 0;
+
+  // Per-round batch state (loop thread only).
+  std::vector<PendingOp> local_ops;                 // ops this core executes
+  std::vector<std::vector<PendingOp>> outbound;     // ops per owner core
+  std::vector<int> touched;                         // fds to finish this round
+  std::vector<int> paused_fds;                      // reads deferred, to resume
+
+  // Round-scratch buffers: swapped/reused every RunBatch so the hot loop
+  // never reallocates per round once capacities warm up.
+  std::vector<PendingOp> ops_scratch;
+  std::vector<int> touched_scratch;
+  std::vector<kv::BatchOp> bop_scratch;
+  std::vector<OpCompletion> comp_scratch;
+  std::vector<std::vector<OpCompletion>> remote_scratch;  // per origin core
+
+  // Cross-core mailboxes: op batches forwarded here by peer cores, and
+  // completed responses coming home to the connection owner.  Peers append
+  // under the lock and Notify(); the loop thread swaps both out at the top
+  // of RunBatch.  A locked vector + coalesced wakeup beats EventLoop::Post
+  // for this traffic — no per-batch closure allocation, and no eventfd
+  // syscall when the owner is already scheduled to run.
+  std::mutex inbox_mu;
+  std::vector<PendingOp> op_inbox;
+  std::vector<OpCompletion> comp_inbox;
+  std::vector<PendingOp> op_inbox_scratch;        // loop-thread swap targets
+  std::vector<OpCompletion> comp_inbox_scratch;
+
+  UringQueue uring;
+  bool uring_ok = false;
+
+  // Slots accepted but not yet emitted (admission control input).  Written
+  // only by the loop thread; atomic so STATS can read it from elsewhere.
+  std::atomic<int64_t> inflight{0};
+
+  // Per-core counters mirrored into the global NetStats; relaxed, loop
+  // thread writes only.
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> batched_ops{0};
+  std::atomic<uint64_t> forwarded{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deferred{0};
+  LatencyHistogram batch_size;  // ops per batch on this core
 };
 
 Server::Server(kv::KvStore* store, ServerOptions options)
     : store_(store), options_(std::move(options)) {}
 
 Server::~Server() { Stop(); }
+
+Result<int> Server::OpenListenSocket(uint16_t port, bool reuse_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    const Status st = Errno("setsockopt(SO_REUSEPORT)");
+    ::close(fd);
+    return st;
+  }
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Errno("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+namespace {
+Status BoundPort(int fd, uint16_t* port) {
+  struct sockaddr_in addr = {};
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &addr_len) != 0) {
+    return Errno("getsockname");
+  }
+  *port = ntohs(addr.sin_port);
+  return Status::Ok();
+}
+}  // namespace
+
+Status Server::SetupListeners() {
+  if (!options_.exclusive_accept) {
+    // Preferred: one SO_REUSEPORT socket per worker, so the kernel
+    // hash-routes connections across cores with no shared accept path at
+    // all.  All sockets must bind the same resolved port, so the first
+    // bind fixes a kernel-assigned port for the rest.
+    std::vector<int> fds;
+    fds.reserve(workers_.size());
+    uint16_t port = options_.port;
+    Status st = Status::Ok();
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Result<int> fd = OpenListenSocket(port, /*reuse_port=*/true);
+      if (!fd.ok()) {
+        st = fd.status();
+        break;
+      }
+      fds.push_back(fd.value());
+      if (i == 0) {
+        st = BoundPort(fds[0], &port);
+        if (!st.ok()) {
+          break;
+        }
+      }
+    }
+    if (st.ok() && fds.size() == workers_.size()) {
+      reuse_port_ = true;
+      port_ = port;
+      for (size_t i = 0; i < workers_.size(); ++i) {
+        workers_[i]->listen_fd = fds[i];
+        workers_[i]->owns_listen = true;
+      }
+      return Status::Ok();
+    }
+    for (const int fd : fds) {
+      ::close(fd);
+    }
+    // Fall through: EPOLLEXCLUSIVE on one shared fd still avoids the
+    // thundering herd, just without kernel-level connection spreading.
+  }
+
+  Result<int> fd = OpenListenSocket(options_.port, /*reuse_port=*/false);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  listen_fd_ = fd.value();
+  HASHKIT_RETURN_IF_ERROR(BoundPort(listen_fd_, &port_));
+  reuse_port_ = false;
+  for (auto& worker : workers_) {
+    worker->listen_fd = listen_fd_;
+    worker->owns_listen = false;
+  }
+  return Status::Ok();
+}
 
 Status Server::Start() {
   if (started_.exchange(true)) {
@@ -126,39 +353,39 @@ Status Server::Start() {
   if (options_.workers < 1) {
     return Status::InvalidArgument("server needs at least one worker");
   }
-  if (!accept_loop_.ok()) {
-    return Status::IoError("epoll setup failed for acceptor");
+
+  partitions_ = store_->PartitionCount();
+  batching_ = options_.cluster == nullptr;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const bool route_by_partition =
+      options_.forwarding == ServerOptions::Forwarding::kOn ||
+      (options_.forwarding == ServerOptions::Forwarding::kAuto &&
+       static_cast<unsigned>(options_.workers) <= hw);
+  forwarding_ = batching_ && options_.workers > 1 && partitions_ > 1 &&
+                route_by_partition;
+
+  for (int i = 0; i < options_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->index = static_cast<size_t>(i);
+    if (!worker->loop.ok()) {
+      return Status::IoError("epoll setup failed for worker");
+    }
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    worker->outbound.resize(workers_.size());
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    return Errno("socket");
-  }
-  const int one = 1;
-  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  struct sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("bad listen address: " + options_.host);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
-    return Errno("bind");
-  }
-  if (::listen(listen_fd_, options_.backlog) != 0) {
-    return Errno("listen");
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &addr_len) != 0) {
-    return Errno("getsockname");
-  }
-  port_ = ntohs(addr.sin_port);
+  HASHKIT_RETURN_IF_ERROR(SetupListeners());
 
   if (options_.metrics_port >= 0) {
     if (options_.metrics_port > 65535) {
       return Status::InvalidArgument("metrics port out of range");
     }
+    if (!metrics_loop_.ok()) {
+      return Status::IoError("epoll setup failed for metrics");
+    }
+    const int one = 1;
     metrics_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
     if (metrics_fd_ < 0) {
       return Errno("socket (metrics)");
@@ -174,19 +401,30 @@ Status Server::Start() {
     if (::listen(metrics_fd_, 16) != 0) {
       return Errno("listen (metrics)");
     }
-    socklen_t maddr_len = sizeof(maddr);
-    if (::getsockname(metrics_fd_, reinterpret_cast<struct sockaddr*>(&maddr), &maddr_len) != 0) {
-      return Errno("getsockname (metrics)");
-    }
-    metrics_port_ = ntohs(maddr.sin_port);
+    HASHKIT_RETURN_IF_ERROR(BoundPort(metrics_fd_, &metrics_port_));
   }
 
-  for (int i = 0; i < options_.workers; ++i) {
-    auto worker = std::make_unique<Worker>();
-    if (!worker->loop.ok()) {
-      return Status::IoError("epoll setup failed for worker");
+  // Register everything before spawning threads: EventLoop's callback map
+  // is not locked, so all Adds happen-before Run.
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    uint32_t accept_events = EPOLLIN;
+#ifdef EPOLLEXCLUSIVE
+    if (!reuse_port_) {
+      // Shared fd: wake exactly one worker per incoming connection.
+      accept_events |= EPOLLEXCLUSIVE;
     }
-    workers_.push_back(std::move(worker));
+#endif
+    HASHKIT_RETURN_IF_ERROR(
+        w->loop.Add(w->listen_fd, accept_events, [this, w](uint32_t) { AcceptReady(w); }));
+    if (options_.io_uring) {
+      w->uring_ok = w->uring.Init(256);
+      if (w->uring_ok) {
+        HASHKIT_RETURN_IF_ERROR(w->loop.Add(w->uring.ring_fd(), EPOLLIN,
+                                            [this, w](uint32_t) { UringReap(w); }));
+      }
+    }
+    w->loop.SetAfterPoll([this, w] { RunBatch(w); });
   }
   for (auto& worker : workers_) {
     Worker* w = worker.get();
@@ -196,14 +434,11 @@ Status Server::Start() {
                   1000);
     });
   }
-
-  HASHKIT_RETURN_IF_ERROR(
-      accept_loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { AcceptReady(); }));
   if (metrics_fd_ >= 0) {
     HASHKIT_RETURN_IF_ERROR(
-        accept_loop_.Add(metrics_fd_, EPOLLIN, [this](uint32_t) { MetricsReady(); }));
+        metrics_loop_.Add(metrics_fd_, EPOLLIN, [this](uint32_t) { MetricsReady(); }));
+    metrics_thread_ = std::thread([this] { metrics_loop_.Run(); });
   }
-  accept_thread_ = std::thread([this] { accept_loop_.Run(); });
   return Status::Ok();
 }
 
@@ -211,13 +446,9 @@ void Server::Stop() {
   if (!started_.load() || stopped_.exchange(true)) {
     return;
   }
-  accept_loop_.Stop();
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
-  }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  metrics_loop_.Stop();
+  if (metrics_thread_.joinable()) {
+    metrics_thread_.join();
   }
   if (metrics_fd_ >= 0) {
     ::close(metrics_fd_);
@@ -226,22 +457,44 @@ void Server::Stop() {
   for (auto& worker : workers_) {
     Worker* w = worker.get();
     // The close-all task runs on the loop thread: either before the next
-    // poll or in the loop's final drain after Stop().
+    // poll or in the loop's final drain after Stop().  Connections parked
+    // in uring_closing are force-closed — the loop is exiting, so their
+    // completions will never be reaped.
     w->loop.Post([this, w] {
-      while (!w->conns.empty()) {
-        CloseConnection(w, w->conns.begin()->first, /*from_idle_sweep=*/false);
+      std::vector<int> fds;
+      fds.reserve(w->conns.size());
+      for (const auto& [fd, conn] : w->conns) {
+        fds.push_back(fd);
       }
+      for (const int fd : fds) {
+        CloseConnection(w, fd, /*from_idle_sweep=*/false);
+      }
+      for (const auto& [fd, conn] : w->conns) {
+        ::close(fd);
+        stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+      }
+      w->conns.clear();
     });
     w->loop.Stop();
     if (w->thread.joinable()) {
       w->thread.join();
     }
+    w->uring.Close();
+    if (w->owns_listen && w->listen_fd >= 0) {
+      ::close(w->listen_fd);
+      w->listen_fd = -1;
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
 }
 
-void Server::AcceptReady() {
+void Server::AcceptReady(Worker* worker) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = ::accept4(worker->listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) {
         continue;
@@ -252,9 +505,7 @@ void Server::AcceptReady() {
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
     stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
-    Worker* w = workers_[next_worker_].get();
-    next_worker_ = (next_worker_ + 1) % workers_.size();
-    w->loop.Post([this, w, fd] { AdoptConnection(w, fd); });
+    AdoptConnection(worker, fd);
   }
 }
 
@@ -268,7 +519,7 @@ void Server::MetricsReady() {
       return;  // EAGAIN (drained) or a transient accept error
     }
     // Blocking socket with short timeouts: a stalled scraper must not
-    // wedge the acceptor thread.
+    // wedge the metrics thread.
     struct timeval tv = {};
     tv.tv_sec = 1;
     (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
@@ -302,6 +553,7 @@ void Server::MetricsReady() {
 void Server::AdoptConnection(Worker* worker, int fd) {
   auto conn = std::make_unique<Connection>();
   conn->fd = fd;
+  conn->gen = ++worker->next_gen;
   conn->epoll_mask = EPOLLIN;
   Connection* raw = conn.get();
   worker->conns[fd] = std::move(conn);
@@ -321,10 +573,32 @@ void Server::CloseConnection(Worker* worker, int fd, bool from_idle_sweep) {
   if (it == worker->conns.end()) {
     return;
   }
-  if (it->second->backup_active) {
+  Connection* conn = it->second.get();
+  if (conn->uring_closing) {
+    return;  // already draining toward close
+  }
+  if (conn->backup_active) {
     (void)store_->BackupEnd();  // do not let a dead client pin the snapshot
+    conn->backup_active = false;
+  }
+  if (!conn->slots.empty()) {
+    // Ops from this connection may still be executing in a batch; their
+    // completions are dropped by the gen/slot check.  Give their admission
+    // slots back now so a churning client cannot pin the core at its
+    // inflight cap.
+    worker->inflight.fetch_sub(static_cast<int64_t>(conn->slots.size()),
+                               std::memory_order_relaxed);
+    conn->slots.clear();
   }
   (void)worker->loop.Remove(fd);
+  if (conn->uring_inflight) {
+    // The kernel holds iovecs into conn->out: defer the close (and the fd
+    // release — the fd pins the uring op's target) until the completion is
+    // reaped.  shutdown() makes the writev finish promptly.
+    conn->uring_closing = true;
+    (void)::shutdown(fd, SHUT_RDWR);
+    return;
+  }
   ::close(fd);
   worker->conns.erase(it);
   stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
@@ -337,12 +611,567 @@ void Server::SweepIdle(Worker* worker) {
   const auto deadline = Clock::now() - std::chrono::milliseconds(options_.idle_timeout_ms);
   std::vector<int> idle;
   for (const auto& [fd, conn] : worker->conns) {
+    // A connection with queued responses or an in-flight kernel write is
+    // busy by definition, whatever its last socket activity.
+    if (!conn->slots.empty() || conn->uring_inflight || conn->uring_closing) {
+      continue;
+    }
     if (conn->last_active < deadline) {
       idle.push_back(fd);
     }
   }
   for (const int fd : idle) {
     CloseConnection(worker, fd, /*from_idle_sweep=*/true);
+  }
+}
+
+void Server::ConnectionReady(Worker* worker, int fd, uint32_t events) {
+  const auto it = worker->conns.find(fd);
+  if (it == worker->conns.end()) {
+    return;
+  }
+  Connection* conn = it->second.get();
+  if (conn->uring_closing) {
+    return;
+  }
+  conn->last_active = Clock::now();
+
+  // Drain readable bytes before honoring a hangup: a peer that wrote and
+  // closed in one breath still gets its frames served (and its malformed
+  // input counted).
+  if ((events & EPOLLIN) != 0) {
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn->in.append(buf, static_cast<size_t>(n));
+        stats_.bytes_in.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      conn->peer_closed = true;  // 0 = orderly shutdown; <0 = connection error
+      break;
+    }
+    if (batching_) {
+      IngestFrames(worker, conn);
+    } else {
+      (void)ServeBufferedFrames(conn);
+    }
+  } else if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    conn->peer_closed = true;
+  }
+
+  // Emission, flushing, close, and epoll-mask maintenance all happen in
+  // FinishRound at the end of this epoll round, after the batch executed.
+  if (!conn->touched_round) {
+    conn->touched_round = true;
+    worker->touched.push_back(fd);
+  }
+}
+
+bool Server::IngestFrames(Worker* worker, Connection* conn) {
+  const int budget =
+      options_.batch_ops > 0 ? options_.batch_ops : std::numeric_limits<int>::max();
+  int served = 0;
+  while (served < budget) {
+    Request req;
+    size_t consumed = 0;
+    std::string error;
+    switch (DecodeRequest(&conn->in, &req, &consumed, &error)) {
+      case DecodeResult::kNeedMore:
+        return true;
+      case DecodeResult::kMalformed: {
+        stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        // The error response rides the slot queue like any other, so
+        // responses already owed to this client still go out first.
+        Connection::Slot slot;
+        slot.state = Connection::Slot::State::kDone;
+        slot.resp.op = Opcode::kPing;
+        slot.resp.status = StatusCode::kInvalidArgument;
+        slot.resp.value = "malformed frame: " + error;
+        conn->slots.push_back(std::move(slot));
+        worker->inflight.fetch_add(1, std::memory_order_relaxed);
+        conn->close_after_flush = true;
+        return true;
+      }
+      case DecodeResult::kFrame:
+        break;
+    }
+    ++served;
+
+    const bool key_op =
+        req.op == Opcode::kGet || req.op == Opcode::kPut || req.op == Opcode::kDel;
+    // read_only mutations go through Dispatch for the canonical refusal.
+    const bool batchable = key_op && !(options_.read_only && req.op != Opcode::kGet);
+
+    if (batchable) {
+      stats_.CountRequest(req.op);
+      const int64_t max = static_cast<int64_t>(options_.max_inflight);
+      const int64_t inflight = worker->inflight.load(std::memory_order_relaxed);
+      if (options_.overload_policy == ServerOptions::OverloadPolicy::kShed &&
+          max > 0 && inflight >= max) {
+        // Shed: answer immediately with a retry-after hint scaled by how
+        // far past the cap this core is (1..100 ms).
+        const int64_t excess = inflight - max;
+        const uint32_t hint =
+            static_cast<uint32_t>(1 + std::min<int64_t>(99, (excess * 100) / max));
+        Connection::Slot slot;
+        slot.state = Connection::Slot::State::kDone;
+        slot.resp.op = req.op;
+        slot.resp.seq = req.seq;
+        slot.resp.status = StatusCode::kOverloaded;
+        EncodeRetryAfter(hint, &slot.resp.key);
+        slot.resp.value = "overloaded";
+        conn->slots.push_back(std::move(slot));
+        worker->inflight.fetch_add(1, std::memory_order_relaxed);
+        worker->shed.fetch_add(1, std::memory_order_relaxed);
+        stats_.ops_shed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      PendingOp op;
+      op.origin = worker->index;
+      op.fd = conn->fd;
+      op.gen = conn->gen;
+      op.slot = conn->base_slot + conn->slots.size();
+      op.op = req.op;
+      op.flags = req.flags;
+      op.seq = req.seq;
+      op.t0 = MonotonicNanos();
+      op.key = std::move(req.key);
+      op.value = std::move(req.value);
+      conn->slots.emplace_back();  // kPending
+      worker->inflight.fetch_add(1, std::memory_order_relaxed);
+      const size_t owner =
+          forwarding_ ? store_->PartitionOf(op.key) % workers_.size() : worker->index;
+      if (owner == worker->index) {
+        worker->local_ops.push_back(std::move(op));
+      } else {
+        worker->outbound[owner].push_back(std::move(op));
+        worker->forwarded.fetch_add(1, std::memory_order_relaxed);
+        stats_.ops_forwarded.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+
+    // Barrier op (SCAN, SYNC, STATS, BACKUP, PING, ...): runs only after
+    // every earlier response is complete.  With nothing pending it runs
+    // right now — the common case for control-plane traffic.
+    if (conn->slots.empty()) {
+      Response resp = Dispatch(conn, req);
+      AppendResponse(conn, std::move(resp));
+    } else {
+      Connection::Slot slot;
+      slot.state = Connection::Slot::State::kBarrier;
+      slot.barrier_req = std::move(req);
+      conn->slots.push_back(std::move(slot));
+      worker->inflight.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Budget exhausted with bytes still buffered: hand the rest to the next
+  // round via a posted task, after every other ready connection has had
+  // its turn (burst pacing — one firehose cannot starve its neighbors).
+  if (!conn->in.empty() && !conn->in_backlog && !conn->close_after_flush) {
+    conn->in_backlog = true;
+    const int fd = conn->fd;
+    const uint64_t gen = conn->gen;
+    worker->loop.Post([this, worker, fd, gen] {
+      const auto it = worker->conns.find(fd);
+      if (it == worker->conns.end()) {
+        return;
+      }
+      Connection* c = it->second.get();
+      if (c->gen != gen || c->uring_closing) {
+        return;
+      }
+      c->in_backlog = false;
+      IngestFrames(worker, c);
+      worker->touched.push_back(fd);
+    });
+  }
+  return true;
+}
+
+void Server::RunBatch(Worker* worker) {
+  if (forwarding_) {
+    // 0. Drain the mailbox: completions coming home settle into their
+    // slots (flushed in step 3), op batches forwarded by peer cores join
+    // this round's local_ops.
+    worker->op_inbox_scratch.clear();
+    worker->comp_inbox_scratch.clear();
+    {
+      const std::lock_guard<std::mutex> lock(worker->inbox_mu);
+      worker->op_inbox_scratch.swap(worker->op_inbox);
+      worker->comp_inbox_scratch.swap(worker->comp_inbox);
+    }
+    Connection* hint = nullptr;
+    for (OpCompletion& done : worker->comp_inbox_scratch) {
+      DeliverCompletion(worker, std::move(done), &hint);
+    }
+    for (PendingOp& op : worker->op_inbox_scratch) {
+      worker->local_ops.push_back(std::move(op));
+    }
+
+    // 1. Forward foreign-partition ops to their owner cores' mailboxes;
+    // they execute in the owner's next RunBatch.
+    for (size_t dest = 0; dest < worker->outbound.size(); ++dest) {
+      auto& queue = worker->outbound[dest];
+      if (queue.empty() || dest == worker->index) {
+        continue;
+      }
+      Worker* dw = workers_[dest].get();
+      {
+        const std::lock_guard<std::mutex> lock(dw->inbox_mu);
+        dw->op_inbox.insert(dw->op_inbox.end(),
+                            std::make_move_iterator(queue.begin()),
+                            std::make_move_iterator(queue.end()));
+      }
+      queue.clear();
+      dw->loop.Notify();
+    }
+  }
+
+  // 2. Execute everything this core owns in one store call.  The swap with
+  // the scratch vector hands local_ops a warmed buffer back for the next
+  // round instead of forcing a regrow from zero.
+  if (!worker->local_ops.empty()) {
+    worker->ops_scratch.clear();
+    worker->ops_scratch.swap(worker->local_ops);
+    ExecuteOps(worker, worker->ops_scratch);
+  }
+
+  // 3. Emit + flush every connection whose state changed this round.
+  if (!worker->touched.empty()) {
+    worker->touched_scratch.clear();
+    worker->touched_scratch.swap(worker->touched);
+    for (const int fd : worker->touched_scratch) {
+      (void)FinishRound(worker, fd);
+    }
+  }
+
+  // 4. Defer-policy resume: once the backlog drained to half the cap,
+  // reopen the paused connections' read sides.
+  if (options_.overload_policy == ServerOptions::OverloadPolicy::kDefer &&
+      options_.max_inflight > 0 && !worker->paused_fds.empty() &&
+      worker->inflight.load(std::memory_order_relaxed) <=
+          static_cast<int64_t>(options_.max_inflight / 2)) {
+    std::vector<int> paused;
+    paused.swap(worker->paused_fds);
+    for (const int fd : paused) {
+      const auto it = worker->conns.find(fd);
+      if (it == worker->conns.end() || it->second->uring_closing) {
+        continue;
+      }
+      it->second->paused = false;
+      SyncEpollMask(worker, it->second.get());
+    }
+  }
+}
+
+void Server::ExecuteOps(Worker* worker, std::vector<PendingOp>& ops) {
+  const size_t n = ops.size();
+  std::vector<kv::BatchOp>& bops = worker->bop_scratch;
+  std::vector<OpCompletion>& comps = worker->comp_scratch;
+  bops.clear();
+  bops.resize(n);
+  comps.clear();
+  comps.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const PendingOp& op = ops[i];
+    comps[i].fd = op.fd;
+    comps[i].gen = op.gen;
+    comps[i].slot = op.slot;
+    comps[i].op = op.op;
+    comps[i].t0 = op.t0;
+    comps[i].resp.op = op.op;
+    comps[i].resp.seq = op.seq;
+    switch (op.op) {
+      case Opcode::kPut:
+        bops[i].kind = kv::BatchOp::Kind::kPut;
+        bops[i].key = op.key;
+        bops[i].value = op.value;
+        bops[i].overwrite = (op.flags & kFlagNoOverwrite) == 0;
+        break;
+      case Opcode::kDel:
+        bops[i].kind = kv::BatchOp::Kind::kDelete;
+        bops[i].key = op.key;
+        break;
+      default:  // kGet — the only other op routed into batches
+        bops[i].kind = kv::BatchOp::Kind::kGet;
+        bops[i].key = op.key;
+        bops[i].value_out = &comps[i].resp.value;
+        break;
+    }
+  }
+
+  // One store call: one lock acquisition per touched shard, one WAL
+  // group-commit fsync shared by every write in the batch.
+  (void)store_->ApplyBatch(std::span<kv::BatchOp>(bops));
+
+  worker->batches.fetch_add(1, std::memory_order_relaxed);
+  worker->batched_ops.fetch_add(n, std::memory_order_relaxed);
+  worker->batch_size.Record(n);
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.batched_ops.fetch_add(n, std::memory_order_relaxed);
+  stats_.batch_size.Record(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    const Status& st = bops[i].result;
+    comps[i].resp.status = st.code();
+    if (!st.ok() && comps[i].resp.value.empty()) {
+      comps[i].resp.value = st.message();
+    }
+  }
+
+  Connection* hint = nullptr;
+  if (!forwarding_) {
+    for (size_t i = 0; i < n; ++i) {
+      DeliverCompletion(worker, std::move(comps[i]), &hint);
+    }
+    return;
+  }
+  std::vector<std::vector<OpCompletion>>& remote = worker->remote_scratch;
+  remote.resize(workers_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (ops[i].origin == worker->index) {
+      DeliverCompletion(worker, std::move(comps[i]), &hint);
+    } else {
+      remote[ops[i].origin].push_back(std::move(comps[i]));
+    }
+  }
+  for (size_t origin = 0; origin < remote.size(); ++origin) {
+    auto& batch = remote[origin];
+    if (batch.empty()) {
+      continue;
+    }
+    Worker* ow = workers_[origin].get();
+    {
+      const std::lock_guard<std::mutex> lock(ow->inbox_mu);
+      ow->comp_inbox.insert(ow->comp_inbox.end(),
+                            std::make_move_iterator(batch.begin()),
+                            std::make_move_iterator(batch.end()));
+    }
+    batch.clear();
+    ow->loop.Notify();
+  }
+}
+
+void Server::DeliverCompletion(Worker* worker, OpCompletion&& done,
+                               Connection** hint) {
+  stats_.RecordLatency(done.op, MonotonicNanos() - done.t0);
+  // Pipelined completions arrive in runs that share a connection; the
+  // caller-scoped hint turns 32 hash lookups into one.  The hint cannot
+  // dangle inside one delivery loop: nothing in here closes a connection.
+  Connection* conn;
+  if (hint != nullptr && *hint != nullptr && (*hint)->fd == done.fd) {
+    conn = *hint;
+  } else {
+    const auto it = worker->conns.find(done.fd);
+    if (it == worker->conns.end()) {
+      return;
+    }
+    conn = it->second.get();
+    if (hint != nullptr) {
+      *hint = conn;
+    }
+  }
+  // Stale guard: the fd may have been reused by a newer connection, or the
+  // slots cleared by a close that raced this completion.
+  if (conn->gen != done.gen || conn->uring_closing || done.slot < conn->base_slot) {
+    return;
+  }
+  const size_t idx = static_cast<size_t>(done.slot - conn->base_slot);
+  if (idx >= conn->slots.size()) {
+    return;
+  }
+  Connection::Slot& slot = conn->slots[idx];
+  slot.state = Connection::Slot::State::kDone;
+  slot.resp = std::move(done.resp);
+  if (!conn->touched_round) {
+    conn->touched_round = true;
+    worker->touched.push_back(done.fd);
+  }
+}
+
+void Server::EmitReady(Worker* worker, Connection* conn) {
+  while (!conn->slots.empty()) {
+    Connection::Slot& front = conn->slots.front();
+    if (front.state == Connection::Slot::State::kDone) {
+      AppendResponse(conn, std::move(front.resp));
+    } else if (front.state == Connection::Slot::State::kBarrier) {
+      // Every earlier response is out of the queue: the cross-key op now
+      // sees all of this connection's prior writes.
+      Response resp = Dispatch(conn, front.barrier_req);
+      AppendResponse(conn, std::move(resp));
+    } else {
+      break;  // kPending: still executing somewhere
+    }
+    conn->slots.pop_front();
+    ++conn->base_slot;
+    worker->inflight.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool Server::FinishRound(Worker* worker, int fd) {
+  const auto it = worker->conns.find(fd);
+  if (it == worker->conns.end()) {
+    return false;  // already closed this round (duplicates in `touched`)
+  }
+  Connection* conn = it->second.get();
+  // Re-arm the touch latch before any early-out: a later round's delivery
+  // must be able to queue this connection again.
+  conn->touched_round = false;
+  if (conn->uring_closing) {
+    return false;
+  }
+  EmitReady(worker, conn);
+  if (!FlushWrites(worker, conn)) {
+    return false;  // connection closed on write
+  }
+  if (conn->peer_closed) {
+    CloseConnection(worker, fd, /*from_idle_sweep=*/false);
+    return false;
+  }
+  SyncEpollMask(worker, conn);
+  return true;
+}
+
+void Server::AppendResponse(Connection* conn, Response&& resp) {
+  // Header and key coalesce into the tail segment; the value (the bulk of
+  // a GET) moves in as its own segment — never copied into a flat frame.
+  // The scratch is per loop thread so the 20+key bytes never heap-allocate.
+  static thread_local std::string head;
+  head.clear();
+  EncodeResponseHeader(resp, &head);
+  head += resp.key;
+  conn->out.Append(head);
+  conn->out.AppendOwned(std::move(resp.value));
+}
+
+bool Server::FlushWrites(Worker* worker, Connection* conn) {
+  if (conn->uring_inflight) {
+    return true;  // the reap continues this flush
+  }
+  if (worker->uring_ok && !conn->out.empty()) {
+    conn->uring_iov.resize(kMaxIov);
+    const size_t cnt = conn->out.FillIovecs(conn->uring_iov.data(), kMaxIov);
+    if (cnt > 0) {
+      conn->out.Freeze();
+      if (worker->uring.SubmitWritev(conn->fd, conn->uring_iov.data(),
+                                     static_cast<unsigned>(cnt),
+                                     static_cast<uint64_t>(conn->fd))) {
+        conn->uring_inflight = true;
+        return true;
+      }
+      conn->out.Unfreeze();  // ring full or enter failed: write synchronously
+    }
+  }
+  while (!conn->out.empty()) {
+    struct iovec iov[kMaxIov];
+    const size_t cnt = conn->out.FillIovecs(iov, kMaxIov);
+    struct msghdr msg = {};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = cnt;
+    // MSG_NOSIGNAL: a peer that already closed must surface as EPIPE, not
+    // a process-wide SIGPIPE.
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out.Advance(static_cast<size_t>(n));
+      stats_.bytes_out.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    CloseConnection(worker, conn->fd, /*from_idle_sweep=*/false);
+    return false;
+  }
+  if (conn->out.empty() && conn->close_after_flush && conn->slots.empty()) {
+    CloseConnection(worker, conn->fd, /*from_idle_sweep=*/false);
+    return false;
+  }
+  return true;
+}
+
+void Server::SyncEpollMask(Worker* worker, Connection* conn) {
+  if (conn->uring_closing) {
+    return;
+  }
+  // Defer policy: at or above the inflight cap the core stops reading
+  // (classic backpressure).  The resume sweep in RunBatch reopens reads
+  // once the backlog halves.
+  bool pause = false;
+  if (options_.overload_policy == ServerOptions::OverloadPolicy::kDefer &&
+      options_.max_inflight > 0 &&
+      worker->inflight.load(std::memory_order_relaxed) >=
+          static_cast<int64_t>(options_.max_inflight)) {
+    pause = true;
+  }
+  if (pause && !conn->paused) {
+    conn->paused = true;
+    worker->paused_fds.push_back(conn->fd);
+    worker->deferred.fetch_add(1, std::memory_order_relaxed);
+    stats_.ops_deferred.fetch_add(1, std::memory_order_relaxed);
+  } else if (!pause) {
+    conn->paused = false;
+  }
+  uint32_t want = 0;
+  if (!conn->close_after_flush && !conn->peer_closed && !conn->paused &&
+      conn->out.pending() <= options_.max_buffered_bytes) {
+    want |= EPOLLIN;
+  }
+  if (conn->out.pending() > 0 && !conn->uring_inflight) {
+    want |= EPOLLOUT;
+  }
+  if (want != conn->epoll_mask) {
+    conn->epoll_mask = want;
+    (void)worker->loop.Modify(conn->fd, want);
+  }
+}
+
+void Server::UringReap(Worker* worker) {
+  UringQueue::Completion comps[64];
+  for (;;) {
+    const size_t n = worker->uring.Reap(comps, 64);
+    if (n == 0) {
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const int fd = static_cast<int>(comps[i].user_data);
+      const auto it = worker->conns.find(fd);
+      if (it == worker->conns.end()) {
+        continue;
+      }
+      Connection* conn = it->second.get();
+      conn->uring_inflight = false;
+      const int32_t res = comps[i].res;
+      conn->out.Advance(res > 0 ? static_cast<size_t>(res) : 0);
+      conn->out.Unfreeze();
+      if (conn->uring_closing) {
+        // The deferred close from CloseConnection: the kernel is done with
+        // our buffers, release the fd and the entry.
+        ::close(fd);
+        worker->conns.erase(it);
+        stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (res > 0) {
+        stats_.bytes_out.fetch_add(static_cast<uint64_t>(res), std::memory_order_relaxed);
+        worker->touched.push_back(fd);  // FinishRound continues the flush
+      } else if (res == -EAGAIN || res == -EINTR) {
+        worker->touched.push_back(fd);
+      } else {
+        CloseConnection(worker, fd, /*from_idle_sweep=*/false);
+      }
+    }
   }
 }
 
@@ -546,8 +1375,8 @@ bool Server::ServeBufferedFrames(Connection* conn) {
     std::string error;
     switch (DecodeRequest(&conn->in, &req, &consumed, &error)) {
       case DecodeResult::kFrame: {
-        const Response resp = Dispatch(conn, req);
-        EncodeResponse(resp, &conn->out);
+        Response resp = Dispatch(conn, req);
+        AppendResponse(conn, std::move(resp));
         continue;
       }
       case DecodeResult::kNeedMore:
@@ -558,109 +1387,11 @@ bool Server::ServeBufferedFrames(Connection* conn) {
         resp.op = Opcode::kPing;
         resp.status = StatusCode::kInvalidArgument;
         resp.value = "malformed frame: " + error;
-        EncodeResponse(resp, &conn->out);
+        AppendResponse(conn, std::move(resp));
         conn->close_after_flush = true;
         return true;
       }
     }
-  }
-}
-
-bool Server::FlushWrites(Worker* worker, Connection* conn) {
-  while (conn->out_offset < conn->out.size()) {
-    // MSG_NOSIGNAL: a peer that already closed must surface as EPIPE, not
-    // a process-wide SIGPIPE.
-    const ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_offset,
-                             conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn->out_offset += static_cast<size_t>(n);
-      stats_.bytes_out.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      break;
-    }
-    CloseConnection(worker, conn->fd, /*from_idle_sweep=*/false);
-    return false;
-  }
-  if (conn->out_offset == conn->out.size()) {
-    conn->out.clear();
-    conn->out_offset = 0;
-    if (conn->close_after_flush) {
-      CloseConnection(worker, conn->fd, /*from_idle_sweep=*/false);
-      return false;
-    }
-  } else if (conn->out_offset > (1u << 20)) {
-    // Reclaim the written prefix so a long-lived slow reader cannot hold
-    // the whole history of its responses in memory.
-    conn->out.erase(0, conn->out_offset);
-    conn->out_offset = 0;
-  }
-  return true;
-}
-
-void Server::ConnectionReady(Worker* worker, int fd, uint32_t events) {
-  const auto it = worker->conns.find(fd);
-  if (it == worker->conns.end()) {
-    return;
-  }
-  Connection* conn = it->second.get();
-  conn->last_active = Clock::now();
-
-  // Drain readable bytes before honoring a hangup: a peer that wrote and
-  // closed in one breath still gets its frames served (and its malformed
-  // input counted).
-  bool peer_closed = false;
-  if ((events & EPOLLIN) != 0) {
-    char buf[64 * 1024];
-    for (;;) {
-      const ssize_t n = ::read(fd, buf, sizeof(buf));
-      if (n > 0) {
-        conn->in.append(buf, static_cast<size_t>(n));
-        stats_.bytes_in.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
-        continue;
-      }
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        break;
-      }
-      peer_closed = true;  // 0 = orderly shutdown; <0 = connection error
-      break;
-    }
-    if (!ServeBufferedFrames(conn)) {
-      CloseConnection(worker, fd, /*from_idle_sweep=*/false);
-      return;
-    }
-  } else if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
-    peer_closed = true;
-  }
-
-  if (!FlushWrites(worker, conn)) {
-    return;  // connection closed
-  }
-  if (peer_closed) {
-    CloseConnection(worker, fd, /*from_idle_sweep=*/false);
-    return;
-  }
-
-  // Keep the epoll interest mask in sync with buffer state: EPOLLOUT only
-  // while a flush is pending; EPOLLIN only while below the write-backlog
-  // cap (backpressure) and not draining toward a close.
-  uint32_t want = 0;
-  if (!conn->close_after_flush && conn->pending_out() <= options_.max_buffered_bytes) {
-    want |= EPOLLIN;
-  }
-  if (conn->pending_out() > 0) {
-    want |= EPOLLOUT;
-  }
-  if (want != conn->epoll_mask) {
-    conn->epoll_mask = want;
-    (void)worker->loop.Modify(fd, want);
   }
 }
 
@@ -679,6 +1410,25 @@ std::string Server::RenderStatsText() const {
   line("server.malformed_frames", stats_.malformed_frames.load(std::memory_order_relaxed));
   line("server.idle_timeouts", stats_.idle_timeouts.load(std::memory_order_relaxed));
   line("server.unknown_opcodes", stats_.unknown_opcodes.load(std::memory_order_relaxed));
+  line("server.batches", stats_.batches.load(std::memory_order_relaxed));
+  line("server.batched_ops", stats_.batched_ops.load(std::memory_order_relaxed));
+  line("server.ops_forwarded", stats_.ops_forwarded.load(std::memory_order_relaxed));
+  line("server.ops_shed", stats_.ops_shed.load(std::memory_order_relaxed));
+  line("server.ops_deferred", stats_.ops_deferred.load(std::memory_order_relaxed));
+  AppendDistLines(&text, "server.batch_size", stats_.batch_size.Snapshot());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& w = *workers_[i];
+    const std::string prefix = "server.core." + std::to_string(i) + ".";
+    line(prefix + "batches", w.batches.load(std::memory_order_relaxed));
+    line(prefix + "batched_ops", w.batched_ops.load(std::memory_order_relaxed));
+    line(prefix + "forwarded", w.forwarded.load(std::memory_order_relaxed));
+    line(prefix + "shed", w.shed.load(std::memory_order_relaxed));
+    line(prefix + "deferred", w.deferred.load(std::memory_order_relaxed));
+    line(prefix + "inflight",
+         static_cast<uint64_t>(
+             std::max<int64_t>(0, w.inflight.load(std::memory_order_relaxed))));
+    AppendDistLines(&text, prefix + "batch_size", w.batch_size.Snapshot());
+  }
   for (size_t op = 0; op < kOpcodeCount; ++op) {
     text += "server.requests.";
     text += OpcodeName(static_cast<Opcode>(op));
@@ -753,6 +1503,30 @@ std::string Server::RenderMetricsText() const {
   gauge("hashkit_idle_timeouts_total", stats_.idle_timeouts.load(std::memory_order_relaxed));
   gauge("hashkit_unknown_opcodes_total",
         stats_.unknown_opcodes.load(std::memory_order_relaxed));
+  gauge("hashkit_batches_total", stats_.batches.load(std::memory_order_relaxed));
+  gauge("hashkit_batched_ops_total", stats_.batched_ops.load(std::memory_order_relaxed));
+  gauge("hashkit_ops_forwarded_total", stats_.ops_forwarded.load(std::memory_order_relaxed));
+  gauge("hashkit_ops_shed_total", stats_.ops_shed.load(std::memory_order_relaxed));
+  gauge("hashkit_ops_deferred_total", stats_.ops_deferred.load(std::memory_order_relaxed));
+  AppendPromSummary(&out, "hashkit_batch_size_ops", "unit=\"ops\"",
+                    stats_.batch_size.Snapshot());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& w = *workers_[i];
+    const std::string core = "{core=\"" + std::to_string(i) + "\"} ";
+    out += "hashkit_core_batches_total" + core +
+           std::to_string(w.batches.load(std::memory_order_relaxed)) + "\n";
+    out += "hashkit_core_batched_ops_total" + core +
+           std::to_string(w.batched_ops.load(std::memory_order_relaxed)) + "\n";
+    out += "hashkit_core_ops_forwarded_total" + core +
+           std::to_string(w.forwarded.load(std::memory_order_relaxed)) + "\n";
+    out += "hashkit_core_ops_shed_total" + core +
+           std::to_string(w.shed.load(std::memory_order_relaxed)) + "\n";
+    out += "hashkit_core_ops_deferred_total" + core +
+           std::to_string(w.deferred.load(std::memory_order_relaxed)) + "\n";
+    out += "hashkit_core_inflight" + core +
+           std::to_string(std::max<int64_t>(0, w.inflight.load(std::memory_order_relaxed))) +
+           "\n";
+  }
   for (size_t op = 0; op < kOpcodeCount; ++op) {
     const std::string label = "op=\"" + LowerOpcodeName(static_cast<Opcode>(op)) + "\"";
     out += "hashkit_requests_total{" + label + "} " +

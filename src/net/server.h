@@ -1,23 +1,45 @@
-// hashkit-net: an epoll TCP server exposing a KvStore.
+// hashkit-net: a thread-per-core epoll TCP server exposing a KvStore.
 //
-// Threading model: one acceptor loop plus `workers` worker loops, each on
-// its own thread with its own epoll set.  Accepted sockets are handed to
-// workers round-robin via EventLoop::Post, after which a connection lives
-// entirely on one worker thread — its buffers need no locks.  Request
-// dispatch calls the KvStore directly from worker threads, so with
-// workers > 1 the store must be thread-safe (SynchronizedStore or
-// ShardedStore; OpenStore with StoreOptions::shards > 1 yields the
-// latter).
+// Threading model (hashkit-tpc): `workers` loops, each on its own thread
+// with its own epoll set, its own accepted connections, and its own subset
+// of the store's keyspace partitions (partition p belongs to core
+// p % workers).  Each worker owns a SO_REUSEPORT listen socket, so the
+// kernel hash-routes incoming connections across cores with no shared
+// accept path; where SO_REUSEPORT is unavailable (or exclusive_accept is
+// set) every worker instead polls one shared listen fd with
+// EPOLLEXCLUSIVE, which wakes exactly one loop per connection — no
+// thundering herd either way.  A connection lives its whole life on one
+// worker thread; its buffers need no locks.
 //
-// Each connection keeps a read buffer (bytes not yet forming a complete
-// frame) and a write buffer (responses not yet accepted by the kernel).
-// All complete frames in the read buffer are served per readable event —
-// that is what makes client pipelining effective.  Backpressure: when the
-// write buffer exceeds ServerOptions::max_buffered_bytes the connection
-// stops reading (EPOLLIN off) until the kernel drains it below the limit.
-// Malformed frames get one kInvalidArgument response, then the connection
-// is flushed and closed.  Idle connections are closed on a once-a-second
-// sweep.
+// Cross-connection batching: instead of calling the store per request, a
+// worker drains every ready connection's decoded frames into one per-core
+// batch and executes it in a single KvStore::ApplyBatch call at the end of
+// the epoll round — one lock acquisition per touched shard and one WAL
+// group-commit fsync shared across *connections*, not just within one
+// pipeline.  Ops whose partition belongs to another core are forwarded to
+// that core's loop (message passing; the data path takes no cross-core
+// locks) and their responses return the same way.  Per-connection response
+// order is preserved by a slot queue; ops with cross-key semantics (SCAN,
+// SYNC, STATS, BACKUP, ...) act as barriers that execute only when every
+// earlier response on that connection is complete.
+//
+// Responses are assembled zero-copy into an OutQueue (iovec segment
+// chains) and flushed with sendmsg/writev; io_uring is an optional
+// submission backend behind a runtime feature probe (ServerOptions::
+// io_uring), falling back to sendmsg when the kernel refuses a ring.
+//
+// Admission control: each core bounds its pending ops (max_inflight).
+// Above the bound it either sheds — answering kOverloaded immediately with
+// a retry-after-ms hint in the response key — or defers, pausing reads
+// (EPOLLIN off) until the backlog drains below half the bound, so p99
+// stays bounded when offered load exceeds capacity.  batch_ops bounds how
+// many frames one connection may feed per round (burst pacing), so a
+// single firehose pipeline cannot starve its neighbors.
+//
+// Cluster mode (options.cluster != nullptr) keeps the original
+// dispatch-per-frame path: cluster hooks interpose on every request and
+// rely on their own locking discipline, so batching applies only to
+// standalone and replica servers.
 
 #ifndef HASHKIT_SRC_NET_SERVER_H_
 #define HASHKIT_SRC_NET_SERVER_H_
@@ -46,6 +68,38 @@ struct ServerOptions {
   int backlog = 128;
   int idle_timeout_ms = 60'000;        // 0 disables the idle sweep
   size_t max_buffered_bytes = 64u << 20;  // per-connection write backlog cap
+
+  // hashkit-tpc: admission control and batching knobs.
+  // Per-core cap on ops accepted but not yet answered; 0 = unlimited.
+  size_t max_inflight = 4096;
+  // What happens to key ops arriving above max_inflight: kShed answers
+  // kOverloaded immediately (retry-after-ms hint in the response key);
+  // kDefer stops reading from connections until the core drains below
+  // max_inflight / 2 (classic backpressure — bounded memory, unbounded
+  // client-side latency).
+  enum class OverloadPolicy { kShed, kDefer };
+  OverloadPolicy overload_policy = OverloadPolicy::kShed;
+  // Per-connection, per-epoll-round frame budget (burst pacing).  Leftover
+  // buffered frames are served next round, after every other ready
+  // connection has had its turn.
+  int batch_ops = 512;
+  // Share one listen fd across workers with EPOLLEXCLUSIVE instead of
+  // per-worker SO_REUSEPORT sockets.  Also the automatic fallback when
+  // SO_REUSEPORT binding fails.
+  bool exclusive_accept = false;
+  // Submit response writevs through a per-core io_uring when the kernel
+  // offers one; silently falls back to sendmsg when the feature probe
+  // fails.  Off by default.
+  bool io_uring = false;
+  // Cross-core op forwarding (shared-nothing partition ownership).  kAuto
+  // enables it only when the worker count fits the hardware (workers <=
+  // hardware threads): oversubscribed workers pay two context switches per
+  // forwarded op for zero added parallelism, so an overcommitted box runs
+  // connection-affine instead (the sharded store's per-shard locks keep
+  // that correct).  kOn / kOff force either routing.
+  enum class Forwarding : uint8_t { kAuto, kOn, kOff };
+  Forwarding forwarding = Forwarding::kAuto;
+
   // hashkit-obs: < 0 disables the metrics endpoint; 0 binds a
   // kernel-assigned port (read back via Server::metrics_port()).  The
   // endpoint answers any HTTP request on `host`:`metrics_port` with a
@@ -71,7 +125,8 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Bind + listen + spawn the acceptor and worker threads.
+  // Bind + listen + spawn the worker threads (and the metrics thread when
+  // enabled).
   Status Start();
 
   // Graceful shutdown: stop accepting, flush nothing further, close every
@@ -88,9 +143,10 @@ class Server {
   const NetStats& stats() const { return stats_; }
 
   // The STATS wire command's payload: "key=value" lines covering NetStats
-  // (counters plus per-opcode latency percentiles), then the store's
-  // name/size and, where the store reports them, merged table/pool/latency
-  // numbers.  Exposed for tests and tools.
+  // (counters plus per-opcode latency percentiles), batching/overload
+  // counters (global and per core), then the store's name/size and, where
+  // the store reports them, merged table/pool/latency numbers.  Exposed
+  // for tests and tools.
   std::string RenderStatsText() const;
 
   // The metrics endpoint's body: the same numbers in Prometheus plaintext
@@ -100,11 +156,18 @@ class Server {
  private:
   struct Connection;
   struct Worker;
+  struct PendingOp;
+  struct OpCompletion;
 
-  void AcceptReady();
+  // Listen socket setup: per-worker SO_REUSEPORT sockets, or one shared
+  // fd registered EPOLLEXCLUSIVE in every worker's epoll set.
+  Status SetupListeners();
+  Result<int> OpenListenSocket(uint16_t port, bool reuse_port);
+
+  void AcceptReady(Worker* worker);
   // One metrics scrape: accept, read the request (ignored beyond arrival),
   // write an HTTP/1.0 response carrying RenderMetricsText(), close.  Runs
-  // on the acceptor thread; scrapes are rare and small, so briefly
+  // on the metrics thread; scrapes are rare and small, so briefly
   // borrowing that thread is fine.
   void MetricsReady();
   // Connection lifecycle — all run on the owning worker's thread.
@@ -113,33 +176,65 @@ class Server {
   void CloseConnection(Worker* worker, int fd, bool from_idle_sweep);
   void SweepIdle(Worker* worker);
 
-  // Serve every complete frame currently buffered; returns false when the
-  // connection must close (malformed input).
+  // Decode up to the per-round budget of frames from conn->in, routing
+  // key ops into the core's batch (or shedding) and executing/queueing
+  // everything else as barrier slots.  Returns false when the connection
+  // must close (malformed input).
+  bool IngestFrames(Worker* worker, Connection* conn);
+  // Legacy per-frame path used in cluster mode.
   bool ServeBufferedFrames(Connection* conn);
+
+  // End-of-round batch execution (EventLoop after-poll hook): forward
+  // foreign-partition ops to their owner cores, execute the local batch in
+  // one ApplyBatch, return completions, emit + flush touched connections.
+  void RunBatch(Worker* worker);
+  void ExecuteOps(Worker* worker, std::vector<PendingOp>& ops);
+  // `hint` (optional) caches the last-hit connection across a delivery
+  // loop, skipping the per-op map lookup for pipelined runs on one fd.
+  void DeliverCompletion(Worker* worker, OpCompletion&& done,
+                         Connection** hint = nullptr);
+  // Emit every leading completed slot (executing barrier ops as they reach
+  // the front) onto the out queue.
+  void EmitReady(Worker* worker, Connection* conn);
+  // Emit + flush + epoll-mask resync for a connection whose slots or
+  // buffers changed this round.  Returns false when the connection closed.
+  bool FinishRound(Worker* worker, int fd);
+
   // `conn` carries per-connection protocol state (the SCAN cursor, the
   // backup snapshot); it is only touched from the owning worker's thread.
   Response Dispatch(Connection* conn, const Request& req);
   Response DispatchBackup(Connection* conn, const Request& req);
   Response DispatchReplicate(const Request& req);
-  // Flush the write buffer; keeps EPOLLOUT registration in sync.  Returns
-  // false when the connection died on write.
+  // Flush the out queue (sendmsg, or io_uring submit when enabled); keeps
+  // EPOLLOUT registration in sync.  Returns false when the connection died
+  // on write.
   bool FlushWrites(Worker* worker, Connection* conn);
+  void SyncEpollMask(Worker* worker, Connection* conn);
+  void UringReap(Worker* worker);
+
+  void AppendResponse(Connection* conn, Response&& resp);
 
   kv::KvStore* store_;
   const ServerOptions options_;
   NetStats stats_;
 
-  int listen_fd_ = -1;
+  // Cached store topology (hashkit-tpc): partition p is owned by core
+  // p % workers.  Batching is off entirely in cluster mode.
+  size_t partitions_ = 1;
+  bool batching_ = false;
+  bool forwarding_ = false;
+  bool reuse_port_ = false;  // what SetupListeners actually achieved
+
+  int listen_fd_ = -1;  // shared fd (exclusive_accept mode); else unused
   uint16_t port_ = 0;
   int metrics_fd_ = -1;
   uint16_t metrics_port_ = 0;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
 
-  EventLoop accept_loop_;
-  std::thread accept_thread_;
+  EventLoop metrics_loop_;
+  std::thread metrics_thread_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  size_t next_worker_ = 0;
 };
 
 }  // namespace net

@@ -1,0 +1,231 @@
+// hashkit-tpc: a raw-syscall io_uring submission queue for writev.
+//
+// Optional backend for the server's response flush: instead of calling
+// sendmsg from the event loop, a worker submits IORING_OP_WRITEV entries
+// and reaps completions when the ring fd polls readable in the same epoll
+// set as the connections.  No liburing dependency — the three syscalls and
+// the two mmap'd rings are driven directly, which also keeps the feature
+// strictly optional: Init() probes io_uring_setup and reports false on
+// kernels (or seccomp policies) that refuse it, and the server falls back
+// to plain sendmsg.
+//
+// Scope is deliberately narrow: one ring per worker thread, submissions
+// and reaps from that thread only, writev ops only.  The caller guarantees
+// the iovec array and the buffers it points into stay alive and unmoved
+// until the completion for that user_data is reaped (see OutQueue::Freeze).
+
+#ifndef HASHKIT_SRC_NET_URING_H_
+#define HASHKIT_SRC_NET_URING_H_
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__linux__) && defined(__has_include)
+#if __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#define HASHKIT_HAS_IO_URING_HEADER 1
+#endif
+#endif
+
+#if defined(HASHKIT_HAS_IO_URING_HEADER) && defined(__NR_io_uring_setup) && \
+    defined(__NR_io_uring_enter)
+#define HASHKIT_IO_URING 1
+#endif
+
+namespace hashkit {
+namespace net {
+
+#if defined(HASHKIT_IO_URING)
+
+class UringQueue {
+ public:
+  struct Completion {
+    uint64_t user_data = 0;
+    int32_t res = 0;
+  };
+
+  UringQueue() = default;
+  ~UringQueue() { Close(); }
+  UringQueue(const UringQueue&) = delete;
+  UringQueue& operator=(const UringQueue&) = delete;
+
+  // Probes and sets up a ring of `entries` SQEs.  Returns false (leaving
+  // the object inert) when the kernel, the seccomp policy, or resource
+  // limits refuse io_uring — the caller then uses its sendmsg path.
+  bool Init(unsigned entries) {
+    struct io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    ring_fd_ = static_cast<int>(
+        ::syscall(__NR_io_uring_setup, entries, &params));
+    if (ring_fd_ < 0) {
+      ring_fd_ = -1;
+      return false;
+    }
+
+    sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(uint32_t);
+    cq_ring_bytes_ = params.cq_off.cqes + params.cq_entries * sizeof(struct io_uring_cqe);
+    const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap && cq_ring_bytes_ > sq_ring_bytes_) {
+      sq_ring_bytes_ = cq_ring_bytes_;
+    }
+
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      CloseFd();
+      return false;
+    }
+    if (single_mmap) {
+      cq_ring_ = sq_ring_;
+    } else {
+      cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        cq_ring_ = nullptr;
+        Close();
+        return false;
+      }
+    }
+    sqe_bytes_ = params.sq_entries * sizeof(struct io_uring_sqe);
+    sqes_ = static_cast<struct io_uring_sqe*>(
+        ::mmap(nullptr, sqe_bytes_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      Close();
+      return false;
+    }
+
+    auto* sq = static_cast<uint8_t*>(sq_ring_);
+    sq_head_ = reinterpret_cast<std::atomic<uint32_t>*>(sq + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<std::atomic<uint32_t>*>(sq + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<uint32_t*>(sq + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<uint32_t*>(sq + params.sq_off.array);
+    auto* cq = static_cast<uint8_t*>(cq_ring_);
+    cq_head_ = reinterpret_cast<std::atomic<uint32_t>*>(cq + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<std::atomic<uint32_t>*>(cq + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<uint32_t*>(cq + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<struct io_uring_cqe*>(cq + params.cq_off.cqes);
+    return true;
+  }
+
+  bool ok() const { return ring_fd_ >= 0; }
+  int ring_fd() const { return ring_fd_; }
+
+  // Queues one writev and submits it.  The iovec array (and the buffers it
+  // references) must outlive the matching completion.  False when the
+  // submission queue is full or the enter syscall failed — the caller
+  // falls back to a synchronous write for this flush.
+  bool SubmitWritev(int fd, const struct iovec* iov, unsigned iovcnt,
+                    uint64_t user_data) {
+    const uint32_t head = sq_head_->load(std::memory_order_acquire);
+    const uint32_t tail = sq_tail_->load(std::memory_order_relaxed);
+    if (tail - head > sq_mask_) {
+      return false;  // ring full
+    }
+    const uint32_t idx = tail & sq_mask_;
+    struct io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_WRITEV;
+    sqe->fd = fd;
+    sqe->addr = reinterpret_cast<uint64_t>(iov);
+    sqe->len = iovcnt;
+    sqe->user_data = user_data;
+    sq_array_[idx] = idx;
+    sq_tail_->store(tail + 1, std::memory_order_release);
+    int rc;
+    do {
+      rc = static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd_, 1u, 0u, 0u,
+                                      nullptr, 0));
+    } while (rc < 0 && errno == EINTR);
+    return rc >= 0;
+  }
+
+  // Drains available completions; non-blocking.
+  size_t Reap(Completion* out, size_t max) {
+    size_t n = 0;
+    uint32_t head = cq_head_->load(std::memory_order_relaxed);
+    const uint32_t tail = cq_tail_->load(std::memory_order_acquire);
+    while (head != tail && n < max) {
+      const struct io_uring_cqe* cqe = &cqes_[head & cq_mask_];
+      out[n].user_data = cqe->user_data;
+      out[n].res = cqe->res;
+      ++n;
+      ++head;
+    }
+    cq_head_->store(head, std::memory_order_release);
+    return n;
+  }
+
+  void Close() {
+    if (sqes_ != nullptr) {
+      ::munmap(sqes_, sqe_bytes_);
+      sqes_ = nullptr;
+    }
+    if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+      ::munmap(cq_ring_, cq_ring_bytes_);
+    }
+    cq_ring_ = nullptr;
+    if (sq_ring_ != nullptr) {
+      ::munmap(sq_ring_, sq_ring_bytes_);
+      sq_ring_ = nullptr;
+    }
+    CloseFd();
+  }
+
+ private:
+  void CloseFd() {
+    if (ring_fd_ >= 0) {
+      ::close(ring_fd_);
+      ring_fd_ = -1;
+    }
+  }
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  size_t sq_ring_bytes_ = 0;
+  size_t cq_ring_bytes_ = 0;
+  struct io_uring_sqe* sqes_ = nullptr;
+  size_t sqe_bytes_ = 0;
+  std::atomic<uint32_t>* sq_head_ = nullptr;
+  std::atomic<uint32_t>* sq_tail_ = nullptr;
+  uint32_t sq_mask_ = 0;
+  uint32_t* sq_array_ = nullptr;
+  std::atomic<uint32_t>* cq_head_ = nullptr;
+  std::atomic<uint32_t>* cq_tail_ = nullptr;
+  uint32_t cq_mask_ = 0;
+  struct io_uring_cqe* cqes_ = nullptr;
+};
+
+#else  // !HASHKIT_IO_URING
+
+// Stub for platforms without io_uring headers/syscalls: Init always fails,
+// so the server's feature check cleanly selects the sendmsg path.
+class UringQueue {
+ public:
+  struct Completion {
+    uint64_t user_data = 0;
+    int32_t res = 0;
+  };
+  bool Init(unsigned) { return false; }
+  bool ok() const { return false; }
+  int ring_fd() const { return -1; }
+  bool SubmitWritev(int, const struct iovec*, unsigned, uint64_t) { return false; }
+  size_t Reap(Completion*, size_t) { return 0; }
+  void Close() {}
+};
+
+#endif  // HASHKIT_IO_URING
+
+}  // namespace net
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_NET_URING_H_

@@ -28,6 +28,8 @@ enum class StatusCode {
   kTimeout,         // a deadline expired (network connect/send/recv)
   kMoved,           // cluster: request reached a non-owner node; the
                     // payload carries the current cluster map
+  kOverloaded,      // server admission control shed the request; the
+                    // payload carries a retry-after hint (milliseconds)
 };
 
 // Human-readable name for a status code, e.g. "NOT_FOUND".
@@ -53,6 +55,8 @@ constexpr std::string_view StatusCodeName(StatusCode code) {
       return "TIMEOUT";
     case StatusCode::kMoved:
       return "MOVED";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }
@@ -81,6 +85,9 @@ class Status {
   }
   static Status Timeout(std::string msg = "") { return Status(StatusCode::kTimeout, std::move(msg)); }
   static Status Moved(std::string msg = "") { return Status(StatusCode::kMoved, std::move(msg)); }
+  static Status Overloaded(std::string msg = "") {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -89,6 +96,7 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
   bool IsMoved() const { return code_ == StatusCode::kMoved; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

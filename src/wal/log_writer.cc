@@ -101,7 +101,8 @@ Status LogWriter::Commit(bool* out_synced) {
   ++commits_;
 
   bool synced = false;
-  if (sync_every_ > 0 && ++commits_since_sync_ >= sync_every_) {
+  ++commits_since_sync_;
+  if (!defer_sync_ && sync_every_ > 0 && commits_since_sync_ >= sync_every_) {
     HASHKIT_RETURN_IF_ERROR(DoSync());
     commits_since_sync_ = 0;
     synced = true;

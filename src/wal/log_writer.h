@@ -65,6 +65,16 @@ class LogWriter {
   // Forces the log durable regardless of policy (explicit Sync / barrier).
   Status SyncBarrier();
 
+  // Cross-operation group commit (hashkit-tpc).  While deferred, Commit()
+  // never fsyncs even when the sync_every policy makes one due — it keeps
+  // accumulating commits_since_sync_ instead.  The caller closes the scope
+  // with SetDeferSync(false) and, when SyncDue(), a single SyncBarrier()
+  // covers every commit in the batch: one fsync amortized across all of
+  // them, without weakening the sync_every policy (no acknowledged commit
+  // waits longer than the end of its batch).
+  void SetDeferSync(bool defer) { defer_sync_ = defer; }
+  bool SyncDue() const { return sync_every_ > 0 && commits_since_sync_ >= sync_every_; }
+
   // Checkpoint reset: truncates the log, writes a fresh header plus a
   // checkpoint record, and fsyncs.  Caller must have flushed the main
   // file first — after this call the log no longer repairs anything.
@@ -94,6 +104,7 @@ class LogWriter {
   std::vector<uint8_t> pending_;  // current batch, framed
   uint64_t seq_ = 0;              // last committed sequence number
   uint32_t commits_since_sync_ = 0;
+  bool defer_sync_ = false;
 
   // Counters; plain (single-writer), histograms concurrent for snapshots.
   uint64_t records_ = 0;

@@ -53,7 +53,8 @@ struct TestNode {
 // pass the old port to simulate a restart on a stable address.
 TestNode MakeNode(uint32_t id, kv::StoreKind kind, const std::string& store_path,
                   const std::string& map_path, uint16_t port = 0,
-                  uint32_t migrate_batch = 64, uint32_t abort_after_batches = 0) {
+                  uint32_t migrate_batch = 64, uint32_t abort_after_batches = 0,
+                  uint32_t gossip_interval_ms = 0) {
   TestNode node;
   kv::StoreOptions store_options;
   store_options.path = store_path;
@@ -71,6 +72,7 @@ TestNode MakeNode(uint32_t id, kv::StoreKind kind, const std::string& store_path
   cluster_options.map_path = map_path;
   cluster_options.migrate_batch = migrate_batch;
   cluster_options.testonly_abort_after_batches = abort_after_batches;
+  cluster_options.gossip_interval_ms = gossip_interval_ms;
   node.cnode = std::make_unique<ClusterNode>(node.store.get(), cluster_options);
 
   net::ServerOptions server_options;
@@ -223,6 +225,69 @@ TEST(ClusterTest, StaleClientImageConvergesViaMoved) {
   // Zero lost, zero duplicated.
   EXPECT_EQ(TotalPairs(nodes), static_cast<uint64_t>(kKeys));
   EXPECT_GE(nodes[new_owner]->cnode->counters().keys_migrated_in.load(), 1u);
+
+  for (TestNode* n : nodes) {
+    n->Shutdown();
+  }
+}
+
+TEST(ClusterTest, GossipConvergesRejoinedNodeWithoutClientTraffic) {
+  // Anti-entropy gossip: a node that was away during a migration must learn
+  // the new map from its peers' idle pushes alone — no MOVED bounce, no
+  // client request ever touching it.
+  constexpr uint32_t kGossipMs = 100;
+  TestNode a = MakeNode(0, kv::StoreKind::kHashMemory, "", "", 0, 64, 0, kGossipMs);
+  TestNode b = MakeNode(1, kv::StoreKind::kHashMemory, "", "", 0, 64, 0, kGossipMs);
+  TestNode c = MakeNode(2, kv::StoreKind::kHashMemory, "", "", 0, 64, 0, kGossipMs);
+  const std::vector<TestNode*> nodes = {&a, &b, &c};
+  const std::vector<NodeInfo> peers = PeersOf(nodes);
+  for (TestNode* n : nodes) {
+    ASSERT_OK(n->cnode->Start(peers));
+  }
+
+  {
+    auto connected = ClusterClient::Connect({a.Address()});
+    ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+    for (int i = 0; i < 60; ++i) {
+      ASSERT_OK((*connected)->Put("key" + std::to_string(i), "value" + std::to_string(i)));
+    }
+  }
+
+  // Partition: c drops off the cluster entirely.
+  const uint16_t port_c = c.port;
+  c.Shutdown();
+
+  // While c is away, move a bucket between the surviving nodes.  The
+  // migration's map push to c fails, so the cluster reaches version 2
+  // with c none the wiser.
+  const ClusterMap before = a.cnode->MapSnapshot();
+  uint32_t bucket = UINT32_MAX;
+  for (uint32_t candidate = 0; candidate < before.bucket_count(); ++candidate) {
+    if (before.OwnerOf(candidate) == 0) {
+      bucket = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(bucket, UINT32_MAX);
+  ASSERT_OK(a.cnode->ScheduleMove(bucket, 1));
+  ASSERT_TRUE(WaitUntil([&] {
+    return !a.cnode->MigrationActive() && b.cnode->MapSnapshot().version == 2;
+  }));
+
+  // Rejoin: c restarts on its old address with no persisted map, so it
+  // re-derives the version-1 bootstrap image — two behind reality.
+  c = MakeNode(2, kv::StoreKind::kHashMemory, "", "", port_c, 64, 0, kGossipMs);
+  ASSERT_OK(c.cnode->Start(peers));
+  ASSERT_EQ(c.cnode->MapSnapshot().version, 1u);
+
+  // No client traffic is sent anywhere from here on: the peers' idle
+  // gossip ticks alone must deliver the newer map to the rejoined node.
+  EXPECT_TRUE(WaitUntil([&] { return c.cnode->MapSnapshot().version >= 2; }));
+  EXPECT_EQ(c.cnode->MapSnapshot().OwnerOf(bucket), 1u);
+  EXPECT_GE(c.cnode->counters().map_pushes_in.load(), 1u);
+  EXPECT_GE(a.cnode->counters().map_pushes_out.load() +
+                b.cnode->counters().map_pushes_out.load(),
+            1u);
 
   for (TestNode* n : nodes) {
     n->Shutdown();

@@ -1,0 +1,553 @@
+// Tests for the thread-per-core batching data path (hashkit-tpc): the
+// OutQueue scatter-gather resume math, cross-connection batches that span
+// a mid-round connection close, the admission controller's shed/defer
+// policies over the wire (kOverloaded + retry-after hint), client
+// pipeline ordering across barrier ops, the batching counters on the
+// STATS/metrics surface, and a WAL group-commit hammer that TSan runs via
+// the `stress` label (multiple cores sharing one fsync per batch).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/net/client.h"
+#include "src/net/out_queue.h"
+#include "src/net/proto.h"
+#include "src/net/server.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace net {
+namespace {
+
+using kv::KvStore;
+using kv::OpenStore;
+using kv::StoreKind;
+using kv::StoreOptions;
+
+std::unique_ptr<KvStore> MemStore(uint32_t shards = 4) {
+  StoreOptions store_options;
+  store_options.shards = shards;
+  auto opened = OpenStore(StoreKind::kHashMemory, store_options);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return std::move(opened).value();
+}
+
+// Drains the queue through iovec chains of at most `max_iov`, consuming
+// `step` bytes per "write" — a sendmsg loop whose partial writes land in
+// the middle of segments.  Returns the reassembled byte stream.
+std::string DrainInSteps(OutQueue* q, size_t max_iov, size_t step) {
+  std::string drained;
+  while (!q->empty()) {
+    struct iovec iov[16];
+    const size_t n = q->FillIovecs(iov, max_iov);
+    EXPECT_GT(n, 0u);
+    size_t copied = 0;
+    for (size_t i = 0; i < n && copied < step; ++i) {
+      const size_t len = std::min(step - copied, iov[i].iov_len);
+      drained.append(static_cast<const char*>(iov[i].iov_base), len);
+      copied += len;
+    }
+    q->Advance(copied);  // only what the "write" actually took
+  }
+  return drained;
+}
+
+TEST(OutQueueTest, PartialWriteResumesMidIovec) {
+  OutQueue q;
+  const std::string big_a(1500, 'A');
+  const std::string big_b(2000, 'B');
+  q.Append("hdr1");
+  q.AppendOwned(std::string(big_a));
+  q.Append("hdr2");
+  q.AppendOwned(std::string(big_b));
+  const std::string expect = "hdr1" + big_a + "hdr2" + big_b;
+  ASSERT_EQ(q.pending(), expect.size());
+
+  // 700-byte steps never align with a segment boundary, so every resume
+  // starts mid-iovec; a 1-iovec chain also forces resume-within-segment.
+  EXPECT_EQ(DrainInSteps(&q, 16, 700), expect);
+
+  q.Append("hdr1");
+  q.AppendOwned(std::string(big_a));
+  q.Append("hdr2");
+  q.AppendOwned(std::string(big_b));
+  EXPECT_EQ(DrainInSteps(&q, 1, 700), expect);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(OutQueueTest, FrozenSegmentsStayPinnedUntilUnfreeze) {
+  OutQueue q;
+  q.AppendOwned(std::string(1024, 'x'));
+  struct iovec iov[4];
+  ASSERT_EQ(q.FillIovecs(iov, 4), 1u);
+  const char* pinned = static_cast<const char*>(iov[0].iov_base);
+
+  q.Freeze();
+  // Appends while frozen must not touch (reallocate) the pinned segment.
+  q.Append("tail");
+  q.Advance(1024);  // completion consumes the frozen bytes...
+  EXPECT_EQ(q.pending(), 4u);
+  // ...but the storage the kernel might still reference is untouched.
+  EXPECT_EQ(pinned[0], 'x');
+  q.Unfreeze();
+
+  EXPECT_EQ(DrainInSteps(&q, 4, 4), "tail");
+}
+
+TEST(NetBatchingTest, PipelineOrderingAcrossBarriers) {
+  auto store = MemStore();
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 2;
+  // Force cross-core routing: Forwarding::kAuto would fall back to
+  // connection-affine execution on single-CPU CI runners, and these tests
+  // exist to exercise the forwarded path.
+  server_options.forwarding = ServerOptions::Forwarding::kOn;
+  Server server(store.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  auto connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto client = std::move(connected).value();
+
+  // Batchable ops interleaved with barriers (SYNC, PING, STATS): responses
+  // must come back in request order with matching seq numbers.
+  std::vector<Request> batch;
+  auto add = [&batch](Opcode op, std::string key = "", std::string value = "") {
+    Request req;
+    req.op = op;
+    req.key = std::move(key);
+    req.value = std::move(value);
+    batch.push_back(std::move(req));
+  };
+  add(Opcode::kPut, "alpha", "1");
+  add(Opcode::kGet, "alpha");
+  add(Opcode::kSync);
+  add(Opcode::kPut, "beta", "2");
+  add(Opcode::kPing);
+  add(Opcode::kGet, "beta");
+  add(Opcode::kStats);
+  add(Opcode::kGet, "missing");
+
+  std::vector<Response> responses;
+  ASSERT_OK(client->Pipeline(batch, &responses));
+  ASSERT_EQ(responses.size(), batch.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].op, batch[i].op) << "op " << i;
+    if (i > 0) {
+      // The client numbers the wire frames itself; order shows as a
+      // strictly ascending seq across the mixed batch.
+      EXPECT_EQ(responses[i].seq, responses[i - 1].seq + 1) << "op " << i;
+    }
+  }
+  EXPECT_EQ(responses[1].value, "1");
+  EXPECT_EQ(responses[5].value, "2");
+  EXPECT_NE(responses[6].value.find("server.batches="), std::string::npos);
+  EXPECT_EQ(responses[7].status, StatusCode::kNotFound);
+
+  server.Stop();
+}
+
+TEST(NetBatchingTest, BatchSpanningConnectionCloseLosesNoSurvivor) {
+  auto store = MemStore();
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 1;  // both connections share one core's batch
+  Server server(store.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  auto connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto survivor = std::move(connected).value();
+
+  for (int round = 0; round < 8; ++round) {
+    // A doomed raw connection bursts PUT frames into the same core's batch
+    // and slams shut without ever reading a response: its ops are in
+    // flight when the close lands.
+    const int doomed_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(doomed_fd, 0);
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(doomed_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    std::string wire;
+    for (int i = 0; i < 32; ++i) {
+      Request req;
+      req.op = Opcode::kPut;
+      req.seq = static_cast<uint32_t>(i);
+      req.key = "doomed" + std::to_string(round) + "-" + std::to_string(i);
+      req.value = std::string(512, 'd');
+      EncodeRequest(req, &wire);
+    }
+    ASSERT_GT(::send(doomed_fd, wire.data(), wire.size(), MSG_NOSIGNAL), 0);
+    ::close(doomed_fd);
+
+    // The survivor's pipeline rides the same per-core rounds; every one of
+    // its ops must still execute and come back in order.
+    std::vector<Request> batch;
+    std::vector<Response> responses;
+    for (int i = 0; i < 32; ++i) {
+      Request req;
+      req.op = (i % 2 == 0) ? Opcode::kPut : Opcode::kGet;
+      req.key = "live" + std::to_string(round) + "-" + std::to_string(i / 2);
+      if (req.op == Opcode::kPut) {
+        req.value = "v" + std::to_string(round);
+      }
+      batch.push_back(std::move(req));
+    }
+    ASSERT_OK(survivor->Pipeline(batch, &responses));
+    ASSERT_EQ(responses.size(), batch.size());
+    for (size_t i = 0; i < responses.size(); ++i) {
+      EXPECT_EQ(responses[i].status, StatusCode::kOk) << "round " << round << " op " << i;
+      if (batch[i].op == Opcode::kGet) {
+        EXPECT_EQ(responses[i].value, "v" + std::to_string(round));
+      }
+    }
+  }
+
+  server.Stop();
+}
+
+TEST(NetBatchingTest, ShedPolicyAnswersOverloadedWithRetryHint) {
+  auto store = MemStore();
+  ASSERT_OK(store->Put("hot", "value"));
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 1;
+  server_options.max_inflight = 4;  // tiny bound: a deep burst must shed
+  server_options.overload_policy = ServerOptions::OverloadPolicy::kShed;
+  Server server(store.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  auto connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto client = std::move(connected).value();
+
+  std::vector<Request> batch;
+  for (int i = 0; i < 64; ++i) {
+    Request req;
+    req.op = Opcode::kGet;
+    req.key = "hot";
+    batch.push_back(std::move(req));
+  }
+  std::vector<Response> responses;
+  ASSERT_OK(client->Pipeline(batch, &responses));
+  ASSERT_EQ(responses.size(), batch.size());
+
+  size_t ok = 0, shed = 0;
+  for (const Response& resp : responses) {
+    if (resp.status == StatusCode::kOk) {
+      EXPECT_EQ(resp.value, "value");
+      ++ok;
+    } else {
+      ASSERT_EQ(resp.status, StatusCode::kOverloaded);
+      // Every shed reply carries a parseable retry-after-ms hint.
+      EXPECT_GE(DecodeRetryAfter(resp.key), 1u);
+      EXPECT_LE(DecodeRetryAfter(resp.key), 100u);
+      ++shed;
+    }
+  }
+  EXPECT_GE(ok, 1u);
+  EXPECT_GE(shed, 1u);
+  EXPECT_GE(server.stats().ops_shed.load(), shed);
+
+  // The shed is load shedding, not a ban: once the burst drains, the same
+  // client's retry succeeds — the full shed/retry round trip.
+  std::vector<Request> retry(batch.begin(), batch.begin() + 2);
+  ASSERT_OK(client->Pipeline(retry, &responses));
+  for (const Response& resp : responses) {
+    EXPECT_EQ(resp.status, StatusCode::kOk);
+  }
+
+  server.Stop();
+}
+
+TEST(NetBatchingTest, DeferPolicyServesEveryOpUnderBurst) {
+  auto store = MemStore();
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 1;
+  server_options.max_inflight = 8;
+  server_options.overload_policy = ServerOptions::OverloadPolicy::kDefer;
+  Server server(store.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  // Defer trades latency for completeness: the same burst that sheds under
+  // kShed must come back fully served, with zero kOverloaded replies.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([t, &server, &failures] {
+      auto connected = Client::Connect("127.0.0.1", server.port());
+      if (!connected.ok()) {
+        ++failures;
+        return;
+      }
+      auto client = std::move(connected).value();
+      std::vector<Request> batch;
+      std::vector<Response> responses;
+      for (int i = 0; i < 64; ++i) {
+        Request req;
+        req.op = Opcode::kPut;
+        req.key = "defer" + std::to_string(t) + "-" + std::to_string(i);
+        req.value = std::string(256, 'v');
+        batch.push_back(std::move(req));
+      }
+      for (int round = 0; round < 4; ++round) {
+        if (!client->Pipeline(batch, &responses).ok()) {
+          ++failures;
+          return;
+        }
+        for (const Response& resp : responses) {
+          if (resp.status != StatusCode::kOk) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.stats().ops_shed.load(), 0u);
+
+  server.Stop();
+}
+
+TEST(NetBatchingTest, BatchCountersShowCrossConnectionBatching) {
+  auto store = MemStore();
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 2;
+  // Force cross-core routing: Forwarding::kAuto would fall back to
+  // connection-affine execution on single-CPU CI runners, and these tests
+  // exist to exercise the forwarded path.
+  server_options.forwarding = ServerOptions::Forwarding::kOn;
+  Server server(store.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t, &server, &failures] {
+      auto connected = Client::Connect("127.0.0.1", server.port());
+      if (!connected.ok()) {
+        ++failures;
+        return;
+      }
+      auto client = std::move(connected).value();
+      std::vector<Request> batch;
+      std::vector<Response> responses;
+      for (int round = 0; round < 20; ++round) {
+        batch.clear();
+        for (int i = 0; i < 32; ++i) {
+          Request req;
+          if (i % 4 == 0) {
+            req.op = Opcode::kPut;
+            req.key = "bc" + std::to_string(t) + "-" + std::to_string(i);
+            req.value = "v";
+          } else {
+            req.op = Opcode::kGet;
+            req.key = "bc" + std::to_string(t) + "-" + std::to_string(i % 4);
+          }
+          batch.push_back(std::move(req));
+        }
+        if (!client->Pipeline(batch, &responses).ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  ASSERT_EQ(failures.load(), 0);
+
+  // Deep pipelines decode many ops per epoll round, so batches must carry
+  // more than one op on average — the whole point of the shared lock
+  // acquisition and group commit.
+  const uint64_t batches = server.stats().batches.load();
+  const uint64_t batched_ops = server.stats().batched_ops.load();
+  EXPECT_GT(batches, 0u);
+  EXPECT_GT(batched_ops, batches);
+
+  const std::string stats_text = server.RenderStatsText();
+  EXPECT_NE(stats_text.find("server.batches="), std::string::npos);
+  EXPECT_NE(stats_text.find("server.batch_size.count="), std::string::npos);
+  EXPECT_NE(stats_text.find("server.core.0.batches="), std::string::npos);
+  EXPECT_NE(stats_text.find("server.core.1.batches="), std::string::npos);
+  const std::string metrics_text = server.RenderMetricsText();
+  EXPECT_NE(metrics_text.find("hashkit_batches_total"), std::string::npos);
+  EXPECT_NE(metrics_text.find("hashkit_batch_size_ops"), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(NetBatchingTest, PipelineLargeValuesSurvivePartialWrites) {
+  auto store = MemStore();
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 2;
+  // Force cross-core routing: Forwarding::kAuto would fall back to
+  // connection-affine execution on single-CPU CI runners, and these tests
+  // exist to exercise the forwarded path.
+  server_options.forwarding = ServerOptions::Forwarding::kOn;
+  Server server(store.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  auto connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto client = std::move(connected).value();
+
+  // ~8MB of request bytes in one pipeline: far past any socket buffer, so
+  // the client's writev loop must take partial writes mid-iovec and
+  // opportunistically drain responses to avoid deadlocking against the
+  // server's own flow control.
+  auto value_of = [](int i) {
+    return std::string(256 * 1024, static_cast<char>('a' + (i % 26)));
+  };
+  std::vector<Request> batch;
+  for (int i = 0; i < 32; ++i) {
+    Request req;
+    req.op = Opcode::kPut;
+    req.key = "big" + std::to_string(i);
+    req.value = value_of(i);
+    batch.push_back(std::move(req));
+  }
+  std::vector<Response> responses;
+  ASSERT_OK(client->Pipeline(batch, &responses));
+  for (const Response& resp : responses) {
+    ASSERT_EQ(resp.status, StatusCode::kOk);
+  }
+
+  // Read them all back through one pipeline too (large responses stress
+  // the server's zero-copy OutQueue + partial sendmsg path).
+  batch.clear();
+  for (int i = 0; i < 32; ++i) {
+    Request req;
+    req.op = Opcode::kGet;
+    req.key = "big" + std::to_string(i);
+    batch.push_back(std::move(req));
+  }
+  ASSERT_OK(client->Pipeline(batch, &responses));
+  ASSERT_EQ(responses.size(), 32u);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_EQ(responses[static_cast<size_t>(i)].status, StatusCode::kOk);
+    ASSERT_EQ(responses[static_cast<size_t>(i)].value, value_of(i)) << "key big" << i;
+  }
+
+  server.Stop();
+}
+
+// TSan hammer (runs under the `stress` label): several cores batching
+// writes into a shared-nothing partitioned disk store with synchronous
+// durability — each per-core batch shares one WAL group-commit fsync, and
+// forwarding moves ops (and their completions) across core threads.
+TEST(NetBatchingTest, WalGroupCommitHammerAcrossCores) {
+  constexpr int kShards = 4;
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 96;
+  const std::string path = TempPath("net_batch_wal");
+  for (int s = 0; s < kShards; ++s) {
+    std::remove((path + ".s" + std::to_string(s)).c_str());
+    std::remove((path + ".s" + std::to_string(s) + ".wal").c_str());
+  }
+
+  StoreOptions store_options;
+  store_options.path = path;
+  store_options.truncate = true;
+  store_options.shards = kShards;
+  store_options.durability = Durability::kSync;
+  auto opened = OpenStore(StoreKind::kHashDisk, store_options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<KvStore> store = std::move(opened).value();
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 2;
+  // Force cross-core routing: Forwarding::kAuto would fall back to
+  // connection-affine execution on single-CPU CI runners, and these tests
+  // exist to exercise the forwarded path.
+  server_options.forwarding = ServerOptions::Forwarding::kOn;
+  auto server = std::make_unique<Server>(store.get(), server_options);
+  ASSERT_OK(server->Start());
+  const uint16_t port = server->port();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, port, &failures] {
+      auto connected = Client::Connect("127.0.0.1", port);
+      if (!connected.ok()) {
+        ++failures;
+        return;
+      }
+      auto client = std::move(connected).value();
+      std::vector<Request> batch;
+      std::vector<Response> responses;
+      for (int i = 0; i < kKeys;) {
+        batch.clear();
+        while (batch.size() < 16 && i < kKeys) {
+          Request req;
+          req.op = Opcode::kPut;
+          req.key = "wal" + std::to_string(t) + "-" + std::to_string(i);
+          req.value = "durable" + std::to_string(i);
+          batch.push_back(std::move(req));
+          ++i;
+        }
+        if (!client->Pipeline(batch, &responses).ok()) {
+          ++failures;
+          return;
+        }
+        for (const Response& resp : responses) {
+          if (resp.status != StatusCode::kOk) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  ASSERT_EQ(failures.load(), 0);
+  EXPECT_GT(server->stats().batches.load(), 0u);
+  server->Stop();
+  server.reset();
+  store.reset();
+
+  // What the group commit acknowledged must be on disk after a reopen.
+  store_options.truncate = false;
+  auto reopened = OpenStore(StoreKind::kHashDisk, store_options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto verify = std::move(reopened).value();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kKeys; ++i) {
+      std::string value;
+      ASSERT_OK(verify->Get("wal" + std::to_string(t) + "-" + std::to_string(i), &value));
+      EXPECT_EQ(value, "durable" + std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace hashkit

@@ -1,12 +1,16 @@
 // hashkit-net server daemon: serves any file-backed KvStore over TCP.
 //
 //   hashkit_server [--host=H] [--port=P] [--store=KIND] [--path=FILE]
-//                  [--shards=N] [--workers=N] [--idle_timeout_ms=N]
-//                  [--truncate] [--metrics-port=P]
+//                  [--shards=N] [--cores=N] [--idle_timeout_ms=N]
+//                  [--truncate] [--metrics-port=P] [--backlog=N]
+//                  [--max-inflight=N] [--overload-policy=shed|defer]
+//                  [--batch-ops=N] [--io-uring] [--exclusive-accept]
+//                  [--forwarding=auto|on|off]
 //                  [--durability=none|async|sync] [--wal-group-commit=N]
 //                  [--cluster-node=ID] [--peers=ID@HOST:PORT,...]
 //                  [--join=HOST:PORT] [--advertise=HOST:PORT]
-//                  [--split-threshold=N] [--wal-archive]
+//                  [--split-threshold=N] [--gossip-interval-ms=N]
+//                  [--wal-archive]
 //                  [--replica-of=HOST:PORT] [--replica-poll-ms=N]
 //
 // With shards > 1 the store opens as a ShardedStore (per-shard ".sN"
@@ -90,11 +94,30 @@ bool ParsePeer(const std::string& entry, hashkit::cluster::NodeInfo* out) {
 int Usage(int code) {
   std::fprintf(stderr,
                "usage: hashkit_server [--host=H] [--port=P] [--store=KIND] [--path=FILE]\n"
-               "                      [--shards=N] [--workers=N] [--idle_timeout_ms=N]\n"
-               "                      [--truncate] [--metrics-port=P]\n"
+               "                      [--shards=N] [--cores=N] [--idle_timeout_ms=N]\n"
+               "                      [--truncate] [--metrics-port=P] [--backlog=N]\n"
+               "                      [--max-inflight=N] [--overload-policy=shed|defer]\n"
+               "                      [--batch-ops=N] [--io-uring] [--exclusive-accept]\n"
+               "                      [--forwarding=auto|on|off]\n"
                "                      [--durability=none|async|sync] [--wal-group-commit=N]\n"
                "defaults: host 127.0.0.1, port 4691, store hash_disk,\n"
-               "          path /tmp/hashkit_server.db, shards 4, workers 2\n"
+               "          path /tmp/hashkit_server.db, shards 4, cores 2\n"
+               "cores:   worker threads, one event loop + keyspace slice each\n"
+               "         (--workers is an accepted alias).  --backlog=N sets the\n"
+               "         listen(2) queue depth (default 128).\n"
+               "overload: --max-inflight=N caps ops a core has accepted but not yet\n"
+               "         answered (default 4096; 0 = unlimited).  Above the cap,\n"
+               "         --overload-policy=shed answers OVERLOADED immediately with a\n"
+               "         retry-after-ms hint (default); defer pauses reads until the\n"
+               "         backlog halves.  --batch-ops=N bounds frames one connection\n"
+               "         may feed per event-loop round (default 512).\n"
+               "io:      --io-uring submits response writes through a per-core\n"
+               "         io_uring when the kernel offers one (falls back to sendmsg);\n"
+               "         --exclusive-accept shares one listen fd via EPOLLEXCLUSIVE\n"
+               "         instead of per-core SO_REUSEPORT sockets.\n"
+               "routing: --forwarding=auto|on|off — auto (default) routes ops to\n"
+               "         partition-owner cores only when cores <= hardware threads;\n"
+               "         an oversubscribed box runs connection-affine instead.\n"
                "store: hash_disk ndbm sdbm gdbm (file-backed kinds)\n"
                "metrics: --metrics-port=P serves Prometheus-style plaintext metrics\n"
                "         over HTTP on host:P (P=0 picks a free port; omit to disable)\n"
@@ -109,6 +132,9 @@ int Usage(int code) {
                "         --advertise=HOST:PORT overrides how peers reach this node\n"
                "         (default: listen host:port).  --split-threshold=N schedules a\n"
                "         cluster split when pairs-per-owned-bucket exceeds N.\n"
+               "         --gossip-interval-ms=N pushes the cluster map to every peer\n"
+               "         after N idle ms (default 1000; 0 disables), so partitioned\n"
+               "         or restarted nodes converge without client traffic.\n"
                "backup:  --wal-archive keeps checkpointed WAL segments next to the\n"
                "         table (<path>.wal.<seq>) for point-in-time recovery.\n"
                "replica: --replica-of=HOST:PORT bootstraps (when <path> is absent)\n"
@@ -234,9 +260,53 @@ int main(int argc, char** argv) {
   const char* host = FlagValue(argc, argv, "host");
   server_options.host = host != nullptr ? host : "127.0.0.1";
   server_options.port = static_cast<uint16_t>(FlagLong(argc, argv, "port", 4691));
-  server_options.workers = static_cast<int>(FlagLong(argc, argv, "workers", 2));
+  // --cores is the thread-per-core spelling; --workers stays as an alias.
+  long cores = FlagLong(argc, argv, "cores", -1);
+  if (cores < 0) {
+    cores = FlagLong(argc, argv, "workers", 2);
+  }
+  server_options.workers = static_cast<int>(cores);
+  server_options.backlog = static_cast<int>(FlagLong(argc, argv, "backlog", 128));
   server_options.idle_timeout_ms =
       static_cast<int>(FlagLong(argc, argv, "idle_timeout_ms", 60000));
+  long max_inflight = FlagLong(argc, argv, "max-inflight", -1);
+  if (max_inflight < 0) {
+    max_inflight = FlagLong(argc, argv, "max_inflight", 4096);
+  }
+  server_options.max_inflight = static_cast<size_t>(max_inflight);
+  const char* overload_policy = FlagValue(argc, argv, "overload-policy");
+  if (overload_policy != nullptr) {
+    if (std::strcmp(overload_policy, "shed") == 0) {
+      server_options.overload_policy = hashkit::net::ServerOptions::OverloadPolicy::kShed;
+    } else if (std::strcmp(overload_policy, "defer") == 0) {
+      server_options.overload_policy = hashkit::net::ServerOptions::OverloadPolicy::kDefer;
+    } else {
+      std::fprintf(stderr, "unknown overload policy: %s\n", overload_policy);
+      return Usage(2);
+    }
+  }
+  long batch_ops = FlagLong(argc, argv, "batch-ops", -1);
+  if (batch_ops < 0) {
+    batch_ops = FlagLong(argc, argv, "batch_ops", 512);
+  }
+  server_options.batch_ops = static_cast<int>(batch_ops);
+  server_options.io_uring =
+      HasFlag(argc, argv, "io-uring") || HasFlag(argc, argv, "io_uring");
+  const char* forwarding = FlagValue(argc, argv, "forwarding");
+  if (forwarding != nullptr) {
+    if (std::strcmp(forwarding, "auto") == 0) {
+      server_options.forwarding = hashkit::net::ServerOptions::Forwarding::kAuto;
+    } else if (std::strcmp(forwarding, "on") == 0) {
+      server_options.forwarding = hashkit::net::ServerOptions::Forwarding::kOn;
+    } else if (std::strcmp(forwarding, "off") == 0) {
+      server_options.forwarding = hashkit::net::ServerOptions::Forwarding::kOff;
+    } else {
+      std::fprintf(stderr, "unknown forwarding mode: %s\n", forwarding);
+      return Usage(2);
+    }
+  }
+  server_options.exclusive_accept =
+      HasFlag(argc, argv, "exclusive-accept") || HasFlag(argc, argv, "exclusive_accept");
   // Both spellings accepted; -1 (absent) leaves the endpoint off.
   long metrics_port = FlagLong(argc, argv, "metrics-port", -1);
   if (metrics_port < 0) {
@@ -261,6 +331,11 @@ int main(int argc, char** argv) {
     cluster_options.map_path = store_options.path + ".cmap";
     cluster_options.split_threshold =
         static_cast<uint64_t>(FlagLong(argc, argv, "split-threshold", 0));
+    long gossip = FlagLong(argc, argv, "gossip-interval-ms", -1);
+    if (gossip < 0) {
+      gossip = FlagLong(argc, argv, "gossip_interval_ms", 1000);
+    }
+    cluster_options.gossip_interval_ms = static_cast<uint32_t>(gossip);
     const char* peers_flag = FlagValue(argc, argv, "peers");
     const char* join_flag = FlagValue(argc, argv, "join");
     if (peers_flag != nullptr) {
@@ -318,7 +393,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("hashkit_server: %s on %s:%u (%d workers)\n", store->Name().c_str(),
+  std::printf("hashkit_server: %s on %s:%u (%d cores)\n", store->Name().c_str(),
               server_options.host.c_str(), server.port(), server_options.workers);
   if (server.metrics_port() != 0) {
     std::printf("hashkit_server: metrics on http://%s:%u/metrics\n",
