@@ -1,0 +1,67 @@
+# ctest smoke test for the cache stack (hashkit-cache): runs a tiny
+# eviction-ablation cell and the bundled memcached text-protocol driver.
+# Asserts BENCH_cache.json carries the documented row schema, TinyLFU's
+# hit rate is at least clock's on the skewed trace (the bench exits 2
+# otherwise), and the driver's get/set run finishes with zero protocol
+# errors.  Driven as
+#   cmake -DABLATION_BENCH=<bin> -DMC_DRIVER=<bin> -DWORK_DIR=<dir> \
+#         -P bench_cache_smoke.cmake
+# and registered from bench/CMakeLists.txt.
+
+if(NOT DEFINED ABLATION_BENCH OR NOT DEFINED MC_DRIVER OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DABLATION_BENCH=<bin> -DMC_DRIVER=<bin> -DWORK_DIR=<dir> -P bench_cache_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+file(REMOVE "${WORK_DIR}/BENCH_cache.json")
+
+execute_process(COMMAND "${ABLATION_BENCH}" --quick
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cache ablation failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+if(NOT EXISTS "${WORK_DIR}/BENCH_cache.json")
+  message(FATAL_ERROR "cache ablation wrote no BENCH_cache.json:\n${out}")
+endif()
+file(READ "${WORK_DIR}/BENCH_cache.json" contents)
+
+# Schema: every cell field EXPERIMENTS.md documents.
+foreach(field "\"policy\"" "\"capacity_ratio\"" "\"zipf_theta\"" "\"pages\""
+        "\"accesses\"" "\"hits\"" "\"misses\"" "\"hit_rate\"" "\"evictions\"")
+  string(FIND "${contents}" "${field}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+      "expected BENCH_cache.json to contain ${field}, got:\n${contents}")
+  endif()
+endforeach()
+
+# All three policies must appear.
+foreach(policy "\"clock\"" "\"2q\"" "\"tinylfu\"")
+  string(FIND "${contents}" "${policy}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "missing ${policy} cells:\n${contents}")
+  endif()
+endforeach()
+
+# The bench prints (and enforces by exit code) the headline comparison.
+if(NOT out MATCHES "tinylfu_ge_clock_on_skew=true")
+  message(FATAL_ERROR "TinyLFU lost to clock on the skewed trace:\n${out}")
+endif()
+
+# The text-protocol driver must complete get/set with zero protocol errors.
+execute_process(COMMAND "${MC_DRIVER}" --quick
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "memcached driver failed (rc=${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "protocol_errors=0")
+  message(FATAL_ERROR "driver reported protocol errors:\n${out}")
+endif()

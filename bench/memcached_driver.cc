@@ -1,0 +1,229 @@
+// hashkit-cache: bundled memcached text-protocol load driver — the
+// fallback for boxes without memtier_benchmark.  Speaks exactly the ASCII
+// subset the shim serves (set/get with flags, noreply off), counts every
+// reply byte-for-byte, and exits nonzero on ANY protocol error, so CI can
+// assert "a stock memcached client completes get/set against
+// --memcached-port with zero protocol errors" without external tools.
+//
+// Two modes:
+//   * --port=N: drive an already-running server's memcached listener
+//     (e.g. `hashkit_server --ttl --memcached-port 11211`).
+//   * no --port: self-serve — spin an in-process Server (memory store,
+//     TTL on) and drive its listener over loopback, so the driver also
+//     works as a standalone smoke test.
+//
+// Flags: --keys=N (default 2000), --ops=N (default 20000), --theta=Z
+// (Zipf skew, default 0.99), --ratio=R (get fraction, default 0.9),
+// --quick (small defaults for CI).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/kv/kv_store.h"
+#include "src/kv/synchronized.h"
+#include "src/net/server.h"
+#include "src/util/random.h"
+
+namespace hashkit {
+namespace bench {
+namespace {
+
+uint64_t FlagU64(int argc, char** argv, const char* name, uint64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+double FlagDouble(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtod(argv[i] + prefix.size(), nullptr);
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// A blocking text-protocol connection with a recv timeout.
+class McConn {
+ public:
+  bool Connect(const char* host, uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return false;
+    }
+    timeval tv{10, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, host, &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~McConn() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  bool Send(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, 0);
+      if (n <= 0) {
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Reads until the buffer ends with `terminator`; empty on EOF/timeout.
+  std::string ReadUntil(const std::string& terminator) {
+    std::string reply;
+    char buf[8192];
+    while (reply.size() < terminator.size() ||
+           reply.compare(reply.size() - terminator.size(), terminator.size(),
+                         terminator) != 0) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        return std::string();
+      }
+      reply.append(buf, static_cast<size_t>(n));
+    }
+    return reply;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+int Main(int argc, char** argv) {
+  const bool quick = HasFlag(argc, argv, "quick");
+  const uint64_t keys = FlagU64(argc, argv, "keys", quick ? 200 : 2000);
+  const uint64_t ops = FlagU64(argc, argv, "ops", quick ? 2000 : 20'000);
+  const double theta = FlagDouble(argc, argv, "theta", 0.99);
+  const double get_ratio = FlagDouble(argc, argv, "ratio", 0.9);
+  uint16_t port = static_cast<uint16_t>(FlagU64(argc, argv, "port", 0));
+
+  // Self-serve when no --port was given.
+  std::unique_ptr<kv::KvStore> store;
+  std::unique_ptr<net::Server> server;
+  if (port == 0) {
+    kv::StoreOptions store_options;
+    store_options.ttl = true;
+    auto opened = kv::OpenStore(kv::StoreKind::kHashMemory, store_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open store: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    store = kv::MakeSynchronized(std::move(opened).value());
+    net::ServerOptions server_options;
+    server_options.port = 0;
+    server_options.memcached_port = 0;
+    const auto started = [&] {
+      server = std::make_unique<net::Server>(store.get(), server_options);
+      return server->Start();
+    }();
+    if (!started.ok()) {
+      std::fprintf(stderr, "start server: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    port = server->memcached_port();
+    std::printf("self-serving on 127.0.0.1:%u\n", port);
+  }
+
+  McConn conn;
+  if (!conn.Connect("127.0.0.1", port)) {
+    std::fprintf(stderr, "cannot connect to 127.0.0.1:%u\n", port);
+    return 1;
+  }
+
+  const auto key_of = [](uint64_t i) { return "memkey-" + std::to_string(i); };
+  const auto value_of = [](uint64_t i) {
+    return "value-" + std::to_string(i) + "-" + std::string(16 + i % 48, 'x');
+  };
+
+  uint64_t sets = 0, gets = 0, hits = 0, misses = 0, protocol_errors = 0;
+
+  // Preload every key once, then run the skewed mixed phase.
+  for (uint64_t i = 0; i < keys; ++i) {
+    const std::string value = value_of(i);
+    const std::string cmd = "set " + key_of(i) + " 0 0 " + std::to_string(value.size()) +
+                            "\r\n" + value + "\r\n";
+    if (!conn.Send(cmd) || conn.ReadUntil("\r\n") != "STORED\r\n") {
+      ++protocol_errors;
+    }
+    ++sets;
+  }
+
+  Rng rng(0xcafe);
+  for (uint64_t i = 0; i < ops; ++i) {
+    const uint64_t k = theta > 0 ? rng.Zipf(keys, theta) : rng.Next() % keys;
+    if (rng.NextDouble() < get_ratio) {
+      const std::string key = key_of(k);
+      if (!conn.Send("get " + key + "\r\n")) {
+        ++protocol_errors;
+        break;
+      }
+      const std::string reply = conn.ReadUntil("END\r\n");
+      ++gets;
+      if (reply == "END\r\n") {
+        ++misses;
+      } else if (reply.rfind("VALUE " + key + " 0 ", 0) == 0) {
+        ++hits;
+      } else {
+        ++protocol_errors;
+      }
+    } else {
+      const std::string value = value_of(k);
+      const std::string cmd = "set " + key_of(k) + " 0 0 " +
+                              std::to_string(value.size()) + "\r\n" + value + "\r\n";
+      ++sets;
+      if (!conn.Send(cmd) || conn.ReadUntil("\r\n") != "STORED\r\n") {
+        ++protocol_errors;
+      }
+    }
+  }
+
+  if (server != nullptr) {
+    server->Stop();
+  }
+
+  const double hit_rate = gets > 0 ? static_cast<double>(hits) / static_cast<double>(gets)
+                                   : 0.0;
+  std::printf("sets=%llu gets=%llu hits=%llu misses=%llu hit_rate=%.3f "
+              "protocol_errors=%llu\n",
+              static_cast<unsigned long long>(sets), static_cast<unsigned long long>(gets),
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses), hit_rate,
+              static_cast<unsigned long long>(protocol_errors));
+  return protocol_errors == 0 ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hashkit
+
+int main(int argc, char** argv) { return hashkit::bench::Main(argc, argv); }

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Fail CI when PROTOCOL.md drifts from the protocol constants in code.
+
+Cross-checks, against src/net/proto.h and src/util/status.h:
+  * the opcode table (every enumerator, with its numeric value and wire
+    name, must appear in PROTOCOL.md's opcode table — and vice versa);
+  * the status-code table (same, from StatusCode);
+  * every flag/sub-op constant (kFlag*/kMigrate*/kBackup*/kReplicate*)
+    with its bit position (`1<<N`);
+  * the framing constants (header size, version, magics, length limits).
+
+The parsers are deliberately narrow: they read the exact enum/constant
+style those headers use, so adding an opcode without updating the spec
+(or vice versa) fails CI with a message naming the missing row.
+
+Exit status is the number of discrepancies (0 = clean).
+"""
+
+import os
+import re
+import sys
+
+
+def camel_to_wire(name):
+    """kMapGet -> MAP_GET (the OpcodeName/StatusCodeName convention)."""
+    assert name.startswith("k")
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name[1:]).upper()
+
+
+def parse_enum(text, enum_name):
+    """Parse `enum class <name> ... { ... }` into {wire_name: value}."""
+    m = re.search(r"enum class %s[^{]*\{(.*?)\}\s*;" % enum_name, text, re.S)
+    if m is None:
+        raise SystemExit("cannot find enum %s" % enum_name)
+    out = {}
+    next_value = 0
+    for line in m.group(1).splitlines():
+        line = line.split("//", 1)[0].strip().rstrip(",")
+        if not line:
+            continue
+        em = re.match(r"(k\w+)(?:\s*=\s*(\d+))?$", line)
+        if em is None:
+            continue
+        value = int(em.group(2)) if em.group(2) else next_value
+        out[camel_to_wire(em.group(1))] = value
+        next_value = value + 1
+    return out
+
+
+def parse_bit_constants(text, prefixes):
+    """Parse `inline constexpr uint8_t kName = 1u << N;` -> {name: N}."""
+    out = {}
+    for m in re.finditer(
+            r"inline constexpr uint8_t (k\w+) = 1u << (\d+);", text):
+        if m.group(1).startswith(prefixes):
+            out[m.group(1)] = int(m.group(2))
+    return out
+
+
+def parse_md_table_rows(md, first_header_cell):
+    """Yield cell lists for every row of the table whose header row's
+    first cell matches, until the first non-table line."""
+    lines = md.splitlines()
+    for i, line in enumerate(lines):
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if cells and cells[0] == first_header_cell:
+            for row in lines[i + 2:]:  # skip the |---| separator
+                if not row.strip().startswith("|"):
+                    return
+                yield [c.strip() for c in row.strip().strip("|").split("|")]
+            return
+
+
+def check(errors, cond, message):
+    if not cond:
+        errors.append(message)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    proto = open(os.path.join(root, "src/net/proto.h"), encoding="utf-8").read()
+    status = open(os.path.join(root, "src/util/status.h"), encoding="utf-8").read()
+    md = open(os.path.join(root, "PROTOCOL.md"), encoding="utf-8").read()
+    errors = []
+
+    # --- opcode table -----------------------------------------------------
+    code_ops = parse_enum(proto, "Opcode")
+    md_ops = {}
+    for cells in parse_md_table_rows(md, "value"):
+        nm = re.match(r"`(\w+)`", cells[1])
+        if nm and cells[0].isdigit() and nm.group(1) not in md_ops:
+            md_ops.setdefault(nm.group(1), int(cells[0]))
+    # The first "value"-headed table is the opcode table; the status table
+    # has header "value" too, so split by membership instead of position.
+    for name, value in code_ops.items():
+        check(errors, md_ops.get(name) == value,
+              "PROTOCOL.md opcode table: expected | %d | `%s` |" % (value, name))
+    # Reverse direction: no phantom opcodes in the spec.
+    code_status = parse_enum(status, "StatusCode")
+    for name, value in md_ops.items():
+        if name in code_status and name not in code_ops:
+            continue  # a status-table row that shares the header shape
+        check(errors, code_ops.get(name) == value,
+              "PROTOCOL.md lists opcode `%s` = %d, not in src/net/proto.h"
+              % (name, value))
+
+    # --- status table -----------------------------------------------------
+    for name, value in code_status.items():
+        row = "| %d     | `%s`" % (value, name)
+        pattern = r"\|\s*%d\s*\|\s*`%s`" % (value, name)
+        check(errors, re.search(pattern, md) is not None,
+              "PROTOCOL.md status table: expected %s... row" % row)
+
+    # --- flag / sub-op constants ------------------------------------------
+    bits = parse_bit_constants(
+        proto, ("kFlag", "kMigrate", "kBackup", "kReplicate"))
+    check(errors, len(bits) >= 12, "suspiciously few flag constants parsed")
+    for name, bit in bits.items():
+        pattern = r"`%s`\s*\|\s*`1<<%d`" % (name, bit)
+        check(errors, re.search(pattern, md) is not None,
+              "PROTOCOL.md flag tables: expected | `%s` | `1<<%d` | row"
+              % (name, bit))
+
+    # --- framing constants -------------------------------------------------
+    for needle, why in [
+        ("0x4B48", "request magic"),
+        ("0x6B68", "response magic"),
+        ("fixed 20-byte header", "header size"),
+        ("`kMaxKeyLen`", "key length limit"),
+        ("`kMaxValueLen`", "value length limit"),
+    ]:
+        check(errors, needle in md, "PROTOCOL.md missing %s (%s)" % (needle, why))
+    check(errors, "kHeaderSize = 20" in proto,
+          "proto.h header size changed; update PROTOCOL.md framing section")
+
+    for e in errors:
+        print("DRIFT: %s" % e)
+    if not errors:
+        print("PROTOCOL.md tables match src/net/proto.h "
+              "(%d opcodes, %d status codes, %d flag constants)"
+              % (len(code_ops), len(code_status), len(bits)))
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/kv/ttl.h"
 #include "src/net/client.h"
 #include "src/util/endian.h"
 #include "src/util/tempfile.h"
@@ -459,9 +460,22 @@ bool ClusterNode::HandleData(const net::Request& req, net::Response* resp) {
 
   Status st;
   switch (req.op) {
-    case net::Opcode::kPut:
-      st = store_->Put(req.key, req.value, (req.flags & net::kFlagNoOverwrite) == 0);
+    case net::Opcode::kPut: {
+      const bool overwrite = (req.flags & net::kFlagNoOverwrite) == 0;
+      if ((req.flags & net::kFlagPutTtl) == 0) {
+        st = store_->Put(req.key, req.value, overwrite);
+      } else if (!store_->Caps().ttl) {
+        st = Status::Unsupported("store opened without TTL support");
+      } else if (req.value.size() < net::kPutTtlPrefixBytes) {
+        st = Status::InvalidArgument("PUT+ttl wants a u32 ttl_ms value prefix");
+      } else {
+        const uint32_t ttl_ms = ReadU32(req.value, 0);
+        st = store_->PutWithTtl(
+            req.key, std::string_view(req.value).substr(net::kPutTtlPrefixBytes),
+            overwrite, ttl_ms == 0 ? 0 : kv::TtlNowMs() + ttl_ms);
+      }
       break;
+    }
     case net::Opcode::kGet:
       st = store_->Get(req.key, &resp->value);
       break;
@@ -575,7 +589,10 @@ bool ClusterNode::HandleMigrate(const net::Request& req, net::Response* resp) {
         resp->status = StatusCode::kOk;
         return true;
       }
-      const Status st = store_->Put(req.key, req.value, /*overwrite=*/true);
+      // Raw apply: with TTL enabled on both ends the migrated value still
+      // carries its expiry stamp, so a key never loses (or regains) its
+      // TTL by moving between nodes.
+      const Status st = store_->PutRaw(req.key, req.value);
       if (!st.ok()) {
         return fail(st);
       }
@@ -933,7 +950,10 @@ Status ClusterNode::ExecuteTransfer(uint32_t bucket, uint32_t target_node) {
     std::string value;
     bool first = true;
     for (;;) {
-      const Status st = store_->Scan(&key, &value, first);
+      // Raw scan: values keep their TTL stamps (applied with PutRaw on the
+      // target), and expired-but-unswept keys still travel — the target's
+      // reads and sweeper expire them there, so no resurrection either way.
+      const Status st = store_->ScanRaw(&key, &value, first);
       first = false;
       if (st.IsNotFound()) {
         break;

@@ -42,7 +42,7 @@ Status ValidateOptions(const HashOptions& options) {
 
 HashTable::HashTable(std::unique_ptr<PageFile> file, const HashOptions& options)
     : file_(std::move(file)),
-      pool_(std::make_unique<BufferPool>(file_.get(), options.cachesize)),
+      pool_(std::make_unique<BufferPool>(file_.get(), options.cachesize, options.eviction)),
       ovfl_(std::make_unique<OvflAllocator>(&meta_, pool_.get())),
       split_policy_(options.split_policy),
       auto_contract_(options.auto_contract) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "src/pagefile/eviction.h"
 #include "src/util/hash_funcs.h"
 
 namespace hashkit {
@@ -96,6 +97,21 @@ struct HashOptions {
   // archive").  Segments accumulate until the operator prunes them;
   // `db_tool restore` replays them up to a target LSN.
   bool wal_archive = false;
+
+  // Buffer-pool replacement policy (hashkit-cache).
+  EvictionPolicyKind eviction = EvictionPolicyKind::kClock;
+
+  // Per-key time-to-live (hashkit-cache).  When set, every stored value
+  // carries an 8-byte absolute-expiry stamp (milliseconds since the epoch,
+  // 0 = never) ahead of the payload; the kv layer encodes/decodes the
+  // stamp and treats expired keys as absent on every read path.  Because
+  // the stamp lives inside the value bytes, page-level WAL replay,
+  // replication, and backup preserve it with no extra machinery — an
+  // expired key stays expired after recovery and never resurrects.  Every
+  // handle/replica/cluster node serving one dataset must agree on this
+  // flag (a stamped value read by a non-TTL handle is 8 bytes of garbage
+  // prefix, and vice versa).
+  bool ttl_enabled = false;
 
   // On-disk format for NEWLY created tables.  2 (the default) lays out a
   // per-page fingerprint tag array that the lookup path filters on; 1 is

@@ -1,6 +1,10 @@
 #include "src/kv/kv_store.h"
 
+#include <atomic>
 #include <deque>
+#include <optional>
+
+#include "src/kv/ttl.h"
 
 #include "src/baselines/dynahash/dynahash.h"
 #include "src/btree/btree.h"
@@ -15,33 +19,242 @@ namespace kv {
 
 namespace {
 
-// KvCursor over a HashTable snapshot (hashkit-mvcc).
+// KvCursor over a HashTable snapshot (hashkit-mvcc).  On a TTL store the
+// cursor skips entries already expired as of each Next call and strips the
+// stamp from what it yields — a snapshot pins bytes, not liveness, so a
+// key whose TTL lapses mid-scan stops appearing exactly as it does on the
+// live read path.  `expired_counter` (optional) feeds the owning store's
+// lazy-expiry stat.
 class HashSnapshotCursor final : public KvCursor {
  public:
-  explicit HashSnapshotCursor(SnapshotCursor cursor) : cursor_(std::move(cursor)) {}
-  Status Next(std::string* key, std::string* value) override { return cursor_.Next(key, value); }
+  HashSnapshotCursor(SnapshotCursor cursor, bool ttl,
+                     std::atomic<uint64_t>* expired_counter)
+      : cursor_(std::move(cursor)), ttl_(ttl), expired_counter_(expired_counter) {}
+  Status Next(std::string* key, std::string* value) override {
+    if (!ttl_) {
+      return cursor_.Next(key, value);
+    }
+    for (;;) {
+      HASHKIT_RETURN_IF_ERROR(cursor_.Next(key, value));
+      uint64_t expire_at_ms = 0;
+      std::string_view payload;
+      if (!DecodeTtlStamp(*value, &expire_at_ms, &payload)) {
+        return Status::Corruption("value too short for a TTL stamp");
+      }
+      if (TtlExpired(expire_at_ms, TtlNowMs())) {
+        if (expired_counter_ != nullptr) {
+          expired_counter_->fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      value->erase(0, kTtlStampBytes);
+      return Status::Ok();
+    }
+  }
   uint64_t Lsn() const override { return cursor_.snapshot()->lsn(); }
 
  private:
   SnapshotCursor cursor_;
+  const bool ttl_;
+  std::atomic<uint64_t>* expired_counter_;
 };
 
 class HashStore final : public KvStore {
  public:
-  HashStore(std::unique_ptr<HashTable> table, bool persistent)
-      : table_(std::move(table)), persistent_(persistent) {}
+  HashStore(std::unique_ptr<HashTable> table, bool persistent, bool ttl)
+      : table_(std::move(table)), persistent_(persistent), ttl_(ttl) {}
 
   Status Put(std::string_view key, std::string_view value, bool overwrite) override {
-    return table_->Put(key, value, overwrite);
+    return PutWithTtl(key, value, overwrite, 0);
   }
   Status Get(std::string_view key, std::string* value) override {
-    return table_->Get(key, value);
+    return GetWithExpiry(key, value, nullptr);
   }
-  Status Delete(std::string_view key) override { return table_->Delete(key); }
+  Status Delete(std::string_view key) override {
+    if (ttl_) {
+      // An expired entry is already absent to callers, so deleting it must
+      // answer NotFound (memcached `delete` semantics) — but this path
+      // holds the write lock, so reclaim the bytes on the way out.
+      std::string raw;
+      const Status got = table_->Get(key, &raw);
+      HASHKIT_RETURN_IF_ERROR(got);
+      uint64_t stamp = 0;
+      std::string_view payload;
+      if (!DecodeTtlStamp(raw, &stamp, &payload)) {
+        return Status::Corruption("value too short for a TTL stamp");
+      }
+      if (TtlExpired(stamp, TtlNowMs())) {
+        ttl_expired_lazy_.fetch_add(1, std::memory_order_relaxed);
+        (void)table_->Delete(key);
+        return Status::NotFound();
+      }
+    }
+    return table_->Delete(key);
+  }
   Status Scan(std::string* key, std::string* value, bool first) override {
-    return table_->Seq(key, value, first);
+    if (!ttl_) {
+      return table_->Seq(key, value, first);
+    }
+    // Lazy expiry on the sequential path: skip dead entries, strip stamps.
+    bool restart = first;
+    for (;;) {
+      HASHKIT_RETURN_IF_ERROR(table_->Seq(key, value, restart));
+      restart = false;
+      uint64_t expire_at_ms = 0;
+      std::string_view payload;
+      if (!DecodeTtlStamp(*value, &expire_at_ms, &payload)) {
+        return Status::Corruption("value too short for a TTL stamp");
+      }
+      if (TtlExpired(expire_at_ms, TtlNowMs())) {
+        ttl_expired_lazy_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      value->erase(0, kTtlStampBytes);
+      return Status::Ok();
+    }
   }
   Status Sync() override { return table_->Sync(); }
+
+  // --- TTL surface (hashkit-cache); no-ops reduce to the table calls when
+  // the store was opened without ttl. ---
+  Status PutWithTtl(std::string_view key, std::string_view value, bool overwrite,
+                    uint64_t expire_at_ms) override {
+    if (!ttl_) {
+      if (expire_at_ms != 0) {
+        return Status::Unsupported("store opened without ttl");
+      }
+      return table_->Put(key, value, overwrite);
+    }
+    if (!overwrite) {
+      // `add` semantics: an expired-but-unswept entry must not block the
+      // insert.  Probe the raw entry; only a live one is a duplicate.
+      std::string raw;
+      const Status existing = table_->Get(key, &raw);
+      if (existing.ok()) {
+        uint64_t old_stamp = 0;
+        std::string_view old_payload;
+        if (DecodeTtlStamp(raw, &old_stamp, &old_payload) &&
+            !TtlExpired(old_stamp, TtlNowMs())) {
+          return Status::Exists();
+        }
+      } else if (!existing.IsNotFound()) {
+        return existing;
+      }
+    }
+    std::string stamped;
+    EncodeTtlValue(expire_at_ms, value, &stamped);
+    return table_->Put(key, stamped, /*overwrite=*/true);
+  }
+  Status GetWithExpiry(std::string_view key, std::string* value,
+                       uint64_t* expire_at_ms) override {
+    if (expire_at_ms != nullptr) {
+      *expire_at_ms = 0;
+    }
+    if (!ttl_) {
+      return table_->Get(key, value);
+    }
+    std::string raw;
+    HASHKIT_RETURN_IF_ERROR(table_->Get(key, &raw));
+    uint64_t stamp = 0;
+    std::string_view payload;
+    if (!DecodeTtlStamp(raw, &stamp, &payload)) {
+      return Status::Corruption("value too short for a TTL stamp");
+    }
+    if (TtlExpired(stamp, TtlNowMs())) {
+      // Lazy expiry: report absent, leave the bytes for the sweeper (this
+      // path may run under a SHARED lock, so it must not write).
+      ttl_expired_lazy_.fetch_add(1, std::memory_order_relaxed);
+      return Status::NotFound();
+    }
+    if (expire_at_ms != nullptr) {
+      *expire_at_ms = stamp;
+    }
+    if (value != nullptr) {
+      value->assign(payload);
+    }
+    return Status::Ok();
+  }
+  Status Touch(std::string_view key, uint64_t expire_at_ms) override {
+    if (!ttl_) {
+      return Status::Unsupported("store opened without ttl");
+    }
+    std::string raw;
+    HASHKIT_RETURN_IF_ERROR(table_->Get(key, &raw));
+    uint64_t stamp = 0;
+    std::string_view payload;
+    if (!DecodeTtlStamp(raw, &stamp, &payload)) {
+      return Status::Corruption("value too short for a TTL stamp");
+    }
+    if (TtlExpired(stamp, TtlNowMs())) {
+      ttl_expired_lazy_.fetch_add(1, std::memory_order_relaxed);
+      return Status::NotFound();
+    }
+    std::string stamped;
+    EncodeTtlValue(expire_at_ms, payload, &stamped);
+    return table_->Put(key, stamped, /*overwrite=*/true);
+  }
+  // One budgeted slice of the background sweep.  The position persists
+  // across calls as a skip count into a fresh snapshot (entry order is
+  // stable between slices up to the deletions themselves, which the skip
+  // accounting subtracts); when the cursor runs off the end the position
+  // resets and the next slice starts a new pass.  Skipping costs O(position)
+  // per slice — fine for a 1 Hz background thread, and the budget knob
+  // bounds the exclusive-lock hold time either way.
+  Status SweepExpired(size_t budget, uint64_t now_ms, size_t* deleted) override {
+    *deleted = 0;
+    if (!ttl_ || budget == 0) {
+      return Status::Ok();
+    }
+    SnapshotCursor cursor = table_->NewSnapshotCursor(table_->CreateSnapshot());
+    std::string key;
+    std::string raw;
+    for (uint64_t skipped = 0; skipped < sweep_pos_; ++skipped) {
+      if (!cursor.Next(&key, &raw).ok()) {
+        sweep_pos_ = 0;
+        return Status::Ok();
+      }
+    }
+    size_t examined = 0;
+    while (examined < budget) {
+      const Status st = cursor.Next(&key, &raw);
+      if (st.IsNotFound()) {
+        sweep_pos_ = 0;  // pass complete; next slice starts over
+        return Status::Ok();
+      }
+      HASHKIT_RETURN_IF_ERROR(st);
+      ++examined;
+      uint64_t stamp = 0;
+      std::string_view payload;
+      if (!DecodeTtlStamp(raw, &stamp, &payload) || !TtlExpired(stamp, now_ms)) {
+        continue;
+      }
+      // Re-check against the LIVE entry: the snapshot may predate a Put
+      // that refreshed this key, and deleting the refreshed value would
+      // resurrect... nothing, but would drop live data.
+      std::string live;
+      uint64_t live_stamp = 0;
+      std::string_view live_payload;
+      if (table_->Get(key, &live).ok() &&
+          DecodeTtlStamp(live, &live_stamp, &live_payload) &&
+          TtlExpired(live_stamp, now_ms)) {
+        if (table_->Delete(key).ok()) {
+          ++*deleted;
+          ttl_swept_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    sweep_pos_ += examined - *deleted;
+    return Status::Ok();
+  }
+  Status ScanRaw(std::string* key, std::string* value, bool first) override {
+    // Stamped bytes, no expiry filtering; position is independent of
+    // Scan's (the table cursor is shared, so raw transport and client
+    // scans must not interleave — migration holds the data latch).
+    return table_->Seq(key, value, first);
+  }
+  Status PutRaw(std::string_view key, std::string_view value) override {
+    return table_->Put(key, value, /*overwrite=*/true);
+  }
 
   // One WAL batch scope around the whole run: each op still commits its
   // own log batch, but at most one group-commit fsync covers them all
@@ -66,16 +279,22 @@ class HashStore final : public KvStore {
     for (BatchOp& op : ops) {
       switch (op.kind) {
         case BatchOp::Kind::kPut:
-          op.result = table_->Put(op.key, op.value, op.overwrite);
+          if (ttl_) {
+            op.result = PutWithTtl(op.key, op.value, op.overwrite, op.expire_at_ms);
+          } else if (op.expire_at_ms != 0) {
+            op.result = Status::Unsupported("store opened without ttl");
+          } else {
+            op.result = table_->Put(op.key, op.value, op.overwrite);
+          }
           break;
         case BatchOp::Kind::kGet: {
           std::string scratch;
           std::string* out = op.value_out != nullptr ? op.value_out : &scratch;
-          op.result = table_->Get(op.key, out);
+          op.result = ttl_ ? GetWithExpiry(op.key, out, nullptr) : table_->Get(op.key, out);
           break;
         }
         case BatchOp::Kind::kDelete:
-          op.result = table_->Delete(op.key);
+          op.result = ttl_ ? Delete(op.key) : table_->Delete(op.key);
           break;
       }
     }
@@ -105,19 +324,23 @@ class HashStore final : public KvStore {
             // (see hash_table.h); wrappers may use a shared reader lock.
             .concurrent_reads = true,
             .snapshots = true,
-            .backup = persistent_};
+            .backup = persistent_,
+            .ttl = ttl_};
   }
   bool Stats(StoreStats* out) const override {
     out->table = table_->StatsSnapshot();
     out->pool = table_->PoolStatsSnapshot();
     out->wal = table_->WalStatsSnapshot();
     out->shards = 1;
+    out->ttl_expired_lazy = ttl_expired_lazy_.load(std::memory_order_relaxed);
+    out->ttl_swept = ttl_swept_.load(std::memory_order_relaxed);
     return true;
   }
 
   Result<std::unique_ptr<KvCursor>> NewSnapshotCursor() override {
     return std::unique_ptr<KvCursor>(
-        new HashSnapshotCursor(table_->NewSnapshotCursor(table_->CreateSnapshot())));
+        new HashSnapshotCursor(table_->NewSnapshotCursor(table_->CreateSnapshot()), ttl_,
+                               &ttl_expired_lazy_));
   }
   Result<BackupInfo> BackupBegin() override {
     HASHKIT_ASSIGN_OR_RETURN(const HashTable::BackupInfo info, table_->BackupBegin());
@@ -149,6 +372,14 @@ class HashStore final : public KvStore {
  private:
   std::unique_ptr<HashTable> table_;
   bool persistent_;
+  bool ttl_;
+
+  // hashkit-cache: lazy/background expiry counters (atomic — the lazy one
+  // bumps under shared locks) and the sweep position (only the serialized
+  // sweeper touches it).
+  mutable std::atomic<uint64_t> ttl_expired_lazy_{0};
+  std::atomic<uint64_t> ttl_swept_{0};
+  uint64_t sweep_pos_ = 0;
 };
 
 class BtreeStore final : public KvStore {
@@ -389,9 +620,12 @@ Result<std::unique_ptr<KvStore>> OpenStore(StoreKind kind, const StoreOptions& o
       opts.durability = options.durability;
       opts.wal_group_commit = options.wal_group_commit;
       opts.wal_archive = options.wal_archive;
+      opts.eviction = options.eviction;
+      opts.ttl_enabled = options.ttl;
       HASHKIT_ASSIGN_OR_RETURN(auto table,
                                HashTable::Open(options.path, opts, options.truncate));
-      return std::unique_ptr<KvStore>(new HashStore(std::move(table), /*persistent=*/true));
+      return std::unique_ptr<KvStore>(
+          new HashStore(std::move(table), /*persistent=*/true, opts.ttl_enabled));
     }
     case StoreKind::kHashMemory: {
       HashOptions opts;
@@ -399,8 +633,11 @@ Result<std::unique_ptr<KvStore>> OpenStore(StoreKind kind, const StoreOptions& o
       opts.ffactor = options.ffactor;
       opts.nelem = options.nelem;
       opts.cachesize = options.cachesize;
+      opts.eviction = options.eviction;
+      opts.ttl_enabled = options.ttl;
       HASHKIT_ASSIGN_OR_RETURN(auto table, HashTable::OpenInMemory(opts));
-      return std::unique_ptr<KvStore>(new HashStore(std::move(table), /*persistent=*/false));
+      return std::unique_ptr<KvStore>(
+          new HashStore(std::move(table), /*persistent=*/false, opts.ttl_enabled));
     }
     case StoreKind::kBtree: {
       if (options.path.empty()) {

@@ -48,6 +48,9 @@ struct Capabilities {
   // BackupBegin/ReadPages/ReadWal/End and ReplicationRead supported
   // (online backup and WAL shipping; hashkit-mvcc).
   bool backup = false;
+  // Per-key TTL supported: PutWithTtl/GetWithExpiry/Touch/SweepExpired
+  // work, expired keys read as absent (hashkit-cache).
+  bool ttl = false;
 };
 
 // A scan over a point-in-time snapshot of the store.  Each Next observes
@@ -98,6 +101,9 @@ struct StoreStats {
   wal::WalStats wal;
   OpLatencies latency;
   size_t shards = 1;  // number of backing partitions (1 = unsharded)
+  // hashkit-cache: TTL expiry counters (zero on stores without TTL).
+  uint64_t ttl_expired_lazy = 0;  // expired entries seen by Get/Scan paths
+  uint64_t ttl_swept = 0;         // expired entries removed by SweepExpired
 
   // Accumulates another store's counters into this one (shards is left to
   // the caller — partition count does not sum across wrappers).  Used by
@@ -117,6 +123,8 @@ struct StoreStats {
     pool.MergeFrom(other.pool);
     wal.MergeFrom(other.wal);
     latency.MergeFrom(other.latency);
+    ttl_expired_lazy += other.ttl_expired_lazy;
+    ttl_swept += other.ttl_swept;
   }
 };
 
@@ -129,6 +137,9 @@ struct BatchOp {
   std::string_view key;
   std::string_view value;    // kPut only
   bool overwrite = true;     // kPut only
+  // kPut only: absolute expiry in ms since the epoch, 0 = never
+  // (hashkit-cache).  Ignored by stores without Capabilities::ttl.
+  uint64_t expire_at_ms = 0;
   std::string* value_out = nullptr;  // kGet only; may be null (existence probe)
   Status result;             // filled by ApplyBatch, one per op
 };
@@ -160,7 +171,7 @@ class KvStore {
     for (BatchOp& op : ops) {
       switch (op.kind) {
         case BatchOp::Kind::kPut:
-          op.result = Put(op.key, op.value, op.overwrite);
+          op.result = PutWithTtl(op.key, op.value, op.overwrite, op.expire_at_ms);
           break;
         case BatchOp::Kind::kGet: {
           std::string scratch;
@@ -197,6 +208,60 @@ class KvStore {
   virtual bool Stats(StoreStats* out) const {
     (void)out;
     return false;
+  }
+
+  // --- Per-key TTL (hashkit-cache) ---
+  // Everything defaults to the non-TTL behavior (Put/Get pass through, an
+  // actual expiry request is kUnsupported); stores opened with ttl on
+  // override per Capabilities::ttl.  See src/kv/ttl.h for the model.
+
+  // Put with an absolute expiry (ms since the epoch; 0 = never).  On a TTL
+  // store overwrite=false treats an expired existing key as absent, so
+  // `add` semantics work on top of this.
+  virtual Status PutWithTtl(std::string_view key, std::string_view value, bool overwrite,
+                            uint64_t expire_at_ms) {
+    if (expire_at_ms == 0) {
+      return Put(key, value, overwrite);
+    }
+    return Status::Unsupported(Name() + " does not support TTL");
+  }
+  // Get that also reports the entry's expiry stamp (0 = never, and always
+  // 0 on non-TTL stores).  `expire_at_ms` may be null.
+  virtual Status GetWithExpiry(std::string_view key, std::string* value,
+                               uint64_t* expire_at_ms) {
+    if (expire_at_ms != nullptr) {
+      *expire_at_ms = 0;
+    }
+    return Get(key, value);
+  }
+  // Rewrites the expiry of a live entry without touching its payload
+  // (memcached `touch`); expire_at_ms = 0 clears the TTL.  kNotFound when
+  // the key is absent or already expired.
+  virtual Status Touch(std::string_view key, uint64_t expire_at_ms) {
+    (void)key, (void)expire_at_ms;
+    return Status::Unsupported(Name() + " does not support TTL");
+  }
+  // One background-expiry slice: examine up to `budget` entries from an
+  // internal cursor (position persists across calls, wrapping at the end),
+  // delete those expired as of `now_ms`, report how many in `*deleted`.
+  // A no-op on stores without TTL.  Callers serialize calls (the sweeper
+  // thread is the only intended caller).
+  virtual Status SweepExpired(size_t budget, uint64_t now_ms, size_t* deleted) {
+    (void)budget, (void)now_ms;
+    *deleted = 0;
+    return Status::Ok();
+  }
+  // Raw entry transport for replication-grade rebalancing (cluster
+  // migration): values keep their TTL stamp so a moved key carries its
+  // expiry to the new owner, and expired-but-unswept entries move as-is
+  // instead of silently becoming immortal.  On non-TTL stores these are
+  // exactly Scan / Put(overwrite).  Both ends of a transport must agree on
+  // ttl_enabled (see HashOptions).  ScanRaw shares no state with Scan.
+  virtual Status ScanRaw(std::string* key, std::string* value, bool first) {
+    return Scan(key, value, first);
+  }
+  virtual Status PutRaw(std::string_view key, std::string_view value) {
+    return Put(key, value, /*overwrite=*/true);
   }
 
   // --- Snapshot scans, online backup, replication (hashkit-mvcc) ---
@@ -280,6 +345,12 @@ struct StoreOptions {
   // Archive checkpointed WAL segments beside the table for point-in-time
   // recovery (`db_tool restore`); kHashDisk with a log only.
   bool wal_archive = false;
+  // hashkit-cache: per-key TTL (kHashDisk/kHashMemory only; other kinds
+  // ignore it and report Capabilities::ttl = false).  Every handle that
+  // opens one dataset must agree on this flag — see HashOptions.
+  bool ttl = false;
+  // hashkit-cache: buffer-pool replacement policy (kinds with a pool).
+  EvictionPolicyKind eviction = EvictionPolicyKind::kClock;
 };
 
 Result<std::unique_ptr<KvStore>> OpenStore(StoreKind kind, const StoreOptions& options);

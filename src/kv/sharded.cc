@@ -154,6 +154,89 @@ Status ShardedStore::ApplyBatch(std::span<BatchOp> ops) {
   return Status::Ok();
 }
 
+Status ShardedStore::PutWithTtl(std::string_view key, std::string_view value, bool overwrite,
+                                uint64_t expire_at_ms) {
+  const uint64_t t0 = MonotonicNanos();
+  Shard& shard = *shards_[ShardOf(key)];
+  Status st;
+  {
+    const std::unique_lock<std::shared_mutex> lock(shard.mu);
+    st = shard.store->PutWithTtl(key, value, overwrite, expire_at_ms);
+  }
+  shard.put_ns.Record(MonotonicNanos() - t0);
+  return st;
+}
+
+Status ShardedStore::GetWithExpiry(std::string_view key, std::string* value,
+                                   uint64_t* expire_at_ms) {
+  const uint64_t t0 = MonotonicNanos();
+  Shard& shard = *shards_[ShardOf(key)];
+  Status st;
+  if (inner_concurrent_reads_) {
+    const std::shared_lock<std::shared_mutex> lock(shard.mu);
+    st = shard.store->GetWithExpiry(key, value, expire_at_ms);
+  } else {
+    const std::unique_lock<std::shared_mutex> lock(shard.mu);
+    st = shard.store->GetWithExpiry(key, value, expire_at_ms);
+  }
+  shard.get_ns.Record(MonotonicNanos() - t0);
+  return st;
+}
+
+Status ShardedStore::Touch(std::string_view key, uint64_t expire_at_ms) {
+  Shard& shard = *shards_[ShardOf(key)];
+  const std::unique_lock<std::shared_mutex> lock(shard.mu);
+  return shard.store->Touch(key, expire_at_ms);
+}
+
+Status ShardedStore::SweepExpired(size_t budget, uint64_t now_ms, size_t* deleted) {
+  // Split the slice across shards (floor of one entry each) so every
+  // shard's dead keys age out at the same rate.
+  *deleted = 0;
+  const size_t per_shard = std::max<size_t>(1, budget / shards_.size());
+  Status first_error = Status::Ok();
+  for (auto& shard : shards_) {
+    size_t shard_deleted = 0;
+    Status st;
+    {
+      const std::unique_lock<std::shared_mutex> lock(shard->mu);
+      st = shard->store->SweepExpired(per_shard, now_ms, &shard_deleted);
+    }
+    *deleted += shard_deleted;
+    if (!st.ok() && first_error.ok()) {
+      first_error = st;
+    }
+  }
+  return first_error;
+}
+
+Status ShardedStore::ScanRaw(std::string* key, std::string* value, bool first) {
+  const std::lock_guard<std::mutex> scan_lock(scan_mu_);
+  if (first) {
+    raw_shard_ = 0;
+    raw_first_ = true;
+  }
+  while (raw_shard_ < shards_.size()) {
+    Shard& shard = *shards_[raw_shard_];
+    const std::unique_lock<std::shared_mutex> lock(shard.mu);
+    const Status st = shard.store->ScanRaw(key, value, raw_first_);
+    if (st.IsNotFound()) {
+      ++raw_shard_;
+      raw_first_ = true;
+      continue;
+    }
+    raw_first_ = false;
+    return st;
+  }
+  return Status::NotFound();
+}
+
+Status ShardedStore::PutRaw(std::string_view key, std::string_view value) {
+  Shard& shard = *shards_[ShardOf(key)];
+  const std::unique_lock<std::shared_mutex> lock(shard.mu);
+  return shard.store->PutRaw(key, value);
+}
+
 Status ShardedStore::Scan(std::string* key, std::string* value, bool first) {
   const std::lock_guard<std::mutex> scan_lock(scan_mu_);
   if (first) {

@@ -65,6 +65,18 @@ class ShardedStore final : public KvStore {
   // PartitionOf so no two cores ever touch the same shard lock.
   size_t PartitionCount() const override { return shards_.size(); }
   size_t PartitionOf(std::string_view key) const override { return ShardOf(key); }
+  // --- TTL surface (hashkit-cache): key ops route by shard hash exactly
+  // like their non-TTL twins; SweepExpired fans one budget slice across
+  // every shard; ScanRaw chains shards with its own position so migration
+  // transport never disturbs the regular Scan cursor.
+  Status PutWithTtl(std::string_view key, std::string_view value, bool overwrite,
+                    uint64_t expire_at_ms) override;
+  Status GetWithExpiry(std::string_view key, std::string* value,
+                       uint64_t* expire_at_ms) override;
+  Status Touch(std::string_view key, uint64_t expire_at_ms) override;
+  Status SweepExpired(size_t budget, uint64_t now_ms, size_t* deleted) override;
+  Status ScanRaw(std::string* key, std::string* value, bool first) override;
+  Status PutRaw(std::string_view key, std::string_view value) override;
   Status Sync() override;
   uint64_t Size() const override;
   std::string Name() const override;
@@ -118,6 +130,9 @@ class ShardedStore final : public KvStore {
   mutable std::mutex scan_mu_;
   size_t scan_shard_ = 0;
   bool scan_first_ = true;
+  // ScanRaw's independent position (also under scan_mu_).
+  size_t raw_shard_ = 0;
+  bool raw_first_ = true;
 };
 
 }  // namespace kv

@@ -114,6 +114,49 @@ class SynchronizedStore final : public KvStore {
   }
   size_t PartitionCount() const override { return base_->PartitionCount(); }
   size_t PartitionOf(std::string_view key) const override { return base_->PartitionOf(key); }
+  // --- TTL pass-throughs (hashkit-cache): same locking shape as their
+  // non-TTL counterparts; reads share, everything that can write excludes.
+  Status PutWithTtl(std::string_view key, std::string_view value, bool overwrite,
+                    uint64_t expire_at_ms) override {
+    const uint64_t t0 = MonotonicNanos();
+    Status st;
+    {
+      const std::unique_lock<std::shared_mutex> lock(mu_);
+      st = base_->PutWithTtl(key, value, overwrite, expire_at_ms);
+    }
+    put_ns_.Record(MonotonicNanos() - t0);
+    return st;
+  }
+  Status GetWithExpiry(std::string_view key, std::string* value,
+                       uint64_t* expire_at_ms) override {
+    const uint64_t t0 = MonotonicNanos();
+    Status st;
+    if (reads_share_) {
+      const std::shared_lock<std::shared_mutex> lock(mu_);
+      st = base_->GetWithExpiry(key, value, expire_at_ms);
+    } else {
+      const std::unique_lock<std::shared_mutex> lock(mu_);
+      st = base_->GetWithExpiry(key, value, expire_at_ms);
+    }
+    get_ns_.Record(MonotonicNanos() - t0);
+    return st;
+  }
+  Status Touch(std::string_view key, uint64_t expire_at_ms) override {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    return base_->Touch(key, expire_at_ms);
+  }
+  Status SweepExpired(size_t budget, uint64_t now_ms, size_t* deleted) override {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    return base_->SweepExpired(budget, now_ms, deleted);
+  }
+  Status ScanRaw(std::string* key, std::string* value, bool first) override {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    return base_->ScanRaw(key, value, first);
+  }
+  Status PutRaw(std::string_view key, std::string_view value) override {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    return base_->PutRaw(key, value);
+  }
   Status Sync() override {
     const uint64_t t0 = MonotonicNanos();
     Status st;

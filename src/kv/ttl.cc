@@ -1,0 +1,96 @@
+#include "src/kv/ttl.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "src/kv/kv_store.h"
+
+namespace hashkit {
+namespace kv {
+
+namespace {
+std::atomic<int64_t> g_ttl_clock_offset_ms{0};
+}  // namespace
+
+uint64_t TtlNowMs() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const int64_t wall = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  return static_cast<uint64_t>(wall + g_ttl_clock_offset_ms.load(std::memory_order_relaxed));
+}
+
+void TtlAdvanceClockForTesting(int64_t delta_ms) {
+  g_ttl_clock_offset_ms.fetch_add(delta_ms, std::memory_order_relaxed);
+}
+
+void TtlResetClockForTesting() {
+  g_ttl_clock_offset_ms.store(0, std::memory_order_relaxed);
+}
+
+void EncodeTtlValue(uint64_t expire_at_ms, std::string_view payload, std::string* out) {
+  out->clear();
+  out->reserve(kTtlStampBytes + payload.size());
+  char stamp[kTtlStampBytes];
+  for (size_t i = 0; i < kTtlStampBytes; ++i) {
+    stamp[i] = static_cast<char>((expire_at_ms >> (8 * i)) & 0xff);
+  }
+  out->append(stamp, kTtlStampBytes);
+  out->append(payload);
+}
+
+bool DecodeTtlStamp(std::string_view raw, uint64_t* expire_at_ms, std::string_view* payload) {
+  if (raw.size() < kTtlStampBytes) {
+    return false;
+  }
+  uint64_t stamp = 0;
+  for (size_t i = 0; i < kTtlStampBytes; ++i) {
+    stamp |= static_cast<uint64_t>(static_cast<uint8_t>(raw[i])) << (8 * i);
+  }
+  *expire_at_ms = stamp;
+  *payload = raw.substr(kTtlStampBytes);
+  return true;
+}
+
+void TtlSweeper::Start() {
+  if (thread_.joinable()) {
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void TtlSweeper::Stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && !thread_.joinable()) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void TtlSweeper::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_; });
+    if (stop_) {
+      break;
+    }
+    lock.unlock();
+    size_t deleted = 0;
+    (void)store_->SweepExpired(options_.budget, TtlNowMs(), &deleted);
+    swept_.fetch_add(deleted, std::memory_order_relaxed);
+    slices_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+}  // namespace kv
+}  // namespace hashkit

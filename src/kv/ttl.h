@@ -1,0 +1,101 @@
+// hashkit-cache: per-key TTL plumbing — the expiry clock, the on-value
+// stamp codec, and the background sweeper thread.
+//
+// Representation: on a TTL-enabled store every value is stored as
+//
+//   u64 expire_at_ms (little-endian, 0 = never expires) || payload
+//
+// The stamp rides inside the value bytes on purpose: the WAL logs page
+// images, replication ships log bytes, and backup streams pages — all
+// below the kv layer — so expiry survives crash replay, replica
+// tail-apply, and restore with zero extra machinery.  An expired key can
+// therefore never resurrect through any of those paths; the worst case is
+// that its bytes linger until a lazy read or the sweeper removes them.
+//
+// Expiry is two-tier (memcached's model):
+//   - lazy: Get/Scan/snapshot cursors decode the stamp and treat expired
+//     entries as absent (reads never write, so the tombstoning is deferred);
+//   - background: TtlSweeper walks the store in budgeted slices via
+//     KvStore::SweepExpired and deletes what it finds, bounding the space
+//     held by keys nobody reads anymore.
+
+#ifndef HASHKIT_SRC_KV_TTL_H_
+#define HASHKIT_SRC_KV_TTL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace hashkit {
+namespace kv {
+
+class KvStore;
+
+// Milliseconds since the UNIX epoch, plus a process-wide test offset so
+// expiry tests can jump time forward instead of sleeping.
+uint64_t TtlNowMs();
+void TtlAdvanceClockForTesting(int64_t delta_ms);
+void TtlResetClockForTesting();
+
+inline constexpr size_t kTtlStampBytes = 8;
+
+// value-bytes = stamp || payload.
+void EncodeTtlValue(uint64_t expire_at_ms, std::string_view payload, std::string* out);
+// Splits stored bytes back into stamp + payload view (into `raw`).
+// Returns false when `raw` is too short to carry a stamp — which means the
+// entry was written by a non-TTL handle (see HashOptions::ttl_enabled).
+bool DecodeTtlStamp(std::string_view raw, uint64_t* expire_at_ms, std::string_view* payload);
+
+inline bool TtlExpired(uint64_t expire_at_ms, uint64_t now_ms) {
+  return expire_at_ms != 0 && expire_at_ms <= now_ms;
+}
+
+struct TtlSweeperOptions {
+  // Sleep between sweep slices.
+  int interval_ms = 1000;
+  // Entries examined per slice (the budget knob): higher reclaims faster
+  // but holds the store's exclusive lock longer per wakeup.
+  size_t budget = 4096;
+};
+
+// Background expiry thread: every interval it runs one budgeted
+// KvStore::SweepExpired slice.  The store keeps the scan position across
+// slices, so successive wakeups cover the whole keyspace and then wrap.
+// Stop() (or destruction) joins the thread; the sweeper never outlives the
+// store it borrows.
+class TtlSweeper {
+ public:
+  TtlSweeper(KvStore* store, TtlSweeperOptions options)
+      : store_(store), options_(options) {}
+  ~TtlSweeper() { Stop(); }
+  TtlSweeper(const TtlSweeper&) = delete;
+  TtlSweeper& operator=(const TtlSweeper&) = delete;
+
+  void Start();
+  void Stop();
+
+  uint64_t swept() const { return swept_.load(std::memory_order_relaxed); }
+  uint64_t slices() const { return slices_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  KvStore* store_;
+  const TtlSweeperOptions options_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+
+  std::atomic<uint64_t> swept_{0};   // entries deleted, lifetime total
+  std::atomic<uint64_t> slices_{0};  // sweep slices run
+};
+
+}  // namespace kv
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_KV_TTL_H_

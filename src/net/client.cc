@@ -13,6 +13,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/util/endian.h"
 #include "src/util/histogram.h"
 
 namespace hashkit {
@@ -323,6 +324,36 @@ Status Client::Put(std::string_view key, std::string_view value, bool overwrite)
   if (!overwrite) {
     req.flags |= kFlagNoOverwrite;
   }
+  Response resp;
+  HASHKIT_RETURN_IF_ERROR(Call(std::move(req), &resp));
+  return FromResponse(resp);
+}
+
+Status Client::PutTtl(std::string_view key, std::string_view value, uint32_t ttl_ms,
+                      bool overwrite) {
+  Request req;
+  req.op = Opcode::kPut;
+  req.flags = kFlagPutTtl;
+  if (!overwrite) {
+    req.flags |= kFlagNoOverwrite;
+  }
+  req.key = key;
+  uint8_t prefix[kPutTtlPrefixBytes];
+  EncodeU32(prefix, ttl_ms);
+  req.value.assign(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  req.value += value;
+  Response resp;
+  HASHKIT_RETURN_IF_ERROR(Call(std::move(req), &resp));
+  return FromResponse(resp);
+}
+
+Status Client::Touch(std::string_view key, uint32_t ttl_ms) {
+  Request req;
+  req.op = Opcode::kTouch;
+  req.key = key;
+  uint8_t buf[4];
+  EncodeU32(buf, ttl_ms);
+  req.value.assign(reinterpret_cast<const char*>(buf), sizeof(buf));
   Response resp;
   HASHKIT_RETURN_IF_ERROR(Call(std::move(req), &resp));
   return FromResponse(resp);

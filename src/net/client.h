@@ -51,6 +51,14 @@ class Client {
 
   // KvStore-shaped single-shot calls (one round trip each).
   Status Put(std::string_view key, std::string_view value, bool overwrite = true);
+  // hashkit-cache: PUT with a relative TTL in milliseconds (0 = no expiry,
+  // same as plain Put).  The server resolves the TTL to an absolute expiry
+  // at ingest; requires a server whose store was opened with TTL support.
+  Status PutTtl(std::string_view key, std::string_view value, uint32_t ttl_ms,
+                bool overwrite = true);
+  // hashkit-cache: reset (ttl_ms > 0) or clear (ttl_ms == 0) an existing
+  // key's expiry without rewriting its value.
+  Status Touch(std::string_view key, uint32_t ttl_ms);
   Status Get(std::string_view key, std::string* value);
   Status Delete(std::string_view key);
   // first=true restarts the server-side cursor (which is shared by every

@@ -1,0 +1,277 @@
+#include "src/net/memcached.h"
+
+#include <cctype>
+
+#include "src/util/endian.h"
+
+namespace hashkit {
+namespace net {
+namespace mc {
+
+namespace {
+
+// Splits `line` on single spaces into at most kMaxTokens views.  Memcached
+// is strict about single-space separation; we tolerate runs of spaces.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') {
+      ++pos;
+    }
+    const size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') {
+      ++pos;
+    }
+    if (pos > start) {
+      tokens.push_back(line.substr(start, pos - start));
+    }
+  }
+  return tokens;
+}
+
+bool ParseU64(std::string_view token, uint64_t* out) {
+  if (token.empty() || token.size() > 20) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseI64(std::string_view token, int64_t* out) {
+  bool negative = false;
+  if (!token.empty() && token.front() == '-') {
+    negative = true;
+    token.remove_prefix(1);
+  }
+  uint64_t magnitude = 0;
+  if (!ParseU64(token, &magnitude) ||
+      magnitude > static_cast<uint64_t>(INT64_MAX)) {
+    return false;
+  }
+  *out = negative ? -static_cast<int64_t>(magnitude) : static_cast<int64_t>(magnitude);
+  return true;
+}
+
+// Memcached keys: 1..250 bytes, no whitespace or control characters.
+bool ValidKey(std::string_view key) {
+  if (key.empty() || key.size() > kMaxKeyLen) {
+    return false;
+  }
+  for (const char c : key) {
+    if (static_cast<unsigned char>(c) <= 32 || c == 127) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Command Bad(std::string error_line) {
+  Command cmd;
+  cmd.kind = Command::Kind::kBad;
+  cmd.error = std::move(error_line);
+  return cmd;
+}
+
+Command ClientError(std::string_view what) {
+  return Bad("CLIENT_ERROR " + std::string(what) + "\r\n");
+}
+
+}  // namespace
+
+Command ParseCommandLine(std::string_view line, size_t max_value_bytes) {
+  const std::vector<std::string_view> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return Bad("ERROR\r\n");
+  }
+  const std::string_view verb = tokens[0];
+  Command cmd;
+
+  if (verb == "get" || verb == "gets") {
+    cmd.kind = verb == "get" ? Command::Kind::kGet : Command::Kind::kGets;
+    if (tokens.size() < 2) {
+      return ClientError("get needs at least one key");
+    }
+    if (tokens.size() - 1 > kMaxKeysPerGet) {
+      return ClientError("too many keys in one get");
+    }
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      if (!ValidKey(tokens[i])) {
+        return ClientError("bad key");
+      }
+      cmd.keys.emplace_back(tokens[i]);
+    }
+    return cmd;
+  }
+
+  if (verb == "set" || verb == "add" || verb == "replace" || verb == "cas") {
+    const bool is_cas = verb == "cas";
+    cmd.kind = verb == "set"   ? Command::Kind::kSet
+               : verb == "add" ? Command::Kind::kAdd
+               : is_cas        ? Command::Kind::kCas
+                               : Command::Kind::kReplace;
+    const size_t want = is_cas ? 6u : 5u;
+    if (tokens.size() < want || tokens.size() > want + 1) {
+      return ClientError("bad command line format");
+    }
+    if (!ValidKey(tokens[1])) {
+      return ClientError("bad key");
+    }
+    uint64_t flags = 0;
+    uint64_t bytes = 0;
+    int64_t exptime = 0;
+    if (!ParseU64(tokens[2], &flags) || flags > UINT32_MAX ||
+        !ParseI64(tokens[3], &exptime) || !ParseU64(tokens[4], &bytes)) {
+      return ClientError("bad command line format");
+    }
+    if (is_cas && !ParseU64(tokens[5], &cmd.cas)) {
+      return ClientError("bad command line format");
+    }
+    if (tokens.size() == want + 1) {
+      if (tokens[want] != "noreply") {
+        return ClientError("bad command line format");
+      }
+      cmd.noreply = true;
+    }
+    cmd.keys.emplace_back(tokens[1]);
+    cmd.flags = static_cast<uint32_t>(flags);
+    cmd.exptime = exptime;
+    cmd.bytes = static_cast<size_t>(bytes);
+    if (cmd.bytes > max_value_bytes) {
+      // Keep the kind (the caller must still swallow the data block) but
+      // pre-stage the refusal.
+      cmd.error = "SERVER_ERROR object too large for cache\r\n";
+    }
+    return cmd;
+  }
+
+  if (verb == "delete") {
+    cmd.kind = Command::Kind::kDelete;
+    if (tokens.size() < 2 || tokens.size() > 3 || !ValidKey(tokens[1])) {
+      return ClientError("bad command line format");
+    }
+    if (tokens.size() == 3) {
+      if (tokens[2] != "noreply") {
+        return ClientError("bad command line format");
+      }
+      cmd.noreply = true;
+    }
+    cmd.keys.emplace_back(tokens[1]);
+    return cmd;
+  }
+
+  if (verb == "incr" || verb == "decr") {
+    cmd.kind = verb == "incr" ? Command::Kind::kIncr : Command::Kind::kDecr;
+    if (tokens.size() < 3 || tokens.size() > 4 || !ValidKey(tokens[1])) {
+      return ClientError("bad command line format");
+    }
+    if (!ParseU64(tokens[2], &cmd.delta)) {
+      return ClientError("invalid numeric delta argument");
+    }
+    if (tokens.size() == 4) {
+      if (tokens[3] != "noreply") {
+        return ClientError("bad command line format");
+      }
+      cmd.noreply = true;
+    }
+    cmd.keys.emplace_back(tokens[1]);
+    return cmd;
+  }
+
+  if (verb == "touch") {
+    cmd.kind = Command::Kind::kTouch;
+    if (tokens.size() < 3 || tokens.size() > 4 || !ValidKey(tokens[1]) ||
+        !ParseI64(tokens[2], &cmd.exptime)) {
+      return ClientError("bad command line format");
+    }
+    if (tokens.size() == 4) {
+      if (tokens[3] != "noreply") {
+        return ClientError("bad command line format");
+      }
+      cmd.noreply = true;
+    }
+    cmd.keys.emplace_back(tokens[1]);
+    return cmd;
+  }
+
+  if (verb == "flush_all") {
+    cmd.kind = Command::Kind::kFlushAll;
+    // Optional delay (accepted, applied immediately) and noreply.
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      if (tokens[i] == "noreply") {
+        cmd.noreply = true;
+      } else if (int64_t delay = 0; !ParseI64(tokens[i], &delay)) {
+        return ClientError("bad command line format");
+      }
+    }
+    return cmd;
+  }
+
+  if (verb == "stats") {
+    cmd.kind = Command::Kind::kStats;
+    return cmd;
+  }
+  if (verb == "version") {
+    cmd.kind = Command::Kind::kVersion;
+    return cmd;
+  }
+  if (verb == "quit") {
+    cmd.kind = Command::Kind::kQuit;
+    return cmd;
+  }
+  return Bad("ERROR\r\n");
+}
+
+uint64_t ExptimeToExpireAtMs(int64_t exptime, uint64_t now_ms) {
+  if (exptime == 0) {
+    return 0;  // never expires
+  }
+  if (exptime < 0) {
+    return 1;  // already expired (any nonzero stamp <= now)
+  }
+  if (exptime <= kRelativeExptimeLimit) {
+    return now_ms + static_cast<uint64_t>(exptime) * 1000;
+  }
+  // Absolute unix seconds.  A timestamp in the past yields a stamp <= now,
+  // i.e. already expired — exactly memcached's behavior.
+  return static_cast<uint64_t>(exptime) * 1000;
+}
+
+void EncodeValue(uint32_t flags, std::string_view data, std::string* out) {
+  uint8_t prefix[4];
+  EncodeU32(prefix, flags);
+  out->clear();
+  out->reserve(sizeof(prefix) + data.size());
+  out->append(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  out->append(data);
+}
+
+void DecodeValue(std::string_view raw, uint32_t* flags, std::string_view* data) {
+  if (raw.size() < 4) {
+    *flags = 0;
+    *data = raw;
+    return;
+  }
+  *flags = DecodeU32(reinterpret_cast<const uint8_t*>(raw.data()));
+  *data = raw.substr(4);
+}
+
+uint64_t CasOf(std::string_view raw_value) {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  for (const char c : raw_value) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;  // FNV-1a 64 prime
+  }
+  return hash;
+}
+
+}  // namespace mc
+}  // namespace net
+}  // namespace hashkit

@@ -1,0 +1,108 @@
+// hashkit-cache: memcached text-protocol shim — parsing and formatting.
+//
+// The server exposes the store on a second listener (--memcached-port)
+// speaking the classic memcached ASCII protocol, so stock load drivers
+// (memtier_benchmark, YCSB's memcached binding, redis-cli style probes)
+// run against hashkit unmodified.  This header holds the protocol pieces
+// with no socket or server dependency, so they unit-test in isolation;
+// the connection state machine lives in server.cc.
+//
+// Supported commands: get gets set add replace cas delete incr decr touch
+// flush_all stats version quit (plus `noreply` on mutations).
+//
+// Value convention: a memcached entry's kv value is a u32 LE client-flags
+// word followed by the data bytes, so `set`'s flags survive a round trip
+// through any kv backend.  Keys written via the binary protocol lack that
+// prefix; reading them through the text shim reports flags=0 and, for
+// values shorter than 4 bytes, the whole value as data.  The `gets` cas
+// unique is a 64-bit FNV-1a of the stored (prefixed) value — stable for
+// unchanged values, different with overwhelming probability after any
+// rewrite, and requiring no extra per-entry storage.
+//
+// Expiry follows memcached: exptime 0 = never; 1..2592000 (30 days) =
+// relative seconds; larger = absolute unix seconds; negative = already
+// expired.  Resolved against the kv layer's TTL clock at ingest.
+
+#ifndef HASHKIT_SRC_NET_MEMCACHED_H_
+#define HASHKIT_SRC_NET_MEMCACHED_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hashkit {
+namespace net {
+namespace mc {
+
+// Protocol bounds.  Lines and keys follow memcached's own limits; a line
+// that exceeds the cap without a terminator means framing is lost and the
+// connection must close.
+inline constexpr size_t kMaxCommandLine = 8192;
+inline constexpr size_t kMaxKeyLen = 250;
+inline constexpr size_t kMaxKeysPerGet = 256;
+inline constexpr int64_t kRelativeExptimeLimit = 60 * 60 * 24 * 30;  // seconds
+
+struct Command {
+  enum class Kind : uint8_t {
+    kGet,       // get <key>+
+    kGets,      // gets <key>+ (VALUE lines carry a cas unique)
+    kSet,       // set <key> <flags> <exptime> <bytes> [noreply] + data
+    kAdd,       // add — store only if absent
+    kReplace,   // replace — store only if present
+    kCas,       // cas <key> <flags> <exptime> <bytes> <cas> [noreply] + data
+    kDelete,    // delete <key> [noreply]
+    kIncr,      // incr <key> <delta> [noreply]
+    kDecr,      // decr <key> <delta> [noreply]
+    kTouch,     // touch <key> <exptime> [noreply]
+    kFlushAll,  // flush_all [delay] [noreply] — delay is accepted, immediate
+    kStats,     // stats
+    kVersion,   // version
+    kQuit,      // quit
+    kBad,       // unparseable; `error` holds the reply line
+  };
+
+  Kind kind = Kind::kBad;
+  std::vector<std::string> keys;  // get/gets: all keys; others: keys[0]
+  uint32_t flags = 0;
+  int64_t exptime = 0;
+  size_t bytes = 0;    // data-block length (storage commands)
+  uint64_t cas = 0;    // kCas only
+  uint64_t delta = 0;  // kIncr/kDecr
+  bool noreply = false;
+  std::string data;   // data block, filled by the connection state machine
+  std::string error;  // kBad (or oversize storage): full reply line with \r\n
+
+  // True for commands followed by a <bytes>-long data block + \r\n.
+  bool WantsData() const {
+    return kind == Kind::kSet || kind == Kind::kAdd || kind == Kind::kReplace ||
+           kind == Kind::kCas;
+  }
+};
+
+// Parses one command line (terminator already stripped).  Never fails hard:
+// unknown or malformed commands come back as kBad with `error` set to the
+// memcached-style reply ("ERROR\r\n" / "CLIENT_ERROR ...\r\n").  A storage
+// command whose <bytes> exceeds `max_value_bytes` is ALSO returned as its
+// real kind with `error` set: the caller must still swallow the data block
+// to keep the stream framed, then answer with `error`.
+Command ParseCommandLine(std::string_view line, size_t max_value_bytes);
+
+// Memcached exptime → absolute expiry in ms (0 = never) against `now_ms`
+// (unix epoch ms, the kv TTL clock).
+uint64_t ExptimeToExpireAtMs(int64_t exptime, uint64_t now_ms);
+
+// Value codec: u32 LE flags prefix + payload.
+void EncodeValue(uint32_t flags, std::string_view data, std::string* out);
+// Short raw values (< 4 bytes, only possible via the binary protocol)
+// decode as flags=0 with the whole value as data.
+void DecodeValue(std::string_view raw, uint32_t* flags, std::string_view* data);
+
+// The `gets` cas unique: 64-bit FNV-1a over the stored (prefixed) value.
+uint64_t CasOf(std::string_view raw_value);
+
+}  // namespace mc
+}  // namespace net
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_NET_MEMCACHED_H_

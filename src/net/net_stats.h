@@ -43,6 +43,15 @@ struct NetStats {
   std::atomic<uint64_t> ops_deferred{0};
   LatencyHistogram batch_size;  // ops per batch (a count, not nanoseconds)
 
+  // hashkit-cache: memcached text shim.  mc_commands counts parsed command
+  // lines (including rejects); hits/misses cover text-protocol get/gets
+  // lookups only, so a cache-workload driver's hit rate can be read off
+  // directly even while binary traffic shares the store.
+  std::atomic<uint64_t> mc_connections{0};
+  std::atomic<uint64_t> mc_commands{0};
+  std::atomic<uint64_t> mc_get_hits{0};
+  std::atomic<uint64_t> mc_get_misses{0};
+
   // hashkit-obs: server-side dispatch latency per opcode — decode-to-encode
   // time for one request, i.e. the store call plus dispatch overhead but
   // not socket wait.  Compare against client-observed RTTs to attribute

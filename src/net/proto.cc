@@ -124,6 +124,8 @@ std::string_view OpcodeName(Opcode op) {
       return "BACKUP";
     case Opcode::kReplicate:
       return "REPLICATE";
+    case Opcode::kTouch:
+      return "TOUCH";
   }
   return "UNKNOWN";
 }

@@ -63,9 +63,11 @@ enum class Opcode : uint8_t {
   // hashkit-mvcc (online operations on the WAL):
   kBackup = 10,     // online backup stream; sub-op in `flags`
   kReplicate = 11,  // WAL shipping to a replica; sub-op in `flags`
+  // hashkit-cache (TTL):
+  kTouch = 12,  // value = u32 ttl_ms LE; 0 clears the key's expiry
 };
 
-inline constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kReplicate);
+inline constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kTouch);
 inline constexpr size_t kOpcodeCount = kMaxOpcode + 1;
 
 std::string_view OpcodeName(Opcode op);
@@ -73,6 +75,14 @@ std::string_view OpcodeName(Opcode op);
 // Request flag bits (meaning depends on the opcode).
 inline constexpr uint8_t kFlagNoOverwrite = 1u << 0;  // PUT: fail on existing key
 inline constexpr uint8_t kFlagScanFirst = 1u << 0;    // SCAN: restart the cursor
+
+// PUT with TTL (hashkit-cache): the request value starts with a u32 LE
+// relative TTL in milliseconds, followed by the payload bytes.  The server
+// computes the absolute expiry at ingest; a TTL of 0 with the flag set
+// means "no expiry" (same as not setting the flag).  Requires the store to
+// be opened with TTL support; otherwise the server answers kUnsupported.
+inline constexpr uint8_t kFlagPutTtl = 1u << 1;
+inline constexpr size_t kPutTtlPrefixBytes = 4;
 
 // MIGRATE sub-operations (the `flags` byte carries exactly one of these).
 // Start/Data/End stream one bucket from its owner to a target node; the

@@ -23,9 +23,11 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/kv/ttl.h"
 #include "src/net/out_queue.h"
 #include "src/net/uring.h"
 #include "src/util/endian.h"
+#include "src/util/topk.h"
 
 namespace hashkit {
 namespace net {
@@ -113,7 +115,55 @@ void AppendPromSummary(std::string* out, const std::string& name, const std::str
   *out += name + "_sum{" + labels + "} " + std::to_string(h.sum) + "\n";
 }
 
+// Hot keys are arbitrary bytes but STATS/metrics are line-oriented text:
+// keep printable ASCII (minus '%', '"' and '\\', which would break the
+// escaping itself or a Prometheus label) and render everything else as
+// %XX, so one sanitized form serves both expositions.
+std::string SanitizeStatsKey(std::string_view key) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(key.size());
+  for (const char ch : key) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (c > 32 && c < 127 && c != '%' && c != '"' && c != '\\') {
+      out += ch;
+    } else {
+      out += '%';
+      out += kHex[c >> 4];
+      out += kHex[c & 0xf];
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+// Response slot queue element (hashkit-tpc): one slot per request still
+// owed a response, in request order.  kPending slots are batched key ops
+// whose completion has not arrived; kBarrier slots hold the original
+// request and dispatch only at the queue front (after every earlier
+// response); kDone slots carry a finished response awaiting in-order
+// emission.
+struct Server::Slot {
+  enum class State : uint8_t { kPending, kBarrier, kDone };
+  State state = State::kPending;
+  Request barrier_req;
+  Response resp;
+
+  // hashkit-cache: present only on memcached text-shim slots — how to
+  // render this slot's outcome as protocol text.  Special-cased kinds
+  // (get/gets/set/add/delete) format from resp; every other kind (barrier
+  // commands, parse errors, shed notices) emits resp.value verbatim.
+  struct McCtx {
+    mc::Command::Kind kind = mc::Command::Kind::kBad;
+    bool noreply = false;
+    bool gets = false;  // VALUE lines carry the cas unique
+    bool last = false;  // final key of a get/gets: emit the END line
+    std::string key;    // echoed on the VALUE line
+    mc::Command cmd;    // barrier commands: the full parsed command
+  };
+  std::unique_ptr<McCtx> mc;
+};
 
 struct Server::Connection {
   int fd = -1;
@@ -130,19 +180,16 @@ struct Server::Connection {
   bool touched_round = false;  // already on this round's finish list
   Clock::time_point last_active = Clock::now();
 
-  // Response slot queue (hashkit-tpc): one slot per request still owed a
-  // response, in request order.  kPending slots are batched key ops whose
-  // completion has not arrived; kBarrier slots hold the original request
-  // and dispatch only at the queue front (after every earlier response);
-  // kDone slots carry a finished response awaiting in-order emission.
-  struct Slot {
-    enum class State : uint8_t { kPending, kBarrier, kDone };
-    State state = State::kPending;
-    Request barrier_req;
-    Response resp;
-  };
   std::deque<Slot> slots;
   uint64_t base_slot = 0;  // slot id of slots.front()
+
+  // hashkit-cache: set for connections accepted on the memcached listener.
+  // Text connections share the slot queue and batching machinery; only
+  // ingest (IngestTextCommands) and emission (AppendTextResponse) differ.
+  bool text = false;
+  // A storage command (set/add/replace/cas) whose data block has not
+  // fully arrived yet.
+  std::unique_ptr<mc::Command> mc_data;
 
   // hashkit-mvcc per-connection protocol state (touched only on the owning
   // worker's thread, like the buffers above).
@@ -176,6 +223,10 @@ struct Server::PendingOp {
   uint8_t flags = 0;
   uint32_t seq = 0;
   uint64_t t0 = 0;  // MonotonicNanos at decode, for op latency
+  // hashkit-cache: absolute expiry for a PUT carrying kFlagPutTtl (the
+  // relative TTL is resolved to wall-clock ms at ingest, so queueing and
+  // cross-core forwarding delays do not stretch the key's lifetime).
+  uint64_t expire_at_ms = 0;
   std::string key;
   std::string value;
 };
@@ -195,6 +246,8 @@ struct Server::Worker {
   std::thread thread;
   int listen_fd = -1;      // per-worker SO_REUSEPORT fd, or the shared fd
   bool owns_listen = false;
+  int mc_listen_fd = -1;   // memcached listener (hashkit-cache); -1 = off
+  bool owns_mc_listen = false;
   // Owned connections, keyed by fd.  Touched only on the loop thread.
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
   uint64_t next_gen = 0;
@@ -240,6 +293,11 @@ struct Server::Worker {
   std::atomic<uint64_t> shed{0};
   std::atomic<uint64_t> deferred{0};
   LatencyHistogram batch_size;  // ops per batch on this core
+
+  // hashkit-cache: per-core hot-key sketch (Space-Saving, see topk.h).
+  // Recorded at ingest for every keyed op on either protocol; a STATS
+  // render merges all cores' snapshots into the global top-K.
+  TopKSketch hotkeys{64};
 };
 
 Server::Server(kv::KvStore* store, ServerOptions options)
@@ -346,6 +404,58 @@ Status Server::SetupListeners() {
   return Status::Ok();
 }
 
+// The memcached listener mirrors SetupListeners' strategy on its own
+// port: per-worker SO_REUSEPORT sockets when possible, one shared
+// EPOLLEXCLUSIVE fd otherwise.
+Status Server::SetupMcListeners() {
+  if (!options_.exclusive_accept) {
+    std::vector<int> fds;
+    fds.reserve(workers_.size());
+    uint16_t port = static_cast<uint16_t>(options_.memcached_port);
+    Status st = Status::Ok();
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Result<int> fd = OpenListenSocket(port, /*reuse_port=*/true);
+      if (!fd.ok()) {
+        st = fd.status();
+        break;
+      }
+      fds.push_back(fd.value());
+      if (i == 0) {
+        st = BoundPort(fds[0], &port);
+        if (!st.ok()) {
+          break;
+        }
+      }
+    }
+    if (st.ok() && fds.size() == workers_.size()) {
+      mc_reuse_port_ = true;
+      mc_port_ = port;
+      for (size_t i = 0; i < workers_.size(); ++i) {
+        workers_[i]->mc_listen_fd = fds[i];
+        workers_[i]->owns_mc_listen = true;
+      }
+      return Status::Ok();
+    }
+    for (const int fd : fds) {
+      ::close(fd);
+    }
+  }
+
+  Result<int> fd =
+      OpenListenSocket(static_cast<uint16_t>(options_.memcached_port), /*reuse_port=*/false);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  mc_listen_fd_ = fd.value();
+  HASHKIT_RETURN_IF_ERROR(BoundPort(mc_listen_fd_, &mc_port_));
+  mc_reuse_port_ = false;
+  for (auto& worker : workers_) {
+    worker->mc_listen_fd = mc_listen_fd_;
+    worker->owns_mc_listen = false;
+  }
+  return Status::Ok();
+}
+
 Status Server::Start() {
   if (started_.exchange(true)) {
     return Status::InvalidArgument("server already started");
@@ -377,6 +487,18 @@ Status Server::Start() {
   }
 
   HASHKIT_RETURN_IF_ERROR(SetupListeners());
+
+  if (options_.memcached_port >= 0) {
+    if (options_.memcached_port > 65535) {
+      return Status::InvalidArgument("memcached port out of range");
+    }
+    if (options_.cluster != nullptr) {
+      // Text commands cannot carry MOVED redirects or cluster sub-ops;
+      // refusing at startup beats silently wrong routing.
+      return Status::InvalidArgument("memcached listener is incompatible with cluster mode");
+    }
+    HASHKIT_RETURN_IF_ERROR(SetupMcListeners());
+  }
 
   if (options_.metrics_port >= 0) {
     if (options_.metrics_port > 65535) {
@@ -415,8 +537,20 @@ Status Server::Start() {
       accept_events |= EPOLLEXCLUSIVE;
     }
 #endif
-    HASHKIT_RETURN_IF_ERROR(
-        w->loop.Add(w->listen_fd, accept_events, [this, w](uint32_t) { AcceptReady(w); }));
+    HASHKIT_RETURN_IF_ERROR(w->loop.Add(w->listen_fd, accept_events, [this, w](uint32_t) {
+      AcceptReady(w, /*text=*/false);
+    }));
+    if (w->mc_listen_fd >= 0) {
+      uint32_t mc_events = EPOLLIN;
+#ifdef EPOLLEXCLUSIVE
+      if (!mc_reuse_port_) {
+        mc_events |= EPOLLEXCLUSIVE;
+      }
+#endif
+      HASHKIT_RETURN_IF_ERROR(w->loop.Add(w->mc_listen_fd, mc_events, [this, w](uint32_t) {
+        AcceptReady(w, /*text=*/true);
+      }));
+    }
     if (options_.io_uring) {
       w->uring_ok = w->uring.Init(256);
       if (w->uring_ok) {
@@ -484,17 +618,25 @@ void Server::Stop() {
       ::close(w->listen_fd);
       w->listen_fd = -1;
     }
+    if (w->owns_mc_listen && w->mc_listen_fd >= 0) {
+      ::close(w->mc_listen_fd);
+      w->mc_listen_fd = -1;
+    }
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (mc_listen_fd_ >= 0) {
+    ::close(mc_listen_fd_);
+    mc_listen_fd_ = -1;
+  }
 }
 
-void Server::AcceptReady(Worker* worker) {
+void Server::AcceptReady(Worker* worker, bool text) {
+  const int listen_fd = text ? worker->mc_listen_fd : worker->listen_fd;
   for (;;) {
-    const int fd = ::accept4(worker->listen_fd, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) {
         continue;
@@ -505,7 +647,10 @@ void Server::AcceptReady(Worker* worker) {
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
     stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
-    AdoptConnection(worker, fd);
+    if (text) {
+      stats_.mc_connections.fetch_add(1, std::memory_order_relaxed);
+    }
+    AdoptConnection(worker, fd, text);
   }
 }
 
@@ -550,11 +695,12 @@ void Server::MetricsReady() {
   }
 }
 
-void Server::AdoptConnection(Worker* worker, int fd) {
+void Server::AdoptConnection(Worker* worker, int fd, bool text) {
   auto conn = std::make_unique<Connection>();
   conn->fd = fd;
   conn->gen = ++worker->next_gen;
   conn->epoll_mask = EPOLLIN;
+  conn->text = text;
   Connection* raw = conn.get();
   worker->conns[fd] = std::move(conn);
   const Status st = worker->loop.Add(
@@ -657,7 +803,9 @@ void Server::ConnectionReady(Worker* worker, int fd, uint32_t events) {
       conn->peer_closed = true;  // 0 = orderly shutdown; <0 = connection error
       break;
     }
-    if (batching_) {
+    if (conn->text) {
+      (void)IngestTextCommands(worker, conn);
+    } else if (batching_) {
       IngestFrames(worker, conn);
     } else {
       (void)ServeBufferedFrames(conn);
@@ -689,8 +837,8 @@ bool Server::IngestFrames(Worker* worker, Connection* conn) {
         stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
         // The error response rides the slot queue like any other, so
         // responses already owed to this client still go out first.
-        Connection::Slot slot;
-        slot.state = Connection::Slot::State::kDone;
+        Slot slot;
+        slot.state = Slot::State::kDone;
         slot.resp.op = Opcode::kPing;
         slot.resp.status = StatusCode::kInvalidArgument;
         slot.resp.value = "malformed frame: " + error;
@@ -711,6 +859,32 @@ bool Server::IngestFrames(Worker* worker, Connection* conn) {
 
     if (batchable) {
       stats_.CountRequest(req.op);
+      uint64_t expire_at_ms = 0;
+      if (req.op == Opcode::kPut && (req.flags & kFlagPutTtl) != 0) {
+        Status tst;
+        if (!store_->Caps().ttl) {
+          tst = Status::Unsupported("store opened without TTL support");
+        } else if (req.value.size() < kPutTtlPrefixBytes) {
+          tst = Status::InvalidArgument("PUT+ttl wants a u32 ttl_ms value prefix");
+        }
+        if (!tst.ok()) {
+          Slot slot;
+          slot.state = Slot::State::kDone;
+          slot.resp.op = req.op;
+          slot.resp.seq = req.seq;
+          slot.resp.status = tst.code();
+          slot.resp.value = tst.message();
+          conn->slots.push_back(std::move(slot));
+          worker->inflight.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const uint32_t ttl_ms =
+            DecodeU32(reinterpret_cast<const uint8_t*>(req.value.data()));
+        req.value.erase(0, kPutTtlPrefixBytes);
+        if (ttl_ms != 0) {
+          expire_at_ms = kv::TtlNowMs() + ttl_ms;
+        }
+      }
       const int64_t max = static_cast<int64_t>(options_.max_inflight);
       const int64_t inflight = worker->inflight.load(std::memory_order_relaxed);
       if (options_.overload_policy == ServerOptions::OverloadPolicy::kShed &&
@@ -720,8 +894,8 @@ bool Server::IngestFrames(Worker* worker, Connection* conn) {
         const int64_t excess = inflight - max;
         const uint32_t hint =
             static_cast<uint32_t>(1 + std::min<int64_t>(99, (excess * 100) / max));
-        Connection::Slot slot;
-        slot.state = Connection::Slot::State::kDone;
+        Slot slot;
+        slot.state = Slot::State::kDone;
         slot.resp.op = req.op;
         slot.resp.seq = req.seq;
         slot.resp.status = StatusCode::kOverloaded;
@@ -733,6 +907,7 @@ bool Server::IngestFrames(Worker* worker, Connection* conn) {
         stats_.ops_shed.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
+      worker->hotkeys.Record(req.key);
       PendingOp op;
       op.origin = worker->index;
       op.fd = conn->fd;
@@ -742,19 +917,12 @@ bool Server::IngestFrames(Worker* worker, Connection* conn) {
       op.flags = req.flags;
       op.seq = req.seq;
       op.t0 = MonotonicNanos();
+      op.expire_at_ms = expire_at_ms;
       op.key = std::move(req.key);
       op.value = std::move(req.value);
       conn->slots.emplace_back();  // kPending
       worker->inflight.fetch_add(1, std::memory_order_relaxed);
-      const size_t owner =
-          forwarding_ ? store_->PartitionOf(op.key) % workers_.size() : worker->index;
-      if (owner == worker->index) {
-        worker->local_ops.push_back(std::move(op));
-      } else {
-        worker->outbound[owner].push_back(std::move(op));
-        worker->forwarded.fetch_add(1, std::memory_order_relaxed);
-        stats_.ops_forwarded.fetch_add(1, std::memory_order_relaxed);
-      }
+      RouteBatchedOp(worker, std::move(op));
       continue;
     }
 
@@ -765,8 +933,8 @@ bool Server::IngestFrames(Worker* worker, Connection* conn) {
       Response resp = Dispatch(conn, req);
       AppendResponse(conn, std::move(resp));
     } else {
-      Connection::Slot slot;
-      slot.state = Connection::Slot::State::kBarrier;
+      Slot slot;
+      slot.state = Slot::State::kBarrier;
       slot.barrier_req = std::move(req);
       conn->slots.push_back(std::move(slot));
       worker->inflight.fetch_add(1, std::memory_order_relaxed);
@@ -795,6 +963,18 @@ bool Server::IngestFrames(Worker* worker, Connection* conn) {
     });
   }
   return true;
+}
+
+void Server::RouteBatchedOp(Worker* worker, PendingOp&& op) {
+  const size_t owner =
+      forwarding_ ? store_->PartitionOf(op.key) % workers_.size() : worker->index;
+  if (owner == worker->index) {
+    worker->local_ops.push_back(std::move(op));
+  } else {
+    worker->outbound[owner].push_back(std::move(op));
+    worker->forwarded.fetch_add(1, std::memory_order_relaxed);
+    stats_.ops_forwarded.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Server::RunBatch(Worker* worker) {
@@ -896,6 +1076,7 @@ void Server::ExecuteOps(Worker* worker, std::vector<PendingOp>& ops) {
         bops[i].key = op.key;
         bops[i].value = op.value;
         bops[i].overwrite = (op.flags & kFlagNoOverwrite) == 0;
+        bops[i].expire_at_ms = op.expire_at_ms;
         break;
       case Opcode::kDel:
         bops[i].kind = kv::BatchOp::Kind::kDelete;
@@ -989,8 +1170,8 @@ void Server::DeliverCompletion(Worker* worker, OpCompletion&& done,
   if (idx >= conn->slots.size()) {
     return;
   }
-  Connection::Slot& slot = conn->slots[idx];
-  slot.state = Connection::Slot::State::kDone;
+  Slot& slot = conn->slots[idx];
+  slot.state = Slot::State::kDone;
   slot.resp = std::move(done.resp);
   if (!conn->touched_round) {
     conn->touched_round = true;
@@ -1000,14 +1181,23 @@ void Server::DeliverCompletion(Worker* worker, OpCompletion&& done,
 
 void Server::EmitReady(Worker* worker, Connection* conn) {
   while (!conn->slots.empty()) {
-    Connection::Slot& front = conn->slots.front();
-    if (front.state == Connection::Slot::State::kDone) {
-      AppendResponse(conn, std::move(front.resp));
-    } else if (front.state == Connection::Slot::State::kBarrier) {
+    Slot& front = conn->slots.front();
+    if (front.state == Slot::State::kDone) {
+      if (conn->text) {
+        AppendTextResponse(conn, front);
+      } else {
+        AppendResponse(conn, std::move(front.resp));
+      }
+    } else if (front.state == Slot::State::kBarrier) {
       // Every earlier response is out of the queue: the cross-key op now
       // sees all of this connection's prior writes.
-      Response resp = Dispatch(conn, front.barrier_req);
-      AppendResponse(conn, std::move(resp));
+      if (conn->text) {
+        front.resp.value = DispatchText(conn, front.mc->cmd);
+        AppendTextResponse(conn, front);
+      } else {
+        Response resp = Dispatch(conn, front.barrier_req);
+        AppendResponse(conn, std::move(resp));
+      }
     } else {
       break;  // kPending: still executing somewhere
     }
@@ -1197,11 +1387,28 @@ Response Server::Dispatch(Connection* conn, const Request& req) {
     case Opcode::kPing:
       resp.value = req.value;  // echo
       break;
-    case Opcode::kPut:
-      st = options_.read_only
-               ? Status::Unsupported("read-only replica")
-               : store_->Put(req.key, req.value, (req.flags & kFlagNoOverwrite) == 0);
+    case Opcode::kPut: {
+      if (options_.read_only) {
+        st = Status::Unsupported("read-only replica");
+        break;
+      }
+      const bool overwrite = (req.flags & kFlagNoOverwrite) == 0;
+      if ((req.flags & kFlagPutTtl) == 0) {
+        st = store_->Put(req.key, req.value, overwrite);
+      } else if (!store_->Caps().ttl) {
+        st = Status::Unsupported("store opened without TTL support");
+      } else if (req.value.size() < kPutTtlPrefixBytes) {
+        st = Status::InvalidArgument("PUT+ttl wants a u32 ttl_ms value prefix");
+      } else {
+        const uint32_t ttl_ms =
+            DecodeU32(reinterpret_cast<const uint8_t*>(req.value.data()));
+        const uint64_t expire = ttl_ms == 0 ? 0 : kv::TtlNowMs() + ttl_ms;
+        st = store_->PutWithTtl(req.key,
+                                std::string_view(req.value).substr(kPutTtlPrefixBytes),
+                                overwrite, expire);
+      }
       break;
+    }
     case Opcode::kGet:
       st = store_->Get(req.key, &resp.value);
       break;
@@ -1249,6 +1456,24 @@ Response Server::Dispatch(Connection* conn, const Request& req) {
       resp = DispatchReplicate(req);
       stats_.RecordLatency(req.op, MonotonicNanos() - t0);
       return resp;
+    case Opcode::kTouch: {
+      if (options_.read_only) {
+        st = Status::Unsupported("read-only replica");
+        break;
+      }
+      if (!store_->Caps().ttl) {
+        st = Status::Unsupported("store opened without TTL support");
+        break;
+      }
+      if (req.value.size() != 4) {
+        st = Status::InvalidArgument("TOUCH wants value = u32 ttl_ms");
+        break;
+      }
+      const uint32_t ttl_ms =
+          DecodeU32(reinterpret_cast<const uint8_t*>(req.value.data()));
+      st = store_->Touch(req.key, ttl_ms == 0 ? 0 : kv::TtlNowMs() + ttl_ms);
+      break;
+    }
     case Opcode::kMapGet:
     case Opcode::kMigrate:
       st = Status::Unsupported("not a cluster node");
@@ -1395,6 +1620,526 @@ bool Server::ServeBufferedFrames(Connection* conn) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// memcached text shim (hashkit-cache).
+//
+// Text connections reuse the whole batching pipeline: get/gets/set/add/
+// delete become kPending slots whose ops ride the same per-core ApplyBatch
+// (and cross-core forwarding) as binary traffic, while read-modify-write
+// commands (replace/cas/incr/decr/touch/flush_all/stats/version) become
+// kBarrier slots that run at the queue front, exactly like SCAN or SYNC on
+// the binary side.  Only ingest and emission differ.
+
+namespace {
+
+// Strict memcached numeric payload: decimal digits only, must fit u64.
+bool ParseDecimalU64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    const uint64_t d = static_cast<uint64_t>(c - '0');
+    if (v > (std::numeric_limits<uint64_t>::max() - d) / 10) {
+      return false;
+    }
+    v = v * 10 + d;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool Server::IngestTextCommands(Worker* worker, Connection* conn) {
+  const int budget =
+      options_.batch_ops > 0 ? options_.batch_ops : std::numeric_limits<int>::max();
+  int served = 0;
+  while (served < budget) {
+    // A storage command's data block is consumed before any further line
+    // parsing: the <bytes> count frames the stream, not line terminators.
+    if (conn->mc_data != nullptr) {
+      const size_t need = conn->mc_data->bytes + 2;  // data + "\r\n"
+      if (conn->in.size() < need) {
+        break;
+      }
+      mc::Command cmd = std::move(*conn->mc_data);
+      conn->mc_data.reset();
+      cmd.data = conn->in.substr(0, cmd.bytes);
+      const bool terminated = conn->in.compare(cmd.bytes, 2, "\r\n") == 0;
+      conn->in.erase(0, need);
+      ++served;
+      if (!terminated) {
+        // Framing is lost: answer and drop the connection, like a
+        // malformed binary frame.
+        stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        AppendTextSlot(worker, conn, "CLIENT_ERROR bad data chunk\r\n", false);
+        conn->close_after_flush = true;
+        break;
+      }
+      EnqueueTextStorage(worker, conn, std::move(cmd));
+      continue;
+    }
+
+    const size_t eol = conn->in.find('\n');
+    if (eol == std::string::npos) {
+      if (conn->in.size() > mc::kMaxCommandLine) {
+        stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        AppendTextSlot(worker, conn, "CLIENT_ERROR line too long\r\n", false);
+        conn->close_after_flush = true;
+      }
+      break;
+    }
+    size_t line_len = eol;
+    if (line_len > 0 && conn->in[line_len - 1] == '\r') {
+      --line_len;
+    }
+    if (line_len > mc::kMaxCommandLine) {
+      stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+      AppendTextSlot(worker, conn, "CLIENT_ERROR line too long\r\n", false);
+      conn->close_after_flush = true;
+      break;
+    }
+    const std::string line = conn->in.substr(0, line_len);
+    conn->in.erase(0, eol + 1);
+    ++served;
+    if (line.empty()) {
+      continue;
+    }
+    stats_.mc_commands.fetch_add(1, std::memory_order_relaxed);
+    // The store holds the 4-byte flags prefix alongside the data, so the
+    // client-visible limit is the binary value cap minus the prefix.
+    mc::Command cmd = mc::ParseCommandLine(line, kMaxValueLen - 4);
+    if (cmd.WantsData()) {
+      conn->mc_data = std::make_unique<mc::Command>(std::move(cmd));
+      continue;
+    }
+    RouteTextCommand(worker, conn, std::move(cmd));
+    if (conn->close_after_flush) {
+      break;  // quit
+    }
+  }
+
+  // Budget exhausted with bytes still buffered: continue next round, after
+  // every other ready connection had its turn (same pacing as binary).
+  if (!conn->in.empty() && !conn->in_backlog && !conn->close_after_flush) {
+    conn->in_backlog = true;
+    const int fd = conn->fd;
+    const uint64_t gen = conn->gen;
+    worker->loop.Post([this, worker, fd, gen] {
+      const auto it = worker->conns.find(fd);
+      if (it == worker->conns.end()) {
+        return;
+      }
+      Connection* c = it->second.get();
+      if (c->gen != gen || c->uring_closing) {
+        return;
+      }
+      c->in_backlog = false;
+      (void)IngestTextCommands(worker, c);
+      worker->touched.push_back(fd);
+    });
+  }
+  return true;
+}
+
+void Server::AppendTextSlot(Worker* worker, Connection* conn, std::string reply,
+                            bool noreply) {
+  Slot slot;
+  slot.state = Slot::State::kDone;
+  slot.mc = std::make_unique<Slot::McCtx>();
+  slot.mc->kind = mc::Command::Kind::kBad;  // raw: resp.value is the reply
+  slot.mc->noreply = noreply;
+  slot.resp.value = std::move(reply);
+  conn->slots.push_back(std::move(slot));
+  worker->inflight.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::RouteTextCommand(Worker* worker, Connection* conn, mc::Command&& cmd) {
+  using Kind = mc::Command::Kind;
+  const int64_t max = static_cast<int64_t>(options_.max_inflight);
+  const bool shed =
+      options_.overload_policy == ServerOptions::OverloadPolicy::kShed && max > 0 &&
+      worker->inflight.load(std::memory_order_relaxed) >= max;
+  switch (cmd.kind) {
+    case Kind::kGet:
+    case Kind::kGets: {
+      if (shed) {
+        worker->shed.fetch_add(1, std::memory_order_relaxed);
+        stats_.ops_shed.fetch_add(1, std::memory_order_relaxed);
+        AppendTextSlot(worker, conn, "SERVER_ERROR temporarily overloaded\r\n", false);
+        return;
+      }
+      for (size_t i = 0; i < cmd.keys.size(); ++i) {
+        stats_.CountRequest(Opcode::kGet);
+        worker->hotkeys.Record(cmd.keys[i]);
+        Slot slot;  // kPending
+        slot.mc = std::make_unique<Slot::McCtx>();
+        slot.mc->kind = cmd.kind;
+        slot.mc->gets = cmd.kind == Kind::kGets;
+        slot.mc->last = i + 1 == cmd.keys.size();
+        slot.mc->key = cmd.keys[i];
+        PendingOp op;
+        op.origin = worker->index;
+        op.fd = conn->fd;
+        op.gen = conn->gen;
+        op.slot = conn->base_slot + conn->slots.size();
+        op.op = Opcode::kGet;
+        op.t0 = MonotonicNanos();
+        op.key = std::move(cmd.keys[i]);
+        conn->slots.push_back(std::move(slot));
+        worker->inflight.fetch_add(1, std::memory_order_relaxed);
+        RouteBatchedOp(worker, std::move(op));
+      }
+      return;
+    }
+    case Kind::kDelete: {
+      if (options_.read_only) {
+        AppendTextSlot(worker, conn, "SERVER_ERROR read-only replica\r\n", cmd.noreply);
+        return;
+      }
+      if (shed) {
+        worker->shed.fetch_add(1, std::memory_order_relaxed);
+        stats_.ops_shed.fetch_add(1, std::memory_order_relaxed);
+        AppendTextSlot(worker, conn, "SERVER_ERROR temporarily overloaded\r\n",
+                       cmd.noreply);
+        return;
+      }
+      stats_.CountRequest(Opcode::kDel);
+      worker->hotkeys.Record(cmd.keys[0]);
+      Slot slot;  // kPending
+      slot.mc = std::make_unique<Slot::McCtx>();
+      slot.mc->kind = Kind::kDelete;
+      slot.mc->noreply = cmd.noreply;
+      PendingOp op;
+      op.origin = worker->index;
+      op.fd = conn->fd;
+      op.gen = conn->gen;
+      op.slot = conn->base_slot + conn->slots.size();
+      op.op = Opcode::kDel;
+      op.t0 = MonotonicNanos();
+      op.key = std::move(cmd.keys[0]);
+      conn->slots.push_back(std::move(slot));
+      worker->inflight.fetch_add(1, std::memory_order_relaxed);
+      RouteBatchedOp(worker, std::move(op));
+      return;
+    }
+    case Kind::kQuit:
+      conn->close_after_flush = true;
+      return;
+    case Kind::kBad:
+      AppendTextSlot(worker, conn, std::move(cmd.error), false);
+      return;
+    default: {
+      // Read-modify-write / control commands: a barrier slot, executed at
+      // the queue front so it sees this connection's prior writes.
+      Slot slot;
+      slot.state = Slot::State::kBarrier;
+      slot.mc = std::make_unique<Slot::McCtx>();
+      slot.mc->kind = cmd.kind;
+      slot.mc->noreply = cmd.noreply;
+      slot.mc->cmd = std::move(cmd);
+      conn->slots.push_back(std::move(slot));
+      worker->inflight.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void Server::EnqueueTextStorage(Worker* worker, Connection* conn, mc::Command&& cmd) {
+  using Kind = mc::Command::Kind;
+  if (!cmd.error.empty()) {
+    // Oversize object: the data block was swallowed to keep framing; only
+    // the pre-staged refusal goes out.
+    AppendTextSlot(worker, conn, std::move(cmd.error), cmd.noreply);
+    return;
+  }
+  if (cmd.kind == Kind::kReplace || cmd.kind == Kind::kCas) {
+    Slot slot;
+    slot.state = Slot::State::kBarrier;
+    slot.mc = std::make_unique<Slot::McCtx>();
+    slot.mc->kind = cmd.kind;
+    slot.mc->noreply = cmd.noreply;
+    slot.mc->cmd = std::move(cmd);
+    conn->slots.push_back(std::move(slot));
+    worker->inflight.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // set / add: one batched PUT.
+  if (options_.read_only) {
+    AppendTextSlot(worker, conn, "SERVER_ERROR read-only replica\r\n", cmd.noreply);
+    return;
+  }
+  const uint64_t expire = mc::ExptimeToExpireAtMs(cmd.exptime, kv::TtlNowMs());
+  if (expire != 0 && !store_->Caps().ttl) {
+    AppendTextSlot(worker, conn,
+                   "SERVER_ERROR TTL support disabled (run with --ttl)\r\n", cmd.noreply);
+    return;
+  }
+  const int64_t max = static_cast<int64_t>(options_.max_inflight);
+  if (options_.overload_policy == ServerOptions::OverloadPolicy::kShed && max > 0 &&
+      worker->inflight.load(std::memory_order_relaxed) >= max) {
+    worker->shed.fetch_add(1, std::memory_order_relaxed);
+    stats_.ops_shed.fetch_add(1, std::memory_order_relaxed);
+    AppendTextSlot(worker, conn, "SERVER_ERROR temporarily overloaded\r\n", cmd.noreply);
+    return;
+  }
+  stats_.CountRequest(Opcode::kPut);
+  worker->hotkeys.Record(cmd.keys[0]);
+  Slot slot;  // kPending
+  slot.mc = std::make_unique<Slot::McCtx>();
+  slot.mc->kind = cmd.kind;
+  slot.mc->noreply = cmd.noreply;
+  PendingOp op;
+  op.origin = worker->index;
+  op.fd = conn->fd;
+  op.gen = conn->gen;
+  op.slot = conn->base_slot + conn->slots.size();
+  op.op = Opcode::kPut;
+  op.flags = cmd.kind == Kind::kAdd ? kFlagNoOverwrite : 0;
+  op.t0 = MonotonicNanos();
+  op.expire_at_ms = expire;
+  op.key = std::move(cmd.keys[0]);
+  mc::EncodeValue(cmd.flags, cmd.data, &op.value);
+  conn->slots.push_back(std::move(slot));
+  worker->inflight.fetch_add(1, std::memory_order_relaxed);
+  RouteBatchedOp(worker, std::move(op));
+}
+
+std::string Server::DispatchText(Connection* conn, const mc::Command& cmd) {
+  (void)conn;
+  using Kind = mc::Command::Kind;
+  const auto server_error = [](const Status& st) {
+    return "SERVER_ERROR " + st.message() + "\r\n";
+  };
+  switch (cmd.kind) {
+    case Kind::kReplace:
+    case Kind::kCas: {
+      // Get-then-put at the slot-queue front: atomic with respect to this
+      // connection's pipeline; concurrent writers on other connections can
+      // interleave (documented in PROTOCOL.md).
+      if (options_.read_only) {
+        return "SERVER_ERROR read-only replica\r\n";
+      }
+      const std::string& key = cmd.keys[0];
+      const uint64_t expire = mc::ExptimeToExpireAtMs(cmd.exptime, kv::TtlNowMs());
+      if (expire != 0 && !store_->Caps().ttl) {
+        return "SERVER_ERROR TTL support disabled (run with --ttl)\r\n";
+      }
+      std::string existing;
+      const Status gst = store_->Get(key, &existing);
+      if (gst.IsNotFound()) {
+        return cmd.kind == Kind::kCas ? "NOT_FOUND\r\n" : "NOT_STORED\r\n";
+      }
+      if (!gst.ok()) {
+        return server_error(gst);
+      }
+      if (cmd.kind == Kind::kCas && mc::CasOf(existing) != cmd.cas) {
+        return "EXISTS\r\n";
+      }
+      std::string enc;
+      mc::EncodeValue(cmd.flags, cmd.data, &enc);
+      const Status st = store_->Caps().ttl
+                            ? store_->PutWithTtl(key, enc, /*overwrite=*/true, expire)
+                            : store_->Put(key, enc, /*overwrite=*/true);
+      return st.ok() ? "STORED\r\n" : server_error(st);
+    }
+    case Kind::kIncr:
+    case Kind::kDecr: {
+      if (options_.read_only) {
+        return "SERVER_ERROR read-only replica\r\n";
+      }
+      const std::string& key = cmd.keys[0];
+      std::string raw;
+      uint64_t expire = 0;
+      const Status gst = store_->Caps().ttl ? store_->GetWithExpiry(key, &raw, &expire)
+                                            : store_->Get(key, &raw);
+      if (gst.IsNotFound()) {
+        return "NOT_FOUND\r\n";
+      }
+      if (!gst.ok()) {
+        return server_error(gst);
+      }
+      uint32_t flags = 0;
+      std::string_view data;
+      mc::DecodeValue(raw, &flags, &data);
+      uint64_t v = 0;
+      if (!ParseDecimalU64(data, &v)) {
+        return "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n";
+      }
+      // incr wraps at 2^64 and decr clamps at 0, both per memcached.  The
+      // rewrite keeps the entry's flags and remaining TTL.
+      v = cmd.kind == Kind::kIncr ? v + cmd.delta : (v > cmd.delta ? v - cmd.delta : 0);
+      std::string enc;
+      mc::EncodeValue(flags, std::to_string(v), &enc);
+      const Status st = store_->Caps().ttl
+                            ? store_->PutWithTtl(key, enc, /*overwrite=*/true, expire)
+                            : store_->Put(key, enc, /*overwrite=*/true);
+      return st.ok() ? std::to_string(v) + "\r\n" : server_error(st);
+    }
+    case Kind::kTouch: {
+      if (options_.read_only) {
+        return "SERVER_ERROR read-only replica\r\n";
+      }
+      if (!store_->Caps().ttl) {
+        return "SERVER_ERROR TTL support disabled (run with --ttl)\r\n";
+      }
+      const Status st =
+          store_->Touch(cmd.keys[0], mc::ExptimeToExpireAtMs(cmd.exptime, kv::TtlNowMs()));
+      if (st.IsNotFound()) {
+        return "NOT_FOUND\r\n";
+      }
+      return st.ok() ? "TOUCHED\r\n" : server_error(st);
+    }
+    case Kind::kFlushAll: {
+      if (options_.read_only) {
+        return "SERVER_ERROR read-only replica\r\n";
+      }
+      // Collect-then-delete: a snapshot cursor where the store offers one
+      // (no interference with other scanners), the shared cursor otherwise.
+      std::vector<std::string> keys;
+      std::string key;
+      std::string value;
+      if (store_->Caps().snapshots) {
+        auto cursor = store_->NewSnapshotCursor();
+        if (!cursor.ok()) {
+          return server_error(cursor.status());
+        }
+        while (cursor.value()->Next(&key, &value).ok()) {
+          keys.push_back(key);
+        }
+      } else {
+        bool first = true;
+        while (store_->Scan(&key, &value, first).ok()) {
+          first = false;
+          keys.push_back(key);
+        }
+      }
+      for (const std::string& k : keys) {
+        const Status st = store_->Delete(k);
+        if (!st.ok() && !st.IsNotFound()) {
+          return server_error(st);
+        }
+      }
+      return "OK\r\n";
+    }
+    case Kind::kStats: {
+      std::string out;
+      const auto stat = [&out](const char* name, uint64_t v) {
+        out += "STAT ";
+        out += name;
+        out += ' ';
+        out += std::to_string(v);
+        out += "\r\n";
+      };
+      stat("curr_connections", stats_.connections_active.load(std::memory_order_relaxed));
+      stat("total_connections",
+           stats_.connections_accepted.load(std::memory_order_relaxed));
+      stat("cmd_get", stats_.requests_by_opcode[static_cast<size_t>(Opcode::kGet)].load(
+                          std::memory_order_relaxed));
+      stat("cmd_set", stats_.requests_by_opcode[static_cast<size_t>(Opcode::kPut)].load(
+                          std::memory_order_relaxed));
+      stat("get_hits", stats_.mc_get_hits.load(std::memory_order_relaxed));
+      stat("get_misses", stats_.mc_get_misses.load(std::memory_order_relaxed));
+      stat("bytes_read", stats_.bytes_in.load(std::memory_order_relaxed));
+      stat("bytes_written", stats_.bytes_out.load(std::memory_order_relaxed));
+      stat("curr_items", store_->Size());
+      out += "END\r\n";
+      return out;
+    }
+    case Kind::kVersion:
+      return "VERSION hashkit\r\n";
+    default:
+      return "ERROR\r\n";
+  }
+}
+
+void Server::AppendTextResponse(Connection* conn, Slot& slot) {
+  using Kind = mc::Command::Kind;
+  const Slot::McCtx& ctx = *slot.mc;
+  switch (ctx.kind) {
+    case Kind::kGet:
+    case Kind::kGets: {
+      std::string out;
+      if (slot.resp.status == StatusCode::kOk) {
+        stats_.mc_get_hits.fetch_add(1, std::memory_order_relaxed);
+        uint32_t flags = 0;
+        std::string_view data;
+        mc::DecodeValue(slot.resp.value, &flags, &data);
+        out += "VALUE ";
+        out += ctx.key;
+        out += ' ';
+        out += std::to_string(flags);
+        out += ' ';
+        out += std::to_string(data.size());
+        if (ctx.gets) {
+          out += ' ';
+          out += std::to_string(mc::CasOf(slot.resp.value));
+        }
+        out += "\r\n";
+        out.append(data.data(), data.size());
+        out += "\r\n";
+      } else if (slot.resp.status == StatusCode::kNotFound) {
+        stats_.mc_get_misses.fetch_add(1, std::memory_order_relaxed);
+        // A miss emits nothing; the END line closes the command.
+      } else {
+        out += "SERVER_ERROR ";
+        out += slot.resp.value.empty() ? "get failed" : slot.resp.value;
+        out += "\r\n";
+      }
+      if (ctx.last) {
+        out += "END\r\n";
+      }
+      if (!out.empty()) {
+        conn->out.Append(out);
+      }
+      return;
+    }
+    case Kind::kSet:
+    case Kind::kAdd: {
+      if (ctx.noreply) {
+        return;
+      }
+      if (slot.resp.status == StatusCode::kOk) {
+        conn->out.Append("STORED\r\n");
+      } else if (slot.resp.status == StatusCode::kExists) {
+        conn->out.Append("NOT_STORED\r\n");  // add on an existing key
+      } else {
+        std::string out = "SERVER_ERROR ";
+        out += slot.resp.value.empty() ? "store failed" : slot.resp.value;
+        out += "\r\n";
+        conn->out.Append(out);
+      }
+      return;
+    }
+    case Kind::kDelete: {
+      if (ctx.noreply) {
+        return;
+      }
+      if (slot.resp.status == StatusCode::kOk) {
+        conn->out.Append("DELETED\r\n");
+      } else if (slot.resp.status == StatusCode::kNotFound) {
+        conn->out.Append("NOT_FOUND\r\n");
+      } else {
+        std::string out = "SERVER_ERROR ";
+        out += slot.resp.value.empty() ? "delete failed" : slot.resp.value;
+        out += "\r\n";
+        conn->out.Append(out);
+      }
+      return;
+    }
+    default:
+      // Raw reply: barrier results, parse errors, shed/read-only notices.
+      if (!ctx.noreply && !slot.resp.value.empty()) {
+        conn->out.Append(slot.resp.value);
+      }
+      return;
+  }
+}
+
 std::string Server::RenderStatsText() const {
   std::string text;
   const auto line = [&text](const std::string& key, uint64_t value) {
@@ -1415,7 +2160,28 @@ std::string Server::RenderStatsText() const {
   line("server.ops_forwarded", stats_.ops_forwarded.load(std::memory_order_relaxed));
   line("server.ops_shed", stats_.ops_shed.load(std::memory_order_relaxed));
   line("server.ops_deferred", stats_.ops_deferred.load(std::memory_order_relaxed));
+  line("server.mc.connections", stats_.mc_connections.load(std::memory_order_relaxed));
+  line("server.mc.commands", stats_.mc_commands.load(std::memory_order_relaxed));
+  line("server.mc.get_hits", stats_.mc_get_hits.load(std::memory_order_relaxed));
+  line("server.mc.get_misses", stats_.mc_get_misses.load(std::memory_order_relaxed));
   AppendDistLines(&text, "server.batch_size", stats_.batch_size.Snapshot());
+  // hashkit-cache: global top-K hot keys, merged across the per-core
+  // Space-Saving sketches.  `count` is an upper bound on the key's access
+  // frequency since startup; `error` bounds the overestimate.
+  {
+    std::vector<std::vector<TopKSketch::Entry>> snapshots;
+    snapshots.reserve(workers_.size());
+    for (const auto& w : workers_) {
+      snapshots.push_back(w->hotkeys.Snapshot());
+    }
+    const auto top = TopKSketch::MergeTopK(snapshots, 10);
+    for (size_t i = 0; i < top.size(); ++i) {
+      const std::string prefix = "server.hotkeys." + std::to_string(i) + ".";
+      text += prefix + "key=" + SanitizeStatsKey(top[i].key) + "\n";
+      line(prefix + "count", top[i].count);
+      line(prefix + "error", top[i].error);
+    }
+  }
   for (size_t i = 0; i < workers_.size(); ++i) {
     const Worker& w = *workers_[i];
     const std::string prefix = "server.core." + std::to_string(i) + ".";
@@ -1468,6 +2234,8 @@ std::string Server::RenderStatsText() const {
     line("store.wal.bytes", store_stats.wal.bytes);
     line("store.wal.recovered_batches", store_stats.wal.recovered_batches);
     line("store.wal.recovered_pages", store_stats.wal.recovered_pages);
+    line("store.ttl.expired_lazy", store_stats.ttl_expired_lazy);
+    line("store.ttl.swept", store_stats.ttl_swept);
     AppendLatencyLines(&text, "store.latency.put", store_stats.latency.put);
     AppendLatencyLines(&text, "store.latency.get", store_stats.latency.get);
     AppendLatencyLines(&text, "store.latency.del", store_stats.latency.del);
@@ -1508,8 +2276,24 @@ std::string Server::RenderMetricsText() const {
   gauge("hashkit_ops_forwarded_total", stats_.ops_forwarded.load(std::memory_order_relaxed));
   gauge("hashkit_ops_shed_total", stats_.ops_shed.load(std::memory_order_relaxed));
   gauge("hashkit_ops_deferred_total", stats_.ops_deferred.load(std::memory_order_relaxed));
+  gauge("hashkit_mc_connections_total", stats_.mc_connections.load(std::memory_order_relaxed));
+  gauge("hashkit_mc_commands_total", stats_.mc_commands.load(std::memory_order_relaxed));
+  gauge("hashkit_mc_get_hits_total", stats_.mc_get_hits.load(std::memory_order_relaxed));
+  gauge("hashkit_mc_get_misses_total", stats_.mc_get_misses.load(std::memory_order_relaxed));
   AppendPromSummary(&out, "hashkit_batch_size_ops", "unit=\"ops\"",
                     stats_.batch_size.Snapshot());
+  {
+    std::vector<std::vector<TopKSketch::Entry>> snapshots;
+    snapshots.reserve(workers_.size());
+    for (const auto& w : workers_) {
+      snapshots.push_back(w->hotkeys.Snapshot());
+    }
+    const auto top = TopKSketch::MergeTopK(snapshots, 10);
+    for (size_t i = 0; i < top.size(); ++i) {
+      out += "hashkit_hotkey_accesses{rank=\"" + std::to_string(i) + "\",key=\"" +
+             SanitizeStatsKey(top[i].key) + "\"} " + std::to_string(top[i].count) + "\n";
+    }
+  }
   for (size_t i = 0; i < workers_.size(); ++i) {
     const Worker& w = *workers_[i];
     const std::string core = "{core=\"" + std::to_string(i) + "\"} ";
@@ -1558,6 +2342,8 @@ std::string Server::RenderMetricsText() const {
     gauge("hashkit_wal_bytes_total", store_stats.wal.bytes);
     gauge("hashkit_wal_recovered_batches_total", store_stats.wal.recovered_batches);
     gauge("hashkit_wal_recovered_pages_total", store_stats.wal.recovered_pages);
+    gauge("hashkit_ttl_expired_lazy_total", store_stats.ttl_expired_lazy);
+    gauge("hashkit_ttl_swept_total", store_stats.ttl_swept);
     AppendPromSummary(&out, "hashkit_store_latency_ns", "op=\"put\"", store_stats.latency.put);
     AppendPromSummary(&out, "hashkit_store_latency_ns", "op=\"get\"", store_stats.latency.get);
     AppendPromSummary(&out, "hashkit_store_latency_ns", "op=\"del\"", store_stats.latency.del);

@@ -54,6 +54,7 @@
 #include "src/kv/kv_store.h"
 #include "src/net/cluster_hooks.h"
 #include "src/net/event_loop.h"
+#include "src/net/memcached.h"
 #include "src/net/net_stats.h"
 #include "src/net/proto.h"
 #include "src/util/status.h"
@@ -105,6 +106,12 @@ struct ServerOptions {
   // endpoint answers any HTTP request on `host`:`metrics_port` with a
   // Prometheus-style plaintext exposition of RenderMetricsText().
   int metrics_port = -1;
+  // hashkit-cache: < 0 disables the memcached text-protocol listener; 0
+  // binds a kernel-assigned port (read back via Server::memcached_port()).
+  // Text connections ride the same per-core event loops, slot queues, and
+  // cross-connection batches as binary ones.  Incompatible with cluster
+  // mode (the hooks only speak the binary protocol).
+  int memcached_port = -1;
   // hashkit-cluster: borrowed, must outlive the server.  When set, every
   // request is offered to the hooks before local dispatch (ownership
   // checks, MOVED replies, MAP_GET/MIGRATE), and STATS//metrics grow a
@@ -140,6 +147,9 @@ class Server {
   // disabled).  Useful with options.metrics_port = 0.
   uint16_t metrics_port() const { return metrics_port_; }
 
+  // The bound memcached listener port (after Start(); 0 when disabled).
+  uint16_t memcached_port() const { return mc_port_; }
+
   const NetStats& stats() const { return stats_; }
 
   // The STATS wire command's payload: "key=value" lines covering NetStats
@@ -155,23 +165,26 @@ class Server {
 
  private:
   struct Connection;
+  struct Slot;
   struct Worker;
   struct PendingOp;
   struct OpCompletion;
 
   // Listen socket setup: per-worker SO_REUSEPORT sockets, or one shared
-  // fd registered EPOLLEXCLUSIVE in every worker's epoll set.
+  // fd registered EPOLLEXCLUSIVE in every worker's epoll set.  The
+  // memcached listener mirrors the same strategy on its own port.
   Status SetupListeners();
+  Status SetupMcListeners();
   Result<int> OpenListenSocket(uint16_t port, bool reuse_port);
 
-  void AcceptReady(Worker* worker);
+  void AcceptReady(Worker* worker, bool text);
   // One metrics scrape: accept, read the request (ignored beyond arrival),
   // write an HTTP/1.0 response carrying RenderMetricsText(), close.  Runs
   // on the metrics thread; scrapes are rare and small, so briefly
   // borrowing that thread is fine.
   void MetricsReady();
   // Connection lifecycle — all run on the owning worker's thread.
-  void AdoptConnection(Worker* worker, int fd);
+  void AdoptConnection(Worker* worker, int fd, bool text);
   void ConnectionReady(Worker* worker, int fd, uint32_t events);
   void CloseConnection(Worker* worker, int fd, bool from_idle_sweep);
   void SweepIdle(Worker* worker);
@@ -183,6 +196,27 @@ class Server {
   bool IngestFrames(Worker* worker, Connection* conn);
   // Legacy per-frame path used in cluster mode.
   bool ServeBufferedFrames(Connection* conn);
+
+  // --- memcached text shim (hashkit-cache), all on the owning worker ---
+  // Text-protocol ingest: parse command lines (and storage data blocks)
+  // from conn->in, batching get/set/add/delete into the core's pending ops
+  // and queueing read-modify-write commands as barrier slots.
+  bool IngestTextCommands(Worker* worker, Connection* conn);
+  // Routes one parsed command (data block, if any, already attached).
+  void RouteTextCommand(Worker* worker, Connection* conn, mc::Command&& cmd);
+  // set/add/cas/replace once the data block arrived.
+  void EnqueueTextStorage(Worker* worker, Connection* conn, mc::Command&& cmd);
+  // Queue a literal reply line (suppressed under noreply).
+  void AppendTextSlot(Worker* worker, Connection* conn, std::string reply,
+                      bool noreply);
+  // Barrier text commands (replace/cas/incr/decr/touch/flush_all/stats/
+  // version) against the store; returns the full reply text.
+  std::string DispatchText(Connection* conn, const mc::Command& cmd);
+  // Formats a completed slot's response per its memcached context.
+  void AppendTextResponse(Connection* conn, Slot& slot);
+  // Routes one batched key op to its owner core (this one, unless
+  // partition forwarding says otherwise).
+  void RouteBatchedOp(Worker* worker, PendingOp&& op);
 
   // End-of-round batch execution (EventLoop after-poll hook): forward
   // foreign-partition ops to their owner cores, execute the local batch in
@@ -229,6 +263,9 @@ class Server {
   uint16_t port_ = 0;
   int metrics_fd_ = -1;
   uint16_t metrics_port_ = 0;
+  int mc_listen_fd_ = -1;  // shared memcached fd, when not per-worker
+  uint16_t mc_port_ = 0;
+  bool mc_reuse_port_ = false;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
 

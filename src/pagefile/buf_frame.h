@@ -1,0 +1,56 @@
+// hashkit: one buffer-pool frame.  Split out of buffer_pool.cc so the
+// pluggable eviction policies (eviction.h) can read frame state and keep
+// their own intrusive links without reaching into the pool's internals.
+
+#ifndef HASHKIT_SRC_PAGEFILE_BUF_FRAME_H_
+#define HASHKIT_SRC_PAGEFILE_BUF_FRAME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace hashkit {
+
+enum class FrameState : uint8_t {
+  kLoading,  // published in the table, backend read in flight
+  kReady,    // contents valid
+  kFailed,   // backend read failed; frame is being withdrawn
+};
+
+struct BufFrame {
+  uint64_t pageno = 0;
+  std::atomic<uint32_t> pins{0};
+  std::atomic<bool> ref_bit{false};   // second-chance bit, set on every hit
+  std::atomic<bool> dirty{false};
+  // WAL barrier flags (meaningful only when the pool's barrier is on):
+  // wal_pending: the frame is in the pool's pending set awaiting logging;
+  // wal_hold: the frame's image is not yet durable in the log, so
+  // WriteBack must not touch the main file.
+  std::atomic<bool> wal_pending{false};
+  std::atomic<bool> wal_hold{false};
+  std::atomic<FrameState> state{FrameState::kLoading};
+  std::unique_ptr<uint8_t[]> data;
+
+  // Overflow-chain links: evicting a frame evicts ovfl_next transitively.
+  // Guarded by BufferPool::sweep_mu_.
+  BufFrame* ovfl_next = nullptr;
+  BufFrame* chain_prev = nullptr;
+
+  // Clock ring (circular, all resident frames — the pool's flush/
+  // invalidate iteration order, independent of the eviction policy).
+  // Guarded by sweep_mu_.
+  BufFrame* ring_prev = nullptr;
+  BufFrame* ring_next = nullptr;
+
+  // Eviction-policy links (hashkit-cache): each policy keeps the frame on
+  // at most one of its internal lists via these, with pol_region naming
+  // which list (policy-defined meaning).  Guarded by sweep_mu_ — every
+  // policy hook except OnAccess runs under it.
+  BufFrame* pol_prev = nullptr;
+  BufFrame* pol_next = nullptr;
+  uint8_t pol_region = 0;
+};
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_PAGEFILE_BUF_FRAME_H_

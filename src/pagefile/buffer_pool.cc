@@ -6,39 +6,9 @@
 #include <cstring>
 #include <vector>
 
+#include "src/pagefile/buf_frame.h"
+
 namespace hashkit {
-
-namespace {
-enum class FrameState : uint8_t {
-  kLoading,  // published in the table, backend read in flight
-  kReady,    // contents valid
-  kFailed,   // backend read failed; frame is being withdrawn
-};
-}  // namespace
-
-struct BufFrame {
-  uint64_t pageno = 0;
-  std::atomic<uint32_t> pins{0};
-  std::atomic<bool> ref_bit{false};   // second-chance bit, set on every hit
-  std::atomic<bool> dirty{false};
-  // WAL barrier flags (meaningful only when the pool's barrier is on):
-  // wal_pending: the frame is in the pool's pending set awaiting logging;
-  // wal_hold: the frame's image is not yet durable in the log, so
-  // WriteBack must not touch the main file.
-  std::atomic<bool> wal_pending{false};
-  std::atomic<bool> wal_hold{false};
-  std::atomic<FrameState> state{FrameState::kLoading};
-  std::unique_ptr<uint8_t[]> data;
-
-  // Overflow-chain links: evicting a frame evicts ovfl_next transitively.
-  // Guarded by BufferPool::sweep_mu_.
-  BufFrame* ovfl_next = nullptr;
-  BufFrame* chain_prev = nullptr;
-
-  // Clock ring (circular, all resident frames).  Guarded by sweep_mu_.
-  BufFrame* ring_prev = nullptr;
-  BufFrame* ring_next = nullptr;
-};
 
 // One lock-striped partition of the frame table.  The stripe lock guards
 // the map itself; per-frame fields are atomics so a hit only ever takes
@@ -95,11 +65,12 @@ void PageRef::Release() {
   }
 }
 
-BufferPool::BufferPool(PageFile* file, size_t pool_bytes)
+BufferPool::BufferPool(PageFile* file, size_t pool_bytes, EvictionPolicyKind eviction)
     : file_(file),
       page_size_(file->page_size()),
       max_frames_(pool_bytes / file->page_size()),
-      stripes_(new Stripe[kPoolStripes]) {}
+      stripes_(new Stripe[kPoolStripes]),
+      policy_(MakeEvictionPolicy(eviction, pool_bytes / file->page_size())) {}
 
 BufferPool::~BufferPool() = default;
 
@@ -139,7 +110,8 @@ template <typename Lock>
 Result<PageRef> BufferPool::PinResident(Stripe& stripe, std::shared_ptr<BufFrame> frame,
                                         Lock& lock, uint64_t t0) {
   frame->pins.fetch_add(1, std::memory_order_acq_rel);
-  frame->ref_bit.store(true, std::memory_order_relaxed);
+  // Policy hit hook: lock-free by contract (ref bit / sketch atomics only).
+  policy_->OnAccess(frame.get());
   FrameState state = frame->state.load(std::memory_order_acquire);
   if (state == FrameState::kLoading) {
     // Coalesce: another thread is reading this page from the backend.
@@ -209,6 +181,7 @@ Result<PageRef> BufferPool::Get(uint64_t pageno, bool create_new) {
   {
     std::lock_guard<std::mutex> sweep(sweep_mu_);
     RingAppend(frame.get());
+    policy_->OnAdmit(frame.get());
     if (max_frames_ == 0 || total_frames_.load(std::memory_order_acquire) > max_frames_) {
       room = SweepForRoom();
     }
@@ -252,6 +225,7 @@ void BufferPool::AbortLoad(Stripe& stripe, const std::shared_ptr<BufFrame>& fram
       frame->ovfl_next = nullptr;
     }
     RingRemove(frame.get());
+    policy_->OnRemove(frame.get());
   }
   {
     std::unique_lock<std::shared_mutex> lock(stripe.mu);
@@ -387,6 +361,7 @@ Status BufferPool::EvictChain(BufFrame* frame, bool* evicted) {
     for (BufFrame* f : chain) {
       const uint64_t pageno = f->pageno;
       RingRemove(f);
+      policy_->OnRemove(f);
       stripes_[StripeOf(pageno)].frames.erase(pageno);  // may free f
       ++n_evicted;
     }
@@ -409,37 +384,17 @@ Status BufferPool::SweepForRoom() {
     // unpinned frame eagerly.
     return EvictAllUnpinned();
   }
-  // Bound the sweep: one revolution may only clear reference bits and a
-  // second then finds victims, but each *candidate* costs an O(chain)
-  // walk, so an unbounded scan over a pool full of chained-but-pinned
-  // frames would make every miss quadratic.  Past the caps, grow instead.
+  // Victim selection is the policy's job (bounded scan inside NextVictim);
+  // the pool still re-verifies each candidate under stripe locks in
+  // EvictChain and bounds the number of candidates a concurrent pinner can
+  // burn.  When the policy runs dry — everything pinned, referenced, or
+  // chained to pins — grow past the nominal limit instead of failing.
   constexpr int kMaxVictimScan = 64;
-  size_t steps = 2 * ring_size_ + kMaxVictimScan;
   int barren_candidates = 0;
+  const ChainEvictableFn chain_fn = [this](const BufFrame* f) { return ChainEvictable(f); };
   while (total_frames_.load(std::memory_order_acquire) > max_frames_) {
-    BufFrame* victim = nullptr;
-    while (steps > 0 && clock_hand_ != nullptr) {
-      --steps;
-      BufFrame* f = clock_hand_;
-      clock_hand_ = f->ring_next;
-      if (f->pins.load(std::memory_order_acquire) > 0) {
-        continue;  // pinned frames sit outside replacement consideration
-      }
-      if (f->ref_bit.exchange(false, std::memory_order_relaxed)) {
-        continue;  // second chance
-      }
-      if (!ChainEvictable(f)) {
-        if (++barren_candidates >= kMaxVictimScan) {
-          steps = 0;
-        }
-        continue;
-      }
-      victim = f;
-      break;
-    }
+    BufFrame* victim = policy_->NextVictim(chain_fn);
     if (victim == nullptr) {
-      // Everything (scanned) pinned or chained to pins: grow past the
-      // nominal limit.
       return Status::Ok();
     }
     bool evicted = false;
@@ -555,6 +510,7 @@ void BufferPool::Discard(uint64_t pageno) {
     frame->ovfl_next = nullptr;
   }
   RingRemove(frame);
+  policy_->OnRemove(frame);
   stripe.frames.erase(it);
   total_frames_.fetch_sub(1, std::memory_order_acq_rel);
 }

@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/pagefile/eviction.h"
 #include "src/pagefile/page_file.h"
 #include "src/util/histogram.h"
 #include "src/util/status.h"
@@ -134,8 +135,11 @@ class PageRef {
 class BufferPool {
  public:
   // `pool_bytes` is the nominal cache budget.  A budget of 0 keeps only the
-  // minimum (currently-pinned) pages resident.
-  BufferPool(PageFile* file, size_t pool_bytes);
+  // minimum (currently-pinned) pages resident.  `eviction` selects the
+  // replacement policy (hashkit-cache); the default reproduces the pool's
+  // original second-chance clock exactly.
+  BufferPool(PageFile* file, size_t pool_bytes,
+             EvictionPolicyKind eviction = EvictionPolicyKind::kClock);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -196,6 +200,8 @@ class BufferPool {
 
   size_t frames_in_use() const { return total_frames_.load(std::memory_order_acquire); }
   size_t max_frames() const { return max_frames_; }
+  // The active replacement policy's name ("clock", "2q", "tinylfu").
+  std::string_view eviction_name() const { return policy_->name(); }
   // Consistent merged copy of the per-stripe stats, safe while reader
   // threads are active.
   BufferPoolStats StatsSnapshot() const;
@@ -232,10 +238,10 @@ class BufferPool {
   void RingRemove(BufFrame* frame);
   // True if `frame` and all its overflow successors are unpinned.
   bool ChainEvictable(const BufFrame* frame) const;
-  // Second-chance sweep: evicts chains until the pool fits its budget (or
-  // every unpinned frame, in eager mode / on invalidate).  Gives up and
-  // lets the pool grow when kMaxVictimScan candidates in a row are
-  // unevictable.
+  // Eviction sweep: asks the policy for victims until the pool fits its
+  // budget (or every unpinned frame, in eager mode / on invalidate).
+  // Gives up and lets the pool grow when the policy runs out of candidates
+  // or kMaxVictimScan candidates in a row are unevictable.
   Status SweepForRoom();
   Status EvictAllUnpinned();
   // Writes back (if dirty) and frees `frame` plus its successor chain.
@@ -257,12 +263,18 @@ class BufferPool {
   std::mutex wal_mu_;
   std::vector<WalPageHandle> wal_pending_;
 
-  // Serializes eviction (the clock sweep), the ring links, and the
+  // Serializes eviction (policy victim selection), the ring links, and the
   // overflow-chain links.  Never taken by the hit path; ordered strictly
   // before stripe locks (sweep_mu_ -> stripe.mu, never the reverse).
   std::mutex sweep_mu_;
-  BufFrame* clock_hand_ = nullptr;  // circular ring of resident frames
+  // Circular ring of ALL resident frames — the policy-independent
+  // iteration order for FlushAndInvalidate/EvictAllUnpinned; victim
+  // selection lives in policy_ (hashkit-cache).
+  BufFrame* clock_hand_ = nullptr;
   size_t ring_size_ = 0;
+  // Replacement policy.  OnAdmit/OnRemove/NextVictim run under sweep_mu_;
+  // OnAccess is hit-path lock-free (see eviction.h).
+  std::unique_ptr<EvictionPolicy> policy_;
 
   // Eviction-side stats; serialized by sweep_mu_ / flush callers but kept
   // atomic so StatsSnapshot needs no lock.

@@ -1,0 +1,485 @@
+#include "src/pagefile/eviction.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+namespace hashkit {
+
+namespace {
+
+bool Pinned(const BufFrame* f) { return f->pins.load(std::memory_order_acquire) > 0; }
+
+// Intrusive doubly-linked list over BufFrame::pol_prev/pol_next.
+// head = oldest (next victim side), tail = newest.  All mutation under the
+// pool's sweep mutex.  pol_region 0 means "on no list"; each policy
+// assigns nonzero region ids to its lists.
+struct FrameList {
+  BufFrame* head = nullptr;
+  BufFrame* tail = nullptr;
+  size_t size = 0;
+
+  void PushBack(BufFrame* f) {
+    f->pol_prev = tail;
+    f->pol_next = nullptr;
+    if (tail != nullptr) {
+      tail->pol_next = f;
+    } else {
+      head = f;
+    }
+    tail = f;
+    ++size;
+  }
+  void Unlink(BufFrame* f) {
+    if (f->pol_prev != nullptr) {
+      f->pol_prev->pol_next = f->pol_next;
+    } else {
+      head = f->pol_next;
+    }
+    if (f->pol_next != nullptr) {
+      f->pol_next->pol_prev = f->pol_prev;
+    } else {
+      tail = f->pol_prev;
+    }
+    f->pol_prev = nullptr;
+    f->pol_next = nullptr;
+    --size;
+  }
+  void MoveToBack(BufFrame* f) {
+    Unlink(f);
+    PushBack(f);
+  }
+};
+
+// --- clock: the pool's original second-chance sweep, verbatim semantics.
+// Own circular ring (pol_prev/pol_next) + hand; new frames enter behind
+// the hand so they get one full revolution of residence.
+class ClockPolicy final : public EvictionPolicy {
+ public:
+  std::string_view name() const override { return "clock"; }
+
+  void OnAdmit(BufFrame* f) override {
+    if (hand_ == nullptr) {
+      f->pol_next = f;
+      f->pol_prev = f;
+      hand_ = f;
+    } else {
+      BufFrame* tail = hand_->pol_prev;
+      tail->pol_next = f;
+      f->pol_prev = tail;
+      f->pol_next = hand_;
+      hand_->pol_prev = f;
+    }
+    f->pol_region = 1;
+    ++size_;
+  }
+
+  void OnRemove(BufFrame* f) override {
+    if (f->pol_region == 0) {
+      return;
+    }
+    if (f->pol_next == f) {
+      hand_ = nullptr;
+    } else {
+      f->pol_prev->pol_next = f->pol_next;
+      f->pol_next->pol_prev = f->pol_prev;
+      if (hand_ == f) {
+        hand_ = f->pol_next;
+      }
+    }
+    f->pol_next = nullptr;
+    f->pol_prev = nullptr;
+    f->pol_region = 0;
+    --size_;
+  }
+
+  void OnAccess(BufFrame* f) override { f->ref_bit.store(true, std::memory_order_relaxed); }
+
+  BufFrame* NextVictim(const ChainEvictableFn& chain_evictable) override {
+    // One revolution may only clear reference bits and a second then finds
+    // victims; past the cap, tell the pool to grow.
+    size_t steps = 2 * size_ + kMaxVictimScan;
+    int barren = 0;
+    while (steps > 0 && hand_ != nullptr) {
+      --steps;
+      BufFrame* f = hand_;
+      hand_ = f->pol_next;
+      if (Pinned(f)) {
+        continue;  // pinned frames sit outside replacement consideration
+      }
+      if (f->ref_bit.exchange(false, std::memory_order_relaxed)) {
+        continue;  // second chance
+      }
+      if (!chain_evictable(f)) {
+        if (++barren >= kMaxVictimScan) {
+          break;
+        }
+        continue;
+      }
+      return f;
+    }
+    return nullptr;
+  }
+
+ private:
+  static constexpr int kMaxVictimScan = 64;
+  BufFrame* hand_ = nullptr;
+  size_t size_ = 0;
+};
+
+// --- 2Q (Johnson & Shasha '94, simplified full version): regions
+//   1 = A1in  (probation FIFO for first-time pages)
+//   2 = Am    (protected list, second-chance ordering)
+// plus A1out, a ghost FIFO of recently evicted probation pagenos.  A page
+// re-admitted while its ghost is live goes straight to Am — "was useful
+// recently" — and a page re-referenced while on probation is promoted, so
+// one sequential sweep of cold pages churns only the probation quarter of
+// the pool.
+class TwoQPolicy final : public EvictionPolicy {
+ public:
+  explicit TwoQPolicy(size_t max_frames)
+      : a1in_cap_(std::max<size_t>(1, max_frames / 4)),
+        ghost_cap_(std::max<size_t>(16, max_frames / 2)) {}
+
+  std::string_view name() const override { return "2q"; }
+
+  void OnAdmit(BufFrame* f) override {
+    if (ghost_.erase(f->pageno) > 0) {
+      am_.PushBack(f);
+      f->pol_region = 2;
+    } else {
+      a1in_.PushBack(f);
+      f->pol_region = 1;
+    }
+  }
+
+  void OnRemove(BufFrame* f) override {
+    switch (f->pol_region) {
+      case 1:
+        a1in_.Unlink(f);
+        // Remember the eviction: a prompt re-reference proves the page
+        // deserved protection.
+        if (ghost_.insert(f->pageno).second) {
+          ghost_fifo_.push_back(f->pageno);
+        }
+        TrimGhost();
+        break;
+      case 2:
+        am_.Unlink(f);
+        break;
+      default:
+        return;
+    }
+    f->pol_region = 0;
+  }
+
+  void OnAccess(BufFrame* f) override { f->ref_bit.store(true, std::memory_order_relaxed); }
+
+  BufFrame* NextVictim(const ChainEvictableFn& chain_evictable) override {
+    size_t steps = 2 * (a1in_.size + am_.size) + kMaxVictimScan;
+    int barren = 0;
+    while (steps > 0) {
+      --steps;
+      // Prefer draining an over-target probation queue; otherwise the
+      // protected list (falling back to whichever is non-empty).
+      const bool from_a1in =
+          a1in_.head != nullptr && (a1in_.size > a1in_cap_ || am_.head == nullptr);
+      FrameList& list = from_a1in ? a1in_ : am_;
+      BufFrame* f = list.head;
+      if (f == nullptr) {
+        return nullptr;  // both lists empty (everything mid-eviction)
+      }
+      if (Pinned(f)) {
+        list.MoveToBack(f);
+        continue;
+      }
+      if (f->ref_bit.exchange(false, std::memory_order_relaxed)) {
+        if (from_a1in) {
+          // Re-referenced on probation: promote to the protected list.
+          a1in_.Unlink(f);
+          am_.PushBack(f);
+          f->pol_region = 2;
+        } else {
+          list.MoveToBack(f);  // second chance within Am
+        }
+        continue;
+      }
+      if (!chain_evictable(f)) {
+        list.MoveToBack(f);
+        if (++barren >= kMaxVictimScan) {
+          return nullptr;
+        }
+        continue;
+      }
+      return f;
+    }
+    return nullptr;
+  }
+
+ private:
+  static constexpr int kMaxVictimScan = 64;
+
+  void TrimGhost() {
+    while (ghost_.size() > ghost_cap_ && !ghost_fifo_.empty()) {
+      // FIFO entries may be stale (promoted out of the set already);
+      // popping one of those is a no-op and the loop continues.
+      ghost_.erase(ghost_fifo_.front());
+      ghost_fifo_.pop_front();
+    }
+  }
+
+  FrameList a1in_;  // region 1
+  FrameList am_;    // region 2
+  const size_t a1in_cap_;
+  const size_t ghost_cap_;
+  std::unordered_set<uint64_t> ghost_;
+  std::deque<uint64_t> ghost_fifo_;
+};
+
+// --- W-TinyLFU (Einziger et al.): a count-min sketch estimates every
+// page's access frequency (surviving eviction, decayed by periodic
+// halving); regions
+//   1 = window (small FIFO absorbing admission bursts, ~1/16 of frames)
+//   2 = main   (second-chance list holding everything that won its duel)
+// When the window overflows, its oldest page duels the main list's
+// coldest: the higher-frequency page stays/enters main, the other is the
+// eviction candidate.  A stream of one-shot pages loses every duel, so
+// the hot set is untouchable regardless of scan length.
+class FrequencySketch {
+ public:
+  explicit FrequencySketch(size_t max_frames) {
+    size_t want = std::max<size_t>(1024, max_frames * 8);
+    size_t width = 1;
+    while (width < want) {
+      width <<= 1;
+    }
+    mask_ = width - 1;
+    table_ = std::vector<std::atomic<uint8_t>>(width * kRows);
+    sample_cap_ = 16 * std::max<uint64_t>(max_frames, 64);
+  }
+
+  // Lock-free; saturates at 15 like the classic 4-bit sketch.
+  void Increment(uint64_t key) {
+    for (int row = 0; row < kRows; ++row) {
+      std::atomic<uint8_t>& cell = table_[Slot(key, row)];
+      uint8_t v = cell.load(std::memory_order_relaxed);
+      while (v < kMaxCount &&
+             !cell.compare_exchange_weak(v, static_cast<uint8_t>(v + 1),
+                                         std::memory_order_relaxed)) {
+      }
+    }
+    if (samples_.fetch_add(1, std::memory_order_relaxed) + 1 >= sample_cap_) {
+      age_due_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  uint32_t Estimate(uint64_t key) const {
+    uint32_t est = kMaxCount;
+    for (int row = 0; row < kRows; ++row) {
+      est = std::min<uint32_t>(est, table_[Slot(key, row)].load(std::memory_order_relaxed));
+    }
+    return est;
+  }
+
+  // Halve every counter once the sample window fills (frequency decay so
+  // yesterday's hot pages can cool off).  Called under sweep_mu_;
+  // concurrent increments racing the halving only perturb an already
+  // approximate sketch.
+  void MaybeAge() {
+    if (!age_due_.exchange(false, std::memory_order_relaxed)) {
+      return;
+    }
+    for (auto& cell : table_) {
+      const uint8_t v = cell.load(std::memory_order_relaxed);
+      if (v != 0) {
+        cell.store(static_cast<uint8_t>(v >> 1), std::memory_order_relaxed);
+      }
+    }
+    samples_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kRows = 4;
+  static constexpr uint8_t kMaxCount = 15;
+
+  size_t Slot(uint64_t key, int row) const {
+    // One multiplicative mix per row with distinct odd constants; the high
+    // bits land in different slots per row.
+    static constexpr uint64_t kSeeds[kRows] = {
+        0x9E3779B97F4A7C15ull, 0xC2B2AE3D27D4EB4Full, 0x165667B19E3779F9ull,
+        0xD6E8FEB86659FD93ull};
+    const uint64_t h = (key + 1) * kSeeds[row];
+    return static_cast<size_t>(((h >> 32) ^ h) & mask_) + static_cast<size_t>(row) * (mask_ + 1);
+  }
+
+  size_t mask_ = 0;
+  std::vector<std::atomic<uint8_t>> table_;
+  std::atomic<uint64_t> samples_{0};
+  uint64_t sample_cap_ = 0;
+  std::atomic<bool> age_due_{false};
+};
+
+class TinyLfuPolicy final : public EvictionPolicy {
+ public:
+  explicit TinyLfuPolicy(size_t max_frames)
+      : window_cap_(std::max<size_t>(1, max_frames / 16)),
+        main_cap_(max_frames - std::max<size_t>(1, max_frames / 16)),
+        sketch_(max_frames) {}
+
+  std::string_view name() const override { return "tinylfu"; }
+
+  void OnAdmit(BufFrame* f) override {
+    sketch_.Increment(f->pageno);
+    window_.PushBack(f);
+    f->pol_region = 1;
+  }
+
+  void OnRemove(BufFrame* f) override {
+    switch (f->pol_region) {
+      case 1:
+        window_.Unlink(f);
+        break;
+      case 2:
+        main_.Unlink(f);
+        break;
+      default:
+        return;
+    }
+    f->pol_region = 0;
+  }
+
+  void OnAccess(BufFrame* f) override {
+    f->ref_bit.store(true, std::memory_order_relaxed);
+    sketch_.Increment(f->pageno);
+  }
+
+  BufFrame* NextVictim(const ChainEvictableFn& chain_evictable) override {
+    sketch_.MaybeAge();
+    // The cold-start fill lands every frame in the window (no evictions run
+    // while the pool is under capacity), so first drain the overflow into
+    // main while main is under its own capacity.  Admission duels only make
+    // sense once main is full: a duel pairs one promotion with one main
+    // eviction, so without this drain main could never grow and the policy
+    // would degenerate into a FIFO over the window.
+    while (window_.size > window_cap_ && main_.size < main_cap_) {
+      Promote(window_.head);
+    }
+    size_t steps = 2 * (window_.size + main_.size) + kMaxVictimScan;
+    int barren = 0;
+    while (steps > 0) {
+      if (window_.size > window_cap_ && window_.head != nullptr) {
+        BufFrame* w = window_.head;
+        if (Pinned(w)) {
+          window_.MoveToBack(w);
+          --steps;
+          continue;
+        }
+        BufFrame* m = MainVictim(&steps);
+        BufFrame* candidate;
+        if (m == nullptr) {
+          Promote(w);  // nothing in main to duel: admit unconditionally
+          --steps;
+          continue;
+        } else if (sketch_.Estimate(w->pageno) > sketch_.Estimate(m->pageno)) {
+          Promote(w);  // the newcomer is hotter: it wins residence in main
+          candidate = m;
+        } else {
+          candidate = w;  // the incumbent stays; the newcomer is the victim
+        }
+        if (!chain_evictable(candidate)) {
+          (candidate->pol_region == 1 ? window_ : main_).MoveToBack(candidate);
+          --steps;
+          if (++barren >= kMaxVictimScan) {
+            return nullptr;
+          }
+          continue;
+        }
+        return candidate;
+      }
+      // Window within target: evict from main, falling back to the window
+      // when main is empty.
+      BufFrame* m = MainVictim(&steps);
+      if (m == nullptr) {
+        m = WindowVictim(&steps);
+      }
+      if (m == nullptr) {
+        return nullptr;
+      }
+      if (!chain_evictable(m)) {
+        (m->pol_region == 1 ? window_ : main_).MoveToBack(m);
+        --steps;
+        if (++barren >= kMaxVictimScan) {
+          return nullptr;
+        }
+        continue;
+      }
+      return m;
+    }
+    return nullptr;
+  }
+
+ private:
+  static constexpr int kMaxVictimScan = 64;
+
+  void Promote(BufFrame* w) {
+    window_.Unlink(w);
+    main_.PushBack(w);
+    w->pol_region = 2;
+  }
+
+  // Coldest unpinned main frame, with second-chance rotation (ref_bit
+  // covers the window between sketch decays).  Consumes from *steps.
+  BufFrame* MainVictim(size_t* steps) {
+    while (*steps > 0 && main_.head != nullptr) {
+      --*steps;
+      BufFrame* f = main_.head;
+      if (Pinned(f)) {
+        main_.MoveToBack(f);
+        continue;
+      }
+      if (f->ref_bit.exchange(false, std::memory_order_relaxed)) {
+        main_.MoveToBack(f);
+        continue;
+      }
+      return f;
+    }
+    return nullptr;
+  }
+
+  BufFrame* WindowVictim(size_t* steps) {
+    while (*steps > 0 && window_.head != nullptr) {
+      --*steps;
+      BufFrame* f = window_.head;
+      if (Pinned(f)) {
+        window_.MoveToBack(f);
+        continue;
+      }
+      return f;
+    }
+    return nullptr;
+  }
+
+  FrameList window_;  // region 1
+  FrameList main_;    // region 2
+  const size_t window_cap_;
+  const size_t main_cap_;
+  FrequencySketch sketch_;
+};
+
+}  // namespace
+
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionPolicyKind kind,
+                                                   size_t max_frames) {
+  switch (kind) {
+    case EvictionPolicyKind::kTwoQ:
+      return std::make_unique<TwoQPolicy>(max_frames);
+    case EvictionPolicyKind::kTinyLfu:
+      return std::make_unique<TinyLfuPolicy>(max_frames);
+    case EvictionPolicyKind::kClock:
+      break;
+  }
+  return std::make_unique<ClockPolicy>();
+}
+
+}  // namespace hashkit

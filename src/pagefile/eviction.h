@@ -1,0 +1,113 @@
+// hashkit-cache: pluggable buffer-pool replacement policies.
+//
+// The pool owns residency (frame table, pins, overflow chains, WAL holds);
+// a policy only decides *which* resident frame to victimize when the pool
+// is over budget.  The contract keeps the pool's concurrency story intact:
+//
+//   - OnAccess runs on the hit path with no pool-wide lock held.  It may
+//     touch only the frame's atomics (ref_bit, sketch counters) — never
+//     the pol_* links.
+//   - OnAdmit / OnRemove / NextVictim run under the pool's sweep mutex, so
+//     list restructuring is serialized exactly like the old clock sweep.
+//   - NextVictim returns a *candidate*: the pool re-verifies pins under
+//     stripe locks and may decline (chain re-pinned, re-dirtied).  A
+//     declined or evicted frame reaches the policy again only via OnRemove
+//     (eviction) or a later NextVictim call, so policies must leave a
+//     returned candidate in a consistent position (rotated to the back of
+//     its list).
+//   - Returning nullptr means "no victim within my scan bound": the pool
+//     grows past its nominal budget, matching the old clock behavior when
+//     everything was pinned.
+//
+// Policies:
+//   clock   — second-chance sweep, byte-for-byte the pool's original
+//             behavior (the default).
+//   2q      — Johnson & Shasha's 2Q: new pages enter a probation FIFO
+//             (A1in); only pages re-referenced there, or re-admitted after
+//             appearing in a ghost history of recently evicted pagenos
+//             (A1out), join the protected main list.  One sequential scan
+//             can no longer flush the whole pool.
+//   tinylfu — W-TinyLFU: a count-min sketch tracks access frequency of
+//             every page (including evicted ones); eviction duels the
+//             newest window arrival against the main list's LRU tail and
+//             keeps the more frequent.  Skew-robust: a once-hot page
+//             cannot be displaced by a stream of one-shot pages.
+
+#ifndef HASHKIT_SRC_PAGEFILE_EVICTION_H_
+#define HASHKIT_SRC_PAGEFILE_EVICTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "src/pagefile/buf_frame.h"
+
+namespace hashkit {
+
+// Replacement policy selector (the `--eviction=` flag; also
+// HashOptions::eviction / StoreOptions::eviction).
+enum class EvictionPolicyKind : uint8_t {
+  kClock = 0,
+  kTwoQ,
+  kTinyLfu,
+};
+
+constexpr std::string_view EvictionPolicyName(EvictionPolicyKind kind) {
+  switch (kind) {
+    case EvictionPolicyKind::kTwoQ:
+      return "2q";
+    case EvictionPolicyKind::kTinyLfu:
+      return "tinylfu";
+    case EvictionPolicyKind::kClock:
+      break;
+  }
+  return "clock";
+}
+
+// Accepts the `--eviction=` flag spellings; returns false on anything else.
+inline bool ParseEvictionPolicy(std::string_view name, EvictionPolicyKind* out) {
+  if (name == "clock") {
+    *out = EvictionPolicyKind::kClock;
+  } else if (name == "2q" || name == "twoq") {
+    *out = EvictionPolicyKind::kTwoQ;
+  } else if (name == "tinylfu" || name == "tiny-lfu") {
+    *out = EvictionPolicyKind::kTinyLfu;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// True when `frame` plus its linked overflow chain is currently unpinned
+// (the pool's ChainEvictable, passed into NextVictim so policies never
+// victimize a chain the pool cannot take).
+using ChainEvictableFn = std::function<bool(const BufFrame*)>;
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  virtual std::string_view name() const = 0;
+
+  // Frame became resident / left residency.  Under sweep_mu_.
+  virtual void OnAdmit(BufFrame* frame) = 0;
+  virtual void OnRemove(BufFrame* frame) = 0;
+
+  // Cache hit.  Lock-free: atomics on `frame` (and the policy's own atomic
+  // sketch) only.
+  virtual void OnAccess(BufFrame* frame) = 0;
+
+  // Pick the next eviction candidate.  Under sweep_mu_; bounded internal
+  // scan; nullptr = let the pool grow.
+  virtual BufFrame* NextVictim(const ChainEvictableFn& chain_evictable) = 0;
+};
+
+// `max_frames` is the pool's nominal frame budget (sizes the TinyLFU
+// sketch and the 2Q target fractions); 0 = unbounded pool, where the
+// policies fall back to minimal fixed sizing.
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionPolicyKind kind,
+                                                   size_t max_frames);
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_PAGEFILE_EVICTION_H_

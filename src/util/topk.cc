@@ -1,0 +1,76 @@
+#include "src/util/topk.h"
+
+#include <algorithm>
+
+namespace hashkit {
+
+void TopKSketch::Record(std::string_view key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++it->second.count;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    Entry entry;
+    entry.key = std::string(key);
+    entry.count = 1;
+    entries_.emplace(entry.key, std::move(entry));
+    return;
+  }
+  // Full: evict the minimum-count entry, adopt its count (Space-Saving).
+  auto min_it = entries_.begin();
+  for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+    if (cand->second.count < min_it->second.count) {
+      min_it = cand;
+    }
+  }
+  Entry entry;
+  entry.key = std::string(key);
+  entry.error = min_it->second.count;
+  entry.count = min_it->second.count + 1;
+  entries_.erase(min_it);
+  entries_.emplace(entry.key, std::move(entry));
+}
+
+std::vector<TopKSketch::Entry> TopKSketch::Snapshot() const {
+  std::vector<Entry> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      out.push_back(entry);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.count > b.count; });
+  return out;
+}
+
+std::vector<TopKSketch::Entry> TopKSketch::MergeTopK(
+    const std::vector<std::vector<Entry>>& snapshots, size_t k) {
+  std::unordered_map<std::string, Entry> merged;
+  for (const auto& snapshot : snapshots) {
+    for (const Entry& entry : snapshot) {
+      Entry& slot = merged[entry.key];
+      if (slot.key.empty()) {
+        slot.key = entry.key;
+      }
+      slot.count += entry.count;
+      slot.error += entry.error;
+    }
+  }
+  std::vector<Entry> out;
+  out.reserve(merged.size());
+  for (auto& [key, entry] : merged) {
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.count > b.count; });
+  if (out.size() > k) {
+    out.resize(k);
+  }
+  return out;
+}
+
+}  // namespace hashkit

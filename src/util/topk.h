@@ -1,0 +1,67 @@
+// hashkit-cache: hot-key detection via the Space-Saving top-K sketch
+// (Metwally, Agrawal & El Abbadi, "Efficient computation of frequent and
+// top-k elements in data streams").
+//
+// The sketch tracks at most `capacity` keys with (count, error) pairs.  A
+// hit on a tracked key bumps its count exactly; a miss on a full sketch
+// evicts the minimum-count entry and adopts its count as the newcomer's
+// starting count, recording that inherited count as `error` — so every
+// reported count is an overestimate by at most `error`, and any key whose
+// true frequency exceeds N/capacity is guaranteed to be tracked.
+//
+// One sketch per server worker (single-writer, so Record takes no lock);
+// a STATS render merges the per-worker sketches by key and reports the
+// global top K.  Merge is sound because counts are additive upper bounds.
+
+#ifndef HASHKIT_SRC_UTIL_TOPK_H_
+#define HASHKIT_SRC_UTIL_TOPK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hashkit {
+
+class TopKSketch {
+ public:
+  struct Entry {
+    std::string key;
+    uint64_t count = 0;  // upper bound on the key's true frequency
+    uint64_t error = 0;  // count inherited at adoption (overestimate bound)
+  };
+
+  explicit TopKSketch(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Counts one access.  Internally locked, but the lock is only ever
+  // contended by a concurrent Snapshot (STATS), never by another writer.
+  void Record(std::string_view key);
+
+  // The tracked entries, highest count first.
+  std::vector<Entry> Snapshot() const;
+
+  // Merges several sketches' snapshots (summing counts/errors per key) and
+  // returns the top `k`, highest merged count first.
+  static std::vector<Entry> MergeTopK(const std::vector<std::vector<Entry>>& snapshots,
+                                      size_t k);
+
+ private:
+  // Transparent hashing so Record can probe with a string_view without
+  // materializing a std::string on every access.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view sv) const {
+      return std::hash<std::string_view>{}(sv);
+    }
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry, StringHash, std::equal_to<>> entries_;
+};
+
+}  // namespace hashkit
+
+#endif  // HASHKIT_SRC_UTIL_TOPK_H_

@@ -1,0 +1,441 @@
+// hashkit-cache: memcached text-protocol shim tests — the parser/codec in
+// isolation, then a real socket conversation against a Server with a
+// --memcached-port listener (set/get/gets/add/replace/cas/incr/decr/
+// delete/touch/flush_all/stats/version/quit, noreply, pipelining, and the
+// framing rules for bad input).  The e2e suite also crosses protocols:
+// keys written over the binary protocol (PutTtl/Touch) read back through
+// the text shim and vice versa, on the same store, with expiry driven by
+// the deterministic TTL test clock.
+
+#include "src/net/memcached.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/kv/synchronized.h"
+#include "src/kv/ttl.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace net {
+namespace {
+
+// --- Parser / codec units (no sockets) ---
+
+constexpr size_t kNoLimit = 1u << 24;
+
+TEST(McParseTest, GetAndGetsMultiKey) {
+  auto cmd = mc::ParseCommandLine("get alpha beta gamma", kNoLimit);
+  ASSERT_EQ(cmd.kind, mc::Command::Kind::kGet);
+  ASSERT_EQ(cmd.keys.size(), 3u);
+  EXPECT_EQ(cmd.keys[0], "alpha");
+  EXPECT_EQ(cmd.keys[2], "gamma");
+  EXPECT_FALSE(cmd.WantsData());
+
+  cmd = mc::ParseCommandLine("gets one", kNoLimit);
+  EXPECT_EQ(cmd.kind, mc::Command::Kind::kGets);
+  ASSERT_EQ(cmd.keys.size(), 1u);
+}
+
+TEST(McParseTest, StorageCommandFields) {
+  auto cmd = mc::ParseCommandLine("set k 7 100 5", kNoLimit);
+  ASSERT_EQ(cmd.kind, mc::Command::Kind::kSet);
+  EXPECT_TRUE(cmd.error.empty());
+  EXPECT_EQ(cmd.keys[0], "k");
+  EXPECT_EQ(cmd.flags, 7u);
+  EXPECT_EQ(cmd.exptime, 100);
+  EXPECT_EQ(cmd.bytes, 5u);
+  EXPECT_FALSE(cmd.noreply);
+  EXPECT_TRUE(cmd.WantsData());
+
+  cmd = mc::ParseCommandLine("add k 0 0 1 noreply", kNoLimit);
+  EXPECT_EQ(cmd.kind, mc::Command::Kind::kAdd);
+  EXPECT_TRUE(cmd.noreply);
+
+  cmd = mc::ParseCommandLine("cas k 1 0 3 99", kNoLimit);
+  ASSERT_EQ(cmd.kind, mc::Command::Kind::kCas);
+  EXPECT_EQ(cmd.cas, 99u);
+}
+
+TEST(McParseTest, MutationAndAdminCommands) {
+  auto cmd = mc::ParseCommandLine("delete k noreply", kNoLimit);
+  EXPECT_EQ(cmd.kind, mc::Command::Kind::kDelete);
+  EXPECT_TRUE(cmd.noreply);
+
+  cmd = mc::ParseCommandLine("incr counter 5", kNoLimit);
+  ASSERT_EQ(cmd.kind, mc::Command::Kind::kIncr);
+  EXPECT_EQ(cmd.delta, 5u);
+
+  cmd = mc::ParseCommandLine("decr counter 2", kNoLimit);
+  EXPECT_EQ(cmd.kind, mc::Command::Kind::kDecr);
+
+  cmd = mc::ParseCommandLine("touch k 100", kNoLimit);
+  ASSERT_EQ(cmd.kind, mc::Command::Kind::kTouch);
+  EXPECT_EQ(cmd.exptime, 100);
+
+  cmd = mc::ParseCommandLine("flush_all 10 noreply", kNoLimit);
+  EXPECT_EQ(cmd.kind, mc::Command::Kind::kFlushAll);
+  EXPECT_TRUE(cmd.noreply);
+
+  EXPECT_EQ(mc::ParseCommandLine("stats", kNoLimit).kind, mc::Command::Kind::kStats);
+  EXPECT_EQ(mc::ParseCommandLine("version", kNoLimit).kind, mc::Command::Kind::kVersion);
+  EXPECT_EQ(mc::ParseCommandLine("quit", kNoLimit).kind, mc::Command::Kind::kQuit);
+}
+
+TEST(McParseTest, RejectsMalformedInput) {
+  // Unknown verb: plain ERROR, like memcached.
+  auto cmd = mc::ParseCommandLine("frobnicate k", kNoLimit);
+  EXPECT_EQ(cmd.kind, mc::Command::Kind::kBad);
+  EXPECT_EQ(cmd.error, "ERROR\r\n");
+
+  // Wrong arity and non-numeric fields are client errors.
+  EXPECT_EQ(mc::ParseCommandLine("set k 1 2", kNoLimit).kind, mc::Command::Kind::kBad);
+  EXPECT_EQ(mc::ParseCommandLine("set k x 0 5", kNoLimit).kind, mc::Command::Kind::kBad);
+  EXPECT_EQ(mc::ParseCommandLine("incr k", kNoLimit).kind, mc::Command::Kind::kBad);
+  EXPECT_EQ(mc::ParseCommandLine("", kNoLimit).kind, mc::Command::Kind::kBad);
+
+  // Key length follows memcached's 250-byte cap.
+  const std::string long_key(mc::kMaxKeyLen + 1, 'k');
+  cmd = mc::ParseCommandLine("get " + long_key, kNoLimit);
+  EXPECT_EQ(cmd.kind, mc::Command::Kind::kBad);
+  EXPECT_EQ(cmd.error.rfind("CLIENT_ERROR", 0), 0u) << cmd.error;
+
+  // A get with too many keys is refused before any lookups happen.
+  std::string many = "get";
+  for (size_t i = 0; i <= mc::kMaxKeysPerGet; ++i) {
+    many += " k" + std::to_string(i);
+  }
+  EXPECT_EQ(mc::ParseCommandLine(many, kNoLimit).kind, mc::Command::Kind::kBad);
+}
+
+TEST(McParseTest, OversizeStorageKeepsKindForFraming) {
+  // The data block still follows on the wire, so the caller must learn the
+  // real kind and byte count even though the command will be refused.
+  auto cmd = mc::ParseCommandLine("set k 0 0 11", /*max_value_bytes=*/10);
+  EXPECT_EQ(cmd.kind, mc::Command::Kind::kSet);
+  EXPECT_EQ(cmd.bytes, 11u);
+  EXPECT_FALSE(cmd.error.empty());
+  EXPECT_EQ(cmd.error.rfind("SERVER_ERROR", 0), 0u) << cmd.error;
+}
+
+TEST(McCodecTest, ExptimeConversion) {
+  const uint64_t now = 1'700'000'000'000;  // an arbitrary epoch-ms instant
+  EXPECT_EQ(mc::ExptimeToExpireAtMs(0, now), 0u);
+  EXPECT_EQ(mc::ExptimeToExpireAtMs(100, now), now + 100'000);
+  EXPECT_EQ(mc::ExptimeToExpireAtMs(mc::kRelativeExptimeLimit, now),
+            now + static_cast<uint64_t>(mc::kRelativeExptimeLimit) * 1000);
+  // Past the 30-day horizon the number is absolute unix seconds.
+  const int64_t abs_secs = mc::kRelativeExptimeLimit + 1;
+  EXPECT_EQ(mc::ExptimeToExpireAtMs(abs_secs, now), static_cast<uint64_t>(abs_secs) * 1000);
+  // Negative means "already expired": a nonzero stamp at/before now.
+  const uint64_t expired = mc::ExptimeToExpireAtMs(-1, now);
+  EXPECT_NE(expired, 0u);
+  EXPECT_LE(expired, now);
+}
+
+TEST(McCodecTest, ValueCodecRoundTrip) {
+  std::string raw;
+  mc::EncodeValue(0xdeadbeef, "payload", &raw);
+  ASSERT_EQ(raw.size(), 4u + 7u);
+  uint32_t flags = 0;
+  std::string_view data;
+  mc::DecodeValue(raw, &flags, &data);
+  EXPECT_EQ(flags, 0xdeadbeefu);
+  EXPECT_EQ(data, "payload");
+
+  // Binary-protocol values lack the prefix; short ones decode whole.
+  mc::DecodeValue("ab", &flags, &data);
+  EXPECT_EQ(flags, 0u);
+  EXPECT_EQ(data, "ab");
+}
+
+TEST(McCodecTest, CasTracksValueIdentity) {
+  std::string a, b;
+  mc::EncodeValue(1, "same", &a);
+  mc::EncodeValue(1, "same", &b);
+  EXPECT_EQ(mc::CasOf(a), mc::CasOf(b));
+  mc::EncodeValue(1, "different", &b);
+  EXPECT_NE(mc::CasOf(a), mc::CasOf(b));
+  EXPECT_NE(mc::CasOf(a), 0u);
+}
+
+// --- End-to-end over a real socket ---
+
+// Minimal blocking text-protocol client.  Replies are read until the
+// expected terminator appears at the end of the buffer (every memcached
+// reply this test provokes has a known final line), under a recv timeout
+// so a missing reply fails the test instead of hanging it.
+class TextClient {
+ public:
+  explicit TextClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    timeval tv{10, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << strerror(errno);
+  }
+  ~TextClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  // Reads until the buffered reply ends with `terminator` (or EOF/timeout).
+  std::string ReadUntil(const std::string& terminator) {
+    std::string reply;
+    char buf[4096];
+    while (reply.size() < terminator.size() ||
+           reply.compare(reply.size() - terminator.size(), terminator.size(),
+                         terminator) != 0) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;  // EOF or timeout: return what we have
+      reply.append(buf, static_cast<size_t>(n));
+    }
+    return reply;
+  }
+
+  std::string Roundtrip(const std::string& cmd, const std::string& terminator = "\r\n") {
+    Send(cmd);
+    return ReadUntil(terminator);
+  }
+
+  // True when the peer closed the connection (EOF on a blocking read).
+  bool ReadEof() {
+    char buf[64];
+    return ::recv(fd_, buf, sizeof(buf), 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class McServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kv::TtlResetClockForTesting();
+    kv::StoreOptions store_options;
+    store_options.ttl = true;
+    auto opened = kv::OpenStore(kv::StoreKind::kHashMemory, store_options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    store_ = kv::MakeSynchronized(std::move(opened).value());
+
+    ServerOptions server_options;
+    server_options.port = 0;
+    server_options.workers = 1;
+    server_options.memcached_port = 0;
+    server_ = std::make_unique<Server>(store_.get(), server_options);
+    ASSERT_OK(server_->Start());
+    ASSERT_GT(server_->memcached_port(), 0);
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    kv::TtlResetClockForTesting();
+  }
+
+  TextClient Connect() { return TextClient(server_->memcached_port()); }
+
+  std::unique_ptr<kv::KvStore> store_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(McServerTest, SetGetRoundTripWithFlags) {
+  auto client = Connect();
+  EXPECT_EQ(client.Roundtrip("set k 42 0 5\r\nhello\r\n"), "STORED\r\n");
+  EXPECT_EQ(client.Roundtrip("get k\r\n", "END\r\n"),
+            "VALUE k 42 5\r\nhello\r\nEND\r\n");
+  // A miss renders no VALUE line, just the END sentinel.
+  EXPECT_EQ(client.Roundtrip("get missing\r\n", "END\r\n"), "END\r\n");
+}
+
+TEST_F(McServerTest, MultiKeyGetSkipsMisses) {
+  auto client = Connect();
+  ASSERT_EQ(client.Roundtrip("set a 0 0 1\r\nA\r\n"), "STORED\r\n");
+  ASSERT_EQ(client.Roundtrip("set c 0 0 1\r\nC\r\n"), "STORED\r\n");
+  EXPECT_EQ(client.Roundtrip("get a b c\r\n", "END\r\n"),
+            "VALUE a 0 1\r\nA\r\nVALUE c 0 1\r\nC\r\nEND\r\n");
+}
+
+TEST_F(McServerTest, AddAndReplaceSemantics) {
+  auto client = Connect();
+  EXPECT_EQ(client.Roundtrip("replace k 0 0 1\r\nx\r\n"), "NOT_STORED\r\n");
+  EXPECT_EQ(client.Roundtrip("add k 0 0 1\r\nx\r\n"), "STORED\r\n");
+  EXPECT_EQ(client.Roundtrip("add k 0 0 1\r\ny\r\n"), "NOT_STORED\r\n");
+  EXPECT_EQ(client.Roundtrip("replace k 0 0 1\r\nz\r\n"), "STORED\r\n");
+  EXPECT_EQ(client.Roundtrip("get k\r\n", "END\r\n"), "VALUE k 0 1\r\nz\r\nEND\r\n");
+}
+
+TEST_F(McServerTest, CasFlow) {
+  auto client = Connect();
+  ASSERT_EQ(client.Roundtrip("set k 3 0 2\r\nv1\r\n"), "STORED\r\n");
+  const std::string reply = client.Roundtrip("gets k\r\n", "END\r\n");
+  // "VALUE k 3 2 <cas>\r\nv1\r\nEND\r\n" — pull the cas unique out.
+  ASSERT_EQ(reply.rfind("VALUE k 3 2 ", 0), 0u) << reply;
+  const std::string cas = reply.substr(12, reply.find('\r') - 12);
+  ASSERT_FALSE(cas.empty());
+
+  EXPECT_EQ(client.Roundtrip("cas k 3 0 2 " + cas + "\r\nv2\r\n"), "STORED\r\n");
+  // The value changed, so the old unique no longer matches.
+  EXPECT_EQ(client.Roundtrip("cas k 3 0 2 " + cas + "\r\nv3\r\n"), "EXISTS\r\n");
+  EXPECT_EQ(client.Roundtrip("cas missing 0 0 1 1\r\nx\r\n"), "NOT_FOUND\r\n");
+}
+
+TEST_F(McServerTest, IncrDecrArithmetic) {
+  auto client = Connect();
+  ASSERT_EQ(client.Roundtrip("set counter 0 0 1\r\n5\r\n"), "STORED\r\n");
+  EXPECT_EQ(client.Roundtrip("incr counter 3\r\n"), "8\r\n");
+  // decr clamps at zero, per memcached.
+  EXPECT_EQ(client.Roundtrip("decr counter 100\r\n"), "0\r\n");
+  EXPECT_EQ(client.Roundtrip("incr missing 1\r\n"), "NOT_FOUND\r\n");
+  ASSERT_EQ(client.Roundtrip("set text 0 0 3\r\nabc\r\n"), "STORED\r\n");
+  const std::string err = client.Roundtrip("incr text 1\r\n");
+  EXPECT_EQ(err.rfind("CLIENT_ERROR", 0), 0u) << err;
+}
+
+TEST_F(McServerTest, DeleteTouchAndExpiry) {
+  auto client = Connect();
+  ASSERT_EQ(client.Roundtrip("set k 0 100 1\r\nx\r\n"), "STORED\r\n");
+  EXPECT_EQ(client.Roundtrip("touch k 1\r\n"), "TOUCHED\r\n");
+  EXPECT_EQ(client.Roundtrip("touch missing 1\r\n"), "NOT_FOUND\r\n");
+
+  // touch rewrote the deadline to one second out; step past it.
+  kv::TtlAdvanceClockForTesting(1000);
+  EXPECT_EQ(client.Roundtrip("get k\r\n", "END\r\n"), "END\r\n");
+  EXPECT_EQ(client.Roundtrip("delete k\r\n"), "NOT_FOUND\r\n");
+
+  ASSERT_EQ(client.Roundtrip("set k 0 0 1\r\nx\r\n"), "STORED\r\n");
+  EXPECT_EQ(client.Roundtrip("delete k\r\n"), "DELETED\r\n");
+  EXPECT_EQ(client.Roundtrip("delete k\r\n"), "NOT_FOUND\r\n");
+}
+
+TEST_F(McServerTest, NoreplyAndPipelining) {
+  auto client = Connect();
+  // Two noreply stores and a get, all in one write: the only reply on the
+  // wire is the get's, proving noreply suppressed the STOREDs and the
+  // pipeline stayed ordered.
+  EXPECT_EQ(client.Roundtrip("set a 0 0 1 noreply\r\nA\r\n"
+                             "set b 0 0 1 noreply\r\nB\r\n"
+                             "get a b\r\n",
+                             "END\r\n"),
+            "VALUE a 0 1\r\nA\r\nVALUE b 0 1\r\nB\r\nEND\r\n");
+}
+
+TEST_F(McServerTest, FlushAllStatsVersion) {
+  auto client = Connect();
+  ASSERT_EQ(client.Roundtrip("set a 0 0 1\r\nA\r\n"), "STORED\r\n");
+  ASSERT_EQ(client.Roundtrip("set b 0 0 1\r\nB\r\n"), "STORED\r\n");
+  EXPECT_EQ(client.Roundtrip("flush_all\r\n"), "OK\r\n");
+  EXPECT_EQ(client.Roundtrip("get a b\r\n", "END\r\n"), "END\r\n");
+
+  const std::string stats = client.Roundtrip("stats\r\n", "END\r\n");
+  EXPECT_NE(stats.find("STAT curr_items "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("STAT cmd_get "), std::string::npos) << stats;
+
+  const std::string version = client.Roundtrip("version\r\n");
+  EXPECT_EQ(version.rfind("VERSION ", 0), 0u) << version;
+}
+
+TEST_F(McServerTest, BadInputKeepsOrLosesFramingCorrectly) {
+  {
+    // An unknown verb is an ERROR but framing survives: the next command
+    // on the same connection still answers.
+    auto client = Connect();
+    EXPECT_EQ(client.Roundtrip("bogus\r\n"), "ERROR\r\n");
+    const std::string version = client.Roundtrip("version\r\n");
+    EXPECT_EQ(version.rfind("VERSION ", 0), 0u);
+  }
+  {
+    // A data block that does not end in \r\n means framing is lost: the
+    // server answers CLIENT_ERROR and closes.
+    auto client = Connect();
+    const std::string reply = client.Roundtrip("set k 0 0 2\r\nxyz\r\n");
+    EXPECT_EQ(reply.rfind("CLIENT_ERROR", 0), 0u) << reply;
+    EXPECT_TRUE(client.ReadEof());
+  }
+}
+
+TEST_F(McServerTest, QuitClosesConnection) {
+  auto client = Connect();
+  client.Send("quit\r\n");
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(McServerTest, BinaryAndTextProtocolsShareTheStore) {
+  auto connected = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto binary = std::move(connected).value();
+  auto text = Connect();
+
+  // Binary PutTtl, text read: no flags prefix on binary values, so the
+  // shim reports flags=0 and the raw bytes as data.
+  ASSERT_OK(binary->PutTtl("bin", "raw", /*ttl_ms=*/1000));
+  EXPECT_EQ(text.Roundtrip("get bin\r\n", "END\r\n"), "VALUE bin 0 3\r\nraw\r\nEND\r\n");
+
+  // Binary Touch extends it past the first deadline...
+  ASSERT_OK(binary->Touch("bin", 5000));
+  kv::TtlAdvanceClockForTesting(1000);
+  EXPECT_EQ(text.Roundtrip("get bin\r\n", "END\r\n"), "VALUE bin 0 3\r\nraw\r\nEND\r\n");
+  // ...and past the touched deadline both protocols agree it is gone.
+  kv::TtlAdvanceClockForTesting(4000);
+  EXPECT_EQ(text.Roundtrip("get bin\r\n", "END\r\n"), "END\r\n");
+  std::string value;
+  EXPECT_TRUE(binary->Get("bin", &value).IsNotFound());
+
+  // Text set, binary read: the stored bytes carry the 4-byte flags prefix.
+  ASSERT_EQ(text.Roundtrip("set txt 0 0 2\r\nhi\r\n"), "STORED\r\n");
+  ASSERT_OK(binary->Get("txt", &value));
+  ASSERT_EQ(value.size(), 6u);
+  EXPECT_EQ(value.substr(4), "hi");
+}
+
+TEST_F(McServerTest, StatsSurfaceShowsShimAndHotKeys) {
+  auto text = Connect();
+  for (int i = 0; i < 8; ++i) {
+    text.Roundtrip("get hotkey\r\n", "END\r\n");
+  }
+  auto connected = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto binary = std::move(connected).value();
+  std::string stats;
+  ASSERT_OK(binary->Stats(&stats));
+  EXPECT_NE(stats.find("server.mc.commands="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("server.mc.get_misses="), std::string::npos);
+  EXPECT_NE(stats.find("server.hotkeys.0.key=hotkey"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("store.ttl.expired_lazy="), std::string::npos);
+}
+
+TEST(McServerStartTest, RejectsOutOfRangeMemcachedPort) {
+  kv::StoreOptions store_options;
+  auto opened = kv::OpenStore(kv::StoreKind::kHashMemory, store_options);
+  ASSERT_TRUE(opened.ok());
+  auto store = kv::MakeSynchronized(std::move(opened).value());
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = 1;
+  server_options.memcached_port = 1 << 16;  // not a TCP port
+  Server server(store.get(), server_options);
+  EXPECT_FALSE(server.Start().ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace hashkit

@@ -1,0 +1,563 @@
+// hashkit-cache: the per-key TTL edge matrix, plus the cache plumbing that
+// rides with it (pluggable eviction policies, hot-key sketch).
+//
+// TTL correctness hinges on one invariant: an expired key must never
+// resurrect, no matter which path the bytes travel — a lazy Get, a sweep,
+// a WAL replay after reopen, a raw migration transport, or a snapshot
+// cursor.  Every test here drives the deterministic TTL test clock
+// (TtlAdvanceClockForTesting), so expiry is exact, never timing-dependent.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/kv/synchronized.h"
+#include "src/kv/ttl.h"
+#include "src/pagefile/buffer_pool.h"
+#include "src/pagefile/eviction.h"
+#include "src/pagefile/page_file.h"
+#include "src/util/topk.h"
+#include "tests/test_util.h"
+
+namespace hashkit {
+namespace kv {
+namespace {
+
+// Every test starts from the real clock and restores it afterwards, so
+// test order can never leak an advanced clock into another suite.
+class TtlTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TtlResetClockForTesting(); }
+  void TearDown() override { TtlResetClockForTesting(); }
+
+  std::unique_ptr<KvStore> OpenMem() {
+    StoreOptions options;
+    options.ttl = true;
+    auto result = OpenStore(StoreKind::kHashMemory, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  std::unique_ptr<KvStore> OpenDisk(const std::string& tag, bool truncate,
+                                    Durability durability = Durability::kNone) {
+    StoreOptions options;
+    if (truncate) {
+      disk_path_ = TempPath("cache_ttl_" + tag);
+    }
+    options.path = disk_path_;
+    options.truncate = truncate;
+    options.ttl = true;
+    options.durability = durability;
+    auto result = OpenStore(StoreKind::kHashDisk, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  std::string disk_path_;
+};
+
+TEST_F(TtlTest, StampCodecRoundTrip) {
+  std::string raw;
+  EncodeTtlValue(12345, "payload", &raw);
+  ASSERT_EQ(raw.size(), kTtlStampBytes + 7);
+  uint64_t expire = 0;
+  std::string_view payload;
+  ASSERT_TRUE(DecodeTtlStamp(raw, &expire, &payload));
+  EXPECT_EQ(expire, 12345u);
+  EXPECT_EQ(payload, "payload");
+
+  // A raw value shorter than the stamp cannot be a TTL entry.
+  EXPECT_FALSE(DecodeTtlStamp("short", &expire, &payload));
+
+  // 0 = never: expired only for nonzero stamps at or before now.
+  EXPECT_FALSE(TtlExpired(0, 1u << 30));
+  EXPECT_TRUE(TtlExpired(100, 100));
+  EXPECT_FALSE(TtlExpired(101, 100));
+}
+
+TEST_F(TtlTest, LazyExpiryOnGet) {
+  auto store = OpenMem();
+  ASSERT_TRUE(store->Caps().ttl);
+  const uint64_t now = TtlNowMs();
+  ASSERT_OK(store->PutWithTtl("soon", "v1", true, now + 1000));
+  ASSERT_OK(store->PutWithTtl("later", "v2", true, now + 60'000));
+  ASSERT_OK(store->PutWithTtl("never", "v3", true, 0));
+
+  std::string value;
+  uint64_t expire = 0;
+  ASSERT_OK(store->GetWithExpiry("soon", &value, &expire));
+  EXPECT_EQ(value, "v1");
+  EXPECT_EQ(expire, now + 1000);
+
+  TtlAdvanceClockForTesting(1000);
+  EXPECT_TRUE(store->Get("soon", &value).IsNotFound());
+  ASSERT_OK(store->Get("later", &value));
+  EXPECT_EQ(value, "v2");
+  ASSERT_OK(store->GetWithExpiry("never", &value, &expire));
+  EXPECT_EQ(value, "v3");
+  EXPECT_EQ(expire, 0u);
+
+  StoreStats stats;
+  ASSERT_TRUE(store->Stats(&stats));
+  EXPECT_GE(stats.ttl_expired_lazy, 1u);
+}
+
+TEST_F(TtlTest, ScanSkipsExpired) {
+  auto store = OpenMem();
+  const uint64_t now = TtlNowMs();
+  ASSERT_OK(store->PutWithTtl("a", "1", true, now + 10));
+  ASSERT_OK(store->PutWithTtl("b", "2", true, 0));
+  ASSERT_OK(store->PutWithTtl("c", "3", true, now + 10'000));
+  TtlAdvanceClockForTesting(10);
+
+  std::set<std::string> seen;
+  std::string key, value;
+  Status st = store->Scan(&key, &value, /*first=*/true);
+  while (st.ok()) {
+    seen.insert(key);
+    st = store->Scan(&key, &value, /*first=*/false);
+  }
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(seen, (std::set<std::string>{"b", "c"}));
+}
+
+TEST_F(TtlTest, OverwriteReplacesStamp) {
+  auto store = OpenMem();
+  const uint64_t now = TtlNowMs();
+  ASSERT_OK(store->PutWithTtl("k", "old", true, now + 100));
+  ASSERT_OK(store->PutWithTtl("k", "new", true, now + 50'000));
+  TtlAdvanceClockForTesting(100);
+  std::string value;
+  ASSERT_OK(store->Get("k", &value));
+  EXPECT_EQ(value, "new");
+
+  // And the other direction: a rewrite can also drop the TTL entirely.
+  ASSERT_OK(store->PutWithTtl("k", "forever", true, 0));
+  uint64_t expire = 99;
+  ASSERT_OK(store->GetWithExpiry("k", &value, &expire));
+  EXPECT_EQ(expire, 0u);
+}
+
+TEST_F(TtlTest, AddTreatsExpiredKeyAsAbsent) {
+  auto store = OpenMem();
+  const uint64_t now = TtlNowMs();
+  ASSERT_OK(store->PutWithTtl("k", "first", true, now + 10));
+
+  // While the entry is live, no-overwrite insert must still refuse.
+  EXPECT_TRUE(store->PutWithTtl("k", "blocked", false, 0).IsExists());
+
+  TtlAdvanceClockForTesting(10);
+  ASSERT_OK(store->PutWithTtl("k", "second", false, now + 50'000));
+  std::string value;
+  ASSERT_OK(store->Get("k", &value));
+  EXPECT_EQ(value, "second");
+}
+
+TEST_F(TtlTest, DeleteTreatsExpiredKeyAsAbsent) {
+  auto store = OpenMem();
+  ASSERT_OK(store->PutWithTtl("k", "v", true, TtlNowMs() + 10));
+  TtlAdvanceClockForTesting(10);
+  // memcached `delete` semantics — and the write lock lets the store
+  // reclaim the expired bytes on the way out.
+  EXPECT_TRUE(store->Delete("k").IsNotFound());
+  EXPECT_EQ(store->Size(), 0u);
+  size_t deleted = 0;
+  ASSERT_OK(store->SweepExpired(1024, TtlNowMs(), &deleted));
+  EXPECT_EQ(deleted, 0u);
+}
+
+TEST_F(TtlTest, TouchExtendsClearsAndMisses) {
+  auto store = OpenMem();
+  const uint64_t now = TtlNowMs();
+  ASSERT_OK(store->PutWithTtl("k", "v", true, now + 100));
+
+  // Extend past the original deadline: the entry survives it.
+  ASSERT_OK(store->Touch("k", now + 10'000));
+  TtlAdvanceClockForTesting(100);
+  std::string value;
+  ASSERT_OK(store->Get("k", &value));
+  EXPECT_EQ(value, "v");
+
+  // Clear the TTL: the entry becomes immortal.
+  ASSERT_OK(store->Touch("k", 0));
+  uint64_t expire = 99;
+  ASSERT_OK(store->GetWithExpiry("k", &value, &expire));
+  EXPECT_EQ(expire, 0u);
+
+  // Absent and expired keys both report NotFound.
+  EXPECT_TRUE(store->Touch("missing", 0).IsNotFound());
+  ASSERT_OK(store->PutWithTtl("gone", "v", true, TtlNowMs() + 5));
+  TtlAdvanceClockForTesting(5);
+  EXPECT_TRUE(store->Touch("gone", TtlNowMs() + 1000).IsNotFound());
+}
+
+TEST_F(TtlTest, SweepExpiredHonorsBudgetAndWraps) {
+  auto store = OpenMem();
+  const uint64_t now = TtlNowMs();
+  constexpr int kDoomed = 64;
+  for (int i = 0; i < kDoomed; ++i) {
+    ASSERT_OK(store->PutWithTtl("doomed" + std::to_string(i), "x", true, now + 10));
+  }
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_OK(store->PutWithTtl("live" + std::to_string(i), "x", true, 0));
+  }
+  TtlAdvanceClockForTesting(10);
+
+  // Small budget slices must converge on exactly the doomed set; the
+  // internal cursor persists across calls, so repeated slices cover the
+  // whole keyspace.
+  size_t total = 0;
+  for (int slice = 0; slice < 64 && total < kDoomed; ++slice) {
+    size_t deleted = 0;
+    ASSERT_OK(store->SweepExpired(/*budget=*/8, TtlNowMs(), &deleted));
+    total += deleted;
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kDoomed));
+  EXPECT_EQ(store->Size(), 16u);
+
+  size_t deleted = 0;
+  ASSERT_OK(store->SweepExpired(1024, TtlNowMs(), &deleted));
+  EXPECT_EQ(deleted, 0u);
+
+  StoreStats stats;
+  ASSERT_TRUE(store->Stats(&stats));
+  EXPECT_EQ(stats.ttl_swept, static_cast<uint64_t>(kDoomed));
+}
+
+TEST_F(TtlTest, SweeperThreadReclaims) {
+  auto store = OpenMem();
+  const uint64_t now = TtlNowMs();
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_OK(store->PutWithTtl("k" + std::to_string(i), "x", true, now + 1));
+  }
+  TtlAdvanceClockForTesting(1);
+
+  TtlSweeperOptions options;
+  options.interval_ms = 1;
+  options.budget = 8;
+  TtlSweeper sweeper(store.get(), options);
+  sweeper.Start();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (sweeper.swept() < 32 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sweeper.Stop();
+  EXPECT_EQ(sweeper.swept(), 32u);
+  EXPECT_GE(sweeper.slices(), 1u);
+  EXPECT_EQ(store->Size(), 0u);
+}
+
+TEST_F(TtlTest, ApplyBatchCarriesExpiry) {
+  auto store = OpenMem();
+  const uint64_t now = TtlNowMs();
+  std::string got;
+  BatchOp ops[3];
+  ops[0] = {BatchOp::Kind::kPut, "k", "v", true, now + 10, nullptr, Status::Ok()};
+  ops[1] = {BatchOp::Kind::kPut, "forever", "v", true, 0, nullptr, Status::Ok()};
+  ops[2] = {BatchOp::Kind::kGet, "k", "", true, 0, &got, Status::Ok()};
+  ASSERT_OK(store->ApplyBatch(ops));
+  ASSERT_OK(ops[0].result);
+  ASSERT_OK(ops[2].result);
+  EXPECT_EQ(got, "v");
+
+  TtlAdvanceClockForTesting(10);
+  BatchOp after[2];
+  after[0] = {BatchOp::Kind::kGet, "k", "", true, 0, &got, Status::Ok()};
+  after[1] = {BatchOp::Kind::kGet, "forever", "", true, 0, &got, Status::Ok()};
+  ASSERT_OK(store->ApplyBatch(after));
+  EXPECT_TRUE(after[0].result.IsNotFound());
+  EXPECT_OK(after[1].result);
+}
+
+TEST_F(TtlTest, NonTtlStoreRejectsExpiry) {
+  StoreOptions options;  // ttl defaults off
+  auto store = std::move(OpenStore(StoreKind::kHashMemory, options).value());
+  ASSERT_FALSE(store->Caps().ttl);
+  EXPECT_FALSE(store->PutWithTtl("k", "v", true, TtlNowMs() + 1000).ok());
+  EXPECT_FALSE(store->Touch("k", 0).ok());
+  // expire=0 degrades to a plain Put, and GetWithExpiry reports "never".
+  ASSERT_OK(store->PutWithTtl("k", "v", true, 0));
+  std::string value;
+  uint64_t expire = 99;
+  ASSERT_OK(store->GetWithExpiry("k", &value, &expire));
+  EXPECT_EQ(expire, 0u);
+
+  BatchOp op = {BatchOp::Kind::kPut, "k", "v", true, 12345, nullptr, Status::Ok()};
+  ASSERT_OK(store->ApplyBatch({&op, 1}));
+  EXPECT_FALSE(op.result.ok()) << "expire on a non-TTL store must not be dropped silently";
+}
+
+// An expired key must stay dead across a WAL replay: the stamp is part of
+// the logged value bytes, so recovery restores the entry *with* its expiry
+// and the first read after reopen sees it as absent.
+TEST_F(TtlTest, NoResurrectionAcrossWalReplay) {
+  const uint64_t now = TtlNowMs();
+  uint64_t live_expire = 0;
+  {
+    auto store = OpenDisk("wal", /*truncate=*/true, Durability::kSync);
+    ASSERT_OK(store->PutWithTtl("doomed", "v", true, now + 50));
+    live_expire = now + 1'000'000;
+    ASSERT_OK(store->PutWithTtl("live", "v", true, live_expire));
+    ASSERT_OK(store->PutWithTtl("forever", "v", true, 0));
+  }
+  TtlAdvanceClockForTesting(50);
+  auto store = OpenDisk("wal", /*truncate=*/false, Durability::kSync);
+  std::string value;
+  EXPECT_TRUE(store->Get("doomed", &value).IsNotFound());
+  uint64_t expire = 0;
+  ASSERT_OK(store->GetWithExpiry("live", &value, &expire));
+  EXPECT_EQ(expire, live_expire) << "reopen must preserve the exact stamp";
+  ASSERT_OK(store->GetWithExpiry("forever", &value, &expire));
+  EXPECT_EQ(expire, 0u);
+}
+
+// The migration transport (ScanRaw -> PutRaw) moves entries with their
+// stamps: an expired-but-unswept entry travels as-is and stays expired on
+// the target instead of silently becoming immortal.
+TEST_F(TtlTest, RawTransportPreservesExpiry) {
+  auto source = OpenMem();
+  const uint64_t now = TtlNowMs();
+  ASSERT_OK(source->PutWithTtl("doomed", "v", true, now + 10));
+  const uint64_t live_expire = now + 500'000;
+  ASSERT_OK(source->PutWithTtl("live", "v", true, live_expire));
+  ASSERT_OK(source->PutWithTtl("forever", "v", true, 0));
+  TtlAdvanceClockForTesting(10);
+
+  // ScanRaw still yields the expired entry (raw view, no lazy filtering).
+  std::map<std::string, std::string> raw;
+  std::string key, value;
+  Status st = source->ScanRaw(&key, &value, /*first=*/true);
+  while (st.ok()) {
+    raw[key] = value;
+    st = source->ScanRaw(&key, &value, /*first=*/false);
+  }
+  EXPECT_TRUE(st.IsNotFound());
+  ASSERT_EQ(raw.size(), 3u) << "raw scan must not filter expired entries";
+
+  auto target = OpenMem();
+  for (const auto& [k, v] : raw) {
+    ASSERT_OK(target->PutRaw(k, v));
+  }
+  EXPECT_TRUE(target->Get("doomed", &value).IsNotFound());
+  uint64_t expire = 0;
+  ASSERT_OK(target->GetWithExpiry("live", &value, &expire));
+  EXPECT_EQ(expire, live_expire);
+  ASSERT_OK(target->GetWithExpiry("forever", &value, &expire));
+  EXPECT_EQ(expire, 0u);
+}
+
+// A snapshot cursor pinned before an entry expires still applies expiry
+// lazily at read time: TTL is a property of *now*, not of the snapshot's
+// point-in-time image.
+TEST_F(TtlTest, SnapshotCursorFiltersAtReadTime) {
+  auto store = OpenDisk("snap", /*truncate=*/true);
+  if (!store->Caps().snapshots) {
+    GTEST_SKIP() << "store has no snapshot scans";
+  }
+  const uint64_t now = TtlNowMs();
+  ASSERT_OK(store->PutWithTtl("doomed", "v", true, now + 10));
+  ASSERT_OK(store->PutWithTtl("live", "v", true, 0));
+
+  auto cursor_result = store->NewSnapshotCursor();
+  ASSERT_TRUE(cursor_result.ok()) << cursor_result.status().ToString();
+  auto cursor = std::move(cursor_result).value();
+  TtlAdvanceClockForTesting(10);
+
+  std::set<std::string> seen;
+  std::string key, value;
+  Status st = cursor->Next(&key, &value);
+  while (st.ok()) {
+    seen.insert(key);
+    st = cursor->Next(&key, &value);
+  }
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(seen, (std::set<std::string>{"live"}));
+}
+
+TEST_F(TtlTest, SynchronizedWrapperForwardsTtl) {
+  auto store = MakeSynchronized(OpenMem());
+  ASSERT_TRUE(store->Caps().ttl);
+  const uint64_t now = TtlNowMs();
+  ASSERT_OK(store->PutWithTtl("k", "v", true, now + 10));
+  ASSERT_OK(store->Touch("k", now + 20));
+  TtlAdvanceClockForTesting(10);
+  std::string value;
+  ASSERT_OK(store->Get("k", &value));
+  TtlAdvanceClockForTesting(10);
+  EXPECT_TRUE(store->Get("k", &value).IsNotFound());
+  size_t deleted = 0;
+  ASSERT_OK(store->SweepExpired(1024, TtlNowMs(), &deleted));
+  EXPECT_EQ(deleted, 1u);
+}
+
+TEST_F(TtlTest, ShardedStoreSweepsEveryShard) {
+  StoreOptions options;
+  options.ttl = true;
+  options.shards = 4;
+  auto store = std::move(OpenStore(StoreKind::kHashMemory, options).value());
+  ASSERT_TRUE(store->Caps().ttl);
+  const uint64_t now = TtlNowMs();
+  constexpr int kKeys = 64;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_OK(store->PutWithTtl("key" + std::to_string(i), "v", true, now + 10));
+  }
+  TtlAdvanceClockForTesting(10);
+  size_t total = 0;
+  for (int slice = 0; slice < 128 && total < kKeys; ++slice) {
+    size_t deleted = 0;
+    ASSERT_OK(store->SweepExpired(8, TtlNowMs(), &deleted));
+    total += deleted;
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kKeys));
+  EXPECT_EQ(store->Size(), 0u);
+}
+
+}  // namespace
+}  // namespace kv
+
+// --- Pluggable eviction policies (src/pagefile/eviction.h) ---
+
+namespace {
+
+TEST(EvictionPolicyTest, ParseAndNameRoundTrip) {
+  EvictionPolicyKind kind;
+  ASSERT_TRUE(ParseEvictionPolicy("clock", &kind));
+  EXPECT_EQ(kind, EvictionPolicyKind::kClock);
+  ASSERT_TRUE(ParseEvictionPolicy("2q", &kind));
+  EXPECT_EQ(kind, EvictionPolicyKind::kTwoQ);
+  ASSERT_TRUE(ParseEvictionPolicy("twoq", &kind));
+  EXPECT_EQ(kind, EvictionPolicyKind::kTwoQ);
+  ASSERT_TRUE(ParseEvictionPolicy("tinylfu", &kind));
+  EXPECT_EQ(kind, EvictionPolicyKind::kTinyLfu);
+  EXPECT_FALSE(ParseEvictionPolicy("lru", &kind));
+  EXPECT_FALSE(ParseEvictionPolicy("", &kind));
+
+  for (const auto k : {EvictionPolicyKind::kClock, EvictionPolicyKind::kTwoQ,
+                       EvictionPolicyKind::kTinyLfu}) {
+    EvictionPolicyKind back;
+    ASSERT_TRUE(ParseEvictionPolicy(EvictionPolicyName(k), &back));
+    EXPECT_EQ(back, k);
+  }
+}
+
+class EvictionPoolTest : public ::testing::TestWithParam<EvictionPolicyKind> {};
+
+// Correctness under pressure: whatever the policy evicts, every page must
+// read back with the bytes that were written through the pool.
+TEST_P(EvictionPoolTest, EvictsWithoutLosingWrites) {
+  constexpr size_t kPage = 128;
+  constexpr uint64_t kPages = 64;
+  auto file = MakeMemPageFile(kPage);
+  BufferPool pool(file.get(), /*pool_bytes=*/kPage * 8, GetParam());
+  for (uint64_t p = 0; p < kPages; ++p) {
+    auto ref = std::move(pool.Get(p, /*create_new=*/true).value());
+    ref.data()[0] = static_cast<uint8_t>(p);
+    ref.data()[kPage - 1] = static_cast<uint8_t>(p ^ 0xff);
+    ref.MarkDirty();
+  }
+  EXPECT_GT(pool.StatsSnapshot().evictions, 0u);
+  for (uint64_t p = 0; p < kPages; ++p) {
+    auto ref = std::move(pool.Get(p).value());
+    EXPECT_EQ(ref.data()[0], static_cast<uint8_t>(p)) << "page " << p;
+    EXPECT_EQ(ref.data()[kPage - 1], static_cast<uint8_t>(p ^ 0xff)) << "page " << p;
+  }
+  ASSERT_OK(pool.FlushAll());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, EvictionPoolTest,
+                         ::testing::Values(EvictionPolicyKind::kClock,
+                                           EvictionPolicyKind::kTwoQ,
+                                           EvictionPolicyKind::kTinyLfu),
+                         [](const auto& param_info) {
+                           return std::string(EvictionPolicyName(param_info.param));
+                         });
+
+// Scan resistance: warm a hot set, pour a one-pass cold scan through a
+// small pool, then re-read the hot set.  The frequency-aware policies must
+// do no worse than clock on the re-read (TinyLFU is the headline claim —
+// the bench quantifies it; this pins the direction deterministically).
+TEST(EvictionPoolTest, TinyLfuSurvivesColdScanAtLeastAsWellAsClock) {
+  constexpr size_t kPage = 128;
+  constexpr uint64_t kHot = 8;
+  auto hot_hits_after_scan = [&](EvictionPolicyKind kind) {
+    auto file = MakeMemPageFile(kPage);
+    BufferPool pool(file.get(), /*pool_bytes=*/kPage * 16, kind);
+    for (int round = 0; round < 16; ++round) {
+      for (uint64_t p = 0; p < kHot; ++p) {
+        auto ref = std::move(pool.Get(p, round == 0).value());
+      }
+    }
+    for (uint64_t p = 100; p < 200; ++p) {
+      auto ref = std::move(pool.Get(p, /*create_new=*/true).value());
+    }
+    const uint64_t misses_before = pool.StatsSnapshot().misses;
+    for (uint64_t p = 0; p < kHot; ++p) {
+      auto ref = std::move(pool.Get(p).value());
+    }
+    const uint64_t misses = pool.StatsSnapshot().misses - misses_before;
+    return kHot - misses;  // hot re-reads served from the pool
+  };
+  const uint64_t clock_hits = hot_hits_after_scan(EvictionPolicyKind::kClock);
+  const uint64_t tinylfu_hits = hot_hits_after_scan(EvictionPolicyKind::kTinyLfu);
+  const uint64_t twoq_hits = hot_hits_after_scan(EvictionPolicyKind::kTwoQ);
+  EXPECT_GE(tinylfu_hits, clock_hits);
+  EXPECT_GE(twoq_hits, clock_hits);
+  EXPECT_GT(tinylfu_hits, 0u) << "TinyLFU kept none of the hot set resident";
+}
+
+// --- Hot-key detection (src/util/topk.h) ---
+
+TEST(TopKSketchTest, ExactUnderCapacity) {
+  TopKSketch sketch(8);
+  for (int i = 0; i < 5; ++i) sketch.Record("a");
+  for (int i = 0; i < 3; ++i) sketch.Record("b");
+  sketch.Record("c");
+  auto entries = sketch.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].key, "a");
+  EXPECT_EQ(entries[0].count, 5u);
+  EXPECT_EQ(entries[0].error, 0u);
+  EXPECT_EQ(entries[1].key, "b");
+  EXPECT_EQ(entries[1].count, 3u);
+}
+
+TEST(TopKSketchTest, HeavyHitterSurvivesEviction) {
+  // Space-Saving guarantee: a key with true frequency > N/capacity is
+  // tracked, and its reported count is count-error <= true <= count.
+  TopKSketch sketch(4);
+  constexpr int kHeavy = 200;
+  for (int i = 0; i < kHeavy; ++i) {
+    sketch.Record("heavy");
+    sketch.Record("noise" + std::to_string(i));  // all distinct
+  }
+  auto entries = sketch.Snapshot();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries[0].key, "heavy");
+  EXPECT_GE(entries[0].count, static_cast<uint64_t>(kHeavy));
+  EXPECT_GE(entries[0].count - entries[0].error, 1u);
+  EXPECT_LE(entries[0].count - entries[0].error, static_cast<uint64_t>(kHeavy));
+}
+
+TEST(TopKSketchTest, MergeSumsAcrossWorkers) {
+  TopKSketch a(8), b(8);
+  for (int i = 0; i < 4; ++i) a.Record("shared");
+  for (int i = 0; i < 6; ++i) b.Record("shared");
+  a.Record("only_a");
+  for (int i = 0; i < 5; ++i) b.Record("only_b");
+  auto merged = TopKSketch::MergeTopK({a.Snapshot(), b.Snapshot()}, 2);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].key, "shared");
+  EXPECT_EQ(merged[0].count, 10u);
+  EXPECT_EQ(merged[1].key, "only_b");
+  EXPECT_EQ(merged[1].count, 5u);
+}
+
+}  // namespace
+}  // namespace hashkit

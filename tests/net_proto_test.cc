@@ -302,6 +302,51 @@ TEST(ProtoTest, GoldenMigrateDataRequest) {
   EXPECT_EQ(wire.substr(kHeaderSize), "kv");
 }
 
+// An OVERLOADED response (admission control shed) carries its retry-after
+// hint as a u32 LE in the response *key* — this golden pins that byte
+// layout (documented in PROTOCOL.md).
+TEST(ProtoTest, GoldenOverloadedResponse) {
+  Response resp;
+  resp.op = Opcode::kPut;
+  resp.status = StatusCode::kOverloaded;
+  resp.seq = 7;
+  EncodeRetryAfter(25, &resp.key);
+  std::string wire;
+  EncodeResponse(resp, &wire);
+  const uint8_t golden[kHeaderSize + 4] = {
+      0x68, 0x6B,              // "hk" response magic
+      0x01,                    // protocol version
+      0x01,                    // opcode PUT (the shed request's opcode)
+      0x0A,                    // status kOverloaded
+      0x00, 0x00, 0x00,        // reserved
+      0x07, 0x00, 0x00, 0x00,  // seq = 7
+      0x04, 0x00, 0x00, 0x00,  // key_len = 4 (the hint)
+      0x00, 0x00, 0x00, 0x00,  // value_len = 0
+      0x19, 0x00, 0x00, 0x00,  // retry-after = 25 ms, u32 LE
+  };
+  ASSERT_EQ(wire.size(), sizeof(golden));
+  EXPECT_EQ(std::memcmp(wire.data(), golden, sizeof(golden)), 0);
+
+  Response decoded;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(DecodeResponse(&wire, &decoded, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(decoded.status, StatusCode::kOverloaded);
+  EXPECT_EQ(DecodeRetryAfter(decoded.key), 25u);
+}
+
+// Regression: a kOverloaded frame from an older server may carry no hint
+// at all.  DecodeRetryAfter must answer 0 for an empty or short key, never
+// read out of bounds.
+TEST(ProtoTest, DecodeRetryAfterToleratesShortKeys) {
+  EXPECT_EQ(DecodeRetryAfter(""), 0u);
+  EXPECT_EQ(DecodeRetryAfter("a"), 0u);
+  EXPECT_EQ(DecodeRetryAfter(std::string_view("\x01\x02\x03", 3)), 0u);
+  std::string key;
+  EncodeRetryAfter(1234, &key);
+  EXPECT_EQ(DecodeRetryAfter(key), 1234u);
+}
+
 TEST(ProtoTest, MigrateSubOpsAreDistinctSingleBits) {
   const uint8_t sub_ops[] = {kMigrateStart, kMigrateData, kMigrateEnd,  kMigrateMap,
                              kMigrateJoin,  kMigrateMove, kMigrateSplit, kMigrateLeave};

@@ -12,6 +12,8 @@
 //                  [--split-threshold=N] [--gossip-interval-ms=N]
 //                  [--wal-archive]
 //                  [--replica-of=HOST:PORT] [--replica-poll-ms=N]
+//                  [--ttl] [--ttl-sweep-ms=N] [--ttl-sweep-budget=N]
+//                  [--eviction=clock|2q|tinylfu] [--memcached-port=P]
 //
 // With shards > 1 the store opens as a ShardedStore (per-shard ".sN"
 // files); with shards <= 1 it is wrapped in SynchronizedStore so multiple
@@ -34,6 +36,8 @@
 #include "src/cluster/migration.h"
 #include "src/kv/kv_store.h"
 #include "src/kv/synchronized.h"
+#include "src/kv/ttl.h"
+#include "src/pagefile/eviction.h"
 #include "src/net/replica.h"
 #include "src/net/server.h"
 #include "src/util/tempfile.h"
@@ -140,7 +144,15 @@ int Usage(int code) {
                "replica: --replica-of=HOST:PORT bootstraps (when <path> is absent)\n"
                "         from the primary's online backup, serves read-only, and\n"
                "         tails the primary's WAL every --replica-poll-ms (default\n"
-               "         200).  Forces shards=1; PUT/DEL/SYNC answer UNSUPPORTED.\n");
+               "         200).  Forces shards=1; PUT/DEL/SYNC answer UNSUPPORTED.\n"
+               "cache:   --ttl enables per-key expiry (PUT+ttl/TOUCH on the binary\n"
+               "         protocol, exptime on the memcached shim); a background\n"
+               "         sweeper reclaims expired keys every --ttl-sweep-ms (default\n"
+               "         1000) in slices of --ttl-sweep-budget entries (default\n"
+               "         4096).  --eviction=clock|2q|tinylfu picks the buffer-pool\n"
+               "         replacement policy (default clock).  --memcached-port=P\n"
+               "         serves the memcached text protocol on host:P (P=0 picks a\n"
+               "         free port; incompatible with --cluster-node).\n");
   return code;
 }
 
@@ -195,6 +207,13 @@ int main(int argc, char** argv) {
   }
   store_options.wal_archive =
       HasFlag(argc, argv, "wal-archive") || HasFlag(argc, argv, "wal_archive");
+  store_options.ttl = HasFlag(argc, argv, "ttl");
+  const char* eviction = FlagValue(argc, argv, "eviction");
+  if (eviction != nullptr &&
+      !hashkit::ParseEvictionPolicy(eviction, &store_options.eviction)) {
+    std::fprintf(stderr, "unknown eviction policy: %s\n", eviction);
+    return Usage(2);
+  }
 
   // Replica mode: bootstrap from the primary's online backup when the
   // local table is absent, then serve read-only and tail the primary's
@@ -313,6 +332,11 @@ int main(int argc, char** argv) {
     metrics_port = FlagLong(argc, argv, "metrics_port", -1);
   }
   server_options.metrics_port = static_cast<int>(metrics_port);
+  long memcached_port = FlagLong(argc, argv, "memcached-port", -1);
+  if (memcached_port < 0) {
+    memcached_port = FlagLong(argc, argv, "memcached_port", -1);
+  }
+  server_options.memcached_port = static_cast<int>(memcached_port);
   server_options.read_only = replica_of != nullptr;
 
   // Cluster mode: the node is created before the server (the server holds
@@ -387,17 +411,43 @@ int main(int argc, char** argv) {
     server_options.cluster = cluster_node.get();
   }
 
+  // Background TTL sweeper on the final (wrapped) store handle, so sweep
+  // slices take the same synchronization path as served traffic.
+  std::unique_ptr<hashkit::kv::TtlSweeper> ttl_sweeper;
+  if (store_options.ttl) {
+    hashkit::kv::TtlSweeperOptions sweep_options;
+    long sweep_ms = FlagLong(argc, argv, "ttl-sweep-ms", -1);
+    if (sweep_ms < 0) {
+      sweep_ms = FlagLong(argc, argv, "ttl_sweep_ms", 1000);
+    }
+    sweep_options.interval_ms = static_cast<int>(sweep_ms);
+    long sweep_budget = FlagLong(argc, argv, "ttl-sweep-budget", -1);
+    if (sweep_budget < 0) {
+      sweep_budget = FlagLong(argc, argv, "ttl_sweep_budget", 4096);
+    }
+    sweep_options.budget = static_cast<size_t>(sweep_budget);
+    ttl_sweeper = std::make_unique<hashkit::kv::TtlSweeper>(store.get(), sweep_options);
+    ttl_sweeper->Start();
+  }
+
   hashkit::net::Server server(store.get(), server_options);
   const hashkit::Status st = server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("hashkit_server: %s on %s:%u (%d cores)\n", store->Name().c_str(),
-              server_options.host.c_str(), server.port(), server_options.workers);
+  std::printf("hashkit_server: %s on %s:%u (%d cores, eviction %s%s)\n",
+              store->Name().c_str(), server_options.host.c_str(), server.port(),
+              server_options.workers,
+              std::string(hashkit::EvictionPolicyName(store_options.eviction)).c_str(),
+              store_options.ttl ? ", ttl" : "");
   if (server.metrics_port() != 0) {
     std::printf("hashkit_server: metrics on http://%s:%u/metrics\n",
                 server_options.host.c_str(), server.metrics_port());
+  }
+  if (server.memcached_port() != 0) {
+    std::printf("hashkit_server: memcached protocol on %s:%u\n",
+                server_options.host.c_str(), server.memcached_port());
   }
   if (cluster_node != nullptr) {
     const hashkit::Status cst = cluster_node->Start(peers, join_seed);
@@ -436,6 +486,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("hashkit_server: shutting down\n");
+  if (ttl_sweeper != nullptr) {
+    ttl_sweeper->Stop();  // before the server: no sweeps against a closing store
+  }
   if (replica != nullptr) {
     replica->Stop();
   }
